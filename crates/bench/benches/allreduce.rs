@@ -1,0 +1,63 @@
+//! E2 kernel bench: the real threaded ring allreduce across world sizes and
+//! buffer lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dd_parallel::ring;
+use std::hint::black_box;
+
+fn run_ring(world: usize, len: usize) {
+    let members = ring(world);
+    let mut bufs: Vec<Vec<f32>> = (0..world).map(|r| vec![r as f32; len]).collect();
+    std::thread::scope(|scope| {
+        for (m, buf) in members.into_iter().zip(bufs.iter_mut()) {
+            scope.spawn(move || {
+                m.allreduce(buf);
+            });
+        }
+    });
+    black_box(bufs);
+}
+
+fn bench_world_sizes(c: &mut Criterion) {
+    let len = 1 << 16; // 256 KiB of f32 — a small dense layer's gradients
+    let mut group = c.benchmark_group("ring_allreduce_world");
+    group.throughput(Throughput::Bytes((len * 4) as u64));
+    for world in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &w| {
+            b.iter(|| run_ring(w, len));
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_allreduce_bytes");
+    for shift in [10usize, 14, 18] {
+        let len = 1usize << shift;
+        group.throughput(Throughput::Bytes((len * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len * 4), &len, |b, &l| {
+            b.iter(|| run_ring(4, l));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gradient_compression(c: &mut Criterion) {
+    use dd_parallel::{quantize_gradient, TopKCompressor};
+    use dd_tensor::Rng64;
+    let mut rng = Rng64::new(5);
+    let grad: Vec<f32> = (0..1 << 16).map(|_| rng.normal(0.0, 0.1) as f32).collect();
+    let mut group = c.benchmark_group("gradient_compression");
+    group.throughput(Throughput::Bytes((grad.len() * 4) as u64));
+    group.bench_function("topk_1pct", |b| {
+        let mut comp = TopKCompressor::new(0.01, grad.len());
+        b.iter(|| black_box(comp.compress(black_box(&grad))));
+    });
+    group.bench_function("int8_quantize", |b| {
+        b.iter(|| black_box(quantize_gradient(black_box(&grad))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_sizes, bench_buffer_sizes, bench_gradient_compression);
+criterion_main!(benches);

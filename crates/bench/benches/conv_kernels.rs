@@ -1,0 +1,43 @@
+//! W1 kernel bench: 1-D convolution forward/backward (the NT3-style tumor
+//! classifier's hot path) and pooling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd_nn::{Conv1d, Init, Layer, MaxPool1d};
+use dd_tensor::{Matrix, Precision, Rng64};
+use std::hint::black_box;
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = Rng64::new(1);
+    let mut group = c.benchmark_group("conv1d_forward");
+    for &(in_ch, len, out_ch, kernel) in &[(1usize, 512usize, 8usize, 7usize), (8, 128, 16, 5)] {
+        let mut conv = Conv1d::new(in_ch, len, out_ch, kernel, 1, Init::He, &mut rng);
+        let x = Matrix::randn(32, in_ch * len, 0.0, 1.0, &mut rng);
+        let id = format!("{in_ch}x{len}->{out_ch}k{kernel}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
+            b.iter(|| black_box(conv.forward(black_box(&x), false, Precision::F32)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut rng = Rng64::new(2);
+    let mut conv = Conv1d::new(4, 256, 8, 5, 1, Init::He, &mut rng);
+    let x = Matrix::randn(32, 4 * 256, 0.0, 1.0, &mut rng);
+    let y = conv.forward(&x, true, Precision::F32);
+    c.bench_function("conv1d_backward", |b| {
+        b.iter(|| black_box(conv.backward(black_box(&y), Precision::F32)));
+    });
+}
+
+fn bench_maxpool(c: &mut Criterion) {
+    let mut rng = Rng64::new(3);
+    let mut pool = MaxPool1d::new(8, 512, 2);
+    let x = Matrix::randn(32, 8 * 512, 0.0, 1.0, &mut rng);
+    c.bench_function("maxpool1d_forward", |b| {
+        b.iter(|| black_box(pool.forward(black_box(&x), true, Precision::F32)));
+    });
+}
+
+criterion_group!(benches, bench_conv_forward, bench_conv_backward, bench_maxpool);
+criterion_main!(benches);

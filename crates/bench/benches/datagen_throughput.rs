@@ -1,0 +1,56 @@
+//! Dataset-generation throughput: the per-node "training data generated at
+//! each node" path (E5's `generate` staging strategy) must be fast enough to
+//! be a real alternative to I/O.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dd_datagen::amr::{self, AmrConfig};
+use dd_datagen::compound::{self, CompoundConfig};
+use dd_datagen::drug_response::{self, DrugResponseConfig};
+use dd_datagen::expression::ExpressionModel;
+use dd_datagen::records::{self, RecordsConfig};
+use dd_datagen::tumor::{self, TumorConfig};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(20);
+
+    let tumor_cfg = TumorConfig {
+        samples: 500,
+        expression: ExpressionModel { genes: 256, ..Default::default() },
+        ..Default::default()
+    };
+    group.throughput(Throughput::Elements(500 * 256));
+    group.bench_function("tumor_500x256", |b| {
+        b.iter(|| black_box(tumor::generate(black_box(&tumor_cfg), 1)));
+    });
+
+    let drug_cfg = DrugResponseConfig { measurements: 1000, ..Default::default() };
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("drug_response_1000", |b| {
+        b.iter(|| black_box(drug_response::generate(black_box(&drug_cfg), 1)));
+    });
+
+    let compound_cfg = CompoundConfig { samples: 2000, ..Default::default() };
+    group.throughput(Throughput::Elements(2000));
+    group.bench_function("compound_2000", |b| {
+        b.iter(|| black_box(compound::generate(black_box(&compound_cfg), 1)));
+    });
+
+    let records_cfg = RecordsConfig { patients: 2000, ..Default::default() };
+    group.throughput(Throughput::Elements(2000));
+    group.bench_function("records_2000", |b| {
+        b.iter(|| black_box(records::generate(black_box(&records_cfg), 1)));
+    });
+
+    let amr_cfg = AmrConfig { genomes: 1000, ..Default::default() };
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("amr_1000", |b| {
+        b.iter(|| black_box(amr::generate(black_box(&amr_cfg), 1)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E1 kernel bench: matrix multiplication under each emulated precision.
+//!
+//! Note: bf16/f16/int8 are *software emulated*, so they are slower than f32
+//! here; the point of the bench is tracking the emulation overhead. The
+//! speedups the paper anticipates are modelled by `dd-hpcsim` (see the E1
+//! table), not measured on this CPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dd_tensor::{matmul_prec, Matrix, Precision, Rng64};
+use std::hint::black_box;
+
+fn bench_matmul_precision(c: &mut Criterion) {
+    let mut rng = Rng64::new(1);
+    let (m, k, n) = (128usize, 256usize, 128usize);
+    let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+    let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+    let flops = 2 * m * k * n;
+
+    let mut group = c.benchmark_group("matmul_precision");
+    group.throughput(Throughput::Elements(flops as u64));
+    for precision in Precision::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(precision),
+            &precision,
+            |bench, &p| {
+                bench.iter(|| black_box(matmul_prec(black_box(&a), black_box(&b), p)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_matmul_sizes(c: &mut Criterion) {
+    let mut rng = Rng64::new(2);
+    let mut group = c.benchmark_group("matmul_f32_sizes");
+    for &size in &[32usize, 128, 512] {
+        let a = Matrix::randn(size, size, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(size, size, 0.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * size * size * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| black_box(dd_tensor::matmul(black_box(&a), black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_backprop_orientations(c: &mut Criterion) {
+    let mut rng = Rng64::new(3);
+    let x = Matrix::randn(64, 512, 0.0, 1.0, &mut rng);
+    let w = Matrix::randn(512, 256, 0.0, 1.0, &mut rng);
+    let dy = Matrix::randn(64, 256, 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("matmul_orientations");
+    group.bench_function("forward_nn", |b| {
+        b.iter(|| black_box(dd_tensor::matmul(black_box(&x), black_box(&w))))
+    });
+    group.bench_function("grad_input_nt", |b| {
+        b.iter(|| black_box(dd_tensor::matmul_nt(black_box(&dy), black_box(&w))))
+    });
+    group.bench_function("grad_weight_tn", |b| {
+        b.iter(|| black_box(dd_tensor::matmul_tn(black_box(&x), black_box(&dy))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_precision,
+    bench_matmul_sizes,
+    bench_backprop_orientations
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E9/W7 kernel bench: Lennard-Jones integration at coarse vs fine
+//! resolution, and the surrogate's feature extraction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd_mdsim::{LjSystem, SurrogateController, FINE_SUBSTEPS};
+use std::hint::black_box;
+
+fn bench_step_resolutions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lj_macro_step");
+    group.sample_size(30);
+    for &(name, substeps) in &[("coarse", 1usize), ("fine", FINE_SUBSTEPS)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &substeps, |b, &s| {
+            b.iter_batched(
+                || LjSystem::lattice(6, 1.3, 0.4, 1),
+                |mut sys| {
+                    sys.advance(0.04, s);
+                    black_box(sys);
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_system_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lj_force_eval");
+    group.sample_size(30);
+    for &side in &[4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &side, |b, &s| {
+            let mut sys = LjSystem::lattice(s, 1.3, 0.4, 1);
+            b.iter(|| black_box(sys.forces()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_surrogate_features(c: &mut Criterion) {
+    let mut sys = LjSystem::lattice(8, 1.3, 0.4, 2);
+    c.bench_function("surrogate_features", |b| {
+        b.iter(|| black_box(SurrogateController::features(black_box(&mut sys), 0.04)));
+    });
+}
+
+criterion_group!(benches, bench_step_resolutions, bench_system_sizes, bench_surrogate_features);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E6 kernel bench: searcher overhead (propose + observe, objective cost
+//! excluded via a trivial objective) — the scheduler must not be the
+//! bottleneck when trials are cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd_hypersearch::searchers::{
+    EvolutionarySearch, GenerativeSearch, GridSearch, Hyperband, RandomSearch, SuccessiveHalving,
+    SurrogateSearch,
+};
+use dd_hypersearch::{run_search, Config, SearchSpace, Searcher};
+use std::hint::black_box;
+
+fn space() -> SearchSpace {
+    SearchSpace::new()
+        .log_float("lr", 1e-5, 1e-1)
+        .float("dropout", 0.0, 0.8)
+        .int("width", 8, 256)
+        .choice("act", &["relu", "tanh", "gelu"])
+}
+
+fn trivial_objective(c: &Config, _b: f64, _s: u64) -> f64 {
+    (c.f64("lr").log10() + 3.0).powi(2) + c.f64("dropout")
+}
+
+fn searcher_by_name(name: &str) -> Box<dyn Searcher> {
+    match name {
+        "random" => Box::new(RandomSearch::new()),
+        "grid" => Box::new(GridSearch::new(4)),
+        "sha" => Box::new(SuccessiveHalving::new(9, 1.0 / 3.0, 3)),
+        "hyperband" => Box::new(Hyperband::new(3, 2)),
+        "evolutionary" => Box::new(EvolutionarySearch::new(12, 0.3)),
+        "surrogate" => Box::new(SurrogateSearch::new(8)),
+        "generative" => Box::new(GenerativeSearch::new(10)),
+        other => panic!("unknown searcher {other}"),
+    }
+}
+
+fn bench_searcher_overhead(c: &mut Criterion) {
+    let sp = space();
+    let mut group = c.benchmark_group("searcher_overhead_40_trials");
+    group.sample_size(10);
+    for name in ["random", "grid", "sha", "hyperband", "evolutionary", "surrogate", "generative"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &n| {
+            b.iter(|| {
+                let mut s = searcher_by_name(n);
+                black_box(run_search(s.as_mut(), &sp, &trivial_objective, 40.0, 4, 1))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_space_operations(c: &mut Criterion) {
+    let sp = space();
+    let mut rng = dd_tensor::Rng64::new(1);
+    let config = sp.sample(&mut rng);
+    c.bench_function("space_sample", |b| {
+        b.iter(|| black_box(sp.sample(&mut rng)));
+    });
+    c.bench_function("space_encode_decode", |b| {
+        b.iter(|| {
+            let e = sp.encode(black_box(&config));
+            black_box(sp.decode(&e))
+        });
+    });
+    c.bench_function("space_mutate", |b| {
+        b.iter(|| black_box(sp.mutate(black_box(&config), 0.3, &mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_searcher_overhead, bench_space_operations);
+criterion_main!(benches);

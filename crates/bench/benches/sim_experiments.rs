@@ -1,0 +1,47 @@
+//! End-to-end regeneration cost of the simulator-only experiment tables
+//! (E3, E4, E5, E7) plus the underlying collective cost models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepdriver_core::experiments::{e3_parallelism, e4_memory, e5_nvram, e7_hybrid};
+use deepdriver_core::report::Scale;
+use dd_hpcsim::{allreduce_time, AllreduceAlgo, Fabric};
+use std::hint::black_box;
+
+fn bench_experiment_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_tables_smoke");
+    group.sample_size(20);
+    group.bench_function("e3_parallelism", |b| {
+        b.iter(|| black_box(e3_parallelism::run(Scale::Smoke, 1)))
+    });
+    group.bench_function("e4_memory", |b| {
+        b.iter(|| black_box(e4_memory::run(Scale::Smoke, 1)))
+    });
+    group.bench_function("e5_nvram", |b| {
+        b.iter(|| black_box(e5_nvram::run(Scale::Smoke, 1)))
+    });
+    group.bench_function("e7_hybrid", |b| {
+        b.iter(|| black_box(e7_hybrid::run(Scale::Smoke, 1)))
+    });
+    group.finish();
+}
+
+fn bench_collective_models(c: &mut Criterion) {
+    let fabric = Fabric::infiniband_2017();
+    let mut group = c.benchmark_group("allreduce_cost_model");
+    for p in [8usize, 512, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                black_box(allreduce_time(
+                    black_box(&fabric),
+                    AllreduceAlgo::Auto,
+                    2e8,
+                    p,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_tables, bench_collective_models);
+criterion_main!(benches);

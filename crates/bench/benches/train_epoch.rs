@@ -1,0 +1,73 @@
+//! E2/E8 kernel bench: one full training epoch of the dense driver-workload
+//! network, single-threaded versus data-parallel over threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dd_nn::{Activation, Loss, ModelSpec, OptimizerConfig, TrainConfig, Trainer};
+use dd_parallel::{train_data_parallel, DataParallelConfig};
+use dd_tensor::{Matrix, Precision, Rng64};
+use std::hint::black_box;
+
+fn data(n: usize) -> (Matrix, Matrix) {
+    let mut rng = Rng64::new(1);
+    let x = Matrix::randn(n, 64, 0.0, 1.0, &mut rng);
+    let y = Matrix::from_fn(n, 1, |i, _| x.row(i).iter().sum::<f32>().tanh());
+    (x, y)
+}
+
+fn bench_single_epoch(c: &mut Criterion) {
+    let (x, y) = data(1024);
+    let spec = ModelSpec::mlp(64, &[128, 64], 1, Activation::Relu);
+    let mut group = c.benchmark_group("train_epoch");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("single_thread", |b| {
+        b.iter_batched(
+            || {
+                (
+                    spec.build(1, Precision::F32).unwrap(),
+                    Trainer::new(TrainConfig {
+                        epochs: 1,
+                        batch_size: 64,
+                        optimizer: OptimizerConfig::adam(1e-3),
+                        loss: Loss::Mse,
+                        ..TrainConfig::default()
+                    }),
+                )
+            },
+            |(mut model, mut trainer)| {
+                black_box(trainer.run_epoch(&mut model, &x, &y, 0));
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_data_parallel_epochs(c: &mut Criterion) {
+    let (x, y) = data(1024);
+    let spec = ModelSpec::mlp(64, &[128, 64], 1, Activation::Relu);
+    let mut group = c.benchmark_group("data_parallel_epoch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1024));
+    for world in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &w| {
+            b.iter(|| {
+                black_box(train_data_parallel(
+                    &spec,
+                    &x,
+                    &y,
+                    &DataParallelConfig {
+                        world: w,
+                        global_batch: 128,
+                        epochs: 1,
+                        ..Default::default()
+                    },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_epoch, bench_data_parallel_epochs);
+criterion_main!(benches);

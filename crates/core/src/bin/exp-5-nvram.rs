@@ -1,0 +1,12 @@
+//! Regenerates the E5 table. Usage: `exp-5-nvram [smoke|full] [seed]`.
+
+use deepdriver_core::experiments::{self, e5_nvram};
+use deepdriver_core::report::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    let table = e5_nvram::run(scale, seed);
+    experiments::emit(&table, "e5_nvram");
+}

@@ -1,0 +1,12 @@
+//! Regenerates the E7 table. Usage: `exp-7-hybrid [smoke|full] [seed]`.
+
+use deepdriver_core::experiments::{self, e7_hybrid};
+use deepdriver_core::report::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    let table = e7_hybrid::run(scale, seed);
+    experiments::emit(&table, "e7_hybrid");
+}

@@ -1,0 +1,37 @@
+//! Regenerates every experiment table in one run.
+//! Usage: `report-all [smoke|full] [seed]` — smoke takes ~a minute, full can
+//! take tens of minutes (it retrains every workload).
+
+use deepdriver_core::experiments::{
+    self, e10_compression, e1_precision, e2_scaling, e3_parallelism, e4_memory, e5_nvram,
+    e6_search, e7_hybrid, e8_workloads, e9_mdsurrogate,
+};
+use deepdriver_core::report::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    println!("deepdriver experiment suite — scale {scale:?}, seed {seed}\n");
+
+    let experiments: Vec<(&str, Box<dyn Fn() -> deepdriver_core::Table>)> = vec![
+        ("e1_precision", Box::new(move || e1_precision::run(scale, seed))),
+        ("e2_scaling", Box::new(move || e2_scaling::run(scale, seed))),
+        ("e3_parallelism", Box::new(move || e3_parallelism::run(scale, seed))),
+        ("e4_memory", Box::new(move || e4_memory::run(scale, seed))),
+        ("e5_nvram", Box::new(move || e5_nvram::run(scale, seed))),
+        ("e6_search", Box::new(move || e6_search::run(scale, seed))),
+        ("e7_hybrid", Box::new(move || e7_hybrid::run(scale, seed))),
+        ("e8_workloads", Box::new(move || e8_workloads::run(scale, seed))),
+        ("e9_mdsurrogate", Box::new(move || e9_mdsurrogate::run(scale, seed))),
+        ("e10_compression", Box::new(move || e10_compression::run(scale, seed))),
+    ];
+    let total = experiments.len();
+    for (i, (slug, run)) in experiments.into_iter().enumerate() {
+        eprintln!("[{}/{}] {slug}...", i + 1, total);
+        let start = std::time::Instant::now();
+        let table = run();
+        experiments::emit(&table, slug);
+        eprintln!("[{}/{}] {slug} done in {:.1}s\n", i + 1, total, start.elapsed().as_secs_f64());
+    }
+}

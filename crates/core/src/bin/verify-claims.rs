@@ -1,0 +1,31 @@
+//! Executable verdict table: re-checks every architectural claim of the
+//! abstract against freshly measured experiment sweeps.
+//! Usage: `verify-claims [smoke|full] [seed]`.
+
+use deepdriver_core::claims;
+use deepdriver_core::report::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    eprintln!("verifying all claims at {scale:?} scale (seed {seed})...\n");
+    let results = claims::verify_all(scale, seed);
+    let mut failures = 0;
+    for r in &results {
+        let mark = if r.holds { "PASS" } else { "FAIL" };
+        if !r.holds {
+            failures += 1;
+        }
+        println!("[{mark}] {:>4}  {}", r.id, r.statement);
+        println!("             {}", r.evidence);
+    }
+    println!(
+        "\n{} / {} claims hold",
+        results.len() - failures,
+        results.len()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Executable claim verification.
+//!
+//! EXPERIMENTS.md records a verdict for every architectural claim in the
+//! abstract; this module makes those verdicts *executable*: each claim has
+//! a programmatic check over the smoke-scale experiment sweeps, so
+//! `verify-claims` regenerates the whole reproduction verdict table in one
+//! run (and CI-style regressions in any substrate flip a claim to FAIL).
+
+use crate::experiments::{
+    e10_compression, e1_precision, e2_scaling, e3_parallelism, e4_memory, e5_nvram, e6_search,
+    e7_hybrid, e9_mdsurrogate,
+};
+use crate::report::Scale;
+use crate::workloads;
+use dd_tensor::Precision;
+
+/// Outcome of one claim check.
+#[derive(Debug, Clone)]
+pub struct ClaimResult {
+    /// Claim id (matches EXPERIMENTS.md sections).
+    pub id: &'static str,
+    /// The abstract's sentence (abridged).
+    pub statement: &'static str,
+    /// Whether the measured shape supports the claim.
+    pub holds: bool,
+    /// One line of measured evidence.
+    pub evidence: String,
+}
+
+/// Check every claim at the given scale. Smoke scale runs in about a
+/// minute; full scale reproduces the EXPERIMENTS.md configuration.
+pub fn verify_all(scale: Scale, seed: u64) -> Vec<ClaimResult> {
+    let mut results = Vec::new();
+
+    // C1 — low precision suffices.
+    {
+        let rows = e1_precision::sweep(scale, seed);
+        let r2 = |p: Precision| rows.iter().find(|r| r.precision == p).map(|r| r.test_r2).unwrap_or(f64::NAN);
+        let f64_r2 = r2(Precision::F64);
+        let worst16 = r2(Precision::Bf16).min(r2(Precision::F16));
+        let int8 = r2(Precision::Int8);
+        results.push(ClaimResult {
+            id: "E1",
+            statement: "DNNs rarely require 64 or even 32 bits of precision",
+            holds: (r2(Precision::F32) - f64_r2).abs() < 0.05 && worst16 > f64_r2 - 0.15 && int8 > 0.0,
+            evidence: format!(
+                "R²: f64 {:.3}, f32 {:.3}, worst 16-bit {:.3}, int8 {:.3}",
+                f64_r2,
+                r2(Precision::F32),
+                worst16,
+                int8
+            ),
+        });
+    }
+
+    // C2 — poor strong scaling, healthy weak scaling.
+    {
+        let rows = e2_scaling::simulated_rows(scale);
+        let last = rows.last().expect("rows");
+        results.push(ClaimResult {
+            id: "E2",
+            statement: "DNNs do not have good strong scaling behavior",
+            holds: last.1 < 0.6 && last.2 > 0.8,
+            evidence: format!(
+                "at {} nodes: strong eff {:.3}, weak eff {:.3}, comm share {:.2}",
+                last.0, last.1, last.2, last.4
+            ),
+        });
+    }
+
+    // C3 — model parallelism needs a high-bandwidth fabric.
+    {
+        let rows = e3_parallelism::sweep(scale);
+        let slow = &rows[0];
+        let fast = rows.last().expect("rows");
+        results.push(ClaimResult {
+            id: "E3",
+            statement: "high-bandwidth fabric supports network model parallelism",
+            holds: slow.4 != "data" && fast.2 < slow.2,
+            evidence: format!(
+                "winner at {:.0} GB/s: {}; model step {:.0} ms -> {:.0} ms",
+                slow.0 / 1e9,
+                slow.4,
+                slow.2 * 1e3,
+                fast.2 * 1e3
+            ),
+        });
+    }
+
+    // C4 — HBM close to ALUs.
+    {
+        let rows = e4_memory::sweep(scale);
+        let hbm1 = rows.iter().find(|r| r.batch == 1 && r.tier == dd_hpcsim::Tier::Hbm);
+        let ddr1 = rows.iter().find(|r| r.batch == 1 && r.tier == dd_hpcsim::Tier::Ddr);
+        let (h, d) = (hbm1.expect("hbm row"), ddr1.expect("ddr row"));
+        results.push(ClaimResult {
+            id: "E4",
+            statement: "high-bandwidth memory close to arithmetic units reduces data-motion cost",
+            holds: h.gflops > 3.0 * d.gflops && d.mem_energy_share > 0.5,
+            evidence: format!(
+                "batch 1: HBM {:.0} vs DDR {:.0} GFLOP/s; DDR mem-energy share {:.2}",
+                h.gflops, d.gflops, d.mem_energy_share
+            ),
+        });
+    }
+
+    // C5 — NVRAM opportunity.
+    {
+        let rows = e5_nvram::sweep(scale);
+        let big = rows
+            .iter()
+            .filter(|r| r.shard_bytes >= 500e9)
+            .collect::<Vec<_>>();
+        let pfs = big.iter().find(|r| r.staging == dd_hpcsim::Staging::StreamPfs);
+        let nv = big.iter().find(|r| r.staging == dd_hpcsim::Staging::StageNvram);
+        let (p, n) = (pfs.expect("pfs row"), nv.expect("nvram row"));
+        results.push(ClaimResult {
+            id: "E5",
+            statement: "per-node training data provides opportunities for NVRAM",
+            holds: n.feasible && n.total < p.total / 3.0,
+            evidence: format!(
+                "{:.0} GB/node, {} epochs: PFS {:.0}s vs NVRAM {:.0}s",
+                p.shard_bytes / 1e9,
+                e5_nvram::EPOCHS,
+                p.total,
+                n.total
+            ),
+        });
+    }
+
+    // C6 — intelligent search beats naive. Short smoke searches are noisy,
+    // so average the per-class best over three seeds.
+    {
+        let seeds = [seed, seed ^ 0xA11CE, seed ^ 0xB0B5];
+        let mut naive_total = 0.0;
+        let mut intelligent_total = 0.0;
+        for &s in &seeds {
+            let histories = e6_search::compare(scale, s);
+            let value = |name: &str| {
+                histories
+                    .iter()
+                    .find(|h| h.searcher == name)
+                    .and_then(|h| h.best_value())
+                    .unwrap_or(f64::INFINITY)
+            };
+            // The abstract's "naïve searches" are grid and random; the
+            // Latin-hypercube design is this repo's own stronger baseline
+            // (compared in EXPERIMENTS.md at full scale).
+            naive_total += value("random").min(value("grid"));
+            intelligent_total += [
+                "successive-halving",
+                "hyperband",
+                "evolutionary",
+                "surrogate-forest",
+                "generative-nn",
+            ]
+            .iter()
+            .map(|n| value(n))
+            .fold(f64::INFINITY, f64::min);
+        }
+        let naive = naive_total / seeds.len() as f64;
+        let intelligent = intelligent_total / seeds.len() as f64;
+        results.push(ClaimResult {
+            id: "E6",
+            statement: "naive searches are outperformed by intelligent strategies (incl. generative NNs)",
+            holds: intelligent <= naive + 0.01,
+            evidence: format!(
+                "mean-of-{} best: naive {naive:.4} vs intelligent {intelligent:.4}",
+                seeds.len()
+            ),
+        });
+    }
+
+    // C7 — model+data+search parallelism composes.
+    {
+        let rows = e7_hybrid::sweep(scale);
+        let first = rows.first().expect("rows");
+        let last = rows.last().expect("rows");
+        results.push(ClaimResult {
+            id: "E7",
+            statement: "large-scale parallelism combines model, data and search parallelism",
+            holds: last.4 > 3.0 * first.4,
+            evidence: format!(
+                "trials/hour: 1 island {:.0} vs {} islands {:.0}",
+                first.4, last.0, last.4
+            ),
+        });
+    }
+
+    // C8 — DNNs beat classical baselines on nonlinear driver workloads.
+    {
+        let w2 = workloads::w2_drug_response::run(scale, seed);
+        let w5 = workloads::w5_records::run(scale, seed);
+        results.push(ClaimResult {
+            id: "E8",
+            statement: "automated deep models outperform classical baselines on driver problems",
+            holds: w2.dnn_advantage() > 0.0 && w5.dnn_advantage() > 0.0,
+            evidence: format!(
+                "W2 R² +{:.3} over ridge; W5 policy +{:.3} over logistic",
+                w2.dnn_advantage(),
+                w5.dnn_advantage()
+            ),
+        });
+    }
+
+    // C9 — ML-supervised multi-resolution MD.
+    {
+        let reports = e9_mdsurrogate::sweep(scale, seed);
+        let by = |n: &str| reports.iter().find(|r| r.policy == n).expect("policy");
+        let fine = by("fine");
+        let coarse = by("coarse");
+        let sur = by("dnn-surrogate");
+        results.push(ClaimResult {
+            id: "E9",
+            statement: "deep learning supervises multi-resolution molecular dynamics",
+            holds: sur.force_evals < fine.force_evals && sur.energy_drift <= coarse.energy_drift,
+            evidence: format!(
+                "surrogate {:.0}% of fine cost, drift {:.1e} (coarse {:.1e})",
+                100.0 * sur.force_evals as f64 / fine.force_evals as f64,
+                sur.energy_drift,
+                coarse.energy_drift
+            ),
+        });
+    }
+
+    // C10 — sparser communication patterns.
+    {
+        let rows = e10_compression::sweep(scale, seed);
+        let dense = &rows[0];
+        let sparse = rows.last().expect("rows");
+        results.push(ClaimResult {
+            id: "E10",
+            statement: "future DNNs may rely less on dense communication patterns",
+            holds: sparse.ratio > 20.0 && sparse.final_loss < 3.0 * dense.final_loss + 0.01,
+            evidence: format!(
+                "top-1%: {:.0}x compression, loss {:.4} vs dense {:.4}",
+                sparse.ratio, sparse.final_loss, dense.final_loss
+            ),
+        });
+    }
+
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_claims_hold_at_smoke_scale() {
+        // The reproduction's headline regression test: every claim verdict
+        // in EXPERIMENTS.md must be reproducible programmatically.
+        let results = verify_all(Scale::Smoke, 2017);
+        assert_eq!(results.len(), 10);
+        for r in &results {
+            assert!(r.holds, "{} failed: {} ({})", r.id, r.statement, r.evidence);
+        }
+    }
+}

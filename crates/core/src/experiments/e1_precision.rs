@@ -1,0 +1,135 @@
+//! E1 — "they rarely require 64bit or even 32bits of precision".
+//!
+//! Train the same W2 drug-response network end to end under each emulated
+//! precision and report test quality next to the *simulated* step time and
+//! energy on the 2017 GPU machine (where low precision actually pays; the
+//! emulation itself is software and proves only the numerics).
+
+use crate::report::{fnum, ftime, Scale, Table};
+use crate::workloads::w2_drug_response;
+use dd_datagen::drug_response;
+use dd_datagen::Target;
+use dd_hpcsim::{AllreduceAlgo, Machine, Strategy, TrainJob};
+use dd_nn::{Loss, OptimizerConfig, TrainConfig, Trainer};
+use dd_parallel::sim_precision;
+use dd_tensor::{r2_score, Precision};
+
+/// One row of the E1 table.
+#[derive(Debug, Clone)]
+pub struct PrecisionRow {
+    /// Numeric format.
+    pub precision: Precision,
+    /// Test R² after training fully in this precision.
+    pub test_r2: f64,
+    /// Simulated single-node step time on `gpu_2017`.
+    pub sim_step: f64,
+    /// Simulated step energy (joules).
+    pub sim_energy: f64,
+}
+
+/// Run the sweep.
+pub fn sweep(scale: Scale, seed: u64) -> Vec<PrecisionRow> {
+    let (cfg, epochs) = w2_drug_response::config(scale);
+    let data = drug_response::generate(&cfg, seed);
+    let split = data.dataset.split(0.15, 0.15, seed ^ 0x11, true);
+    let (y_train, y_test) = match (&split.train.y, &split.test.y) {
+        (Target::Regression(a), Target::Regression(b)) => (a, b),
+        _ => unreachable!(),
+    };
+
+    let machine = Machine::gpu_2017(1);
+    Precision::ALL
+        .iter()
+        .map(|&precision| {
+            let mut model = w2_drug_response::net_spec(split.train.dim())
+                .build(seed ^ 0x22, precision)
+                .expect("valid spec");
+            let mut trainer = Trainer::new(TrainConfig {
+                batch_size: 64,
+                epochs,
+                optimizer: OptimizerConfig::adam(1e-3),
+                loss: Loss::Mse,
+                seed,
+                ..TrainConfig::default()
+            });
+            trainer.fit(&mut model, &split.train.x, y_train, None);
+            let pred = model.predict(&split.test.x);
+            let test_r2 = r2_score(y_test.as_slice(), pred.as_slice());
+
+            let job = TrainJob::from_dense_net(model.param_count() as f64, model.input_dim(), 64, 4);
+            let b = dd_hpcsim::step_time(
+                &machine,
+                &job,
+                Strategy::Data { nodes: 1, algo: AllreduceAlgo::Auto },
+                sim_precision(precision),
+            );
+            PrecisionRow { precision, test_r2, sim_step: b.step, sim_energy: b.energy }
+        })
+        .collect()
+}
+
+/// Render the sweep as the E1 table.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let rows = sweep(scale, seed);
+    let f64_r2 = rows
+        .iter()
+        .find(|r| r.precision == Precision::F64)
+        .map(|r| r.test_r2)
+        .unwrap_or(f64::NAN);
+    let f32_step = rows
+        .iter()
+        .find(|r| r.precision == Precision::F32)
+        .map(|r| r.sim_step)
+        .unwrap_or(f64::NAN);
+    let mut table = Table::new(
+        "E1: training precision vs model quality and simulated cost (gpu2017)",
+        &["precision", "test R^2", "dR^2 vs f64", "sim step", "speedup vs f32", "sim energy (J)"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.precision.to_string(),
+            fnum(r.test_r2),
+            fnum(r.test_r2 - f64_r2),
+            ftime(r.sim_step),
+            fnum(f32_step / r.sim_step),
+            fnum(r.sim_energy),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_shape_holds() {
+        let rows = sweep(Scale::Smoke, 1);
+        assert_eq!(rows.len(), 5);
+        let get = |p: Precision| rows.iter().find(|r| r.precision == p).unwrap();
+        let f64r = get(Precision::F64);
+        let f32r = get(Precision::F32);
+        let bf16 = get(Precision::Bf16);
+        let f16 = get(Precision::F16);
+        let int8 = get(Precision::Int8);
+        // Claim: 32-bit and 16-bit match 64-bit within noise.
+        assert!((f32r.test_r2 - f64r.test_r2).abs() < 0.05, "f32 {f32r:?} vs f64 {f64r:?}");
+        assert!(f64r.test_r2 > 0.5, "f64 reference should learn: {}", f64r.test_r2);
+        assert!(bf16.test_r2 > f64r.test_r2 - 0.15, "bf16 degraded: {}", bf16.test_r2);
+        assert!(f16.test_r2 > f64r.test_r2 - 0.15, "f16 degraded: {}", f16.test_r2);
+        // int8 training is the hard case: allowed to degrade but not collapse.
+        assert!(int8.test_r2 > 0.0, "int8 collapsed: {}", int8.test_r2);
+        // Simulated cost ordering follows hardware rates.
+        assert!(f16.sim_step < f32r.sim_step);
+        assert!(int8.sim_step < f16.sim_step);
+        assert!(f64r.sim_step > f32r.sim_step);
+        assert!(int8.sim_energy < f32r.sim_energy);
+    }
+
+    #[test]
+    fn table_renders_all_precisions() {
+        let t = run(Scale::Smoke, 2);
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.render().contains("bf16"));
+    }
+}

@@ -1,0 +1,126 @@
+//! E2 — "DNNs in general do not have good strong scaling behavior".
+//!
+//! Two views of the same claim: (a) simulated strong/weak scaling of
+//! synchronous data-parallel training on the 2017 GPU machine across three
+//! decades of node counts, and (b) *measured* multi-threaded data-parallel
+//! training in this process (dd-parallel's real ring allreduce), which
+//! shows the same efficiency cliff at small scale.
+
+use crate::report::{fnum, ftime, Scale, Table};
+use dd_hpcsim::{AllreduceAlgo, Machine, SimPrecision, Strategy, TrainJob};
+use dd_hpcsim::trainsim::{strong_scaling_efficiency, weak_scaling_efficiency};
+use dd_nn::{Activation, ModelSpec};
+use dd_parallel::{train_data_parallel, DataParallelConfig};
+use dd_tensor::{Matrix, Rng64};
+
+/// Simulated strong and weak scaling rows: `(nodes, strong eff, weak eff,
+/// step time strong, comm share strong)`.
+pub fn simulated_rows(scale: Scale) -> Vec<(usize, f64, f64, f64, f64)> {
+    let max_nodes = match scale {
+        Scale::Smoke => 256,
+        Scale::Full => 4096,
+    };
+    let machine = Machine::gpu_2017(max_nodes);
+    let job = TrainJob::from_dense_net(50e6, 2000, 8192, 8);
+    let mut rows = Vec::new();
+    let mut nodes = 1;
+    while nodes <= max_nodes {
+        let strategy = Strategy::Data { nodes, algo: AllreduceAlgo::Auto };
+        let strong = strong_scaling_efficiency(&machine, &job, strategy, SimPrecision::F32);
+        let weak =
+            weak_scaling_efficiency(&machine, 512, &job, nodes, AllreduceAlgo::Auto, SimPrecision::F32);
+        let b = dd_hpcsim::step_time(&machine, &job, strategy, SimPrecision::F32);
+        rows.push((nodes, strong, weak, b.step, b.comm / b.step));
+        nodes *= 4;
+    }
+    rows
+}
+
+/// Measured thread-level data-parallel scaling: `(world, seconds)` for a
+/// fixed training problem.
+pub fn measured_rows(scale: Scale, seed: u64) -> Vec<(usize, f64)> {
+    let (n, epochs) = match scale {
+        Scale::Smoke => (512, 3),
+        Scale::Full => (4096, 8),
+    };
+    let mut rng = Rng64::new(seed);
+    let x = Matrix::randn(n, 64, 0.0, 1.0, &mut rng);
+    let y = Matrix::from_fn(n, 1, |i, _| x.row(i).iter().sum::<f32>().tanh());
+    let spec = ModelSpec::mlp(64, &[128, 64], 1, Activation::Relu);
+    let worlds = [1usize, 2, 4, 8];
+    worlds
+        .iter()
+        .map(|&world| {
+            let report = train_data_parallel(
+                &spec,
+                &x,
+                &y,
+                &DataParallelConfig {
+                    world,
+                    global_batch: 128,
+                    epochs,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            (world, report.seconds)
+        })
+        .collect()
+}
+
+/// Render both views.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E2: data-parallel scaling (sim: gpu2017, 50M-param net, batch 8192; measured: threads)",
+        &["nodes", "strong eff", "weak eff", "sim step", "comm share", "measured threads", "measured s"],
+    );
+    let sim = simulated_rows(scale);
+    let measured = measured_rows(scale, seed);
+    let rows = sim.len().max(measured.len());
+    for i in 0..rows {
+        let (a, b, c, d, e) = sim
+            .get(i)
+            .map(|&(n, s, w, t, cs)| {
+                (n.to_string(), fnum(s), fnum(w), ftime(t), fnum(cs))
+            })
+            .unwrap_or_default();
+        let (f, g) = measured
+            .get(i)
+            .map(|&(w, s)| (w.to_string(), ftime(s)))
+            .unwrap_or_default();
+        table.push_row(vec![a, b, c, d, e, f, g]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_strong_scaling_collapses() {
+        let rows = simulated_rows(Scale::Smoke);
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert_eq!(first.0, 1);
+        assert!((first.1 - 1.0).abs() < 1e-9, "single node strong eff is 1");
+        assert!(last.1 < 0.6, "strong eff at {} nodes is {}", last.0, last.1);
+        // Weak scaling holds up much better.
+        assert!(last.2 > last.1, "weak {} vs strong {}", last.2, last.1);
+        // Comm share grows monotonically-ish.
+        assert!(last.4 > first.4);
+    }
+
+    #[test]
+    fn measured_rows_cover_worlds() {
+        let m = measured_rows(Scale::Smoke, 1);
+        assert_eq!(m.len(), 4);
+        assert!(m.iter().all(|&(_, s)| s > 0.0));
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(Scale::Smoke, 2);
+        assert!(t.rows.len() >= 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! E3 — "a high-bandwidth communication fabric … to support network model
+//! parallelism".
+//!
+//! Sweeps fabric bandwidth and compares pure data, pure model and hybrid
+//! parallelism for a large model at fixed node count: model parallelism is
+//! the strategy whose step time moves with fabric bandwidth, and the
+//! data/model crossover shifts with it.
+
+use crate::report::{fnum, ftime, Scale, Table};
+use dd_hpcsim::{AllreduceAlgo, Machine, SimPrecision, Strategy, TrainJob};
+
+/// The model sized so one node's memory is uncomfortable: 400M parameters.
+pub fn big_job(global_batch: usize) -> TrainJob {
+    TrainJob::from_dense_net(400e6, 4000, global_batch, 16)
+}
+
+/// Rows: `(bandwidth GB/s, t_data, t_model8, t_hybrid, winner)`.
+///
+/// Global batch is deliberately small (512): the regime where the gradient
+/// allreduce cannot hide behind compute and the strategy choice genuinely
+/// depends on the fabric.
+pub fn sweep(scale: Scale) -> Vec<(f64, f64, f64, f64, &'static str)> {
+    let nodes = 64;
+    let job = big_job(512);
+    let bandwidths: Vec<f64> = match scale {
+        Scale::Smoke => vec![1e9, 12.5e9, 100e9, 400e9],
+        Scale::Full => vec![1e9, 4e9, 12.5e9, 25e9, 50e9, 100e9, 200e9, 400e9],
+    };
+    bandwidths
+        .into_iter()
+        .map(|bw| {
+            let mut machine = Machine::gpu_2017(nodes);
+            machine.fabric = machine.fabric.with_bandwidth(bw);
+            let t_data = dd_hpcsim::step_time(
+                &machine,
+                &job,
+                Strategy::Data { nodes, algo: AllreduceAlgo::Auto },
+                SimPrecision::F32,
+            )
+            .step;
+            let t_model = dd_hpcsim::step_time(
+                &machine,
+                &job,
+                Strategy::Model { parts: 8 },
+                SimPrecision::F32,
+            )
+            .step;
+            let t_hybrid = dd_hpcsim::step_time(
+                &machine,
+                &job,
+                Strategy::Hybrid { data_ways: 8, model_ways: 8, algo: AllreduceAlgo::Auto },
+                SimPrecision::F32,
+            )
+            .step;
+            let winner = if t_data <= t_model && t_data <= t_hybrid {
+                "data"
+            } else if t_model <= t_hybrid {
+                "model"
+            } else {
+                "hybrid"
+            };
+            (bw, t_data, t_model, t_hybrid, winner)
+        })
+        .collect()
+}
+
+/// Render the E3 table.
+pub fn run(scale: Scale, _seed: u64) -> Table {
+    let mut table = Table::new(
+        "E3: parallelism strategy vs fabric bandwidth (64 nodes, 400M-param net)",
+        &["fabric GB/s", "data (64w)", "model (8w)", "hybrid (8x8)", "winner"],
+    );
+    for (bw, d, m, h, w) in sweep(scale) {
+        table.push_row(vec![
+            fnum(bw / 1e9),
+            ftime(d),
+            ftime(m),
+            ftime(h),
+            w.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_parallelism_needs_bandwidth() {
+        // The claim: model parallelism's serialized activation exchanges put
+        // fabric bandwidth on the critical path. Its communication share
+        // must fall from dominant on a slow fabric to minor on a fast one.
+        let nodes = 64;
+        let job = big_job(512);
+        let share = |bw: f64| {
+            let mut machine = Machine::gpu_2017(nodes);
+            machine.fabric = machine.fabric.with_bandwidth(bw);
+            let b = dd_hpcsim::step_time(
+                &machine,
+                &job,
+                Strategy::Model { parts: 8 },
+                SimPrecision::F32,
+            );
+            b.comm / b.step
+        };
+        let slow = share(1e9);
+        let fast = share(400e9);
+        assert!(slow > 0.5, "slow-fabric comm share {slow}");
+        assert!(fast < 0.1, "fast-fabric comm share {fast}");
+    }
+
+    #[test]
+    fn slow_fabric_dethrones_pure_data_parallelism() {
+        // At 1 GB/s the 1.6 GB gradient allreduce swamps data parallelism;
+        // a model-parallel or hybrid plan must win.
+        let rows = sweep(Scale::Smoke);
+        let slowest = &rows[0];
+        assert_ne!(slowest.4, "data", "data parallel should lose at {} GB/s", slowest.0 / 1e9);
+        assert!(slowest.1 > slowest.2.min(slowest.3));
+    }
+
+    #[test]
+    fn step_times_decrease_with_bandwidth() {
+        let rows = sweep(Scale::Smoke);
+        for pair in rows.windows(2) {
+            assert!(pair[1].2 <= pair[0].2 + 1e-12, "model time must fall with bw");
+            assert!(pair[1].1 <= pair[0].1 + 1e-12, "data time must fall with bw");
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(Scale::Smoke, 0);
+        assert_eq!(t.rows.len(), 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! E4 — "power efficient DNNs require high-bandwidth memory be physically
+//! close to arithmetic units to reduce costs of data motion".
+//!
+//! Roofline sweep: the same DNN kernels (matmuls at the arithmetic
+//! intensities that batch sizes induce) fed from HBM versus DDR, reporting
+//! attainable throughput, time and the compute/data-motion energy split.
+
+use crate::report::{fnum, Scale, Table};
+use dd_hpcsim::roofline::{attainable_flops, kernel_cost, matmul_intensity};
+use dd_hpcsim::{Machine, SimPrecision, Tier};
+
+/// Rows: `(batch, intensity, tier, attainable GFLOP/s, time, mem energy
+/// share)`.
+pub struct MemoryRow {
+    /// Batch dimension of the matmul (m).
+    pub batch: usize,
+    /// Arithmetic intensity (FLOPs/byte).
+    pub intensity: f64,
+    /// Feeding tier.
+    pub tier: Tier,
+    /// Attainable rate.
+    pub gflops: f64,
+    /// Kernel time.
+    pub time: f64,
+    /// Data-motion fraction of total energy.
+    pub mem_energy_share: f64,
+}
+
+/// Run the sweep over batch sizes (which set intensity) and tiers.
+pub fn sweep(scale: Scale) -> Vec<MemoryRow> {
+    let node = Machine::gpu_2017(1).node;
+    // A hidden layer of the W2 net: k=2000 inputs, n=256 outputs.
+    let (k, n) = (2000usize, 256usize);
+    let batches: Vec<usize> = match scale {
+        Scale::Smoke => vec![1, 16, 256, 4096],
+        Scale::Full => vec![1, 4, 16, 64, 256, 1024, 4096, 16384],
+    };
+    let mut rows = Vec::new();
+    for &batch in &batches {
+        let ai = matmul_intensity(batch, k, n, 4.0);
+        let flops = 2.0 * batch as f64 * k as f64 * n as f64;
+        for tier in [Tier::Hbm, Tier::Ddr] {
+            let rate = attainable_flops(&node, tier, ai, SimPrecision::F32);
+            let cost = kernel_cost(&node, tier, flops, ai, SimPrecision::F32);
+            rows.push(MemoryRow {
+                batch,
+                intensity: ai,
+                tier,
+                gflops: rate / 1e9,
+                time: cost.time,
+                mem_energy_share: cost.memory_energy
+                    / (cost.memory_energy + cost.compute_energy),
+            });
+        }
+    }
+    rows
+}
+
+/// Render the E4 table.
+pub fn run(scale: Scale, _seed: u64) -> Table {
+    let mut table = Table::new(
+        "E4: roofline — HBM vs DDR feeding a dense layer (k=2000, n=256), f32",
+        &["batch", "AI (flop/B)", "tier", "GFLOP/s", "time (s)", "mem energy share"],
+    );
+    for r in sweep(scale) {
+        table.push_row(vec![
+            r.batch.to_string(),
+            fnum(r.intensity),
+            r.tier.to_string(),
+            fnum(r.gflops),
+            fnum(r.time),
+            fnum(r.mem_energy_share),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm_dominates_at_small_batch() {
+        let rows = sweep(Scale::Smoke);
+        let hbm1 = rows.iter().find(|r| r.batch == 1 && r.tier == Tier::Hbm).unwrap();
+        let ddr1 = rows.iter().find(|r| r.batch == 1 && r.tier == Tier::Ddr).unwrap();
+        assert!(
+            hbm1.gflops > 3.0 * ddr1.gflops,
+            "hbm {} vs ddr {}",
+            hbm1.gflops,
+            ddr1.gflops
+        );
+    }
+
+    #[test]
+    fn large_batch_converges_to_compute_bound() {
+        let rows = sweep(Scale::Smoke);
+        let hbm = rows.iter().find(|r| r.batch == 4096 && r.tier == Tier::Hbm).unwrap();
+        let ddr = rows.iter().find(|r| r.batch == 4096 && r.tier == Tier::Ddr).unwrap();
+        // At batch 4096 intensity is high enough that HBM hits the compute
+        // roof; DDR may still lag but far less than at batch 1.
+        assert!(hbm.gflops / ddr.gflops < 7.0);
+        let node = Machine::gpu_2017(1).node;
+        assert!(hbm.gflops * 1e9 >= 0.99 * node.flops_at(SimPrecision::F32));
+    }
+
+    #[test]
+    fn memory_energy_share_falls_with_intensity() {
+        let rows = sweep(Scale::Smoke);
+        let hbm_rows: Vec<&MemoryRow> = rows.iter().filter(|r| r.tier == Tier::Hbm).collect();
+        assert!(hbm_rows.first().unwrap().mem_energy_share > hbm_rows.last().unwrap().mem_energy_share);
+    }
+}

@@ -1,0 +1,121 @@
+//! E5 — "large quantities of training data to be made available or
+//! generated at each node, thus providing opportunities for NVRAM".
+//!
+//! Epoch I/O time per node as the per-node training shard grows, under PFS
+//! streaming, NVRAM staging, DRAM staging and on-node generation.
+
+use crate::report::{fnum, ftime, Scale, Table};
+use dd_hpcsim::{epoch_io, memory, Staging};
+
+/// Rows: `(shard GB, staging, first epoch, steady epoch, total, feasible)`.
+pub struct NvramRow {
+    /// Per-node shard size in bytes.
+    pub shard_bytes: f64,
+    /// Strategy.
+    pub staging: Staging,
+    /// First-epoch I/O time.
+    pub first: f64,
+    /// Steady-state epoch I/O time.
+    pub steady: f64,
+    /// Total over the run.
+    pub total: f64,
+    /// Whether the strategy fit in its tier.
+    pub feasible: bool,
+}
+
+/// Epochs modelled for the total column.
+pub const EPOCHS: usize = 50;
+
+/// Run the sweep.
+pub fn sweep(scale: Scale) -> Vec<NvramRow> {
+    let mem = memory::accelerator_node_2017();
+    let shards_gb: Vec<f64> = match scale {
+        Scale::Smoke => vec![1.0, 64.0, 512.0],
+        Scale::Full => vec![1.0, 8.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0],
+    };
+    let mut rows = Vec::new();
+    for &gb in &shards_gb {
+        let shard = gb * 1e9;
+        for staging in Staging::ALL {
+            let r = epoch_io(&mem, staging, shard, EPOCHS);
+            rows.push(NvramRow {
+                shard_bytes: shard,
+                staging,
+                first: r.first_epoch,
+                steady: r.steady_epoch,
+                total: r.total,
+                feasible: r.feasible,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the E5 table.
+pub fn run(scale: Scale, _seed: u64) -> Table {
+    let mut table = Table::new(
+        format!("E5: per-node training-data I/O over {EPOCHS} epochs (2017 accelerator node)"),
+        &["shard GB", "staging", "first epoch", "steady epoch", "total", "feasible"],
+    );
+    for r in sweep(scale) {
+        table.push_row(vec![
+            fnum(r.shard_bytes / 1e9),
+            r.staging.name().to_string(),
+            ftime(r.first),
+            ftime(r.steady),
+            ftime(r.total),
+            r.feasible.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvram_wins_at_bigger_than_dram_shards() {
+        let rows = sweep(Scale::Smoke);
+        let at = |gb: f64, s: Staging| {
+            rows.iter()
+                .find(|r| (r.shard_bytes - gb * 1e9).abs() < 1.0 && r.staging == s)
+                .unwrap()
+        };
+        // 512 GB: too big for 256 GB DRAM, fits 1.6 TB NVRAM.
+        let pfs = at(512.0, Staging::StreamPfs);
+        let nvram = at(512.0, Staging::StageNvram);
+        let dram = at(512.0, Staging::StageDram);
+        assert!(nvram.feasible && !dram.feasible);
+        assert!(nvram.total < pfs.total / 3.0, "nvram {} pfs {}", nvram.total, pfs.total);
+    }
+
+    #[test]
+    fn dram_wins_small_shards_among_io_strategies() {
+        let rows = sweep(Scale::Smoke);
+        let small: Vec<&NvramRow> = rows
+            .iter()
+            .filter(|r| (r.shard_bytes - 1e9).abs() < 1.0)
+            .collect();
+        // Among strategies that *read* the data, DRAM staging is best…
+        let best_io = small
+            .iter()
+            .filter(|r| r.feasible && r.staging != Staging::GenerateOnNode)
+            .min_by(|a, b| a.total.partial_cmp(&b.total).unwrap())
+            .unwrap();
+        assert_eq!(best_io.staging, Staging::StageDram);
+        // …and on-node generation beats even that for small shards (the
+        // abstract's "or generated at each node" observation).
+        let gen = small
+            .iter()
+            .find(|r| r.staging == Staging::GenerateOnNode)
+            .unwrap();
+        assert!(gen.total <= best_io.total);
+    }
+
+    #[test]
+    fn table_covers_all_strategies() {
+        let t = run(Scale::Smoke, 0);
+        assert_eq!(t.rows.len(), 3 * 4);
+    }
+}

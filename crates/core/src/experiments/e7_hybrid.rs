@@ -1,0 +1,118 @@
+//! E7 — "to fully exploit large-scale parallelism they rely on a
+//! combination of model, data and search parallelism" + "HPC architectures
+//! that can support these large-scale intelligent search methods as well as
+//! efficient model training are needed".
+//!
+//! Sweeps the search-parallelism axis on a simulated 4096-node machine:
+//! split the machine into islands (one hyperparameter trial each), plan the
+//! best (data × model) strategy inside each island, and report campaign
+//! throughput in trials/hour — the composition of all three parallelism
+//! axes.
+
+use crate::report::{fnum, ftime, Scale, Table};
+use dd_hpcsim::{Machine, SimPrecision, Strategy, TrainJob};
+use dd_parallel::planner::plan_campaign;
+
+/// Machine size used for the campaign sweep.
+pub fn machine(scale: Scale) -> Machine {
+    match scale {
+        Scale::Smoke => Machine::gpu_2017(512),
+        Scale::Full => Machine::gpu_2017(4096),
+    }
+}
+
+/// The trained model per trial.
+pub fn job() -> TrainJob {
+    TrainJob::from_dense_net(100e6, 2000, 4096, 16)
+}
+
+/// Rows: `(islands, nodes/island, island strategy, step time, trials/hour)`.
+pub fn sweep(scale: Scale) -> Vec<(usize, usize, String, f64, f64)> {
+    let m = machine(scale);
+    let j = job();
+    let steps = 2000;
+    let mut rows = Vec::new();
+    let mut trials = 1usize;
+    while trials <= m.nodes {
+        let c = plan_campaign(&m, &j, trials, steps, SimPrecision::F32);
+        let label = match c.island_plan.strategy {
+            Strategy::Data { nodes, .. } => format!("data x{nodes}"),
+            Strategy::Model { parts } => format!("model x{parts}"),
+            Strategy::Hybrid { data_ways, model_ways, .. } => {
+                format!("hybrid {data_ways}x{model_ways}")
+            }
+            Strategy::Pipeline { stages, microbatches } => {
+                format!("pipeline {stages}s/{microbatches}mb")
+            }
+        };
+        rows.push((
+            c.concurrent_trials,
+            c.nodes_per_trial,
+            label,
+            c.island_plan.breakdown.step,
+            c.trials_per_hour,
+        ));
+        trials *= 4;
+    }
+    rows
+}
+
+/// Render the E7 table.
+pub fn run(scale: Scale, _seed: u64) -> Table {
+    let m = machine(scale);
+    let mut table = Table::new(
+        format!(
+            "E7: search parallelism campaign on {} ({} nodes), 100M-param trials",
+            m.name, m.nodes
+        ),
+        &["islands", "nodes/island", "island strategy", "step time", "trials/hour"],
+    );
+    for (islands, nodes, label, step, tph) in sweep(scale) {
+        table.push_row(vec![
+            islands.to_string(),
+            nodes.to_string(),
+            label,
+            ftime(step),
+            fnum(tph),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_grows_with_islands() {
+        let rows = sweep(Scale::Smoke);
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(
+            last.4 > 3.0 * first.4,
+            "islands {} -> {} trials/hour vs {} -> {}",
+            first.0,
+            first.4,
+            last.0,
+            last.4
+        );
+    }
+
+    #[test]
+    fn single_island_uses_many_nodes() {
+        let rows = sweep(Scale::Smoke);
+        let first = rows.first().unwrap();
+        assert_eq!(first.0, 1);
+        assert_eq!(first.1, machine(Scale::Smoke).nodes);
+    }
+
+    #[test]
+    fn best_plan_consistency() {
+        // The island plan chosen by the campaign equals best_plan directly.
+        let m = machine(Scale::Smoke);
+        let j = job();
+        let c = plan_campaign(&m, &j, 8, 100, SimPrecision::F32);
+        let direct = dd_parallel::planner::best_plan(&m, &j, m.nodes / 8, SimPrecision::F32);
+        assert_eq!(c.island_plan.strategy, direct.strategy);
+    }
+}

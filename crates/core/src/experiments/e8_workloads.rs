@@ -1,0 +1,47 @@
+//! E8 — "automated systems are routinely outperforming" classical practice:
+//! every driver workload's DNN against its classical baseline.
+
+use crate::report::{fnum, Scale, Table};
+use crate::workloads::{self, Outcome};
+
+/// Run all workload comparisons.
+pub fn sweep(scale: Scale, seed: u64) -> Vec<Outcome> {
+    workloads::run_all(scale, seed)
+}
+
+/// Render the E8 table.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E8: driver workloads — DNN vs classical baseline",
+        &["workload", "metric", "DNN", "baseline", "baseline model", "DNN advantage", "seconds"],
+    );
+    for o in sweep(scale, seed) {
+        table.push_row(vec![
+            o.name.clone(),
+            o.metric.clone(),
+            fnum(o.dnn),
+            fnum(o.baseline),
+            o.baseline_name.clone(),
+            fnum(o.dnn_advantage()),
+            fnum(o.seconds),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_workloads_report() {
+        // The workloads' own crates test quality thresholds; here we only
+        // assert the sweep wiring (each workload present exactly once).
+        let t = run(Scale::Smoke, 42);
+        assert_eq!(t.rows.len(), 7);
+        let names: Vec<&String> = t.rows.iter().map(|r| &r[0]).collect();
+        for w in ["W1", "W2", "W3", "W4", "W5", "W6", "W7"] {
+            assert!(names.iter().any(|n| n.starts_with(w)), "{w} missing");
+        }
+    }
+}

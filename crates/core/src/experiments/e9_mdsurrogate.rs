@@ -1,0 +1,60 @@
+//! E9 — ML-supervised multi-resolution MD: fidelity vs compute cost for the
+//! four resolution policies.
+
+use crate::report::{fnum, Scale, Table};
+use crate::workloads::w7_mdsurrogate;
+use dd_mdsim::RunReport;
+
+/// Run the four policies.
+pub fn sweep(scale: Scale, seed: u64) -> Vec<RunReport> {
+    w7_mdsurrogate::run_policies(scale, seed)
+}
+
+/// Render the E9 table.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let reports = sweep(scale, seed);
+    let fine_evals = reports
+        .iter()
+        .find(|r| r.policy == "fine")
+        .map(|r| r.force_evals as f64)
+        .unwrap_or(f64::NAN);
+    let mut table = Table::new(
+        "E9: multi-resolution MD supervision — fidelity vs force evaluations",
+        &["policy", "refine frac", "force evals", "cost vs fine", "energy drift", "rmsd vs fine"],
+    );
+    for r in &reports {
+        table.push_row(vec![
+            r.policy.clone(),
+            fnum(r.refine_fraction),
+            r.force_evals.to_string(),
+            fnum(r.force_evals as f64 / fine_evals),
+            fnum(r.energy_drift),
+            fnum(r.rmsd_vs_fine),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surrogate_pareto_dominates_coarse() {
+        let reports = sweep(Scale::Smoke, 13);
+        let by = |name: &str| reports.iter().find(|r| r.policy == name).unwrap();
+        let coarse = by("coarse");
+        let fine = by("fine");
+        let sur = by("dnn-surrogate");
+        // Cheaper than fine…
+        assert!(sur.force_evals < fine.force_evals);
+        // …and at least as faithful as coarse.
+        assert!(sur.rmsd_vs_fine <= coarse.rmsd_vs_fine + 1e-12);
+    }
+
+    #[test]
+    fn table_has_four_policies() {
+        let t = run(Scale::Smoke, 14);
+        assert_eq!(t.rows.len(), 4);
+    }
+}

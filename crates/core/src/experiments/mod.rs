@@ -1,0 +1,34 @@
+//! Experiments E1–E10: one module per claim in the abstract (see DESIGN.md's
+//! experiment index). Every module exposes `run(scale, seed) -> Table`; the
+//! `exp-*` binaries print the table and write a CSV under `results/`.
+
+pub mod e10_compression;
+pub mod e1_precision;
+pub mod e2_scaling;
+pub mod e3_parallelism;
+pub mod e4_memory;
+pub mod e5_nvram;
+pub mod e6_search;
+pub mod e7_hybrid;
+pub mod e8_workloads;
+pub mod e9_mdsurrogate;
+
+use crate::report::Table;
+use std::path::PathBuf;
+
+/// Print a table and persist its CSV under `results/` (best effort — the
+/// experiment result is the stdout table; CSV failures only warn).
+pub fn emit(table: &Table, slug: &str) -> Option<PathBuf> {
+    println!("{}", table.render());
+    let dir = std::path::Path::new("results");
+    match table.write_csv(dir, slug) {
+        Ok(path) => {
+            println!("[csv] {}", path.display());
+            Some(path)
+        }
+        Err(err) => {
+            eprintln!("[warn] could not write {slug}.csv: {err}");
+            None
+        }
+    }
+}

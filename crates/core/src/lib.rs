@@ -1,0 +1,23 @@
+//! # deepdriver-core — driver workloads and the experiment harness
+//!
+//! The integrative layer of the reproduction: the seven biomedical driver
+//! workloads the talk describes ([`workloads`], W1–W7) and the experiments
+//! that turn each architectural claim of the abstract into a regenerable
+//! table ([`experiments`], E1–E9). DESIGN.md maps every claim to its
+//! experiment; EXPERIMENTS.md records expectation vs measurement.
+//!
+//! Each experiment ships as a binary (`exp-1-precision` …
+//! `exp-10-compression`, plus `report-all`) taking `[smoke|full] [seed]`
+//! and writing both an aligned text table and `results/<slug>.csv`; the
+//! [`claims`] module (and the `verify-claims` binary) re-checks every
+//! claim verdict programmatically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod claims;
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use report::{Scale, Table};

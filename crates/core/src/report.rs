@@ -1,0 +1,223 @@
+//! Experiment output: aligned text tables plus CSV files.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple rectangular results table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption (e.g. "E1: precision vs accuracy").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row must match the header width.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics when the width disagrees with the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (quoting cells containing commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV form to `dir/<slug>.csv`, creating the directory.
+    pub fn write_csv(&self, dir: &Path, slug: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Format a float compactly for tables.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if a >= 1000.0 || a < 0.001 {
+        format!("{v:.3e}")
+    } else if a >= 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format seconds at a sensible unit.
+pub fn ftime(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} us", seconds * 1e6)
+    }
+}
+
+/// Experiment scale: smoke for tests/CI, full for the paper-style run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Seconds-long configuration used in tests.
+    Smoke,
+    /// Minutes-long configuration used to generate EXPERIMENTS.md numbers.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI argument.
+    pub fn from_arg(arg: Option<&str>) -> Scale {
+        match arg {
+            Some("full") => Scale::Full,
+            _ => Scale::Smoke,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["longer".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + rule + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].len(), lines[3].len().max(lines[2].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("q", &["x"]);
+        t.push_row(vec!["a,b".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_simple() {
+        let mut t = Table::new("r", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(0.5), "0.5000");
+        assert_eq!(fnum(42.0), "42.00");
+        assert!(fnum(1e-9).contains('e'));
+        assert!(fnum(12345.0).contains('e'));
+    }
+
+    #[test]
+    fn ftime_units() {
+        assert_eq!(ftime(2.0), "2.000 s");
+        assert_eq!(ftime(0.002), "2.000 ms");
+        assert_eq!(ftime(2e-6), "2.000 us");
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_arg(Some("full")), Scale::Full);
+        assert_eq!(Scale::from_arg(Some("smoke")), Scale::Smoke);
+        assert_eq!(Scale::from_arg(None), Scale::Smoke);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("dd-report-test");
+        let mut t = Table::new("f", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let path = t.write_csv(&dir, "demo").unwrap();
+        assert!(path.exists());
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

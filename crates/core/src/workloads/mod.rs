@@ -1,0 +1,79 @@
+//! The seven driver workloads (W1–W7) from DESIGN.md: each binds a synthetic
+//! dataset to a reference DNN and a classical baseline, and reports a
+//! comparable quality metric — the material for experiment E8.
+
+pub mod w1_tumor;
+pub mod w2_drug_response;
+pub mod w3_compound;
+pub mod w4_autoencoder;
+pub mod w5_records;
+pub mod w6_amr;
+pub mod w7_mdsurrogate;
+
+use crate::report::Scale;
+use serde::{Deserialize, Serialize};
+
+/// Quality comparison between the workload's DNN and its classical baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Workload id, e.g. "W1 tumor-type".
+    pub name: String,
+    /// Metric name, e.g. "test accuracy".
+    pub metric: String,
+    /// DNN score.
+    pub dnn: f64,
+    /// Classical baseline score.
+    pub baseline: f64,
+    /// Baseline label, e.g. "logistic".
+    pub baseline_name: String,
+    /// True when larger metric values are better.
+    pub higher_is_better: bool,
+    /// Wall-clock seconds spent.
+    pub seconds: f64,
+}
+
+impl Outcome {
+    /// Signed advantage of the DNN over the baseline, oriented so positive
+    /// always means "DNN better".
+    pub fn dnn_advantage(&self) -> f64 {
+        if self.higher_is_better {
+            self.dnn - self.baseline
+        } else {
+            self.baseline - self.dnn
+        }
+    }
+}
+
+/// Run every workload's comparison at a scale.
+pub fn run_all(scale: Scale, seed: u64) -> Vec<Outcome> {
+    vec![
+        w1_tumor::run(scale, seed),
+        w2_drug_response::run(scale, seed),
+        w3_compound::run(scale, seed),
+        w4_autoencoder::run(scale, seed),
+        w5_records::run(scale, seed),
+        w6_amr::run(scale, seed),
+        w7_mdsurrogate::run(scale, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advantage_orientation() {
+        let hi = Outcome {
+            name: "t".into(),
+            metric: "acc".into(),
+            dnn: 0.9,
+            baseline: 0.8,
+            baseline_name: "b".into(),
+            higher_is_better: true,
+            seconds: 0.0,
+        };
+        assert!((hi.dnn_advantage() - 0.1).abs() < 1e-12);
+        let lo = Outcome { higher_is_better: false, ..hi.clone() };
+        assert!((lo.dnn_advantage() + 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! W4 — expression autoencoder (CANDLE P1B1-style): compress expression
+//! profiles through a bottleneck and reconstruct, versus PCA at the same
+//! latent dimensionality.
+//!
+//! The synthetic expression model is linear-Gaussian, for which PCA is the
+//! *optimal* linear compressor — the honest expectation (recorded in
+//! EXPERIMENTS.md) is therefore "autoencoder ≈ PCA", demonstrating the DNN
+//! matches classical best-in-class on this substrate rather than beating it.
+
+use super::Outcome;
+use crate::report::Scale;
+use dd_datagen::baselines::Pca;
+use dd_datagen::expression::{ExpressionModel, ExpressionSampler};
+use dd_nn::{Activation, Loss, ModelSpec, OptimizerConfig, TrainConfig, Trainer};
+use dd_tensor::{Matrix, Precision, Rng64};
+
+/// Scale presets: (expression model, samples, latent dim, epochs).
+pub fn config(scale: Scale) -> (ExpressionModel, usize, usize, usize) {
+    match scale {
+        Scale::Smoke => (
+            ExpressionModel { genes: 96, pathways: 6, noise: 0.2, loading_density: 0.25 },
+            800,
+            6,
+            40,
+        ),
+        Scale::Full => (
+            ExpressionModel { genes: 512, pathways: 12, noise: 0.3, loading_density: 0.15 },
+            6000,
+            12,
+            60,
+        ),
+    }
+}
+
+/// Autoencoder spec with a *linear* `latent` bottleneck (activations only on
+/// the wide hidden layers — a saturating nonlinearity on the bottleneck
+/// needlessly handicaps the network on near-linear factor data).
+pub fn ae_spec(genes: usize, latent: usize) -> ModelSpec {
+    use dd_nn::{Init, InputShape, LayerSpec};
+    ModelSpec::new(InputShape::Flat(genes))
+        .push(LayerSpec::Dense { out: 128, init: Init::He })
+        .push(LayerSpec::Activation(Activation::Relu))
+        .push(LayerSpec::Dense { out: latent, init: Init::Xavier })
+        .push(LayerSpec::Dense { out: 128, init: Init::He })
+        .push(LayerSpec::Activation(Activation::Relu))
+        .push(LayerSpec::Dense { out: genes, init: Init::Xavier })
+}
+
+/// Mean squared reconstruction error.
+fn recon_mse(original: &Matrix, reconstructed: &Matrix) -> f64 {
+    original
+        .zip_map(reconstructed, |a, b| (a - b) * (a - b))
+        .mean() as f64
+}
+
+/// Run the W4 comparison (metric: reconstruction MSE; lower is better).
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let start = std::time::Instant::now();
+    let (expr, samples, latent, epochs) = config(scale);
+    let mut rng = Rng64::new(seed);
+    let sampler = ExpressionSampler::new(expr.clone(), &mut rng);
+    let (x_all, _) = sampler.sample(samples, &mut rng);
+    let n_test = samples / 5;
+    let x_train = x_all.slice_rows(0, samples - n_test);
+    let x_test = x_all.slice_rows(samples - n_test, samples);
+
+    let mut model = ae_spec(expr.genes, latent)
+        .build(seed ^ 0xD3, Precision::F32)
+        .expect("valid AE spec");
+    let mut trainer = Trainer::new(TrainConfig {
+        batch_size: 64,
+        epochs,
+        optimizer: OptimizerConfig::adam(1e-3),
+        loss: Loss::Mse,
+        seed,
+        ..TrainConfig::default()
+    });
+    trainer.fit(&mut model, &x_train, &x_train, None);
+    let dnn_mse = recon_mse(&x_test, &model.predict(&x_test));
+
+    let pca = Pca::fit(&x_train, latent, 40, seed ^ 0x3D);
+    let pca_mse = recon_mse(&x_test, &pca.reconstruct(&x_test));
+
+    Outcome {
+        name: "W4 expression-AE".into(),
+        metric: "test reconstruction MSE".into(),
+        dnn: dnn_mse,
+        baseline: pca_mse,
+        baseline_name: format!("PCA(k={latent})"),
+        higher_is_better: false,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Bottleneck activations of a trained autoencoder for a batch: forward
+/// through the encoder half (dense→relu→dense-latent, layers 0..3).
+pub fn latent_codes(model: &mut dd_nn::Sequential, x: &Matrix) -> Matrix {
+    let mut h = x.clone();
+    for layer in &mut model.layers_mut()[..3] {
+        h = layer.forward(&h, false, Precision::F32);
+    }
+    h
+}
+
+/// Train the W4 autoencoder and measure how much of each true pathway
+/// factor is linearly decodable from the bottleneck (mean R² across
+/// factors) — "the learned representation captures the biology".
+pub fn latent_recovery(scale: Scale, seed: u64) -> f64 {
+    let (expr, samples, latent, epochs) = config(scale);
+    let mut rng = Rng64::new(seed);
+    let sampler = ExpressionSampler::new(expr.clone(), &mut rng);
+    let (x_all, z_all) = sampler.sample(samples, &mut rng);
+    let n_test = samples / 5;
+    let x_train = x_all.slice_rows(0, samples - n_test);
+    let x_test = x_all.slice_rows(samples - n_test, samples);
+    let z_test = z_all.slice_rows(samples - n_test, samples);
+
+    let mut model = ae_spec(expr.genes, latent)
+        .build(seed ^ 0xD3, Precision::F32)
+        .expect("valid AE spec");
+    let mut trainer = Trainer::new(TrainConfig {
+        batch_size: 64,
+        epochs,
+        optimizer: OptimizerConfig::adam(1e-3),
+        loss: Loss::Mse,
+        seed,
+        ..TrainConfig::default()
+    });
+    trainer.fit(&mut model, &x_train, &x_train, None);
+
+    let codes = latent_codes(&mut model, &x_test);
+    // Linearly decode each true factor from the codes with ridge.
+    let mut total_r2 = 0.0;
+    for p in 0..expr.pathways {
+        let target: Vec<f32> = (0..z_test.rows()).map(|i| z_test.get(i, p)).collect();
+        let ridge = dd_datagen::baselines::Ridge::fit(&codes, &target, 1e-2);
+        let pred = ridge.predict(&codes);
+        total_r2 += dd_tensor::r2_score(&target, &pred);
+    }
+    total_r2 / expr.pathways as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latent_space_recovers_pathway_factors() {
+        let r2 = latent_recovery(Scale::Smoke, 6);
+        assert!(
+            r2 > 0.6,
+            "mean factor-decoding R² {r2} — bottleneck should capture the pathways"
+        );
+    }
+
+    #[test]
+    fn smoke_both_compress_well() {
+        let o = run(Scale::Smoke, 5);
+        // Total variance per gene is O(1); a working compressor should get
+        // reconstruction error near the noise floor (0.2² = 0.04).
+        assert!(o.baseline < 0.15, "PCA MSE {}", o.baseline);
+        assert!(o.dnn < 0.3, "AE MSE {}", o.dnn);
+        // AE within 4x of the optimal linear compressor on linear data.
+        assert!(o.dnn < 4.0 * o.baseline, "AE {} vs PCA {}", o.dnn, o.baseline);
+    }
+
+    #[test]
+    fn ae_spec_shape() {
+        let spec = ae_spec(96, 6);
+        assert_eq!(spec.output_dim().unwrap(), 96);
+    }
+}

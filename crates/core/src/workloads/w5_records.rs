@@ -1,0 +1,139 @@
+//! W5 — medical-records treatment strategy ("interpret millions of medical
+//! records to identify optimal treatment strategies").
+//!
+//! Both models learn outcome prediction from logged (biased) data; the
+//! deliverable is the *extracted policy*: for each patient, the treatment
+//! whose predicted success is highest. The metric is the policy's true
+//! expected success rate under the generative model — where the DNN's
+//! ability to represent treatment × biomarker interactions lets it
+//! personalize, while logistic regression (no interaction terms) collapses
+//! toward a one-size-fits-all arm.
+
+use super::Outcome;
+use crate::report::Scale;
+use dd_datagen::baselines::Logistic;
+use dd_datagen::records::{self, policy_value, RecordsConfig, RecordsData};
+use dd_nn::{Activation, Loss, ModelSpec, OptimizerConfig, Sequential, TrainConfig, Trainer};
+use dd_tensor::{Matrix, Precision};
+
+/// Scale presets.
+pub fn config(scale: Scale) -> (RecordsConfig, usize) {
+    match scale {
+        Scale::Smoke => (RecordsConfig { patients: 3000, ..Default::default() }, 15),
+        Scale::Full => (
+            RecordsConfig { patients: 20000, treatments: 4, ..Default::default() },
+            35,
+        ),
+    }
+}
+
+/// Replace the treatment one-hot block of each row with treatment `t`.
+fn with_treatment(x: &Matrix, cov_dim: usize, treatments: usize, t: usize) -> Matrix {
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        for v in &mut row[cov_dim..cov_dim + treatments] {
+            *v = 0.0;
+        }
+        row[cov_dim + t] = 1.0;
+    }
+    out
+}
+
+/// Extract a policy from any scorer: pick the argmax-treatment per patient.
+fn extract_policy(
+    score: &mut dyn FnMut(&Matrix) -> Vec<f32>,
+    x: &Matrix,
+    cov_dim: usize,
+    treatments: usize,
+) -> Vec<usize> {
+    let mut best_score = vec![f32::NEG_INFINITY; x.rows()];
+    let mut best_t = vec![0usize; x.rows()];
+    for t in 0..treatments {
+        let xt = with_treatment(x, cov_dim, treatments, t);
+        for (i, s) in score(&xt).into_iter().enumerate() {
+            if s > best_score[i] {
+                best_score[i] = s;
+                best_t[i] = t;
+            }
+        }
+    }
+    best_t
+}
+
+/// Run the W5 comparison (metric: true expected success of the extracted
+/// policy over all patients).
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let start = std::time::Instant::now();
+    let (cfg, epochs) = config(scale);
+    let data: RecordsData = records::generate(&cfg, seed);
+    let x = &data.dataset.x;
+    let labels = data.dataset.y.labels().unwrap();
+    let y = Matrix::from_vec(labels.len(), 1, labels.iter().map(|&l| l as f32).collect());
+
+    // DNN outcome model.
+    let mut model: Sequential = ModelSpec::mlp(x.cols(), &[64, 32], 1, Activation::Relu)
+        .build(seed ^ 0xE5, Precision::F32)
+        .expect("valid spec");
+    let mut trainer = Trainer::new(TrainConfig {
+        batch_size: 64,
+        epochs,
+        optimizer: OptimizerConfig::adam(1e-3),
+        loss: Loss::BinaryCrossEntropy,
+        seed,
+        ..TrainConfig::default()
+    });
+    trainer.fit(&mut model, x, &y, None);
+    let mut dnn_score = |xt: &Matrix| model.predict(xt).as_slice().to_vec();
+    let dnn_policy = extract_policy(&mut dnn_score, x, data.covariate_dim, cfg.treatments);
+    let dnn_value = policy_value(&data, &dnn_policy);
+
+    // Logistic outcome model.
+    let logi = Logistic::fit(x, labels, 1e-4, 200, 0.5);
+    let mut base_score = |xt: &Matrix| logi.predict_proba(xt);
+    let base_policy = extract_policy(&mut base_score, x, data.covariate_dim, cfg.treatments);
+    let base_value = policy_value(&data, &base_policy);
+
+    Outcome {
+        name: "W5 treatment-policy".into(),
+        metric: "policy expected success".into(),
+        dnn: dnn_value,
+        baseline: base_value,
+        baseline_name: "logistic".into(),
+        higher_is_better: true,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Reference points for the policy metric: (logged, optimal) values.
+pub fn reference_values(scale: Scale, seed: u64) -> (f64, f64) {
+    let (cfg, _) = config(scale);
+    let data = records::generate(&cfg, seed);
+    (
+        policy_value(&data, &data.logged_treatment),
+        policy_value(&data, &data.optimal_treatment),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_dnn_policy_personalizes_better() {
+        let o = run(Scale::Smoke, 6);
+        let (logged, optimal) = reference_values(Scale::Smoke, 6);
+        assert!(o.dnn > o.baseline, "DNN policy {} vs logistic policy {}", o.dnn, o.baseline);
+        // The DNN policy should recover most of the optimal-vs-logged gap.
+        let recovered = (o.dnn - logged) / (optimal - logged);
+        assert!(recovered > 0.3, "recovered only {recovered:.2} of the policy gap");
+        assert!(o.dnn <= optimal + 1e-9, "cannot beat the oracle");
+    }
+
+    #[test]
+    fn treatment_swap_helper() {
+        let x = Matrix::from_rows(&[&[0.5, 1.0, 0.0, 0.0]]);
+        let swapped = with_treatment(&x, 1, 3, 2);
+        assert_eq!(swapped.row(0), &[0.5, 0.0, 0.0, 1.0]);
+    }
+}

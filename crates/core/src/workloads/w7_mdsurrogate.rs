@@ -1,0 +1,95 @@
+//! W7 — ML-supervised multi-resolution molecular dynamics ("supervise
+//! large-scale multi-resolution molecular dynamics simulations").
+//!
+//! The "DNN" here is the surrogate-supervised run; the "baseline" is the
+//! always-fine run. The comparison metric is compute cost (force
+//! evaluations) at comparable fidelity — the surrogate's job is to deliver
+//! near-fine accuracy cheaper, so *lower is better*.
+
+use super::Outcome;
+use crate::report::Scale;
+use dd_mdsim::{run_supervised, LjSystem, Policy, RunReport, SurrogateController};
+
+/// Scale presets: (lattice side, macro steps, dt, lattice spacing).
+///
+/// The full configuration keeps the coarse integrator in the "sloppy but
+/// stable" regime (wider spacing, smaller dt): a coarse step that simply
+/// explodes teaches the surrogate nothing except "always refine".
+pub fn config(scale: Scale) -> (usize, usize, f64, f64) {
+    match scale {
+        Scale::Smoke => (5, 60, 0.04, 1.3),
+        Scale::Full => (8, 300, 0.025, 1.4),
+    }
+}
+
+/// Run all four policies and return their reports.
+pub fn run_policies(scale: Scale, seed: u64) -> Vec<RunReport> {
+    let (side, steps, dt, spacing) = config(scale);
+    let system = || LjSystem::lattice(side, spacing, 0.4, seed);
+    let mut probe = system();
+    let force_threshold = probe.max_force();
+    vec![
+        run_supervised(system(), Policy::AlwaysCoarse, steps, dt),
+        run_supervised(system(), Policy::AlwaysFine, steps, dt),
+        run_supervised(
+            system(),
+            Policy::ForceHeuristic { threshold: force_threshold },
+            steps,
+            dt,
+        ),
+        run_supervised(
+            system(),
+            Policy::Surrogate(SurrogateController::new(5e-3, seed ^ 0x77)),
+            steps,
+            dt,
+        ),
+    ]
+}
+
+/// Run the W7 comparison (metric: force evaluations; lower is better,
+/// subject to the fidelity gate asserted in tests and recorded in E9).
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let start = std::time::Instant::now();
+    let reports = run_policies(scale, seed);
+    let fine = reports.iter().find(|r| r.policy == "fine").expect("fine run");
+    let surrogate = reports
+        .iter()
+        .find(|r| r.policy == "dnn-surrogate")
+        .expect("surrogate run");
+    Outcome {
+        name: "W7 md-surrogate".into(),
+        metric: "force evaluations".into(),
+        dnn: surrogate.force_evals as f64,
+        baseline: fine.force_evals as f64,
+        baseline_name: "always-fine MD".into(),
+        higher_is_better: false,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_surrogate_saves_compute() {
+        let o = run(Scale::Smoke, 10);
+        assert!(
+            o.dnn < o.baseline,
+            "surrogate {} evals vs fine {}",
+            o.dnn,
+            o.baseline
+        );
+    }
+
+    #[test]
+    fn policy_reports_cover_all_four() {
+        let reports = run_policies(Scale::Smoke, 11);
+        let names: Vec<&str> = reports.iter().map(|r| r.policy.as_str()).collect();
+        assert_eq!(names, vec!["coarse", "fine", "force-heuristic", "dnn-surrogate"]);
+        // Fidelity ordering: coarse drifts most from the fine trajectory.
+        let coarse = &reports[0];
+        let sur = &reports[3];
+        assert!(sur.rmsd_vs_fine <= coarse.rmsd_vs_fine + 1e-12);
+    }
+}

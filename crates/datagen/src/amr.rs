@@ -1,0 +1,187 @@
+//! W6 — antimicrobial resistance (AMR) prediction data.
+//!
+//! Genomes are summarized as k-mer count vectors (the standard reference-
+//! free representation for bacterial genotype-to-phenotype models). A set of
+//! *known* resistance k-mers contributes additively to the resistance logit;
+//! one planted *epistatic pair* only confers resistance when both k-mers are
+//! present — the "novel resistance mechanism" of the abstract, discoverable
+//! by attribution on a nonlinear model but invisible to additive baselines.
+
+use crate::dataset::{Dataset, Target};
+use dd_tensor::{sigmoid, Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AmrConfig {
+    /// Number of genomes.
+    pub genomes: usize,
+    /// Number of k-mer features.
+    pub kmers: usize,
+    /// Number of additive (known-mechanism) resistance k-mers.
+    pub additive_kmers: usize,
+    /// Effect size of each additive k-mer on the resistance logit.
+    pub additive_effect: f32,
+    /// Effect size of the epistatic pair (the "novel mechanism").
+    pub epistasis_effect: f32,
+    /// Background presence probability of each k-mer.
+    pub presence: f64,
+    /// Label noise on the phenotype.
+    pub label_noise: f64,
+}
+
+impl Default for AmrConfig {
+    fn default() -> Self {
+        AmrConfig {
+            genomes: 4000,
+            kmers: 400,
+            additive_kmers: 8,
+            additive_effect: 1.5,
+            epistasis_effect: 4.0,
+            presence: 0.3,
+            label_noise: 0.02,
+        }
+    }
+}
+
+/// Generated AMR dataset with the planted mechanism ground truth.
+pub struct AmrData {
+    /// Presence/absence k-mer features, binary resistance phenotype.
+    pub dataset: Dataset,
+    /// Indices of the additive resistance k-mers.
+    pub additive: Vec<usize>,
+    /// The epistatic pair (novel mechanism).
+    pub epistatic_pair: (usize, usize),
+}
+
+/// Generate an AMR dataset.
+pub fn generate(config: &AmrConfig, seed: u64) -> AmrData {
+    assert!(
+        config.additive_kmers + 2 <= config.kmers,
+        "mechanism k-mers exceed feature count"
+    );
+    let mut rng = Rng64::new(seed);
+    let mut perm: Vec<usize> = (0..config.kmers).collect();
+    rng.shuffle(&mut perm);
+    let additive = perm[..config.additive_kmers].to_vec();
+    let epistatic_pair = (perm[config.additive_kmers], perm[config.additive_kmers + 1]);
+
+    let mut x = Matrix::zeros(config.genomes, config.kmers);
+    let mut labels = Vec::with_capacity(config.genomes);
+    // Center the logit so the classes are roughly balanced: each additive
+    // k-mer is present with `presence`, so subtract the expected sum.
+    let expected = config.additive_kmers as f32
+        * config.presence as f32
+        * config.additive_effect
+        + config.presence as f32 * config.presence as f32 * config.epistasis_effect;
+
+    for i in 0..config.genomes {
+        let row = x.row_mut(i);
+        for v in row.iter_mut() {
+            if rng.bernoulli(config.presence) {
+                *v = 1.0;
+            }
+        }
+        let mut logit = -expected;
+        for &k in &additive {
+            logit += row[k] * config.additive_effect;
+        }
+        if row[epistatic_pair.0] == 1.0 && row[epistatic_pair.1] == 1.0 {
+            logit += config.epistasis_effect;
+        }
+        let mut resistant = rng.bernoulli(sigmoid(logit) as f64);
+        if rng.bernoulli(config.label_noise) {
+            resistant = !resistant;
+        }
+        labels.push(usize::from(resistant));
+    }
+    AmrData {
+        dataset: Dataset::new("amr", x, Target::Labels { labels, classes: 2 }),
+        additive,
+        epistatic_pair,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_binary() {
+        let data = generate(&AmrConfig::default(), 1);
+        assert_eq!(data.dataset.len(), 4000);
+        assert_eq!(data.dataset.dim(), 400);
+        assert!(data.dataset.x.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert_eq!(data.additive.len(), 8);
+    }
+
+    #[test]
+    fn classes_not_degenerate() {
+        let data = generate(&AmrConfig::default(), 2);
+        let pos: usize = data.dataset.y.labels().unwrap().iter().sum();
+        let rate = pos as f64 / data.dataset.len() as f64;
+        assert!((0.15..0.85).contains(&rate), "resistance rate {rate}");
+    }
+
+    #[test]
+    fn additive_kmers_raise_resistance_rate() {
+        let config = AmrConfig { label_noise: 0.0, ..Default::default() };
+        let data = generate(&config, 3);
+        let labels = data.dataset.y.labels().unwrap();
+        let k = data.additive[0];
+        let mut with = (0usize, 0usize);
+        let mut without = (0usize, 0usize);
+        for i in 0..data.dataset.len() {
+            if data.dataset.x.get(i, k) == 1.0 {
+                with = (with.0 + labels[i], with.1 + 1);
+            } else {
+                without = (without.0 + labels[i], without.1 + 1);
+            }
+        }
+        let r_with = with.0 as f64 / with.1 as f64;
+        let r_without = without.0 as f64 / without.1 as f64;
+        assert!(r_with > r_without + 0.1, "with {r_with} without {r_without}");
+    }
+
+    #[test]
+    fn epistasis_is_non_additive() {
+        // Effect of having both pair k-mers must exceed the sum of single
+        // effects (which are ~0 since the pair is not additive).
+        let config = AmrConfig {
+            genomes: 20000,
+            additive_kmers: 0,
+            epistasis_effect: 5.0,
+            label_noise: 0.0,
+            ..Default::default()
+        };
+        let data = generate(&config, 4);
+        let labels = data.dataset.y.labels().unwrap();
+        let (a, b) = data.epistatic_pair;
+        let mut both = (0usize, 0usize);
+        let mut only_a = (0usize, 0usize);
+        let mut neither = (0usize, 0usize);
+        for i in 0..data.dataset.len() {
+            let ha = data.dataset.x.get(i, a) == 1.0;
+            let hb = data.dataset.x.get(i, b) == 1.0;
+            match (ha, hb) {
+                (true, true) => both = (both.0 + labels[i], both.1 + 1),
+                (true, false) => only_a = (only_a.0 + labels[i], only_a.1 + 1),
+                (false, false) => neither = (neither.0 + labels[i], neither.1 + 1),
+                _ => {}
+            }
+        }
+        let r_both = both.0 as f64 / both.1.max(1) as f64;
+        let r_a = only_a.0 as f64 / only_a.1.max(1) as f64;
+        let r_none = neither.0 as f64 / neither.1.max(1) as f64;
+        assert!(r_both > r_a + 0.3, "both {r_both} vs single {r_a}");
+        assert!((r_a - r_none).abs() < 0.1, "single k-mer should be ~neutral");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&AmrConfig::default(), 5);
+        let b = generate(&AmrConfig::default(), 5);
+        assert_eq!(a.dataset.x, b.dataset.x);
+        assert_eq!(a.epistatic_pair, b.epistatic_pair);
+    }
+}

@@ -1,0 +1,461 @@
+//! Classical baselines the driver-workload DNNs are compared against.
+//!
+//! The abstract positions DNNs as "routinely outperforming" prior methods;
+//! our experiments quantify that against these from-scratch classical
+//! models: ridge regression (conjugate gradient on the normal equations),
+//! logistic regression (full-batch gradient descent with momentum), k-NN,
+//! and PCA via orthogonal power iteration (baseline for the autoencoder).
+
+use dd_tensor::{matmul, matmul_tn, matvec, sigmoid, Matrix, Rng64};
+
+/// Ridge regression solved by conjugate gradient on
+/// `(XᵀX + λI) w = Xᵀy`; handles a single target column plus intercept.
+pub struct Ridge {
+    weights: Vec<f32>,
+    intercept: f32,
+}
+
+impl Ridge {
+    /// Fit with regularization strength `lambda`.
+    pub fn fit(x: &Matrix, y: &[f32], lambda: f32) -> Self {
+        assert_eq!(x.rows(), y.len(), "ridge row mismatch");
+        assert!(x.rows() > 0, "empty design matrix");
+        let d = x.cols();
+        // Center targets; fit intercept separately (standard trick).
+        let y_mean = y.iter().map(|&v| v as f64).sum::<f64>() as f32 / y.len() as f32;
+        let yc: Vec<f32> = y.iter().map(|&v| v - y_mean).collect();
+
+        // Gram matrix A = XᵀX + λI (d×d) and b = Xᵀ yc.
+        let gram = matmul_tn(x, x);
+        let ycm = Matrix::from_vec(yc.len(), 1, yc);
+        let b = matmul_tn(x, &ycm).into_vec();
+
+        // Conjugate gradient.
+        let apply = |v: &[f32]| -> Vec<f32> {
+            let mut out = matvec(&gram, v);
+            for (o, &vi) in out.iter_mut().zip(v) {
+                *o += lambda * vi;
+            }
+            out
+        };
+        let mut w = vec![0f32; d];
+        let mut r = b.clone();
+        let mut p = r.clone();
+        let mut rs_old: f64 = r.iter().map(|&v| v as f64 * v as f64).sum();
+        for _ in 0..(2 * d).max(50) {
+            if rs_old.sqrt() < 1e-7 {
+                break;
+            }
+            let ap = apply(&p);
+            let p_ap: f64 = p.iter().zip(&ap).map(|(&a, &b)| a as f64 * b as f64).sum();
+            if p_ap.abs() < 1e-30 {
+                break;
+            }
+            let alpha = (rs_old / p_ap) as f32;
+            for ((wi, &pi), (ri, &api)) in
+                w.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap))
+            {
+                *wi += alpha * pi;
+                *ri -= alpha * api;
+            }
+            let rs_new: f64 = r.iter().map(|&v| v as f64 * v as f64).sum();
+            let beta = (rs_new / rs_old) as f32;
+            for (pi, &ri) in p.iter_mut().zip(&r) {
+                *pi = ri + beta * *pi;
+            }
+            rs_old = rs_new;
+        }
+        Ridge { weights: w, intercept: y_mean }
+    }
+
+    /// Predict one value per row.
+    pub fn predict(&self, x: &Matrix) -> Vec<f32> {
+        let mut out = matvec(x, &self.weights);
+        for v in &mut out {
+            *v += self.intercept;
+        }
+        out
+    }
+
+    /// Fitted coefficient vector.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+/// L2-regularized logistic regression (binary), full-batch gradient descent
+/// with momentum.
+pub struct Logistic {
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl Logistic {
+    /// Fit on labels in {0, 1}.
+    pub fn fit(x: &Matrix, labels: &[usize], lambda: f32, iters: usize, lr: f32) -> Self {
+        assert_eq!(x.rows(), labels.len(), "logistic row mismatch");
+        let n = x.rows();
+        let d = x.cols();
+        let mut w = vec![0f32; d];
+        let mut b = 0f32;
+        let mut vw = vec![0f32; d];
+        let mut vb = 0f32;
+        let momentum = 0.9f32;
+        let y: Vec<f32> = labels.iter().map(|&l| l as f32).collect();
+        for _ in 0..iters {
+            // p = sigmoid(Xw + b); grad = Xᵀ(p - y)/n + λw.
+            let mut p = matvec(x, &w);
+            for (pi, _) in p.iter_mut().zip(0..n) {
+                *pi = sigmoid(*pi + b);
+            }
+            let resid: Vec<f32> = p.iter().zip(&y).map(|(&pi, &yi)| pi - yi).collect();
+            let rm = Matrix::from_vec(n, 1, resid.clone());
+            let mut grad = matmul_tn(x, &rm).into_vec();
+            let inv_n = 1.0 / n as f32;
+            for (g, &wi) in grad.iter_mut().zip(&w) {
+                *g = *g * inv_n + lambda * wi;
+            }
+            let gb = resid.iter().sum::<f32>() * inv_n;
+            for ((wi, vi), &gi) in w.iter_mut().zip(&mut vw).zip(&grad) {
+                *vi = momentum * *vi - lr * gi;
+                *wi += *vi;
+            }
+            vb = momentum * vb - lr * gb;
+            b += vb;
+        }
+        Logistic { weights: w, bias: b }
+    }
+
+    /// Multiclass one-vs-rest wrapper: returns per-class score matrix.
+    pub fn fit_multiclass(
+        x: &Matrix,
+        labels: &[usize],
+        classes: usize,
+        lambda: f32,
+        iters: usize,
+        lr: f32,
+    ) -> Vec<Logistic> {
+        (0..classes)
+            .map(|c| {
+                let bin: Vec<usize> = labels.iter().map(|&l| usize::from(l == c)).collect();
+                Logistic::fit(x, &bin, lambda, iters, lr)
+            })
+            .collect()
+    }
+
+    /// Probability of class 1 per row.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        let mut out = matvec(x, &self.weights);
+        for v in &mut out {
+            *v = sigmoid(*v + self.bias);
+        }
+        out
+    }
+
+    /// Hard labels at threshold 0.5.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.predict_proba(x).iter().map(|&p| usize::from(p > 0.5)).collect()
+    }
+
+    /// Fitted coefficient vector.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+/// Score matrix for a one-vs-rest classifier bank (rows = samples,
+/// cols = classes), suitable for `dd_nn::metrics::accuracy`.
+pub fn ovr_scores(models: &[Logistic], x: &Matrix) -> Matrix {
+    let mut scores = Matrix::zeros(x.rows(), models.len());
+    for (c, m) in models.iter().enumerate() {
+        for (i, p) in m.predict_proba(x).into_iter().enumerate() {
+            scores.set(i, c, p);
+        }
+    }
+    scores
+}
+
+/// k-nearest-neighbour classifier (Euclidean, majority vote).
+pub struct Knn {
+    x: Matrix,
+    labels: Vec<usize>,
+    classes: usize,
+    k: usize,
+}
+
+impl Knn {
+    /// Store the training set.
+    pub fn fit(x: Matrix, labels: Vec<usize>, classes: usize, k: usize) -> Self {
+        assert_eq!(x.rows(), labels.len());
+        assert!(k >= 1 && k <= x.rows(), "k must be in [1, n]");
+        Knn { x, labels, classes, k }
+    }
+
+    /// Predict one label per query row.
+    pub fn predict(&self, q: &Matrix) -> Vec<usize> {
+        assert_eq!(q.cols(), self.x.cols(), "knn dimension mismatch");
+        q.iter_rows()
+            .map(|row| {
+                // Partial selection of the k smallest distances.
+                let mut dists: Vec<(f32, usize)> = self
+                    .x
+                    .iter_rows()
+                    .zip(&self.labels)
+                    .map(|(tr, &l)| {
+                        let d: f32 = row
+                            .iter()
+                            .zip(tr)
+                            .map(|(&a, &b)| (a - b) * (a - b))
+                            .sum();
+                        (d, l)
+                    })
+                    .collect();
+                dists.select_nth_unstable_by(self.k - 1, |a, b| {
+                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut votes = vec![0usize; self.classes];
+                for &(_, l) in &dists[..self.k] {
+                    votes[l] += 1;
+                }
+                votes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &v)| v)
+                    .unwrap()
+                    .0
+            })
+            .collect()
+    }
+}
+
+/// PCA by orthogonal power iteration; the classical baseline for the
+/// expression autoencoder (reconstruction through the top-k subspace).
+pub struct Pca {
+    /// `components × dim`, orthonormal rows.
+    components: Matrix,
+    means: Vec<f32>,
+}
+
+impl Pca {
+    /// Fit the top `k` principal components.
+    pub fn fit(x: &Matrix, k: usize, iters: usize, seed: u64) -> Self {
+        assert!(k >= 1 && k <= x.cols(), "component count out of range");
+        let means = x.col_means();
+        let mut xc = x.clone();
+        for i in 0..xc.rows() {
+            let row = xc.row_mut(i);
+            for (v, &m) in row.iter_mut().zip(&means) {
+                *v -= m;
+            }
+        }
+        let cov = matmul_tn(&xc, &xc); // unnormalized covariance is fine
+        let d = x.cols();
+        let mut rng = Rng64::new(seed);
+        let mut comp = Matrix::randn(k, d, 0.0, 1.0, &mut rng);
+        for _ in 0..iters {
+            // Power step: C ← C · Cov, then Gram-Schmidt orthonormalize.
+            comp = matmul(&comp, &cov);
+            gram_schmidt(&mut comp);
+        }
+        Pca { components: comp, means }
+    }
+
+    /// Project rows onto the component subspace (`n × k`).
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut xc = x.clone();
+        for i in 0..xc.rows() {
+            let row = xc.row_mut(i);
+            for (v, &m) in row.iter_mut().zip(&self.means) {
+                *v -= m;
+            }
+        }
+        dd_tensor::matmul_nt(&xc, &self.components)
+    }
+
+    /// Reconstruct from the subspace back to the original dimension.
+    pub fn reconstruct(&self, x: &Matrix) -> Matrix {
+        let z = self.transform(x);
+        let mut rec = matmul(&z, &self.components);
+        for i in 0..rec.rows() {
+            let row = rec.row_mut(i);
+            for (v, &m) in row.iter_mut().zip(&self.means) {
+                *v += m;
+            }
+        }
+        rec
+    }
+
+    /// The orthonormal component matrix.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+}
+
+/// In-place modified Gram-Schmidt over matrix rows.
+fn gram_schmidt(m: &mut Matrix) {
+    let rows = m.rows();
+    let cols = m.cols();
+    for i in 0..rows {
+        for j in 0..i {
+            let proj = dd_tensor::dot(m.row(i), m.row(j));
+            // Rows j < i are already unit length; split the buffer so row j
+            // (immutable) and row i (mutable) can be held together.
+            let (head, tail) = m.as_mut_slice().split_at_mut(i * cols);
+            let rj = &head[j * cols..(j + 1) * cols];
+            let ri = &mut tail[..cols];
+            for (a, &b) in ri.iter_mut().zip(rj) {
+                *a -= proj * b;
+            }
+        }
+        let norm = dd_tensor::dot(m.row(i), m.row(i)).sqrt().max(1e-12);
+        let inv = 1.0 / norm;
+        for v in m.row_mut(i) {
+            *v *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_recovers_linear_coefficients() {
+        let mut rng = Rng64::new(1);
+        let x = Matrix::randn(400, 5, 0.0, 1.0, &mut rng);
+        let true_w = [2.0f32, -1.0, 0.5, 0.0, 3.0];
+        let y: Vec<f32> = (0..400)
+            .map(|i| {
+                dd_tensor::dot(x.row(i), &true_w) + 1.0 + rng.normal(0.0, 0.01) as f32
+            })
+            .collect();
+        let model = Ridge::fit(&x, &y, 1e-3);
+        for (est, want) in model.weights().iter().zip(&true_w) {
+            assert!((est - want).abs() < 0.05, "est {est} want {want}");
+        }
+        let preds = model.predict(&x);
+        let r2 = dd_tensor::r2_score(&y, &preds);
+        assert!(r2 > 0.99, "r2 {r2}");
+    }
+
+    #[test]
+    fn ridge_regularization_shrinks() {
+        let mut rng = Rng64::new(2);
+        let x = Matrix::randn(100, 3, 0.0, 1.0, &mut rng);
+        let y: Vec<f32> = (0..100).map(|i| 5.0 * x.get(i, 0)).collect();
+        let loose = Ridge::fit(&x, &y, 1e-4);
+        let tight = Ridge::fit(&x, &y, 1e3);
+        assert!(tight.weights()[0].abs() < loose.weights()[0].abs() * 0.5);
+    }
+
+    #[test]
+    fn logistic_separates_linear_classes() {
+        let mut rng = Rng64::new(3);
+        let x = Matrix::randn(500, 4, 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..500)
+            .map(|i| usize::from(x.get(i, 0) - x.get(i, 1) > 0.0))
+            .collect();
+        let model = Logistic::fit(&x, &labels, 1e-4, 300, 0.5);
+        let preds = model.predict(&x);
+        let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / 500.0;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn logistic_multiclass_ovr() {
+        let mut rng = Rng64::new(4);
+        // Three gaussian blobs along axes.
+        let mut x = Matrix::zeros(300, 2);
+        let mut labels = Vec::new();
+        for i in 0..300 {
+            let c = i % 3;
+            let (cx, cy) = [(3.0, 0.0), (-3.0, 3.0), (0.0, -3.0)][c];
+            x.set(i, 0, cx + rng.normal(0.0, 0.5) as f32);
+            x.set(i, 1, cy + rng.normal(0.0, 0.5) as f32);
+            labels.push(c);
+        }
+        let models = Logistic::fit_multiclass(&x, &labels, 3, 1e-4, 200, 0.5);
+        let scores = ovr_scores(&models, &x);
+        let preds = scores.argmax_rows();
+        let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / 300.0;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn knn_classifies_blobs() {
+        let mut rng = Rng64::new(5);
+        let mut x = Matrix::zeros(200, 2);
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let c = i % 2;
+            let center = if c == 0 { 2.0 } else { -2.0 };
+            x.set(i, 0, center + rng.normal(0.0, 0.5) as f32);
+            x.set(i, 1, rng.normal(0.0, 0.5) as f32);
+            labels.push(c);
+        }
+        let knn = Knn::fit(x.clone(), labels.clone(), 2, 5);
+        let preds = knn.predict(&x);
+        let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / 200.0;
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn knn_k1_memorizes() {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]]);
+        let knn = Knn::fit(x.clone(), vec![0, 1, 0], 2, 1);
+        assert_eq!(knn.predict(&x), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn pca_recovers_dominant_direction() {
+        // Data stretched along (1,1)/√2.
+        let mut rng = Rng64::new(6);
+        let mut x = Matrix::zeros(500, 2);
+        for i in 0..500 {
+            let t = rng.normal(0.0, 3.0) as f32;
+            let n = rng.normal(0.0, 0.1) as f32;
+            x.set(i, 0, t + n);
+            x.set(i, 1, t - n);
+        }
+        let pca = Pca::fit(&x, 1, 30, 7);
+        let c = pca.components().row(0);
+        let alignment = (c[0] * c[1]).abs() / (c[0] * c[0] + c[1] * c[1]) * 2.0;
+        assert!(alignment > 0.99, "component {c:?}");
+    }
+
+    #[test]
+    fn pca_reconstruction_error_drops_with_k() {
+        let mut rng = Rng64::new(8);
+        // Rank-3 data in 10 dims plus tiny noise.
+        let z = Matrix::randn(300, 3, 0.0, 1.0, &mut rng);
+        let basis = Matrix::randn(3, 10, 0.0, 1.0, &mut rng);
+        let mut x = matmul(&z, &basis);
+        for v in x.as_mut_slice() {
+            *v += rng.normal(0.0, 0.01) as f32;
+        }
+        let err = |k: usize| {
+            let pca = Pca::fit(&x, k, 50, 9);
+            let rec = pca.reconstruct(&x);
+            rec.zip_map(&x, |a, b| (a - b) * (a - b)).mean()
+        };
+        let e1 = err(1);
+        let e3 = err(3);
+        assert!(e3 < e1 * 0.1, "k=1 err {e1}, k=3 err {e3}");
+        assert!(e3 < 0.01, "rank-3 data should reconstruct, err {e3}");
+    }
+
+    #[test]
+    fn pca_components_orthonormal() {
+        let mut rng = Rng64::new(10);
+        let x = Matrix::randn(200, 8, 0.0, 1.0, &mut rng);
+        let pca = Pca::fit(&x, 4, 40, 11);
+        let c = pca.components();
+        for i in 0..4 {
+            for j in 0..4 {
+                let d = dd_tensor::dot(c.row(i), c.row(j));
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-3, "<c{i},c{j}> = {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! W3 — anti-cancer compound screening data.
+//!
+//! Compounds are binary fingerprint vectors (hashed substructure presence
+//! bits, like ECFP). Activity requires the *conjunction* of a few
+//! pharmacophore fragments plus the absence of a toxicophore — an AND/NOT
+//! structure that makes the task non-linearly separable and heavily class-
+//! imbalanced, matching real high-throughput screens.
+
+use crate::dataset::{Dataset, Target};
+use dd_tensor::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompoundConfig {
+    /// Number of compounds.
+    pub samples: usize,
+    /// Fingerprint length in bits.
+    pub bits: usize,
+    /// Mean fraction of set bits per compound.
+    pub density: f64,
+    /// Number of pharmacophore patterns (any one grants activity).
+    pub pharmacophores: usize,
+    /// Bits per pharmacophore pattern (all must be set).
+    pub bits_per_pattern: usize,
+    /// Label flip noise.
+    pub label_noise: f64,
+}
+
+impl Default for CompoundConfig {
+    fn default() -> Self {
+        CompoundConfig {
+            samples: 4000,
+            bits: 256,
+            density: 0.12,
+            pharmacophores: 3,
+            bits_per_pattern: 3,
+            label_noise: 0.02,
+        }
+    }
+}
+
+/// Generated screening data with ground-truth patterns.
+pub struct CompoundData {
+    /// Binary fingerprint features, binary activity label.
+    pub dataset: Dataset,
+    /// The planted pharmacophore bit sets.
+    pub patterns: Vec<Vec<usize>>,
+    /// The planted toxicophore bit (activity vetoed when set).
+    pub toxicophore: usize,
+}
+
+/// Generate a compound screening dataset.
+pub fn generate(config: &CompoundConfig, seed: u64) -> CompoundData {
+    assert!(config.bits_per_pattern >= 1);
+    assert!(
+        config.pharmacophores * config.bits_per_pattern + 1 <= config.bits,
+        "patterns exceed fingerprint size"
+    );
+    let mut rng = Rng64::new(seed);
+
+    let mut bit_perm: Vec<usize> = (0..config.bits).collect();
+    rng.shuffle(&mut bit_perm);
+    let patterns: Vec<Vec<usize>> = (0..config.pharmacophores)
+        .map(|p| {
+            bit_perm[p * config.bits_per_pattern..(p + 1) * config.bits_per_pattern].to_vec()
+        })
+        .collect();
+    let toxicophore = bit_perm[config.pharmacophores * config.bits_per_pattern];
+
+    let mut x = Matrix::zeros(config.samples, config.bits);
+    let mut labels = Vec::with_capacity(config.samples);
+    for i in 0..config.samples {
+        let row = x.row_mut(i);
+        for v in row.iter_mut() {
+            if rng.bernoulli(config.density) {
+                *v = 1.0;
+            }
+        }
+        // Boost pattern completion for a fraction of compounds so actives
+        // exist at realistic (low but workable) rates.
+        if rng.bernoulli(0.25) {
+            let p = rng.below(config.pharmacophores);
+            for &b in &patterns[p] {
+                row[b] = 1.0;
+            }
+        }
+        let has_pattern = patterns
+            .iter()
+            .any(|pat| pat.iter().all(|&b| row[b] == 1.0));
+        let vetoed = row[toxicophore] == 1.0;
+        let mut active = has_pattern && !vetoed;
+        if rng.bernoulli(config.label_noise) {
+            active = !active;
+        }
+        labels.push(usize::from(active));
+    }
+    CompoundData {
+        dataset: Dataset::new("compound-screen", x, Target::Labels { labels, classes: 2 }),
+        patterns,
+        toxicophore,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_binary_features() {
+        let data = generate(&CompoundConfig::default(), 1);
+        assert_eq!(data.dataset.len(), 4000);
+        assert!(data
+            .dataset
+            .x
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn active_rate_reasonable() {
+        let data = generate(&CompoundConfig::default(), 2);
+        let actives: usize = data.dataset.y.labels().unwrap().iter().sum();
+        let rate = actives as f64 / data.dataset.len() as f64;
+        // Imbalanced but learnable.
+        assert!((0.03..0.6).contains(&rate), "active rate {rate}");
+    }
+
+    #[test]
+    fn pattern_completion_implies_activity_mostly() {
+        let config = CompoundConfig { label_noise: 0.0, ..Default::default() };
+        let data = generate(&config, 3);
+        let labels = data.dataset.y.labels().unwrap();
+        let mut with_pattern_active = 0usize;
+        let mut with_pattern_total = 0usize;
+        for i in 0..data.dataset.len() {
+            let row = data.dataset.x.row(i);
+            let has = data.patterns.iter().any(|p| p.iter().all(|&b| row[b] == 1.0));
+            let vetoed = row[data.toxicophore] == 1.0;
+            if has && !vetoed {
+                with_pattern_total += 1;
+                with_pattern_active += labels[i];
+            }
+        }
+        assert!(with_pattern_total > 50, "too few pattern completions");
+        assert_eq!(with_pattern_active, with_pattern_total, "noiseless labels must follow rule");
+    }
+
+    #[test]
+    fn toxicophore_vetoes() {
+        let config = CompoundConfig { label_noise: 0.0, ..Default::default() };
+        let data = generate(&config, 4);
+        let labels = data.dataset.y.labels().unwrap();
+        for i in 0..data.dataset.len() {
+            if data.dataset.x.get(i, data.toxicophore) == 1.0 {
+                assert_eq!(labels[i], 0, "vetoed compound marked active");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&CompoundConfig::default(), 5);
+        let b = generate(&CompoundConfig::default(), 5);
+        assert_eq!(a.dataset.x, b.dataset.x);
+        assert_eq!(a.patterns, b.patterns);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed fingerprint")]
+    fn oversized_patterns_panic() {
+        let config = CompoundConfig { bits: 8, pharmacophores: 4, bits_per_pattern: 3, ..Default::default() };
+        let _ = generate(&config, 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Dataset container and splitting.
+
+use dd_tensor::{Matrix, Rng64, Standardizer};
+
+/// Supervised targets in the forms the driver workloads use.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// Integer class labels (tumor type, resistance phenotype).
+    Labels {
+        /// One label per row of `x`.
+        labels: Vec<usize>,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Real-valued regression targets, one or more columns.
+    Regression(Matrix),
+}
+
+impl Target {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        match self {
+            Target::Labels { labels, .. } => labels.len(),
+            Target::Regression(m) => m.rows(),
+        }
+    }
+
+    /// True when the target holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize as a training matrix: one-hot for labels, identity for
+    /// regression.
+    pub fn to_matrix(&self) -> Matrix {
+        match self {
+            Target::Labels { labels, classes } => dd_tensor::one_hot(labels, *classes),
+            Target::Regression(m) => m.clone(),
+        }
+    }
+
+    /// Class labels, if categorical.
+    pub fn labels(&self) -> Option<&[usize]> {
+        match self {
+            Target::Labels { labels, .. } => Some(labels),
+            Target::Regression(_) => None,
+        }
+    }
+
+    /// Subset by row indices.
+    pub fn gather(&self, idx: &[usize]) -> Target {
+        match self {
+            Target::Labels { labels, classes } => Target::Labels {
+                labels: idx.iter().map(|&i| labels[i]).collect(),
+                classes: *classes,
+            },
+            Target::Regression(m) => Target::Regression(m.gather_rows(idx)),
+        }
+    }
+}
+
+/// A feature matrix with its target and provenance metadata.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// One sample per row.
+    pub x: Matrix,
+    /// Supervised target.
+    pub y: Target,
+    /// Human-readable source tag (e.g. "tumor-expression").
+    pub name: String,
+}
+
+impl Dataset {
+    /// Construct, checking row agreement.
+    pub fn new(name: impl Into<String>, x: Matrix, y: Target) -> Self {
+        assert_eq!(x.rows(), y.len(), "feature/target row mismatch");
+        Dataset { x, y, name: name.into() }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Subset by row indices.
+    pub fn gather(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.gather_rows(idx),
+            y: self.y.gather(idx),
+            name: self.name.clone(),
+        }
+    }
+
+    /// Deterministic shuffled train/val/test split; standardizes features
+    /// with statistics fitted on the training portion only.
+    pub fn split(&self, val_frac: f64, test_frac: f64, seed: u64, standardize: bool) -> Split {
+        let n = self.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        Rng64::new(seed).shuffle(&mut idx);
+        let n_test = (n as f64 * test_frac).round() as usize;
+        let n_val = (n as f64 * val_frac).round() as usize;
+        assert!(n_test + n_val < n, "split leaves no training data");
+        let test_idx = &idx[n - n_test..];
+        let val_idx = &idx[n - n_test - n_val..n - n_test];
+        let train_idx = &idx[..n - n_test - n_val];
+        let mut train = self.gather(train_idx);
+        let mut val = self.gather(val_idx);
+        let mut test = self.gather(test_idx);
+        let scaler = if standardize {
+            let sc = Standardizer::fit(&train.x);
+            sc.transform(&mut train.x);
+            sc.transform(&mut val.x);
+            sc.transform(&mut test.x);
+            Some(sc)
+        } else {
+            None
+        };
+        Split { train, val, test, scaler }
+    }
+}
+
+/// The three partitions of a dataset plus the scaler fitted on train.
+pub struct Split {
+    /// Training partition.
+    pub train: Dataset,
+    /// Validation partition.
+    pub val: Dataset,
+    /// Held-out test partition.
+    pub test: Dataset,
+    /// Standardizer fitted on the training features (when requested).
+    pub scaler: Option<Standardizer>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 3, |i, j| (i * 3 + j) as f32);
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        Dataset::new("toy", x, Target::Labels { labels, classes: 2 })
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let d = toy(100);
+        let s = d.split(0.2, 0.1, 7, false);
+        assert_eq!(s.train.len(), 70);
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.test.len(), 10);
+        // Rows are disjoint: collect first feature (unique per row).
+        let mut firsts: Vec<f32> = s
+            .train
+            .x
+            .iter_rows()
+            .chain(s.val.x.iter_rows())
+            .chain(s.test.x.iter_rows())
+            .map(|r| r[0])
+            .collect();
+        firsts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        firsts.dedup();
+        assert_eq!(firsts.len(), 100);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy(50);
+        let a = d.split(0.2, 0.2, 3, false);
+        let b = d.split(0.2, 0.2, 3, false);
+        assert_eq!(a.train.x, b.train.x);
+        let c = d.split(0.2, 0.2, 4, false);
+        assert_ne!(a.train.x, c.train.x);
+    }
+
+    #[test]
+    fn standardization_fits_on_train_only() {
+        let d = toy(100);
+        let s = d.split(0.2, 0.2, 1, true);
+        let means = s.train.x.col_means();
+        for m in means {
+            assert!(m.abs() < 1e-4);
+        }
+        // Val/test were transformed with train stats, so not exactly 0-mean.
+        assert!(s.scaler.is_some());
+    }
+
+    #[test]
+    fn labels_follow_rows() {
+        let d = toy(10);
+        let g = d.gather(&[9, 0]);
+        assert_eq!(g.y.labels().unwrap(), &[1, 0]);
+        assert_eq!(g.x.get(0, 0), 27.0);
+    }
+
+    #[test]
+    fn one_hot_matrix_from_labels() {
+        let d = toy(4);
+        let m = d.y.to_matrix();
+        assert_eq!(m.shape(), (4, 2));
+        assert_eq!(m.sum(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training data")]
+    fn overfull_split_panics() {
+        let _ = toy(10).split(0.5, 0.5, 1, false);
+    }
+}

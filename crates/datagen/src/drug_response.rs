@@ -1,0 +1,289 @@
+//! W2 — drug response prediction data (P1B3-style).
+//!
+//! Cell lines carry latent pathway activities; drugs carry descriptor
+//! vectors and target specific pathways with some potency. The measured
+//! growth fraction follows a Hill dose-response curve whose IC50 depends on
+//! the interaction between the drug's targets and the cell line's pathway
+//! activities — a multiplicative structure linear models cannot capture,
+//! which is exactly why the paper's DNNs earn their keep here.
+
+use crate::dataset::{Dataset, Target};
+use crate::expression::{ExpressionModel, ExpressionSampler};
+use dd_tensor::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DrugResponseConfig {
+    /// Number of distinct cell lines.
+    pub cell_lines: usize,
+    /// Number of distinct drugs.
+    pub drugs: usize,
+    /// Number of (cell line, drug, dose) measurements to sample.
+    pub measurements: usize,
+    /// Drug descriptor dimensionality.
+    pub descriptor_dim: usize,
+    /// Observation noise on the growth fraction.
+    pub noise: f32,
+    /// Expression background for the cell lines.
+    pub expression: ExpressionModel,
+}
+
+impl Default for DrugResponseConfig {
+    fn default() -> Self {
+        DrugResponseConfig {
+            cell_lines: 60,
+            drugs: 100,
+            measurements: 4000,
+            descriptor_dim: 64,
+            noise: 0.05,
+            expression: ExpressionModel { genes: 256, ..Default::default() },
+        }
+    }
+}
+
+/// Generated drug-response data with generative ground truth.
+pub struct DrugResponseData {
+    /// Features `[cell expression | drug descriptors | log-dose]`,
+    /// target = growth fraction in [0, 1].
+    pub dataset: Dataset,
+    /// Expression profile per cell line (`cell_lines × genes`).
+    pub cell_expression: Matrix,
+    /// Descriptor vector per drug (`drugs × descriptor_dim`).
+    pub drug_descriptors: Matrix,
+    /// Which (cell, drug) pair produced each measurement row.
+    pub pair_index: Vec<(usize, usize)>,
+    /// The dose (raw, not log) for each measurement.
+    pub doses: Vec<f32>,
+    /// Latent pathway activity per cell line (generative ground truth).
+    pub cell_factors: Matrix,
+    /// Pathway target vector per drug (generative ground truth).
+    pub drug_targets: Matrix,
+    /// Per-drug baseline log10 IC50.
+    pub base_log_ic50: Vec<f32>,
+    /// Per-drug Hill coefficient.
+    pub hills: Vec<f32>,
+}
+
+impl DrugResponseData {
+    /// Ground-truth log10 IC50 of drug `d` against cell line `c`
+    /// (clamped to the generator's working range).
+    pub fn true_log_ic50(&self, c: usize, d: usize) -> f32 {
+        let alignment: f32 = (0..self.drug_targets.cols())
+            .map(|p| self.drug_targets.get(d, p) * self.cell_factors.get(c, p))
+            .sum();
+        (self.base_log_ic50[d] - 0.6 * alignment).clamp(-3.0, 3.0)
+    }
+}
+
+/// Hill curve: growth fraction at `dose` for a drug with the given `ic50`
+/// and Hill coefficient.
+pub fn hill_growth(dose: f32, ic50: f32, hill: f32) -> f32 {
+    let ratio = (dose / ic50).powf(hill);
+    1.0 / (1.0 + ratio)
+}
+
+/// Generate a drug-response dataset.
+pub fn generate(config: &DrugResponseConfig, seed: u64) -> DrugResponseData {
+    assert!(config.cell_lines > 0 && config.drugs > 0 && config.measurements > 0);
+    let mut rng = Rng64::new(seed);
+    let sampler = ExpressionSampler::new(config.expression.clone(), &mut rng);
+
+    // Cell lines: latent factors + rendered expression.
+    let (cell_expression, cell_factors) = sampler.sample(config.cell_lines, &mut rng);
+
+    // Drugs: each targets 1-3 pathways with signed potency; descriptors are
+    // a noisy linear embedding of the target vector (so the descriptor is
+    // informative but not trivially invertible).
+    let pathways = config.expression.pathways;
+    let mut drug_targets = Matrix::zeros(config.drugs, pathways);
+    for d in 0..config.drugs {
+        let k = 1 + rng.below(3);
+        for _ in 0..k {
+            let p = rng.below(pathways);
+            drug_targets.set(d, p, rng.normal(0.0, 1.0) as f32);
+        }
+    }
+    let embed = Matrix::randn(pathways, config.descriptor_dim, 0.0, 1.0, &mut rng);
+    let mut drug_descriptors = dd_tensor::matmul(&drug_targets, &embed);
+    for v in drug_descriptors.as_mut_slice() {
+        *v += rng.normal(0.0, 0.2) as f32;
+    }
+
+    // Per-drug baseline potency.
+    let base_log_ic50: Vec<f32> = (0..config.drugs).map(|_| rng.normal(0.0, 0.5) as f32).collect();
+    let hills: Vec<f32> = (0..config.drugs).map(|_| rng.range(0.8, 2.5) as f32).collect();
+
+    let feat_dim = config.expression.genes + config.descriptor_dim + 1;
+    let mut x = Matrix::zeros(config.measurements, feat_dim);
+    let mut y = Matrix::zeros(config.measurements, 1);
+    let mut pair_index = Vec::with_capacity(config.measurements);
+    let mut doses = Vec::with_capacity(config.measurements);
+
+    for i in 0..config.measurements {
+        let c = rng.below(config.cell_lines);
+        let d = rng.below(config.drugs);
+        // Log-uniform dose over 4 orders of magnitude.
+        let log_dose = rng.range(-2.0, 2.0) as f32;
+        let dose = 10f32.powf(log_dose);
+
+        // Sensitivity: alignment between drug targets and cell pathway
+        // activity shifts the IC50 (matched target ⇒ potent ⇒ low IC50).
+        let alignment: f32 = (0..pathways)
+            .map(|p| drug_targets.get(d, p) * cell_factors.get(c, p))
+            .sum();
+        let log_ic50 = base_log_ic50[d] - 0.6 * alignment;
+        let ic50 = 10f32.powf(log_ic50.clamp(-3.0, 3.0));
+        let growth = hill_growth(dose, ic50, hills[d])
+            + rng.normal(0.0, config.noise as f64) as f32;
+
+        let row = x.row_mut(i);
+        row[..config.expression.genes].copy_from_slice(cell_expression.row(c));
+        row[config.expression.genes..config.expression.genes + config.descriptor_dim]
+            .copy_from_slice(drug_descriptors.row(d));
+        row[feat_dim - 1] = log_dose;
+        y.set(i, 0, growth.clamp(0.0, 1.0));
+        pair_index.push((c, d));
+        doses.push(dose);
+    }
+
+    DrugResponseData {
+        dataset: Dataset::new("drug-response", x, Target::Regression(y)),
+        cell_expression,
+        drug_descriptors,
+        pair_index,
+        doses,
+        cell_factors,
+        drug_targets,
+        base_log_ic50,
+        hills,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hill_curve_properties() {
+        // At dose = IC50, growth = 0.5 regardless of hill coefficient.
+        for &h in &[0.5f32, 1.0, 2.0] {
+            assert!((hill_growth(1.0, 1.0, h) - 0.5).abs() < 1e-6);
+        }
+        // Monotone decreasing in dose.
+        let g_low = hill_growth(0.01, 1.0, 1.5);
+        let g_high = hill_growth(100.0, 1.0, 1.5);
+        assert!(g_low > 0.9 && g_high < 0.1);
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let config = DrugResponseConfig { measurements: 500, ..Default::default() };
+        let data = generate(&config, 1);
+        assert_eq!(data.dataset.len(), 500);
+        assert_eq!(
+            data.dataset.dim(),
+            config.expression.genes + config.descriptor_dim + 1
+        );
+        if let Target::Regression(y) = &data.dataset.y {
+            for &v in y.as_slice() {
+                assert!((0.0..=1.0).contains(&v), "growth {v} out of range");
+            }
+        } else {
+            panic!("expected regression target");
+        }
+        assert_eq!(data.pair_index.len(), 500);
+    }
+
+    #[test]
+    fn dose_monotonicity_in_expectation() {
+        // Split measurements by dose; high doses must suppress growth more.
+        let config = DrugResponseConfig { measurements: 4000, noise: 0.0, ..Default::default() };
+        let data = generate(&config, 2);
+        let y = match &data.dataset.y {
+            Target::Regression(m) => m,
+            _ => unreachable!(),
+        };
+        let mut low = (0f64, 0usize);
+        let mut high = (0f64, 0usize);
+        for (i, &dose) in data.doses.iter().enumerate() {
+            if dose < 0.1 {
+                low = (low.0 + y.get(i, 0) as f64, low.1 + 1);
+            } else if dose > 10.0 {
+                high = (high.0 + y.get(i, 0) as f64, high.1 + 1);
+            }
+        }
+        let mean_low = low.0 / low.1 as f64;
+        let mean_high = high.0 / high.1 as f64;
+        assert!(
+            mean_low > mean_high + 0.2,
+            "low-dose growth {mean_low} vs high-dose {mean_high}"
+        );
+    }
+
+    #[test]
+    fn interaction_signal_exists() {
+        // The same drug at the same dose must produce different growth on
+        // different cell lines (sensitivity is cell-dependent).
+        let config = DrugResponseConfig {
+            measurements: 8000,
+            noise: 0.0,
+            ..Default::default()
+        };
+        let data = generate(&config, 3);
+        let y = match &data.dataset.y {
+            Target::Regression(m) => m,
+            _ => unreachable!(),
+        };
+        // Group by drug; compute variance of growth across cells at
+        // mid-range doses.
+        let mut by_drug: std::collections::HashMap<usize, Vec<f32>> = Default::default();
+        for (i, &(_, d)) in data.pair_index.iter().enumerate() {
+            if (0.5..2.0).contains(&data.doses[i]) {
+                by_drug.entry(d).or_default().push(y.get(i, 0));
+            }
+        }
+        let mut any_variable = false;
+        for (_, v) in by_drug {
+            if v.len() >= 5 {
+                let mean = v.iter().sum::<f32>() / v.len() as f32;
+                let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32;
+                if var > 0.01 {
+                    any_variable = true;
+                }
+            }
+        }
+        assert!(any_variable, "growth shows no cell-line dependence");
+    }
+
+    #[test]
+    fn deterministic() {
+        let config = DrugResponseConfig { measurements: 100, ..Default::default() };
+        let a = generate(&config, 7);
+        let b = generate(&config, 7);
+        assert_eq!(a.dataset.x, b.dataset.x);
+    }
+
+    #[test]
+    fn true_ic50_predicts_measured_growth() {
+        // Noiseless growth at the ground-truth IC50 dose must be ~0.5 —
+        // i.e. `true_log_ic50` really is the generator's IC50.
+        let config = DrugResponseConfig { measurements: 3000, noise: 0.0, ..Default::default() };
+        let data = generate(&config, 8);
+        let y = match &data.dataset.y {
+            Target::Regression(m) => m,
+            _ => unreachable!(),
+        };
+        let mut checked = 0;
+        for (i, &(c, d)) in data.pair_index.iter().enumerate() {
+            let log_dose = data.doses[i].log10();
+            let diff = (log_dose - data.true_log_ic50(c, d)).abs();
+            if diff < 0.05 {
+                let g = y.get(i, 0);
+                assert!((g - 0.5).abs() < 0.1, "growth at IC50 was {g}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 3, "too few near-IC50 measurements ({checked})");
+    }
+}

@@ -1,0 +1,38 @@
+//! # dd-datagen — synthetic biomedical datasets and classical baselines
+//!
+//! The paper's driver problems run on data we cannot ship (NCI tumor
+//! compendia, clinical records, bacterial genome collections). This crate
+//! substitutes deterministic synthetic generators with *planted structure*
+//! chosen so each workload exercises the same model shapes and exhibits the
+//! same learnability gradients as the real task (see DESIGN.md's
+//! substitution table):
+//!
+//! * [`expression`] — latent-pathway gene expression (shared substrate).
+//! * [`tumor`] — W1 tumor-type classification (signature genes).
+//! * [`drug_response`] — W2 dose-response regression with cell×drug
+//!   interaction (Hill curves).
+//! * [`compound`] — W3 fingerprint-based activity screening (conjunctive
+//!   pharmacophores + toxicophore veto).
+//! * [`records`] — W5 treatment outcomes with a recoverable optimal policy.
+//! * [`amr`] — W6 antibiotic resistance with additive k-mers plus one
+//!   epistatic "novel mechanism" pair.
+//! * [`baselines`] — ridge / logistic / k-NN / PCA, all from scratch, the
+//!   classical comparators for experiment E8.
+//!
+//! Every generator takes a config struct and a `u64` seed, and exposes its
+//! generative ground truth (signatures, mechanisms, optimal policies) so
+//! experiments can score *recovery*, not just prediction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amr;
+pub mod baselines;
+pub mod compound;
+pub mod dataset;
+pub mod drug_response;
+pub mod expression;
+pub mod records;
+pub mod tumor;
+
+pub use dataset::{Dataset, Split, Target};

@@ -1,0 +1,245 @@
+//! W5 — medical-records treatment outcome data.
+//!
+//! Synthetic patient episodes: demographics, comorbidity flags and
+//! biomarkers, plus an assigned treatment. The outcome depends on
+//! treatment × biomarker interactions, so the *optimal* treatment varies by
+//! patient — the "identify optimal treatment strategies" task from the
+//! abstract is to recover that policy from observational data where the
+//! logged treatment assignment is biased (physicians already partially know
+//! the rules).
+
+use crate::dataset::{Dataset, Target};
+use dd_tensor::{sigmoid, Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecordsConfig {
+    /// Number of patient episodes.
+    pub patients: usize,
+    /// Number of comorbidity flags.
+    pub comorbidities: usize,
+    /// Number of continuous biomarkers.
+    pub biomarkers: usize,
+    /// Number of available treatments.
+    pub treatments: usize,
+    /// How strongly the logged assignment follows the true policy
+    /// (0 = random assignment, 1 = physicians always right).
+    pub assignment_bias: f64,
+    /// Outcome observation noise (logit scale).
+    pub noise: f32,
+}
+
+impl Default for RecordsConfig {
+    fn default() -> Self {
+        RecordsConfig {
+            patients: 6000,
+            comorbidities: 8,
+            biomarkers: 6,
+            treatments: 3,
+            assignment_bias: 0.5,
+            noise: 0.3,
+        }
+    }
+}
+
+/// Generated records with the generative ground truth needed to score
+/// recovered policies.
+pub struct RecordsData {
+    /// Features `[age, sex, comorbidities…, biomarkers…, one-hot treatment]`,
+    /// binary outcome (1 = good).
+    pub dataset: Dataset,
+    /// True outcome probability for every (patient, treatment) pair
+    /// (`patients × treatments`), for policy evaluation.
+    pub outcome_probs: Matrix,
+    /// The treatment actually logged for each patient.
+    pub logged_treatment: Vec<usize>,
+    /// The truly optimal treatment for each patient.
+    pub optimal_treatment: Vec<usize>,
+    /// Width of the patient-covariate block (before the treatment one-hot).
+    pub covariate_dim: usize,
+}
+
+/// Generate a medical-records dataset.
+pub fn generate(config: &RecordsConfig, seed: u64) -> RecordsData {
+    assert!(config.treatments >= 2, "need at least two treatments");
+    let mut rng = Rng64::new(seed);
+    let cov_dim = 2 + config.comorbidities + config.biomarkers;
+
+    // Treatment effect model: each treatment has a base effect, a vector of
+    // biomarker interactions and comorbidity penalties.
+    let base: Vec<f32> = (0..config.treatments).map(|_| rng.normal(0.3, 0.3) as f32).collect();
+    let biomarker_w = Matrix::randn(config.treatments, config.biomarkers, 0.0, 1.0, &mut rng);
+    let comorbid_w = Matrix::randn(config.treatments, config.comorbidities, -0.3, 0.4, &mut rng);
+
+    let feat_dim = cov_dim + config.treatments;
+    let mut x = Matrix::zeros(config.patients, feat_dim);
+    let mut labels = Vec::with_capacity(config.patients);
+    let mut outcome_probs = Matrix::zeros(config.patients, config.treatments);
+    let mut logged = Vec::with_capacity(config.patients);
+    let mut optimal = Vec::with_capacity(config.patients);
+
+    for i in 0..config.patients {
+        let age = rng.range(20.0, 90.0) as f32 / 90.0;
+        let sex = rng.below(2) as f32;
+        let comorbid: Vec<f32> = (0..config.comorbidities)
+            .map(|_| f32::from(rng.bernoulli(0.2)))
+            .collect();
+        let bio: Vec<f32> = (0..config.biomarkers).map(|_| rng.normal(0.0, 1.0) as f32).collect();
+
+        // True success probability per treatment.
+        let mut probs = vec![0f32; config.treatments];
+        for (t, prob) in probs.iter_mut().enumerate() {
+            let mut logit = base[t] - 0.8 * age;
+            for (j, &b) in bio.iter().enumerate() {
+                logit += biomarker_w.get(t, j) * b;
+            }
+            for (j, &c) in comorbid.iter().enumerate() {
+                logit += comorbid_w.get(t, j) * c;
+            }
+            *prob = sigmoid(logit);
+        }
+        outcome_probs.row_mut(i).copy_from_slice(&probs);
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        optimal.push(best);
+
+        // Logged assignment: physician picks the best with probability
+        // `assignment_bias`, otherwise uniform.
+        let t = if rng.bernoulli(config.assignment_bias) {
+            best
+        } else {
+            rng.below(config.treatments)
+        };
+        logged.push(t);
+
+        // Observed outcome.
+        let noisy_logit =
+            (probs[t].max(1e-6).min(1.0 - 1e-6) / (1.0 - probs[t].clamp(1e-6, 1.0 - 1e-6))).ln()
+                + rng.normal(0.0, config.noise as f64) as f32;
+        let outcome = usize::from(rng.bernoulli(sigmoid(noisy_logit) as f64));
+        labels.push(outcome);
+
+        // Feature row.
+        let row = x.row_mut(i);
+        row[0] = age;
+        row[1] = sex;
+        row[2..2 + config.comorbidities].copy_from_slice(&comorbid);
+        row[2 + config.comorbidities..cov_dim].copy_from_slice(&bio);
+        row[cov_dim + t] = 1.0;
+    }
+
+    RecordsData {
+        dataset: Dataset::new(
+            "medical-records",
+            x,
+            Target::Labels { labels, classes: 2 },
+        ),
+        outcome_probs,
+        logged_treatment: logged,
+        optimal_treatment: optimal,
+        covariate_dim: cov_dim,
+    }
+}
+
+/// Expected success rate of following a policy (maps patient → treatment),
+/// measured against the generative truth.
+pub fn policy_value(data: &RecordsData, policy: &[usize]) -> f64 {
+    assert_eq!(policy.len(), data.outcome_probs.rows());
+    policy
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| data.outcome_probs.get(i, t) as f64)
+        .sum::<f64>()
+        / policy.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let config = RecordsConfig { patients: 300, ..Default::default() };
+        let data = generate(&config, 1);
+        assert_eq!(data.dataset.len(), 300);
+        assert_eq!(data.dataset.dim(), data.covariate_dim + config.treatments);
+        assert_eq!(data.outcome_probs.shape(), (300, 3));
+    }
+
+    #[test]
+    fn exactly_one_treatment_flag_set() {
+        let data = generate(&RecordsConfig::default(), 2);
+        for i in 0..data.dataset.len() {
+            let row = data.dataset.x.row(i);
+            let flags: f32 = row[data.covariate_dim..].iter().sum();
+            assert_eq!(flags, 1.0);
+        }
+    }
+
+    #[test]
+    fn optimal_policy_beats_random_and_logged() {
+        let data = generate(&RecordsConfig::default(), 3);
+        let v_opt = policy_value(&data, &data.optimal_treatment);
+        let v_logged = policy_value(&data, &data.logged_treatment);
+        let fixed: Vec<usize> = vec![0; data.dataset.len()];
+        let v_fixed = policy_value(&data, &fixed);
+        assert!(v_opt > v_logged, "optimal {v_opt} <= logged {v_logged}");
+        assert!(v_opt > v_fixed, "optimal {v_opt} <= fixed {v_fixed}");
+        // Biased logging means logged policy is better than a fixed arm.
+        assert!(v_logged > v_fixed - 0.02);
+    }
+
+    #[test]
+    fn assignment_bias_moves_logged_toward_optimal() {
+        let unbiased = generate(
+            &RecordsConfig { assignment_bias: 0.0, ..Default::default() },
+            4,
+        );
+        let biased = generate(
+            &RecordsConfig { assignment_bias: 0.9, ..Default::default() },
+            4,
+        );
+        let agree = |d: &RecordsData| {
+            d.logged_treatment
+                .iter()
+                .zip(&d.optimal_treatment)
+                .filter(|(a, b)| a == b)
+                .count() as f64
+                / d.logged_treatment.len() as f64
+        };
+        assert!(agree(&biased) > agree(&unbiased) + 0.3);
+    }
+
+    #[test]
+    fn outcomes_correlate_with_probs() {
+        let data = generate(&RecordsConfig { noise: 0.01, ..Default::default() }, 5);
+        let labels = data.dataset.y.labels().unwrap();
+        // Mean outcome among high-prob assignments should beat low-prob.
+        let mut high = (0usize, 0usize);
+        let mut low = (0usize, 0usize);
+        for (i, &t) in data.logged_treatment.iter().enumerate() {
+            let p = data.outcome_probs.get(i, t);
+            if p > 0.7 {
+                high = (high.0 + labels[i], high.1 + 1);
+            } else if p < 0.3 {
+                low = (low.0 + labels[i], low.1 + 1);
+            }
+        }
+        let rate_high = high.0 as f64 / high.1.max(1) as f64;
+        let rate_low = low.0 as f64 / low.1.max(1) as f64;
+        assert!(rate_high > rate_low + 0.3, "high {rate_high} low {rate_low}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&RecordsConfig::default(), 6);
+        let b = generate(&RecordsConfig::default(), 6);
+        assert_eq!(a.dataset.x, b.dataset.x);
+        assert_eq!(a.optimal_treatment, b.optimal_treatment);
+    }
+}

@@ -1,0 +1,257 @@
+//! W1 — tumor type classification data (NT3-style).
+//!
+//! Each tumor type perturbs a signature set of genes on top of the shared
+//! latent-pathway expression background. A 1-D CNN over the gene axis (or a
+//! dense net) must recover the type from the profile; the classical baseline
+//! is logistic regression. Difficulty is controlled by signature strength
+//! and size.
+
+use crate::dataset::{Dataset, Target};
+use crate::expression::{ExpressionModel, ExpressionSampler};
+use dd_tensor::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TumorConfig {
+    /// Number of samples to draw.
+    pub samples: usize,
+    /// Number of tumor types (classes).
+    pub types: usize,
+    /// Genes per signature.
+    pub signature_genes: usize,
+    /// Mean shift applied to signature genes (difficulty knob; smaller =
+    /// harder).
+    pub signature_strength: f32,
+    /// When > 0, each type's signature is a *contiguous* block of genes and
+    /// every sample's block is shifted by a uniform offset in
+    /// `[0, position_jitter]` — translation variance that position-fixed
+    /// linear models cannot align but 1-D convolutions can (the regime that
+    /// motivates the paper's convolutional tumor classifiers). 0 keeps the
+    /// classic scattered, position-fixed signatures.
+    pub position_jitter: usize,
+    /// Underlying expression background.
+    pub expression: ExpressionModel,
+}
+
+impl Default for TumorConfig {
+    fn default() -> Self {
+        TumorConfig {
+            samples: 2000,
+            types: 5,
+            signature_genes: 20,
+            signature_strength: 1.2,
+            position_jitter: 0,
+            expression: ExpressionModel::default(),
+        }
+    }
+}
+
+/// Generated dataset plus ground-truth signature indices per type.
+pub struct TumorData {
+    /// The labelled dataset (x: expression, y: tumor type).
+    pub dataset: Dataset,
+    /// For each type, the indices of its signature genes.
+    pub signatures: Vec<Vec<usize>>,
+}
+
+/// Generate a tumor-type classification dataset.
+pub fn generate(config: &TumorConfig, seed: u64) -> TumorData {
+    assert!(config.types >= 2, "need at least two tumor types");
+    assert!(
+        config.signature_genes * config.types <= config.expression.genes,
+        "signatures exceed gene universe"
+    );
+    let mut rng = Rng64::new(seed);
+    let sampler = ExpressionSampler::new(config.expression.clone(), &mut rng);
+
+    let genes = config.expression.genes;
+    let signatures: Vec<Vec<usize>> = if config.position_jitter == 0 {
+        // Disjoint scattered signature gene sets.
+        let mut gene_perm: Vec<usize> = (0..genes).collect();
+        rng.shuffle(&mut gene_perm);
+        (0..config.types)
+            .map(|t| gene_perm[t * config.signature_genes..(t + 1) * config.signature_genes].to_vec())
+            .collect()
+    } else {
+        // Contiguous blocks, evenly spaced, leaving room for the jitter.
+        let stride = genes / config.types;
+        assert!(
+            config.signature_genes + config.position_jitter <= stride,
+            "jittered signature blocks overlap: need signature+jitter <= {stride}"
+        );
+        (0..config.types)
+            .map(|t| (t * stride..t * stride + config.signature_genes).collect())
+            .collect()
+    };
+
+    let mut x = Matrix::zeros(config.samples, genes);
+    let mut labels = Vec::with_capacity(config.samples);
+    for i in 0..config.samples {
+        let t = rng.below(config.types);
+        let factors = sampler.sample_factors(&mut rng);
+        let mut profile = sampler.render(&factors, &mut rng);
+        let offset = if config.position_jitter > 0 {
+            rng.below(config.position_jitter + 1)
+        } else {
+            0
+        };
+        for (k, &g) in signatures[t].iter().enumerate() {
+            // Signed, position-stable direction: alternate up/down regulation
+            // within the signature so it is a pattern, not a uniform shift.
+            let direction = if k % 2 == 0 { 1.0 } else { -1.0 };
+            profile[(g + offset) % genes] += direction * config.signature_strength;
+        }
+        x.row_mut(i).copy_from_slice(&profile);
+        labels.push(t);
+    }
+    TumorData {
+        dataset: Dataset::new(
+            "tumor-type",
+            x,
+            Target::Labels { labels, classes: config.types },
+        ),
+        signatures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_label_range() {
+        let config = TumorConfig { samples: 100, ..Default::default() };
+        let data = generate(&config, 1);
+        assert_eq!(data.dataset.len(), 100);
+        assert_eq!(data.dataset.dim(), config.expression.genes);
+        assert!(data
+            .dataset
+            .y
+            .labels()
+            .unwrap()
+            .iter()
+            .all(|&l| l < config.types));
+        assert_eq!(data.signatures.len(), config.types);
+    }
+
+    #[test]
+    fn signatures_are_disjoint() {
+        let data = generate(&TumorConfig::default(), 2);
+        let mut all: Vec<usize> = data.signatures.iter().flatten().copied().collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "signature genes overlap");
+    }
+
+    #[test]
+    fn classes_roughly_balanced() {
+        let config = TumorConfig { samples: 5000, types: 4, ..Default::default() };
+        let data = generate(&config, 3);
+        let mut counts = vec![0usize; 4];
+        for &l in data.dataset.y.labels().unwrap() {
+            counts[l] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 1250.0).abs() < 200.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn signature_genes_separate_types() {
+        // Mean expression of type-t signature genes must differ between
+        // samples of type t and others.
+        let config = TumorConfig {
+            samples: 1000,
+            types: 3,
+            signature_strength: 2.0,
+            ..Default::default()
+        };
+        let data = generate(&config, 4);
+        let labels = data.dataset.y.labels().unwrap();
+        let sig = &data.signatures[0];
+        // Even positions within the signature are up-regulated.
+        let up: Vec<usize> = sig
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| k % 2 == 0)
+            .map(|(_, &g)| g)
+            .collect();
+        let mean_for = |want: bool| -> f64 {
+            let mut total = 0f64;
+            let mut n = 0usize;
+            for (i, &l) in labels.iter().enumerate() {
+                if (l == 0) == want {
+                    for &g in &up {
+                        total += data.dataset.x.get(i, g) as f64;
+                    }
+                    n += up.len();
+                }
+            }
+            total / n as f64
+        };
+        let in_type = mean_for(true);
+        let out_type = mean_for(false);
+        assert!(
+            in_type - out_type > 1.0,
+            "signature not expressed: in {in_type} out {out_type}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&TumorConfig::default(), 9);
+        let b = generate(&TumorConfig::default(), 9);
+        assert_eq!(a.dataset.x, b.dataset.x);
+        assert_eq!(a.signatures, b.signatures);
+    }
+
+    #[test]
+    fn jittered_signatures_are_contiguous_blocks() {
+        let config = TumorConfig {
+            samples: 50,
+            types: 4,
+            signature_genes: 10,
+            position_jitter: 8,
+            expression: ExpressionModel { genes: 128, ..Default::default() },
+            ..Default::default()
+        };
+        let data = generate(&config, 11);
+        for sig in &data.signatures {
+            assert_eq!(sig.len(), 10);
+            for w in sig.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "block must be contiguous");
+            }
+        }
+        // Blocks + jitter stay disjoint across types (stride = 32).
+        for pair in data.signatures.windows(2) {
+            assert!(pair[0].last().unwrap() + 8 < *pair[1].first().unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks overlap")]
+    fn oversized_jitter_panics() {
+        let config = TumorConfig {
+            types: 4,
+            signature_genes: 30,
+            position_jitter: 10,
+            expression: ExpressionModel { genes: 128, ..Default::default() },
+            ..Default::default()
+        };
+        let _ = generate(&config, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed gene universe")]
+    fn oversized_signatures_panic() {
+        let config = TumorConfig {
+            types: 10,
+            signature_genes: 100,
+            expression: ExpressionModel { genes: 500, ..Default::default() },
+            ..Default::default()
+        };
+        let _ = generate(&config, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the synthetic-data generators: every generator
+//! must produce finite, well-formed, deterministic output for any valid
+//! configuration, and splits must partition exactly.
+
+use dd_datagen::amr::{self, AmrConfig};
+use dd_datagen::compound::{self, CompoundConfig};
+use dd_datagen::dataset::{Dataset, Target};
+use dd_datagen::drug_response::hill_growth;
+use dd_datagen::expression::{ExpressionModel, ExpressionSampler};
+use dd_datagen::records::{self, policy_value, RecordsConfig};
+use dd_datagen::tumor::{self, TumorConfig};
+use dd_tensor::{Matrix, Rng64};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tumor_generator_well_formed(
+        samples in 10usize..120,
+        types in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let config = TumorConfig {
+            samples,
+            types,
+            signature_genes: 4,
+            expression: ExpressionModel { genes: 64, pathways: 4, ..Default::default() },
+            ..Default::default()
+        };
+        let data = tumor::generate(&config, seed);
+        prop_assert_eq!(data.dataset.len(), samples);
+        prop_assert!(!data.dataset.x.has_non_finite());
+        prop_assert!(data.dataset.y.labels().unwrap().iter().all(|&l| l < types));
+        // Determinism.
+        let again = tumor::generate(&config, seed);
+        prop_assert_eq!(again.dataset.x, data.dataset.x);
+    }
+
+    #[test]
+    fn hill_curve_bounded_and_monotone(
+        ic50 in 0.01f32..100.0,
+        hillc in 0.3f32..4.0,
+        d1 in 0.001f32..1000.0,
+        d2 in 0.001f32..1000.0,
+    ) {
+        let g1 = hill_growth(d1.min(d2), ic50, hillc);
+        let g2 = hill_growth(d1.max(d2), ic50, hillc);
+        prop_assert!((0.0..=1.0).contains(&g1));
+        prop_assert!((0.0..=1.0).contains(&g2));
+        prop_assert!(g2 <= g1 + 1e-6, "growth must not rise with dose");
+    }
+
+    #[test]
+    fn compound_generator_respects_structure(seed in any::<u64>()) {
+        let config = CompoundConfig { samples: 200, bits: 64, label_noise: 0.0, ..Default::default() };
+        let data = compound::generate(&config, seed);
+        // Rule check on every sample: active ⇔ some pattern complete ∧ no veto.
+        let labels = data.dataset.y.labels().unwrap();
+        for i in 0..data.dataset.len() {
+            let row = data.dataset.x.row(i);
+            let has = data.patterns.iter().any(|p| p.iter().all(|&b| row[b] == 1.0));
+            let vetoed = row[data.toxicophore] == 1.0;
+            prop_assert_eq!(labels[i] == 1, has && !vetoed, "sample {}", i);
+        }
+    }
+
+    #[test]
+    fn records_policy_values_bounded(seed in any::<u64>(), bias in 0.0f64..1.0) {
+        let config = RecordsConfig { patients: 300, assignment_bias: bias, ..Default::default() };
+        let data = records::generate(&config, seed);
+        let v_opt = policy_value(&data, &data.optimal_treatment);
+        let v_log = policy_value(&data, &data.logged_treatment);
+        prop_assert!((0.0..=1.0).contains(&v_opt));
+        prop_assert!((0.0..=1.0).contains(&v_log));
+        // The oracle is an upper bound on any policy.
+        prop_assert!(v_opt >= v_log - 1e-12);
+    }
+
+    #[test]
+    fn amr_generator_well_formed(seed in any::<u64>(), presence in 0.05f64..0.7) {
+        let config = AmrConfig { genomes: 300, kmers: 80, presence, ..Default::default() };
+        let data = amr::generate(&config, seed);
+        prop_assert_eq!(data.dataset.dim(), 80);
+        let (a, b) = data.epistatic_pair;
+        prop_assert!(a != b && a < 80 && b < 80);
+        prop_assert!(!data.additive.contains(&a) && !data.additive.contains(&b));
+    }
+
+    #[test]
+    fn expression_sampler_finite_for_any_density(
+        seed in any::<u64>(),
+        density in 0.01f64..1.0,
+        noise in 0.0f32..2.0,
+    ) {
+        let model = ExpressionModel { genes: 50, pathways: 5, noise, loading_density: density };
+        let sampler = ExpressionSampler::new(model, &mut Rng64::new(seed));
+        let (x, z) = sampler.sample(20, &mut Rng64::new(seed ^ 1));
+        prop_assert!(!x.has_non_finite());
+        prop_assert_eq!(z.shape(), (20, 5));
+    }
+
+    #[test]
+    fn split_partitions_exactly(
+        n in 20usize..200,
+        val in 0.0f64..0.4,
+        test in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let x = Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f32);
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let d = Dataset::new("p", x, Target::Labels { labels, classes: 2 });
+        let n_test = (n as f64 * test).round() as usize;
+        let n_val = (n as f64 * val).round() as usize;
+        prop_assume!(n_test + n_val < n);
+        let s = d.split(val, test, seed, false);
+        prop_assert_eq!(s.train.len() + s.val.len() + s.test.len(), n);
+        // Disjoint: first column is a unique row id.
+        let mut ids: Vec<f32> = s
+            .train
+            .x
+            .iter_rows()
+            .chain(s.val.x.iter_rows())
+            .chain(s.test.x.iter_rows())
+            .map(|r| r[0])
+            .collect();
+        ids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+    }
+}

@@ -1,0 +1,187 @@
+//! Analytical cost models for the collectives distributed training uses.
+//!
+//! Standard alpha-beta models (Thakur et al.): `alpha` is per-message
+//! startup, `beta` seconds/byte, `gamma` seconds/byte of local reduction
+//! arithmetic (taken as negligible here, folded into beta where relevant).
+
+use crate::fabric::Fabric;
+use serde::{Deserialize, Serialize};
+
+/// Allreduce algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllreduceAlgo {
+    /// Ring: bandwidth-optimal, latency grows linearly in p.
+    Ring,
+    /// Recursive doubling: latency-optimal (log p rounds), sends the full
+    /// buffer each round.
+    RecursiveDoubling,
+    /// Reduce-scatter + allgather (Rabenseifner): bandwidth-optimal with
+    /// log p latency.
+    Rabenseifner,
+    /// Pick the cheapest of the above for the given size and scale.
+    Auto,
+}
+
+impl AllreduceAlgo {
+    /// All concrete algorithms (excludes `Auto`).
+    pub const CONCRETE: [AllreduceAlgo; 3] = [
+        AllreduceAlgo::Ring,
+        AllreduceAlgo::RecursiveDoubling,
+        AllreduceAlgo::Rabenseifner,
+    ];
+}
+
+/// Time for an allreduce of `bytes` over `p` ranks.
+pub fn allreduce_time(fabric: &Fabric, algo: AllreduceAlgo, bytes: f64, p: usize) -> f64 {
+    assert!(bytes >= 0.0, "negative buffer size");
+    assert!(p >= 1, "need at least one rank");
+    if p == 1 || bytes == 0.0 {
+        return 0.0;
+    }
+    let alpha = fabric.alpha(p);
+    let beta = fabric.beta();
+    let pf = p as f64;
+    let lg = (p as f64).log2().ceil();
+    match algo {
+        AllreduceAlgo::Ring => {
+            // 2(p-1) steps, each moving bytes/p.
+            2.0 * (pf - 1.0) * (alpha + (bytes / pf) * beta)
+        }
+        AllreduceAlgo::RecursiveDoubling => lg * (alpha + bytes * beta),
+        AllreduceAlgo::Rabenseifner => {
+            2.0 * lg * alpha + 2.0 * ((pf - 1.0) / pf) * bytes * beta
+        }
+        AllreduceAlgo::Auto => AllreduceAlgo::CONCRETE
+            .iter()
+            .map(|&a| allreduce_time(fabric, a, bytes, p))
+            .fold(f64::INFINITY, f64::min),
+    }
+}
+
+/// Time for a broadcast of `bytes` from one root to `p` ranks
+/// (binomial tree).
+pub fn broadcast_time(fabric: &Fabric, bytes: f64, p: usize) -> f64 {
+    if p <= 1 || bytes == 0.0 {
+        return 0.0;
+    }
+    (p as f64).log2().ceil() * (fabric.alpha(p) + bytes * fabric.beta())
+}
+
+/// Time for an allgather where each rank contributes `bytes_per_rank`
+/// (ring algorithm).
+pub fn allgather_time(fabric: &Fabric, bytes_per_rank: f64, p: usize) -> f64 {
+    if p <= 1 || bytes_per_rank == 0.0 {
+        return 0.0;
+    }
+    let pf = p as f64;
+    (pf - 1.0) * (fabric.alpha(p) + bytes_per_rank * fabric.beta())
+}
+
+/// Time for a point-to-point exchange of activation slabs between pipeline
+/// or model-parallel neighbours.
+pub fn neighbor_exchange_time(fabric: &Fabric, bytes: f64, p: usize) -> f64 {
+    fabric.ptp_time(bytes, p)
+}
+
+/// Fabric energy consumed by an allreduce (total bytes crossing links).
+pub fn allreduce_energy(fabric: &Fabric, algo: AllreduceAlgo, bytes: f64, p: usize) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let pf = p as f64;
+    let total_bytes = match algo {
+        AllreduceAlgo::Ring | AllreduceAlgo::Rabenseifner | AllreduceAlgo::Auto => {
+            // Bandwidth-optimal algorithms move ~2 bytes per element per rank.
+            2.0 * ((pf - 1.0) / pf) * bytes * pf
+        }
+        AllreduceAlgo::RecursiveDoubling => (pf).log2().ceil() * bytes * pf,
+    };
+    fabric.energy(total_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        Fabric::infiniband_2017()
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        for algo in AllreduceAlgo::CONCRETE {
+            assert_eq!(allreduce_time(&fabric(), algo, 1e9, 1), 0.0);
+        }
+        assert_eq!(broadcast_time(&fabric(), 1e6, 1), 0.0);
+    }
+
+    #[test]
+    fn ring_is_bandwidth_optimal_for_large_buffers() {
+        let f = fabric();
+        let bytes = 1e9;
+        let p = 64;
+        let ring = allreduce_time(&f, AllreduceAlgo::Ring, bytes, p);
+        let rd = allreduce_time(&f, AllreduceAlgo::RecursiveDoubling, bytes, p);
+        assert!(ring < rd, "ring {ring} vs recursive doubling {rd}");
+    }
+
+    #[test]
+    fn recursive_doubling_wins_small_messages_at_scale() {
+        let f = fabric();
+        let bytes = 64.0;
+        let p = 1024;
+        let ring = allreduce_time(&f, AllreduceAlgo::Ring, bytes, p);
+        let rd = allreduce_time(&f, AllreduceAlgo::RecursiveDoubling, bytes, p);
+        assert!(rd < ring, "rd {rd} vs ring {ring}");
+    }
+
+    #[test]
+    fn auto_picks_minimum() {
+        let f = fabric();
+        for &(bytes, p) in &[(64.0, 1024usize), (1e9, 64), (1e6, 8)] {
+            let auto = allreduce_time(&f, AllreduceAlgo::Auto, bytes, p);
+            let best = AllreduceAlgo::CONCRETE
+                .iter()
+                .map(|&a| allreduce_time(&f, a, bytes, p))
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(auto, best);
+        }
+    }
+
+    #[test]
+    fn allreduce_grows_with_scale_for_fixed_bytes() {
+        let f = fabric();
+        let t8 = allreduce_time(&f, AllreduceAlgo::Auto, 1e8, 8);
+        let t512 = allreduce_time(&f, AllreduceAlgo::Auto, 1e8, 512);
+        assert!(t512 > t8, "cost must grow with p: {t8} vs {t512}");
+        // But sub-linearly for bandwidth-optimal algorithms.
+        assert!(t512 < t8 * 64.0);
+    }
+
+    #[test]
+    fn rabenseifner_bandwidth_term_matches_ring() {
+        // For huge buffers the bandwidth terms dominate and agree.
+        let f = fabric();
+        let bytes = 1e11;
+        let p = 32;
+        let ring = allreduce_time(&f, AllreduceAlgo::Ring, bytes, p);
+        let rab = allreduce_time(&f, AllreduceAlgo::Rabenseifner, bytes, p);
+        assert!((ring - rab).abs() / ring < 0.01, "ring {ring} rab {rab}");
+    }
+
+    #[test]
+    fn broadcast_and_allgather_scale() {
+        let f = fabric();
+        assert!(broadcast_time(&f, 1e6, 64) > broadcast_time(&f, 1e6, 4));
+        assert!(allgather_time(&f, 1e6, 64) > allgather_time(&f, 1e6, 4));
+    }
+
+    #[test]
+    fn energy_positive_and_scales_with_bytes() {
+        let f = fabric();
+        let e1 = allreduce_energy(&f, AllreduceAlgo::Ring, 1e6, 16);
+        let e2 = allreduce_energy(&f, AllreduceAlgo::Ring, 2e6, 16);
+        assert!(e1 > 0.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Interconnect fabric model.
+//!
+//! The abstract calls for "a high-bandwidth communication fabric between
+//! (perhaps modest scale) groups of processors to support network model
+//! parallelism". The fabric model is an alpha-beta (latency-bandwidth) cost
+//! with a topology-dependent hop factor, which is all the collective and
+//! model-parallel cost models need.
+
+use serde::{Deserialize, Serialize};
+
+/// Network topology; affects the average hop count between ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topology {
+    /// Full-bisection fat tree: hop count treated as constant.
+    FatTree,
+    /// 3-D torus: average hops grow with the cube root of the node count.
+    Torus3d,
+    /// Dragonfly: at most one global hop, modelled as a small constant.
+    Dragonfly,
+}
+
+impl Topology {
+    /// Mean hop count between two random ranks in a machine of `nodes`.
+    pub fn mean_hops(self, nodes: usize) -> f64 {
+        let n = nodes.max(1) as f64;
+        match self {
+            Topology::FatTree => 3.0,
+            Topology::Torus3d => 0.75 * n.cbrt().max(1.0),
+            Topology::Dragonfly => 2.0,
+        }
+    }
+}
+
+/// Fabric parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    /// Zero-byte message latency in seconds (per hop base cost included).
+    pub latency: f64,
+    /// Per-link bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Per-hop additional latency in seconds.
+    pub per_hop_latency: f64,
+    /// Topology.
+    pub topology: Topology,
+    /// Energy per byte traversing the fabric (joules/byte).
+    pub energy_per_byte: f64,
+}
+
+impl Fabric {
+    /// 2017-era EDR InfiniBand-class fat tree.
+    pub fn infiniband_2017() -> Self {
+        Fabric {
+            latency: 1.0e-6,
+            bandwidth: 12.5e9,
+            per_hop_latency: 1.0e-7,
+            topology: Topology::FatTree,
+            energy_per_byte: 30e-12,
+        }
+    }
+
+    /// Gemini/Aries-class torus for a Titan-era machine.
+    pub fn torus_2013() -> Self {
+        Fabric {
+            latency: 1.5e-6,
+            bandwidth: 8e9,
+            per_hop_latency: 2.0e-7,
+            topology: Topology::Torus3d,
+            energy_per_byte: 40e-12,
+        }
+    }
+
+    /// Copy with a different bandwidth (used by the E3 bandwidth sweep).
+    pub fn with_bandwidth(mut self, bandwidth: f64) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Point-to-point time for one message of `bytes` in a machine of
+    /// `nodes` (alpha-beta with topology hops).
+    pub fn ptp_time(&self, bytes: f64, nodes: usize) -> f64 {
+        assert!(bytes >= 0.0, "negative message size");
+        let hops = self.topology.mean_hops(nodes);
+        self.latency + hops * self.per_hop_latency + bytes / self.bandwidth
+    }
+
+    /// Effective alpha (startup) cost for collectives in a machine of
+    /// `nodes`.
+    pub fn alpha(&self, nodes: usize) -> f64 {
+        self.latency + self.topology.mean_hops(nodes) * self.per_hop_latency
+    }
+
+    /// Beta: seconds per byte.
+    pub fn beta(&self) -> f64 {
+        1.0 / self.bandwidth
+    }
+
+    /// Energy for moving `bytes` once across the fabric.
+    pub fn energy(&self, bytes: f64) -> f64 {
+        bytes.max(0.0) * self.energy_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptp_monotone_in_size() {
+        let f = Fabric::infiniband_2017();
+        let t1 = f.ptp_time(1e3, 64);
+        let t2 = f.ptp_time(1e6, 64);
+        let t3 = f.ptp_time(1e9, 64);
+        assert!(t1 < t2 && t2 < t3);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let f = Fabric::infiniband_2017();
+        let t = f.ptp_time(8.0, 64);
+        // An 8-byte message is essentially pure latency.
+        assert!((t - f.alpha(64)) / t < 0.01);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_messages() {
+        let f = Fabric::infiniband_2017();
+        let t = f.ptp_time(1e9, 64);
+        let pure_bw = 1e9 / f.bandwidth;
+        assert!((t - pure_bw) / t < 0.01);
+    }
+
+    #[test]
+    fn torus_hops_grow_with_machine() {
+        let small = Topology::Torus3d.mean_hops(8);
+        let large = Topology::Torus3d.mean_hops(32768);
+        assert!(large > 3.0 * small);
+        // Fat tree is flat.
+        assert_eq!(Topology::FatTree.mean_hops(8), Topology::FatTree.mean_hops(32768));
+    }
+
+    #[test]
+    fn with_bandwidth_preserves_latency() {
+        let f = Fabric::infiniband_2017().with_bandwidth(100e9);
+        assert_eq!(f.bandwidth, 100e9);
+        assert_eq!(f.latency, Fabric::infiniband_2017().latency);
+    }
+}

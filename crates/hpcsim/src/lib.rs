@@ -1,0 +1,45 @@
+//! # dd-hpcsim — HPC architecture cost-model simulator
+//!
+//! The paper argues for specific architectural features (low-precision
+//! units, HBM near ALUs, high-bandwidth fabric for model parallelism, NVRAM
+//! for per-node training data). We do not have that hardware; this crate
+//! substitutes a calibrated analytical simulator so every claim becomes a
+//! measurable experiment:
+//!
+//! * [`machine`] — node compute models with per-precision throughput and
+//!   energy, plus machine presets (`gpu_2017`, `cpu_cluster`, `future_dl`).
+//! * [`memory`] — HBM/DDR/NVRAM/PFS tier specs (bandwidth, latency,
+//!   capacity, energy/byte).
+//! * [`fabric`] — alpha-beta interconnect with topology hop models.
+//! * [`collectives`] — ring / recursive-doubling / Rabenseifner allreduce,
+//!   broadcast, allgather cost models.
+//! * [`roofline`] — attainable-FLOPs model quantifying the HBM-proximity
+//!   claim (E4).
+//! * [`storage`] — epoch I/O under PFS streaming vs NVRAM/DRAM staging vs
+//!   on-node generation (E5).
+//! * [`trainsim`] — one-step time/energy under data, model and hybrid
+//!   parallelism (E2, E3, E7).
+//!
+//! All quantities are f64 seconds/joules/bytes. The simulator is
+//! deliberately numerics-free (no dependency on `dd-tensor`): `dd-parallel`
+//! bridges real trained models into [`trainsim::TrainJob`] descriptions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod fabric;
+pub mod machine;
+pub mod memory;
+pub mod roofline;
+pub mod storage;
+pub mod trace;
+pub mod trainsim;
+
+pub use collectives::{allgather_time, allreduce_time, broadcast_time, AllreduceAlgo};
+pub use fabric::{Fabric, Topology};
+pub use machine::{Machine, Node, SimPrecision};
+pub use memory::{MemoryHierarchy, Tier, TierSpec};
+pub use storage::{epoch_io, IoReport, Staging};
+pub use trace::{trace_training_run, Phase, Span, Trace};
+pub use trainsim::{step_time, StepBreakdown, Strategy, TrainJob};

@@ -1,0 +1,248 @@
+//! Node and machine models.
+
+use crate::fabric::Fabric;
+use crate::memory::{self, MemoryHierarchy, TierSpec};
+use serde::{Deserialize, Serialize};
+
+/// Emulated arithmetic precision, mirrored from `dd-tensor` without taking a
+/// dependency (the simulator is numerics-free). Conversions exist at the
+/// `dd-parallel` layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimPrecision {
+    /// 64-bit floating point.
+    F64,
+    /// 32-bit floating point.
+    F32,
+    /// 16-bit floating point (bf16/f16 treated identically for throughput).
+    F16,
+    /// 8-bit integer.
+    Int8,
+}
+
+impl SimPrecision {
+    /// Bytes per element in this format.
+    pub fn bytes(self) -> f64 {
+        match self {
+            SimPrecision::F64 => 8.0,
+            SimPrecision::F32 => 4.0,
+            SimPrecision::F16 => 2.0,
+            SimPrecision::Int8 => 1.0,
+        }
+    }
+}
+
+/// Compute characteristics of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Peak f32 throughput in FLOP/s.
+    pub peak_flops_f32: f64,
+    /// Throughput multiplier for f64 relative to f32 (≤ 1 typically).
+    pub f64_ratio: f64,
+    /// Throughput multiplier for 16-bit formats (tensor-core-style units).
+    pub f16_ratio: f64,
+    /// Throughput multiplier for int8.
+    pub int8_ratio: f64,
+    /// Fraction of peak a real DNN kernel sustains.
+    pub efficiency: f64,
+    /// Energy per f32 FLOP in joules.
+    pub energy_per_flop: f64,
+    /// Idle/static power in watts.
+    pub idle_power: f64,
+    /// Memory hierarchy.
+    pub memory: MemoryHierarchy,
+}
+
+impl Node {
+    /// Sustained FLOP/s at a precision.
+    pub fn flops_at(&self, p: SimPrecision) -> f64 {
+        let ratio = match p {
+            SimPrecision::F64 => self.f64_ratio,
+            SimPrecision::F32 => 1.0,
+            SimPrecision::F16 => self.f16_ratio,
+            SimPrecision::Int8 => self.int8_ratio,
+        };
+        self.peak_flops_f32 * ratio * self.efficiency
+    }
+
+    /// Time to execute `flops` at a precision.
+    pub fn compute_time(&self, flops: f64, p: SimPrecision) -> f64 {
+        assert!(flops >= 0.0, "negative flop count");
+        flops / self.flops_at(p)
+    }
+
+    /// Dynamic compute energy for `flops` at a precision. Energy per op
+    /// scales with operand width (a first-order model of real silicon).
+    pub fn compute_energy(&self, flops: f64, p: SimPrecision) -> f64 {
+        let width_scale = p.bytes() / 4.0;
+        flops.max(0.0) * self.energy_per_flop * width_scale
+    }
+}
+
+/// A whole machine: homogeneous nodes plus a fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Node count.
+    pub nodes: usize,
+    /// Per-node model.
+    pub node: Node,
+    /// Interconnect.
+    pub fabric: Fabric,
+    /// Display name for tables.
+    pub name: String,
+}
+
+impl Machine {
+    /// 2017-era GPU supercomputer (P100-class nodes, fat-tree EDR fabric) —
+    /// the machine the paper's workloads targeted.
+    pub fn gpu_2017(nodes: usize) -> Self {
+        Machine {
+            nodes,
+            node: Node {
+                peak_flops_f32: 10.6e12,
+                f64_ratio: 0.5,
+                f16_ratio: 2.0,
+                int8_ratio: 4.0,
+                efficiency: 0.35,
+                energy_per_flop: 15e-12,
+                idle_power: 100.0,
+                memory: memory::accelerator_node_2017(),
+            },
+            fabric: Fabric::infiniband_2017(),
+            name: format!("gpu2017-{nodes}"),
+        }
+    }
+
+    /// CPU-only commodity cluster (Xeon-class, no HBM, no NVRAM).
+    pub fn cpu_cluster(nodes: usize) -> Self {
+        let mut memory = memory::accelerator_node_2017();
+        memory.hbm = None;
+        memory.nvram = None;
+        Machine {
+            nodes,
+            node: Node {
+                peak_flops_f32: 1.5e12,
+                f64_ratio: 0.5,
+                f16_ratio: 1.0, // no hardware f16: same rate as f32
+                int8_ratio: 2.0,
+                efficiency: 0.5,
+                energy_per_flop: 40e-12,
+                idle_power: 200.0,
+                memory,
+            },
+            fabric: Fabric::torus_2013(),
+            name: format!("cpu-{nodes}"),
+        }
+    }
+
+    /// Hypothetical future DL-optimized machine: wide low-precision units,
+    /// HBM-heavy, very fast fabric — the design point the abstract argues
+    /// for.
+    pub fn future_dl(nodes: usize) -> Self {
+        let mut memory = memory::accelerator_node_2017();
+        if let Some(hbm) = &mut memory.hbm {
+            *hbm = TierSpec { bandwidth: 3e12, latency: 1e-7, capacity: 96e9, energy_per_byte: 3.5e-12 };
+        }
+        if let Some(nv) = &mut memory.nvram {
+            nv.bandwidth = 25e9;
+            nv.capacity = 8e12;
+        }
+        Machine {
+            nodes,
+            node: Node {
+                peak_flops_f32: 60e12,
+                f64_ratio: 0.25,
+                f16_ratio: 8.0,
+                int8_ratio: 16.0,
+                efficiency: 0.45,
+                energy_per_flop: 4e-12,
+                idle_power: 150.0,
+                memory,
+            },
+            fabric: Fabric {
+                latency: 0.7e-6,
+                bandwidth: 50e9,
+                per_hop_latency: 5e-8,
+                topology: crate::fabric::Topology::Dragonfly,
+                energy_per_byte: 10e-12,
+            },
+            name: format!("futuredl-{nodes}"),
+        }
+    }
+
+    /// Copy with a different node count.
+    pub fn scaled_to(&self, nodes: usize) -> Self {
+        let mut m = self.clone();
+        m.nodes = nodes;
+        m
+    }
+
+    /// Aggregate sustained f32 FLOP/s.
+    pub fn aggregate_flops(&self) -> f64 {
+        self.nodes as f64 * self.node.flops_at(SimPrecision::F32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_throughput_ordering() {
+        let m = Machine::gpu_2017(1);
+        let n = &m.node;
+        assert!(n.flops_at(SimPrecision::F64) < n.flops_at(SimPrecision::F32));
+        assert!(n.flops_at(SimPrecision::F32) < n.flops_at(SimPrecision::F16));
+        assert!(n.flops_at(SimPrecision::F16) < n.flops_at(SimPrecision::Int8));
+    }
+
+    #[test]
+    fn compute_time_inverse_to_throughput() {
+        let m = Machine::gpu_2017(1);
+        let t32 = m.node.compute_time(1e12, SimPrecision::F32);
+        let t16 = m.node.compute_time(1e12, SimPrecision::F16);
+        assert!((t32 / t16 - 2.0).abs() < 1e-9, "f16 should be 2x here");
+    }
+
+    #[test]
+    fn low_precision_saves_energy() {
+        let m = Machine::future_dl(1);
+        let e32 = m.node.compute_energy(1e12, SimPrecision::F32);
+        let e8 = m.node.compute_energy(1e12, SimPrecision::Int8);
+        assert!(e8 < e32 / 2.0);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_era() {
+        let cpu = Machine::cpu_cluster(1);
+        let gpu = Machine::gpu_2017(1);
+        let fut = Machine::future_dl(1);
+        assert!(cpu.aggregate_flops() < gpu.aggregate_flops());
+        assert!(gpu.aggregate_flops() < fut.aggregate_flops());
+    }
+
+    #[test]
+    fn scaled_to_changes_only_node_count() {
+        let m = Machine::gpu_2017(4).scaled_to(128);
+        assert_eq!(m.nodes, 128);
+        assert_eq!(m.node, Machine::gpu_2017(4).node);
+        assert!((m.aggregate_flops() / Machine::gpu_2017(4).aggregate_flops() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_cluster_lacks_hbm_and_nvram() {
+        let m = Machine::cpu_cluster(1);
+        assert!(m.node.memory.hbm.is_none());
+        assert!(m.node.memory.nvram.is_none());
+    }
+
+    #[test]
+    fn machine_serde_roundtrip() {
+        // Machines are serializable so experiment configs can be persisted
+        // alongside results.
+        for m in [Machine::gpu_2017(8), Machine::cpu_cluster(4), Machine::future_dl(2)] {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: Machine = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+}

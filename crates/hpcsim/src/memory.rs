@@ -1,0 +1,193 @@
+//! Memory and storage tier models.
+//!
+//! The abstract: "power efficient DNNs require high-bandwidth memory be
+//! physically close to arithmetic units to reduce costs of data motion" and
+//! "training data to be made available or generated at each node, thus
+//! providing opportunities for NVRAM". Tiers are parameterized by bandwidth,
+//! latency, capacity and energy per byte so experiments E4/E5 can sweep
+//! placement.
+
+use serde::{Deserialize, Serialize};
+
+/// A memory or storage tier in the per-node hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// On-package high-bandwidth memory (HBM/MCDRAM-class).
+    Hbm,
+    /// Off-package DDR DRAM.
+    Ddr,
+    /// Node-local non-volatile memory (3D-XPoint/flash-class).
+    Nvram,
+    /// Remote parallel filesystem (Lustre/GPFS-class), shared by all nodes.
+    Pfs,
+}
+
+impl Tier {
+    /// All tiers, fastest first.
+    pub const ALL: [Tier; 4] = [Tier::Hbm, Tier::Ddr, Tier::Nvram, Tier::Pfs];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Hbm => "HBM",
+            Tier::Ddr => "DDR",
+            Tier::Nvram => "NVRAM",
+            Tier::Pfs => "PFS",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Performance/energy parameters of one tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Access latency in seconds (per request).
+    pub latency: f64,
+    /// Capacity in bytes (per node; PFS capacity is aggregate).
+    pub capacity: f64,
+    /// Energy cost in joules per byte moved.
+    pub energy_per_byte: f64,
+}
+
+impl TierSpec {
+    /// Time to move `bytes` as one streaming transfer.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0, "negative transfer size");
+        if bytes == 0.0 {
+            return 0.0;
+        }
+        self.latency + bytes / self.bandwidth
+    }
+
+    /// Energy to move `bytes`.
+    pub fn transfer_energy(&self, bytes: f64) -> f64 {
+        bytes.max(0.0) * self.energy_per_byte
+    }
+}
+
+/// A node's full memory hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryHierarchy {
+    /// HBM spec (None when the node has no HBM).
+    pub hbm: Option<TierSpec>,
+    /// DDR spec.
+    pub ddr: TierSpec,
+    /// NVRAM spec (None when the node has no NVRAM).
+    pub nvram: Option<TierSpec>,
+    /// PFS spec as observed from one node (shared bandwidth already divided
+    /// by expected concurrency is the caller's job; this is the per-node
+    /// achievable stream rate).
+    pub pfs: TierSpec,
+}
+
+impl MemoryHierarchy {
+    /// Look up a tier's spec; `None` when the node lacks that tier.
+    pub fn tier(&self, tier: Tier) -> Option<&TierSpec> {
+        match tier {
+            Tier::Hbm => self.hbm.as_ref(),
+            Tier::Ddr => Some(&self.ddr),
+            Tier::Nvram => self.nvram.as_ref(),
+            Tier::Pfs => Some(&self.pfs),
+        }
+    }
+
+    /// Fastest tier that can hold `bytes` (falls through the hierarchy).
+    pub fn placement_for(&self, bytes: f64) -> Tier {
+        for tier in Tier::ALL {
+            if let Some(spec) = self.tier(tier) {
+                if bytes <= spec.capacity {
+                    return tier;
+                }
+            }
+        }
+        Tier::Pfs
+    }
+}
+
+/// 2017-era accelerator-node hierarchy (P100-class HBM + DDR + NVMe burst
+/// buffer + Lustre).
+pub fn accelerator_node_2017() -> MemoryHierarchy {
+    MemoryHierarchy {
+        hbm: Some(TierSpec {
+            bandwidth: 720e9,
+            latency: 2e-7,
+            capacity: 16e9,
+            energy_per_byte: 7e-12,
+        }),
+        ddr: TierSpec {
+            bandwidth: 120e9,
+            latency: 1e-7,
+            capacity: 256e9,
+            energy_per_byte: 20e-12,
+        },
+        nvram: Some(TierSpec {
+            bandwidth: 6e9,
+            latency: 2e-5,
+            capacity: 1.6e12,
+            energy_per_byte: 60e-12,
+        }),
+        pfs: TierSpec {
+            bandwidth: 1e9,
+            latency: 5e-3,
+            capacity: 1e15,
+            energy_per_byte: 200e-12,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let spec = TierSpec { bandwidth: 100.0, latency: 1.0, capacity: 1e9, energy_per_byte: 1e-9 };
+        assert_eq!(spec.transfer_time(0.0), 0.0);
+        assert!((spec.transfer_time(200.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_ordering_is_sane() {
+        let h = accelerator_node_2017();
+        let hbm = h.tier(Tier::Hbm).unwrap();
+        let ddr = h.tier(Tier::Ddr).unwrap();
+        let nvram = h.tier(Tier::Nvram).unwrap();
+        let pfs = h.tier(Tier::Pfs).unwrap();
+        assert!(hbm.bandwidth > ddr.bandwidth);
+        assert!(ddr.bandwidth > nvram.bandwidth);
+        assert!(nvram.bandwidth > pfs.bandwidth);
+        assert!(hbm.capacity < ddr.capacity);
+        assert!(ddr.capacity < nvram.capacity);
+        assert!(hbm.energy_per_byte < ddr.energy_per_byte);
+    }
+
+    #[test]
+    fn placement_falls_through_by_capacity() {
+        let h = accelerator_node_2017();
+        assert_eq!(h.placement_for(1e9), Tier::Hbm);
+        assert_eq!(h.placement_for(100e9), Tier::Ddr);
+        assert_eq!(h.placement_for(1e12), Tier::Nvram);
+        assert_eq!(h.placement_for(1e14), Tier::Pfs);
+    }
+
+    #[test]
+    fn node_without_hbm_places_in_ddr() {
+        let mut h = accelerator_node_2017();
+        h.hbm = None;
+        assert_eq!(h.placement_for(1e9), Tier::Ddr);
+        assert!(h.tier(Tier::Hbm).is_none());
+    }
+
+    #[test]
+    fn energy_scales_linearly() {
+        let spec = TierSpec { bandwidth: 1.0, latency: 0.0, capacity: 1.0, energy_per_byte: 2.0 };
+        assert_eq!(spec.transfer_energy(3.0), 6.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Roofline model: attainable throughput as a function of arithmetic
+//! intensity and the memory tier feeding the arithmetic units (experiment
+//! E4 — "high-bandwidth memory physically close to arithmetic units").
+
+use crate::machine::{Node, SimPrecision};
+use crate::memory::Tier;
+
+/// Attainable FLOP/s for a kernel with arithmetic intensity `ai`
+/// (FLOPs per byte moved) when operands stream from `tier`.
+pub fn attainable_flops(node: &Node, tier: Tier, ai: f64, p: SimPrecision) -> f64 {
+    assert!(ai > 0.0, "arithmetic intensity must be positive");
+    let peak = node.flops_at(p);
+    let bw = node
+        .memory
+        .tier(tier)
+        .map(|t| t.bandwidth)
+        .unwrap_or(node.memory.ddr.bandwidth);
+    peak.min(ai * bw)
+}
+
+/// The ridge point: the arithmetic intensity at which a kernel becomes
+/// compute-bound on this tier.
+pub fn ridge_intensity(node: &Node, tier: Tier, p: SimPrecision) -> f64 {
+    let peak = node.flops_at(p);
+    let bw = node
+        .memory
+        .tier(tier)
+        .map(|t| t.bandwidth)
+        .unwrap_or(node.memory.ddr.bandwidth);
+    peak / bw
+}
+
+/// Arithmetic intensity of an `m×k · k×n` matmul with `bytes_per_elem`-wide
+/// operands, counting compulsory traffic only (each operand read once,
+/// result written once).
+pub fn matmul_intensity(m: usize, k: usize, n: usize, bytes_per_elem: f64) -> f64 {
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let bytes = bytes_per_elem * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
+    flops / bytes
+}
+
+/// Time and energy to execute a kernel of `flops` at intensity `ai` from a
+/// given tier; the data-motion share of the energy is reported separately,
+/// making the "cost of data motion" visible.
+pub struct KernelCost {
+    /// Execution time in seconds.
+    pub time: f64,
+    /// Compute (arithmetic) energy in joules.
+    pub compute_energy: f64,
+    /// Data-motion energy in joules.
+    pub memory_energy: f64,
+}
+
+/// Cost a kernel on a node/tier pair.
+pub fn kernel_cost(node: &Node, tier: Tier, flops: f64, ai: f64, p: SimPrecision) -> KernelCost {
+    let rate = attainable_flops(node, tier, ai, p);
+    let bytes = flops / ai;
+    let e_byte = node
+        .memory
+        .tier(tier)
+        .map(|t| t.energy_per_byte)
+        .unwrap_or(node.memory.ddr.energy_per_byte);
+    KernelCost {
+        time: flops / rate,
+        compute_energy: node.compute_energy(flops, p),
+        memory_energy: bytes * e_byte,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    #[test]
+    fn low_intensity_is_bandwidth_bound() {
+        let node = Machine::gpu_2017(1).node;
+        let ai = 0.5;
+        let got = attainable_flops(&node, Tier::Hbm, ai, SimPrecision::F32);
+        let hbm_bw = node.memory.hbm.unwrap().bandwidth;
+        assert!((got - ai * hbm_bw).abs() / got < 1e-9);
+        assert!(got < node.flops_at(SimPrecision::F32));
+    }
+
+    #[test]
+    fn high_intensity_is_compute_bound() {
+        let node = Machine::gpu_2017(1).node;
+        let got = attainable_flops(&node, Tier::Hbm, 1e6, SimPrecision::F32);
+        assert_eq!(got, node.flops_at(SimPrecision::F32));
+    }
+
+    #[test]
+    fn hbm_beats_ddr_in_bandwidth_bound_regime() {
+        let node = Machine::gpu_2017(1).node;
+        let ai = 1.0;
+        let hbm = attainable_flops(&node, Tier::Hbm, ai, SimPrecision::F32);
+        let ddr = attainable_flops(&node, Tier::Ddr, ai, SimPrecision::F32);
+        assert!(hbm > 3.0 * ddr, "hbm {hbm} vs ddr {ddr}");
+    }
+
+    #[test]
+    fn ridge_moves_right_for_lower_precision() {
+        // Faster arithmetic needs more intensity to stay compute-bound.
+        let node = Machine::gpu_2017(1).node;
+        let r32 = ridge_intensity(&node, Tier::Hbm, SimPrecision::F32);
+        let r8 = ridge_intensity(&node, Tier::Hbm, SimPrecision::Int8);
+        assert!(r8 > r32);
+    }
+
+    #[test]
+    fn matmul_intensity_grows_with_size() {
+        let small = matmul_intensity(32, 32, 32, 4.0);
+        let large = matmul_intensity(2048, 2048, 2048, 4.0);
+        assert!(large > 10.0 * small);
+        // Square n×n matmul intensity ≈ n / (6 bytes-ratio): check exact.
+        let n = 512;
+        let want = 2.0 * (n as f64).powi(3) / (4.0 * 3.0 * (n as f64).powi(2));
+        assert!((matmul_intensity(n, n, n, 4.0) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_cost_memory_energy_dominates_at_low_intensity() {
+        let node = Machine::gpu_2017(1).node;
+        let cost = kernel_cost(&node, Tier::Ddr, 1e9, 0.25, SimPrecision::F32);
+        assert!(cost.memory_energy > cost.compute_energy);
+        let cost_hi = kernel_cost(&node, Tier::Hbm, 1e9, 1000.0, SimPrecision::F32);
+        assert!(cost_hi.compute_energy > cost_hi.memory_energy);
+    }
+}

@@ -1,0 +1,207 @@
+//! Training-data staging models (experiment E5 — "large quantities of
+//! training data to be made available or generated at each node, thus
+//! providing opportunities for NVRAM").
+
+use crate::memory::{MemoryHierarchy, Tier};
+use serde::{Deserialize, Serialize};
+
+/// How a node provisions its shard of the training set across epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Staging {
+    /// Re-read the shard from the parallel filesystem every epoch.
+    StreamPfs,
+    /// Epoch 0: read from PFS while writing through to NVRAM; later epochs
+    /// read from NVRAM.
+    StageNvram,
+    /// Stage once into DRAM (DDR); only valid when the shard fits.
+    StageDram,
+    /// Generate the data in situ at `gen_rate` bytes/second equivalents
+    /// (the "or generated at each node" path); costs compute, not I/O.
+    GenerateOnNode,
+}
+
+impl Staging {
+    /// All strategies, for sweeps.
+    pub const ALL: [Staging; 4] = [
+        Staging::StreamPfs,
+        Staging::StageNvram,
+        Staging::StageDram,
+        Staging::GenerateOnNode,
+    ];
+
+    /// Table label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Staging::StreamPfs => "stream-pfs",
+            Staging::StageNvram => "stage-nvram",
+            Staging::StageDram => "stage-dram",
+            Staging::GenerateOnNode => "generate",
+        }
+    }
+}
+
+/// Per-epoch I/O time report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoReport {
+    /// Time of the first epoch (includes staging cost).
+    pub first_epoch: f64,
+    /// Time of each subsequent epoch.
+    pub steady_epoch: f64,
+    /// Total I/O time across `epochs`.
+    pub total: f64,
+    /// Whether the strategy was feasible (capacity-wise); infeasible
+    /// strategies fall back to PFS streaming and set this false.
+    pub feasible: bool,
+}
+
+/// On-node data generation rate used by [`Staging::GenerateOnNode`]
+/// (bytes of training data synthesized per second).
+pub const GENERATE_RATE: f64 = 2e9;
+
+/// I/O time for one node reading (or producing) its `shard_bytes` of
+/// training data every epoch for `epochs` epochs.
+pub fn epoch_io(
+    memory: &MemoryHierarchy,
+    staging: Staging,
+    shard_bytes: f64,
+    epochs: usize,
+) -> IoReport {
+    assert!(shard_bytes >= 0.0, "negative shard size");
+    assert!(epochs >= 1, "need at least one epoch");
+    let pfs = memory.tier(Tier::Pfs).expect("every hierarchy has a PFS");
+    let stream = pfs.transfer_time(shard_bytes);
+    match staging {
+        Staging::StreamPfs => IoReport {
+            first_epoch: stream,
+            steady_epoch: stream,
+            total: stream * epochs as f64,
+            feasible: true,
+        },
+        Staging::StageNvram => match memory.tier(Tier::Nvram) {
+            Some(nv) if shard_bytes <= nv.capacity => {
+                // Write-through staging overlaps with the PFS read; the
+                // first epoch is bounded by the slower of the two streams.
+                let first = stream.max(nv.transfer_time(shard_bytes));
+                let steady = nv.transfer_time(shard_bytes);
+                IoReport {
+                    first_epoch: first,
+                    steady_epoch: steady,
+                    total: first + steady * (epochs - 1) as f64,
+                    feasible: true,
+                }
+            }
+            _ => {
+                let fallback = epoch_io(memory, Staging::StreamPfs, shard_bytes, epochs);
+                IoReport { feasible: false, ..fallback }
+            }
+        },
+        Staging::StageDram => {
+            let ddr = &memory.ddr;
+            if shard_bytes <= ddr.capacity {
+                let first = stream.max(ddr.transfer_time(shard_bytes));
+                let steady = ddr.transfer_time(shard_bytes);
+                IoReport {
+                    first_epoch: first,
+                    steady_epoch: steady,
+                    total: first + steady * (epochs - 1) as f64,
+                    feasible: true,
+                }
+            } else {
+                let fallback = epoch_io(memory, Staging::StreamPfs, shard_bytes, epochs);
+                IoReport { feasible: false, ..fallback }
+            }
+        }
+        Staging::GenerateOnNode => {
+            // Generate once, keep in the fastest tier that holds it; steady
+            // epochs read from that tier.
+            let gen = shard_bytes / GENERATE_RATE;
+            let tier = memory.placement_for(shard_bytes);
+            let spec = memory.tier(tier).expect("placement returns an existing tier");
+            let steady = spec.transfer_time(shard_bytes);
+            IoReport {
+                first_epoch: gen.max(steady),
+                steady_epoch: steady,
+                total: gen.max(steady) + steady * (epochs - 1) as f64,
+                feasible: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::accelerator_node_2017;
+
+    #[test]
+    fn nvram_staging_beats_pfs_streaming_over_epochs() {
+        let mem = accelerator_node_2017();
+        let shard = 200e9; // 200 GB/node: too big for DRAM, fits NVRAM
+        let pfs = epoch_io(&mem, Staging::StreamPfs, shard, 50);
+        let nvram = epoch_io(&mem, Staging::StageNvram, shard, 50);
+        assert!(nvram.feasible);
+        assert!(
+            nvram.total < pfs.total / 3.0,
+            "nvram {} vs pfs {}",
+            nvram.total,
+            pfs.total
+        );
+        // But the first epoch is no faster (bounded by the PFS read).
+        assert!(nvram.first_epoch >= pfs.first_epoch * 0.99);
+    }
+
+    #[test]
+    fn dram_staging_fastest_when_it_fits() {
+        let mem = accelerator_node_2017();
+        let shard = 50e9;
+        let dram = epoch_io(&mem, Staging::StageDram, shard, 20);
+        let nvram = epoch_io(&mem, Staging::StageNvram, shard, 20);
+        assert!(dram.feasible);
+        assert!(dram.steady_epoch < nvram.steady_epoch);
+    }
+
+    #[test]
+    fn oversized_dram_falls_back_to_pfs() {
+        let mem = accelerator_node_2017();
+        let shard = 1e12; // 1 TB > 256 GB DDR
+        let r = epoch_io(&mem, Staging::StageDram, shard, 10);
+        assert!(!r.feasible);
+        let pfs = epoch_io(&mem, Staging::StreamPfs, shard, 10);
+        assert_eq!(r.total, pfs.total);
+    }
+
+    #[test]
+    fn oversized_nvram_falls_back_to_pfs() {
+        let mem = accelerator_node_2017();
+        let shard = 10e12;
+        let r = epoch_io(&mem, Staging::StageNvram, shard, 10);
+        assert!(!r.feasible);
+    }
+
+    #[test]
+    fn node_without_nvram_cannot_stage() {
+        let mut mem = accelerator_node_2017();
+        mem.nvram = None;
+        let r = epoch_io(&mem, Staging::StageNvram, 1e9, 5);
+        assert!(!r.feasible);
+    }
+
+    #[test]
+    fn generation_amortizes_like_staging() {
+        let mem = accelerator_node_2017();
+        let shard = 100e9;
+        let gen = epoch_io(&mem, Staging::GenerateOnNode, shard, 30);
+        let pfs = epoch_io(&mem, Staging::StreamPfs, shard, 30);
+        assert!(gen.total < pfs.total, "gen {} pfs {}", gen.total, pfs.total);
+        assert!(gen.steady_epoch <= gen.first_epoch);
+    }
+
+    #[test]
+    fn single_epoch_staging_has_no_advantage() {
+        let mem = accelerator_node_2017();
+        let shard = 200e9;
+        let pfs = epoch_io(&mem, Staging::StreamPfs, shard, 1);
+        let nvram = epoch_io(&mem, Staging::StageNvram, shard, 1);
+        assert!(nvram.total >= pfs.total * 0.99);
+    }
+}

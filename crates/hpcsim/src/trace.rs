@@ -1,0 +1,267 @@
+//! Execution traces for simulated training runs.
+//!
+//! A [`Trace`] records timestamped phase intervals (compute / communication
+//! / I/O) for a simulated job, supports utilization accounting, and renders
+//! a text timeline — the "where does the time go" view that motivates each
+//! of the abstract's architecture asks.
+
+use crate::machine::{Machine, SimPrecision};
+use crate::storage::Staging;
+use crate::trainsim::{step_time, Strategy, TrainJob};
+use serde::{Deserialize, Serialize};
+
+/// What a span of simulated time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Arithmetic on the node.
+    Compute,
+    /// Fabric communication (allreduce, activations).
+    Comm,
+    /// Storage I/O (training-data reads, staging).
+    Io,
+}
+
+impl Phase {
+    /// Timeline glyph.
+    pub fn glyph(self) -> char {
+        match self {
+            Phase::Compute => '#',
+            Phase::Comm => '~',
+            Phase::Io => '.',
+        }
+    }
+
+    /// Label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Compute => "compute",
+            Phase::Comm => "comm",
+            Phase::Io => "io",
+        }
+    }
+}
+
+/// One recorded interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Phase kind.
+    pub phase: Phase,
+    /// Start time (seconds since run start).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+impl Span {
+    /// Interval length.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// An append-only trace of simulated phases.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    spans: Vec<Span>,
+    cursor: f64,
+}
+
+impl Trace {
+    /// Empty trace at t = 0.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append a phase of the given duration at the current cursor.
+    pub fn push(&mut self, phase: Phase, duration: f64) {
+        assert!(duration >= 0.0, "negative duration");
+        if duration == 0.0 {
+            return;
+        }
+        let span = Span { phase, start: self.cursor, end: self.cursor + duration };
+        self.cursor = span.end;
+        self.spans.push(span);
+    }
+
+    /// All spans in order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total simulated time.
+    pub fn total(&self) -> f64 {
+        self.cursor
+    }
+
+    /// Time spent in one phase.
+    pub fn time_in(&self, phase: Phase) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Fraction of total time spent in a phase (0 when the trace is empty).
+    pub fn utilization(&self, phase: Phase) -> f64 {
+        if self.cursor <= 0.0 {
+            return 0.0;
+        }
+        self.time_in(phase) / self.cursor
+    }
+
+    /// Render a fixed-width text timeline (`#` compute, `~` comm, `.` I/O).
+    pub fn timeline(&self, width: usize) -> String {
+        assert!(width >= 1, "need at least one column");
+        if self.cursor <= 0.0 {
+            return String::new();
+        }
+        let mut out: Vec<char> = vec![' '; width];
+        for span in &self.spans {
+            let lo = ((span.start / self.cursor) * width as f64).floor() as usize;
+            let hi = (((span.end / self.cursor) * width as f64).ceil() as usize).min(width);
+            for c in out.iter_mut().take(hi).skip(lo.min(width)) {
+                *c = span.phase.glyph();
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// One-line utilization summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "total {:.3}s | compute {:.1}% | comm {:.1}% | io {:.1}%",
+            self.total(),
+            100.0 * self.utilization(Phase::Compute),
+            100.0 * self.utilization(Phase::Comm),
+            100.0 * self.utilization(Phase::Io),
+        )
+    }
+}
+
+/// Simulate a whole training run — initial staging I/O plus `steps` training
+/// steps — and return its trace. Per-step compute and (exposed) comm come
+/// from [`step_time`]; epoch boundaries insert steady-state I/O from the
+/// staging model.
+pub fn trace_training_run(
+    machine: &Machine,
+    job: &TrainJob,
+    strategy: Strategy,
+    precision: SimPrecision,
+    staging: Staging,
+    shard_bytes: f64,
+    steps: usize,
+    steps_per_epoch: usize,
+) -> Trace {
+    assert!(steps_per_epoch >= 1, "steps per epoch must be >= 1");
+    let breakdown = step_time(machine, job, strategy, precision);
+    let epochs = steps.div_ceil(steps_per_epoch).max(1);
+    let io = crate::storage::epoch_io(&machine.node.memory, staging, shard_bytes, epochs.max(2));
+    let mut trace = Trace::new();
+    trace.push(Phase::Io, io.first_epoch);
+    for step in 0..steps {
+        if step > 0 && step % steps_per_epoch == 0 {
+            trace.push(Phase::Io, io.steady_epoch);
+        }
+        trace.push(Phase::Compute, breakdown.compute);
+        trace.push(Phase::Comm, breakdown.comm);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::AllreduceAlgo;
+
+    #[test]
+    fn push_and_accounting() {
+        let mut t = Trace::new();
+        t.push(Phase::Compute, 2.0);
+        t.push(Phase::Comm, 1.0);
+        t.push(Phase::Compute, 1.0);
+        t.push(Phase::Io, 0.0); // dropped
+        assert_eq!(t.spans().len(), 3);
+        assert_eq!(t.total(), 4.0);
+        assert_eq!(t.time_in(Phase::Compute), 3.0);
+        assert!((t.utilization(Phase::Comm) - 0.25).abs() < 1e-12);
+        assert_eq!(t.utilization(Phase::Io), 0.0);
+    }
+
+    #[test]
+    fn spans_are_contiguous_and_ordered() {
+        let mut t = Trace::new();
+        for i in 0..10 {
+            t.push(if i % 2 == 0 { Phase::Compute } else { Phase::Comm }, 0.5);
+        }
+        for w in t.spans().windows(2) {
+            assert!((w[0].end - w[1].start).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn timeline_renders_proportions() {
+        let mut t = Trace::new();
+        t.push(Phase::Compute, 3.0);
+        t.push(Phase::Comm, 1.0);
+        let line = t.timeline(40);
+        assert_eq!(line.len(), 40);
+        let hashes = line.chars().filter(|&c| c == '#').count();
+        let tildes = line.chars().filter(|&c| c == '~').count();
+        assert!(hashes >= 28 && hashes <= 32, "compute cells {hashes}");
+        assert!(tildes >= 8 && tildes <= 12, "comm cells {tildes}");
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new();
+        assert_eq!(t.timeline(10), "");
+        assert_eq!(t.utilization(Phase::Compute), 0.0);
+        assert!(t.summary().contains("0.000"));
+    }
+
+    #[test]
+    fn training_run_trace_shape() {
+        let machine = Machine::gpu_2017(64);
+        let job = TrainJob::from_dense_net(50e6, 1000, 4096, 8);
+        let trace = trace_training_run(
+            &machine,
+            &job,
+            Strategy::Data { nodes: 64, algo: AllreduceAlgo::Auto },
+            SimPrecision::F32,
+            Staging::StageNvram,
+            64e9,
+            20,
+            10,
+        );
+        // 20 steps × (compute [+ comm]) + initial I/O + 1 epoch-boundary I/O.
+        assert!(trace.time_in(Phase::Io) > 0.0);
+        assert!(trace.time_in(Phase::Compute) > 0.0);
+        let covered = trace.time_in(Phase::Compute)
+            + trace.time_in(Phase::Comm)
+            + trace.time_in(Phase::Io);
+        assert!((covered - trace.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_share_in_trace_matches_breakdown() {
+        let machine = Machine::gpu_2017(256);
+        let job = TrainJob::from_dense_net(50e6, 1000, 4096, 8);
+        let strategy = Strategy::Data { nodes: 256, algo: AllreduceAlgo::Auto };
+        let b = step_time(&machine, &job, strategy, SimPrecision::F32);
+        // Without I/O, trace utilization reduces to the step breakdown.
+        let trace = trace_training_run(
+            &machine,
+            &job,
+            strategy,
+            SimPrecision::F32,
+            Staging::StageDram,
+            0.0,
+            50,
+            1000,
+        );
+        let want = b.comm / (b.comm + b.compute);
+        let got = trace.utilization(Phase::Comm);
+        assert!((got - want).abs() < 1e-6, "trace {got} vs breakdown {want}");
+    }
+}

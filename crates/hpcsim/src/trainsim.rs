@@ -1,0 +1,452 @@
+//! Analytical model of one distributed training step under data, model and
+//! hybrid parallelism (experiments E2, E3, E7).
+//!
+//! The abstract: "DNNs in general do not have good strong scaling behavior,
+//! so to fully exploit large-scale parallelism they rely on a combination of
+//! model, data and search parallelism." These models quantify exactly why:
+//! synchronous data parallelism shrinks per-node compute while the gradient
+//! allreduce does not shrink, and model parallelism trades compute division
+//! for per-layer activation exchanges whose cost is set by fabric bandwidth.
+
+use crate::collectives::{allreduce_energy, allreduce_time, AllreduceAlgo};
+use crate::machine::{Machine, SimPrecision};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a training job (per step).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainJob {
+    /// Trainable parameter count.
+    pub params: f64,
+    /// Forward+backward FLOPs per sample (≈ 3× forward for dense nets).
+    pub flops_per_sample: f64,
+    /// Bytes of input per sample.
+    pub sample_bytes: f64,
+    /// Global minibatch size.
+    pub global_batch: usize,
+    /// Activation bytes per sample crossing one model-parallel cut.
+    pub activation_bytes_per_cut: f64,
+    /// Number of layer boundaries available for model-parallel cuts.
+    pub cuttable_layers: usize,
+}
+
+impl TrainJob {
+    /// A job sized from a dense network description.
+    pub fn from_dense_net(params: f64, input_dim: usize, global_batch: usize, layers: usize) -> Self {
+        TrainJob {
+            params,
+            flops_per_sample: 6.0 * params, // fwd 2·P + bwd 4·P multiply-adds
+            sample_bytes: input_dim as f64 * 4.0,
+            global_batch,
+            // Rough: activations at a cut are ~sqrt(params/layers) wide.
+            activation_bytes_per_cut: (params / layers.max(1) as f64).sqrt() * 4.0,
+            cuttable_layers: layers.saturating_sub(1),
+        }
+    }
+}
+
+/// Parallelization strategy for one step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Pure synchronous data parallelism over `nodes` replicas.
+    Data {
+        /// Replica count.
+        nodes: usize,
+        /// Gradient allreduce algorithm.
+        algo: AllreduceAlgo,
+    },
+    /// Pure model (layer) parallelism over `parts` nodes.
+    Model {
+        /// Partition count.
+        parts: usize,
+    },
+    /// `model_ways`-way model parallel groups replicated `data_ways` times.
+    Hybrid {
+        /// Data-parallel replica count.
+        data_ways: usize,
+        /// Model-parallel group size.
+        model_ways: usize,
+        /// Gradient allreduce algorithm.
+        algo: AllreduceAlgo,
+    },
+    /// GPipe-style pipeline: `stages` layer groups, the batch split into
+    /// `microbatches` that stream through. The pipeline bubble costs a
+    /// `(stages − 1)/(microbatches + stages − 1)` fraction of ideal time.
+    Pipeline {
+        /// Pipeline depth (layer groups).
+        stages: usize,
+        /// Microbatch count.
+        microbatches: usize,
+    },
+}
+
+impl Strategy {
+    /// Total nodes the strategy occupies.
+    pub fn nodes(self) -> usize {
+        match self {
+            Strategy::Data { nodes, .. } => nodes,
+            Strategy::Model { parts } => parts,
+            Strategy::Hybrid { data_ways, model_ways, .. } => data_ways * model_ways,
+            Strategy::Pipeline { stages, .. } => stages,
+        }
+    }
+}
+
+/// Fraction of per-step compute the gradient allreduce can hide behind
+/// (the backward pass is ~2/3 of fwd+bwd FLOPs and buckets reduce as soon
+/// as each layer's gradients are ready).
+pub const ALLREDUCE_OVERLAP: f64 = 2.0 / 3.0;
+
+/// Time/energy breakdown of one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepBreakdown {
+    /// Per-node compute time (the slowest node's share).
+    pub compute: f64,
+    /// Communication time (gradient allreduce + activation exchange).
+    pub comm: f64,
+    /// Total step time.
+    pub step: f64,
+    /// Total energy across all participating nodes (joules).
+    pub energy: f64,
+}
+
+/// Model one synchronous training step.
+///
+/// Panics if the strategy needs more nodes than the machine has or if the
+/// model-parallel partition exceeds the cuttable layer count.
+pub fn step_time(
+    machine: &Machine,
+    job: &TrainJob,
+    strategy: Strategy,
+    precision: SimPrecision,
+) -> StepBreakdown {
+    assert!(
+        strategy.nodes() <= machine.nodes,
+        "strategy needs {} nodes, machine has {}",
+        strategy.nodes(),
+        machine.nodes
+    );
+    assert!(strategy.nodes() >= 1, "strategy must use at least one node");
+    let grad_bytes = job.params * precision.bytes();
+    match strategy {
+        Strategy::Data { nodes, algo } => {
+            let per_node_batch = (job.global_batch as f64 / nodes as f64).ceil();
+            let flops = per_node_batch * job.flops_per_sample;
+            let compute = machine.node.compute_time(flops, precision);
+            // Bucketed allreduce overlaps with the backward pass (~2/3 of
+            // step compute); only the excess is exposed on the critical
+            // path.
+            let raw_comm = allreduce_time(&machine.fabric, algo, grad_bytes, nodes);
+            let comm = (raw_comm - ALLREDUCE_OVERLAP * compute).max(0.0);
+            let energy = nodes as f64 * machine.node.compute_energy(flops, precision)
+                + allreduce_energy(&machine.fabric, algo, grad_bytes, nodes)
+                + nodes as f64 * machine.node.idle_power * (compute + comm);
+            StepBreakdown { compute, comm, step: compute + comm, energy }
+        }
+        Strategy::Model { parts } => {
+            assert!(
+                parts <= job.cuttable_layers + 1,
+                "cannot cut {} ways with {} cuttable layers",
+                parts,
+                job.cuttable_layers
+            );
+            let flops = job.global_batch as f64 * job.flops_per_sample / parts as f64;
+            let compute = machine.node.compute_time(flops, precision);
+            // Each of (parts-1) cuts exchanges activations forward and
+            // gradients backward for the whole batch; the exchanges are
+            // serialized along the layer chain.
+            let cut_bytes =
+                job.global_batch as f64 * job.activation_bytes_per_cut * precision.bytes() / 4.0;
+            let cuts = parts.saturating_sub(1) as f64;
+            let comm = 2.0 * cuts * machine.fabric.ptp_time(cut_bytes, parts);
+            let energy = parts as f64 * machine.node.compute_energy(flops, precision)
+                + 2.0 * cuts * machine.fabric.energy(cut_bytes)
+                + parts as f64 * machine.node.idle_power * (compute + comm);
+            StepBreakdown { compute, comm, step: compute + comm, energy }
+        }
+        Strategy::Pipeline { stages, microbatches } => {
+            assert!(microbatches >= 1, "need at least one microbatch");
+            assert!(
+                stages <= job.cuttable_layers + 1,
+                "cannot pipeline {} ways with {} cuttable layers",
+                stages,
+                job.cuttable_layers
+            );
+            // Ideal per-node compute with perfect stage balance, inflated by
+            // the pipeline bubble (s − 1 of m + s − 1 slots are idle).
+            let ideal = machine
+                .node
+                .compute_time(job.global_batch as f64 * job.flops_per_sample / stages as f64, precision);
+            let slots = (microbatches + stages - 1) as f64;
+            let compute = ideal * slots / microbatches as f64;
+            // Each microbatch crosses every cut forward and backward; the
+            // per-slot transfer rides the critical path once.
+            let micro_act = (job.global_batch as f64 / microbatches as f64)
+                * job.activation_bytes_per_cut
+                * precision.bytes()
+                / 4.0;
+            let comm = 2.0 * slots * machine.fabric.ptp_time(micro_act, stages);
+            let energy = stages as f64
+                * machine
+                    .node
+                    .compute_energy(job.global_batch as f64 * job.flops_per_sample / stages as f64, precision)
+                + 2.0 * (stages.saturating_sub(1) * microbatches) as f64
+                    * machine.fabric.energy(micro_act)
+                + stages as f64 * machine.node.idle_power * (compute + comm);
+            StepBreakdown { compute, comm, step: compute + comm, energy }
+        }
+        Strategy::Hybrid { data_ways, model_ways, algo } => {
+            // Each model group processes global_batch / data_ways samples.
+            let group_job = TrainJob {
+                global_batch: (job.global_batch as f64 / data_ways as f64).ceil() as usize,
+                ..*job
+            };
+            let inner = step_time(machine, &group_job, Strategy::Model { parts: model_ways }, precision);
+            // Gradient allreduce across replicas covers params/model_ways
+            // per node (each node owns a slice of the model); it overlaps
+            // with the group's backward compute like the pure-data case.
+            let slice_bytes = grad_bytes / model_ways as f64;
+            let raw_ar = allreduce_time(&machine.fabric, algo, slice_bytes, data_ways);
+            let ar = (raw_ar - ALLREDUCE_OVERLAP * inner.compute).max(0.0);
+            let energy = data_ways as f64 * inner.energy
+                + model_ways as f64 * allreduce_energy(&machine.fabric, algo, slice_bytes, data_ways);
+            StepBreakdown {
+                compute: inner.compute,
+                comm: inner.comm + ar,
+                step: inner.step + ar,
+                energy,
+            }
+        }
+    }
+}
+
+/// Parallel efficiency of a strategy versus the single-node step on the
+/// same global batch (strong-scaling efficiency).
+pub fn strong_scaling_efficiency(
+    machine: &Machine,
+    job: &TrainJob,
+    strategy: Strategy,
+    precision: SimPrecision,
+) -> f64 {
+    let single = step_time(
+        machine,
+        job,
+        Strategy::Data { nodes: 1, algo: AllreduceAlgo::Auto },
+        precision,
+    );
+    let multi = step_time(machine, job, strategy, precision);
+    single.step / (multi.step * strategy.nodes() as f64)
+}
+
+/// Weak-scaling efficiency: per-node batch held constant as nodes grow.
+pub fn weak_scaling_efficiency(
+    machine: &Machine,
+    per_node_batch: usize,
+    base_job: &TrainJob,
+    nodes: usize,
+    algo: AllreduceAlgo,
+    precision: SimPrecision,
+) -> f64 {
+    let single_job = TrainJob { global_batch: per_node_batch, ..*base_job };
+    let single = step_time(
+        machine,
+        &single_job,
+        Strategy::Data { nodes: 1, algo },
+        precision,
+    );
+    let scaled_job = TrainJob { global_batch: per_node_batch * nodes, ..*base_job };
+    let multi = step_time(machine, &scaled_job, Strategy::Data { nodes, algo }, precision);
+    single.step / multi.step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> TrainJob {
+        TrainJob::from_dense_net(50e6, 1000, 4096, 8)
+    }
+
+    fn machine(nodes: usize) -> Machine {
+        Machine::gpu_2017(nodes)
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_decays() {
+        let m = machine(1024);
+        let j = job();
+        let eff = |n: usize| {
+            strong_scaling_efficiency(
+                &m,
+                &j,
+                Strategy::Data { nodes: n, algo: AllreduceAlgo::Auto },
+                SimPrecision::F32,
+            )
+        };
+        let e4 = eff(4);
+        let e64 = eff(64);
+        let e512 = eff(512);
+        assert!(e4 > e64 && e64 > e512, "{e4} {e64} {e512}");
+        assert!(e512 < 0.5, "strong scaling should collapse: {e512}");
+        assert!(e4 > 0.9, "small scale should be efficient: {e4}");
+    }
+
+    #[test]
+    fn weak_scaling_healthier_than_strong() {
+        let m = machine(1024);
+        let j = job();
+        let weak =
+            weak_scaling_efficiency(&m, 512, &j, 512, AllreduceAlgo::Auto, SimPrecision::F32);
+        let strong = strong_scaling_efficiency(
+            &m,
+            &j,
+            Strategy::Data { nodes: 512, algo: AllreduceAlgo::Auto },
+            SimPrecision::F32,
+        );
+        assert!(weak > strong, "weak {weak} strong {strong}");
+        assert!(weak > 0.8, "weak scaling should hold up: {weak}");
+    }
+
+    #[test]
+    fn comm_share_grows_with_nodes() {
+        let m = machine(1024);
+        let j = job();
+        let share = |n: usize| {
+            let b = step_time(
+                &m,
+                &j,
+                Strategy::Data { nodes: n, algo: AllreduceAlgo::Auto },
+                SimPrecision::F32,
+            );
+            b.comm / b.step
+        };
+        assert!(share(256) > share(4));
+    }
+
+    #[test]
+    fn model_parallel_sensitive_to_fabric_bandwidth() {
+        let j = job();
+        let slow = machine(64);
+        let mut fast = machine(64);
+        fast.fabric = fast.fabric.with_bandwidth(400e9);
+        let t_slow = step_time(&slow, &j, Strategy::Model { parts: 8 }, SimPrecision::F32);
+        let t_fast = step_time(&fast, &j, Strategy::Model { parts: 8 }, SimPrecision::F32);
+        assert!(t_fast.comm < t_slow.comm / 4.0);
+        assert_eq!(t_fast.compute, t_slow.compute);
+    }
+
+    #[test]
+    fn hybrid_uses_product_of_ways() {
+        let m = machine(64);
+        let j = job();
+        let s = Strategy::Hybrid { data_ways: 8, model_ways: 4, algo: AllreduceAlgo::Auto };
+        assert_eq!(s.nodes(), 32);
+        let b = step_time(&m, &j, s, SimPrecision::F32);
+        assert!(b.step > 0.0 && b.energy > 0.0);
+    }
+
+    #[test]
+    fn hybrid_beats_pure_data_at_extreme_scale() {
+        // At very large node counts with a big model, hybrid reduces the
+        // allreduce size per replica group and wins.
+        let m = machine(4096);
+        let big = TrainJob::from_dense_net(2e9, 4000, 16384, 32);
+        let data = step_time(
+            &m,
+            &big,
+            Strategy::Data { nodes: 4096, algo: AllreduceAlgo::Auto },
+            SimPrecision::F32,
+        );
+        let hybrid = step_time(
+            &m,
+            &big,
+            Strategy::Hybrid { data_ways: 512, model_ways: 8, algo: AllreduceAlgo::Auto },
+            SimPrecision::F32,
+        );
+        assert!(
+            hybrid.step < data.step,
+            "hybrid {} vs data {}",
+            hybrid.step,
+            data.step
+        );
+    }
+
+    #[test]
+    fn low_precision_shrinks_compute_and_comm() {
+        let m = machine(64);
+        let j = job();
+        let s = Strategy::Data { nodes: 16, algo: AllreduceAlgo::Auto };
+        let f32_t = step_time(&m, &j, s, SimPrecision::F32);
+        let f16_t = step_time(&m, &j, s, SimPrecision::F16);
+        assert!(f16_t.compute < f32_t.compute);
+        assert!(f16_t.comm < f32_t.comm); // half-width gradients
+        assert!(f16_t.energy < f32_t.energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "strategy needs")]
+    fn oversubscription_panics() {
+        let m = machine(4);
+        let _ = step_time(
+            &m,
+            &job(),
+            Strategy::Data { nodes: 8, algo: AllreduceAlgo::Auto },
+            SimPrecision::F32,
+        );
+    }
+
+    #[test]
+    fn pipeline_bubble_shrinks_with_microbatches() {
+        let m = machine(64);
+        let j = job();
+        let t = |mb: usize| {
+            step_time(&m, &j, Strategy::Pipeline { stages: 8, microbatches: mb }, SimPrecision::F32)
+        };
+        let few = t(1);
+        let many = t(64);
+        // With one microbatch the bubble factor is s = 8×; with many it
+        // approaches 1.
+        assert!(few.compute > 6.0 * many.compute / (71.0 / 64.0), "few {} many {}", few.compute, many.compute);
+        assert!(many.compute < few.compute);
+        // Microbatching beats unpipelined model parallelism on compute.
+        let model = step_time(&m, &j, Strategy::Model { parts: 8 }, SimPrecision::F32);
+        assert!(many.compute <= model.compute * 1.2);
+    }
+
+    #[test]
+    fn pipeline_microbatch_tradeoff_exists() {
+        // More microbatches shrink the bubble but add per-message latency;
+        // the model must show cost for both extremes.
+        let m = machine(64);
+        let j = job();
+        let t = |mb: usize| {
+            step_time(&m, &j, Strategy::Pipeline { stages: 4, microbatches: mb }, SimPrecision::F32)
+                .step
+        };
+        let coarse = t(1);
+        let sweet = t(32);
+        assert!(sweet < coarse, "microbatching should pay: {coarse} vs {sweet}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pipeline")]
+    fn over_deep_pipeline_panics() {
+        let m = machine(64);
+        let mut j = job();
+        j.cuttable_layers = 3;
+        let _ = step_time(
+            &m,
+            &j,
+            Strategy::Pipeline { stages: 16, microbatches: 4 },
+            SimPrecision::F32,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cut")]
+    fn over_partitioning_panics() {
+        let m = machine(64);
+        let mut j = job();
+        j.cuttable_layers = 3;
+        let _ = step_time(&m, &j, Strategy::Model { parts: 16 }, SimPrecision::F32);
+    }
+}

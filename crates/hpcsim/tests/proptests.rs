@@ -1,0 +1,146 @@
+//! Property-based tests for the cost models: monotonicity, positivity, and
+//! algebraic consistency over randomized machine parameters.
+
+use dd_hpcsim::{
+    allreduce_time, broadcast_time, epoch_io, AllreduceAlgo, Fabric, Machine, SimPrecision,
+    Staging, Strategy as SimStrategy, TrainJob,
+};
+use proptest::prelude::*;
+
+fn fabric() -> impl Strategy<Value = Fabric> {
+    (1e8f64..1e12, 1e-7f64..1e-5).prop_map(|(bandwidth, latency)| Fabric {
+        latency,
+        bandwidth,
+        per_hop_latency: latency / 10.0,
+        topology: dd_hpcsim::Topology::FatTree,
+        energy_per_byte: 30e-12,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allreduce_nonnegative_and_monotone_in_bytes(
+        f in fabric(),
+        bytes in 1.0f64..1e10,
+        p in 2usize..4096,
+    ) {
+        for algo in AllreduceAlgo::CONCRETE {
+            let t1 = allreduce_time(&f, algo, bytes, p);
+            let t2 = allreduce_time(&f, algo, bytes * 2.0, p);
+            prop_assert!(t1 > 0.0);
+            prop_assert!(t2 >= t1, "{algo:?}: doubling bytes reduced time");
+        }
+    }
+
+    #[test]
+    fn auto_never_worse_than_any_algorithm(
+        f in fabric(),
+        bytes in 1.0f64..1e10,
+        p in 2usize..2048,
+    ) {
+        let auto = allreduce_time(&f, AllreduceAlgo::Auto, bytes, p);
+        for algo in AllreduceAlgo::CONCRETE {
+            prop_assert!(auto <= allreduce_time(&f, algo, bytes, p) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn broadcast_scales_logarithmically(f in fabric(), bytes in 1e3f64..1e8) {
+        let t64 = broadcast_time(&f, bytes, 64);
+        let t4096 = broadcast_time(&f, bytes, 4096);
+        // log2(4096)/log2(64) = 2: cost at most doubles per 64x nodes.
+        prop_assert!(t4096 <= 2.0 * t64 + 1e-12);
+    }
+
+    #[test]
+    fn step_time_positive_and_additive(
+        params in 1e6f64..1e9,
+        batch in 64usize..8192,
+        nodes_pow in 0u32..8,
+    ) {
+        let nodes = 1usize << nodes_pow;
+        let machine = Machine::gpu_2017(nodes);
+        let job = TrainJob::from_dense_net(params, 1000, batch, 8);
+        let b = dd_hpcsim::step_time(
+            &machine,
+            &job,
+            SimStrategy::Data { nodes, algo: AllreduceAlgo::Auto },
+            SimPrecision::F32,
+        );
+        prop_assert!(b.compute > 0.0);
+        prop_assert!(b.comm >= 0.0);
+        prop_assert!((b.step - (b.compute + b.comm)).abs() < 1e-12);
+        prop_assert!(b.energy > 0.0);
+    }
+
+    #[test]
+    fn more_nodes_never_slow_down_weak_scaled_compute(
+        params in 1e6f64..1e8,
+        nodes_pow in 1u32..10,
+    ) {
+        // Strong scaling: per-step compute time must not increase with nodes.
+        let nodes = 1usize << nodes_pow;
+        let machine = Machine::gpu_2017(nodes);
+        let job = TrainJob::from_dense_net(params, 1000, 8192, 8);
+        let one = dd_hpcsim::step_time(
+            &machine, &job,
+            SimStrategy::Data { nodes: 1, algo: AllreduceAlgo::Auto },
+            SimPrecision::F32,
+        );
+        let many = dd_hpcsim::step_time(
+            &machine, &job,
+            SimStrategy::Data { nodes, algo: AllreduceAlgo::Auto },
+            SimPrecision::F32,
+        );
+        prop_assert!(many.compute <= one.compute + 1e-12);
+    }
+
+    #[test]
+    fn lower_precision_never_slower(params in 1e6f64..1e9, batch in 64usize..4096) {
+        let machine = Machine::gpu_2017(4);
+        let job = TrainJob::from_dense_net(params, 500, batch, 8);
+        let strategy = SimStrategy::Data { nodes: 4, algo: AllreduceAlgo::Auto };
+        let t64 = dd_hpcsim::step_time(&machine, &job, strategy, SimPrecision::F64).step;
+        let t32 = dd_hpcsim::step_time(&machine, &job, strategy, SimPrecision::F32).step;
+        let t16 = dd_hpcsim::step_time(&machine, &job, strategy, SimPrecision::F16).step;
+        let t8 = dd_hpcsim::step_time(&machine, &job, strategy, SimPrecision::Int8).step;
+        prop_assert!(t32 <= t64 && t16 <= t32 && t8 <= t16);
+    }
+
+    #[test]
+    fn staging_totals_scale_with_epochs(shard in 1e8f64..1e12, epochs in 2usize..100) {
+        let mem = dd_hpcsim::memory::accelerator_node_2017();
+        for staging in Staging::ALL {
+            let short = epoch_io(&mem, staging, shard, 1);
+            let long = epoch_io(&mem, staging, shard, epochs);
+            prop_assert!(long.total >= short.total);
+            // Steady-state epoch cost never exceeds the first epoch.
+            prop_assert!(long.steady_epoch <= long.first_epoch + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pfs_streaming_cost_is_linear_in_epochs(shard in 1e8f64..1e12, epochs in 1usize..100) {
+        let mem = dd_hpcsim::memory::accelerator_node_2017();
+        let r = epoch_io(&mem, Staging::StreamPfs, shard, epochs);
+        prop_assert!((r.total - r.steady_epoch * epochs as f64).abs() < 1e-6 * r.total);
+    }
+
+    #[test]
+    fn roofline_below_both_roofs(ai in 0.01f64..1e5) {
+        let node = Machine::gpu_2017(1).node;
+        let got = dd_hpcsim::roofline::attainable_flops(
+            &node,
+            dd_hpcsim::Tier::Hbm,
+            ai,
+            SimPrecision::F32,
+        );
+        let peak = node.flops_at(SimPrecision::F32);
+        let bw = node.memory.hbm.unwrap().bandwidth;
+        prop_assert!(got <= peak + 1e-6);
+        prop_assert!(got <= ai * bw + 1e-6);
+        prop_assert!(got > 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Trial records and search trajectories.
+
+use crate::space::Config;
+use serde::{Deserialize, Serialize};
+
+/// One completed evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// Monotone trial id (assignment order).
+    pub id: usize,
+    /// The evaluated configuration.
+    pub config: Config,
+    /// Fidelity in `(0, 1]` (fraction of a full training run).
+    pub budget: f64,
+    /// Objective value (lower is better).
+    pub value: f64,
+}
+
+/// A full search run: every trial in completion order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SearchHistory {
+    /// Searcher label.
+    pub searcher: String,
+    /// Trials in completion order.
+    pub trials: Vec<Trial>,
+}
+
+impl SearchHistory {
+    /// Total cost in full-budget-equivalent evaluations.
+    pub fn total_cost(&self) -> f64 {
+        self.trials.iter().map(|t| t.budget).sum()
+    }
+
+    /// Best (lowest) value among *full-budget* trials, or any trial if none
+    /// ran at full budget.
+    pub fn best_value(&self) -> Option<f64> {
+        let full: Vec<f64> = self
+            .trials
+            .iter()
+            .filter(|t| t.budget >= 1.0 - 1e-9)
+            .map(|t| t.value)
+            .collect();
+        let pool: Box<dyn Iterator<Item = f64>> = if full.is_empty() {
+            Box::new(self.trials.iter().map(|t| t.value))
+        } else {
+            Box::new(full.into_iter())
+        };
+        pool.fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })
+    }
+
+    /// Best trial overall (any fidelity).
+    pub fn best_trial(&self) -> Option<&Trial> {
+        self.trials
+            .iter()
+            .min_by(|a, b| a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Incumbent curve: `(cumulative cost, best value so far)` after each
+    /// trial — the series experiment E6 plots.
+    pub fn incumbent_curve(&self) -> Vec<(f64, f64)> {
+        let mut cost = 0.0;
+        let mut best = f64::INFINITY;
+        self.trials
+            .iter()
+            .map(|t| {
+                cost += t.budget;
+                if t.value < best {
+                    best = t.value;
+                }
+                (cost, best)
+            })
+            .collect()
+    }
+
+    /// Best value once cumulative cost reaches `cost` (linear scan).
+    pub fn best_at_cost(&self, cost: f64) -> Option<f64> {
+        let mut acc = 0.0;
+        let mut best: Option<f64> = None;
+        for t in &self.trials {
+            acc += t.budget;
+            if acc > cost + 1e-9 {
+                break;
+            }
+            best = Some(best.map_or(t.value, |b: f64| b.min(t.value)));
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(id: usize, value: f64, budget: f64) -> Trial {
+        Trial { id, config: Config::default(), budget, value }
+    }
+
+    #[test]
+    fn incumbent_curve_monotone() {
+        let h = SearchHistory {
+            searcher: "t".into(),
+            trials: vec![trial(0, 5.0, 1.0), trial(1, 7.0, 1.0), trial(2, 2.0, 1.0)],
+        };
+        let curve = h.incumbent_curve();
+        assert_eq!(curve, vec![(1.0, 5.0), (2.0, 5.0), (3.0, 2.0)]);
+        assert_eq!(h.total_cost(), 3.0);
+        assert_eq!(h.best_value(), Some(2.0));
+    }
+
+    #[test]
+    fn best_value_prefers_full_budget() {
+        let h = SearchHistory {
+            searcher: "t".into(),
+            trials: vec![trial(0, 0.1, 0.25), trial(1, 3.0, 1.0)],
+        };
+        // The low-fidelity 0.1 is not trusted; the full-budget 3.0 wins.
+        assert_eq!(h.best_value(), Some(3.0));
+    }
+
+    #[test]
+    fn best_at_cost_respects_budget_boundary() {
+        let h = SearchHistory {
+            searcher: "t".into(),
+            trials: vec![trial(0, 5.0, 1.0), trial(1, 1.0, 1.0)],
+        };
+        assert_eq!(h.best_at_cost(1.0), Some(5.0));
+        assert_eq!(h.best_at_cost(2.0), Some(1.0));
+        assert_eq!(h.best_at_cost(0.5), None);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = SearchHistory::default();
+        assert_eq!(h.best_value(), None);
+        assert!(h.incumbent_curve().is_empty());
+        assert_eq!(h.total_cost(), 0.0);
+    }
+}

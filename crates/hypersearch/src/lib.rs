@@ -1,0 +1,35 @@
+//! # dd-hypersearch — large-scale hyperparameter search
+//!
+//! The abstract: "Discovering optimal deep learning models often involves a
+//! large-scale search of hyperparameters. It's not uncommon to search a
+//! space of tens of thousands of model configurations. Naïve searches are
+//! outperformed by various intelligent searching strategies, including new
+//! approaches that use generative neural networks to manage the search
+//! space."
+//!
+//! This crate implements that whole spectrum behind one ask/tell interface
+//! ([`Searcher`]), driven by a Rayon-parallel evaluation loop
+//! ([`run_search`]) — real search parallelism on threads, and the unit of
+//! "search parallelism" that `dd-parallel::planner` maps onto simulated
+//! machines:
+//!
+//! | searcher | class |
+//! |---|---|
+//! | [`searchers::GridSearch`], [`searchers::RandomSearch`] | naïve |
+//! | [`searchers::SuccessiveHalving`], [`searchers::Hyperband`] | multi-fidelity |
+//! | [`searchers::SurrogateSearch`] | model-based (random-forest surrogate) |
+//! | [`searchers::EvolutionarySearch`] | population-based |
+//! | [`searchers::GenerativeSearch`] | generative neural network |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod searcher;
+pub mod searchers;
+pub mod space;
+pub mod testfunc;
+
+pub use history::{SearchHistory, Trial};
+pub use searcher::{run_search, Objective, Proposal, Searcher};
+pub use space::{Config, ParamSpec, SearchSpace, Value};

@@ -1,0 +1,171 @@
+//! The ask/tell searcher interface and the parallel evaluation driver.
+//!
+//! Searchers *propose* batches of `(config, budget)` pairs and *observe*
+//! completed trials; the driver evaluates each batch concurrently with
+//! Rayon — the "search parallelism" axis of the abstract, running for real
+//! on threads here and costed at machine scale by `dd-parallel::planner`.
+
+use crate::history::{SearchHistory, Trial};
+use crate::space::{Config, SearchSpace};
+use dd_tensor::Rng64;
+use rayon::prelude::*;
+
+/// An objective to minimize.
+///
+/// `budget` in `(0, 1]` is the fidelity (fraction of a full training run);
+/// multi-fidelity searchers (successive halving, Hyperband) exploit cheap
+/// low-budget evaluations. `seed` makes stochastic objectives reproducible.
+pub trait Objective: Sync {
+    /// Evaluate one configuration at the given fidelity.
+    fn evaluate(&self, config: &Config, budget: f64, seed: u64) -> f64;
+}
+
+/// Blanket impl so closures work as objectives.
+impl<F> Objective for F
+where
+    F: Fn(&Config, f64, u64) -> f64 + Sync,
+{
+    fn evaluate(&self, config: &Config, budget: f64, seed: u64) -> f64 {
+        self(config, budget, seed)
+    }
+}
+
+/// A proposal: evaluate `config` at fidelity `budget`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Proposal {
+    /// Configuration to run.
+    pub config: Config,
+    /// Fidelity in `(0, 1]`.
+    pub budget: f64,
+}
+
+/// Ask/tell search strategy.
+pub trait Searcher: Send {
+    /// Human-readable name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Propose up to `n` evaluations. Returning fewer (even zero) is allowed
+    /// when the strategy is blocked on observations or exhausted; the driver
+    /// calls again after delivering results.
+    fn propose(&mut self, n: usize, space: &SearchSpace, rng: &mut Rng64) -> Vec<Proposal>;
+
+    /// Receive completed trials (in the order proposed).
+    fn observe(&mut self, trials: &[Trial]);
+}
+
+/// Drive a searcher until `total_cost` full-budget-equivalent evaluations
+/// are spent, evaluating up to `parallelism` proposals concurrently.
+///
+/// Determinism: proposal order, seeds, and observation order are all fixed
+/// by `seed` regardless of thread scheduling.
+pub fn run_search(
+    searcher: &mut dyn Searcher,
+    space: &SearchSpace,
+    objective: &dyn Objective,
+    total_cost: f64,
+    parallelism: usize,
+    seed: u64,
+) -> SearchHistory {
+    assert!(total_cost > 0.0, "total cost must be positive");
+    assert!(parallelism >= 1, "parallelism must be >= 1");
+    let mut rng = Rng64::new(seed);
+    let mut history = SearchHistory { searcher: searcher.name().to_string(), trials: Vec::new() };
+    let mut spent = 0.0;
+    let mut next_id = 0usize;
+    let mut stalls = 0;
+    while spent < total_cost {
+        let ask = parallelism.min(64);
+        let proposals = searcher.propose(ask, space, &mut rng);
+        if proposals.is_empty() {
+            stalls += 1;
+            if stalls > 2 {
+                break; // searcher exhausted (e.g. finite grid)
+            }
+            continue;
+        }
+        stalls = 0;
+        // Trim proposals that would overshoot the budget, always keeping at
+        // least one so progress is guaranteed.
+        let mut batch = Vec::new();
+        for p in proposals {
+            assert!(p.budget > 0.0 && p.budget <= 1.0, "budget {} out of (0,1]", p.budget);
+            if !batch.is_empty() && spent + p.budget > total_cost + 1e-9 {
+                break;
+            }
+            spent += p.budget;
+            batch.push(p);
+        }
+        let base_id = next_id;
+        next_id += batch.len();
+        let trials: Vec<Trial> = batch
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let id = base_id + i;
+                let value = objective.evaluate(&p.config, p.budget, seed ^ (id as u64) << 1);
+                Trial { id, config: p.config, budget: p.budget, value }
+            })
+            .collect();
+        searcher.observe(&trials);
+        history.trials.extend(trials);
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::searchers::RandomSearch;
+    use crate::testfunc::bowl;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new().float("x", 0.0, 1.0).float("y", 0.0, 1.0)
+    }
+
+    #[test]
+    fn run_search_respects_budget() {
+        let mut s = RandomSearch::new();
+        let h = run_search(&mut s, &space(), &bowl(), 20.0, 4, 1);
+        assert!((h.total_cost() - 20.0).abs() < 1e-6);
+        assert_eq!(h.trials.len(), 20);
+    }
+
+    #[test]
+    fn trial_ids_are_sequential() {
+        let mut s = RandomSearch::new();
+        let h = run_search(&mut s, &space(), &bowl(), 10.0, 3, 2);
+        for (i, t) in h.trials.iter().enumerate() {
+            assert_eq!(t.id, i);
+        }
+    }
+
+    #[test]
+    fn deterministic_regardless_of_parallelism() {
+        let run = |par: usize| {
+            let mut s = RandomSearch::new();
+            run_search(&mut s, &space(), &bowl(), 16.0, par, 3)
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a.trials.len(), b.trials.len());
+        for (ta, tb) in a.trials.iter().zip(&b.trials) {
+            assert_eq!(ta.config, tb.config);
+            assert_eq!(ta.value, tb.value);
+        }
+    }
+
+    #[test]
+    fn closure_objective_works() {
+        let mut s = RandomSearch::new();
+        let obj = |c: &Config, _b: f64, _s: u64| c.f64("x");
+        let h = run_search(&mut s, &space(), &obj, 5.0, 2, 4);
+        assert_eq!(h.trials.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "total cost")]
+    fn zero_budget_panics() {
+        let mut s = RandomSearch::new();
+        let _ = run_search(&mut s, &space(), &bowl(), 0.0, 1, 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Full-factorial grid search — the naïve exhaustive baseline.
+
+use crate::history::Trial;
+use crate::searcher::{Proposal, Searcher};
+use crate::space::{Config, SearchSpace};
+use dd_tensor::Rng64;
+
+/// Enumerates a full-factorial grid once, in deterministic order, then
+/// stops proposing.
+pub struct GridSearch {
+    levels: usize,
+    queue: Option<std::vec::IntoIter<Config>>,
+}
+
+impl GridSearch {
+    /// Grid with `levels` points per continuous axis.
+    pub fn new(levels: usize) -> Self {
+        assert!(levels >= 2, "a one-level grid cannot search anything");
+        GridSearch { levels, queue: None }
+    }
+}
+
+impl Searcher for GridSearch {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn propose(&mut self, n: usize, space: &SearchSpace, _rng: &mut Rng64) -> Vec<Proposal> {
+        let queue = self
+            .queue
+            .get_or_insert_with(|| space.grid(self.levels, 1_000_000).into_iter());
+        queue
+            .by_ref()
+            .take(n)
+            .map(|config| Proposal { config, budget: 1.0 })
+            .collect()
+    }
+
+    fn observe(&mut self, _trials: &[Trial]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::searcher::run_search;
+    use crate::testfunc::bowl;
+
+    #[test]
+    fn exhausts_grid_then_stops() {
+        let space = SearchSpace::new().float("x", 0.0, 1.0).float("y", 0.0, 1.0);
+        let mut s = GridSearch::new(5);
+        // Generous budget: searcher must stop at 25 trials, not exhaust it.
+        let h = run_search(&mut s, &space, &bowl(), 1000.0, 4, 1);
+        assert_eq!(h.trials.len(), 25);
+    }
+
+    #[test]
+    fn finds_near_optimum_with_enough_levels() {
+        let space = SearchSpace::new().float("x", 0.0, 1.0).float("y", 0.0, 1.0);
+        let mut s = GridSearch::new(11);
+        let h = run_search(&mut s, &space, &bowl(), 1000.0, 8, 1);
+        assert!(h.best_value().unwrap() < 0.01, "best {:?}", h.best_value());
+    }
+
+    #[test]
+    fn grid_wastes_budget_on_redundant_axes() {
+        // The classic grid pathology: with one dummy dimension, an n-level
+        // grid spends n× the budget for the same coverage of `x`.
+        let space = SearchSpace::new().float("x", 0.0, 1.0).float("dummy", 0.0, 1.0);
+        let obj = |c: &Config, _b: f64, _s: u64| (c.f64("x") - 0.33).powi(2);
+        let mut g = GridSearch::new(5);
+        let h = run_search(&mut g, &space, &obj, 1000.0, 4, 1);
+        let distinct_x: std::collections::BTreeSet<u64> = h
+            .trials
+            .iter()
+            .map(|t| (t.config.f64("x") * 1e6) as u64)
+            .collect();
+        assert_eq!(h.trials.len(), 25);
+        assert_eq!(distinct_x.len(), 5, "only 5 unique x values in 25 trials");
+    }
+}

@@ -1,0 +1,24 @@
+//! Concrete search strategies.
+//!
+//! The abstract: "Naïve searches are outperformed by various intelligent
+//! searching strategies, including new approaches that use generative neural
+//! networks to manage the search space." The naïve set is [`RandomSearch`],
+//! [`GridSearch`] and the space-filling [`LatinHypercube`]; the intelligent set is [`SuccessiveHalving`],
+//! [`Hyperband`], [`EvolutionarySearch`], the forest-surrogate
+//! [`SurrogateSearch`], and the neural [`GenerativeSearch`].
+
+mod evolutionary;
+mod generative;
+mod grid;
+mod lhs;
+mod random;
+mod sha;
+mod surrogate;
+
+pub use evolutionary::EvolutionarySearch;
+pub use generative::GenerativeSearch;
+pub use grid::GridSearch;
+pub use lhs::LatinHypercube;
+pub use random::RandomSearch;
+pub use sha::{Hyperband, SuccessiveHalving};
+pub use surrogate::SurrogateSearch;

@@ -1,0 +1,58 @@
+//! Uniform random search — the stronger of the two naïve baselines.
+
+use crate::history::Trial;
+use crate::searcher::{Proposal, Searcher};
+use crate::space::SearchSpace;
+use dd_tensor::Rng64;
+
+/// Samples configurations uniformly at full budget, forever.
+#[derive(Debug, Default)]
+pub struct RandomSearch;
+
+impl RandomSearch {
+    /// New random searcher.
+    pub fn new() -> Self {
+        RandomSearch
+    }
+}
+
+impl Searcher for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(&mut self, n: usize, space: &SearchSpace, rng: &mut Rng64) -> Vec<Proposal> {
+        (0..n)
+            .map(|_| Proposal { config: space.sample(rng), budget: 1.0 })
+            .collect()
+    }
+
+    fn observe(&mut self, _trials: &[Trial]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::searcher::run_search;
+    use crate::testfunc::bowl;
+
+    #[test]
+    fn converges_slowly_but_surely() {
+        let space = SearchSpace::new().float("x", 0.0, 1.0).float("y", 0.0, 1.0);
+        let mut s = RandomSearch::new();
+        let h = run_search(&mut s, &space, &bowl(), 200.0, 8, 1);
+        assert!(h.best_value().unwrap() < 0.02, "best {:?}", h.best_value());
+    }
+
+    #[test]
+    fn proposals_are_distinct() {
+        let space = SearchSpace::new().float("x", 0.0, 1.0);
+        let mut s = RandomSearch::new();
+        let mut rng = Rng64::new(1);
+        let p = s.propose(10, &space, &mut rng);
+        let mut xs: Vec<f64> = p.iter().map(|p| p.config.f64("x")).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        assert_eq!(xs.len(), 10);
+    }
+}

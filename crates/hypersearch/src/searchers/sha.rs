@@ -1,0 +1,245 @@
+//! Successive halving and Hyperband — multi-fidelity "intelligent" search.
+//!
+//! Both exploit the fact that a quarter-budget training run ranks
+//! configurations well enough to discard most of them cheaply: start many
+//! configs at low fidelity, promote the top `1/eta` fraction to `eta×` the
+//! budget, repeat until survivors run at full fidelity.
+
+use crate::history::Trial;
+use crate::searcher::{Proposal, Searcher};
+use crate::space::{Config, SearchSpace};
+use dd_tensor::Rng64;
+
+/// One successive-halving bracket, restarted indefinitely.
+pub struct SuccessiveHalving {
+    eta: usize,
+    min_budget: f64,
+    n0: usize,
+    /// Configs waiting to be proposed at `current_budget`.
+    pending: Vec<Config>,
+    /// Number proposed but not yet observed.
+    outstanding: usize,
+    /// Results observed at the current rung.
+    rung_results: Vec<(Config, f64)>,
+    current_budget: f64,
+}
+
+impl SuccessiveHalving {
+    /// `n0` starting configs at `min_budget`, culling by `eta` each rung.
+    pub fn new(n0: usize, min_budget: f64, eta: usize) -> Self {
+        assert!(eta >= 2, "eta must be >= 2");
+        assert!(n0 >= eta, "n0 must be at least eta");
+        assert!(
+            min_budget > 0.0 && min_budget <= 1.0,
+            "min budget must be in (0, 1]"
+        );
+        SuccessiveHalving {
+            eta,
+            min_budget,
+            n0,
+            pending: Vec::new(),
+            outstanding: 0,
+            rung_results: Vec::new(),
+            current_budget: min_budget,
+        }
+    }
+
+    fn start_bracket(&mut self, space: &SearchSpace, rng: &mut Rng64) {
+        self.current_budget = self.min_budget;
+        self.pending = (0..self.n0).map(|_| space.sample(rng)).collect();
+        self.rung_results.clear();
+    }
+
+    fn advance_rung(&mut self, space: &SearchSpace, rng: &mut Rng64) {
+        if self.rung_results.is_empty() {
+            self.start_bracket(space, rng);
+            return;
+        }
+        let survivors = (self.rung_results.len() / self.eta).max(1);
+        if self.current_budget >= 1.0 - 1e-9 || survivors == self.rung_results.len() {
+            // Bracket finished (ran at full budget or cannot cull further).
+            self.start_bracket(space, rng);
+            return;
+        }
+        let mut results = std::mem::take(&mut self.rung_results);
+        results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        results.truncate(survivors);
+        self.current_budget = (self.current_budget * self.eta as f64).min(1.0);
+        self.pending = results.into_iter().map(|(c, _)| c).collect();
+    }
+}
+
+impl Searcher for SuccessiveHalving {
+    fn name(&self) -> &'static str {
+        "successive-halving"
+    }
+
+    fn propose(&mut self, n: usize, space: &SearchSpace, rng: &mut Rng64) -> Vec<Proposal> {
+        if self.pending.is_empty() && self.outstanding == 0 {
+            self.advance_rung(space, rng);
+        }
+        if self.pending.is_empty() {
+            return Vec::new(); // waiting on observations
+        }
+        let take = n.min(self.pending.len());
+        let batch: Vec<Proposal> = self
+            .pending
+            .drain(..take)
+            .map(|config| Proposal { config, budget: self.current_budget })
+            .collect();
+        self.outstanding += batch.len();
+        batch
+    }
+
+    fn observe(&mut self, trials: &[Trial]) {
+        for t in trials {
+            self.rung_results.push((t.config.clone(), t.value));
+        }
+        self.outstanding = self.outstanding.saturating_sub(trials.len());
+    }
+}
+
+/// Hyperband: cycles successive-halving brackets with different
+/// aggressiveness, hedging against workloads where low-fidelity rankings
+/// mislead.
+pub struct Hyperband {
+    eta: usize,
+    max_rungs: usize,
+    /// Current bracket index (s = max_rungs .. 0, cycling).
+    s: usize,
+    inner: SuccessiveHalving,
+}
+
+impl Hyperband {
+    /// Standard Hyperband over budgets `eta^-max_rungs .. 1`.
+    pub fn new(eta: usize, max_rungs: usize) -> Self {
+        assert!(eta >= 2 && max_rungs >= 1);
+        let s = max_rungs;
+        Hyperband { eta, max_rungs, s, inner: Self::bracket(eta, max_rungs, s) }
+    }
+
+    fn bracket(eta: usize, max_rungs: usize, s: usize) -> SuccessiveHalving {
+        let _ = max_rungs;
+        let n0 = (eta.pow(s as u32)).max(eta);
+        let min_budget = (eta as f64).powi(-(s as i32)).max(1e-3);
+        SuccessiveHalving::new(n0, min_budget, eta)
+    }
+
+    fn bracket_complete(&self) -> bool {
+        // A bracket is "complete" when its inner SHA is about to restart:
+        // no pending work, nothing outstanding, and the rung either ran at
+        // full budget or cannot cull further.
+        self.inner.pending.is_empty()
+            && self.inner.outstanding == 0
+            && !self.inner.rung_results.is_empty()
+            && (self.inner.current_budget >= 1.0 - 1e-9
+                || self.inner.rung_results.len() < self.inner.eta)
+    }
+}
+
+impl Searcher for Hyperband {
+    fn name(&self) -> &'static str {
+        "hyperband"
+    }
+
+    fn propose(&mut self, n: usize, space: &SearchSpace, rng: &mut Rng64) -> Vec<Proposal> {
+        if self.bracket_complete() {
+            self.s = if self.s == 0 { self.max_rungs } else { self.s - 1 };
+            self.inner = Self::bracket(self.eta, self.max_rungs, self.s);
+        }
+        self.inner.propose(n, space, rng)
+    }
+
+    fn observe(&mut self, trials: &[Trial]) {
+        self.inner.observe(trials);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::searcher::run_search;
+    use crate::searchers::RandomSearch;
+    use crate::testfunc::bowl;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new().float("x", 0.0, 1.0).float("y", 0.0, 1.0)
+    }
+
+    #[test]
+    fn sha_promotes_to_full_budget() {
+        let mut s = SuccessiveHalving::new(27, 1.0 / 27.0, 3);
+        let h = run_search(&mut s, &space(), &bowl(), 15.0, 8, 1);
+        // Budgets should include the minimum and reach 1.0.
+        let max_b = h.trials.iter().map(|t| t.budget).fold(0.0, f64::max);
+        let min_b = h.trials.iter().map(|t| t.budget).fold(1.0, f64::min);
+        assert!((min_b - 1.0 / 27.0).abs() < 1e-9);
+        assert!((max_b - 1.0).abs() < 1e-9, "never reached full budget: {max_b}");
+    }
+
+    #[test]
+    fn sha_rung_sizes_shrink() {
+        let mut s = SuccessiveHalving::new(9, 1.0 / 9.0, 3);
+        let h = run_search(&mut s, &space(), &bowl(), 6.0, 4, 2);
+        let count_at = |b: f64| h.trials.iter().filter(|t| (t.budget - b).abs() < 1e-9).count();
+        let r0 = count_at(1.0 / 9.0);
+        let r1 = count_at(1.0 / 3.0);
+        let r2 = count_at(1.0);
+        assert!(r0 >= 9, "first rung {r0}");
+        assert!(r1 >= 3 && r1 < r0);
+        assert!(r2 >= 1 && r2 < r1);
+    }
+
+    #[test]
+    fn sha_beats_random_at_equal_cost() {
+        // Average over seeds to avoid flakiness.
+        let cost = 12.0;
+        let mut sha_best = 0.0;
+        let mut rnd_best = 0.0;
+        for seed in 0..8 {
+            let mut sha = SuccessiveHalving::new(27, 1.0 / 9.0, 3);
+            sha_best += run_search(&mut sha, &space(), &bowl(), cost, 8, seed)
+                .best_value()
+                .unwrap();
+            let mut rnd = RandomSearch::new();
+            rnd_best += run_search(&mut rnd, &space(), &bowl(), cost, 8, seed)
+                .best_value()
+                .unwrap();
+        }
+        assert!(
+            sha_best < rnd_best,
+            "SHA {sha_best} should beat random {rnd_best} at cost {cost}"
+        );
+    }
+
+    #[test]
+    fn sha_restarts_brackets_under_large_budget() {
+        let mut s = SuccessiveHalving::new(9, 1.0 / 3.0, 3);
+        let h = run_search(&mut s, &space(), &bowl(), 50.0, 4, 3);
+        // One bracket costs 9/3 + 3 + 1(ish); 50 units forces restarts.
+        let low_budget_count = h
+            .trials
+            .iter()
+            .filter(|t| (t.budget - 1.0 / 3.0).abs() < 1e-9)
+            .count();
+        assert!(low_budget_count > 9, "brackets restarted: {low_budget_count}");
+    }
+
+    #[test]
+    fn hyperband_cycles_brackets() {
+        let mut hb = Hyperband::new(3, 3);
+        let h = run_search(&mut hb, &space(), &bowl(), 60.0, 8, 4);
+        // Hyperband must run trials at several distinct budgets, including
+        // a full-budget-first bracket (s=0 starts at budget 1).
+        let budgets: std::collections::BTreeSet<u64> =
+            h.trials.iter().map(|t| (t.budget * 1e6) as u64).collect();
+        assert!(budgets.len() >= 3, "distinct budgets: {budgets:?}");
+        assert!(h.best_value().unwrap() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta")]
+    fn eta_one_rejected() {
+        let _ = SuccessiveHalving::new(9, 0.1, 1);
+    }
+}

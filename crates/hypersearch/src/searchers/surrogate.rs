@@ -1,0 +1,284 @@
+//! Surrogate-model (sequential model-based) search.
+//!
+//! A bagged random-forest regressor (built from scratch) models
+//! `encoded config → objective`; candidates are sampled uniformly, scored by
+//! a lower-confidence-bound acquisition (mean − κ·std across trees), and the
+//! most promising are evaluated for real. This is the classic SMAC-style
+//! "intelligent search" the abstract contrasts with naïve methods.
+
+use crate::history::Trial;
+use crate::searcher::{Proposal, Searcher};
+use crate::space::SearchSpace;
+use dd_tensor::Rng64;
+
+/// A regression tree node (indices into the training arrays).
+enum TreeNode {
+    Leaf {
+        mean: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<TreeNode>,
+        right: Box<TreeNode>,
+    },
+}
+
+impl TreeNode {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            TreeNode::Leaf { mean } => *mean,
+            TreeNode::Split { feature, threshold, left, right } => {
+                if x[*feature] <= *threshold {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+}
+
+fn mean(ys: &[f64], idx: &[usize]) -> f64 {
+    idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len().max(1) as f64
+}
+
+fn sse(ys: &[f64], idx: &[usize]) -> f64 {
+    let m = mean(ys, idx);
+    idx.iter().map(|&i| (ys[i] - m).powi(2)).sum()
+}
+
+/// Build one tree on a bootstrap sample with random feature subsetting.
+fn build_tree(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    idx: Vec<usize>,
+    depth: usize,
+    min_leaf: usize,
+    rng: &mut Rng64,
+) -> TreeNode {
+    if depth == 0 || idx.len() < 2 * min_leaf {
+        return TreeNode::Leaf { mean: mean(ys, &idx) };
+    }
+    let d = xs[0].len();
+    // Try a random subset of ~sqrt(d) features (at least 1).
+    let n_try = ((d as f64).sqrt().ceil() as usize).max(1);
+    let features = rng.sample_indices(d, n_try.min(d));
+    let parent_sse = sse(ys, &idx);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for &f in &features {
+        // Candidate thresholds: midpoints of sorted unique values.
+        let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        for w in vals.windows(2) {
+            let thr = (w[0] + w[1]) / 2.0;
+            let (l, r): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| xs[i][f] <= thr);
+            if l.len() < min_leaf || r.len() < min_leaf {
+                continue;
+            }
+            let gain = parent_sse - sse(ys, &l) - sse(ys, &r);
+            if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
+                best = Some((f, thr, gain));
+            }
+        }
+    }
+    match best {
+        None => TreeNode::Leaf { mean: mean(ys, &idx) },
+        Some((feature, threshold, _)) => {
+            let (l, r): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+            TreeNode::Split {
+                feature,
+                threshold,
+                left: Box::new(build_tree(xs, ys, l, depth - 1, min_leaf, rng)),
+                right: Box::new(build_tree(xs, ys, r, depth - 1, min_leaf, rng)),
+            }
+        }
+    }
+}
+
+/// Bagged regression forest.
+pub struct Forest {
+    trees: Vec<TreeNode>,
+}
+
+impl Forest {
+    /// Fit `n_trees` on bootstrap resamples.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], n_trees: usize, rng: &mut Rng64) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "cannot fit a forest on no data");
+        let n = xs.len();
+        let trees = (0..n_trees)
+            .map(|t| {
+                let mut tree_rng = rng.split(t as u64);
+                let idx: Vec<usize> = (0..n).map(|_| tree_rng.below(n)).collect();
+                build_tree(xs, ys, idx, 8, 2, &mut tree_rng)
+            })
+            .collect();
+        Forest { trees }
+    }
+
+    /// Predicted mean and standard deviation across trees.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let m = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - m).powi(2)).sum::<f64>() / preds.len() as f64;
+        (m, var.sqrt())
+    }
+}
+
+/// SMBO searcher with a forest surrogate and LCB acquisition.
+pub struct SurrogateSearch {
+    warmup: usize,
+    candidates_per_proposal: usize,
+    kappa: f64,
+    n_trees: usize,
+    observed: Vec<(Vec<f64>, f64)>,
+    /// Trials received but not yet encoded (encoding needs the space, which
+    /// `observe` does not receive; they drain at the next `propose`).
+    pending_trials: Vec<Trial>,
+}
+
+impl SurrogateSearch {
+    /// `warmup` random evaluations before the surrogate takes over.
+    pub fn new(warmup: usize) -> Self {
+        assert!(warmup >= 4, "surrogate needs a few warmup points");
+        SurrogateSearch {
+            warmup,
+            candidates_per_proposal: 256,
+            kappa: 1.0,
+            n_trees: 24,
+            observed: Vec::new(),
+            pending_trials: Vec::new(),
+        }
+    }
+
+    fn drain_pending(&mut self, space: &SearchSpace) {
+        let pending = std::mem::take(&mut self.pending_trials);
+        for t in pending {
+            self.observed.push((space.encode(&t.config), t.value));
+        }
+    }
+}
+
+impl Searcher for SurrogateSearch {
+    fn name(&self) -> &'static str {
+        "surrogate-forest"
+    }
+
+    fn propose(&mut self, n: usize, space: &SearchSpace, rng: &mut Rng64) -> Vec<Proposal> {
+        self.drain_pending(space);
+        if self.observed.len() < self.warmup {
+            return (0..n)
+                .map(|_| Proposal { config: space.sample(rng), budget: 1.0 })
+                .collect();
+        }
+        let xs: Vec<Vec<f64>> = self.observed.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<f64> = self.observed.iter().map(|(_, y)| *y).collect();
+        let forest = Forest::fit(&xs, &ys, self.n_trees, rng);
+        // Score a candidate pool by LCB and take the n best (with one
+        // fresh random config per batch to keep exploring).
+        let mut scored: Vec<(f64, crate::space::Config)> = (0..self.candidates_per_proposal)
+            .map(|_| {
+                let c = space.sample(rng);
+                let (m, s) = forest.predict(&space.encode(&c));
+                (m - self.kappa * s, c)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut out: Vec<Proposal> = scored
+            .into_iter()
+            .take(n.saturating_sub(1).max(1))
+            .map(|(_, config)| Proposal { config, budget: 1.0 })
+            .collect();
+        if out.len() < n {
+            out.push(Proposal { config: space.sample(rng), budget: 1.0 });
+        }
+        out
+    }
+
+    fn observe(&mut self, trials: &[Trial]) {
+        self.pending_trials.extend_from_slice(trials);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::searcher::run_search;
+    use crate::searchers::RandomSearch;
+    use crate::testfunc::bowl;
+
+    #[test]
+    fn forest_fits_quadratic() {
+        let mut rng = Rng64::new(1);
+        let xs: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.uniform(), rng.uniform()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 0.5).powi(2) + x[1]).collect();
+        let forest = Forest::fit(&xs, &ys, 20, &mut rng);
+        // Prediction error small relative to the response range (~1.25).
+        let mut total_err = 0.0;
+        for _ in 0..100 {
+            let x = vec![rng.uniform(), rng.uniform()];
+            let truth = (x[0] - 0.5).powi(2) + x[1];
+            let (m, _) = forest.predict(&x);
+            total_err += (m - truth).abs();
+        }
+        assert!(total_err / 100.0 < 0.12, "mean error {}", total_err / 100.0);
+    }
+
+    #[test]
+    fn forest_predictions_bounded_and_uncertainty_sane() {
+        let mut rng = Rng64::new(2);
+        let xs: Vec<Vec<f64>> = (0..150).map(|_| vec![rng.uniform()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].sin() * 3.0 + x[0] * 5.0).collect();
+        let (y_min, y_max) = ys
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| (lo.min(y), hi.max(y)));
+        let forest = Forest::fit(&xs, &ys, 30, &mut rng);
+        let mut any_uncertain = false;
+        for i in 0..50 {
+            let x = vec![i as f64 / 49.0];
+            let (m, s) = forest.predict(&x);
+            // Tree means are convex combinations of training targets.
+            assert!(m >= y_min - 1e-9 && m <= y_max + 1e-9, "mean {m} out of range");
+            assert!(s >= 0.0);
+            if s > 1e-6 {
+                any_uncertain = true;
+            }
+        }
+        assert!(any_uncertain, "bagging should disagree somewhere");
+    }
+
+    #[test]
+    fn surrogate_beats_random_on_bowl() {
+        let space = SearchSpace::new().float("x", 0.0, 1.0).float("y", 0.0, 1.0);
+        let mut sur_total = 0.0;
+        let mut rnd_total = 0.0;
+        for seed in 0..5 {
+            let mut sur = SurrogateSearch::new(10);
+            sur_total += run_search(&mut sur, &space, &bowl(), 60.0, 4, seed)
+                .best_value()
+                .unwrap();
+            let mut rnd = RandomSearch::new();
+            rnd_total += run_search(&mut rnd, &space, &bowl(), 60.0, 4, seed)
+                .best_value()
+                .unwrap();
+        }
+        assert!(sur_total < rnd_total, "surrogate {sur_total} vs random {rnd_total}");
+    }
+
+    #[test]
+    fn warmup_phase_is_random() {
+        let space = SearchSpace::new().float("x", 0.0, 1.0);
+        let mut s = SurrogateSearch::new(5);
+        let mut rng = Rng64::new(3);
+        let p = s.propose(3, &space, &mut rng);
+        assert_eq!(p.len(), 3);
+        assert!(s.observed.is_empty());
+    }
+}

@@ -1,0 +1,497 @@
+//! Hyperparameter search-space definition.
+//!
+//! A [`SearchSpace`] is an ordered list of named parameters (log/linear
+//! floats, integer ranges, categorical choices). Configurations encode to a
+//! normalized `[0,1]^d` vector, which is the representation the surrogate,
+//! evolutionary and generative searchers operate on.
+
+use dd_tensor::Rng64;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One parameter's domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamSpec {
+    /// Continuous value in `[lo, hi]`; `log` samples uniformly in log space.
+    Float {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Sample in log space (requires positive bounds).
+        log: bool,
+    },
+    /// Integer in `[lo, hi]` inclusive.
+    Int {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// One of a fixed set of options.
+    Choice(Vec<String>),
+}
+
+impl ParamSpec {
+    fn validate(&self, name: &str) {
+        match self {
+            ParamSpec::Float { lo, hi, log } => {
+                assert!(lo < hi, "{name}: float lo must be < hi");
+                if *log {
+                    assert!(*lo > 0.0, "{name}: log scale requires positive bounds");
+                }
+            }
+            ParamSpec::Int { lo, hi } => assert!(lo <= hi, "{name}: int lo must be <= hi"),
+            ParamSpec::Choice(opts) => {
+                assert!(!opts.is_empty(), "{name}: choice needs at least one option")
+            }
+        }
+    }
+
+    /// Number of distinct values (`None` for continuous).
+    pub fn cardinality(&self) -> Option<u64> {
+        match self {
+            ParamSpec::Float { .. } => None,
+            ParamSpec::Int { lo, hi } => Some((hi - lo + 1) as u64),
+            ParamSpec::Choice(opts) => Some(opts.len() as u64),
+        }
+    }
+}
+
+/// A concrete parameter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Continuous value.
+    Float(f64),
+    /// Integer value.
+    Int(i64),
+    /// Categorical option.
+    Choice(String),
+}
+
+/// A full configuration: one value per parameter.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Config(pub BTreeMap<String, Value>);
+
+impl Config {
+    /// Float accessor; panics on missing key or wrong type.
+    pub fn f64(&self, key: &str) -> f64 {
+        match self.0.get(key) {
+            Some(Value::Float(v)) => *v,
+            Some(Value::Int(v)) => *v as f64,
+            other => panic!("config key '{key}' is not a float: {other:?}"),
+        }
+    }
+
+    /// Integer accessor (usize).
+    pub fn usize(&self, key: &str) -> usize {
+        match self.0.get(key) {
+            Some(Value::Int(v)) => usize::try_from(*v).expect("negative int for usize accessor"),
+            other => panic!("config key '{key}' is not an int: {other:?}"),
+        }
+    }
+
+    /// Categorical accessor.
+    pub fn choice(&self, key: &str) -> &str {
+        match self.0.get(key) {
+            Some(Value::Choice(s)) => s,
+            other => panic!("config key '{key}' is not a choice: {other:?}"),
+        }
+    }
+
+    /// Stable short description for logs.
+    pub fn describe(&self) -> String {
+        self.0
+            .iter()
+            .map(|(k, v)| match v {
+                Value::Float(f) => format!("{k}={f:.4}"),
+                Value::Int(i) => format!("{k}={i}"),
+                Value::Choice(c) => format!("{k}={c}"),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// An ordered, named collection of parameter domains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    params: Vec<(String, ParamSpec)>,
+}
+
+impl SearchSpace {
+    /// Empty space (builder entry point).
+    pub fn new() -> Self {
+        SearchSpace { params: Vec::new() }
+    }
+
+    /// Add a parameter (builder style). Panics on duplicate names or
+    /// invalid domains.
+    pub fn add(mut self, name: &str, spec: ParamSpec) -> Self {
+        spec.validate(name);
+        assert!(
+            self.params.iter().all(|(n, _)| n != name),
+            "duplicate parameter '{name}'"
+        );
+        self.params.push((name.to_string(), spec));
+        self
+    }
+
+    /// Linear float shorthand.
+    pub fn float(self, name: &str, lo: f64, hi: f64) -> Self {
+        self.add(name, ParamSpec::Float { lo, hi, log: false })
+    }
+
+    /// Log-scale float shorthand.
+    pub fn log_float(self, name: &str, lo: f64, hi: f64) -> Self {
+        self.add(name, ParamSpec::Float { lo, hi, log: true })
+    }
+
+    /// Integer shorthand.
+    pub fn int(self, name: &str, lo: i64, hi: i64) -> Self {
+        self.add(name, ParamSpec::Int { lo, hi })
+    }
+
+    /// Categorical shorthand.
+    pub fn choice(self, name: &str, options: &[&str]) -> Self {
+        self.add(
+            name,
+            ParamSpec::Choice(options.iter().map(|s| s.to_string()).collect()),
+        )
+    }
+
+    /// Number of parameters (= encoding dimensionality).
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameter list.
+    pub fn params(&self) -> &[(String, ParamSpec)] {
+        &self.params
+    }
+
+    /// Total number of discrete configurations, treating each continuous
+    /// parameter as `continuous_levels` values (the abstract's "tens of
+    /// thousands of model configurations" is this number).
+    pub fn cardinality(&self, continuous_levels: u64) -> u64 {
+        self.params
+            .iter()
+            .map(|(_, s)| s.cardinality().unwrap_or(continuous_levels))
+            .product()
+    }
+
+    /// Uniform random configuration.
+    pub fn sample(&self, rng: &mut Rng64) -> Config {
+        let mut cfg = BTreeMap::new();
+        for (name, spec) in &self.params {
+            let v = match spec {
+                ParamSpec::Float { lo, hi, log } => {
+                    if *log {
+                        Value::Float((rng.range(lo.ln(), hi.ln())).exp())
+                    } else {
+                        Value::Float(rng.range(*lo, *hi))
+                    }
+                }
+                ParamSpec::Int { lo, hi } => {
+                    Value::Int(lo + rng.below((hi - lo + 1) as usize) as i64)
+                }
+                ParamSpec::Choice(opts) => Value::Choice(opts[rng.below(opts.len())].clone()),
+            };
+            cfg.insert(name.clone(), v);
+        }
+        Config(cfg)
+    }
+
+    /// Encode a configuration to `[0,1]^d` (order = parameter order).
+    pub fn encode(&self, config: &Config) -> Vec<f64> {
+        self.params
+            .iter()
+            .map(|(name, spec)| {
+                let v = config.0.get(name).unwrap_or_else(|| panic!("missing key '{name}'"));
+                match (spec, v) {
+                    (ParamSpec::Float { lo, hi, log }, Value::Float(f)) => {
+                        if *log {
+                            (f.ln() - lo.ln()) / (hi.ln() - lo.ln())
+                        } else {
+                            (f - lo) / (hi - lo)
+                        }
+                    }
+                    (ParamSpec::Int { lo, hi }, Value::Int(i)) => {
+                        if lo == hi {
+                            0.5
+                        } else {
+                            (i - lo) as f64 / (hi - lo) as f64
+                        }
+                    }
+                    (ParamSpec::Choice(opts), Value::Choice(c)) => {
+                        let idx = opts.iter().position(|o| o == c).expect("unknown choice");
+                        if opts.len() == 1 {
+                            0.5
+                        } else {
+                            idx as f64 / (opts.len() - 1) as f64
+                        }
+                    }
+                    _ => panic!("type mismatch for '{name}'"),
+                }
+            })
+            .collect()
+    }
+
+    /// Decode a `[0,1]^d` vector back to the nearest valid configuration
+    /// (values clamped; ints and choices rounded).
+    pub fn decode(&self, encoded: &[f64]) -> Config {
+        assert_eq!(encoded.len(), self.dim(), "encoded length mismatch");
+        let mut cfg = BTreeMap::new();
+        for ((name, spec), &u) in self.params.iter().zip(encoded) {
+            let u = u.clamp(0.0, 1.0);
+            let v = match spec {
+                ParamSpec::Float { lo, hi, log } => {
+                    let raw = if *log {
+                        (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+                    } else {
+                        lo + u * (hi - lo)
+                    };
+                    // exp/ln round-tripping can exceed the bounds by an ulp.
+                    Value::Float(raw.clamp(*lo, *hi))
+                }
+                ParamSpec::Int { lo, hi } => {
+                    Value::Int(lo + ((u * (hi - lo) as f64).round() as i64))
+                }
+                ParamSpec::Choice(opts) => {
+                    let idx = (u * (opts.len() - 1) as f64).round() as usize;
+                    Value::Choice(opts[idx].clone())
+                }
+            };
+            cfg.insert(name.clone(), v);
+        }
+        Config(cfg)
+    }
+
+    /// Mutate one configuration: each parameter resampled with probability
+    /// `rate`, floats also jittered by a Gaussian in encoded space.
+    pub fn mutate(&self, config: &Config, rate: f64, rng: &mut Rng64) -> Config {
+        let mut enc = self.encode(config);
+        for u in enc.iter_mut() {
+            if rng.bernoulli(rate) {
+                *u = (*u + rng.normal(0.0, 0.15)).clamp(0.0, 1.0);
+            }
+        }
+        // Occasionally resample one coordinate entirely (escape hatch).
+        if rng.bernoulli(rate) {
+            let i = rng.below(enc.len().max(1));
+            enc[i] = rng.uniform();
+        }
+        self.decode(&enc)
+    }
+
+    /// Uniform crossover of two parents in encoded space.
+    pub fn crossover(&self, a: &Config, b: &Config, rng: &mut Rng64) -> Config {
+        let ea = self.encode(a);
+        let eb = self.encode(b);
+        let child: Vec<f64> = ea
+            .iter()
+            .zip(&eb)
+            .map(|(&x, &y)| if rng.bernoulli(0.5) { x } else { y })
+            .collect();
+        self.decode(&child)
+    }
+
+    /// Full-factorial grid with `levels` points per continuous parameter
+    /// (discrete parameters enumerate their actual values). Order is
+    /// deterministic. Panics if the grid would exceed `max_configs`.
+    pub fn grid(&self, levels: usize, max_configs: usize) -> Vec<Config> {
+        assert!(levels >= 1, "need at least one level");
+        let axes: Vec<Vec<f64>> = self
+            .params
+            .iter()
+            .map(|(_, spec)| {
+                let n = spec.cardinality().map(|c| c as usize).unwrap_or(levels).min(
+                    match spec {
+                        ParamSpec::Float { .. } => levels,
+                        _ => usize::MAX,
+                    },
+                );
+                if n == 1 {
+                    vec![0.5]
+                } else {
+                    (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+                }
+            })
+            .collect();
+        let total: usize = axes.iter().map(Vec::len).product();
+        assert!(
+            total <= max_configs,
+            "grid of {total} configs exceeds cap {max_configs}"
+        );
+        let mut out = Vec::with_capacity(total);
+        let mut idx = vec![0usize; axes.len()];
+        loop {
+            let enc: Vec<f64> = idx.iter().zip(&axes).map(|(&i, ax)| ax[i]).collect();
+            out.push(self.decode(&enc));
+            // Odometer increment.
+            let mut d = 0;
+            loop {
+                if d == axes.len() {
+                    return out;
+                }
+                idx[d] += 1;
+                if idx[d] < axes[d].len() {
+                    break;
+                }
+                idx[d] = 0;
+                d += 1;
+            }
+        }
+    }
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new()
+            .log_float("lr", 1e-5, 1e-1)
+            .float("dropout", 0.0, 0.8)
+            .int("layers", 1, 4)
+            .choice("act", &["relu", "tanh", "gelu"])
+    }
+
+    #[test]
+    fn sample_respects_bounds() {
+        let s = space();
+        let mut rng = Rng64::new(1);
+        for _ in 0..500 {
+            let c = s.sample(&mut rng);
+            let lr = c.f64("lr");
+            assert!((1e-5..=1e-1).contains(&lr));
+            assert!((0.0..=0.8).contains(&c.f64("dropout")));
+            assert!((1..=4).contains(&c.usize("layers")));
+            assert!(["relu", "tanh", "gelu"].contains(&c.choice("act")));
+        }
+    }
+
+    #[test]
+    fn log_sampling_covers_orders_of_magnitude() {
+        let s = SearchSpace::new().log_float("lr", 1e-5, 1e-1);
+        let mut rng = Rng64::new(2);
+        let mut tiny = 0;
+        for _ in 0..2000 {
+            if s.sample(&mut rng).f64("lr") < 1e-4 {
+                tiny += 1;
+            }
+        }
+        // Log-uniform: [1e-5, 1e-4] is a quarter of the log range.
+        assert!((tiny as f64 / 2000.0 - 0.25).abs() < 0.05, "tiny fraction {tiny}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = space();
+        let mut rng = Rng64::new(3);
+        for _ in 0..100 {
+            let c = s.sample(&mut rng);
+            let back = s.decode(&s.encode(&c));
+            assert_eq!(back.usize("layers"), c.usize("layers"));
+            assert_eq!(back.choice("act"), c.choice("act"));
+            assert!((back.f64("lr") / c.f64("lr") - 1.0).abs() < 1e-9);
+            assert!((back.f64("dropout") - c.f64("dropout")).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn encoding_is_unit_box() {
+        let s = space();
+        let mut rng = Rng64::new(4);
+        for _ in 0..100 {
+            let e = s.encode(&s.sample(&mut rng));
+            assert_eq!(e.len(), 4);
+            assert!(e.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        }
+    }
+
+    #[test]
+    fn decode_clamps_out_of_range() {
+        let s = space();
+        let c = s.decode(&[-5.0, 99.0, 2.0, 0.5]);
+        assert!((c.f64("lr") - 1e-5).abs() < 1e-12);
+        assert_eq!(c.f64("dropout"), 0.8);
+        assert_eq!(c.usize("layers"), 4);
+    }
+
+    #[test]
+    fn cardinality_counts() {
+        let s = space();
+        // 3 choices × 4 ints × levels² for the two floats.
+        assert_eq!(s.cardinality(10), 3 * 4 * 100);
+    }
+
+    #[test]
+    fn grid_is_full_factorial() {
+        let s = SearchSpace::new()
+            .float("a", 0.0, 1.0)
+            .int("b", 0, 2)
+            .choice("c", &["x", "y"]);
+        let g = s.grid(3, 1000);
+        assert_eq!(g.len(), 3 * 3 * 2);
+        // All unique.
+        let mut descs: Vec<String> = g.iter().map(Config::describe).collect();
+        descs.sort();
+        descs.dedup();
+        assert_eq!(descs.len(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cap")]
+    fn oversized_grid_panics() {
+        let _ = space().grid(100, 1000);
+    }
+
+    #[test]
+    fn mutation_stays_valid_and_changes_something() {
+        let s = space();
+        let mut rng = Rng64::new(5);
+        let c = s.sample(&mut rng);
+        let mut changed = 0;
+        for _ in 0..50 {
+            let m = s.mutate(&c, 0.5, &mut rng);
+            if m != c {
+                changed += 1;
+            }
+            let lr = m.f64("lr");
+            assert!((1e-5..=1e-1).contains(&lr));
+        }
+        assert!(changed > 30, "mutation too timid: {changed}");
+    }
+
+    #[test]
+    fn crossover_mixes_parents() {
+        let s = SearchSpace::new().int("a", 0, 100).int("b", 0, 100);
+        let mut rng = Rng64::new(6);
+        let pa = s.decode(&[0.0, 0.0]);
+        let pb = s.decode(&[1.0, 1.0]);
+        let mut saw_mix = false;
+        for _ in 0..50 {
+            let child = s.crossover(&pa, &pb, &mut rng);
+            let (a, b) = (child.usize("a"), child.usize("b"));
+            assert!(a == 0 || a == 100);
+            assert!(b == 0 || b == 100);
+            if a != b {
+                saw_mix = true;
+            }
+        }
+        assert!(saw_mix, "crossover never mixed genes");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_names_panic() {
+        let _ = SearchSpace::new().float("x", 0.0, 1.0).int("x", 0, 1);
+    }
+}

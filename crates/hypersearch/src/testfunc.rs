@@ -1,0 +1,135 @@
+//! Synthetic objectives for testing and benchmarking searchers.
+
+use crate::searcher::Objective;
+use crate::space::Config;
+use dd_tensor::Rng64;
+
+/// Smooth quadratic bowl over `x`/`y` with minimum 0 at (0.3, 0.7); a mild
+/// noise floor shrinks with budget, modelling partial training runs being
+/// noisier than full ones.
+pub struct Bowl;
+
+impl Objective for Bowl {
+    fn evaluate(&self, config: &Config, budget: f64, seed: u64) -> f64 {
+        let x = config.f64("x");
+        let y = config.f64("y");
+        let clean = (x - 0.3).powi(2) + (y - 0.7).powi(2);
+        let noise_scale = 0.02 * (1.0 - budget).max(0.0);
+        let mut rng = Rng64::new(seed);
+        clean + noise_scale * rng.gaussian().abs()
+    }
+}
+
+/// Convenience constructor.
+pub fn bowl() -> Bowl {
+    Bowl
+}
+
+/// A deceptive multimodal function in `[0,1]^d` (generalized): a broad poor
+/// basin plus a narrow good one — punishes naive grid/random, rewards
+/// model-based and evolutionary exploitation.
+pub struct Deceptive {
+    /// Narrow-basin center per dimension.
+    pub center: Vec<f64>,
+    /// Narrow-basin width.
+    pub width: f64,
+}
+
+impl Deceptive {
+    /// Standard instance over the keys `x0..x{d-1}`.
+    pub fn new(d: usize) -> Self {
+        Deceptive {
+            center: (0..d).map(|i| 0.15 + 0.1 * (i as f64 % 3.0)).collect(),
+            width: 0.15,
+        }
+    }
+
+    fn keys(&self) -> impl Iterator<Item = String> + '_ {
+        (0..self.center.len()).map(|i| format!("x{i}"))
+    }
+}
+
+impl Objective for Deceptive {
+    fn evaluate(&self, config: &Config, budget: f64, seed: u64) -> f64 {
+        let xs: Vec<f64> = self.keys().map(|k| config.f64(&k)).collect();
+        // Broad basin: shallow quadratic around 0.8 with floor 0.5.
+        let broad: f64 = 0.5
+            + xs.iter().map(|&x| 0.2 * (x - 0.8).powi(2)).sum::<f64>();
+        // Narrow basin: deep gaussian well around the hidden center.
+        let dist_sq: f64 = xs
+            .iter()
+            .zip(&self.center)
+            .map(|(&x, &c)| (x - c).powi(2))
+            .sum();
+        let narrow = 0.5 * (-dist_sq / (2.0 * self.width * self.width)).exp();
+        let clean = broad - narrow;
+        let mut rng = Rng64::new(seed);
+        clean + 0.01 * (1.0 - budget).max(0.0) * rng.gaussian().abs()
+    }
+}
+
+/// Mixed-type objective exercising ints and categoricals: best value
+/// requires layers=3 and act="gelu" along with lr near 1e-3.
+pub struct MixedTypes;
+
+impl Objective for MixedTypes {
+    fn evaluate(&self, config: &Config, _budget: f64, _seed: u64) -> f64 {
+        let lr = config.f64("lr");
+        let layers = config.usize("layers") as f64;
+        let act_penalty = match config.choice("act") {
+            "gelu" => 0.0,
+            "relu" => 0.1,
+            _ => 0.25,
+        };
+        (lr.log10() + 3.0).powi(2) * 0.2 + (layers - 3.0).powi(2) * 0.05 + act_penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+
+    #[test]
+    fn bowl_minimum_location() {
+        let s = SearchSpace::new().float("x", 0.0, 1.0).float("y", 0.0, 1.0);
+        let best = s.decode(&[0.3, 0.7]);
+        let off = s.decode(&[0.9, 0.1]);
+        assert!(Bowl.evaluate(&best, 1.0, 1) < 1e-9);
+        assert!(Bowl.evaluate(&off, 1.0, 1) > 0.3);
+    }
+
+    #[test]
+    fn bowl_noise_shrinks_with_budget() {
+        let s = SearchSpace::new().float("x", 0.0, 1.0).float("y", 0.0, 1.0);
+        let c = s.decode(&[0.3, 0.7]);
+        let noisy = Bowl.evaluate(&c, 0.1, 7);
+        let clean = Bowl.evaluate(&c, 1.0, 7);
+        assert!(noisy >= clean);
+        assert_eq!(clean, 0.0);
+    }
+
+    #[test]
+    fn deceptive_narrow_basin_is_global_minimum() {
+        let d = Deceptive::new(2);
+        let s = SearchSpace::new().float("x0", 0.0, 1.0).float("x1", 0.0, 1.0);
+        let at_center = s.decode(&[d.center[0], d.center[1]]);
+        let at_broad = s.decode(&[0.8, 0.8]);
+        let vc = d.evaluate(&at_center, 1.0, 1);
+        let vb = d.evaluate(&at_broad, 1.0, 1);
+        assert!(vc < vb, "center {vc} must beat broad basin {vb}");
+        assert!(vc < 0.2);
+    }
+
+    #[test]
+    fn mixed_types_optimum() {
+        let s = SearchSpace::new()
+            .log_float("lr", 1e-5, 1e-1)
+            .int("layers", 1, 5)
+            .choice("act", &["relu", "tanh", "gelu"]);
+        let mut best = s.decode(&[0.5, 0.5, 1.0]);
+        best.0.insert("lr".into(), crate::space::Value::Float(1e-3));
+        best.0.insert("layers".into(), crate::space::Value::Int(3));
+        assert!(MixedTypes.evaluate(&best, 1.0, 1) < 1e-6);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the search-space algebra and the search driver.
+
+use dd_hypersearch::searchers::RandomSearch;
+use dd_hypersearch::{run_search, Config, SearchSpace};
+use dd_tensor::Rng64;
+use proptest::prelude::*;
+
+fn space() -> SearchSpace {
+    SearchSpace::new()
+        .log_float("lr", 1e-6, 1.0)
+        .float("momentum", 0.0, 0.99)
+        .int("layers", 1, 12)
+        .choice("act", &["relu", "tanh", "gelu", "sigmoid"])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decode_encode_is_projection(enc in proptest::collection::vec(-2.0f64..3.0, 4)) {
+        // decode clamps/rounds; encoding the result and decoding again must
+        // be a fixed point.
+        let s = space();
+        let c1 = s.decode(&enc);
+        let c2 = s.decode(&s.encode(&c1));
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn samples_always_validly_encoded(seed in any::<u64>()) {
+        let s = space();
+        let mut rng = Rng64::new(seed);
+        let c = s.sample(&mut rng);
+        let e = s.encode(&c);
+        prop_assert!(e.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn mutation_preserves_validity(seed in any::<u64>(), rate in 0.0f64..1.0) {
+        let s = space();
+        let mut rng = Rng64::new(seed);
+        let c = s.sample(&mut rng);
+        let m = s.mutate(&c, rate, &mut rng);
+        let lr = m.f64("lr");
+        prop_assert!((1e-6..=1.0).contains(&lr));
+        prop_assert!((1..=12).contains(&m.usize("layers")));
+    }
+
+    #[test]
+    fn crossover_gene_values_come_from_parents(seed in any::<u64>()) {
+        let s = SearchSpace::new().int("a", 0, 1000).int("b", 0, 1000);
+        let mut rng = Rng64::new(seed);
+        let pa = s.sample(&mut rng);
+        let pb = s.sample(&mut rng);
+        let child = s.crossover(&pa, &pb, &mut rng);
+        for key in ["a", "b"] {
+            let v = child.usize(key);
+            prop_assert!(v == pa.usize(key) || v == pb.usize(key));
+        }
+    }
+
+    #[test]
+    fn run_search_cost_accounting_exact(cost in 1.0f64..40.0, par in 1usize..8, seed in any::<u64>()) {
+        let s = SearchSpace::new().float("x", 0.0, 1.0);
+        let obj = |c: &Config, _b: f64, _s: u64| c.f64("x");
+        let mut searcher = RandomSearch::new();
+        let h = run_search(&mut searcher, &s, &obj, cost, par, seed);
+        // Random search proposes unit-budget trials; the driver runs whole
+        // trials while spent < cost, so the total is exactly ceil(cost).
+        prop_assert!((h.total_cost() - cost.ceil()).abs() < 1e-9,
+            "total {} for cost {}", h.total_cost(), cost);
+        // Incumbent curve is monotone non-increasing in value.
+        let curve = h.incumbent_curve();
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 <= w[0].1 + 1e-12);
+            prop_assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    #[test]
+    fn grid_has_no_duplicates(levels in 2usize..5) {
+        let s = SearchSpace::new().float("x", 0.0, 1.0).int("k", 0, 3);
+        let g = s.grid(levels, 10_000);
+        let mut descs: Vec<String> = g.iter().map(Config::describe).collect();
+        let n = descs.len();
+        descs.sort();
+        descs.dedup();
+        prop_assert_eq!(descs.len(), n);
+        prop_assert_eq!(n, levels * 4);
+    }
+}

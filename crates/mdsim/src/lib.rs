@@ -1,0 +1,26 @@
+//! # dd-mdsim — ML-supervised multi-resolution molecular dynamics
+//!
+//! The abstract: in basic cancer research deep learning is "used to
+//! supervise large-scale multi-resolution molecular dynamics simulations
+//! used to explore cancer gene signaling pathways." We cannot run the
+//! RAS-pathway membrane simulations that sentence refers to; the faithful
+//! substitution (DESIGN.md) is a small Lennard-Jones fluid whose
+//! *integration resolution* is chosen per macro-step by an online-trained
+//! `dd-nn` regressor — the same control loop (ML watches the mechanistic
+//! simulation, predicts where cheap resolution suffices, and escalates only
+//! where needed) at laptop scale.
+//!
+//! * [`LjSystem`] — velocity-Verlet LJ fluid with periodic boundaries and a
+//!   force-evaluation cost counter.
+//! * [`SurrogateController`] — online error-predicting DNN.
+//! * [`run_supervised`] — runs a policy (coarse / fine / force heuristic /
+//!   surrogate) and reports cost vs fidelity (experiment E9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod supervisor;
+pub mod system;
+
+pub use supervisor::{run_supervised, Policy, RunReport, SurrogateController, FINE_SUBSTEPS};
+pub use system::LjSystem;

@@ -1,0 +1,293 @@
+//! DNN-supervised multi-resolution integration.
+//!
+//! The abstract: deep learning is "used to supervise large-scale
+//! multi-resolution molecular dynamics simulations". Here the resolution
+//! axis is temporal: each macro-step can be integrated coarsely (1 Verlet
+//! step, cheap) or finely (`FINE_SUBSTEPS` substeps, accurate). A small
+//! `dd-nn` regressor learns online to predict the coarse-step error from
+//! cheap state features and triggers refinement only when the predicted
+//! error exceeds a threshold — fine-MD fidelity at a fraction of the force
+//! evaluations. (The paper's spatial multi-resolution RAS simulations are
+//! substituted by this temporal variant; the *control loop* — ML watches a
+//! mechanistic simulation and decides where to spend resolution — is the
+//! same. See DESIGN.md.)
+
+use crate::system::LjSystem;
+use dd_nn::{Activation, Loss, ModelSpec, OptimizerConfig, Optimizer, Sequential};
+use dd_tensor::{Matrix, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Substeps used for a "fine" macro-step.
+pub const FINE_SUBSTEPS: usize = 8;
+
+/// Resolution policy for each macro-step.
+pub enum Policy {
+    /// Always one big step (fast, drifts).
+    AlwaysCoarse,
+    /// Always fine substeps (accurate, expensive) — the reference.
+    AlwaysFine,
+    /// Refine when the current max force exceeds a threshold (the classical
+    /// hand-tuned heuristic the surrogate is compared against).
+    ForceHeuristic {
+        /// Max-force trigger.
+        threshold: f64,
+    },
+    /// Refine when the DNN predicts a coarse-step error above `threshold`.
+    Surrogate(SurrogateController),
+}
+
+impl Policy {
+    /// Table label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::AlwaysCoarse => "coarse",
+            Policy::AlwaysFine => "fine",
+            Policy::ForceHeuristic { .. } => "force-heuristic",
+            Policy::Surrogate(_) => "dnn-surrogate",
+        }
+    }
+}
+
+/// Online-trained error predictor.
+pub struct SurrogateController {
+    model: Sequential,
+    optimizer: Optimizer,
+    /// Predicted-error refinement threshold.
+    pub threshold: f64,
+    /// Compute a ground-truth label every `label_every` macro-steps.
+    pub label_every: usize,
+    steps_seen: usize,
+    labels_collected: usize,
+    /// Warmup: refine unconditionally until this many labels exist.
+    warmup_labels: usize,
+}
+
+impl SurrogateController {
+    /// Fresh controller with an untrained network.
+    pub fn new(threshold: f64, seed: u64) -> Self {
+        let spec = ModelSpec::mlp(4, &[16, 8], 1, Activation::Tanh);
+        let model = spec.build(seed, Precision::F32).expect("valid surrogate spec");
+        SurrogateController {
+            model,
+            optimizer: OptimizerConfig::adam(0.005).build(),
+            threshold,
+            label_every: 5,
+            steps_seen: 0,
+            labels_collected: 0,
+            warmup_labels: 10,
+        }
+    }
+
+    /// Cheap state features: temperature, potential energy per particle,
+    /// log max force, and a stiffness proxy (max force × dt).
+    pub fn features(system: &mut LjSystem, dt: f64) -> [f32; 4] {
+        let t = system.temperature();
+        let n = system.len() as f64;
+        let e = system.total_energy();
+        let pe = (e - system.kinetic()) / n;
+        let fmax = system.max_force();
+        [
+            t as f32,
+            pe as f32,
+            (1.0 + fmax).ln() as f32,
+            (fmax * dt) as f32,
+        ]
+    }
+
+    /// Predicted log10 coarse-step error.
+    pub fn predict(&mut self, features: &[f32; 4]) -> f64 {
+        let x = Matrix::from_vec(1, 4, features.to_vec());
+        self.model.predict(&x).get(0, 0) as f64
+    }
+
+    /// One online supervised update from an observed (features, log-error)
+    /// pair.
+    pub fn learn(&mut self, features: &[f32; 4], log_error: f64) {
+        let x = Matrix::from_vec(1, 4, features.to_vec());
+        let y = Matrix::from_vec(1, 1, vec![log_error as f32]);
+        // A few gradient steps per label: labels are scarce.
+        for _ in 0..4 {
+            let pred = self.model.forward(&x, true);
+            let (_, grad) = Loss::Mse.compute(&pred, &y);
+            self.model.backward(&grad);
+            self.model.step_with(&mut self.optimizer, 1.0);
+        }
+        self.labels_collected += 1;
+    }
+
+    /// Decide whether to refine this macro-step; occasionally runs a shadow
+    /// coarse-vs-fine comparison to harvest a training label.
+    pub fn decide(&mut self, system: &mut LjSystem, dt: f64) -> bool {
+        self.steps_seen += 1;
+        let features = Self::features(system, dt);
+        // Periodic labelling: integrate a copy both ways and record the
+        // true error (this costs force evaluations, charged to the run).
+        if self.steps_seen % self.label_every == 1 || self.labels_collected < self.warmup_labels {
+            let base = system.force_evals;
+            let mut coarse = system.clone();
+            coarse.advance(dt, 1);
+            let mut fine = system.clone();
+            fine.advance(dt, FINE_SUBSTEPS);
+            // Charge the shadow integrations to the supervised run.
+            system.force_evals += (coarse.force_evals - base) + (fine.force_evals - base);
+            let err = coarse.rmsd(&fine).max(1e-12);
+            self.learn(&features, err.log10());
+        }
+        if self.labels_collected < self.warmup_labels {
+            return true; // refine while untrained
+        }
+        self.predict(&features) > self.threshold.log10()
+    }
+}
+
+/// Outcome of a supervised run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Policy label.
+    pub policy: String,
+    /// Macro-steps taken.
+    pub macro_steps: usize,
+    /// Fraction of macro-steps refined.
+    pub refine_fraction: f64,
+    /// Total force evaluations (the compute-cost metric).
+    pub force_evals: u64,
+    /// |E(end) − E(start)| / |E(start)| — integration quality.
+    pub energy_drift: f64,
+    /// RMSD against an always-fine twin trajectory.
+    pub rmsd_vs_fine: f64,
+}
+
+/// Run `macro_steps` of size `dt` under a policy, tracking an always-fine
+/// twin for accuracy measurement.
+pub fn run_supervised(
+    mut system: LjSystem,
+    mut policy: Policy,
+    macro_steps: usize,
+    dt: f64,
+) -> RunReport {
+    assert!(macro_steps >= 1, "need at least one macro step");
+    let mut fine_twin = system.clone();
+    let e0 = system.total_energy();
+    let mut refinements = 0usize;
+    for _ in 0..macro_steps {
+        let refine = match &mut policy {
+            Policy::AlwaysCoarse => false,
+            Policy::AlwaysFine => true,
+            Policy::ForceHeuristic { threshold } => system.max_force() > *threshold,
+            Policy::Surrogate(ctrl) => ctrl.decide(&mut system, dt),
+        };
+        if refine {
+            refinements += 1;
+        }
+        system.advance(dt, if refine { FINE_SUBSTEPS } else { 1 });
+        fine_twin.advance(dt, FINE_SUBSTEPS);
+    }
+    let e1 = system.total_energy();
+    RunReport {
+        policy: policy.name().to_string(),
+        macro_steps,
+        refine_fraction: refinements as f64 / macro_steps as f64,
+        force_evals: system.force_evals,
+        energy_drift: (e1 - e0).abs() / e0.abs().max(1e-9),
+        rmsd_vs_fine: system.rmsd(&fine_twin),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(seed: u64) -> LjSystem {
+        LjSystem::lattice(5, 1.3, 0.4, seed)
+    }
+
+    const DT: f64 = 0.04;
+
+    #[test]
+    fn fine_policy_is_most_accurate_and_most_expensive() {
+        let fine = run_supervised(system(1), Policy::AlwaysFine, 40, DT);
+        let coarse = run_supervised(system(1), Policy::AlwaysCoarse, 40, DT);
+        assert!(fine.rmsd_vs_fine < 1e-12, "fine twin == fine run");
+        assert!(coarse.rmsd_vs_fine > fine.rmsd_vs_fine);
+        assert!(coarse.force_evals < fine.force_evals / 4);
+        assert_eq!(fine.refine_fraction, 1.0);
+        assert_eq!(coarse.refine_fraction, 0.0);
+    }
+
+    #[test]
+    fn surrogate_cheaper_than_fine_better_than_coarse() {
+        let fine = run_supervised(system(2), Policy::AlwaysFine, 60, DT);
+        let coarse = run_supervised(system(2), Policy::AlwaysCoarse, 60, DT);
+        let sur = run_supervised(
+            system(2),
+            Policy::Surrogate(SurrogateController::new(5e-3, 7)),
+            60,
+            DT,
+        );
+        assert!(
+            sur.force_evals < fine.force_evals,
+            "surrogate {} vs fine {}",
+            sur.force_evals,
+            fine.force_evals
+        );
+        assert!(
+            sur.rmsd_vs_fine < coarse.rmsd_vs_fine,
+            "surrogate {} vs coarse {}",
+            sur.rmsd_vs_fine,
+            coarse.rmsd_vs_fine
+        );
+    }
+
+    #[test]
+    fn surrogate_refines_selectively_after_warmup() {
+        let sur = run_supervised(
+            system(3),
+            Policy::Surrogate(SurrogateController::new(5e-3, 8)),
+            80,
+            DT,
+        );
+        assert!(
+            sur.refine_fraction > 0.05 && sur.refine_fraction < 1.0,
+            "refine fraction {}",
+            sur.refine_fraction
+        );
+    }
+
+    #[test]
+    fn controller_learns_error_scale() {
+        // After labelled warmup, predictions should be in the right order
+        // of magnitude for the observed errors.
+        let mut ctrl = SurrogateController::new(1e-3, 9);
+        let mut sys = system(4);
+        for _ in 0..30 {
+            let _ = ctrl.decide(&mut sys, DT);
+            sys.advance(DT, 2);
+        }
+        let f = SurrogateController::features(&mut sys, DT);
+        let pred = ctrl.predict(&f);
+        assert!(
+            (-9.0..0.0).contains(&pred),
+            "predicted log10 error {pred} implausible"
+        );
+    }
+
+    #[test]
+    fn force_heuristic_sits_between_extremes() {
+        let mut probe = system(5);
+        let typical_force = probe.max_force();
+        let h = run_supervised(
+            system(5),
+            Policy::ForceHeuristic { threshold: typical_force },
+            40,
+            DT,
+        );
+        assert!(h.refine_fraction > 0.0 || h.force_evals > 0);
+        assert!(h.refine_fraction < 1.0 || h.rmsd_vs_fine < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one macro step")]
+    fn zero_steps_panics() {
+        let _ = run_supervised(system(6), Policy::AlwaysCoarse, 0, DT);
+    }
+}

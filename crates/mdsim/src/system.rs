@@ -1,0 +1,293 @@
+//! A 2-D Lennard-Jones fluid with periodic boundaries and velocity-Verlet
+//! integration — the mechanistic simulation the DNN surrogate supervises.
+//!
+//! Reduced units throughout (ε = σ = m = 1).
+
+use dd_tensor::Rng64;
+
+/// Particle system state.
+#[derive(Debug, Clone)]
+pub struct LjSystem {
+    /// Positions, wrapped into `[0, box_len)²`.
+    pub pos: Vec<[f64; 2]>,
+    /// Velocities.
+    pub vel: Vec<[f64; 2]>,
+    /// Periodic box edge length.
+    pub box_len: f64,
+    /// Interaction cutoff radius.
+    pub cutoff: f64,
+    /// Cumulative force evaluations (cost metric).
+    pub force_evals: u64,
+}
+
+impl LjSystem {
+    /// Particles on a square lattice with Maxwell-ish random velocities at
+    /// the requested temperature.
+    pub fn lattice(n_side: usize, spacing: f64, temperature: f64, seed: u64) -> Self {
+        assert!(n_side >= 2, "need at least a 2x2 lattice");
+        assert!(spacing > 0.5, "lattice spacing too tight for LJ");
+        let n = n_side * n_side;
+        let box_len = n_side as f64 * spacing;
+        let mut rng = Rng64::new(seed);
+        let mut pos = Vec::with_capacity(n);
+        let mut vel = Vec::with_capacity(n);
+        for i in 0..n_side {
+            for j in 0..n_side {
+                pos.push([
+                    (i as f64 + 0.5) * spacing,
+                    (j as f64 + 0.5) * spacing,
+                ]);
+                let std = temperature.max(0.0).sqrt();
+                vel.push([rng.normal(0.0, std), rng.normal(0.0, std)]);
+            }
+        }
+        // Remove center-of-mass drift.
+        let mut com = [0.0, 0.0];
+        for v in &vel {
+            com[0] += v[0];
+            com[1] += v[1];
+        }
+        let nf = n as f64;
+        for v in &mut vel {
+            v[0] -= com[0] / nf;
+            v[1] -= com[1] / nf;
+        }
+        LjSystem { pos, vel, box_len, cutoff: 2.5, force_evals: 0 }
+    }
+
+    /// Particle count.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True when the system has no particles.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Minimum-image displacement from particle `i` to `j`.
+    #[inline]
+    fn min_image(&self, i: usize, j: usize) -> [f64; 2] {
+        let mut d = [
+            self.pos[j][0] - self.pos[i][0],
+            self.pos[j][1] - self.pos[i][1],
+        ];
+        for v in &mut d {
+            if *v > self.box_len / 2.0 {
+                *v -= self.box_len;
+            } else if *v < -self.box_len / 2.0 {
+                *v += self.box_len;
+            }
+        }
+        d
+    }
+
+    /// LJ forces and potential energy with the current cutoff (O(n²) pair
+    /// loop; fine at the system sizes the workload uses).
+    pub fn forces(&mut self) -> (Vec<[f64; 2]>, f64) {
+        self.force_evals += 1;
+        let n = self.len();
+        let mut f = vec![[0.0f64; 2]; n];
+        let mut potential = 0.0;
+        let rc2 = self.cutoff * self.cutoff;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.min_image(i, j);
+                let r2 = d[0] * d[0] + d[1] * d[1];
+                if r2 >= rc2 || r2 == 0.0 {
+                    continue;
+                }
+                let inv_r2 = 1.0 / r2;
+                let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+                // F = 24ε (2 (σ/r)^12 − (σ/r)^6) / r², along d.
+                let coeff = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+                for k in 0..2 {
+                    f[i][k] -= coeff * d[k];
+                    f[j][k] += coeff * d[k];
+                }
+                potential += 4.0 * inv_r6 * (inv_r6 - 1.0);
+            }
+        }
+        (f, potential)
+    }
+
+    /// One velocity-Verlet step of size `dt`. Returns the potential energy
+    /// at the new positions.
+    pub fn step(&mut self, dt: f64) -> f64 {
+        let (f0, _) = self.forces();
+        let n = self.len();
+        for i in 0..n {
+            for k in 0..2 {
+                self.pos[i][k] += self.vel[i][k] * dt + 0.5 * f0[i][k] * dt * dt;
+                self.pos[i][k] = self.pos[i][k].rem_euclid(self.box_len);
+            }
+        }
+        let (f1, potential) = self.forces();
+        for i in 0..n {
+            for k in 0..2 {
+                self.vel[i][k] += 0.5 * (f0[i][k] + f1[i][k]) * dt;
+            }
+        }
+        potential
+    }
+
+    /// Advance a macro-step of total time `dt` using `substeps` equal
+    /// Verlet steps — the resolution knob the surrogate controls.
+    pub fn advance(&mut self, dt: f64, substeps: usize) {
+        assert!(substeps >= 1, "need at least one substep");
+        let h = dt / substeps as f64;
+        for _ in 0..substeps {
+            self.step(h);
+        }
+    }
+
+    /// Kinetic energy.
+    pub fn kinetic(&self) -> f64 {
+        self.vel.iter().map(|v| 0.5 * (v[0] * v[0] + v[1] * v[1])).sum()
+    }
+
+    /// Instantaneous temperature (2-D: Ek per degree of freedom).
+    pub fn temperature(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.kinetic() / self.len() as f64
+    }
+
+    /// Total energy (kinetic + potential at current positions).
+    pub fn total_energy(&mut self) -> f64 {
+        let (_, potential) = self.forces();
+        self.force_evals -= 1; // diagnostic call, not integration cost
+        self.kinetic() + potential
+    }
+
+    /// Largest force magnitude currently acting (diagnostic feature for the
+    /// surrogate: large forces mean stiff dynamics needing fine steps).
+    pub fn max_force(&mut self) -> f64 {
+        let (f, _) = self.forces();
+        self.force_evals -= 1;
+        f.iter()
+            .map(|v| (v[0] * v[0] + v[1] * v[1]).sqrt())
+            .fold(0.0, f64::max)
+    }
+
+    /// RMS displacement between this system and another with identical
+    /// particle identities (minimum-image metric).
+    pub fn rmsd(&self, other: &LjSystem) -> f64 {
+        assert_eq!(self.len(), other.len(), "system size mismatch");
+        let mut acc = 0.0;
+        for (a, b) in self.pos.iter().zip(&other.pos) {
+            let mut d = [b[0] - a[0], b[1] - a[1]];
+            for v in &mut d {
+                if *v > self.box_len / 2.0 {
+                    *v -= self.box_len;
+                } else if *v < -self.box_len / 2.0 {
+                    *v += self.box_len;
+                }
+            }
+            acc += d[0] * d[0] + d[1] * d[1];
+        }
+        (acc / self.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LjSystem {
+        LjSystem::lattice(4, 1.2, 0.3, 1)
+    }
+
+    #[test]
+    fn lattice_setup() {
+        let s = small();
+        assert_eq!(s.len(), 16);
+        assert!((s.box_len - 4.8).abs() < 1e-12);
+        // COM velocity removed.
+        let com: [f64; 2] = s.vel.iter().fold([0.0, 0.0], |a, v| [a[0] + v[0], a[1] + v[1]]);
+        assert!(com[0].abs() < 1e-10 && com[1].abs() < 1e-10);
+    }
+
+    #[test]
+    fn forces_are_newtonian() {
+        let mut s = small();
+        let (f, _) = s.forces();
+        let total: [f64; 2] = f.iter().fold([0.0, 0.0], |a, v| [a[0] + v[0], a[1] + v[1]]);
+        assert!(total[0].abs() < 1e-9 && total[1].abs() < 1e-9, "forces must sum to zero");
+    }
+
+    #[test]
+    fn energy_conserved_with_small_steps() {
+        let mut s = small();
+        let e0 = s.total_energy();
+        for _ in 0..200 {
+            s.step(0.001);
+        }
+        let e1 = s.total_energy();
+        let drift = (e1 - e0).abs() / e0.abs().max(1.0);
+        assert!(drift < 0.01, "energy drift {drift} (e0={e0}, e1={e1})");
+    }
+
+    #[test]
+    fn large_steps_drift_more() {
+        let drift_for = |substeps: usize| {
+            let mut s = small();
+            let e0 = s.total_energy();
+            for _ in 0..50 {
+                s.advance(0.05, substeps);
+            }
+            (s.total_energy() - e0).abs()
+        };
+        let coarse = drift_for(1);
+        let fine = drift_for(10);
+        assert!(fine < coarse, "fine {fine} should drift less than coarse {coarse}");
+    }
+
+    #[test]
+    fn positions_stay_in_box() {
+        let mut s = small();
+        for _ in 0..100 {
+            s.step(0.005);
+        }
+        for p in &s.pos {
+            assert!((0.0..s.box_len).contains(&p[0]));
+            assert!((0.0..s.box_len).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn force_evals_count_integration_only() {
+        let mut s = small();
+        let before = s.force_evals;
+        let _ = s.total_energy();
+        let _ = s.max_force();
+        assert_eq!(s.force_evals, before, "diagnostics must not count");
+        s.step(0.001);
+        assert_eq!(s.force_evals, before + 2, "verlet costs two evaluations");
+    }
+
+    #[test]
+    fn rmsd_zero_for_identical() {
+        let s = small();
+        assert_eq!(s.rmsd(&s.clone()), 0.0);
+    }
+
+    #[test]
+    fn deterministic_trajectories() {
+        let mut a = small();
+        let mut b = small();
+        for _ in 0..20 {
+            a.step(0.002);
+            b.step(0.002);
+        }
+        assert_eq!(a.rmsd(&b), 0.0);
+    }
+
+    #[test]
+    fn temperature_tracks_kinetic() {
+        // Large lattice so the sample temperature concentrates.
+        let s = LjSystem::lattice(16, 1.5, 0.5, 3);
+        assert!((s.temperature() - 0.5).abs() < 0.1, "T {}", s.temperature());
+    }
+}

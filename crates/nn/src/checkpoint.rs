@@ -1,0 +1,251 @@
+//! Model checkpointing: a compact binary format bundling the serializable
+//! [`ModelSpec`] with the flattened parameter vector.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   u32  = 0xDDC0FFEE
+//! version u32  = 1
+//! spec_len u32, spec: JSON bytes of the ModelSpec
+//! precision: 1 byte tag
+//! param_count u64, params: f32 × param_count
+//! checksum u64 (FNV-1a over everything above)
+//! ```
+
+use crate::model::Sequential;
+use crate::spec::ModelSpec;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dd_tensor::Precision;
+
+const MAGIC: u32 = 0xDDC0_FFEE;
+const VERSION: u32 = 1;
+
+/// Errors arising when decoding a checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Buffer too short or structurally truncated.
+    Truncated,
+    /// Magic number mismatch (not a checkpoint).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Spec JSON failed to parse or validate.
+    BadSpec(String),
+    /// Unknown precision tag.
+    BadPrecision(u8),
+    /// Parameter count disagrees with the spec's architecture.
+    ParamMismatch {
+        /// Count stored in the checkpoint.
+        stored: u64,
+        /// Count the spec requires.
+        expected: u64,
+    },
+    /// Checksum mismatch (corruption).
+    BadChecksum,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic => write!(f, "not a deepdriver checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadSpec(e) => write!(f, "invalid model spec: {e}"),
+            CheckpointError::BadPrecision(t) => write!(f, "unknown precision tag {t}"),
+            CheckpointError::ParamMismatch { stored, expected } => {
+                write!(f, "parameter count {stored} does not match spec ({expected})")
+            }
+            CheckpointError::BadChecksum => write!(f, "checksum mismatch (corrupt checkpoint)"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn precision_tag(p: Precision) -> u8 {
+    match p {
+        Precision::F64 => 0,
+        Precision::F32 => 1,
+        Precision::Bf16 => 2,
+        Precision::F16 => 3,
+        Precision::Int8 => 4,
+    }
+}
+
+fn precision_from_tag(t: u8) -> Option<Precision> {
+    Some(match t {
+        0 => Precision::F64,
+        1 => Precision::F32,
+        2 => Precision::Bf16,
+        3 => Precision::F16,
+        4 => Precision::Int8,
+        _ => return None,
+    })
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Serialize a model (spec + current weights) into a checkpoint buffer.
+pub fn save(spec: &ModelSpec, model: &mut Sequential) -> Bytes {
+    let spec_json = serde_json::to_vec(spec).expect("spec serializes");
+    let params = model.flatten_params();
+    let mut buf = BytesMut::with_capacity(32 + spec_json.len() + params.len() * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(u32::try_from(spec_json.len()).expect("spec fits in u32"));
+    buf.put_slice(&spec_json);
+    buf.put_u8(precision_tag(model.precision()));
+    buf.put_u64_le(params.len() as u64);
+    for v in &params {
+        buf.put_f32_le(*v);
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Decode a checkpoint and rebuild the model with its stored weights.
+pub fn load(data: &[u8]) -> Result<(ModelSpec, Sequential), CheckpointError> {
+    let mut buf = data;
+    if buf.len() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    // Verify the trailing checksum before trusting any field.
+    if data.len() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, tail) = data.split_at(data.len() - 8);
+    let stored_sum = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv1a(body) != stored_sum {
+        return Err(CheckpointError::BadChecksum);
+    }
+
+    if buf.get_u32_le() != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let spec_len = buf.get_u32_le() as usize;
+    if buf.len() < spec_len {
+        return Err(CheckpointError::Truncated);
+    }
+    let spec: ModelSpec = serde_json::from_slice(&buf[..spec_len])
+        .map_err(|e| CheckpointError::BadSpec(e.to_string()))?;
+    buf.advance(spec_len);
+    if buf.len() < 9 {
+        return Err(CheckpointError::Truncated);
+    }
+    let precision =
+        precision_from_tag(buf.get_u8()).ok_or_else(|| CheckpointError::BadPrecision(0xFF))?;
+    let count = buf.get_u64_le() as usize;
+    if buf.len() < count * 4 + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut params = Vec::with_capacity(count);
+    for _ in 0..count {
+        params.push(buf.get_f32_le());
+    }
+    let mut model = spec
+        .build(0, precision)
+        .map_err(CheckpointError::BadSpec)?;
+    if model.param_count() != count {
+        return Err(CheckpointError::ParamMismatch {
+            stored: count as u64,
+            expected: model.param_count() as u64,
+        });
+    }
+    model.load_params(&params);
+    Ok((spec, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Activation;
+    use dd_tensor::{Matrix, Rng64};
+
+    fn model_pair() -> (ModelSpec, Sequential) {
+        let spec = ModelSpec::mlp(6, &[10], 3, Activation::Relu);
+        let model = spec.build(7, Precision::Bf16).unwrap();
+        (spec, model)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (spec, mut model) = model_pair();
+        let blob = save(&spec, &mut model);
+        let (spec2, mut model2) = load(&blob).unwrap();
+        assert_eq!(spec2, spec);
+        assert_eq!(model2.precision(), Precision::Bf16);
+        assert_eq!(model2.flatten_params(), model.flatten_params());
+        // Same predictions.
+        let mut rng = Rng64::new(1);
+        let x = Matrix::randn(4, 6, 0.0, 1.0, &mut rng);
+        assert_eq!(model.predict(&x), model2.predict(&x));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let (spec, mut model) = model_pair();
+        let blob = save(&spec, &mut model);
+        let mut bytes = blob.to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert_eq!(load(&bytes).unwrap_err(), CheckpointError::BadChecksum);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let (spec, mut model) = model_pair();
+        let blob = save(&spec, &mut model);
+        for cut in [0, 4, 11, blob.len() / 2] {
+            let err = load(&blob[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Truncated | CheckpointError::BadChecksum),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_detected() {
+        let (spec, mut model) = model_pair();
+        let blob = save(&spec, &mut model);
+        let mut bytes = blob.to_vec();
+        bytes[0] = 0;
+        // Fix up checksum so the magic check is what fires.
+        let n = bytes.len();
+        let sum = fnv1a(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(load(&bytes).unwrap_err(), CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn trained_weights_survive() {
+        let spec = ModelSpec::mlp(2, &[8], 1, Activation::Tanh);
+        let mut model = spec.build(3, Precision::F32).unwrap();
+        // Take a few training steps so weights differ from init.
+        let mut rng = Rng64::new(4);
+        let x = Matrix::randn(32, 2, 0.0, 1.0, &mut rng);
+        let y = Matrix::from_fn(32, 1, |i, _| x.get(i, 0) * 2.0);
+        let mut opt = crate::optim::OptimizerConfig::adam(0.01).build();
+        for _ in 0..20 {
+            let pred = model.forward(&x, true);
+            let (_, grad) = crate::loss::Loss::Mse.compute(&pred, &y);
+            model.backward(&grad);
+            model.step_with(&mut opt, 1.0);
+        }
+        let blob = save(&spec, &mut model);
+        let (_, mut restored) = load(&blob).unwrap();
+        assert_eq!(restored.predict(&x), model.predict(&x));
+    }
+}

@@ -1,0 +1,86 @@
+//! Weight initialization schemes.
+
+use dd_tensor::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// How a weight matrix is filled before training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Init {
+    /// All zeros (biases, residual scales).
+    Zeros,
+    /// Glorot/Xavier normal: std = sqrt(2 / (fan_in + fan_out)). Good default
+    /// for tanh/sigmoid layers.
+    Xavier,
+    /// He/Kaiming normal: std = sqrt(2 / fan_in). Good default for ReLU.
+    He,
+    /// Uniform in `[-scale, scale]`.
+    Uniform(f32),
+    /// Normal with explicit standard deviation.
+    Normal(f32),
+}
+
+impl Init {
+    /// Materialize a `fan_in × fan_out` matrix.
+    pub fn build(self, fan_in: usize, fan_out: usize, rng: &mut Rng64) -> Matrix {
+        match self {
+            Init::Zeros => Matrix::zeros(fan_in, fan_out),
+            Init::Xavier => {
+                let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+                Matrix::randn(fan_in, fan_out, 0.0, std, rng)
+            }
+            Init::He => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                Matrix::randn(fan_in, fan_out, 0.0, std, rng)
+            }
+            Init::Uniform(scale) => Matrix::rand_uniform(fan_in, fan_out, -scale, scale, rng),
+            Init::Normal(std) => Matrix::randn(fan_in, fan_out, 0.0, std, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = Rng64::new(1);
+        let m = Init::Zeros.build(4, 5, &mut rng);
+        assert_eq!(m.sum(), 0.0);
+        assert_eq!(m.shape(), (4, 5));
+    }
+
+    #[test]
+    fn he_std_matches_fan_in() {
+        let mut rng = Rng64::new(2);
+        let fan_in = 400;
+        let m = Init::He.build(fan_in, 300, &mut rng);
+        let expected = (2.0 / fan_in as f32).sqrt();
+        let std = (m.norm_sq() / m.len() as f32).sqrt();
+        assert!((std - expected).abs() / expected < 0.05, "std {std} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_std_matches_fans() {
+        let mut rng = Rng64::new(3);
+        let m = Init::Xavier.build(200, 600, &mut rng);
+        let expected = (2.0 / 800f32).sqrt();
+        let std = (m.norm_sq() / m.len() as f32).sqrt();
+        assert!((std - expected).abs() / expected < 0.05);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = Rng64::new(4);
+        let m = Init::Uniform(0.3).build(50, 50, &mut rng);
+        assert!(m.max_abs() <= 0.3);
+        assert!(m.max_abs() > 0.25, "should come close to the bound");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::He.build(8, 8, &mut Rng64::new(9));
+        let b = Init::He.build(8, 8, &mut Rng64::new(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,242 @@
+//! Elementwise activation functions as layers.
+
+use super::Layer;
+use dd_tensor::{sigmoid, Matrix, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with slope 0.01 on the negative side.
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Identity (useful when a spec slot must hold "no activation").
+    Identity,
+}
+
+impl Activation {
+    /// All activations, for search-space construction.
+    pub const ALL: [Activation; 6] = [
+        Activation::Relu,
+        Activation::LeakyRelu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::Gelu,
+        Activation::Identity,
+    ];
+
+    /// Apply the function to a scalar.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Gelu => {
+                // tanh approximation of GELU
+                let c = 0.797_884_6; // sqrt(2/pi)
+                0.5 * x * (1.0 + (c * (x + 0.044_715 * x * x * x)).tanh())
+            }
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *input* `x` and the cached
+    /// *output* `y` — whichever is cheaper for each function.
+    #[inline]
+    pub fn derivative(self, x: f32, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Gelu => {
+                let c = 0.797_884_6f32;
+                let inner = c * (x + 0.044_715 * x * x * x);
+                let t = inner.tanh();
+                let sech2 = 1.0 - t * t;
+                0.5 * (1.0 + t) + 0.5 * x * sech2 * c * (1.0 + 3.0 * 0.044_715 * x * x)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Name used in specs and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::LeakyRelu => "leaky_relu",
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Gelu => "gelu",
+            Activation::Identity => "identity",
+        }
+    }
+}
+
+impl std::str::FromStr for Activation {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Activation::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| format!("unknown activation '{s}'"))
+    }
+}
+
+/// Layer wrapper applying an [`Activation`] elementwise.
+pub struct ActivationLayer {
+    kind: Activation,
+    cache_x: Option<Matrix>,
+    cache_y: Option<Matrix>,
+}
+
+impl ActivationLayer {
+    /// Wrap an activation function as a layer.
+    pub fn new(kind: Activation) -> Self {
+        ActivationLayer { kind, cache_x: None, cache_y: None }
+    }
+
+    /// Which activation this layer applies.
+    pub fn kind(&self) -> Activation {
+        self.kind
+    }
+}
+
+impl Layer for ActivationLayer {
+    fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool, _prec: Precision) -> Matrix {
+        let kind = self.kind;
+        let y = x.map(move |v| kind.apply(v));
+        if train {
+            self.cache_x = Some(x.clone());
+            self.cache_y = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        let y = self.cache_y.as_ref().expect("backward before forward");
+        let kind = self.kind;
+        let mut grad = grad_out.clone();
+        for i in 0..grad.rows() {
+            let (xr, yr) = (x.row(i), y.row(i));
+            let gr = grad.row_mut(i);
+            for ((g, &xv), &yv) in gr.iter_mut().zip(xr).zip(yr) {
+                *g *= kind.derivative(xv, yv);
+            }
+        }
+        grad
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        input_dim
+    }
+
+    fn flops(&self, batch: usize, input_dim: usize) -> u64 {
+        (batch * input_dim) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_leaky_values() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::LeakyRelu.apply(-2.0), -0.02);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f64;
+        for act in Activation::ALL {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let y = act.apply(x);
+                let d = act.derivative(x, y) as f64;
+                let num = (act.apply(x + eps as f32) as f64 - act.apply(x - eps as f32) as f64)
+                    / (2.0 * eps);
+                assert!(
+                    (d - num).abs() < 1e-2,
+                    "{:?} at {x}: analytic {d} vs numeric {num}",
+                    act
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gelu_known_points() {
+        // GELU(0) = 0; GELU is ~x for large positive x, ~0 for large negative.
+        assert_eq!(Activation::Gelu.apply(0.0), 0.0);
+        assert!((Activation::Gelu.apply(10.0) - 10.0).abs() < 1e-3);
+        assert!(Activation::Gelu.apply(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_backward_scales_gradient() {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let x = Matrix::from_rows(&[&[-1.0, 2.0], &[3.0, -4.0]]);
+        let y = layer.forward(&x, true, Precision::F32);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 3.0, 0.0]);
+        let g = layer.backward(&Matrix::full(2, 2, 5.0), Precision::F32);
+        assert_eq!(g.as_slice(), &[0.0, 5.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for a in Activation::ALL {
+            assert_eq!(a.name().parse::<Activation>().unwrap(), a);
+        }
+        assert!("swish".parse::<Activation>().is_err());
+    }
+
+    #[test]
+    fn stateless_between_eval_calls() {
+        let mut layer = ActivationLayer::new(Activation::Tanh);
+        let x = Matrix::full(1, 1, 0.5);
+        // Eval-mode forward must not require or disturb caches.
+        let y1 = layer.forward(&x, false, Precision::F32);
+        let y2 = layer.forward(&x, false, Precision::F32);
+        assert_eq!(y1, y2);
+    }
+}

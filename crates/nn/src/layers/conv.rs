@@ -1,0 +1,325 @@
+//! 1-D convolution over channel-major flattened rows.
+//!
+//! Genomic and expression-profile workloads (the NT3-style tumor classifier)
+//! use 1-D convolutions over a feature axis. A batch row stores a
+//! `(channels, length)` signal flattened channel-major:
+//! `[c0 t0 .. c0 tL-1, c1 t0 .. , ...]`. The convolution is implemented as
+//! im2col followed by one large matmul, which routes the FLOPs through the
+//! same precision-emulating kernels as dense layers.
+
+use super::Layer;
+use crate::init::Init;
+use dd_tensor::{matmul_nt_prec, matmul_prec, matmul_tn_prec, Matrix, Precision, Rng64};
+
+/// 1-D convolution: `in_ch` input channels of length `len`, `out_ch` filters
+/// of width `kernel`, stride `stride`, no padding.
+pub struct Conv1d {
+    in_ch: usize,
+    len: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    out_len: usize,
+    /// Weights: `(in_ch * kernel) × out_ch`.
+    w: Matrix,
+    b: Matrix,
+    gw: Matrix,
+    gb: Matrix,
+    /// Cached im2col patches of the last training forward.
+    cache_patches: Option<Matrix>,
+    cache_batch: usize,
+}
+
+impl Conv1d {
+    /// New convolution layer. Panics if the geometry is inconsistent.
+    pub fn new(
+        in_ch: usize,
+        len: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        init: Init,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(kernel >= 1 && stride >= 1, "kernel and stride must be >= 1");
+        assert!(kernel <= len, "kernel {kernel} longer than input {len}");
+        let out_len = (len - kernel) / stride + 1;
+        Conv1d {
+            in_ch,
+            len,
+            out_ch,
+            kernel,
+            stride,
+            out_len,
+            w: init.build(in_ch * kernel, out_ch, rng),
+            b: Matrix::zeros(1, out_ch),
+            gw: Matrix::zeros(in_ch * kernel, out_ch),
+            gb: Matrix::zeros(1, out_ch),
+            cache_patches: None,
+            cache_batch: 0,
+        }
+    }
+
+    /// Output signal length per channel.
+    pub fn out_len(&self) -> usize {
+        self.out_len
+    }
+
+    /// Number of output channels.
+    pub fn out_ch(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Extract im2col patches: `(batch * out_len) × (in_ch * kernel)`.
+    fn im2col(&self, x: &Matrix) -> Matrix {
+        let batch = x.rows();
+        let mut p = Matrix::zeros(batch * self.out_len, self.in_ch * self.kernel);
+        for bi in 0..batch {
+            let row = x.row(bi);
+            for t in 0..self.out_len {
+                let dst = p.row_mut(bi * self.out_len + t);
+                let start = t * self.stride;
+                for c in 0..self.in_ch {
+                    let src = &row[c * self.len + start..c * self.len + start + self.kernel];
+                    dst[c * self.kernel..(c + 1) * self.kernel].copy_from_slice(src);
+                }
+            }
+        }
+        p
+    }
+
+    /// Scatter-add patch gradients back to input layout (col2im).
+    fn col2im(&self, dp: &Matrix, batch: usize) -> Matrix {
+        let mut dx = Matrix::zeros(batch, self.in_ch * self.len);
+        for bi in 0..batch {
+            for t in 0..self.out_len {
+                let src = dp.row(bi * self.out_len + t);
+                let start = t * self.stride;
+                let dst = dx.row_mut(bi);
+                for c in 0..self.in_ch {
+                    let base = c * self.len + start;
+                    for j in 0..self.kernel {
+                        dst[base + j] += src[c * self.kernel + j];
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    /// Reshape `(batch*out_len) × out_ch` to channel-major rows
+    /// `batch × (out_ch*out_len)`.
+    fn to_channel_major(&self, y2: &Matrix, batch: usize) -> Matrix {
+        let mut y = Matrix::zeros(batch, self.out_ch * self.out_len);
+        for bi in 0..batch {
+            let dst = y.row_mut(bi);
+            for t in 0..self.out_len {
+                let src = y2.row(bi * self.out_len + t);
+                for (o, &v) in src.iter().enumerate() {
+                    dst[o * self.out_len + t] = v;
+                }
+            }
+        }
+        y
+    }
+
+    /// Inverse of [`Self::to_channel_major`] for gradients.
+    fn from_channel_major(&self, dy: &Matrix, batch: usize) -> Matrix {
+        let mut dy2 = Matrix::zeros(batch * self.out_len, self.out_ch);
+        for bi in 0..batch {
+            let src = dy.row(bi);
+            for t in 0..self.out_len {
+                let dst = dy2.row_mut(bi * self.out_len + t);
+                for (o, d) in dst.iter_mut().enumerate() {
+                    *d = src[o * self.out_len + t];
+                }
+            }
+        }
+        dy2
+    }
+}
+
+impl Layer for Conv1d {
+    fn name(&self) -> &'static str {
+        "conv1d"
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.in_ch * self.len,
+            "conv1d input width mismatch: expected {}x{}",
+            self.in_ch,
+            self.len
+        );
+        let batch = x.rows();
+        let patches = self.im2col(x);
+        let mut y2 = matmul_prec(&patches, &self.w, prec);
+        y2.add_row_broadcast(self.b.as_slice());
+        let y = self.to_channel_major(&y2, batch);
+        if train {
+            self.cache_patches = Some(patches);
+            self.cache_batch = batch;
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, prec: Precision) -> Matrix {
+        let patches = self.cache_patches.as_ref().expect("backward before forward");
+        let batch = self.cache_batch;
+        assert_eq!(grad_out.cols(), self.out_ch * self.out_len, "conv1d grad width mismatch");
+        let dy2 = self.from_channel_major(grad_out, batch);
+        self.gw = matmul_tn_prec(patches, &dy2, prec);
+        self.gb = Matrix::from_vec(1, self.out_ch, dy2.sum_rows());
+        let dp = matmul_nt_prec(&dy2, &self.w, prec);
+        self.col2im(&dp, batch)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        assert_eq!(input_dim, self.in_ch * self.len, "conv1d geometry mismatch");
+        self.out_ch * self.out_len
+    }
+
+    fn flops(&self, batch: usize, _input_dim: usize) -> u64 {
+        2 * (batch * self.out_len) as u64 * (self.in_ch * self.kernel) as u64 * self.out_ch as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (slow) convolution for cross-checking.
+    fn naive_conv(
+        x: &Matrix,
+        w: &Matrix,
+        b: &Matrix,
+        in_ch: usize,
+        len: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+    ) -> Matrix {
+        let out_len = (len - kernel) / stride + 1;
+        let mut y = Matrix::zeros(x.rows(), out_ch * out_len);
+        for bi in 0..x.rows() {
+            for o in 0..out_ch {
+                for t in 0..out_len {
+                    let mut acc = b.get(0, o);
+                    for c in 0..in_ch {
+                        for j in 0..kernel {
+                            acc += x.get(bi, c * len + t * stride + j)
+                                * w.get(c * kernel + j, o);
+                        }
+                    }
+                    y.set(bi, o * out_len + t, acc);
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let mut rng = Rng64::new(1);
+        let (in_ch, len, out_ch, kernel, stride) = (3, 17, 5, 4, 2);
+        let mut conv = Conv1d::new(in_ch, len, out_ch, kernel, stride, Init::Xavier, &mut rng);
+        let x = Matrix::randn(4, in_ch * len, 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false, Precision::F32);
+        let expect = naive_conv(&x, &conv.w, &conv.b, in_ch, len, out_ch, kernel, stride);
+        assert!(y.approx_eq(&expect, 1e-4), "conv mismatch");
+        assert_eq!(y.cols(), out_ch * conv.out_len());
+    }
+
+    #[test]
+    fn stride_one_full_coverage() {
+        let mut rng = Rng64::new(2);
+        let mut conv = Conv1d::new(1, 8, 1, 3, 1, Init::Xavier, &mut rng);
+        assert_eq!(conv.out_len(), 6);
+        let x = Matrix::randn(2, 8, 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false, Precision::F32);
+        assert_eq!(y.shape(), (2, 6));
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut rng = Rng64::new(3);
+        let (in_ch, len, out_ch, kernel, stride) = (2, 9, 3, 3, 2);
+        let mut conv = Conv1d::new(in_ch, len, out_ch, kernel, stride, Init::Xavier, &mut rng);
+        let x = Matrix::randn(3, in_ch * len, 0.0, 1.0, &mut rng);
+
+        let y = conv.forward(&x, true, Precision::F32);
+        let grad_in = conv.backward(&y.clone(), Precision::F32); // L = 0.5||y||²
+
+        let loss = |conv: &mut Conv1d, x: &Matrix| {
+            let y = conv.forward(x, false, Precision::F32);
+            0.5 * y.norm_sq() as f64
+        };
+        let eps = 1e-3f32;
+
+        // Weight gradient at a few positions.
+        for &(i, j) in &[(0usize, 0usize), (3, 2), (5, 1)] {
+            let orig = conv.w.get(i, j);
+            conv.w.set(i, j, orig + eps);
+            let lp = loss(&mut conv, &x);
+            conv.w.set(i, j, orig - eps);
+            let lm = loss(&mut conv, &x);
+            conv.w.set(i, j, orig);
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let analytic = conv.gw.get(i, j) as f64;
+            assert!(
+                (num - analytic).abs() < 2e-2 * (1.0 + num.abs()),
+                "gw[{i},{j}] numeric {num} analytic {analytic}"
+            );
+        }
+        // Input gradient at a position covered by overlapping windows.
+        let (bi, bj) = (1, 4);
+        let mut xp = x.clone();
+        xp.set(bi, bj, x.get(bi, bj) + eps);
+        let lp = loss(&mut conv, &xp);
+        let mut xm = x.clone();
+        xm.set(bi, bj, x.get(bi, bj) - eps);
+        let lm = loss(&mut conv, &xm);
+        let num = (lp - lm) / (2.0 * eps as f64);
+        let analytic = grad_in.get(bi, bj) as f64;
+        assert!(
+            (num - analytic).abs() < 2e-2 * (1.0 + num.abs()),
+            "dx numeric {num} analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn bias_gradient_counts_positions() {
+        let mut rng = Rng64::new(4);
+        let mut conv = Conv1d::new(1, 6, 2, 2, 1, Init::Zeros, &mut rng);
+        let x = Matrix::randn(2, 6, 0.0, 1.0, &mut rng);
+        conv.forward(&x, true, Precision::F32);
+        // Unit output gradient: db[o] = batch * out_len.
+        let g = Matrix::full(2, 2 * conv.out_len(), 1.0);
+        conv.backward(&g, Precision::F32);
+        assert_eq!(conv.gb.as_slice(), &[10.0, 10.0]); // 2 batch × 5 positions
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than input")]
+    fn kernel_too_long_panics() {
+        let mut rng = Rng64::new(5);
+        let _ = Conv1d::new(1, 3, 1, 5, 1, Init::Xavier, &mut rng);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Rng64::new(6);
+        let conv = Conv1d::new(4, 20, 8, 5, 1, Init::He, &mut rng);
+        assert_eq!(conv.param_count(), 4 * 5 * 8 + 8);
+    }
+}

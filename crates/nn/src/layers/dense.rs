@@ -1,0 +1,244 @@
+//! Fully connected layer — the workhorse of every driver workload.
+
+use super::Layer;
+use crate::init::Init;
+use dd_tensor::{matmul_nt_prec, matmul_prec, matmul_tn_prec, Matrix, Precision, Rng64};
+
+/// `y = x · W + b` with `W: in_dim × out_dim`, `b: 1 × out_dim`.
+pub struct Dense {
+    w: Matrix,
+    b: Matrix,
+    gw: Matrix,
+    gb: Matrix,
+    /// Cached input of the last forward pass (needed for dW = xᵀ · δ).
+    cache_x: Option<Matrix>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    /// New dense layer with the given initializer for weights; biases start
+    /// at zero.
+    pub fn new(in_dim: usize, out_dim: usize, init: Init, rng: &mut Rng64) -> Self {
+        Dense {
+            w: init.build(in_dim, out_dim, rng),
+            b: Matrix::zeros(1, out_dim),
+            gw: Matrix::zeros(in_dim, out_dim),
+            gb: Matrix::zeros(1, out_dim),
+            cache_x: None,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Borrow the weight matrix (for attribution / inspection).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Borrow the bias row.
+    pub fn bias(&self) -> &Matrix {
+        &self.b
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "dense input width mismatch");
+        let mut y = matmul_prec(x, &self.w, prec);
+        y.add_row_broadcast(self.b.as_slice());
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, prec: Precision) -> Matrix {
+        let x = self
+            .cache_x
+            .as_ref()
+            .expect("backward called before forward(train=true)");
+        assert_eq!(grad_out.cols(), self.out_dim, "dense grad width mismatch");
+        assert_eq!(grad_out.rows(), x.rows(), "dense grad batch mismatch");
+        // dW = xᵀ · δ ; db = column sums of δ ; dx = δ · Wᵀ.
+        self.gw = matmul_tn_prec(x, grad_out, prec);
+        self.gb = Matrix::from_vec(1, self.out_dim, grad_out.sum_rows());
+        matmul_nt_prec(grad_out, &self.w, prec)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        assert_eq!(input_dim, self.in_dim, "dense layer expects width {}", self.in_dim);
+        self.out_dim
+    }
+
+    fn flops(&self, batch: usize, _input_dim: usize) -> u64 {
+        // 2·m·k·n multiply-adds plus the bias add.
+        2 * batch as u64 * self.in_dim as u64 * self.out_dim as u64
+            + batch as u64 * self.out_dim as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Layer;
+
+    fn finite_diff_check(in_dim: usize, out_dim: usize, batch: usize, seed: u64) {
+        // Numerical gradient check of dW, db and dx through an MSE-style
+        // scalar loss L = 0.5 * ||y||².
+        let mut rng = Rng64::new(seed);
+        let mut layer = Dense::new(in_dim, out_dim, Init::Xavier, &mut rng);
+        let x = Matrix::randn(batch, in_dim, 0.0, 1.0, &mut rng);
+
+        let y = layer.forward(&x, true, Precision::F32);
+        let grad_out = y.clone(); // dL/dy = y for L = 0.5||y||²
+        let grad_in = layer.backward(&grad_out, Precision::F32);
+
+        let loss = |layer: &mut Dense, x: &Matrix| -> f64 {
+            let y = layer.forward(x, false, Precision::F32);
+            0.5 * y.norm_sq() as f64
+        };
+
+        let eps = 1e-3f32;
+        // Check a handful of weight entries.
+        for &(i, j) in &[(0usize, 0usize), (in_dim - 1, out_dim - 1), (in_dim / 2, out_dim / 2)] {
+            let orig = layer.weights().get(i, j);
+            layer.visit_params(&mut |p, _| {
+                if p.shape() == (in_dim, out_dim) {
+                    p.set(i, j, orig + eps);
+                }
+            });
+            let lp = loss(&mut layer, &x);
+            layer.visit_params(&mut |p, _| {
+                if p.shape() == (in_dim, out_dim) {
+                    p.set(i, j, orig - eps);
+                }
+            });
+            let lm = loss(&mut layer, &x);
+            layer.visit_params(&mut |p, _| {
+                if p.shape() == (in_dim, out_dim) {
+                    p.set(i, j, orig);
+                }
+            });
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let mut analytic = 0f32;
+            layer.visit_params(&mut |p, g| {
+                if p.shape() == (in_dim, out_dim) {
+                    analytic = g.get(i, j);
+                }
+            });
+            assert!(
+                (num - analytic as f64).abs() < 2e-2 * (1.0 + num.abs()),
+                "dW[{i},{j}]: numeric {num} vs analytic {analytic}"
+            );
+        }
+        // Check one input gradient entry.
+        let (bi, bj) = (batch / 2, in_dim / 2);
+        let mut xp = x.clone();
+        xp.set(bi, bj, x.get(bi, bj) + eps);
+        let lp = loss(&mut layer, &xp);
+        let mut xm = x.clone();
+        xm.set(bi, bj, x.get(bi, bj) - eps);
+        let lm = loss(&mut layer, &xm);
+        let num = (lp - lm) / (2.0 * eps as f64);
+        let analytic = grad_in.get(bi, bj) as f64;
+        assert!(
+            (num - analytic).abs() < 2e-2 * (1.0 + num.abs()),
+            "dx[{bi},{bj}]: numeric {num} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        finite_diff_check(6, 4, 5, 1);
+        finite_diff_check(3, 8, 2, 2);
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = Rng64::new(3);
+        let mut layer = Dense::new(4, 2, Init::Zeros, &mut rng);
+        // Zero weights: output is the bias broadcast.
+        layer.visit_params(&mut |p, _| {
+            if p.shape() == (1, 2) {
+                p.set(0, 0, 1.5);
+                p.set(0, 1, -0.5);
+            }
+        });
+        let x = Matrix::randn(3, 4, 0.0, 1.0, &mut rng);
+        let y = layer.forward(&x, false, Precision::F32);
+        assert_eq!(y.shape(), (3, 2));
+        for i in 0..3 {
+            assert_eq!(y.row(i), &[1.5, -0.5]);
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_row_sum() {
+        let mut rng = Rng64::new(4);
+        let mut layer = Dense::new(3, 2, Init::Xavier, &mut rng);
+        let x = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
+        layer.forward(&x, true, Precision::F32);
+        let grad = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 2.0], &[1.0, 0.0], &[1.0, 0.0]]);
+        layer.backward(&grad, Precision::F32);
+        let mut gb = Matrix::zeros(0, 0);
+        layer.visit_params(&mut |p, g| {
+            if p.shape() == (1, 2) {
+                gb = g.clone();
+            }
+        });
+        assert_eq!(gb.as_slice(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn param_count_and_output_dim() {
+        let mut rng = Rng64::new(5);
+        let layer = Dense::new(10, 7, Init::He, &mut rng);
+        assert_eq!(layer.param_count(), 10 * 7 + 7);
+        assert_eq!(layer.output_dim(10), 7);
+        assert!(layer.flops(32, 10) >= 2 * 32 * 10 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_input_width_panics() {
+        let mut rng = Rng64::new(6);
+        let mut layer = Dense::new(4, 2, Init::He, &mut rng);
+        let x = Matrix::zeros(1, 5);
+        let _ = layer.forward(&x, false, Precision::F32);
+    }
+
+    #[test]
+    fn low_precision_forward_close_to_f32() {
+        let mut rng = Rng64::new(7);
+        let mut layer = Dense::new(64, 32, Init::Xavier, &mut rng);
+        let x = Matrix::randn(16, 64, 0.0, 1.0, &mut rng);
+        let y32 = layer.forward(&x, false, Precision::F32);
+        let yb = layer.forward(&x, false, Precision::Bf16);
+        let diff = y32.zip_map(&yb, |a, b| (a - b).abs()).max_abs();
+        assert!(diff > 0.0 && diff < 0.2, "bf16 diff {diff}");
+    }
+}

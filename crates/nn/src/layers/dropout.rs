@@ -1,0 +1,120 @@
+//! Inverted dropout.
+
+use super::Layer;
+use dd_tensor::{Matrix, Precision, Rng64};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation mode
+/// is a plain identity.
+pub struct Dropout {
+    p: f32,
+    rng: Rng64,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// New dropout layer. `p` is the drop probability in `[0, 1)`.
+    pub fn new(p: f32, rng: Rng64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1), got {p}");
+        Dropout { p, rng, mask: None }
+    }
+
+    /// The configured drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool, _prec: Precision) -> Matrix {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        for v in mask.as_mut_slice() {
+            *v = if self.rng.bernoulli(keep as f64) { scale } else { 0.0 };
+        }
+        let y = x.zip_map(&mask, |a, m| a * m);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {
+        match &self.mask {
+            Some(mask) => grad_out.zip_map(mask, |g, m| g * m),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        input_dim
+    }
+
+    fn flops(&self, batch: usize, input_dim: usize) -> u64 {
+        (batch * input_dim) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, Rng64::new(1));
+        let x = Matrix::full(4, 4, 2.0);
+        let y = d.forward(&x, false, Precision::F32);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, Rng64::new(2));
+        let x = Matrix::full(200, 200, 1.0);
+        let y = d.forward(&x, true, Precision::F32);
+        // Inverted dropout: E[y] = E[x].
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+        // Roughly p of entries are zero.
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count() as f32
+            / y.len() as f32;
+        assert!((zeros - 0.3).abs() < 0.02, "zero fraction {zeros}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, Rng64::new(3));
+        let x = Matrix::full(8, 8, 1.0);
+        let y = d.forward(&x, true, Precision::F32);
+        let g = d.backward(&Matrix::full(8, 8, 1.0), Precision::F32);
+        // Gradient flows exactly where the forward pass let values through.
+        for (yy, gg) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yy == 0.0, *gg == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_is_noop_even_in_train() {
+        let mut d = Dropout::new(0.0, Rng64::new(4));
+        let x = Matrix::full(3, 3, 7.0);
+        assert_eq!(d.forward(&x, true, Precision::F32), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn p_one_rejected() {
+        let _ = Dropout::new(1.0, Rng64::new(5));
+    }
+}

@@ -1,0 +1,212 @@
+//! Layer normalization.
+
+use super::Layer;
+use dd_tensor::{Matrix, Precision};
+
+/// Layer normalization: each *row* (sample) is normalized to zero mean and
+/// unit variance across its features, then scaled/shifted by learned
+/// `gamma`/`beta`. Unlike batch norm it has no batch-size coupling, making
+/// it the normalizer of choice for small-batch model-parallel stages.
+pub struct LayerNorm {
+    dim: usize,
+    eps: f32,
+    gamma: Matrix,
+    beta: Matrix,
+    g_gamma: Matrix,
+    g_beta: Matrix,
+    cache_xhat: Option<Matrix>,
+    cache_inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// New layer-norm over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 2, "normalizing a single feature is degenerate");
+        LayerNorm {
+            dim,
+            eps: 1e-5,
+            gamma: Matrix::full(1, dim, 1.0),
+            beta: Matrix::zeros(1, dim),
+            g_gamma: Matrix::zeros(1, dim),
+            g_beta: Matrix::zeros(1, dim),
+            cache_xhat: None,
+            cache_inv_std: Vec::new(),
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn name(&self) -> &'static str {
+        "layernorm"
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool, _prec: Precision) -> Matrix {
+        assert_eq!(x.cols(), self.dim, "layernorm width mismatch");
+        let d = self.dim as f32;
+        let mut xhat = x.clone();
+        let mut inv_stds = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let row = xhat.row_mut(i);
+            let mean: f32 = row.iter().sum::<f32>() / d;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            for v in row.iter_mut() {
+                *v = (*v - mean) * inv_std;
+            }
+            inv_stds.push(inv_std);
+        }
+        let mut y = xhat.clone();
+        for i in 0..y.rows() {
+            let row = y.row_mut(i);
+            for ((v, &g), &b) in row
+                .iter_mut()
+                .zip(self.gamma.as_slice())
+                .zip(self.beta.as_slice())
+            {
+                *v = *v * g + b;
+            }
+        }
+        if train {
+            self.cache_xhat = Some(xhat);
+            self.cache_inv_std = inv_stds;
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {
+        let xhat = self.cache_xhat.as_ref().expect("backward before forward");
+        let d = self.dim as f32;
+        // Parameter gradients.
+        let mut dgamma = vec![0f32; self.dim];
+        let mut dbeta = vec![0f32; self.dim];
+        for i in 0..grad_out.rows() {
+            for ((dg, db), (&g, &xh)) in dgamma
+                .iter_mut()
+                .zip(dbeta.iter_mut())
+                .zip(grad_out.row(i).iter().zip(xhat.row(i)))
+            {
+                *dg += g * xh;
+                *db += g;
+            }
+        }
+        self.g_gamma = Matrix::from_vec(1, self.dim, dgamma);
+        self.g_beta = Matrix::from_vec(1, self.dim, dbeta);
+
+        // Input gradient, per row:
+        // dx = inv_std/d * (d·gy − Σgy − xhat·Σ(gy⊙xhat)) with gy = g⊙gamma.
+        let mut dx = grad_out.clone();
+        for i in 0..dx.rows() {
+            let xr = xhat.row(i);
+            let inv_std = self.cache_inv_std[i];
+            let row = dx.row_mut(i);
+            // gy in place.
+            for (v, &g) in row.iter_mut().zip(self.gamma.as_slice()) {
+                *v *= g;
+            }
+            let sum_gy: f32 = row.iter().sum();
+            let sum_gy_xhat: f32 = row.iter().zip(xr).map(|(&a, &b)| a * b).sum();
+            for (v, &xh) in row.iter_mut().zip(xr) {
+                *v = inv_std / d * (d * *v - sum_gy - xh * sum_gy_xhat);
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.gamma, &mut self.g_gamma);
+        f(&mut self.beta, &mut self.g_beta);
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.dim
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        assert_eq!(input_dim, self.dim, "layernorm geometry mismatch");
+        self.dim
+    }
+
+    fn flops(&self, batch: usize, input_dim: usize) -> u64 {
+        (8 * batch * input_dim) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_tensor::Rng64;
+
+    #[test]
+    fn rows_normalized_independently() {
+        let mut ln = LayerNorm::new(6);
+        let mut rng = Rng64::new(1);
+        let x = Matrix::randn(5, 6, 3.0, 4.0, &mut rng);
+        let y = ln.forward(&x, false, Precision::F32);
+        for i in 0..5 {
+            let row = y.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 6.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 6.0;
+            assert!(mean.abs() < 1e-4, "row {i} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {i} var {var}");
+        }
+    }
+
+    #[test]
+    fn batch_size_one_works() {
+        // The property batch norm lacks.
+        let mut ln = LayerNorm::new(4);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let y = ln.forward(&x, true, Precision::F32);
+        assert!(!y.has_non_finite());
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut ln = LayerNorm::new(5);
+        // Non-trivial affine params.
+        ln.gamma = Matrix::from_rows(&[&[1.5, 0.5, 2.0, 1.0, 0.8]]);
+        ln.beta = Matrix::from_rows(&[&[0.1, -0.2, 0.3, 0.0, -0.1]]);
+        let mut rng = Rng64::new(2);
+        let x = Matrix::randn(4, 5, 1.0, 2.0, &mut rng);
+        let y = ln.forward(&x, true, Precision::F32);
+        let dx = ln.backward(&y.clone(), Precision::F32);
+        let eps = 1e-3f32;
+        let loss =
+            |ln: &mut LayerNorm, x: &Matrix| 0.5 * ln.forward(x, true, Precision::F32).norm_sq() as f64;
+        for &(i, j) in &[(0usize, 0usize), (2, 3), (3, 4)] {
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let lp = loss(&mut ln, &xp);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let lm = loss(&mut ln, &xm);
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let analytic = dx.get(i, j) as f64;
+            assert!(
+                (num - analytic).abs() < 5e-2 * (1.0 + num.abs()),
+                "dx[{i},{j}] numeric {num} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_invariance_of_normalized_output() {
+        // LayerNorm(a·x) == LayerNorm(x) for a > 0 (with default affine).
+        let mut ln = LayerNorm::new(8);
+        let mut rng = Rng64::new(3);
+        let x = Matrix::randn(3, 8, 0.0, 1.0, &mut rng);
+        let mut x10 = x.clone();
+        x10.scale(10.0);
+        let a = ln.forward(&x, false, Precision::F32);
+        let b = ln.forward(&x10, false, Precision::F32);
+        assert!(a.approx_eq(&b, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn single_feature_rejected() {
+        let _ = LayerNorm::new(1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Layer abstraction and the concrete layers used by the driver workloads.
+//!
+//! Layers own their parameters *and* their gradients: `backward` fills the
+//! gradient buffers, then an optimizer walks `visit_params` to apply the
+//! update. This keeps every buffer pre-allocated across steps (no per-step
+//! allocation in the hot path) and makes gradient exchange for data
+//! parallelism a simple flatten/unflatten of the visited pairs.
+
+mod activation;
+mod conv;
+mod dense;
+mod dropout;
+mod layernorm;
+mod norm;
+mod pool;
+mod residual;
+
+pub use activation::{Activation, ActivationLayer};
+pub use conv::Conv1d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use layernorm::LayerNorm;
+pub use norm::BatchNorm1d;
+pub use pool::MaxPool1d;
+pub use residual::Residual;
+
+use dd_tensor::{Matrix, Precision};
+
+/// A differentiable network layer.
+///
+/// The contract: `forward` caches whatever it needs, `backward` must be
+/// called with the gradient of the loss w.r.t. that forward's output and
+/// returns the gradient w.r.t. its input, overwriting the layer's parameter
+/// gradients as a side effect.
+pub trait Layer: Send {
+    /// Short name used in summaries and partition plans.
+    fn name(&self) -> &'static str;
+
+    /// Compute the layer output for a batch (one sample per row).
+    ///
+    /// `train` toggles train-only behaviour (dropout masks, batch-norm batch
+    /// statistics); `prec` selects the emulated arithmetic precision for the
+    /// layer's matrix products.
+    fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix;
+
+    /// Propagate the output gradient back to the input, filling this layer's
+    /// parameter gradients.
+    fn backward(&mut self, grad_out: &Matrix, prec: Precision) -> Matrix;
+
+    /// Visit `(parameter, gradient)` pairs in a fixed, stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix));
+
+    /// Total number of trainable scalars.
+    fn param_count(&self) -> usize;
+
+    /// Width of the output rows given the input width (used to validate
+    /// specs and to size model-parallel partitions).
+    fn output_dim(&self, input_dim: usize) -> usize;
+
+    /// Approximate FLOPs for one forward pass over a batch of `batch` rows
+    /// of width `input_dim`. Drives the HPC simulator's compute cost model.
+    fn flops(&self, batch: usize, input_dim: usize) -> u64;
+}
+
+/// Flatten all parameters of a layer stack into one contiguous vector.
+pub fn flatten_params(layers: &mut [Box<dyn Layer>]) -> Vec<f32> {
+    let mut out = Vec::new();
+    for layer in layers {
+        layer.visit_params(&mut |p, _| out.extend_from_slice(p.as_slice()));
+    }
+    out
+}
+
+/// Flatten all gradients of a layer stack into one contiguous vector.
+pub fn flatten_grads(layers: &mut [Box<dyn Layer>]) -> Vec<f32> {
+    let mut out = Vec::new();
+    for layer in layers {
+        layer.visit_params(&mut |_, g| out.extend_from_slice(g.as_slice()));
+    }
+    out
+}
+
+/// Write a flat parameter vector back into a layer stack. Panics if the
+/// length does not match the stack's parameter count.
+pub fn unflatten_params(layers: &mut [Box<dyn Layer>], flat: &[f32]) {
+    let mut offset = 0;
+    for layer in layers.iter_mut() {
+        layer.visit_params(&mut |p, _| {
+            let n = p.len();
+            p.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        });
+    }
+    assert_eq!(offset, flat.len(), "flat parameter vector length mismatch");
+}
+
+/// Write a flat gradient vector back into a layer stack.
+pub fn unflatten_grads(layers: &mut [Box<dyn Layer>], flat: &[f32]) {
+    let mut offset = 0;
+    for layer in layers.iter_mut() {
+        layer.visit_params(&mut |_, g| {
+            let n = g.len();
+            g.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        });
+    }
+    assert_eq!(offset, flat.len(), "flat gradient vector length mismatch");
+}

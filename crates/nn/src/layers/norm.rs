@@ -1,0 +1,244 @@
+//! Batch normalization over feature columns.
+
+use super::Layer;
+use dd_tensor::{Matrix, Precision};
+
+/// Batch normalization for 2-D activations (one feature per column).
+///
+/// Training normalizes with batch statistics and maintains exponential
+/// running averages; evaluation uses the running averages so single samples
+/// normalize consistently.
+pub struct BatchNorm1d {
+    dim: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Matrix,
+    beta: Matrix,
+    g_gamma: Matrix,
+    g_beta: Matrix,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // Caches for backward.
+    cache_xhat: Option<Matrix>,
+    cache_inv_std: Vec<f32>,
+}
+
+impl BatchNorm1d {
+    /// New batch-norm layer over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        BatchNorm1d {
+            dim,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Matrix::full(1, dim, 1.0),
+            beta: Matrix::zeros(1, dim),
+            g_gamma: Matrix::zeros(1, dim),
+            g_beta: Matrix::zeros(1, dim),
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            cache_xhat: None,
+            cache_inv_std: vec![0.0; dim],
+        }
+    }
+
+    /// Running mean estimate (for tests / inspection).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running variance estimate.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn name(&self) -> &'static str {
+        "batchnorm1d"
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool, _prec: Precision) -> Matrix {
+        assert_eq!(x.cols(), self.dim, "batchnorm width mismatch");
+        let n = x.rows();
+        let (means, vars) = if train {
+            assert!(n >= 2, "batchnorm training requires batch size >= 2");
+            let means = x.col_means();
+            let stds = x.col_stds(&means);
+            let vars: Vec<f32> = stds.iter().map(|s| s * s).collect();
+            for j in 0..self.dim {
+                self.running_mean[j] =
+                    (1.0 - self.momentum) * self.running_mean[j] + self.momentum * means[j];
+                self.running_var[j] =
+                    (1.0 - self.momentum) * self.running_var[j] + self.momentum * vars[j];
+            }
+            (means, vars)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f32> = vars.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = x.clone();
+        for i in 0..n {
+            let row = xhat.row_mut(i);
+            for ((v, &m), &is) in row.iter_mut().zip(&means).zip(&inv_std) {
+                *v = (*v - m) * is;
+            }
+        }
+        let mut y = xhat.clone();
+        for i in 0..n {
+            let row = y.row_mut(i);
+            for ((v, g), b) in row
+                .iter_mut()
+                .zip(self.gamma.as_slice())
+                .zip(self.beta.as_slice())
+            {
+                *v = *v * g + b;
+            }
+        }
+        if train {
+            self.cache_xhat = Some(xhat);
+            self.cache_inv_std = inv_std;
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {
+        let xhat = self.cache_xhat.as_ref().expect("backward before forward");
+        let n = grad_out.rows() as f32;
+        // dgamma = Σ g⊙xhat, dbeta = Σ g (column-wise).
+        let mut dgamma = vec![0f32; self.dim];
+        let mut dbeta = vec![0f32; self.dim];
+        for i in 0..grad_out.rows() {
+            for ((dg, db), (&g, &xh)) in dgamma
+                .iter_mut()
+                .zip(dbeta.iter_mut())
+                .zip(grad_out.row(i).iter().zip(xhat.row(i)))
+            {
+                *dg += g * xh;
+                *db += g;
+            }
+        }
+        self.g_gamma = Matrix::from_vec(1, self.dim, dgamma.clone());
+        self.g_beta = Matrix::from_vec(1, self.dim, dbeta.clone());
+
+        // dx = gamma*inv_std/n * (n*g - dbeta - xhat*dgamma).
+        let mut dx = grad_out.clone();
+        for i in 0..dx.rows() {
+            let xr = xhat.row(i);
+            let row = dx.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                let coeff = self.gamma.as_slice()[j] * self.cache_inv_std[j] / n;
+                *v = coeff * (n * *v - dbeta[j] - xr[j] * dgamma[j]);
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.gamma, &mut self.g_gamma);
+        f(&mut self.beta, &mut self.g_beta);
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.dim
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        assert_eq!(input_dim, self.dim, "batchnorm geometry mismatch");
+        self.dim
+    }
+
+    fn flops(&self, batch: usize, input_dim: usize) -> u64 {
+        (8 * batch * input_dim) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_tensor::Rng64;
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut rng = Rng64::new(1);
+        let mut bn = BatchNorm1d::new(5);
+        let x = Matrix::randn(256, 5, 3.0, 2.0, &mut rng);
+        let y = bn.forward(&x, true, Precision::F32);
+        let means = y.col_means();
+        let stds = y.col_stds(&means);
+        for j in 0..5 {
+            assert!(means[j].abs() < 1e-4, "mean {}", means[j]);
+            assert!((stds[j] - 1.0).abs() < 1e-2, "std {}", stds[j]);
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_data_stats() {
+        let mut rng = Rng64::new(2);
+        let mut bn = BatchNorm1d::new(2);
+        for _ in 0..200 {
+            let x = Matrix::randn(64, 2, 5.0, 3.0, &mut rng);
+            let _ = bn.forward(&x, true, Precision::F32);
+        }
+        assert!((bn.running_mean()[0] - 5.0).abs() < 0.5);
+        assert!((bn.running_var()[0].sqrt() - 3.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = Rng64::new(3);
+        let mut bn = BatchNorm1d::new(1);
+        for _ in 0..100 {
+            let x = Matrix::randn(64, 1, 10.0, 1.0, &mut rng);
+            let _ = bn.forward(&x, true, Precision::F32);
+        }
+        // Single sample at the running mean normalizes to ~0.
+        let y = bn.forward(&Matrix::full(1, 1, 10.0), false, Precision::F32);
+        assert!(y.get(0, 0).abs() < 0.3, "got {}", y.get(0, 0));
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = Rng64::new(4);
+        let mut bn = BatchNorm1d::new(3);
+        // Non-trivial gamma/beta so their gradients are exercised.
+        bn.gamma = Matrix::from_rows(&[&[1.5, 0.5, 2.0]]);
+        bn.beta = Matrix::from_rows(&[&[0.1, -0.2, 0.3]]);
+        let x = Matrix::randn(8, 3, 1.0, 2.0, &mut rng);
+        let y = bn.forward(&x, true, Precision::F32);
+        let dx = bn.backward(&y.clone(), Precision::F32);
+
+        // Finite differences must be computed through *training* forward
+        // (batch statistics), with running stats reset to avoid drift.
+        let eps = 1e-3f32;
+        let loss = |bn: &mut BatchNorm1d, x: &Matrix| {
+            let saved_m = bn.running_mean.clone();
+            let saved_v = bn.running_var.clone();
+            let y = bn.forward(x, true, Precision::F32);
+            bn.running_mean = saved_m;
+            bn.running_var = saved_v;
+            0.5 * y.norm_sq() as f64
+        };
+        for &(i, j) in &[(0usize, 0usize), (3, 1), (7, 2)] {
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let lp = loss(&mut bn, &xp);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let lm = loss(&mut bn, &xm);
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let analytic = dx.get(i, j) as f64;
+            assert!(
+                (num - analytic).abs() < 5e-2 * (1.0 + num.abs()),
+                "dx[{i},{j}] numeric {num} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size >= 2")]
+    fn single_sample_training_panics() {
+        let mut bn = BatchNorm1d::new(2);
+        let _ = bn.forward(&Matrix::zeros(1, 2), true, Precision::F32);
+    }
+}

@@ -1,0 +1,180 @@
+//! 1-D max pooling over channel-major flattened rows.
+
+use super::Layer;
+use dd_tensor::{Matrix, Precision};
+
+/// Non-overlapping 1-D max pooling: each channel of length `len` is reduced
+/// by taking the maximum over windows of `pool` elements (stride = `pool`;
+/// a trailing partial window is pooled too).
+pub struct MaxPool1d {
+    channels: usize,
+    len: usize,
+    pool: usize,
+    out_len: usize,
+    /// Flat argmax indices from the last training forward, one per output
+    /// element, pointing into the input row.
+    cache_argmax: Option<Vec<usize>>,
+    cache_batch: usize,
+}
+
+impl MaxPool1d {
+    /// New pooling layer over `channels` signals of length `len`.
+    pub fn new(channels: usize, len: usize, pool: usize) -> Self {
+        assert!(pool >= 1, "pool must be >= 1");
+        assert!(pool <= len, "pool {pool} larger than signal {len}");
+        let out_len = len.div_ceil(pool);
+        MaxPool1d { channels, len, pool, out_len, cache_argmax: None, cache_batch: 0 }
+    }
+
+    /// Pooled signal length per channel.
+    pub fn out_len(&self) -> usize {
+        self.out_len
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn name(&self) -> &'static str {
+        "maxpool1d"
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool, _prec: Precision) -> Matrix {
+        assert_eq!(x.cols(), self.channels * self.len, "maxpool input width mismatch");
+        let batch = x.rows();
+        let mut y = Matrix::zeros(batch, self.channels * self.out_len);
+        let mut argmax = if train {
+            Vec::with_capacity(batch * self.channels * self.out_len)
+        } else {
+            Vec::new()
+        };
+        for bi in 0..batch {
+            let row = x.row(bi);
+            let out = y.row_mut(bi);
+            for c in 0..self.channels {
+                for t in 0..self.out_len {
+                    let start = c * self.len + t * self.pool;
+                    let end = (start + self.pool).min((c + 1) * self.len);
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = start;
+                    for (i, &v) in row[start..end].iter().enumerate() {
+                        if v > best {
+                            best = v;
+                            best_i = start + i;
+                        }
+                    }
+                    out[c * self.out_len + t] = best;
+                    if train {
+                        argmax.push(best_i);
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache_argmax = Some(argmax);
+            self.cache_batch = batch;
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {
+        let argmax = self.cache_argmax.as_ref().expect("backward before forward");
+        let batch = self.cache_batch;
+        assert_eq!(grad_out.cols(), self.channels * self.out_len);
+        let mut dx = Matrix::zeros(batch, self.channels * self.len);
+        let per_row = self.channels * self.out_len;
+        for bi in 0..batch {
+            let g = grad_out.row(bi);
+            let d = dx.row_mut(bi);
+            for (slot, &src_idx) in argmax[bi * per_row..(bi + 1) * per_row].iter().enumerate() {
+                d[src_idx] += g[slot];
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        assert_eq!(input_dim, self.channels * self.len, "maxpool geometry mismatch");
+        self.channels * self.out_len
+    }
+
+    fn flops(&self, batch: usize, input_dim: usize) -> u64 {
+        (batch * input_dim) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_maxima() {
+        let mut p = MaxPool1d::new(1, 6, 2);
+        let x = Matrix::from_rows(&[&[1.0, 5.0, 2.0, 2.0, -1.0, 0.0]]);
+        let y = p.forward(&x, false, Precision::F32);
+        assert_eq!(y.as_slice(), &[5.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn partial_trailing_window() {
+        let mut p = MaxPool1d::new(1, 5, 2);
+        assert_eq!(p.out_len(), 3);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, -9.0]]);
+        let y = p.forward(&x, false, Precision::F32);
+        assert_eq!(y.as_slice(), &[2.0, 4.0, -9.0]);
+    }
+
+    #[test]
+    fn multi_channel_windows_do_not_cross_channels() {
+        let mut p = MaxPool1d::new(2, 3, 2);
+        // Channel 0: [1, 2, 3], channel 1: [10, 0, -1].
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 10.0, 0.0, -1.0]]);
+        let y = p.forward(&x, false, Precision::F32);
+        // Windows: ch0 [1,2],[3]; ch1 [10,0],[-1].
+        assert_eq!(y.as_slice(), &[2.0, 3.0, 10.0, -1.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut p = MaxPool1d::new(1, 4, 2);
+        let x = Matrix::from_rows(&[&[1.0, 5.0, 7.0, 2.0]]);
+        let _ = p.forward(&x, true, Precision::F32);
+        let dx = p.backward(&Matrix::from_rows(&[&[3.0, 4.0]]), Precision::F32);
+        assert_eq!(dx.as_slice(), &[0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = dd_tensor::Rng64::new(1);
+        let mut p = MaxPool1d::new(2, 8, 3);
+        let x = Matrix::randn(2, 16, 0.0, 1.0, &mut rng);
+        let y = p.forward(&x, true, Precision::F32);
+        let dx = p.backward(&y.clone(), Precision::F32);
+        let eps = 1e-3f32;
+        let loss = |p: &mut MaxPool1d, x: &Matrix| 0.5 * p.forward(x, false, Precision::F32).norm_sq() as f64;
+        for &(bi, bj) in &[(0usize, 3usize), (1, 10), (0, 15)] {
+            let mut xp = x.clone();
+            xp.set(bi, bj, x.get(bi, bj) + eps);
+            let lp = loss(&mut p, &xp);
+            let mut xm = x.clone();
+            xm.set(bi, bj, x.get(bi, bj) - eps);
+            let lm = loss(&mut p, &xm);
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let analytic = dx.get(bi, bj) as f64;
+            assert!(
+                (num - analytic).abs() < 3e-2 * (1.0 + num.abs()),
+                "dx[{bi},{bj}] numeric {num} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than signal")]
+    fn oversized_pool_panics() {
+        let _ = MaxPool1d::new(1, 2, 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Residual (skip-connection) blocks.
+
+use super::Layer;
+use dd_tensor::{Matrix, Precision};
+
+/// `y = x + f(x)` where `f` is an inner layer stack whose output width must
+/// equal its input width. Skip connections keep deep driver-workload
+/// networks trainable (they carry the gradient past saturating blocks).
+pub struct Residual {
+    inner: Vec<Box<dyn Layer>>,
+}
+
+impl Residual {
+    /// Wrap an inner stack. Width preservation is checked at first forward
+    /// (and by `ModelSpec::validate` when built from a spec).
+    pub fn new(inner: Vec<Box<dyn Layer>>) -> Self {
+        Residual { inner }
+    }
+
+    /// Number of inner layers.
+    pub fn inner_len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl Layer for Residual {
+    fn name(&self) -> &'static str {
+        "residual"
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.inner {
+            h = layer.forward(&h, train, prec);
+        }
+        assert_eq!(
+            h.shape(),
+            x.shape(),
+            "residual inner stack must preserve shape"
+        );
+        h.axpy(1.0, x);
+        h
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, prec: Precision) -> Matrix {
+        // d/dx [x + f(x)] = I + f'(x): the skip path passes grad_out through
+        // unchanged and adds the branch gradient.
+        let mut g = grad_out.clone();
+        for layer in self.inner.iter_mut().rev() {
+            g = layer.backward(&g, prec);
+        }
+        g.axpy(1.0, grad_out);
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        for layer in &mut self.inner {
+            layer.visit_params(f);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.inner.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        let mut d = input_dim;
+        for layer in &self.inner {
+            d = layer.output_dim(d);
+        }
+        assert_eq!(d, input_dim, "residual inner stack must preserve width");
+        input_dim
+    }
+
+    fn flops(&self, batch: usize, input_dim: usize) -> u64 {
+        let mut d = input_dim;
+        let mut total = (batch * input_dim) as u64; // the addition
+        for layer in &self.inner {
+            total += layer.flops(batch, d);
+            d = layer.output_dim(d);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Activation, ActivationLayer, Dense};
+    use dd_tensor::Rng64;
+
+    fn block(dim: usize, seed: u64) -> Residual {
+        let mut rng = Rng64::new(seed);
+        Residual::new(vec![
+            Box::new(Dense::new(dim, dim, Init::Xavier, &mut rng)),
+            Box::new(ActivationLayer::new(Activation::Tanh)),
+            Box::new(Dense::new(dim, dim, Init::Xavier, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn identity_branch_passes_input() {
+        // Zero-weight inner stack: y = x exactly.
+        let mut rng = Rng64::new(1);
+        let mut res = Residual::new(vec![Box::new(Dense::new(3, 3, Init::Zeros, &mut rng))]);
+        let x = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
+        let y = res.forward(&x, false, Precision::F32);
+        assert!(y.approx_eq(&x, 1e-7));
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut res = block(4, 2);
+        let mut rng = Rng64::new(3);
+        let x = Matrix::randn(3, 4, 0.0, 1.0, &mut rng);
+        let y = res.forward(&x, true, Precision::F32);
+        let grad_in = res.backward(&y.clone(), Precision::F32); // L = 0.5||y||²
+        let eps = 1e-3f32;
+        let loss = |res: &mut Residual, x: &Matrix| {
+            0.5 * res.forward(x, false, Precision::F32).norm_sq() as f64
+        };
+        for &(i, j) in &[(0usize, 0usize), (2, 3)] {
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let lp = loss(&mut res, &xp);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let lm = loss(&mut res, &xm);
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let analytic = grad_in.get(i, j) as f64;
+            assert!(
+                (num - analytic).abs() < 2e-2 * (1.0 + num.abs()),
+                "dx[{i},{j}] numeric {num} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_flows_through_skip_even_with_dead_branch() {
+        // ReLU branch fully dead (all negative pre-activations): gradient
+        // still reaches the input via the skip path with identity scale.
+        let mut rng = Rng64::new(4);
+        let mut dead = Dense::new(2, 2, Init::Zeros, &mut rng);
+        dead.visit_params(&mut |p, _| {
+            if p.shape() == (1, 2) {
+                p.set(0, 0, -100.0);
+                p.set(0, 1, -100.0);
+            }
+        });
+        let mut res = Residual::new(vec![
+            Box::new(dead),
+            Box::new(ActivationLayer::new(Activation::Relu)),
+            Box::new(Dense::new(2, 2, Init::Xavier, &mut rng)),
+        ]);
+        let x = Matrix::full(3, 2, 1.0);
+        let _ = res.forward(&x, true, Precision::F32);
+        let g = res.backward(&Matrix::full(3, 2, 1.0), Precision::F32);
+        assert!(g.approx_eq(&Matrix::full(3, 2, 1.0), 1e-6), "skip gradient lost");
+    }
+
+    #[test]
+    fn param_count_and_dims() {
+        let res = block(5, 6);
+        assert_eq!(res.param_count(), 2 * (5 * 5 + 5));
+        assert_eq!(res.output_dim(5), 5);
+        assert_eq!(res.inner_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve width")]
+    fn width_changing_branch_rejected() {
+        let mut rng = Rng64::new(7);
+        let res = Residual::new(vec![Box::new(Dense::new(4, 8, Init::He, &mut rng))]);
+        let _ = res.output_dim(4);
+    }
+}

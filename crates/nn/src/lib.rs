@@ -1,0 +1,43 @@
+//! # dd-nn — neural network library for the DeepDriver workspace
+//!
+//! Dense and 1-D convolutional networks with full backpropagation, the model
+//! families the paper identifies as the core of cancer/infectious-disease
+//! deep learning workloads ("most current DNNs rely on dense fully connected
+//! networks and convolutional networks").
+//!
+//! Key types:
+//! * [`ModelSpec`] — serializable network description; the unit the
+//!   hyperparameter searcher mutates and the model-parallel partitioner
+//!   splits.
+//! * [`Sequential`] — the runnable model: forward/backward, flatten/load of
+//!   parameters and gradients (the interface the data-parallel allreduce
+//!   uses), per-layer FLOP accounting for the HPC simulator.
+//! * [`Trainer`] — minibatch training with shuffling, LR schedules, gradient
+//!   clipping, validation and early stopping.
+//! * [`Loss`], [`OptimizerConfig`], [`metrics`] — objectives, optimizers and
+//!   evaluation metrics.
+//!
+//! Every matrix product flows through `dd-tensor`'s precision-emulating
+//! kernels, so a whole model can be trained or evaluated under f64, f32,
+//! bf16, f16 or int8 numerics by flipping [`Sequential::set_precision`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod optim;
+pub mod spec;
+pub mod train;
+
+pub use init::Init;
+pub use layers::{Activation, ActivationLayer, BatchNorm1d, Conv1d, Dense, Dropout, Layer, LayerNorm, MaxPool1d, Residual};
+pub use loss::Loss;
+pub use model::Sequential;
+pub use optim::{LrSchedule, Optimizer, OptimizerConfig};
+pub use spec::{InputShape, LayerSpec, ModelSpec};
+pub use train::{split_indices, History, TrainConfig, Trainer};

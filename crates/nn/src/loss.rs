@@ -1,0 +1,200 @@
+//! Loss functions returning `(mean loss, gradient w.r.t. predictions)`.
+
+use dd_tensor::{ops, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Supported training objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error over all elements (regression, autoencoders).
+    Mse,
+    /// Softmax + categorical cross-entropy. Targets are one-hot rows; the
+    /// network's final layer must output raw logits.
+    SoftmaxCrossEntropy,
+    /// Sigmoid + binary cross-entropy. Targets in {0,1}; logits input.
+    BinaryCrossEntropy,
+    /// Huber loss (delta = 1): quadratic near zero, linear in the tails.
+    Huber,
+}
+
+impl Loss {
+    /// Mean loss over the batch and its gradient w.r.t. the predictions
+    /// (already divided by the batch size so gradients are scale-free).
+    pub fn compute(self, pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+        assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+        let n = pred.rows().max(1) as f64;
+        match self {
+            Loss::Mse => {
+                let count = pred.len().max(1) as f64;
+                let mut grad = pred.zip_map(target, |p, t| p - t);
+                let loss = grad
+                    .as_slice()
+                    .iter()
+                    .map(|&d| d as f64 * d as f64)
+                    .sum::<f64>()
+                    / count;
+                grad.scale(2.0 / count as f32);
+                (loss, grad)
+            }
+            Loss::Huber => {
+                let count = pred.len().max(1) as f64;
+                let mut loss = 0f64;
+                let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+                for ((g, &p), &t) in grad
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(pred.as_slice())
+                    .zip(target.as_slice())
+                {
+                    let d = p - t;
+                    if d.abs() <= 1.0 {
+                        loss += 0.5 * (d as f64) * (d as f64);
+                        *g = d;
+                    } else {
+                        loss += d.abs() as f64 - 0.5;
+                        *g = d.signum();
+                    }
+                }
+                grad.scale(1.0 / count as f32);
+                (loss / count, grad)
+            }
+            Loss::SoftmaxCrossEntropy => {
+                let log_probs = ops::log_softmax_rows(pred);
+                let mut loss = 0f64;
+                for i in 0..pred.rows() {
+                    for (&lp, &t) in log_probs.row(i).iter().zip(target.row(i)) {
+                        if t > 0.0 {
+                            loss -= (t * lp) as f64;
+                        }
+                    }
+                }
+                // Gradient of mean CE w.r.t. logits: (softmax - target) / n.
+                let mut probs = pred.clone();
+                ops::softmax_rows(&mut probs);
+                let mut grad = probs.zip_map(target, |p, t| p - t);
+                grad.scale(1.0 / n as f32);
+                (loss / n, grad)
+            }
+            Loss::BinaryCrossEntropy => {
+                let count = pred.len().max(1) as f64;
+                let mut loss = 0f64;
+                let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+                for ((g, &logit), &t) in grad
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(pred.as_slice())
+                    .zip(target.as_slice())
+                {
+                    // Stable BCE-with-logits:
+                    // loss = max(z,0) - z*t + ln(1 + e^{-|z|}).
+                    let z = logit as f64;
+                    loss += z.max(0.0) - z * t as f64 + (1.0 + (-z.abs()).exp()).ln();
+                    *g = dd_tensor::sigmoid(logit) - t;
+                }
+                grad.scale(1.0 / count as f32);
+                (loss / count, grad)
+            }
+        }
+    }
+
+    /// Name used in specs and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Loss::Mse => "mse",
+            Loss::SoftmaxCrossEntropy => "softmax_ce",
+            Loss::BinaryCrossEntropy => "bce",
+            Loss::Huber => "huber",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_tensor::Rng64;
+
+    fn grad_check(loss: Loss, pred: &Matrix, target: &Matrix) {
+        let (_, grad) = loss.compute(pred, target);
+        let eps = 1e-3f32;
+        for &(i, j) in &[(0usize, 0usize), (pred.rows() - 1, pred.cols() - 1)] {
+            let mut pp = pred.clone();
+            pp.set(i, j, pred.get(i, j) + eps);
+            let (lp, _) = loss.compute(&pp, target);
+            let mut pm = pred.clone();
+            pm.set(i, j, pred.get(i, j) - eps);
+            let (lm, _) = loss.compute(&pm, target);
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let analytic = grad.get(i, j) as f64;
+            assert!(
+                (num - analytic).abs() < 1e-2 * (1.0 + num.abs()),
+                "{:?} grad[{i},{j}]: numeric {num} analytic {analytic}",
+                loss
+            );
+        }
+    }
+
+    #[test]
+    fn mse_zero_at_perfect_prediction() {
+        let t = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let (l, g) = Loss::Mse.compute(&t, &t);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_rows(&[&[3.0], &[1.0]]);
+        let t = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let (l, _) = Loss::Mse.compute(&p, &t);
+        assert!((l - 2.0).abs() < 1e-9); // (4 + 0) / 2
+    }
+
+    #[test]
+    fn all_losses_pass_gradient_check() {
+        let mut rng = Rng64::new(1);
+        let pred = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
+        let reg_target = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
+        grad_check(Loss::Mse, &pred, &reg_target);
+        grad_check(Loss::Huber, &pred, &reg_target);
+        let one_hot = dd_tensor::one_hot(&[0, 2, 1, 2], 3);
+        grad_check(Loss::SoftmaxCrossEntropy, &pred, &one_hot);
+        let bin_target = Matrix::from_fn(4, 3, |i, j| ((i + j) % 2) as f32);
+        grad_check(Loss::BinaryCrossEntropy, &pred, &bin_target);
+    }
+
+    #[test]
+    fn softmax_ce_matches_manual() {
+        // Single row, uniform logits: loss = ln(K).
+        let p = Matrix::zeros(1, 4);
+        let t = dd_tensor::one_hot(&[2], 4);
+        let (l, _) = Loss::SoftmaxCrossEntropy.compute(&p, &t);
+        assert!((l - (4f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_stable_for_extreme_logits() {
+        let p = Matrix::from_rows(&[&[500.0, -500.0]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (l, g) = Loss::BinaryCrossEntropy.compute(&p, &t);
+        assert!(l.is_finite() && l < 1e-6);
+        assert!(!g.has_non_finite());
+        // Wrong with extreme confidence: large finite loss.
+        let (l2, g2) = Loss::BinaryCrossEntropy.compute(&p, &Matrix::from_rows(&[&[0.0, 1.0]]));
+        assert!(l2.is_finite() && l2 > 100.0);
+        assert!(!g2.has_non_finite());
+    }
+
+    #[test]
+    fn huber_is_linear_in_tails() {
+        let p = Matrix::from_rows(&[&[10.0]]);
+        let t = Matrix::zeros(1, 1);
+        let (_, g) = Loss::Huber.compute(&p, &t);
+        assert_eq!(g.get(0, 0), 1.0); // clipped gradient
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = Loss::Mse.compute(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1));
+    }
+}

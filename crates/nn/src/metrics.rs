@@ -1,0 +1,239 @@
+//! Evaluation metrics for classification and regression.
+
+use dd_tensor::Matrix;
+
+/// Fraction of rows whose argmax matches the label.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "accuracy length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Binary accuracy from a single logit column at threshold 0.
+pub fn binary_accuracy(logits: &Matrix, labels: &[f32]) -> f64 {
+    assert_eq!(logits.rows(), labels.len());
+    assert_eq!(logits.cols(), 1, "binary accuracy expects one logit column");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = logits
+        .iter_rows()
+        .zip(labels)
+        .filter(|(row, &l)| (row[0] > 0.0) == (l > 0.5))
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Confusion matrix: `counts[true][pred]`.
+pub fn confusion_matrix(logits: &Matrix, labels: &[usize], classes: usize) -> Vec<Vec<usize>> {
+    let preds = logits.argmax_rows();
+    let mut m = vec![vec![0usize; classes]; classes];
+    for (&p, &t) in preds.iter().zip(labels) {
+        assert!(t < classes && p < classes, "class index out of range");
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Macro-averaged F1 score over all classes.
+pub fn macro_f1(logits: &Matrix, labels: &[usize], classes: usize) -> f64 {
+    let cm = confusion_matrix(logits, labels, classes);
+    let mut f1_sum = 0f64;
+    for c in 0..classes {
+        let tp = cm[c][c] as f64;
+        let fp: f64 = (0..classes).filter(|&t| t != c).map(|t| cm[t][c] as f64).sum();
+        let fnv: f64 = (0..classes).filter(|&p| p != c).map(|p| cm[c][p] as f64).sum();
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fnv > 0.0 { tp / (tp + fnv) } else { 0.0 };
+        f1_sum += if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+    }
+    f1_sum / classes as f64
+}
+
+/// Area under the ROC curve for binary scores (higher score = positive),
+/// computed via the rank statistic with midrank tie handling.
+pub fn roc_auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5; // undefined; conventionally chance level
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // Midranks for ties.
+    let mut ranks = vec![0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l > 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Enrichment factor at fraction `alpha`: among the top `alpha` fraction of
+/// compounds by score, the ratio of the active rate to the overall active
+/// rate. The standard virtual-screening metric (EF1% etc.); 1.0 = random,
+/// `1/alpha` (capped by the active count) = perfect.
+pub fn enrichment_factor(scores: &[f32], labels: &[f32], alpha: f64) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "enrichment length mismatch");
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let n = scores.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total_actives = labels.iter().filter(|&&l| l > 0.5).count();
+    if total_actives == 0 {
+        return 0.0;
+    }
+    let k = ((n as f64 * alpha).ceil() as usize).clamp(1, n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let hits = order[..k].iter().filter(|&&i| labels[i] > 0.5).count();
+    let top_rate = hits as f64 / k as f64;
+    let base_rate = total_actives as f64 / n as f64;
+    top_rate / base_rate
+}
+
+/// Mean absolute error over all elements.
+pub fn mae(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| (p as f64 - t as f64).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error over all elements.
+pub fn rmse(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    (pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| {
+            let d = p as f64 - t as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0], &[1.0, 0.5]]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn binary_accuracy_threshold_zero() {
+        let logits = Matrix::from_rows(&[&[1.2], &[-0.4], &[0.1]]);
+        assert!((binary_accuracy(&logits, &[1.0, 0.0, 0.0]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_shape_and_totals() {
+        let logits = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        let cm = confusion_matrix(&logits, &[0, 1, 1], 2);
+        assert_eq!(cm[0][0], 1);
+        assert_eq!(cm[1][0], 1);
+        assert_eq!(cm[1][1], 1);
+        let total: usize = cm.iter().flatten().sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn macro_f1_perfect_and_degenerate() {
+        let logits = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!((macro_f1(&logits, &[0, 1], 2) - 1.0).abs() < 1e-12);
+        // All predictions wrong: F1 = 0.
+        assert_eq!(macro_f1(&logits, &[1, 0], 2), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_random_and_inverted() {
+        let labels = [1.0f32, 1.0, 0.0, 0.0];
+        assert!((roc_auc(&[0.9, 0.8, 0.2, 0.1], &labels) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.1, 0.2, 0.8, 0.9], &labels) - 0.0).abs() < 1e-12);
+        // All-equal scores: midranks make it exactly chance.
+        assert!((roc_auc(&[0.5, 0.5, 0.5, 0.5], &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_single_class() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_ties_with_midranks() {
+        // One tie spanning classes contributes half.
+        let labels = [1.0f32, 0.0, 0.0];
+        let auc = roc_auc(&[0.5, 0.5, 0.1], &labels);
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enrichment_perfect_random_and_empty() {
+        // 4 actives in 20; perfect scorer at alpha=0.2 puts all 4 in top 4.
+        let labels: Vec<f32> = (0..20).map(|i| f32::from(u8::from(i < 4))).collect();
+        let perfect: Vec<f32> = (0..20).map(|i| -(i as f32)).collect();
+        let ef = enrichment_factor(&perfect, &labels, 0.2);
+        assert!((ef - 5.0).abs() < 1e-9, "perfect EF20% = 1/0.2 = 5, got {ef}");
+        // Uniform scores: ties broken by stable order — compute explicitly.
+        let worst: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        assert_eq!(enrichment_factor(&worst, &labels, 0.2), 0.0);
+        // No actives: defined as 0.
+        assert_eq!(enrichment_factor(&perfect, &vec![0.0; 20], 0.2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn enrichment_bad_alpha_panics() {
+        let _ = enrichment_factor(&[1.0], &[1.0], 0.0);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let t = Matrix::from_rows(&[&[2.0, 4.0]]);
+        assert!((mae(&p, &t) - 1.5).abs() < 1e-12);
+        assert!((rmse(&p, &t) - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&p, &p), 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Sequential model container.
+
+use crate::layers::{self, Layer};
+use dd_tensor::{Matrix, Precision};
+
+/// A stack of layers applied in order, carrying the arithmetic precision its
+/// matrix products should emulate.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    input_dim: usize,
+    precision: Precision,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("input_dim", &self.input_dim)
+            .field("precision", &self.precision)
+            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Assemble from already-built layers (normally via `ModelSpec::build`).
+    pub fn from_layers(layers: Vec<Box<dyn Layer>>, input_dim: usize, precision: Precision) -> Self {
+        Sequential { layers, input_dim, precision }
+    }
+
+    /// Width of one input row.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Width of one output row.
+    pub fn output_dim(&self) -> usize {
+        let mut d = self.input_dim;
+        for layer in &self.layers {
+            d = layer.output_dim(d);
+        }
+        d
+    }
+
+    /// The emulated arithmetic precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Change the emulated precision (e.g. for a precision sweep over one
+    /// trained model).
+    pub fn set_precision(&mut self, p: Precision) {
+        self.precision = p;
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrow the layer stack (for partitioners and attribution).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutably borrow the layer stack.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Consume into the owned layer stack (used by the model-parallel
+    /// partitioner, which regroups layers into stages without re-initializing
+    /// weights).
+    pub fn into_layers(self) -> Vec<Box<dyn Layer>> {
+        self.layers
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Forward pass. `train = true` enables dropout/batch statistics and
+    /// caches activations for a following [`Sequential::backward`].
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim, "model input width mismatch");
+        let prec = self.precision;
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, train, prec);
+        }
+        h
+    }
+
+    /// Inference-mode forward pass.
+    pub fn predict(&mut self, x: &Matrix) -> Matrix {
+        self.forward(x, false)
+    }
+
+    /// Backward pass from the loss gradient; fills every layer's parameter
+    /// gradients and returns the gradient w.r.t. the input batch.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let prec = self.precision;
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g, prec);
+        }
+        g
+    }
+
+    /// Visit all `(param, grad)` pairs in layer order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Apply one optimizer step to every parameter from its current
+    /// gradient. The optimizer's momentum slots follow the stable
+    /// `visit_params` order.
+    pub fn step_with(&mut self, opt: &mut crate::optim::Optimizer, lr_scale: f32) {
+        opt.begin_step();
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p, g| opt.update(p, g, lr_scale));
+        }
+    }
+
+    /// Flatten all parameters into one vector (layer order).
+    pub fn flatten_params(&mut self) -> Vec<f32> {
+        layers::flatten_params(&mut self.layers)
+    }
+
+    /// Flatten all gradients into one vector (layer order).
+    pub fn flatten_grads(&mut self) -> Vec<f32> {
+        layers::flatten_grads(&mut self.layers)
+    }
+
+    /// Overwrite all parameters from a flat vector.
+    pub fn load_params(&mut self, flat: &[f32]) {
+        layers::unflatten_params(&mut self.layers, flat);
+    }
+
+    /// Overwrite all gradients from a flat vector (after an allreduce).
+    pub fn load_grads(&mut self, flat: &[f32]) {
+        layers::unflatten_grads(&mut self.layers, flat);
+    }
+
+    /// Total forward FLOPs for a batch of the given size.
+    pub fn forward_flops(&self, batch: usize) -> u64 {
+        let mut d = self.input_dim;
+        let mut total = 0u64;
+        for layer in &self.layers {
+            total += layer.flops(batch, d);
+            d = layer.output_dim(d);
+        }
+        total
+    }
+
+    /// One-line-per-layer human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let mut d = self.input_dim;
+        out.push_str(&format!("input: {d}\n"));
+        for layer in &self.layers {
+            let next = layer.output_dim(d);
+            out.push_str(&format!(
+                "{:<12} {:>8} -> {:<8} params={}\n",
+                layer.name(),
+                d,
+                next,
+                layer.param_count()
+            ));
+            d = next;
+        }
+        out.push_str(&format!("total params: {}\n", self.param_count()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Activation;
+    use crate::loss::Loss;
+    use crate::optim::OptimizerConfig;
+    use crate::spec::ModelSpec;
+    use dd_tensor::Rng64;
+
+    fn small_model(seed: u64) -> Sequential {
+        ModelSpec::mlp(4, &[16, 8], 2, Activation::Relu)
+            .build(seed, Precision::F32)
+            .unwrap()
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut m = small_model(1);
+        let mut rng = Rng64::new(2);
+        let x = Matrix::randn(5, 4, 0.0, 1.0, &mut rng);
+        let y1 = m.predict(&x);
+        let y2 = m.predict(&x);
+        assert_eq!(y1.shape(), (5, 2));
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn flatten_load_roundtrip() {
+        let mut m = small_model(3);
+        let flat = m.flatten_params();
+        assert_eq!(flat.len(), m.param_count());
+        let mut m2 = small_model(4);
+        assert_ne!(m2.flatten_params(), flat);
+        m2.load_params(&flat);
+        assert_eq!(m2.flatten_params(), flat);
+        // Identical params give identical outputs.
+        let mut rng = Rng64::new(5);
+        let x = Matrix::randn(3, 4, 0.0, 1.0, &mut rng);
+        assert_eq!(m.predict(&x), m2.predict(&x));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_problem() {
+        // Learn y = [sum(x) > 0] as a 2-class problem.
+        let mut rng = Rng64::new(6);
+        let x = Matrix::randn(256, 4, 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> = x
+            .iter_rows()
+            .map(|r| usize::from(r.iter().sum::<f32>() > 0.0))
+            .collect();
+        let t = dd_tensor::one_hot(&labels, 2);
+
+        let mut m = small_model(7);
+        let mut opt = OptimizerConfig::adam(0.01).build();
+        let (l0, _) = Loss::SoftmaxCrossEntropy.compute(&m.forward(&x, true), &t);
+        let mut last = l0;
+        for _ in 0..100 {
+            let pred = m.forward(&x, true);
+            let (l, grad) = Loss::SoftmaxCrossEntropy.compute(&pred, &t);
+            m.backward(&grad);
+            m.step_with(&mut opt, 1.0);
+            last = l;
+        }
+        assert!(last < 0.4 * l0, "loss {l0} -> {last}");
+        let acc = crate::metrics::accuracy(&m.predict(&x), &labels);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn grad_flat_length_matches_params() {
+        let mut m = small_model(8);
+        let mut rng = Rng64::new(9);
+        let x = Matrix::randn(4, 4, 0.0, 1.0, &mut rng);
+        let y = m.forward(&x, true);
+        m.backward(&y);
+        assert_eq!(m.flatten_grads().len(), m.param_count());
+    }
+
+    #[test]
+    fn load_grads_roundtrip() {
+        let mut m = small_model(10);
+        let n = m.param_count();
+        let fake: Vec<f32> = (0..n).map(|i| i as f32 * 0.001).collect();
+        m.load_grads(&fake);
+        assert_eq!(m.flatten_grads(), fake);
+    }
+
+    #[test]
+    fn summary_and_flops() {
+        let m = small_model(11);
+        let s = m.summary();
+        assert!(s.contains("dense"));
+        assert!(s.contains(&format!("total params: {}", m.param_count())));
+        assert!(m.forward_flops(32) > 0);
+        // FLOPs scale linearly with batch.
+        assert_eq!(m.forward_flops(64), 2 * m.forward_flops(32));
+    }
+
+    #[test]
+    fn precision_switch_changes_output_slightly() {
+        let mut m = small_model(12);
+        let mut rng = Rng64::new(13);
+        let x = Matrix::randn(8, 4, 0.0, 2.0, &mut rng);
+        let y32 = m.predict(&x);
+        m.set_precision(Precision::Int8);
+        let y8 = m.predict(&x);
+        assert_eq!(m.precision(), Precision::Int8);
+        let diff = y32.zip_map(&y8, |a, b| (a - b).abs()).max_abs();
+        assert!(diff > 0.0, "int8 should perturb outputs");
+        assert!(diff < 0.5 * y32.max_abs().max(1.0), "but not catastrophically");
+    }
+}

@@ -1,0 +1,334 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! Optimizers keep per-parameter state (momentum/moment buffers) keyed by the
+//! visiting order of `visit_params`, which is stable for a given model. The
+//! state is lazily sized on the first step so one optimizer value can be
+//! constructed before the model exists (e.g. from a hyperparameter config).
+
+use dd_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Serializable optimizer configuration; build with [`OptimizerConfig::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerConfig {
+    /// Stochastic gradient descent with momentum and decoupled weight decay.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables).
+        momentum: f32,
+        /// Decoupled L2 weight decay.
+        weight_decay: f32,
+    },
+    /// Adam with bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Decoupled L2 weight decay (AdamW-style).
+        weight_decay: f32,
+    },
+    /// RMSProp.
+    RmsProp {
+        /// Learning rate.
+        lr: f32,
+        /// Squared-gradient decay.
+        rho: f32,
+    },
+}
+
+impl OptimizerConfig {
+    /// Plain SGD at the given rate.
+    pub fn sgd(lr: f32) -> Self {
+        OptimizerConfig::Sgd { lr, momentum: 0.0, weight_decay: 0.0 }
+    }
+
+    /// Adam with the usual defaults.
+    pub fn adam(lr: f32) -> Self {
+        OptimizerConfig::Adam { lr, beta1: 0.9, beta2: 0.999, weight_decay: 0.0 }
+    }
+
+    /// Materialize the optimizer state machine.
+    pub fn build(self) -> Optimizer {
+        Optimizer { config: self, step: 0, cursor: 0, slots: Vec::new() }
+    }
+
+    /// The configured base learning rate.
+    pub fn base_lr(self) -> f32 {
+        match self {
+            OptimizerConfig::Sgd { lr, .. }
+            | OptimizerConfig::Adam { lr, .. }
+            | OptimizerConfig::RmsProp { lr, .. } => lr,
+        }
+    }
+
+    /// Copy of the config with a different base learning rate.
+    pub fn with_lr(self, new_lr: f32) -> Self {
+        match self {
+            OptimizerConfig::Sgd { momentum, weight_decay, .. } => {
+                OptimizerConfig::Sgd { lr: new_lr, momentum, weight_decay }
+            }
+            OptimizerConfig::Adam { beta1, beta2, weight_decay, .. } => {
+                OptimizerConfig::Adam { lr: new_lr, beta1, beta2, weight_decay }
+            }
+            OptimizerConfig::RmsProp { rho, .. } => OptimizerConfig::RmsProp { lr: new_lr, rho },
+        }
+    }
+}
+
+/// Per-parameter optimizer state.
+struct Slot {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// A stateful optimizer driving parameter updates.
+///
+/// Designed to be driven through a model's `visit_params` visitor: call
+/// [`Optimizer::begin_step`] once, then [`Optimizer::update`] for every
+/// `(param, grad)` pair in the model's stable visiting order.
+pub struct Optimizer {
+    config: OptimizerConfig,
+    step: u64,
+    cursor: usize,
+    slots: Vec<Slot>,
+}
+
+impl Optimizer {
+    /// Start a new update step, resetting the slot cursor.
+    pub fn begin_step(&mut self) {
+        self.step += 1;
+        self.cursor = 0;
+    }
+
+    /// Update one parameter tensor in place from its gradient. Must follow a
+    /// [`Optimizer::begin_step`]; pairs must arrive in the same order every
+    /// step so momentum state stays attached to the right tensor.
+    pub fn update(&mut self, p: &mut Matrix, g: &Matrix, lr_scale: f32) {
+        assert_eq!(p.shape(), g.shape(), "optimizer param/grad shape mismatch");
+        if self.cursor == self.slots.len() {
+            let n = p.len();
+            self.slots.push(Slot { m: vec![0.0; n], v: vec![0.0; n] });
+        }
+        let slot = &mut self.slots[self.cursor];
+        assert_eq!(slot.m.len(), p.len(), "parameter visiting order changed");
+        self.cursor += 1;
+
+        match self.config {
+            OptimizerConfig::Sgd { lr, momentum, weight_decay } => {
+                let lr = lr * lr_scale;
+                for ((w, &grad), m) in
+                    p.as_mut_slice().iter_mut().zip(g.as_slice()).zip(&mut slot.m)
+                {
+                    let d = grad + weight_decay * *w;
+                    if momentum > 0.0 {
+                        *m = momentum * *m + d;
+                        *w -= lr * *m;
+                    } else {
+                        *w -= lr * d;
+                    }
+                }
+            }
+            OptimizerConfig::Adam { lr, beta1, beta2, weight_decay } => {
+                let lr = lr * lr_scale;
+                let bc1 = 1.0 - beta1.powi(self.step as i32);
+                let bc2 = 1.0 - beta2.powi(self.step as i32);
+                let eps = 1e-8f32;
+                for (((w, &grad), m), v) in p
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(&mut slot.m)
+                    .zip(&mut slot.v)
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * grad;
+                    *v = beta2 * *v + (1.0 - beta2) * grad * grad;
+                    let mhat = *m / bc1;
+                    let vhat = *v / bc2;
+                    *w -= lr * (mhat / (vhat.sqrt() + eps) + weight_decay * *w);
+                }
+            }
+            OptimizerConfig::RmsProp { lr, rho } => {
+                let lr = lr * lr_scale;
+                let eps = 1e-8f32;
+                for ((w, &grad), v) in
+                    p.as_mut_slice().iter_mut().zip(g.as_slice()).zip(&mut slot.v)
+                {
+                    *v = rho * *v + (1.0 - rho) * grad * grad;
+                    *w -= lr * grad / (v.sqrt() + eps);
+                }
+            }
+        }
+    }
+
+    /// One-shot convenience over a pair list (used by tests and simple
+    /// call sites without a visitor).
+    pub fn step_params(&mut self, params: &mut [(&mut Matrix, &Matrix)], lr_scale: f32) {
+        self.begin_step();
+        for (p, g) in params.iter_mut() {
+            self.update(p, g, lr_scale);
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step
+    }
+
+    /// The config this optimizer was built from.
+    pub fn config(&self) -> OptimizerConfig {
+        self.config
+    }
+}
+
+/// Learning-rate schedule, expressed as a multiplier on the base rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 to `floor` over `total` epochs.
+    Cosine {
+        /// Total epochs of the anneal.
+        total: usize,
+        /// Final multiplier.
+        floor: f32,
+    },
+    /// Linear warmup over `warmup` epochs, then constant.
+    Warmup {
+        /// Warmup length in epochs.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier for the given (0-based) epoch.
+    pub fn scale(self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => gamma.powi((epoch / every.max(1)) as i32),
+            LrSchedule::Cosine { total, floor } => {
+                if total == 0 {
+                    return 1.0;
+                }
+                let t = (epoch.min(total)) as f32 / total as f32;
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || epoch >= warmup {
+                    1.0
+                } else {
+                    (epoch + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(w) = 0.5*(w-3)² from w=0 with each optimizer.
+    fn converges(config: OptimizerConfig, iters: usize, tol: f32) {
+        let mut w = Matrix::zeros(1, 1);
+        let mut opt = config.build();
+        for _ in 0..iters {
+            let g = Matrix::from_rows(&[&[w.get(0, 0) - 3.0]]);
+            opt.step_params(&mut [(&mut w, &g)], 1.0);
+        }
+        assert!(
+            (w.get(0, 0) - 3.0).abs() < tol,
+            "{:?} ended at {}",
+            config,
+            w.get(0, 0)
+        );
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        converges(OptimizerConfig::sgd(0.1), 200, 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        converges(
+            OptimizerConfig::Sgd { lr: 0.05, momentum: 0.9, weight_decay: 0.0 },
+            300,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn adam_converges() {
+        converges(OptimizerConfig::adam(0.1), 500, 1e-2);
+    }
+
+    #[test]
+    fn rmsprop_converges() {
+        converges(OptimizerConfig::RmsProp { lr: 0.05, rho: 0.9 }, 500, 5e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut w = Matrix::full(1, 1, 1.0);
+        let zero_grad = Matrix::zeros(1, 1);
+        let mut opt =
+            OptimizerConfig::Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.5 }.build();
+        for _ in 0..10 {
+            opt.step_params(&mut [(&mut w, &zero_grad)], 1.0);
+        }
+        assert!(w.get(0, 0) < 0.7 && w.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn lr_scale_multiplies() {
+        let mut w1 = Matrix::zeros(1, 1);
+        let mut w2 = Matrix::zeros(1, 1);
+        let g = Matrix::full(1, 1, 1.0);
+        let mut o1 = OptimizerConfig::sgd(0.1).build();
+        let mut o2 = OptimizerConfig::sgd(0.1).build();
+        o1.step_params(&mut [(&mut w1, &g)], 1.0);
+        o2.step_params(&mut [(&mut w2, &g)], 0.5);
+        assert!((w1.get(0, 0) - 2.0 * w2.get(0, 0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn schedules_behave() {
+        assert_eq!(LrSchedule::Constant.scale(100), 1.0);
+        let sd = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(sd.scale(0), 1.0);
+        assert_eq!(sd.scale(10), 0.5);
+        assert_eq!(sd.scale(25), 0.25);
+        let cos = LrSchedule::Cosine { total: 100, floor: 0.1 };
+        assert!((cos.scale(0) - 1.0).abs() < 1e-6);
+        assert!((cos.scale(100) - 0.1).abs() < 1e-6);
+        assert!(cos.scale(50) < 1.0 && cos.scale(50) > 0.1);
+        let w = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(w.scale(0), 0.25);
+        assert_eq!(w.scale(3), 1.0);
+        assert_eq!(w.scale(10), 1.0);
+    }
+
+    #[test]
+    fn with_lr_preserves_other_fields() {
+        let c = OptimizerConfig::Adam { lr: 0.1, beta1: 0.8, beta2: 0.99, weight_decay: 0.01 };
+        let c2 = c.with_lr(0.2);
+        assert_eq!(c2.base_lr(), 0.2);
+        if let OptimizerConfig::Adam { beta1, weight_decay, .. } = c2 {
+            assert_eq!(beta1, 0.8);
+            assert_eq!(weight_decay, 0.01);
+        } else {
+            panic!("variant changed");
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Serializable model descriptions.
+//!
+//! A [`ModelSpec`] is the unit of exchange between the hyperparameter search
+//! engine (which mutates specs), the model-parallel partitioner (which splits
+//! specs across simulated nodes) and the trainer (which builds and fits
+//! them). Building is deterministic given a seed.
+
+use crate::init::Init;
+use crate::layers::{
+    Activation, ActivationLayer, BatchNorm1d, Conv1d, Dense, Dropout, Layer, MaxPool1d,
+};
+use crate::model::Sequential;
+use dd_tensor::{Precision, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Shape of the data flowing between layers while a spec is validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputShape {
+    /// A flat feature vector of the given width.
+    Flat(usize),
+    /// A multi-channel 1-D signal (flattened channel-major into rows).
+    Signal {
+        /// Number of channels.
+        channels: usize,
+        /// Samples per channel.
+        len: usize,
+    },
+}
+
+impl InputShape {
+    /// Total row width.
+    pub fn width(self) -> usize {
+        match self {
+            InputShape::Flat(d) => d,
+            InputShape::Signal { channels, len } => channels * len,
+        }
+    }
+}
+
+/// One layer in a [`ModelSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// Fully connected layer to `out` units. Signal shapes flatten first.
+    Dense {
+        /// Output width.
+        out: usize,
+        /// Weight initializer.
+        init: Init,
+    },
+    /// Elementwise activation.
+    Activation(Activation),
+    /// Inverted dropout with drop probability `p`.
+    Dropout {
+        /// Drop probability.
+        p: f32,
+    },
+    /// 1-D convolution (requires a Signal shape).
+    Conv1d {
+        /// Number of filters.
+        out_ch: usize,
+        /// Filter width.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Weight initializer.
+        init: Init,
+    },
+    /// 1-D max pooling (requires a Signal shape).
+    MaxPool1d {
+        /// Window length (stride = window).
+        pool: usize,
+    },
+    /// Batch normalization over the current width.
+    BatchNorm,
+    /// Layer normalization over the current width.
+    LayerNorm,
+    /// Residual block `y = x + f(x)`: the inner stack must preserve width.
+    Residual(Vec<LayerSpec>),
+}
+
+/// A validated, buildable network description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Shape of one input row.
+    pub input: InputShape,
+    /// Layer stack, applied in order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl ModelSpec {
+    /// New empty spec for the given input shape.
+    pub fn new(input: InputShape) -> Self {
+        ModelSpec { input, layers: Vec::new() }
+    }
+
+    /// Convenience: an MLP `input → hidden... → out` with the given
+    /// activation after each hidden layer.
+    pub fn mlp(input_dim: usize, hidden: &[usize], out: usize, act: Activation) -> Self {
+        let mut spec = ModelSpec::new(InputShape::Flat(input_dim));
+        for &h in hidden {
+            spec.layers.push(LayerSpec::Dense { out: h, init: Init::He });
+            spec.layers.push(LayerSpec::Activation(act));
+        }
+        spec.layers.push(LayerSpec::Dense { out, init: Init::Xavier });
+        spec
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: LayerSpec) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Walk the stack and return the output shape, or an error describing
+    /// the first inconsistency.
+    pub fn validate(&self) -> Result<InputShape, String> {
+        let mut shape = self.input;
+        if shape.width() == 0 {
+            return Err("input width must be positive".into());
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            shape = match *layer {
+                LayerSpec::Dense { out, .. } => {
+                    if out == 0 {
+                        return Err(format!("layer {i}: dense output width 0"));
+                    }
+                    InputShape::Flat(out)
+                }
+                LayerSpec::Activation(_) | LayerSpec::BatchNorm | LayerSpec::LayerNorm => shape,
+                LayerSpec::Dropout { p } => {
+                    if !(0.0..1.0).contains(&p) {
+                        return Err(format!("layer {i}: dropout p {p} outside [0,1)"));
+                    }
+                    shape
+                }
+                LayerSpec::Conv1d { out_ch, kernel, stride, .. } => match shape {
+                    InputShape::Signal { len, .. } => {
+                        if kernel == 0 || stride == 0 {
+                            return Err(format!("layer {i}: conv kernel/stride must be >= 1"));
+                        }
+                        if kernel > len {
+                            return Err(format!(
+                                "layer {i}: conv kernel {kernel} exceeds signal length {len}"
+                            ));
+                        }
+                        if out_ch == 0 {
+                            return Err(format!("layer {i}: conv needs out_ch >= 1"));
+                        }
+                        InputShape::Signal { channels: out_ch, len: (len - kernel) / stride + 1 }
+                    }
+                    InputShape::Flat(_) => {
+                        return Err(format!("layer {i}: conv1d requires a Signal shape"))
+                    }
+                },
+                LayerSpec::MaxPool1d { pool } => match shape {
+                    InputShape::Signal { channels, len } => {
+                        if pool == 0 || pool > len {
+                            return Err(format!(
+                                "layer {i}: pool {pool} invalid for signal length {len}"
+                            ));
+                        }
+                        InputShape::Signal { channels, len: len.div_ceil(pool) }
+                    }
+                    InputShape::Flat(_) => {
+                        return Err(format!("layer {i}: maxpool1d requires a Signal shape"))
+                    }
+                },
+                LayerSpec::Residual(ref inner) => {
+                    let sub = ModelSpec { input: shape, layers: inner.clone() };
+                    let out = sub
+                        .validate()
+                        .map_err(|e| format!("layer {i} (residual): {e}"))?;
+                    if out.width() != shape.width() {
+                        return Err(format!(
+                            "layer {i}: residual branch changes width {} -> {}",
+                            shape.width(),
+                            out.width()
+                        ));
+                    }
+                    shape
+                }
+            };
+        }
+        Ok(shape)
+    }
+
+    /// Output row width after the full stack (validated).
+    pub fn output_dim(&self) -> Result<usize, String> {
+        self.validate().map(InputShape::width)
+    }
+
+    /// Build the runnable model. Weight init and dropout masks derive from
+    /// `seed`, so builds are reproducible.
+    pub fn build(&self, seed: u64, precision: Precision) -> Result<Sequential, String> {
+        self.validate()?;
+        let rng = Rng64::new(seed);
+        let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(self.layers.len());
+        let mut shape = self.input;
+        for (i, spec) in self.layers.iter().enumerate() {
+            match *spec {
+                LayerSpec::Dense { out, init } => {
+                    let mut r = rng.split(i as u64);
+                    layers.push(Box::new(Dense::new(shape.width(), out, init, &mut r)));
+                    shape = InputShape::Flat(out);
+                }
+                LayerSpec::Activation(a) => layers.push(Box::new(ActivationLayer::new(a))),
+                LayerSpec::Dropout { p } => {
+                    layers.push(Box::new(Dropout::new(p, rng.split(1000 + i as u64))));
+                }
+                LayerSpec::Conv1d { out_ch, kernel, stride, init } => {
+                    if let InputShape::Signal { channels, len } = shape {
+                        let mut r = rng.split(i as u64);
+                        let conv =
+                            Conv1d::new(channels, len, out_ch, kernel, stride, init, &mut r);
+                        shape = InputShape::Signal { channels: out_ch, len: conv.out_len() };
+                        layers.push(Box::new(conv));
+                    } else {
+                        unreachable!("validated above");
+                    }
+                }
+                LayerSpec::MaxPool1d { pool } => {
+                    if let InputShape::Signal { channels, len } = shape {
+                        let mp = MaxPool1d::new(channels, len, pool);
+                        shape = InputShape::Signal { channels, len: mp.out_len() };
+                        layers.push(Box::new(mp));
+                    } else {
+                        unreachable!("validated above");
+                    }
+                }
+                LayerSpec::BatchNorm => {
+                    layers.push(Box::new(BatchNorm1d::new(shape.width())));
+                }
+                LayerSpec::LayerNorm => {
+                    layers.push(Box::new(crate::layers::LayerNorm::new(shape.width())));
+                }
+                LayerSpec::Residual(ref inner) => {
+                    // Build the branch as a sub-spec with its own derived
+                    // seed; validation above guarantees width preservation.
+                    let sub = ModelSpec { input: shape, layers: inner.clone() };
+                    let sub_model = sub.build(rng.split(2000 + i as u64).next_u64(), precision)?;
+                    layers.push(Box::new(crate::layers::Residual::new(
+                        sub_model.into_layers(),
+                    )));
+                }
+            }
+        }
+        Ok(Sequential::from_layers(layers, self.input.width(), precision))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_spec_shapes() {
+        let spec = ModelSpec::mlp(10, &[32, 16], 3, Activation::Relu);
+        assert_eq!(spec.output_dim().unwrap(), 3);
+        assert_eq!(spec.layers.len(), 5);
+    }
+
+    #[test]
+    fn conv_pipeline_shapes() {
+        let spec = ModelSpec::new(InputShape::Signal { channels: 1, len: 100 })
+            .push(LayerSpec::Conv1d { out_ch: 8, kernel: 5, stride: 1, init: Init::He })
+            .push(LayerSpec::Activation(Activation::Relu))
+            .push(LayerSpec::MaxPool1d { pool: 2 })
+            .push(LayerSpec::Dense { out: 4, init: Init::Xavier });
+        // conv: 96, pool: 48 → dense over 8*48.
+        assert_eq!(spec.output_dim().unwrap(), 4);
+    }
+
+    #[test]
+    fn conv_on_flat_rejected() {
+        let spec = ModelSpec::new(InputShape::Flat(10)).push(LayerSpec::Conv1d {
+            out_ch: 2,
+            kernel: 3,
+            stride: 1,
+            init: Init::He,
+        });
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("Signal"), "{err}");
+    }
+
+    #[test]
+    fn invalid_dropout_rejected() {
+        let spec = ModelSpec::new(InputShape::Flat(4)).push(LayerSpec::Dropout { p: 1.5 });
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn kernel_longer_than_signal_rejected() {
+        let spec = ModelSpec::new(InputShape::Signal { channels: 1, len: 4 }).push(
+            LayerSpec::Conv1d { out_ch: 2, kernel: 9, stride: 1, init: Init::He },
+        );
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = ModelSpec::mlp(6, &[8], 2, Activation::Tanh);
+        let mut a = spec.build(42, Precision::F32).unwrap();
+        let mut b = spec.build(42, Precision::F32).unwrap();
+        assert_eq!(a.flatten_params(), b.flatten_params());
+        let mut c = spec.build(43, Precision::F32).unwrap();
+        assert_ne!(a.flatten_params(), c.flatten_params());
+    }
+
+    #[test]
+    fn residual_spec_builds_and_preserves_width() {
+        let spec = ModelSpec::new(InputShape::Flat(8))
+            .push(LayerSpec::Residual(vec![
+                LayerSpec::Dense { out: 8, init: Init::Xavier },
+                LayerSpec::Activation(Activation::Tanh),
+                LayerSpec::Dense { out: 8, init: Init::Xavier },
+            ]))
+            .push(LayerSpec::Dense { out: 2, init: Init::Xavier });
+        assert_eq!(spec.output_dim().unwrap(), 2);
+        let mut model = spec.build(5, Precision::F32).unwrap();
+        let x = dd_tensor::Matrix::zeros(3, 8);
+        assert_eq!(model.predict(&x).shape(), (3, 2));
+        // Deterministic across builds.
+        let mut again = spec.build(5, Precision::F32).unwrap();
+        assert_eq!(model.flatten_params(), again.flatten_params());
+    }
+
+    #[test]
+    fn residual_width_change_rejected() {
+        let spec = ModelSpec::new(InputShape::Flat(8)).push(LayerSpec::Residual(vec![
+            LayerSpec::Dense { out: 4, init: Init::Xavier },
+        ]));
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("changes width"), "{err}");
+    }
+
+    #[test]
+    fn residual_serde_roundtrip() {
+        let spec = ModelSpec::new(InputShape::Flat(4)).push(LayerSpec::Residual(vec![
+            LayerSpec::Dense { out: 4, init: Init::He },
+            LayerSpec::Activation(Activation::Gelu),
+        ]));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = ModelSpec::new(InputShape::Signal { channels: 2, len: 30 })
+            .push(LayerSpec::Conv1d { out_ch: 4, kernel: 3, stride: 2, init: Init::He })
+            .push(LayerSpec::BatchNorm)
+            .push(LayerSpec::Dense { out: 5, init: Init::Xavier });
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,325 @@
+//! Single-node training loop with minibatching, shuffling, validation and
+//! early stopping.
+
+use crate::loss::Loss;
+use crate::metrics;
+use crate::model::Sequential;
+use crate::optim::{LrSchedule, Optimizer, OptimizerConfig};
+use dd_tensor::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Optimizer to build.
+    pub optimizer: OptimizerConfig,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Objective.
+    pub loss: Loss,
+    /// Stop if validation loss fails to improve for this many epochs
+    /// (`None` disables early stopping).
+    pub patience: Option<usize>,
+    /// Global gradient-norm clip (`None` disables).
+    pub grad_clip: Option<f32>,
+    /// Shuffle seed; also reseeds nothing else (model dropout has its own).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            batch_size: 32,
+            epochs: 20,
+            optimizer: OptimizerConfig::adam(1e-3),
+            schedule: LrSchedule::Constant,
+            loss: Loss::Mse,
+            patience: None,
+            grad_clip: Some(5.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's minibatches.
+    pub train_loss: f64,
+    /// Validation loss, when a validation set was supplied.
+    pub val_loss: Option<f64>,
+    /// Wall-clock seconds for the epoch.
+    pub seconds: f64,
+}
+
+/// Full training history.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct History {
+    /// One entry per completed epoch.
+    pub epochs: Vec<EpochStats>,
+    /// True when early stopping fired before `epochs` ran out.
+    pub early_stopped: bool,
+}
+
+impl History {
+    /// Final training loss (NaN when no epochs ran).
+    pub fn final_train_loss(&self) -> f64 {
+        self.epochs.last().map(|e| e.train_loss).unwrap_or(f64::NAN)
+    }
+
+    /// Best (minimum) validation loss seen.
+    pub fn best_val_loss(&self) -> Option<f64> {
+        self.epochs
+            .iter()
+            .filter_map(|e| e.val_loss)
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+/// Trains a [`Sequential`] on `(x, y)` matrices.
+pub struct Trainer {
+    config: TrainConfig,
+    optimizer: Optimizer,
+    rng: Rng64,
+}
+
+impl Trainer {
+    /// New trainer from a config.
+    pub fn new(config: TrainConfig) -> Self {
+        let optimizer = config.optimizer.build();
+        let rng = Rng64::new(config.seed);
+        Trainer { config, optimizer, rng }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Run one epoch over shuffled minibatches; returns the mean batch loss.
+    pub fn run_epoch(&mut self, model: &mut Sequential, x: &Matrix, y: &Matrix, epoch: usize) -> f64 {
+        assert_eq!(x.rows(), y.rows(), "feature/target row mismatch");
+        assert!(x.rows() > 0, "empty training set");
+        let n = x.rows();
+        let bs = self.config.batch_size.min(n).max(1);
+        let mut order: Vec<usize> = (0..n).collect();
+        self.rng.shuffle(&mut order);
+        let lr_scale = self.config.schedule.scale(epoch);
+        let mut total = 0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(bs) {
+            let xb = x.gather_rows(chunk);
+            let yb = y.gather_rows(chunk);
+            let pred = model.forward(&xb, true);
+            let (loss, grad) = self.config.loss.compute(&pred, &yb);
+            model.backward(&grad);
+            if let Some(limit) = self.config.grad_clip {
+                clip_model_grads(model, limit);
+            }
+            model.step_with(&mut self.optimizer, lr_scale);
+            total += loss;
+            batches += 1;
+        }
+        total / batches.max(1) as f64
+    }
+
+    /// Mean loss over a dataset without updating parameters.
+    pub fn evaluate(&self, model: &mut Sequential, x: &Matrix, y: &Matrix) -> f64 {
+        let pred = model.predict(x);
+        self.config.loss.compute(&pred, y).0
+    }
+
+    /// Full fit loop with optional validation-based early stopping.
+    pub fn fit(
+        &mut self,
+        model: &mut Sequential,
+        x: &Matrix,
+        y: &Matrix,
+        val: Option<(&Matrix, &Matrix)>,
+    ) -> History {
+        let mut history = History::default();
+        let mut best_val = f64::INFINITY;
+        let mut stale = 0usize;
+        for epoch in 0..self.config.epochs {
+            let t0 = std::time::Instant::now();
+            let train_loss = self.run_epoch(model, x, y, epoch);
+            let val_loss = val.map(|(vx, vy)| self.evaluate(model, vx, vy));
+            history.epochs.push(EpochStats {
+                epoch,
+                train_loss,
+                val_loss,
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+            if let (Some(vl), Some(patience)) = (val_loss, self.config.patience) {
+                if vl < best_val - 1e-9 {
+                    best_val = vl;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= patience {
+                        history.early_stopped = true;
+                        break;
+                    }
+                }
+            }
+        }
+        history
+    }
+}
+
+/// Clip the model's gradients to a global L2 norm.
+fn clip_model_grads(model: &mut Sequential, max_norm: f32) {
+    let mut total = 0f64;
+    model.visit_params(&mut |_, g| total += g.norm_sq() as f64);
+    let norm = total.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        model.visit_params(&mut |_, g| g.scale(scale));
+    }
+}
+
+/// Stratified-ish deterministic train/validation/test split of row indices.
+pub fn split_indices(n: usize, val_frac: f64, test_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    assert!(val_frac >= 0.0 && test_frac >= 0.0 && val_frac + test_frac < 1.0,
+        "split fractions must be non-negative and leave room for training");
+    let mut idx: Vec<usize> = (0..n).collect();
+    Rng64::new(seed).shuffle(&mut idx);
+    let n_test = (n as f64 * test_frac).round() as usize;
+    let n_val = (n as f64 * val_frac).round() as usize;
+    let test = idx.split_off(n - n_test);
+    let val = idx.split_off(n - n_test - n_val);
+    (idx, val, test)
+}
+
+/// Convenience: classification accuracy of a model on a labelled set.
+pub fn eval_accuracy(model: &mut Sequential, x: &Matrix, labels: &[usize]) -> f64 {
+    metrics::accuracy(&model.predict(x), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Activation;
+    use crate::spec::ModelSpec;
+    use dd_tensor::Precision;
+
+    fn toy_regression(n: usize, seed: u64) -> (Matrix, Matrix) {
+        // y = 2x0 - x1 + 0.5, learnable by a linear model.
+        let mut rng = Rng64::new(seed);
+        let x = Matrix::randn(n, 2, 0.0, 1.0, &mut rng);
+        let y = Matrix::from_fn(n, 1, |i, _| 2.0 * x.get(i, 0) - x.get(i, 1) + 0.5);
+        (x, y)
+    }
+
+    #[test]
+    fn fit_learns_linear_function() {
+        let (x, y) = toy_regression(512, 1);
+        let mut model = ModelSpec::mlp(2, &[], 1, Activation::Identity)
+            .build(2, Precision::F32)
+            .unwrap();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 60,
+            optimizer: OptimizerConfig::sgd(0.05),
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut model, &x, &y, None);
+        assert!(history.final_train_loss() < 1e-3, "loss {}", history.final_train_loss());
+        assert_eq!(history.epochs.len(), 60);
+    }
+
+    #[test]
+    fn early_stopping_fires() {
+        let (x, y) = toy_regression(128, 3);
+        let (vx, vy) = toy_regression(64, 4);
+        let mut model = ModelSpec::mlp(2, &[8], 1, Activation::Tanh)
+            .build(5, Precision::F32)
+            .unwrap();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 500,
+            patience: Some(3),
+            optimizer: OptimizerConfig::adam(0.01),
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut model, &x, &y, Some((&vx, &vy)));
+        assert!(history.early_stopped, "should stop before 500 epochs");
+        assert!(history.epochs.len() < 500);
+        assert!(history.best_val_loss().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn epoch_loss_decreases() {
+        let (x, y) = toy_regression(256, 6);
+        let mut model = ModelSpec::mlp(2, &[16], 1, Activation::Relu)
+            .build(7, Precision::F32)
+            .unwrap();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            optimizer: OptimizerConfig::adam(0.005),
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut model, &x, &y, None);
+        let first = history.epochs.first().unwrap().train_loss;
+        let last = history.final_train_loss();
+        assert!(last < first * 0.5, "{first} -> {last}");
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let (x, y) = toy_regression(128, 8);
+        let run = || {
+            let mut model = ModelSpec::mlp(2, &[8], 1, Activation::Relu)
+                .build(9, Precision::F32)
+                .unwrap();
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs: 5,
+                seed: 42,
+                ..TrainConfig::default()
+            });
+            trainer.fit(&mut model, &x, &y, None);
+            model.flatten_params()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn split_indices_partition() {
+        let (train, val, test) = split_indices(100, 0.2, 0.1, 1);
+        assert_eq!(train.len() + val.len() + test.len(), 100);
+        assert_eq!(test.len(), 10);
+        assert_eq!(val.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(&val).chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "split fractions")]
+    fn bad_split_fractions_panic() {
+        let _ = split_indices(10, 0.6, 0.5, 1);
+    }
+
+    #[test]
+    fn grad_clip_keeps_training_stable_with_huge_lr_signal() {
+        // With clipping, even exploding-scale targets keep params finite.
+        let mut rng = Rng64::new(10);
+        let x = Matrix::randn(64, 2, 0.0, 1.0, &mut rng);
+        let y = Matrix::from_fn(64, 1, |i, _| 1e4 * x.get(i, 0));
+        let mut model = ModelSpec::mlp(2, &[8], 1, Activation::Relu)
+            .build(11, Precision::F32)
+            .unwrap();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 5,
+            grad_clip: Some(1.0),
+            optimizer: OptimizerConfig::sgd(0.1),
+            ..TrainConfig::default()
+        });
+        trainer.fit(&mut model, &x, &y, None);
+        assert!(model.flatten_params().iter().all(|v| v.is_finite()));
+    }
+}

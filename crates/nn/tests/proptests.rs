@@ -1,0 +1,178 @@
+//! Property-based tests for the NN stack: losses, optimizers and layer
+//! invariants under randomized inputs.
+
+use dd_nn::{
+    layers::Layer, Activation, ActivationLayer, Init, Loss, LrSchedule, ModelSpec,
+    OptimizerConfig, Sequential,
+};
+use dd_tensor::{Matrix, Precision, Rng64};
+use proptest::prelude::*;
+
+fn matrix(rows: std::ops::RangeInclusive<usize>, cols: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-5.0f32..5.0, r * c).prop_map(move |d| Matrix::from_vec(r, c, d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn losses_are_nonnegative_and_zero_grad_at_optimum(pred in matrix(1..=6, 1..=4)) {
+        // MSE and Huber at target == pred must be exactly zero.
+        for loss in [Loss::Mse, Loss::Huber] {
+            let (l, g) = loss.compute(&pred, &pred);
+            prop_assert_eq!(l, 0.0);
+            prop_assert_eq!(g.max_abs(), 0.0);
+        }
+    }
+
+    #[test]
+    fn softmax_ce_bounded_below_by_zero(pred in matrix(1..=6, 2..=5)) {
+        let labels: Vec<usize> = (0..pred.rows()).map(|i| i % pred.cols()).collect();
+        let target = dd_tensor::one_hot(&labels, pred.cols());
+        let (l, g) = Loss::SoftmaxCrossEntropy.compute(&pred, &target);
+        prop_assert!(l >= 0.0);
+        prop_assert!(!g.has_non_finite());
+        // Gradient rows sum to ~0 (softmax minus one-hot).
+        for i in 0..g.rows() {
+            let s: f32 = g.row(i).iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bce_gradient_bounded(pred in matrix(1..=6, 1..=4)) {
+        let target = Matrix::from_fn(pred.rows(), pred.cols(), |i, j| ((i + j) % 2) as f32);
+        let (l, g) = Loss::BinaryCrossEntropy.compute(&pred, &target);
+        prop_assert!(l.is_finite() && l >= 0.0);
+        // Per-element gradient of BCE-with-logits is (sigmoid − t)/count ∈ [−1, 1].
+        prop_assert!(g.max_abs() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn activations_forward_backward_consistent(x in matrix(1..=4, 1..=6)) {
+        for act in Activation::ALL {
+            let mut layer = ActivationLayer::new(act);
+            let y = layer.forward(&x, true, Precision::F32);
+            prop_assert_eq!(y.shape(), x.shape());
+            prop_assert!(!y.has_non_finite());
+            let g = layer.backward(&Matrix::full(x.rows(), x.cols(), 1.0), Precision::F32);
+            prop_assert!(!g.has_non_finite());
+        }
+    }
+
+    #[test]
+    fn relu_output_nonnegative(x in matrix(1..=5, 1..=8)) {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let y = layer.forward(&x, false, Precision::F32);
+        prop_assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient(w0 in -3.0f32..3.0, g in -3.0f32..3.0, lr in 0.001f32..0.5) {
+        prop_assume!(g.abs() > 1e-3);
+        let mut w = Matrix::full(1, 1, w0);
+        let grad = Matrix::full(1, 1, g);
+        let mut opt = OptimizerConfig::sgd(lr).build();
+        opt.step_params(&mut [(&mut w, &grad)], 1.0);
+        let moved = w.get(0, 0) - w0;
+        prop_assert!(moved * g < 0.0, "step {moved} should oppose gradient {g}");
+        prop_assert!((moved + lr * g).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_steps_are_bounded_by_lr(g in -100.0f32..100.0, lr in 0.001f32..0.1) {
+        prop_assume!(g.abs() > 1e-3);
+        // Adam normalizes by the gradient magnitude: first step ≈ lr.
+        let mut w = Matrix::zeros(1, 1);
+        let grad = Matrix::full(1, 1, g);
+        let mut opt = OptimizerConfig::adam(lr).build();
+        opt.step_params(&mut [(&mut w, &grad)], 1.0);
+        prop_assert!(w.get(0, 0).abs() <= lr * 1.01);
+    }
+
+    #[test]
+    fn schedules_stay_in_unit_range(epoch in 0usize..1000) {
+        for sched in [
+            LrSchedule::Constant,
+            LrSchedule::StepDecay { every: 10, gamma: 0.5 },
+            LrSchedule::Cosine { total: 100, floor: 0.1 },
+            LrSchedule::Warmup { warmup: 8 },
+        ] {
+            let s = sched.scale(epoch);
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&s), "{sched:?} at {epoch}: {s}");
+        }
+    }
+
+    #[test]
+    fn model_flatten_load_roundtrip(seed in any::<u64>(), hidden in 1usize..24) {
+        let spec = ModelSpec::mlp(5, &[hidden], 3, Activation::Tanh);
+        let mut model: Sequential = spec.build(seed, Precision::F32).unwrap();
+        let flat = model.flatten_params();
+        prop_assert_eq!(flat.len(), model.param_count());
+        let mut other = spec.build(seed.wrapping_add(1), Precision::F32).unwrap();
+        other.load_params(&flat);
+        prop_assert_eq!(other.flatten_params(), flat);
+    }
+
+    #[test]
+    fn forward_is_deterministic_in_eval(seed in any::<u64>(), x in matrix(1..=4, 5..=5)) {
+        let spec = ModelSpec::mlp(5, &[8], 2, Activation::Relu)
+            .push(dd_nn::LayerSpec::Dropout { p: 0.5 });
+        let mut model = spec.build(seed, Precision::F32).unwrap();
+        // Eval mode ignores dropout: repeated calls agree exactly.
+        let a = model.predict(&x);
+        let b = model.predict(&x);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn init_shapes_and_finiteness(seed in any::<u64>(), fan_in in 1usize..40, fan_out in 1usize..40) {
+        let mut rng = Rng64::new(seed);
+        for init in [Init::Zeros, Init::Xavier, Init::He, Init::Uniform(0.5), Init::Normal(0.1)] {
+            let m = init.build(fan_in, fan_out, &mut rng);
+            prop_assert_eq!(m.shape(), (fan_in, fan_out));
+            prop_assert!(!m.has_non_finite());
+        }
+    }
+
+    #[test]
+    fn dense_gradcheck_random_shapes(seed in 0u64..1000, in_dim in 2usize..6, out_dim in 2usize..6) {
+        // Randomized finite-difference check of dW through L = 0.5||y||².
+        let mut rng = Rng64::new(seed);
+        let mut layer = dd_nn::Dense::new(in_dim, out_dim, Init::Xavier, &mut rng);
+        let x = Matrix::randn(3, in_dim, 0.0, 1.0, &mut rng);
+        let y = layer.forward(&x, true, Precision::F32);
+        layer.backward(&y.clone(), Precision::F32);
+        let mut analytic = None;
+        layer.visit_params(&mut |p, g| {
+            if p.shape() == (in_dim, out_dim) && analytic.is_none() {
+                analytic = Some(g.get(0, 0));
+            }
+        });
+        let analytic = analytic.unwrap() as f64;
+        let eps = 1e-2f32;
+        let mut loss_at = |delta: f32, layer: &mut dd_nn::Dense| {
+            layer.visit_params(&mut |p, _| {
+                if p.shape() == (in_dim, out_dim) {
+                    let v = p.get(0, 0);
+                    p.set(0, 0, v + delta);
+                }
+            });
+            let y = layer.forward(&x, false, Precision::F32);
+            layer.visit_params(&mut |p, _| {
+                if p.shape() == (in_dim, out_dim) {
+                    let v = p.get(0, 0);
+                    p.set(0, 0, v - delta);
+                }
+            });
+            0.5 * y.norm_sq() as f64
+        };
+        let num = (loss_at(eps, &mut layer) - loss_at(-eps, &mut layer)) / (2.0 * eps as f64);
+        prop_assert!(
+            (num - analytic).abs() < 0.05 * (1.0 + num.abs()),
+            "numeric {num} vs analytic {analytic}"
+        );
+    }
+}

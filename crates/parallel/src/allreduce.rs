@@ -1,0 +1,256 @@
+//! Real (not simulated) allreduce over threads.
+//!
+//! Each rank runs on its own OS thread and owns its buffer; segments move
+//! between neighbours over crossbeam SPSC channels exactly as a ring
+//! allreduce moves them between nodes. The communication *pattern* is
+//! therefore the real algorithm — what the simulator's cost model prices —
+//! while transport is shared memory.
+//!
+//! Determinism: the reduction order of each segment is fixed by the ring
+//! schedule (segment `s` is accumulated in rank order `s+1, s+2, …`), so
+//! results are bit-identical across runs and thread interleavings.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// Handle for one rank's participation in a ring allreduce group.
+pub struct RingMember {
+    rank: usize,
+    world: usize,
+    to_next: Sender<Vec<f32>>,
+    from_prev: Receiver<Vec<f32>>,
+}
+
+/// Create a ring of `world` members. Distribute the members to one thread
+/// each; every member's [`RingMember::allreduce`] must be called
+/// collectively (like MPI).
+pub fn ring(world: usize) -> Vec<RingMember> {
+    assert!(world >= 1, "world must be at least 1");
+    let mut senders = Vec::with_capacity(world);
+    let mut receivers = Vec::with_capacity(world);
+    for _ in 0..world {
+        // Capacity 1 suffices: the schedule never has two in-flight segments
+        // per link, and bounded channels apply back-pressure.
+        let (s, r) = bounded::<Vec<f32>>(1);
+        senders.push(Some(s));
+        receivers.push(Some(r));
+    }
+    (0..world)
+        .map(|rank| RingMember {
+            rank,
+            world,
+            // Rank r sends to r+1 (channel index r+1's receiver side).
+            to_next: senders[(rank + 1) % world].take().expect("sender taken once"),
+            from_prev: receivers[rank].take().expect("receiver taken once"),
+        })
+        .collect()
+}
+
+impl RingMember {
+    /// This member's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Sum-allreduce `buf` in place across the group. All members must call
+    /// this with equal-length buffers. Returns the number of bytes this rank
+    /// sent (for traffic accounting).
+    pub fn allreduce(&self, buf: &mut [f32]) -> usize {
+        if self.world == 1 {
+            return 0;
+        }
+        let n = buf.len();
+        let p = self.world;
+        let seg_bounds: Vec<(usize, usize)> = (0..p)
+            .map(|s| {
+                let start = s * n / p;
+                let end = (s + 1) * n / p;
+                (start, end)
+            })
+            .collect();
+        let mut sent_bytes = 0usize;
+
+        // Phase 1: reduce-scatter. In step k, rank r sends segment
+        // (r - k) mod p and receives+accumulates segment (r - k - 1) mod p.
+        for k in 0..p - 1 {
+            let send_seg = (self.rank + p - k) % p;
+            let (s0, s1) = seg_bounds[send_seg];
+            let out = buf[s0..s1].to_vec();
+            sent_bytes += out.len() * 4;
+            self.to_next.send(out).expect("ring peer disconnected");
+            let incoming = self.from_prev.recv().expect("ring peer disconnected");
+            let recv_seg = (self.rank + p - k - 1) % p;
+            let (r0, r1) = seg_bounds[recv_seg];
+            for (dst, src) in buf[r0..r1].iter_mut().zip(&incoming) {
+                *dst += src;
+            }
+        }
+
+        // Phase 2: allgather. In step k, rank r sends its now-complete
+        // segment (r + 1 - k) mod p and receives segment (r - k) mod p.
+        for k in 0..p - 1 {
+            let send_seg = (self.rank + 1 + p - k) % p;
+            let (s0, s1) = seg_bounds[send_seg];
+            let out = buf[s0..s1].to_vec();
+            sent_bytes += out.len() * 4;
+            self.to_next.send(out).expect("ring peer disconnected");
+            let incoming = self.from_prev.recv().expect("ring peer disconnected");
+            let recv_seg = (self.rank + p - k) % p;
+            let (r0, r1) = seg_bounds[recv_seg];
+            buf[r0..r1].copy_from_slice(&incoming);
+        }
+        sent_bytes
+    }
+
+    /// Mean-allreduce: sum then divide by the world size.
+    pub fn allreduce_mean(&self, buf: &mut [f32]) -> usize {
+        let bytes = self.allreduce(buf);
+        let inv = 1.0 / self.world as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+        bytes
+    }
+}
+
+/// Reference sequential reduction for testing and for the naive
+/// "parameter-server" baseline: gathers all buffers and sums in rank order.
+pub fn sequential_sum(buffers: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!buffers.is_empty());
+    let n = buffers[0].len();
+    let mut out = vec![0f32; n];
+    for b in buffers {
+        assert_eq!(b.len(), n, "ragged buffers");
+        for (o, &v) in out.iter_mut().zip(b) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_tensor::Rng64;
+
+    fn run_ring(world: usize, len: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let mut rng = Rng64::new(seed);
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|_| (0..len).map(|_| rng.normal(0.0, 1.0) as f32).collect())
+            .collect();
+        let members = ring(world);
+        let mut outputs: Vec<Vec<f32>> = inputs.clone();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .zip(outputs.iter_mut())
+                .map(|(m, buf)| {
+                    scope.spawn(move || {
+                        m.allreduce(buf);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+        });
+        (inputs, outputs)
+    }
+
+    #[test]
+    fn allreduce_matches_sequential_sum() {
+        for &(world, len) in &[(2usize, 10usize), (3, 7), (4, 64), (7, 100), (8, 1024)] {
+            let (inputs, outputs) = run_ring(world, len, world as u64);
+            let expect = sequential_sum(&inputs);
+            for (r, out) in outputs.iter().enumerate() {
+                for (j, (&got, &want)) in out.iter().zip(&expect).enumerate() {
+                    assert!(
+                        (got - want).abs() <= 1e-4 * want.abs().max(1.0),
+                        "world={world} rank={r} elem {j}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_ranks_agree_bitwise() {
+        let (_, outputs) = run_ring(6, 333, 9);
+        for r in 1..outputs.len() {
+            assert_eq!(outputs[0], outputs[r], "rank {r} diverged");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (_, a) = run_ring(5, 97, 3);
+        let (_, b) = run_ring(5, 97, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn world_one_is_identity() {
+        let members = ring(1);
+        let mut buf = vec![1.0, 2.0, 3.0];
+        let bytes = members[0].allreduce(&mut buf);
+        assert_eq!(bytes, 0);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_allreduce_divides() {
+        let members = ring(4);
+        let mut bufs: Vec<Vec<f32>> = (0..4).map(|r| vec![r as f32 + 1.0; 8]).collect();
+        std::thread::scope(|scope| {
+            for (m, buf) in members.into_iter().zip(bufs.iter_mut()) {
+                scope.spawn(move || {
+                    m.allreduce_mean(buf);
+                });
+            }
+        });
+        // Mean of 1,2,3,4 = 2.5.
+        for b in &bufs {
+            assert!(b.iter().all(|&v| (v - 2.5).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn traffic_matches_ring_model() {
+        // Each rank sends 2(p-1)·(n/p) elements.
+        let world = 4;
+        let len = 400;
+        let members = ring(world);
+        let mut bufs: Vec<Vec<f32>> = (0..world).map(|_| vec![1.0; len]).collect();
+        let mut sent = vec![0usize; world];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .zip(bufs.iter_mut())
+                .map(|(m, buf)| scope.spawn(move || m.allreduce(buf)))
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                sent[i] = h.join().unwrap();
+            }
+        });
+        let expect = 2 * (world - 1) * (len / world) * 4;
+        for &s in &sent {
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    fn uneven_segment_lengths_handled() {
+        // len not divisible by world exercises the segment-bound math.
+        let (inputs, outputs) = run_ring(3, 10, 11);
+        let expect = sequential_sum(&inputs);
+        for out in &outputs {
+            for (&got, &want) in out.iter().zip(&expect) {
+                assert!((got - want).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # dd-parallel — model, data and search parallelism engines
+//!
+//! The abstract: "DNNs in general do not have good strong scaling behavior,
+//! so to fully exploit large-scale parallelism they rely on a combination of
+//! model, data and search parallelism." This crate implements that
+//! combination twice over:
+//!
+//! * **For real** inside one address space — [`allreduce`] is a genuine ring
+//!   allreduce over crossbeam channels between OS threads, and
+//!   [`data_parallel`] trains replicated models with it, bit-identically
+//!   across replicas. [`model_parallel`] partitions a network into stages
+//!   whose chained execution is numerically identical to the whole model.
+//! * **Analytically at scale** — the same algorithms are costed on
+//!   `dd-hpcsim` machines; [`planner`] searches (data × model × search)
+//!   factorizations of a node allocation for the fastest plan, and
+//!   [`compression`] quantifies the bytes saved by top-k/int8 gradient
+//!   compression.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allreduce;
+pub mod compression;
+pub mod data_parallel;
+pub mod model_parallel;
+pub mod planner;
+
+pub use allreduce::{ring, RingMember};
+pub use compression::{quantize_gradient, Compressed, TopKCompressor};
+pub use data_parallel::{train_data_parallel, DataParallelConfig, DataParallelReport, GradCompression};
+pub use model_parallel::{build_stages, partition_by_params, Partition, StagedModel};
+pub use planner::{best_campaign, best_plan, enumerate_plans, CampaignPlan, Plan};
+
+use dd_tensor::Precision;
+
+/// Map a numeric precision to the simulator's throughput class.
+pub fn sim_precision(p: Precision) -> dd_hpcsim::SimPrecision {
+    match p {
+        Precision::F64 => dd_hpcsim::SimPrecision::F64,
+        Precision::F32 => dd_hpcsim::SimPrecision::F32,
+        Precision::Bf16 | Precision::F16 => dd_hpcsim::SimPrecision::F16,
+        Precision::Int8 => dd_hpcsim::SimPrecision::Int8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_mapping_collapses_16bit() {
+        assert_eq!(sim_precision(Precision::Bf16), dd_hpcsim::SimPrecision::F16);
+        assert_eq!(sim_precision(Precision::F16), dd_hpcsim::SimPrecision::F16);
+        assert_eq!(sim_precision(Precision::F64), dd_hpcsim::SimPrecision::F64);
+        assert_eq!(sim_precision(Precision::Int8), dd_hpcsim::SimPrecision::Int8);
+    }
+}

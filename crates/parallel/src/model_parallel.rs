@@ -1,0 +1,282 @@
+//! Layer-wise model parallelism.
+//!
+//! A [`Partition`] splits a `ModelSpec` into contiguous stages balanced by
+//! parameter count. Stages can be *executed* (sequentially, validating that
+//! partitioned forward/backward is numerically identical to the whole
+//! model) and *costed* on a simulated machine (mapping to
+//! `dd_hpcsim::Strategy::Model`, which is where fabric bandwidth bites).
+
+use dd_hpcsim::{Machine, SimPrecision, StepBreakdown, Strategy, TrainJob};
+use dd_nn::{ModelSpec, Sequential};
+use dd_tensor::{Matrix, Precision};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous split of a layer stack into stages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Stage boundaries: stage `i` covers layers `bounds[i]..bounds[i+1]`.
+    pub bounds: Vec<usize>,
+}
+
+impl Partition {
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Layer range of one stage.
+    pub fn stage_range(&self, stage: usize) -> std::ops::Range<usize> {
+        self.bounds[stage]..self.bounds[stage + 1]
+    }
+}
+
+/// Greedily split `spec` into `parts` contiguous stages with roughly equal
+/// parameter counts. Panics when `parts` exceeds the number of layers.
+pub fn partition_by_params(spec: &ModelSpec, parts: usize) -> Partition {
+    let total_layers = spec.layers.len();
+    assert!(parts >= 1, "need at least one part");
+    assert!(
+        parts <= total_layers,
+        "cannot split {total_layers} layers into {parts} stages"
+    );
+    // Parameter count per layer via a throwaway build (cheap: init only).
+    let model = spec.build(0, Precision::F32).expect("invalid spec");
+    let per_layer: Vec<usize> = model.layers().iter().map(|l| l.param_count()).collect();
+    let total: usize = per_layer.iter().sum();
+    let target = total as f64 / parts as f64;
+
+    let mut bounds = vec![0usize];
+    let mut acc = 0usize;
+    for (i, &p) in per_layer.iter().enumerate() {
+        let remaining_layers = total_layers - i;
+        let remaining_stages = parts - (bounds.len() - 1);
+        // Force a cut when the remaining layers barely cover the remaining
+        // stages.
+        let must_cut = remaining_layers == remaining_stages && bounds.last() != Some(&i);
+        let over_target = acc > 0 && (acc + p) as f64 > target * bounds.len() as f64;
+        if bounds.len() <= parts - 1 && (must_cut || over_target) {
+            bounds.push(i);
+            // acc continues accumulating globally against stage targets.
+        }
+        acc += p;
+    }
+    bounds.push(total_layers);
+    // Deduplicate any accidental repeats (defensive; keeps invariants).
+    bounds.dedup();
+    while bounds.len() - 1 < parts {
+        // Split the widest stage (by layer count) to reach the stage target.
+        let (widest, _) = (0..bounds.len() - 1)
+            .map(|s| (s, bounds[s + 1] - bounds[s]))
+            .max_by_key(|&(_, w)| w)
+            .expect("at least one stage");
+        let mid = (bounds[widest] + bounds[widest + 1]) / 2;
+        bounds.insert(widest + 1, mid);
+    }
+    Partition { bounds }
+}
+
+/// The stages of a partitioned model, each an independent `Sequential`.
+pub struct StagedModel {
+    stages: Vec<Sequential>,
+    /// Activation width leaving each stage (last entry = output width).
+    boundary_widths: Vec<usize>,
+}
+
+/// Build runnable stages from a spec and a partition. Stage weights are
+/// initialized identically to the unpartitioned `spec.build(seed, …)` model,
+/// which is what makes equivalence testable.
+pub fn build_stages(
+    spec: &ModelSpec,
+    partition: &Partition,
+    seed: u64,
+    precision: Precision,
+) -> StagedModel {
+    // Build the full model once, then move layers out per stage. Rebuilding
+    // per-stage would change RNG streams; moving preserves them.
+    let model = spec.build(seed, precision).expect("invalid spec");
+    let input_dim = model.input_dim();
+    let mut layers: Vec<_> = model.into_layers();
+
+    let mut stages = Vec::with_capacity(partition.stages());
+    let mut boundary_widths = Vec::with_capacity(partition.stages());
+    let mut dim = input_dim;
+    // Drain from the back to keep indices stable, then reverse.
+    for s in (0..partition.stages()).rev() {
+        let range = partition.stage_range(s);
+        let tail: Vec<_> = layers.drain(range.clone()).collect();
+        stages.push((range.start, tail));
+    }
+    stages.reverse();
+    let mut built = Vec::with_capacity(stages.len());
+    for (_, stage_layers) in stages {
+        let mut out_dim = dim;
+        for l in &stage_layers {
+            out_dim = l.output_dim(out_dim);
+        }
+        built.push(Sequential::from_layers(stage_layers, dim, precision));
+        boundary_widths.push(out_dim);
+        dim = out_dim;
+    }
+    StagedModel { stages: built, boundary_widths }
+}
+
+impl StagedModel {
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Activation width crossing the cut after stage `i`.
+    pub fn boundary_width(&self, i: usize) -> usize {
+        self.boundary_widths[i]
+    }
+
+    /// Forward through all stages in order (simulating the inter-node
+    /// activation handoff); returns the final output.
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut h = x.clone();
+        for stage in &mut self.stages {
+            h = stage.forward(&h, train);
+        }
+        h
+    }
+
+    /// Backward through all stages in reverse; returns the input gradient.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for stage in self.stages.iter_mut().rev() {
+            g = stage.backward(&g);
+        }
+        g
+    }
+
+    /// Total parameters across stages.
+    pub fn param_count(&self) -> usize {
+        self.stages.iter().map(|s| s.param_count()).sum()
+    }
+
+    /// Per-stage parameter counts (for balance checks).
+    pub fn stage_param_counts(&self) -> Vec<usize> {
+        self.stages.iter().map(|s| s.param_count()).collect()
+    }
+}
+
+/// Cost a model-parallel execution of this spec on a simulated machine.
+pub fn cost_on_machine(
+    spec: &ModelSpec,
+    partition: &Partition,
+    machine: &Machine,
+    global_batch: usize,
+    precision: SimPrecision,
+) -> StepBreakdown {
+    let staged = build_stages(spec, partition, 0, Precision::F32);
+    let params = staged.param_count() as f64;
+    let max_boundary = (0..staged.num_stages().saturating_sub(1))
+        .map(|i| staged.boundary_width(i))
+        .max()
+        .unwrap_or(0);
+    let job = TrainJob {
+        params,
+        flops_per_sample: 6.0 * params,
+        sample_bytes: 4.0 * f64::from(u32::try_from(spec.input.width()).unwrap_or(u32::MAX)),
+        global_batch,
+        activation_bytes_per_cut: max_boundary as f64 * 4.0,
+        cuttable_layers: spec.layers.len().saturating_sub(1),
+    };
+    dd_hpcsim::step_time(machine, &job, Strategy::Model { parts: partition.stages() }, precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_nn::Activation;
+    use dd_tensor::Rng64;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::mlp(10, &[64, 32, 16], 4, Activation::Relu)
+    }
+
+    #[test]
+    fn partition_covers_all_layers() {
+        let s = spec();
+        for parts in 1..=4 {
+            let p = partition_by_params(&s, parts);
+            assert_eq!(p.stages(), parts, "parts {parts}: {:?}", p.bounds);
+            assert_eq!(p.bounds[0], 0);
+            assert_eq!(*p.bounds.last().unwrap(), s.layers.len());
+            for w in p.bounds.windows(2) {
+                assert!(w[0] < w[1], "empty stage in {:?}", p.bounds);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_roughly_balances_params() {
+        let s = spec();
+        let p = partition_by_params(&s, 3);
+        let staged = build_stages(&s, &p, 0, Precision::F32);
+        let counts = staged.stage_param_counts();
+        let max = *counts.iter().max().unwrap() as f64;
+        let total: usize = counts.iter().sum();
+        // No stage should hold more than ~70% of the weights for this net.
+        assert!(max / (total as f64) < 0.7, "imbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn staged_forward_matches_unpartitioned() {
+        let s = spec();
+        let mut whole = s.build(42, Precision::F32).unwrap();
+        let p = partition_by_params(&s, 3);
+        let mut staged = build_stages(&s, &p, 42, Precision::F32);
+        let mut rng = Rng64::new(1);
+        let x = Matrix::randn(6, 10, 0.0, 1.0, &mut rng);
+        let y_whole = whole.predict(&x);
+        let y_staged = staged.forward(&x, false);
+        assert!(y_whole.approx_eq(&y_staged, 1e-5), "staged forward diverged");
+        assert_eq!(staged.param_count(), whole.param_count());
+    }
+
+    #[test]
+    fn staged_backward_matches_unpartitioned() {
+        let s = spec();
+        let mut whole = s.build(7, Precision::F32).unwrap();
+        let p = partition_by_params(&s, 2);
+        let mut staged = build_stages(&s, &p, 7, Precision::F32);
+        let mut rng = Rng64::new(2);
+        let x = Matrix::randn(5, 10, 0.0, 1.0, &mut rng);
+        let yw = whole.forward(&x, true);
+        let ys = staged.forward(&x, true);
+        assert!(yw.approx_eq(&ys, 1e-5));
+        let gw = whole.backward(&yw);
+        let gs = staged.backward(&ys);
+        assert!(gw.approx_eq(&gs, 1e-4), "input gradients diverged");
+    }
+
+    #[test]
+    fn boundary_widths_recorded() {
+        let s = spec();
+        let p = Partition { bounds: vec![0, 2, 4, s.layers.len()] };
+        let staged = build_stages(&s, &p, 0, Precision::F32);
+        // After layer 1 (dense 64 + relu) width is 64; after layer 3 it's 32.
+        assert_eq!(staged.boundary_width(0), 64);
+        assert_eq!(staged.boundary_width(1), 32);
+        assert_eq!(staged.boundary_width(2), 4);
+    }
+
+    #[test]
+    fn machine_cost_decreases_compute_with_parts() {
+        let s = spec();
+        let m = Machine::gpu_2017(16);
+        let one = cost_on_machine(&s, &partition_by_params(&s, 1), &m, 256, SimPrecision::F32);
+        let four = cost_on_machine(&s, &partition_by_params(&s, 4), &m, 256, SimPrecision::F32);
+        assert!(four.compute < one.compute);
+        assert!(four.comm > one.comm, "cuts must cost communication");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_many_parts_panics() {
+        let s = ModelSpec::mlp(4, &[], 2, Activation::Identity); // 1 layer
+        let _ = partition_by_params(&s, 5);
+    }
+}

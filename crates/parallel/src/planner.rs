@@ -1,0 +1,205 @@
+//! Hybrid parallelism planner.
+//!
+//! Enumerates (data_ways × model_ways) factorizations of a node allocation,
+//! costs each with the simulator, and returns the best plan — the
+//! "combination of model, data and search parallelism" the abstract says
+//! large machines require. Search parallelism enters as independent
+//! concurrent trials: the planner can split the machine into `trials`
+//! islands and plan each island independently.
+
+use dd_hpcsim::{AllreduceAlgo, Machine, SimPrecision, StepBreakdown, Strategy, TrainJob};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// The chosen strategy.
+    pub strategy: Strategy,
+    /// Predicted step breakdown.
+    pub breakdown: StepBreakdown,
+}
+
+/// All feasible (data, model) splits of `nodes`, costed.
+pub fn enumerate_plans(
+    machine: &Machine,
+    job: &TrainJob,
+    nodes: usize,
+    precision: SimPrecision,
+) -> Vec<Plan> {
+    assert!(nodes >= 1 && nodes <= machine.nodes, "node allocation out of range");
+    let max_model = (job.cuttable_layers + 1).max(1);
+    let mut plans = Vec::new();
+    for model_ways in 1..=max_model.min(nodes) {
+        if nodes % model_ways != 0 {
+            continue;
+        }
+        let data_ways = nodes / model_ways;
+        if data_ways > job.global_batch {
+            continue; // cannot shard a batch thinner than one sample
+        }
+        let strategy = if model_ways == 1 {
+            Strategy::Data { nodes: data_ways, algo: AllreduceAlgo::Auto }
+        } else if data_ways == 1 {
+            Strategy::Model { parts: model_ways }
+        } else {
+            Strategy::Hybrid { data_ways, model_ways, algo: AllreduceAlgo::Auto }
+        };
+        let breakdown = dd_hpcsim::step_time(machine, job, strategy, precision);
+        plans.push(Plan { strategy, breakdown });
+    }
+    // Pure pipeline over the whole allocation, when the model is deep
+    // enough: often the best non-data plan for large models at small batch.
+    if nodes > 1 && nodes <= max_model {
+        let microbatches = job.global_batch.clamp(1, 32);
+        let strategy = Strategy::Pipeline { stages: nodes, microbatches };
+        let breakdown = dd_hpcsim::step_time(machine, job, strategy, precision);
+        plans.push(Plan { strategy, breakdown });
+    }
+    plans
+}
+
+/// The fastest plan for `nodes`.
+pub fn best_plan(
+    machine: &Machine,
+    job: &TrainJob,
+    nodes: usize,
+    precision: SimPrecision,
+) -> Plan {
+    enumerate_plans(machine, job, nodes, precision)
+        .into_iter()
+        .min_by(|a, b| {
+            a.breakdown
+                .step
+                .partial_cmp(&b.breakdown.step)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("at least the single-node plan exists")
+}
+
+/// Plan a hyperparameter-search campaign: split `total_nodes` into
+/// `trials` equal islands (search parallelism), plan each island's training
+/// strategy, and report the throughput in trials/hour for a training run of
+/// `steps_per_trial` steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignPlan {
+    /// Concurrent trials (islands).
+    pub concurrent_trials: usize,
+    /// Nodes per island.
+    pub nodes_per_trial: usize,
+    /// Per-island plan.
+    pub island_plan: Plan,
+    /// Seconds per trial.
+    pub seconds_per_trial: f64,
+    /// Completed trials per hour across the machine.
+    pub trials_per_hour: f64,
+}
+
+/// Cost a search campaign with a fixed island count.
+pub fn plan_campaign(
+    machine: &Machine,
+    job: &TrainJob,
+    trials: usize,
+    steps_per_trial: usize,
+    precision: SimPrecision,
+) -> CampaignPlan {
+    assert!(trials >= 1, "need at least one trial island");
+    assert!(trials <= machine.nodes, "more islands than nodes");
+    let nodes_per_trial = machine.nodes / trials;
+    let island_plan = best_plan(machine, job, nodes_per_trial, precision);
+    let seconds_per_trial = island_plan.breakdown.step * steps_per_trial as f64;
+    CampaignPlan {
+        concurrent_trials: trials,
+        nodes_per_trial,
+        island_plan,
+        seconds_per_trial,
+        trials_per_hour: trials as f64 * 3600.0 / seconds_per_trial,
+    }
+}
+
+/// Sweep island counts and return the campaign maximizing trials/hour.
+pub fn best_campaign(
+    machine: &Machine,
+    job: &TrainJob,
+    steps_per_trial: usize,
+    precision: SimPrecision,
+) -> CampaignPlan {
+    let mut best: Option<CampaignPlan> = None;
+    let mut trials = 1;
+    while trials <= machine.nodes {
+        let plan = plan_campaign(machine, job, trials, steps_per_trial, precision);
+        if best.map(|b| plan.trials_per_hour > b.trials_per_hour).unwrap_or(true) {
+            best = Some(plan);
+        }
+        trials *= 2;
+    }
+    best.expect("at least one campaign evaluated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> TrainJob {
+        TrainJob::from_dense_net(100e6, 2000, 8192, 16)
+    }
+
+    #[test]
+    fn enumerate_includes_pure_data_plan() {
+        let m = Machine::gpu_2017(64);
+        let plans = enumerate_plans(&m, &job(), 64, SimPrecision::F32);
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.strategy, Strategy::Data { nodes: 64, .. })));
+        assert!(plans.len() >= 2, "should find hybrid options too");
+    }
+
+    #[test]
+    fn best_plan_is_minimum() {
+        let m = Machine::gpu_2017(64);
+        let plans = enumerate_plans(&m, &job(), 64, SimPrecision::F32);
+        let best = best_plan(&m, &job(), 64, SimPrecision::F32);
+        for p in plans {
+            assert!(best.breakdown.step <= p.breakdown.step + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_node_plan_always_exists() {
+        let m = Machine::gpu_2017(4);
+        let p = best_plan(&m, &job(), 1, SimPrecision::F32);
+        assert_eq!(p.strategy.nodes(), 1);
+    }
+
+    #[test]
+    fn search_parallelism_beats_giant_data_parallel_for_throughput() {
+        // With many nodes and a modest model, running many concurrent
+        // trials on small islands completes more trials/hour than one
+        // machine-wide data-parallel job per trial — the abstract's search
+        // parallelism argument.
+        let m = Machine::gpu_2017(1024);
+        let j = job();
+        let one_big = plan_campaign(&m, &j, 1, 1000, SimPrecision::F32);
+        let many_small = plan_campaign(&m, &j, 128, 1000, SimPrecision::F32);
+        assert!(
+            many_small.trials_per_hour > 3.0 * one_big.trials_per_hour,
+            "search parallel {} vs monolithic {}",
+            many_small.trials_per_hour,
+            one_big.trials_per_hour
+        );
+    }
+
+    #[test]
+    fn best_campaign_prefers_many_islands() {
+        let m = Machine::gpu_2017(512);
+        let c = best_campaign(&m, &job(), 500, SimPrecision::F32);
+        assert!(c.concurrent_trials >= 32, "got {}", c.concurrent_trials);
+        assert!(c.trials_per_hour > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more islands than nodes")]
+    fn too_many_islands_panics() {
+        let m = Machine::gpu_2017(4);
+        let _ = plan_campaign(&m, &job(), 8, 100, SimPrecision::F32);
+    }
+}

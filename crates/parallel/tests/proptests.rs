@@ -1,0 +1,96 @@
+//! Property-based tests for the parallel engines: the ring allreduce must
+//! equal the sequential reduction for any world size and buffer length, and
+//! compression must respect its accounting invariants.
+
+use dd_parallel::allreduce::{ring, sequential_sum};
+use dd_parallel::{quantize_gradient, Compressed, TopKCompressor};
+use dd_tensor::Rng64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ring_allreduce_equals_sequential_sum(
+        world in 1usize..8,
+        len in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|_| (0..len).map(|_| rng.normal(0.0, 1.0) as f32).collect())
+            .collect();
+        let expect = sequential_sum(&inputs);
+        let members = ring(world);
+        let mut outputs = inputs.clone();
+        std::thread::scope(|scope| {
+            for (m, buf) in members.into_iter().zip(outputs.iter_mut()) {
+                scope.spawn(move || {
+                    m.allreduce(buf);
+                });
+            }
+        });
+        for out in &outputs {
+            for (&got, &want) in out.iter().zip(&expect) {
+                prop_assert!(
+                    (got - want).abs() <= 1e-4 * want.abs().max(1.0),
+                    "got {got} want {want}"
+                );
+            }
+        }
+        // All ranks bitwise identical.
+        for r in 1..world {
+            prop_assert_eq!(&outputs[0], &outputs[r]);
+        }
+    }
+
+    #[test]
+    fn topk_compression_keeps_exactly_k(
+        values in proptest::collection::vec(-10.0f32..10.0, 4..128),
+        frac in 0.01f64..1.0,
+    ) {
+        let n = values.len();
+        let mut c = TopKCompressor::new(frac, n);
+        let msg = c.compress(&values);
+        if let Compressed::TopK { indices, values: kept, len } = &msg {
+            let k = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+            prop_assert_eq!(indices.len(), k);
+            prop_assert_eq!(kept.len(), k);
+            prop_assert_eq!(*len, n);
+            // Indices strictly increasing and in range.
+            for w in indices.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert!(indices.iter().all(|&i| (i as usize) < n));
+        } else {
+            prop_assert!(false, "wrong variant");
+        }
+    }
+
+    #[test]
+    fn topk_decompress_roundtrips_kept_entries(
+        values in proptest::collection::vec(-10.0f32..10.0, 4..64),
+    ) {
+        let n = values.len();
+        let mut c = TopKCompressor::new(0.25, n);
+        let msg = c.compress(&values);
+        let dense = msg.decompress();
+        prop_assert_eq!(dense.len(), n);
+        // Every nonzero entry of the decompressed vector equals the
+        // (residual-corrected, first-round = raw) input at that index.
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                prop_assert_eq!(v, values[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn int8_wire_size_is_len_plus_scale(
+        values in proptest::collection::vec(-10.0f32..10.0, 1..256),
+    ) {
+        let msg = quantize_gradient(&values);
+        prop_assert_eq!(msg.wire_bytes(), values.len() + 4);
+        prop_assert_eq!(msg.decompress().len(), values.len());
+    }
+}

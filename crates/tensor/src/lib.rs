@@ -1,0 +1,34 @@
+//! # dd-tensor — tensor substrate for the DeepDriver workspace
+//!
+//! This crate provides the numeric foundation every other crate builds on:
+//!
+//! * [`Matrix`] — a dense row-major `f32` matrix with Rayon-parallel
+//!   elementwise kernels.
+//! * [`matmul()`]/[`matmul_nt`]/[`matmul_tn`] — parallel blocked matrix
+//!   multiplication in the three orientations backprop needs, each with a
+//!   `_prec` variant emulating reduced-precision hardware
+//!   ([`Precision::Bf16`], [`Precision::F16`], [`Precision::Int8`]) — the
+//!   abstract's observation that DNNs "rarely require 64bit or even 32bits
+//!   of precision" made measurable.
+//! * [`Rng64`] — deterministic, splittable randomness so every experiment is
+//!   exactly reproducible from one `u64` seed.
+//! * [`ops`] — softmax, standardization, clipping, correlation metrics.
+//!
+//! No unsafe code, no BLAS dependency: kernels are written so LLVM
+//! auto-vectorizes, and parallelism comes from partitioning output rows into
+//! disjoint mutable chunks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matmul;
+pub mod matrix;
+pub mod ops;
+pub mod precision;
+pub mod rng;
+
+pub use matmul::{dot, matmul, matmul_nt, matmul_nt_prec, matmul_prec, matmul_tn, matmul_tn_prec, matvec};
+pub use matrix::Matrix;
+pub use ops::{one_hot, pearson, r2_score, sigmoid, softmax_rows, Standardizer};
+pub use precision::Precision;
+pub use rng::Rng64;

@@ -1,0 +1,460 @@
+//! Parallel matrix multiplication kernels with precision emulation.
+//!
+//! Three orientations cover everything a layer's forward/backward pass needs
+//! without materializing extra transposes in the hot path:
+//!
+//! * [`matmul`]    — `C = A · B`    (forward pass: activations × weights)
+//! * [`matmul_nt`] — `C = A · Bᵀ`   (backward data: δ × W, both row-major)
+//! * [`matmul_tn`] — `C = Aᵀ · B`   (backward weights: Xᵀ × δ)
+//!
+//! All kernels parallelize over disjoint blocks of output rows with Rayon
+//! (`par_chunks_mut`), so there is no shared mutable state and no unsafe
+//! code. The `_prec` variants emulate reduced-precision hardware: operands
+//! are rounded to the storage format (bf16/f16) or quantized (int8) before
+//! multiplication, with products accumulated in a wider type — the same
+//! discipline tensor-core-style units use.
+
+use crate::matrix::Matrix;
+use crate::precision::{self, Precision};
+use rayon::prelude::*;
+
+/// Output elements below which kernels run sequentially.
+const PAR_MIN_OUT: usize = 8 * 1024;
+
+/// `C = A · B` in f32.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_prec(a, b, Precision::F32)
+}
+
+/// `C = A · Bᵀ` in f32.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_nt_prec(a, b, Precision::F32)
+}
+
+/// `C = Aᵀ · B` in f32.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_tn_prec(a, b, Precision::F32)
+}
+
+/// `C = A · B` with the given precision emulation.
+pub fn matmul_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    match p {
+        Precision::F32 => mm_f32(a, b),
+        Precision::F64 => mm_f64(a, b),
+        Precision::Bf16 | Precision::F16 => {
+            let (ar, br) = rounded_pair(a, b, p);
+            mm_f32(&ar, &br)
+        }
+        Precision::Int8 => mm_i8(a, b),
+    }
+}
+
+/// `C = A · Bᵀ` with the given precision emulation.
+pub fn matmul_nt_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    match p {
+        Precision::F32 => mm_nt_f32(a, b),
+        Precision::F64 => mm_nt_f64(a, b),
+        Precision::Bf16 | Precision::F16 => {
+            let (ar, br) = rounded_pair(a, b, p);
+            mm_nt_f32(&ar, &br)
+        }
+        Precision::Int8 => {
+            // A·Bᵀ = quantize rows of both operands and take dot products.
+            mm_i8_nt(a, b)
+        }
+    }
+}
+
+/// `C = Aᵀ · B` with the given precision emulation.
+///
+/// Implemented as an explicit transpose of `A` followed by [`matmul_prec`]:
+/// the transpose is O(mk) against the kernel's O(mkn), and the blocked copy
+/// keeps the subsequent inner loops contiguous, which measures faster than a
+/// strided in-place kernel for every size used in this workspace.
+pub fn matmul_tn_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let at = a.transpose();
+    matmul_prec(&at, b, p)
+}
+
+/// Matrix–vector product `y = A · x` in f32.
+pub fn matvec(a: &Matrix, x: &[f32]) -> Vec<f32> {
+    assert_eq!(a.cols(), x.len(), "matvec shape mismatch");
+    a.iter_rows().map(|row| dot(row, x)).collect()
+}
+
+/// Plain dot product with f32 accumulation, written so LLVM auto-vectorizes.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four independent accumulators break the dependency chain.
+    let mut acc = [0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+fn rounded_pair(a: &Matrix, b: &Matrix, p: Precision) -> (Matrix, Matrix) {
+    let mut ar = a.clone();
+    let mut br = b.clone();
+    precision::round_slice(ar.as_mut_slice(), p);
+    precision::round_slice(br.as_mut_slice(), p);
+    (ar, br)
+}
+
+/// f32 kernel, i-k-j order: for each output row, accumulate scaled rows of B.
+/// The inner loop is a contiguous AXPY which LLVM vectorizes.
+fn mm_f32(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    let body = |(c_row, a_row): (&mut [f32], &[f32])| {
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue; // sparse inputs (one-hot, ReLU outputs) are common
+            }
+            let b_row = b.row(kk);
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+        let _ = k;
+    };
+    if m * n >= PAR_MIN_OUT && m > 1 {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .zip(a.as_slice().par_chunks(a.cols()))
+            .for_each(body);
+    } else {
+        c.as_mut_slice()
+            .chunks_mut(n)
+            .zip(a.as_slice().chunks(a.cols()))
+            .for_each(body);
+    }
+    c
+}
+
+/// f64-accumulation kernel for the reference precision path.
+fn mm_f64(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, _k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    let body = |(c_row, a_row): (&mut [f32], &[f32])| {
+        let mut acc = vec![0f64; n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let aik = aik as f64;
+            for (av, &bv) in acc.iter_mut().zip(b.row(kk)) {
+                *av += aik * bv as f64;
+            }
+        }
+        for (cv, &av) in c_row.iter_mut().zip(&acc) {
+            *cv = av as f32;
+        }
+    };
+    if m * n >= PAR_MIN_OUT && m > 1 {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .zip(a.as_slice().par_chunks(a.cols()))
+            .for_each(body);
+    } else {
+        c.as_mut_slice()
+            .chunks_mut(n)
+            .zip(a.as_slice().chunks(a.cols()))
+            .for_each(body);
+    }
+    c
+}
+
+/// `A · Bᵀ` dot-product kernel: rows of both operands are contiguous.
+fn mm_nt_f32(a: &Matrix, b: &Matrix) -> Matrix {
+    let m = a.rows();
+    let n = b.rows();
+    let mut c = Matrix::zeros(m, n);
+    let body = |(c_row, a_row): (&mut [f32], &[f32])| {
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            *cv = dot(a_row, b.row(j));
+        }
+    };
+    if m * n >= PAR_MIN_OUT && m > 1 {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .zip(a.as_slice().par_chunks(a.cols()))
+            .for_each(body);
+    } else {
+        c.as_mut_slice()
+            .chunks_mut(n)
+            .zip(a.as_slice().chunks(a.cols()))
+            .for_each(body);
+    }
+    c
+}
+
+fn mm_nt_f64(a: &Matrix, b: &Matrix) -> Matrix {
+    let m = a.rows();
+    let n = b.rows();
+    let mut c = Matrix::zeros(m, n);
+    let body = |(c_row, a_row): (&mut [f32], &[f32])| {
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let mut s = 0f64;
+            for (&x, &y) in a_row.iter().zip(b.row(j)) {
+                s += x as f64 * y as f64;
+            }
+            *cv = s as f32;
+        }
+    };
+    if m * n >= PAR_MIN_OUT && m > 1 {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .zip(a.as_slice().par_chunks(a.cols()))
+            .for_each(body);
+    } else {
+        c.as_mut_slice()
+            .chunks_mut(n)
+            .zip(a.as_slice().chunks(a.cols()))
+            .for_each(body);
+    }
+    c
+}
+
+/// Int8 kernel for `A · B`: rows of A and columns of B are quantized
+/// symmetrically, products accumulate in i32, and the result is rescaled by
+/// the product of the two scales.
+fn mm_i8(a: &Matrix, b: &Matrix) -> Matrix {
+    let bt = b.transpose();
+    mm_i8_nt(a, &bt)
+}
+
+/// Int8 kernel for `A · Bᵀ` (both operands quantized per row).
+fn mm_i8_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let m = a.rows();
+    let n = b.rows();
+    let (aq, a_scales) = quantize_rows(a);
+    let (bq, b_scales) = quantize_rows(b);
+    let k = a.cols();
+    let mut c = Matrix::zeros(m, n);
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        let a_row = &aq[i * k..(i + 1) * k];
+        let sa = a_scales[i];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &bq[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x as i32 * y as i32;
+            }
+            *cv = acc as f32 * sa * b_scales[j];
+        }
+    };
+    if m * n >= PAR_MIN_OUT && m > 1 {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| body((i, row)));
+    } else {
+        for (i, row) in c.as_mut_slice().chunks_mut(n).enumerate() {
+            body((i, row));
+        }
+    }
+    c
+}
+
+fn quantize_rows(m: &Matrix) -> (Vec<i8>, Vec<f32>) {
+    let cols = m.cols();
+    let mut codes = vec![0i8; m.rows() * cols];
+    let mut scales = vec![1f32; m.rows()];
+    for (i, row) in m.iter_rows().enumerate() {
+        let (q, s) = precision::quantize_i8(row);
+        codes[i * cols..(i + 1) * cols].copy_from_slice(&q);
+        scales[i] = s;
+    }
+    (codes, scales)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0f64;
+                for kk in 0..a.cols() {
+                    s += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+                }
+                c.set(i, j, s as f32);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_random() {
+        let mut rng = Rng64::new(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 31, 13), (64, 64, 64), (129, 65, 200)] {
+            let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+            let c = matmul(&a, &b);
+            let r = naive(&a, &b);
+            assert!(c.approx_eq(&r, 1e-3 * k as f32), "mismatch at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng64::new(2);
+        let a = Matrix::randn(9, 9, 0.0, 1.0, &mut rng);
+        assert!(matmul(&a, &Matrix::eye(9)).approx_eq(&a, 1e-6));
+        assert!(matmul(&Matrix::eye(9), &a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn nt_and_tn_match_explicit_transpose() {
+        let mut rng = Rng64::new(3);
+        let a = Matrix::randn(20, 33, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(14, 33, 0.0, 1.0, &mut rng);
+        let c = matmul_nt(&a, &b);
+        let r = matmul(&a, &b.transpose());
+        assert!(c.approx_eq(&r, 1e-3));
+
+        let x = Matrix::randn(33, 20, 0.0, 1.0, &mut rng);
+        let y = Matrix::randn(33, 7, 0.0, 1.0, &mut rng);
+        let c2 = matmul_tn(&x, &y);
+        let r2 = matmul(&x.transpose(), &y);
+        assert!(c2.approx_eq(&r2, 1e-3));
+    }
+
+    #[test]
+    fn f64_path_at_least_as_accurate_as_f32() {
+        // Summing many same-sign values of very different magnitude exposes
+        // f32 accumulation error; the f64 path must do better.
+        let k = 20_000;
+        let a = Matrix::from_fn(1, k, |_, j| if j == 0 { 1e8 } else { 1.0 });
+        let b = Matrix::full(k, 1, 1.0);
+        let exact = 1e8 + (k - 1) as f64;
+        let c64 = matmul_prec(&a, &b, Precision::F64).get(0, 0) as f64;
+        assert!((c64 - exact).abs() <= (exact as f32 as f64 - exact).abs() + 1.0);
+    }
+
+    #[test]
+    fn bf16_error_scales_with_mantissa() {
+        let mut rng = Rng64::new(4);
+        let a = Matrix::randn(16, 64, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(64, 16, 0.0, 1.0, &mut rng);
+        let c32 = matmul(&a, &b);
+        let cb = matmul_prec(&a, &b, Precision::Bf16);
+        let ch = matmul_prec(&a, &b, Precision::F16);
+        let err_b = cb.zip_map(&c32, |x, y| (x - y).abs()).mean();
+        let err_h = ch.zip_map(&c32, |x, y| (x - y).abs()).mean();
+        assert!(err_b > 0.0 && err_b < 0.5, "bf16 err {err_b}");
+        // f16 has 3 more mantissa bits than bf16: error must be smaller here
+        // (values are O(1), inside f16's range).
+        assert!(err_h < err_b, "f16 {err_h} vs bf16 {err_b}");
+    }
+
+    #[test]
+    fn int8_relative_error_moderate() {
+        let mut rng = Rng64::new(5);
+        let a = Matrix::randn(24, 96, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(96, 24, 0.0, 1.0, &mut rng);
+        let c32 = matmul(&a, &b);
+        let c8 = matmul_prec(&a, &b, Precision::Int8);
+        let scale = c32.max_abs().max(1e-6);
+        let rel = c8.zip_map(&c32, |x, y| (x - y).abs()).max_abs() / scale;
+        assert!(rel < 0.08, "int8 relative error {rel}");
+        assert!(rel > 0.0);
+    }
+
+    #[test]
+    fn int8_nt_matches_int8_plain() {
+        let mut rng = Rng64::new(6);
+        let a = Matrix::randn(10, 40, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(12, 40, 0.0, 1.0, &mut rng);
+        let via_nt = matmul_nt_prec(&a, &b, Precision::Int8);
+        let via_t = matmul_prec(&a, &b.transpose(), Precision::Int8);
+        assert!(via_nt.approx_eq(&via_t, 1e-4));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = Rng64::new(7);
+        let a = Matrix::randn(13, 29, 0.0, 1.0, &mut rng);
+        let x: Vec<f32> = (0..29).map(|i| (i as f32).sin()).collect();
+        let y = matvec(&a, &x);
+        let xm = Matrix::from_vec(29, 1, x);
+        let ym = matmul(&a, &xm);
+        for i in 0..13 {
+            assert!((y[i] - ym.get(i, 0)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        for len in 0..10 {
+            let a: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i + 1) as f32).collect();
+            let expect: f32 = (0..len).map(|i| (i * (i + 1)) as f32).sum();
+            assert_eq!(dot(&a, &b), expect, "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        // Large enough to trigger the parallel branch.
+        let mut rng = Rng64::new(8);
+        let a = Matrix::randn(150, 80, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(80, 120, 0.0, 1.0, &mut rng);
+        let c = matmul(&a, &b);
+        let r = naive(&a, &b);
+        assert!(c.approx_eq(&r, 1e-2));
+    }
+}

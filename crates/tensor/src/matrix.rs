@@ -1,0 +1,562 @@
+//! Dense row-major `f32` matrix — the workhorse value type of the workspace.
+//!
+//! Batches of samples are stored as one row per sample. The layout is plain
+//! row-major `Vec<f32>` so kernels can use slice arithmetic and Rayon's
+//! `par_chunks_mut` to parallelize over disjoint row blocks with no unsafe
+//! code.
+
+use crate::rng::Rng64;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A dense 2-D matrix of `f32` in row-major order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build from an existing row-major buffer. Panics if the length does not
+    /// match `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a nested slice of rows (test/readability helper).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Build by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Gaussian-initialized matrix with the given mean and standard deviation.
+    pub fn randn(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut Rng64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        rng.fill_gaussian(&mut m.data, mean, std);
+        m
+    }
+
+    /// Uniform-initialized matrix in `[lo, hi)`.
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut Rng64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        rng.fill_uniform(&mut m.data, lo, hi);
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the full row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the full row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Iterate over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Rayon parallel iterator over rows.
+    pub fn par_iter_rows(&self) -> impl IndexedParallelIterator<Item = &[f32]> {
+        self.data.par_chunks_exact(self.cols.max(1))
+    }
+
+    /// Rayon parallel iterator over mutable rows.
+    pub fn par_iter_rows_mut(&mut self) -> impl IndexedParallelIterator<Item = &mut [f32]> {
+        let cols = self.cols.max(1);
+        self.data.par_chunks_exact_mut(cols)
+    }
+
+    /// Copy of a contiguous block of rows `[start, end)`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "row slice {start}..{end} out of {}", self.rows);
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Gather rows by index into a new matrix (used for minibatch sampling).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Copy of a contiguous block of columns `[start, end)`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "col slice {start}..{end} out of {}", self.cols);
+        let mut out = Matrix::zeros(self.rows, end - start);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        // Blocked transpose for cache friendliness on large matrices.
+        const B: usize = 32;
+        for ib in (0..self.rows).step_by(B) {
+            for jb in (0..self.cols).step_by(B) {
+                for i in ib..(ib + B).min(self.rows) {
+                    for j in jb..(jb + B).min(self.cols) {
+                        out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Stack two matrices vertically (same column count).
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack column mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Stack two matrices horizontally (same row count).
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        out
+    }
+
+    /// Apply a function to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Apply a function to every element in place (parallel over rows for
+    /// large matrices, sequential below the threshold to avoid overhead).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        if self.data.len() >= PAR_THRESHOLD {
+            self.data.par_chunks_mut(self.cols.max(1)).for_each(|row| {
+                for v in row {
+                    *v = f(*v);
+                }
+            });
+        } else {
+            for v in &mut self.data {
+                *v = f(*v);
+            }
+        }
+    }
+
+    /// Elementwise binary op into a new matrix; shapes must match.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        let mut out = self.clone();
+        if out.data.len() >= PAR_THRESHOLD {
+            out.data
+                .par_iter_mut()
+                .zip(other.data.par_iter())
+                .for_each(|(a, &b)| *a = f(*a, b));
+        } else {
+            for (a, &b) in out.data.iter_mut().zip(&other.data) {
+                *a = f(*a, b);
+            }
+        }
+        out
+    }
+
+    /// `self += alpha * other` (fused AXPY; shapes must match).
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply all elements by a scalar in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Add a row vector (bias) to every row in place.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Sum over rows, producing a length-`cols` vector (used for bias grads).
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut acc = vec![0f32; self.cols];
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a += v;
+            }
+        }
+        acc
+    }
+
+    /// Mean of every column.
+    pub fn col_means(&self) -> Vec<f32> {
+        let mut m = self.sum_rows();
+        let n = self.rows.max(1) as f32;
+        for v in &mut m {
+            *v /= n;
+        }
+        m
+    }
+
+    /// Per-column standard deviation (population), given precomputed means.
+    pub fn col_stds(&self, means: &[f32]) -> Vec<f32> {
+        assert_eq!(means.len(), self.cols);
+        let mut acc = vec![0f32; self.cols];
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            for ((a, &v), &m) in acc.iter_mut().zip(row).zip(means) {
+                let d = v - m;
+                *a += d * d;
+            }
+        }
+        let n = self.rows.max(1) as f32;
+        for v in &mut acc {
+            *v = (*v / n).sqrt();
+        }
+        acc
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        // Accumulate in f64 to keep the reduction stable for large matrices.
+        self.data.iter().map(|&v| v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() as f32
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0f32, |a, &v| a.max(v.abs()))
+    }
+
+    /// Index of the maximum element of each row (ties resolve to the first).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.iter_rows()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Set all elements to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Approximate element-wise equality within `tol` (absolute).
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+/// Element count below which elementwise kernels stay sequential; spawning
+/// Rayon tasks for tiny matrices costs more than it saves.
+pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert_eq!(z.len(), 12);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let f = Matrix::full(2, 2, 7.5);
+        assert!(f.as_slice().iter().all(|&v| v == 7.5));
+
+        let e = Matrix::eye(3);
+        assert_eq!(e.get(0, 0), 1.0);
+        assert_eq!(e.get(1, 0), 0.0);
+        assert_eq!(e.sum(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn row_access_and_mutation() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        m.row_mut(0)[1] = 9.0;
+        assert_eq!(m.get(0, 1), 9.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = Rng64::new(1);
+        let m = Matrix::randn(37, 53, 0.0, 1.0, &mut rng);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (53, 37));
+        assert_eq!(t.get(10, 20), m.get(20, 10));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn slicing_and_gather() {
+        let m = Matrix::from_fn(5, 3, |i, j| (i * 10 + j) as f32);
+        let s = m.slice_rows(1, 3);
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(s.row(0), m.row(1));
+
+        let c = m.slice_cols(1, 3);
+        assert_eq!(c.shape(), (5, 2));
+        assert_eq!(c.get(2, 0), m.get(2, 1));
+
+        let g = m.gather_rows(&[4, 0, 4]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.row(0), m.row(4));
+        assert_eq!(g.row(2), m.row(4));
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::full(2, 3, 1.0);
+        let b = Matrix::full(1, 3, 2.0);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.row(2), &[2.0, 2.0, 2.0]);
+
+        let c = Matrix::full(2, 1, 5.0);
+        let h = a.hstack(&c);
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.get(0, 3), 5.0);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, -4.0]]);
+        let abs = m.map(f32::abs);
+        assert_eq!(abs.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let sum = m.zip_map(&abs, |a, b| a + b);
+        assert_eq!(sum.as_slice(), &[2.0, 0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::full(2, 2, 1.0);
+        let b = Matrix::full(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert!(a.as_slice().iter().all(|&v| v == 2.0));
+        a.scale(-1.0);
+        assert!(a.as_slice().iter().all(|&v| v == -2.0));
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(m.sum_rows(), vec![3.0, 6.0]);
+        assert_eq!(m.col_means(), vec![1.0, 2.0]);
+        assert_eq!(m.col_stds(&[1.0, 2.0]), vec![0.0, 0.0]);
+        assert_eq!(m.mean(), 1.5);
+    }
+
+    #[test]
+    fn argmax_rows_ties_first() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0, 2.0], &[5.0, 5.0, 1.0]]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(!m.has_non_finite());
+        m.set(1, 1, f32::NAN);
+        assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Matrix::full(2, 2, 1.0);
+        let mut b = a.clone();
+        b.set(0, 0, 1.0005);
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-4));
+        assert!(!a.approx_eq(&Matrix::zeros(2, 3), 1.0));
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential() {
+        let mut rng = Rng64::new(4);
+        // Above PAR_THRESHOLD so the parallel path runs.
+        let m = Matrix::randn(256, 128, 0.0, 1.0, &mut rng);
+        let par = m.map(|v| v * 2.0 + 1.0);
+        let mut seq = m.clone();
+        for v in seq.as_mut_slice() {
+            *v = *v * 2.0 + 1.0;
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn sum_stable_for_large() {
+        let m = Matrix::full(1000, 1000, 0.1);
+        assert!((m.sum() - 100_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Elementwise and row-wise numeric operations shared across the workspace.
+
+use crate::matrix::Matrix;
+
+/// Numerically stable softmax applied to each row in place.
+pub fn softmax_rows(m: &mut Matrix) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    for i in 0..m.rows() {
+        let row = m.row_mut(i);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(v));
+        let mut sum = 0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum.max(f32::MIN_POSITIVE);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Stable log-softmax of each row, into a new matrix.
+pub fn log_softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(v));
+        let log_sum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    out
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        // Avoid overflow of exp(-x) for very negative x.
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// One-hot encode integer class labels into an `n × classes` matrix.
+pub fn one_hot(labels: &[usize], classes: usize) -> Matrix {
+    let mut out = Matrix::zeros(labels.len(), classes);
+    for (i, &c) in labels.iter().enumerate() {
+        assert!(c < classes, "label {c} out of range 0..{classes}");
+        out.set(i, c, 1.0);
+    }
+    out
+}
+
+/// Per-column standardization statistics, learned on training data and
+/// applied to any split so test data never leaks into the scaler.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fit means and standard deviations on `data`. Columns with zero
+    /// variance get a unit scale so they map to exactly zero.
+    pub fn fit(data: &Matrix) -> Self {
+        let means = data.col_means();
+        let mut stds = data.col_stds(&means);
+        for s in &mut stds {
+            if *s < 1e-8 {
+                *s = 1.0;
+            }
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Apply `(x - mean) / std` column-wise in place.
+    pub fn transform(&self, data: &mut Matrix) {
+        assert_eq!(data.cols(), self.means.len(), "standardizer width mismatch");
+        for i in 0..data.rows() {
+            let row = data.row_mut(i);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+    }
+
+    /// Invert the transform in place.
+    pub fn inverse_transform(&self, data: &mut Matrix) {
+        assert_eq!(data.cols(), self.means.len());
+        for i in 0..data.rows() {
+            let row = data.row_mut(i);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = *v * s + m;
+            }
+        }
+    }
+
+    /// Fitted per-column means.
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    /// Fitted per-column standard deviations.
+    pub fn stds(&self) -> &[f32] {
+        &self.stds
+    }
+}
+
+/// Clip every element of a slice to `[-limit, limit]`, returning the number
+/// of elements that were clipped.
+pub fn clip_slice(values: &mut [f32], limit: f32) -> usize {
+    let mut clipped = 0;
+    for v in values.iter_mut() {
+        if *v > limit {
+            *v = limit;
+            clipped += 1;
+        } else if *v < -limit {
+            *v = -limit;
+            clipped += 1;
+        }
+    }
+    clipped
+}
+
+/// Global L2-norm gradient clipping across several tensors. Returns the norm
+/// before clipping.
+pub fn clip_global_norm(tensors: &mut [&mut Matrix], max_norm: f32) -> f32 {
+    let total: f64 = tensors.iter().map(|t| t.norm_sq() as f64).sum();
+    let norm = total.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for t in tensors.iter_mut() {
+            t.scale(scale);
+        }
+    }
+    norm
+}
+
+/// Pearson correlation of two equal-length slices; returns 0 when either
+/// side has zero variance.
+pub fn pearson(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ma = a.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let mb = b.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let mut cov = 0f64;
+    let mut va = 0f64;
+    let mut vb = 0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x as f64 - ma;
+        let dy = y as f64 - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Coefficient of determination R² of predictions vs. targets.
+pub fn r2_score(targets: &[f32], preds: &[f32]) -> f64 {
+    assert_eq!(targets.len(), preds.len(), "r2 length mismatch");
+    let n = targets.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = targets.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let ss_res: f64 = targets
+        .iter()
+        .zip(preds)
+        .map(|(&t, &p)| {
+            let d = t as f64 - p as f64;
+            d * d
+        })
+        .sum();
+    let ss_tot: f64 = targets
+        .iter()
+        .map(|&t| {
+            let d = t as f64 - mean;
+            d * d
+        })
+        .sum();
+    if ss_tot <= 0.0 {
+        return if ss_res <= 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        softmax_rows(&mut m);
+        for i in 0..2 {
+            let s: f32 = m.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(m.row(i).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_under_large_inputs() {
+        let mut m = Matrix::from_rows(&[&[1000.0, 1001.0]]);
+        softmax_rows(&mut m);
+        assert!(!m.has_non_finite());
+        assert!((m.get(0, 0) + m.get(0, 1) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let m = Matrix::from_rows(&[&[0.3, -1.2, 2.0]]);
+        let mut sm = m.clone();
+        softmax_rows(&mut sm);
+        let lsm = log_softmax_rows(&m);
+        for j in 0..3 {
+            assert!((lsm.get(0, j).exp() - sm.get(0, j)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sigmoid_extremes_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let oh = one_hot(&[2, 0, 1], 3);
+        assert_eq!(oh.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(oh.row(1), &[1.0, 0.0, 0.0]);
+        assert_eq!(oh.sum(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_bad_label_panics() {
+        let _ = one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn standardizer_roundtrip_and_stats() {
+        let mut rng = Rng64::new(1);
+        let mut data = Matrix::randn(500, 4, 3.0, 2.0, &mut rng);
+        let original = data.clone();
+        let sc = Standardizer::fit(&data);
+        sc.transform(&mut data);
+        let means = data.col_means();
+        let stds = data.col_stds(&means);
+        for j in 0..4 {
+            assert!(means[j].abs() < 1e-4, "mean {}", means[j]);
+            assert!((stds[j] - 1.0).abs() < 1e-3, "std {}", stds[j]);
+        }
+        sc.inverse_transform(&mut data);
+        assert!(data.approx_eq(&original, 1e-3));
+    }
+
+    #[test]
+    fn standardizer_constant_column() {
+        let data = Matrix::from_rows(&[&[5.0, 1.0], &[5.0, 2.0], &[5.0, 3.0]]);
+        let sc = Standardizer::fit(&data);
+        let mut d = data.clone();
+        sc.transform(&mut d);
+        // Constant column maps to zero, not NaN.
+        assert_eq!(d.get(0, 0), 0.0);
+        assert!(!d.has_non_finite());
+    }
+
+    #[test]
+    fn clip_slice_counts() {
+        let mut v = [0.5, 2.0, -3.0, 1.0];
+        let n = clip_slice(&mut v, 1.0);
+        assert_eq!(n, 2);
+        assert_eq!(v, [0.5, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_norm_clip() {
+        let mut a = Matrix::full(1, 2, 3.0);
+        let mut b = Matrix::full(1, 2, 4.0);
+        // norm = sqrt(2*9 + 2*16) = sqrt(50)
+        let norm = clip_global_norm(&mut [&mut a, &mut b], 1.0);
+        assert!((norm - 50f32.sqrt()).abs() < 1e-4);
+        let after = (a.norm_sq() + b.norm_sq()).sqrt();
+        assert!((after - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn global_norm_clip_noop_below_limit() {
+        let mut a = Matrix::full(1, 2, 0.1);
+        let before = a.clone();
+        clip_global_norm(&mut [&mut a], 10.0);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [2.0f32, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-9);
+        let c = [8.0f32, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-9);
+        let flat = [5.0f32; 4];
+        assert_eq!(pearson(&a, &flat), 0.0);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_predictor() {
+        let t = [1.0f32, 2.0, 3.0];
+        assert!((r2_score(&t, &t) - 1.0).abs() < 1e-9);
+        let mean_pred = [2.0f32; 3];
+        assert!(r2_score(&t, &mean_pred).abs() < 1e-9);
+        // Worse than mean gives negative R².
+        let bad = [3.0f32, 1.0, 5.0];
+        assert!(r2_score(&t, &bad) < 0.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Software emulation of reduced-precision arithmetic.
+//!
+//! The paper observes that DNN workloads "rarely require 64bit or even 32bits
+//! of precision", motivating hardware with native low-precision units. We do
+//! not have such hardware here, so we emulate the *numerics* in software:
+//! values are rounded to the target format before each multiply and products
+//! are accumulated in f32 (mirroring how tensor-core-style units accumulate
+//! in a wider type). This preserves the accuracy-vs-precision *shape* of the
+//! experiment even though emulation is slower, not faster, than f32.
+//!
+//! Throughput for the low-precision formats is modelled separately by
+//! `dd-hpcsim` (which knows the relative FLOP rates of each format on the
+//! simulated accelerator); `dd-tensor` is responsible only for numerics.
+
+use serde::{Deserialize, Serialize};
+
+/// The numeric formats the simulated accelerator supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE 754 binary64 reference path (products accumulated in f64).
+    F64,
+    /// IEEE 754 binary32; the native path, no emulation applied.
+    F32,
+    /// bfloat16: 8-bit exponent, 7-bit mantissa. f32 dynamic range, coarse
+    /// mantissa; round-to-nearest-even on the stored bits.
+    Bf16,
+    /// IEEE binary16: 5-bit exponent, 10-bit mantissa. Finer mantissa than
+    /// bf16 but narrow dynamic range (overflows above 65504).
+    F16,
+    /// Symmetric per-row/per-column 8-bit integer quantization with i32
+    /// accumulation, as used for inference and increasingly for training.
+    Int8,
+}
+
+impl Precision {
+    /// All supported formats, in decreasing width order.
+    pub const ALL: [Precision; 5] = [
+        Precision::F64,
+        Precision::F32,
+        Precision::Bf16,
+        Precision::F16,
+        Precision::Int8,
+    ];
+
+    /// Bits used to store one operand in this format.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::F64 => 64,
+            Precision::F32 => 32,
+            Precision::Bf16 | Precision::F16 => 16,
+            Precision::Int8 => 8,
+        }
+    }
+
+    /// Human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+            Precision::Bf16 => "bf16",
+            Precision::F16 => "f16",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f64" | "fp64" | "double" => Ok(Precision::F64),
+            "f32" | "fp32" | "single" => Ok(Precision::F32),
+            "bf16" | "bfloat16" => Ok(Precision::Bf16),
+            "f16" | "fp16" | "half" => Ok(Precision::F16),
+            "int8" | "i8" => Ok(Precision::Int8),
+            other => Err(format!("unknown precision '{other}'")),
+        }
+    }
+}
+
+/// Round an f32 to bfloat16 (round-to-nearest-even) and back.
+#[inline]
+pub fn round_bf16(x: f32) -> f32 {
+    let bits = x.to_bits();
+    // NaN must stay NaN: quiet it rather than risk rounding to infinity.
+    if x.is_nan() {
+        return f32::from_bits((bits | 0x0040_0000) & 0xFFFF_0000 | 0x0040_0000);
+    }
+    // Round to nearest even on bit 16.
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    f32::from_bits((bits.wrapping_add(rounding_bias)) & 0xFFFF_0000)
+}
+
+/// Round an f32 to IEEE binary16 and back (round-to-nearest-even, with
+/// overflow to infinity and gradual underflow to subnormals).
+#[inline]
+pub fn round_f16(x: f32) -> f32 {
+    f16_to_f32(f32_to_f16_bits(x))
+}
+
+/// Convert f32 to binary16 bit pattern (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN.
+        return sign | 0x7C00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Re-bias exponent: f32 bias 127 -> f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow -> infinity
+    }
+    if unbiased >= -14 {
+        // Normal range: keep top 10 mantissa bits, round to nearest even.
+        let mant16 = mant >> 13;
+        let round_bits = mant & 0x1FFF;
+        let mut h = sign | (((unbiased + 15) as u16) << 10) | mant16 as u16;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (mant16 & 1) == 1) {
+            h = h.wrapping_add(1); // may carry into exponent, which is correct
+        }
+        return h;
+    }
+    if unbiased >= -25 {
+        // Subnormal f16.
+        let full = mant | 0x0080_0000; // implicit leading one
+        let shift = (-14 - unbiased) as u32 + 13;
+        let mant16 = (full >> shift) as u16;
+        let round_mask = 1u32 << (shift - 1);
+        let rem = full & ((1u32 << shift) - 1);
+        let mut h = sign | mant16;
+        if rem > round_mask || (rem == round_mask && (mant16 & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        return h;
+    }
+    sign // underflow to signed zero
+}
+
+/// Convert binary16 bit pattern to f32.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+    let bits = if exp == 0x1F {
+        sign | 0x7F80_0000 | (mant << 13) // inf / nan
+    } else if exp == 0 {
+        if mant == 0 {
+            sign // zero
+        } else {
+            // Subnormal: normalize.
+            let mut e = -1i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03FF;
+            sign | (((114 + e) as u32) << 23) | (m << 13)
+        }
+    } else {
+        sign | ((exp + 112) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Symmetric int8 quantization of a slice: returns (codes, scale) such that
+/// `value ≈ code * scale`. A zero slice quantizes with scale 1.0.
+pub fn quantize_i8(values: &[f32]) -> (Vec<i8>, f32) {
+    let mut max_abs = 0f32;
+    for &v in values {
+        let a = v.abs();
+        if a > max_abs {
+            max_abs = a;
+        }
+    }
+    if max_abs == 0.0 || !max_abs.is_finite() {
+        return (vec![0; values.len()], 1.0);
+    }
+    let scale = max_abs / 127.0;
+    let inv = 1.0 / scale;
+    let codes = values
+        .iter()
+        .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (codes, scale)
+}
+
+/// Dequantize int8 codes back to f32.
+pub fn dequantize_i8(codes: &[i8], scale: f32, out: &mut [f32]) {
+    assert_eq!(codes.len(), out.len());
+    for (o, &c) in out.iter_mut().zip(codes) {
+        *o = c as f32 * scale;
+    }
+}
+
+/// Round every element of a slice in place to the given storage format.
+/// `F64`/`F32`/`Int8` are identity here: f64 and f32 need no narrowing and
+/// int8 quantization is scale-dependent, handled inside the matmul kernels.
+pub fn round_slice(values: &mut [f32], precision: Precision) {
+    match precision {
+        Precision::F64 | Precision::F32 | Precision::Int8 => {}
+        Precision::Bf16 => {
+            for v in values.iter_mut() {
+                *v = round_bf16(*v);
+            }
+        }
+        Precision::F16 => {
+            for v in values.iter_mut() {
+                *v = round_f16(*v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_roundtrip_exact_values() {
+        // Powers of two and values with <= 7 mantissa bits survive exactly.
+        for &v in &[0.0f32, 1.0, -2.0, 0.5, 1.5, 96.0, -0.875] {
+            assert_eq!(round_bf16(v), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn bf16_relative_error_bound() {
+        let mut r = crate::rng::Rng64::new(1);
+        for _ in 0..10_000 {
+            let v = r.normal(0.0, 100.0) as f32;
+            let q = round_bf16(v);
+            let rel = ((q - v) / v.abs().max(1e-20)).abs();
+            assert!(rel <= 1.0 / 128.0 + 1e-7, "v={v} q={q} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn bf16_preserves_nan_and_inf() {
+        assert!(round_bf16(f32::NAN).is_nan());
+        assert_eq!(round_bf16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_bf16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, 0.25, -65504.0] {
+            assert_eq!(round_f16(v), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_to_infinity() {
+        assert_eq!(round_f16(1e6), f32::INFINITY);
+        assert_eq!(round_f16(-1e6), f32::NEG_INFINITY);
+        // Largest normal f16.
+        assert_eq!(round_f16(65504.0), 65504.0);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        // Smallest positive subnormal f16 is 2^-24.
+        let tiny = 2f32.powi(-24);
+        assert_eq!(round_f16(tiny), tiny);
+        // Below half of it rounds to zero.
+        assert_eq!(round_f16(tiny / 4.0), 0.0);
+        // A subnormal value with a representable pattern survives.
+        let sub = 3.0 * 2f32.powi(-24);
+        assert_eq!(round_f16(sub), sub);
+    }
+
+    #[test]
+    fn f16_relative_error_bound_normal_range() {
+        let mut r = crate::rng::Rng64::new(2);
+        for _ in 0..10_000 {
+            let v = r.normal(0.0, 10.0) as f32;
+            if v.abs() < 6.1e-5 {
+                continue; // subnormal range has absolute, not relative bounds
+            }
+            let q = round_f16(v);
+            let rel = ((q - v) / v.abs()).abs();
+            assert!(rel <= 1.0 / 1024.0 + 1e-7, "v={v} q={q} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10: ties to even -> 1.0.
+        let half_ulp = 1.0 + 2f32.powi(-11);
+        assert_eq!(round_f16(half_ulp), 1.0);
+        // Slightly above the tie rounds up.
+        let above = 1.0 + 2f32.powi(-11) + 2f32.powi(-16);
+        assert_eq!(round_f16(above), 1.0 + 2f32.powi(-10));
+    }
+
+    #[test]
+    fn quantize_i8_roundtrip_error() {
+        let mut r = crate::rng::Rng64::new(3);
+        let values: Vec<f32> = (0..512).map(|_| r.normal(0.0, 2.0) as f32).collect();
+        let (codes, scale) = quantize_i8(&values);
+        let mut back = vec![0f32; values.len()];
+        dequantize_i8(&codes, scale, &mut back);
+        let max_abs = values.iter().fold(0f32, |a, &v| a.max(v.abs()));
+        for (&v, &b) in values.iter().zip(&back) {
+            assert!((v - b).abs() <= scale * 0.5 + 1e-6, "v={v} b={b} maxabs={max_abs}");
+        }
+    }
+
+    #[test]
+    fn quantize_i8_zero_slice() {
+        let (codes, scale) = quantize_i8(&[0.0; 16]);
+        assert!(codes.iter().all(|&c| c == 0));
+        assert_eq!(scale, 1.0);
+    }
+
+    #[test]
+    fn precision_parse_and_display_roundtrip() {
+        for p in Precision::ALL {
+            let s = p.to_string();
+            assert_eq!(s.parse::<Precision>().unwrap(), p);
+        }
+        assert!("f8".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn round_slice_dispatch() {
+        let mut v = [1.0f32 + 2f32.powi(-20); 4];
+        round_slice(&mut v, Precision::F32);
+        assert_eq!(v[0], 1.0 + 2f32.powi(-20));
+        round_slice(&mut v, Precision::Bf16);
+        assert_eq!(v[0], 1.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! Deterministic, splittable random number generation.
+//!
+//! Every stochastic component in the workspace (weight init, data generation,
+//! dropout, searchers, simulators) draws from [`Rng64`], a xoshiro256**
+//! generator seeded through SplitMix64. Determinism is a hard requirement:
+//! experiments must be exactly reproducible from a single `u64` seed, and
+//! parallel workers must be able to derive independent streams without
+//! communicating (see [`Rng64::split`]).
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 step; used for seeding and for stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256** pseudo-random generator.
+///
+/// Not cryptographically secure; chosen for speed, quality (passes BigCrush)
+/// and a tiny, dependency-free implementation. The generator is `Clone` and
+/// serializable so searcher state can be checkpointed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Create a generator from a seed. Two generators with the same seed
+    /// produce identical streams on every platform.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// Derive an independent stream for a labelled child task.
+    ///
+    /// `label` should be unique per child (e.g. worker rank, sample index).
+    /// The child stream is statistically independent of the parent and of
+    /// siblings with different labels, and does not advance `self`.
+    pub fn split(&self, label: u64) -> Self {
+        // Mix the label into the full parent state via SplitMix64 so that
+        // adjacent labels give unrelated streams.
+        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sm2 = self.s[1] ^ self.s[3].rotate_left(29) ^ !label;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm2),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm2),
+        ];
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of entropy.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn uniform_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / 16_777_216.0)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's unbiased method.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        let n = n as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// Fair coin / Bernoulli(p).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal via the polar (Marsaglia) method.
+    pub fn gaussian(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Normal with given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.gaussian()
+    }
+
+    /// Exponential with rate `lambda`.
+    #[inline]
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        -self.uniform().max(f64::MIN_POSITIVE).ln() / lambda
+    }
+
+    /// Gamma(shape, scale) via Marsaglia–Tsang, with Johnk boost for shape < 1.
+    pub fn gamma(&mut self, shape: f64, scale: f64) -> f64 {
+        assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+        if shape < 1.0 {
+            // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+            let u = self.uniform().max(f64::MIN_POSITIVE);
+            return self.gamma(shape + 1.0, scale) * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = self.gaussian();
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = self.uniform();
+            if u < 1.0 - 0.0331 * x.powi(4)
+                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
+            {
+                return d * v3 * scale;
+            }
+        }
+    }
+
+    /// Beta(a, b) via two gammas.
+    pub fn beta(&mut self, a: f64, b: f64) -> f64 {
+        let x = self.gamma(a, 1.0);
+        let y = self.gamma(b, 1.0);
+        x / (x + y)
+    }
+
+    /// Poisson via inversion (small lambda) or normal approximation.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0);
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            let l = (-lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= self.uniform();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let x = self.normal(lambda, lambda.sqrt());
+            x.max(0.0).round() as u64
+        }
+    }
+
+    /// Sample an index according to unnormalized non-negative weights.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (order is random).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        // Partial Fisher–Yates over an index vector; O(n) setup is fine for
+        // the dataset sizes used here. For tiny k relative to n use Floyd.
+        if k * 8 < n {
+            // Floyd's algorithm: O(k) expected, no O(n) allocation.
+            let mut chosen = Vec::with_capacity(k);
+            for j in (n - k)..n {
+                let t = self.below(j + 1);
+                if chosen.contains(&t) {
+                    chosen.push(j);
+                } else {
+                    chosen.push(t);
+                }
+            }
+            self.shuffle(&mut chosen);
+            chosen
+        } else {
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + self.below(n - i);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            idx
+        }
+    }
+
+    /// Fill a slice with standard normal samples scaled by `std`.
+    pub fn fill_gaussian(&mut self, out: &mut [f32], mean: f32, std: f32) {
+        for v in out.iter_mut() {
+            *v = self.normal(mean as f64, std as f64) as f32;
+        }
+    }
+
+    /// Fill a slice with uniform samples in `[lo, hi)`.
+    pub fn fill_uniform(&mut self, out: &mut [f32], lo: f32, hi: f32) {
+        for v in out.iter_mut() {
+            *v = self.range(lo as f64, hi as f64) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_stable() {
+        let parent = Rng64::new(7);
+        let mut c1 = parent.split(0);
+        let mut c2 = parent.split(1);
+        let mut c1b = parent.split(0);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        // Streams with different labels should not collide.
+        let mut collisions = 0;
+        for _ in 0..128 {
+            if c1.next_u64() == c2.next_u64() {
+                collisions += 1;
+            }
+        }
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Rng64::new(3);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut r = Rng64::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng64::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.below(7);
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng64::new(9);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape_times_scale() {
+        let mut r = Rng64::new(13);
+        let n = 100_000;
+        let (shape, scale) = (2.5, 1.5);
+        let mean = (0..n).map(|_| r.gamma(shape, scale)).sum::<f64>() / n as f64;
+        assert!((mean - shape * scale).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_small_shape_positive() {
+        let mut r = Rng64::new(17);
+        for _ in 0..1000 {
+            assert!(r.gamma(0.3, 2.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_small_and_large_lambda() {
+        let mut r = Rng64::new(19);
+        let n = 50_000;
+        for &lam in &[0.5, 4.0, 80.0] {
+            let mean = (0..n).map(|_| r.poisson(lam) as f64).sum::<f64>() / n as f64;
+            assert!((mean - lam).abs() < 0.15 * lam.max(1.0), "lambda {lam} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn beta_in_unit_interval() {
+        let mut r = Rng64::new(23);
+        for _ in 0..1000 {
+            let b = r.beta(0.5, 0.5);
+            assert!((0.0..=1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut r = Rng64::new(29);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng64::new(31);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_both_paths() {
+        let mut r = Rng64::new(37);
+        // Floyd path (k small relative to n) and Fisher–Yates path.
+        for (n, k) in [(1000, 5), (20, 15)] {
+            let s = r.sample_indices(n, k);
+            assert_eq!(s.len(), k);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), k, "duplicates for n={n} k={k}");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Rng64::new(41);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

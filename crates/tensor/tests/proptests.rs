@@ -1,0 +1,169 @@
+//! Property-based tests for the tensor substrate's algebraic invariants.
+
+use dd_tensor::{matmul, matmul_nt, matmul_prec, matmul_tn, precision, Matrix, Precision, Rng64};
+use proptest::prelude::*;
+
+/// Strategy: a small matrix with shape in [1, 12] and bounded entries.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: matrices A (m×k) and B (k×n) with compatible shapes.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=10, 1usize..=10, 1usize..=10).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-10.0f32..10.0, m * k)
+                .prop_map(move |d| Matrix::from_vec(m, k, d)),
+            proptest::collection::vec(-10.0f32..10.0, k * n)
+                .prop_map(move |d| Matrix::from_vec(k, n, d)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_shape(m in matrix(12)) {
+        let t = m.transpose();
+        prop_assert_eq!(t.shape(), (m.cols(), m.rows()));
+    }
+
+    #[test]
+    fn matmul_identity_neutral(m in matrix(10)) {
+        let left = matmul(&Matrix::eye(m.rows()), &m);
+        let right = matmul(&m, &Matrix::eye(m.cols()));
+        prop_assert!(left.approx_eq(&m, 1e-3));
+        prop_assert!(right.approx_eq(&m, 1e-3));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((a, b) in matmul_pair(), scale in -2.0f32..2.0) {
+        // A·(B + sB) = A·B + s·(A·B)
+        let mut b2 = b.clone();
+        b2.scale(1.0 + scale);
+        let lhs = matmul(&a, &b2);
+        let mut rhs = matmul(&a, &b);
+        rhs.scale(1.0 + scale);
+        let tol = 1e-2 * (1.0 + lhs.max_abs());
+        prop_assert!(lhs.approx_eq(&rhs, tol), "lhs vs rhs differ beyond {tol}");
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in matmul_pair()) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let lhs = matmul(&a, &b).transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn nt_tn_consistent_with_explicit_transpose((a, b) in matmul_pair()) {
+        let nt = matmul_nt(&a, &b.transpose());
+        let direct = matmul(&a, &b);
+        prop_assert!(nt.approx_eq(&direct, 1e-2));
+        let tn = matmul_tn(&a.transpose(), &b);
+        prop_assert!(tn.approx_eq(&direct, 1e-2));
+    }
+
+    #[test]
+    fn precision_paths_approximate_f32((a, b) in matmul_pair()) {
+        let reference = matmul(&a, &b);
+        let denom = reference.max_abs().max(1.0);
+        for p in [Precision::F64, Precision::Bf16, Precision::F16, Precision::Int8] {
+            let approx = matmul_prec(&a, &b, p);
+            let rel = approx.zip_map(&reference, |x, y| (x - y).abs()).max_abs() / denom;
+            let bound = match p {
+                Precision::F64 => 1e-5,
+                Precision::Bf16 => 0.05,
+                Precision::F16 => 0.01,
+                Precision::Int8 => 0.12,
+                Precision::F32 => unreachable!(),
+            };
+            prop_assert!(rel < bound, "{p}: relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn bf16_roundtrip_idempotent(x in -1e30f32..1e30) {
+        let once = precision::round_bf16(x);
+        prop_assert_eq!(precision::round_bf16(once), once);
+    }
+
+    #[test]
+    fn f16_roundtrip_idempotent(x in -60000.0f32..60000.0) {
+        let once = precision::round_f16(x);
+        prop_assert_eq!(precision::round_f16(once), once);
+    }
+
+    #[test]
+    fn f16_conversion_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(precision::round_f16(lo) <= precision::round_f16(hi));
+    }
+
+    #[test]
+    fn quantize_i8_bounded_error(values in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        let (codes, scale) = precision::quantize_i8(&values);
+        let mut back = vec![0f32; values.len()];
+        precision::dequantize_i8(&codes, scale, &mut back);
+        for (&v, &b) in values.iter().zip(&back) {
+            prop_assert!((v - b).abs() <= 0.5 * scale + 1e-6);
+        }
+    }
+
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1usize..1000) {
+        let mut rng = Rng64::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_split_streams_reproducible(seed in any::<u64>(), label in any::<u64>()) {
+        let parent = Rng64::new(seed);
+        let mut a = parent.split(label);
+        let mut b = parent.split(label);
+        for _ in 0..10 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(mut v in proptest::collection::vec(any::<i32>(), 0..50), seed in any::<u64>()) {
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        Rng64::new(seed).shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, sorted_before);
+    }
+
+    #[test]
+    fn softmax_rows_is_distribution(m in matrix(10)) {
+        let mut s = m.clone();
+        dd_tensor::softmax_rows(&mut s);
+        for i in 0..s.rows() {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn standardizer_inverse_roundtrips(m in matrix(10)) {
+        prop_assume!(m.rows() >= 2);
+        let sc = dd_tensor::Standardizer::fit(&m);
+        let mut t = m.clone();
+        sc.transform(&mut t);
+        sc.inverse_transform(&mut t);
+        let tol = 1e-3 * (1.0 + m.max_abs());
+        prop_assert!(t.approx_eq(&m, tol));
+    }
+}

@@ -1,0 +1,42 @@
+//! Antibiotic-resistance mechanism discovery: train a DNN on synthetic
+//! k-mer genotype data, then use second-order occlusion attribution to
+//! surface the planted *epistatic pair* — the "identify novel antibiotic
+//! resistance mechanisms" workload.
+//!
+//! Run with: `cargo run --release --example amr_mechanisms`
+
+use deepdriver::core::workloads::w6_amr::{discover_mechanisms, train_model};
+use deepdriver::core::Scale;
+
+fn main() {
+    println!("training the AMR prediction network on synthetic k-mer data...");
+    let (mut model, split, data, _) = train_model(Scale::Smoke, 23);
+
+    println!(
+        "planted ground truth: {} additive resistance k-mers {:?},",
+        data.additive.len(),
+        data.additive
+    );
+    println!(
+        "plus one epistatic pair {:?} (resistance only when BOTH present —",
+        data.epistatic_pair
+    );
+    println!("invisible to any additive model; this is the 'novel mechanism').\n");
+
+    let probes = split.train.x.slice_rows(0, 64.min(split.train.x.rows()));
+    let ranked = discover_mechanisms(&mut model, &probes, 16);
+    let planted = (
+        data.epistatic_pair.0.min(data.epistatic_pair.1),
+        data.epistatic_pair.0.max(data.epistatic_pair.1),
+    );
+
+    println!("top interacting k-mer pairs by occlusion interaction score:");
+    for (rank, (pair, score)) in ranked.iter().take(10).enumerate() {
+        let marker = if *pair == planted { "  <-- planted epistatic pair" } else { "" };
+        println!("  #{:<2} ({:>3}, {:>3})  score {:.5}{}", rank + 1, pair.0, pair.1, score, marker);
+    }
+    match ranked.iter().position(|&(p, _)| p == planted) {
+        Some(i) => println!("\nplanted mechanism recovered at rank {}", i + 1),
+        None => println!("\nplanted mechanism not in the candidate set (increase top_singles)"),
+    }
+}

@@ -1,0 +1,98 @@
+//! Drug response prediction (the P1B3-style workload): train the dense
+//! regression network on synthetic dose-response data, compare against
+//! ridge regression, then re-evaluate the trained model under every
+//! emulated arithmetic precision — the "rarely require 64 bits" claim in
+//! one screen of output.
+//!
+//! Run with: `cargo run --release --example drug_response`
+
+use deepdriver::datagen::baselines::Ridge;
+use deepdriver::datagen::drug_response::{self, DrugResponseConfig};
+use deepdriver::datagen::expression::ExpressionModel;
+use deepdriver::datagen::Target;
+use deepdriver::prelude::*;
+use deepdriver::tensor::r2_score;
+
+fn main() {
+    let config = DrugResponseConfig {
+        cell_lines: 40,
+        drugs: 60,
+        measurements: 6000,
+        descriptor_dim: 48,
+        noise: 0.04,
+        expression: ExpressionModel { genes: 128, pathways: 10, ..Default::default() },
+    };
+    let data = drug_response::generate(&config, 7);
+    let split = data.dataset.split(0.15, 0.15, 7, true);
+    let (y_train, y_val, y_test) = match (&split.train.y, &split.val.y, &split.test.y) {
+        (Target::Regression(a), Target::Regression(b), Target::Regression(c)) => (a, b, c),
+        _ => unreachable!(),
+    };
+    println!(
+        "drug-response: {} measurements over {} cell lines x {} drugs; feature dim {}",
+        data.dataset.len(),
+        config.cell_lines,
+        config.drugs,
+        split.train.dim()
+    );
+
+    // Train the DNN in f32.
+    let spec = ModelSpec::mlp(split.train.dim(), &[256, 128, 32], 1, Activation::Relu);
+    let mut model = spec.build(7, Precision::F32).expect("valid spec");
+    let mut trainer = Trainer::new(TrainConfig {
+        batch_size: 64,
+        epochs: 25,
+        optimizer: OptimizerConfig::adam(1e-3),
+        loss: Loss::Mse,
+        patience: Some(6),
+        ..TrainConfig::default()
+    });
+    trainer.fit(&mut model, &split.train.x, y_train, Some((&split.val.x, y_val)));
+
+    let dnn_pred = model.predict(&split.test.x);
+    let dnn_r2 = r2_score(y_test.as_slice(), dnn_pred.as_slice());
+
+    let ridge = Ridge::fit(&split.train.x, y_train.as_slice(), 1.0);
+    let ridge_r2 = r2_score(y_test.as_slice(), &ridge.predict(&split.test.x));
+    println!("\ntest R^2: DNN {dnn_r2:.4} vs ridge {ridge_r2:.4}");
+    println!("(the cell x drug interaction is invisible to the linear model)");
+
+    // Inference-precision sweep on the already-trained model.
+    println!("\ninference precision sweep (same trained weights):");
+    for precision in Precision::ALL {
+        model.set_precision(precision);
+        let pred = model.predict(&split.test.x);
+        let r2 = r2_score(y_test.as_slice(), pred.as_slice());
+        println!("  {:>5}: test R^2 {r2:.4}", precision.to_string());
+    }
+    model.set_precision(Precision::F32);
+
+    // Virtual dose-response assay: estimate per-pair IC50s from the model
+    // and compare against the generator's ground truth.
+    println!("\nvirtual IC50 assay (model-estimated vs generative truth, log10):");
+    let scaler = split.scaler.as_ref().expect("standardized").clone();
+    let mut rng = deepdriver::tensor::Rng64::new(99);
+    let mut est_all = Vec::new();
+    let mut true_all = Vec::new();
+    for i in 0..6 {
+        let c = rng.below(config.cell_lines);
+        let d = rng.below(config.drugs);
+        let est = deepdriver::core::workloads::w2_drug_response::estimate_log_ic50(
+            &mut model,
+            &scaler,
+            &data,
+            c,
+            d,
+            config.expression.genes,
+            config.descriptor_dim,
+        );
+        let truth = data.true_log_ic50(c, d);
+        println!("  pair {i}: cell {c:>2} x drug {d:>2}  est {est:+.2}  true {truth:+.2}");
+        est_all.push(est as f32);
+        true_all.push(truth);
+    }
+    println!(
+        "  correlation over these pairs: {:.2}",
+        deepdriver::tensor::pearson(&est_all, &true_all)
+    );
+}

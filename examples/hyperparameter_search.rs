@@ -1,0 +1,53 @@
+//! Hyperparameter search shoot-out: naïve (random) versus intelligent
+//! (Hyperband, surrogate forest, generative neural network) searchers
+//! tuning a real tumor-classifier training objective in parallel.
+//!
+//! Run with: `cargo run --release --example hyperparameter_search`
+
+use deepdriver::core::experiments::e6_search::{space, TumorTuning};
+use deepdriver::core::Scale;
+use deepdriver::hypersearch::searchers::{
+    GenerativeSearch, Hyperband, RandomSearch, SurrogateSearch,
+};
+use deepdriver::hypersearch::{run_search, Searcher};
+
+fn main() {
+    let objective = TumorTuning::new(Scale::Smoke, 11);
+    let sp = space();
+    println!(
+        "search space: {} parameters, ~{} discrete configurations",
+        sp.dim(),
+        sp.cardinality(16)
+    );
+
+    let budget = 24.0; // full-training-equivalents
+    let searchers: Vec<Box<dyn Searcher>> = vec![
+        Box::new(RandomSearch::new()),
+        Box::new(Hyperband::new(3, 2)),
+        Box::new(SurrogateSearch::new(8)),
+        Box::new(GenerativeSearch::new(10)),
+    ];
+
+    println!("\nrunning each searcher for {budget} evaluation-equivalents (4-way parallel):\n");
+    for mut s in searchers {
+        let history = run_search(s.as_mut(), &sp, &objective, budget, 4, 11);
+        let best = history.best_trial().expect("at least one trial");
+        println!(
+            "{:<18} best val-loss {:.4} after {:>3} trials  ({})",
+            history.searcher,
+            best.value,
+            history.trials.len(),
+            best.config.describe()
+        );
+        // Incumbent curve at a few milestones.
+        print!("{:<18} incumbent:", "");
+        for m in [6.0, 12.0, 24.0] {
+            match history.best_at_cost(m) {
+                Some(v) => print!("  @{m}: {v:.4}"),
+                None => print!("  @{m}: -"),
+            }
+        }
+        println!("\n");
+    }
+    println!("lower is better; intelligent searchers should reach low loss in fewer trials.");
+}

@@ -1,0 +1,56 @@
+//! ML-supervised multi-resolution molecular dynamics: a DNN surrogate
+//! learns online when a Lennard-Jones fluid can be integrated coarsely and
+//! when it needs fine substeps, and is compared against always-coarse,
+//! always-fine and a hand-tuned force heuristic.
+//!
+//! Run with: `cargo run --release --example md_supervision`
+
+use deepdriver::mdsim::{run_supervised, LjSystem, Policy, SurrogateController};
+
+fn main() {
+    let steps = 120;
+    let dt = 0.04;
+    let make = || LjSystem::lattice(6, 1.3, 0.4, 99);
+    println!(
+        "LJ fluid: {} particles, {} macro-steps of dt={dt}\n",
+        make().len(),
+        steps
+    );
+
+    let mut probe = make();
+    let force_threshold = probe.max_force();
+
+    let runs = vec![
+        run_supervised(make(), Policy::AlwaysCoarse, steps, dt),
+        run_supervised(make(), Policy::AlwaysFine, steps, dt),
+        run_supervised(make(), Policy::ForceHeuristic { threshold: force_threshold }, steps, dt),
+        run_supervised(make(), Policy::Surrogate(SurrogateController::new(5e-3, 1)), steps, dt),
+    ];
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>14} {:>14}",
+        "policy", "refine frac", "force evals", "energy drift", "rmsd vs fine"
+    );
+    let fine_evals = runs[1].force_evals as f64;
+    for r in &runs {
+        println!(
+            "{:<16} {:>12.2} {:>12} {:>14.2e} {:>14.2e}",
+            r.policy, r.refine_fraction, r.force_evals, r.energy_drift, r.rmsd_vs_fine
+        );
+    }
+    let sur = &runs[3];
+    let coarse = &runs[0];
+    println!(
+        "\nthe surrogate spends {:.0}% of the fine run's force evaluations and",
+        100.0 * sur.force_evals as f64 / fine_evals
+    );
+    println!(
+        "conserves energy {:.0}x better than always-coarse ({:.1e} vs {:.1e} drift)",
+        coarse.energy_drift / sur.energy_drift.max(1e-12),
+        sur.energy_drift,
+        coarse.energy_drift
+    );
+    println!("— the ML supervision loop the paper describes for multi-resolution MD.");
+    println!("(trajectory RMSD saturates for any inexact integrator: LJ dynamics are");
+    println!("chaotic, so energy drift is the meaningful fidelity metric here.)");
+}

@@ -1,0 +1,83 @@
+//! Quickstart: generate a synthetic tumor-expression dataset, train a small
+//! classifier, and evaluate it against a logistic-regression baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use deepdriver::datagen::baselines::{ovr_scores, Logistic};
+use deepdriver::datagen::expression::ExpressionModel;
+use deepdriver::datagen::tumor::{self, TumorConfig};
+use deepdriver::nn::metrics;
+use deepdriver::prelude::*;
+
+fn main() {
+    // 1. Data: 1200 synthetic tumors, 4 types, 128-gene expression profiles.
+    let config = TumorConfig {
+        samples: 1200,
+        types: 4,
+        signature_genes: 12,
+        signature_strength: 1.2,
+        position_jitter: 0,
+        expression: ExpressionModel { genes: 128, pathways: 8, ..Default::default() },
+    };
+    let data = tumor::generate(&config, 42);
+    let split = data.dataset.split(0.15, 0.15, 42, true);
+    println!(
+        "dataset: {} train / {} val / {} test, {} genes, {} tumor types",
+        split.train.len(),
+        split.val.len(),
+        split.test.len(),
+        config.expression.genes,
+        config.types
+    );
+
+    // 2. Model: a 2-layer MLP described by a serializable spec.
+    let spec = ModelSpec::mlp(128, &[64, 32], 4, Activation::Relu);
+    let mut model = spec.build(42, Precision::F32).expect("valid spec");
+    println!("\n{}", model.summary());
+
+    // 3. Train with Adam + cosine decay and early stopping on validation.
+    let mut trainer = Trainer::new(TrainConfig {
+        batch_size: 32,
+        epochs: 25,
+        optimizer: OptimizerConfig::adam(1e-3),
+        schedule: LrSchedule::Cosine { total: 25, floor: 0.1 },
+        loss: Loss::SoftmaxCrossEntropy,
+        patience: Some(5),
+        ..TrainConfig::default()
+    });
+    let y_train = split.train.y.to_matrix();
+    let y_val = split.val.y.to_matrix();
+    let history = trainer.fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)));
+    for e in &history.epochs {
+        println!(
+            "epoch {:>2}  train loss {:.4}  val loss {:.4}",
+            e.epoch,
+            e.train_loss,
+            e.val_loss.unwrap_or(f64::NAN)
+        );
+    }
+
+    // 4. Evaluate against logistic regression.
+    let test_labels = split.test.y.labels().unwrap();
+    let dnn_acc = metrics::accuracy(&model.predict(&split.test.x), test_labels);
+    let logi = Logistic::fit_multiclass(
+        &split.train.x,
+        split.train.y.labels().unwrap(),
+        4,
+        1e-4,
+        150,
+        0.5,
+    );
+    let base_acc = metrics::accuracy(&ovr_scores(&logi, &split.test.x), test_labels);
+    println!("\ntest accuracy: DNN {dnn_acc:.3} vs logistic {base_acc:.3}");
+
+    // 5. Checkpoint the trained model and verify the restored copy agrees.
+    let blob = deepdriver::nn::checkpoint::save(&spec, &mut model);
+    let (_, mut restored) = deepdriver::nn::checkpoint::load(&blob).expect("valid checkpoint");
+    let restored_acc = metrics::accuracy(&restored.predict(&split.test.x), test_labels);
+    println!(
+        "checkpoint: {} bytes, restored model accuracy {restored_acc:.3} (identical: {})",
+        blob.len(),
+        restored_acc == dnn_acc
+    );
+}

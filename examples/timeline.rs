@@ -1,0 +1,72 @@
+//! Where does the time go? Text timelines for simulated training runs,
+//! contrasting staging strategies and parallelization choices — each `#` is
+//! compute, `~` is fabric communication, `.` is storage I/O.
+//!
+//! Run with: `cargo run --release --example timeline`
+
+use deepdriver::hpcsim::{
+    trace_training_run, AllreduceAlgo, Machine, Phase, SimPrecision, Staging, Strategy, TrainJob,
+};
+
+fn main() {
+    let machine = Machine::gpu_2017(256);
+    let job = TrainJob::from_dense_net(50e6, 2000, 8192, 8);
+    let steps = 4000;
+    let steps_per_epoch = 1000;
+    let shard = 64e9; // 64 GB of training data per node
+
+    println!(
+        "50M-param net on {} ({} nodes), {steps} steps ({steps_per_epoch}/epoch), {} GB/node shard\n",
+        machine.name,
+        machine.nodes,
+        shard / 1e9
+    );
+
+    let scenarios: Vec<(&str, Strategy, Staging)> = vec![
+        (
+            "data x16, PFS streaming",
+            Strategy::Data { nodes: 16, algo: AllreduceAlgo::Auto },
+            Staging::StreamPfs,
+        ),
+        (
+            "data x16, NVRAM staging",
+            Strategy::Data { nodes: 16, algo: AllreduceAlgo::Auto },
+            Staging::StageNvram,
+        ),
+        (
+            "data x256, NVRAM staging",
+            Strategy::Data { nodes: 256, algo: AllreduceAlgo::Auto },
+            Staging::StageNvram,
+        ),
+        (
+            "hybrid 32x8, NVRAM staging",
+            Strategy::Hybrid { data_ways: 32, model_ways: 8, algo: AllreduceAlgo::Auto },
+            Staging::StageNvram,
+        ),
+    ];
+
+    for (label, strategy, staging) in scenarios {
+        let trace = trace_training_run(
+            &machine,
+            &job,
+            strategy,
+            SimPrecision::F32,
+            staging,
+            shard,
+            steps,
+            steps_per_epoch,
+        );
+        println!("{label}");
+        println!("  [{}]", trace.timeline(70));
+        println!("  {}\n", trace.summary());
+    }
+    println!("legend: '#' compute   '~' fabric communication   '.' storage I/O");
+    println!();
+    println!(
+        "the three architecture asks in one picture: NVRAM staging removes the '.'
+wall (E5), scale turns '#' into '~' (E2), and hybrid parallelism + bandwidth
+claw compute share back (E3/E7)."
+    );
+    // Keep the unused-import lint honest if scenarios change:
+    let _ = Phase::Compute;
+}

@@ -1,0 +1,84 @@
+//! # deepdriver — deep learning driver problems for future HPC architecture
+//!
+//! A from-scratch Rust reproduction of the system described in
+//! *"Deep Learning in Cancer and Infectious Disease: Novel Driver Problems
+//! for Future HPC Architecture"* (Rick L. Stevens, HPDC 2017): the
+//! cancer/infectious-disease deep learning workloads, the parallel training
+//! engines (data / model / search parallelism), a large-scale
+//! hyperparameter search system including a generative-neural-network
+//! searcher, and a simulated HPC architecture (precision-scaled compute,
+//! HBM/DDR/NVRAM/PFS memory tiers, interconnect fabric) on which each of
+//! the talk's architectural claims becomes a measurable experiment.
+//!
+//! This facade crate re-exports every subsystem under one namespace:
+//!
+//! * [`tensor`] — matrices, parallel matmul, low-precision emulation, RNG.
+//! * [`nn`] — layers, backprop, optimizers, training loops.
+//! * [`datagen`] — synthetic biomedical datasets + classical baselines.
+//! * [`hpcsim`] — the architecture cost-model simulator.
+//! * [`parallel`] — real ring-allreduce data parallelism, model-parallel
+//!   partitioning, the hybrid parallelism planner.
+//! * [`hypersearch`] — grid/random/SHA/Hyperband/surrogate/evolutionary/
+//!   generative searchers with a parallel driver.
+//! * [`mdsim`] — surrogate-supervised multi-resolution molecular dynamics.
+//! * [`core`] — the driver workloads (W1–W7) and experiments (E1–E9).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deepdriver::prelude::*;
+//!
+//! // Generate a synthetic tumor-expression dataset and train a classifier.
+//! let config = dd_datagen::tumor::TumorConfig {
+//!     samples: 300,
+//!     types: 3,
+//!     expression: dd_datagen::expression::ExpressionModel {
+//!         genes: 64,
+//!         ..Default::default()
+//!     },
+//!     ..Default::default()
+//! };
+//! let data = dd_datagen::tumor::generate(&config, 7);
+//! let split = data.dataset.split(0.2, 0.2, 7, true);
+//!
+//! let mut model = ModelSpec::mlp(64, &[32], 3, Activation::Relu)
+//!     .build(7, Precision::F32)
+//!     .unwrap();
+//! let mut trainer = Trainer::new(TrainConfig {
+//!     epochs: 5,
+//!     loss: Loss::SoftmaxCrossEntropy,
+//!     ..TrainConfig::default()
+//! });
+//! let y = split.train.y.to_matrix();
+//! trainer.fit(&mut model, &split.train.x, &y, None);
+//! let acc = dd_nn::metrics::accuracy(
+//!     &model.predict(&split.test.x),
+//!     split.test.y.labels().unwrap(),
+//! );
+//! assert!(acc > 0.3); // well above with real epochs; kept loose for doctest speed
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dd_datagen as datagen;
+pub use dd_hpcsim as hpcsim;
+pub use dd_hypersearch as hypersearch;
+pub use dd_mdsim as mdsim;
+pub use dd_nn as nn;
+pub use dd_parallel as parallel;
+pub use dd_tensor as tensor;
+pub use deepdriver_core as core;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dd_datagen::{Dataset, Split, Target};
+    pub use dd_hpcsim::{Machine, SimPrecision, Staging, Strategy, Tier, TrainJob};
+    pub use dd_hypersearch::{run_search, Config, SearchSpace, Searcher};
+    pub use dd_nn::{
+        Activation, Init, InputShape, LayerSpec, Loss, LrSchedule, ModelSpec, OptimizerConfig,
+        Sequential, TrainConfig, Trainer,
+    };
+    pub use dd_tensor::{Matrix, Precision, Rng64};
+    pub use deepdriver_core::{Scale, Table};
+}

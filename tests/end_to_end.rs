@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: data generation → training → evaluation
+//! pipelines spanning the whole public API, exactly as the examples use it.
+
+use deepdriver::datagen::baselines::Logistic;
+use deepdriver::datagen::tumor::{self, TumorConfig};
+use deepdriver::datagen::expression::ExpressionModel;
+use deepdriver::nn::metrics;
+use deepdriver::prelude::*;
+
+fn small_tumor_split(seed: u64) -> deepdriver::datagen::Split {
+    let config = TumorConfig {
+        samples: 500,
+        types: 3,
+        signature_genes: 10,
+        signature_strength: 1.5,
+        position_jitter: 0,
+        expression: ExpressionModel { genes: 64, pathways: 6, ..Default::default() },
+    };
+    tumor::generate(&config, seed).dataset.split(0.2, 0.2, seed, true)
+}
+
+#[test]
+fn full_pipeline_classification() {
+    let split = small_tumor_split(1);
+    let mut model = ModelSpec::mlp(64, &[32], 3, Activation::Relu)
+        .build(1, Precision::F32)
+        .unwrap();
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 15,
+        loss: Loss::SoftmaxCrossEntropy,
+        optimizer: OptimizerConfig::adam(2e-3),
+        ..TrainConfig::default()
+    });
+    let y = split.train.y.to_matrix();
+    let history = trainer.fit(&mut model, &split.train.x, &y, None);
+    assert!(history.final_train_loss() < history.epochs[0].train_loss);
+    let acc = metrics::accuracy(&model.predict(&split.test.x), split.test.y.labels().unwrap());
+    assert!(acc > 0.7, "end-to-end accuracy {acc}");
+}
+
+#[test]
+fn dnn_and_baseline_agree_on_easy_data() {
+    // With strong signatures both model families should classify well —
+    // a cross-check that the data generator, the NN stack and the classical
+    // baselines all see the same structure.
+    let split = small_tumor_split(2);
+    let mut model = ModelSpec::mlp(64, &[32], 3, Activation::Tanh)
+        .build(2, Precision::F32)
+        .unwrap();
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 15,
+        loss: Loss::SoftmaxCrossEntropy,
+        optimizer: OptimizerConfig::adam(2e-3),
+        ..TrainConfig::default()
+    });
+    let y = split.train.y.to_matrix();
+    trainer.fit(&mut model, &split.train.x, &y, None);
+    let labels = split.test.y.labels().unwrap();
+    let dnn_acc = metrics::accuracy(&model.predict(&split.test.x), labels);
+
+    let logi = Logistic::fit_multiclass(
+        &split.train.x,
+        split.train.y.labels().unwrap(),
+        3,
+        1e-4,
+        150,
+        0.5,
+    );
+    let base_acc = metrics::accuracy(
+        &deepdriver::datagen::baselines::ovr_scores(&logi, &split.test.x),
+        labels,
+    );
+    assert!(dnn_acc > 0.75 && base_acc > 0.75, "dnn {dnn_acc} base {base_acc}");
+}
+
+#[test]
+fn precision_sweep_preserves_trained_model_quality() {
+    let split = small_tumor_split(3);
+    let mut model = ModelSpec::mlp(64, &[32], 3, Activation::Relu)
+        .build(3, Precision::F32)
+        .unwrap();
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 12,
+        loss: Loss::SoftmaxCrossEntropy,
+        optimizer: OptimizerConfig::adam(2e-3),
+        ..TrainConfig::default()
+    });
+    let y = split.train.y.to_matrix();
+    trainer.fit(&mut model, &split.train.x, &y, None);
+    let labels = split.test.y.labels().unwrap();
+    let f32_acc = metrics::accuracy(&model.predict(&split.test.x), labels);
+    assert!(f32_acc > 0.7);
+    // bf16/f16 inference within a few points of f32; int8 usable.
+    for (precision, slack) in [
+        (Precision::F64, 0.02),
+        (Precision::Bf16, 0.05),
+        (Precision::F16, 0.05),
+        (Precision::Int8, 0.15),
+    ] {
+        model.set_precision(precision);
+        let acc = metrics::accuracy(&model.predict(&split.test.x), labels);
+        assert!(
+            acc > f32_acc - slack,
+            "{precision}: {acc} vs f32 {f32_acc}"
+        );
+    }
+}
+
+#[test]
+fn spec_roundtrips_through_json_and_retrains() {
+    let spec = ModelSpec::mlp(16, &[8], 2, Activation::Gelu);
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: ModelSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, spec);
+    let mut a = spec.build(9, Precision::F32).unwrap();
+    let mut b = back.build(9, Precision::F32).unwrap();
+    assert_eq!(a.flatten_params(), b.flatten_params());
+}

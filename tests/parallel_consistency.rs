@@ -1,0 +1,101 @@
+//! Integration tests for the parallelism engines: data-parallel training
+//! equivalence, model-parallel partition fidelity, and agreement between
+//! the real implementations and the simulator's cost structure.
+
+use deepdriver::hpcsim::AllreduceAlgo;
+use deepdriver::parallel::{
+    build_stages, partition_by_params, train_data_parallel, DataParallelConfig,
+};
+use deepdriver::prelude::*;
+
+fn toy_data(n: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = Rng64::new(seed);
+    let x = Matrix::randn(n, 6, 0.0, 1.0, &mut rng);
+    let y = Matrix::from_fn(n, 1, |i, _| {
+        (x.get(i, 0) * x.get(i, 1) + x.get(i, 2)).tanh()
+    });
+    (x, y)
+}
+
+#[test]
+fn data_parallel_equivalence_across_world_sizes() {
+    let (x, y) = toy_data(192, 1);
+    let spec = ModelSpec::mlp(6, &[16], 1, Activation::Tanh);
+    let run = |world: usize| {
+        train_data_parallel(
+            &spec,
+            &x,
+            &y,
+            &DataParallelConfig {
+                world,
+                global_batch: 48,
+                epochs: 4,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .final_params
+    };
+    let p1 = run(1);
+    for world in [2, 3, 4, 6] {
+        let pw = run(world);
+        let max_diff = p1
+            .iter()
+            .zip(&pw)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0f32, f32::max);
+        assert!(max_diff < 2e-3, "world {world} diverged by {max_diff}");
+    }
+}
+
+#[test]
+fn model_parallel_stages_match_whole_model_predictions() {
+    let spec = ModelSpec::mlp(12, &[48, 24, 12], 3, Activation::Relu);
+    let mut whole = spec.build(7, Precision::F32).unwrap();
+    let mut rng = Rng64::new(8);
+    let x = Matrix::randn(10, 12, 0.0, 1.0, &mut rng);
+    let y_whole = whole.predict(&x);
+    for parts in [2, 3, 4] {
+        let partition = partition_by_params(&spec, parts);
+        let mut staged = build_stages(&spec, &partition, 7, Precision::F32);
+        let y_staged = staged.forward(&x, false);
+        assert!(
+            y_whole.approx_eq(&y_staged, 1e-4),
+            "{parts}-way partition changed predictions"
+        );
+    }
+}
+
+#[test]
+fn simulated_allreduce_ordering_matches_real_traffic_shape() {
+    // The real ring sends 2(p-1)/p of the buffer per rank; the simulator's
+    // ring model must charge time proportional to the same byte count.
+    let fabric = deepdriver::hpcsim::Fabric::infiniband_2017();
+    let bytes = 1e8;
+    let t4 = deepdriver::hpcsim::allreduce_time(&fabric, AllreduceAlgo::Ring, bytes, 4);
+    let t8 = deepdriver::hpcsim::allreduce_time(&fabric, AllreduceAlgo::Ring, bytes, 8);
+    // Bandwidth term: 2(p-1)/p · bytes → ratio (2·7/8)/(2·3/4) = 7/6.
+    let ratio = t8 / t4;
+    assert!((ratio - 7.0 / 6.0).abs() < 0.05, "ratio {ratio}");
+}
+
+#[test]
+fn planner_never_worse_than_default_data_parallel() {
+    use deepdriver::parallel::best_plan;
+    let machine = Machine::gpu_2017(64);
+    for params in [1e6, 50e6, 500e6] {
+        let job = TrainJob::from_dense_net(params, 100, 4096, 8);
+        let plan = best_plan(&machine, &job, 64, SimPrecision::F32);
+        let default = deepdriver::hpcsim::step_time(
+            &machine,
+            &job,
+            Strategy::Data { nodes: 64, algo: AllreduceAlgo::Auto },
+            SimPrecision::F32,
+        );
+        assert!(
+            plan.breakdown.step <= default.step + 1e-12,
+            "{params} params: plan {:?} slower than default",
+            plan.strategy
+        );
+    }
+}
