@@ -1,0 +1,47 @@
+//! E11 kernel bench: checkpoint save/restore throughput versus model size.
+//! The write path is the δ in the Young/Daly interval; these numbers anchor
+//! the per-checkpoint cost the fault-tolerant trainer pays at each epoch
+//! boundary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dd_nn::checkpoint::{load_with_state, save_with_state};
+use dd_nn::{Activation, ModelSpec, OptimizerState, TrainState};
+use dd_tensor::{Precision, Rng64};
+use std::hint::black_box;
+
+fn sized_spec(hidden: usize) -> ModelSpec {
+    ModelSpec::mlp(64, &[hidden, hidden], 1, Activation::Relu)
+}
+
+fn bench_checkpoint_roundtrip(c: &mut Criterion) {
+    let mut save_group = c.benchmark_group("checkpoint_save");
+    for hidden in [64usize, 256, 1024] {
+        let spec = sized_spec(hidden);
+        let mut model = spec.build(1, Precision::F32).unwrap();
+        let state =
+            TrainState { epoch: 3, optimizer: OptimizerState::default(), rng: Rng64::new(7) };
+        let bytes = save_with_state(&spec, &mut model, &state).len() as u64;
+        save_group.throughput(Throughput::Bytes(bytes));
+        save_group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |b, _| {
+            b.iter(|| black_box(save_with_state(&spec, &mut model, &state)));
+        });
+    }
+    save_group.finish();
+
+    let mut load_group = c.benchmark_group("checkpoint_restore");
+    for hidden in [64usize, 256, 1024] {
+        let spec = sized_spec(hidden);
+        let mut model = spec.build(1, Precision::F32).unwrap();
+        let state =
+            TrainState { epoch: 3, optimizer: OptimizerState::default(), rng: Rng64::new(7) };
+        let blob = save_with_state(&spec, &mut model, &state);
+        load_group.throughput(Throughput::Bytes(blob.len() as u64));
+        load_group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |b, _| {
+            b.iter(|| black_box(load_with_state(&blob).unwrap()));
+        });
+    }
+    load_group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_roundtrip);
+criterion_main!(benches);

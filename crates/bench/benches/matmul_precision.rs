@@ -19,13 +19,9 @@ fn bench_matmul_precision(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul_precision");
     group.throughput(Throughput::Elements(flops as u64));
     for precision in Precision::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(precision),
-            &precision,
-            |bench, &p| {
-                bench.iter(|| black_box(matmul_prec(black_box(&a), black_box(&b), p)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(precision), &precision, |bench, &p| {
+            bench.iter(|| black_box(matmul_prec(black_box(&a), black_box(&b), p)));
+        });
     }
     group.finish();
 }
@@ -62,10 +58,5 @@ fn bench_backprop_orientations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_matmul_precision,
-    bench_matmul_sizes,
-    bench_backprop_orientations
-);
+criterion_group!(benches, bench_matmul_precision, bench_matmul_sizes, bench_backprop_orientations);
 criterion_main!(benches);

@@ -2,9 +2,9 @@
 //! (E3, E4, E5, E7) plus the underlying collective cost models.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd_hpcsim::{allreduce_time, AllreduceAlgo, Fabric};
 use deepdriver_core::experiments::{e3_parallelism, e4_memory, e5_nvram, e7_hybrid};
 use deepdriver_core::report::Scale;
-use dd_hpcsim::{allreduce_time, AllreduceAlgo, Fabric};
 use std::hint::black_box;
 
 fn bench_experiment_tables(c: &mut Criterion) {
@@ -13,15 +13,9 @@ fn bench_experiment_tables(c: &mut Criterion) {
     group.bench_function("e3_parallelism", |b| {
         b.iter(|| black_box(e3_parallelism::run(Scale::Smoke, 1)))
     });
-    group.bench_function("e4_memory", |b| {
-        b.iter(|| black_box(e4_memory::run(Scale::Smoke, 1)))
-    });
-    group.bench_function("e5_nvram", |b| {
-        b.iter(|| black_box(e5_nvram::run(Scale::Smoke, 1)))
-    });
-    group.bench_function("e7_hybrid", |b| {
-        b.iter(|| black_box(e7_hybrid::run(Scale::Smoke, 1)))
-    });
+    group.bench_function("e4_memory", |b| b.iter(|| black_box(e4_memory::run(Scale::Smoke, 1))));
+    group.bench_function("e5_nvram", |b| b.iter(|| black_box(e5_nvram::run(Scale::Smoke, 1))));
+    group.bench_function("e7_hybrid", |b| b.iter(|| black_box(e7_hybrid::run(Scale::Smoke, 1))));
     group.finish();
 }
 
@@ -30,14 +24,7 @@ fn bench_collective_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("allreduce_cost_model");
     for p in [8usize, 512, 16384] {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| {
-                black_box(allreduce_time(
-                    black_box(&fabric),
-                    AllreduceAlgo::Auto,
-                    2e8,
-                    p,
-                ))
-            });
+            b.iter(|| black_box(allreduce_time(black_box(&fabric), AllreduceAlgo::Auto, 2e8, p)));
         });
     }
     group.finish();

@@ -3,5 +3,6 @@
 //! One bench target per performance-sensitive kernel behind the experiments:
 //! `matmul_precision` (E1), `allreduce` (E2), `conv_kernels` (W1),
 //! `datagen_throughput` (W1–W6), `md_step` (E9/W7), `train_epoch` (E2/E8),
-//! `search_drivers` (E6), and `sim_experiments` (E3–E5, E7 table
-//! regeneration end to end).
+//! `search_drivers` (E6), `sim_experiments` (E3–E5, E7 table
+//! regeneration end to end), and `checkpoint` (E11 save/restore
+//! throughput vs model size).

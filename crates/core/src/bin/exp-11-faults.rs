@@ -1,0 +1,17 @@
+//! Regenerates the E11 fault-tolerance table. Usage: `exp-11-faults [smoke|full] [seed]`.
+
+use deepdriver_core::experiments::{self, e11_faults};
+use deepdriver_core::report::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    let table = e11_faults::run(scale, seed);
+    experiments::emit(&table, "e11_faults");
+    let rows = e11_faults::sweep(scale, seed);
+    println!(
+        "empirical optimum tracks Young/Daly on every (nodes, tier): {}",
+        e11_faults::empirical_tracks_young_daly(&rows)
+    );
+}

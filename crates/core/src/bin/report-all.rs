@@ -3,8 +3,8 @@
 //! take tens of minutes (it retrains every workload).
 
 use deepdriver_core::experiments::{
-    self, e10_compression, e1_precision, e2_scaling, e3_parallelism, e4_memory, e5_nvram,
-    e6_search, e7_hybrid, e8_workloads, e9_mdsurrogate,
+    self, e10_compression, e11_faults, e1_precision, e2_scaling, e3_parallelism, e4_memory,
+    e5_nvram, e6_search, e7_hybrid, e8_workloads, e9_mdsurrogate,
 };
 use deepdriver_core::report::Scale;
 
@@ -25,6 +25,7 @@ fn main() {
         ("e8_workloads", Box::new(move || e8_workloads::run(scale, seed))),
         ("e9_mdsurrogate", Box::new(move || e9_mdsurrogate::run(scale, seed))),
         ("e10_compression", Box::new(move || e10_compression::run(scale, seed))),
+        ("e11_faults", Box::new(move || e11_faults::run(scale, seed))),
     ];
     let total = experiments.len();
     for (i, (slug, run)) in experiments.into_iter().enumerate() {

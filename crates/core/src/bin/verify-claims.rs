@@ -20,11 +20,7 @@ fn main() {
         println!("[{mark}] {:>4}  {}", r.id, r.statement);
         println!("             {}", r.evidence);
     }
-    println!(
-        "\n{} / {} claims hold",
-        results.len() - failures,
-        results.len()
-    );
+    println!("\n{} / {} claims hold", results.len() - failures, results.len());
     if failures > 0 {
         std::process::exit(1);
     }

@@ -80,7 +80,8 @@ pub fn sweep(scale: Scale, seed: u64) -> Vec<CompressionRow> {
                 compression: scheme,
                 ..Default::default()
             },
-        );
+        )
+        .expect("data-parallel run succeeds");
         if matches!(scheme, GradCompression::None) {
             dense_bytes = report.compressed_wire_bytes;
         }

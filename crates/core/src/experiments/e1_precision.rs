@@ -52,11 +52,12 @@ pub fn sweep(scale: Scale, seed: u64) -> Vec<PrecisionRow> {
                 seed,
                 ..TrainConfig::default()
             });
-            trainer.fit(&mut model, &split.train.x, y_train, None);
+            let _ = trainer.fit(&mut model, &split.train.x, y_train, None);
             let pred = model.predict(&split.test.x);
             let test_r2 = r2_score(y_test.as_slice(), pred.as_slice());
 
-            let job = TrainJob::from_dense_net(model.param_count() as f64, model.input_dim(), 64, 4);
+            let job =
+                TrainJob::from_dense_net(model.param_count() as f64, model.input_dim(), 64, 4);
             let b = dd_hpcsim::step_time(
                 &machine,
                 &job,
@@ -71,16 +72,10 @@ pub fn sweep(scale: Scale, seed: u64) -> Vec<PrecisionRow> {
 /// Render the sweep as the E1 table.
 pub fn run(scale: Scale, seed: u64) -> Table {
     let rows = sweep(scale, seed);
-    let f64_r2 = rows
-        .iter()
-        .find(|r| r.precision == Precision::F64)
-        .map(|r| r.test_r2)
-        .unwrap_or(f64::NAN);
-    let f32_step = rows
-        .iter()
-        .find(|r| r.precision == Precision::F32)
-        .map(|r| r.sim_step)
-        .unwrap_or(f64::NAN);
+    let f64_r2 =
+        rows.iter().find(|r| r.precision == Precision::F64).map(|r| r.test_r2).unwrap_or(f64::NAN);
+    let f32_step =
+        rows.iter().find(|r| r.precision == Precision::F32).map(|r| r.sim_step).unwrap_or(f64::NAN);
     let mut table = Table::new(
         "E1: training precision vs model quality and simulated cost (gpu2017)",
         &["precision", "test R^2", "dR^2 vs f64", "sim step", "speedup vs f32", "sim energy (J)"],

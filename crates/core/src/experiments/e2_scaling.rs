@@ -7,8 +7,8 @@
 //! shows the same efficiency cliff at small scale.
 
 use crate::report::{fnum, ftime, Scale, Table};
-use dd_hpcsim::{AllreduceAlgo, Machine, SimPrecision, Strategy, TrainJob};
 use dd_hpcsim::trainsim::{strong_scaling_efficiency, weak_scaling_efficiency};
+use dd_hpcsim::{AllreduceAlgo, Machine, SimPrecision, Strategy, TrainJob};
 use dd_nn::{Activation, ModelSpec};
 use dd_parallel::{train_data_parallel, DataParallelConfig};
 use dd_tensor::{Matrix, Rng64};
@@ -27,8 +27,14 @@ pub fn simulated_rows(scale: Scale) -> Vec<(usize, f64, f64, f64, f64)> {
     while nodes <= max_nodes {
         let strategy = Strategy::Data { nodes, algo: AllreduceAlgo::Auto };
         let strong = strong_scaling_efficiency(&machine, &job, strategy, SimPrecision::F32);
-        let weak =
-            weak_scaling_efficiency(&machine, 512, &job, nodes, AllreduceAlgo::Auto, SimPrecision::F32);
+        let weak = weak_scaling_efficiency(
+            &machine,
+            512,
+            &job,
+            nodes,
+            AllreduceAlgo::Auto,
+            SimPrecision::F32,
+        );
         let b = dd_hpcsim::step_time(&machine, &job, strategy, SimPrecision::F32);
         rows.push((nodes, strong, weak, b.step, b.comm / b.step));
         nodes *= 4;
@@ -62,7 +68,8 @@ pub fn measured_rows(scale: Scale, seed: u64) -> Vec<(usize, f64)> {
                     seed,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("data-parallel run succeeds");
             (world, report.seconds)
         })
         .collect()
@@ -72,7 +79,15 @@ pub fn measured_rows(scale: Scale, seed: u64) -> Vec<(usize, f64)> {
 pub fn run(scale: Scale, seed: u64) -> Table {
     let mut table = Table::new(
         "E2: data-parallel scaling (sim: gpu2017, 50M-param net, batch 8192; measured: threads)",
-        &["nodes", "strong eff", "weak eff", "sim step", "comm share", "measured threads", "measured s"],
+        &[
+            "nodes",
+            "strong eff",
+            "weak eff",
+            "sim step",
+            "comm share",
+            "measured threads",
+            "measured s",
+        ],
     );
     let sim = simulated_rows(scale);
     let measured = measured_rows(scale, seed);
@@ -80,14 +95,9 @@ pub fn run(scale: Scale, seed: u64) -> Table {
     for i in 0..rows {
         let (a, b, c, d, e) = sim
             .get(i)
-            .map(|&(n, s, w, t, cs)| {
-                (n.to_string(), fnum(s), fnum(w), ftime(t), fnum(cs))
-            })
+            .map(|&(n, s, w, t, cs)| (n.to_string(), fnum(s), fnum(w), ftime(t), fnum(cs)))
             .unwrap_or_default();
-        let (f, g) = measured
-            .get(i)
-            .map(|&(w, s)| (w.to_string(), ftime(s)))
-            .unwrap_or_default();
+        let (f, g) = measured.get(i).map(|&(w, s)| (w.to_string(), ftime(s))).unwrap_or_default();
         table.push_row(vec![a, b, c, d, e, f, g]);
     }
     table

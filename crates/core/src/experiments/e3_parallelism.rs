@@ -71,13 +71,7 @@ pub fn run(scale: Scale, _seed: u64) -> Table {
         &["fabric GB/s", "data (64w)", "model (8w)", "hybrid (8x8)", "winner"],
     );
     for (bw, d, m, h, w) in sweep(scale) {
-        table.push_row(vec![
-            fnum(bw / 1e9),
-            ftime(d),
-            ftime(m),
-            ftime(h),
-            w.to_string(),
-        ]);
+        table.push_row(vec![fnum(bw / 1e9), ftime(d), ftime(m), ftime(h), w.to_string()]);
     }
     table
 }

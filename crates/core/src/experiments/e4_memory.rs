@@ -48,8 +48,7 @@ pub fn sweep(scale: Scale) -> Vec<MemoryRow> {
                 tier,
                 gflops: rate / 1e9,
                 time: cost.time,
-                mem_energy_share: cost.memory_energy
-                    / (cost.memory_energy + cost.compute_energy),
+                mem_energy_share: cost.memory_energy / (cost.memory_energy + cost.compute_energy),
             });
         }
     }
@@ -84,12 +83,7 @@ mod tests {
         let rows = sweep(Scale::Smoke);
         let hbm1 = rows.iter().find(|r| r.batch == 1 && r.tier == Tier::Hbm).unwrap();
         let ddr1 = rows.iter().find(|r| r.batch == 1 && r.tier == Tier::Ddr).unwrap();
-        assert!(
-            hbm1.gflops > 3.0 * ddr1.gflops,
-            "hbm {} vs ddr {}",
-            hbm1.gflops,
-            ddr1.gflops
-        );
+        assert!(hbm1.gflops > 3.0 * ddr1.gflops, "hbm {} vs ddr {}", hbm1.gflops, ddr1.gflops);
     }
 
     #[test]
@@ -108,6 +102,8 @@ mod tests {
     fn memory_energy_share_falls_with_intensity() {
         let rows = sweep(Scale::Smoke);
         let hbm_rows: Vec<&MemoryRow> = rows.iter().filter(|r| r.tier == Tier::Hbm).collect();
-        assert!(hbm_rows.first().unwrap().mem_energy_share > hbm_rows.last().unwrap().mem_energy_share);
+        assert!(
+            hbm_rows.first().unwrap().mem_energy_share > hbm_rows.last().unwrap().mem_energy_share
+        );
     }
 }

@@ -78,9 +78,7 @@ mod tests {
     fn nvram_wins_at_bigger_than_dram_shards() {
         let rows = sweep(Scale::Smoke);
         let at = |gb: f64, s: Staging| {
-            rows.iter()
-                .find(|r| (r.shard_bytes - gb * 1e9).abs() < 1.0 && r.staging == s)
-                .unwrap()
+            rows.iter().find(|r| (r.shard_bytes - gb * 1e9).abs() < 1.0 && r.staging == s).unwrap()
         };
         // 512 GB: too big for 256 GB DRAM, fits 1.6 TB NVRAM.
         let pfs = at(512.0, Staging::StreamPfs);
@@ -93,10 +91,8 @@ mod tests {
     #[test]
     fn dram_wins_small_shards_among_io_strategies() {
         let rows = sweep(Scale::Smoke);
-        let small: Vec<&NvramRow> = rows
-            .iter()
-            .filter(|r| (r.shard_bytes - 1e9).abs() < 1.0)
-            .collect();
+        let small: Vec<&NvramRow> =
+            rows.iter().filter(|r| (r.shard_bytes - 1e9).abs() < 1.0).collect();
         // Among strategies that *read* the data, DRAM staging is best…
         let best_io = small
             .iter()
@@ -106,10 +102,7 @@ mod tests {
         assert_eq!(best_io.staging, Staging::StageDram);
         // …and on-node generation beats even that for small shards (the
         // abstract's "or generated at each node" observation).
-        let gen = small
-            .iter()
-            .find(|r| r.staging == Staging::GenerateOnNode)
-            .unwrap();
+        let gen = small.iter().find(|r| r.staging == Staging::GenerateOnNode).unwrap();
         assert!(gen.total <= best_io.total);
     }
 

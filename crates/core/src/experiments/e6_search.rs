@@ -56,12 +56,7 @@ impl TumorTuning {
             signature_genes: 5,
             signature_strength: 0.45,
             position_jitter: 0,
-            expression: ExpressionModel {
-                genes,
-                pathways: 10,
-                noise: 0.6,
-                ..Default::default()
-            },
+            expression: ExpressionModel { genes, pathways: 10, noise: 0.6, ..Default::default() },
         };
         let data = tumor::generate(&cfg, seed);
         let split = data.dataset.split(0.25, 0.0, seed ^ 0x66, true);
@@ -96,7 +91,10 @@ impl Objective for TumorTuning {
             seed,
             ..TrainConfig::default()
         });
-        trainer.fit(&mut model, &self.x_train, &self.y_train, None);
+        if trainer.fit(&mut model, &self.x_train, &self.y_train, None).is_err() {
+            // Diverged trial: report +inf so the driver retries or discards it.
+            return f64::INFINITY;
+        }
         let pred = model.forward(&self.x_val, false);
         Loss::SoftmaxCrossEntropy.compute(&pred, &self.y_val).0
     }
@@ -203,9 +201,6 @@ mod tests {
             .min(value("evolutionary"))
             .min(value("surrogate-forest"))
             .min(value("generative-nn"));
-        assert!(
-            intelligent <= naive + 0.02,
-            "intelligent {intelligent} vs naive {naive}"
-        );
+        assert!(intelligent <= naive + 0.02, "intelligent {intelligent} vs naive {naive}");
     }
 }

@@ -68,13 +68,7 @@ pub fn run(scale: Scale, _seed: u64) -> Table {
         &["islands", "nodes/island", "island strategy", "step time", "trials/hour"],
     );
     for (islands, nodes, label, step, tph) in sweep(scale) {
-        table.push_row(vec![
-            islands.to_string(),
-            nodes.to_string(),
-            label,
-            ftime(step),
-            fnum(tph),
-        ]);
+        table.push_row(vec![islands.to_string(), nodes.to_string(), label, ftime(step), fnum(tph)]);
     }
     table
 }

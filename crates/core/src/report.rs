@@ -82,11 +82,7 @@ impl Table {
             self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
         );
         for row in &self.rows {
-            let _ = writeln!(
-                out,
-                "{}",
-                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
-            );
+            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
         }
         out
     }

@@ -89,7 +89,9 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     });
     let y_train = split.train.y.to_matrix();
     let y_val = split.val.y.to_matrix();
-    trainer.fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)));
+    trainer
+        .fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)))
+        .expect("training converged");
 
     let test_labels = split.test.y.labels().expect("classification labels");
     let dnn_acc = metrics::accuracy(&model.predict(&split.test.x), test_labels);
@@ -148,8 +150,8 @@ mod tests {
         );
         let preds = knn.predict(&split.test.x);
         let labels = split.test.y.labels().unwrap();
-        let acc = preds.iter().zip(labels).filter(|(a, b)| a == b).count() as f64
-            / labels.len() as f64;
+        let acc =
+            preds.iter().zip(labels).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64;
         assert!(acc > 0.5, "kNN accuracy {acc} (chance = 0.25)");
     }
 
@@ -180,7 +182,7 @@ mod tests {
             ..TrainConfig::default()
         });
         let y = split.train.y.to_matrix();
-        trainer.fit(&mut model, &split.train.x, &y, None);
+        trainer.fit(&mut model, &split.train.x, &y, None).expect("training converged");
         let labels = split.test.y.labels().unwrap();
         let cnn_acc = metrics::accuracy(&model.predict(&split.test.x), labels);
         let logi = Logistic::fit_multiclass(

@@ -52,9 +52,8 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     let data = drug_response::generate(&cfg, seed);
     let split = data.dataset.split(0.15, 0.15, seed ^ 0xB7, true);
 
-    let mut model = net_spec(split.train.dim())
-        .build(seed ^ 0x7B, Precision::F32)
-        .expect("valid spec");
+    let mut model =
+        net_spec(split.train.dim()).build(seed ^ 0x7B, Precision::F32).expect("valid spec");
     let mut trainer = Trainer::new(TrainConfig {
         batch_size: 64,
         epochs,
@@ -69,7 +68,9 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         (Target::Regression(a), Target::Regression(b), Target::Regression(c)) => (a, b, c),
         _ => unreachable!("regression workload"),
     };
-    trainer.fit(&mut model, &split.train.x, y_train, Some((&split.val.x, y_val)));
+    trainer
+        .fit(&mut model, &split.train.x, y_train, Some((&split.val.x, y_val)))
+        .expect("training converged");
     let dnn_pred = model.predict(&split.test.x);
     let dnn_r2 = r2_score(y_test.as_slice(), dnn_pred.as_slice());
 
@@ -131,9 +132,8 @@ pub fn ic50_recovery(scale: Scale, seed: u64) -> f64 {
     let data = drug_response::generate(&cfg, seed);
     let split = data.dataset.split(0.1, 0.0, seed ^ 0xB7, true);
     let scaler = split.scaler.as_ref().expect("standardized split").clone();
-    let mut model = net_spec(split.train.dim())
-        .build(seed ^ 0x7B, Precision::F32)
-        .expect("valid spec");
+    let mut model =
+        net_spec(split.train.dim()).build(seed ^ 0x7B, Precision::F32).expect("valid spec");
     let mut trainer = Trainer::new(TrainConfig {
         batch_size: 64,
         epochs,
@@ -146,7 +146,7 @@ pub fn ic50_recovery(scale: Scale, seed: u64) -> f64 {
         Target::Regression(m) => m.clone(),
         _ => unreachable!(),
     };
-    trainer.fit(&mut model, &split.train.x, &y_train, None);
+    trainer.fit(&mut model, &split.train.x, &y_train, None).expect("training converged");
 
     let mut rng = dd_tensor::Rng64::new(seed ^ 0x1C50);
     let n_pairs = 80;

@@ -13,14 +13,8 @@ use dd_tensor::{Matrix, Precision};
 /// Scale presets.
 pub fn config(scale: Scale) -> (CompoundConfig, usize) {
     match scale {
-        Scale::Smoke => (
-            CompoundConfig { samples: 2000, bits: 128, ..Default::default() },
-            15,
-        ),
-        Scale::Full => (
-            CompoundConfig { samples: 12000, bits: 512, ..Default::default() },
-            35,
-        ),
+        Scale::Smoke => (CompoundConfig { samples: 2000, bits: 128, ..Default::default() }, 15),
+        Scale::Full => (CompoundConfig { samples: 12000, bits: 512, ..Default::default() }, 35),
     }
 }
 
@@ -53,20 +47,12 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     let val_labels = split.val.y.labels().unwrap();
     let y_train = label_matrix(train_labels);
     let y_val = label_matrix(val_labels);
-    trainer.fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)));
+    trainer
+        .fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)))
+        .expect("training converged");
 
-    let test_labels: Vec<f32> = split
-        .test
-        .y
-        .labels()
-        .unwrap()
-        .iter()
-        .map(|&l| l as f32)
-        .collect();
-    let dnn_scores: Vec<f32> = model
-        .predict(&split.test.x)
-        .as_slice()
-        .to_vec();
+    let test_labels: Vec<f32> = split.test.y.labels().unwrap().iter().map(|&l| l as f32).collect();
+    let dnn_scores: Vec<f32> = model.predict(&split.test.x).as_slice().to_vec();
     let dnn_auc = metrics::roc_auc(&dnn_scores, &test_labels);
 
     let logi = Logistic::fit(&split.train.x, train_labels, 1e-4, 200, 0.5);
@@ -105,15 +91,8 @@ pub fn enrichment(scale: Scale, seed: u64, alpha: f64) -> (f64, f64) {
     });
     let train_labels = split.train.y.labels().unwrap();
     let y_train = label_matrix(train_labels);
-    trainer.fit(&mut model, &split.train.x, &y_train, None);
-    let test_labels: Vec<f32> = split
-        .test
-        .y
-        .labels()
-        .unwrap()
-        .iter()
-        .map(|&l| l as f32)
-        .collect();
+    trainer.fit(&mut model, &split.train.x, &y_train, None).expect("training converged");
+    let test_labels: Vec<f32> = split.test.y.labels().unwrap().iter().map(|&l| l as f32).collect();
     let dnn_scores = model.predict(&split.test.x).as_slice().to_vec();
     let dnn_ef = metrics::enrichment_factor(&dnn_scores, &test_labels, alpha);
     let logi = Logistic::fit(&split.train.x, train_labels, 1e-4, 200, 0.5);
@@ -131,12 +110,7 @@ mod tests {
         let o = run(Scale::Smoke, 4);
         assert!(o.dnn > 0.8, "DNN AUC {}", o.dnn);
         // The conjunctive pattern gives the nonlinear model an edge.
-        assert!(
-            o.dnn >= o.baseline - 0.02,
-            "DNN {} vs logistic {}",
-            o.dnn,
-            o.baseline
-        );
+        assert!(o.dnn >= o.baseline - 0.02, "DNN {} vs logistic {}", o.dnn, o.baseline);
     }
 
     #[test]

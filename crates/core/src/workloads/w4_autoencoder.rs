@@ -48,9 +48,7 @@ pub fn ae_spec(genes: usize, latent: usize) -> ModelSpec {
 
 /// Mean squared reconstruction error.
 fn recon_mse(original: &Matrix, reconstructed: &Matrix) -> f64 {
-    original
-        .zip_map(reconstructed, |a, b| (a - b) * (a - b))
-        .mean() as f64
+    original.zip_map(reconstructed, |a, b| (a - b) * (a - b)).mean() as f64
 }
 
 /// Run the W4 comparison (metric: reconstruction MSE; lower is better).
@@ -64,9 +62,8 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     let x_train = x_all.slice_rows(0, samples - n_test);
     let x_test = x_all.slice_rows(samples - n_test, samples);
 
-    let mut model = ae_spec(expr.genes, latent)
-        .build(seed ^ 0xD3, Precision::F32)
-        .expect("valid AE spec");
+    let mut model =
+        ae_spec(expr.genes, latent).build(seed ^ 0xD3, Precision::F32).expect("valid AE spec");
     let mut trainer = Trainer::new(TrainConfig {
         batch_size: 64,
         epochs,
@@ -75,7 +72,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         seed,
         ..TrainConfig::default()
     });
-    trainer.fit(&mut model, &x_train, &x_train, None);
+    trainer.fit(&mut model, &x_train, &x_train, None).expect("training converged");
     let dnn_mse = recon_mse(&x_test, &model.predict(&x_test));
 
     let pca = Pca::fit(&x_train, latent, 40, seed ^ 0x3D);
@@ -115,9 +112,8 @@ pub fn latent_recovery(scale: Scale, seed: u64) -> f64 {
     let x_test = x_all.slice_rows(samples - n_test, samples);
     let z_test = z_all.slice_rows(samples - n_test, samples);
 
-    let mut model = ae_spec(expr.genes, latent)
-        .build(seed ^ 0xD3, Precision::F32)
-        .expect("valid AE spec");
+    let mut model =
+        ae_spec(expr.genes, latent).build(seed ^ 0xD3, Precision::F32).expect("valid AE spec");
     let mut trainer = Trainer::new(TrainConfig {
         batch_size: 64,
         epochs,
@@ -126,7 +122,7 @@ pub fn latent_recovery(scale: Scale, seed: u64) -> f64 {
         seed,
         ..TrainConfig::default()
     });
-    trainer.fit(&mut model, &x_train, &x_train, None);
+    trainer.fit(&mut model, &x_train, &x_train, None).expect("training converged");
 
     let codes = latent_codes(&mut model, &x_test);
     // Linearly decode each true factor from the codes with ridge.
@@ -147,10 +143,7 @@ mod tests {
     #[test]
     fn latent_space_recovers_pathway_factors() {
         let r2 = latent_recovery(Scale::Smoke, 6);
-        assert!(
-            r2 > 0.6,
-            "mean factor-decoding R² {r2} — bottleneck should capture the pathways"
-        );
+        assert!(r2 > 0.6, "mean factor-decoding R² {r2} — bottleneck should capture the pathways");
     }
 
     #[test]

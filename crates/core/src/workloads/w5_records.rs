@@ -20,10 +20,7 @@ use dd_tensor::{Matrix, Precision};
 pub fn config(scale: Scale) -> (RecordsConfig, usize) {
     match scale {
         Scale::Smoke => (RecordsConfig { patients: 3000, ..Default::default() }, 15),
-        Scale::Full => (
-            RecordsConfig { patients: 20000, treatments: 4, ..Default::default() },
-            35,
-        ),
+        Scale::Full => (RecordsConfig { patients: 20000, treatments: 4, ..Default::default() }, 35),
     }
 }
 
@@ -83,7 +80,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         seed,
         ..TrainConfig::default()
     });
-    trainer.fit(&mut model, x, &y, None);
+    trainer.fit(&mut model, x, &y, None).expect("training converged");
     let mut dnn_score = |xt: &Matrix| model.predict(xt).as_slice().to_vec();
     let dnn_policy = extract_policy(&mut dnn_score, x, data.covariate_dim, cfg.treatments);
     let dnn_value = policy_value(&data, &dnn_policy);
@@ -109,10 +106,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
 pub fn reference_values(scale: Scale, seed: u64) -> (f64, f64) {
     let (cfg, _) = config(scale);
     let data = records::generate(&cfg, seed);
-    (
-        policy_value(&data, &data.logged_treatment),
-        policy_value(&data, &data.optimal_treatment),
-    )
+    (policy_value(&data, &data.logged_treatment), policy_value(&data, &data.optimal_treatment))
 }
 
 #[cfg(test)]

@@ -10,7 +10,9 @@ use super::Outcome;
 use crate::report::Scale;
 use dd_datagen::amr::{self, AmrConfig};
 use dd_datagen::baselines::Logistic;
-use dd_nn::{metrics, Activation, Loss, ModelSpec, OptimizerConfig, Sequential, TrainConfig, Trainer};
+use dd_nn::{
+    metrics, Activation, Loss, ModelSpec, OptimizerConfig, Sequential, TrainConfig, Trainer,
+};
 use dd_tensor::{Matrix, Precision};
 
 /// Scale presets.
@@ -98,7 +100,10 @@ pub fn discover_mechanisms(
 
 /// Train the W6 DNN and return it along with the split (used by both `run`
 /// and the mechanism-discovery experiment).
-pub fn train_model(scale: Scale, seed: u64) -> (Sequential, dd_datagen::dataset::Split, amr::AmrData, usize) {
+pub fn train_model(
+    scale: Scale,
+    seed: u64,
+) -> (Sequential, dd_datagen::dataset::Split, amr::AmrData, usize) {
     let (cfg, epochs) = config(scale);
     let data = amr::generate(&cfg, seed);
     let split = data.dataset.split(0.15, 0.15, seed ^ 0xF6, false);
@@ -122,7 +127,7 @@ pub fn train_model(scale: Scale, seed: u64) -> (Sequential, dd_datagen::dataset:
     });
     let tl = split.train.y.labels().unwrap();
     let y_train = Matrix::from_vec(tl.len(), 1, tl.iter().map(|&l| l as f32).collect());
-    trainer.fit(&mut model, &split.train.x, &y_train, None);
+    trainer.fit(&mut model, &split.train.x, &y_train, None).expect("training converged");
     (model, split, data, epochs)
 }
 
@@ -130,14 +135,7 @@ pub fn train_model(scale: Scale, seed: u64) -> (Sequential, dd_datagen::dataset:
 pub fn run(scale: Scale, seed: u64) -> Outcome {
     let start = std::time::Instant::now();
     let (mut model, split, _data, _) = train_model(scale, seed);
-    let test_labels: Vec<f32> = split
-        .test
-        .y
-        .labels()
-        .unwrap()
-        .iter()
-        .map(|&l| l as f32)
-        .collect();
+    let test_labels: Vec<f32> = split.test.y.labels().unwrap().iter().map(|&l| l as f32).collect();
     let dnn_scores = model.predict(&split.test.x).as_slice().to_vec();
     let dnn_auc = metrics::roc_auc(&dnn_scores, &test_labels);
 

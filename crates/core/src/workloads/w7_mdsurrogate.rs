@@ -31,12 +31,7 @@ pub fn run_policies(scale: Scale, seed: u64) -> Vec<RunReport> {
     vec![
         run_supervised(system(), Policy::AlwaysCoarse, steps, dt),
         run_supervised(system(), Policy::AlwaysFine, steps, dt),
-        run_supervised(
-            system(),
-            Policy::ForceHeuristic { threshold: force_threshold },
-            steps,
-            dt,
-        ),
+        run_supervised(system(), Policy::ForceHeuristic { threshold: force_threshold }, steps, dt),
         run_supervised(
             system(),
             Policy::Surrogate(SurrogateController::new(5e-3, seed ^ 0x77)),
@@ -52,10 +47,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     let start = std::time::Instant::now();
     let reports = run_policies(scale, seed);
     let fine = reports.iter().find(|r| r.policy == "fine").expect("fine run");
-    let surrogate = reports
-        .iter()
-        .find(|r| r.policy == "dnn-surrogate")
-        .expect("surrogate run");
+    let surrogate = reports.iter().find(|r| r.policy == "dnn-surrogate").expect("surrogate run");
     Outcome {
         name: "W7 md-surrogate".into(),
         metric: "force evaluations".into(),
@@ -74,12 +66,7 @@ mod tests {
     #[test]
     fn smoke_surrogate_saves_compute() {
         let o = run(Scale::Smoke, 10);
-        assert!(
-            o.dnn < o.baseline,
-            "surrogate {} evals vs fine {}",
-            o.dnn,
-            o.baseline
-        );
+        assert!(o.dnn < o.baseline, "surrogate {} evals vs fine {}", o.dnn, o.baseline);
     }
 
     #[test]

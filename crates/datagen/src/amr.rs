@@ -56,10 +56,7 @@ pub struct AmrData {
 
 /// Generate an AMR dataset.
 pub fn generate(config: &AmrConfig, seed: u64) -> AmrData {
-    assert!(
-        config.additive_kmers + 2 <= config.kmers,
-        "mechanism k-mers exceed feature count"
-    );
+    assert!(config.additive_kmers + 2 <= config.kmers, "mechanism k-mers exceed feature count");
     let mut rng = Rng64::new(seed);
     let mut perm: Vec<usize> = (0..config.kmers).collect();
     rng.shuffle(&mut perm);
@@ -70,9 +67,7 @@ pub fn generate(config: &AmrConfig, seed: u64) -> AmrData {
     let mut labels = Vec::with_capacity(config.genomes);
     // Center the logit so the classes are roughly balanced: each additive
     // k-mer is present with `presence`, so subtract the expected sum.
-    let expected = config.additive_kmers as f32
-        * config.presence as f32
-        * config.additive_effect
+    let expected = config.additive_kmers as f32 * config.presence as f32 * config.additive_effect
         + config.presence as f32 * config.presence as f32 * config.epistasis_effect;
 
     for i in 0..config.genomes {

@@ -52,9 +52,7 @@ impl Ridge {
                 break;
             }
             let alpha = (rs_old / p_ap) as f32;
-            for ((wi, &pi), (ri, &api)) in
-                w.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap))
-            {
+            for ((wi, &pi), (ri, &api)) in w.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
                 *wi += alpha * pi;
                 *ri -= alpha * api;
             }
@@ -202,11 +200,7 @@ impl Knn {
                     .iter_rows()
                     .zip(&self.labels)
                     .map(|(tr, &l)| {
-                        let d: f32 = row
-                            .iter()
-                            .zip(tr)
-                            .map(|(&a, &b)| (a - b) * (a - b))
-                            .sum();
+                        let d: f32 = row.iter().zip(tr).map(|(&a, &b)| (a - b) * (a - b)).sum();
                         (d, l)
                     })
                     .collect();
@@ -217,12 +211,7 @@ impl Knn {
                 for &(_, l) in &dists[..self.k] {
                     votes[l] += 1;
                 }
-                votes
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, &v)| v)
-                    .unwrap()
-                    .0
+                votes.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0
             })
             .collect()
     }
@@ -325,9 +314,7 @@ mod tests {
         let x = Matrix::randn(400, 5, 0.0, 1.0, &mut rng);
         let true_w = [2.0f32, -1.0, 0.5, 0.0, 3.0];
         let y: Vec<f32> = (0..400)
-            .map(|i| {
-                dd_tensor::dot(x.row(i), &true_w) + 1.0 + rng.normal(0.0, 0.01) as f32
-            })
+            .map(|i| dd_tensor::dot(x.row(i), &true_w) + 1.0 + rng.normal(0.0, 0.01) as f32)
             .collect();
         let model = Ridge::fit(&x, &y, 1e-3);
         for (est, want) in model.weights().iter().zip(&true_w) {
@@ -352,9 +339,8 @@ mod tests {
     fn logistic_separates_linear_classes() {
         let mut rng = Rng64::new(3);
         let x = Matrix::randn(500, 4, 0.0, 1.0, &mut rng);
-        let labels: Vec<usize> = (0..500)
-            .map(|i| usize::from(x.get(i, 0) - x.get(i, 1) > 0.0))
-            .collect();
+        let labels: Vec<usize> =
+            (0..500).map(|i| usize::from(x.get(i, 0) - x.get(i, 1) > 0.0)).collect();
         let model = Logistic::fit(&x, &labels, 1e-4, 300, 0.5);
         let preds = model.predict(&x);
         let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / 500.0;

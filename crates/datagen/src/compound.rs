@@ -62,9 +62,7 @@ pub fn generate(config: &CompoundConfig, seed: u64) -> CompoundData {
     let mut bit_perm: Vec<usize> = (0..config.bits).collect();
     rng.shuffle(&mut bit_perm);
     let patterns: Vec<Vec<usize>> = (0..config.pharmacophores)
-        .map(|p| {
-            bit_perm[p * config.bits_per_pattern..(p + 1) * config.bits_per_pattern].to_vec()
-        })
+        .map(|p| bit_perm[p * config.bits_per_pattern..(p + 1) * config.bits_per_pattern].to_vec())
         .collect();
     let toxicophore = bit_perm[config.pharmacophores * config.bits_per_pattern];
 
@@ -85,9 +83,7 @@ pub fn generate(config: &CompoundConfig, seed: u64) -> CompoundData {
                 row[b] = 1.0;
             }
         }
-        let has_pattern = patterns
-            .iter()
-            .any(|pat| pat.iter().all(|&b| row[b] == 1.0));
+        let has_pattern = patterns.iter().any(|pat| pat.iter().all(|&b| row[b] == 1.0));
         let vetoed = row[toxicophore] == 1.0;
         let mut active = has_pattern && !vetoed;
         if rng.bernoulli(config.label_noise) {
@@ -110,12 +106,7 @@ mod tests {
     fn shapes_and_binary_features() {
         let data = generate(&CompoundConfig::default(), 1);
         assert_eq!(data.dataset.len(), 4000);
-        assert!(data
-            .dataset
-            .x
-            .as_slice()
-            .iter()
-            .all(|&v| v == 0.0 || v == 1.0));
+        assert!(data.dataset.x.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
     }
 
     #[test]
@@ -170,7 +161,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed fingerprint")]
     fn oversized_patterns_panic() {
-        let config = CompoundConfig { bits: 8, pharmacophores: 4, bits_per_pattern: 3, ..Default::default() };
+        let config = CompoundConfig {
+            bits: 8,
+            pharmacophores: 4,
+            bits_per_pattern: 3,
+            ..Default::default()
+        };
         let _ = generate(&config, 1);
     }
 }

@@ -94,11 +94,7 @@ impl Dataset {
 
     /// Subset by row indices.
     pub fn gather(&self, idx: &[usize]) -> Dataset {
-        Dataset {
-            x: self.x.gather_rows(idx),
-            y: self.y.gather(idx),
-            name: self.name.clone(),
-        }
+        Dataset { x: self.x.gather_rows(idx), y: self.y.gather(idx), name: self.name.clone() }
     }
 
     /// Deterministic shuffled train/val/test split; standardizes features

@@ -129,13 +129,12 @@ pub fn generate(config: &DrugResponseConfig, seed: u64) -> DrugResponseData {
 
         // Sensitivity: alignment between drug targets and cell pathway
         // activity shifts the IC50 (matched target ⇒ potent ⇒ low IC50).
-        let alignment: f32 = (0..pathways)
-            .map(|p| drug_targets.get(d, p) * cell_factors.get(c, p))
-            .sum();
+        let alignment: f32 =
+            (0..pathways).map(|p| drug_targets.get(d, p) * cell_factors.get(c, p)).sum();
         let log_ic50 = base_log_ic50[d] - 0.6 * alignment;
         let ic50 = 10f32.powf(log_ic50.clamp(-3.0, 3.0));
-        let growth = hill_growth(dose, ic50, hills[d])
-            + rng.normal(0.0, config.noise as f64) as f32;
+        let growth =
+            hill_growth(dose, ic50, hills[d]) + rng.normal(0.0, config.noise as f64) as f32;
 
         let row = x.row_mut(i);
         row[..config.expression.genes].copy_from_slice(cell_expression.row(c));
@@ -181,10 +180,7 @@ mod tests {
         let config = DrugResponseConfig { measurements: 500, ..Default::default() };
         let data = generate(&config, 1);
         assert_eq!(data.dataset.len(), 500);
-        assert_eq!(
-            data.dataset.dim(),
-            config.expression.genes + config.descriptor_dim + 1
-        );
+        assert_eq!(data.dataset.dim(), config.expression.genes + config.descriptor_dim + 1);
         if let Target::Regression(y) = &data.dataset.y {
             for &v in y.as_slice() {
                 assert!((0.0..=1.0).contains(&v), "growth {v} out of range");
@@ -215,21 +211,14 @@ mod tests {
         }
         let mean_low = low.0 / low.1 as f64;
         let mean_high = high.0 / high.1 as f64;
-        assert!(
-            mean_low > mean_high + 0.2,
-            "low-dose growth {mean_low} vs high-dose {mean_high}"
-        );
+        assert!(mean_low > mean_high + 0.2, "low-dose growth {mean_low} vs high-dose {mean_high}");
     }
 
     #[test]
     fn interaction_signal_exists() {
         // The same drug at the same dose must produce different growth on
         // different cell lines (sensitivity is cell-dependent).
-        let config = DrugResponseConfig {
-            measurements: 8000,
-            noise: 0.0,
-            ..Default::default()
-        };
+        let config = DrugResponseConfig { measurements: 8000, noise: 0.0, ..Default::default() };
         let data = generate(&config, 3);
         let y = match &data.dataset.y {
             Target::Regression(m) => m,

@@ -82,9 +82,8 @@ pub fn generate(config: &RecordsConfig, seed: u64) -> RecordsData {
     for i in 0..config.patients {
         let age = rng.range(20.0, 90.0) as f32 / 90.0;
         let sex = rng.below(2) as f32;
-        let comorbid: Vec<f32> = (0..config.comorbidities)
-            .map(|_| f32::from(rng.bernoulli(0.2)))
-            .collect();
+        let comorbid: Vec<f32> =
+            (0..config.comorbidities).map(|_| f32::from(rng.bernoulli(0.2))).collect();
         let bio: Vec<f32> = (0..config.biomarkers).map(|_| rng.normal(0.0, 1.0) as f32).collect();
 
         // True success probability per treatment.
@@ -100,21 +99,13 @@ pub fn generate(config: &RecordsConfig, seed: u64) -> RecordsData {
             *prob = sigmoid(logit);
         }
         outcome_probs.row_mut(i).copy_from_slice(&probs);
-        let best = probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = probs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         optimal.push(best);
 
         // Logged assignment: physician picks the best with probability
         // `assignment_bias`, otherwise uniform.
-        let t = if rng.bernoulli(config.assignment_bias) {
-            best
-        } else {
-            rng.below(config.treatments)
-        };
+        let t =
+            if rng.bernoulli(config.assignment_bias) { best } else { rng.below(config.treatments) };
         logged.push(t);
 
         // Observed outcome.
@@ -134,11 +125,7 @@ pub fn generate(config: &RecordsConfig, seed: u64) -> RecordsData {
     }
 
     RecordsData {
-        dataset: Dataset::new(
-            "medical-records",
-            x,
-            Target::Labels { labels, classes: 2 },
-        ),
+        dataset: Dataset::new("medical-records", x, Target::Labels { labels, classes: 2 }),
         outcome_probs,
         logged_treatment: logged,
         optimal_treatment: optimal,
@@ -150,11 +137,7 @@ pub fn generate(config: &RecordsConfig, seed: u64) -> RecordsData {
 /// measured against the generative truth.
 pub fn policy_value(data: &RecordsData, policy: &[usize]) -> f64 {
     assert_eq!(policy.len(), data.outcome_probs.rows());
-    policy
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| data.outcome_probs.get(i, t) as f64)
-        .sum::<f64>()
+    policy.iter().enumerate().map(|(i, &t)| data.outcome_probs.get(i, t) as f64).sum::<f64>()
         / policy.len() as f64
 }
 
@@ -196,20 +179,11 @@ mod tests {
 
     #[test]
     fn assignment_bias_moves_logged_toward_optimal() {
-        let unbiased = generate(
-            &RecordsConfig { assignment_bias: 0.0, ..Default::default() },
-            4,
-        );
-        let biased = generate(
-            &RecordsConfig { assignment_bias: 0.9, ..Default::default() },
-            4,
-        );
+        let unbiased = generate(&RecordsConfig { assignment_bias: 0.0, ..Default::default() }, 4);
+        let biased = generate(&RecordsConfig { assignment_bias: 0.9, ..Default::default() }, 4);
         let agree = |d: &RecordsData| {
-            d.logged_treatment
-                .iter()
-                .zip(&d.optimal_treatment)
-                .filter(|(a, b)| a == b)
-                .count() as f64
+            d.logged_treatment.iter().zip(&d.optimal_treatment).filter(|(a, b)| a == b).count()
+                as f64
                 / d.logged_treatment.len() as f64
         };
         assert!(agree(&biased) > agree(&unbiased) + 0.3);

@@ -71,7 +71,9 @@ pub fn generate(config: &TumorConfig, seed: u64) -> TumorData {
         let mut gene_perm: Vec<usize> = (0..genes).collect();
         rng.shuffle(&mut gene_perm);
         (0..config.types)
-            .map(|t| gene_perm[t * config.signature_genes..(t + 1) * config.signature_genes].to_vec())
+            .map(|t| {
+                gene_perm[t * config.signature_genes..(t + 1) * config.signature_genes].to_vec()
+            })
             .collect()
     } else {
         // Contiguous blocks, evenly spaced, leaving room for the jitter.
@@ -91,11 +93,8 @@ pub fn generate(config: &TumorConfig, seed: u64) -> TumorData {
         let t = rng.below(config.types);
         let factors = sampler.sample_factors(&mut rng);
         let mut profile = sampler.render(&factors, &mut rng);
-        let offset = if config.position_jitter > 0 {
-            rng.below(config.position_jitter + 1)
-        } else {
-            0
-        };
+        let offset =
+            if config.position_jitter > 0 { rng.below(config.position_jitter + 1) } else { 0 };
         for (k, &g) in signatures[t].iter().enumerate() {
             // Signed, position-stable direction: alternate up/down regulation
             // within the signature so it is a pattern, not a uniform shift.
@@ -106,11 +105,7 @@ pub fn generate(config: &TumorConfig, seed: u64) -> TumorData {
         labels.push(t);
     }
     TumorData {
-        dataset: Dataset::new(
-            "tumor-type",
-            x,
-            Target::Labels { labels, classes: config.types },
-        ),
+        dataset: Dataset::new("tumor-type", x, Target::Labels { labels, classes: config.types }),
         signatures,
     }
 }
@@ -125,13 +120,7 @@ mod tests {
         let data = generate(&config, 1);
         assert_eq!(data.dataset.len(), 100);
         assert_eq!(data.dataset.dim(), config.expression.genes);
-        assert!(data
-            .dataset
-            .y
-            .labels()
-            .unwrap()
-            .iter()
-            .all(|&l| l < config.types));
+        assert!(data.dataset.y.labels().unwrap().iter().all(|&l| l < config.types));
         assert_eq!(data.signatures.len(), config.types);
     }
 
@@ -162,22 +151,14 @@ mod tests {
     fn signature_genes_separate_types() {
         // Mean expression of type-t signature genes must differ between
         // samples of type t and others.
-        let config = TumorConfig {
-            samples: 1000,
-            types: 3,
-            signature_strength: 2.0,
-            ..Default::default()
-        };
+        let config =
+            TumorConfig { samples: 1000, types: 3, signature_strength: 2.0, ..Default::default() };
         let data = generate(&config, 4);
         let labels = data.dataset.y.labels().unwrap();
         let sig = &data.signatures[0];
         // Even positions within the signature are up-regulated.
-        let up: Vec<usize> = sig
-            .iter()
-            .enumerate()
-            .filter(|(k, _)| k % 2 == 0)
-            .map(|(_, &g)| g)
-            .collect();
+        let up: Vec<usize> =
+            sig.iter().enumerate().filter(|(k, _)| k % 2 == 0).map(|(_, &g)| g).collect();
         let mean_for = |want: bool| -> f64 {
             let mut total = 0f64;
             let mut n = 0usize;
@@ -193,10 +174,7 @@ mod tests {
         };
         let in_type = mean_for(true);
         let out_type = mean_for(false);
-        assert!(
-            in_type - out_type > 1.0,
-            "signature not expressed: in {in_type} out {out_type}"
-        );
+        assert!(in_type - out_type > 1.0, "signature not expressed: in {in_type} out {out_type}");
     }
 
     #[test]

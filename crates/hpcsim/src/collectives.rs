@@ -24,11 +24,8 @@ pub enum AllreduceAlgo {
 
 impl AllreduceAlgo {
     /// All concrete algorithms (excludes `Auto`).
-    pub const CONCRETE: [AllreduceAlgo; 3] = [
-        AllreduceAlgo::Ring,
-        AllreduceAlgo::RecursiveDoubling,
-        AllreduceAlgo::Rabenseifner,
-    ];
+    pub const CONCRETE: [AllreduceAlgo; 3] =
+        [AllreduceAlgo::Ring, AllreduceAlgo::RecursiveDoubling, AllreduceAlgo::Rabenseifner];
 }
 
 /// Time for an allreduce of `bytes` over `p` ranks.
@@ -48,9 +45,7 @@ pub fn allreduce_time(fabric: &Fabric, algo: AllreduceAlgo, bytes: f64, p: usize
             2.0 * (pf - 1.0) * (alpha + (bytes / pf) * beta)
         }
         AllreduceAlgo::RecursiveDoubling => lg * (alpha + bytes * beta),
-        AllreduceAlgo::Rabenseifner => {
-            2.0 * lg * alpha + 2.0 * ((pf - 1.0) / pf) * bytes * beta
-        }
+        AllreduceAlgo::Rabenseifner => 2.0 * lg * alpha + 2.0 * ((pf - 1.0) / pf) * bytes * beta,
         AllreduceAlgo::Auto => AllreduceAlgo::CONCRETE
             .iter()
             .map(|&a| allreduce_time(fabric, a, bytes, p))

@@ -1,0 +1,320 @@
+//! Node failure and checkpoint/restart modeling.
+//!
+//! At the paper's target scale (thousands of accelerator nodes, week-long
+//! training campaigns) the system-level mean time between failures drops
+//! below the run length and checkpoint/restart stops being optional. This
+//! module provides the three pieces experiment E11 sweeps:
+//!
+//! * [`FailureModel`] — exponential per-node failures aggregated to a
+//!   system MTBF (`M_sys = M_node / n`).
+//! * [`checkpoint_cost`] — checkpoint write/read time for a model of a
+//!   given size on a given memory/storage tier, reusing the
+//!   [`crate::memory`] tier specs (burst buffer vs PFS is exactly the
+//!   placement question the paper's NVRAM discussion raises).
+//! * The Young/Daly optimal interval [`young_daly_interval`]
+//!   (`τ* ≈ sqrt(2 δ M)`), the first-order analytic expected runtime
+//!   [`expected_runtime`], and a deterministic Monte Carlo
+//!   [`simulate_checkpointed_run`] to check the closed forms against
+//!   sampled failures.
+//!
+//! Like the rest of `dd-hpcsim` this module is numerics-free and owns its
+//! tiny splitmix64 sampler rather than depending on `dd-tensor`.
+
+use crate::memory::{MemoryHierarchy, Tier};
+use serde::{Deserialize, Serialize};
+
+/// Exponential (memoryless) node-failure model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Mean time between failures of a single node, in seconds.
+    pub node_mtbf: f64,
+}
+
+impl FailureModel {
+    /// A model with the given per-node MTBF (seconds).
+    pub fn new(node_mtbf: f64) -> Self {
+        assert!(node_mtbf > 0.0, "MTBF must be positive");
+        FailureModel { node_mtbf }
+    }
+
+    /// System MTBF across `nodes` independent nodes: any node failing kills
+    /// the synchronous job, so rates add.
+    pub fn system_mtbf(&self, nodes: usize) -> f64 {
+        self.node_mtbf / nodes.max(1) as f64
+    }
+
+    /// Probability at least one of `nodes` fails within `horizon` seconds.
+    pub fn failure_probability(&self, nodes: usize, horizon: f64) -> f64 {
+        assert!(horizon >= 0.0, "negative horizon");
+        1.0 - (-horizon / self.system_mtbf(nodes)).exp()
+    }
+}
+
+/// Time to write and read back one checkpoint on a given tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointCost {
+    /// Seconds to write the checkpoint (the per-interval overhead δ).
+    pub write_seconds: f64,
+    /// Seconds to read it back on restart (part of the restart cost R).
+    pub read_seconds: f64,
+}
+
+/// Cost of checkpointing `bytes` of model + optimizer state to `tier`.
+/// `None` when the node lacks that tier. Writes and reads are modeled as
+/// one streaming transfer each (the v2 checkpoint format is a single blob).
+pub fn checkpoint_cost(memory: &MemoryHierarchy, tier: Tier, bytes: f64) -> Option<CheckpointCost> {
+    let spec = memory.tier(tier)?;
+    Some(CheckpointCost {
+        write_seconds: spec.transfer_time(bytes),
+        read_seconds: spec.transfer_time(bytes),
+    })
+}
+
+/// Young/Daly first-order optimal checkpoint interval
+/// `τ* = sqrt(2 δ M)` for checkpoint cost `δ` and (system) MTBF `M`.
+pub fn young_daly_interval(checkpoint_seconds: f64, mtbf: f64) -> f64 {
+    assert!(checkpoint_seconds >= 0.0 && mtbf > 0.0, "bad interval inputs");
+    (2.0 * checkpoint_seconds * mtbf).sqrt()
+}
+
+/// First-order analytic expected wall-clock to finish `work` seconds of
+/// computation, checkpointing every `interval` seconds (cost
+/// `checkpoint_seconds` each), restarting in `restart_seconds` after
+/// failures arriving with MTBF `mtbf`.
+///
+/// Uses the standard self-consistent approximation: the base time is
+/// inflated by the checkpoint tax `1 + δ/τ`, and every failure (rate `1/M`
+/// over the whole run) costs a restart plus half an interval of rework:
+/// `T = W (1 + δ/τ) / (1 − (R + τ/2)/M)`, valid while the waste per MTBF
+/// stays below one. Returns `f64::INFINITY` outside that regime (the job
+/// never finishes in expectation).
+pub fn expected_runtime(
+    work: f64,
+    interval: f64,
+    checkpoint_seconds: f64,
+    restart_seconds: f64,
+    mtbf: f64,
+) -> f64 {
+    assert!(work >= 0.0 && interval > 0.0 && mtbf > 0.0, "bad runtime inputs");
+    let tax = 1.0 + checkpoint_seconds / interval;
+    let waste = (restart_seconds + interval / 2.0) / mtbf;
+    if waste >= 1.0 {
+        return f64::INFINITY;
+    }
+    work * tax / (1.0 - waste)
+}
+
+/// Outcome of one simulated checkpointed run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Total wall-clock seconds, including checkpoints, rework and
+    /// restarts.
+    pub wall_clock: f64,
+    /// Failures endured.
+    pub failures: usize,
+    /// Checkpoints written (the final segment commits without one).
+    pub checkpoints: usize,
+    /// Compute + checkpoint seconds thrown away by failures.
+    pub lost_work: f64,
+}
+
+/// Deterministic splitmix64 stream — enough RNG for exponential
+/// interarrival sampling without pulling numerics into this crate.
+#[derive(Debug, Clone)]
+struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    fn new(seed: u64) -> Self {
+        SimRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1) with 53 random bits.
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Exponential with the given mean.
+    fn exponential(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.uniform()).ln()
+    }
+}
+
+/// Simulate a checkpointed run against sampled exponential failures.
+///
+/// The job computes `work` seconds in segments of `interval`, writing a
+/// checkpoint (`checkpoint_seconds`) after every committed segment except
+/// the last. A failure during a segment (or its checkpoint write) discards
+/// the whole attempt back to the last committed checkpoint and adds
+/// `restart_seconds` before retrying; failures are an exponential process
+/// with mean `mtbf`, re-armed after each restart. Fully deterministic in
+/// `seed`.
+pub fn simulate_checkpointed_run(
+    work: f64,
+    interval: f64,
+    checkpoint_seconds: f64,
+    restart_seconds: f64,
+    mtbf: f64,
+    seed: u64,
+) -> RunOutcome {
+    assert!(work >= 0.0 && interval > 0.0 && mtbf > 0.0, "bad simulation inputs");
+    let mut rng = SimRng::new(seed);
+    let mut now = 0.0_f64;
+    let mut done = 0.0_f64;
+    let mut failures = 0usize;
+    let mut checkpoints = 0usize;
+    let mut lost_work = 0.0_f64;
+    let mut next_failure = rng.exponential(mtbf);
+    while done < work {
+        let segment = interval.min(work - done);
+        let write = if done + segment < work { checkpoint_seconds } else { 0.0 };
+        let attempt = segment + write;
+        if now + attempt <= next_failure {
+            now += attempt;
+            done += segment;
+            if write > 0.0 {
+                checkpoints += 1;
+            }
+        } else {
+            lost_work += next_failure - now;
+            now = next_failure + restart_seconds;
+            failures += 1;
+            next_failure = now + rng.exponential(mtbf);
+        }
+    }
+    RunOutcome { wall_clock: now, failures, checkpoints, lost_work }
+}
+
+/// Mean simulated wall-clock over `seeds` independent runs — the estimator
+/// E11 plots against the analytic curve.
+pub fn mean_simulated_runtime(
+    work: f64,
+    interval: f64,
+    checkpoint_seconds: f64,
+    restart_seconds: f64,
+    mtbf: f64,
+    seeds: std::ops::Range<u64>,
+) -> f64 {
+    let n = seeds.end.saturating_sub(seeds.start).max(1);
+    let total: f64 = seeds
+        .map(|s| {
+            simulate_checkpointed_run(work, interval, checkpoint_seconds, restart_seconds, mtbf, s)
+                .wall_clock
+        })
+        .sum();
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::accelerator_node_2017;
+
+    #[test]
+    fn system_mtbf_scales_inversely_with_nodes() {
+        let model = FailureModel::new(50.0 * 3600.0);
+        assert_eq!(model.system_mtbf(1), 50.0 * 3600.0);
+        assert!((model.system_mtbf(1000) - 180.0).abs() < 1e-9);
+        let p_small = model.failure_probability(10, 3600.0);
+        let p_large = model.failure_probability(1000, 3600.0);
+        assert!(p_large > p_small);
+        assert!((0.0..=1.0).contains(&p_large));
+    }
+
+    #[test]
+    fn checkpoint_cost_reflects_tier_bandwidth() {
+        let mem = accelerator_node_2017();
+        let bytes = 4e9; // 1B-parameter f32 model
+        let nvram = checkpoint_cost(&mem, Tier::Nvram, bytes).unwrap();
+        let pfs = checkpoint_cost(&mem, Tier::Pfs, bytes).unwrap();
+        // Burst buffer is ~6x the PFS stream rate, so checkpoints are
+        // proportionally cheaper.
+        assert!(nvram.write_seconds * 4.0 < pfs.write_seconds);
+        assert!(pfs.write_seconds > 3.9); // ≥ bytes / bandwidth
+        let mut no_nvram = mem.clone();
+        no_nvram.nvram = None;
+        assert!(checkpoint_cost(&no_nvram, Tier::Nvram, bytes).is_none());
+    }
+
+    #[test]
+    fn young_daly_matches_hand_calculation() {
+        // δ = 60 s, M = 6 h → τ* = sqrt(2 · 60 · 21600) = 1609.97 s.
+        let tau = young_daly_interval(60.0, 6.0 * 3600.0);
+        assert!((tau - 1609.968944).abs() < 1e-3);
+        // More nodes → smaller M → shorter interval.
+        let model = FailureModel::new(50.0 * 3600.0);
+        let tau_small = young_daly_interval(60.0, model.system_mtbf(100));
+        let tau_large = young_daly_interval(60.0, model.system_mtbf(1000));
+        assert!(tau_large < tau_small);
+    }
+
+    #[test]
+    fn analytic_optimum_tracks_young_daly_on_a_grid() {
+        let (work, delta, restart, mtbf) = (86_400.0, 30.0, 60.0, 7_200.0);
+        let grid = [150.0, 300.0, 450.0, 600.0, 750.0, 900.0, 1_200.0, 1_800.0];
+        let best = grid
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                expected_runtime(work, *a.1, delta, restart, mtbf)
+                    .partial_cmp(&expected_runtime(work, *b.1, delta, restart, mtbf))
+                    .unwrap()
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        let tau = young_daly_interval(delta, mtbf);
+        let nearest = grid
+            .iter()
+            .enumerate()
+            .min_by(|a, b| (a.1 - tau).abs().partial_cmp(&(b.1 - tau).abs()).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(
+            best.abs_diff(nearest) <= 1,
+            "analytic argmin {best} vs Young/Daly grid point {nearest}"
+        );
+    }
+
+    #[test]
+    fn failure_free_simulation_is_exact() {
+        // MTBF astronomically larger than the run: no failures, so the
+        // wall-clock is work plus one checkpoint per interior boundary.
+        let out = simulate_checkpointed_run(1_000.0, 100.0, 5.0, 50.0, 1e15, 42);
+        assert_eq!(out.failures, 0);
+        assert_eq!(out.checkpoints, 9);
+        assert!((out.wall_clock - (1_000.0 + 9.0 * 5.0)).abs() < 1e-9);
+        assert_eq!(out.lost_work, 0.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_in_seed() {
+        let a = simulate_checkpointed_run(50_000.0, 600.0, 30.0, 60.0, 7_200.0, 7);
+        let b = simulate_checkpointed_run(50_000.0, 600.0, 30.0, 60.0, 7_200.0, 7);
+        let c = simulate_checkpointed_run(50_000.0, 600.0, 30.0, 60.0, 7_200.0, 8);
+        assert_eq!(a, b);
+        assert!(a != c, "different seeds should sample different failures");
+        assert!(a.wall_clock > 50_000.0);
+    }
+
+    #[test]
+    fn mean_simulation_tracks_the_analytic_model() {
+        let (work, delta, restart, mtbf) = (43_200.0, 30.0, 60.0, 7_200.0);
+        let interval = 600.0;
+        let analytic = expected_runtime(work, interval, delta, restart, mtbf);
+        let simulated = mean_simulated_runtime(work, interval, delta, restart, mtbf, 0..64);
+        let ratio = simulated / analytic;
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "simulated {simulated:.0}s vs analytic {analytic:.0}s (ratio {ratio:.3})"
+        );
+    }
+}

@@ -19,6 +19,9 @@
 //!   on-node generation (E5).
 //! * [`trainsim`] — one-step time/energy under data, model and hybrid
 //!   parallelism (E2, E3, E7).
+//! * [`failure`] — node MTBF model, tiered checkpoint costs, Young/Daly
+//!   optimal intervals and a deterministic checkpointed-run simulator
+//!   (E11).
 //!
 //! All quantities are f64 seconds/joules/bytes. The simulator is
 //! deliberately numerics-free (no dependency on `dd-tensor`): `dd-parallel`
@@ -29,6 +32,7 @@
 
 pub mod collectives;
 pub mod fabric;
+pub mod failure;
 pub mod machine;
 pub mod memory;
 pub mod roofline;
@@ -38,6 +42,10 @@ pub mod trainsim;
 
 pub use collectives::{allgather_time, allreduce_time, broadcast_time, AllreduceAlgo};
 pub use fabric::{Fabric, Topology};
+pub use failure::{
+    checkpoint_cost, expected_runtime, mean_simulated_runtime, simulate_checkpointed_run,
+    young_daly_interval, CheckpointCost, FailureModel, RunOutcome,
+};
 pub use machine::{Machine, Node, SimPrecision};
 pub use memory::{MemoryHierarchy, Tier, TierSpec};
 pub use storage::{epoch_io, IoReport, Staging};

@@ -140,7 +140,12 @@ impl Machine {
     pub fn future_dl(nodes: usize) -> Self {
         let mut memory = memory::accelerator_node_2017();
         if let Some(hbm) = &mut memory.hbm {
-            *hbm = TierSpec { bandwidth: 3e12, latency: 1e-7, capacity: 96e9, energy_per_byte: 3.5e-12 };
+            *hbm = TierSpec {
+                bandwidth: 3e12,
+                latency: 1e-7,
+                capacity: 96e9,
+                energy_per_byte: 3.5e-12,
+            };
         }
         if let Some(nv) = &mut memory.nvram {
             nv.bandwidth = 25e9;

@@ -121,24 +121,14 @@ pub fn accelerator_node_2017() -> MemoryHierarchy {
             capacity: 16e9,
             energy_per_byte: 7e-12,
         }),
-        ddr: TierSpec {
-            bandwidth: 120e9,
-            latency: 1e-7,
-            capacity: 256e9,
-            energy_per_byte: 20e-12,
-        },
+        ddr: TierSpec { bandwidth: 120e9, latency: 1e-7, capacity: 256e9, energy_per_byte: 20e-12 },
         nvram: Some(TierSpec {
             bandwidth: 6e9,
             latency: 2e-5,
             capacity: 1.6e12,
             energy_per_byte: 60e-12,
         }),
-        pfs: TierSpec {
-            bandwidth: 1e9,
-            latency: 5e-3,
-            capacity: 1e15,
-            energy_per_byte: 200e-12,
-        },
+        pfs: TierSpec { bandwidth: 1e9, latency: 5e-3, capacity: 1e15, energy_per_byte: 200e-12 },
     }
 }
 
@@ -148,7 +138,8 @@ mod tests {
 
     #[test]
     fn transfer_time_includes_latency_and_bandwidth() {
-        let spec = TierSpec { bandwidth: 100.0, latency: 1.0, capacity: 1e9, energy_per_byte: 1e-9 };
+        let spec =
+            TierSpec { bandwidth: 100.0, latency: 1.0, capacity: 1e9, energy_per_byte: 1e-9 };
         assert_eq!(spec.transfer_time(0.0), 0.0);
         assert!((spec.transfer_time(200.0) - 3.0).abs() < 1e-12);
     }

@@ -10,11 +10,7 @@ use crate::memory::Tier;
 pub fn attainable_flops(node: &Node, tier: Tier, ai: f64, p: SimPrecision) -> f64 {
     assert!(ai > 0.0, "arithmetic intensity must be positive");
     let peak = node.flops_at(p);
-    let bw = node
-        .memory
-        .tier(tier)
-        .map(|t| t.bandwidth)
-        .unwrap_or(node.memory.ddr.bandwidth);
+    let bw = node.memory.tier(tier).map(|t| t.bandwidth).unwrap_or(node.memory.ddr.bandwidth);
     peak.min(ai * bw)
 }
 
@@ -22,11 +18,7 @@ pub fn attainable_flops(node: &Node, tier: Tier, ai: f64, p: SimPrecision) -> f6
 /// compute-bound on this tier.
 pub fn ridge_intensity(node: &Node, tier: Tier, p: SimPrecision) -> f64 {
     let peak = node.flops_at(p);
-    let bw = node
-        .memory
-        .tier(tier)
-        .map(|t| t.bandwidth)
-        .unwrap_or(node.memory.ddr.bandwidth);
+    let bw = node.memory.tier(tier).map(|t| t.bandwidth).unwrap_or(node.memory.ddr.bandwidth);
     peak / bw
 }
 

@@ -22,12 +22,8 @@ pub enum Staging {
 
 impl Staging {
     /// All strategies, for sweeps.
-    pub const ALL: [Staging; 4] = [
-        Staging::StreamPfs,
-        Staging::StageNvram,
-        Staging::StageDram,
-        Staging::GenerateOnNode,
-    ];
+    pub const ALL: [Staging; 4] =
+        [Staging::StreamPfs, Staging::StageNvram, Staging::StageDram, Staging::GenerateOnNode];
 
     /// Table label.
     pub fn name(self) -> &'static str {
@@ -140,12 +136,7 @@ mod tests {
         let pfs = epoch_io(&mem, Staging::StreamPfs, shard, 50);
         let nvram = epoch_io(&mem, Staging::StageNvram, shard, 50);
         assert!(nvram.feasible);
-        assert!(
-            nvram.total < pfs.total / 3.0,
-            "nvram {} vs pfs {}",
-            nvram.total,
-            pfs.total
-        );
+        assert!(nvram.total < pfs.total / 3.0, "nvram {} vs pfs {}", nvram.total, pfs.total);
         // But the first epoch is no faster (bounded by the PFS read).
         assert!(nvram.first_epoch >= pfs.first_epoch * 0.99);
     }

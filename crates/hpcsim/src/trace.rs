@@ -95,11 +95,7 @@ impl Trace {
 
     /// Time spent in one phase.
     pub fn time_in(&self, phase: Phase) -> f64 {
-        self.spans
-            .iter()
-            .filter(|s| s.phase == phase)
-            .map(Span::duration)
-            .sum()
+        self.spans.iter().filter(|s| s.phase == phase).map(Span::duration).sum()
     }
 
     /// Fraction of total time spent in a phase (0 when the trace is empty).
@@ -237,9 +233,8 @@ mod tests {
         // 20 steps × (compute [+ comm]) + initial I/O + 1 epoch-boundary I/O.
         assert!(trace.time_in(Phase::Io) > 0.0);
         assert!(trace.time_in(Phase::Compute) > 0.0);
-        let covered = trace.time_in(Phase::Compute)
-            + trace.time_in(Phase::Comm)
-            + trace.time_in(Phase::Io);
+        let covered =
+            trace.time_in(Phase::Compute) + trace.time_in(Phase::Comm) + trace.time_in(Phase::Io);
         assert!((covered - trace.total()).abs() < 1e-9);
     }
 

@@ -31,7 +31,12 @@ pub struct TrainJob {
 
 impl TrainJob {
     /// A job sized from a dense network description.
-    pub fn from_dense_net(params: f64, input_dim: usize, global_batch: usize, layers: usize) -> Self {
+    pub fn from_dense_net(
+        params: f64,
+        input_dim: usize,
+        global_batch: usize,
+        layers: usize,
+    ) -> Self {
         TrainJob {
             params,
             flops_per_sample: 6.0 * params, // fwd 2·P + bwd 4·P multiply-adds
@@ -173,9 +178,10 @@ pub fn step_time(
             );
             // Ideal per-node compute with perfect stage balance, inflated by
             // the pipeline bubble (s − 1 of m + s − 1 slots are idle).
-            let ideal = machine
-                .node
-                .compute_time(job.global_batch as f64 * job.flops_per_sample / stages as f64, precision);
+            let ideal = machine.node.compute_time(
+                job.global_batch as f64 * job.flops_per_sample / stages as f64,
+                precision,
+            );
             let slots = (microbatches + stages - 1) as f64;
             let compute = ideal * slots / microbatches as f64;
             // Each microbatch crosses every cut forward and backward; the
@@ -186,10 +192,12 @@ pub fn step_time(
                 / 4.0;
             let comm = 2.0 * slots * machine.fabric.ptp_time(micro_act, stages);
             let energy = stages as f64
-                * machine
-                    .node
-                    .compute_energy(job.global_batch as f64 * job.flops_per_sample / stages as f64, precision)
-                + 2.0 * (stages.saturating_sub(1) * microbatches) as f64
+                * machine.node.compute_energy(
+                    job.global_batch as f64 * job.flops_per_sample / stages as f64,
+                    precision,
+                )
+                + 2.0
+                    * (stages.saturating_sub(1) * microbatches) as f64
                     * machine.fabric.energy(micro_act)
                 + stages as f64 * machine.node.idle_power * (compute + comm);
             StepBreakdown { compute, comm, step: compute + comm, energy }
@@ -200,7 +208,8 @@ pub fn step_time(
                 global_batch: (job.global_batch as f64 / data_ways as f64).ceil() as usize,
                 ..*job
             };
-            let inner = step_time(machine, &group_job, Strategy::Model { parts: model_ways }, precision);
+            let inner =
+                step_time(machine, &group_job, Strategy::Model { parts: model_ways }, precision);
             // Gradient allreduce across replicas covers params/model_ways
             // per node (each node owns a slice of the model); it overlaps
             // with the group's backward compute like the pure-data case.
@@ -208,7 +217,8 @@ pub fn step_time(
             let raw_ar = allreduce_time(&machine.fabric, algo, slice_bytes, data_ways);
             let ar = (raw_ar - ALLREDUCE_OVERLAP * inner.compute).max(0.0);
             let energy = data_ways as f64 * inner.energy
-                + model_ways as f64 * allreduce_energy(&machine.fabric, algo, slice_bytes, data_ways);
+                + model_ways as f64
+                    * allreduce_energy(&machine.fabric, algo, slice_bytes, data_ways);
             StepBreakdown {
                 compute: inner.compute,
                 comm: inner.comm + ar,
@@ -227,12 +237,8 @@ pub fn strong_scaling_efficiency(
     strategy: Strategy,
     precision: SimPrecision,
 ) -> f64 {
-    let single = step_time(
-        machine,
-        job,
-        Strategy::Data { nodes: 1, algo: AllreduceAlgo::Auto },
-        precision,
-    );
+    let single =
+        step_time(machine, job, Strategy::Data { nodes: 1, algo: AllreduceAlgo::Auto }, precision);
     let multi = step_time(machine, job, strategy, precision);
     single.step / (multi.step * strategy.nodes() as f64)
 }
@@ -247,12 +253,7 @@ pub fn weak_scaling_efficiency(
     precision: SimPrecision,
 ) -> f64 {
     let single_job = TrainJob { global_batch: per_node_batch, ..*base_job };
-    let single = step_time(
-        machine,
-        &single_job,
-        Strategy::Data { nodes: 1, algo },
-        precision,
-    );
+    let single = step_time(machine, &single_job, Strategy::Data { nodes: 1, algo }, precision);
     let scaled_job = TrainJob { global_batch: per_node_batch * nodes, ..*base_job };
     let multi = step_time(machine, &scaled_job, Strategy::Data { nodes, algo }, precision);
     single.step / multi.step
@@ -362,12 +363,7 @@ mod tests {
             Strategy::Hybrid { data_ways: 512, model_ways: 8, algo: AllreduceAlgo::Auto },
             SimPrecision::F32,
         );
-        assert!(
-            hybrid.step < data.step,
-            "hybrid {} vs data {}",
-            hybrid.step,
-            data.step
-        );
+        assert!(hybrid.step < data.step, "hybrid {} vs data {}", hybrid.step, data.step);
     }
 
     #[test]
@@ -405,7 +401,12 @@ mod tests {
         let many = t(64);
         // With one microbatch the bubble factor is s = 8×; with many it
         // approaches 1.
-        assert!(few.compute > 6.0 * many.compute / (71.0 / 64.0), "few {} many {}", few.compute, many.compute);
+        assert!(
+            few.compute > 6.0 * many.compute / (71.0 / 64.0),
+            "few {} many {}",
+            few.compute,
+            many.compute
+        );
         assert!(many.compute < few.compute);
         // Microbatching beats unpipelined model parallelism on compute.
         let model = step_time(&m, &j, Strategy::Model { parts: 8 }, SimPrecision::F32);

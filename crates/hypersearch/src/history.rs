@@ -23,6 +23,14 @@ pub struct SearchHistory {
     pub searcher: String,
     /// Trials in completion order.
     pub trials: Vec<Trial>,
+    /// Extra evaluation attempts consumed by retries of failed (panicked or
+    /// non-finite) evaluations.
+    #[serde(default)]
+    pub retries: usize,
+    /// Trials whose every attempt failed; they are recorded with
+    /// `value = +inf` so searchers steer away from them.
+    #[serde(default)]
+    pub failed_trials: usize,
 }
 
 impl SearchHistory {
@@ -34,20 +42,14 @@ impl SearchHistory {
     /// Best (lowest) value among *full-budget* trials, or any trial if none
     /// ran at full budget.
     pub fn best_value(&self) -> Option<f64> {
-        let full: Vec<f64> = self
-            .trials
-            .iter()
-            .filter(|t| t.budget >= 1.0 - 1e-9)
-            .map(|t| t.value)
-            .collect();
+        let full: Vec<f64> =
+            self.trials.iter().filter(|t| t.budget >= 1.0 - 1e-9).map(|t| t.value).collect();
         let pool: Box<dyn Iterator<Item = f64>> = if full.is_empty() {
             Box::new(self.trials.iter().map(|t| t.value))
         } else {
             Box::new(full.into_iter())
         };
-        pool.fold(None, |acc: Option<f64>, v| {
-            Some(acc.map_or(v, |a| a.min(v)))
-        })
+        pool.fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
     }
 
     /// Best trial overall (any fidelity).
@@ -102,6 +104,7 @@ mod tests {
         let h = SearchHistory {
             searcher: "t".into(),
             trials: vec![trial(0, 5.0, 1.0), trial(1, 7.0, 1.0), trial(2, 2.0, 1.0)],
+            ..SearchHistory::default()
         };
         let curve = h.incumbent_curve();
         assert_eq!(curve, vec![(1.0, 5.0), (2.0, 5.0), (3.0, 2.0)]);
@@ -114,6 +117,7 @@ mod tests {
         let h = SearchHistory {
             searcher: "t".into(),
             trials: vec![trial(0, 0.1, 0.25), trial(1, 3.0, 1.0)],
+            ..SearchHistory::default()
         };
         // The low-fidelity 0.1 is not trusted; the full-budget 3.0 wins.
         assert_eq!(h.best_value(), Some(3.0));
@@ -124,6 +128,7 @@ mod tests {
         let h = SearchHistory {
             searcher: "t".into(),
             trials: vec![trial(0, 5.0, 1.0), trial(1, 1.0, 1.0)],
+            ..SearchHistory::default()
         };
         assert_eq!(h.best_at_cost(1.0), Some(5.0));
         assert_eq!(h.best_at_cost(2.0), Some(1.0));

@@ -31,5 +31,7 @@ pub mod space;
 pub mod testfunc;
 
 pub use history::{SearchHistory, Trial};
-pub use searcher::{run_search, Objective, Proposal, Searcher};
+pub use searcher::{
+    run_search, run_search_with_retries, Objective, Proposal, RetryPolicy, Searcher,
+};
 pub use space::{Config, ParamSpec, SearchSpace, Value};

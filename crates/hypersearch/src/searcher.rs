@@ -39,6 +39,76 @@ pub struct Proposal {
     pub budget: f64,
 }
 
+/// Retry policy for failed trial evaluations.
+///
+/// An evaluation *fails* when the objective panics (a crashed trial) or
+/// returns a non-finite value (a diverged one). Failed evaluations are
+/// requeued up to `max_attempts` total attempts with exponential backoff
+/// and a fresh attempt-derived seed; a trial whose every attempt fails is
+/// recorded with `value = +inf` rather than aborting the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total evaluation attempts per trial (clamped to >= 1).
+    pub max_attempts: usize,
+    /// Backoff before retry `k` is `backoff_millis << (k - 1)` (capped).
+    pub backoff_millis: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, backoff_millis: 1 }
+    }
+}
+
+impl RetryPolicy {
+    /// Evaluate exactly once; failures are still caught and recorded as
+    /// `+inf` instead of unwinding through the driver.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, backoff_millis: 0 }
+    }
+}
+
+/// Evaluate one proposal under a retry policy. Returns
+/// `(value, retries_used, failed)`. The first attempt uses the same seed
+/// the non-retrying driver always used, so clean objectives reproduce
+/// historical results bit-for-bit; retry attempts perturb the seed
+/// deterministically.
+fn evaluate_with_retries(
+    objective: &dyn Objective,
+    proposal: &Proposal,
+    id: usize,
+    seed: u64,
+    retry: RetryPolicy,
+) -> (f64, usize, bool) {
+    let base_seed = seed ^ (id as u64) << 1;
+    let max_attempts = retry.max_attempts.max(1);
+    let mut retries = 0usize;
+    for attempt in 0..max_attempts {
+        let attempt_seed = if attempt == 0 {
+            base_seed
+        } else {
+            base_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64)
+        };
+        if attempt > 0 {
+            retries += 1;
+            let backoff =
+                retry.backoff_millis.saturating_mul(1u64 << ((attempt - 1).min(6) as u32));
+            if backoff > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            objective.evaluate(&proposal.config, proposal.budget, attempt_seed)
+        }));
+        if let Ok(value) = outcome {
+            if value.is_finite() {
+                return (value, retries, false);
+            }
+        }
+    }
+    (f64::INFINITY, retries, true)
+}
+
 /// Ask/tell search strategy.
 pub trait Searcher: Send {
     /// Human-readable name for tables.
@@ -55,6 +125,7 @@ pub trait Searcher: Send {
 
 /// Drive a searcher until `total_cost` full-budget-equivalent evaluations
 /// are spent, evaluating up to `parallelism` proposals concurrently.
+/// Failed evaluations are retried under [`RetryPolicy::default`].
 ///
 /// Determinism: proposal order, seeds, and observation order are all fixed
 /// by `seed` regardless of thread scheduling.
@@ -66,10 +137,35 @@ pub fn run_search(
     parallelism: usize,
     seed: u64,
 ) -> SearchHistory {
+    run_search_with_retries(
+        searcher,
+        space,
+        objective,
+        total_cost,
+        parallelism,
+        seed,
+        RetryPolicy::default(),
+    )
+}
+
+/// [`run_search`] with an explicit retry policy for failed evaluations.
+pub fn run_search_with_retries(
+    searcher: &mut dyn Searcher,
+    space: &SearchSpace,
+    objective: &dyn Objective,
+    total_cost: f64,
+    parallelism: usize,
+    seed: u64,
+    retry: RetryPolicy,
+) -> SearchHistory {
     assert!(total_cost > 0.0, "total cost must be positive");
     assert!(parallelism >= 1, "parallelism must be >= 1");
     let mut rng = Rng64::new(seed);
-    let mut history = SearchHistory { searcher: searcher.name().to_string(), trials: Vec::new() };
+    let mut history = SearchHistory {
+        searcher: searcher.name().to_string(),
+        trials: Vec::new(),
+        ..SearchHistory::default()
+    };
     let mut spent = 0.0;
     let mut next_id = 0usize;
     let mut stalls = 0;
@@ -97,15 +193,22 @@ pub fn run_search(
         }
         let base_id = next_id;
         next_id += batch.len();
-        let trials: Vec<Trial> = batch
+        let outcomes: Vec<(Trial, usize, bool)> = batch
             .into_par_iter()
             .enumerate()
             .map(|(i, p)| {
                 let id = base_id + i;
-                let value = objective.evaluate(&p.config, p.budget, seed ^ (id as u64) << 1);
-                Trial { id, config: p.config, budget: p.budget, value }
+                let (value, retries, failed) =
+                    evaluate_with_retries(objective, &p, id, seed, retry);
+                (Trial { id, config: p.config, budget: p.budget, value }, retries, failed)
             })
             .collect();
+        let mut trials = Vec::with_capacity(outcomes.len());
+        for (trial, retries, failed) in outcomes {
+            history.retries += retries;
+            history.failed_trials += usize::from(failed);
+            trials.push(trial);
+        }
         searcher.observe(&trials);
         history.trials.extend(trials);
     }
@@ -167,5 +270,62 @@ mod tests {
     fn zero_budget_panics() {
         let mut s = RandomSearch::new();
         let _ = run_search(&mut s, &space(), &bowl(), 0.0, 1, 1);
+    }
+
+    #[test]
+    fn clean_objectives_spend_no_retries() {
+        let mut s = RandomSearch::new();
+        let h = run_search(&mut s, &space(), &bowl(), 8.0, 4, 9);
+        assert_eq!(h.retries, 0);
+        assert_eq!(h.failed_trials, 0);
+    }
+
+    #[test]
+    fn always_failing_objective_is_bounded_and_recorded() {
+        let mut s = RandomSearch::new();
+        let obj = |_c: &Config, _b: f64, _s: u64| -> f64 { panic!("injected trial crash") };
+        let h = run_search_with_retries(
+            &mut s,
+            &space(),
+            &obj,
+            3.0,
+            1,
+            5,
+            RetryPolicy { max_attempts: 2, backoff_millis: 0 },
+        );
+        // The search finishes; every trial burned its attempt budget and was
+        // recorded as +inf instead of aborting the run.
+        assert_eq!(h.trials.len(), 3);
+        assert!(h.trials.iter().all(|t| t.value.is_infinite()));
+        assert_eq!(h.failed_trials, 3);
+        assert_eq!(h.retries, 3);
+    }
+
+    #[test]
+    fn flaky_objective_recovers_with_a_fresh_seed() {
+        let mut s = RandomSearch::new();
+        // First-attempt seeds are odd here (driver seed 1, even id offsets);
+        // retry seeds flip parity, so every trial diverges once and then
+        // succeeds on its requeued attempt.
+        let obj = |c: &Config, _b: f64, sd: u64| -> f64 {
+            if sd % 2 == 1 {
+                f64::NAN
+            } else {
+                c.f64("x")
+            }
+        };
+        let h = run_search_with_retries(
+            &mut s,
+            &space(),
+            &obj,
+            4.0,
+            2,
+            1,
+            RetryPolicy { max_attempts: 3, backoff_millis: 0 },
+        );
+        assert_eq!(h.trials.len(), 4);
+        assert!(h.trials.iter().all(|t| t.value.is_finite()));
+        assert_eq!(h.failed_trials, 0);
+        assert_eq!(h.retries, 4);
     }
 }

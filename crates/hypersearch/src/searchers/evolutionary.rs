@@ -74,9 +74,8 @@ impl Searcher for EvolutionarySearch {
         }
         // Keep the best `population_size` members (elitist truncation).
         if self.population.len() > self.population_size {
-            self.population.sort_by(|a, b| {
-                a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            self.population
+                .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
             self.population.truncate(self.population_size);
         }
     }
@@ -106,18 +105,11 @@ mod tests {
         let mut rnd_total = 0.0;
         for seed in 0..6 {
             let mut evo = EvolutionarySearch::new(16, 0.3);
-            evo_total += run_search(&mut evo, &space, &bowl(), 80.0, 8, seed)
-                .best_value()
-                .unwrap();
+            evo_total += run_search(&mut evo, &space, &bowl(), 80.0, 8, seed).best_value().unwrap();
             let mut rnd = RandomSearch::new();
-            rnd_total += run_search(&mut rnd, &space, &bowl(), 80.0, 8, seed)
-                .best_value()
-                .unwrap();
+            rnd_total += run_search(&mut rnd, &space, &bowl(), 80.0, 8, seed).best_value().unwrap();
         }
-        assert!(
-            evo_total < rnd_total,
-            "evolutionary {evo_total} vs random {rnd_total}"
-        );
+        assert!(evo_total < rnd_total, "evolutionary {evo_total} vs random {rnd_total}");
     }
 
     #[test]
@@ -125,10 +117,8 @@ mod tests {
         // Deceptive functions are the hard case for greedy exploitation: the
         // guarantee is not finding the hidden well but at least optimizing
         // the broad basin (value ≤ its floor of 0.5) instead of diverging.
-        let space = SearchSpace::new()
-            .float("x0", 0.0, 1.0)
-            .float("x1", 0.0, 1.0)
-            .float("x2", 0.0, 1.0);
+        let space =
+            SearchSpace::new().float("x0", 0.0, 1.0).float("x1", 0.0, 1.0).float("x2", 0.0, 1.0);
         let obj = Deceptive::new(3);
         let mut evo = EvolutionarySearch::new(24, 0.4);
         let h = run_search(&mut evo, &space, &obj, 300.0, 8, 1);

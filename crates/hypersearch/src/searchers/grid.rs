@@ -26,14 +26,9 @@ impl Searcher for GridSearch {
     }
 
     fn propose(&mut self, n: usize, space: &SearchSpace, _rng: &mut Rng64) -> Vec<Proposal> {
-        let queue = self
-            .queue
-            .get_or_insert_with(|| space.grid(self.levels, 1_000_000).into_iter());
-        queue
-            .by_ref()
-            .take(n)
-            .map(|config| Proposal { config, budget: 1.0 })
-            .collect()
+        let queue =
+            self.queue.get_or_insert_with(|| space.grid(self.levels, 1_000_000).into_iter());
+        queue.by_ref().take(n).map(|config| Proposal { config, budget: 1.0 }).collect()
     }
 
     fn observe(&mut self, _trials: &[Trial]) {}
@@ -70,11 +65,8 @@ mod tests {
         let obj = |c: &Config, _b: f64, _s: u64| (c.f64("x") - 0.33).powi(2);
         let mut g = GridSearch::new(5);
         let h = run_search(&mut g, &space, &obj, 1000.0, 4, 1);
-        let distinct_x: std::collections::BTreeSet<u64> = h
-            .trials
-            .iter()
-            .map(|t| (t.config.f64("x") * 1e6) as u64)
-            .collect();
+        let distinct_x: std::collections::BTreeSet<u64> =
+            h.trials.iter().map(|t| (t.config.f64("x") * 1e6) as u64).collect();
         assert_eq!(h.trials.len(), 25);
         assert_eq!(distinct_x.len(), 5, "only 5 unique x values in 25 trials");
     }

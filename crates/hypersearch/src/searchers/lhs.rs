@@ -33,16 +33,10 @@ impl LatinHypercube {
         for _ in 0..dim {
             let mut strata: Vec<usize> = (0..n).collect();
             rng.shuffle(&mut strata);
-            columns.push(
-                strata
-                    .into_iter()
-                    .map(|s| (s as f64 + rng.uniform()) / n as f64)
-                    .collect(),
-            );
+            columns
+                .push(strata.into_iter().map(|s| (s as f64 + rng.uniform()) / n as f64).collect());
         }
-        self.queue = (0..n)
-            .map(|i| columns.iter().map(|c| c[i]).collect())
-            .collect();
+        self.queue = (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
         // Emit in reverse so pop() preserves design order.
         self.queue.reverse();
     }
@@ -95,8 +89,10 @@ mod tests {
         let space = SearchSpace::new().float("x", 0.0, 1.0);
         let mut lhs = LatinHypercube::new(5);
         let mut rng = Rng64::new(2);
-        let a: Vec<f64> = lhs.propose(5, &space, &mut rng).iter().map(|p| p.config.f64("x")).collect();
-        let b: Vec<f64> = lhs.propose(5, &space, &mut rng).iter().map(|p| p.config.f64("x")).collect();
+        let a: Vec<f64> =
+            lhs.propose(5, &space, &mut rng).iter().map(|p| p.config.f64("x")).collect();
+        let b: Vec<f64> =
+            lhs.propose(5, &space, &mut rng).iter().map(|p| p.config.f64("x")).collect();
         assert_ne!(a, b, "designs should be re-randomized");
     }
 

@@ -22,9 +22,7 @@ impl Searcher for RandomSearch {
     }
 
     fn propose(&mut self, n: usize, space: &SearchSpace, rng: &mut Rng64) -> Vec<Proposal> {
-        (0..n)
-            .map(|_| Proposal { config: space.sample(rng), budget: 1.0 })
-            .collect()
+        (0..n).map(|_| Proposal { config: space.sample(rng), budget: 1.0 }).collect()
     }
 
     fn observe(&mut self, _trials: &[Trial]) {}

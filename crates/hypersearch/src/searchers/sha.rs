@@ -29,10 +29,7 @@ impl SuccessiveHalving {
     pub fn new(n0: usize, min_budget: f64, eta: usize) -> Self {
         assert!(eta >= 2, "eta must be >= 2");
         assert!(n0 >= eta, "n0 must be at least eta");
-        assert!(
-            min_budget > 0.0 && min_budget <= 1.0,
-            "min budget must be in (0, 1]"
-        );
+        assert!(min_budget > 0.0 && min_budget <= 1.0, "min budget must be in (0, 1]");
         SuccessiveHalving {
             eta,
             min_budget,
@@ -198,18 +195,13 @@ mod tests {
         let mut rnd_best = 0.0;
         for seed in 0..8 {
             let mut sha = SuccessiveHalving::new(27, 1.0 / 9.0, 3);
-            sha_best += run_search(&mut sha, &space(), &bowl(), cost, 8, seed)
-                .best_value()
-                .unwrap();
+            sha_best +=
+                run_search(&mut sha, &space(), &bowl(), cost, 8, seed).best_value().unwrap();
             let mut rnd = RandomSearch::new();
-            rnd_best += run_search(&mut rnd, &space(), &bowl(), cost, 8, seed)
-                .best_value()
-                .unwrap();
+            rnd_best +=
+                run_search(&mut rnd, &space(), &bowl(), cost, 8, seed).best_value().unwrap();
         }
-        assert!(
-            sha_best < rnd_best,
-            "SHA {sha_best} should beat random {rnd_best} at cost {cost}"
-        );
+        assert!(sha_best < rnd_best, "SHA {sha_best} should beat random {rnd_best} at cost {cost}");
     }
 
     #[test]
@@ -217,11 +209,8 @@ mod tests {
         let mut s = SuccessiveHalving::new(9, 1.0 / 3.0, 3);
         let h = run_search(&mut s, &space(), &bowl(), 50.0, 4, 3);
         // One bracket costs 9/3 + 3 + 1(ish); 50 units forces restarts.
-        let low_budget_count = h
-            .trials
-            .iter()
-            .filter(|t| (t.budget - 1.0 / 3.0).abs() < 1e-9)
-            .count();
+        let low_budget_count =
+            h.trials.iter().filter(|t| (t.budget - 1.0 / 3.0).abs() < 1e-9).count();
         assert!(low_budget_count > 9, "brackets restarted: {low_budget_count}");
     }
 

@@ -13,15 +13,8 @@ use dd_tensor::Rng64;
 
 /// A regression tree node (indices into the training arrays).
 enum TreeNode {
-    Leaf {
-        mean: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<TreeNode>,
-        right: Box<TreeNode>,
-    },
+    Leaf { mean: f64 },
+    Split { feature: usize, threshold: f64, left: Box<TreeNode>, right: Box<TreeNode> },
 }
 
 impl TreeNode {
@@ -76,8 +69,7 @@ fn build_tree(
         }
         for w in vals.windows(2) {
             let thr = (w[0] + w[1]) / 2.0;
-            let (l, r): (Vec<usize>, Vec<usize>) =
-                idx.iter().partition(|&&i| xs[i][f] <= thr);
+            let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| xs[i][f] <= thr);
             if l.len() < min_leaf || r.len() < min_leaf {
                 continue;
             }
@@ -174,9 +166,7 @@ impl Searcher for SurrogateSearch {
     fn propose(&mut self, n: usize, space: &SearchSpace, rng: &mut Rng64) -> Vec<Proposal> {
         self.drain_pending(space);
         if self.observed.len() < self.warmup {
-            return (0..n)
-                .map(|_| Proposal { config: space.sample(rng), budget: 1.0 })
-                .collect();
+            return (0..n).map(|_| Proposal { config: space.sample(rng), budget: 1.0 }).collect();
         }
         let xs: Vec<Vec<f64>> = self.observed.iter().map(|(x, _)| x.clone()).collect();
         let ys: Vec<f64> = self.observed.iter().map(|(_, y)| *y).collect();
@@ -261,13 +251,9 @@ mod tests {
         let mut rnd_total = 0.0;
         for seed in 0..5 {
             let mut sur = SurrogateSearch::new(10);
-            sur_total += run_search(&mut sur, &space, &bowl(), 60.0, 4, seed)
-                .best_value()
-                .unwrap();
+            sur_total += run_search(&mut sur, &space, &bowl(), 60.0, 4, seed).best_value().unwrap();
             let mut rnd = RandomSearch::new();
-            rnd_total += run_search(&mut rnd, &space, &bowl(), 60.0, 4, seed)
-                .best_value()
-                .unwrap();
+            rnd_total += run_search(&mut rnd, &space, &bowl(), 60.0, 4, seed).best_value().unwrap();
         }
         assert!(sur_total < rnd_total, "surrogate {sur_total} vs random {rnd_total}");
     }

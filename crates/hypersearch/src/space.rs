@@ -129,10 +129,7 @@ impl SearchSpace {
     /// invalid domains.
     pub fn add(mut self, name: &str, spec: ParamSpec) -> Self {
         spec.validate(name);
-        assert!(
-            self.params.iter().all(|(n, _)| n != name),
-            "duplicate parameter '{name}'"
-        );
+        assert!(self.params.iter().all(|(n, _)| n != name), "duplicate parameter '{name}'");
         self.params.push((name.to_string(), spec));
         self
     }
@@ -154,10 +151,7 @@ impl SearchSpace {
 
     /// Categorical shorthand.
     pub fn choice(self, name: &str, options: &[&str]) -> Self {
-        self.add(
-            name,
-            ParamSpec::Choice(options.iter().map(|s| s.to_string()).collect()),
-        )
+        self.add(name, ParamSpec::Choice(options.iter().map(|s| s.to_string()).collect()))
     }
 
     /// Number of parameters (= encoding dimensionality).
@@ -174,10 +168,7 @@ impl SearchSpace {
     /// parameter as `continuous_levels` values (the abstract's "tens of
     /// thousands of model configurations" is this number).
     pub fn cardinality(&self, continuous_levels: u64) -> u64 {
-        self.params
-            .iter()
-            .map(|(_, s)| s.cardinality().unwrap_or(continuous_levels))
-            .product()
+        self.params.iter().map(|(_, s)| s.cardinality().unwrap_or(continuous_levels)).product()
     }
 
     /// Uniform random configuration.
@@ -288,11 +279,8 @@ impl SearchSpace {
     pub fn crossover(&self, a: &Config, b: &Config, rng: &mut Rng64) -> Config {
         let ea = self.encode(a);
         let eb = self.encode(b);
-        let child: Vec<f64> = ea
-            .iter()
-            .zip(&eb)
-            .map(|(&x, &y)| if rng.bernoulli(0.5) { x } else { y })
-            .collect();
+        let child: Vec<f64> =
+            ea.iter().zip(&eb).map(|(&x, &y)| if rng.bernoulli(0.5) { x } else { y }).collect();
         self.decode(&child)
     }
 
@@ -305,12 +293,10 @@ impl SearchSpace {
             .params
             .iter()
             .map(|(_, spec)| {
-                let n = spec.cardinality().map(|c| c as usize).unwrap_or(levels).min(
-                    match spec {
-                        ParamSpec::Float { .. } => levels,
-                        _ => usize::MAX,
-                    },
-                );
+                let n = spec.cardinality().map(|c| c as usize).unwrap_or(levels).min(match spec {
+                    ParamSpec::Float { .. } => levels,
+                    _ => usize::MAX,
+                });
                 if n == 1 {
                     vec![0.5]
                 } else {
@@ -319,10 +305,7 @@ impl SearchSpace {
             })
             .collect();
         let total: usize = axes.iter().map(Vec::len).product();
-        assert!(
-            total <= max_configs,
-            "grid of {total} configs exceeds cap {max_configs}"
-        );
+        assert!(total <= max_configs, "grid of {total} configs exceeds cap {max_configs}");
         let mut out = Vec::with_capacity(total);
         let mut idx = vec![0usize; axes.len()];
         loop {
@@ -434,10 +417,7 @@ mod tests {
 
     #[test]
     fn grid_is_full_factorial() {
-        let s = SearchSpace::new()
-            .float("a", 0.0, 1.0)
-            .int("b", 0, 2)
-            .choice("c", &["x", "y"]);
+        let s = SearchSpace::new().float("a", 0.0, 1.0).int("b", 0, 2).choice("c", &["x", "y"]);
         let g = s.grid(3, 1000);
         assert_eq!(g.len(), 3 * 3 * 2);
         // All unique.

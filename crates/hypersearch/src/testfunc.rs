@@ -38,10 +38,7 @@ pub struct Deceptive {
 impl Deceptive {
     /// Standard instance over the keys `x0..x{d-1}`.
     pub fn new(d: usize) -> Self {
-        Deceptive {
-            center: (0..d).map(|i| 0.15 + 0.1 * (i as f64 % 3.0)).collect(),
-            width: 0.15,
-        }
+        Deceptive { center: (0..d).map(|i| 0.15 + 0.1 * (i as f64 % 3.0)).collect(), width: 0.15 }
     }
 
     fn keys(&self) -> impl Iterator<Item = String> + '_ {
@@ -53,14 +50,9 @@ impl Objective for Deceptive {
     fn evaluate(&self, config: &Config, budget: f64, seed: u64) -> f64 {
         let xs: Vec<f64> = self.keys().map(|k| config.f64(&k)).collect();
         // Broad basin: shallow quadratic around 0.8 with floor 0.5.
-        let broad: f64 = 0.5
-            + xs.iter().map(|&x| 0.2 * (x - 0.8).powi(2)).sum::<f64>();
+        let broad: f64 = 0.5 + xs.iter().map(|&x| 0.2 * (x - 0.8).powi(2)).sum::<f64>();
         // Narrow basin: deep gaussian well around the hidden center.
-        let dist_sq: f64 = xs
-            .iter()
-            .zip(&self.center)
-            .map(|(&x, &c)| (x - c).powi(2))
-            .sum();
+        let dist_sq: f64 = xs.iter().zip(&self.center).map(|(&x, &c)| (x - c).powi(2)).sum();
         let narrow = 0.5 * (-dist_sq / (2.0 * self.width * self.width)).exp();
         let clean = broad - narrow;
         let mut rng = Rng64::new(seed);

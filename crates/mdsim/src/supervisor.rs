@@ -13,7 +13,7 @@
 //! same. See DESIGN.md.)
 
 use crate::system::LjSystem;
-use dd_nn::{Activation, Loss, ModelSpec, OptimizerConfig, Optimizer, Sequential};
+use dd_nn::{Activation, Loss, ModelSpec, Optimizer, OptimizerConfig, Sequential};
 use dd_tensor::{Matrix, Precision};
 use serde::{Deserialize, Serialize};
 
@@ -86,12 +86,7 @@ impl SurrogateController {
         let e = system.total_energy();
         let pe = (e - system.kinetic()) / n;
         let fmax = system.max_force();
-        [
-            t as f32,
-            pe as f32,
-            (1.0 + fmax).ln() as f32,
-            (fmax * dt) as f32,
-        ]
+        [t as f32, pe as f32, (1.0 + fmax).ln() as f32, (fmax * dt) as f32]
     }
 
     /// Predicted log10 coarse-step error.
@@ -218,12 +213,8 @@ mod tests {
     fn surrogate_cheaper_than_fine_better_than_coarse() {
         let fine = run_supervised(system(2), Policy::AlwaysFine, 60, DT);
         let coarse = run_supervised(system(2), Policy::AlwaysCoarse, 60, DT);
-        let sur = run_supervised(
-            system(2),
-            Policy::Surrogate(SurrogateController::new(5e-3, 7)),
-            60,
-            DT,
-        );
+        let sur =
+            run_supervised(system(2), Policy::Surrogate(SurrogateController::new(5e-3, 7)), 60, DT);
         assert!(
             sur.force_evals < fine.force_evals,
             "surrogate {} vs fine {}",
@@ -240,12 +231,8 @@ mod tests {
 
     #[test]
     fn surrogate_refines_selectively_after_warmup() {
-        let sur = run_supervised(
-            system(3),
-            Policy::Surrogate(SurrogateController::new(5e-3, 8)),
-            80,
-            DT,
-        );
+        let sur =
+            run_supervised(system(3), Policy::Surrogate(SurrogateController::new(5e-3, 8)), 80, DT);
         assert!(
             sur.refine_fraction > 0.05 && sur.refine_fraction < 1.0,
             "refine fraction {}",
@@ -265,22 +252,15 @@ mod tests {
         }
         let f = SurrogateController::features(&mut sys, DT);
         let pred = ctrl.predict(&f);
-        assert!(
-            (-9.0..0.0).contains(&pred),
-            "predicted log10 error {pred} implausible"
-        );
+        assert!((-9.0..0.0).contains(&pred), "predicted log10 error {pred} implausible");
     }
 
     #[test]
     fn force_heuristic_sits_between_extremes() {
         let mut probe = system(5);
         let typical_force = probe.max_force();
-        let h = run_supervised(
-            system(5),
-            Policy::ForceHeuristic { threshold: typical_force },
-            40,
-            DT,
-        );
+        let h =
+            run_supervised(system(5), Policy::ForceHeuristic { threshold: typical_force }, 40, DT);
         assert!(h.refine_fraction > 0.0 || h.force_evals > 0);
         assert!(h.refine_fraction < 1.0 || h.rmsd_vs_fine < 1e-9);
     }

@@ -33,10 +33,7 @@ impl LjSystem {
         let mut vel = Vec::with_capacity(n);
         for i in 0..n_side {
             for j in 0..n_side {
-                pos.push([
-                    (i as f64 + 0.5) * spacing,
-                    (j as f64 + 0.5) * spacing,
-                ]);
+                pos.push([(i as f64 + 0.5) * spacing, (j as f64 + 0.5) * spacing]);
                 let std = temperature.max(0.0).sqrt();
                 vel.push([rng.normal(0.0, std), rng.normal(0.0, std)]);
             }
@@ -68,10 +65,7 @@ impl LjSystem {
     /// Minimum-image displacement from particle `i` to `j`.
     #[inline]
     fn min_image(&self, i: usize, j: usize) -> [f64; 2] {
-        let mut d = [
-            self.pos[j][0] - self.pos[i][0],
-            self.pos[j][1] - self.pos[i][1],
-        ];
+        let mut d = [self.pos[j][0] - self.pos[i][0], self.pos[j][1] - self.pos[i][1]];
         for v in &mut d {
             if *v > self.box_len / 2.0 {
                 *v -= self.box_len;
@@ -166,9 +160,7 @@ impl LjSystem {
     pub fn max_force(&mut self) -> f64 {
         let (f, _) = self.forces();
         self.force_evals -= 1;
-        f.iter()
-            .map(|v| (v[0] * v[0] + v[1] * v[1]).sqrt())
-            .fold(0.0, f64::max)
+        f.iter().map(|v| (v[0] * v[0] + v[1] * v[1]).sqrt()).fold(0.0, f64::max)
     }
 
     /// RMS displacement between this system and another with identical

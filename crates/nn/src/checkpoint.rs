@@ -1,24 +1,46 @@
 //! Model checkpointing: a compact binary format bundling the serializable
-//! [`ModelSpec`] with the flattened parameter vector.
+//! [`ModelSpec`] with the flattened parameter vector and (since version 2)
+//! the resume-at-epoch training state.
 //!
 //! Layout (all little-endian):
 //!
 //! ```text
 //! magic   u32  = 0xDDC0FFEE
-//! version u32  = 1
+//! version u32  = 1 | 2
 //! spec_len u32, spec: JSON bytes of the ModelSpec
 //! precision: 1 byte tag
 //! param_count u64, params: f32 × param_count
+//! state_len u32, state: JSON bytes of TrainState   (version 2 only)
 //! checksum u64 (FNV-1a over everything above)
 //! ```
+//!
+//! Version 1 checkpoints (weights only) still load; version 2 adds a
+//! [`TrainState`] — epoch index, optimizer moment buffers and the shuffle
+//! RNG position — so fault-tolerant training can restart mid-run and
+//! reproduce the uninterrupted run bit for bit.
 
 use crate::model::Sequential;
+use crate::optim::OptimizerState;
 use crate::spec::ModelSpec;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dd_tensor::Precision;
+use dd_tensor::{Precision, Rng64};
+use serde::{Deserialize, Serialize};
 
 const MAGIC: u32 = 0xDDC0_FFEE;
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+
+/// Resume-at-epoch training state carried by a version-2 checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainState {
+    /// Next epoch to run (epochs `0..epoch` are already applied to the
+    /// stored weights).
+    pub epoch: u64,
+    /// Optimizer step counter and moment buffers.
+    pub optimizer: OptimizerState,
+    /// Position of the shuffle RNG stream at the checkpoint boundary.
+    pub rng: Rng64,
+}
 
 /// Errors arising when decoding a checkpoint.
 #[derive(Debug, PartialEq, Eq)]
@@ -40,6 +62,8 @@ pub enum CheckpointError {
         /// Count the spec requires.
         expected: u64,
     },
+    /// Training-state JSON failed to parse (version 2).
+    BadState(String),
     /// Checksum mismatch (corruption).
     BadChecksum,
 }
@@ -55,6 +79,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::ParamMismatch { stored, expected } => {
                 write!(f, "parameter count {stored} does not match spec ({expected})")
             }
+            CheckpointError::BadState(e) => write!(f, "invalid training state: {e}"),
             CheckpointError::BadChecksum => write!(f, "checksum mismatch (corrupt checkpoint)"),
         }
     }
@@ -92,13 +117,12 @@ fn fnv1a(data: &[u8]) -> u64 {
     hash
 }
 
-/// Serialize a model (spec + current weights) into a checkpoint buffer.
-pub fn save(spec: &ModelSpec, model: &mut Sequential) -> Bytes {
+fn encode(spec: &ModelSpec, model: &mut Sequential, state: Option<&TrainState>) -> Bytes {
     let spec_json = serde_json::to_vec(spec).expect("spec serializes");
     let params = model.flatten_params();
-    let mut buf = BytesMut::with_capacity(32 + spec_json.len() + params.len() * 4);
+    let mut buf = BytesMut::with_capacity(64 + spec_json.len() + params.len() * 4);
     buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(if state.is_some() { VERSION_V2 } else { VERSION_V1 });
     buf.put_u32_le(u32::try_from(spec_json.len()).expect("spec fits in u32"));
     buf.put_slice(&spec_json);
     buf.put_u8(precision_tag(model.precision()));
@@ -106,19 +130,34 @@ pub fn save(spec: &ModelSpec, model: &mut Sequential) -> Bytes {
     for v in &params {
         buf.put_f32_le(*v);
     }
+    if let Some(state) = state {
+        let state_json = serde_json::to_vec(state).expect("state serializes");
+        buf.put_u32_le(u32::try_from(state_json.len()).expect("state fits in u32"));
+        buf.put_slice(&state_json);
+    }
     let checksum = fnv1a(&buf);
     buf.put_u64_le(checksum);
     buf.freeze()
 }
 
-/// Decode a checkpoint and rebuild the model with its stored weights.
-pub fn load(data: &[u8]) -> Result<(ModelSpec, Sequential), CheckpointError> {
-    let mut buf = data;
-    if buf.len() < 12 {
-        return Err(CheckpointError::Truncated);
-    }
+/// Serialize a model (spec + current weights) into a version-1 checkpoint.
+pub fn save(spec: &ModelSpec, model: &mut Sequential) -> Bytes {
+    encode(spec, model, None)
+}
+
+/// Serialize a model plus its training state into a version-2 checkpoint
+/// that supports exact mid-run resume.
+pub fn save_with_state(spec: &ModelSpec, model: &mut Sequential, state: &TrainState) -> Bytes {
+    encode(spec, model, Some(state))
+}
+
+/// Decode a checkpoint (either version), rebuilding the model with its
+/// stored weights and returning the training state when present.
+pub fn load_with_state(
+    data: &[u8],
+) -> Result<(ModelSpec, Sequential, Option<TrainState>), CheckpointError> {
     // Verify the trailing checksum before trusting any field.
-    if data.len() < 8 {
+    if data.len() < 20 {
         return Err(CheckpointError::Truncated);
     }
     let (body, tail) = data.split_at(data.len() - 8);
@@ -127,11 +166,12 @@ pub fn load(data: &[u8]) -> Result<(ModelSpec, Sequential), CheckpointError> {
         return Err(CheckpointError::BadChecksum);
     }
 
+    let mut buf = body;
     if buf.get_u32_le() != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(CheckpointError::BadVersion(version));
     }
     let spec_len = buf.get_u32_le() as usize;
@@ -144,19 +184,30 @@ pub fn load(data: &[u8]) -> Result<(ModelSpec, Sequential), CheckpointError> {
     if buf.len() < 9 {
         return Err(CheckpointError::Truncated);
     }
-    let precision =
-        precision_from_tag(buf.get_u8()).ok_or_else(|| CheckpointError::BadPrecision(0xFF))?;
+    let precision = precision_from_tag(buf.get_u8()).ok_or(CheckpointError::BadPrecision(0xFF))?;
     let count = buf.get_u64_le() as usize;
-    if buf.len() < count * 4 + 8 {
+    if buf.len() < count * 4 {
         return Err(CheckpointError::Truncated);
     }
     let mut params = Vec::with_capacity(count);
     for _ in 0..count {
         params.push(buf.get_f32_le());
     }
-    let mut model = spec
-        .build(0, precision)
-        .map_err(CheckpointError::BadSpec)?;
+    let state = if version == VERSION_V2 {
+        if buf.len() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let state_len = buf.get_u32_le() as usize;
+        if buf.len() < state_len {
+            return Err(CheckpointError::Truncated);
+        }
+        let state: TrainState = serde_json::from_slice(&buf[..state_len])
+            .map_err(|e| CheckpointError::BadState(e.to_string()))?;
+        Some(state)
+    } else {
+        None
+    };
+    let mut model = spec.build(0, precision).map_err(CheckpointError::BadSpec)?;
     if model.param_count() != count {
         return Err(CheckpointError::ParamMismatch {
             stored: count as u64,
@@ -164,7 +215,13 @@ pub fn load(data: &[u8]) -> Result<(ModelSpec, Sequential), CheckpointError> {
         });
     }
     model.load_params(&params);
-    Ok((spec, model))
+    Ok((spec, model, state))
+}
+
+/// Decode a checkpoint and rebuild the model with its stored weights,
+/// discarding any training state.
+pub fn load(data: &[u8]) -> Result<(ModelSpec, Sequential), CheckpointError> {
+    load_with_state(data).map(|(spec, model, _)| (spec, model))
 }
 
 #[cfg(test)]
@@ -227,6 +284,95 @@ mod tests {
         let sum = fnv1a(&bytes[..n - 8]);
         bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
         assert_eq!(load(&bytes).unwrap_err(), CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn v1_checkpoints_carry_no_state() {
+        let (spec, mut model) = model_pair();
+        let blob = save(&spec, &mut model);
+        let (_, _, state) = load_with_state(&blob).unwrap();
+        assert!(state.is_none());
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_state() {
+        let (spec, mut model) = model_pair();
+        let mut opt = crate::optim::OptimizerConfig::adam(0.01).build();
+        let mut rng = Rng64::new(11);
+        let x = Matrix::randn(8, 6, 0.0, 1.0, &mut rng);
+        let y = Matrix::zeros(8, 3);
+        for _ in 0..5 {
+            let pred = model.forward(&x, true);
+            let (_, grad) = crate::loss::Loss::Mse.compute(&pred, &y);
+            model.backward(&grad);
+            model.step_with(&mut opt, 1.0);
+        }
+        let state = TrainState { epoch: 7, optimizer: opt.export_state(), rng: rng.clone() };
+        let blob = save_with_state(&spec, &mut model, &state);
+        let (spec2, mut model2, state2) = load_with_state(&blob).unwrap();
+        assert_eq!(spec2, spec);
+        assert_eq!(model2.flatten_params(), model.flatten_params());
+        assert_eq!(state2.expect("v2 carries state"), state);
+    }
+
+    #[test]
+    fn v2_corruption_detected() {
+        let (spec, mut model) = model_pair();
+        let state = TrainState {
+            epoch: 1,
+            optimizer: crate::optim::OptimizerState::default(),
+            rng: Rng64::new(1),
+        };
+        let blob = save_with_state(&spec, &mut model, &state);
+        let mut bytes = blob.to_vec();
+        let at = bytes.len() - 12; // inside the state JSON
+        bytes[at] ^= 0x55;
+        assert_eq!(load_with_state(&bytes).unwrap_err(), CheckpointError::BadChecksum);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn extended_checkpoint_roundtrips(
+                seed in 0u64..(u64::MAX / 2),
+                epoch in 0u64..1000,
+                inputs in 1usize..8,
+                hidden in 1usize..16,
+                steps in 1usize..12,
+                rng_skip in 0usize..32,
+            ) {
+                let spec = ModelSpec::mlp(inputs, &[hidden], 1, Activation::Tanh);
+                let mut model = spec.build(seed, Precision::F32).unwrap();
+                let mut opt = crate::optim::OptimizerConfig::adam(0.01).build();
+                let mut data_rng = Rng64::new(seed ^ 0xFEED);
+                let x = Matrix::randn(8, inputs, 0.0, 1.0, &mut data_rng);
+                let y = Matrix::from_fn(8, 1, |i, _| x.get(i, 0));
+                for _ in 0..steps {
+                    let pred = model.forward(&x, true);
+                    let (_, grad) = crate::loss::Loss::Mse.compute(&pred, &y);
+                    model.backward(&grad);
+                    model.step_with(&mut opt, 1.0);
+                }
+                let mut stream = Rng64::new(seed);
+                for _ in 0..rng_skip {
+                    let _ = stream.next_u64();
+                }
+                let state = TrainState {
+                    epoch,
+                    optimizer: opt.export_state(),
+                    rng: stream.clone(),
+                };
+                let blob = save_with_state(&spec, &mut model, &state);
+                let (spec2, mut model2, state2) = load_with_state(&blob).unwrap();
+                prop_assert_eq!(spec2, spec);
+                prop_assert_eq!(model2.flatten_params(), model.flatten_params());
+                prop_assert_eq!(state2.expect("v2 carries state"), state);
+            }
+        }
     }
 
     #[test]

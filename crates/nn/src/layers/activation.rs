@@ -195,11 +195,7 @@ mod tests {
                 let d = act.derivative(x, y) as f64;
                 let num = (act.apply(x + eps as f32) as f64 - act.apply(x - eps as f32) as f64)
                     / (2.0 * eps);
-                assert!(
-                    (d - num).abs() < 1e-2,
-                    "{:?} at {x}: analytic {d} vs numeric {num}",
-                    act
-                );
+                assert!((d - num).abs() < 1e-2, "{:?} at {x}: analytic {d} vs numeric {num}", act);
             }
         }
     }

@@ -217,8 +217,7 @@ mod tests {
                     let mut acc = b.get(0, o);
                     for c in 0..in_ch {
                         for j in 0..kernel {
-                            acc += x.get(bi, c * len + t * stride + j)
-                                * w.get(c * kernel + j, o);
+                            acc += x.get(bi, c * len + t * stride + j) * w.get(c * kernel + j, o);
                         }
                     }
                     y.set(bi, o * out_len + t, acc);

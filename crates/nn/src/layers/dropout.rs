@@ -88,8 +88,7 @@ mod tests {
         // Inverted dropout: E[y] = E[x].
         assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
         // Roughly p of entries are zero.
-        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count() as f32
-            / y.len() as f32;
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count() as f32 / y.len() as f32;
         assert!((zeros - 0.3).abs() < 0.02, "zero fraction {zeros}");
     }
 

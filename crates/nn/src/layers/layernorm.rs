@@ -58,10 +58,7 @@ impl Layer for LayerNorm {
         let mut y = xhat.clone();
         for i in 0..y.rows() {
             let row = y.row_mut(i);
-            for ((v, &g), &b) in row
-                .iter_mut()
-                .zip(self.gamma.as_slice())
-                .zip(self.beta.as_slice())
+            for ((v, &g), &b) in row.iter_mut().zip(self.gamma.as_slice()).zip(self.beta.as_slice())
             {
                 *v = *v * g + b;
             }
@@ -80,10 +77,8 @@ impl Layer for LayerNorm {
         let mut dgamma = vec![0f32; self.dim];
         let mut dbeta = vec![0f32; self.dim];
         for i in 0..grad_out.rows() {
-            for ((dg, db), (&g, &xh)) in dgamma
-                .iter_mut()
-                .zip(dbeta.iter_mut())
-                .zip(grad_out.row(i).iter().zip(xhat.row(i)))
+            for ((dg, db), (&g, &xh)) in
+                dgamma.iter_mut().zip(dbeta.iter_mut()).zip(grad_out.row(i).iter().zip(xhat.row(i)))
             {
                 *dg += g * xh;
                 *db += g;
@@ -173,8 +168,9 @@ mod tests {
         let y = ln.forward(&x, true, Precision::F32);
         let dx = ln.backward(&y.clone(), Precision::F32);
         let eps = 1e-3f32;
-        let loss =
-            |ln: &mut LayerNorm, x: &Matrix| 0.5 * ln.forward(x, true, Precision::F32).norm_sq() as f64;
+        let loss = |ln: &mut LayerNorm, x: &Matrix| {
+            0.5 * ln.forward(x, true, Precision::F32).norm_sq() as f64
+        };
         for &(i, j) in &[(0usize, 0usize), (2, 3), (3, 4)] {
             let mut xp = x.clone();
             xp.set(i, j, x.get(i, j) + eps);

@@ -87,11 +87,7 @@ impl Layer for BatchNorm1d {
         let mut y = xhat.clone();
         for i in 0..n {
             let row = y.row_mut(i);
-            for ((v, g), b) in row
-                .iter_mut()
-                .zip(self.gamma.as_slice())
-                .zip(self.beta.as_slice())
-            {
+            for ((v, g), b) in row.iter_mut().zip(self.gamma.as_slice()).zip(self.beta.as_slice()) {
                 *v = *v * g + b;
             }
         }
@@ -109,10 +105,8 @@ impl Layer for BatchNorm1d {
         let mut dgamma = vec![0f32; self.dim];
         let mut dbeta = vec![0f32; self.dim];
         for i in 0..grad_out.rows() {
-            for ((dg, db), (&g, &xh)) in dgamma
-                .iter_mut()
-                .zip(dbeta.iter_mut())
-                .zip(grad_out.row(i).iter().zip(xhat.row(i)))
+            for ((dg, db), (&g, &xh)) in
+                dgamma.iter_mut().zip(dbeta.iter_mut()).zip(grad_out.row(i).iter().zip(xhat.row(i)))
             {
                 *dg += g * xh;
                 *db += g;

@@ -155,7 +155,9 @@ mod tests {
         let y = p.forward(&x, true, Precision::F32);
         let dx = p.backward(&y.clone(), Precision::F32);
         let eps = 1e-3f32;
-        let loss = |p: &mut MaxPool1d, x: &Matrix| 0.5 * p.forward(x, false, Precision::F32).norm_sq() as f64;
+        let loss = |p: &mut MaxPool1d, x: &Matrix| {
+            0.5 * p.forward(x, false, Precision::F32).norm_sq() as f64
+        };
         for &(bi, bj) in &[(0usize, 3usize), (1, 10), (0, 15)] {
             let mut xp = x.clone();
             xp.set(bi, bj, x.get(bi, bj) + eps);

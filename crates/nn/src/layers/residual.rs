@@ -33,11 +33,7 @@ impl Layer for Residual {
         for layer in &mut self.inner {
             h = layer.forward(&h, train, prec);
         }
-        assert_eq!(
-            h.shape(),
-            x.shape(),
-            "residual inner stack must preserve shape"
-        );
+        assert_eq!(h.shape(), x.shape(), "residual inner stack must preserve shape");
         h.axpy(1.0, x);
         h
     }

@@ -34,10 +34,14 @@ pub mod optim;
 pub mod spec;
 pub mod train;
 
+pub use checkpoint::{CheckpointError, TrainState};
 pub use init::Init;
-pub use layers::{Activation, ActivationLayer, BatchNorm1d, Conv1d, Dense, Dropout, Layer, LayerNorm, MaxPool1d, Residual};
+pub use layers::{
+    Activation, ActivationLayer, BatchNorm1d, Conv1d, Dense, Dropout, Layer, LayerNorm, MaxPool1d,
+    Residual,
+};
 pub use loss::Loss;
 pub use model::Sequential;
-pub use optim::{LrSchedule, Optimizer, OptimizerConfig};
+pub use optim::{LrSchedule, Optimizer, OptimizerConfig, OptimizerState};
 pub use spec::{InputShape, LayerSpec, ModelSpec};
-pub use train::{split_indices, History, TrainConfig, Trainer};
+pub use train::{split_indices, History, TrainConfig, TrainError, Trainer};

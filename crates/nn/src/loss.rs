@@ -27,12 +27,8 @@ impl Loss {
             Loss::Mse => {
                 let count = pred.len().max(1) as f64;
                 let mut grad = pred.zip_map(target, |p, t| p - t);
-                let loss = grad
-                    .as_slice()
-                    .iter()
-                    .map(|&d| d as f64 * d as f64)
-                    .sum::<f64>()
-                    / count;
+                let loss =
+                    grad.as_slice().iter().map(|&d| d as f64 * d as f64).sum::<f64>() / count;
                 grad.scale(2.0 / count as f32);
                 (loss, grad)
             }
@@ -40,11 +36,8 @@ impl Loss {
                 let count = pred.len().max(1) as f64;
                 let mut loss = 0f64;
                 let mut grad = Matrix::zeros(pred.rows(), pred.cols());
-                for ((g, &p), &t) in grad
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(pred.as_slice())
-                    .zip(target.as_slice())
+                for ((g, &p), &t) in
+                    grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
                 {
                     let d = p - t;
                     if d.abs() <= 1.0 {
@@ -79,11 +72,8 @@ impl Loss {
                 let count = pred.len().max(1) as f64;
                 let mut loss = 0f64;
                 let mut grad = Matrix::zeros(pred.rows(), pred.cols());
-                for ((g, &logit), &t) in grad
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(pred.as_slice())
-                    .zip(target.as_slice())
+                for ((g, &logit), &t) in
+                    grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
                 {
                     // Stable BCE-with-logits:
                     // loss = max(z,0) - z*t + ln(1 + e^{-|z|}).

@@ -20,11 +20,8 @@ pub fn binary_accuracy(logits: &Matrix, labels: &[f32]) -> f64 {
     if labels.is_empty() {
         return 0.0;
     }
-    let correct = logits
-        .iter_rows()
-        .zip(labels)
-        .filter(|(row, &l)| (row[0] > 0.0) == (l > 0.5))
-        .count();
+    let correct =
+        logits.iter_rows().zip(labels).filter(|(row, &l)| (row[0] > 0.0) == (l > 0.5)).count();
     correct as f64 / labels.len() as f64
 }
 
@@ -83,12 +80,8 @@ pub fn roc_auc(scores: &[f32], labels: &[f32]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 = labels
-        .iter()
-        .zip(&ranks)
-        .filter(|(&l, _)| l > 0.5)
-        .map(|(_, &r)| r)
-        .sum();
+    let rank_sum_pos: f64 =
+        labels.iter().zip(&ranks).filter(|(&l, _)| l > 0.5).map(|(_, &r)| r).sum();
     (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
 }
 
@@ -109,9 +102,7 @@ pub fn enrichment_factor(scores: &[f32], labels: &[f32], alpha: f64) -> f64 {
     }
     let k = ((n as f64 * alpha).ceil() as usize).clamp(1, n);
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
     let hits = order[..k].iter().filter(|&&i| labels[i] > 0.5).count();
     let top_rate = hits as f64 / k as f64;
     let base_rate = total_actives as f64 / n as f64;
@@ -138,7 +129,8 @@ pub fn rmse(pred: &Matrix, target: &Matrix) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    (pred.as_slice()
+    (pred
+        .as_slice()
         .iter()
         .zip(target.as_slice())
         .map(|(&p, &t)| {

@@ -24,7 +24,11 @@ impl std::fmt::Debug for Sequential {
 
 impl Sequential {
     /// Assemble from already-built layers (normally via `ModelSpec::build`).
-    pub fn from_layers(layers: Vec<Box<dyn Layer>>, input_dim: usize, precision: Precision) -> Self {
+    pub fn from_layers(
+        layers: Vec<Box<dyn Layer>>,
+        input_dim: usize,
+        precision: Precision,
+    ) -> Self {
         Sequential { layers, input_dim, precision }
     }
 
@@ -187,9 +191,7 @@ mod tests {
     use dd_tensor::Rng64;
 
     fn small_model(seed: u64) -> Sequential {
-        ModelSpec::mlp(4, &[16, 8], 2, Activation::Relu)
-            .build(seed, Precision::F32)
-            .unwrap()
+        ModelSpec::mlp(4, &[16, 8], 2, Activation::Relu).build(seed, Precision::F32).unwrap()
     }
 
     #[test]
@@ -223,10 +225,8 @@ mod tests {
         // Learn y = [sum(x) > 0] as a 2-class problem.
         let mut rng = Rng64::new(6);
         let x = Matrix::randn(256, 4, 0.0, 1.0, &mut rng);
-        let labels: Vec<usize> = x
-            .iter_rows()
-            .map(|r| usize::from(r.iter().sum::<f32>() > 0.0))
-            .collect();
+        let labels: Vec<usize> =
+            x.iter_rows().map(|r| usize::from(r.iter().sum::<f32>() > 0.0)).collect();
         let t = dd_tensor::one_hot(&labels, 2);
 
         let mut m = small_model(7);

@@ -167,9 +167,7 @@ impl ModelSpec {
                 },
                 LayerSpec::Residual(ref inner) => {
                     let sub = ModelSpec { input: shape, layers: inner.clone() };
-                    let out = sub
-                        .validate()
-                        .map_err(|e| format!("layer {i} (residual): {e}"))?;
+                    let out = sub.validate().map_err(|e| format!("layer {i} (residual): {e}"))?;
                     if out.width() != shape.width() {
                         return Err(format!(
                             "layer {i}: residual branch changes width {} -> {}",
@@ -210,8 +208,7 @@ impl ModelSpec {
                 LayerSpec::Conv1d { out_ch, kernel, stride, init } => {
                     if let InputShape::Signal { channels, len } = shape {
                         let mut r = rng.split(i as u64);
-                        let conv =
-                            Conv1d::new(channels, len, out_ch, kernel, stride, init, &mut r);
+                        let conv = Conv1d::new(channels, len, out_ch, kernel, stride, init, &mut r);
                         shape = InputShape::Signal { channels: out_ch, len: conv.out_len() };
                         layers.push(Box::new(conv));
                     } else {
@@ -238,9 +235,7 @@ impl ModelSpec {
                     // seed; validation above guarantees width preservation.
                     let sub = ModelSpec { input: shape, layers: inner.clone() };
                     let sub_model = sub.build(rng.split(2000 + i as u64).next_u64(), precision)?;
-                    layers.push(Box::new(crate::layers::Residual::new(
-                        sub_model.into_layers(),
-                    )));
+                    layers.push(Box::new(crate::layers::Residual::new(sub_model.into_layers())));
                 }
             }
         }
@@ -290,9 +285,8 @@ mod tests {
 
     #[test]
     fn kernel_longer_than_signal_rejected() {
-        let spec = ModelSpec::new(InputShape::Signal { channels: 1, len: 4 }).push(
-            LayerSpec::Conv1d { out_ch: 2, kernel: 9, stride: 1, init: Init::He },
-        );
+        let spec = ModelSpec::new(InputShape::Signal { channels: 1, len: 4 })
+            .push(LayerSpec::Conv1d { out_ch: 2, kernel: 9, stride: 1, init: Init::He });
         assert!(spec.validate().is_err());
     }
 
@@ -326,9 +320,8 @@ mod tests {
 
     #[test]
     fn residual_width_change_rejected() {
-        let spec = ModelSpec::new(InputShape::Flat(8)).push(LayerSpec::Residual(vec![
-            LayerSpec::Dense { out: 4, init: Init::Xavier },
-        ]));
+        let spec = ModelSpec::new(InputShape::Flat(8))
+            .push(LayerSpec::Residual(vec![LayerSpec::Dense { out: 4, init: Init::Xavier }]));
         let err = spec.validate().unwrap_err();
         assert!(err.contains("changes width"), "{err}");
     }

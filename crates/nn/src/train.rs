@@ -45,6 +45,32 @@ impl Default for TrainConfig {
     }
 }
 
+/// Typed training failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The loss left the finite range (NaN or ±Inf) — learning rate too
+    /// high, exploding activations, or corrupted inputs. The epoch index
+    /// and offending loss identify where the run broke down.
+    Diverged {
+        /// 0-based epoch in which the non-finite loss appeared.
+        epoch: usize,
+        /// The non-finite loss value.
+        loss: f64,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Diverged { epoch, loss } => {
+                write!(f, "training diverged at epoch {epoch} (loss {loss})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 /// Per-epoch record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EpochStats {
@@ -103,7 +129,16 @@ impl Trainer {
     }
 
     /// Run one epoch over shuffled minibatches; returns the mean batch loss.
-    pub fn run_epoch(&mut self, model: &mut Sequential, x: &Matrix, y: &Matrix, epoch: usize) -> f64 {
+    ///
+    /// Aborts with [`TrainError::Diverged`] as soon as a batch loss leaves
+    /// the finite range, so NaN never silently propagates into reports.
+    pub fn run_epoch(
+        &mut self,
+        model: &mut Sequential,
+        x: &Matrix,
+        y: &Matrix,
+        epoch: usize,
+    ) -> Result<f64, TrainError> {
         assert_eq!(x.rows(), y.rows(), "feature/target row mismatch");
         assert!(x.rows() > 0, "empty training set");
         let n = x.rows();
@@ -118,6 +153,9 @@ impl Trainer {
             let yb = y.gather_rows(chunk);
             let pred = model.forward(&xb, true);
             let (loss, grad) = self.config.loss.compute(&pred, &yb);
+            if !loss.is_finite() {
+                return Err(TrainError::Diverged { epoch, loss });
+            }
             model.backward(&grad);
             if let Some(limit) = self.config.grad_clip {
                 clip_model_grads(model, limit);
@@ -126,7 +164,7 @@ impl Trainer {
             total += loss;
             batches += 1;
         }
-        total / batches.max(1) as f64
+        Ok(total / batches.max(1) as f64)
     }
 
     /// Mean loss over a dataset without updating parameters.
@@ -136,20 +174,29 @@ impl Trainer {
     }
 
     /// Full fit loop with optional validation-based early stopping.
+    ///
+    /// Returns [`TrainError::Diverged`] when a training or validation loss
+    /// goes non-finite; the model is left at its last (broken) state for
+    /// post-mortem inspection.
     pub fn fit(
         &mut self,
         model: &mut Sequential,
         x: &Matrix,
         y: &Matrix,
         val: Option<(&Matrix, &Matrix)>,
-    ) -> History {
+    ) -> Result<History, TrainError> {
         let mut history = History::default();
         let mut best_val = f64::INFINITY;
         let mut stale = 0usize;
         for epoch in 0..self.config.epochs {
             let t0 = std::time::Instant::now();
-            let train_loss = self.run_epoch(model, x, y, epoch);
+            let train_loss = self.run_epoch(model, x, y, epoch)?;
             let val_loss = val.map(|(vx, vy)| self.evaluate(model, vx, vy));
+            if let Some(vl) = val_loss {
+                if !vl.is_finite() {
+                    return Err(TrainError::Diverged { epoch, loss: vl });
+                }
+            }
             history.epochs.push(EpochStats {
                 epoch,
                 train_loss,
@@ -169,7 +216,7 @@ impl Trainer {
                 }
             }
         }
-        history
+        Ok(history)
     }
 }
 
@@ -185,9 +232,16 @@ fn clip_model_grads(model: &mut Sequential, max_norm: f32) {
 }
 
 /// Stratified-ish deterministic train/validation/test split of row indices.
-pub fn split_indices(n: usize, val_frac: f64, test_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
-    assert!(val_frac >= 0.0 && test_frac >= 0.0 && val_frac + test_frac < 1.0,
-        "split fractions must be non-negative and leave room for training");
+pub fn split_indices(
+    n: usize,
+    val_frac: f64,
+    test_frac: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    assert!(
+        val_frac >= 0.0 && test_frac >= 0.0 && val_frac + test_frac < 1.0,
+        "split fractions must be non-negative and leave room for training"
+    );
     let mut idx: Vec<usize> = (0..n).collect();
     Rng64::new(seed).shuffle(&mut idx);
     let n_test = (n as f64 * test_frac).round() as usize;
@@ -220,15 +274,14 @@ mod tests {
     #[test]
     fn fit_learns_linear_function() {
         let (x, y) = toy_regression(512, 1);
-        let mut model = ModelSpec::mlp(2, &[], 1, Activation::Identity)
-            .build(2, Precision::F32)
-            .unwrap();
+        let mut model =
+            ModelSpec::mlp(2, &[], 1, Activation::Identity).build(2, Precision::F32).unwrap();
         let mut trainer = Trainer::new(TrainConfig {
             epochs: 60,
             optimizer: OptimizerConfig::sgd(0.05),
             ..TrainConfig::default()
         });
-        let history = trainer.fit(&mut model, &x, &y, None);
+        let history = trainer.fit(&mut model, &x, &y, None).expect("trains");
         assert!(history.final_train_loss() < 1e-3, "loss {}", history.final_train_loss());
         assert_eq!(history.epochs.len(), 60);
     }
@@ -237,16 +290,15 @@ mod tests {
     fn early_stopping_fires() {
         let (x, y) = toy_regression(128, 3);
         let (vx, vy) = toy_regression(64, 4);
-        let mut model = ModelSpec::mlp(2, &[8], 1, Activation::Tanh)
-            .build(5, Precision::F32)
-            .unwrap();
+        let mut model =
+            ModelSpec::mlp(2, &[8], 1, Activation::Tanh).build(5, Precision::F32).unwrap();
         let mut trainer = Trainer::new(TrainConfig {
             epochs: 500,
             patience: Some(3),
             optimizer: OptimizerConfig::adam(0.01),
             ..TrainConfig::default()
         });
-        let history = trainer.fit(&mut model, &x, &y, Some((&vx, &vy)));
+        let history = trainer.fit(&mut model, &x, &y, Some((&vx, &vy))).expect("trains");
         assert!(history.early_stopped, "should stop before 500 epochs");
         assert!(history.epochs.len() < 500);
         assert!(history.best_val_loss().unwrap() < 0.05);
@@ -255,15 +307,14 @@ mod tests {
     #[test]
     fn epoch_loss_decreases() {
         let (x, y) = toy_regression(256, 6);
-        let mut model = ModelSpec::mlp(2, &[16], 1, Activation::Relu)
-            .build(7, Precision::F32)
-            .unwrap();
+        let mut model =
+            ModelSpec::mlp(2, &[16], 1, Activation::Relu).build(7, Precision::F32).unwrap();
         let mut trainer = Trainer::new(TrainConfig {
             epochs: 30,
             optimizer: OptimizerConfig::adam(0.005),
             ..TrainConfig::default()
         });
-        let history = trainer.fit(&mut model, &x, &y, None);
+        let history = trainer.fit(&mut model, &x, &y, None).expect("trains");
         let first = history.epochs.first().unwrap().train_loss;
         let last = history.final_train_loss();
         assert!(last < first * 0.5, "{first} -> {last}");
@@ -273,15 +324,11 @@ mod tests {
     fn deterministic_given_seeds() {
         let (x, y) = toy_regression(128, 8);
         let run = || {
-            let mut model = ModelSpec::mlp(2, &[8], 1, Activation::Relu)
-                .build(9, Precision::F32)
-                .unwrap();
-            let mut trainer = Trainer::new(TrainConfig {
-                epochs: 5,
-                seed: 42,
-                ..TrainConfig::default()
-            });
-            trainer.fit(&mut model, &x, &y, None);
+            let mut model =
+                ModelSpec::mlp(2, &[8], 1, Activation::Relu).build(9, Precision::F32).unwrap();
+            let mut trainer =
+                Trainer::new(TrainConfig { epochs: 5, seed: 42, ..TrainConfig::default() });
+            trainer.fit(&mut model, &x, &y, None).expect("trains");
             model.flatten_params()
         };
         assert_eq!(run(), run());
@@ -305,21 +352,39 @@ mod tests {
     }
 
     #[test]
+    fn divergence_returns_typed_error() {
+        // An absurd learning rate with clipping disabled blows the loss up
+        // to infinity within a few epochs; fit must surface Diverged rather
+        // than report NaN losses.
+        let (x, y) = toy_regression(64, 12);
+        let mut model =
+            ModelSpec::mlp(2, &[8], 1, Activation::Relu).build(13, Precision::F32).unwrap();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 50,
+            grad_clip: None,
+            optimizer: OptimizerConfig::sgd(1e6),
+            ..TrainConfig::default()
+        });
+        let err = trainer.fit(&mut model, &x, &y, None).unwrap_err();
+        let TrainError::Diverged { loss, .. } = err;
+        assert!(!loss.is_finite());
+    }
+
+    #[test]
     fn grad_clip_keeps_training_stable_with_huge_lr_signal() {
         // With clipping, even exploding-scale targets keep params finite.
         let mut rng = Rng64::new(10);
         let x = Matrix::randn(64, 2, 0.0, 1.0, &mut rng);
         let y = Matrix::from_fn(64, 1, |i, _| 1e4 * x.get(i, 0));
-        let mut model = ModelSpec::mlp(2, &[8], 1, Activation::Relu)
-            .build(11, Precision::F32)
-            .unwrap();
+        let mut model =
+            ModelSpec::mlp(2, &[8], 1, Activation::Relu).build(11, Precision::F32).unwrap();
         let mut trainer = Trainer::new(TrainConfig {
             epochs: 5,
             grad_clip: Some(1.0),
             optimizer: OptimizerConfig::sgd(0.1),
             ..TrainConfig::default()
         });
-        trainer.fit(&mut model, &x, &y, None);
+        trainer.fit(&mut model, &x, &y, None).expect("trains");
         assert!(model.flatten_params().iter().all(|v| v.is_finite()));
     }
 }

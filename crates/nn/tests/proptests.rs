@@ -2,13 +2,16 @@
 //! invariants under randomized inputs.
 
 use dd_nn::{
-    layers::Layer, Activation, ActivationLayer, Init, Loss, LrSchedule, ModelSpec,
-    OptimizerConfig, Sequential,
+    layers::Layer, Activation, ActivationLayer, Init, Loss, LrSchedule, ModelSpec, OptimizerConfig,
+    Sequential,
 };
 use dd_tensor::{Matrix, Precision, Rng64};
 use proptest::prelude::*;
 
-fn matrix(rows: std::ops::RangeInclusive<usize>, cols: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = Matrix> {
+fn matrix(
+    rows: std::ops::RangeInclusive<usize>,
+    cols: std::ops::RangeInclusive<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-5.0f32..5.0, r * c).prop_map(move |d| Matrix::from_vec(r, c, d))
     })

@@ -139,9 +139,8 @@ mod tests {
 
     fn run_ring(world: usize, len: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
         let mut rng = Rng64::new(seed);
-        let inputs: Vec<Vec<f32>> = (0..world)
-            .map(|_| (0..len).map(|_| rng.normal(0.0, 1.0) as f32).collect())
-            .collect();
+        let inputs: Vec<Vec<f32>> =
+            (0..world).map(|_| (0..len).map(|_| rng.normal(0.0, 1.0) as f32).collect()).collect();
         let members = ring(world);
         let mut outputs: Vec<Vec<f32>> = inputs.clone();
         std::thread::scope(|scope| {

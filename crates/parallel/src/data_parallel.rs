@@ -7,12 +7,25 @@
 //! A correctness theorem worth testing (and we do): with full-batch shards
 //! and matching seeds, data-parallel training is *mathematically equivalent*
 //! to single-replica training on the concatenated batch.
+//!
+//! Failures are surfaced as typed [`DataParallelError`] values rather than
+//! panics; the fault-tolerant supervisor in [`crate::fault`] reuses the same
+//! epoch-segment runner to add checkpoint/restart and elastic recovery on
+//! top of this trainer without perturbing its arithmetic.
 
 use crate::allreduce::ring;
 use crate::compression::{quantize_gradient, TopKCompressor};
-use dd_nn::{Loss, ModelSpec, Optimizer, OptimizerConfig};
+use crate::fault::{FaultEvent, FaultInjector};
+use dd_nn::{Loss, ModelSpec, Optimizer, OptimizerConfig, OptimizerState};
 use dd_tensor::{Matrix, Precision, Rng64};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Panic payload marker used by the fault injector's crash and
+/// straggler-timeout faults so the supervisor can tell an injected
+/// fail-stop from collateral ring-disconnect panics.
+pub(crate) const CRASH_MARKER: &str = "injected replica crash";
 
 /// Lossy gradient exchange applied before the allreduce.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,6 +51,63 @@ impl GradCompression {
         }
     }
 }
+
+/// Typed failure modes of the data-parallel trainers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataParallelError {
+    /// `world` was zero.
+    WorldZero,
+    /// More replicas than samples in a global batch.
+    WorldExceedsBatch {
+        /// Configured world size.
+        world: usize,
+        /// Configured global batch.
+        global_batch: usize,
+    },
+    /// Feature and target matrices disagree on row count.
+    ShapeMismatch {
+        /// Rows in `x`.
+        x_rows: usize,
+        /// Rows in `y`.
+        y_rows: usize,
+    },
+    /// The model spec failed validation.
+    InvalidSpec(String),
+    /// A replica thread panicked (injected crash, straggler eviction, or a
+    /// genuine bug); the step it was part of produced no update.
+    ReplicaPanicked {
+        /// Rank of the first failed replica.
+        rank: usize,
+    },
+    /// The fault-tolerant supervisor gave up after too many restarts.
+    RestartsExhausted {
+        /// Restarts attempted before giving up.
+        restarts: usize,
+    },
+}
+
+impl std::fmt::Display for DataParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataParallelError::WorldZero => write!(f, "world must be >= 1"),
+            DataParallelError::WorldExceedsBatch { world, global_batch } => {
+                write!(f, "world {world} exceeds global batch {global_batch}")
+            }
+            DataParallelError::ShapeMismatch { x_rows, y_rows } => {
+                write!(f, "feature rows {x_rows} != target rows {y_rows}")
+            }
+            DataParallelError::InvalidSpec(e) => write!(f, "invalid model spec: {e}"),
+            DataParallelError::ReplicaPanicked { rank } => {
+                write!(f, "replica {rank} crashed")
+            }
+            DataParallelError::RestartsExhausted { restarts } => {
+                write!(f, "gave up after {restarts} restarts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataParallelError {}
 
 /// Configuration for the data-parallel trainer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -75,6 +145,25 @@ impl Default for DataParallelConfig {
     }
 }
 
+impl DataParallelConfig {
+    /// Check the configuration against a training-set shape.
+    pub fn validate(&self, x: &Matrix, y: &Matrix) -> Result<(), DataParallelError> {
+        if self.world == 0 {
+            return Err(DataParallelError::WorldZero);
+        }
+        if self.world > self.global_batch {
+            return Err(DataParallelError::WorldExceedsBatch {
+                world: self.world,
+                global_batch: self.global_batch,
+            });
+        }
+        if x.rows() != y.rows() {
+            return Err(DataParallelError::ShapeMismatch { x_rows: x.rows(), y_rows: y.rows() });
+        }
+        Ok(())
+    }
+}
+
 /// Outcome of a data-parallel run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DataParallelReport {
@@ -92,47 +181,78 @@ pub struct DataParallelReport {
     pub seconds: f64,
 }
 
-/// Train `spec` on `(x, y)` with synchronous data parallelism.
-///
-/// `y` is the already-materialized target matrix (one-hot for
-/// classification). Panics if the world size exceeds the global batch.
-pub fn train_data_parallel(
+/// Epoch shuffle schedule plus the RNG stream position at every epoch
+/// boundary (`positions[e]` is the state *before* epoch `e`'s shuffle is
+/// drawn, so a resume at epoch `e` can regenerate the remaining schedule).
+pub(crate) struct EpochSchedule {
+    pub orders: Vec<Vec<usize>>,
+    pub positions: Vec<Rng64>,
+}
+
+/// Pre-compute the shared minibatch schedule: every replica sees the same
+/// global batches, sharded by rank. One shuffled order per epoch.
+pub(crate) fn build_schedule(n: usize, epochs: usize, seed: u64) -> EpochSchedule {
+    let mut order_rng = Rng64::new(seed);
+    let mut orders = Vec::with_capacity(epochs);
+    let mut positions = Vec::with_capacity(epochs + 1);
+    for _ in 0..epochs {
+        positions.push(order_rng.clone());
+        let mut idx: Vec<usize> = (0..n).collect();
+        order_rng.shuffle(&mut idx);
+        orders.push(idx);
+    }
+    positions.push(order_rng);
+    EpochSchedule { orders, positions }
+}
+
+/// Per-rank result of one epoch segment.
+pub(crate) struct SegmentOutput {
+    pub losses: Vec<f64>,
+    pub params: Vec<f32>,
+    pub opt: OptimizerState,
+    pub bytes_sent: usize,
+    pub wire_bytes: usize,
+}
+
+type ReplicaOutput = (Vec<f64>, Vec<f32>, OptimizerState, usize, usize);
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// Run epochs `epochs.start..epochs.end` of the schedule across `world`
+/// replicas, optionally resuming from carried parameters/optimizer state
+/// and optionally injecting faults. The zero-fault, fresh-start, full-range
+/// call is exactly the classic data-parallel trainer.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_segment(
     spec: &ModelSpec,
     x: &Matrix,
     y: &Matrix,
     config: &DataParallelConfig,
-) -> DataParallelReport {
-    assert!(config.world >= 1, "world must be >= 1");
-    assert!(
-        config.world <= config.global_batch,
-        "world {} exceeds global batch {}",
-        config.world,
-        config.global_batch
-    );
-    assert_eq!(x.rows(), y.rows(), "feature/target mismatch");
-    let start = std::time::Instant::now();
-    let n = x.rows();
-    let world = config.world;
-
-    // Pre-compute the shared minibatch schedule: every replica sees the same
-    // global batches, sharded by rank. One schedule per epoch.
-    let mut order_rng = Rng64::new(config.seed);
-    let schedule: Vec<Vec<usize>> = (0..config.epochs)
-        .map(|_| {
-            let mut idx: Vec<usize> = (0..n).collect();
-            order_rng.shuffle(&mut idx);
-            idx
-        })
-        .collect();
-
+    world: usize,
+    schedule: &[Vec<usize>],
+    epochs: Range<usize>,
+    init: Option<(&[f32], &OptimizerState)>,
+    injector: Option<&FaultInjector>,
+    attempt: usize,
+    events: &Mutex<Vec<FaultEvent>>,
+) -> Result<SegmentOutput, DataParallelError> {
     let members = ring(world);
-    let mut results: Vec<Option<(Vec<f64>, Vec<f32>, usize, usize)>> = (0..world).map(|_| None).collect();
+    let mut results: Vec<Option<Result<ReplicaOutput, String>>> =
+        (0..world).map(|_| None).collect();
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = members
             .into_iter()
             .map(|member| {
-                let schedule = &schedule;
+                let epochs = epochs.clone();
                 scope.spawn(move || {
                     let rank = member.rank();
                     // Same seed on every replica: identical initial weights
@@ -140,9 +260,13 @@ pub fn train_data_parallel(
                     // lockstep after identical updates.
                     let mut model = spec
                         .build(config.seed.wrapping_add(1), config.precision)
-                        .expect("invalid model spec");
+                        .expect("validated model spec");
                     let mut opt: Optimizer = config.optimizer.build();
-                    let mut losses = Vec::with_capacity(config.epochs);
+                    if let Some((params, opt_state)) = init {
+                        model.load_params(params);
+                        opt.load_state(opt_state);
+                    }
+                    let mut losses = Vec::with_capacity(epochs.len());
                     let mut bytes_sent = 0usize;
                     let mut wire_bytes = 0usize;
                     let mut flat = vec![0f32; model.param_count()];
@@ -153,10 +277,19 @@ pub fn train_data_parallel(
                         _ => None,
                     };
 
-                    for epoch_order in schedule {
+                    for epoch in epochs {
+                        let epoch_order = &schedule[epoch];
                         let mut epoch_loss = 0f64;
                         let mut batches = 0usize;
-                        for global_chunk in epoch_order.chunks(config.global_batch) {
+                        for (step, global_chunk) in
+                            epoch_order.chunks(config.global_batch).enumerate()
+                        {
+                            // Crash / straggler faults fire before the
+                            // collective so a killed rank never half-joins.
+                            let mut corrupt = false;
+                            if let Some(inj) = injector {
+                                corrupt = inj.before_step(attempt, rank, epoch, step, events);
+                            }
                             // Shard the global batch by rank (block split).
                             let per = global_chunk.len().div_ceil(world);
                             let lo = (rank * per).min(global_chunk.len());
@@ -164,6 +297,9 @@ pub fn train_data_parallel(
                             let shard = &global_chunk[lo..hi];
                             let shard_weight = shard.len() as f64 / global_chunk.len() as f64;
 
+                            // The uncorrupted local gradient and its weight,
+                            // kept so a corrupted exchange can be retried.
+                            let mut local_grad: Option<(Vec<f32>, f32)> = None;
                             if shard.is_empty() {
                                 // Rank has no samples this batch; contribute
                                 // zero gradients to stay collective.
@@ -185,6 +321,19 @@ pub fn train_data_parallel(
                                 for (dst, &src) in flat.iter_mut().zip(&g) {
                                     *dst = src * w;
                                 }
+                                local_grad = Some((g, w));
+                            }
+                            if let Some(inj) = injector {
+                                inj.scan_gradient(
+                                    attempt,
+                                    rank,
+                                    epoch,
+                                    step,
+                                    corrupt,
+                                    &local_grad,
+                                    &mut flat,
+                                    events,
+                                );
                             }
                             // Lossy compression happens on the local
                             // gradient before the (exact) allreduce — the
@@ -215,30 +364,91 @@ pub fn train_data_parallel(
                         }
                         losses.push(epoch_loss / batches.max(1) as f64);
                     }
-                    (losses, model.flatten_params(), bytes_sent, wire_bytes)
+                    (losses, model.flatten_params(), opt.export_state(), bytes_sent, wire_bytes)
                 })
             })
             .collect();
         for (i, h) in handles.into_iter().enumerate() {
-            results[i] = Some(h.join().expect("replica thread panicked"));
+            results[i] = Some(h.join().map_err(panic_message));
         }
     });
 
-    let (losses0, params0, bytes0, wire0) = results[0].take().expect("rank 0 result");
+    // A crash cascades around the ring as "ring peer disconnected" panics;
+    // report the injected fail-stop rank when one is identifiable, else the
+    // first panicked rank.
+    let mut first_panic = None;
+    for (rank, res) in results.iter().enumerate() {
+        if let Some(Err(msg)) = res {
+            if msg.contains(CRASH_MARKER) {
+                return Err(DataParallelError::ReplicaPanicked { rank });
+            }
+            if first_panic.is_none() {
+                first_panic = Some(rank);
+            }
+        }
+    }
+    if let Some(rank) = first_panic {
+        return Err(DataParallelError::ReplicaPanicked { rank });
+    }
+
+    let (losses0, params0, opt0, bytes0, wire0) =
+        results[0].take().expect("rank 0 result").expect("rank 0 ok");
     // Replicas must agree exactly: same inputs, same reduced gradients, same
     // optimizer arithmetic.
     for (r, res) in results.iter().enumerate().skip(1) {
-        let (_, params, _, _) = res.as_ref().expect("missing rank result");
+        let (_, params, _, _, _) =
+            res.as_ref().expect("missing rank result").as_ref().expect("rank ok");
         assert_eq!(&params0, params, "replica {r} diverged from rank 0");
     }
 
-    DataParallelReport {
-        epoch_losses: losses0,
-        final_params: params0,
-        bytes_sent_per_rank: bytes0,
-        compressed_wire_bytes: wire0,
+    Ok(SegmentOutput {
+        losses: losses0,
+        params: params0,
+        opt: opt0,
+        bytes_sent: bytes0,
+        wire_bytes: wire0,
+    })
+}
+
+/// Train `spec` on `(x, y)` with synchronous data parallelism.
+///
+/// `y` is the already-materialized target matrix (one-hot for
+/// classification). Configuration and shape problems come back as typed
+/// [`DataParallelError`] values; a replica panic surfaces as
+/// [`DataParallelError::ReplicaPanicked`] instead of tearing down the
+/// caller. For runs that must *survive* faults, see
+/// [`crate::fault::train_data_parallel_ft`].
+pub fn train_data_parallel(
+    spec: &ModelSpec,
+    x: &Matrix,
+    y: &Matrix,
+    config: &DataParallelConfig,
+) -> Result<DataParallelReport, DataParallelError> {
+    config.validate(x, y)?;
+    spec.validate().map_err(DataParallelError::InvalidSpec)?;
+    let start = std::time::Instant::now();
+    let schedule = build_schedule(x.rows(), config.epochs, config.seed);
+    let events = Mutex::new(Vec::new());
+    let seg = run_segment(
+        spec,
+        x,
+        y,
+        config,
+        config.world,
+        &schedule.orders,
+        0..config.epochs,
+        None,
+        None,
+        0,
+        &events,
+    )?;
+    Ok(DataParallelReport {
+        epoch_losses: seg.losses,
+        final_params: seg.params,
+        bytes_sent_per_rank: seg.bytes_sent,
+        compressed_wire_bytes: seg.wire_bytes,
         seconds: start.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -249,9 +459,7 @@ mod tests {
     fn toy_problem(n: usize, seed: u64) -> (Matrix, Matrix) {
         let mut rng = Rng64::new(seed);
         let x = Matrix::randn(n, 3, 0.0, 1.0, &mut rng);
-        let y = Matrix::from_fn(n, 1, |i, _| {
-            x.get(i, 0) - 2.0 * x.get(i, 1) + 0.5 * x.get(i, 2)
-        });
+        let y = Matrix::from_fn(n, 1, |i, _| x.get(i, 0) - 2.0 * x.get(i, 1) + 0.5 * x.get(i, 2));
         (x, y)
     }
 
@@ -267,7 +475,8 @@ mod tests {
             &x,
             &y,
             &DataParallelConfig { epochs: 20, ..Default::default() },
-        );
+        )
+        .expect("trains");
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
         assert!(last < 0.3 * first, "{first} -> {last}");
@@ -285,8 +494,11 @@ mod tests {
             optimizer: OptimizerConfig::sgd(0.05),
             ..Default::default()
         };
-        let single = train_data_parallel(&spec(), &x, &y, &DataParallelConfig { world: 1, ..base.clone() });
-        let multi = train_data_parallel(&spec(), &x, &y, &DataParallelConfig { world: 4, ..base });
+        let single =
+            train_data_parallel(&spec(), &x, &y, &DataParallelConfig { world: 1, ..base.clone() })
+                .expect("trains");
+        let multi = train_data_parallel(&spec(), &x, &y, &DataParallelConfig { world: 4, ..base })
+            .expect("trains");
         let max_diff = single
             .final_params
             .iter()
@@ -298,22 +510,24 @@ mod tests {
 
     #[test]
     fn replicas_stay_bitwise_identical() {
-        // The assert inside train_data_parallel verifies this; reaching the
-        // end without panic is the test.
+        // The assert inside run_segment verifies this; reaching the end
+        // without panic is the test.
         let (x, y) = toy_problem(96, 3);
         let _ = train_data_parallel(
             &spec(),
             &x,
             &y,
             &DataParallelConfig { world: 3, epochs: 2, ..Default::default() },
-        );
+        )
+        .expect("trains");
     }
 
     #[test]
     fn bytes_sent_scale_with_steps_and_params() {
         let (x, y) = toy_problem(64, 4);
-        let cfg = DataParallelConfig { world: 4, epochs: 2, global_batch: 32, ..Default::default() };
-        let report = train_data_parallel(&spec(), &x, &y, &cfg);
+        let cfg =
+            DataParallelConfig { world: 4, epochs: 2, global_batch: 32, ..Default::default() };
+        let report = train_data_parallel(&spec(), &x, &y, &cfg).expect("trains");
         let mut model = spec().build(1, Precision::F32).unwrap();
         let params = model.flatten_params().len();
         let steps = 2 * (64usize).div_ceil(32);
@@ -329,8 +543,8 @@ mod tests {
     fn deterministic_end_to_end() {
         let (x, y) = toy_problem(64, 5);
         let cfg = DataParallelConfig { world: 2, epochs: 2, ..Default::default() };
-        let a = train_data_parallel(&spec(), &x, &y, &cfg);
-        let b = train_data_parallel(&spec(), &x, &y, &cfg);
+        let a = train_data_parallel(&spec(), &x, &y, &cfg).expect("trains");
+        let b = train_data_parallel(&spec(), &x, &y, &cfg).expect("trains");
         assert_eq!(a.final_params, b.final_params);
         assert_eq!(a.epoch_losses, b.epoch_losses);
     }
@@ -338,23 +552,17 @@ mod tests {
     #[test]
     fn compressed_training_still_learns() {
         let (x, y) = toy_problem(256, 9);
-        for compression in [
-            GradCompression::Int8,
-            GradCompression::TopK { fraction: 0.25 },
-        ] {
+        for compression in [GradCompression::Int8, GradCompression::TopK { fraction: 0.25 }] {
             let report = train_data_parallel(
                 &spec(),
                 &x,
                 &y,
                 &DataParallelConfig { epochs: 25, compression, ..Default::default() },
-            );
+            )
+            .expect("trains");
             let first = report.epoch_losses[0];
             let last = *report.epoch_losses.last().unwrap();
-            assert!(
-                last < 0.5 * first,
-                "{}: loss {first} -> {last}",
-                compression.name()
-            );
+            assert!(last < 0.5 * first, "{}: loss {first} -> {last}", compression.name());
         }
     }
 
@@ -368,6 +576,7 @@ mod tests {
                 &y,
                 &DataParallelConfig { epochs: 2, compression, ..Default::default() },
             )
+            .expect("trains")
             .compressed_wire_bytes
         };
         let dense = run(GradCompression::None);
@@ -378,14 +587,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds global batch")]
-    fn world_larger_than_batch_panics() {
+    fn world_larger_than_batch_is_a_typed_error() {
         let (x, y) = toy_problem(16, 6);
-        let _ = train_data_parallel(
+        let err = train_data_parallel(
             &spec(),
             &x,
             &y,
             &DataParallelConfig { world: 8, global_batch: 4, ..Default::default() },
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, DataParallelError::WorldExceedsBatch { world: 8, global_batch: 4 });
+        assert!(err.to_string().contains("exceeds global batch"));
+    }
+
+    #[test]
+    fn config_validation_catches_world_zero_and_shape_mismatch() {
+        let (x, y) = toy_problem(16, 7);
+        let err = train_data_parallel(
+            &spec(),
+            &x,
+            &y,
+            &DataParallelConfig { world: 0, ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, DataParallelError::WorldZero);
+
+        let (x2, _) = toy_problem(8, 8);
+        let err =
+            train_data_parallel(&spec(), &x2, &y, &DataParallelConfig::default()).unwrap_err();
+        assert_eq!(err, DataParallelError::ShapeMismatch { x_rows: 8, y_rows: 16 });
     }
 }

@@ -1,0 +1,958 @@
+//! Fault injection and fault-tolerant data-parallel training.
+//!
+//! The paper's target machines (CORAL pre-exascale systems and beyond) have
+//! node MTBFs measured in hours while training runs are measured in days, so
+//! the interesting regime is "failure is the common case". This module makes
+//! that regime testable on a workstation:
+//!
+//! * [`FaultInjector`] — a *deterministic, seeded* source of replica
+//!   crashes, straggler delays, corrupted (NaN/Inf) gradients and storage
+//!   read failures. Every draw is a pure function of
+//!   `(seed, attempt, rank, epoch, step, retry)` via the splittable RNG, so
+//!   fault schedules are independent of thread timing and bitwise
+//!   reproducible across runs.
+//! * [`CheckpointStore`] — an in-memory stand-in for the parallel file
+//!   system holding the most recent `dd-nn` v2 checkpoints (weights +
+//!   optimizer state + RNG position).
+//! * [`train_data_parallel_ft`] — a supervisor around the plain
+//!   data-parallel trainer that checkpoints every `checkpoint_every`
+//!   epochs, catches replica failures as typed errors, restores from the
+//!   newest readable checkpoint (falling back to older generations when
+//!   storage reads fail), and optionally shrinks the world (elastic
+//!   recovery) before retrying.
+//!
+//! With zero faults configured, the supervisor's loss curve and final
+//! parameters are bitwise identical to [`train_data_parallel`]'s for
+//! stateless-compression runs: segments carry exact `f32` parameters and
+//! optimizer state across boundaries, and the shuffle schedule is
+//! precomputed from epoch 0. (Top-k error feedback is per-rank *local*
+//! state that resets at segment boundaries — a real-world restart artifact
+//! we keep, and document, rather than hide.)
+//!
+//! The expected-wall-clock arithmetic for choosing `checkpoint_every` lives
+//! in `dd-hpcsim`'s `failure` module (Young/Daly); experiment E11 sweeps
+//! the interval against that model.
+
+use crate::data_parallel::{
+    build_schedule, run_segment, DataParallelConfig, DataParallelError, DataParallelReport,
+    CRASH_MARKER,
+};
+use dd_nn::{checkpoint, ModelSpec, OptimizerState, TrainState};
+use dd_tensor::{Matrix, Rng64};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Kinds of faults the injector can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The replica thread dies mid-step (fail-stop).
+    ReplicaCrash,
+    /// The replica stalls for [`FaultConfig::straggler_millis`] before its
+    /// collective; stalls beyond [`FaultConfig::step_timeout_millis`] are
+    /// treated as crashes (eviction).
+    Straggler,
+    /// The replica's exchanged gradient is poisoned with NaN/Inf.
+    CorruptGradient,
+    /// A checkpoint read fails. For scheduled storage faults the
+    /// [`ScheduledFault::epoch`] field carries the checkpoint *generation*
+    /// and [`ScheduledFault::step`] the read *retry* index.
+    StorageReadFail,
+}
+
+/// A fault pinned to an exact coordinate, for reproducible scenarios in
+/// tests and experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// Restart attempt the fault fires on (0 = first try).
+    pub attempt: usize,
+    /// Victim rank (ignored for [`FaultKind::StorageReadFail`]).
+    pub rank: usize,
+    /// Epoch (or checkpoint generation for storage faults).
+    pub epoch: usize,
+    /// Step within the epoch (or read retry for storage faults).
+    pub step: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Fault model plus recovery policy for [`train_data_parallel_ft`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for all probabilistic draws (independent of the training seed).
+    pub seed: u64,
+    /// Per rank-step probability of a crash.
+    pub p_crash: f64,
+    /// Per rank-step probability of a straggler stall.
+    pub p_straggler: f64,
+    /// Per rank-step probability of a corrupted gradient.
+    pub p_corrupt_grad: f64,
+    /// Per read-attempt probability that a checkpoint read fails.
+    pub p_storage_fail: f64,
+    /// How long a straggler stalls.
+    pub straggler_millis: u64,
+    /// Stalls beyond this are treated as crashes (the synchronous step's
+    /// eviction timeout).
+    pub step_timeout_millis: u64,
+    /// Restarts before the supervisor gives up.
+    pub max_restarts: usize,
+    /// Local-gradient re-reads before a corrupted contribution is dropped
+    /// (replaced by zeros, keeping the collective in lockstep).
+    pub max_grad_retries: usize,
+    /// Re-reads (with exponential backoff) before a checkpoint generation
+    /// is abandoned for the next older one.
+    pub max_storage_retries: usize,
+    /// Checkpoint every this many epochs (clamped to >= 1).
+    pub checkpoint_every: usize,
+    /// Checkpoint generations retained.
+    pub keep_checkpoints: usize,
+    /// On failure, shrink the world by one (down to 1) instead of retrying
+    /// at full size — elastic data parallelism.
+    pub elastic: bool,
+    /// Faults pinned to exact coordinates, checked before any probabilistic
+    /// draw.
+    pub scheduled: Vec<ScheduledFault>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            p_crash: 0.0,
+            p_straggler: 0.0,
+            p_corrupt_grad: 0.0,
+            p_storage_fail: 0.0,
+            straggler_millis: 20,
+            step_timeout_millis: 250,
+            max_restarts: 8,
+            max_grad_retries: 2,
+            max_storage_retries: 2,
+            checkpoint_every: 1,
+            keep_checkpoints: 2,
+            elastic: false,
+            scheduled: Vec::new(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing (checkpointing still runs).
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+}
+
+/// What an observed fault did, as recorded in the event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// Replica killed (injected fail-stop).
+    Crash,
+    /// Replica stalled within the step timeout and was tolerated.
+    StragglerDelay {
+        /// Stall length.
+        millis: u64,
+    },
+    /// Replica stalled past the step timeout and was evicted (crash).
+    StragglerTimeout {
+        /// Stall length that breached the timeout.
+        millis: u64,
+    },
+    /// Corrupted gradient recovered by re-reading the local gradient.
+    CorruptGradientRetried {
+        /// Re-reads needed.
+        retries: usize,
+    },
+    /// Corrupted gradient dropped (zero contribution) after retries ran out.
+    CorruptGradientDropped,
+    /// Supervisor wrote a checkpoint.
+    CheckpointSaved {
+        /// Monotonic checkpoint generation.
+        generation: usize,
+    },
+    /// Supervisor restored from a checkpoint.
+    CheckpointRestored {
+        /// Epoch training resumed from.
+        epoch: usize,
+    },
+    /// A checkpoint read attempt failed.
+    StorageReadFailed {
+        /// Generation whose read failed.
+        generation: usize,
+    },
+}
+
+/// One entry in the fault-tolerant run's event log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Restart attempt during which the event occurred.
+    pub attempt: usize,
+    /// Rank involved (0 for supervisor-side events).
+    pub rank: usize,
+    /// Epoch coordinate (resume epoch for restore events).
+    pub epoch: usize,
+    /// Step coordinate (read retry for storage events).
+    pub step: usize,
+    /// What happened.
+    pub kind: FaultEventKind,
+}
+
+fn kind_order(kind: &FaultEventKind) -> u8 {
+    match kind {
+        FaultEventKind::StragglerDelay { .. } => 0,
+        FaultEventKind::StragglerTimeout { .. } => 1,
+        FaultEventKind::CorruptGradientRetried { .. } => 2,
+        FaultEventKind::CorruptGradientDropped => 3,
+        FaultEventKind::Crash => 4,
+        FaultEventKind::StorageReadFailed { .. } => 5,
+        FaultEventKind::CheckpointRestored { .. } => 6,
+        FaultEventKind::CheckpointSaved { .. } => 7,
+    }
+}
+
+/// Deterministic fault source. Stateless: every decision is re-derived from
+/// the seed and the full coordinate of the question being asked, so
+/// injection is independent of thread scheduling.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+}
+
+// Domain labels for independent RNG streams.
+const DOMAIN_STEP: u64 = 1;
+const DOMAIN_GRAD_RETRY: u64 = 2;
+const DOMAIN_STORAGE: u64 = 3;
+
+impl FaultInjector {
+    /// Wrap a fault configuration.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultInjector { config }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Uniform draw in [0, 1) keyed by a domain label and coordinates.
+    fn draw(&self, domain: u64, parts: &[u64]) -> f64 {
+        let mut rng = Rng64::new(self.config.seed).split(domain);
+        for &p in parts {
+            rng = rng.split(p);
+        }
+        rng.uniform()
+    }
+
+    fn scheduled_step_fault(
+        &self,
+        attempt: usize,
+        rank: usize,
+        epoch: usize,
+        step: usize,
+    ) -> Option<FaultKind> {
+        self.config
+            .scheduled
+            .iter()
+            .find(|f| {
+                f.kind != FaultKind::StorageReadFail
+                    && f.attempt == attempt
+                    && f.rank == rank
+                    && f.epoch == epoch
+                    && f.step == step
+            })
+            .map(|f| f.kind)
+    }
+
+    /// Decide the fault (if any) for one rank-step. Crashes and evicted
+    /// stragglers panic with [`CRASH_MARKER`] so the supervisor can tell
+    /// them from collateral ring disconnects; tolerated stragglers sleep
+    /// here. Returns `true` when the step's gradient is to be corrupted.
+    pub(crate) fn before_step(
+        &self,
+        attempt: usize,
+        rank: usize,
+        epoch: usize,
+        step: usize,
+        events: &Mutex<Vec<FaultEvent>>,
+    ) -> bool {
+        let kind = self.scheduled_step_fault(attempt, rank, epoch, step).or_else(|| {
+            let u =
+                self.draw(DOMAIN_STEP, &[attempt as u64, rank as u64, epoch as u64, step as u64]);
+            if u < self.config.p_crash {
+                Some(FaultKind::ReplicaCrash)
+            } else if u < self.config.p_crash + self.config.p_straggler {
+                Some(FaultKind::Straggler)
+            } else if u < self.config.p_crash + self.config.p_straggler + self.config.p_corrupt_grad
+            {
+                Some(FaultKind::CorruptGradient)
+            } else {
+                None
+            }
+        });
+        match kind {
+            None => false,
+            Some(FaultKind::CorruptGradient) => true,
+            Some(FaultKind::ReplicaCrash) => {
+                events.lock().push(FaultEvent {
+                    attempt,
+                    rank,
+                    epoch,
+                    step,
+                    kind: FaultEventKind::Crash,
+                });
+                panic!("{CRASH_MARKER} (rank {rank} epoch {epoch} step {step})");
+            }
+            Some(FaultKind::Straggler) => {
+                let millis = self.config.straggler_millis;
+                if millis > self.config.step_timeout_millis {
+                    events.lock().push(FaultEvent {
+                        attempt,
+                        rank,
+                        epoch,
+                        step,
+                        kind: FaultEventKind::StragglerTimeout { millis },
+                    });
+                    panic!(
+                        "{CRASH_MARKER} (straggler evicted: rank {rank} epoch {epoch} step {step})"
+                    );
+                }
+                events.lock().push(FaultEvent {
+                    attempt,
+                    rank,
+                    epoch,
+                    step,
+                    kind: FaultEventKind::StragglerDelay { millis },
+                });
+                std::thread::sleep(Duration::from_millis(millis));
+                false
+            }
+            Some(FaultKind::StorageReadFail) => false,
+        }
+    }
+
+    /// Poison, scan and repair one rank's outgoing gradient. `corrupt` is
+    /// the verdict from [`Self::before_step`]; `local_grad` is the clean
+    /// `(gradient, shard weight)` pair when the rank computed one. On exit
+    /// `flat` is guaranteed finite: either the clean gradient (possibly
+    /// after bounded re-reads) or zeros (contribution dropped), so the
+    /// collective stays in lockstep across ranks either way.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn scan_gradient(
+        &self,
+        attempt: usize,
+        rank: usize,
+        epoch: usize,
+        step: usize,
+        corrupt: bool,
+        local_grad: &Option<(Vec<f32>, f32)>,
+        flat: &mut [f32],
+        events: &Mutex<Vec<FaultEvent>>,
+    ) {
+        let mut corrupt = corrupt;
+        let mut retries = 0usize;
+        loop {
+            if corrupt && !flat.is_empty() {
+                flat[0] = f32::NAN;
+                let mid = flat.len() / 2;
+                flat[mid] = f32::INFINITY;
+            }
+            if flat.iter().all(|v| v.is_finite()) {
+                if retries > 0 {
+                    events.lock().push(FaultEvent {
+                        attempt,
+                        rank,
+                        epoch,
+                        step,
+                        kind: FaultEventKind::CorruptGradientRetried { retries },
+                    });
+                }
+                return;
+            }
+            if retries >= self.config.max_grad_retries {
+                flat.iter_mut().for_each(|v| *v = 0.0);
+                events.lock().push(FaultEvent {
+                    attempt,
+                    rank,
+                    epoch,
+                    step,
+                    kind: FaultEventKind::CorruptGradientDropped,
+                });
+                return;
+            }
+            retries += 1;
+            // Re-read the gradient the model still holds — no recompute, so
+            // RNG-bearing layers stay aligned across ranks.
+            match local_grad {
+                Some((g, w)) => {
+                    for (dst, &src) in flat.iter_mut().zip(g) {
+                        *dst = src * w;
+                    }
+                }
+                None => flat.iter_mut().for_each(|v| *v = 0.0),
+            }
+            corrupt = self.draw(
+                DOMAIN_GRAD_RETRY,
+                &[attempt as u64, rank as u64, epoch as u64, step as u64, retries as u64],
+            ) < self.config.p_corrupt_grad;
+        }
+    }
+
+    /// Does reading checkpoint `generation` fail on this `retry`?
+    pub(crate) fn storage_read_fails(
+        &self,
+        attempt: usize,
+        generation: usize,
+        retry: usize,
+    ) -> bool {
+        let scheduled = self.config.scheduled.iter().any(|f| {
+            f.kind == FaultKind::StorageReadFail
+                && f.attempt == attempt
+                && f.epoch == generation
+                && f.step == retry
+        });
+        scheduled
+            || self.draw(DOMAIN_STORAGE, &[attempt as u64, generation as u64, retry as u64])
+                < self.config.p_storage_fail
+    }
+}
+
+/// One retained checkpoint blob.
+#[derive(Debug, Clone)]
+pub struct StoredCheckpoint {
+    /// Epoch boundary the checkpoint captures (training resumes here).
+    pub epoch: usize,
+    /// Monotonic generation number (unique per save).
+    pub generation: usize,
+    /// Serialized `dd-nn` v2 checkpoint bytes.
+    pub data: Vec<u8>,
+}
+
+/// Bounded in-memory checkpoint history, newest last — the stand-in for a
+/// burst buffer / PFS checkpoint directory.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    keep: usize,
+    next_generation: usize,
+    blobs: Vec<StoredCheckpoint>,
+}
+
+impl CheckpointStore {
+    /// Store retaining the newest `keep` generations (clamped to >= 1).
+    pub fn new(keep: usize) -> Self {
+        CheckpointStore { keep: keep.max(1), next_generation: 0, blobs: Vec::new() }
+    }
+
+    /// Add a checkpoint, evicting the oldest beyond the retention bound.
+    /// Returns the generation assigned.
+    pub fn push(&mut self, epoch: usize, data: Vec<u8>) -> usize {
+        self.next_generation += 1;
+        let generation = self.next_generation;
+        self.blobs.push(StoredCheckpoint { epoch, generation, data });
+        while self.blobs.len() > self.keep {
+            self.blobs.remove(0);
+        }
+        generation
+    }
+
+    /// Newest retained checkpoint.
+    pub fn newest(&self) -> Option<&StoredCheckpoint> {
+        self.blobs.last()
+    }
+
+    /// Discard the newest checkpoint (e.g. after it proved unreadable).
+    pub fn drop_newest(&mut self) -> Option<StoredCheckpoint> {
+        self.blobs.pop()
+    }
+
+    /// Retained generations.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// True when no checkpoint is retained.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+}
+
+/// Outcome of a fault-tolerant run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultTolerantReport {
+    /// The usual training report. Loss entries cover committed epochs only
+    /// (work lost to a failure is replayed, not double counted); byte
+    /// counters likewise sum committed segments.
+    pub report: DataParallelReport,
+    /// Everything the injector and supervisor did, sorted by
+    /// (attempt, epoch, step, rank) for deterministic comparison.
+    pub events: Vec<FaultEvent>,
+    /// Restarts performed.
+    pub restarts: usize,
+    /// Checkpoints written.
+    pub checkpoints_saved: usize,
+    /// World size at the end (smaller than configured after elastic
+    /// shrinks).
+    pub final_world: usize,
+}
+
+/// Restore from the newest readable checkpoint, injecting storage faults
+/// and falling back to older generations. Returns the resume epoch plus the
+/// carried parameters and optimizer state.
+fn restore_latest(
+    store: &mut CheckpointStore,
+    injector: &FaultInjector,
+    attempt: usize,
+    events: &Mutex<Vec<FaultEvent>>,
+) -> Option<(usize, Vec<f32>, OptimizerState)> {
+    loop {
+        let (epoch, generation, data) = {
+            let newest = store.newest()?;
+            (newest.epoch, newest.generation, newest.data.clone())
+        };
+        let mut readable = false;
+        for retry in 0..=injector.config().max_storage_retries {
+            if injector.storage_read_fails(attempt, generation, retry) {
+                events.lock().push(FaultEvent {
+                    attempt,
+                    rank: 0,
+                    epoch,
+                    step: retry,
+                    kind: FaultEventKind::StorageReadFailed { generation },
+                });
+                // Exponential backoff, capped small: these are in-memory
+                // stand-ins for PFS retries.
+                std::thread::sleep(Duration::from_millis(1 << retry.min(5)));
+            } else {
+                readable = true;
+                break;
+            }
+        }
+        if !readable {
+            store.drop_newest();
+            continue;
+        }
+        match checkpoint::load_with_state(&data) {
+            Ok((_, mut model, Some(state))) => {
+                events.lock().push(FaultEvent {
+                    attempt,
+                    rank: 0,
+                    epoch,
+                    step: 0,
+                    kind: FaultEventKind::CheckpointRestored { epoch },
+                });
+                return Some((state.epoch as usize, model.flatten_params(), state.optimizer));
+            }
+            // Corrupt or stateless blob: fall back to the previous
+            // generation.
+            _ => {
+                store.drop_newest();
+            }
+        }
+    }
+}
+
+/// Train with synchronous data parallelism under injected faults,
+/// checkpointing every [`FaultConfig::checkpoint_every`] epochs and
+/// restarting from the newest readable checkpoint after each failure.
+///
+/// With `fault = FaultConfig::none()` the result is bitwise identical to
+/// [`train_data_parallel`] for stateless-compression configurations (see
+/// the module docs for the top-k caveat).
+pub fn train_data_parallel_ft(
+    spec: &ModelSpec,
+    x: &Matrix,
+    y: &Matrix,
+    config: &DataParallelConfig,
+    fault: &FaultConfig,
+) -> Result<FaultTolerantReport, DataParallelError> {
+    config.validate(x, y)?;
+    spec.validate().map_err(DataParallelError::InvalidSpec)?;
+    let start = std::time::Instant::now();
+    let injector = FaultInjector::new(fault.clone());
+    let schedule = build_schedule(x.rows(), config.epochs, config.seed);
+    let events = Mutex::new(Vec::new());
+    let mut store = CheckpointStore::new(fault.keep_checkpoints);
+    let checkpoint_every = fault.checkpoint_every.max(1);
+
+    let mut world = config.world;
+    let mut attempt = 0usize;
+    let mut restarts = 0usize;
+    let mut checkpoints_saved = 0usize;
+    let mut losses: Vec<f64> = Vec::new();
+    let mut carried: Option<(Vec<f32>, OptimizerState)> = None;
+    let mut bytes_sent = 0usize;
+    let mut wire_bytes = 0usize;
+    let mut epoch = 0usize;
+
+    while epoch < config.epochs {
+        let end = (epoch + checkpoint_every).min(config.epochs);
+        let init = carried.as_ref().map(|(p, o)| (p.as_slice(), o));
+        match run_segment(
+            spec,
+            x,
+            y,
+            config,
+            world,
+            &schedule.orders,
+            epoch..end,
+            init,
+            Some(&injector),
+            attempt,
+            &events,
+        ) {
+            Ok(seg) => {
+                losses.extend(seg.losses);
+                bytes_sent += seg.bytes_sent;
+                wire_bytes += seg.wire_bytes;
+                carried = Some((seg.params, seg.opt));
+                epoch = end;
+                // Checkpoint at the boundary: weights + optimizer state +
+                // the shuffle RNG's position before the next epoch.
+                let (params, opt) = carried.as_ref().expect("segment just committed");
+                let mut model = spec
+                    .build(config.seed.wrapping_add(1), config.precision)
+                    .expect("validated model spec");
+                model.load_params(params);
+                let state = TrainState {
+                    epoch: epoch as u64,
+                    optimizer: opt.clone(),
+                    rng: schedule.positions[epoch].clone(),
+                };
+                let blob = checkpoint::save_with_state(spec, &mut model, &state);
+                let generation = store.push(epoch, blob.to_vec());
+                checkpoints_saved += 1;
+                events.lock().push(FaultEvent {
+                    attempt,
+                    rank: 0,
+                    epoch,
+                    step: 0,
+                    kind: FaultEventKind::CheckpointSaved { generation },
+                });
+            }
+            Err(DataParallelError::ReplicaPanicked { .. }) => {
+                restarts += 1;
+                if restarts > fault.max_restarts {
+                    return Err(DataParallelError::RestartsExhausted { restarts });
+                }
+                attempt += 1;
+                if fault.elastic && world > 1 {
+                    world -= 1;
+                }
+                match restore_latest(&mut store, &injector, attempt, &events) {
+                    Some((resume_epoch, params, opt)) => {
+                        losses.truncate(resume_epoch);
+                        epoch = resume_epoch;
+                        carried = Some((params, opt));
+                    }
+                    None => {
+                        // No readable checkpoint at all: cold restart.
+                        losses.clear();
+                        epoch = 0;
+                        carried = None;
+                    }
+                }
+            }
+            Err(other) => return Err(other),
+        }
+    }
+
+    let final_params = match carried {
+        Some((params, _)) => params,
+        // Zero-epoch run: report the initial weights, as the plain trainer
+        // does.
+        None => {
+            let mut model = spec
+                .build(config.seed.wrapping_add(1), config.precision)
+                .expect("validated model spec");
+            model.flatten_params()
+        }
+    };
+    let mut events = events.into_inner();
+    events.sort_by_key(|e| (e.attempt, e.epoch, e.step, e.rank, kind_order(&e.kind)));
+    Ok(FaultTolerantReport {
+        report: DataParallelReport {
+            epoch_losses: losses,
+            final_params,
+            bytes_sent_per_rank: bytes_sent,
+            compressed_wire_bytes: wire_bytes,
+            seconds: start.elapsed().as_secs_f64(),
+        },
+        events,
+        restarts,
+        checkpoints_saved,
+        final_world: world,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_parallel::train_data_parallel;
+    use dd_nn::Activation;
+
+    fn toy_problem(n: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = Rng64::new(seed);
+        let x = Matrix::randn(n, 3, 0.0, 1.0, &mut rng);
+        let y = Matrix::from_fn(n, 1, |i, _| x.get(i, 0) - 2.0 * x.get(i, 1) + 0.5 * x.get(i, 2));
+        (x, y)
+    }
+
+    fn spec() -> ModelSpec {
+        ModelSpec::mlp(3, &[8], 1, Activation::Tanh)
+    }
+
+    fn cfg(world: usize, epochs: usize) -> DataParallelConfig {
+        DataParallelConfig { world, epochs, global_batch: 32, ..Default::default() }
+    }
+
+    #[test]
+    fn zero_fault_run_is_bitwise_identical_to_plain_trainer() {
+        let (x, y) = toy_problem(96, 11);
+        let config = cfg(2, 4);
+        let plain = train_data_parallel(&spec(), &x, &y, &config).expect("trains");
+        let ft = train_data_parallel_ft(
+            &spec(),
+            &x,
+            &y,
+            &config,
+            &FaultConfig { checkpoint_every: 2, ..FaultConfig::none() },
+        )
+        .expect("trains");
+        assert_eq!(ft.report.epoch_losses, plain.epoch_losses);
+        assert_eq!(ft.report.final_params, plain.final_params);
+        assert_eq!(ft.restarts, 0);
+        assert_eq!(ft.checkpoints_saved, 2);
+        assert_eq!(ft.final_world, 2);
+    }
+
+    #[test]
+    fn scheduled_crash_restores_and_reproduces_the_fault_free_run() {
+        let (x, y) = toy_problem(96, 12);
+        let config = cfg(2, 5);
+        let plain = train_data_parallel(&spec(), &x, &y, &config).expect("trains");
+        // Kill rank 1 at the first step of epoch 2 on the first attempt; the
+        // supervisor restores the epoch-2 checkpoint, so the retried run
+        // replays exactly what the uninterrupted run computed.
+        let ft = train_data_parallel_ft(
+            &spec(),
+            &x,
+            &y,
+            &config,
+            &FaultConfig {
+                scheduled: vec![ScheduledFault {
+                    attempt: 0,
+                    rank: 1,
+                    epoch: 2,
+                    step: 0,
+                    kind: FaultKind::ReplicaCrash,
+                }],
+                ..FaultConfig::none()
+            },
+        )
+        .expect("recovers");
+        assert_eq!(ft.restarts, 1);
+        assert!(ft
+            .events
+            .iter()
+            .any(|e| e.kind == FaultEventKind::Crash && e.rank == 1 && e.epoch == 2));
+        assert!(ft
+            .events
+            .iter()
+            .any(|e| e.kind == FaultEventKind::CheckpointRestored { epoch: 2 }));
+        assert_eq!(ft.report.epoch_losses, plain.epoch_losses);
+        assert_eq!(ft.report.final_params, plain.final_params);
+    }
+
+    #[test]
+    fn corrupted_gradient_is_retried_without_changing_the_trajectory() {
+        let (x, y) = toy_problem(96, 13);
+        let config = cfg(2, 3);
+        let plain = train_data_parallel(&spec(), &x, &y, &config).expect("trains");
+        let ft = train_data_parallel_ft(
+            &spec(),
+            &x,
+            &y,
+            &config,
+            &FaultConfig {
+                scheduled: vec![ScheduledFault {
+                    attempt: 0,
+                    rank: 0,
+                    epoch: 1,
+                    step: 0,
+                    kind: FaultKind::CorruptGradient,
+                }],
+                ..FaultConfig::none()
+            },
+        )
+        .expect("recovers");
+        assert_eq!(ft.restarts, 0);
+        assert!(ft
+            .events
+            .iter()
+            .any(|e| e.kind == FaultEventKind::CorruptGradientRetried { retries: 1 }));
+        // The retry re-reads the clean local gradient, so the trajectory is
+        // untouched.
+        assert_eq!(ft.report.epoch_losses, plain.epoch_losses);
+        assert_eq!(ft.report.final_params, plain.final_params);
+    }
+
+    #[test]
+    fn straggler_within_timeout_is_tolerated() {
+        let (x, y) = toy_problem(64, 14);
+        let config = cfg(2, 2);
+        let plain = train_data_parallel(&spec(), &x, &y, &config).expect("trains");
+        let ft = train_data_parallel_ft(
+            &spec(),
+            &x,
+            &y,
+            &config,
+            &FaultConfig {
+                straggler_millis: 5,
+                step_timeout_millis: 250,
+                scheduled: vec![ScheduledFault {
+                    attempt: 0,
+                    rank: 1,
+                    epoch: 0,
+                    step: 0,
+                    kind: FaultKind::Straggler,
+                }],
+                ..FaultConfig::none()
+            },
+        )
+        .expect("tolerates");
+        assert_eq!(ft.restarts, 0);
+        assert!(ft.events.iter().any(|e| e.kind == FaultEventKind::StragglerDelay { millis: 5 }));
+        assert_eq!(ft.report.final_params, plain.final_params);
+    }
+
+    #[test]
+    fn straggler_beyond_timeout_is_evicted_and_world_shrinks() {
+        let (x, y) = toy_problem(64, 15);
+        let config = cfg(3, 3);
+        let ft = train_data_parallel_ft(
+            &spec(),
+            &x,
+            &y,
+            &config,
+            &FaultConfig {
+                straggler_millis: 300,
+                step_timeout_millis: 10,
+                elastic: true,
+                scheduled: vec![ScheduledFault {
+                    attempt: 0,
+                    rank: 2,
+                    epoch: 1,
+                    step: 0,
+                    kind: FaultKind::Straggler,
+                }],
+                ..FaultConfig::none()
+            },
+        )
+        .expect("recovers elastically");
+        assert_eq!(ft.restarts, 1);
+        assert_eq!(ft.final_world, 2);
+        assert!(ft
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::StragglerTimeout { .. })));
+        assert_eq!(ft.report.epoch_losses.len(), 3);
+    }
+
+    #[test]
+    fn storage_failures_fall_back_to_an_older_generation() {
+        let (x, y) = toy_problem(96, 16);
+        let config = cfg(2, 4);
+        let plain = train_data_parallel(&spec(), &x, &y, &config).expect("trains");
+        // Crash at epoch 2 after checkpoints at epochs 1 (gen 1) and 2
+        // (gen 2); make every read of gen 2 fail so the supervisor falls
+        // back to gen 1 and replays from epoch 1 — still exactly the
+        // fault-free trajectory.
+        let mut scheduled = vec![ScheduledFault {
+            attempt: 0,
+            rank: 0,
+            epoch: 2,
+            step: 0,
+            kind: FaultKind::ReplicaCrash,
+        }];
+        for retry in 0..=1 {
+            scheduled.push(ScheduledFault {
+                attempt: 1,
+                rank: 0,
+                epoch: 2, // generation for storage faults
+                step: retry,
+                kind: FaultKind::StorageReadFail,
+            });
+        }
+        let ft = train_data_parallel_ft(
+            &spec(),
+            &x,
+            &y,
+            &config,
+            &FaultConfig { max_storage_retries: 1, scheduled, ..FaultConfig::none() },
+        )
+        .expect("recovers from older checkpoint");
+        assert_eq!(ft.restarts, 1);
+        assert_eq!(
+            ft.events
+                .iter()
+                .filter(|e| matches!(e.kind, FaultEventKind::StorageReadFailed { generation: 2 }))
+                .count(),
+            2
+        );
+        assert!(ft
+            .events
+            .iter()
+            .any(|e| e.kind == FaultEventKind::CheckpointRestored { epoch: 1 }));
+        assert_eq!(ft.report.epoch_losses, plain.epoch_losses);
+        assert_eq!(ft.report.final_params, plain.final_params);
+    }
+
+    #[test]
+    fn restarts_exhausted_is_a_typed_error() {
+        let (x, y) = toy_problem(64, 17);
+        let err = train_data_parallel_ft(
+            &spec(),
+            &x,
+            &y,
+            &cfg(2, 2),
+            &FaultConfig { p_crash: 1.0, max_restarts: 2, ..FaultConfig::none() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataParallelError::RestartsExhausted { restarts: 3 }));
+    }
+
+    #[test]
+    fn fault_storm_completes_deterministically() {
+        let (x, y) = toy_problem(96, 18);
+        let config = cfg(2, 4);
+        let fault = FaultConfig {
+            seed: 7,
+            p_crash: 0.03,
+            p_straggler: 0.05,
+            p_corrupt_grad: 0.05,
+            p_storage_fail: 0.1,
+            straggler_millis: 1,
+            max_restarts: 100,
+            ..FaultConfig::none()
+        };
+        let a = train_data_parallel_ft(&spec(), &x, &y, &config, &fault).expect("survives");
+        let b = train_data_parallel_ft(&spec(), &x, &y, &config, &fault).expect("survives");
+        assert_eq!(a.report.epoch_losses.len(), 4);
+        // Deterministic injection: identical runs, identical event logs.
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.report.final_params, b.report.final_params);
+        assert_eq!(a.restarts, b.restarts);
+    }
+
+    #[test]
+    fn checkpoint_store_retention_is_bounded() {
+        let mut store = CheckpointStore::new(2);
+        assert!(store.is_empty());
+        for epoch in 1..=5 {
+            store.push(epoch, vec![epoch as u8]);
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.newest().unwrap().epoch, 5);
+        assert_eq!(store.newest().unwrap().generation, 5);
+        store.drop_newest();
+        assert_eq!(store.newest().unwrap().epoch, 4);
+    }
+}

@@ -15,6 +15,12 @@
 //!   factorizations of a node allocation for the fastest plan, and
 //!   [`compression`] quantifies the bytes saved by top-k/int8 gradient
 //!   compression.
+//!
+//! Failures are first-class: [`fault`] adds a deterministic, seeded fault
+//! injector (crashes, stragglers, NaN gradients, storage read failures) and
+//! a checkpoint/restart supervisor with elastic recovery on top of the
+//! data-parallel trainer, whose error modes are the typed
+//! [`DataParallelError`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,12 +28,19 @@
 pub mod allreduce;
 pub mod compression;
 pub mod data_parallel;
+pub mod fault;
 pub mod model_parallel;
 pub mod planner;
 
 pub use allreduce::{ring, RingMember};
 pub use compression::{quantize_gradient, Compressed, TopKCompressor};
-pub use data_parallel::{train_data_parallel, DataParallelConfig, DataParallelReport, GradCompression};
+pub use data_parallel::{
+    train_data_parallel, DataParallelConfig, DataParallelError, DataParallelReport, GradCompression,
+};
+pub use fault::{
+    train_data_parallel_ft, CheckpointStore, FaultConfig, FaultEvent, FaultEventKind,
+    FaultInjector, FaultKind, FaultTolerantReport, ScheduledFault,
+};
 pub use model_parallel::{build_stages, partition_by_params, Partition, StagedModel};
 pub use planner::{best_campaign, best_plan, enumerate_plans, CampaignPlan, Plan};
 

@@ -35,10 +35,7 @@ impl Partition {
 pub fn partition_by_params(spec: &ModelSpec, parts: usize) -> Partition {
     let total_layers = spec.layers.len();
     assert!(parts >= 1, "need at least one part");
-    assert!(
-        parts <= total_layers,
-        "cannot split {total_layers} layers into {parts} stages"
-    );
+    assert!(parts <= total_layers, "cannot split {total_layers} layers into {parts} stages");
     // Parameter count per layer via a throwaway build (cheap: init only).
     let model = spec.build(0, Precision::F32).expect("invalid spec");
     let per_layer: Vec<usize> = model.layers().iter().map(|l| l.param_count()).collect();

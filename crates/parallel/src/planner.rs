@@ -59,19 +59,11 @@ pub fn enumerate_plans(
 }
 
 /// The fastest plan for `nodes`.
-pub fn best_plan(
-    machine: &Machine,
-    job: &TrainJob,
-    nodes: usize,
-    precision: SimPrecision,
-) -> Plan {
+pub fn best_plan(machine: &Machine, job: &TrainJob, nodes: usize, precision: SimPrecision) -> Plan {
     enumerate_plans(machine, job, nodes, precision)
         .into_iter()
         .min_by(|a, b| {
-            a.breakdown
-                .step
-                .partial_cmp(&b.breakdown.step)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            a.breakdown.step.partial_cmp(&b.breakdown.step).unwrap_or(std::cmp::Ordering::Equal)
         })
         .expect("at least the single-node plan exists")
 }
@@ -147,9 +139,7 @@ mod tests {
     fn enumerate_includes_pure_data_plan() {
         let m = Machine::gpu_2017(64);
         let plans = enumerate_plans(&m, &job(), 64, SimPrecision::F32);
-        assert!(plans
-            .iter()
-            .any(|p| matches!(p.strategy, Strategy::Data { nodes: 64, .. })));
+        assert!(plans.iter().any(|p| matches!(p.strategy, Strategy::Data { nodes: 64, .. })));
         assert!(plans.len() >= 2, "should find hybrid options too");
     }
 

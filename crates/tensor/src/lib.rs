@@ -27,7 +27,9 @@ pub mod ops;
 pub mod precision;
 pub mod rng;
 
-pub use matmul::{dot, matmul, matmul_nt, matmul_nt_prec, matmul_prec, matmul_tn, matmul_tn_prec, matvec};
+pub use matmul::{
+    dot, matmul, matmul_nt, matmul_nt_prec, matmul_prec, matmul_tn, matmul_tn_prec, matvec,
+};
 pub use matrix::Matrix;
 pub use ops::{one_hot, pearson, r2_score, sigmoid, softmax_rows, Standardizer};
 pub use precision::Precision;

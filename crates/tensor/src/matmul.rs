@@ -38,13 +38,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// `C = A · B` with the given precision emulation.
 pub fn matmul_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "matmul shape mismatch: {:?} x {:?}",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
     match p {
         Precision::F32 => mm_f32(a, b),
         Precision::F64 => mm_f64(a, b),
@@ -58,13 +52,7 @@ pub fn matmul_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
 
 /// `C = A · Bᵀ` with the given precision emulation.
 pub fn matmul_nt_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
-    assert_eq!(
-        a.cols(),
-        b.cols(),
-        "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch: {:?} x {:?}ᵀ", a.shape(), b.shape());
     match p {
         Precision::F32 => mm_nt_f32(a, b),
         Precision::F64 => mm_nt_f64(a, b),
@@ -86,13 +74,7 @@ pub fn matmul_nt_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
 /// keeps the subsequent inner loops contiguous, which measures faster than a
 /// strided in-place kernel for every size used in this workspace.
 pub fn matmul_tn_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
-    assert_eq!(
-        a.rows(),
-        b.rows(),
-        "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch: {:?}ᵀ x {:?}", a.shape(), b.shape());
     let at = a.transpose();
     matmul_prec(&at, b, p)
 }
@@ -151,15 +133,9 @@ fn mm_f32(a: &Matrix, b: &Matrix) -> Matrix {
         let _ = k;
     };
     if m * n >= PAR_MIN_OUT && m > 1 {
-        c.as_mut_slice()
-            .par_chunks_mut(n)
-            .zip(a.as_slice().par_chunks(a.cols()))
-            .for_each(body);
+        c.as_mut_slice().par_chunks_mut(n).zip(a.as_slice().par_chunks(a.cols())).for_each(body);
     } else {
-        c.as_mut_slice()
-            .chunks_mut(n)
-            .zip(a.as_slice().chunks(a.cols()))
-            .for_each(body);
+        c.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(a.cols())).for_each(body);
     }
     c
 }
@@ -185,15 +161,9 @@ fn mm_f64(a: &Matrix, b: &Matrix) -> Matrix {
         }
     };
     if m * n >= PAR_MIN_OUT && m > 1 {
-        c.as_mut_slice()
-            .par_chunks_mut(n)
-            .zip(a.as_slice().par_chunks(a.cols()))
-            .for_each(body);
+        c.as_mut_slice().par_chunks_mut(n).zip(a.as_slice().par_chunks(a.cols())).for_each(body);
     } else {
-        c.as_mut_slice()
-            .chunks_mut(n)
-            .zip(a.as_slice().chunks(a.cols()))
-            .for_each(body);
+        c.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(a.cols())).for_each(body);
     }
     c
 }
@@ -209,15 +179,9 @@ fn mm_nt_f32(a: &Matrix, b: &Matrix) -> Matrix {
         }
     };
     if m * n >= PAR_MIN_OUT && m > 1 {
-        c.as_mut_slice()
-            .par_chunks_mut(n)
-            .zip(a.as_slice().par_chunks(a.cols()))
-            .for_each(body);
+        c.as_mut_slice().par_chunks_mut(n).zip(a.as_slice().par_chunks(a.cols())).for_each(body);
     } else {
-        c.as_mut_slice()
-            .chunks_mut(n)
-            .zip(a.as_slice().chunks(a.cols()))
-            .for_each(body);
+        c.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(a.cols())).for_each(body);
     }
     c
 }
@@ -236,15 +200,9 @@ fn mm_nt_f64(a: &Matrix, b: &Matrix) -> Matrix {
         }
     };
     if m * n >= PAR_MIN_OUT && m > 1 {
-        c.as_mut_slice()
-            .par_chunks_mut(n)
-            .zip(a.as_slice().par_chunks(a.cols()))
-            .for_each(body);
+        c.as_mut_slice().par_chunks_mut(n).zip(a.as_slice().par_chunks(a.cols())).for_each(body);
     } else {
-        c.as_mut_slice()
-            .chunks_mut(n)
-            .zip(a.as_slice().chunks(a.cols()))
-            .for_each(body);
+        c.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(a.cols())).for_each(body);
     }
     c
 }
@@ -278,10 +236,7 @@ fn mm_i8_nt(a: &Matrix, b: &Matrix) -> Matrix {
         }
     };
     if m * n >= PAR_MIN_OUT && m > 1 {
-        c.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, row)| body((i, row)));
+        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, row)| body((i, row)));
     } else {
         for (i, row) in c.as_mut_slice().chunks_mut(n).enumerate() {
             body((i, row));

@@ -271,10 +271,7 @@ impl Matrix {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
         let mut out = self.clone();
         if out.data.len() >= PAR_THRESHOLD {
-            out.data
-                .par_iter_mut()
-                .zip(other.data.par_iter())
-                .for_each(|(a, &b)| *a = f(*a, b));
+            out.data.par_iter_mut().zip(other.data.par_iter()).for_each(|(a, &b)| *a = f(*a, b));
         } else {
             for (a, &b) in out.data.iter_mut().zip(&other.data) {
                 *a = f(*a, b);
@@ -376,13 +373,16 @@ impl Matrix {
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                        if v > bv {
-                            (i, v)
-                        } else {
-                            (bi, bv)
-                        }
-                    })
+                    .fold(
+                        (0usize, f32::NEG_INFINITY),
+                        |(bi, bv), (i, &v)| {
+                            if v > bv {
+                                (i, v)
+                            } else {
+                                (bi, bv)
+                            }
+                        },
+                    )
                     .0
             })
             .collect()
@@ -401,11 +401,7 @@ impl Matrix {
     /// Approximate element-wise equality within `tol` (absolute).
     pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
         self.shape() == other.shape()
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(&a, &b)| (a - b).abs() <= tol)
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
     }
 }
 

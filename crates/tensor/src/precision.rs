@@ -34,13 +34,8 @@ pub enum Precision {
 
 impl Precision {
     /// All supported formats, in decreasing width order.
-    pub const ALL: [Precision; 5] = [
-        Precision::F64,
-        Precision::F32,
-        Precision::Bf16,
-        Precision::F16,
-        Precision::Int8,
-    ];
+    pub const ALL: [Precision; 5] =
+        [Precision::F64, Precision::F32, Precision::Bf16, Precision::F16, Precision::Int8];
 
     /// Bits used to store one operand in this format.
     pub fn bits(self) -> u32 {
@@ -188,10 +183,7 @@ pub fn quantize_i8(values: &[f32]) -> (Vec<i8>, f32) {
     }
     let scale = max_abs / 127.0;
     let inv = 1.0 / scale;
-    let codes = values
-        .iter()
-        .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8)
-        .collect();
+    let codes = values.iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8).collect();
     (codes, scale)
 }
 

@@ -34,12 +34,8 @@ impl Rng64 {
     /// produce identical streams on every platform.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Rng64 { s }
     }
 
@@ -51,14 +47,11 @@ impl Rng64 {
     pub fn split(&self, label: u64) -> Self {
         // Mix the label into the full parent state via SplitMix64 so that
         // adjacent labels give unrelated streams.
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut sm2 = self.s[1] ^ self.s[3].rotate_left(29) ^ !label;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm2),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm2),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm2), splitmix64(&mut sm), splitmix64(&mut sm2)];
         Rng64 { s }
     }
 
@@ -161,9 +154,7 @@ impl Rng64 {
             }
             let v3 = v * v * v;
             let u = self.uniform();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
                 return d * v3 * scale;
             }
         }

@@ -47,7 +47,9 @@ fn main() {
         patience: Some(6),
         ..TrainConfig::default()
     });
-    trainer.fit(&mut model, &split.train.x, y_train, Some((&split.val.x, y_val)));
+    trainer
+        .fit(&mut model, &split.train.x, y_train, Some((&split.val.x, y_val)))
+        .expect("training converged");
 
     let dnn_pred = model.predict(&split.test.x);
     let dnn_r2 = r2_score(y_test.as_slice(), dnn_pred.as_slice());

@@ -11,11 +11,7 @@ fn main() {
     let steps = 120;
     let dt = 0.04;
     let make = || LjSystem::lattice(6, 1.3, 0.4, 99);
-    println!(
-        "LJ fluid: {} particles, {} macro-steps of dt={dt}\n",
-        make().len(),
-        steps
-    );
+    println!("LJ fluid: {} particles, {} macro-steps of dt={dt}\n", make().len(), steps);
 
     let mut probe = make();
     let force_threshold = probe.max_force();

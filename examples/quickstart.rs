@@ -47,7 +47,9 @@ fn main() {
     });
     let y_train = split.train.y.to_matrix();
     let y_val = split.val.y.to_matrix();
-    let history = trainer.fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)));
+    let history = trainer
+        .fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)))
+        .expect("training converged");
     for e in &history.epochs {
         println!(
             "epoch {:>2}  train loss {:.4}  val loss {:.4}",

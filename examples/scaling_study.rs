@@ -30,7 +30,8 @@ fn main() {
                 seed: 3,
                 ..Default::default()
             },
-        );
+        )
+        .expect("data-parallel run succeeds");
         if world == 1 {
             t1 = report.seconds;
         }

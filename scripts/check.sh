@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: build, test, formatting, lints.
+# Run from the repository root; any failure aborts with a non-zero exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy"
+cargo clippy --workspace -- -D warnings
+
+echo "All checks passed."

@@ -50,7 +50,7 @@
 //!     ..TrainConfig::default()
 //! });
 //! let y = split.train.y.to_matrix();
-//! trainer.fit(&mut model, &split.train.x, &y, None);
+//! trainer.fit(&mut model, &split.train.x, &y, None).expect("training converged");
 //! let acc = dd_nn::metrics::accuracy(
 //!     &model.predict(&split.test.x),
 //!     split.test.y.labels().unwrap(),

@@ -2,8 +2,8 @@
 //! pipelines spanning the whole public API, exactly as the examples use it.
 
 use deepdriver::datagen::baselines::Logistic;
-use deepdriver::datagen::tumor::{self, TumorConfig};
 use deepdriver::datagen::expression::ExpressionModel;
+use deepdriver::datagen::tumor::{self, TumorConfig};
 use deepdriver::nn::metrics;
 use deepdriver::prelude::*;
 
@@ -22,9 +22,8 @@ fn small_tumor_split(seed: u64) -> deepdriver::datagen::Split {
 #[test]
 fn full_pipeline_classification() {
     let split = small_tumor_split(1);
-    let mut model = ModelSpec::mlp(64, &[32], 3, Activation::Relu)
-        .build(1, Precision::F32)
-        .unwrap();
+    let mut model =
+        ModelSpec::mlp(64, &[32], 3, Activation::Relu).build(1, Precision::F32).unwrap();
     let mut trainer = Trainer::new(TrainConfig {
         epochs: 15,
         loss: Loss::SoftmaxCrossEntropy,
@@ -32,7 +31,7 @@ fn full_pipeline_classification() {
         ..TrainConfig::default()
     });
     let y = split.train.y.to_matrix();
-    let history = trainer.fit(&mut model, &split.train.x, &y, None);
+    let history = trainer.fit(&mut model, &split.train.x, &y, None).expect("training converged");
     assert!(history.final_train_loss() < history.epochs[0].train_loss);
     let acc = metrics::accuracy(&model.predict(&split.test.x), split.test.y.labels().unwrap());
     assert!(acc > 0.7, "end-to-end accuracy {acc}");
@@ -44,9 +43,8 @@ fn dnn_and_baseline_agree_on_easy_data() {
     // a cross-check that the data generator, the NN stack and the classical
     // baselines all see the same structure.
     let split = small_tumor_split(2);
-    let mut model = ModelSpec::mlp(64, &[32], 3, Activation::Tanh)
-        .build(2, Precision::F32)
-        .unwrap();
+    let mut model =
+        ModelSpec::mlp(64, &[32], 3, Activation::Tanh).build(2, Precision::F32).unwrap();
     let mut trainer = Trainer::new(TrainConfig {
         epochs: 15,
         loss: Loss::SoftmaxCrossEntropy,
@@ -54,7 +52,7 @@ fn dnn_and_baseline_agree_on_easy_data() {
         ..TrainConfig::default()
     });
     let y = split.train.y.to_matrix();
-    trainer.fit(&mut model, &split.train.x, &y, None);
+    trainer.fit(&mut model, &split.train.x, &y, None).expect("training converged");
     let labels = split.test.y.labels().unwrap();
     let dnn_acc = metrics::accuracy(&model.predict(&split.test.x), labels);
 
@@ -76,9 +74,8 @@ fn dnn_and_baseline_agree_on_easy_data() {
 #[test]
 fn precision_sweep_preserves_trained_model_quality() {
     let split = small_tumor_split(3);
-    let mut model = ModelSpec::mlp(64, &[32], 3, Activation::Relu)
-        .build(3, Precision::F32)
-        .unwrap();
+    let mut model =
+        ModelSpec::mlp(64, &[32], 3, Activation::Relu).build(3, Precision::F32).unwrap();
     let mut trainer = Trainer::new(TrainConfig {
         epochs: 12,
         loss: Loss::SoftmaxCrossEntropy,
@@ -86,7 +83,7 @@ fn precision_sweep_preserves_trained_model_quality() {
         ..TrainConfig::default()
     });
     let y = split.train.y.to_matrix();
-    trainer.fit(&mut model, &split.train.x, &y, None);
+    trainer.fit(&mut model, &split.train.x, &y, None).expect("training converged");
     let labels = split.test.y.labels().unwrap();
     let f32_acc = metrics::accuracy(&model.predict(&split.test.x), labels);
     assert!(f32_acc > 0.7);
@@ -99,10 +96,7 @@ fn precision_sweep_preserves_trained_model_quality() {
     ] {
         model.set_precision(precision);
         let acc = metrics::accuracy(&model.predict(&split.test.x), labels);
-        assert!(
-            acc > f32_acc - slack,
-            "{precision}: {acc} vs f32 {f32_acc}"
-        );
+        assert!(acc > f32_acc - slack, "{precision}: {acc} vs f32 {f32_acc}");
     }
 }
 

@@ -1,0 +1,164 @@
+//! Integration tests for fault-tolerant data-parallel training: injected
+//! replica crashes, checkpoint/restart exactness, elastic recovery, and the
+//! typed error surface.
+
+use deepdriver::parallel::{
+    train_data_parallel, train_data_parallel_ft, DataParallelConfig, DataParallelError,
+    FaultConfig, FaultEventKind, FaultKind, ScheduledFault,
+};
+use deepdriver::prelude::*;
+
+fn toy_data(n: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = Rng64::new(seed);
+    let x = Matrix::randn(n, 6, 0.0, 1.0, &mut rng);
+    let y = Matrix::from_fn(n, 1, |i, _| (x.get(i, 0) * x.get(i, 1) + x.get(i, 2)).tanh());
+    (x, y)
+}
+
+fn spec() -> ModelSpec {
+    ModelSpec::mlp(6, &[16], 1, Activation::Tanh)
+}
+
+#[test]
+fn kill_at_epoch_k_then_restore_matches_uninterrupted_run_exactly() {
+    let (x, y) = toy_data(192, 21);
+    let config =
+        DataParallelConfig { world: 2, epochs: 6, global_batch: 48, seed: 5, ..Default::default() };
+    let uninterrupted = train_data_parallel(&spec(), &x, &y, &config).expect("trains");
+    let killed = train_data_parallel_ft(
+        &spec(),
+        &x,
+        &y,
+        &config,
+        &FaultConfig {
+            checkpoint_every: 1,
+            scheduled: vec![ScheduledFault {
+                attempt: 0,
+                rank: 0,
+                epoch: 3,
+                step: 0,
+                kind: FaultKind::ReplicaCrash,
+            }],
+            ..FaultConfig::none()
+        },
+    )
+    .expect("recovers");
+    assert_eq!(killed.restarts, 1);
+    assert!(killed
+        .events
+        .iter()
+        .any(|e| e.kind == FaultEventKind::CheckpointRestored { epoch: 3 }));
+    // Checkpoint/restart must be invisible in the numbers: identical loss
+    // curve and bitwise-identical final parameters.
+    assert_eq!(killed.report.epoch_losses, uninterrupted.epoch_losses);
+    assert_eq!(killed.report.final_params, uninterrupted.final_params);
+}
+
+#[test]
+fn zero_fault_supervised_run_is_bitwise_identical_to_plain_trainer() {
+    let (x, y) = toy_data(144, 22);
+    let config =
+        DataParallelConfig { world: 3, epochs: 5, global_batch: 48, seed: 9, ..Default::default() };
+    let plain = train_data_parallel(&spec(), &x, &y, &config).expect("trains");
+    let supervised = train_data_parallel_ft(
+        &spec(),
+        &x,
+        &y,
+        &config,
+        &FaultConfig { checkpoint_every: 2, ..FaultConfig::none() },
+    )
+    .expect("trains");
+    assert_eq!(supervised.restarts, 0);
+    assert_eq!(supervised.report.epoch_losses, plain.epoch_losses);
+    assert_eq!(supervised.report.final_params, plain.final_params);
+}
+
+#[test]
+fn elastic_recovery_finishes_with_a_smaller_world() {
+    let (x, y) = toy_data(144, 23);
+    let config =
+        DataParallelConfig { world: 3, epochs: 4, global_batch: 48, seed: 2, ..Default::default() };
+    let report = train_data_parallel_ft(
+        &spec(),
+        &x,
+        &y,
+        &config,
+        &FaultConfig {
+            elastic: true,
+            scheduled: vec![ScheduledFault {
+                attempt: 0,
+                rank: 2,
+                epoch: 1,
+                step: 0,
+                kind: FaultKind::ReplicaCrash,
+            }],
+            ..FaultConfig::none()
+        },
+    )
+    .expect("recovers elastically");
+    assert_eq!(report.final_world, 2);
+    assert_eq!(report.restarts, 1);
+    assert_eq!(report.report.epoch_losses.len(), 4);
+    assert!(report.report.epoch_losses.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn fault_storm_still_converges_close_to_the_fault_free_run() {
+    let (x, y) = toy_data(192, 24);
+    let config = DataParallelConfig {
+        world: 2,
+        epochs: 10,
+        global_batch: 48,
+        seed: 7,
+        ..Default::default()
+    };
+    let plain = train_data_parallel(&spec(), &x, &y, &config).expect("trains");
+    let stormy = train_data_parallel_ft(
+        &spec(),
+        &x,
+        &y,
+        &config,
+        &FaultConfig {
+            seed: 13,
+            p_crash: 0.01,
+            p_corrupt_grad: 0.03,
+            straggler_millis: 1,
+            p_straggler: 0.03,
+            max_restarts: 50,
+            ..FaultConfig::none()
+        },
+    )
+    .expect("survives the storm");
+    assert_eq!(stormy.report.epoch_losses.len(), 10);
+    let plain_final = *plain.epoch_losses.last().unwrap();
+    let stormy_final = *stormy.report.epoch_losses.last().unwrap();
+    assert!(stormy_final.is_finite());
+    // Dropped/replayed gradients may perturb the trajectory, but the run
+    // must still land in the same neighborhood as the fault-free one.
+    assert!(
+        stormy_final < 3.0 * plain_final + 0.05,
+        "stormy final {stormy_final} vs plain {plain_final}"
+    );
+}
+
+#[test]
+fn configuration_errors_are_typed_not_panics() {
+    let (x, y) = toy_data(32, 25);
+    let err = train_data_parallel(
+        &spec(),
+        &x,
+        &y,
+        &DataParallelConfig { world: 64, global_batch: 8, ..Default::default() },
+    )
+    .unwrap_err();
+    assert_eq!(err, DataParallelError::WorldExceedsBatch { world: 64, global_batch: 8 });
+    let err = train_data_parallel_ft(
+        &spec(),
+        &x,
+        &y,
+        &DataParallelConfig { world: 0, ..Default::default() },
+        &FaultConfig::none(),
+    )
+    .unwrap_err();
+    assert_eq!(err, DataParallelError::WorldZero);
+}

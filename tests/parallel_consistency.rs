@@ -11,9 +11,7 @@ use deepdriver::prelude::*;
 fn toy_data(n: usize, seed: u64) -> (Matrix, Matrix) {
     let mut rng = Rng64::new(seed);
     let x = Matrix::randn(n, 6, 0.0, 1.0, &mut rng);
-    let y = Matrix::from_fn(n, 1, |i, _| {
-        (x.get(i, 0) * x.get(i, 1) + x.get(i, 2)).tanh()
-    });
+    let y = Matrix::from_fn(n, 1, |i, _| (x.get(i, 0) * x.get(i, 1) + x.get(i, 2)).tanh());
     (x, y)
 }
 
@@ -34,16 +32,13 @@ fn data_parallel_equivalence_across_world_sizes() {
                 ..Default::default()
             },
         )
+        .expect("data-parallel run succeeds")
         .final_params
     };
     let p1 = run(1);
     for world in [2, 3, 4, 6] {
         let pw = run(world);
-        let max_diff = p1
-            .iter()
-            .zip(&pw)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0f32, f32::max);
+        let max_diff = p1.iter().zip(&pw).map(|(a, b)| (a - b).abs()).fold(0f32, f32::max);
         assert!(max_diff < 2e-3, "world {world} diverged by {max_diff}");
     }
 }
@@ -59,10 +54,7 @@ fn model_parallel_stages_match_whole_model_predictions() {
         let partition = partition_by_params(&spec, parts);
         let mut staged = build_stages(&spec, &partition, 7, Precision::F32);
         let y_staged = staged.forward(&x, false);
-        assert!(
-            y_whole.approx_eq(&y_staged, 1e-4),
-            "{parts}-way partition changed predictions"
-        );
+        assert!(y_whole.approx_eq(&y_staged, 1e-4), "{parts}-way partition changed predictions");
     }
 }
 
