@@ -4,6 +4,7 @@ use deepdriver_core::experiments::{self, e1_precision};
 use deepdriver_core::report::Scale;
 
 fn main() {
+    let _obs = dd_obs::EnvSession::from_env();
     let args: Vec<String> = std::env::args().collect();
     let scale = Scale::from_arg(args.get(1).map(String::as_str));
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);

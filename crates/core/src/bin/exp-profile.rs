@@ -1,0 +1,36 @@
+//! Regenerates the E12 measured-vs-modeled profile. Usage:
+//! `exp-profile [smoke|full] [seed]`.
+//!
+//! The instrumented run's Chrome trace goes to `$DD_TRACE` when set
+//! (likewise `$DD_METRICS` for the JSONL metrics stream), otherwise to
+//! `results/e12_trace.json` — load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+
+use deepdriver_core::experiments::{self, e12_profile};
+use deepdriver_core::report::Scale;
+
+fn main() {
+    let _obs = dd_obs::EnvSession::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+
+    let snapshot = e12_profile::measure(scale, seed);
+    let modeled = e12_profile::modeled(scale);
+    let table = e12_profile::table(&snapshot, &modeled);
+    experiments::emit(&table, "e12_profile");
+
+    println!("{}", dd_obs::summary_export(&snapshot));
+    println!("modeled: {}", modeled.summary());
+    println!("modeled: {}", modeled.timeline(72));
+
+    if std::env::var_os("DD_TRACE").is_none() {
+        let path = std::path::Path::new("results").join("e12_trace.json");
+        match std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(&path, dd_obs::chrome_trace(&snapshot)))
+        {
+            Ok(()) => println!("[trace] {}", path.display()),
+            Err(err) => eprintln!("[warn] could not write {}: {err}", path.display()),
+        }
+    }
+}

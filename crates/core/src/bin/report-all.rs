@@ -3,12 +3,13 @@
 //! take tens of minutes (it retrains every workload).
 
 use deepdriver_core::experiments::{
-    self, e10_compression, e11_faults, e1_precision, e2_scaling, e3_parallelism, e4_memory,
-    e5_nvram, e6_search, e7_hybrid, e8_workloads, e9_mdsurrogate,
+    self, e10_compression, e11_faults, e12_profile, e1_precision, e2_scaling, e3_parallelism,
+    e4_memory, e5_nvram, e6_search, e7_hybrid, e8_workloads, e9_mdsurrogate,
 };
 use deepdriver_core::report::Scale;
 
 fn main() {
+    let _obs = dd_obs::EnvSession::from_env();
     let args: Vec<String> = std::env::args().collect();
     let scale = Scale::from_arg(args.get(1).map(String::as_str));
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
@@ -26,6 +27,9 @@ fn main() {
         ("e9_mdsurrogate", Box::new(move || e9_mdsurrogate::run(scale, seed))),
         ("e10_compression", Box::new(move || e10_compression::run(scale, seed))),
         ("e11_faults", Box::new(move || e11_faults::run(scale, seed))),
+        // Last on purpose: e12 resets the global dd-obs registry before its
+        // instrumented run, so a DD_TRACE export captures e12's profile.
+        ("e12_profile", Box::new(move || e12_profile::run(scale, seed))),
     ];
     let total = experiments.len();
     for (i, (slug, run)) in experiments.into_iter().enumerate() {

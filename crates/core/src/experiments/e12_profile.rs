@@ -1,0 +1,232 @@
+//! E12 — measured vs modeled time breakdown: where does the time go?
+//!
+//! Every preceding experiment trusts `dd-hpcsim`'s analytic phase split
+//! (compute / comm / io / checkpoint). This experiment closes the loop: it
+//! runs a *real* instrumented workload mix under `dd-obs` — the W1 tumor
+//! CNN trained single-node, the W2 dense net trained data-parallel, a
+//! checkpoint round trip, and in-situ data generation standing in for shard
+//! staging — snapshots the registry, and prints the measured breakdown
+//! beside a modeled `trace_training_run` of a comparable job.
+//!
+//! Absolute seconds are not comparable (the model prices a 2017 GPU node,
+//! the measurement is whatever workstation runs the binary; measured phase
+//! time also sums *per-thread* leaf spans, i.e. rank-seconds under data
+//! parallelism). The comparable quantity — and the point of the table — is
+//! the *share* column: both sides bucket time into the same four-phase
+//! vocabulary ([`Phase`], shared between `dd-obs` and `dd-hpcsim`), so the
+//! rows line up one for one.
+
+use crate::report::{fnum, Scale, Table};
+use crate::workloads::{w1_tumor, w2_drug_response};
+use dd_datagen::{drug_response, tumor, Target};
+use dd_hpcsim::{
+    checkpoint_cost, trace_training_run, AllreduceAlgo, Machine, Phase, SimPrecision, Staging,
+    Strategy, Tier, Trace, TrainJob,
+};
+use dd_nn::{checkpoint, Loss, OptimizerConfig, TrainConfig, Trainer};
+use dd_obs::Snapshot;
+use dd_parallel::data_parallel::{train_data_parallel, DataParallelConfig};
+use dd_tensor::Precision;
+
+/// Run the instrumented workload mix and return the registry snapshot.
+///
+/// Enables the global `dd-obs` registry for the duration (restoring the
+/// previous enabled state on exit) and resets it first, so the snapshot
+/// contains exactly this run.
+pub fn measure(scale: Scale, seed: u64) -> Snapshot {
+    let was_enabled = dd_obs::is_enabled();
+    dd_obs::reset();
+    dd_obs::enable();
+
+    // Data generation stands in for shard staging I/O: it is the paper's
+    // "generate in situ" staging mode made literal.
+    let io_span = dd_obs::span_phase("datagen", Phase::Io);
+    let w1 = w1_tumor::setup(scale);
+    let w1_data = tumor::generate(&w1.data, seed);
+    let (w2_cfg, _) = w2_drug_response::config(scale);
+    let w2_data = drug_response::generate(&w2_cfg, seed ^ 0xE12);
+    io_span.finish();
+
+    // W1: the 1-D CNN trained single-node — compute-dominated.
+    let split = w1_data.dataset.split(0.15, 0.15, seed ^ 0xA5, true);
+    let spec = w1_tumor::cnn_spec(w1.data.expression.genes, w1.data.types);
+    let mut model = spec.build(seed ^ 0x5A, Precision::F32).expect("valid CNN spec");
+    let epochs = match scale {
+        Scale::Smoke => 4,
+        Scale::Full => w1.epochs,
+    };
+    let mut trainer = Trainer::new(TrainConfig {
+        batch_size: 32,
+        epochs,
+        optimizer: OptimizerConfig::adam(1e-3),
+        loss: Loss::SoftmaxCrossEntropy,
+        seed,
+        ..TrainConfig::default()
+    });
+    let y_train = split.train.y.to_matrix();
+    let y_val = split.val.y.to_matrix();
+    trainer
+        .fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)))
+        .expect("training converged");
+
+    // Checkpoint round trip at the end of training.
+    let blob = checkpoint::save(&spec, &mut model);
+    checkpoint::load(&blob).expect("checkpoint round-trips");
+
+    // W2: the dense regression net trained synchronously data-parallel —
+    // this is where comm (allreduce) time comes from.
+    let w2_split = w2_data.dataset.split(0.0, 0.2, seed ^ 0xB7, true);
+    let w2_y = match &w2_split.train.y {
+        Target::Regression(m) => m.clone(),
+        _ => unreachable!("regression workload"),
+    };
+    let dp = DataParallelConfig {
+        world: 2,
+        global_batch: 64,
+        epochs: match scale {
+            Scale::Smoke => 2,
+            Scale::Full => 6,
+        },
+        optimizer: OptimizerConfig::adam(1e-3),
+        loss: Loss::Mse,
+        seed,
+        ..DataParallelConfig::default()
+    };
+    let w2_spec = w2_drug_response::net_spec(w2_split.train.dim());
+    train_data_parallel(&w2_spec, &w2_split.train.x, &w2_y, &dp).expect("data-parallel trains");
+
+    let snap = dd_obs::snapshot();
+    if !was_enabled {
+        dd_obs::disable();
+    }
+    snap
+}
+
+/// The modeled counterpart: `dd-hpcsim`'s trace of a comparable small
+/// data-parallel job, with the measured run's per-epoch checkpoints
+/// mirrored as explicit checkpoint spans.
+pub fn modeled(scale: Scale) -> Trace {
+    let nodes = 4;
+    let machine = Machine::gpu_2017(nodes);
+    let (steps, steps_per_epoch) = match scale {
+        Scale::Smoke => (48, 12),
+        Scale::Full => (360, 30),
+    };
+    let job = TrainJob::from_dense_net(2.0e6, 512, 128, 8);
+    let mut trace = trace_training_run(
+        &machine,
+        &job,
+        Strategy::Data { nodes, algo: AllreduceAlgo::Auto },
+        SimPrecision::F32,
+        Staging::StageNvram,
+        2e9,
+        steps,
+        steps_per_epoch,
+    );
+    // Weights + two Adam moments in f32, written to the burst buffer once
+    // per epoch — the same cadence the measured supervisor uses.
+    let state_bytes = 3.0 * job.params * 4.0;
+    let cost = checkpoint_cost(&machine.node.memory, Tier::Nvram, state_bytes)
+        .expect("NVRAM tier present");
+    for _ in 0..steps.div_ceil(steps_per_epoch) {
+        trace.push(Phase::Checkpoint, cost.write_seconds);
+    }
+    trace
+}
+
+fn pct(v: f64, total: f64) -> String {
+    if total <= 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * v / total)
+    }
+}
+
+/// Lay the measured and modeled breakdowns side by side, one row per phase.
+pub fn table(measured: &Snapshot, modeled: &Trace) -> Table {
+    let mut t = Table::new(
+        "E12: measured phase breakdown (dd-obs instrumented run) vs dd-hpcsim modeled trace",
+        &["phase", "measured s", "measured %", "modeled s", "modeled %"],
+    );
+    let m_total: f64 = Phase::ALL.iter().map(|&p| measured.time_in(p)).sum();
+    let s_total: f64 = Phase::ALL.iter().map(|&p| modeled.time_in(p)).sum();
+    for &phase in Phase::ALL.iter() {
+        let m = measured.time_in(phase);
+        let s = modeled.time_in(phase);
+        t.push_row(vec![
+            phase.name().to_string(),
+            fnum(m),
+            pct(m, m_total),
+            fnum(s),
+            pct(s, s_total),
+        ]);
+    }
+    t
+}
+
+/// Render the E12 table (instrumented run + model).
+pub fn run(scale: Scale, seed: u64) -> Table {
+    table(&measure(scale, seed), &modeled(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_obs::SpanRecord;
+
+    // `measure` drives the process-global registry, so the unit tests here
+    // are structure-only; the end-to-end path runs in the own-process
+    // integration test `tests/observability.rs` and the exp-profile binary.
+
+    #[test]
+    fn table_has_one_row_per_phase_with_aligned_shares() {
+        let mut snap = Snapshot::default();
+        snap.spans.push(SpanRecord {
+            name: "forward".into(),
+            phase: Some(Phase::Compute),
+            tid: 1,
+            depth: 1,
+            start_us: 0.0,
+            dur_us: 3e6,
+        });
+        snap.spans.push(SpanRecord {
+            name: "gather".into(),
+            phase: Some(Phase::Io),
+            tid: 1,
+            depth: 1,
+            start_us: 3e6,
+            dur_us: 1e6,
+        });
+        let mut trace = Trace::new();
+        trace.push(Phase::Compute, 6.0);
+        trace.push(Phase::Comm, 2.0);
+        let t = table(&snap, &trace);
+        assert_eq!(t.rows.len(), Phase::ALL.len());
+        let compute = &t.rows[0];
+        assert_eq!(compute[0], "compute");
+        assert_eq!(compute[2], "75.0%");
+        assert_eq!(compute[4], "75.0%");
+        let io = &t.rows[2];
+        assert_eq!(io[2], "25.0%");
+        assert_eq!(io[3], "0");
+    }
+
+    #[test]
+    fn empty_measurement_renders_dashes_not_nans() {
+        let t = table(&Snapshot::default(), &Trace::new());
+        for row in &t.rows {
+            assert_eq!(row[2], "-");
+            assert_eq!(row[4], "-");
+        }
+    }
+
+    #[test]
+    fn modeled_trace_covers_all_four_phases() {
+        let trace = modeled(Scale::Smoke);
+        for &phase in Phase::ALL.iter() {
+            assert!(trace.time_in(phase) > 0.0, "{phase} missing from modeled trace");
+        }
+        let covered: f64 = Phase::ALL.iter().map(|&p| trace.time_in(p)).sum();
+        assert!((covered - trace.total()).abs() < 1e-9);
+    }
+}

@@ -3,14 +3,17 @@
 //! The integrative layer of the reproduction: the seven biomedical driver
 //! workloads the talk describes ([`workloads`], W1–W7) and the experiments
 //! that turn each architectural claim of the abstract into a regenerable
-//! table ([`experiments`], E1–E9). DESIGN.md maps every claim to its
+//! table ([`experiments`], E1–E12). DESIGN.md maps every claim to its
 //! experiment; EXPERIMENTS.md records expectation vs measurement.
 //!
 //! Each experiment ships as a binary (`exp-1-precision` …
-//! `exp-10-compression`, plus `report-all`) taking `[smoke|full] [seed]`
-//! and writing both an aligned text table and `results/<slug>.csv`; the
-//! [`claims`] module (and the `verify-claims` binary) re-checks every
-//! claim verdict programmatically.
+//! `exp-11-faults`, `exp-profile`, plus `report-all`) taking
+//! `[smoke|full] [seed]` and writing both an aligned text table and
+//! `results/<slug>.csv`; the [`claims`] module (and the `verify-claims`
+//! binary) re-checks every claim verdict programmatically. Every binary
+//! honours `DD_TRACE=<path>` / `DD_METRICS=<path>`: set either and the run
+//! is recorded by `dd-obs`, exporting a Chrome trace / JSONL metrics file
+//! on exit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

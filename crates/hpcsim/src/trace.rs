@@ -1,45 +1,21 @@
 //! Execution traces for simulated training runs.
 //!
 //! A [`Trace`] records timestamped phase intervals (compute / communication
-//! / I/O) for a simulated job, supports utilization accounting, and renders
-//! a text timeline — the "where does the time go" view that motivates each
-//! of the abstract's architecture asks.
+//! / I/O / checkpoint) for a simulated job, supports utilization accounting,
+//! and renders a text timeline — the "where does the time go" view that
+//! motivates each of the abstract's architecture asks.
+//!
+//! The phase vocabulary is shared with the real instrumentation in `dd-obs`
+//! (re-exported here as [`Phase`]), so a modeled trace and a measured
+//! profile break time down into the same four buckets and can be compared
+//! row for row (experiment E12).
 
 use crate::machine::{Machine, SimPrecision};
 use crate::storage::Staging;
 use crate::trainsim::{step_time, Strategy, TrainJob};
 use serde::{Deserialize, Serialize};
 
-/// What a span of simulated time was spent on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Phase {
-    /// Arithmetic on the node.
-    Compute,
-    /// Fabric communication (allreduce, activations).
-    Comm,
-    /// Storage I/O (training-data reads, staging).
-    Io,
-}
-
-impl Phase {
-    /// Timeline glyph.
-    pub fn glyph(self) -> char {
-        match self {
-            Phase::Compute => '#',
-            Phase::Comm => '~',
-            Phase::Io => '.',
-        }
-    }
-
-    /// Label.
-    pub fn name(self) -> &'static str {
-        match self {
-            Phase::Compute => "compute",
-            Phase::Comm => "comm",
-            Phase::Io => "io",
-        }
-    }
-}
+pub use dd_obs::Phase;
 
 /// One recorded interval.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -106,7 +82,8 @@ impl Trace {
         self.time_in(phase) / self.cursor
     }
 
-    /// Render a fixed-width text timeline (`#` compute, `~` comm, `.` I/O).
+    /// Render a fixed-width text timeline (`#` compute, `~` comm, `.` I/O,
+    /// `+` checkpoint).
     pub fn timeline(&self, width: usize) -> String {
         assert!(width >= 1, "need at least one column");
         if self.cursor <= 0.0 {
@@ -123,15 +100,21 @@ impl Trace {
         out.into_iter().collect()
     }
 
-    /// One-line utilization summary.
+    /// One-line utilization summary. The checkpoint share is appended only
+    /// when nonzero, keeping the common no-checkpoint output stable.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "total {:.3}s | compute {:.1}% | comm {:.1}% | io {:.1}%",
             self.total(),
             100.0 * self.utilization(Phase::Compute),
             100.0 * self.utilization(Phase::Comm),
             100.0 * self.utilization(Phase::Io),
-        )
+        );
+        let ckpt = self.utilization(Phase::Checkpoint);
+        if ckpt > 0.0 {
+            line.push_str(&format!(" | checkpoint {:.1}%", 100.0 * ckpt));
+        }
+        line
     }
 }
 
@@ -214,6 +197,17 @@ mod tests {
         assert_eq!(t.timeline(10), "");
         assert_eq!(t.utilization(Phase::Compute), 0.0);
         assert!(t.summary().contains("0.000"));
+    }
+
+    #[test]
+    fn checkpoint_share_appears_only_when_present() {
+        let mut t = Trace::new();
+        t.push(Phase::Compute, 3.0);
+        assert!(!t.summary().contains("checkpoint"));
+        t.push(Phase::Checkpoint, 1.0);
+        let s = t.summary();
+        assert!(s.contains("checkpoint 25.0%"), "summary: {s}");
+        assert_eq!(t.timeline(4).chars().filter(|&c| c == '+').count(), 1);
     }
 
     #[test]

@@ -198,8 +198,14 @@ pub fn run_search_with_retries(
             .enumerate()
             .map(|(i, p)| {
                 let id = base_id + i;
+                let trial_span = dd_obs::span("trial");
                 let (value, retries, failed) =
                     evaluate_with_retries(objective, &p, id, seed, retry);
+                dd_obs::hist_record("trial_seconds", trial_span.finish());
+                dd_obs::counter_add("trials_total", 1);
+                if failed {
+                    dd_obs::counter_add("trials_failed", 1);
+                }
                 (Trial { id, config: p.config, budget: p.budget, value }, retries, failed)
             })
             .collect();

@@ -142,13 +142,23 @@ fn encode(spec: &ModelSpec, model: &mut Sequential, state: Option<&TrainState>) 
 
 /// Serialize a model (spec + current weights) into a version-1 checkpoint.
 pub fn save(spec: &ModelSpec, model: &mut Sequential) -> Bytes {
-    encode(spec, model, None)
+    let span = dd_obs::span_phase("checkpoint_save", dd_obs::Phase::Checkpoint);
+    let blob = encode(spec, model, None);
+    dd_obs::hist_record("checkpoint_seconds", span.finish());
+    dd_obs::counter_add("checkpoints_saved", 1);
+    dd_obs::counter_add("checkpoint_bytes", blob.len() as u64);
+    blob
 }
 
 /// Serialize a model plus its training state into a version-2 checkpoint
 /// that supports exact mid-run resume.
 pub fn save_with_state(spec: &ModelSpec, model: &mut Sequential, state: &TrainState) -> Bytes {
-    encode(spec, model, Some(state))
+    let span = dd_obs::span_phase("checkpoint_save", dd_obs::Phase::Checkpoint);
+    let blob = encode(spec, model, Some(state));
+    dd_obs::hist_record("checkpoint_seconds", span.finish());
+    dd_obs::counter_add("checkpoints_saved", 1);
+    dd_obs::counter_add("checkpoint_bytes", blob.len() as u64);
+    blob
 }
 
 /// Decode a checkpoint (either version), rebuilding the model with its
@@ -156,6 +166,7 @@ pub fn save_with_state(spec: &ModelSpec, model: &mut Sequential, state: &TrainSt
 pub fn load_with_state(
     data: &[u8],
 ) -> Result<(ModelSpec, Sequential, Option<TrainState>), CheckpointError> {
+    let _span = dd_obs::span_phase("checkpoint_load", dd_obs::Phase::Checkpoint);
     // Verify the trailing checksum before trusting any field.
     if data.len() < 20 {
         return Err(CheckpointError::Truncated);
@@ -215,6 +226,7 @@ pub fn load_with_state(
         });
     }
     model.load_params(&params);
+    dd_obs::counter_add("checkpoints_loaded", 1);
     Ok((spec, model, state))
 }
 

@@ -187,6 +187,59 @@ impl ModelSpec {
         self.validate().map(InputShape::width)
     }
 
+    /// Exact matmul FLOPs for one pass over `batch` rows.
+    ///
+    /// Sums `2·m·k·n` over every kernel invocation the built model issues:
+    /// one forward multiply per dense/conv layer, and — when `train` — the
+    /// backward `dW = xᵀ·δ` and `dx = δ·Wᵀ` multiplies, which share the same
+    /// `m·k·n` product (hence a flat ×3). This mirrors the counting that
+    /// `dd-tensor`'s kernels report to `dd-obs` (`flops_total`), so an
+    /// instrumented run over `s` batches of this size ends with
+    /// `flops_total == s × matmul_flops(batch, true)` exactly. Bias adds,
+    /// activations, norms, pooling and dropout use no matmul kernel and
+    /// contribute nothing here (or to the counter).
+    pub fn matmul_flops(&self, batch: usize, train: bool) -> Result<u64, String> {
+        self.validate()?;
+        let factor: u64 = if train { 3 } else { 1 };
+        let mut shape = self.input;
+        let mut total: u64 = 0;
+        for layer in &self.layers {
+            match *layer {
+                LayerSpec::Dense { out, .. } => {
+                    total += factor * 2 * batch as u64 * shape.width() as u64 * out as u64;
+                    shape = InputShape::Flat(out);
+                }
+                LayerSpec::Conv1d { out_ch, kernel, stride, .. } => {
+                    let InputShape::Signal { channels, len } = shape else {
+                        unreachable!("validated above");
+                    };
+                    let out_len = (len - kernel) / stride + 1;
+                    total += factor
+                        * 2
+                        * (batch * out_len) as u64
+                        * (channels * kernel) as u64
+                        * out_ch as u64;
+                    shape = InputShape::Signal { channels: out_ch, len: out_len };
+                }
+                LayerSpec::MaxPool1d { pool } => {
+                    let InputShape::Signal { channels, len } = shape else {
+                        unreachable!("validated above");
+                    };
+                    shape = InputShape::Signal { channels, len: len.div_ceil(pool) };
+                }
+                LayerSpec::Residual(ref inner) => {
+                    let sub = ModelSpec { input: shape, layers: inner.clone() };
+                    total += sub.matmul_flops(batch, train)?;
+                }
+                LayerSpec::Activation(_)
+                | LayerSpec::Dropout { .. }
+                | LayerSpec::BatchNorm
+                | LayerSpec::LayerNorm => {}
+            }
+        }
+        Ok(total)
+    }
+
     /// Build the runnable model. Weight init and dropout masks derive from
     /// `seed`, so builds are reproducible.
     pub fn build(&self, seed: u64, precision: Precision) -> Result<Sequential, String> {
@@ -263,6 +316,30 @@ mod tests {
             .push(LayerSpec::Dense { out: 4, init: Init::Xavier });
         // conv: 96, pool: 48 → dense over 8*48.
         assert_eq!(spec.output_dim().unwrap(), 4);
+    }
+
+    #[test]
+    fn matmul_flops_counts_dense_and_conv() {
+        // MLP 10 → 32 → 3 on a batch of 4: dense multiplies only.
+        let mlp = ModelSpec::mlp(10, &[32], 3, Activation::Relu);
+        let fwd = 2 * 4 * (10 * 32 + 32 * 3) as u64;
+        assert_eq!(mlp.matmul_flops(4, false).unwrap(), fwd);
+        assert_eq!(mlp.matmul_flops(4, true).unwrap(), 3 * fwd);
+
+        // Conv 1ch×100 → 8ch k5 s1 (out_len 96), pool 2 (48), dense → 4.
+        let conv = ModelSpec::new(InputShape::Signal { channels: 1, len: 100 })
+            .push(LayerSpec::Conv1d { out_ch: 8, kernel: 5, stride: 1, init: Init::He })
+            .push(LayerSpec::Activation(Activation::Relu))
+            .push(LayerSpec::MaxPool1d { pool: 2 })
+            .push(LayerSpec::Dense { out: 4, init: Init::Xavier });
+        let conv_fwd = 2 * (2 * 96) as u64 * 5 * 8 + 2 * 2 * (8 * 48) as u64 * 4;
+        assert_eq!(conv.matmul_flops(2, false).unwrap(), conv_fwd);
+        assert_eq!(conv.matmul_flops(2, true).unwrap(), 3 * conv_fwd);
+
+        // Residual branches count like their inner stack.
+        let res = ModelSpec::new(InputShape::Flat(8))
+            .push(LayerSpec::Residual(vec![LayerSpec::Dense { out: 8, init: Init::Xavier }]));
+        assert_eq!(res.matmul_flops(1, false).unwrap(), 2 * 8 * 8);
     }
 
     #[test]

@@ -1,10 +1,19 @@
 //! Single-node training loop with minibatching, shuffling, validation and
 //! early stopping.
+//!
+//! The loop is instrumented with `dd-obs`: every epoch is a structural span
+//! whose [`SpanGuard::finish`](dd_obs::SpanGuard::finish) return value *is*
+//! the `seconds` field of [`EpochStats`] — there is no separate
+//! `Instant::now()`, so the exported trace and the training history cannot
+//! disagree. Within a step, the forward/backward/optimizer work runs under
+//! compute-phase leaf spans and minibatch gathering under an I/O-phase span;
+//! all of it is free (one atomic load) when recording is disabled.
 
 use crate::loss::Loss;
 use crate::metrics;
 use crate::model::Sequential;
 use crate::optim::{LrSchedule, Optimizer, OptimizerConfig};
+use dd_obs::Phase;
 use dd_tensor::{Matrix, Rng64};
 use serde::{Deserialize, Serialize};
 
@@ -149,18 +158,32 @@ impl Trainer {
         let mut total = 0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(bs) {
-            let xb = x.gather_rows(chunk);
-            let yb = y.gather_rows(chunk);
-            let pred = model.forward(&xb, true);
-            let (loss, grad) = self.config.loss.compute(&pred, &yb);
+            let step_span = dd_obs::span("step");
+            let (xb, yb) = {
+                let _io = dd_obs::span_phase("gather", Phase::Io);
+                (x.gather_rows(chunk), y.gather_rows(chunk))
+            };
+            let (loss, grad) = {
+                let _fwd = dd_obs::span_phase("forward", Phase::Compute);
+                let pred = model.forward(&xb, true);
+                self.config.loss.compute(&pred, &yb)
+            };
             if !loss.is_finite() {
                 return Err(TrainError::Diverged { epoch, loss });
             }
-            model.backward(&grad);
-            if let Some(limit) = self.config.grad_clip {
-                clip_model_grads(model, limit);
+            {
+                let _bwd = dd_obs::span_phase("backward", Phase::Compute);
+                model.backward(&grad);
+                if let Some(limit) = self.config.grad_clip {
+                    clip_model_grads(model, limit);
+                }
             }
-            model.step_with(&mut self.optimizer, lr_scale);
+            {
+                let _opt = dd_obs::span_phase("optimizer", Phase::Compute);
+                model.step_with(&mut self.optimizer, lr_scale);
+            }
+            dd_obs::hist_record("step_seconds", step_span.finish());
+            dd_obs::counter_add("steps_total", 1);
             total += loss;
             batches += 1;
         }
@@ -185,24 +208,34 @@ impl Trainer {
         y: &Matrix,
         val: Option<(&Matrix, &Matrix)>,
     ) -> Result<History, TrainError> {
+        let _fit_span = dd_obs::span("fit");
         let mut history = History::default();
         let mut best_val = f64::INFINITY;
         let mut stale = 0usize;
         for epoch in 0..self.config.epochs {
-            let t0 = std::time::Instant::now();
+            // The epoch span is the single timing source: its finish() value
+            // becomes EpochStats::seconds, so trace and history always agree.
+            let epoch_span = dd_obs::span("epoch");
             let train_loss = self.run_epoch(model, x, y, epoch)?;
-            let val_loss = val.map(|(vx, vy)| self.evaluate(model, vx, vy));
+            let val_loss = val.map(|(vx, vy)| {
+                let eval_span = dd_obs::span_phase("eval", Phase::Compute);
+                let vl = self.evaluate(model, vx, vy);
+                eval_span.finish();
+                vl
+            });
             if let Some(vl) = val_loss {
                 if !vl.is_finite() {
                     return Err(TrainError::Diverged { epoch, loss: vl });
                 }
             }
-            history.epochs.push(EpochStats {
-                epoch,
-                train_loss,
-                val_loss,
-                seconds: t0.elapsed().as_secs_f64(),
-            });
+            let seconds = epoch_span.finish();
+            dd_obs::gauge_set("train_loss", train_loss);
+            if let Some(vl) = val_loss {
+                dd_obs::gauge_set("val_loss", vl);
+            }
+            dd_obs::hist_record("epoch_seconds", seconds);
+            dd_obs::counter_add("epochs_total", 1);
+            history.epochs.push(EpochStats { epoch, train_loss, val_loss, seconds });
             if let (Some(vl), Some(patience)) = (val_loss, self.config.patience) {
                 if vl < best_val - 1e-9 {
                     best_val = vl;

@@ -1,0 +1,295 @@
+//! Exporters: Chrome `chrome://tracing` JSON, structured JSONL, and an
+//! aligned text summary.
+//!
+//! The Chrome exporter emits the classic JSON-object format — a top-level
+//! `{"traceEvents": [...]}` with complete (`"ph": "X"`) events carrying
+//! microsecond `ts`/`dur` — which both `chrome://tracing` and Perfetto load
+//! directly. The JSONL exporter writes one self-describing JSON object per
+//! line (`type` ∈ span/counter/gauge/hist), the grep-and-jq-friendly form
+//! for log pipelines.
+
+use crate::phase::Phase;
+use crate::registry::Snapshot;
+use serde_json::{json, Value};
+use std::fmt::Write as _;
+
+/// Render a snapshot as Chrome trace JSON (`{"traceEvents": [...]}`).
+pub fn chrome_trace(snap: &Snapshot) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(snap.spans.len());
+    for s in &snap.spans {
+        events.push(json!({
+            "name": s.name.as_ref(),
+            "cat": s.phase.map(Phase::name).unwrap_or("span"),
+            "ph": "X",
+            "ts": s.start_us,
+            "dur": s.dur_us,
+            "pid": 1,
+            "tid": s.tid,
+            "args": {"depth": s.depth},
+        }));
+    }
+    // Counter totals ride along as global instant events so the trace is
+    // self-contained when viewed without the JSONL file.
+    for (name, value) in &snap.counters {
+        events.push(json!({
+            "name": name, "cat": "counter", "ph": "C", "ts": 0.0, "pid": 1, "tid": 0,
+            "args": {"value": value},
+        }));
+    }
+    serde_json::to_string(&json!({ "traceEvents": events, "displayTimeUnit": "ms" }))
+        .expect("chrome trace serialization cannot fail")
+}
+
+/// Render a snapshot as JSONL: one event object per line.
+pub fn jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for s in &snap.spans {
+        let line = json!({
+            "type": "span",
+            "name": s.name.as_ref(),
+            "phase": s.phase.map(Phase::name),
+            "tid": s.tid,
+            "depth": s.depth,
+            "start_us": s.start_us,
+            "dur_us": s.dur_us,
+        });
+        let _ = writeln!(out, "{line}");
+    }
+    for (name, value) in &snap.counters {
+        let _ = writeln!(out, "{}", json!({"type": "counter", "name": name, "value": value}));
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(out, "{}", json!({"type": "gauge", "name": name, "value": value}));
+    }
+    for (name, h) in &snap.hists {
+        let line = json!({
+            "type": "hist", "name": name, "count": h.count, "sum": h.sum, "mean": h.mean,
+            "min": h.min, "max": h.max, "p50": h.p50, "p95": h.p95, "p99": h.p99,
+        });
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Render an aligned human-readable summary: per-phase time, counters,
+/// gauges and histogram quantiles.
+pub fn summary(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== observability summary ==");
+    let total: f64 = Phase::ALL.iter().map(|&p| snap.time_in(p)).sum();
+    let _ = writeln!(out, "-- phases ({} spans) --", snap.spans.len());
+    for &phase in &Phase::ALL {
+        let t = snap.time_in(phase);
+        let pct = if total > 0.0 { 100.0 * t / total } else { 0.0 };
+        let _ = writeln!(out, "{:>12}  {:>12.6} s  {:>5.1}%", phase.name(), t, pct);
+    }
+    if !snap.counters.is_empty() {
+        let w = snap.counters.keys().map(String::len).max().unwrap_or(0);
+        let _ = writeln!(out, "-- counters --");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "{name:>w$}  {value}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let w = snap.gauges.keys().map(String::len).max().unwrap_or(0);
+        let _ = writeln!(out, "-- gauges --");
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "{name:>w$}  {value:.6}");
+        }
+    }
+    if !snap.hists.is_empty() {
+        let w = snap.hists.keys().map(String::len).max().unwrap_or(0);
+        let _ = writeln!(out, "-- histograms (seconds unless noted) --");
+        for (name, h) in &snap.hists {
+            let _ = writeln!(
+                out,
+                "{name:>w$}  n={:<6} p50={:.6} p95={:.6} p99={:.6} max={:.6}",
+                h.count, h.p50, h.p95, h.p99, h.max
+            );
+        }
+    }
+    out
+}
+
+/// Env-driven export session for binaries.
+///
+/// `DD_TRACE=<path>` requests a Chrome trace JSON and `DD_METRICS=<path>` a
+/// JSONL event log; setting either also enables the global registry.
+/// Dropping the session writes the requested files from a final snapshot
+/// (best effort: failures warn on stderr rather than panic, matching the
+/// experiment harness's CSV policy).
+#[derive(Debug, Default)]
+pub struct EnvSession {
+    trace_path: Option<std::path::PathBuf>,
+    metrics_path: Option<std::path::PathBuf>,
+}
+
+impl EnvSession {
+    /// Read `DD_TRACE` / `DD_METRICS` and enable recording when either is
+    /// set. Call once near the top of `main` and keep the guard alive.
+    pub fn from_env() -> Self {
+        let trace_path = std::env::var_os("DD_TRACE").map(std::path::PathBuf::from);
+        let metrics_path = std::env::var_os("DD_METRICS").map(std::path::PathBuf::from);
+        if trace_path.is_some() || metrics_path.is_some() {
+            crate::enable();
+        }
+        EnvSession { trace_path, metrics_path }
+    }
+
+    /// Write the requested exports now (also runs on drop).
+    pub fn flush(&self) {
+        let snap = crate::snapshot();
+        if let Some(path) = &self.trace_path {
+            if let Err(err) = std::fs::write(path, chrome_trace(&snap)) {
+                eprintln!("[warn] could not write DD_TRACE {}: {err}", path.display());
+            } else {
+                println!("[trace] {}", path.display());
+            }
+        }
+        if let Some(path) = &self.metrics_path {
+            if let Err(err) = std::fs::write(path, jsonl(&snap)) {
+                eprintln!("[warn] could not write DD_METRICS {}: {err}", path.display());
+            } else {
+                println!("[metrics] {}", path.display());
+            }
+        }
+    }
+}
+
+impl Drop for EnvSession {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{global, SpanRecord};
+    use std::borrow::Cow;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.spans.push(SpanRecord {
+            name: Cow::Borrowed("forward"),
+            phase: Some(Phase::Compute),
+            tid: 1,
+            depth: 1,
+            start_us: 10.0,
+            dur_us: 100.0,
+        });
+        snap.spans.push(SpanRecord {
+            name: Cow::Borrowed("epoch"),
+            phase: None,
+            tid: 1,
+            depth: 0,
+            start_us: 0.0,
+            dur_us: 200.0,
+        });
+        snap.counters.insert("flops_total".into(), 1234);
+        snap.gauges.insert("train_loss".into(), 0.5);
+        let mut h = crate::hist::Histogram::new();
+        h.record(0.1);
+        h.record(0.2);
+        snap.hists.insert("step_seconds".into(), h.summary());
+        snap
+    }
+
+    #[test]
+    fn chrome_trace_schema_roundtrips() {
+        let s = chrome_trace(&sample_snapshot());
+        let v: Value = serde_json::from_str(&s).expect("valid JSON");
+        let events = v["traceEvents"].as_array().expect("traceEvents array");
+        // 2 spans + 1 counter event.
+        assert_eq!(events.len(), 3);
+        let span = &events[0];
+        assert_eq!(span["ph"], "X");
+        assert_eq!(span["name"], "forward");
+        assert_eq!(span["cat"], "compute");
+        assert_eq!(span["ts"].as_f64().unwrap(), 10.0);
+        assert_eq!(span["dur"].as_f64().unwrap(), 100.0);
+        assert!(span["tid"].is_u64() && span["pid"].is_u64());
+        let counter = events.iter().find(|e| e["ph"] == "C").expect("counter event");
+        assert_eq!(counter["args"]["value"].as_u64().unwrap(), 1234);
+    }
+
+    #[test]
+    fn unphased_spans_export_cat_span() {
+        let s = chrome_trace(&sample_snapshot());
+        let v: Value = serde_json::from_str(&s).unwrap();
+        let epoch = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["name"] == "epoch")
+            .expect("epoch span");
+        assert_eq!(epoch["cat"], "span");
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse_and_carry_types() {
+        let s = jsonl(&sample_snapshot());
+        let lines: Vec<&str> = s.lines().collect();
+        // 2 spans + 1 counter + 1 gauge + 1 hist.
+        assert_eq!(lines.len(), 5);
+        let mut types = std::collections::BTreeMap::new();
+        for line in lines {
+            let v: Value = serde_json::from_str(line).expect("each line is JSON");
+            *types.entry(v["type"].as_str().unwrap().to_string()).or_insert(0) += 1;
+        }
+        assert_eq!(types["span"], 2);
+        assert_eq!(types["counter"], 1);
+        assert_eq!(types["gauge"], 1);
+        assert_eq!(types["hist"], 1);
+    }
+
+    #[test]
+    fn jsonl_hist_has_quantiles() {
+        let s = jsonl(&sample_snapshot());
+        let hist_line = s.lines().find(|l| l.contains("\"hist\"")).unwrap();
+        let v: Value = serde_json::from_str(hist_line).unwrap();
+        assert_eq!(v["count"].as_u64().unwrap(), 2);
+        for key in ["p50", "p95", "p99", "min", "max", "mean"] {
+            assert!(v[key].is_f64(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn summary_mentions_every_phase_and_metric() {
+        let text = summary(&sample_snapshot());
+        for phase in Phase::ALL {
+            assert!(text.contains(phase.name()), "missing {phase}");
+        }
+        assert!(text.contains("flops_total"));
+        assert!(text.contains("train_loss"));
+        assert!(text.contains("step_seconds"));
+        assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn env_session_writes_requested_files() {
+        let _l = crate::registry::tests::lock_registry();
+        let dir = std::env::temp_dir().join("dd-obs-envsession-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let metrics = dir.join("metrics.jsonl");
+        let r = global();
+        r.reset();
+        r.enable();
+        {
+            let session =
+                EnvSession { trace_path: Some(trace.clone()), metrics_path: Some(metrics.clone()) };
+            let _s = r.span("unit", Some(Phase::Io));
+            drop(_s);
+            r.counter_add("c", 1);
+            drop(session);
+        }
+        r.disable();
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let v: Value = serde_json::from_str(&trace_text).unwrap();
+        assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+        let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(metrics_text.lines().count() >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,252 @@
+//! Fixed-memory log-bucketed histograms with approximate quantiles.
+//!
+//! Step times span six orders of magnitude between a smoke test and a full
+//! run, so buckets are geometric: `BUCKETS_PER_DECADE` buckets per factor of
+//! ten across `[MIN_VALUE, MAX_VALUE)`. Quantile estimates carry a bounded
+//! relative error of `10^(1/BUCKETS_PER_DECADE) - 1` (about 7.5%), which is
+//! plenty for p50/p95/p99 reporting, and recording is O(1) with no
+//! allocation after construction.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric buckets per decade.
+const BUCKETS_PER_DECADE: usize = 32;
+/// Smallest resolvable value; everything below lands in bucket 0.
+const MIN_VALUE: f64 = 1e-9;
+/// Decades covered above [`MIN_VALUE`].
+const DECADES: usize = 15;
+/// Total bucket count.
+const NUM_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES;
+
+/// A log-bucketed histogram of non-negative `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        if v <= MIN_VALUE {
+            return 0;
+        }
+        let idx = ((v / MIN_VALUE).log10() * BUCKETS_PER_DECADE as f64).floor() as isize;
+        idx.clamp(0, NUM_BUCKETS as isize - 1) as usize
+    }
+
+    /// Geometric midpoint of a bucket (the quantile estimate it yields).
+    fn bucket_mid(idx: usize) -> f64 {
+        let lo = MIN_VALUE * 10f64.powf(idx as f64 / BUCKETS_PER_DECADE as f64);
+        let hi = MIN_VALUE * 10f64.powf((idx + 1) as f64 / BUCKETS_PER_DECADE as f64);
+        (lo * hi).sqrt()
+    }
+
+    /// Record one sample. Negative and NaN samples are clamped to zero.
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.counts[Self::bucket_index(v)] += 1;
+        self.n += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (0 when empty). The estimate is
+    /// the geometric midpoint of the bucket holding the target rank, clamped
+    /// to the observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_mid(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+
+    /// The p50/p95/p99 summary exported to JSONL and the text report.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.n,
+            sum: self.sum,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Exported snapshot of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_grid_are_accurate() {
+        let mut h = Histogram::new();
+        // 1..=1000 milliseconds.
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        // Bounded relative error from the geometric buckets.
+        assert!((p50 - 0.5).abs() / 0.5 < 0.08, "p50 {p50}");
+        assert!((p95 - 0.95).abs() / 0.95 < 0.08, "p95 {p95}");
+        assert!((p99 - 0.99).abs() / 0.99 < 0.08, "p99 {p99}");
+        assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_it() {
+        let mut h = Histogram::new();
+        h.record(0.125);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((v - 0.125).abs() / 0.125 < 0.08, "q{q} -> {v}");
+        }
+        assert_eq!(h.min(), 0.125);
+        assert_eq!(h.max(), 0.125);
+    }
+
+    #[test]
+    fn extreme_and_invalid_samples_are_clamped() {
+        let mut h = Histogram::new();
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(0.0);
+        h.record(1e30); // beyond the last bucket
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 1e30);
+        assert!(h.quantile(1.0) <= 1e30);
+    }
+
+    #[test]
+    fn bimodal_distribution_separates_modes() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1e-3);
+        }
+        for _ in 0..10 {
+            h.record(1.0);
+        }
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        assert!((p50 - 1e-3).abs() / 1e-3 < 0.08, "p50 {p50}");
+        assert!((p95 - 1.0).abs() / 1.0 < 0.08, "p95 {p95}");
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050.0);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+}

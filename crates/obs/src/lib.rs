@@ -1,0 +1,146 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # dd-obs — workspace-wide observability
+//!
+//! Hierarchical spans, counters, gauges and log-bucketed histograms behind a
+//! single process-global registry, with three exporters: Chrome
+//! `chrome://tracing` JSON, structured JSONL, and an aligned text summary.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero cost when off.** The registry starts disabled and every
+//!    instrumentation call first performs one relaxed atomic load; when it
+//!    reads `false` the call returns without locking or allocating. Library
+//!    crates (`dd-tensor`, `dd-nn`, `dd-parallel`, …) therefore keep their
+//!    instrumentation unconditionally compiled in.
+//! 2. **One timing source.** [`SpanGuard::finish`] returns the elapsed
+//!    seconds it just recorded, so code that needs a duration (e.g. epoch
+//!    stats) takes it *from the span* rather than keeping a parallel
+//!    `Instant::now()` — the trace and the report can never disagree.
+//! 3. **One phase vocabulary.** [`Phase`] is shared with the `dd-hpcsim`
+//!    analytic simulator (which re-exports it), so measured and modeled
+//!    compute/comm/io/checkpoint breakdowns line up row for row.
+//!
+//! ## Usage
+//!
+//! ```
+//! dd_obs::enable();
+//! {
+//!     let _epoch = dd_obs::span("epoch"); // structural span: no phase
+//!     let fwd = dd_obs::span_phase("forward", dd_obs::Phase::Compute);
+//!     dd_obs::counter_add("flops_total", 1_000_000);
+//!     let secs = fwd.finish(); // seconds, same number the trace records
+//!     dd_obs::hist_record("step_seconds", secs);
+//! }
+//! let snap = dd_obs::snapshot();
+//! assert!(snap.counter("flops_total") > 0);
+//! println!("{}", dd_obs::summary());
+//! # dd_obs::disable();
+//! # dd_obs::reset();
+//! ```
+//!
+//! Binaries opt in via the environment: [`EnvSession::from_env`] enables the
+//! registry when `DD_TRACE=<path>` (Chrome trace) or `DD_METRICS=<path>`
+//! (JSONL) is set and writes the files when the session guard drops.
+
+mod export;
+mod hist;
+mod phase;
+mod registry;
+
+pub use export::{chrome_trace, jsonl as jsonl_export, summary as summary_export, EnvSession};
+pub use hist::{HistSummary, Histogram};
+pub use phase::Phase;
+pub use registry::{global, Registry, Snapshot, SpanGuard, SpanRecord};
+
+/// Turn global recording on.
+pub fn enable() {
+    global().enable();
+}
+
+/// Turn global recording off (collected data is kept).
+pub fn disable() {
+    global().disable();
+}
+
+/// Is global recording on?
+#[inline]
+pub fn is_enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Drop all collected data (the enabled flag is left as-is).
+pub fn reset() {
+    global().reset();
+}
+
+/// Open a structural span (no phase). See [`Registry::span`].
+#[inline]
+pub fn span(name: impl Into<std::borrow::Cow<'static, str>>) -> SpanGuard {
+    global().span(name, None)
+}
+
+/// Open a leaf span attributed to a [`Phase`].
+#[inline]
+pub fn span_phase(name: impl Into<std::borrow::Cow<'static, str>>, phase: Phase) -> SpanGuard {
+    global().span(name, Some(phase))
+}
+
+/// Add to a monotonic counter.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    global().counter_add(name, delta);
+}
+
+/// Set a gauge.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    global().gauge_set(name, value);
+}
+
+/// Record a histogram sample.
+#[inline]
+pub fn hist_record(name: &str, value: f64) {
+    global().hist_record(name, value);
+}
+
+/// Total recorded seconds in one phase.
+pub fn time_in(phase: Phase) -> f64 {
+    global().time_in(phase)
+}
+
+/// Current counter value (0 when never touched).
+pub fn counter(name: &str) -> u64 {
+    global().counter(name)
+}
+
+/// Copy out everything collected so far.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Render the current snapshot as Chrome trace JSON.
+pub fn chrome_trace_json() -> String {
+    export::chrome_trace(&snapshot())
+}
+
+/// Render the current snapshot as JSONL.
+pub fn jsonl() -> String {
+    export::jsonl(&snapshot())
+}
+
+/// Render the current snapshot as an aligned text summary.
+pub fn summary() -> String {
+    export::summary(&snapshot())
+}
+
+/// Write the current snapshot as Chrome trace JSON to `path`.
+pub fn write_chrome_trace(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+/// Write the current snapshot as JSONL to `path`.
+pub fn write_jsonl(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, jsonl())
+}

@@ -1,0 +1,82 @@
+//! The shared phase vocabulary for "where does the time go" accounting.
+//!
+//! One enum serves both sides of the measured-vs-modeled comparison: the
+//! `dd-hpcsim` simulator's analytic traces and the real instrumented
+//! training stack label their time with the *same* four phases, so the two
+//! reports line up row for row.
+
+use serde::{Deserialize, Serialize};
+
+/// What a span of time (simulated or measured) was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Arithmetic on the node (forward/backward/optimizer, simulated FLOPs).
+    Compute,
+    /// Fabric communication (allreduce, activation exchange).
+    Comm,
+    /// Storage I/O (training-data reads, staging, data generation).
+    Io,
+    /// Checkpoint save/restore traffic.
+    Checkpoint,
+}
+
+impl Phase {
+    /// Every phase, in report order.
+    pub const ALL: [Phase; 4] = [Phase::Compute, Phase::Comm, Phase::Io, Phase::Checkpoint];
+
+    /// Timeline glyph used by text timelines.
+    pub fn glyph(self) -> char {
+        match self {
+            Phase::Compute => '#',
+            Phase::Comm => '~',
+            Phase::Io => '.',
+            Phase::Checkpoint => '+',
+        }
+    }
+
+    /// Stable lower-case label used in tables, traces and CSVs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Compute => "compute",
+            Phase::Comm => "comm",
+            Phase::Io => "io",
+            Phase::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_glyphs_are_distinct() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        let glyphs: Vec<char> = Phase::ALL.iter().map(|p| p.glyph()).collect();
+        for i in 0..Phase::ALL.len() {
+            for j in 0..i {
+                assert_ne!(names[i], names[j]);
+                assert_ne!(glyphs[i], glyphs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_uses_variant_names() {
+        let json = serde_json::to_string(&Phase::Checkpoint).unwrap();
+        assert_eq!(json, "\"Checkpoint\"");
+        let back: Phase = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Phase::Checkpoint);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Phase::Comm.to_string(), "comm");
+    }
+}

@@ -1,0 +1,419 @@
+//! The global metrics/trace registry and the RAII span API.
+//!
+//! One process-wide [`Registry`] collects everything; it starts *disabled*,
+//! and while disabled every instrumentation call returns after a single
+//! relaxed atomic load (plus, for spans, the `Instant::now()` the caller's
+//! own timing needs anyway). Collection only allocates and locks once
+//! recording is enabled, so instrumented library code can stay instrumented
+//! in production hot paths.
+//!
+//! Spans nest: each thread keeps a depth counter, so the exported records
+//! reconstruct the hierarchy (Chrome's trace viewer also infers nesting
+//! from timestamps within a thread lane). Phase accounting
+//! ([`Registry::time_in`]) intentionally sums *phased* spans only — the
+//! convention is that phased spans are leaves (forward/backward/allreduce/
+//! checkpoint), while structural parents (epoch, fit, trial) carry no phase,
+//! keeping the per-phase total free of double counting.
+
+use crate::hist::{HistSummary, Histogram};
+use crate::phase::Phase;
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span, as exported.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span label (e.g. `forward`, `allreduce`, `epoch`).
+    pub name: Cow<'static, str>,
+    /// Phase for "where does the time go" accounting; `None` for structural
+    /// parent spans.
+    pub phase: Option<Phase>,
+    /// Registry-assigned id of the recording thread.
+    pub tid: u64,
+    /// Nesting depth on that thread (0 = top level).
+    pub depth: u32,
+    /// Start time in microseconds since the registry epoch.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+/// Immutable copy of everything the registry holds.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Completed spans in end order.
+    pub spans: Vec<SpanRecord>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries.
+    pub hists: BTreeMap<String, HistSummary>,
+}
+
+impl Snapshot {
+    /// Total seconds spent in spans of one phase.
+    pub fn time_in(&self, phase: Phase) -> f64 {
+        self.spans.iter().filter(|s| s.phase == Some(phase)).map(|s| s.dur_us / 1e6).sum()
+    }
+
+    /// Counter value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// The process-wide collector. Normally used through the free functions in
+/// the crate root, which operate on the global instance.
+pub struct Registry {
+    enabled: AtomicBool,
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    hists: Mutex<BTreeMap<String, Histogram>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn thread_id() -> u64 {
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// The global registry (created on first use, disabled).
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turn recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn recording off (already-collected data is kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Is recording on? This is the one atomic load every disabled
+    /// instrumentation call pays.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drop all collected data (the enabled flag is left as-is).
+    pub fn reset(&self) {
+        self.spans.lock().expect("obs spans lock").clear();
+        self.counters.lock().expect("obs counters lock").clear();
+        self.gauges.lock().expect("obs gauges lock").clear();
+        self.hists.lock().expect("obs hists lock").clear();
+    }
+
+    /// Add to a monotonic counter (no-op while disabled).
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut map = self.counters.lock().expect("obs counters lock");
+        match map.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                map.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Set a gauge to a value (no-op while disabled).
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut map = self.gauges.lock().expect("obs gauges lock");
+        match map.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                map.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Record a histogram sample (no-op while disabled).
+    #[inline]
+    pub fn hist_record(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut map = self.hists.lock().expect("obs hists lock");
+        match map.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                map.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Open a span. The guard records on drop (or [`SpanGuard::finish`]);
+    /// while the registry is disabled the guard still measures time — so
+    /// callers can derive their own elapsed-seconds from it — but records
+    /// nothing.
+    #[inline]
+    pub fn span(&self, name: impl Into<Cow<'static, str>>, phase: Option<Phase>) -> SpanGuard {
+        let recording = self.is_enabled();
+        if recording {
+            DEPTH.with(|d| d.set(d.get() + 1));
+        }
+        SpanGuard { start: Instant::now(), name: recording.then(|| name.into()), phase }
+    }
+
+    fn record_span(&self, name: Cow<'static, str>, phase: Option<Phase>, start: Instant) {
+        let end = Instant::now();
+        let depth = DEPTH.with(|d| {
+            let v = d.get().saturating_sub(1);
+            d.set(v);
+            v
+        });
+        let start_us = start.saturating_duration_since(self.epoch).as_secs_f64() * 1e6;
+        let dur_us = end.saturating_duration_since(start).as_secs_f64() * 1e6;
+        let record = SpanRecord { name, phase, tid: thread_id(), depth, start_us, dur_us };
+        self.spans.lock().expect("obs spans lock").push(record);
+    }
+
+    /// Total seconds recorded in spans of one phase.
+    pub fn time_in(&self, phase: Phase) -> f64 {
+        self.spans
+            .lock()
+            .expect("obs spans lock")
+            .iter()
+            .filter(|s| s.phase == Some(phase))
+            .map(|s| s.dur_us / 1e6)
+            .sum()
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().expect("obs counters lock").get(name).copied().unwrap_or(0)
+    }
+
+    /// Copy out everything collected so far.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            spans: self.spans.lock().expect("obs spans lock").clone(),
+            counters: self.counters.lock().expect("obs counters lock").clone(),
+            gauges: self.gauges.lock().expect("obs gauges lock").clone(),
+            hists: self
+                .hists
+                .lock()
+                .expect("obs hists lock")
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// RAII span handle returned by [`Registry::span`]. Records its interval
+/// into the registry when dropped or [`finish`](SpanGuard::finish)ed.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct SpanGuard {
+    start: Instant,
+    /// `Some` only when the registry was enabled at creation.
+    name: Option<Cow<'static, str>>,
+    phase: Option<Phase>,
+}
+
+impl SpanGuard {
+    /// Close the span now and return its elapsed wall-clock seconds. This is
+    /// the one timing source instrumented code should report, so a span's
+    /// trace entry and the caller's own `seconds` field can never disagree.
+    pub fn finish(mut self) -> f64 {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        if let Some(name) = self.name.take() {
+            global().record_span(name, self.phase, self.start);
+        }
+        elapsed
+    }
+
+    /// Elapsed seconds so far without closing the span.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            global().record_span(name, self.phase, self.start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests share the one global registry; serialize them.
+    pub(crate) fn lock_registry() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _l = lock_registry();
+        let r = global();
+        r.disable();
+        r.reset();
+        r.counter_add("c", 5);
+        r.gauge_set("g", 1.0);
+        r.hist_record("h", 1.0);
+        let sp = r.span("s", Some(Phase::Compute));
+        assert!(sp.finish() >= 0.0);
+        let snap = r.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.hists.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_hists_accumulate() {
+        let _l = lock_registry();
+        let r = global();
+        r.reset();
+        r.enable();
+        r.counter_add("flops", 10);
+        r.counter_add("flops", 32);
+        r.gauge_set("loss", 0.5);
+        r.gauge_set("loss", 0.25);
+        r.hist_record("t", 1.0);
+        r.hist_record("t", 3.0);
+        let snap = r.snapshot();
+        r.disable();
+        assert_eq!(snap.counter("flops"), 42);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauges["loss"], 0.25);
+        assert_eq!(snap.hists["t"].count, 2);
+        assert_eq!(snap.hists["t"].sum, 4.0);
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let _l = lock_registry();
+        let r = global();
+        r.reset();
+        r.enable();
+        {
+            let _outer = r.span("outer", None);
+            {
+                let _inner = r.span("inner", Some(Phase::Compute));
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            {
+                let _inner2 = r.span("inner2", Some(Phase::Comm));
+            }
+        }
+        let snap = r.snapshot();
+        r.disable();
+        // End order: inner, inner2, outer.
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.spans[0].name, "inner");
+        assert_eq!(snap.spans[0].depth, 1);
+        assert_eq!(snap.spans[1].name, "inner2");
+        assert_eq!(snap.spans[1].depth, 1);
+        assert_eq!(snap.spans[2].name, "outer");
+        assert_eq!(snap.spans[2].depth, 0);
+        // The parent contains its children in time.
+        let outer = &snap.spans[2];
+        for child in &snap.spans[..2] {
+            assert!(child.start_us + 1e-9 >= outer.start_us);
+            assert!(child.start_us + child.dur_us <= outer.start_us + outer.dur_us + 1e-3);
+        }
+        // Phase accounting counts only phased (leaf) spans.
+        assert!(snap.time_in(Phase::Compute) >= 0.002);
+        assert!(snap.time_in(Phase::Io) == 0.0);
+    }
+
+    #[test]
+    fn finish_returns_elapsed_and_records_once() {
+        let _l = lock_registry();
+        let r = global();
+        r.reset();
+        r.enable();
+        let sp = r.span("timed", Some(Phase::Io));
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        let secs = sp.finish();
+        let snap = r.snapshot();
+        r.disable();
+        assert!(secs >= 0.003, "elapsed {secs}");
+        assert_eq!(snap.spans.len(), 1);
+        let rec_secs = snap.spans[0].dur_us / 1e6;
+        assert!((rec_secs - secs).abs() < 1e-3, "span {rec_secs} vs finish {secs}");
+    }
+
+    #[test]
+    fn spans_from_multiple_threads_get_distinct_tids() {
+        let _l = lock_registry();
+        let r = global();
+        r.reset();
+        r.enable();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let _s = global().span("worker", Some(Phase::Compute));
+                });
+            }
+        });
+        let snap = r.snapshot();
+        r.disable();
+        assert_eq!(snap.spans.len(), 3);
+        let tids: std::collections::BTreeSet<u64> = snap.spans.iter().map(|s| s.tid).collect();
+        assert_eq!(tids.len(), 3, "each thread gets its own tid");
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_enabled_flag() {
+        let _l = lock_registry();
+        let r = global();
+        r.enable();
+        r.counter_add("x", 1);
+        r.reset();
+        assert!(r.is_enabled());
+        assert_eq!(r.counter("x"), 0);
+        r.counter_add("x", 2);
+        assert_eq!(r.counter("x"), 2);
+        r.disable();
+        r.reset();
+    }
+}

@@ -357,7 +357,19 @@ pub(crate) fn run_segment(
                                     flat.copy_from_slice(&msg.decompress());
                                 }
                             }
-                            bytes_sent += member.allreduce_mean(&mut flat);
+                            // The comm span covers the whole collective,
+                            // including time blocked on slow peers — so
+                            // straggler wait shows up as comm, exactly as
+                            // the hpcsim model accounts for it.
+                            let comm = dd_obs::span_phase("allreduce", dd_obs::Phase::Comm);
+                            let sent = member.allreduce_mean(&mut flat);
+                            dd_obs::hist_record("allreduce_seconds", comm.finish());
+                            if dd_obs::is_enabled() {
+                                dd_obs::counter_add("bytes_allreduced", sent as u64);
+                                let per_rank = format!("bytes_allreduced_rank{rank}");
+                                dd_obs::counter_add(&per_rank, sent as u64);
+                            }
+                            bytes_sent += sent;
                             model.load_grads(&flat);
                             model.step_with(&mut opt, 1.0);
                             batches += 1;

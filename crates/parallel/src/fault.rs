@@ -292,6 +292,8 @@ impl FaultInjector {
             None => false,
             Some(FaultKind::CorruptGradient) => true,
             Some(FaultKind::ReplicaCrash) => {
+                dd_obs::counter_add("faults_injected", 1);
+                dd_obs::counter_add("faults_crash", 1);
                 events.lock().push(FaultEvent {
                     attempt,
                     rank,
@@ -303,6 +305,9 @@ impl FaultInjector {
             }
             Some(FaultKind::Straggler) => {
                 let millis = self.config.straggler_millis;
+                dd_obs::counter_add("faults_injected", 1);
+                dd_obs::counter_add("faults_straggler", 1);
+                dd_obs::hist_record("straggler_wait_seconds", millis as f64 / 1e3);
                 if millis > self.config.step_timeout_millis {
                     events.lock().push(FaultEvent {
                         attempt,
@@ -347,6 +352,10 @@ impl FaultInjector {
         flat: &mut [f32],
         events: &Mutex<Vec<FaultEvent>>,
     ) {
+        if corrupt {
+            dd_obs::counter_add("faults_injected", 1);
+            dd_obs::counter_add("faults_corrupt_gradient", 1);
+        }
         let mut corrupt = corrupt;
         let mut retries = 0usize;
         loop {
@@ -510,6 +519,8 @@ fn restore_latest(
         let mut readable = false;
         for retry in 0..=injector.config().max_storage_retries {
             if injector.storage_read_fails(attempt, generation, retry) {
+                dd_obs::counter_add("faults_injected", 1);
+                dd_obs::counter_add("faults_storage_read", 1);
                 events.lock().push(FaultEvent {
                     attempt,
                     rank: 0,
@@ -531,6 +542,7 @@ fn restore_latest(
         }
         match checkpoint::load_with_state(&data) {
             Ok((_, mut model, Some(state))) => {
+                dd_obs::counter_add("recoveries", 1);
                 events.lock().push(FaultEvent {
                     attempt,
                     rank: 0,
@@ -628,6 +640,7 @@ pub fn train_data_parallel_ft(
                 });
             }
             Err(DataParallelError::ReplicaPanicked { .. }) => {
+                dd_obs::counter_add("restarts_total", 1);
                 restarts += 1;
                 if restarts > fault.max_restarts {
                     return Err(DataParallelError::RestartsExhausted { restarts });

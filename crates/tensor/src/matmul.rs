@@ -21,6 +21,48 @@ use rayon::prelude::*;
 /// Output elements below which kernels run sequentially.
 const PAR_MIN_OUT: usize = 8 * 1024;
 
+/// Static counter names per precision (avoids formatting in the hot path).
+fn flops_counter(p: Precision) -> &'static str {
+    match p {
+        Precision::F64 => "flops_f64",
+        Precision::F32 => "flops_f32",
+        Precision::Bf16 => "flops_bf16",
+        Precision::F16 => "flops_f16",
+        Precision::Int8 => "flops_int8",
+    }
+}
+
+fn bytes_counter(p: Precision) -> &'static str {
+    match p {
+        Precision::F64 => "bytes_f64",
+        Precision::F32 => "bytes_f32",
+        Precision::Bf16 => "bytes_bf16",
+        Precision::F16 => "bytes_f16",
+        Precision::Int8 => "bytes_int8",
+    }
+}
+
+/// Record one `m×k · k×n` kernel invocation with the observability registry:
+/// `2·m·k·n` FLOPs (multiply + add) and the operand/output traffic at the
+/// storage width of `p`. Costs a single atomic load when recording is off.
+///
+/// Only the public *entry points* call this — `matmul_tn_prec` delegates to
+/// [`matmul_prec`] and the int8 `A·B` kernel delegates to the `A·Bᵀ` one, so
+/// each logical multiply is counted exactly once.
+#[inline]
+fn note_matmul(m: usize, k: usize, n: usize, p: Precision) {
+    if !dd_obs::is_enabled() {
+        return;
+    }
+    let flops = 2 * (m as u64) * (k as u64) * (n as u64);
+    let bytes = ((m * k + k * n + m * n) as u64 * p.bits() as u64) / 8;
+    dd_obs::counter_add("flops_total", flops);
+    dd_obs::counter_add(flops_counter(p), flops);
+    dd_obs::counter_add("bytes_total", bytes);
+    dd_obs::counter_add(bytes_counter(p), bytes);
+    dd_obs::counter_add("matmuls_total", 1);
+}
+
 /// `C = A · B` in f32.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     matmul_prec(a, b, Precision::F32)
@@ -39,6 +81,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 /// `C = A · B` with the given precision emulation.
 pub fn matmul_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
+    note_matmul(a.rows(), a.cols(), b.cols(), p);
     match p {
         Precision::F32 => mm_f32(a, b),
         Precision::F64 => mm_f64(a, b),
@@ -53,6 +96,7 @@ pub fn matmul_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
 /// `C = A · Bᵀ` with the given precision emulation.
 pub fn matmul_nt_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch: {:?} x {:?}ᵀ", a.shape(), b.shape());
+    note_matmul(a.rows(), a.cols(), b.rows(), p);
     match p {
         Precision::F32 => mm_nt_f32(a, b),
         Precision::F64 => mm_nt_f64(a, b),
@@ -82,6 +126,7 @@ pub fn matmul_tn_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
 /// Matrix–vector product `y = A · x` in f32.
 pub fn matvec(a: &Matrix, x: &[f32]) -> Vec<f32> {
     assert_eq!(a.cols(), x.len(), "matvec shape mismatch");
+    note_matmul(a.rows(), a.cols(), 1, Precision::F32);
     a.iter_rows().map(|row| dot(row, x)).collect()
 }
 

@@ -10,6 +10,14 @@ cargo build --release
 echo "== cargo test"
 cargo test -q
 
+echo "== observability integration test"
+cargo test -q --test observability
+
+echo "== exp-profile emits a parsable Chrome trace"
+DD_TRACE=results/e12_trace.json ./target/release/exp-profile smoke >/dev/null
+python3 -m json.tool results/e12_trace.json >/dev/null
+echo "results/e12_trace.json parses"
+
 echo "== cargo fmt --check"
 cargo fmt --check
 

@@ -21,7 +21,8 @@
 //! * [`hypersearch`] — grid/random/SHA/Hyperband/surrogate/evolutionary/
 //!   generative searchers with a parallel driver.
 //! * [`mdsim`] — surrogate-supervised multi-resolution molecular dynamics.
-//! * [`core`] — the driver workloads (W1–W7) and experiments (E1–E9).
+//! * [`obs`] — spans/counters/histograms with Chrome-trace + JSONL export.
+//! * [`core`] — the driver workloads (W1–W7) and experiments (E1–E12).
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub use dd_hpcsim as hpcsim;
 pub use dd_hypersearch as hypersearch;
 pub use dd_mdsim as mdsim;
 pub use dd_nn as nn;
+pub use dd_obs as obs;
 pub use dd_parallel as parallel;
 pub use dd_tensor as tensor;
 pub use deepdriver_core as core;

@@ -1,0 +1,230 @@
+//! Own-process integration tests for the dd-obs observability subsystem:
+//! trace validity, FLOP accounting against the analytic model, exporter
+//! schemas, and the promise that instrumentation never changes results.
+//!
+//! The registry is process-global, so every test that asserts on collected
+//! values takes the file-local lock; this test binary is the only user of
+//! the registry in its process.
+
+use deepdriver::obs;
+use deepdriver::obs::Phase;
+use deepdriver::parallel::data_parallel::{train_data_parallel, DataParallelConfig};
+use deepdriver::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Train W1's CNN shape on a small synthetic problem; returns the spec,
+/// final params, and per-epoch train losses.
+fn train_small_cnn(seed: u64, epochs: usize) -> (ModelSpec, Vec<f32>, Vec<f64>) {
+    let genes = 64;
+    let classes = 3;
+    let samples = 320;
+    let mut rng = Rng64::new(seed);
+    let x = Matrix::randn(samples, genes, 0.0, 1.0, &mut rng);
+    let y = Matrix::from_fn(samples, classes, |i, j| if j == i % classes { 1.0 } else { 0.0 });
+    let spec = ModelSpec::new(InputShape::Signal { channels: 1, len: genes })
+        .push(LayerSpec::Conv1d { out_ch: 4, kernel: 5, stride: 2, init: Init::He })
+        .push(LayerSpec::Activation(Activation::Relu))
+        .push(LayerSpec::MaxPool1d { pool: 2 })
+        .push(LayerSpec::Dense { out: 16, init: Init::He })
+        .push(LayerSpec::Activation(Activation::Relu))
+        .push(LayerSpec::Dense { out: classes, init: Init::Xavier });
+    let mut model = spec.build(seed, Precision::F32).expect("valid spec");
+    let mut trainer = Trainer::new(TrainConfig {
+        batch_size: 32,
+        epochs,
+        loss: Loss::SoftmaxCrossEntropy,
+        optimizer: OptimizerConfig::adam(1e-3),
+        seed,
+        ..TrainConfig::default()
+    });
+    let history = trainer.fit(&mut model, &x, &y, None).expect("training converged");
+    let losses = history.epochs.iter().map(|e| e.train_loss).collect();
+    (spec, model.flatten_params(), losses)
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_monotonic_spans() {
+    let _l = lock();
+    obs::reset();
+    obs::enable();
+    train_small_cnn(11, 2);
+    let snap = obs::snapshot();
+    obs::disable();
+    obs::reset();
+
+    assert!(!snap.spans.is_empty(), "training produced no spans");
+    // Spans are recorded in end order; end timestamps must be monotonic.
+    let ends: Vec<f64> = snap.spans.iter().map(|s| s.start_us + s.dur_us).collect();
+    for w in ends.windows(2) {
+        assert!(w[0] <= w[1] + 1e-3, "span end times regressed: {} > {}", w[0], w[1]);
+    }
+    for s in &snap.spans {
+        assert!(s.start_us >= 0.0 && s.dur_us >= 0.0, "negative timestamp in {}", s.name);
+    }
+
+    let json = obs::chrome_trace(&snap);
+    let doc: serde_json::Value = serde_json::from_str(&json).expect("trace parses as JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut saw_complete = false;
+    for ev in events {
+        let ph = ev["ph"].as_str().expect("event has ph");
+        assert!(ph == "X" || ph == "C", "unexpected event type {ph}");
+        assert!(ev["ts"].as_f64().expect("ts") >= 0.0);
+        assert_eq!(ev["pid"].as_i64(), Some(1));
+        if ph == "X" {
+            saw_complete = true;
+            assert!(ev["dur"].as_f64().expect("dur") >= 0.0);
+            assert!(ev["tid"].as_u64().is_some());
+        }
+    }
+    assert!(saw_complete, "no complete (ph=X) span events");
+    // The structural spans and the phased leaves are both present.
+    let names: Vec<&str> = events.iter().filter_map(|e| e["name"].as_str()).collect();
+    for expected in ["fit", "epoch", "step", "forward", "backward", "optimizer"] {
+        assert!(names.contains(&expected), "span {expected} missing from trace");
+    }
+}
+
+#[test]
+fn flops_counter_matches_model_shape_arithmetic() {
+    let _l = lock();
+    obs::reset();
+    obs::enable();
+    let epochs = 2;
+    let (spec, _, _) = train_small_cnn(12, epochs);
+    let snap = obs::snapshot();
+    obs::disable();
+    obs::reset();
+
+    // 320 samples in batches of 32: ten full chunks per epoch, every chunk
+    // costing matmul_flops(32, train=true).
+    let per_chunk = spec.matmul_flops(32, true).expect("valid spec");
+    let expected = (epochs as u64) * 10 * per_chunk;
+    let measured = snap.counter("flops_total");
+    let rel = (measured as f64 - expected as f64).abs() / expected as f64;
+    assert!(
+        rel <= 0.01,
+        "flops_total {measured} vs model arithmetic {expected} (rel err {rel:.4})"
+    );
+    // Everything ran in f32, and byte accounting moved too.
+    assert_eq!(snap.counter("flops_f32"), measured);
+    assert!(snap.counter("bytes_total") > 0);
+    assert!(snap.counter("steps_total") == (epochs as u64) * 10);
+}
+
+#[test]
+fn instrumentation_is_behavior_neutral() {
+    let _l = lock();
+    obs::disable();
+    obs::reset();
+    let (_, params_off, losses_off) = train_small_cnn(13, 3);
+
+    obs::reset();
+    obs::enable();
+    let (_, params_on, losses_on) = train_small_cnn(13, 3);
+    obs::disable();
+    obs::reset();
+
+    assert_eq!(losses_off, losses_on, "losses changed under instrumentation");
+    assert_eq!(params_off, params_on, "parameters changed under instrumentation");
+}
+
+#[test]
+fn allreduce_bytes_counter_matches_report() {
+    let _l = lock();
+    obs::reset();
+    obs::enable();
+    let mut rng = Rng64::new(14);
+    let x = Matrix::randn(64, 8, 0.0, 1.0, &mut rng);
+    let y = Matrix::from_fn(64, 1, |i, _| x.get(i, 0) - x.get(i, 3));
+    let spec = ModelSpec::mlp(8, &[16], 1, Activation::Tanh);
+    let config = DataParallelConfig { world: 2, epochs: 2, global_batch: 32, ..Default::default() };
+    let report = train_data_parallel(&spec, &x, &y, &config).expect("trains");
+    let snap = obs::snapshot();
+    obs::disable();
+    obs::reset();
+
+    // The counter sums over all ranks; the report is per rank (symmetric).
+    let total = snap.counter("bytes_allreduced");
+    assert_eq!(total, (config.world * report.bytes_sent_per_rank) as u64);
+    let rank0 = snap.counter("bytes_allreduced_rank0");
+    assert_eq!(rank0, report.bytes_sent_per_rank as u64);
+    assert!(snap.time_in(Phase::Comm) > 0.0, "allreduce spans missing");
+    assert!(snap.hists.contains_key("allreduce_seconds"));
+}
+
+#[test]
+fn jsonl_export_has_typed_lines_for_every_kind() {
+    let _l = lock();
+    obs::reset();
+    obs::enable();
+    obs::counter_add("c", 3);
+    obs::gauge_set("g", 0.5);
+    obs::hist_record("h", 2.0);
+    obs::span_phase("s", Phase::Io).finish();
+    let snap = obs::snapshot();
+    obs::disable();
+    obs::reset();
+
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in obs::jsonl_export(&snap).lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("JSONL line parses");
+        let kind = v["type"].as_str().expect("line has a type").to_string();
+        match kind.as_str() {
+            "span" => {
+                assert_eq!(v["name"].as_str(), Some("s"));
+                assert_eq!(v["phase"].as_str(), Some("io"));
+            }
+            "counter" => assert_eq!(v["value"].as_u64(), Some(3)),
+            "gauge" => assert_eq!(v["value"].as_f64(), Some(0.5)),
+            "hist" => assert_eq!(v["count"].as_u64(), Some(1)),
+            other => panic!("unexpected line type {other}"),
+        }
+        kinds.insert(kind);
+    }
+    assert_eq!(kinds.len(), 4, "expected span+counter+gauge+hist lines, got {kinds:?}");
+}
+
+#[test]
+fn epoch_seconds_come_from_the_span_clock() {
+    // Satellite check for the single-timing-source refactor: the History's
+    // per-epoch seconds and the epoch spans in the trace are the same
+    // measurements, not two disagreeing clocks.
+    let _l = lock();
+    obs::reset();
+    obs::enable();
+    let genes = 32;
+    let mut rng = Rng64::new(15);
+    let x = Matrix::randn(128, genes, 0.0, 1.0, &mut rng);
+    let y = Matrix::from_fn(128, 1, |i, _| x.get(i, 0));
+    let mut model =
+        ModelSpec::mlp(genes, &[16], 1, Activation::Tanh).build(15, Precision::F32).unwrap();
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 2,
+        loss: Loss::Mse,
+        seed: 15,
+        ..TrainConfig::default()
+    });
+    let history = trainer.fit(&mut model, &x, &y, None).expect("trains");
+    let snap = obs::snapshot();
+    obs::disable();
+    obs::reset();
+
+    let epoch_spans: Vec<f64> =
+        snap.spans.iter().filter(|s| s.name == "epoch").map(|s| s.dur_us / 1e6).collect();
+    assert_eq!(epoch_spans.len(), history.epochs.len());
+    for (span_secs, stats) in epoch_spans.iter().zip(&history.epochs) {
+        assert!(
+            (span_secs - stats.seconds).abs() < 1e-3,
+            "epoch span {span_secs}s disagrees with History seconds {}s",
+            stats.seconds
+        );
+    }
+    assert_eq!(snap.hists["epoch_seconds"].count, history.epochs.len() as u64);
+}
