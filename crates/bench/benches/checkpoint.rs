@@ -20,10 +20,10 @@ fn bench_checkpoint_roundtrip(c: &mut Criterion) {
         let mut model = spec.build(1, Precision::F32).unwrap();
         let state =
             TrainState { epoch: 3, optimizer: OptimizerState::default(), rng: Rng64::new(7) };
-        let bytes = save_with_state(&spec, &mut model, &state).len() as u64;
+        let bytes = save_with_state(&spec, &mut model, &state).unwrap().len() as u64;
         save_group.throughput(Throughput::Bytes(bytes));
         save_group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |b, _| {
-            b.iter(|| black_box(save_with_state(&spec, &mut model, &state)));
+            b.iter(|| black_box(save_with_state(&spec, &mut model, &state).unwrap()));
         });
     }
     save_group.finish();
@@ -34,7 +34,7 @@ fn bench_checkpoint_roundtrip(c: &mut Criterion) {
         let mut model = spec.build(1, Precision::F32).unwrap();
         let state =
             TrainState { epoch: 3, optimizer: OptimizerState::default(), rng: Rng64::new(7) };
-        let blob = save_with_state(&spec, &mut model, &state);
+        let blob = save_with_state(&spec, &mut model, &state).unwrap();
         load_group.throughput(Throughput::Bytes(blob.len() as u64));
         load_group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |b, _| {
             b.iter(|| black_box(load_with_state(&blob).unwrap()));

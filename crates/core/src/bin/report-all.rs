@@ -34,9 +34,11 @@ fn main() {
     let total = experiments.len();
     for (i, (slug, run)) in experiments.into_iter().enumerate() {
         eprintln!("[{}/{}] {slug}...", i + 1, total);
-        let start = std::time::Instant::now();
+        // Single-clock policy: the span guard owns the wall clock; finish()
+        // reports elapsed seconds even if e12 resets the registry mid-run.
+        let span = dd_obs::span("report_experiment");
         let table = run();
         experiments::emit(&table, slug);
-        eprintln!("[{}/{}] {slug} done in {:.1}s\n", i + 1, total, start.elapsed().as_secs_f64());
+        eprintln!("[{}/{}] {slug} done in {:.1}s\n", i + 1, total, span.finish());
     }
 }

@@ -70,7 +70,8 @@ pub fn measure(scale: Scale, seed: u64) -> Snapshot {
         .expect("training converged");
 
     // Checkpoint round trip at the end of training.
-    let blob = checkpoint::save(&spec, &mut model);
+    // dd-lint: allow(error-policy/expect) -- profile harness on a just-trained in-memory model; encode cannot fail here
+    let blob = checkpoint::save(&spec, &mut model).expect("checkpoint encodes");
     checkpoint::load(&blob).expect("checkpoint round-trips");
 
     // W2: the dense regression net trained synchronously data-parallel —

@@ -81,6 +81,7 @@ impl Objective for TumorTuning {
             .push(dd_nn::LayerSpec::Activation(act))
             .push(dd_nn::LayerSpec::Dropout { p: config.f64("dropout") as f32 })
             .push(dd_nn::LayerSpec::Dense { out: self.classes, init: dd_nn::Init::Xavier });
+        // dd-lint: allow(lossy-cast/float-to-int) -- epoch budget: rounded fraction of max_epochs, floored at 1
         let epochs = ((self.max_epochs as f64 * budget).round() as usize).max(1);
         let mut model = spec.build(seed, Precision::F32).expect("valid spec");
         let mut trainer = Trainer::new(TrainConfig {

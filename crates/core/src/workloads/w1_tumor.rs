@@ -69,7 +69,9 @@ pub fn cnn_spec(genes: usize, classes: usize) -> ModelSpec {
 
 /// Run the W1 comparison.
 pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let start = std::time::Instant::now();
+    // Single-clock policy: wall time comes from the dd-obs span so the
+    // reported seconds and the trace agree on one clock.
+    let run_span = dd_obs::span("w1_tumor");
     let s = setup(scale);
     let data = tumor::generate(&s.data, seed);
     let split = data.dataset.split(0.15, 0.15, seed ^ 0xA5, true);
@@ -107,7 +109,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         baseline: base_acc,
         baseline_name: "logistic (OvR)".into(),
         higher_is_better: true,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: run_span.finish(),
     }
 }
 

@@ -47,7 +47,9 @@ pub fn net_spec(input_dim: usize) -> ModelSpec {
 
 /// Run the W2 comparison.
 pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let start = std::time::Instant::now();
+    // Single-clock policy: wall time comes from the dd-obs span so the
+    // reported seconds and the trace agree on one clock.
+    let run_span = dd_obs::span("w2_drug_response");
     let (cfg, epochs) = config(scale);
     let data = drug_response::generate(&cfg, seed);
     let split = data.dataset.split(0.15, 0.15, seed ^ 0xB7, true);
@@ -85,7 +87,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         baseline: ridge_r2,
         baseline_name: "ridge".into(),
         higher_is_better: true,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: run_span.finish(),
     }
 }
 

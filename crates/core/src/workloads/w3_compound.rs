@@ -25,7 +25,9 @@ fn label_matrix(labels: &[usize]) -> Matrix {
 
 /// Run the W3 comparison.
 pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let start = std::time::Instant::now();
+    // Single-clock policy: wall time comes from the dd-obs span so the
+    // reported seconds and the trace agree on one clock.
+    let run_span = dd_obs::span("w3_compound");
     let (cfg, epochs) = config(scale);
     let data = compound::generate(&cfg, seed);
     // Binary features: skip standardization, keep sparsity.
@@ -66,7 +68,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         baseline: base_auc,
         baseline_name: "logistic".into(),
         higher_is_better: true,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: run_span.finish(),
     }
 }
 

@@ -53,7 +53,9 @@ fn recon_mse(original: &Matrix, reconstructed: &Matrix) -> f64 {
 
 /// Run the W4 comparison (metric: reconstruction MSE; lower is better).
 pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let start = std::time::Instant::now();
+    // Single-clock policy: wall time comes from the dd-obs span so the
+    // reported seconds and the trace agree on one clock.
+    let run_span = dd_obs::span("w4_autoencoder");
     let (expr, samples, latent, epochs) = config(scale);
     let mut rng = Rng64::new(seed);
     let sampler = ExpressionSampler::new(expr.clone(), &mut rng);
@@ -85,7 +87,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         baseline: pca_mse,
         baseline_name: format!("PCA(k={latent})"),
         higher_is_better: false,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: run_span.finish(),
     }
 }
 

@@ -61,7 +61,9 @@ fn extract_policy(
 /// Run the W5 comparison (metric: true expected success of the extracted
 /// policy over all patients).
 pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let start = std::time::Instant::now();
+    // Single-clock policy: wall time comes from the dd-obs span so the
+    // reported seconds and the trace agree on one clock.
+    let run_span = dd_obs::span("w5_records");
     let (cfg, epochs) = config(scale);
     let data: RecordsData = records::generate(&cfg, seed);
     let x = &data.dataset.x;
@@ -98,7 +100,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         baseline: base_value,
         baseline_name: "logistic".into(),
         higher_is_better: true,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: run_span.finish(),
     }
 }
 

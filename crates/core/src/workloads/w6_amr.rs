@@ -133,7 +133,9 @@ pub fn train_model(
 
 /// Run the W6 prediction comparison.
 pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let start = std::time::Instant::now();
+    // Single-clock policy: wall time comes from the dd-obs span so the
+    // reported seconds and the trace agree on one clock.
+    let run_span = dd_obs::span("w6_amr");
     let (mut model, split, _data, _) = train_model(scale, seed);
     let test_labels: Vec<f32> = split.test.y.labels().unwrap().iter().map(|&l| l as f32).collect();
     let dnn_scores = model.predict(&split.test.x).as_slice().to_vec();
@@ -150,7 +152,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         baseline: base_auc,
         baseline_name: "logistic".into(),
         higher_is_better: true,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: run_span.finish(),
     }
 }
 

@@ -44,7 +44,9 @@ pub fn run_policies(scale: Scale, seed: u64) -> Vec<RunReport> {
 /// Run the W7 comparison (metric: force evaluations; lower is better,
 /// subject to the fidelity gate asserted in tests and recorded in E9).
 pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let start = std::time::Instant::now();
+    // Single-clock policy: wall time comes from the dd-obs span so the
+    // reported seconds and the trace agree on one clock.
+    let run_span = dd_obs::span("w7_mdsurrogate");
     let reports = run_policies(scale, seed);
     let fine = reports.iter().find(|r| r.policy == "fine").expect("fine run");
     let surrogate = reports.iter().find(|r| r.policy == "dnn-surrogate").expect("surrogate run");
@@ -55,7 +57,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         baseline: fine.force_evals as f64,
         baseline_name: "always-fine MD".into(),
         higher_is_better: false,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: run_span.finish(),
     }
 }
 

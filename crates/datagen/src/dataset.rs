@@ -103,7 +103,9 @@ impl Dataset {
         let n = self.len();
         let mut idx: Vec<usize> = (0..n).collect();
         Rng64::new(seed).shuffle(&mut idx);
+        // dd-lint: allow(lossy-cast/float-to-int) -- split size: fraction-of-n rounds to a count in [0, n]
         let n_test = (n as f64 * test_frac).round() as usize;
+        // dd-lint: allow(lossy-cast/float-to-int) -- split size: fraction-of-n rounds to a count in [0, n]
         let n_val = (n as f64 * val_frac).round() as usize;
         assert!(n_test + n_val < n, "split leaves no training data");
         let test_idx = &idx[n - n_test..];

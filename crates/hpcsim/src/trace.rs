@@ -91,7 +91,9 @@ impl Trace {
         }
         let mut out: Vec<char> = vec![' '; width];
         for span in &self.spans {
+            // dd-lint: allow(lossy-cast/float-to-int) -- ASCII timeline column: fraction of the row width, floored and clamped to the row
             let lo = ((span.start / self.cursor) * width as f64).floor() as usize;
+            // dd-lint: allow(lossy-cast/float-to-int) -- ASCII timeline column: fraction of the row width, ceil'd and clamped to the row
             let hi = (((span.end / self.cursor) * width as f64).ceil() as usize).min(width);
             for c in out.iter_mut().take(hi).skip(lo.min(width)) {
                 *c = span.phase.glyph();

@@ -205,6 +205,7 @@ pub fn step_time(
         Strategy::Hybrid { data_ways, model_ways, algo } => {
             // Each model group processes global_batch / data_ways samples.
             let group_job = TrainJob {
+                // dd-lint: allow(lossy-cast/float-to-int) -- per-group batch: ceil'd division of two positive counts
                 global_batch: (job.global_batch as f64 / data_ways as f64).ceil() as usize,
                 ..*job
             };

@@ -55,6 +55,7 @@ fn build_tree(
     }
     let d = xs[0].len();
     // Try a random subset of ~sqrt(d) features (at least 1).
+    // dd-lint: allow(lossy-cast/float-to-int) -- feature subsample: ceil(sqrt(d)), at least 1
     let n_try = ((d as f64).sqrt().ceil() as usize).max(1);
     let features = rng.sample_indices(d, n_try.min(d));
     let parent_sse = sse(ys, &idx);

@@ -79,6 +79,7 @@ impl Config {
         match self.0.get(key) {
             Some(Value::Float(v)) => *v,
             Some(Value::Int(v)) => *v as f64,
+            // dd-lint: allow(error-policy/panic) -- documented panicking accessor: a wrong key or type is a caller bug, per the doc comment
             other => panic!("config key '{key}' is not a float: {other:?}"),
         }
     }
@@ -86,7 +87,9 @@ impl Config {
     /// Integer accessor (usize).
     pub fn usize(&self, key: &str) -> usize {
         match self.0.get(key) {
+            // dd-lint: allow(error-policy/expect) -- documented panicking accessor: a wrong key or type is a caller bug, per the doc comment
             Some(Value::Int(v)) => usize::try_from(*v).expect("negative int for usize accessor"),
+            // dd-lint: allow(error-policy/panic) -- documented panicking accessor: a wrong key or type is a caller bug, per the doc comment
             other => panic!("config key '{key}' is not an int: {other:?}"),
         }
     }
@@ -95,6 +98,7 @@ impl Config {
     pub fn choice(&self, key: &str) -> &str {
         match self.0.get(key) {
             Some(Value::Choice(s)) => s,
+            // dd-lint: allow(error-policy/panic) -- documented panicking accessor: a wrong key or type is a caller bug, per the doc comment
             other => panic!("config key '{key}' is not a choice: {other:?}"),
         }
     }
@@ -198,6 +202,7 @@ impl SearchSpace {
         self.params
             .iter()
             .map(|(name, spec)| {
+                // dd-lint: allow(error-policy/panic) -- encode contract: configs come from this space; a missing key is a caller bug
                 let v = config.0.get(name).unwrap_or_else(|| panic!("missing key '{name}'"));
                 match (spec, v) {
                     (ParamSpec::Float { lo, hi, log }, Value::Float(f)) => {
@@ -215,6 +220,7 @@ impl SearchSpace {
                         }
                     }
                     (ParamSpec::Choice(opts), Value::Choice(c)) => {
+                        // dd-lint: allow(error-policy/expect) -- encode contract: configs come from this space; an unknown choice is a caller bug
                         let idx = opts.iter().position(|o| o == c).expect("unknown choice");
                         if opts.len() == 1 {
                             0.5
@@ -222,6 +228,7 @@ impl SearchSpace {
                             idx as f64 / (opts.len() - 1) as f64
                         }
                     }
+                    // dd-lint: allow(error-policy/panic) -- encode contract: configs come from this space; a type mismatch is a caller bug
                     _ => panic!("type mismatch for '{name}'"),
                 }
             })
@@ -246,9 +253,11 @@ impl SearchSpace {
                     Value::Float(raw.clamp(*lo, *hi))
                 }
                 ParamSpec::Int { lo, hi } => {
+                    // dd-lint: allow(lossy-cast/float-to-int) -- decode maps u in [0, 1] onto the inclusive integer range by rounding
                     Value::Int(lo + ((u * (hi - lo) as f64).round() as i64))
                 }
                 ParamSpec::Choice(opts) => {
+                    // dd-lint: allow(lossy-cast/float-to-int) -- decode maps u in [0, 1] onto the choice indices by rounding
                     let idx = (u * (opts.len() - 1) as f64).round() as usize;
                     Value::Choice(opts[idx].clone())
                 }

@@ -1,0 +1,284 @@
+//! File context: crate classification, `#[cfg(test)]` region detection and
+//! `dd-lint: allow(...)` annotation parsing.
+
+use crate::lex::{Comment, Lexed, Token, TokenKind};
+
+/// What kind of compilation target a file belongs to. Policies apply per
+/// kind: the error policy binds library code only; tests, benches, examples
+/// and binaries may unwrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`crates/*/src/**`, excluding `src/bin`).
+    Lib,
+    /// Binary source (`src/main.rs`, `src/bin/**`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Benchmarks (`benches/**`).
+    Bench,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+impl FileKind {
+    /// Parse a kind label (the `--as name:kind` CLI form).
+    pub fn parse(s: &str) -> Option<FileKind> {
+        Some(match s {
+            "lib" => FileKind::Lib,
+            "bin" => FileKind::Bin,
+            "test" => FileKind::Test,
+            "bench" => FileKind::Bench,
+            "example" => FileKind::Example,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed `dd-lint: allow(...)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule ids or family prefixes being allowed.
+    pub rules: Vec<String>,
+    /// 1-based line of the annotation comment.
+    pub line: usize,
+    /// True when the comment stands on its own line (applies to the next
+    /// code line); false when trailing (applies to its own line).
+    pub own_line: bool,
+    /// True for `allow-file(...)`: applies to the whole file.
+    pub whole_file: bool,
+}
+
+/// One malformed annotation (missing reason / unparsable), reported as a
+/// diagnostic by the driver.
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    /// 1-based line.
+    pub line: usize,
+    /// Why it is malformed.
+    pub why: String,
+}
+
+/// Everything a rule needs to know about one source file.
+pub struct FileCtx {
+    /// Path relative to the workspace root (diagnostic prefix).
+    pub path: String,
+    /// Package the file belongs to (e.g. `dd-tensor`).
+    pub crate_name: String,
+    /// Target kind.
+    pub kind: FileKind,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Parsed allow annotations.
+    pub allows: Vec<Allow>,
+    /// Malformed annotations.
+    pub bad_allows: Vec<BadAllow>,
+    /// Sorted set of lines that contain code tokens (for standalone-comment
+    /// annotation scoping).
+    pub code_lines: Vec<usize>,
+}
+
+impl FileCtx {
+    /// Build a context from lexed source.
+    pub fn new(path: String, crate_name: String, kind: FileKind, lexed: Lexed) -> FileCtx {
+        let test_regions = find_test_regions(&lexed.tokens);
+        let (allows, bad_allows) = parse_annotations(&lexed.comments);
+        let mut code_lines: Vec<usize> = lexed.tokens.iter().map(|t| t.line).collect();
+        code_lines.dedup();
+        FileCtx {
+            path,
+            crate_name,
+            kind,
+            tokens: lexed.tokens,
+            test_regions,
+            allows,
+            bad_allows,
+            code_lines,
+        }
+    }
+
+    /// Is line `l` inside test code?
+    pub fn in_test(&self, l: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| l >= s && l <= e)
+    }
+
+    /// Does an annotation allow `rule` on line `l`? `rule` is a full id
+    /// (`family/name`); annotations may name the full id or just the family.
+    pub fn allowed(&self, rule: &str, l: usize) -> bool {
+        let family = rule.split('/').next().unwrap_or(rule);
+        self.allows.iter().any(|a| {
+            let names_rule = a.rules.iter().any(|r| r == rule || r == family);
+            if !names_rule {
+                return false;
+            }
+            if a.whole_file {
+                return true;
+            }
+            if a.own_line {
+                // Standalone comment: applies to the next line with code.
+                self.code_lines.iter().find(|&&cl| cl > a.line).copied() == Some(l)
+            } else {
+                a.line == l
+            }
+        })
+    }
+}
+
+/// Locate `#[cfg(test)]` / `#[cfg(any(.., test, ..))]` / `#[test]` /
+/// `#[bench]` items and return the (inclusive) line ranges of their bodies.
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // Parse the attribute group `[...]`.
+        let Some(open) = next_is(tokens, i + 1, "[") else {
+            i += 1;
+            continue;
+        };
+        let Some(close) = matching(tokens, open, "[", "]") else {
+            i += 1;
+            continue;
+        };
+        let attr_is_test = tokens[open + 1..close]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && (t.text == "test" || t.text == "bench"));
+        if !attr_is_test {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item body.
+        let mut j = close + 1;
+        while j + 1 < tokens.len()
+            && tokens[j].kind == TokenKind::Punct
+            && tokens[j].text == "#"
+            && tokens[j + 1].text == "["
+        {
+            match matching(tokens, j + 1, "[", "]") {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        // Scan forward to the item's opening brace; a `;` first means a
+        // body-less item (e.g. `#[cfg(test)] use x;`).
+        let mut body_open = None;
+        let mut k = j;
+        while k < tokens.len() {
+            if tokens[k].kind == TokenKind::Punct {
+                match tokens[k].text.as_str() {
+                    "{" => {
+                        body_open = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        if let Some(open_b) = body_open {
+            if let Some(close_b) = matching(tokens, open_b, "{", "}") {
+                regions.push((tokens[i].line, tokens[close_b].line));
+                i = close_b + 1;
+                continue;
+            }
+        }
+        i = k + 1;
+    }
+    regions
+}
+
+/// Index of token `at` if it is the punct `what`.
+fn next_is(tokens: &[Token], at: usize, what: &str) -> Option<usize> {
+    (at < tokens.len() && tokens[at].kind == TokenKind::Punct && tokens[at].text == what)
+        .then_some(at)
+}
+
+/// Index of the delimiter matching the opener at `open`.
+pub fn matching(tokens: &[Token], open: usize, o: &str, c: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Annotation grammar (documented in DESIGN.md):
+///
+/// ```text
+/// // dd-lint: allow(<rule>[, <rule>...]) -- <justification>
+/// // dd-lint: allow-file(<rule>[, <rule>...]) -- <justification>
+/// ```
+///
+/// `<rule>` is a full id (`error-policy/unwrap`) or a family
+/// (`error-policy`). The justification is mandatory: an allow without one is
+/// itself a diagnostic (`lint/bad-allow`). A trailing annotation applies to
+/// its own line; a standalone one to the next code line; `allow-file` to the
+/// whole file.
+fn parse_annotations(comments: &[Comment]) -> (Vec<Allow>, Vec<BadAllow>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Annotations live in plain `//` comments only; doc comments
+        // (`///` = text starting with `/`, `//!` = text starting with `!`)
+        // may mention the grammar in prose without being parsed.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = c.text.find("dd-lint:") else { continue };
+        let body = c.text[pos + "dd-lint:".len()..].trim();
+        let whole_file = body.starts_with("allow-file");
+        let rest = if whole_file {
+            body.trim_start_matches("allow-file").trim_start()
+        } else if body.starts_with("allow") {
+            body.trim_start_matches("allow").trim_start()
+        } else {
+            bad.push(BadAllow {
+                line: c.line,
+                why: format!("unknown dd-lint directive: `{body}`"),
+            });
+            continue;
+        };
+        let Some(open) = rest.strip_prefix('(') else {
+            bad.push(BadAllow { line: c.line, why: "expected `(` after allow".into() });
+            continue;
+        };
+        let Some(close_at) = open.find(')') else {
+            bad.push(BadAllow { line: c.line, why: "unclosed `(` in allow".into() });
+            continue;
+        };
+        let rules: Vec<String> = open[..close_at]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad.push(BadAllow { line: c.line, why: "allow() names no rules".into() });
+            continue;
+        }
+        let tail = open[close_at + 1..].trim();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad.push(BadAllow {
+                line: c.line,
+                why: "allow needs a justification: `-- <reason>`".into(),
+            });
+            continue;
+        }
+        allows.push(Allow { rules, line: c.line, own_line: c.own_line, whole_file });
+    }
+    (allows, bad)
+}

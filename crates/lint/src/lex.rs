@@ -1,0 +1,329 @@
+//! A minimal, lossless-enough Rust lexer for policy checking.
+//!
+//! dd-lint deliberately does not depend on `syn`: the policies it enforces
+//! are lexical/structural (method names, macro invocations, token
+//! neighbourhoods), and a hand-rolled lexer keeps the checker
+//! dependency-free so it builds and runs even in offline environments.
+//! The lexer understands everything that can *hide* a token — line and
+//! nested block comments, string/char/byte/raw-string literals, lifetimes —
+//! so rules never fire on text inside a string or comment.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String, raw-string, byte-string or char literal.
+    Literal,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Floating-point literal (has `.`, an exponent, or an `f32`/`f64`
+    /// suffix).
+    Float,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Source text (for `Literal`, only a placeholder — contents are never
+    /// inspected by rules).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// One comment with its 1-based line and layout info.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Text after the `//` / inside the `/* */`.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// True when only whitespace precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in order.
+    pub tokens: Vec<Token>,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Never fails: unexpected bytes become
+/// `Punct` tokens, unterminated literals run to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut line_has_code = false;
+    let n = chars.len();
+
+    macro_rules! bump_lines {
+        ($s:expr, $e:expr) => {
+            for k in $s..$e {
+                if chars[k] == '\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..j].iter().collect(),
+                line,
+                own_line: !line_has_code,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let own = !line_has_code;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let text_start = j;
+            while j < n && depth > 0 {
+                if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let text_end = j.saturating_sub(2).max(text_start);
+            out.comments.push(Comment {
+                text: chars[text_start..text_end].iter().collect(),
+                line: start_line,
+                own_line: own,
+            });
+            let crossed = chars[i..j.min(n)].contains(&'\n');
+            bump_lines!(i, j);
+            if crossed {
+                line_has_code = false;
+            }
+            i = j;
+            continue;
+        }
+        // Raw strings: r"...", r#"..."#, br"...", br#"..."# etc.
+        if (c == 'r' || c == 'b') && i + 1 < n && is_raw_string_start(&chars, i) {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if j < n && chars[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            // Opening quote.
+            j += 1;
+            // Scan for closing quote followed by `hashes` #'s.
+            while j < n {
+                if chars[j] == '"' {
+                    let mut k = j + 1;
+                    let mut seen = 0usize;
+                    while k < n && seen < hashes && chars[k] == '#' {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        j = k;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+            bump_lines!(i, j.min(n));
+            line_has_code = true;
+            i = j.min(n);
+            continue;
+        }
+        // Plain or byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < n {
+                if chars[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+            bump_lines!(i, j.min(n));
+            line_has_code = true;
+            i = j.min(n);
+            continue;
+        }
+        // Char literal vs lifetime (also b'x').
+        if c == '\'' || (c == 'b' && i + 1 < n && chars[i + 1] == '\'') {
+            let q = if c == 'b' { i + 1 } else { i };
+            let after = q + 1;
+            if after < n && chars[after] == '\\' {
+                // Escaped char literal: skip the escaped char, then scan to
+                // the closing quote.
+                let mut j = after + 2;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+                line_has_code = true;
+                i = (j + 1).min(n);
+                continue;
+            }
+            if after + 1 < n && chars[after + 1] == '\'' {
+                // 'x' single-char literal.
+                out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+                line_has_code = true;
+                i = after + 2;
+                continue;
+            }
+            // Lifetime: consume identifier chars, no closing quote.
+            let mut j = after;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text: chars[q..j].iter().collect(),
+                line,
+            });
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            let hex = c == '0' && i + 1 < n && matches!(chars[i + 1], 'x' | 'X' | 'o' | 'b');
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            // Exponent sign: 1e-3, 2.5E+7 (but not `3usize-1`, whose `e` is
+            // part of the suffix — require a digit before the `e`).
+            if !hex
+                && j < n
+                && matches!(chars[j], '+' | '-')
+                && matches!(chars[j - 1], 'e' | 'E')
+                && j >= 2
+                && chars[j - 2].is_ascii_digit()
+            {
+                j += 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            let mut has_dot = false;
+            // Fractional part: `1.5` but not the range `1..5` or field `1.x`.
+            if !hex && j < n && chars[j] == '.' && j + 1 < n && chars[j + 1].is_ascii_digit() {
+                has_dot = true;
+                j += 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if j < n && matches!(chars[j], '+' | '-') && matches!(chars[j - 1], 'e' | 'E') {
+                    j += 1;
+                    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                }
+            }
+            let text: String = chars[start..j].iter().collect();
+            let float = !hex
+                && (has_dot
+                    || text.ends_with("f32")
+                    || text.ends_with("f64")
+                    || text.contains(['e', 'E']));
+            out.tokens.push(Token {
+                kind: if float { TokenKind::Float } else { TokenKind::Int },
+                text,
+                line,
+            });
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+        // Everything else: single punctuation char.
+        out.tokens.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+        line_has_code = true;
+        i += 1;
+    }
+    out
+}
+
+/// Is position `i` (at `r` or `b`) the start of a raw-string literal?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j >= chars.len() || chars[j] != 'r' {
+            return false;
+        }
+    }
+    if chars[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '"'
+}

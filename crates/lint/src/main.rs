@@ -1,0 +1,378 @@
+//! dd-lint: the workspace invariant checker.
+//!
+//! Parses every `.rs` file in the workspace and mechanically enforces the
+//! policies PR 1 and PR 2 introduced by convention: typed errors in library
+//! crates, deterministic seeded RNG, one timing source (dd-obs), FLOP/byte
+//! accounting at every kernel entry point, and no silent float-to-int
+//! truncation. See DESIGN.md "Invariants" for the rationale and the
+//! allow-annotation grammar.
+//!
+//! ```text
+//! cargo run -p dd-lint                      # human-readable, gate exit code
+//! cargo run -p dd-lint -- --format json     # machine-readable
+//! cargo run -p dd-lint -- --emit-baseline   # regenerate lint-baseline.txt
+//! cargo run -p dd-lint -- --check-file f.rs --as dd-nn:lib   # fixture mode
+//! ```
+//!
+//! Exit codes: 0 clean (no non-grandfathered diagnostics), 1 violations,
+//! 2 usage or I/O error.
+//!
+//! dd-lint is deliberately dependency-free (hand-rolled lexer, hand-built
+//! JSON) so the gate itself builds in offline/minimal environments.
+
+mod ctx;
+mod lex;
+mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ctx::{FileCtx, FileKind};
+use rules::Diag;
+
+/// Parsed command line.
+struct Cli {
+    root: PathBuf,
+    format_json: bool,
+    no_baseline: bool,
+    emit_baseline: bool,
+    check_file: Option<PathBuf>,
+    check_as: Option<(String, FileKind)>,
+}
+
+fn usage() -> &'static str {
+    "usage: dd-lint [--root DIR] [--format text|json] [--no-baseline] \
+     [--emit-baseline] [--check-file FILE --as CRATE:KIND]"
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: PathBuf::from("."),
+        format_json: false,
+        no_baseline: false,
+        emit_baseline: false,
+        check_file: None,
+        check_as: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => cli.root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--format" => match args.next().as_deref() {
+                Some("json") => cli.format_json = true,
+                Some("text") => cli.format_json = false,
+                other => return Err(format!("--format text|json, got {other:?}")),
+            },
+            "--no-baseline" => cli.no_baseline = true,
+            "--emit-baseline" => cli.emit_baseline = true,
+            "--check-file" => {
+                cli.check_file =
+                    Some(PathBuf::from(args.next().ok_or("--check-file needs a value")?));
+            }
+            "--as" => {
+                let v = args.next().ok_or("--as needs CRATE:KIND")?;
+                let (name, kind) = v.split_once(':').ok_or("--as needs CRATE:KIND")?;
+                let kind = FileKind::parse(kind)
+                    .ok_or_else(|| format!("unknown kind `{kind}` in --as"))?;
+                cli.check_as = Some((name.to_string(), kind));
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Fixture mode: check exactly one file under an assumed identity.
+    if let Some(file) = &cli.check_file {
+        let Some((crate_name, kind)) = cli.check_as.clone() else {
+            eprintln!("--check-file requires --as CRATE:KIND");
+            return ExitCode::from(2);
+        };
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        let ctx = FileCtx::new(file.display().to_string(), crate_name, kind, lex::lex(&src));
+        let diags = rules::check_file(&ctx);
+        render(&diags, &[], cli.format_json);
+        return if diags.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) };
+    }
+
+    // Workspace mode.
+    let files = match discover(&cli.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("discovery failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut diags: Vec<Diag> = Vec::new();
+    for f in &files {
+        let src = match std::fs::read_to_string(&f.abs) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: {e}", f.rel);
+                return ExitCode::from(2);
+            }
+        };
+        let ctx = FileCtx::new(f.rel.clone(), f.crate_name.clone(), f.kind, lex::lex(&src));
+        diags.extend(rules::check_file(&ctx));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    if cli.emit_baseline {
+        for ((file, rule), count) in group(&diags) {
+            println!("{file} {rule} {count}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Baseline: grandfathered (file, rule) counts. A group within budget is
+    // suppressed; a group over budget reports every occurrence so the new
+    // one is visible among them.
+    let baseline = if cli.no_baseline {
+        BTreeMap::new()
+    } else {
+        load_baseline(&cli.root.join("lint-baseline.txt"))
+    };
+    let counts = group(&diags);
+    let mut fresh: Vec<&Diag> = Vec::new();
+    let mut grandfathered = 0usize;
+    for d in &diags {
+        let key = (d.file.clone(), d.rule.to_string());
+        let budget = baseline.get(&key).copied().unwrap_or(0);
+        let actual = counts.get(&key).copied().unwrap_or(0);
+        if actual <= budget {
+            grandfathered += 1;
+        } else {
+            fresh.push(d);
+        }
+    }
+    // Baseline entries whose violations were fixed: remind to burn them
+    // down (stale budget would mask regressions).
+    let mut stale: Vec<String> = Vec::new();
+    for ((file, rule), budget) in &baseline {
+        let actual = counts.get(&(file.clone(), rule.clone())).copied().unwrap_or(0);
+        if actual < *budget {
+            stale.push(format!(
+                "{file}: {rule}: baseline says {budget} but found {actual} — \
+                 shrink lint-baseline.txt (and the DESIGN.md burn-down table)"
+            ));
+        }
+    }
+
+    let fresh_owned: Vec<Diag> = fresh.into_iter().cloned().collect();
+    render(&fresh_owned, &stale, cli.format_json);
+    if !cli.format_json {
+        eprintln!(
+            "dd-lint: {} file(s), {} diagnostic(s) ({} grandfathered, {} fresh)",
+            files.len(),
+            diags.len(),
+            grandfathered,
+            fresh_owned.len()
+        );
+    }
+    if fresh_owned.is_empty() && stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Render diagnostics to stdout in the selected format.
+fn render(diags: &[Diag], stale: &[String], json: bool) {
+    if json {
+        let mut s = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in diags.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                esc(&d.file),
+                d.line,
+                esc(d.rule),
+                esc(&d.message)
+            ));
+        }
+        s.push_str("\n  ],\n  \"stale_baseline\": [");
+        for (i, m) in stale.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\"", esc(m)));
+        }
+        s.push_str(&format!("\n  ],\n  \"total\": {}\n}}", diags.len()));
+        println!("{s}");
+    } else {
+        for d in diags {
+            println!("{}:{}: {}: {}", d.file, d.line, d.rule, d.message);
+        }
+        for m in stale {
+            println!("stale-baseline: {m}");
+        }
+    }
+}
+
+/// Minimal JSON string escaping (the only non-ASCII-safe bytes our messages
+/// can contain are quotes and backslashes from file paths and code refs).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Count diagnostics per (file, rule).
+fn group(diags: &[Diag]) -> BTreeMap<(String, String), usize> {
+    let mut m = BTreeMap::new();
+    for d in diags {
+        *m.entry((d.file.clone(), d.rule.to_string())).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Load `lint-baseline.txt`: one `<file> <rule> <count>` triple per line,
+/// `#` comments allowed. Plain text, not JSON, so the gate has no parser
+/// dependencies.
+fn load_baseline(path: &Path) -> BTreeMap<(String, String), usize> {
+    let mut m = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else { return m };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(file), Some(rule), Some(count)) = (parts.next(), parts.next(), parts.next()) {
+            if let Ok(count) = count.parse::<usize>() {
+                m.insert((file.to_string(), rule.to_string()), count);
+            }
+        }
+    }
+    m
+}
+
+/// One discovered source file.
+struct SourceFile {
+    abs: PathBuf,
+    rel: String,
+    crate_name: String,
+    kind: FileKind,
+}
+
+/// Walk the workspace and classify every `.rs` file by owning package and
+/// target kind. Skips `target/`, VCS metadata, and dd-lint's own test
+/// fixtures (they are violations by design).
+fn discover(root: &Path) -> Result<Vec<SourceFile>, std::io::Error> {
+    let mut names: BTreeMap<String, String> = BTreeMap::new();
+    names.insert(String::new(), package_name(&root.join("Cargo.toml")).unwrap_or_default());
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let dir = e.path();
+            if let Some(name) = package_name(&dir.join("Cargo.toml")) {
+                names.insert(format!("crates/{}", e.file_name().to_string_lossy()), name);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            std::fs::read_dir(&dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for p in entries {
+            let fname = p.file_name().unwrap_or_default().to_string_lossy().to_string();
+            if p.is_dir() {
+                if matches!(fname.as_str(), "target" | ".git" | "results" | "fixtures") {
+                    continue;
+                }
+                stack.push(p);
+                continue;
+            }
+            if p.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            let crate_dir = if rel.starts_with("crates/") {
+                rel.split('/').take(2).collect::<Vec<_>>().join("/")
+            } else {
+                String::new()
+            };
+            let Some(crate_name) = names.get(&crate_dir) else { continue };
+            let within = rel.strip_prefix(&crate_dir).unwrap_or(&rel).trim_start_matches('/');
+            let kind = classify(within);
+            let Some(kind) = kind else { continue };
+            out.push(SourceFile { abs: p, rel, crate_name: crate_name.clone(), kind });
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+/// Classify a crate-relative path into a target kind.
+fn classify(within: &str) -> Option<FileKind> {
+    if within.starts_with("tests/") {
+        Some(FileKind::Test)
+    } else if within.starts_with("benches/") {
+        Some(FileKind::Bench)
+    } else if within.starts_with("examples/") {
+        Some(FileKind::Example)
+    } else if within.starts_with("src/bin/") || within == "src/main.rs" || within == "build.rs" {
+        Some(FileKind::Bin)
+    } else if within.starts_with("src/") {
+        Some(FileKind::Lib)
+    } else {
+        None
+    }
+}
+
+/// Pull `name = "..."` out of a Cargo.toml `[package]` section without a
+/// TOML parser.
+fn package_name(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}

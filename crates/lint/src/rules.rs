@@ -1,0 +1,411 @@
+//! The five policy families, implemented as token-stream scans over a
+//! [`FileCtx`].
+//!
+//! Every rule has a stable id `family/name`; ids are what allow annotations
+//! and the baseline file refer to. The full list lives in [`KNOWN_RULES`].
+
+use crate::ctx::{matching, FileCtx, FileKind};
+use crate::lex::TokenKind;
+
+/// One diagnostic, rendered as `file:line: rule-id: message`.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable rule id (`family/name`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// Every rule id dd-lint can emit. Allow annotations must name one of these
+/// (or a family prefix) — anything else is a `lint/bad-allow`.
+pub const KNOWN_RULES: &[&str] = &[
+    "error-policy/unwrap",
+    "error-policy/expect",
+    "error-policy/panic",
+    "determinism/thread-rng",
+    "determinism/time-seeded-rng",
+    "determinism/hash-collection",
+    "single-clock/instant-now",
+    "instrumentation/uncounted-kernel",
+    "lossy-cast/float-to-int",
+    "lint/bad-allow",
+];
+
+/// Family prefixes accepted by allow annotations.
+pub const KNOWN_FAMILIES: &[&str] =
+    &["error-policy", "determinism", "single-clock", "instrumentation", "lossy-cast", "lint"];
+
+/// Crates whose numeric results must be bit-reproducible: iteration order
+/// and wall-clock entropy must not leak into floats here.
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["dd-tensor", "dd-nn", "dd-parallel", "dd-mdsim", "dd-hypersearch", "dd-datagen"];
+
+/// The only crate allowed to read the monotonic clock directly.
+pub const CLOCK_OWNER: &str = "dd-obs";
+
+/// Crates whose kernel entry points must be instrumented.
+pub const INSTRUMENTED_CRATES: &[&str] = &["dd-tensor", "dd-parallel"];
+
+/// Run every rule over one file.
+pub fn check_file(ctx: &FileCtx) -> Vec<Diag> {
+    let mut out = Vec::new();
+    bad_allows(ctx, &mut out);
+    error_policy(ctx, &mut out);
+    determinism(ctx, &mut out);
+    single_clock(ctx, &mut out);
+    instrumentation(ctx, &mut out);
+    lossy_cast(ctx, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Report a diagnostic unless an annotation allows it at that line.
+fn push(ctx: &FileCtx, out: &mut Vec<Diag>, line: usize, rule: &'static str, message: String) {
+    if ctx.allowed(rule, line) {
+        return;
+    }
+    out.push(Diag { file: ctx.path.clone(), line, rule, message });
+}
+
+/// `lint/bad-allow`: malformed annotations and annotations naming unknown
+/// rules. These are unconditional — an allow cannot allow itself.
+fn bad_allows(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    for b in &ctx.bad_allows {
+        out.push(Diag {
+            file: ctx.path.clone(),
+            line: b.line,
+            rule: "lint/bad-allow",
+            message: b.why.clone(),
+        });
+    }
+    for a in &ctx.allows {
+        for r in &a.rules {
+            if !KNOWN_RULES.contains(&r.as_str()) && !KNOWN_FAMILIES.contains(&r.as_str()) {
+                out.push(Diag {
+                    file: ctx.path.clone(),
+                    line: a.line,
+                    rule: "lint/bad-allow",
+                    message: format!("allow names unknown rule `{r}`"),
+                });
+            }
+        }
+    }
+}
+
+/// Error policy: library code must surface failures as typed `Result`s, not
+/// aborts. `assert!`/`unreachable!` stay legal: they document invariants,
+/// not fallible paths.
+fn error_policy(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    let t = &ctx.tokens;
+    for i in 0..t.len() {
+        let line = t[i].line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        // `.unwrap()` / `.unwrap_err()` / `.expect(` / `.expect_err(`.
+        if t[i].kind == TokenKind::Punct
+            && t[i].text == "."
+            && i + 2 < t.len()
+            && t[i + 1].kind == TokenKind::Ident
+            && t[i + 2].text == "("
+        {
+            match t[i + 1].text.as_str() {
+                "unwrap" | "unwrap_err" => push(
+                    ctx,
+                    out,
+                    t[i + 1].line,
+                    "error-policy/unwrap",
+                    format!(
+                        ".{}() in library code: return a typed error instead \
+                         (see DataParallelError / NnError)",
+                        t[i + 1].text
+                    ),
+                ),
+                "expect" | "expect_err" => push(
+                    ctx,
+                    out,
+                    t[i + 1].line,
+                    "error-policy/expect",
+                    format!(
+                        ".{}() in library code: return a typed error instead \
+                         (see DataParallelError / NnError)",
+                        t[i + 1].text
+                    ),
+                ),
+                _ => {}
+            }
+        }
+        // `panic!` / `todo!` / `unimplemented!` macro invocations.
+        if t[i].kind == TokenKind::Ident
+            && i + 1 < t.len()
+            && t[i + 1].kind == TokenKind::Punct
+            && t[i + 1].text == "!"
+            && matches!(t[i].text.as_str(), "panic" | "todo" | "unimplemented")
+        {
+            push(
+                ctx,
+                out,
+                line,
+                "error-policy/panic",
+                format!(
+                    "{}! in library code: return a typed error instead \
+                     (assert!/unreachable! for invariants are fine)",
+                    t[i].text
+                ),
+            );
+        }
+    }
+}
+
+/// Determinism policy: no ambient entropy or unordered iteration in crates
+/// whose floats must be bit-reproducible.
+fn determinism(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    if !matches!(ctx.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    for tok in &ctx.tokens {
+        if tok.kind != TokenKind::Ident || ctx.in_test(tok.line) {
+            continue;
+        }
+        match tok.text.as_str() {
+            "thread_rng" => push(
+                ctx,
+                out,
+                tok.line,
+                "determinism/thread-rng",
+                "thread_rng() is ambient entropy: derive from the run seed \
+                 (SplitMix-style split), never the OS"
+                    .into(),
+            ),
+            "SystemTime" => push(
+                ctx,
+                out,
+                tok.line,
+                "determinism/time-seeded-rng",
+                "SystemTime in a deterministic crate: wall-clock state leaks \
+                 into results; thread the run seed / dd-obs instead"
+                    .into(),
+            ),
+            "HashMap" | "HashSet" => push(
+                ctx,
+                out,
+                tok.line,
+                "determinism/hash-collection",
+                format!(
+                    "{} in a deterministic crate: iteration order is \
+                     randomized per-process and leaks into float reductions; \
+                     use BTreeMap/BTreeSet or sort keys",
+                    tok.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Single-clock policy: only dd-obs may read `Instant::now()`. Everything
+/// else times itself through spans so traces and reports can never disagree.
+fn single_clock(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if ctx.crate_name == CLOCK_OWNER {
+        return;
+    }
+    if !matches!(ctx.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    let t = &ctx.tokens;
+    for i in 0..t.len() {
+        if t[i].kind == TokenKind::Ident
+            && t[i].text == "Instant"
+            && !ctx.in_test(t[i].line)
+            && i + 3 < t.len()
+            && t[i + 1].text == ":"
+            && t[i + 2].text == ":"
+            && t[i + 3].kind == TokenKind::Ident
+            && t[i + 3].text == "now"
+        {
+            push(
+                ctx,
+                out,
+                t[i].line,
+                "single-clock/instant-now",
+                "Instant::now() outside dd-obs: time through a dd_obs span \
+                 (SpanGuard::finish returns elapsed seconds) so the trace and \
+                 the report share one clock"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Instrumentation coverage: every public matmul/matvec/allreduce entry
+/// point in the kernel crates must either call the dd-obs accounting hooks
+/// or delegate to another kernel entry point that does.
+fn instrumentation(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if ctx.kind != FileKind::Lib || !INSTRUMENTED_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let t = &ctx.tokens;
+    let mut i = 0usize;
+    while i < t.len() {
+        if !(t[i].kind == TokenKind::Ident && t[i].text == "pub") {
+            i += 1;
+            continue;
+        }
+        // `pub` / `pub(crate)` / `pub(in ..)`.
+        let mut j = i + 1;
+        if j < t.len() && t[j].text == "(" {
+            match matching(t, j, "(", ")") {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        if !(j + 1 < t.len() && t[j].kind == TokenKind::Ident && t[j].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let name_tok = &t[j + 1];
+        let name = name_tok.text.as_str();
+        let is_kernel = name.starts_with("matmul")
+            || name.starts_with("matvec")
+            || name.starts_with("allreduce");
+        if !is_kernel || ctx.in_test(name_tok.line) {
+            i = j + 2;
+            continue;
+        }
+        // Find the body: first `{` before any `;` (a `;` means a body-less
+        // trait/extern declaration — not ours to check).
+        let mut k = j + 2;
+        let mut body = None;
+        while k < t.len() {
+            if t[k].kind == TokenKind::Punct {
+                match t[k].text.as_str() {
+                    "{" => {
+                        body = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(open) = body else {
+            i = k + 1;
+            continue;
+        };
+        let Some(close) = matching(t, open, "{", "}") else {
+            i = open + 1;
+            continue;
+        };
+        let counted = t[open + 1..close].iter().any(|tok| {
+            tok.kind == TokenKind::Ident
+                && (tok.text == "note_matmul"
+                    || tok.text == "note_allreduce"
+                    || tok.text == "dd_obs"
+                    || tok.text.starts_with("matmul")
+                    || tok.text.starts_with("matvec")
+                    || tok.text.starts_with("allreduce"))
+        });
+        if !counted {
+            push(
+                ctx,
+                out,
+                name_tok.line,
+                "instrumentation/uncounted-kernel",
+                format!(
+                    "pub fn {name} does no dd-obs accounting: call the \
+                     note_matmul/allreduce hooks (or delegate to an entry \
+                     point that does) so FLOP/byte totals stay exact"
+                ),
+            );
+        }
+        i = close + 1;
+    }
+}
+
+/// Integer target types for the lossy-cast rule.
+const INT_TYPES: &[&str] =
+    &["i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize"];
+
+/// Lossy-cast policy: `<float expr> as <int>` silently truncates and
+/// saturates; outside annotated quantization code it is almost always a
+/// bug. Heuristic: walk the postfix expression to the left of `as` and flag
+/// if it shows float evidence (a float literal, `f32`/`f64`, or a rounding
+/// call).
+fn lossy_cast(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    let t = &ctx.tokens;
+    for i in 0..t.len() {
+        if !(t[i].kind == TokenKind::Ident && t[i].text == "as") || ctx.in_test(t[i].line) {
+            continue;
+        }
+        let Some(target) = t.get(i + 1) else { continue };
+        if target.kind != TokenKind::Ident || !INT_TYPES.contains(&target.text.as_str()) {
+            continue;
+        }
+        // Walk the postfix expression backwards from the `as`.
+        let mut depth = 0usize;
+        let mut j = i;
+        let mut floaty = false;
+        while j > 0 {
+            j -= 1;
+            let tok = &t[j];
+            match tok.kind {
+                TokenKind::Punct => match tok.text.as_str() {
+                    ")" | "]" => depth += 1,
+                    "(" | "[" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    "." | ":" => {}
+                    _ if depth > 0 => {}
+                    _ => break,
+                },
+                TokenKind::Float => floaty = true,
+                TokenKind::Ident => {
+                    if tok.text == "f32"
+                        || tok.text == "f64"
+                        || matches!(tok.text.as_str(), "round" | "floor" | "ceil" | "trunc")
+                    {
+                        floaty = true;
+                    }
+                    // `as` chains (`x as f64 as usize`) and statement
+                    // keywords end the postfix walk.
+                    if depth == 0
+                        && matches!(tok.text.as_str(), "let" | "return" | "if" | "while" | "match")
+                    {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if floaty {
+            push(
+                ctx,
+                out,
+                t[i].line,
+                "lossy-cast/float-to-int",
+                format!(
+                    "float-to-{} cast truncates/saturates silently: round \
+                     explicitly and annotate, or keep the value in floats",
+                    target.text
+                ),
+            );
+        }
+    }
+}

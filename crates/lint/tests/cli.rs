@@ -1,0 +1,133 @@
+//! End-to-end tests for the dd-lint binary: each rule's positive fixture
+//! must fail with the exact rule id and line, each allow-annotated negative
+//! must pass, and the exit-code contract must hold.
+
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Run dd-lint in fixture mode; returns (exit code, stdout).
+fn run(name: &str, as_spec: &str) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dd-lint"))
+        .args(["--check-file", &fixture(name), "--as", as_spec])
+        .output()
+        .expect("dd-lint runs");
+    (out.status.code().unwrap_or(-1), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// Assert the positive fixture exits 1 and reports `rule` at `line`.
+fn assert_fires(name: &str, as_spec: &str, line: u32, rule: &str) {
+    let (code, stdout) = run(name, as_spec);
+    assert_eq!(code, 1, "{name} should fail\nstdout: {stdout}");
+    let needle = format!(":{line}: {rule}:");
+    assert!(stdout.contains(&needle), "{name}: expected `{needle}` in:\n{stdout}");
+}
+
+/// Assert the negative fixture exits 0 with no diagnostics.
+fn assert_clean(name: &str, as_spec: &str) {
+    let (code, stdout) = run(name, as_spec);
+    assert_eq!(code, 0, "{name} should pass\nstdout: {stdout}");
+}
+
+#[test]
+fn error_policy_unwrap() {
+    assert_fires("pos_unwrap.rs", "dd-nn:lib", 3, "error-policy/unwrap");
+    assert_clean("neg_unwrap.rs", "dd-nn:lib");
+}
+
+#[test]
+fn error_policy_expect() {
+    assert_fires("pos_expect.rs", "dd-nn:lib", 3, "error-policy/expect");
+    assert_clean("neg_expect.rs", "dd-nn:lib");
+}
+
+#[test]
+fn error_policy_panic() {
+    assert_fires("pos_panic.rs", "dd-nn:lib", 3, "error-policy/panic");
+    assert_clean("neg_panic.rs", "dd-nn:lib");
+}
+
+#[test]
+fn determinism_thread_rng() {
+    assert_fires("pos_thread_rng.rs", "dd-tensor:lib", 3, "determinism/thread-rng");
+    assert_clean("neg_thread_rng.rs", "dd-tensor:lib");
+}
+
+#[test]
+fn determinism_time_seeded_rng() {
+    assert_fires("pos_time_seeded.rs", "dd-tensor:lib", 3, "determinism/time-seeded-rng");
+    assert_clean("neg_time_seeded.rs", "dd-tensor:lib");
+}
+
+#[test]
+fn determinism_hash_collection() {
+    assert_fires("pos_hash_collection.rs", "dd-tensor:lib", 2, "determinism/hash-collection");
+    assert_clean("neg_hash_collection.rs", "dd-tensor:lib");
+}
+
+#[test]
+fn single_clock_instant_now() {
+    assert_fires("pos_instant_now.rs", "dd-nn:lib", 3, "single-clock/instant-now");
+    assert_clean("neg_instant_now.rs", "dd-nn:lib");
+}
+
+#[test]
+fn instrumentation_uncounted_kernel() {
+    assert_fires("pos_uncounted_kernel.rs", "dd-tensor:lib", 2, "instrumentation/uncounted-kernel");
+    assert_clean("neg_uncounted_kernel.rs", "dd-tensor:lib");
+}
+
+#[test]
+fn lossy_cast_float_to_int() {
+    assert_fires("pos_lossy_cast.rs", "dd-nn:lib", 3, "lossy-cast/float-to-int");
+    assert_clean("neg_lossy_cast.rs", "dd-nn:lib");
+}
+
+#[test]
+fn lint_bad_allow() {
+    assert_fires("pos_bad_allow.rs", "dd-nn:lib", 2, "lint/bad-allow");
+    assert_clean("neg_bad_allow.rs", "dd-nn:lib");
+}
+
+#[test]
+fn error_policy_exempts_test_kind() {
+    // The same offending code is fine when classified as a test target.
+    let (code, stdout) = run("pos_unwrap.rs", "dd-nn:test");
+    assert_eq!(code, 0, "test targets may unwrap\nstdout: {stdout}");
+}
+
+#[test]
+fn single_clock_exempts_dd_obs() {
+    // Instant::now() is the one thing dd-obs itself is allowed to own.
+    let (code, stdout) = run("pos_instant_now.rs", "dd-obs:lib");
+    assert_eq!(code, 0, "dd-obs owns the clock\nstdout: {stdout}");
+}
+
+#[test]
+fn determinism_scoped_to_numeric_crates() {
+    // HashMap is acceptable in crates outside the deterministic set.
+    let (code, stdout) = run("pos_hash_collection.rs", "dd-obs:lib");
+    assert_eq!(code, 0, "non-numeric crates may hash\nstdout: {stdout}");
+}
+
+#[test]
+fn json_format_is_emitted() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dd-lint"))
+        .args(["--check-file", &fixture("pos_unwrap.rs"), "--as", "dd-nn:lib"])
+        .args(["--format", "json"])
+        .output()
+        .expect("dd-lint runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\": \"error-policy/unwrap\""), "json output:\n{stdout}");
+    assert!(stdout.contains("\"line\": 3"), "json output:\n{stdout}");
+    assert!(stdout.contains("\"total\": 1"), "json output:\n{stdout}");
+}
+
+#[test]
+fn missing_file_is_a_usage_error() {
+    let (code, _) = run("does_not_exist.rs", "dd-nn:lib");
+    assert_eq!(code, 2, "IO problems use exit code 2, distinct from violations");
+}

@@ -1,0 +1,5 @@
+//! Fixture: a well-formed annotation is accepted and suppresses the rule.
+pub fn first(xs: &[u32]) -> u32 {
+    // dd-lint: allow(error-policy/unwrap) -- fixture: justified and spelled correctly
+    xs.first().copied().unwrap()
+}

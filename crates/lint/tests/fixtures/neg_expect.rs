@@ -1,0 +1,4 @@
+//! Fixture: trailing allow suppresses `error-policy/expect`.
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().expect("non-empty") // dd-lint: allow(error-policy/expect) -- fixture
+}

@@ -1,0 +1,7 @@
+//! Fixture: the allow annotation suppresses `determinism/hash-collection`.
+// dd-lint: allow(determinism/hash-collection) -- fixture: keys are sorted before iteration
+use std::collections::HashMap;
+
+pub fn fresh() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,6 @@
+//! Fixture: the allow annotation suppresses `single-clock/instant-now`.
+pub fn elapsed() -> f64 {
+    // dd-lint: allow(single-clock/instant-now) -- fixture: local timing scaffold
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,5 @@
+//! Fixture: the allow annotation suppresses `lossy-cast/float-to-int`.
+pub fn truncate(frac: f64, n: usize) -> usize {
+    // dd-lint: allow(lossy-cast/float-to-int) -- fixture: fraction-of-n count
+    (frac * n as f64) as usize
+}

@@ -1,0 +1,5 @@
+//! Fixture: the allow annotation suppresses `error-policy/panic`.
+pub fn broken() {
+    // dd-lint: allow(error-policy/panic) -- fixture: deliberate crash injection
+    panic!("library code must not panic");
+}

@@ -1,0 +1,6 @@
+//! Fixture: the allow annotation suppresses `determinism/thread-rng`.
+pub fn seed() -> u64 {
+    // dd-lint: allow(determinism/thread-rng) -- fixture: entropy explicitly requested
+    let mut _rng = rand::thread_rng();
+    0
+}

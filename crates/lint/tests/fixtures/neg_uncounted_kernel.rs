@@ -1,0 +1,7 @@
+//! Fixture: a dd-obs accounting call satisfies the instrumentation check.
+pub fn matmul_naive(a: &[f32], n: usize) -> Vec<f32> {
+    dd_obs::counter_add("matmul_calls", 1);
+    let mut out = vec![0.0f32; n * n];
+    out[0] = a[0];
+    out
+}

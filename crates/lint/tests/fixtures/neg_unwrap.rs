@@ -1,0 +1,5 @@
+//! Fixture: the allow annotation suppresses `error-policy/unwrap`.
+pub fn first(xs: &[u32]) -> u32 {
+    // dd-lint: allow(error-policy/unwrap) -- fixture demonstrating the escape hatch
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,5 @@
+//! Fixture: `lint/bad-allow` must fire on line 2 (missing `-- reason`).
+// dd-lint: allow(error-policy/unwrap)
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,4 @@
+//! Fixture: `error-policy/expect` must fire on line 3.
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().expect("non-empty")
+}

@@ -1,0 +1,6 @@
+//! Fixture: `determinism/hash-collection` must fire on line 2.
+use std::collections::HashMap;
+
+pub fn fresh() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,5 @@
+//! Fixture: `single-clock/instant-now` must fire on line 3.
+pub fn elapsed() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

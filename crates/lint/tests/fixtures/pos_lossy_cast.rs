@@ -1,0 +1,4 @@
+//! Fixture: `lossy-cast/float-to-int` must fire on line 3.
+pub fn truncate(frac: f64, n: usize) -> usize {
+    (frac * n as f64) as usize
+}

@@ -1,0 +1,4 @@
+//! Fixture: `error-policy/panic` must fire on line 3.
+pub fn broken() {
+    panic!("library code must not panic");
+}

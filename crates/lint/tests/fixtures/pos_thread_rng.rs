@@ -1,0 +1,5 @@
+//! Fixture: `determinism/thread-rng` must fire on line 3.
+pub fn seed() -> u64 {
+    let mut _rng = rand::thread_rng();
+    0
+}

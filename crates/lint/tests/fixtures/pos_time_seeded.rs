@@ -1,0 +1,5 @@
+//! Fixture: `determinism/time-seeded-rng` must fire on line 3.
+pub fn seed() -> u64 {
+    let _t = std::time::SystemTime::now();
+    0
+}

@@ -1,0 +1,6 @@
+//! Fixture: `instrumentation/uncounted-kernel` must fire on line 2.
+pub fn matmul_naive(a: &[f32], n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * n];
+    out[0] = a[0];
+    out
+}

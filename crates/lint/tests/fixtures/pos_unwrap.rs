@@ -1,0 +1,4 @@
+//! Fixture: `error-policy/unwrap` must fire on line 3.
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

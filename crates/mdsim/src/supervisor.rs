@@ -66,6 +66,7 @@ impl SurrogateController {
     /// Fresh controller with an untrained network.
     pub fn new(threshold: f64, seed: u64) -> Self {
         let spec = ModelSpec::mlp(4, &[16, 8], 1, Activation::Tanh);
+        // dd-lint: allow(error-policy/expect) -- hard-coded MLP spec is statically valid
         let model = spec.build(seed, Precision::F32).expect("valid surrogate spec");
         SurrogateController {
             model,

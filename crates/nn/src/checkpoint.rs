@@ -66,6 +66,9 @@ pub enum CheckpointError {
     BadState(String),
     /// Checksum mismatch (corruption).
     BadChecksum,
+    /// Serialization failed while *writing* a checkpoint (spec/state JSON
+    /// encoding, or a section exceeding the format's u32 length fields).
+    EncodeFailed(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -81,6 +84,7 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::BadState(e) => write!(f, "invalid training state: {e}"),
             CheckpointError::BadChecksum => write!(f, "checksum mismatch (corrupt checkpoint)"),
+            CheckpointError::EncodeFailed(e) => write!(f, "checkpoint encoding failed: {e}"),
         }
     }
 }
@@ -117,13 +121,20 @@ fn fnv1a(data: &[u8]) -> u64 {
     hash
 }
 
-fn encode(spec: &ModelSpec, model: &mut Sequential, state: Option<&TrainState>) -> Bytes {
-    let spec_json = serde_json::to_vec(spec).expect("spec serializes");
+fn encode(
+    spec: &ModelSpec,
+    model: &mut Sequential,
+    state: Option<&TrainState>,
+) -> Result<Bytes, CheckpointError> {
+    let spec_json =
+        serde_json::to_vec(spec).map_err(|e| CheckpointError::EncodeFailed(e.to_string()))?;
     let params = model.flatten_params();
     let mut buf = BytesMut::with_capacity(64 + spec_json.len() + params.len() * 4);
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(if state.is_some() { VERSION_V2 } else { VERSION_V1 });
-    buf.put_u32_le(u32::try_from(spec_json.len()).expect("spec fits in u32"));
+    let spec_len = u32::try_from(spec_json.len())
+        .map_err(|_| CheckpointError::EncodeFailed("spec JSON exceeds u32 length".into()))?;
+    buf.put_u32_le(spec_len);
     buf.put_slice(&spec_json);
     buf.put_u8(precision_tag(model.precision()));
     buf.put_u64_le(params.len() as u64);
@@ -131,34 +142,41 @@ fn encode(spec: &ModelSpec, model: &mut Sequential, state: Option<&TrainState>) 
         buf.put_f32_le(*v);
     }
     if let Some(state) = state {
-        let state_json = serde_json::to_vec(state).expect("state serializes");
-        buf.put_u32_le(u32::try_from(state_json.len()).expect("state fits in u32"));
+        let state_json =
+            serde_json::to_vec(state).map_err(|e| CheckpointError::EncodeFailed(e.to_string()))?;
+        let state_len = u32::try_from(state_json.len())
+            .map_err(|_| CheckpointError::EncodeFailed("state JSON exceeds u32 length".into()))?;
+        buf.put_u32_le(state_len);
         buf.put_slice(&state_json);
     }
     let checksum = fnv1a(&buf);
     buf.put_u64_le(checksum);
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Serialize a model (spec + current weights) into a version-1 checkpoint.
-pub fn save(spec: &ModelSpec, model: &mut Sequential) -> Bytes {
+pub fn save(spec: &ModelSpec, model: &mut Sequential) -> Result<Bytes, CheckpointError> {
     let span = dd_obs::span_phase("checkpoint_save", dd_obs::Phase::Checkpoint);
-    let blob = encode(spec, model, None);
+    let blob = encode(spec, model, None)?;
     dd_obs::hist_record("checkpoint_seconds", span.finish());
     dd_obs::counter_add("checkpoints_saved", 1);
     dd_obs::counter_add("checkpoint_bytes", blob.len() as u64);
-    blob
+    Ok(blob)
 }
 
 /// Serialize a model plus its training state into a version-2 checkpoint
 /// that supports exact mid-run resume.
-pub fn save_with_state(spec: &ModelSpec, model: &mut Sequential, state: &TrainState) -> Bytes {
+pub fn save_with_state(
+    spec: &ModelSpec,
+    model: &mut Sequential,
+    state: &TrainState,
+) -> Result<Bytes, CheckpointError> {
     let span = dd_obs::span_phase("checkpoint_save", dd_obs::Phase::Checkpoint);
-    let blob = encode(spec, model, Some(state));
+    let blob = encode(spec, model, Some(state))?;
     dd_obs::hist_record("checkpoint_seconds", span.finish());
     dd_obs::counter_add("checkpoints_saved", 1);
     dd_obs::counter_add("checkpoint_bytes", blob.len() as u64);
-    blob
+    Ok(blob)
 }
 
 /// Decode a checkpoint (either version), rebuilding the model with its
@@ -172,7 +190,9 @@ pub fn load_with_state(
         return Err(CheckpointError::Truncated);
     }
     let (body, tail) = data.split_at(data.len() - 8);
-    let stored_sum = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    // split_at guarantees an 8-byte tail; surface the impossible case as
+    // Truncated rather than aborting.
+    let stored_sum = u64::from_le_bytes(tail.try_into().map_err(|_| CheckpointError::Truncated)?);
     if fnv1a(body) != stored_sum {
         return Err(CheckpointError::BadChecksum);
     }
@@ -218,7 +238,8 @@ pub fn load_with_state(
     } else {
         None
     };
-    let mut model = spec.build(0, precision).map_err(CheckpointError::BadSpec)?;
+    let mut model =
+        spec.build(0, precision).map_err(|e| CheckpointError::BadSpec(e.to_string()))?;
     if model.param_count() != count {
         return Err(CheckpointError::ParamMismatch {
             stored: count as u64,
@@ -251,7 +272,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let (spec, mut model) = model_pair();
-        let blob = save(&spec, &mut model);
+        let blob = save(&spec, &mut model).unwrap();
         let (spec2, mut model2) = load(&blob).unwrap();
         assert_eq!(spec2, spec);
         assert_eq!(model2.precision(), Precision::Bf16);
@@ -265,7 +286,7 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let (spec, mut model) = model_pair();
-        let blob = save(&spec, &mut model);
+        let blob = save(&spec, &mut model).unwrap();
         let mut bytes = blob.to_vec();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
@@ -275,7 +296,7 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let (spec, mut model) = model_pair();
-        let blob = save(&spec, &mut model);
+        let blob = save(&spec, &mut model).unwrap();
         for cut in [0, 4, 11, blob.len() / 2] {
             let err = load(&blob[..cut]).unwrap_err();
             assert!(
@@ -288,7 +309,7 @@ mod tests {
     #[test]
     fn wrong_magic_detected() {
         let (spec, mut model) = model_pair();
-        let blob = save(&spec, &mut model);
+        let blob = save(&spec, &mut model).unwrap();
         let mut bytes = blob.to_vec();
         bytes[0] = 0;
         // Fix up checksum so the magic check is what fires.
@@ -301,7 +322,7 @@ mod tests {
     #[test]
     fn v1_checkpoints_carry_no_state() {
         let (spec, mut model) = model_pair();
-        let blob = save(&spec, &mut model);
+        let blob = save(&spec, &mut model).unwrap();
         let (_, _, state) = load_with_state(&blob).unwrap();
         assert!(state.is_none());
     }
@@ -320,7 +341,7 @@ mod tests {
             model.step_with(&mut opt, 1.0);
         }
         let state = TrainState { epoch: 7, optimizer: opt.export_state(), rng: rng.clone() };
-        let blob = save_with_state(&spec, &mut model, &state);
+        let blob = save_with_state(&spec, &mut model, &state).unwrap();
         let (spec2, mut model2, state2) = load_with_state(&blob).unwrap();
         assert_eq!(spec2, spec);
         assert_eq!(model2.flatten_params(), model.flatten_params());
@@ -335,7 +356,7 @@ mod tests {
             optimizer: crate::optim::OptimizerState::default(),
             rng: Rng64::new(1),
         };
-        let blob = save_with_state(&spec, &mut model, &state);
+        let blob = save_with_state(&spec, &mut model, &state).unwrap();
         let mut bytes = blob.to_vec();
         let at = bytes.len() - 12; // inside the state JSON
         bytes[at] ^= 0x55;
@@ -378,7 +399,7 @@ mod tests {
                     optimizer: opt.export_state(),
                     rng: stream.clone(),
                 };
-                let blob = save_with_state(&spec, &mut model, &state);
+                let blob = save_with_state(&spec, &mut model, &state).unwrap();
                 let (spec2, mut model2, state2) = load_with_state(&blob).unwrap();
                 prop_assert_eq!(spec2, spec);
                 prop_assert_eq!(model2.flatten_params(), model.flatten_params());
@@ -402,7 +423,7 @@ mod tests {
             model.backward(&grad);
             model.step_with(&mut opt, 1.0);
         }
-        let blob = save(&spec, &mut model);
+        let blob = save(&spec, &mut model).unwrap();
         let (_, mut restored) = load(&blob).unwrap();
         assert_eq!(restored.predict(&x), model.predict(&x));
     }

@@ -43,5 +43,56 @@ pub use layers::{
 pub use loss::Loss;
 pub use model::Sequential;
 pub use optim::{LrSchedule, Optimizer, OptimizerConfig, OptimizerState};
-pub use spec::{InputShape, LayerSpec, ModelSpec};
+pub use spec::{InputShape, LayerSpec, ModelSpec, SpecError};
 pub use train::{split_indices, History, TrainConfig, TrainError, Trainer};
+
+/// Umbrella error for dd-nn: any failure from spec validation, training, or
+/// checkpoint encode/decode. Lets callers that drive the whole
+/// spec→train→checkpoint pipeline use one error type with `?`.
+#[derive(Debug)]
+pub enum NnError {
+    /// Model specification failed validation.
+    Spec(SpecError),
+    /// Training failed (divergence, bad shapes, empty data, ...).
+    Train(TrainError),
+    /// Checkpoint blob could not be encoded or decoded.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::Spec(e) => write!(f, "spec error: {e}"),
+            NnError::Train(e) => write!(f, "train error: {e}"),
+            NnError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Spec(e) => Some(e),
+            NnError::Train(e) => Some(e),
+            NnError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<SpecError> for NnError {
+    fn from(e: SpecError) -> Self {
+        NnError::Spec(e)
+    }
+}
+
+impl From<TrainError> for NnError {
+    fn from(e: TrainError) -> Self {
+        NnError::Train(e)
+    }
+}
+
+impl From<CheckpointError> for NnError {
+    fn from(e: CheckpointError) -> Self {
+        NnError::Checkpoint(e)
+    }
+}

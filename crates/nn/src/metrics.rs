@@ -100,6 +100,7 @@ pub fn enrichment_factor(scores: &[f32], labels: &[f32], alpha: f64) -> f64 {
     if total_actives == 0 {
         return 0.0;
     }
+    // dd-lint: allow(lossy-cast/float-to-int) -- enrichment cutoff: ceil'd fraction clamped to [1, n]
     let k = ((n as f64 * alpha).ceil() as usize).clamp(1, n);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));

@@ -78,6 +78,124 @@ pub enum LayerSpec {
     Residual(Vec<LayerSpec>),
 }
 
+/// Why a [`ModelSpec`] failed validation.
+///
+/// Every variant carries the index of the offending layer so search engines
+/// and partitioners can point mutation/repair logic at it directly instead
+/// of parsing a message string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The input shape has zero width.
+    EmptyInput,
+    /// A dense layer declares zero output width.
+    ZeroWidthDense {
+        /// Offending layer index.
+        layer: usize,
+    },
+    /// Dropout probability outside `[0, 1)`.
+    BadDropout {
+        /// Offending layer index.
+        layer: usize,
+        /// The rejected probability.
+        p: f32,
+    },
+    /// Conv kernel or stride of zero.
+    ZeroConvParam {
+        /// Offending layer index.
+        layer: usize,
+    },
+    /// Conv kernel longer than the incoming signal.
+    KernelExceedsSignal {
+        /// Offending layer index.
+        layer: usize,
+        /// Kernel width.
+        kernel: usize,
+        /// Incoming signal length.
+        len: usize,
+    },
+    /// Conv declares zero output channels.
+    ZeroConvChannels {
+        /// Offending layer index.
+        layer: usize,
+    },
+    /// A conv/pool layer applied to a flat (non-Signal) shape.
+    NeedsSignal {
+        /// Offending layer index.
+        layer: usize,
+        /// The operation that needed a signal (`conv1d` / `maxpool1d`).
+        op: &'static str,
+    },
+    /// Pool window invalid for the incoming signal length.
+    BadPool {
+        /// Offending layer index.
+        layer: usize,
+        /// Pool window.
+        pool: usize,
+        /// Incoming signal length.
+        len: usize,
+    },
+    /// A residual branch changes width.
+    ResidualWidthChange {
+        /// Offending layer index.
+        layer: usize,
+        /// Width entering the branch.
+        from: usize,
+        /// Width leaving the branch.
+        to: usize,
+    },
+    /// An error inside a residual branch, tagged with the outer layer index.
+    InResidual {
+        /// Index of the residual layer in the outer stack.
+        layer: usize,
+        /// The inner failure.
+        source: Box<SpecError>,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::EmptyInput => write!(f, "input width must be positive"),
+            SpecError::ZeroWidthDense { layer } => {
+                write!(f, "layer {layer}: dense output width 0")
+            }
+            SpecError::BadDropout { layer, p } => {
+                write!(f, "layer {layer}: dropout p {p} outside [0,1)")
+            }
+            SpecError::ZeroConvParam { layer } => {
+                write!(f, "layer {layer}: conv kernel/stride must be >= 1")
+            }
+            SpecError::KernelExceedsSignal { layer, kernel, len } => {
+                write!(f, "layer {layer}: conv kernel {kernel} exceeds signal length {len}")
+            }
+            SpecError::ZeroConvChannels { layer } => {
+                write!(f, "layer {layer}: conv needs out_ch >= 1")
+            }
+            SpecError::NeedsSignal { layer, op } => {
+                write!(f, "layer {layer}: {op} requires a Signal shape")
+            }
+            SpecError::BadPool { layer, pool, len } => {
+                write!(f, "layer {layer}: pool {pool} invalid for signal length {len}")
+            }
+            SpecError::ResidualWidthChange { layer, from, to } => {
+                write!(f, "layer {layer}: residual branch changes width {from} -> {to}")
+            }
+            SpecError::InResidual { layer, source } => {
+                write!(f, "layer {layer} (residual): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::InResidual { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
 /// A validated, buildable network description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelSpec {
@@ -113,67 +231,65 @@ impl ModelSpec {
 
     /// Walk the stack and return the output shape, or an error describing
     /// the first inconsistency.
-    pub fn validate(&self) -> Result<InputShape, String> {
+    pub fn validate(&self) -> Result<InputShape, SpecError> {
         let mut shape = self.input;
         if shape.width() == 0 {
-            return Err("input width must be positive".into());
+            return Err(SpecError::EmptyInput);
         }
         for (i, layer) in self.layers.iter().enumerate() {
             shape = match *layer {
                 LayerSpec::Dense { out, .. } => {
                     if out == 0 {
-                        return Err(format!("layer {i}: dense output width 0"));
+                        return Err(SpecError::ZeroWidthDense { layer: i });
                     }
                     InputShape::Flat(out)
                 }
                 LayerSpec::Activation(_) | LayerSpec::BatchNorm | LayerSpec::LayerNorm => shape,
                 LayerSpec::Dropout { p } => {
                     if !(0.0..1.0).contains(&p) {
-                        return Err(format!("layer {i}: dropout p {p} outside [0,1)"));
+                        return Err(SpecError::BadDropout { layer: i, p });
                     }
                     shape
                 }
                 LayerSpec::Conv1d { out_ch, kernel, stride, .. } => match shape {
                     InputShape::Signal { len, .. } => {
                         if kernel == 0 || stride == 0 {
-                            return Err(format!("layer {i}: conv kernel/stride must be >= 1"));
+                            return Err(SpecError::ZeroConvParam { layer: i });
                         }
                         if kernel > len {
-                            return Err(format!(
-                                "layer {i}: conv kernel {kernel} exceeds signal length {len}"
-                            ));
+                            return Err(SpecError::KernelExceedsSignal { layer: i, kernel, len });
                         }
                         if out_ch == 0 {
-                            return Err(format!("layer {i}: conv needs out_ch >= 1"));
+                            return Err(SpecError::ZeroConvChannels { layer: i });
                         }
                         InputShape::Signal { channels: out_ch, len: (len - kernel) / stride + 1 }
                     }
                     InputShape::Flat(_) => {
-                        return Err(format!("layer {i}: conv1d requires a Signal shape"))
+                        return Err(SpecError::NeedsSignal { layer: i, op: "conv1d" })
                     }
                 },
                 LayerSpec::MaxPool1d { pool } => match shape {
                     InputShape::Signal { channels, len } => {
                         if pool == 0 || pool > len {
-                            return Err(format!(
-                                "layer {i}: pool {pool} invalid for signal length {len}"
-                            ));
+                            return Err(SpecError::BadPool { layer: i, pool, len });
                         }
                         InputShape::Signal { channels, len: len.div_ceil(pool) }
                     }
                     InputShape::Flat(_) => {
-                        return Err(format!("layer {i}: maxpool1d requires a Signal shape"))
+                        return Err(SpecError::NeedsSignal { layer: i, op: "maxpool1d" })
                     }
                 },
                 LayerSpec::Residual(ref inner) => {
                     let sub = ModelSpec { input: shape, layers: inner.clone() };
-                    let out = sub.validate().map_err(|e| format!("layer {i} (residual): {e}"))?;
+                    let out = sub
+                        .validate()
+                        .map_err(|e| SpecError::InResidual { layer: i, source: Box::new(e) })?;
                     if out.width() != shape.width() {
-                        return Err(format!(
-                            "layer {i}: residual branch changes width {} -> {}",
-                            shape.width(),
-                            out.width()
-                        ));
+                        return Err(SpecError::ResidualWidthChange {
+                            layer: i,
+                            from: shape.width(),
+                            to: out.width(),
+                        });
                     }
                     shape
                 }
@@ -183,7 +299,7 @@ impl ModelSpec {
     }
 
     /// Output row width after the full stack (validated).
-    pub fn output_dim(&self) -> Result<usize, String> {
+    pub fn output_dim(&self) -> Result<usize, SpecError> {
         self.validate().map(InputShape::width)
     }
 
@@ -198,7 +314,7 @@ impl ModelSpec {
     /// `flops_total == s × matmul_flops(batch, true)` exactly. Bias adds,
     /// activations, norms, pooling and dropout use no matmul kernel and
     /// contribute nothing here (or to the counter).
-    pub fn matmul_flops(&self, batch: usize, train: bool) -> Result<u64, String> {
+    pub fn matmul_flops(&self, batch: usize, train: bool) -> Result<u64, SpecError> {
         self.validate()?;
         let factor: u64 = if train { 3 } else { 1 };
         let mut shape = self.input;
@@ -242,7 +358,7 @@ impl ModelSpec {
 
     /// Build the runnable model. Weight init and dropout masks derive from
     /// `seed`, so builds are reproducible.
-    pub fn build(&self, seed: u64, precision: Precision) -> Result<Sequential, String> {
+    pub fn build(&self, seed: u64, precision: Precision) -> Result<Sequential, SpecError> {
         self.validate()?;
         let rng = Rng64::new(seed);
         let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(self.layers.len());
@@ -351,7 +467,8 @@ mod tests {
             init: Init::He,
         });
         let err = spec.validate().unwrap_err();
-        assert!(err.contains("Signal"), "{err}");
+        assert_eq!(err, SpecError::NeedsSignal { layer: 0, op: "conv1d" });
+        assert!(err.to_string().contains("Signal"), "{err}");
     }
 
     #[test]
@@ -400,7 +517,8 @@ mod tests {
         let spec = ModelSpec::new(InputShape::Flat(8))
             .push(LayerSpec::Residual(vec![LayerSpec::Dense { out: 4, init: Init::Xavier }]));
         let err = spec.validate().unwrap_err();
-        assert!(err.contains("changes width"), "{err}");
+        assert_eq!(err, SpecError::ResidualWidthChange { layer: 0, from: 8, to: 4 });
+        assert!(err.to_string().contains("changes width"), "{err}");
     }
 
     #[test]

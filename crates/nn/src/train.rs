@@ -66,6 +66,15 @@ pub enum TrainError {
         /// The non-finite loss value.
         loss: f64,
     },
+    /// Feature and target matrices disagree on row count.
+    ShapeMismatch {
+        /// Rows in the feature matrix.
+        x_rows: usize,
+        /// Rows in the target matrix.
+        y_rows: usize,
+    },
+    /// The training set has zero rows.
+    EmptyDataset,
 }
 
 impl std::fmt::Display for TrainError {
@@ -74,6 +83,10 @@ impl std::fmt::Display for TrainError {
             TrainError::Diverged { epoch, loss } => {
                 write!(f, "training diverged at epoch {epoch} (loss {loss})")
             }
+            TrainError::ShapeMismatch { x_rows, y_rows } => {
+                write!(f, "feature/target row mismatch: {x_rows} vs {y_rows}")
+            }
+            TrainError::EmptyDataset => write!(f, "empty training set"),
         }
     }
 }
@@ -148,8 +161,12 @@ impl Trainer {
         y: &Matrix,
         epoch: usize,
     ) -> Result<f64, TrainError> {
-        assert_eq!(x.rows(), y.rows(), "feature/target row mismatch");
-        assert!(x.rows() > 0, "empty training set");
+        if x.rows() != y.rows() {
+            return Err(TrainError::ShapeMismatch { x_rows: x.rows(), y_rows: y.rows() });
+        }
+        if x.rows() == 0 {
+            return Err(TrainError::EmptyDataset);
+        }
         let n = x.rows();
         let bs = self.config.batch_size.min(n).max(1);
         let mut order: Vec<usize> = (0..n).collect();
@@ -277,7 +294,9 @@ pub fn split_indices(
     );
     let mut idx: Vec<usize> = (0..n).collect();
     Rng64::new(seed).shuffle(&mut idx);
+    // dd-lint: allow(lossy-cast/float-to-int) -- fraction-of-n rounds to a count in [0, n]
     let n_test = (n as f64 * test_frac).round() as usize;
+    // dd-lint: allow(lossy-cast/float-to-int) -- fraction-of-n rounds to a count in [0, n]
     let n_val = (n as f64 * val_frac).round() as usize;
     let test = idx.split_off(n - n_test);
     let val = idx.split_off(n - n_test - n_val);
@@ -399,8 +418,26 @@ mod tests {
             ..TrainConfig::default()
         });
         let err = trainer.fit(&mut model, &x, &y, None).unwrap_err();
-        let TrainError::Diverged { loss, .. } = err;
-        assert!(!loss.is_finite());
+        match err {
+            TrainError::Diverged { loss, .. } => assert!(!loss.is_finite()),
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_returns_typed_error() {
+        let (x, y) = toy_regression(16, 20);
+        let y_short = y.gather_rows(&(0..8).collect::<Vec<_>>());
+        let mut model =
+            ModelSpec::mlp(2, &[], 1, Activation::Identity).build(21, Precision::F32).unwrap();
+        let mut trainer = Trainer::new(TrainConfig::default());
+        let err = trainer.run_epoch(&mut model, &x, &y_short, 0).unwrap_err();
+        assert_eq!(err, TrainError::ShapeMismatch { x_rows: 16, y_rows: 8 });
+
+        let x0 = Matrix::zeros(0, 2);
+        let y0 = Matrix::zeros(0, 1);
+        let err = trainer.run_epoch(&mut model, &x0, &y0, 0).unwrap_err();
+        assert_eq!(err, TrainError::EmptyDataset);
     }
 
     #[test]

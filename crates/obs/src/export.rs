@@ -37,6 +37,7 @@ pub fn chrome_trace(snap: &Snapshot) -> String {
         }));
     }
     serde_json::to_string(&json!({ "traceEvents": events, "displayTimeUnit": "ms" }))
+        // dd-lint: allow(error-policy/expect) -- serde_json on an in-memory json! value cannot fail
         .expect("chrome trace serialization cannot fail")
 }
 

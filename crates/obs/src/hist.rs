@@ -50,6 +50,7 @@ impl Histogram {
         if v <= MIN_VALUE {
             return 0;
         }
+        // dd-lint: allow(lossy-cast/float-to-int) -- log-bucket index: floor() is the bucketing operation; clamped to the bucket range on the next line
         let idx = ((v / MIN_VALUE).log10() * BUCKETS_PER_DECADE as f64).floor() as isize;
         idx.clamp(0, NUM_BUCKETS as isize - 1) as usize
     }
@@ -116,6 +117,7 @@ impl Histogram {
             return 0.0;
         }
         let q = q.clamp(0.0, 1.0);
+        // dd-lint: allow(lossy-cast/float-to-int) -- quantile rank: ceil'd count bounded by n; fits u64 by construction
         let target = ((q * self.n as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {

@@ -15,6 +15,7 @@
 //! checkpoint), while structural parents (epoch, fit, trial) carry no phase,
 //! keeping the per-phase total free of double counting.
 
+// dd-lint: allow-file(error-policy/expect) -- a poisoned registry mutex means an instrumented thread already panicked; propagating that panic is the only sane behavior for a metrics sink
 use crate::hist::{HistSummary, Histogram};
 use crate::phase::Phase;
 use std::borrow::Cow;

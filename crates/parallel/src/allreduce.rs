@@ -39,7 +39,9 @@ pub fn ring(world: usize) -> Vec<RingMember> {
             rank,
             world,
             // Rank r sends to r+1 (channel index r+1's receiver side).
+            // dd-lint: allow(error-policy/expect) -- each endpoint is taken exactly once by construction of the loop above
             to_next: senders[(rank + 1) % world].take().expect("sender taken once"),
+            // dd-lint: allow(error-policy/expect) -- each endpoint is taken exactly once by construction of the loop above
             from_prev: receivers[rank].take().expect("receiver taken once"),
         })
         .collect()
@@ -60,6 +62,12 @@ impl RingMember {
     /// this with equal-length buffers. Returns the number of bytes this rank
     /// sent (for traffic accounting).
     pub fn allreduce(&self, buf: &mut [f32]) -> usize {
+        // dd-obs accounting at the kernel entry point (instrumentation
+        // coverage policy): collectives and ring traffic are counted here,
+        // volume-per-step counters stay with the callers.
+        if dd_obs::is_enabled() {
+            dd_obs::counter_add("allreduces_total", 1);
+        }
         if self.world == 1 {
             return 0;
         }
@@ -81,7 +89,9 @@ impl RingMember {
             let (s0, s1) = seg_bounds[send_seg];
             let out = buf[s0..s1].to_vec();
             sent_bytes += out.len() * 4;
+            // dd-lint: allow(error-policy/expect) -- a dead ring peer is unrecoverable mid-collective; the panic cascades to the FT supervisor, which restarts the segment
             self.to_next.send(out).expect("ring peer disconnected");
+            // dd-lint: allow(error-policy/expect) -- a dead ring peer is unrecoverable mid-collective; the panic cascades to the FT supervisor, which restarts the segment
             let incoming = self.from_prev.recv().expect("ring peer disconnected");
             let recv_seg = (self.rank + p - k - 1) % p;
             let (r0, r1) = seg_bounds[recv_seg];
@@ -97,11 +107,16 @@ impl RingMember {
             let (s0, s1) = seg_bounds[send_seg];
             let out = buf[s0..s1].to_vec();
             sent_bytes += out.len() * 4;
+            // dd-lint: allow(error-policy/expect) -- a dead ring peer is unrecoverable mid-collective; the panic cascades to the FT supervisor, which restarts the segment
             self.to_next.send(out).expect("ring peer disconnected");
+            // dd-lint: allow(error-policy/expect) -- a dead ring peer is unrecoverable mid-collective; the panic cascades to the FT supervisor, which restarts the segment
             let incoming = self.from_prev.recv().expect("ring peer disconnected");
             let recv_seg = (self.rank + p - k) % p;
             let (r0, r1) = seg_bounds[recv_seg];
             buf[r0..r1].copy_from_slice(&incoming);
+        }
+        if dd_obs::is_enabled() {
+            dd_obs::counter_add("allreduce_ring_bytes", sent_bytes as u64);
         }
         sent_bytes
     }

@@ -79,6 +79,7 @@ impl TopKCompressor {
     pub fn compress(&mut self, grad: &[f32]) -> Compressed {
         assert_eq!(grad.len(), self.residual.len(), "gradient length changed");
         let n = grad.len();
+        // dd-lint: allow(lossy-cast/float-to-int) -- top-k size: ceil'd fraction clamped to [1, n]
         let k = ((n as f64 * self.k_fraction).ceil() as usize).clamp(1, n);
         // Corrected gradient = grad + residual.
         let corrected: Vec<f32> = grad.iter().zip(&self.residual).map(|(&g, &r)| g + r).collect();

@@ -84,6 +84,8 @@ pub enum DataParallelError {
         /// Restarts attempted before giving up.
         restarts: usize,
     },
+    /// Writing a boundary checkpoint failed (serialization error).
+    CheckpointFailed(String),
 }
 
 impl std::fmt::Display for DataParallelError {
@@ -102,6 +104,9 @@ impl std::fmt::Display for DataParallelError {
             }
             DataParallelError::RestartsExhausted { restarts } => {
                 write!(f, "gave up after {restarts} restarts")
+            }
+            DataParallelError::CheckpointFailed(e) => {
+                write!(f, "boundary checkpoint failed: {e}")
             }
         }
     }
@@ -260,6 +265,7 @@ pub(crate) fn run_segment(
                     // lockstep after identical updates.
                     let mut model = spec
                         .build(config.seed.wrapping_add(1), config.precision)
+                        // dd-lint: allow(error-policy/expect) -- spec validated by the public entry points; replica threads cannot propagate Results
                         .expect("validated model spec");
                     let mut opt: Optimizer = config.optimizer.build();
                     if let Some((params, opt_state)) = init {
@@ -346,6 +352,7 @@ pub(crate) fn run_segment(
                                 GradCompression::TopK { .. } => {
                                     let msg = topk
                                         .as_mut()
+                                        // dd-lint: allow(error-policy/expect) -- constructed above whenever compression is TopK
                                         .expect("compressor initialized")
                                         .compress(&flat);
                                     wire_bytes += msg.wire_bytes();
@@ -404,11 +411,13 @@ pub(crate) fn run_segment(
     }
 
     let (losses0, params0, opt0, bytes0, wire0) =
+        // dd-lint: allow(error-policy/expect) -- every rank is Some(Ok) after the panic scan above
         results[0].take().expect("rank 0 result").expect("rank 0 ok");
     // Replicas must agree exactly: same inputs, same reduced gradients, same
     // optimizer arithmetic.
     for (r, res) in results.iter().enumerate().skip(1) {
         let (_, params, _, _, _) =
+            // dd-lint: allow(error-policy/expect) -- every rank is Some(Ok) after the panic scan above
             res.as_ref().expect("missing rank result").as_ref().expect("rank ok");
         assert_eq!(&params0, params, "replica {r} diverged from rank 0");
     }
@@ -437,8 +446,10 @@ pub fn train_data_parallel(
     config: &DataParallelConfig,
 ) -> Result<DataParallelReport, DataParallelError> {
     config.validate(x, y)?;
-    spec.validate().map_err(DataParallelError::InvalidSpec)?;
-    let start = std::time::Instant::now();
+    spec.validate().map_err(|e| DataParallelError::InvalidSpec(e.to_string()))?;
+    // Single-clock policy: the run times itself through a dd-obs span, so
+    // DataParallelReport::seconds and any exported trace share one clock.
+    let run_span = dd_obs::span("dp_train");
     let schedule = build_schedule(x.rows(), config.epochs, config.seed);
     let events = Mutex::new(Vec::new());
     let seg = run_segment(
@@ -459,7 +470,7 @@ pub fn train_data_parallel(
         final_params: seg.params,
         bytes_sent_per_rank: seg.bytes_sent,
         compressed_wire_bytes: seg.wire_bytes,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: run_span.finish(),
     })
 }
 

@@ -301,6 +301,7 @@ impl FaultInjector {
                     step,
                     kind: FaultEventKind::Crash,
                 });
+                // dd-lint: allow(error-policy/panic) -- deliberate injected fault; the segment harness catches it
                 panic!("{CRASH_MARKER} (rank {rank} epoch {epoch} step {step})");
             }
             Some(FaultKind::Straggler) => {
@@ -316,6 +317,7 @@ impl FaultInjector {
                         step,
                         kind: FaultEventKind::StragglerTimeout { millis },
                     });
+                    // dd-lint: allow(error-policy/panic) -- deliberate eviction of a timed-out straggler; caught by the harness
                     panic!(
                         "{CRASH_MARKER} (straggler evicted: rank {rank} epoch {epoch} step {step})"
                     );
@@ -576,8 +578,10 @@ pub fn train_data_parallel_ft(
     fault: &FaultConfig,
 ) -> Result<FaultTolerantReport, DataParallelError> {
     config.validate(x, y)?;
-    spec.validate().map_err(DataParallelError::InvalidSpec)?;
-    let start = std::time::Instant::now();
+    spec.validate().map_err(|e| DataParallelError::InvalidSpec(e.to_string()))?;
+    // Single-clock policy: the run times itself through a dd-obs span, so
+    // the reported seconds and any exported trace share one clock.
+    let run_span = dd_obs::span("ft_train");
     let injector = FaultInjector::new(fault.clone());
     let schedule = build_schedule(x.rows(), config.epochs, config.seed);
     let events = Mutex::new(Vec::new());
@@ -614,21 +618,21 @@ pub fn train_data_parallel_ft(
                 losses.extend(seg.losses);
                 bytes_sent += seg.bytes_sent;
                 wire_bytes += seg.wire_bytes;
-                carried = Some((seg.params, seg.opt));
                 epoch = end;
                 // Checkpoint at the boundary: weights + optimizer state +
                 // the shuffle RNG's position before the next epoch.
-                let (params, opt) = carried.as_ref().expect("segment just committed");
                 let mut model = spec
                     .build(config.seed.wrapping_add(1), config.precision)
-                    .expect("validated model spec");
-                model.load_params(params);
+                    .map_err(|e| DataParallelError::InvalidSpec(e.to_string()))?;
+                model.load_params(&seg.params);
                 let state = TrainState {
                     epoch: epoch as u64,
-                    optimizer: opt.clone(),
+                    optimizer: seg.opt.clone(),
                     rng: schedule.positions[epoch].clone(),
                 };
-                let blob = checkpoint::save_with_state(spec, &mut model, &state);
+                let blob = checkpoint::save_with_state(spec, &mut model, &state)
+                    .map_err(|e| DataParallelError::CheckpointFailed(e.to_string()))?;
+                carried = Some((seg.params, seg.opt));
                 let generation = store.push(epoch, blob.to_vec());
                 checkpoints_saved += 1;
                 events.lock().push(FaultEvent {
@@ -674,7 +678,7 @@ pub fn train_data_parallel_ft(
         None => {
             let mut model = spec
                 .build(config.seed.wrapping_add(1), config.precision)
-                .expect("validated model spec");
+                .map_err(|e| DataParallelError::InvalidSpec(e.to_string()))?;
             model.flatten_params()
         }
     };
@@ -686,7 +690,7 @@ pub fn train_data_parallel_ft(
             final_params,
             bytes_sent_per_rank: bytes_sent,
             compressed_wire_bytes: wire_bytes,
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: run_span.finish(),
         },
         events,
         restarts,

@@ -183,6 +183,7 @@ pub fn quantize_i8(values: &[f32]) -> (Vec<i8>, f32) {
     }
     let scale = max_abs / 127.0;
     let inv = 1.0 / scale;
+    // dd-lint: allow(lossy-cast/float-to-int) -- int8 quantization: value is rounded and clamped to [-127, 127] before the cast
     let codes = values.iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8).collect();
     (codes, scale)
 }

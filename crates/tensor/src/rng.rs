@@ -186,6 +186,7 @@ impl Rng64 {
             }
         } else {
             let x = self.normal(lambda, lambda.sqrt());
+            // dd-lint: allow(lossy-cast/float-to-int) -- Poisson normal-approximation tail: value is clamped to >= 0 and rounded before the cast
             x.max(0.0).round() as u64
         }
     }

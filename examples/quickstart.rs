@@ -74,7 +74,7 @@ fn main() {
     println!("\ntest accuracy: DNN {dnn_acc:.3} vs logistic {base_acc:.3}");
 
     // 5. Checkpoint the trained model and verify the restored copy agrees.
-    let blob = deepdriver::nn::checkpoint::save(&spec, &mut model);
+    let blob = deepdriver::nn::checkpoint::save(&spec, &mut model).expect("checkpoint encodes");
     let (_, mut restored) = deepdriver::nn::checkpoint::load(&blob).expect("valid checkpoint");
     let restored_acc = metrics::accuracy(&restored.predict(&split.test.x), test_labels);
     println!(

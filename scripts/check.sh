@@ -1,8 +1,32 @@
 #!/usr/bin/env bash
-# Repo-wide quality gate: build, test, formatting, lints.
-# Run from the repository root; any failure aborts with a non-zero exit.
+# Repo-wide quality gate: static analysis first (cheap, catches policy
+# violations before a long build), then build, tests, and integration
+# checks. Run from the repository root; any failure aborts non-zero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy"
+# unwrap_used/expect_used are workspace-level `warn` lints surfaced by
+# clippy but *enforced* by dd-lint below (which knows about the allow
+# annotations and the grandfather baseline), so they are exempted from
+# -D warnings here. Everything else is an error.
+cargo clippy --workspace -- -D warnings -A clippy::unwrap_used -A clippy::expect_used
+
+echo "== dd-lint (workspace invariant checker)"
+# Gates on *new* violations: grandfathered sites live in lint-baseline.txt
+# and the run fails if a file regresses past its budget (or if the
+# baseline has gone stale and should shrink).
+cargo run -q --release -p dd-lint
+
+echo "== dd-lint --format json parses"
+# The JSON stream must parse regardless of the exit code, so capture
+# stdout first and validate it separately.
+cargo run -q --release -p dd-lint -- --format json --no-baseline >/tmp/dd-lint.json || true
+python3 -m json.tool </tmp/dd-lint.json >/dev/null
+echo "dd-lint JSON parses"
 
 echo "== cargo build --release"
 cargo build --release
@@ -17,11 +41,5 @@ echo "== exp-profile emits a parsable Chrome trace"
 DD_TRACE=results/e12_trace.json ./target/release/exp-profile smoke >/dev/null
 python3 -m json.tool results/e12_trace.json >/dev/null
 echo "results/e12_trace.json parses"
-
-echo "== cargo fmt --check"
-cargo fmt --check
-
-echo "== cargo clippy"
-cargo clippy --workspace -- -D warnings
 
 echo "All checks passed."

@@ -160,6 +160,42 @@ fn allreduce_bytes_counter_matches_report() {
 }
 
 #[test]
+fn data_parallel_seconds_come_from_the_span_clock() {
+    // Regression for the single-clock policy: train_data_parallel used to
+    // time itself with a second, private Instant::now(), so report.seconds
+    // and the "dp_train" span could disagree. Both must now be the same
+    // measurement from the dd-obs span clock.
+    let _l = lock();
+    obs::reset();
+    obs::enable();
+    let mut rng = Rng64::new(16);
+    let x = Matrix::randn(64, 8, 0.0, 1.0, &mut rng);
+    let y = Matrix::from_fn(64, 1, |i, _| x.get(i, 0) - x.get(i, 3));
+    let spec = ModelSpec::mlp(8, &[16], 1, Activation::Tanh);
+    let config = DataParallelConfig { world: 2, epochs: 2, global_batch: 32, ..Default::default() };
+    let report = train_data_parallel(&spec, &x, &y, &config).expect("trains");
+    let snap = obs::snapshot();
+    obs::disable();
+    obs::reset();
+
+    let run_spans: Vec<f64> =
+        snap.spans.iter().filter(|s| s.name == "dp_train").map(|s| s.dur_us / 1e6).collect();
+    assert_eq!(run_spans.len(), 1, "exactly one dp_train span per run");
+    assert!(
+        (run_spans[0] - report.seconds).abs() < 1e-3,
+        "dp_train span {}s disagrees with report.seconds {}s",
+        run_spans[0],
+        report.seconds
+    );
+    // The ring kernel accounts its own collectives: every rank counts each
+    // of its allreduce() calls, so the total is a positive multiple of the
+    // world size.
+    let calls = snap.counter("allreduces_total");
+    assert!(calls > 0, "allreduces_total not counted");
+    assert_eq!(calls % config.world as u64, 0, "ranks made unequal allreduce counts");
+}
+
+#[test]
 fn jsonl_export_has_typed_lines_for_every_kind() {
     let _l = lock();
     obs::reset();
