@@ -1,0 +1,48 @@
+//! E13 kernel bench: batched inference dispatch at batch 1/8/64 (the
+//! amortization the serving knee rides on) plus the pure batching decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dd_nn::{Activation, ModelSpec};
+use dd_serve::{dispatch_batch, plan, BatchPolicy, ModelRegistry};
+use dd_tensor::{Matrix, Precision, Rng64};
+use std::hint::black_box;
+
+fn bench_dispatch_batch(c: &mut Criterion) {
+    let width = 60;
+    let registry = ModelRegistry::new();
+    let spec = ModelSpec::mlp(width, &[256, 128], 1, Activation::Relu);
+    let model = spec.build(1, Precision::F32).expect("static spec builds");
+    registry.install("scorer", spec, model);
+    let snapshot = registry.get("scorer").expect("installed");
+
+    let mut group = c.benchmark_group("serve_dispatch_batch");
+    for batch in [1usize, 8, 64] {
+        let mut rng = Rng64::new(batch as u64);
+        let rows = Matrix::randn(batch, width, 0.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &rows, |b, rows| {
+            b.iter(|| black_box(dispatch_batch(&snapshot, rows)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_decision(c: &mut Criterion) {
+    let policy = BatchPolicy::new(16, 2e-3, 0.25);
+    c.bench_function("serve_plan_decision", |b| {
+        b.iter(|| {
+            let mut d = 0usize;
+            for pending in 0..64usize {
+                if let dd_serve::BatchDecision::Dispatch(n) =
+                    plan(&policy, black_box(1.0), black_box(0.999), pending, false)
+                {
+                    d += n;
+                }
+            }
+            black_box(d)
+        });
+    });
+}
+
+criterion_group!(benches, bench_dispatch_batch, bench_plan_decision);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates the E13 serving table. Usage: `exp-13-serving [smoke|full|quick] [seed]`.
+
+use deepdriver_core::experiments::{self, e13_serving};
+use deepdriver_core::report::Scale;
+
+fn main() {
+    let _obs = dd_obs::EnvSession::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    let table = e13_serving::run(scale, seed);
+    experiments::emit(&table, "e13_serving");
+    let rows = e13_serving::sweep(scale, seed);
+    let service = e13_serving::service_model();
+    println!(
+        "batching knee (batch-64 > 2x batch-1 throughput at peak load): {}",
+        e13_serving::batching_knee(&rows)
+    );
+    println!(
+        "overload sheds with bounded served p99: {}",
+        e13_serving::overload_is_bounded(&rows, &service)
+    );
+}

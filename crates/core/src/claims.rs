@@ -7,8 +7,8 @@
 //! run (and CI-style regressions in any substrate flip a claim to FAIL).
 
 use crate::experiments::{
-    e10_compression, e11_faults, e1_precision, e2_scaling, e3_parallelism, e4_memory, e5_nvram,
-    e6_search, e7_hybrid, e9_mdsurrogate,
+    e10_compression, e11_faults, e13_serving, e1_precision, e2_scaling, e3_parallelism, e4_memory,
+    e5_nvram, e6_search, e7_hybrid, e9_mdsurrogate,
 };
 use crate::report::Scale;
 use crate::workloads;
@@ -25,6 +25,13 @@ pub struct ClaimResult {
     pub holds: bool,
     /// One line of measured evidence.
     pub evidence: String,
+}
+
+/// A claim whose inputs could not be produced. Recorded as a failed verdict
+/// with the reason as evidence — never a panic, because `verify-claims`
+/// must always render the complete table even when one substrate regresses.
+fn unverifiable(id: &'static str, statement: &'static str, what: &str) -> ClaimResult {
+    ClaimResult { id, statement, holds: false, evidence: format!("not verifiable: {what}") }
 }
 
 /// Check every claim at the given scale. Smoke scale runs in about a
@@ -59,74 +66,85 @@ pub fn verify_all(scale: Scale, seed: u64) -> Vec<ClaimResult> {
 
     // C2 — poor strong scaling, healthy weak scaling.
     {
+        let statement = "DNNs do not have good strong scaling behavior";
         let rows = e2_scaling::simulated_rows(scale);
-        let last = rows.last().expect("rows");
-        results.push(ClaimResult {
-            id: "E2",
-            statement: "DNNs do not have good strong scaling behavior",
-            holds: last.1 < 0.6 && last.2 > 0.8,
-            evidence: format!(
-                "at {} nodes: strong eff {:.3}, weak eff {:.3}, comm share {:.2}",
-                last.0, last.1, last.2, last.4
-            ),
-        });
+        match rows.last() {
+            Some(last) => results.push(ClaimResult {
+                id: "E2",
+                statement,
+                holds: last.1 < 0.6 && last.2 > 0.8,
+                evidence: format!(
+                    "at {} nodes: strong eff {:.3}, weak eff {:.3}, comm share {:.2}",
+                    last.0, last.1, last.2, last.4
+                ),
+            }),
+            None => results.push(unverifiable("E2", statement, "scaling sweep returned no rows")),
+        }
     }
 
     // C3 — model parallelism needs a high-bandwidth fabric.
     {
+        let statement = "high-bandwidth fabric supports network model parallelism";
         let rows = e3_parallelism::sweep(scale);
-        let slow = &rows[0];
-        let fast = rows.last().expect("rows");
-        results.push(ClaimResult {
-            id: "E3",
-            statement: "high-bandwidth fabric supports network model parallelism",
-            holds: slow.4 != "data" && fast.2 < slow.2,
-            evidence: format!(
-                "winner at {:.0} GB/s: {}; model step {:.0} ms -> {:.0} ms",
-                slow.0 / 1e9,
-                slow.4,
-                slow.2 * 1e3,
-                fast.2 * 1e3
-            ),
-        });
+        match (rows.first(), rows.last()) {
+            (Some(slow), Some(fast)) => results.push(ClaimResult {
+                id: "E3",
+                statement,
+                holds: slow.4 != "data" && fast.2 < slow.2,
+                evidence: format!(
+                    "winner at {:.0} GB/s: {}; model step {:.0} ms -> {:.0} ms",
+                    slow.0 / 1e9,
+                    slow.4,
+                    slow.2 * 1e3,
+                    fast.2 * 1e3
+                ),
+            }),
+            _ => results.push(unverifiable("E3", statement, "fabric sweep returned no rows")),
+        }
     }
 
     // C4 — HBM close to ALUs.
     {
         let rows = e4_memory::sweep(scale);
+        let statement = "high-bandwidth memory close to arithmetic units reduces data-motion cost";
         let hbm1 = rows.iter().find(|r| r.batch == 1 && r.tier == dd_hpcsim::Tier::Hbm);
         let ddr1 = rows.iter().find(|r| r.batch == 1 && r.tier == dd_hpcsim::Tier::Ddr);
-        let (h, d) = (hbm1.expect("hbm row"), ddr1.expect("ddr row"));
-        results.push(ClaimResult {
-            id: "E4",
-            statement: "high-bandwidth memory close to arithmetic units reduces data-motion cost",
-            holds: h.gflops > 3.0 * d.gflops && d.mem_energy_share > 0.5,
-            evidence: format!(
-                "batch 1: HBM {:.0} vs DDR {:.0} GFLOP/s; DDR mem-energy share {:.2}",
-                h.gflops, d.gflops, d.mem_energy_share
-            ),
-        });
+        match (hbm1, ddr1) {
+            (Some(h), Some(d)) => results.push(ClaimResult {
+                id: "E4",
+                statement,
+                holds: h.gflops > 3.0 * d.gflops && d.mem_energy_share > 0.5,
+                evidence: format!(
+                    "batch 1: HBM {:.0} vs DDR {:.0} GFLOP/s; DDR mem-energy share {:.2}",
+                    h.gflops, d.gflops, d.mem_energy_share
+                ),
+            }),
+            _ => results.push(unverifiable("E4", statement, "batch-1 HBM/DDR rows missing")),
+        }
     }
 
     // C5 — NVRAM opportunity.
     {
         let rows = e5_nvram::sweep(scale);
         let big = rows.iter().filter(|r| r.shard_bytes >= 500e9).collect::<Vec<_>>();
+        let statement = "per-node training data provides opportunities for NVRAM";
         let pfs = big.iter().find(|r| r.staging == dd_hpcsim::Staging::StreamPfs);
         let nv = big.iter().find(|r| r.staging == dd_hpcsim::Staging::StageNvram);
-        let (p, n) = (pfs.expect("pfs row"), nv.expect("nvram row"));
-        results.push(ClaimResult {
-            id: "E5",
-            statement: "per-node training data provides opportunities for NVRAM",
-            holds: n.feasible && n.total < p.total / 3.0,
-            evidence: format!(
-                "{:.0} GB/node, {} epochs: PFS {:.0}s vs NVRAM {:.0}s",
-                p.shard_bytes / 1e9,
-                e5_nvram::EPOCHS,
-                p.total,
-                n.total
-            ),
-        });
+        match (pfs, nv) {
+            (Some(p), Some(n)) => results.push(ClaimResult {
+                id: "E5",
+                statement,
+                holds: n.feasible && n.total < p.total / 3.0,
+                evidence: format!(
+                    "{:.0} GB/node, {} epochs: PFS {:.0}s vs NVRAM {:.0}s",
+                    p.shard_bytes / 1e9,
+                    e5_nvram::EPOCHS,
+                    p.total,
+                    n.total
+                ),
+            }),
+            _ => results.push(unverifiable("E5", statement, "large-shard staging rows missing")),
+        }
     }
 
     // C6 — intelligent search beats naive. Short smoke searches are noisy,
@@ -175,18 +193,20 @@ pub fn verify_all(scale: Scale, seed: u64) -> Vec<ClaimResult> {
 
     // C7 — model+data+search parallelism composes.
     {
+        let statement = "large-scale parallelism combines model, data and search parallelism";
         let rows = e7_hybrid::sweep(scale);
-        let first = rows.first().expect("rows");
-        let last = rows.last().expect("rows");
-        results.push(ClaimResult {
-            id: "E7",
-            statement: "large-scale parallelism combines model, data and search parallelism",
-            holds: last.4 > 3.0 * first.4,
-            evidence: format!(
-                "trials/hour: 1 island {:.0} vs {} islands {:.0}",
-                first.4, last.0, last.4
-            ),
-        });
+        match (rows.first(), rows.last()) {
+            (Some(first), Some(last)) => results.push(ClaimResult {
+                id: "E7",
+                statement,
+                holds: last.4 > 3.0 * first.4,
+                evidence: format!(
+                    "trials/hour: 1 island {:.0} vs {} islands {:.0}",
+                    first.4, last.0, last.4
+                ),
+            }),
+            _ => results.push(unverifiable("E7", statement, "hybrid sweep returned no rows")),
+        }
     }
 
     // C8 — DNNs beat classical baselines on nonlinear driver workloads.
@@ -207,38 +227,42 @@ pub fn verify_all(scale: Scale, seed: u64) -> Vec<ClaimResult> {
 
     // C9 — ML-supervised multi-resolution MD.
     {
+        let statement = "deep learning supervises multi-resolution molecular dynamics";
         let reports = e9_mdsurrogate::sweep(scale, seed);
-        let by = |n: &str| reports.iter().find(|r| r.policy == n).expect("policy");
-        let fine = by("fine");
-        let coarse = by("coarse");
-        let sur = by("dnn-surrogate");
-        results.push(ClaimResult {
-            id: "E9",
-            statement: "deep learning supervises multi-resolution molecular dynamics",
-            holds: sur.force_evals < fine.force_evals && sur.energy_drift <= coarse.energy_drift,
-            evidence: format!(
-                "surrogate {:.0}% of fine cost, drift {:.1e} (coarse {:.1e})",
-                100.0 * sur.force_evals as f64 / fine.force_evals as f64,
-                sur.energy_drift,
-                coarse.energy_drift
-            ),
-        });
+        let by = |n: &str| reports.iter().find(|r| r.policy == n);
+        match (by("fine"), by("coarse"), by("dnn-surrogate")) {
+            (Some(fine), Some(coarse), Some(sur)) => results.push(ClaimResult {
+                id: "E9",
+                statement,
+                holds: sur.force_evals < fine.force_evals
+                    && sur.energy_drift <= coarse.energy_drift,
+                evidence: format!(
+                    "surrogate {:.0}% of fine cost, drift {:.1e} (coarse {:.1e})",
+                    100.0 * sur.force_evals as f64 / fine.force_evals as f64,
+                    sur.energy_drift,
+                    coarse.energy_drift
+                ),
+            }),
+            _ => results.push(unverifiable("E9", statement, "MD policy reports missing")),
+        }
     }
 
     // C10 — sparser communication patterns.
     {
+        let statement = "future DNNs may rely less on dense communication patterns";
         let rows = e10_compression::sweep(scale, seed);
-        let dense = &rows[0];
-        let sparse = rows.last().expect("rows");
-        results.push(ClaimResult {
-            id: "E10",
-            statement: "future DNNs may rely less on dense communication patterns",
-            holds: sparse.ratio > 20.0 && sparse.final_loss < 3.0 * dense.final_loss + 0.01,
-            evidence: format!(
-                "top-1%: {:.0}x compression, loss {:.4} vs dense {:.4}",
-                sparse.ratio, sparse.final_loss, dense.final_loss
-            ),
-        });
+        match (rows.first(), rows.last()) {
+            (Some(dense), Some(sparse)) => results.push(ClaimResult {
+                id: "E10",
+                statement,
+                holds: sparse.ratio > 20.0 && sparse.final_loss < 3.0 * dense.final_loss + 0.01,
+                evidence: format!(
+                    "top-1%: {:.0}x compression, loss {:.4} vs dense {:.4}",
+                    sparse.ratio, sparse.final_loss, dense.final_loss
+                ),
+            }),
+            _ => results.push(unverifiable("E10", statement, "compression sweep empty")),
+        }
     }
 
     // C11 — resilience: failure is the common case at scale.
@@ -260,7 +284,8 @@ pub fn verify_all(scale: Scale, seed: u64) -> Vec<ClaimResult> {
             seed,
             ..Default::default()
         };
-        let plain = dd_parallel::train_data_parallel(&spec, &x, &y, &config).expect("plain run");
+        let statement = "at pre-exascale node counts failure is the common case; checkpoint/restart at the Young/Daly interval keeps training productive";
+        let plain = dd_parallel::train_data_parallel(&spec, &x, &y, &config);
         let faulted = dd_parallel::train_data_parallel_ft(
             &spec,
             &x,
@@ -276,18 +301,55 @@ pub fn verify_all(scale: Scale, seed: u64) -> Vec<ClaimResult> {
                 }],
                 ..dd_parallel::FaultConfig::none()
             },
-        )
-        .expect("fault-tolerant run");
-        let exact = faulted.report.epoch_losses == plain.epoch_losses
-            && faulted.report.final_params == plain.final_params;
+        );
+        match (plain, faulted) {
+            (Ok(plain), Ok(faulted)) => {
+                let exact = faulted.report.epoch_losses == plain.epoch_losses
+                    && faulted.report.final_params == plain.final_params;
+                results.push(ClaimResult {
+                    id: "E11",
+                    statement,
+                    holds: tracks && exact && faulted.restarts == 1,
+                    evidence: format!(
+                        "optimum within 1 grid step of Young/Daly on {} (nodes, tier) sweeps; injected crash at epoch 2 recovered in {} restart(s) with bitwise-identical losses",
+                        rows.len() / e11_faults::INTERVAL_GRID.len(),
+                        faulted.restarts
+                    ),
+                });
+            }
+            (plain, faulted) => {
+                let why = format!(
+                    "training run failed: plain {:?}, faulted {:?}",
+                    plain.err(),
+                    faulted.err()
+                );
+                results.push(unverifiable("E11", statement, &why));
+            }
+        }
+    }
+
+    // C13 — inference serving: batching amortizes, admission control bounds.
+    {
+        let rows = e13_serving::sweep(scale, seed);
+        let service = e13_serving::service_model();
+        let knee = e13_serving::batching_knee(&rows);
+        let bounded = e13_serving::overload_is_bounded(&rows, &service);
+        let top = rows.iter().map(|r| r.offered_rps).fold(0.0, f64::max);
+        let throughput = |b: usize| {
+            rows.iter()
+                .filter(|r| r.offered_rps == top && r.max_batch == b)
+                .map(|r| r.report.throughput_rps)
+                .fold(0.0, f64::max)
+        };
         results.push(ClaimResult {
-            id: "E11",
-            statement: "at pre-exascale node counts failure is the common case; checkpoint/restart at the Young/Daly interval keeps training productive",
-            holds: tracks && exact && faulted.restarts == 1,
+            id: "E13",
+            statement: "batched inference serving amortizes dispatch overhead while admission control bounds tail latency under overload",
+            holds: knee && bounded,
             evidence: format!(
-                "optimum within 1 grid step of Young/Daly on {} (nodes, tier) sweeps; injected crash at epoch 2 recovered in {} restart(s) with bitwise-identical losses",
-                rows.len() / e11_faults::INTERVAL_GRID.len(),
-                faulted.restarts
+                "at {:.0} rps offered: batch-1 serves {:.0} rps, batch-64 {:.0} rps; every overloaded point sheds and keeps served p99 under deadline + one batch",
+                top,
+                throughput(1),
+                throughput(64)
             ),
         });
     }
@@ -304,7 +366,7 @@ mod tests {
         // The reproduction's headline regression test: every claim verdict
         // in EXPERIMENTS.md must be reproducible programmatically.
         let results = verify_all(Scale::Smoke, 2017);
-        assert_eq!(results.len(), 11);
+        assert_eq!(results.len(), 12);
         for r in &results {
             assert!(r.holds, "{} failed: {} ({})", r.id, r.statement, r.evidence);
         }

@@ -72,7 +72,9 @@ pub fn sweep(scale: Scale, seed: u64) -> Vec<FaultRow> {
     for &nodes in node_counts {
         let mtbf = model.system_mtbf(nodes);
         for tier in [Tier::Nvram, Tier::Pfs] {
-            let cost = checkpoint_cost(&memory, tier, STATE_BYTES).expect("tier present");
+            let Some(cost) = checkpoint_cost(&memory, tier, STATE_BYTES) else {
+                unreachable!("the 2017 accelerator node models both checkpoint tiers")
+            };
             let delta = cost.write_seconds;
             let restart = RESTART_BASE + cost.read_seconds;
             let tau = young_daly_interval(delta, mtbf);
@@ -110,22 +112,23 @@ pub fn sweep(scale: Scale, seed: u64) -> Vec<FaultRow> {
 /// Young/Daly prediction in *every* (nodes, tier) group?
 pub fn empirical_tracks_young_daly(rows: &[FaultRow]) -> bool {
     rows.chunks(INTERVAL_GRID.len()).all(|group| {
+        let Some(tau) = group.first().map(|r| r.young_daly) else {
+            return false;
+        };
         let best = group
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.simulated_seconds.partial_cmp(&b.1.simulated_seconds).unwrap())
-            .map(|(i, _)| i)
-            .unwrap();
-        let tau = group[0].young_daly;
+            .min_by(|a, b| a.1.simulated_seconds.total_cmp(&b.1.simulated_seconds))
+            .map(|(i, _)| i);
         let nearest = group
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                (a.1.interval - tau).abs().partial_cmp(&(b.1.interval - tau).abs()).unwrap()
-            })
-            .map(|(i, _)| i)
-            .unwrap();
-        best.abs_diff(nearest) <= 1
+            .min_by(|a, b| (a.1.interval - tau).abs().total_cmp(&(b.1.interval - tau).abs()))
+            .map(|(i, _)| i);
+        match (best, nearest) {
+            (Some(best), Some(nearest)) => best.abs_diff(nearest) <= 1,
+            _ => false,
+        }
     })
 }
 

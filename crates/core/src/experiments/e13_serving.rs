@@ -1,0 +1,216 @@
+//! E13 — batched inference serving: the latency/throughput trade.
+//!
+//! Training is only half of the paper's pipeline picture: screened compound
+//! rankings and drug-response predictions are *served*, and serving stresses
+//! latency under open-loop load rather than sustained training FLOPs. This
+//! experiment sweeps the dd-serve dynamic batcher — `max_batch` ×
+//! `max_wait` × offered Poisson load — over a drug-response-sized MLP and
+//! measures, per configuration, what was admitted, shed, and completed,
+//! plus the queue-wait/service/end-to-end latency quantiles from dd-obs
+//! histograms.
+//!
+//! The sweep runs dd-serve's virtual-time simulator (the deterministic twin
+//! of the threaded server, sharing its batching decision core), so the CSV
+//! is byte-identical across same-seed runs. Two shapes are asserted:
+//!
+//! * the *batching knee* — at saturating load, batch-64 throughput is
+//!   several times batch-1 throughput, because the fixed per-dispatch
+//!   overhead amortizes across coalesced rows;
+//! * the *overload cliff is a shelf, not a spiral* — past saturation the
+//!   bounded admission queue rejects and the deadline sheds, so the p99 of
+//!   what **is** served stays bounded instead of growing with the backlog.
+
+use crate::report::{fnum, Scale, Table};
+use dd_nn::{Activation, ModelSpec};
+use dd_serve::{
+    poisson_arrivals, simulate, BatchPolicy, LoadConfig, ServiceModel, SimConfig, SimReport,
+};
+use dd_tensor::Precision;
+
+/// Batch-size grid.
+pub const BATCH_GRID: [usize; 4] = [1, 4, 16, 64];
+/// Coalescing-window grid, milliseconds.
+pub const WAIT_GRID_MS: [f64; 2] = [0.5, 2.0];
+/// Offered load as a multiple of the batch-16 saturation throughput.
+pub const LOAD_FACTORS: [f64; 4] = [0.5, 0.9, 1.2, 2.0];
+
+/// Per-request deadline, seconds.
+pub const DEADLINE_S: f64 = 0.05;
+/// Admission-queue capacity.
+pub const QUEUE_CAPACITY: usize = 256;
+/// Serving workers.
+pub const WORKERS: usize = 2;
+/// Sustained device rate pricing one row's forward pass (a host core tile,
+/// not an accelerator — serving is the latency-bound corner).
+const DEVICE_FLOPS_PER_S: f64 = 5.0e10;
+/// Fixed per-dispatch overhead (queue handoff, snapshot resolve, kernel
+/// launch in spirit), seconds.
+const BASE_OVERHEAD_S: f64 = 200e-6;
+
+/// The drug-response-sized serving model: W2's descriptor width into a
+/// two-layer MLP scorer.
+pub fn serving_spec() -> ModelSpec {
+    ModelSpec::mlp(60, &[256, 128], 1, Activation::Relu)
+}
+
+/// The batch cost model: forward FLOPs of [`serving_spec`] at
+/// [`DEVICE_FLOPS_PER_S`] plus [`BASE_OVERHEAD_S`] per dispatch.
+pub fn service_model() -> ServiceModel {
+    let Ok(model) = serving_spec().build(1, Precision::F32) else {
+        unreachable!("static MLP spec is always buildable")
+    };
+    ServiceModel::from_flops(model.forward_flops(1), DEVICE_FLOPS_PER_S, BASE_OVERHEAD_S)
+}
+
+/// One (max_batch, max_wait, offered load) point of the sweep.
+pub struct ServeRow {
+    /// Batcher's maximum coalesced batch.
+    pub max_batch: usize,
+    /// Batcher's coalescing window, milliseconds.
+    pub wait_ms: f64,
+    /// Offered Poisson load, requests per second.
+    pub offered_rps: f64,
+    /// Everything the simulation measured at this point.
+    pub report: SimReport,
+}
+
+/// Run the sweep. The arrival process is shared across policies at each
+/// offered load, so policy columns are compared on identical workloads.
+pub fn sweep(scale: Scale, seed: u64) -> Vec<ServeRow> {
+    let requests = match scale {
+        Scale::Smoke => 3000,
+        Scale::Full => 20_000,
+    };
+    let service = service_model();
+    let reference_rps = service.saturation_rps(16, WORKERS);
+    let mut rows = Vec::new();
+    for (li, &factor) in LOAD_FACTORS.iter().enumerate() {
+        let offered_rps = factor * reference_rps;
+        let arrivals = poisson_arrivals(&LoadConfig {
+            rate_per_s: offered_rps,
+            requests,
+            seed: seed.wrapping_add(li as u64),
+        });
+        for &max_batch in BATCH_GRID.iter() {
+            for &wait_ms in WAIT_GRID_MS.iter() {
+                let cfg = SimConfig {
+                    policy: BatchPolicy::new(max_batch, wait_ms * 1e-3, DEADLINE_S),
+                    queue_capacity: QUEUE_CAPACITY,
+                    workers: WORKERS,
+                    service,
+                    arrivals: arrivals.clone(),
+                };
+                rows.push(ServeRow { max_batch, wait_ms, offered_rps, report: simulate(&cfg) });
+            }
+        }
+    }
+    rows
+}
+
+/// The batching knee: at the highest offered load, batch-64 throughput
+/// must more than double batch-1 throughput in every coalescing window.
+pub fn batching_knee(rows: &[ServeRow]) -> bool {
+    let top = rows.iter().map(|r| r.offered_rps).fold(0.0, f64::max);
+    WAIT_GRID_MS.iter().all(|&w| {
+        let throughput = |b: usize| {
+            rows.iter()
+                .find(|r| r.offered_rps == top && r.wait_ms == w && r.max_batch == b)
+                .map_or(0.0, |r| r.report.throughput_rps)
+        };
+        throughput(64) > 2.0 * throughput(1)
+    })
+}
+
+/// The overload shelf: wherever offered load exceeds a policy's saturation
+/// throughput, the server must shed (reject or expire) *and* keep the p99
+/// of served requests under deadline + one max-batch service time (with
+/// log-bucket quantile slack).
+pub fn overload_is_bounded(rows: &[ServeRow], service: &ServiceModel) -> bool {
+    rows.iter().filter(|r| r.offered_rps > 1.1 * service.saturation_rps(r.max_batch, WORKERS)).all(
+        |r| {
+            r.report.rejected + r.report.shed > 0
+                && r.report.e2e.p99 < 1.25 * (DEADLINE_S + service.seconds(r.max_batch))
+        },
+    )
+}
+
+/// Render the E13 table.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E13: batched inference serving (60-feature MLP scorer, 2 workers, 50 ms deadline)",
+        &[
+            "max_batch",
+            "wait_ms",
+            "offered_rps",
+            "requests",
+            "admitted",
+            "rejected",
+            "shed",
+            "completed",
+            "throughput_rps",
+            "mean_batch",
+            "qwait_p50_ms",
+            "svc_p50_ms",
+            "e2e_p50_ms",
+            "e2e_p95_ms",
+            "e2e_p99_ms",
+        ],
+    );
+    for r in sweep(scale, seed) {
+        let rep = &r.report;
+        table.push_row(vec![
+            r.max_batch.to_string(),
+            fnum(r.wait_ms),
+            fnum(r.offered_rps),
+            rep.offered.to_string(),
+            rep.admitted.to_string(),
+            rep.rejected.to_string(),
+            rep.shed.to_string(),
+            rep.completed.to_string(),
+            fnum(rep.throughput_rps),
+            fnum(rep.mean_batch),
+            fnum(rep.queue_wait.p50 * 1e3),
+            fnum(rep.service.p50 * 1e3),
+            fnum(rep.e2e.p50 * 1e3),
+            fnum(rep.e2e.p95 * 1e3),
+            fnum(rep.e2e.p99 * 1e3),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_conserves_requests() {
+        let a = run(Scale::Smoke, 2017).to_csv();
+        let b = run(Scale::Smoke, 2017).to_csv();
+        assert_eq!(a, b, "same seed must give a byte-identical table");
+        let rows = sweep(Scale::Smoke, 2017);
+        assert_eq!(rows.len(), LOAD_FACTORS.len() * BATCH_GRID.len() * WAIT_GRID_MS.len());
+        for r in &rows {
+            assert_eq!(r.report.offered, r.report.admitted + r.report.rejected);
+            assert_eq!(r.report.admitted, r.report.completed + r.report.shed);
+        }
+    }
+
+    #[test]
+    fn knee_and_overload_shapes_hold() {
+        let rows = sweep(Scale::Smoke, 2017);
+        let service = service_model();
+        assert!(batching_knee(&rows), "batch-64 should dwarf batch-1 at peak load");
+        assert!(overload_is_bounded(&rows, &service), "overload must shed with bounded p99");
+        // Underload is polite: at 0.5x reference load with the full batch
+        // budget, nothing is rejected or shed.
+        let light = rows
+            .iter()
+            .filter(|r| r.max_batch == 64)
+            .min_by(|a, b| a.offered_rps.total_cmp(&b.offered_rps));
+        match light {
+            Some(r) => assert_eq!(r.report.rejected + r.report.shed, 0),
+            None => panic!("sweep produced no batch-64 rows"),
+        }
+    }
+}

@@ -1,10 +1,11 @@
-//! Experiments E1–E12: one module per claim in the abstract (see DESIGN.md's
+//! Experiments E1–E13: one module per claim in the abstract (see DESIGN.md's
 //! experiment index). Every module exposes `run(scale, seed) -> Table`; the
 //! `exp-*` binaries print the table and write a CSV under `results/`.
 
 pub mod e10_compression;
 pub mod e11_faults;
 pub mod e12_profile;
+pub mod e13_serving;
 pub mod e1_precision;
 pub mod e2_scaling;
 pub mod e3_parallelism;

@@ -40,15 +40,19 @@ pub const KNOWN_FAMILIES: &[&str] =
     &["error-policy", "determinism", "single-clock", "instrumentation", "lossy-cast", "lint"];
 
 /// Crates whose numeric results must be bit-reproducible: iteration order
-/// and wall-clock entropy must not leak into floats here.
+/// and wall-clock entropy must not leak into floats here. dd-serve is on
+/// the list for its virtual-time serving simulator, whose E13 CSV must be
+/// byte-identical across runs.
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["dd-tensor", "dd-nn", "dd-parallel", "dd-mdsim", "dd-hypersearch", "dd-datagen"];
+    &["dd-tensor", "dd-nn", "dd-parallel", "dd-mdsim", "dd-hypersearch", "dd-datagen", "dd-serve"];
 
 /// The only crate allowed to read the monotonic clock directly.
 pub const CLOCK_OWNER: &str = "dd-obs";
 
-/// Crates whose kernel entry points must be instrumented.
-pub const INSTRUMENTED_CRATES: &[&str] = &["dd-tensor", "dd-parallel"];
+/// Crates whose kernel entry points must be instrumented. In dd-serve the
+/// kernel is the batch dispatch (`dispatch*`): the point where a coalesced
+/// batch hits `predict_batch` and its FLOPs must be accounted.
+pub const INSTRUMENTED_CRATES: &[&str] = &["dd-tensor", "dd-parallel", "dd-serve"];
 
 /// Run every rule over one file.
 pub fn check_file(ctx: &FileCtx) -> Vec<Diag> {
@@ -277,7 +281,8 @@ fn instrumentation(ctx: &FileCtx, out: &mut Vec<Diag>) {
         let name = name_tok.text.as_str();
         let is_kernel = name.starts_with("matmul")
             || name.starts_with("matvec")
-            || name.starts_with("allreduce");
+            || name.starts_with("allreduce")
+            || name.starts_with("dispatch");
         if !is_kernel || ctx.in_test(name_tok.line) {
             i = j + 2;
             continue;
@@ -314,7 +319,8 @@ fn instrumentation(ctx: &FileCtx, out: &mut Vec<Diag>) {
                     || tok.text == "dd_obs"
                     || tok.text.starts_with("matmul")
                     || tok.text.starts_with("matvec")
-                    || tok.text.starts_with("allreduce"))
+                    || tok.text.starts_with("allreduce")
+                    || tok.text.starts_with("dispatch"))
         });
         if !counted {
             push(

@@ -80,6 +80,21 @@ fn instrumentation_uncounted_kernel() {
 }
 
 #[test]
+fn instrumentation_uncounted_serve_dispatch() {
+    // dd-serve's `dispatch*` entry points are instrumented kernels too.
+    assert_fires(
+        "pos_uncounted_dispatch.rs",
+        "dd-serve:lib",
+        2,
+        "instrumentation/uncounted-kernel",
+    );
+    assert_clean("neg_uncounted_dispatch.rs", "dd-serve:lib");
+    // Outside the instrumented crates the same code is fine.
+    let (code, stdout) = run("pos_uncounted_dispatch.rs", "dd-nn:lib");
+    assert_eq!(code, 0, "dd-nn has no dispatch kernels\nstdout: {stdout}");
+}
+
+#[test]
 fn lossy_cast_float_to_int() {
     assert_fires("pos_lossy_cast.rs", "dd-nn:lib", 3, "lossy-cast/float-to-int");
     assert_clean("neg_lossy_cast.rs", "dd-nn:lib");

@@ -1,0 +1,6 @@
+//! Fixture: `instrumentation/uncounted-kernel` must fire on line 2.
+pub fn dispatch_batch(rows: &[f32], n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n];
+    out[0] = rows[0];
+    out
+}

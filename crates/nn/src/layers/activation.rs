@@ -135,14 +135,18 @@ impl Layer for ActivationLayer {
         self.kind.name()
     }
 
-    fn forward(&mut self, x: &Matrix, train: bool, _prec: Precision) -> Matrix {
-        let kind = self.kind;
-        let y = x.map(move |v| kind.apply(v));
+    fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
+        let y = self.infer(x, prec);
         if train {
             self.cache_x = Some(x.clone());
             self.cache_y = Some(y.clone());
         }
         y
+    }
+
+    fn infer(&self, x: &Matrix, _prec: Precision) -> Matrix {
+        let kind = self.kind;
+        x.map(move |v| kind.apply(v))
     }
 
     fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {

@@ -145,6 +145,9 @@ impl Layer for Conv1d {
     }
 
     fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
+        if !train {
+            return self.infer(x, prec);
+        }
         assert_eq!(
             x.cols(),
             self.in_ch * self.len,
@@ -157,11 +160,24 @@ impl Layer for Conv1d {
         let mut y2 = matmul_prec(&patches, &self.w, prec);
         y2.add_row_broadcast(self.b.as_slice());
         let y = self.to_channel_major(&y2, batch);
-        if train {
-            self.cache_patches = Some(patches);
-            self.cache_batch = batch;
-        }
+        self.cache_patches = Some(patches);
+        self.cache_batch = batch;
         y
+    }
+
+    fn infer(&self, x: &Matrix, prec: Precision) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.in_ch * self.len,
+            "conv1d input width mismatch: expected {}x{}",
+            self.in_ch,
+            self.len
+        );
+        let batch = x.rows();
+        let patches = self.im2col(x);
+        let mut y2 = matmul_prec(&patches, &self.w, prec);
+        y2.add_row_broadcast(self.b.as_slice());
+        self.to_channel_major(&y2, batch)
     }
 
     fn backward(&mut self, grad_out: &Matrix, prec: Precision) -> Matrix {

@@ -58,12 +58,16 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
-        assert_eq!(x.cols(), self.in_dim, "dense input width mismatch");
-        let mut y = matmul_prec(x, &self.w, prec);
-        y.add_row_broadcast(self.b.as_slice());
         if train {
             self.cache_x = Some(x.clone());
         }
+        self.infer(x, prec)
+    }
+
+    fn infer(&self, x: &Matrix, prec: Precision) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "dense input width mismatch");
+        let mut y = matmul_prec(x, &self.w, prec);
+        y.add_row_broadcast(self.b.as_slice());
         y
     }
 

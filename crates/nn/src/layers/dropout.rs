@@ -30,10 +30,10 @@ impl Layer for Dropout {
         "dropout"
     }
 
-    fn forward(&mut self, x: &Matrix, train: bool, _prec: Precision) -> Matrix {
+    fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
         if !train || self.p == 0.0 {
             self.mask = None;
-            return x.clone();
+            return self.infer(x, prec);
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
@@ -44,6 +44,10 @@ impl Layer for Dropout {
         let y = x.zip_map(&mask, |a, m| a * m);
         self.mask = Some(mask);
         y
+    }
+
+    fn infer(&self, x: &Matrix, _prec: Precision) -> Matrix {
+        x.clone()
     }
 
     fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {

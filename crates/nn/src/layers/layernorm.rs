@@ -40,7 +40,10 @@ impl Layer for LayerNorm {
         "layernorm"
     }
 
-    fn forward(&mut self, x: &Matrix, train: bool, _prec: Precision) -> Matrix {
+    fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
+        if !train {
+            return self.infer(x, prec);
+        }
         assert_eq!(x.cols(), self.dim, "layernorm width mismatch");
         let d = self.dim as f32;
         let mut xhat = x.clone();
@@ -63,9 +66,27 @@ impl Layer for LayerNorm {
                 *v = *v * g + b;
             }
         }
-        if train {
-            self.cache_xhat = Some(xhat);
-            self.cache_inv_std = inv_stds;
+        self.cache_xhat = Some(xhat);
+        self.cache_inv_std = inv_stds;
+        y
+    }
+
+    fn infer(&self, x: &Matrix, _prec: Precision) -> Matrix {
+        assert_eq!(x.cols(), self.dim, "layernorm width mismatch");
+        let d = self.dim as f32;
+        let mut y = x.clone();
+        for i in 0..y.rows() {
+            let row = y.row_mut(i);
+            let mean: f32 = row.iter().sum::<f32>() / d;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            for v in row.iter_mut() {
+                *v = (*v - mean) * inv_std;
+            }
+            for ((v, &g), &b) in row.iter_mut().zip(self.gamma.as_slice()).zip(self.beta.as_slice())
+            {
+                *v = *v * g + b;
+            }
         }
         y
     }

@@ -32,7 +32,7 @@ use dd_tensor::{Matrix, Precision};
 /// called with the gradient of the loss w.r.t. that forward's output and
 /// returns the gradient w.r.t. its input, overwriting the layer's parameter
 /// gradients as a side effect.
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Short name used in summaries and partition plans.
     fn name(&self) -> &'static str;
 
@@ -41,7 +41,18 @@ pub trait Layer: Send {
     /// `train` toggles train-only behaviour (dropout masks, batch-norm batch
     /// statistics); `prec` selects the emulated arithmetic precision for the
     /// layer's matrix products.
+    ///
+    /// Contract with [`Layer::infer`]: `forward(x, false, prec)` must return
+    /// the bitwise-identical output (eval-mode forwards delegate to `infer`).
     fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix;
+
+    /// Eval-mode forward without mutation — the inference-serving path.
+    ///
+    /// Semantically `forward(x, false, prec)` but through `&self`, so one
+    /// model snapshot can serve concurrent batched predictions (dd-serve
+    /// workers) without per-worker clones. Implementations must not touch
+    /// caches; train-only behaviour (dropout, batch statistics) is off.
+    fn infer(&self, x: &Matrix, prec: Precision) -> Matrix;
 
     /// Propagate the output gradient back to the input, filling this layer's
     /// parameter gradients.

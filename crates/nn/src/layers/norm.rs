@@ -57,24 +57,22 @@ impl Layer for BatchNorm1d {
         "batchnorm1d"
     }
 
-    fn forward(&mut self, x: &Matrix, train: bool, _prec: Precision) -> Matrix {
+    fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
+        if !train {
+            return self.infer(x, prec);
+        }
         assert_eq!(x.cols(), self.dim, "batchnorm width mismatch");
         let n = x.rows();
-        let (means, vars) = if train {
-            assert!(n >= 2, "batchnorm training requires batch size >= 2");
-            let means = x.col_means();
-            let stds = x.col_stds(&means);
-            let vars: Vec<f32> = stds.iter().map(|s| s * s).collect();
-            for j in 0..self.dim {
-                self.running_mean[j] =
-                    (1.0 - self.momentum) * self.running_mean[j] + self.momentum * means[j];
-                self.running_var[j] =
-                    (1.0 - self.momentum) * self.running_var[j] + self.momentum * vars[j];
-            }
-            (means, vars)
-        } else {
-            (self.running_mean.clone(), self.running_var.clone())
-        };
+        assert!(n >= 2, "batchnorm training requires batch size >= 2");
+        let means = x.col_means();
+        let stds = x.col_stds(&means);
+        let vars: Vec<f32> = stds.iter().map(|s| s * s).collect();
+        for j in 0..self.dim {
+            self.running_mean[j] =
+                (1.0 - self.momentum) * self.running_mean[j] + self.momentum * means[j];
+            self.running_var[j] =
+                (1.0 - self.momentum) * self.running_var[j] + self.momentum * vars[j];
+        }
 
         let inv_std: Vec<f32> = vars.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         let mut xhat = x.clone();
@@ -91,9 +89,24 @@ impl Layer for BatchNorm1d {
                 *v = *v * g + b;
             }
         }
-        if train {
-            self.cache_xhat = Some(xhat);
-            self.cache_inv_std = inv_std;
+        self.cache_xhat = Some(xhat);
+        self.cache_inv_std = inv_std;
+        y
+    }
+
+    fn infer(&self, x: &Matrix, _prec: Precision) -> Matrix {
+        assert_eq!(x.cols(), self.dim, "batchnorm width mismatch");
+        let inv_std: Vec<f32> =
+            self.running_var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut y = x.clone();
+        for i in 0..y.rows() {
+            let row = y.row_mut(i);
+            for ((v, &m), &is) in row.iter_mut().zip(&self.running_mean).zip(&inv_std) {
+                *v = (*v - m) * is;
+            }
+            for ((v, g), b) in row.iter_mut().zip(self.gamma.as_slice()).zip(self.beta.as_slice()) {
+                *v = *v * g + b;
+            }
         }
         y
     }

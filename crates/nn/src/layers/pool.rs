@@ -37,15 +37,14 @@ impl Layer for MaxPool1d {
         "maxpool1d"
     }
 
-    fn forward(&mut self, x: &Matrix, train: bool, _prec: Precision) -> Matrix {
+    fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
+        if !train {
+            return self.infer(x, prec);
+        }
         assert_eq!(x.cols(), self.channels * self.len, "maxpool input width mismatch");
         let batch = x.rows();
         let mut y = Matrix::zeros(batch, self.channels * self.out_len);
-        let mut argmax = if train {
-            Vec::with_capacity(batch * self.channels * self.out_len)
-        } else {
-            Vec::new()
-        };
+        let mut argmax = Vec::with_capacity(batch * self.channels * self.out_len);
         for bi in 0..batch {
             let row = x.row(bi);
             let out = y.row_mut(bi);
@@ -62,15 +61,35 @@ impl Layer for MaxPool1d {
                         }
                     }
                     out[c * self.out_len + t] = best;
-                    if train {
-                        argmax.push(best_i);
-                    }
+                    argmax.push(best_i);
                 }
             }
         }
-        if train {
-            self.cache_argmax = Some(argmax);
-            self.cache_batch = batch;
+        self.cache_argmax = Some(argmax);
+        self.cache_batch = batch;
+        y
+    }
+
+    fn infer(&self, x: &Matrix, _prec: Precision) -> Matrix {
+        assert_eq!(x.cols(), self.channels * self.len, "maxpool input width mismatch");
+        let batch = x.rows();
+        let mut y = Matrix::zeros(batch, self.channels * self.out_len);
+        for bi in 0..batch {
+            let row = x.row(bi);
+            let out = y.row_mut(bi);
+            for c in 0..self.channels {
+                for t in 0..self.out_len {
+                    let start = c * self.len + t * self.pool;
+                    let end = (start + self.pool).min((c + 1) * self.len);
+                    let mut best = f32::NEG_INFINITY;
+                    for &v in &row[start..end] {
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                    out[c * self.out_len + t] = best;
+                }
+            }
         }
         y
     }

@@ -29,9 +29,22 @@ impl Layer for Residual {
     }
 
     fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
+        if !train {
+            return self.infer(x, prec);
+        }
         let mut h = x.clone();
         for layer in &mut self.inner {
             h = layer.forward(&h, train, prec);
+        }
+        assert_eq!(h.shape(), x.shape(), "residual inner stack must preserve shape");
+        h.axpy(1.0, x);
+        h
+    }
+
+    fn infer(&self, x: &Matrix, prec: Precision) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.inner {
+            h = layer.infer(&h, prec);
         }
         assert_eq!(h.shape(), x.shape(), "residual inner stack must preserve shape");
         h.axpy(1.0, x);

@@ -101,6 +101,22 @@ impl Sequential {
         self.forward(x, false)
     }
 
+    /// Inference-mode forward pass through `&self` — the serving path.
+    ///
+    /// Bitwise-identical to [`Sequential::predict`] (eval-mode `forward`
+    /// delegates to the same per-layer [`Layer::infer`] code), but borrows
+    /// the model immutably so one snapshot behind an `Arc` can serve
+    /// concurrent batched predictions without per-worker clones.
+    pub fn predict_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim, "model input width mismatch");
+        let prec = self.precision;
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.infer(&h, prec);
+        }
+        h
+    }
+
     /// Backward pass from the loss gradient; fills every layer's parameter
     /// gradients and returns the gradient w.r.t. the input batch.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -273,6 +289,43 @@ mod tests {
         assert!(m.forward_flops(32) > 0);
         // FLOPs scale linearly with batch.
         assert_eq!(m.forward_flops(64), 2 * m.forward_flops(32));
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_bitwise() {
+        use crate::init::Init;
+        use crate::layers::{
+            ActivationLayer, BatchNorm1d, Conv1d, Dense, Dropout, LayerNorm, MaxPool1d, Residual,
+        };
+        // One of every layer kind, so the &self `infer` path is exercised
+        // everywhere train-only behaviour (dropout, batch stats) diverges.
+        let mut rng = Rng64::new(14);
+        let layers: Vec<Box<dyn crate::layers::Layer>> = vec![
+            Box::new(Conv1d::new(2, 6, 3, 3, 1, Init::Xavier, &mut rng)),
+            Box::new(ActivationLayer::new(Activation::Relu)),
+            Box::new(MaxPool1d::new(3, 4, 2)),
+            Box::new(BatchNorm1d::new(6)),
+            Box::new(Residual::new(vec![
+                Box::new(Dense::new(6, 6, Init::Xavier, &mut rng)),
+                Box::new(ActivationLayer::new(Activation::Tanh)),
+            ])),
+            Box::new(LayerNorm::new(6)),
+            Box::new(Dropout::new(0.3, Rng64::new(15))),
+            Box::new(Dense::new(6, 2, Init::Xavier, &mut rng)),
+        ];
+        let mut m = Sequential::from_layers(layers, 12, Precision::Bf16);
+        // A few training steps so batch-norm running statistics are
+        // non-trivial before comparing the two inference paths.
+        let x = Matrix::randn(8, 12, 0.0, 1.0, &mut rng);
+        for _ in 0..3 {
+            let y = m.forward(&x, true);
+            m.backward(&y);
+        }
+        let via_mut = m.predict(&x);
+        let via_ref = m.predict_batch(&x);
+        assert_eq!(via_mut, via_ref, "predict and predict_batch must agree bitwise");
+        // And the &self path is repeatable (no hidden state).
+        assert_eq!(via_ref, m.predict_batch(&x));
     }
 
     #[test]

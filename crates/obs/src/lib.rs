@@ -105,6 +105,14 @@ pub fn hist_record(name: &str, value: f64) {
     global().hist_record(name, value);
 }
 
+/// Monotonic seconds since the registry epoch — the workspace's single
+/// sanctioned timestamp source outside span timing. See
+/// [`Registry::monotonic_seconds`].
+#[inline]
+pub fn monotonic_seconds() -> f64 {
+    global().monotonic_seconds()
+}
+
 /// Total recorded seconds in one phase.
 pub fn time_in(phase: Phase) -> f64 {
     global().time_in(phase)

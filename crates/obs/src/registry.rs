@@ -130,6 +130,18 @@ impl Registry {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Monotonic seconds since the registry epoch (process start, in
+    /// practice). This is the workspace's *only* sanctioned wall-clock
+    /// read outside span timing: the single-clock invariant
+    /// (`single-clock/instant-now`) forbids `Instant::now()` elsewhere,
+    /// so code that needs a raw timestamp — e.g. dd-serve enqueue times
+    /// and request deadlines — takes it from here and stays on the same
+    /// clock the trace uses. Always live, even while recording is off.
+    #[inline]
+    pub fn monotonic_seconds(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
     /// Drop all collected data (the enabled flag is left as-is).
     pub fn reset(&self) {
         self.spans.lock().expect("obs spans lock").clear();

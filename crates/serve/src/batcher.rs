@@ -1,0 +1,146 @@
+//! Dynamic batching policy — the pure decision core.
+//!
+//! Both execution engines (the threaded [`crate::server::Server`] and the
+//! virtual-time [`crate::sim`] simulator) drive the *same* decision
+//! functions in this module, so the latency/throughput behaviour the E13
+//! experiment measures in virtual time is the behaviour the real server
+//! exhibits on the wall clock. The functions are pure in `now`: the server
+//! feeds them `dd_obs::monotonic_seconds()` (the single sanctioned clock),
+//! the simulator feeds them simulated time.
+
+/// Knobs of the dynamic batcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Dispatch a partial batch once the oldest pending request has waited
+    /// this long (seconds). `0.0` disables coalescing entirely.
+    pub max_wait_s: f64,
+    /// Per-request deadline (seconds from enqueue). Requests that are still
+    /// queued past it are shed with `ServeError::DeadlineExceeded` instead
+    /// of being dispatched late.
+    pub deadline_s: f64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_batch: 16, max_wait_s: 2e-3, deadline_s: 0.25 }
+    }
+}
+
+impl BatchPolicy {
+    /// Policy with validated knobs. Panics on non-finite or negative knobs
+    /// and `max_batch == 0` — configuration bugs, not runtime conditions.
+    pub fn new(max_batch: usize, max_wait_s: f64, deadline_s: f64) -> Self {
+        assert!(max_batch >= 1, "max_batch must be >= 1");
+        assert!(max_wait_s.is_finite() && max_wait_s >= 0.0, "max_wait_s must be >= 0");
+        assert!(deadline_s.is_finite() && deadline_s > 0.0, "deadline_s must be > 0");
+        BatchPolicy { max_batch, max_wait_s, deadline_s }
+    }
+}
+
+/// What the batcher should do right now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchDecision {
+    /// Take the first `n` pending requests and dispatch them as one batch.
+    Dispatch(usize),
+    /// Nothing dispatchable yet: sleep at most this many seconds (or until
+    /// a new request arrives) and re-plan.
+    WaitFor(f64),
+    /// No pending requests: block for the next arrival.
+    Idle,
+}
+
+/// Decide the next batching action.
+///
+/// * `now_s` — current time on whichever clock drives this engine.
+/// * `oldest_enqueue_s` — enqueue time of the oldest pending request
+///   (ignored when `pending == 0`).
+/// * `pending` — number of queued requests.
+/// * `draining` — true once no further arrivals are possible (shutdown):
+///   partial batches flush immediately instead of waiting out `max_wait`.
+pub fn plan(
+    policy: &BatchPolicy,
+    now_s: f64,
+    oldest_enqueue_s: f64,
+    pending: usize,
+    draining: bool,
+) -> BatchDecision {
+    if pending == 0 {
+        return BatchDecision::Idle;
+    }
+    if pending >= policy.max_batch {
+        return BatchDecision::Dispatch(policy.max_batch);
+    }
+    if draining {
+        return BatchDecision::Dispatch(pending);
+    }
+    let flush_at = oldest_enqueue_s + policy.max_wait_s;
+    if now_s >= flush_at {
+        BatchDecision::Dispatch(pending)
+    } else {
+        BatchDecision::WaitFor(flush_at - now_s)
+    }
+}
+
+/// Has a request queued at `enqueue_s` outlived its deadline at `now_s`?
+pub fn expired(policy: &BatchPolicy, now_s: f64, enqueue_s: f64) -> bool {
+    now_s - enqueue_s > policy.deadline_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BatchPolicy {
+        BatchPolicy::new(8, 0.002, 0.1)
+    }
+
+    #[test]
+    fn idle_when_empty() {
+        assert_eq!(plan(&policy(), 10.0, 0.0, 0, false), BatchDecision::Idle);
+    }
+
+    #[test]
+    fn full_batch_dispatches_immediately() {
+        let p = policy();
+        assert_eq!(plan(&p, 10.0, 9.9999, 8, false), BatchDecision::Dispatch(8));
+        // Oversubscribed queue still caps the batch at max_batch.
+        assert_eq!(plan(&p, 10.0, 9.9999, 20, false), BatchDecision::Dispatch(8));
+    }
+
+    #[test]
+    fn partial_batch_waits_out_max_wait() {
+        let p = policy();
+        match plan(&p, 10.0, 10.0, 3, false) {
+            BatchDecision::WaitFor(s) => assert!((s - 0.002).abs() < 1e-12),
+            other => panic!("expected WaitFor, got {other:?}"),
+        }
+        // Once the oldest request has aged past max_wait, flush the partial.
+        assert_eq!(plan(&p, 10.0021, 10.0, 3, false), BatchDecision::Dispatch(3));
+    }
+
+    #[test]
+    fn draining_flushes_partials() {
+        assert_eq!(plan(&policy(), 10.0, 10.0, 3, true), BatchDecision::Dispatch(3));
+    }
+
+    #[test]
+    fn zero_wait_disables_coalescing() {
+        let p = BatchPolicy::new(64, 0.0, 0.1);
+        assert_eq!(plan(&p, 5.0, 5.0, 1, false), BatchDecision::Dispatch(1));
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let p = policy();
+        assert!(!expired(&p, 10.05, 10.0));
+        assert!(expired(&p, 10.2, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_max_batch_rejected() {
+        let _ = BatchPolicy::new(0, 0.001, 0.1);
+    }
+}

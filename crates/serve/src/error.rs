@@ -1,0 +1,105 @@
+//! Typed serving errors — the admission-control and deadline vocabulary.
+
+use dd_nn::CheckpointError;
+
+/// Everything that can go wrong between `submit` and a response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue was full: admission control rejected the
+    /// request instead of queueing it unboundedly. Contains the observed
+    /// depth and the configured capacity.
+    Overloaded {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The request waited past its deadline and was shed before dispatch.
+    DeadlineExceeded {
+        /// Seconds the request spent queued before being shed.
+        waited_s: f64,
+        /// The configured per-request deadline in seconds.
+        deadline_s: f64,
+    },
+    /// No model with this name is installed in the registry.
+    UnknownModel(String),
+    /// The request's feature vector width does not match the model input.
+    ShapeMismatch {
+        /// Model input width.
+        expected: usize,
+        /// Submitted feature-vector width.
+        got: usize,
+    },
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// Loading a checkpoint into the registry failed.
+    Checkpoint(CheckpointError),
+    /// The worker handling this request disappeared without answering —
+    /// indicates a bug (a panic in a worker thread), never normal operation.
+    WorkerLost,
+    /// A request carried an empty feature vector.
+    EmptyRequest,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "overloaded: queue depth {depth} at capacity {capacity}")
+            }
+            ServeError::DeadlineExceeded { waited_s, deadline_s } => {
+                write!(f, "deadline exceeded: waited {waited_s:.6}s past deadline {deadline_s:.6}s")
+            }
+            ServeError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: model expects width {expected}, got {got}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Checkpoint(e) => write!(f, "checkpoint load failed: {e}"),
+            ServeError::WorkerLost => write!(f, "worker thread lost before answering"),
+            ServeError::EmptyRequest => write!(f, "empty feature vector"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (ServeError::Overloaded { depth: 8, capacity: 8 }, "overloaded"),
+            (ServeError::DeadlineExceeded { waited_s: 0.2, deadline_s: 0.1 }, "deadline"),
+            (ServeError::UnknownModel("w2".into()), "unknown model"),
+            (ServeError::ShapeMismatch { expected: 4, got: 3 }, "shape mismatch"),
+            (ServeError::ShuttingDown, "shutting down"),
+            (ServeError::WorkerLost, "worker"),
+            (ServeError::EmptyRequest, "empty"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_errors_convert() {
+        let e: ServeError = CheckpointError::Truncated.into();
+        assert!(matches!(e, ServeError::Checkpoint(CheckpointError::Truncated)));
+    }
+}

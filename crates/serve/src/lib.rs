@@ -1,0 +1,42 @@
+//! dd-serve: batched inference serving with admission control.
+//!
+//! The paper's CANDLE workflows do not stop at training: screened compound
+//! rankings and patient-derived drug-response predictions are *served*, and
+//! the serving side stresses a different corner of the machine — latency
+//! under load rather than sustained FLOPs. This crate models that corner
+//! for the workspace's models:
+//!
+//! * [`ModelRegistry`] — named, versioned [`ModelSnapshot`]s built from
+//!   dd-nn checkpoints; hot-swappable, with in-flight batches pinned to the
+//!   snapshot they started with.
+//! * [`BatchPolicy`] / [`plan`] — the pure dynamic-batching decision core:
+//!   coalesce up to `max_batch` requests or `max_wait`, whichever first,
+//!   and shed requests that outlive their deadline.
+//! * [`Server`] — the threaded engine: a bounded admission queue
+//!   (reject-on-full with [`ServeError::Overloaded`]), a batcher thread,
+//!   and a worker pool running [`dispatch_batch`], the dd-obs-instrumented
+//!   kernel that accounts FLOPs, batch sizes and service time.
+//! * [`simulate`] — a virtual-time twin of the server driving the same
+//!   decision core with an analytic [`ServiceModel`], so the E13
+//!   latency/throughput sweep is deterministic and byte-identical across
+//!   runs.
+//! * [`poisson_arrivals`] — a seeded open-loop Poisson load generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod dispatch;
+pub mod error;
+pub mod loadgen;
+pub mod registry;
+pub mod server;
+pub mod sim;
+
+pub use batcher::{plan, BatchDecision, BatchPolicy};
+pub use dispatch::dispatch_batch;
+pub use error::ServeError;
+pub use loadgen::{poisson_arrivals, request_batch, LoadConfig};
+pub use registry::{ModelRegistry, ModelSnapshot};
+pub use server::{ResponseHandle, ServeConfig, Server, ServerStats};
+pub use sim::{simulate, ServiceModel, SimConfig, SimReport};

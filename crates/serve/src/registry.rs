@@ -1,0 +1,219 @@
+//! Model registry: immutable snapshots behind atomic hot-swap.
+//!
+//! A served model is wrapped in an [`ModelSnapshot`] — spec, weights and
+//! dimensions frozen at install time — and shared as `Arc<ModelSnapshot>`.
+//! Swapping in a new version replaces the map entry under a write lock;
+//! in-flight batches keep their `Arc` to the old snapshot, so a request is
+//! always answered by exactly one model version, never a torn mix.
+
+use crate::error::ServeError;
+use dd_nn::{checkpoint, ModelSpec, Sequential};
+use dd_tensor::Matrix;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One immutable, servable model version.
+///
+/// Inference goes through [`Sequential::predict_batch`] (`&self`), so a
+/// snapshot is shared across worker threads without clones or locks.
+pub struct ModelSnapshot {
+    name: String,
+    version: u64,
+    spec: ModelSpec,
+    model: Sequential,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+impl ModelSnapshot {
+    /// Registry name this snapshot was installed under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monotonically increasing install version (unique per registry).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The model's spec (architecture + precision).
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The frozen model.
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// Width of one input row.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Width of one output row.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Batched inference through the immutable path.
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        self.model.predict_batch(x)
+    }
+}
+
+/// Named model versions with atomic hot-swap.
+///
+/// Readers ([`ModelRegistry::get`]) take a short read lock to clone an
+/// `Arc`; installers take the write lock only to replace the map entry.
+/// Neither ever blocks on inference, which runs entirely outside the lock.
+pub struct ModelRegistry {
+    models: RwLock<BTreeMap<String, Arc<ModelSnapshot>>>,
+    next_version: AtomicU64,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        ModelRegistry { models: RwLock::new(BTreeMap::new()), next_version: AtomicU64::new(1) }
+    }
+
+    /// Install (or hot-swap) a built model under `name`. Returns the new
+    /// snapshot's version. In-flight requests holding the previous snapshot
+    /// finish against it; new lookups see the replacement.
+    pub fn install(&self, name: &str, spec: ModelSpec, model: Sequential) -> u64 {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let input_dim = model.input_dim();
+        let output_dim = model.output_dim();
+        let snap = Arc::new(ModelSnapshot {
+            name: name.to_string(),
+            version,
+            spec,
+            model,
+            input_dim,
+            output_dim,
+        });
+        self.models.write().insert(name.to_string(), snap);
+        dd_obs::counter_add("serve_model_swaps", 1);
+        dd_obs::gauge_set("serve_models_loaded", self.models.read().len() as f64);
+        version
+    }
+
+    /// Load a dd-nn checkpoint blob (v1 or v2) and install it under `name`.
+    /// Training state carried by a v2 checkpoint is ignored — serving only
+    /// needs the weights.
+    pub fn load_checkpoint(&self, name: &str, blob: &[u8]) -> Result<u64, ServeError> {
+        let (spec, model) = checkpoint::load(blob)?;
+        Ok(self.install(name, spec, model))
+    }
+
+    /// Current snapshot for `name`.
+    pub fn get(&self, name: &str) -> Result<Arc<ModelSnapshot>, ServeError> {
+        self.models
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Installed model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.models.read().keys().cloned().collect()
+    }
+
+    /// Remove a model; returns whether it was present.
+    pub fn remove(&self, name: &str) -> bool {
+        let removed = self.models.write().remove(name).is_some();
+        if removed {
+            dd_obs::gauge_set("serve_models_loaded", self.models.read().len() as f64);
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_nn::Activation;
+    use dd_tensor::{Precision, Rng64};
+
+    fn build(seed: u64) -> (ModelSpec, Sequential) {
+        let spec = ModelSpec::mlp(6, &[8], 2, Activation::Relu);
+        let model = spec.build(seed, Precision::F32).expect("valid spec");
+        (spec, model)
+    }
+
+    #[test]
+    fn install_get_and_versions() {
+        let reg = ModelRegistry::new();
+        let (spec, model) = build(1);
+        let v1 = reg.install("clf", spec, model);
+        let snap = reg.get("clf").expect("installed");
+        assert_eq!(snap.version(), v1);
+        assert_eq!(snap.input_dim(), 6);
+        assert_eq!(snap.output_dim(), 2);
+        assert_eq!(reg.names(), vec!["clf".to_string()]);
+
+        let (spec2, model2) = build(2);
+        let v2 = reg.install("clf", spec2, model2);
+        assert!(v2 > v1, "versions must increase");
+        assert_eq!(reg.get("clf").expect("still installed").version(), v2);
+    }
+
+    #[test]
+    fn old_snapshot_survives_hot_swap() {
+        let reg = ModelRegistry::new();
+        let (spec, model) = build(3);
+        reg.install("clf", spec, model);
+        let old = reg.get("clf").expect("installed");
+        let mut rng = Rng64::new(4);
+        let x = Matrix::randn(3, 6, 0.0, 1.0, &mut rng);
+        let y_old = old.predict(&x);
+
+        let (spec2, model2) = build(5);
+        reg.install("clf", spec2, model2);
+        // The held Arc still answers with the old weights, bit for bit.
+        assert_eq!(old.predict(&x), y_old);
+        // And the registry now serves different weights.
+        let newer = reg.get("clf").expect("swapped");
+        assert_ne!(newer.predict(&x), y_old);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_into_registry() {
+        let (spec, mut model) = build(6);
+        let blob = checkpoint::save(&spec, &mut model).expect("encodes");
+        let reg = ModelRegistry::new();
+        reg.load_checkpoint("from_ckpt", &blob).expect("loads");
+        let snap = reg.get("from_ckpt").expect("installed");
+        let mut rng = Rng64::new(7);
+        let x = Matrix::randn(2, 6, 0.0, 1.0, &mut rng);
+        assert_eq!(snap.predict(&x), model.predict(&x));
+    }
+
+    #[test]
+    fn unknown_and_removed_models_error() {
+        let reg = ModelRegistry::new();
+        assert!(matches!(reg.get("nope"), Err(ServeError::UnknownModel(_))));
+        let (spec, model) = build(8);
+        reg.install("tmp", spec, model);
+        assert!(reg.remove("tmp"));
+        assert!(!reg.remove("tmp"));
+        assert!(reg.get("tmp").is_err());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_typed() {
+        let reg = ModelRegistry::new();
+        let err = reg.load_checkpoint("bad", &[0u8; 8]).expect_err("must fail");
+        assert!(matches!(err, ServeError::Checkpoint(_)));
+    }
+}

@@ -1,0 +1,464 @@
+//! The threaded serving engine: admission queue → dynamic batcher → workers.
+//!
+//! Data flow and backpressure, stage by stage:
+//!
+//! 1. **Admission** ([`Server::submit`]): a bounded crossbeam channel is the
+//!    request queue. `try_send` on a full queue fails the request with
+//!    [`ServeError::Overloaded`] immediately — the queue never grows beyond
+//!    `queue_capacity`, so overload degrades p99 into fast rejections
+//!    instead of unbounded latency.
+//! 2. **Batching**: a single batcher thread drives the pure
+//!    [`crate::batcher::plan`] decision function on the dd-obs clock,
+//!    coalescing up to `max_batch` requests or flushing partial batches
+//!    after `max_wait`. Requests older than their deadline are shed with
+//!    [`ServeError::DeadlineExceeded`] before ever reaching a model.
+//! 3. **Workers**: a `bounded(workers)` job channel feeds the pool; when
+//!    every worker is busy the batcher blocks on it, which in turn lets the
+//!    admission queue fill and the overload policy engage.
+//!
+//! Every admitted request is answered exactly once — completion, shed, or a
+//! typed failure — including during [`Server::shutdown`], which drains the
+//! queue before joining the pool.
+
+use crate::batcher::{expired, plan, BatchDecision, BatchPolicy};
+use crate::dispatch::dispatch_batch;
+use crate::error::ServeError;
+use crate::registry::{ModelRegistry, ModelSnapshot};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use dd_tensor::Matrix;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server sizing and batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Admission-queue capacity: requests beyond this are rejected.
+    pub queue_capacity: usize,
+    /// Worker threads running batched inference.
+    pub workers: usize,
+    /// Dynamic batching policy.
+    pub policy: BatchPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { queue_capacity: 256, workers: 2, policy: BatchPolicy::default() }
+    }
+}
+
+/// Lifetime counters of one server instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Requests shed for exceeding their deadline.
+    pub shed: u64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: u64,
+    /// Admitted requests answered with a non-deadline error (model removed
+    /// mid-flight, worker loss).
+    pub failed: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+type Response = Result<Vec<f32>, ServeError>;
+
+struct Request {
+    model: String,
+    features: Vec<f32>,
+    enqueue_s: f64,
+    resp: Sender<Response>,
+}
+
+struct Job {
+    snapshot: Arc<ModelSnapshot>,
+    rows: Matrix,
+    meta: Vec<(f64, Sender<Response>)>,
+}
+
+/// The caller's side of one in-flight request.
+pub struct ResponseHandle {
+    rx: Receiver<Response>,
+}
+
+impl ResponseHandle {
+    /// Block until the request is answered. Every admitted request is
+    /// answered exactly once; a closed channel without an answer means a
+    /// worker died and surfaces as [`ServeError::WorkerLost`].
+    pub fn wait(self) -> Response {
+        match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => Err(ServeError::WorkerLost),
+        }
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Response> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A running in-process inference server.
+pub struct Server {
+    registry: Arc<ModelRegistry>,
+    tx: Option<Sender<Request>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    capacity: usize,
+    stats: Arc<StatsInner>,
+}
+
+impl Server {
+    /// Spawn the batcher thread and worker pool and start serving.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Server {
+        assert!(config.queue_capacity >= 1, "queue_capacity must be >= 1");
+        assert!(config.workers >= 1, "workers must be >= 1");
+        let stats = Arc::new(StatsInner::default());
+        let (tx, rx) = bounded::<Request>(config.queue_capacity);
+        let (job_tx, job_rx) = bounded::<Job>(config.workers);
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let job_rx = job_rx.clone();
+            let stats = Arc::clone(&stats);
+            workers.push(std::thread::spawn(move || worker_loop(&job_rx, &stats)));
+        }
+        drop(job_rx);
+
+        let batcher = {
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            let policy = config.policy;
+            std::thread::spawn(move || batcher_loop(&rx, &registry, policy, &job_tx, &stats))
+        };
+
+        Server {
+            registry,
+            tx: Some(tx),
+            batcher: Some(batcher),
+            workers,
+            capacity: config.queue_capacity,
+            stats,
+        }
+    }
+
+    /// The registry this server resolves model names against. Installing a
+    /// new version there hot-swaps it for all subsequently dispatched
+    /// batches; in-flight batches finish on the snapshot they started with.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Submit one request. Returns a handle immediately, or a typed error
+    /// when the request is malformed, the model is unknown, or admission
+    /// control rejects it ([`ServeError::Overloaded`]).
+    pub fn submit(&self, model: &str, features: Vec<f32>) -> Result<ResponseHandle, ServeError> {
+        if features.is_empty() {
+            return Err(ServeError::EmptyRequest);
+        }
+        let snap = self.registry.get(model)?;
+        if features.len() != snap.input_dim() {
+            return Err(ServeError::ShapeMismatch {
+                expected: snap.input_dim(),
+                got: features.len(),
+            });
+        }
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(ServeError::ShuttingDown);
+        };
+        let (resp_tx, resp_rx) = bounded::<Response>(1);
+        let req = Request {
+            model: model.to_string(),
+            features,
+            enqueue_s: dd_obs::monotonic_seconds(),
+            resp: resp_tx,
+        };
+        match tx.try_send(req) {
+            Ok(()) => {
+                self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                dd_obs::gauge_set("serve_queue_depth", tx.len() as f64);
+                Ok(ResponseHandle { rx: resp_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                dd_obs::counter_add("serve_rejected_total", 1);
+                Err(ServeError::Overloaded { depth: tx.len(), capacity: self.capacity })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Current lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Stop admitting, drain every queued request (answering each exactly
+    /// once), join the batcher and the pool, and return the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_inner();
+        self.stats.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn respond(stats: &StatsInner, req: Request, err: ServeError) {
+    match err {
+        ServeError::DeadlineExceeded { .. } => {
+            stats.shed.fetch_add(1, Ordering::Relaxed);
+            dd_obs::counter_add("serve_shed_total", 1);
+        }
+        _ => {
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let _ = req.resp.send(Err(err));
+}
+
+fn batcher_loop(
+    rx: &Receiver<Request>,
+    registry: &ModelRegistry,
+    policy: BatchPolicy,
+    job_tx: &Sender<Job>,
+    stats: &StatsInner,
+) {
+    let mut pending: VecDeque<Request> = VecDeque::new();
+    let mut draining = false;
+    loop {
+        // Opportunistically move everything already queued into the local
+        // pending buffer so `plan` sees the true backlog.
+        loop {
+            match rx.try_recv() {
+                Ok(r) => pending.push_back(r),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    draining = true;
+                    break;
+                }
+            }
+        }
+        let now = dd_obs::monotonic_seconds();
+        dd_obs::gauge_set("serve_queue_depth", (rx.len() + pending.len()) as f64);
+
+        // Shed from the front: FIFO order plus a uniform deadline means the
+        // oldest request expires first.
+        while let Some(front) = pending.front() {
+            if !expired(&policy, now, front.enqueue_s) {
+                break;
+            }
+            if let Some(req) = pending.pop_front() {
+                let waited_s = now - req.enqueue_s;
+                respond(
+                    stats,
+                    req,
+                    ServeError::DeadlineExceeded { waited_s, deadline_s: policy.deadline_s },
+                );
+            }
+        }
+
+        let oldest = pending.front().map(|r| r.enqueue_s).unwrap_or(now);
+        match plan(&policy, now, oldest, pending.len(), draining) {
+            BatchDecision::Idle => {
+                if draining {
+                    break;
+                }
+                match rx.recv() {
+                    Ok(r) => pending.push_back(r),
+                    Err(_) => draining = true,
+                }
+            }
+            BatchDecision::WaitFor(s) => match rx.recv_timeout(Duration::from_secs_f64(s.max(0.0)))
+            {
+                Ok(r) => pending.push_back(r),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => draining = true,
+            },
+            BatchDecision::Dispatch(n) => {
+                dispatch_prefix(&mut pending, n, now, registry, &policy, job_tx, stats);
+            }
+        }
+    }
+}
+
+/// Pop the longest same-model prefix (at most `n` requests), resolve its
+/// snapshot, and hand it to the worker pool as one batch.
+fn dispatch_prefix(
+    pending: &mut VecDeque<Request>,
+    n: usize,
+    now: f64,
+    registry: &ModelRegistry,
+    policy: &BatchPolicy,
+    job_tx: &Sender<Job>,
+    stats: &StatsInner,
+) {
+    let Some(front) = pending.front() else {
+        return;
+    };
+    let name = front.model.clone();
+    let mut batch: Vec<Request> = Vec::with_capacity(n);
+    while batch.len() < n {
+        match pending.front() {
+            Some(r) if r.model == name => {
+                if let Some(r) = pending.pop_front() {
+                    batch.push(r);
+                }
+            }
+            _ => break,
+        }
+    }
+    let snapshot = match registry.get(&name) {
+        Ok(s) => s,
+        Err(e) => {
+            // Model removed between admission and dispatch: fail the batch.
+            for req in batch {
+                respond(stats, req, e.clone());
+            }
+            return;
+        }
+    };
+    let width = snapshot.input_dim();
+    let mut flat = Vec::with_capacity(batch.len() * width);
+    let mut meta = Vec::with_capacity(batch.len());
+    for req in batch {
+        dd_obs::hist_record("serve_queue_wait_seconds", now - req.enqueue_s);
+        flat.extend_from_slice(&req.features);
+        meta.push((req.enqueue_s, req.resp));
+    }
+    let rows = Matrix::from_vec(meta.len(), width, flat);
+    let job = Job { snapshot, rows, meta };
+    if let Err(send_err) = job_tx.send(job) {
+        // All workers are gone — a panic upstream. Fail the batch loudly
+        // rather than dropping it silently.
+        let job = send_err.into_inner();
+        for (_, resp) in job.meta {
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = resp.send(Err(ServeError::WorkerLost));
+        }
+    }
+}
+
+fn worker_loop(job_rx: &Receiver<Job>, stats: &StatsInner) {
+    for job in job_rx.iter() {
+        let y = dispatch_batch(&job.snapshot, &job.rows);
+        let done = dd_obs::monotonic_seconds();
+        for (i, (enqueue_s, resp)) in job.meta.into_iter().enumerate() {
+            dd_obs::hist_record("serve_e2e_seconds", done - enqueue_s);
+            stats.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = resp.send(Ok(y.row(i).to_vec()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_nn::{Activation, ModelSpec};
+    use dd_tensor::Precision;
+
+    fn registry_with(name: &str, width: usize, seed: u64) -> Arc<ModelRegistry> {
+        let reg = Arc::new(ModelRegistry::new());
+        let spec = ModelSpec::mlp(width, &[8], 2, Activation::Relu);
+        let model = spec.build(seed, Precision::F32).expect("valid spec");
+        reg.install(name, spec, model);
+        reg
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let reg = registry_with("m", 4, 1);
+        let expected = {
+            let snap = reg.get("m").expect("installed");
+            snap.predict(&Matrix::from_vec(1, 4, vec![0.1, -0.2, 0.3, 0.4]))
+        };
+        let server = Server::start(Arc::clone(&reg), ServeConfig::default());
+        let handle = server.submit("m", vec![0.1, -0.2, 0.3, 0.4]).expect("admitted");
+        let out = handle.wait().expect("answered");
+        assert_eq!(out, expected.row(0).to_vec());
+        let stats = server.shutdown();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn submit_validates_before_admission() {
+        let reg = registry_with("m", 4, 2);
+        let server = Server::start(reg, ServeConfig::default());
+        assert!(matches!(server.submit("m", vec![]), Err(ServeError::EmptyRequest)));
+        assert!(matches!(server.submit("nope", vec![0.0; 4]), Err(ServeError::UnknownModel(_))));
+        assert!(matches!(
+            server.submit("m", vec![0.0; 3]),
+            Err(ServeError::ShapeMismatch { expected: 4, got: 3 })
+        ));
+        let stats = server.shutdown();
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn shutdown_answers_every_admitted_request() {
+        let reg = registry_with("m", 6, 3);
+        let config =
+            ServeConfig { queue_capacity: 64, workers: 2, policy: BatchPolicy::new(8, 0.005, 5.0) };
+        let server = Server::start(reg, config);
+        let handles: Vec<_> =
+            (0..40).filter_map(|i| server.submit("m", vec![i as f32 * 0.01; 6]).ok()).collect();
+        let admitted = handles.len() as u64;
+        let stats = server.shutdown();
+        let mut answered = 0u64;
+        for h in handles {
+            assert!(h.wait().is_ok(), "drained request must succeed");
+            answered += 1;
+        }
+        assert_eq!(answered, admitted);
+        assert_eq!(stats.admitted, admitted);
+        assert_eq!(stats.completed + stats.shed + stats.failed, admitted);
+        assert_eq!(stats.shed, 0, "5s deadline must not shed in a drain test");
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let reg = registry_with("m", 4, 4);
+        let mut server = Server::start(Arc::clone(&reg), ServeConfig::default());
+        server.shutdown_inner();
+        assert!(matches!(server.submit("m", vec![0.0; 4]), Err(ServeError::ShuttingDown)));
+    }
+}

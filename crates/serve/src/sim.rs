@@ -1,0 +1,367 @@
+//! Virtual-time serving simulator — the deterministic twin of the server.
+//!
+//! The threaded [`crate::server::Server`] is nondeterministic by nature
+//! (thread interleavings, wall-clock jitter), so the E13 experiment runs
+//! this discrete-event simulator instead: same admission policy, same
+//! [`crate::batcher::plan`]-shaped batching rules, same shed-on-expiry,
+//! but on simulated time with an analytic [`ServiceModel`] pricing each
+//! batch. Everything is pure `f64` arithmetic over a fixed arrival vector,
+//! so a given configuration always yields byte-identical results — the
+//! determinism contract every experiment in this repo obeys.
+//!
+//! Latency distributions are accumulated in dd-obs [`Histogram`]s (the
+//! same log-bucketed quantile machinery the live server's metrics use) and
+//! mirrored into the global registry when recording is enabled, so a
+//! `DD_METRICS` run of `exp-13-serving` exports the usual
+//! `serve_queue_wait_seconds` / `serve_service_seconds` / `serve_e2e_seconds`
+//! series.
+
+use crate::batcher::BatchPolicy;
+use dd_obs::{HistSummary, Histogram};
+use std::collections::VecDeque;
+
+/// Analytic cost of one batched inference: `base_s + per_row_s · batch`.
+///
+/// The affine shape is what makes batching pay: the fixed `base_s`
+/// (dispatch overhead, cache warmup, kernel launch in spirit) amortizes
+/// over the rows of a batch, while `per_row_s` is irreducible arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceModel {
+    /// Fixed per-batch overhead, seconds.
+    pub base_s: f64,
+    /// Marginal cost per row, seconds.
+    pub per_row_s: f64,
+}
+
+impl ServiceModel {
+    /// New model; knobs must be finite and non-negative with a positive sum.
+    pub fn new(base_s: f64, per_row_s: f64) -> Self {
+        assert!(base_s.is_finite() && base_s >= 0.0, "base_s must be >= 0");
+        assert!(per_row_s.is_finite() && per_row_s >= 0.0, "per_row_s must be >= 0");
+        assert!(base_s + per_row_s > 0.0, "service model must cost something");
+        ServiceModel { base_s, per_row_s }
+    }
+
+    /// Derive the per-row cost from a model's forward FLOPs on a device
+    /// sustaining `device_flops_per_s`.
+    pub fn from_flops(flops_per_row: u64, device_flops_per_s: f64, base_s: f64) -> Self {
+        assert!(device_flops_per_s > 0.0, "device rate must be positive");
+        ServiceModel::new(base_s, flops_per_row as f64 / device_flops_per_s)
+    }
+
+    /// Service time of one batch of `batch` rows.
+    pub fn seconds(&self, batch: usize) -> f64 {
+        self.base_s + self.per_row_s * batch as f64
+    }
+
+    /// Sustainable throughput (rows/s) when every batch is exactly `batch`
+    /// rows across `workers` workers — the knee the E13 sweep measures.
+    pub fn saturation_rps(&self, batch: usize, workers: usize) -> f64 {
+        workers as f64 * batch as f64 / self.seconds(batch)
+    }
+}
+
+/// One simulated serving configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Batching policy (shared vocabulary with the live server).
+    pub policy: BatchPolicy,
+    /// Admission-queue capacity; arrivals beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Parallel workers.
+    pub workers: usize,
+    /// Batch cost model.
+    pub service: ServiceModel,
+    /// Sorted arrival times in seconds (e.g. from
+    /// [`crate::loadgen::poisson_arrivals`]).
+    pub arrivals: Vec<f64>,
+}
+
+/// Everything one simulation run measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Requests offered (length of the arrival vector).
+    pub offered: usize,
+    /// Requests admitted past the bounded queue.
+    pub admitted: usize,
+    /// Requests rejected by admission control.
+    pub rejected: usize,
+    /// Admitted requests shed for exceeding their deadline.
+    pub shed: usize,
+    /// Requests answered with a prediction.
+    pub completed: usize,
+    /// Batches dispatched.
+    pub batches: usize,
+    /// Mean dispatched batch size (0 when nothing dispatched).
+    pub mean_batch: f64,
+    /// Seconds from the first arrival to the last completion.
+    pub makespan_s: f64,
+    /// Completed requests per second of makespan.
+    pub throughput_rps: f64,
+    /// Queue-wait distribution (admission → dispatch) of completed requests.
+    pub queue_wait: HistSummary,
+    /// Per-batch service-time distribution.
+    pub service: HistSummary,
+    /// End-to-end latency distribution (admission → response).
+    pub e2e: HistSummary,
+}
+
+/// Run the discrete-event simulation.
+///
+/// Events are arrivals and batch dispatches, processed in time order
+/// (arrivals win ties so a dispatch always sees the fullest queue it
+/// legally can, mirroring the live batcher's top-up-then-plan loop).
+pub fn simulate(cfg: &SimConfig) -> SimReport {
+    assert!(cfg.queue_capacity >= 1, "queue_capacity must be >= 1");
+    assert!(cfg.workers >= 1, "workers must be >= 1");
+    assert!(cfg.arrivals.windows(2).all(|w| w[1] >= w[0]), "arrivals must be sorted");
+
+    let policy = cfg.policy;
+    let mut pending: VecDeque<f64> = VecDeque::new();
+    let mut free = vec![0.0f64; cfg.workers];
+    let mut next = 0usize;
+    let (mut rejected, mut shed, mut completed, mut batches) = (0usize, 0usize, 0usize, 0usize);
+    let mut queue_wait = Histogram::new();
+    let mut service = Histogram::new();
+    let mut e2e = Histogram::new();
+    let mut last_done = 0.0f64;
+    let mut now = 0.0f64;
+
+    loop {
+        let next_arrival = cfg.arrivals.get(next).copied();
+        let dispatch_at = pending.front().map(|&oldest| {
+            // A full batch (or a drained arrival stream) dispatches as soon
+            // as a worker frees up; a partial batch waits out max_wait.
+            let ready = if pending.len() >= policy.max_batch || next_arrival.is_none() {
+                now
+            } else {
+                oldest + policy.max_wait_s
+            };
+            let worker = free.iter().copied().fold(f64::INFINITY, f64::min);
+            ready.max(worker).max(now)
+        });
+
+        // Arrivals win ties so a dispatch always sees the fullest legal queue.
+        let take_arrival = match (next_arrival, dispatch_at) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(ta), Some(td)) => ta <= td,
+        };
+        if take_arrival {
+            let ta = next_arrival.unwrap_or(now);
+            now = ta;
+            next += 1;
+            if pending.len() >= cfg.queue_capacity {
+                rejected += 1;
+            } else {
+                pending.push_back(ta);
+            }
+        } else {
+            let td = dispatch_at.unwrap_or(now);
+            {
+                now = td;
+                // Shed from the front: FIFO plus a uniform deadline means
+                // the oldest request expires first.
+                while let Some(&enq) = pending.front() {
+                    if now - enq <= policy.deadline_s {
+                        break;
+                    }
+                    pending.pop_front();
+                    shed += 1;
+                    dd_obs::counter_add("serve_shed_total", 1);
+                }
+                // Shedding may have emptied the queue or reset the oldest
+                // timestamp; re-plan on the next iteration unless a batch
+                // is genuinely due now.
+                let due = match pending.front() {
+                    None => false,
+                    Some(&oldest) => {
+                        pending.len() >= policy.max_batch
+                            || next_arrival.is_none()
+                            || now >= oldest + policy.max_wait_s
+                    }
+                };
+                if !due {
+                    continue;
+                }
+                let n = pending.len().min(policy.max_batch);
+                let svc = cfg.service.seconds(n);
+                let done = now + svc;
+                // Assign to the earliest-free worker (deterministic:
+                // lowest index wins ties).
+                let mut wi = 0usize;
+                for (k, &f) in free.iter().enumerate() {
+                    if f < free[wi] {
+                        wi = k;
+                    }
+                }
+                free[wi] = done;
+                for _ in 0..n {
+                    if let Some(enq) = pending.pop_front() {
+                        let wait = now - enq;
+                        queue_wait.record(wait);
+                        e2e.record(done - enq);
+                        dd_obs::hist_record("serve_queue_wait_seconds", wait);
+                        dd_obs::hist_record("serve_e2e_seconds", done - enq);
+                    }
+                }
+                service.record(svc);
+                dd_obs::hist_record("serve_service_seconds", svc);
+                dd_obs::hist_record("serve_batch_size", n as f64);
+                dd_obs::counter_add("serve_batches_total", 1);
+                dd_obs::counter_add("serve_rows_total", n as u64);
+                batches += 1;
+                completed += n;
+                last_done = last_done.max(done);
+            }
+        }
+    }
+
+    let offered = cfg.arrivals.len();
+    let admitted = offered - rejected;
+    let makespan_s = if completed > 0 { last_done } else { now };
+    let throughput_rps = if makespan_s > 0.0 { completed as f64 / makespan_s } else { 0.0 };
+    let mean_batch = if batches > 0 { completed as f64 / batches as f64 } else { 0.0 };
+    SimReport {
+        offered,
+        admitted,
+        rejected,
+        shed,
+        completed,
+        batches,
+        mean_batch,
+        makespan_s,
+        throughput_rps,
+        queue_wait: queue_wait.summary(),
+        service: service.summary(),
+        e2e: e2e.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::{poisson_arrivals, LoadConfig};
+
+    fn arrivals(rate: f64, n: usize, seed: u64) -> Vec<f64> {
+        poisson_arrivals(&LoadConfig { rate_per_s: rate, requests: n, seed })
+    }
+
+    fn base_cfg(arrivals: Vec<f64>) -> SimConfig {
+        SimConfig {
+            policy: BatchPolicy::new(16, 0.002, 0.25),
+            queue_capacity: 128,
+            workers: 2,
+            service: ServiceModel::new(200e-6, 10e-6),
+            arrivals,
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = base_cfg(arrivals(2000.0, 2000, 9));
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a, b, "same config must give identical reports");
+    }
+
+    #[test]
+    fn light_load_completes_everything() {
+        let cfg = base_cfg(arrivals(500.0, 1000, 1));
+        let r = simulate(&cfg);
+        assert_eq!(r.completed, 1000);
+        assert_eq!(r.rejected + r.shed, 0);
+        assert_eq!(r.admitted, 1000);
+        assert!(r.throughput_rps > 0.0);
+        assert_eq!(r.queue_wait.count, 1000);
+        assert_eq!(r.e2e.count, 1000);
+    }
+
+    #[test]
+    fn larger_batches_raise_saturated_throughput() {
+        // Offer far more than batch-1 capacity: ~1/(base+per_row) ≈ 4.7k rps
+        // per worker. Batching amortizes base_s and must push throughput up.
+        let arr = arrivals(40_000.0, 8000, 2);
+        let mut small = base_cfg(arr.clone());
+        small.policy = BatchPolicy::new(1, 0.0, 0.05);
+        let mut big = base_cfg(arr);
+        big.policy = BatchPolicy::new(64, 0.002, 0.05);
+        let rs = simulate(&small);
+        let rb = simulate(&big);
+        assert!(
+            rb.throughput_rps > 2.0 * rs.throughput_rps,
+            "batch-64 {:.0} rps should dwarf batch-1 {:.0} rps",
+            rb.throughput_rps,
+            rs.throughput_rps
+        );
+        assert!(rb.mean_batch > 8.0, "saturated batcher should coalesce, got {}", rb.mean_batch);
+    }
+
+    #[test]
+    fn overload_rejects_and_bounds_latency() {
+        // Offered load ~4x capacity: admission + deadlines must engage, and
+        // the p99 of what *is* served stays bounded by queue+deadline math
+        // instead of growing with the backlog.
+        let cfg = SimConfig {
+            policy: BatchPolicy::new(16, 0.002, 0.05),
+            queue_capacity: 64,
+            workers: 2,
+            service: ServiceModel::new(200e-6, 10e-6),
+            arrivals: arrivals(200_000.0, 20_000, 3),
+        };
+        let r = simulate(&cfg);
+        assert!(r.rejected > 0, "bounded queue must reject under 4x overload");
+        assert_eq!(r.offered, r.admitted + r.rejected);
+        assert_eq!(r.admitted, r.completed + r.shed);
+        // Served latency is bounded: deadline + one max service time, with
+        // histogram quantile slack (~7.5% relative error).
+        let bound = 1.2 * (cfg.policy.deadline_s + cfg.service.seconds(cfg.policy.max_batch));
+        assert!(r.e2e.p99 < bound, "p99 {} exceeds bound {}", r.e2e.p99, bound);
+    }
+
+    #[test]
+    fn tight_deadline_sheds_instead_of_serving_late() {
+        // Deadline far below the full-queue drain time: the front-shed path
+        // must engage, and nothing is ever dispatched past its deadline.
+        let cfg = SimConfig {
+            policy: BatchPolicy::new(1, 0.0, 0.005),
+            queue_capacity: 256,
+            workers: 2,
+            service: ServiceModel::new(200e-6, 10e-6),
+            arrivals: arrivals(40_000.0, 5000, 6),
+        };
+        let r = simulate(&cfg);
+        assert!(r.shed > 0, "tight deadline must shed queued requests");
+        assert_eq!(r.admitted, r.completed + r.shed);
+        assert!(
+            r.queue_wait.max <= cfg.policy.deadline_s,
+            "served request waited {} past the {}s deadline",
+            r.queue_wait.max,
+            cfg.policy.deadline_s
+        );
+        assert!(r.e2e.p99 < 1.2 * (cfg.policy.deadline_s + cfg.service.seconds(1)));
+    }
+
+    #[test]
+    fn conservation_always_holds() {
+        for seed in 0..5u64 {
+            let cfg = base_cfg(arrivals(6000.0, 3000, seed));
+            let r = simulate(&cfg);
+            assert_eq!(r.offered, r.admitted + r.rejected, "seed {seed}");
+            assert_eq!(r.admitted, r.completed + r.shed, "seed {seed}");
+            assert_eq!(r.queue_wait.count as usize, r.completed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_wait_policy_serves_singletons_at_light_load() {
+        let mut cfg = base_cfg(arrivals(100.0, 200, 4));
+        cfg.policy = BatchPolicy::new(64, 0.0, 0.25);
+        let r = simulate(&cfg);
+        // At 100 rps with ~0.2 ms service, requests rarely overlap: almost
+        // every batch is a singleton dispatched immediately.
+        assert!(r.mean_batch < 1.5, "mean batch {}", r.mean_batch);
+        assert_eq!(r.completed, 200);
+    }
+}

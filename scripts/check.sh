@@ -42,4 +42,19 @@ DD_TRACE=results/e12_trace.json ./target/release/exp-profile smoke >/dev/null
 python3 -m json.tool results/e12_trace.json >/dev/null
 echo "results/e12_trace.json parses"
 
+echo "== exp-13-serving smoke: CSV schema + byte-identical reruns"
+./target/release/exp-13-serving quick >/dev/null
+expected_header="max_batch,wait_ms,offered_rps,requests,admitted,rejected,shed,completed,throughput_rps,mean_batch,qwait_p50_ms,svc_p50_ms,e2e_p50_ms,e2e_p95_ms,e2e_p99_ms"
+actual_header="$(head -n1 results/e13_serving.csv)"
+if [ "$actual_header" != "$expected_header" ]; then
+  echo "e13_serving.csv header mismatch:" >&2
+  echo "  expected: $expected_header" >&2
+  echo "  actual:   $actual_header" >&2
+  exit 1
+fi
+cp results/e13_serving.csv /tmp/e13_serving.first.csv
+./target/release/exp-13-serving quick >/dev/null
+cmp results/e13_serving.csv /tmp/e13_serving.first.csv
+echo "e13_serving.csv schema ok and deterministic across reruns"
+
 echo "All checks passed."

@@ -21,8 +21,10 @@
 //! * [`hypersearch`] — grid/random/SHA/Hyperband/surrogate/evolutionary/
 //!   generative searchers with a parallel driver.
 //! * [`mdsim`] — surrogate-supervised multi-resolution molecular dynamics.
+//! * [`serve`] — batched inference serving: model registry with hot-swap,
+//!   dynamic batching with admission control, and a virtual-time simulator.
 //! * [`obs`] — spans/counters/histograms with Chrome-trace + JSONL export.
-//! * [`core`] — the driver workloads (W1–W7) and experiments (E1–E12).
+//! * [`core`] — the driver workloads (W1–W7) and experiments (E1–E13).
 //!
 //! ## Quickstart
 //!
@@ -69,6 +71,7 @@ pub use dd_mdsim as mdsim;
 pub use dd_nn as nn;
 pub use dd_obs as obs;
 pub use dd_parallel as parallel;
+pub use dd_serve as serve;
 pub use dd_tensor as tensor;
 pub use deepdriver_core as core;
 

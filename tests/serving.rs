@@ -1,0 +1,129 @@
+//! Integration tests of the dd-serve engine through the public facade:
+//! hot-swap atomicity, admission-control overload behaviour, and the
+//! exactly-once answer guarantee through shutdown.
+
+use deepdriver::nn::{Activation, ModelSpec, Sequential};
+use deepdriver::serve::{BatchPolicy, ModelRegistry, ServeConfig, ServeError, Server};
+use deepdriver::tensor::{Matrix, Precision};
+use std::sync::Arc;
+
+fn scorer(width: usize, hidden: &[usize], seed: u64) -> (ModelSpec, Sequential) {
+    let spec = ModelSpec::mlp(width, hidden, 2, Activation::Tanh);
+    let model = spec.build(seed, Precision::F32).expect("static spec builds");
+    (spec, model)
+}
+
+#[test]
+fn hot_swap_returns_old_or_new_and_nothing_else() {
+    let width = 6;
+    let (spec1, model1) = scorer(width, &[16], 11);
+    let (_spec2, model2) = scorer(width, &[16], 22);
+    let features: Vec<f32> = (0..width).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+    let probe = Matrix::from_vec(1, width, features.clone());
+    let y1 = model1.predict_batch(&probe).row(0).to_vec();
+    let y2 = model2.predict_batch(&probe).row(0).to_vec();
+    assert_ne!(y1, y2, "differently seeded scorers must disagree on the probe");
+
+    let reg = Arc::new(ModelRegistry::new());
+    reg.install("scorer", spec1, model1);
+    let server = Server::start(Arc::clone(&reg), ServeConfig::default());
+
+    let total = 200;
+    let mut answers = Vec::with_capacity(total);
+    for i in 0..total {
+        if i == total / 2 {
+            // Hot-swap mid-stream (same seed rebuild: bitwise-identical to
+            // the probe's v2). In-flight batches finish on the snapshot they
+            // resolved; later dispatches resolve the new version.
+            let (spec2, model2) = scorer(width, &[16], 22);
+            reg.install("scorer", spec2, model2);
+        }
+        let handle = server.submit("scorer", features.clone()).expect("queue is ample");
+        answers.push(handle.wait().expect("request must be answered"));
+    }
+    server.shutdown();
+
+    // Every answer is bitwise one of the two installed versions — never a
+    // torn mix of weights.
+    for (i, a) in answers.iter().enumerate() {
+        assert!(a == &y1 || a == &y2, "answer {i} matches neither version bitwise");
+    }
+    assert_eq!(answers[0], y1, "pre-swap requests serve v1");
+    assert_eq!(answers[total - 1], y2, "post-swap requests serve v2");
+}
+
+#[test]
+fn overload_rejects_with_typed_error() {
+    // One worker, a one-slot admission queue, and a scorer deep enough that
+    // a batch takes real time: a tight submit loop must outrun the drain and
+    // hit admission control.
+    let width = 32;
+    let (spec, model) = scorer(width, &[512, 512], 5);
+    let reg = Arc::new(ModelRegistry::new());
+    reg.install("scorer", spec, model);
+    let config =
+        ServeConfig { queue_capacity: 1, workers: 1, policy: BatchPolicy::new(64, 0.001, 10.0) };
+    let server = Server::start(reg, config);
+
+    let mut handles = Vec::new();
+    let mut overloaded = None;
+    for _ in 0..200_000 {
+        match server.submit("scorer", vec![0.5; width]) {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                overloaded = Some(e);
+                break;
+            }
+        }
+    }
+    let err = overloaded.expect("a 1-slot queue must eventually reject");
+    match err {
+        ServeError::Overloaded { depth, capacity } => {
+            assert_eq!(capacity, 1);
+            assert!(depth <= capacity, "reported depth {depth} beyond capacity {capacity}");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let stats = server.shutdown();
+    assert!(stats.rejected >= 1);
+    // Rejected requests never consume an answer slot: admitted requests are
+    // still all answered exactly once through the drain.
+    let answered = handles.into_iter().filter(|h| h.wait().is_ok()).count() as u64;
+    assert_eq!(answered, stats.completed);
+    assert_eq!(stats.admitted, stats.completed + stats.shed + stats.failed);
+}
+
+#[test]
+fn shutdown_answers_every_admitted_request_exactly_once() {
+    let width = 8;
+    let (spec, model) = scorer(width, &[16], 7);
+    let reg = Arc::new(ModelRegistry::new());
+    reg.install("scorer", spec, model);
+    let config = ServeConfig {
+        queue_capacity: 512,
+        workers: 3,
+        // A generous deadline: nothing should shed in a drain test.
+        policy: BatchPolicy::new(16, 0.002, 30.0),
+    };
+    let server = Server::start(reg, config);
+
+    let handles: Vec<_> = (0..300)
+        .map(|i| server.submit("scorer", vec![(i as f32) * 1e-2; width]).expect("queue is ample"))
+        .collect();
+    let stats = server.shutdown();
+    assert_eq!(stats.admitted, 300);
+    assert_eq!(stats.admitted, stats.completed + stats.shed + stats.failed);
+    assert_eq!(stats.shed, 0, "30s deadline must not shed while draining");
+    assert_eq!(stats.failed, 0, "no model removal or worker loss in this test");
+
+    let mut answered = 0u64;
+    for h in handles {
+        let row = h.wait().expect("drained request succeeds");
+        assert_eq!(row.len(), 2, "scorer emits two logits");
+        answered += 1;
+        // The answer channel holds exactly one message: polling again after
+        // consuming it can never yield a second answer (enforced by the
+        // bounded(1) channel and `wait` consuming the handle).
+    }
+    assert_eq!(answered, stats.completed);
+}
