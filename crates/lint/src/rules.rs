@@ -29,6 +29,7 @@ pub const KNOWN_RULES: &[&str] = &[
     "determinism/thread-rng",
     "determinism/time-seeded-rng",
     "determinism/hash-collection",
+    "determinism/test-ambient-rng",
     "single-clock/instant-now",
     "instrumentation/uncounted-kernel",
     "lossy-cast/float-to-int",
@@ -60,6 +61,7 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Diag> {
     bad_allows(ctx, &mut out);
     error_policy(ctx, &mut out);
     determinism(ctx, &mut out);
+    test_ambient_rng(ctx, &mut out);
     single_clock(ctx, &mut out);
     instrumentation(ctx, &mut out);
     lossy_cast(ctx, &mut out);
@@ -213,6 +215,38 @@ fn determinism(ctx: &FileCtx, out: &mut Vec<Diag>) {
                 ),
             ),
             _ => {}
+        }
+    }
+}
+
+/// Determinism policy for *test* code, in every crate: a failing test must
+/// reproduce from the seed it prints, which dies the moment the test draws
+/// ambient entropy. Integration tests, benches and `#[cfg(test)]` modules
+/// must seed explicitly (`Rng64::new`, dd-testkit `Config::with_seed`) —
+/// never `thread_rng()`, `from_entropy()` or the wall clock.
+fn test_ambient_rng(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    for tok in &ctx.tokens {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let in_test_code =
+            matches!(ctx.kind, FileKind::Test | FileKind::Bench) || ctx.in_test(tok.line);
+        if !in_test_code {
+            continue;
+        }
+        if matches!(tok.text.as_str(), "thread_rng" | "from_entropy" | "SystemTime") {
+            push(
+                ctx,
+                out,
+                tok.line,
+                "determinism/test-ambient-rng",
+                format!(
+                    "{} in test code: tests must reproduce from a fixed seed \
+                     (Rng64::new / dd-testkit Config::with_seed), not ambient \
+                     entropy",
+                    tok.text
+                ),
+            );
         }
     }
 }

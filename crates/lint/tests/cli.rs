@@ -68,6 +68,19 @@ fn determinism_hash_collection() {
 }
 
 #[test]
+fn determinism_test_ambient_rng() {
+    // Test targets must not draw ambient entropy — in ANY crate, not just
+    // the deterministic set.
+    assert_fires("pos_test_ambient_rng.rs", "dd-lint:test", 3, "determinism/test-ambient-rng");
+    assert_fires("pos_test_ambient_rng.rs", "dd-obs:bench", 3, "determinism/test-ambient-rng");
+    assert_clean("neg_test_ambient_rng.rs", "dd-lint:test");
+    // Scoping pin: the same code classified as non-test library code in a
+    // crate outside the deterministic set triggers no rule at all.
+    let (code, stdout) = run("pos_test_ambient_rng.rs", "dd-lint:lib");
+    assert_eq!(code, 0, "test-ambient-rng must not fire on lib code\nstdout: {stdout}");
+}
+
+#[test]
 fn single_clock_instant_now() {
     assert_fires("pos_instant_now.rs", "dd-nn:lib", 3, "single-clock/instant-now");
     assert_clean("neg_instant_now.rs", "dd-nn:lib");

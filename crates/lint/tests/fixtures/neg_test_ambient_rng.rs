@@ -1,0 +1,5 @@
+//! Fixture: seeded test code passes `determinism/test-ambient-rng`.
+pub fn sample() -> u64 {
+    let mut rng = Rng64::new(0xDD_5EED);
+    rng.next_u64()
+}

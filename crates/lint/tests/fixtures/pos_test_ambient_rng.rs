@@ -1,0 +1,5 @@
+//! Fixture: `determinism/test-ambient-rng` must fire on line 3.
+pub fn sample() -> u64 {
+    let mut _rng = rand::thread_rng();
+    0
+}

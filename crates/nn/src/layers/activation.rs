@@ -150,8 +150,9 @@ impl Layer for ActivationLayer {
     }
 
     fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {
-        let x = self.cache_x.as_ref().expect("backward before forward");
-        let y = self.cache_y.as_ref().expect("backward before forward");
+        let (Some(x), Some(y)) = (self.cache_x.as_ref(), self.cache_y.as_ref()) else {
+            unreachable!("backward before forward")
+        };
         let kind = self.kind;
         let mut grad = grad_out.clone();
         for i in 0..grad.rows() {

@@ -181,7 +181,9 @@ impl Layer for Conv1d {
     }
 
     fn backward(&mut self, grad_out: &Matrix, prec: Precision) -> Matrix {
-        let patches = self.cache_patches.as_ref().expect("backward before forward");
+        let Some(patches) = self.cache_patches.as_ref() else {
+            unreachable!("backward before forward")
+        };
         let batch = self.cache_batch;
         assert_eq!(grad_out.cols(), self.out_ch * self.out_len, "conv1d grad width mismatch");
         let dy2 = self.from_channel_major(grad_out, batch);

@@ -72,7 +72,9 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Matrix, prec: Precision) -> Matrix {
-        let x = self.cache_x.as_ref().expect("backward called before forward(train=true)");
+        let Some(x) = self.cache_x.as_ref() else {
+            unreachable!("backward called before forward(train=true)")
+        };
         assert_eq!(grad_out.cols(), self.out_dim, "dense grad width mismatch");
         assert_eq!(grad_out.rows(), x.rows(), "dense grad batch mismatch");
         // dW = xᵀ · δ ; db = column sums of δ ; dx = δ · Wᵀ.

@@ -92,7 +92,7 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {
-        let xhat = self.cache_xhat.as_ref().expect("backward before forward");
+        let Some(xhat) = self.cache_xhat.as_ref() else { unreachable!("backward before forward") };
         let d = self.dim as f32;
         // Parameter gradients.
         let mut dgamma = vec![0f32; self.dim];

@@ -112,7 +112,7 @@ impl Layer for BatchNorm1d {
     }
 
     fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {
-        let xhat = self.cache_xhat.as_ref().expect("backward before forward");
+        let Some(xhat) = self.cache_xhat.as_ref() else { unreachable!("backward before forward") };
         let n = grad_out.rows() as f32;
         // dgamma = Σ g⊙xhat, dbeta = Σ g (column-wise).
         let mut dgamma = vec![0f32; self.dim];

@@ -95,7 +95,9 @@ impl Layer for MaxPool1d {
     }
 
     fn backward(&mut self, grad_out: &Matrix, _prec: Precision) -> Matrix {
-        let argmax = self.cache_argmax.as_ref().expect("backward before forward");
+        let Some(argmax) = self.cache_argmax.as_ref() else {
+            unreachable!("backward before forward")
+        };
         let batch = self.cache_batch;
         assert_eq!(grad_out.cols(), self.channels * self.out_len);
         let mut dx = Matrix::zeros(batch, self.channels * self.len);

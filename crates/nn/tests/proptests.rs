@@ -1,181 +1,351 @@
 //! Property-based tests for the NN stack: losses, optimizers and layer
 //! invariants under randomized inputs.
+//!
+//! Migrated onto the dd-testkit harness: every case derives from a seeded
+//! [`Rng64`] stream (no ambient entropy), and failures shrink to a minimal
+//! counterexample before the panic message is printed.
 
 use dd_nn::{
-    layers::Layer, Activation, ActivationLayer, Init, Loss, LrSchedule, ModelSpec, OptimizerConfig,
+    Activation, ActivationLayer, Init, Layer, Loss, LrSchedule, ModelSpec, OptimizerConfig,
     Sequential,
 };
 use dd_tensor::{Matrix, Precision, Rng64};
-use proptest::prelude::*;
+use dd_testkit::{check, usize_in, Config, Tolerance};
 
-fn matrix(
-    rows: std::ops::RangeInclusive<usize>,
-    cols: std::ops::RangeInclusive<usize>,
-) -> impl Strategy<Value = Matrix> {
-    (rows, cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-5.0f32..5.0, r * c).prop_map(move |d| Matrix::from_vec(r, c, d))
-    })
+/// A matrix case: dims plus the seed its uniform [-5, 5) entries regrow from.
+#[derive(Debug, Clone)]
+struct MatCase {
+    rows: usize,
+    cols: usize,
+    seed: u64,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn losses_are_nonnegative_and_zero_grad_at_optimum(pred in matrix(1..=6, 1..=4)) {
-        // MSE and Huber at target == pred must be exactly zero.
-        for loss in [Loss::Mse, Loss::Huber] {
-            let (l, g) = loss.compute(&pred, &pred);
-            prop_assert_eq!(l, 0.0);
-            prop_assert_eq!(g.max_abs(), 0.0);
+impl MatCase {
+    fn sample(rng: &mut Rng64, rows: (usize, usize), cols: (usize, usize)) -> MatCase {
+        MatCase {
+            rows: usize_in(rng, rows.0, rows.1),
+            cols: usize_in(rng, cols.0, cols.1),
+            seed: rng.next_u64(),
         }
     }
 
-    #[test]
-    fn softmax_ce_bounded_below_by_zero(pred in matrix(1..=6, 2..=5)) {
-        let labels: Vec<usize> = (0..pred.rows()).map(|i| i % pred.cols()).collect();
-        let target = dd_tensor::one_hot(&labels, pred.cols());
-        let (l, g) = Loss::SoftmaxCrossEntropy.compute(&pred, &target);
-        prop_assert!(l >= 0.0);
-        prop_assert!(!g.has_non_finite());
-        // Gradient rows sum to ~0 (softmax minus one-hot).
-        for i in 0..g.rows() {
-            let s: f32 = g.row(i).iter().sum();
-            prop_assert!(s.abs() < 1e-4);
+    fn matrix(&self) -> Matrix {
+        let mut rng = Rng64::new(self.seed);
+        Matrix::from_fn(self.rows, self.cols, |_, _| rng.range(-5.0, 5.0) as f32)
+    }
+
+    fn shrink(&self, row_floor: usize, col_floor: usize) -> Vec<MatCase> {
+        let mut out = Vec::new();
+        for rows in dd_testkit::shrink_usize(self.rows, row_floor) {
+            out.push(MatCase { rows, ..*self });
         }
-    }
-
-    #[test]
-    fn bce_gradient_bounded(pred in matrix(1..=6, 1..=4)) {
-        let target = Matrix::from_fn(pred.rows(), pred.cols(), |i, j| ((i + j) % 2) as f32);
-        let (l, g) = Loss::BinaryCrossEntropy.compute(&pred, &target);
-        prop_assert!(l.is_finite() && l >= 0.0);
-        // Per-element gradient of BCE-with-logits is (sigmoid − t)/count ∈ [−1, 1].
-        prop_assert!(g.max_abs() <= 1.0 + 1e-6);
-    }
-
-    #[test]
-    fn activations_forward_backward_consistent(x in matrix(1..=4, 1..=6)) {
-        for act in Activation::ALL {
-            let mut layer = ActivationLayer::new(act);
-            let y = layer.forward(&x, true, Precision::F32);
-            prop_assert_eq!(y.shape(), x.shape());
-            prop_assert!(!y.has_non_finite());
-            let g = layer.backward(&Matrix::full(x.rows(), x.cols(), 1.0), Precision::F32);
-            prop_assert!(!g.has_non_finite());
+        for cols in dd_testkit::shrink_usize(self.cols, col_floor) {
+            out.push(MatCase { cols, ..*self });
         }
+        out
     }
+}
 
-    #[test]
-    fn relu_output_nonnegative(x in matrix(1..=5, 1..=8)) {
-        let mut layer = ActivationLayer::new(Activation::Relu);
-        let y = layer.forward(&x, false, Precision::F32);
-        prop_assert!(y.as_slice().iter().all(|&v| v >= 0.0));
-    }
-
-    #[test]
-    fn sgd_step_moves_against_gradient(w0 in -3.0f32..3.0, g in -3.0f32..3.0, lr in 0.001f32..0.5) {
-        prop_assume!(g.abs() > 1e-3);
-        let mut w = Matrix::full(1, 1, w0);
-        let grad = Matrix::full(1, 1, g);
-        let mut opt = OptimizerConfig::sgd(lr).build();
-        opt.step_params(&mut [(&mut w, &grad)], 1.0);
-        let moved = w.get(0, 0) - w0;
-        prop_assert!(moved * g < 0.0, "step {moved} should oppose gradient {g}");
-        prop_assert!((moved + lr * g).abs() < 1e-6);
-    }
-
-    #[test]
-    fn adam_steps_are_bounded_by_lr(g in -100.0f32..100.0, lr in 0.001f32..0.1) {
-        prop_assume!(g.abs() > 1e-3);
-        // Adam normalizes by the gradient magnitude: first step ≈ lr.
-        let mut w = Matrix::zeros(1, 1);
-        let grad = Matrix::full(1, 1, g);
-        let mut opt = OptimizerConfig::adam(lr).build();
-        opt.step_params(&mut [(&mut w, &grad)], 1.0);
-        prop_assert!(w.get(0, 0).abs() <= lr * 1.01);
-    }
-
-    #[test]
-    fn schedules_stay_in_unit_range(epoch in 0usize..1000) {
-        for sched in [
-            LrSchedule::Constant,
-            LrSchedule::StepDecay { every: 10, gamma: 0.5 },
-            LrSchedule::Cosine { total: 100, floor: 0.1 },
-            LrSchedule::Warmup { warmup: 8 },
-        ] {
-            let s = sched.scale(epoch);
-            prop_assert!((0.0..=1.0 + 1e-6).contains(&s), "{sched:?} at {epoch}: {s}");
-        }
-    }
-
-    #[test]
-    fn model_flatten_load_roundtrip(seed in any::<u64>(), hidden in 1usize..24) {
-        let spec = ModelSpec::mlp(5, &[hidden], 3, Activation::Tanh);
-        let mut model: Sequential = spec.build(seed, Precision::F32).unwrap();
-        let flat = model.flatten_params();
-        prop_assert_eq!(flat.len(), model.param_count());
-        let mut other = spec.build(seed.wrapping_add(1), Precision::F32).unwrap();
-        other.load_params(&flat);
-        prop_assert_eq!(other.flatten_params(), flat);
-    }
-
-    #[test]
-    fn forward_is_deterministic_in_eval(seed in any::<u64>(), x in matrix(1..=4, 5..=5)) {
-        let spec = ModelSpec::mlp(5, &[8], 2, Activation::Relu)
-            .push(dd_nn::LayerSpec::Dropout { p: 0.5 });
-        let mut model = spec.build(seed, Precision::F32).unwrap();
-        // Eval mode ignores dropout: repeated calls agree exactly.
-        let a = model.predict(&x);
-        let b = model.predict(&x);
-        prop_assert_eq!(a, b);
-    }
-
-    #[test]
-    fn init_shapes_and_finiteness(seed in any::<u64>(), fan_in in 1usize..40, fan_out in 1usize..40) {
-        let mut rng = Rng64::new(seed);
-        for init in [Init::Zeros, Init::Xavier, Init::He, Init::Uniform(0.5), Init::Normal(0.1)] {
-            let m = init.build(fan_in, fan_out, &mut rng);
-            prop_assert_eq!(m.shape(), (fan_in, fan_out));
-            prop_assert!(!m.has_non_finite());
-        }
-    }
-
-    #[test]
-    fn dense_gradcheck_random_shapes(seed in 0u64..1000, in_dim in 2usize..6, out_dim in 2usize..6) {
-        // Randomized finite-difference check of dW through L = 0.5||y||².
-        let mut rng = Rng64::new(seed);
-        let mut layer = dd_nn::Dense::new(in_dim, out_dim, Init::Xavier, &mut rng);
-        let x = Matrix::randn(3, in_dim, 0.0, 1.0, &mut rng);
-        let y = layer.forward(&x, true, Precision::F32);
-        layer.backward(&y.clone(), Precision::F32);
-        let mut analytic = None;
-        layer.visit_params(&mut |p, g| {
-            if p.shape() == (in_dim, out_dim) && analytic.is_none() {
-                analytic = Some(g.get(0, 0));
+#[test]
+fn losses_are_nonnegative_and_zero_grad_at_optimum() {
+    check(
+        &Config::with_seed(0x11).cases(64),
+        |rng, _| MatCase::sample(rng, (1, 6), (1, 4)),
+        |c| c.shrink(1, 1),
+        |c| {
+            let pred = c.matrix();
+            for loss in [Loss::Mse, Loss::Huber] {
+                let (l, g) = loss.compute(&pred, &pred);
+                if l != 0.0 || g.max_abs() != 0.0 {
+                    return Err(format!("{loss:?} at optimum: loss {l}, grad {}", g.max_abs()));
+                }
             }
-        });
-        let analytic = analytic.unwrap() as f64;
-        let eps = 1e-2f32;
-        let mut loss_at = |delta: f32, layer: &mut dd_nn::Dense| {
-            layer.visit_params(&mut |p, _| {
-                if p.shape() == (in_dim, out_dim) {
-                    let v = p.get(0, 0);
-                    p.set(0, 0, v + delta);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn softmax_ce_bounded_below_by_zero() {
+    check(
+        &Config::with_seed(0x12).cases(64),
+        |rng, _| MatCase::sample(rng, (1, 6), (2, 5)),
+        |c| c.shrink(1, 2),
+        |c| {
+            let pred = c.matrix();
+            let labels: Vec<usize> = (0..pred.rows()).map(|i| i % pred.cols()).collect();
+            let target = dd_tensor::one_hot(&labels, pred.cols());
+            let (l, g) = Loss::SoftmaxCrossEntropy.compute(&pred, &target);
+            if l < 0.0 {
+                return Err(format!("negative cross-entropy {l}"));
+            }
+            if g.has_non_finite() {
+                return Err("non-finite gradient".into());
+            }
+            // Gradient rows sum to ~0 (softmax minus one-hot).
+            for i in 0..g.rows() {
+                let s: f32 = g.row(i).iter().sum();
+                if s.abs() >= 1e-4 {
+                    return Err(format!("row {i} gradient sums to {s}"));
                 }
-            });
-            let y = layer.forward(&x, false, Precision::F32);
-            layer.visit_params(&mut |p, _| {
-                if p.shape() == (in_dim, out_dim) {
-                    let v = p.get(0, 0);
-                    p.set(0, 0, v - delta);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bce_gradient_bounded() {
+    check(
+        &Config::with_seed(0x13).cases(64),
+        |rng, _| MatCase::sample(rng, (1, 6), (1, 4)),
+        |c| c.shrink(1, 1),
+        |c| {
+            let pred = c.matrix();
+            let target = Matrix::from_fn(pred.rows(), pred.cols(), |i, j| ((i + j) % 2) as f32);
+            let (l, g) = Loss::BinaryCrossEntropy.compute(&pred, &target);
+            if !l.is_finite() || l < 0.0 {
+                return Err(format!("bad loss {l}"));
+            }
+            // Per-element gradient of BCE-with-logits is (sigmoid − t)/count ∈ [−1, 1].
+            if g.max_abs() > 1.0 + 1e-6 {
+                return Err(format!("gradient magnitude {}", g.max_abs()));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn activations_forward_backward_consistent() {
+    check(
+        &Config::with_seed(0x14).cases(64),
+        |rng, _| MatCase::sample(rng, (1, 4), (1, 6)),
+        |c| c.shrink(1, 1),
+        |c| {
+            let x = c.matrix();
+            for act in Activation::ALL {
+                let mut layer = ActivationLayer::new(act);
+                let y = layer.forward(&x, true, Precision::F32);
+                if y.shape() != x.shape() {
+                    return Err(format!("{act:?}: shape {:?} vs {:?}", y.shape(), x.shape()));
                 }
-            });
-            0.5 * y.norm_sq() as f64
-        };
-        let num = (loss_at(eps, &mut layer) - loss_at(-eps, &mut layer)) / (2.0 * eps as f64);
-        prop_assert!(
-            (num - analytic).abs() < 0.05 * (1.0 + num.abs()),
-            "numeric {num} vs analytic {analytic}"
-        );
-    }
+                if y.has_non_finite() {
+                    return Err(format!("{act:?}: non-finite forward"));
+                }
+                let g = layer.backward(&Matrix::full(x.rows(), x.cols(), 1.0), Precision::F32);
+                if g.has_non_finite() {
+                    return Err(format!("{act:?}: non-finite backward"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn relu_output_nonnegative() {
+    check(
+        &Config::with_seed(0x15).cases(64),
+        |rng, _| MatCase::sample(rng, (1, 5), (1, 8)),
+        |c| c.shrink(1, 1),
+        |c| {
+            let mut layer = ActivationLayer::new(Activation::Relu);
+            let y = layer.forward(&c.matrix(), false, Precision::F32);
+            match y.as_slice().iter().find(|&&v| v < 0.0) {
+                Some(v) => Err(format!("negative relu output {v}")),
+                None => Ok(()),
+            }
+        },
+    );
+}
+
+#[test]
+fn sgd_step_moves_against_gradient() {
+    check(
+        &Config::with_seed(0x16).cases(64),
+        |rng, _| {
+            let w0 = rng.range(-3.0, 3.0) as f32;
+            // Keep the gradient clear of zero: a ~0 gradient moves ~0.
+            let g = (rng.range(0.01, 3.0) * if rng.bernoulli(0.5) { 1.0 } else { -1.0 }) as f32;
+            let lr = rng.range(0.001, 0.5) as f32;
+            (w0, g, lr)
+        },
+        |_| Vec::new(),
+        |&(w0, g, lr)| {
+            let mut w = Matrix::full(1, 1, w0);
+            let grad = Matrix::full(1, 1, g);
+            let mut opt = OptimizerConfig::sgd(lr).build();
+            opt.step_params(&mut [(&mut w, &grad)], 1.0);
+            let moved = w.get(0, 0) - w0;
+            if moved * g >= 0.0 {
+                return Err(format!("step {moved} should oppose gradient {g}"));
+            }
+            if (moved + lr * g).abs() >= 1e-6 {
+                return Err(format!("step {moved} is not -lr*g = {}", -lr * g));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn adam_steps_are_bounded_by_lr() {
+    check(
+        &Config::with_seed(0x17).cases(64),
+        |rng, _| {
+            let g = (rng.range(0.01, 100.0) * if rng.bernoulli(0.5) { 1.0 } else { -1.0 }) as f32;
+            let lr = rng.range(0.001, 0.1) as f32;
+            (g, lr)
+        },
+        |_| Vec::new(),
+        |&(g, lr)| {
+            // Adam normalizes by the gradient magnitude: first step ≈ lr.
+            let mut w = Matrix::zeros(1, 1);
+            let grad = Matrix::full(1, 1, g);
+            let mut opt = OptimizerConfig::adam(lr).build();
+            opt.step_params(&mut [(&mut w, &grad)], 1.0);
+            let step = w.get(0, 0).abs();
+            if step > lr * 1.01 {
+                return Err(format!("first Adam step {step} exceeds lr {lr}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn schedules_stay_in_unit_range() {
+    check(
+        &Config::with_seed(0x18).cases(128),
+        |rng, _| usize_in(rng, 0, 999),
+        |&e| dd_testkit::shrink_usize(e, 0),
+        |&epoch| {
+            for sched in [
+                LrSchedule::Constant,
+                LrSchedule::StepDecay { every: 10, gamma: 0.5 },
+                LrSchedule::Cosine { total: 100, floor: 0.1 },
+                LrSchedule::Warmup { warmup: 8 },
+            ] {
+                let s = sched.scale(epoch);
+                if !(0.0..=1.0 + 1e-6).contains(&s) {
+                    return Err(format!("{sched:?} at {epoch}: {s}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn model_flatten_load_roundtrip() {
+    check(
+        &Config::with_seed(0x19).cases(64),
+        |rng, _| (rng.next_u64(), usize_in(rng, 1, 24)),
+        |&(seed, hidden)| {
+            dd_testkit::shrink_usize(hidden, 1).into_iter().map(|h| (seed, h)).collect()
+        },
+        |&(seed, hidden)| {
+            let spec = ModelSpec::mlp(5, &[hidden], 3, Activation::Tanh);
+            let mut model: Sequential =
+                spec.build(seed, Precision::F32).map_err(|e| e.to_string())?;
+            let flat = model.flatten_params();
+            if flat.len() != model.param_count() {
+                return Err(format!("{} flat vs {} params", flat.len(), model.param_count()));
+            }
+            let mut other =
+                spec.build(seed.wrapping_add(1), Precision::F32).map_err(|e| e.to_string())?;
+            other.load_params(&flat);
+            if other.flatten_params() != flat {
+                return Err("load_params/flatten_params roundtrip differs".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn forward_is_deterministic_in_eval() {
+    check(
+        &Config::with_seed(0x1A).cases(64),
+        |rng, _| (rng.next_u64(), MatCase::sample(rng, (1, 4), (5, 5))),
+        |_| Vec::new(),
+        |(seed, c)| {
+            let spec = ModelSpec::mlp(5, &[8], 2, Activation::Relu)
+                .push(dd_nn::LayerSpec::Dropout { p: 0.5 });
+            let mut model = spec.build(*seed, Precision::F32).map_err(|e| e.to_string())?;
+            // Eval mode ignores dropout: repeated calls agree exactly.
+            let x = c.matrix();
+            let a = model.predict(&x);
+            let b = model.predict(&x);
+            if a != b {
+                return Err("eval-mode forward is not reproducible".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn init_shapes_and_finiteness() {
+    check(
+        &Config::with_seed(0x1B).cases(64),
+        |rng, _| (rng.next_u64(), usize_in(rng, 1, 39), usize_in(rng, 1, 39)),
+        |&(seed, fi, fo)| {
+            let mut out = Vec::new();
+            for v in dd_testkit::shrink_usize(fi, 1) {
+                out.push((seed, v, fo));
+            }
+            for v in dd_testkit::shrink_usize(fo, 1) {
+                out.push((seed, fi, v));
+            }
+            out
+        },
+        |&(seed, fan_in, fan_out)| {
+            let mut rng = Rng64::new(seed);
+            for init in [Init::Zeros, Init::Xavier, Init::He, Init::Uniform(0.5), Init::Normal(0.1)]
+            {
+                let m = init.build(fan_in, fan_out, &mut rng);
+                if m.shape() != (fan_in, fan_out) {
+                    return Err(format!("{init:?}: shape {:?}", m.shape()));
+                }
+                if m.has_non_finite() {
+                    return Err(format!("{init:?}: non-finite init"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn dense_gradcheck_random_shapes() {
+    // The full checker (all parameters + input gradient) over random dense
+    // shapes, replacing the old single-entry finite-difference spot check.
+    check(
+        &Config::with_seed(0x1C).cases(24),
+        |rng, _| (rng.next_u64(), usize_in(rng, 2, 5), usize_in(rng, 2, 5), usize_in(rng, 1, 4)),
+        |&(seed, i, o, b)| {
+            let mut out = Vec::new();
+            for v in dd_testkit::shrink_usize(i, 2) {
+                out.push((seed, v, o, b));
+            }
+            for v in dd_testkit::shrink_usize(o, 2) {
+                out.push((seed, i, v, b));
+            }
+            for v in dd_testkit::shrink_usize(b, 1) {
+                out.push((seed, i, o, v));
+            }
+            out
+        },
+        |&(seed, in_dim, out_dim, batch)| {
+            let mut rng = Rng64::new(seed);
+            let mut layer = dd_nn::Dense::new(in_dim, out_dim, Init::Xavier, &mut rng);
+            let x = Matrix::randn(batch, in_dim, 0.0, 1.0, &mut rng);
+            let tol = Tolerance::for_precision(Precision::F32);
+            dd_testkit::check_layer(&mut layer, &x, true, Precision::F32, &tol, seed ^ 0xA5)
+                .map(|_| ())
+                .map_err(|f| f.to_string())
+        },
+    );
 }

@@ -7,7 +7,7 @@
 //! `dd_hpcsim::Strategy::Model`, which is where fabric bandwidth bites).
 
 use dd_hpcsim::{Machine, SimPrecision, StepBreakdown, Strategy, TrainJob};
-use dd_nn::{ModelSpec, Sequential};
+use dd_nn::{ModelSpec, Sequential, SpecError};
 use dd_tensor::{Matrix, Precision};
 use serde::{Deserialize, Serialize};
 
@@ -31,13 +31,14 @@ impl Partition {
 }
 
 /// Greedily split `spec` into `parts` contiguous stages with roughly equal
-/// parameter counts. Panics when `parts` exceeds the number of layers.
-pub fn partition_by_params(spec: &ModelSpec, parts: usize) -> Partition {
+/// parameter counts. Panics when `parts` exceeds the number of layers;
+/// returns the spec's own error when it does not build.
+pub fn partition_by_params(spec: &ModelSpec, parts: usize) -> Result<Partition, SpecError> {
     let total_layers = spec.layers.len();
     assert!(parts >= 1, "need at least one part");
     assert!(parts <= total_layers, "cannot split {total_layers} layers into {parts} stages");
     // Parameter count per layer via a throwaway build (cheap: init only).
-    let model = spec.build(0, Precision::F32).expect("invalid spec");
+    let model = spec.build(0, Precision::F32)?;
     let per_layer: Vec<usize> = model.layers().iter().map(|l| l.param_count()).collect();
     let total: usize = per_layer.iter().sum();
     let target = total as f64 / parts as f64;
@@ -62,14 +63,15 @@ pub fn partition_by_params(spec: &ModelSpec, parts: usize) -> Partition {
     bounds.dedup();
     while bounds.len() - 1 < parts {
         // Split the widest stage (by layer count) to reach the stage target.
-        let (widest, _) = (0..bounds.len() - 1)
-            .map(|s| (s, bounds[s + 1] - bounds[s]))
-            .max_by_key(|&(_, w)| w)
-            .expect("at least one stage");
+        let Some((widest, _)) =
+            (0..bounds.len() - 1).map(|s| (s, bounds[s + 1] - bounds[s])).max_by_key(|&(_, w)| w)
+        else {
+            unreachable!("bounds always spans at least one stage")
+        };
         let mid = (bounds[widest] + bounds[widest + 1]) / 2;
         bounds.insert(widest + 1, mid);
     }
-    Partition { bounds }
+    Ok(Partition { bounds })
 }
 
 /// The stages of a partitioned model, each an independent `Sequential`.
@@ -87,10 +89,10 @@ pub fn build_stages(
     partition: &Partition,
     seed: u64,
     precision: Precision,
-) -> StagedModel {
+) -> Result<StagedModel, SpecError> {
     // Build the full model once, then move layers out per stage. Rebuilding
     // per-stage would change RNG streams; moving preserves them.
-    let model = spec.build(seed, precision).expect("invalid spec");
+    let model = spec.build(seed, precision)?;
     let input_dim = model.input_dim();
     let mut layers: Vec<_> = model.into_layers();
 
@@ -114,7 +116,7 @@ pub fn build_stages(
         boundary_widths.push(out_dim);
         dim = out_dim;
     }
-    StagedModel { stages: built, boundary_widths }
+    Ok(StagedModel { stages: built, boundary_widths })
 }
 
 impl StagedModel {
@@ -165,8 +167,8 @@ pub fn cost_on_machine(
     machine: &Machine,
     global_batch: usize,
     precision: SimPrecision,
-) -> StepBreakdown {
-    let staged = build_stages(spec, partition, 0, Precision::F32);
+) -> Result<StepBreakdown, SpecError> {
+    let staged = build_stages(spec, partition, 0, Precision::F32)?;
     let params = staged.param_count() as f64;
     let max_boundary = (0..staged.num_stages().saturating_sub(1))
         .map(|i| staged.boundary_width(i))
@@ -180,7 +182,12 @@ pub fn cost_on_machine(
         activation_bytes_per_cut: max_boundary as f64 * 4.0,
         cuttable_layers: spec.layers.len().saturating_sub(1),
     };
-    dd_hpcsim::step_time(machine, &job, Strategy::Model { parts: partition.stages() }, precision)
+    Ok(dd_hpcsim::step_time(
+        machine,
+        &job,
+        Strategy::Model { parts: partition.stages() },
+        precision,
+    ))
 }
 
 #[cfg(test)]
@@ -197,7 +204,7 @@ mod tests {
     fn partition_covers_all_layers() {
         let s = spec();
         for parts in 1..=4 {
-            let p = partition_by_params(&s, parts);
+            let p = partition_by_params(&s, parts).expect("spec builds");
             assert_eq!(p.stages(), parts, "parts {parts}: {:?}", p.bounds);
             assert_eq!(p.bounds[0], 0);
             assert_eq!(*p.bounds.last().unwrap(), s.layers.len());
@@ -210,8 +217,8 @@ mod tests {
     #[test]
     fn partition_roughly_balances_params() {
         let s = spec();
-        let p = partition_by_params(&s, 3);
-        let staged = build_stages(&s, &p, 0, Precision::F32);
+        let p = partition_by_params(&s, 3).expect("spec builds");
+        let staged = build_stages(&s, &p, 0, Precision::F32).expect("spec builds");
         let counts = staged.stage_param_counts();
         let max = *counts.iter().max().unwrap() as f64;
         let total: usize = counts.iter().sum();
@@ -223,8 +230,8 @@ mod tests {
     fn staged_forward_matches_unpartitioned() {
         let s = spec();
         let mut whole = s.build(42, Precision::F32).unwrap();
-        let p = partition_by_params(&s, 3);
-        let mut staged = build_stages(&s, &p, 42, Precision::F32);
+        let p = partition_by_params(&s, 3).expect("spec builds");
+        let mut staged = build_stages(&s, &p, 42, Precision::F32).expect("spec builds");
         let mut rng = Rng64::new(1);
         let x = Matrix::randn(6, 10, 0.0, 1.0, &mut rng);
         let y_whole = whole.predict(&x);
@@ -237,8 +244,8 @@ mod tests {
     fn staged_backward_matches_unpartitioned() {
         let s = spec();
         let mut whole = s.build(7, Precision::F32).unwrap();
-        let p = partition_by_params(&s, 2);
-        let mut staged = build_stages(&s, &p, 7, Precision::F32);
+        let p = partition_by_params(&s, 2).expect("spec builds");
+        let mut staged = build_stages(&s, &p, 7, Precision::F32).expect("spec builds");
         let mut rng = Rng64::new(2);
         let x = Matrix::randn(5, 10, 0.0, 1.0, &mut rng);
         let yw = whole.forward(&x, true);
@@ -253,7 +260,7 @@ mod tests {
     fn boundary_widths_recorded() {
         let s = spec();
         let p = Partition { bounds: vec![0, 2, 4, s.layers.len()] };
-        let staged = build_stages(&s, &p, 0, Precision::F32);
+        let staged = build_stages(&s, &p, 0, Precision::F32).expect("spec builds");
         // After layer 1 (dense 64 + relu) width is 64; after layer 3 it's 32.
         assert_eq!(staged.boundary_width(0), 64);
         assert_eq!(staged.boundary_width(1), 32);
@@ -264,8 +271,10 @@ mod tests {
     fn machine_cost_decreases_compute_with_parts() {
         let s = spec();
         let m = Machine::gpu_2017(16);
-        let one = cost_on_machine(&s, &partition_by_params(&s, 1), &m, 256, SimPrecision::F32);
-        let four = cost_on_machine(&s, &partition_by_params(&s, 4), &m, 256, SimPrecision::F32);
+        let p1 = partition_by_params(&s, 1).expect("spec builds");
+        let p4 = partition_by_params(&s, 4).expect("spec builds");
+        let one = cost_on_machine(&s, &p1, &m, 256, SimPrecision::F32).expect("spec builds");
+        let four = cost_on_machine(&s, &p4, &m, 256, SimPrecision::F32).expect("spec builds");
         assert!(four.compute < one.compute);
         assert!(four.comm > one.comm, "cuts must cost communication");
     }

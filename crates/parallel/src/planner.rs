@@ -59,13 +59,22 @@ pub fn enumerate_plans(
 }
 
 /// The fastest plan for `nodes`.
+///
+/// Panics when no split of `nodes` is feasible — an allocation larger than
+/// both the global batch (no data shard per node) and the model depth (no
+/// stage per node) cannot be planned.
 pub fn best_plan(machine: &Machine, job: &TrainJob, nodes: usize, precision: SimPrecision) -> Plan {
-    enumerate_plans(machine, job, nodes, precision)
-        .into_iter()
-        .min_by(|a, b| {
-            a.breakdown.step.partial_cmp(&b.breakdown.step).unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .expect("at least the single-node plan exists")
+    let plans = enumerate_plans(machine, job, nodes, precision);
+    assert!(
+        !plans.is_empty(),
+        "no feasible plan: {nodes} nodes exceed both the global batch ({}) and the model depth",
+        job.global_batch
+    );
+    let Some(plan) = plans.into_iter().min_by(|a, b| a.breakdown.step.total_cmp(&b.breakdown.step))
+    else {
+        unreachable!("non-empty plan list has a minimum")
+    };
+    plan
 }
 
 /// Plan a hyperparameter-search campaign: split `total_nodes` into
@@ -115,16 +124,18 @@ pub fn best_campaign(
     steps_per_trial: usize,
     precision: SimPrecision,
 ) -> CampaignPlan {
-    let mut best: Option<CampaignPlan> = None;
-    let mut trials = 1;
+    // Seed with the single-island campaign so there is always a winner,
+    // then sweep doubling island counts against it.
+    let mut best = plan_campaign(machine, job, 1, steps_per_trial, precision);
+    let mut trials = 2;
     while trials <= machine.nodes {
         let plan = plan_campaign(machine, job, trials, steps_per_trial, precision);
-        if best.map(|b| plan.trials_per_hour > b.trials_per_hour).unwrap_or(true) {
-            best = Some(plan);
+        if plan.trials_per_hour > best.trials_per_hour {
+            best = plan;
         }
         trials *= 2;
     }
-    best.expect("at least one campaign evaluated")
+    best
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ pub mod rng;
 
 pub use matmul::{
     dot, matmul, matmul_nt, matmul_nt_prec, matmul_prec, matmul_tn, matmul_tn_prec, matvec,
+    PAR_MIN_OUT,
 };
 pub use matrix::Matrix;
 pub use ops::{one_hot, pearson, r2_score, sigmoid, softmax_rows, Standardizer};

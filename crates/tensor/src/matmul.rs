@@ -18,8 +18,9 @@ use crate::matrix::Matrix;
 use crate::precision::{self, Precision};
 use rayon::prelude::*;
 
-/// Output elements below which kernels run sequentially.
-const PAR_MIN_OUT: usize = 8 * 1024;
+/// Output elements below which kernels run sequentially. Public so the
+/// testkit can generate shapes just below/above the parallel threshold.
+pub const PAR_MIN_OUT: usize = 8 * 1024;
 
 /// Static counter names per precision (avoids formatting in the hot path).
 fn flops_counter(p: Precision) -> &'static str {
@@ -82,6 +83,11 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn matmul_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
     note_matmul(a.rows(), a.cols(), b.cols(), p);
+    // Degenerate extents: the kernels below chunk by `n` and `k`, which
+    // panics on zero chunk sizes, and an empty contraction is exactly zero.
+    if a.rows() == 0 || a.cols() == 0 || b.cols() == 0 {
+        return Matrix::zeros(a.rows(), b.cols());
+    }
     match p {
         Precision::F32 => mm_f32(a, b),
         Precision::F64 => mm_f64(a, b),
@@ -97,6 +103,9 @@ pub fn matmul_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
 pub fn matmul_nt_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch: {:?} x {:?}ᵀ", a.shape(), b.shape());
     note_matmul(a.rows(), a.cols(), b.rows(), p);
+    if a.rows() == 0 || a.cols() == 0 || b.rows() == 0 {
+        return Matrix::zeros(a.rows(), b.rows());
+    }
     match p {
         Precision::F32 => mm_nt_f32(a, b),
         Precision::F64 => mm_nt_f64(a, b),
@@ -127,6 +136,11 @@ pub fn matmul_tn_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
 pub fn matvec(a: &Matrix, x: &[f32]) -> Vec<f32> {
     assert_eq!(a.cols(), x.len(), "matvec shape mismatch");
     note_matmul(a.rows(), a.cols(), 1, Precision::F32);
+    if a.cols() == 0 {
+        // `iter_rows` cannot represent zero-width rows; the product of an
+        // `m×0` matrix with an empty vector is m zeros, not an empty vector.
+        return vec![0.0; a.rows()];
+    }
     a.iter_rows().map(|row| dot(row, x)).collect()
 }
 

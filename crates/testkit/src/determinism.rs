@@ -1,0 +1,94 @@
+//! Bitwise-determinism harness: run a closure under rayon thread pools of
+//! different widths and require identical results.
+//!
+//! `RAYON_NUM_THREADS` is read once when rayon's *global* pool spins up, so
+//! an in-process harness cannot vary it after the fact; instead each run
+//! installs a local [`rayon::ThreadPool`] of the requested width, which
+//! every `par_iter`/`par_chunks` inside the closure then uses. CI
+//! additionally runs the whole suite under `RAYON_NUM_THREADS ∈ {1, 4}`
+//! (scripts/check.sh) so the global-pool path is exercised too.
+
+/// Thread counts exercised by default, per the determinism contract.
+pub const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Why a determinism check failed.
+#[derive(Debug)]
+pub enum DeterminismError {
+    /// A rayon pool of the requested width could not be built.
+    Pool(String),
+    /// Two pool widths produced different results.
+    Diverged {
+        /// Baseline pool width (first entry of the thread list).
+        baseline_threads: usize,
+        /// Pool width that disagreed with the baseline.
+        diverged_threads: usize,
+        /// Debug rendering of the two results.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DeterminismError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeterminismError::Pool(e) => write!(f, "failed to build rayon pool: {e}"),
+            DeterminismError::Diverged { baseline_threads, diverged_threads, detail } => write!(
+                f,
+                "results diverge between {baseline_threads}-thread and \
+                 {diverged_threads}-thread pools: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeterminismError {}
+
+/// Run `f` inside a dedicated rayon pool of `threads` workers.
+pub fn on_pool<T, F>(threads: usize, f: F) -> Result<T, DeterminismError>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| DeterminismError::Pool(e.to_string()))?;
+    Ok(pool.install(f))
+}
+
+/// Run `f` once per pool width and require every result to equal the first
+/// (the comparison is `PartialEq`; pair with [`f32_bits`]/[`f64_bits`] for
+/// strictly bitwise float comparison).
+pub fn check_thread_invariance<T, F>(threads: &[usize], mut f: F) -> Result<(), DeterminismError>
+where
+    T: PartialEq + std::fmt::Debug + Send,
+    F: FnMut() -> T + Send,
+{
+    let mut baseline: Option<(usize, T)> = None;
+    for &t in threads {
+        let result = on_pool(t, &mut f)?;
+        match &baseline {
+            None => baseline = Some((t, result)),
+            Some((t0, expected)) => {
+                if result != *expected {
+                    return Err(DeterminismError::Diverged {
+                        baseline_threads: *t0,
+                        diverged_threads: t,
+                        detail: format!("{expected:?} (x{t0}) vs {result:?} (x{t})"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Exact bit patterns of an f32 slice, for bitwise (not `==`) comparison:
+/// `==` would conflate `-0.0` with `0.0` and reject equal NaNs.
+pub fn f32_bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Exact bit patterns of an f64 slice.
+pub fn f64_bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}

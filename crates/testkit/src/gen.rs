@@ -1,0 +1,162 @@
+//! Seeded generators and shrinkers for shapes, matrices, and model specs.
+//!
+//! Every generated case is a small *descriptor* (dimensions plus a data
+//! seed) rather than raw data: shrinking perturbs the descriptor and the
+//! data regenerates deterministically from its seed, so a shrunk
+//! counterexample is reproducible from the printed `Debug` form alone.
+
+use dd_nn::{Activation, ModelSpec};
+use dd_tensor::{Matrix, Rng64};
+
+/// Draw a usize uniformly from `lo..=hi`.
+pub fn usize_in(rng: &mut Rng64, lo: usize, hi: usize) -> usize {
+    debug_assert!(lo <= hi, "usize_in: empty range");
+    lo + rng.below(hi - lo + 1)
+}
+
+/// Shrink candidates for a usize toward `lo`: the floor itself, the
+/// midpoint, and the predecessor — all strictly smaller than `v`.
+pub fn shrink_usize(v: usize, lo: usize) -> Vec<usize> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mid = lo + (v - lo) / 2;
+    if mid != lo && mid != v {
+        out.push(mid);
+    }
+    if v - 1 != lo {
+        out.push(v - 1);
+    }
+    out
+}
+
+/// A standard-normal matrix drawn from `rng`.
+pub fn matrix(rng: &mut Rng64, rows: usize, cols: usize) -> Matrix {
+    Matrix::randn(rows, cols, 0.0, 1.0, rng)
+}
+
+/// A standard-normal matrix with every entry pushed at least `margin` away
+/// from zero (sign-preserving shift). Used to keep finite-difference probes
+/// clear of the kinks in ReLU/LeakyReLU/max-pool, where the numerical
+/// gradient is undefined.
+pub fn matrix_away_from_zero(rng: &mut Rng64, rows: usize, cols: usize, margin: f32) -> Matrix {
+    let mut m = matrix(rng, rows, cols);
+    m.map_inplace(|v| if v >= 0.0 { v + margin } else { v - margin });
+    m
+}
+
+/// A matmul case descriptor: `C[m×n] = A[m×k] · B[k×n]` with operand data
+/// derived from `data_seed`. Orientation-specific operand layouts are built
+/// by the oracle from the same logical `A`/`B`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatDims {
+    /// Output rows.
+    pub m: usize,
+    /// Inner (contraction) dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Seed the operand data regenerates from.
+    pub data_seed: u64,
+}
+
+impl MatDims {
+    /// Sample dimensions uniformly from `lo..=hi` with a fresh data seed.
+    pub fn sample(rng: &mut Rng64, lo: usize, hi: usize) -> MatDims {
+        MatDims {
+            m: usize_in(rng, lo, hi),
+            k: usize_in(rng, lo, hi),
+            n: usize_in(rng, lo, hi),
+            data_seed: rng.next_u64(),
+        }
+    }
+
+    /// The logical operands `A[m×k]`, `B[k×n]`, regenerated from the seed.
+    /// `scale` bounds the operand magnitude (keep it modest so f16 cases
+    /// stay far from the 65504 overflow ceiling).
+    pub fn operands(&self, scale: f32) -> (Matrix, Matrix) {
+        let rng = Rng64::new(self.data_seed);
+        let mut a = matrix(&mut rng.split(1), self.m, self.k);
+        let mut b = matrix(&mut rng.split(2), self.k, self.n);
+        a.scale(scale);
+        b.scale(scale);
+        (a, b)
+    }
+
+    /// Shrink one dimension at a time toward `floor`, keeping the data seed
+    /// so the surviving entries stay recognizable across shrink steps.
+    pub fn shrink(&self, floor: usize) -> Vec<MatDims> {
+        let mut out = Vec::new();
+        for m in shrink_usize(self.m, floor) {
+            out.push(MatDims { m, ..self.clone() });
+        }
+        for k in shrink_usize(self.k, floor) {
+            out.push(MatDims { k, ..self.clone() });
+        }
+        for n in shrink_usize(self.n, floor) {
+            out.push(MatDims { n, ..self.clone() });
+        }
+        out
+    }
+}
+
+/// A random-MLP case descriptor: spec dimensions plus build/data seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpCase {
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Hidden layer widths (possibly empty: a linear model).
+    pub hidden: Vec<usize>,
+    /// Output width.
+    pub out_dim: usize,
+    /// Hidden activation.
+    pub act: Activation,
+    /// Seed used for parameter init and probe data.
+    pub seed: u64,
+}
+
+impl MlpCase {
+    /// Sample a small MLP: 0–2 hidden layers, dims in `1..=max_dim`.
+    pub fn sample(rng: &mut Rng64, max_dim: usize) -> MlpCase {
+        let depth = rng.below(3);
+        let hidden = (0..depth).map(|_| usize_in(rng, 1, max_dim)).collect();
+        let acts = [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Gelu];
+        MlpCase {
+            in_dim: usize_in(rng, 1, max_dim),
+            hidden,
+            out_dim: usize_in(rng, 1, max_dim),
+            act: acts[rng.below(acts.len())],
+            seed: rng.next_u64(),
+        }
+    }
+
+    /// The `ModelSpec` this case describes.
+    pub fn spec(&self) -> ModelSpec {
+        ModelSpec::mlp(self.in_dim, &self.hidden, self.out_dim, self.act)
+    }
+
+    /// Shrink: drop a hidden layer, then shrink each dimension toward 1.
+    pub fn shrink(&self) -> Vec<MlpCase> {
+        let mut out = Vec::new();
+        for drop in 0..self.hidden.len() {
+            let mut hidden = self.hidden.clone();
+            hidden.remove(drop);
+            out.push(MlpCase { hidden, ..self.clone() });
+        }
+        for v in shrink_usize(self.in_dim, 1) {
+            out.push(MlpCase { in_dim: v, ..self.clone() });
+        }
+        for v in shrink_usize(self.out_dim, 1) {
+            out.push(MlpCase { out_dim: v, ..self.clone() });
+        }
+        for (i, &w) in self.hidden.iter().enumerate() {
+            for v in shrink_usize(w, 1) {
+                let mut hidden = self.hidden.clone();
+                hidden[i] = v;
+                out.push(MlpCase { hidden, ..self.clone() });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,228 @@
+//! Central finite-difference gradient checker for layers and losses.
+//!
+//! The scalar probe loss is `L = ⟨G, forward(x)⟩` with a fixed random
+//! projection `G` drawn from a seeded RNG: its analytic gradient w.r.t. the
+//! layer output is exactly `G`, so one `backward(&G)` call yields analytic
+//! gradients for every parameter and for the input, while `L` itself is
+//! cheap to re-evaluate under centered parameter perturbations.
+//!
+//! Tolerances are a per-precision policy ([`Tolerance::for_precision`]):
+//! the f32 path is held to a 1e-3 relative error with a 1e-2 step (the
+//! sweet spot between truncation error ~eps² and f32 roundoff ~2⁻²⁴/eps);
+//! the 16-bit paths only make sense with steps above their own resolution
+//! and correspondingly loose bounds; int8 forward passes are quantization
+//! staircases and are documented as not finite-difference checkable.
+
+use dd_nn::{Layer, Loss};
+use dd_tensor::{Matrix, Precision, Rng64};
+
+/// Finite-difference step and acceptance bound for one precision path.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Centered-difference step size.
+    pub eps: f32,
+    /// Maximum accepted relative error.
+    pub max_rel: f64,
+    /// Denominator floor in the relative error (absolute regime below it).
+    pub floor: f64,
+}
+
+impl Tolerance {
+    /// The per-dtype tolerance policy (see DESIGN.md, "Testing strategy").
+    pub fn for_precision(p: Precision) -> Tolerance {
+        match p {
+            // The f64 path still stores outputs in f32, so it checks at the
+            // same tolerance as the native f32 path.
+            Precision::F64 | Precision::F32 => Tolerance { eps: 1e-2, max_rel: 1e-3, floor: 1.0 },
+            // Step must clear the bf16 resolution (2⁻⁸ relative).
+            Precision::Bf16 => Tolerance { eps: 0.25, max_rel: 0.25, floor: 1.0 },
+            // f16 resolves 2⁻¹¹ relative; a 0.05 step stays above it.
+            Precision::F16 => Tolerance { eps: 0.05, max_rel: 0.1, floor: 1.0 },
+            // Quantization staircase: indicative only, not a real check.
+            Precision::Int8 => Tolerance { eps: 0.5, max_rel: 1.0, floor: 1.0 },
+        }
+    }
+}
+
+/// Successful check summary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GradReport {
+    /// Largest relative error seen across all checked coordinates.
+    pub max_rel_err: f64,
+    /// Number of coordinates checked (parameters + inputs).
+    pub checked: usize,
+}
+
+/// A coordinate whose numerical and analytic gradients disagree.
+#[derive(Debug, Clone)]
+pub struct GradFailure {
+    /// Which coordinate: `param[i]` or `input[r,c]`.
+    pub site: String,
+    /// Centered-difference estimate.
+    pub numeric: f64,
+    /// Backward-pass value.
+    pub analytic: f64,
+    /// Relative error under the policy's floor.
+    pub rel_err: f64,
+}
+
+impl std::fmt::Display for GradFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gradient mismatch at {}: numeric {:.6e} vs analytic {:.6e} (rel err {:.3e})",
+            self.site, self.numeric, self.analytic, self.rel_err
+        )
+    }
+}
+
+/// Flatten a single layer's parameters via `visit_params` (row-major, in
+/// visit order). The trainer-side helpers operate on whole models; these
+/// operate on one layer so the checker can perturb it in isolation.
+pub fn layer_params(layer: &mut dyn Layer) -> Vec<f32> {
+    let mut flat = Vec::new();
+    layer.visit_params(&mut |p, _| flat.extend_from_slice(p.as_slice()));
+    flat
+}
+
+/// Flatten a single layer's gradient buffers in the same order.
+pub fn layer_grads(layer: &mut dyn Layer) -> Vec<f32> {
+    let mut flat = Vec::new();
+    layer.visit_params(&mut |_, g| flat.extend_from_slice(g.as_slice()));
+    flat
+}
+
+/// Write a flat vector back into a layer's parameters (inverse of
+/// [`layer_params`]).
+pub fn set_layer_params(layer: &mut dyn Layer, flat: &[f32]) {
+    let mut offset = 0;
+    layer.visit_params(&mut |p, _| {
+        let n = p.len();
+        debug_assert!(offset + n <= flat.len(), "set_layer_params: flat vector too short");
+        p.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+        offset += n;
+    });
+    debug_assert_eq!(offset, flat.len(), "set_layer_params: flat vector too long");
+}
+
+fn rel_err(numeric: f64, analytic: f64, floor: f64) -> f64 {
+    (numeric - analytic).abs() / numeric.abs().max(analytic.abs()).max(floor)
+}
+
+/// Check one layer's backward pass against centered finite differences, for
+/// both parameter gradients and the input gradient.
+///
+/// `train` selects the forward mode; pass `false` for stochastic layers
+/// (dropout), whose train-mode forward is not a deterministic function of
+/// the input. BatchNorm *is* checkable in train mode: its train forward
+/// reads only batch statistics (running stats are written, never read).
+pub fn check_layer(
+    layer: &mut dyn Layer,
+    x: &Matrix,
+    train: bool,
+    prec: Precision,
+    tol: &Tolerance,
+    probe_seed: u64,
+) -> Result<GradReport, Box<GradFailure>> {
+    // Probe forward to learn the output shape, then fix the projection G.
+    let y0 = layer.forward(x, train, prec);
+    let mut probe_rng = Rng64::new(probe_seed);
+    let g = Matrix::randn(y0.rows(), y0.cols(), 0.0, 1.0, &mut probe_rng);
+
+    // One backward gives every analytic gradient at once.
+    let dx = layer.backward(&g, prec);
+    let analytic_params = layer_grads(layer);
+    let params0 = layer_params(layer);
+
+    let loss = |layer: &mut dyn Layer, x: &Matrix| -> f64 {
+        let y = layer.forward(x, train, prec);
+        y.as_slice().iter().zip(g.as_slice()).map(|(&yv, &gv)| yv as f64 * gv as f64).sum()
+    };
+
+    let eps = tol.eps;
+    let mut report = GradReport::default();
+    let mut record = |site: String, numeric: f64, analytic: f64| -> Result<(), Box<GradFailure>> {
+        let rel = rel_err(numeric, analytic, tol.floor);
+        report.max_rel_err = report.max_rel_err.max(rel);
+        report.checked += 1;
+        if rel > tol.max_rel {
+            return Err(Box::new(GradFailure { site, numeric, analytic, rel_err: rel }));
+        }
+        Ok(())
+    };
+
+    // Parameter gradients.
+    let mut perturbed = params0.clone();
+    for i in 0..params0.len() {
+        // Use the *achieved* step (plus minus minus, in f32) as the
+        // denominator: eps is not exactly representable around every value.
+        let (pv, mv) = (params0[i] + eps, params0[i] - eps);
+        perturbed[i] = pv;
+        set_layer_params(layer, &perturbed);
+        let lp = loss(layer, x);
+        perturbed[i] = mv;
+        set_layer_params(layer, &perturbed);
+        let lm = loss(layer, x);
+        perturbed[i] = params0[i];
+        let numeric = (lp - lm) / (pv - mv) as f64;
+        record(format!("param[{i}]"), numeric, analytic_params[i] as f64)?;
+    }
+    set_layer_params(layer, &params0);
+
+    // Input gradient.
+    let mut xp = x.clone();
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            let x0 = x.get(r, c);
+            let (pv, mv) = (x0 + eps, x0 - eps);
+            xp.set(r, c, pv);
+            let lp = loss(layer, &xp);
+            xp.set(r, c, mv);
+            let lm = loss(layer, &xp);
+            xp.set(r, c, x0);
+            let numeric = (lp - lm) / (pv - mv) as f64;
+            record(format!("input[{r},{c}]"), numeric, dx.get(r, c) as f64)?;
+        }
+    }
+    Ok(report)
+}
+
+/// Check a loss function's gradient w.r.t. predictions against centered
+/// finite differences. The loss value is already a scalar, so no projection
+/// is needed.
+pub fn check_loss(
+    loss: Loss,
+    pred: &Matrix,
+    target: &Matrix,
+    tol: &Tolerance,
+) -> Result<GradReport, Box<GradFailure>> {
+    let (_, analytic) = loss.compute(pred, target);
+    let eps = tol.eps;
+    let mut report = GradReport::default();
+    let mut pp = pred.clone();
+    for r in 0..pred.rows() {
+        for c in 0..pred.cols() {
+            let p0 = pred.get(r, c);
+            let (pv, mv) = (p0 + eps, p0 - eps);
+            pp.set(r, c, pv);
+            let (lp, _) = loss.compute(&pp, target);
+            pp.set(r, c, mv);
+            let (lm, _) = loss.compute(&pp, target);
+            pp.set(r, c, p0);
+            let numeric = (lp - lm) / (pv - mv) as f64;
+            let ana = analytic.get(r, c) as f64;
+            let rel = rel_err(numeric, ana, tol.floor);
+            report.max_rel_err = report.max_rel_err.max(rel);
+            report.checked += 1;
+            if rel > tol.max_rel {
+                return Err(Box::new(GradFailure {
+                    site: format!("pred[{r},{c}]"),
+                    numeric,
+                    analytic: ana,
+                    rel_err: rel,
+                }));
+            }
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,67 @@
+//! # dd-testkit — deterministic testing substrate for the deepdriver stack
+//!
+//! The paper's workloads treat silent numerical divergence as a first-class
+//! failure mode: exascale training runs and multi-tenant serving platforms
+//! both depend on every layer of the stack computing the same numbers,
+//! every time, on every thread count. This crate is the machine-checked
+//! version of that trust, consumed as a dev-dependency by the rest of the
+//! workspace:
+//!
+//! * [`runner`] — a property-based harness on the workspace's own
+//!   [`dd_tensor::Rng64`] (no ambient entropy, no new dependencies): seeded
+//!   generators, greedy shrinking to a locally minimal counterexample,
+//!   failures reproducible from `(seed, case index)` alone.
+//! * [`gen`] — shape/matrix/model-spec generators whose cases are small
+//!   descriptors (dims + data seed), so shrunk counterexamples are
+//!   reproducible from their printed form.
+//! * [`gradcheck`] — a central finite-difference gradient checker for any
+//!   [`dd_nn::Layer`] and loss, with a per-precision tolerance policy.
+//! * [`oracle`] — a differential oracle replaying every matmul orientation
+//!   and precision path against a naive f64 reference under
+//!   precision-derived error bounds.
+//! * [`determinism`] — runs a closure under rayon pools of different widths
+//!   and requires bitwise-identical results.
+//!
+//! ## Example
+//!
+//! ```
+//! use dd_testkit::{check, Config, MatDims};
+//! use dd_tensor::matmul;
+//!
+//! // Shape algebra holds for every generated case; failures shrink to a
+//! // minimal (m, k, n) before the panic message is printed.
+//! check(
+//!     &Config::with_seed(42).cases(32),
+//!     |rng, _| MatDims::sample(rng, 1, 8),
+//!     |case| case.shrink(1),
+//!     |case| {
+//!         let (a, b) = case.operands(1.0);
+//!         let c = matmul(&a, &b);
+//!         if c.shape() == (case.m, case.n) {
+//!             Ok(())
+//!         } else {
+//!             Err(format!("got {:?}", c.shape()))
+//!         }
+//!     },
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod determinism;
+pub mod gen;
+pub mod gradcheck;
+pub mod oracle;
+pub mod runner;
+
+pub use determinism::{
+    check_thread_invariance, f32_bits, f64_bits, on_pool, DeterminismError, THREAD_COUNTS,
+};
+pub use gen::{matrix, matrix_away_from_zero, shrink_usize, usize_in, MatDims, MlpCase};
+pub use gradcheck::{
+    check_layer, check_loss, layer_grads, layer_params, set_layer_params, GradFailure, GradReport,
+    Tolerance,
+};
+pub use oracle::{check_matmul, OracleFailure, Orientation};
+pub use runner::{check, falsify, Config, Counterexample};

@@ -1,0 +1,192 @@
+//! Differential oracle: every matmul orientation and precision path is
+//! replayed against a naive f64 triple-loop reference with an error bound
+//! *derived from the precision format*, not hand-tuned per test.
+//!
+//! For a product element `c_ij = Σ_k a_ik · b_kj` the bound combines
+//! three terms, each scaled by `abs_ij = Σ_k |a_ik||b_kj|`:
+//!
+//! * **operand rounding** — bf16/f16 round both operands to `u` relative
+//!   error before multiplying: `(2u + u²)·abs` with `u = 2⁻⁸` (bf16,
+//!   8-bit significand) or `2⁻¹¹` (f16, 11-bit significand);
+//! * **f32 accumulation** — the emulated paths accumulate in f32:
+//!   `(k+1)·2⁻²⁴·abs` (standard γₖ-style recursive-summation bound);
+//! * **output storage** — every path stores results in f32:
+//!   `2⁻²⁴·|c_ref|`.
+//!
+//! The int8 path is different in kind: symmetric per-row/per-column
+//! quantization with scales `s = max|·|/127` gives a per-product error of
+//! `|a|·s_b/2 + |b|·s_a/2 + s_a·s_b/4`, summed over `k` (i32 accumulation
+//! is exact). All bounds carry a 2× safety factor plus a small absolute
+//! tiebreaker so zero-sized contractions (`k = 0`) compare exactly.
+
+use crate::gen::MatDims;
+use dd_tensor::{matmul_nt_prec, matmul_prec, matmul_tn_prec, Matrix, Precision};
+
+/// Which kernel entry point a case exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// `matmul`: `A[m×k] · B[k×n]`.
+    Nn,
+    /// `matmul_nt`: `A[m×k] · B[n×k]ᵀ`.
+    Nt,
+    /// `matmul_tn`: `A[k×m]ᵀ · B[k×n]`.
+    Tn,
+}
+
+impl Orientation {
+    /// All three kernel orientations.
+    pub const ALL: [Orientation; 3] = [Orientation::Nn, Orientation::Nt, Orientation::Tn];
+
+    /// Kernel name for failure messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Orientation::Nn => "matmul",
+            Orientation::Nt => "matmul_nt",
+            Orientation::Tn => "matmul_tn",
+        }
+    }
+}
+
+/// One element that escaped its precision-derived bound.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// Kernel under test.
+    pub kernel: &'static str,
+    /// Precision path under test.
+    pub precision: Precision,
+    /// Failing element coordinates.
+    pub at: (usize, usize),
+    /// Kernel output.
+    pub got: f64,
+    /// f64 reference value.
+    pub reference: f64,
+    /// The bound that was exceeded.
+    pub bound: f64,
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} at ({},{}): got {:.9e}, reference {:.9e}, |diff| {:.3e} > bound {:.3e}",
+            self.kernel,
+            self.precision,
+            self.at.0,
+            self.at.1,
+            self.got,
+            self.reference,
+            (self.got - self.reference).abs(),
+            self.bound
+        )
+    }
+}
+
+/// Naive f64 reference: returns `(c_ref, abs_ref)` where `abs_ref[i,j] =
+/// Σ_k |a_ik||b_kj|` scales the precision-derived bounds.
+fn reference(a: &Matrix, b: &Matrix) -> (Vec<f64>, Vec<f64>) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = vec![0f64; m * n];
+    let mut abs = vec![0f64; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a.get(i, kk) as f64;
+            for j in 0..n {
+                let bkj = b.get(kk, j) as f64;
+                c[i * n + j] += aik * bkj;
+                abs[i * n + j] += aik.abs() * bkj.abs();
+            }
+        }
+    }
+    (c, abs)
+}
+
+const U_F32: f64 = 1.0 / (1u64 << 24) as f64;
+const U_F64: f64 = 1.0 / (1u64 << 53) as f64;
+const U_BF16: f64 = 1.0 / (1u64 << 8) as f64;
+const U_F16: f64 = 1.0 / (1u64 << 11) as f64;
+/// Safety factor on every analytic bound (covers axpy-order rearrangement
+/// and the worst-case constants the simple bounds elide).
+const SAFETY: f64 = 2.0;
+/// Absolute tiebreaker so exact-zero cases (k = 0, zero operands) pass.
+const TINY: f64 = 1e-7;
+
+/// Per-element bound for the float paths.
+fn float_bound(p: Precision, k: usize, abs: f64, c_ref: f64) -> f64 {
+    let kf = k as f64;
+    let (operand_u, accum_u) = match p {
+        Precision::F64 => (0.0, U_F64),
+        Precision::F32 => (0.0, U_F32),
+        Precision::Bf16 => (U_BF16, U_F32),
+        Precision::F16 => (U_F16, U_F32),
+        Precision::Int8 => unreachable!("int8 uses quantization bounds"),
+    };
+    let operand = (2.0 * operand_u + operand_u * operand_u) * abs;
+    let accum = (kf + 1.0) * accum_u * abs;
+    let store = U_F32 * c_ref.abs();
+    SAFETY * (operand + accum + store) + TINY
+}
+
+/// Per-element int8 bound from the symmetric quantization scales.
+fn int8_bound(a: &Matrix, b: &Matrix, i: usize, j: usize) -> f64 {
+    let k = a.cols();
+    let row_max = (0..k).fold(0f64, |acc, kk| acc.max((a.get(i, kk) as f64).abs()));
+    let col_max = (0..k).fold(0f64, |acc, kk| acc.max((b.get(kk, j) as f64).abs()));
+    let sa = row_max / 127.0;
+    let sb = col_max / 127.0;
+    let row_abs: f64 = (0..k).map(|kk| (a.get(i, kk) as f64).abs()).sum();
+    let col_abs: f64 = (0..k).map(|kk| (b.get(kk, j) as f64).abs()).sum();
+    let quant = 0.5 * sb * row_abs + 0.5 * sa * col_abs + 0.25 * sa * sb * k as f64;
+    SAFETY * quant + TINY
+}
+
+/// Run one case through a kernel orientation at one precision and compare
+/// every element against the f64 reference under the derived bound.
+/// Returns the worst observed `|diff| / bound` ratio on success.
+pub fn check_matmul(
+    dims: &MatDims,
+    orient: Orientation,
+    p: Precision,
+) -> Result<f64, Box<OracleFailure>> {
+    // Operand scale 0.5 keeps |c| ≲ k: far from f16's 65504 ceiling.
+    let (a, b) = dims.operands(0.5);
+    let got = match orient {
+        Orientation::Nn => matmul_prec(&a, &b, p),
+        Orientation::Nt => matmul_nt_prec(&a, &b.transpose(), p),
+        Orientation::Tn => matmul_tn_prec(&a.transpose(), &b, p),
+    };
+    assert!(
+        got.rows() == dims.m && got.cols() == dims.n,
+        "{} returned {}x{} for a {}x{}x{} case",
+        orient.name(),
+        got.rows(),
+        got.cols(),
+        dims.m,
+        dims.k,
+        dims.n
+    );
+    let (c_ref, abs_ref) = reference(&a, &b);
+    let mut worst = 0f64;
+    for i in 0..dims.m {
+        for j in 0..dims.n {
+            let r = c_ref[i * dims.n + j];
+            let g = got.get(i, j) as f64;
+            let bound = match p {
+                Precision::Int8 => int8_bound(&a, &b, i, j),
+                _ => float_bound(p, dims.k, abs_ref[i * dims.n + j], r),
+            };
+            let diff = (g - r).abs();
+            if !g.is_finite() || diff > bound {
+                return Err(Box::new(OracleFailure {
+                    kernel: orient.name(),
+                    precision: p,
+                    at: (i, j),
+                    got: g,
+                    reference: r,
+                    bound,
+                }));
+            }
+            worst = worst.max(diff / bound);
+        }
+    }
+    Ok(worst)
+}

@@ -1,0 +1,153 @@
+//! Deterministic property-based test runner with shrinking.
+//!
+//! A property is checked over a fixed number of generated cases. Every case
+//! is derived from a [`Rng64`] stream split off the configured seed, so a
+//! failing run reproduces exactly from the seed alone — there is no ambient
+//! entropy anywhere in the pipeline. When a case fails (returns `Err` or
+//! panics), the runner greedily shrinks it: it asks the caller's shrink
+//! function for smaller candidates, keeps any candidate that still fails,
+//! and repeats until it reaches a local minimum. The minimal counterexample
+//! is reported with the original seed and case index.
+
+use dd_tensor::Rng64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runner configuration: how many cases, and which deterministic seed.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Root seed; case `i` draws from `Rng64::new(seed).split(i)`.
+    pub seed: u64,
+    /// Number of generated cases per property.
+    pub cases: usize,
+    /// Upper bound on accepted shrink steps (guards against shrink cycles).
+    pub max_shrink_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { seed: 0xDD_5EED, cases: 256, max_shrink_steps: 1000 }
+    }
+}
+
+impl Config {
+    /// A config with the default case count and an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Config { seed, ..Config::default() }
+    }
+
+    /// Override the case count.
+    pub fn cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+}
+
+/// A minimal failing case, produced by [`falsify`].
+#[derive(Debug, Clone)]
+pub struct Counterexample<T> {
+    /// The shrunk (locally minimal) failing case.
+    pub case: T,
+    /// The failure message of the shrunk case.
+    pub message: String,
+    /// Index of the originally failing case (reproduce via `seed` + index).
+    pub case_index: usize,
+    /// Seed the run was rooted at.
+    pub seed: u64,
+    /// How many shrink steps were accepted before reaching the minimum.
+    pub shrink_steps: usize,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Display for Counterexample<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "property falsified (seed {:#x}, case {}, {} shrink steps)\n  \
+             minimal counterexample: {:?}\n  failure: {}",
+            self.seed, self.case_index, self.shrink_steps, self.case, self.message
+        )
+    }
+}
+
+/// Evaluate a property on one case, converting panics into failures so that
+/// crashing inputs (e.g. an edge shape that panics a kernel) shrink like any
+/// other counterexample.
+fn eval<T, P>(prop: &P, case: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(case))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_string()
+            };
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Run `prop` over `cfg.cases` generated cases; on failure, shrink to a
+/// local minimum and return it. `None` means the property held everywhere.
+///
+/// `gen` receives a per-case RNG (an independent split of the root seed) and
+/// the case index. `shrink` proposes strictly-smaller candidates for a
+/// failing case; it may return an empty vector when the case is atomic.
+pub fn falsify<T, G, S, P>(cfg: &Config, gen: G, shrink: S, prop: P) -> Option<Counterexample<T>>
+where
+    T: Clone + std::fmt::Debug,
+    G: Fn(&mut Rng64, usize) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let root = Rng64::new(cfg.seed);
+    for index in 0..cfg.cases {
+        let mut rng = root.split(index as u64);
+        let case = gen(&mut rng, index);
+        let Err(first_msg) = eval(&prop, &case) else {
+            continue;
+        };
+        // Greedy shrink: accept the first smaller candidate that still
+        // fails; stop at a local minimum (every candidate passes).
+        let mut current = case;
+        let mut message = first_msg;
+        let mut steps = 0;
+        'shrink: while steps < cfg.max_shrink_steps {
+            for candidate in shrink(&current) {
+                if let Err(msg) = eval(&prop, &candidate) {
+                    current = candidate;
+                    message = msg;
+                    steps += 1;
+                    continue 'shrink;
+                }
+            }
+            break;
+        }
+        return Some(Counterexample {
+            case: current,
+            message,
+            case_index: index,
+            seed: cfg.seed,
+            shrink_steps: steps,
+        });
+    }
+    None
+}
+
+/// Assert a property: like [`falsify`] but panics with the shrunk minimal
+/// counterexample, for use directly inside `#[test]` functions.
+pub fn check<T, G, S, P>(cfg: &Config, gen: G, shrink: S, prop: P)
+where
+    T: Clone + std::fmt::Debug,
+    G: Fn(&mut Rng64, usize) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    if let Some(cx) = falsify(cfg, gen, shrink, prop) {
+        // dd-lint: allow(error-policy/panic) -- the harness's contract is to abort the calling test with the shrunk counterexample
+        panic!("{cx}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Self-tests for the testkit: the harness must find bugs, shrink them to
+//! local minima, reproduce deterministically, and catch panics — otherwise
+//! every suite built on top of it inherits silent holes.
+
+use dd_tensor::{Precision, Rng64};
+use dd_testkit::{
+    check_thread_invariance, f32_bits, falsify, shrink_usize, usize_in, Config, MatDims, MlpCase,
+};
+
+/// The canonical shrink target: "fails iff value >= 10" must shrink to
+/// exactly 10, the smallest failing value, from any starting failure.
+#[test]
+fn shrinks_to_smallest_failing_value() {
+    let cx = falsify(
+        &Config::with_seed(7).cases(64),
+        |rng, _| usize_in(rng, 0, 1000),
+        |&v| shrink_usize(v, 0),
+        |&v| if v < 10 { Ok(()) } else { Err(format!("{v} too big")) },
+    )
+    .expect("values >= 10 appear in 64 draws from 0..=1000");
+    assert_eq!(cx.case, 10, "greedy shrink must reach the boundary");
+}
+
+#[test]
+fn same_seed_reproduces_the_same_counterexample() {
+    let run = || {
+        falsify(
+            &Config::with_seed(1234).cases(64),
+            |rng, _| usize_in(rng, 0, 1000),
+            |&v| shrink_usize(v, 0),
+            |&v| if v % 3 != 0 { Ok(()) } else { Err("divisible by 3".into()) },
+        )
+        .expect("multiples of 3 are dense")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.case, b.case);
+    assert_eq!(a.case_index, b.case_index);
+    assert_eq!(a.message, b.message);
+}
+
+#[test]
+fn panicking_properties_are_caught_and_shrunk() {
+    let cx = falsify(
+        &Config::with_seed(99).cases(64),
+        |rng, _| usize_in(rng, 0, 100),
+        |&v| shrink_usize(v, 0),
+        |&v| {
+            assert!(v < 5, "boom at {v}");
+            Ok(())
+        },
+    )
+    .expect("values >= 5 appear");
+    assert_eq!(cx.case, 5);
+    assert!(cx.message.contains("panicked"), "panic should be folded into the failure: {cx}");
+    assert!(cx.message.contains("boom"), "panic payload should survive: {cx}");
+}
+
+#[test]
+fn passing_property_yields_no_counterexample() {
+    let none = falsify(
+        &Config::default(),
+        |rng, _| usize_in(rng, 0, 100),
+        |&v| shrink_usize(v, 0),
+        |_| Ok(()),
+    );
+    assert!(none.is_none());
+}
+
+#[test]
+fn matdims_shrink_stays_at_or_above_floor_and_strictly_smaller() {
+    let mut rng = Rng64::new(5);
+    for _ in 0..100 {
+        let dims = MatDims::sample(&mut rng, 2, 40);
+        for s in dims.shrink(2) {
+            assert!(s.m >= 2 && s.k >= 2 && s.n >= 2, "floor violated: {s:?}");
+            assert!(s.m + s.k + s.n < dims.m + dims.k + dims.n, "not smaller: {s:?} from {dims:?}");
+            assert_eq!(s.data_seed, dims.data_seed, "shrink must keep the data seed");
+        }
+    }
+}
+
+#[test]
+fn matdims_operands_regenerate_identically() {
+    let mut rng = Rng64::new(6);
+    let dims = MatDims::sample(&mut rng, 1, 16);
+    let (a1, b1) = dims.operands(1.0);
+    let (a2, b2) = dims.operands(1.0);
+    assert_eq!(f32_bits(a1.as_slice()), f32_bits(a2.as_slice()));
+    assert_eq!(f32_bits(b1.as_slice()), f32_bits(b2.as_slice()));
+    assert_eq!(a1.shape(), (dims.m, dims.k));
+    assert_eq!(b1.shape(), (dims.k, dims.n));
+}
+
+#[test]
+fn mlp_case_builds_and_shrinks_toward_linear_model() {
+    let mut rng = Rng64::new(8);
+    for _ in 0..50 {
+        let case = MlpCase::sample(&mut rng, 6);
+        let mut model = case.spec().build(case.seed, Precision::F32).expect("generated spec");
+        let x = dd_testkit::matrix(&mut Rng64::new(case.seed), 3, case.in_dim);
+        let y = model.forward(&x, false);
+        assert_eq!(y.shape(), (3, case.out_dim));
+        for s in case.shrink() {
+            let depth_and_width: usize =
+                s.in_dim + s.out_dim + s.hidden.iter().sum::<usize>() + s.hidden.len();
+            let original: usize =
+                case.in_dim + case.out_dim + case.hidden.iter().sum::<usize>() + case.hidden.len();
+            assert!(depth_and_width < original, "not smaller: {s:?} from {case:?}");
+        }
+    }
+}
+
+#[test]
+fn thread_invariance_passes_for_constant_and_fails_for_pool_width() {
+    // A closure whose result is independent of the pool is accepted.
+    check_thread_invariance(&[1, 4], || 42u32).expect("constants are thread-invariant");
+    // A closure that leaks the pool width must be rejected.
+    let err = check_thread_invariance(&[1, 4], rayon::current_num_threads);
+    assert!(err.is_err(), "pool width leaked into the result must diverge");
+}
+
+#[test]
+fn f32_bits_is_strictly_bitwise() {
+    // `==` would call these equal; the bit view must not.
+    assert_ne!(f32_bits(&[0.0]), f32_bits(&[-0.0]));
+    assert_eq!(f32_bits(&[1.5, -2.25]), f32_bits(&[1.5, -2.25]));
+}

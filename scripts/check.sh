@@ -34,6 +34,20 @@ cargo build --release
 echo "== cargo test"
 cargo test -q
 
+echo "== dd-testkit self-tests and migrated nn property suite"
+cargo test -q -p dd-testkit
+cargo test -q -p dd-nn --test proptests
+
+echo "== determinism: bitwise-identical results across global pool widths"
+# tests/determinism.rs exercises scoped pools of 1 and 4 threads inside one
+# process; these runs pin the *global* rayon pool path as well.
+RAYON_NUM_THREADS=1 cargo test -q --test determinism
+RAYON_NUM_THREADS=4 cargo test -q --test determinism
+
+echo "== gradient checks and kernel oracle"
+cargo test -q --test gradcheck
+cargo test -q --test kernel_oracle
+
 echo "== observability integration test"
 cargo test -q --test observability
 
@@ -56,5 +70,12 @@ cp results/e13_serving.csv /tmp/e13_serving.first.csv
 ./target/release/exp-13-serving quick >/dev/null
 cmp results/e13_serving.csv /tmp/e13_serving.first.csv
 echo "e13_serving.csv schema ok and deterministic across reruns"
+
+echo "== exp-13-serving: byte-identical across rayon pool widths"
+RAYON_NUM_THREADS=1 ./target/release/exp-13-serving quick >/dev/null
+cp results/e13_serving.csv /tmp/e13_serving.t1.csv
+RAYON_NUM_THREADS=4 ./target/release/exp-13-serving quick >/dev/null
+cmp results/e13_serving.csv /tmp/e13_serving.t1.csv
+echo "e13_serving.csv byte-identical under RAYON_NUM_THREADS=1 and =4"
 
 echo "All checks passed."

@@ -1,0 +1,76 @@
+//! Thread-count invariance: the same seed must produce bitwise-identical
+//! results whether Rayon runs on 1 thread or 4. The parallel kernels
+//! partition output rows into disjoint chunks, so the floating-point
+//! reduction order never depends on the pool width — these tests pin that
+//! property for the raw kernels, a full training epoch, and the serving
+//! simulator behind experiment e13.
+//!
+//! `scripts/check.sh` additionally runs this suite under
+//! `RAYON_NUM_THREADS=1` and `=4` to cover the *global* pool path; here we
+//! build scoped pools so one process exercises both widths.
+
+use dd_nn::{Activation, Loss, LrSchedule, ModelSpec, OptimizerConfig, TrainConfig, Trainer};
+use dd_tensor::{
+    matmul_nt_prec, matmul_prec, matmul_tn_prec, Matrix, Precision, Rng64, PAR_MIN_OUT,
+};
+use dd_testkit::{check_thread_invariance, f32_bits, THREAD_COUNTS};
+use deepdriver_core::experiments::e13_serving;
+use deepdriver_core::Scale;
+
+/// Matmul kernels, at a size that actually takes the parallel path.
+#[test]
+fn matmul_kernels_are_bitwise_identical_across_pool_widths() {
+    let (m, k, n) = (96, 64, 128);
+    assert!(m * n >= PAR_MIN_OUT, "test shape no longer crosses the parallel gate");
+    let mut rng = Rng64::new(0xDE7);
+    let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+    let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+    let bt = b.transpose();
+    let at = a.transpose();
+
+    for p in [Precision::F32, Precision::Bf16, Precision::Int8] {
+        check_thread_invariance(&THREAD_COUNTS, || {
+            let mut bits = f32_bits(matmul_prec(&a, &b, p).as_slice());
+            bits.extend(f32_bits(matmul_nt_prec(&a, &bt, p).as_slice()));
+            bits.extend(f32_bits(matmul_tn_prec(&at, &b, p).as_slice()));
+            bits
+        })
+        .unwrap_or_else(|e| panic!("{p:?}: {e}"));
+    }
+}
+
+/// One full training epoch — forward, backward, optimizer, shuffle — must
+/// be a pure function of the seed, independent of the worker count.
+#[test]
+fn training_epoch_is_bitwise_identical_across_pool_widths() {
+    // batch 64 x hidden 256 = 16384 >= PAR_MIN_OUT: the epoch's matmuls
+    // genuinely dispatch to the pool under test.
+    let run_one = || {
+        let spec = ModelSpec::mlp(32, &[256], 4, Activation::Relu);
+        let mut model = spec.build(11, Precision::F32).expect("valid spec");
+        let mut rng = Rng64::new(12);
+        let x = Matrix::randn(128, 32, 0.0, 1.0, &mut rng);
+        let y = Matrix::randn(128, 4, 0.0, 1.0, &mut rng);
+        let mut trainer = Trainer::new(TrainConfig {
+            batch_size: 64,
+            epochs: 1,
+            optimizer: OptimizerConfig::adam(1e-3),
+            schedule: LrSchedule::Constant,
+            loss: Loss::Mse,
+            patience: None,
+            grad_clip: Some(5.0),
+            seed: 13,
+        });
+        let loss = trainer.run_epoch(&mut model, &x, &y, 0).expect("epoch trains");
+        (loss.to_bits(), f32_bits(&model.flatten_params()))
+    };
+    check_thread_invariance(&THREAD_COUNTS, run_one).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// The e13 serving simulator (admission control, batching, latency model)
+/// must emit byte-identical reports regardless of pool width.
+#[test]
+fn e13_serving_report_is_byte_identical_across_pool_widths() {
+    check_thread_invariance(&THREAD_COUNTS, || e13_serving::run(Scale::Smoke, 2017).to_csv())
+        .unwrap_or_else(|e| panic!("{e}"));
+}

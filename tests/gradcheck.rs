@@ -1,0 +1,253 @@
+//! Finite-difference gradient checks for every layer and loss in dd-nn.
+//!
+//! Each analytic backward pass is compared against centered differences of a
+//! scalar probe loss `L = <G, forward(x)>` (see `dd_testkit::gradcheck`). A
+//! deliberately broken layer (`SignFlipDense`) proves the checker actually
+//! catches sign errors and that the property harness shrinks the failure to
+//! a minimal shape.
+
+use dd_nn::{
+    Activation, ActivationLayer, BatchNorm1d, Conv1d, Dense, Dropout, Init, Layer, LayerNorm, Loss,
+    MaxPool1d, Residual,
+};
+use dd_tensor::{Matrix, Precision, Rng64};
+use dd_testkit::{
+    check_layer, check_loss, falsify, matrix_away_from_zero, usize_in, Config, Tolerance,
+};
+
+fn tol() -> Tolerance {
+    Tolerance::for_precision(Precision::F32)
+}
+
+fn assert_grads_ok(
+    name: &str,
+    result: Result<dd_testkit::GradReport, Box<dd_testkit::GradFailure>>,
+) {
+    match result {
+        Ok(report) => {
+            assert!(
+                report.max_rel_err < 1e-3,
+                "{name}: max relative error {} over {} checks",
+                report.max_rel_err,
+                report.checked
+            );
+        }
+        Err(failure) => panic!("{name}: {failure}"),
+    }
+}
+
+#[test]
+fn dense_gradients_match_finite_differences() {
+    let mut rng = Rng64::new(101);
+    let mut layer = Dense::new(6, 4, Init::Xavier, &mut rng);
+    let x = Matrix::randn(5, 6, 0.0, 1.0, &mut rng);
+    assert_grads_ok("dense", check_layer(&mut layer, &x, true, Precision::F32, &tol(), 7));
+}
+
+#[test]
+fn conv1d_gradients_match_finite_differences() {
+    let mut rng = Rng64::new(102);
+    let mut layer = Conv1d::new(2, 6, 2, 3, 2, Init::Xavier, &mut rng);
+    let x = Matrix::randn(3, 12, 0.0, 1.0, &mut rng);
+    assert_grads_ok("conv1d", check_layer(&mut layer, &x, true, Precision::F32, &tol(), 7));
+}
+
+#[test]
+fn maxpool_gradients_match_finite_differences() {
+    // Max-pool is non-differentiable at ties; build an input whose entries
+    // are separated by >= 0.3, far beyond the 2*eps = 0.02 probe step.
+    let mut layer = MaxPool1d::new(2, 8, 3);
+    let x = Matrix::from_fn(3, 16, |i, j| ((i * 31 + j * 17) % 97) as f32 * 0.3 - 14.0);
+    assert_grads_ok("maxpool", check_layer(&mut layer, &x, true, Precision::F32, &tol(), 7));
+}
+
+#[test]
+fn layernorm_gradients_match_finite_differences() {
+    let mut rng = Rng64::new(103);
+    let mut layer = LayerNorm::new(6);
+    let x = Matrix::randn(4, 6, 0.0, 1.0, &mut rng);
+    assert_grads_ok("layernorm", check_layer(&mut layer, &x, true, Precision::F32, &tol(), 7));
+}
+
+#[test]
+fn batchnorm_gradients_match_finite_differences() {
+    // Train-mode BatchNorm1d reads only the current batch statistics (the
+    // running stats are written, never read, during training), so the
+    // train-mode forward is a pure function of (params, x) and checkable.
+    let mut rng = Rng64::new(104);
+    let mut layer = BatchNorm1d::new(5);
+    let x = Matrix::randn(5, 5, 0.0, 1.0, &mut rng);
+    assert_grads_ok("batchnorm", check_layer(&mut layer, &x, true, Precision::F32, &tol(), 7));
+}
+
+#[test]
+fn activation_gradients_match_finite_differences() {
+    for act in Activation::ALL {
+        let mut rng = Rng64::new(105 + act as u64);
+        let mut layer = ActivationLayer::new(act);
+        // Relu/LeakyRelu kink at 0: keep probe points away from it.
+        let x = match act {
+            Activation::Relu | Activation::LeakyRelu => matrix_away_from_zero(&mut rng, 4, 6, 0.2),
+            _ => Matrix::randn(4, 6, 0.0, 1.0, &mut rng),
+        };
+        assert_grads_ok(
+            &format!("activation {act:?}"),
+            check_layer(&mut layer, &x, true, Precision::F32, &tol(), 7),
+        );
+    }
+}
+
+#[test]
+fn residual_gradients_match_finite_differences() {
+    let mut rng = Rng64::new(106);
+    let inner: Vec<Box<dyn Layer>> = vec![
+        Box::new(Dense::new(5, 5, Init::Xavier, &mut rng)),
+        Box::new(ActivationLayer::new(Activation::Tanh)),
+        Box::new(Dense::new(5, 5, Init::Xavier, &mut rng)),
+    ];
+    let mut layer = Residual::new(inner);
+    let x = Matrix::randn(3, 5, 0.0, 1.0, &mut rng);
+    assert_grads_ok("residual", check_layer(&mut layer, &x, true, Precision::F32, &tol(), 7));
+}
+
+#[test]
+fn dropout_eval_gradients_match_finite_differences() {
+    // Dropout is stochastic in train mode; in eval mode it is the identity
+    // and its backward must pass gradients through untouched.
+    let mut rng = Rng64::new(107);
+    let mut layer = Dropout::new(0.3, Rng64::new(42));
+    let x = Matrix::randn(4, 6, 0.0, 1.0, &mut rng);
+    assert_grads_ok("dropout(eval)", check_layer(&mut layer, &x, false, Precision::F32, &tol(), 7));
+}
+
+#[test]
+fn loss_gradients_match_finite_differences() {
+    let mut rng = Rng64::new(108);
+    let pred = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
+
+    let target = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
+    for loss in [Loss::Mse, Loss::Huber] {
+        match check_loss(loss, &pred, &target, &tol()) {
+            Ok(report) => assert!(report.max_rel_err < 1e-3, "{loss:?}: {}", report.max_rel_err),
+            Err(failure) => panic!("{loss:?}: {failure}"),
+        }
+    }
+
+    let one_hot = dd_tensor::one_hot(&[0, 2, 1, 0], 3);
+    match check_loss(Loss::SoftmaxCrossEntropy, &pred, &one_hot, &tol()) {
+        Ok(report) => assert!(report.max_rel_err < 1e-3, "softmax-ce: {}", report.max_rel_err),
+        Err(failure) => panic!("softmax-ce: {failure}"),
+    }
+
+    let binary = Matrix::from_fn(4, 3, |i, j| ((i + j) % 2) as f32);
+    match check_loss(Loss::BinaryCrossEntropy, &pred, &binary, &tol()) {
+        Ok(report) => assert!(report.max_rel_err < 1e-3, "bce: {}", report.max_rel_err),
+        Err(failure) => panic!("bce: {failure}"),
+    }
+}
+
+/// Random-shape sweep: dense layers of every small geometry must pass.
+#[test]
+fn dense_gradcheck_over_random_shapes() {
+    dd_testkit::check(
+        &Config::with_seed(0xD5E).cases(16),
+        |rng, _| (rng.next_u64(), usize_in(rng, 1, 6), usize_in(rng, 1, 6), usize_in(rng, 1, 4)),
+        |&(seed, i, o, b)| {
+            let mut out = Vec::new();
+            for v in dd_testkit::shrink_usize(i, 1) {
+                out.push((seed, v, o, b));
+            }
+            for v in dd_testkit::shrink_usize(o, 1) {
+                out.push((seed, i, v, b));
+            }
+            for v in dd_testkit::shrink_usize(b, 1) {
+                out.push((seed, i, o, v));
+            }
+            out
+        },
+        |&(seed, in_dim, out_dim, batch)| {
+            let mut rng = Rng64::new(seed);
+            let mut layer = Dense::new(in_dim, out_dim, Init::Xavier, &mut rng);
+            let x = Matrix::randn(batch, in_dim, 0.0, 1.0, &mut rng);
+            check_layer(&mut layer, &x, true, Precision::F32, &tol(), seed ^ 0x5A)
+                .map(|_| ())
+                .map_err(|f| f.to_string())
+        },
+    );
+}
+
+/// A dense layer whose backward negates the input gradient — the canary the
+/// checker must catch, and the harness must shrink to a minimal shape.
+struct SignFlipDense(Dense);
+
+impl Layer for SignFlipDense {
+    fn name(&self) -> &'static str {
+        "sign-flip-dense"
+    }
+    fn forward(&mut self, x: &Matrix, train: bool, prec: Precision) -> Matrix {
+        self.0.forward(x, train, prec)
+    }
+    fn infer(&self, x: &Matrix, prec: Precision) -> Matrix {
+        self.0.infer(x, prec)
+    }
+    fn backward(&mut self, grad_out: &Matrix, prec: Precision) -> Matrix {
+        let mut dx = self.0.backward(grad_out, prec);
+        dx.scale(-1.0);
+        dx
+    }
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.0.visit_params(f);
+    }
+    fn param_count(&self) -> usize {
+        self.0.param_count()
+    }
+    fn output_dim(&self, input_dim: usize) -> usize {
+        self.0.output_dim(input_dim)
+    }
+    fn flops(&self, batch: usize, input_dim: usize) -> u64 {
+        self.0.flops(batch, input_dim)
+    }
+}
+
+#[test]
+fn sign_flip_canary_is_caught_and_shrunk_to_minimal_shape() {
+    let cx = falsify(
+        &Config::with_seed(0xBAD).cases(8),
+        |rng, _| (rng.next_u64(), usize_in(rng, 1, 8), usize_in(rng, 1, 8), usize_in(rng, 1, 6)),
+        |&(seed, i, o, b)| {
+            let mut out = Vec::new();
+            for v in dd_testkit::shrink_usize(i, 1) {
+                out.push((seed, v, o, b));
+            }
+            for v in dd_testkit::shrink_usize(o, 1) {
+                out.push((seed, i, v, b));
+            }
+            for v in dd_testkit::shrink_usize(b, 1) {
+                out.push((seed, i, o, v));
+            }
+            out
+        },
+        |&(seed, in_dim, out_dim, batch)| {
+            let mut rng = Rng64::new(seed);
+            let mut layer = SignFlipDense(Dense::new(in_dim, out_dim, Init::Xavier, &mut rng));
+            let x = Matrix::randn(batch, in_dim, 0.0, 1.0, &mut rng);
+            check_layer(&mut layer, &x, true, Precision::F32, &tol(), seed ^ 0x5A)
+                .map(|_| ())
+                .map_err(|f| f.to_string())
+        },
+    )
+    .expect("gradient checker must catch a sign-flipped backward");
+
+    // The shrinker walks each dimension down while the failure persists;
+    // a sign error survives at tiny shapes, so the minimum must be tiny too.
+    let (_, in_dim, out_dim, batch) = cx.case;
+    assert!(
+        in_dim <= 2 && out_dim <= 2 && batch <= 2,
+        "counterexample did not shrink: in={in_dim} out={out_dim} batch={batch} ({cx})"
+    );
+    assert!(
+        cx.message.contains("input"),
+        "failure should blame the input gradient: {}",
+        cx.message
+    );
+}

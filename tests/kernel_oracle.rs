@@ -1,0 +1,165 @@
+//! Differential kernel oracle: every matmul orientation and precision path
+//! replayed against an exact f64 reference with precision-derived error
+//! bounds, plus edge-shape regressions (zero and unit dimensions, the
+//! parallel-dispatch threshold) across all kernels.
+
+use dd_tensor::{
+    matmul, matmul_nt, matmul_nt_prec, matmul_prec, matmul_tn, matmul_tn_prec, matvec, Matrix,
+    Precision, Rng64, PAR_MIN_OUT,
+};
+use dd_testkit::{check, check_matmul, f32_bits, Config, MatDims, Orientation};
+
+const PRECISIONS: [Precision; 5] =
+    [Precision::F32, Precision::F64, Precision::Bf16, Precision::F16, Precision::Int8];
+
+/// 200 random cases per orientation, each checked across all five precision
+/// paths against the f64 reference. The testkit derives the bound from the
+/// precision's unit roundoff; any element outside it is a kernel bug.
+#[test]
+fn all_orientations_and_precisions_stay_within_error_bounds() {
+    for orient in Orientation::ALL {
+        check(
+            &Config::with_seed(0x0AC1E ^ orient as u64).cases(200),
+            |rng, _| MatDims::sample(rng, 1, 24),
+            |d| d.shrink(1),
+            |dims| {
+                for p in PRECISIONS {
+                    check_matmul(dims, orient, p).map_err(|f| f.to_string())?;
+                }
+                Ok(())
+            },
+        );
+    }
+}
+
+/// Degenerate shapes: m, k or n of zero must yield a well-shaped all-zero
+/// result (an empty contraction is a sum over nothing), not a panic.
+#[test]
+fn zero_dimension_matmuls_return_empty_or_zero_results() {
+    for (m, k, n) in [(0, 3, 4), (3, 0, 4), (3, 4, 0), (0, 0, 0), (1, 0, 1)] {
+        let a = Matrix::zeros(m, k);
+        let b = Matrix::zeros(k, n);
+        for p in PRECISIONS {
+            let c = matmul_prec(&a, &b, p);
+            assert_eq!(c.shape(), (m, n), "matmul {m}x{k}x{n} {p:?}");
+            assert!(c.as_slice().iter().all(|&v| v == 0.0));
+
+            let c = matmul_nt_prec(&a, &b.transpose(), p);
+            assert_eq!(c.shape(), (m, n), "matmul_nt {m}x{k}x{n} {p:?}");
+            assert!(c.as_slice().iter().all(|&v| v == 0.0));
+
+            let c = matmul_tn_prec(&a.transpose(), &b, p);
+            assert_eq!(c.shape(), (m, n), "matmul_tn {m}x{k}x{n} {p:?}");
+            assert!(c.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+}
+
+/// A zero-width matrix times an empty vector is m zeros, not an empty vector.
+#[test]
+fn matvec_handles_zero_and_unit_dimensions() {
+    assert_eq!(matvec(&Matrix::zeros(3, 0), &[]), vec![0.0; 3]);
+    assert_eq!(matvec(&Matrix::zeros(0, 4), &[1.0; 4]), Vec::<f32>::new());
+    assert_eq!(matvec(&Matrix::full(1, 1, 2.0), &[3.0]), vec![6.0]);
+}
+
+/// Unit dimensions through every orientation: 1xk·kx1, mx1·1xn, 1x1·1x1.
+#[test]
+fn unit_dimension_matmuls_match_the_oracle() {
+    let mut rng = Rng64::new(0x0E1);
+    for _ in 0..50 {
+        let dims = MatDims {
+            m: rng.below(2), // 0 or 1
+            k: rng.below(3),
+            n: rng.below(2),
+            data_seed: rng.next_u64(),
+        };
+        for orient in Orientation::ALL {
+            for p in PRECISIONS {
+                if let Err(f) = check_matmul(&dims, orient, p) {
+                    panic!("unit-dim case {dims:?}: {f}");
+                }
+            }
+        }
+    }
+}
+
+/// The sequential and parallel code paths must agree bitwise. Straddle the
+/// dispatch threshold: m*n just below, at, and above `PAR_MIN_OUT`.
+#[test]
+fn parallel_threshold_boundary_is_bitwise_consistent() {
+    assert_eq!(PAR_MIN_OUT, 8 * 1024, "threshold moved; update the boundary shapes below");
+    let mut rng = Rng64::new(0x7B0);
+    let k = 16;
+    for n in [127, 128, 129] {
+        // m*n = 8128 / 8192 / 8256 around the 8192 gate.
+        let m = 64;
+        let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+        let dims = MatDims { m, k, n, data_seed: rng.next_u64() };
+        for orient in Orientation::ALL {
+            for p in PRECISIONS {
+                if let Err(f) = check_matmul(&dims, orient, p) {
+                    panic!("boundary case m*n={} {orient:?}: {f}", m * n);
+                }
+            }
+        }
+        // A 1-row product never takes the parallel path (m > 1 gate); its
+        // single output row must match the same row of the full product.
+        let c_full = matmul(&a, &b);
+        let a0 = Matrix::from_rows(&[a.row(0)]);
+        let c_row = matmul(&a0, &b);
+        assert_eq!(f32_bits(c_row.row(0)), f32_bits(c_full.row(0)), "n={n}: row 0 diverged");
+    }
+}
+
+/// `matvec` and `matmul_nt` share the same `dot` kernel, so a matrix-vector
+/// product must be bitwise identical to the corresponding 1-column nt-matmul.
+#[test]
+fn matvec_is_bitwise_consistent_with_matmul_nt() {
+    let mut rng = Rng64::new(0x3A7);
+    for (m, k) in [(1, 1), (3, 7), (8, 32), (17, 5)] {
+        let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+        let x: Vec<f32> = (0..k).map(|_| rng.gaussian() as f32).collect();
+        let xm = Matrix::from_rows(&[x.as_slice()]);
+        let via_nt = matmul_nt(&a, &xm);
+        let direct = matvec(&a, &x);
+        assert_eq!(f32_bits(&direct), f32_bits(via_nt.as_slice()), "{m}x{k}");
+
+        // And both must agree with an exact f64 reference to f32 roundoff.
+        for i in 0..m {
+            let reference: f64 =
+                a.row(i).iter().zip(&x).map(|(&av, &xv)| av as f64 * xv as f64).sum();
+            let abs: f64 = a.row(i).iter().zip(&x).map(|(&av, &xv)| (av * xv).abs() as f64).sum();
+            let bound = 2.0 * (k as f64 + 1.0) * f64::powi(2.0, -24) * abs + 1e-7;
+            assert!(
+                (direct[i] as f64 - reference).abs() <= bound,
+                "matvec[{i}] {m}x{k}: {} vs {reference}",
+                direct[i]
+            );
+        }
+    }
+}
+
+/// The transpose orientations must agree with explicitly transposed inputs
+/// through the plain kernel — same math, different memory walk.
+#[test]
+fn orientation_variants_agree_with_explicit_transposes() {
+    let mut rng = Rng64::new(0x7A2);
+    for _ in 0..20 {
+        let (m, k, n) = (1 + rng.below(8), 1 + rng.below(12), 1 + rng.below(8));
+        let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+        let c = matmul(&a, &b);
+        // matmul_tn(aT, b) computes a·b by transposing back internally, so
+        // it is bitwise-identical to matmul; matmul_nt runs a different
+        // accumulation order, so compare within f32 accumulation slack.
+        let c_tn = matmul_tn(&a.transpose(), &b);
+        assert_eq!(f32_bits(c.as_slice()), f32_bits(c_tn.as_slice()), "tn {m}x{k}x{n}");
+        let c_nt = matmul_nt(&a, &b.transpose());
+        for (i, (&got, &want)) in c_nt.as_slice().iter().zip(c.as_slice()).enumerate() {
+            let slack = 2.0 * (k as f32 + 1.0) * f32::powi(2.0, -24) * want.abs().max(1.0) + 1e-6;
+            assert!((got - want).abs() <= slack, "nt {m}x{k}x{n} at {i}: {got} vs {want}");
+        }
+    }
+}

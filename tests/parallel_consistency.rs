@@ -51,8 +51,8 @@ fn model_parallel_stages_match_whole_model_predictions() {
     let x = Matrix::randn(10, 12, 0.0, 1.0, &mut rng);
     let y_whole = whole.predict(&x);
     for parts in [2, 3, 4] {
-        let partition = partition_by_params(&spec, parts);
-        let mut staged = build_stages(&spec, &partition, 7, Precision::F32);
+        let partition = partition_by_params(&spec, parts).expect("spec builds");
+        let mut staged = build_stages(&spec, &partition, 7, Precision::F32).expect("spec builds");
         let y_staged = staged.forward(&x, false);
         assert!(y_whole.approx_eq(&y_staged, 1e-4), "{parts}-way partition changed predictions");
     }
