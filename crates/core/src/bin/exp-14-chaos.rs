@@ -1,0 +1,24 @@
+//! Regenerates the E14 chaos table. Usage: `exp-14-chaos [smoke|full|quick] [seed]`.
+
+use deepdriver_core::experiments::{self, e14_chaos};
+use deepdriver_core::report::Scale;
+
+fn main() {
+    let _obs = dd_obs::EnvSession::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    let table = e14_chaos::run(scale, seed);
+    experiments::emit(&table, "e14_chaos");
+    let rows = e14_chaos::sweep(scale, seed);
+    println!(
+        "baseline cliff (no-retry availability < 90% at {} s MTBF): {}",
+        e14_chaos::mid_mtbf_s(),
+        e14_chaos::baseline_cliff(&rows)
+    );
+    println!(
+        "resilient floor (availability >= 99%, p99 <= {:.0} ms envelope): {}",
+        e14_chaos::p99_bound_s() * 1e3,
+        e14_chaos::resilient_floor(&rows)
+    );
+}

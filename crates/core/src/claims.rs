@@ -7,8 +7,8 @@
 //! run (and CI-style regressions in any substrate flip a claim to FAIL).
 
 use crate::experiments::{
-    e10_compression, e11_faults, e13_serving, e1_precision, e2_scaling, e3_parallelism, e4_memory,
-    e5_nvram, e6_search, e7_hybrid, e9_mdsurrogate,
+    e10_compression, e11_faults, e13_serving, e14_chaos, e1_precision, e2_scaling, e3_parallelism,
+    e4_memory, e5_nvram, e6_search, e7_hybrid, e9_mdsurrogate,
 };
 use crate::report::Scale;
 use crate::workloads;
@@ -354,6 +354,33 @@ pub fn verify_all(scale: Scale, seed: u64) -> Vec<ClaimResult> {
         });
     }
 
+    // C14 — serving resilience: retries, hedging, and breakers turn the
+    // failure-is-common-case arithmetic into a latency envelope instead of
+    // an availability cliff.
+    {
+        let statement = "replicated serving with retries, hedging and circuit breakers keeps availability through the failure rates at which naive serving collapses";
+        let rows = e14_chaos::sweep(scale, seed);
+        let cliff = e14_chaos::baseline_cliff(&rows);
+        let floor = e14_chaos::resilient_floor(&rows);
+        let mid = e14_chaos::mid_mtbf_s();
+        let avail = |resilient: bool| {
+            rows.iter()
+                .find(|r| r.mtbf_s == mid && r.resilient == resilient)
+                .map_or(f64::NAN, |r| r.report.availability)
+        };
+        results.push(ClaimResult {
+            id: "E14",
+            statement,
+            holds: cliff && floor,
+            evidence: format!(
+                "at {mid} s per-replica MTBF: baseline availability {:.3}, resilient {:.3} with served p99 inside the {:.0} ms deadline+retry envelope",
+                avail(false),
+                avail(true),
+                e14_chaos::p99_bound_s() * 1e3
+            ),
+        });
+    }
+
     results
 }
 
@@ -366,7 +393,7 @@ mod tests {
         // The reproduction's headline regression test: every claim verdict
         // in EXPERIMENTS.md must be reproducible programmatically.
         let results = verify_all(Scale::Smoke, 2017);
-        assert_eq!(results.len(), 12);
+        assert_eq!(results.len(), 13);
         for r in &results {
             assert!(r.holds, "{} failed: {} ({})", r.id, r.statement, r.evidence);
         }

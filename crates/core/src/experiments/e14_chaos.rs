@@ -1,0 +1,246 @@
+//! E14 — fault-tolerant replicated serving under deterministic chaos.
+//!
+//! E13 established the batching/admission-control shape of serving; this
+//! experiment asks what happens when the serving fleet itself misbehaves.
+//! At pre-exascale node counts failure is the common case (the E11 claim),
+//! and an inference fleet inherits that arithmetic: replicas crash on an
+//! MTBF schedule, straggle, and occasionally emit corrupt outputs. The
+//! sweep drives the dd-serve chaos simulator — the deterministic twin of
+//! the threaded server, sharing its `ResilientCall` decision core — over a
+//! per-replica crash-MTBF grid, and compares two policies on identical
+//! arrival processes and identical fault draws:
+//!
+//! * **baseline** — one attempt per request, no hedging, breakers never
+//!   trip, no health eviction. Crashed replicas keep receiving traffic
+//!   until they respawn (zombie routing), so every batch routed at a down
+//!   replica fails.
+//! * **resilient** — [`ResilPolicy::standard`]: capped-backoff retries
+//!   with jitter, one auto-delay hedge against stragglers, per-replica
+//!   circuit breakers, and health-check eviction of observed-crashed
+//!   replicas.
+//!
+//! Two shapes are asserted: the *baseline cliff* — at the mid MTBF point
+//! the no-retry baseline's availability drops below 90% — and the
+//! *resilient floor* — at the same point, with the same faults, retries +
+//! hedging + breakers hold availability at 99%+ while the served p99 stays
+//! inside the analytic deadline-plus-retry-chain envelope (bounded, not
+//! growing with the backlog).
+
+use crate::report::{fnum, Scale, Table};
+use dd_serve::{
+    poisson_arrivals, simulate_chaos, BatchPolicy, ChaosConfig, ChaosReport, FaultSpec, LoadConfig,
+    ResilPolicy, ServiceModel,
+};
+
+/// Replica pool size.
+pub const REPLICAS: usize = 4;
+/// Batcher's maximum coalesced batch.
+pub const MAX_BATCH: usize = 16;
+/// Batcher's coalescing window, seconds.
+pub const MAX_WAIT_S: f64 = 0.002;
+/// Per-request deadline, seconds.
+pub const DEADLINE_S: f64 = 0.25;
+/// Admission-queue capacity.
+pub const QUEUE_CAPACITY: usize = 512;
+/// Offered load as a fraction of the pool's max-batch saturation rate.
+pub const LOAD_FACTOR: f64 = 0.7;
+/// Per-replica crash MTBF grid, seconds; `0` is the fault-free reference
+/// row (no crash schedule) the p99 bound is measured against.
+pub const MTBF_GRID_S: [f64; 6] = [0.0, 1.6, 0.8, 0.4, 0.2, 0.1];
+/// Physical (and believed) replica out-of-service time after a crash.
+pub const RESPAWN_S: f64 = 0.04;
+
+/// Per-attempt straggler probability.
+const STRAGGLE_P: f64 = 0.02;
+/// Mean injected straggler delay, seconds (4x a full-batch service time).
+const STRAGGLE_S: f64 = 0.04;
+/// Per-attempt corrupt-output probability.
+const CORRUPT_P: f64 = 0.01;
+
+/// The batch cost model: 2 ms fixed dispatch overhead plus 0.5 ms per row,
+/// so a full batch of [`MAX_BATCH`] takes 10 ms.
+pub fn service_model() -> ServiceModel {
+    ServiceModel::new(2e-3, 0.5e-3)
+}
+
+/// The mid MTBF point the claim predicates are evaluated at.
+pub fn mid_mtbf_s() -> f64 {
+    MTBF_GRID_S[3]
+}
+
+/// One (MTBF, policy) point of the sweep.
+pub struct ChaosRow {
+    /// Per-replica crash MTBF, seconds (`0` = fault-free reference).
+    pub mtbf_s: f64,
+    /// `true` for [`ResilPolicy::standard`], `false` for the baseline.
+    pub resilient: bool,
+    /// Everything the chaos simulation measured at this point.
+    pub report: ChaosReport,
+}
+
+/// Run the sweep. At each MTBF both policies see the identical arrival
+/// process and the identical seeded fault draws, so the availability gap
+/// is attributable to the policy alone.
+pub fn sweep(scale: Scale, seed: u64) -> Vec<ChaosRow> {
+    let requests = match scale {
+        Scale::Smoke => 4000,
+        Scale::Full => 20_000,
+    };
+    let service = service_model();
+    let offered_rps = LOAD_FACTOR * service.saturation_rps(MAX_BATCH, REPLICAS);
+    let mut rows = Vec::new();
+    for (mi, &mtbf_s) in MTBF_GRID_S.iter().enumerate() {
+        let arrivals = poisson_arrivals(&LoadConfig {
+            rate_per_s: offered_rps,
+            requests,
+            seed: seed.wrapping_add(mi as u64),
+        });
+        for resilient in [false, true] {
+            let cfg = ChaosConfig {
+                policy: BatchPolicy::new(MAX_BATCH, MAX_WAIT_S, DEADLINE_S),
+                queue_capacity: QUEUE_CAPACITY,
+                replicas: REPLICAS,
+                service,
+                arrivals: arrivals.clone(),
+                resil: if resilient { ResilPolicy::standard() } else { ResilPolicy::disabled() },
+                faults: FaultSpec {
+                    straggle_p: STRAGGLE_P,
+                    straggle_s: STRAGGLE_S,
+                    corrupt_p: CORRUPT_P,
+                    respawn_s: RESPAWN_S,
+                    seed: seed.wrapping_mul(2).wrapping_add(mi as u64),
+                    ..FaultSpec::none()
+                },
+                crash_mtbf_s: mtbf_s,
+                fallback: true,
+            };
+            rows.push(ChaosRow { mtbf_s, resilient, report: simulate_chaos(&cfg) });
+        }
+    }
+    rows
+}
+
+fn at(rows: &[ChaosRow], mtbf_s: f64, resilient: bool) -> Option<&ChaosRow> {
+    rows.iter().find(|r| r.mtbf_s == mtbf_s && r.resilient == resilient)
+}
+
+/// The baseline cliff: at the mid MTBF point, zombie routing drags the
+/// no-retry baseline's availability below 90%.
+pub fn baseline_cliff(rows: &[ChaosRow]) -> bool {
+    at(rows, mid_mtbf_s(), false).is_some_and(|r| r.report.availability < 0.90)
+}
+
+/// The analytic envelope one served request can cost under the standard
+/// policy: the admission deadline (front-shed caps queue wait there) plus
+/// the worst-case resilient call chain — every attempt running a full
+/// batch with a worst-case straggle, plus every capped backoff. A serving
+/// system in backlog collapse has a served p99 that grows with the run
+/// length; a bounded one stays inside this envelope no matter the MTBF.
+pub fn p99_bound_s() -> f64 {
+    let policy = ResilPolicy::standard();
+    let attempt_s = service_model().seconds(MAX_BATCH) + 1.5 * STRAGGLE_S;
+    let mut backoffs = 0.0;
+    for failures in 1..policy.retry.max_attempts {
+        let exp = (failures - 1).min(52);
+        backoffs +=
+            (policy.retry.base_backoff_s * (1u64 << exp) as f64).min(policy.retry.max_backoff_s);
+    }
+    DEADLINE_S + policy.retry.max_attempts as f64 * attempt_s + backoffs
+}
+
+/// The resilient floor: at the same mid MTBF point, on the same faults,
+/// the standard policy holds availability at >= 99% while the served p99
+/// stays inside the analytic [`p99_bound_s`] envelope (bounded, not
+/// collapsing with the backlog).
+pub fn resilient_floor(rows: &[ChaosRow]) -> bool {
+    at(rows, mid_mtbf_s(), true)
+        .is_some_and(|mid| mid.report.availability >= 0.99 && mid.report.e2e.p99 <= p99_bound_s())
+}
+
+/// Render the E14 table.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E14: serving under chaos (4 replicas, MTBF crash schedule, stragglers, corrupt outputs)",
+        &[
+            "mtbf_s",
+            "policy",
+            "offered",
+            "admitted",
+            "rejected",
+            "shed",
+            "completed",
+            "failed",
+            "degraded",
+            "retries",
+            "hedges",
+            "evictions",
+            "respawns",
+            "breaker_opens",
+            "availability",
+            "e2e_p50_ms",
+            "e2e_p99_ms",
+        ],
+    );
+    for r in sweep(scale, seed) {
+        let rep = &r.report;
+        table.push_row(vec![
+            fnum(r.mtbf_s),
+            if r.resilient { "resil" } else { "baseline" }.to_string(),
+            rep.offered.to_string(),
+            rep.admitted.to_string(),
+            rep.rejected.to_string(),
+            rep.shed.to_string(),
+            rep.completed.to_string(),
+            rep.failed.to_string(),
+            rep.degraded.to_string(),
+            rep.retries.to_string(),
+            rep.hedges.to_string(),
+            rep.evictions.to_string(),
+            rep.respawns.to_string(),
+            rep.breaker_opens.to_string(),
+            fnum(rep.availability),
+            fnum(rep.e2e.p50 * 1e3),
+            fnum(rep.e2e.p99 * 1e3),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_conserves_requests() {
+        let a = run(Scale::Smoke, 2017).to_csv();
+        let b = run(Scale::Smoke, 2017).to_csv();
+        assert_eq!(a, b, "same seed must give a byte-identical table");
+        let rows = sweep(Scale::Smoke, 2017);
+        assert_eq!(rows.len(), 2 * MTBF_GRID_S.len());
+        for r in &rows {
+            assert_eq!(r.report.offered, r.report.admitted + r.report.rejected);
+            assert_eq!(r.report.admitted, r.report.completed + r.report.failed + r.report.shed);
+        }
+    }
+
+    #[test]
+    fn cliff_and_floor_shapes_hold() {
+        let rows = sweep(Scale::Smoke, 2017);
+        assert!(baseline_cliff(&rows), "baseline availability should crater at mid MTBF");
+        assert!(resilient_floor(&rows), "standard policy should hold availability and p99");
+        // The resilience machinery actually engaged: retries, hedges, and
+        // eviction/respawn cycles are all non-zero at the mid point.
+        let Some(mid) = rows.iter().find(|r| r.mtbf_s == mid_mtbf_s() && r.resilient) else {
+            panic!("mid MTBF resilient row missing");
+        };
+        assert!(mid.report.retries > 0, "crashes must consume retries");
+        assert!(mid.report.hedges > 0, "stragglers must trigger hedges");
+        assert!(mid.report.evictions > 0 && mid.report.respawns > 0, "eviction cycle must run");
+        // The fault-free reference row is genuinely crash-free: even with
+        // health eviction armed, nothing gets evicted at MTBF 0.
+        let Some(clean) = rows.iter().find(|r| r.mtbf_s == 0.0 && r.resilient) else {
+            panic!("fault-free resilient row missing");
+        };
+        assert_eq!(clean.report.evictions, 0, "no crashes at MTBF 0");
+    }
+}

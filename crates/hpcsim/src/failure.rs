@@ -48,6 +48,26 @@ impl FailureModel {
         assert!(horizon >= 0.0, "negative horizon");
         1.0 - (-horizon / self.system_mtbf(nodes)).exp()
     }
+
+    /// Sorted absolute failure times of one component within
+    /// `[0, horizon_s)`, sampled from the exponential interarrival process
+    /// this model describes. Deterministic in `seed`.
+    ///
+    /// This is the same MTBF machinery E11 sweeps for training
+    /// checkpoint/restart, exposed so the serving resilience layer
+    /// (dd-serve replica chaos) draws its replica-crash schedule from one
+    /// failure model instead of reinventing it.
+    pub fn arrivals(&self, horizon_s: f64, seed: u64) -> Vec<f64> {
+        assert!(horizon_s >= 0.0, "negative horizon");
+        let mut rng = SimRng::new(seed);
+        let mut times = Vec::new();
+        let mut t = rng.exponential(self.node_mtbf);
+        while t < horizon_s {
+            times.push(t);
+            t += rng.exponential(self.node_mtbf);
+        }
+        times
+    }
 }
 
 /// Time to write and read back one checkpoint on a given tier.
@@ -228,6 +248,21 @@ mod tests {
         let p_large = model.failure_probability(1000, 3600.0);
         assert!(p_large > p_small);
         assert!((0.0..=1.0).contains(&p_large));
+    }
+
+    #[test]
+    fn arrivals_are_sorted_deterministic_and_rate_consistent() {
+        let model = FailureModel::new(100.0);
+        let a = model.arrivals(10_000.0, 7);
+        let b = model.arrivals(10_000.0, 7);
+        assert_eq!(a, b, "same seed must give identical schedules");
+        assert!(a.windows(2).all(|w| w[1] > w[0]), "arrival times must be increasing");
+        assert!(a.iter().all(|&t| (0.0..10_000.0).contains(&t)));
+        // Expected count = horizon / mtbf = 100; Poisson sd = 10.
+        assert!((70..=130).contains(&a.len()), "got {} arrivals", a.len());
+        let c = model.arrivals(10_000.0, 8);
+        assert_ne!(a, c, "different seeds should sample different schedules");
+        assert!(model.arrivals(0.0, 1).is_empty());
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub fn epoch_io(
 ) -> IoReport {
     assert!(shard_bytes >= 0.0, "negative shard size");
     assert!(epochs >= 1, "need at least one epoch");
-    let pfs = memory.tier(Tier::Pfs).expect("every hierarchy has a PFS");
+    let Some(pfs) = memory.tier(Tier::Pfs) else { unreachable!("every hierarchy has a PFS") };
     let stream = pfs.transfer_time(shard_bytes);
     match staging {
         Staging::StreamPfs => IoReport {
@@ -112,7 +112,9 @@ pub fn epoch_io(
             // epochs read from that tier.
             let gen = shard_bytes / GENERATE_RATE;
             let tier = memory.placement_for(shard_bytes);
-            let spec = memory.tier(tier).expect("placement returns an existing tier");
+            let Some(spec) = memory.tier(tier) else {
+                unreachable!("placement returns an existing tier")
+            };
             let steady = spec.transfer_time(shard_bytes);
             IoReport {
                 first_epoch: gen.max(steady),

@@ -40,7 +40,8 @@ impl EvolutionarySearch {
                 best = Some(cand);
             }
         }
-        &best.expect("non-empty population").0
+        let Some(best) = best else { unreachable!("non-empty population") };
+        &best.0
     }
 }
 

@@ -53,7 +53,7 @@ impl Searcher for LatinHypercube {
             if self.queue.is_empty() {
                 self.refill(space.dim(), rng);
             }
-            let encoded = self.queue.pop().expect("refilled above");
+            let Some(encoded) = self.queue.pop() else { unreachable!("refilled above") };
             out.push(Proposal { config: space.decode(&encoded), budget: 1.0 });
         }
         out

@@ -1,4 +1,4 @@
-//! The five policy families, implemented as token-stream scans over a
+//! The six policy families, implemented as token-stream scans over a
 //! [`FileCtx`].
 //!
 //! Every rule has a stable id `family/name`; ids are what allow annotations
@@ -33,12 +33,20 @@ pub const KNOWN_RULES: &[&str] = &[
     "single-clock/instant-now",
     "instrumentation/uncounted-kernel",
     "lossy-cast/float-to-int",
+    "resilience/unbounded-retry",
     "lint/bad-allow",
 ];
 
 /// Family prefixes accepted by allow annotations.
-pub const KNOWN_FAMILIES: &[&str] =
-    &["error-policy", "determinism", "single-clock", "instrumentation", "lossy-cast", "lint"];
+pub const KNOWN_FAMILIES: &[&str] = &[
+    "error-policy",
+    "determinism",
+    "single-clock",
+    "instrumentation",
+    "lossy-cast",
+    "resilience",
+    "lint",
+];
 
 /// Crates whose numeric results must be bit-reproducible: iteration order
 /// and wall-clock entropy must not leak into floats here. dd-serve is on
@@ -65,6 +73,7 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Diag> {
     single_clock(ctx, &mut out);
     instrumentation(ctx, &mut out);
     lossy_cast(ctx, &mut out);
+    unbounded_retry(ctx, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -370,6 +379,84 @@ fn instrumentation(ctx: &FileCtx, out: &mut Vec<Diag>) {
             );
         }
         i = close + 1;
+    }
+}
+
+/// Resilience policy: a `loop`/`while` that dispatches work or retries a
+/// call must carry evidence of a bound — an attempt cap, a deadline, or a
+/// budget — somewhere in the loop. Without one, a dead replica or a
+/// permanently failing callee turns the retry loop into a spin that never
+/// surfaces an error. `for` loops are exempt: their iterator is the bound.
+fn unbounded_retry(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    let t = &ctx.tokens;
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident
+            || !matches!(t[i].text.as_str(), "loop" | "while")
+            || ctx.in_test(t[i].line)
+        {
+            continue;
+        }
+        // Find the loop body: first `{` after the keyword (for `while` this
+        // also skips the condition; a `;` first means this `loop`/`while`
+        // was an identifier in disguise — nothing to check).
+        let mut k = i + 1;
+        let mut body = None;
+        while k < t.len() {
+            if t[k].kind == TokenKind::Punct {
+                match t[k].text.as_str() {
+                    "{" => {
+                        body = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(open) = body else { continue };
+        let Some(close) = matching(t, open, "{", "}") else { continue };
+        // The inspected region includes the `while` condition, so a bound
+        // expressed there (`while attempts < cap`) counts as evidence.
+        let region = &t[i..=close];
+        let dispatches = region.windows(2).any(|w| {
+            w[0].kind == TokenKind::Ident
+                && (w[0].text.starts_with("dispatch") || w[0].text.starts_with("retry"))
+                && w[1].kind == TokenKind::Punct
+                && w[1].text == "("
+        });
+        if !dispatches {
+            continue;
+        }
+        let bounded = region.iter().any(|tok| {
+            if tok.kind != TokenKind::Ident {
+                return false;
+            }
+            let l = tok.text.to_ascii_lowercase();
+            l.contains("attempt")
+                || l.contains("deadline")
+                || l.contains("budget")
+                || l.contains("exhaust")
+                || l.contains("tries")
+                || l.contains("remaining")
+                || l.contains("giveup")
+                || l.contains("give_up")
+        });
+        if !bounded {
+            push(
+                ctx,
+                out,
+                t[i].line,
+                "resilience/unbounded-retry",
+                "retry/dispatch loop with no visible bound: cap attempts, \
+                 check a deadline, or spend a budget (see ResilientCall) so \
+                 a dead replica cannot spin this loop forever"
+                    .into(),
+            );
+        }
     }
 }
 

@@ -114,6 +114,16 @@ fn lossy_cast_float_to_int() {
 }
 
 #[test]
+fn resilience_unbounded_retry() {
+    assert_fires("pos_unbounded_retry.rs", "dd-serve:lib", 2, "resilience/unbounded-retry");
+    assert_clean("neg_unbounded_retry.rs", "dd-serve:lib");
+    // The rule binds library code in every crate; the same loop in a test
+    // target is exempt.
+    let (code, stdout) = run("pos_unbounded_retry.rs", "dd-serve:test");
+    assert_eq!(code, 0, "test targets may spin-retry\nstdout: {stdout}");
+}
+
+#[test]
 fn lint_bad_allow() {
     assert_fires("pos_bad_allow.rs", "dd-nn:lib", 2, "lint/bad-allow");
     assert_clean("neg_bad_allow.rs", "dd-nn:lib");

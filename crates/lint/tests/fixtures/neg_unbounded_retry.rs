@@ -1,0 +1,18 @@
+fn serve(job: &str) -> Result<Vec<f32>, ()> {
+    let max_attempts = 4;
+    let mut attempts = 0;
+    while attempts < max_attempts {
+        attempts += 1;
+        if let Ok(y) = dispatch_batch(job) {
+            return Ok(y);
+        }
+    }
+    Err(())
+}
+
+fn drain(jobs: &[&str]) {
+    // `for` loops are bounded by their iterator.
+    for job in jobs {
+        let _ = dispatch_batch(job);
+    }
+}

@@ -123,6 +123,12 @@ pub fn counter(name: &str) -> u64 {
     global().counter(name)
 }
 
+/// Summary of one histogram (`None` when nothing was recorded under
+/// `name`). See [`Registry::hist_summary`].
+pub fn hist_summary(name: &str) -> Option<HistSummary> {
+    global().hist_summary(name)
+}
+
 /// Copy out everything collected so far.
 pub fn snapshot() -> Snapshot {
     global().snapshot()

@@ -239,6 +239,14 @@ impl Registry {
         self.counters.lock().expect("obs counters lock").get(name).copied().unwrap_or(0)
     }
 
+    /// Summary of one histogram; `None` when nothing was ever recorded
+    /// under `name` (including while the registry is disabled). Lets
+    /// adaptive policies (e.g. dd-serve's p99-derived hedge delay) read
+    /// observed latency without copying the whole snapshot.
+    pub fn hist_summary(&self, name: &str) -> Option<HistSummary> {
+        self.hists.lock().expect("obs hists lock").get(name).map(Histogram::summary)
+    }
+
     /// Copy out everything collected so far.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -339,6 +347,22 @@ mod tests {
         assert_eq!(snap.gauges["loss"], 0.25);
         assert_eq!(snap.hists["t"].count, 2);
         assert_eq!(snap.hists["t"].sum, 4.0);
+    }
+
+    #[test]
+    fn hist_summary_reads_one_histogram_without_a_snapshot() {
+        let _l = lock_registry();
+        let r = global();
+        r.reset();
+        r.enable();
+        assert!(r.hist_summary("svc").is_none(), "unrecorded name has no summary");
+        r.hist_record("svc", 0.010);
+        r.hist_record("svc", 0.020);
+        let s = r.hist_summary("svc").expect("recorded");
+        r.disable();
+        r.reset();
+        assert_eq!(s.count, 2);
+        assert!(s.p99 >= s.p50 && s.p50 > 0.0);
     }
 
     #[test]

@@ -39,6 +39,20 @@ pub enum ServeError {
     WorkerLost,
     /// A request carried an empty feature vector.
     EmptyRequest,
+    /// Every replica attempt failed (crash or corrupt output) and the
+    /// retry budget is exhausted.
+    ReplicaFailed {
+        /// Replica index of the last failed attempt.
+        replica: usize,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+    /// The circuit breaker for this model version is open and no fallback
+    /// snapshot could take the request.
+    CircuitOpen {
+        /// Snapshot version whose breaker rejected the dispatch.
+        version: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -58,6 +72,12 @@ impl std::fmt::Display for ServeError {
             ServeError::Checkpoint(e) => write!(f, "checkpoint load failed: {e}"),
             ServeError::WorkerLost => write!(f, "worker thread lost before answering"),
             ServeError::EmptyRequest => write!(f, "empty feature vector"),
+            ServeError::ReplicaFailed { replica, attempts } => {
+                write!(f, "replica {replica} failed; gave up after {attempts} attempts")
+            }
+            ServeError::CircuitOpen { version } => {
+                write!(f, "circuit breaker open for model version {version}")
+            }
         }
     }
 }
@@ -91,6 +111,8 @@ mod tests {
             (ServeError::ShuttingDown, "shutting down"),
             (ServeError::WorkerLost, "worker"),
             (ServeError::EmptyRequest, "empty"),
+            (ServeError::ReplicaFailed { replica: 2, attempts: 4 }, "gave up after 4 attempts"),
+            (ServeError::CircuitOpen { version: 7 }, "circuit breaker open"),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

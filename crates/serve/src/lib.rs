@@ -21,6 +21,13 @@
 //!   latency/throughput sweep is deterministic and byte-identical across
 //!   runs.
 //! * [`poisson_arrivals`] — a seeded open-loop Poisson load generator.
+//! * [`ResilPolicy`] / [`ResilientCall`] — the fault-tolerance decision
+//!   core: capped-backoff retries, p99-derived hedging, per-replica and
+//!   per-version circuit breakers with degraded-mode fallback. One state
+//!   machine drives both the threaded [`Server`] and the
+//!   [`simulate_chaos`] virtual-time twin, whose faults come from the
+//!   seeded [`FaultPlan`] injector (crash / straggle / corrupt) reusing
+//!   dd-hpcsim's MTBF model for replica failure arrivals.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +37,8 @@ pub mod dispatch;
 pub mod error;
 pub mod loadgen;
 pub mod registry;
+pub mod replica;
+pub mod resil;
 pub mod server;
 pub mod sim;
 
@@ -38,5 +47,12 @@ pub use dispatch::dispatch_batch;
 pub use error::ServeError;
 pub use loadgen::{poisson_arrivals, request_batch, LoadConfig};
 pub use registry::{ModelRegistry, ModelSnapshot};
-pub use server::{ResponseHandle, ServeConfig, Server, ServerStats};
-pub use sim::{simulate, ServiceModel, SimConfig, SimReport};
+pub use replica::{FaultPlan, FaultSpec, Injected, ReplicaSetState, VersionGuard};
+pub use resil::{
+    Action, AttemptOutcome, BreakerPolicy, BreakerState, CircuitBreaker, GiveUpReason, HedgePolicy,
+    ResilPolicy, ResilientCall, RetryPolicy,
+};
+pub use server::{ResilConfig, ResponseHandle, ServeConfig, Server, ServerStats};
+pub use sim::{
+    simulate, simulate_chaos, ChaosConfig, ChaosReport, ServiceModel, SimConfig, SimReport,
+};

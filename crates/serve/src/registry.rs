@@ -71,6 +71,7 @@ impl ModelSnapshot {
 /// Neither ever blocks on inference, which runs entirely outside the lock.
 pub struct ModelRegistry {
     models: RwLock<BTreeMap<String, Arc<ModelSnapshot>>>,
+    prior: RwLock<BTreeMap<String, Arc<ModelSnapshot>>>,
     next_version: AtomicU64,
 }
 
@@ -83,7 +84,11 @@ impl Default for ModelRegistry {
 impl ModelRegistry {
     /// Empty registry.
     pub fn new() -> Self {
-        ModelRegistry { models: RwLock::new(BTreeMap::new()), next_version: AtomicU64::new(1) }
+        ModelRegistry {
+            models: RwLock::new(BTreeMap::new()),
+            prior: RwLock::new(BTreeMap::new()),
+            next_version: AtomicU64::new(1),
+        }
     }
 
     /// Install (or hot-swap) a built model under `name`. Returns the new
@@ -101,7 +106,9 @@ impl ModelRegistry {
             input_dim,
             output_dim,
         });
-        self.models.write().insert(name.to_string(), snap);
+        if let Some(old) = self.models.write().insert(name.to_string(), snap) {
+            self.prior.write().insert(name.to_string(), old);
+        }
         dd_obs::counter_add("serve_model_swaps", 1);
         dd_obs::gauge_set("serve_models_loaded", self.models.read().len() as f64);
         version
@@ -124,14 +131,24 @@ impl ModelRegistry {
             .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
     }
 
+    /// The snapshot that `name` served before its most recent hot-swap —
+    /// the degraded-mode fallback when the current version's circuit
+    /// breaker is open. `None` until the model has been swapped at least
+    /// once (or after removal).
+    pub fn previous(&self, name: &str) -> Option<Arc<ModelSnapshot>> {
+        self.prior.read().get(name).cloned()
+    }
+
     /// Installed model names, sorted.
     pub fn names(&self) -> Vec<String> {
         self.models.read().keys().cloned().collect()
     }
 
-    /// Remove a model; returns whether it was present.
+    /// Remove a model (and its fallback history); returns whether it was
+    /// present.
     pub fn remove(&self, name: &str) -> bool {
         let removed = self.models.write().remove(name).is_some();
+        self.prior.write().remove(name);
         if removed {
             dd_obs::gauge_set("serve_models_loaded", self.models.read().len() as f64);
         }
@@ -185,6 +202,23 @@ mod tests {
         // And the registry now serves different weights.
         let newer = reg.get("clf").expect("swapped");
         assert_ne!(newer.predict(&x), y_old);
+    }
+
+    #[test]
+    fn previous_tracks_the_pre_swap_snapshot() {
+        let reg = ModelRegistry::new();
+        let (spec, model) = build(9);
+        let v1 = reg.install("clf", spec, model);
+        assert!(reg.previous("clf").is_none(), "no history before a swap");
+
+        let (spec2, model2) = build(10);
+        let v2 = reg.install("clf", spec2, model2);
+        let prev = reg.previous("clf").expect("history after swap");
+        assert_eq!(prev.version(), v1);
+        assert_eq!(reg.get("clf").expect("current").version(), v2);
+
+        reg.remove("clf");
+        assert!(reg.previous("clf").is_none(), "removal clears history");
     }
 
     #[test]

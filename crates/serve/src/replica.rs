@@ -1,0 +1,518 @@
+//! Replica health, deterministic fault injection, and version guarding.
+//!
+//! Three pieces, shared by the threaded server and the chaos simulator:
+//!
+//! * [`ReplicaSetState`] — what the balancer *believes* about its N
+//!   replicas: up/down, per-replica [`CircuitBreaker`]s, round-robin pick
+//!   with avoidance, eviction/respawn bookkeeping. Purely clock-driven, so
+//!   it runs on wall time and virtual time alike.
+//! * [`FaultSpec`] / [`FaultPlan`] — the *physical* truth: a seeded,
+//!   fully deterministic fault injector. Crashes arrive either on a
+//!   precomputed schedule (drawn from the dd-hpcsim MTBF model — the same
+//!   exponential machinery E11 sweeps for training) or per-dispatch with a
+//!   fixed probability; stragglers and corrupt outputs are per-attempt
+//!   draws from per-replica [`Rng64`] streams. Given a spec and a seed,
+//!   every engine observes the identical fault sequence.
+//! * [`VersionGuard`] — a per-model-version breaker: when the current
+//!   version keeps producing corrupt outputs its breaker opens and the
+//!   dispatcher falls back to the previous registry snapshot (degraded
+//!   mode) instead of failing requests.
+
+use crate::resil::{BreakerPolicy, BreakerState, CircuitBreaker};
+use dd_tensor::Rng64;
+use std::collections::BTreeMap;
+
+/// The balancer's view of one replica pool.
+#[derive(Debug, Clone)]
+pub struct ReplicaSetState {
+    respawn_s: f64,
+    rr: usize,
+    up: Vec<bool>,
+    down_until: Vec<f64>,
+    busy_until: Vec<f64>,
+    breakers: Vec<CircuitBreaker>,
+    evictions: u64,
+    respawns: u64,
+    breaker_opens: u64,
+}
+
+impl ReplicaSetState {
+    /// A pool of `replicas` healthy replicas. `respawn_s` is the believed
+    /// out-of-rotation time after an eviction (detection + restart).
+    pub fn new(replicas: usize, breaker: BreakerPolicy, respawn_s: f64) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        assert!(respawn_s >= 0.0 && respawn_s.is_finite(), "respawn_s must be >= 0");
+        ReplicaSetState {
+            respawn_s,
+            rr: 0,
+            up: vec![true; replicas],
+            down_until: vec![0.0; replicas],
+            busy_until: vec![0.0; replicas],
+            breakers: vec![CircuitBreaker::new(breaker); replicas],
+            evictions: 0,
+            respawns: 0,
+            breaker_opens: 0,
+        }
+    }
+
+    /// Pool size.
+    pub fn len(&self) -> usize {
+        self.up.len()
+    }
+
+    /// `true` when the pool is empty (never: construction requires >= 1).
+    pub fn is_empty(&self) -> bool {
+        self.up.is_empty()
+    }
+
+    /// Return evicted replicas whose respawn window has passed to rotation.
+    pub fn refresh(&mut self, now_s: f64) {
+        for r in 0..self.up.len() {
+            if !self.up[r] && self.down_until[r] <= now_s {
+                self.up[r] = true;
+                self.respawns += 1;
+            }
+        }
+    }
+
+    /// Evict `r` from rotation until `now_s + respawn_s` (health-check
+    /// path: an attempt observed the crash).
+    pub fn mark_down(&mut self, r: usize, now_s: f64) {
+        if self.up[r] {
+            self.up[r] = false;
+            self.down_until[r] = now_s + self.respawn_s;
+            self.evictions += 1;
+        }
+    }
+
+    /// Whether `r` is in rotation and its breaker passes traffic.
+    pub fn available(&self, r: usize, now_s: f64) -> bool {
+        self.up[r] && self.breakers[r].allow(now_s)
+    }
+
+    /// Earliest time `r` is believed back in rotation (`now_s` if up).
+    pub fn next_up_s(&self, r: usize, now_s: f64) -> f64 {
+        if self.up[r] {
+            now_s
+        } else {
+            self.down_until[r].max(now_s)
+        }
+    }
+
+    /// Report that `r` is occupied until `until_s` (virtual-time engines
+    /// only: the sim tells the balancer which replicas are mid-batch so
+    /// selection prefers idle ones; the threaded server runs attempts on
+    /// the calling worker and never reports busyness).
+    pub fn note_busy_until(&mut self, r: usize, until_s: f64) {
+        self.busy_until[r] = self.busy_until[r].max(until_s);
+    }
+
+    /// Round-robin pick over available replicas, preferring one that is
+    /// idle and different from `avoid` (the replica a retry or hedge just
+    /// gave up on). Falls back to an idle `avoid`, then to the
+    /// earliest-free busy replica; `None` when nothing is available.
+    /// Deterministic: the cursor advances past the choice.
+    pub fn pick(&mut self, now_s: f64, avoid: Option<usize>) -> Option<usize> {
+        let n = self.up.len();
+        let mut idle_avoid = None;
+        let mut busy_best: Option<usize> = None;
+        for i in 0..n {
+            let r = (self.rr + i) % n;
+            if !self.available(r, now_s) {
+                continue;
+            }
+            if self.busy_until[r] > now_s {
+                let better = match busy_best {
+                    None => true,
+                    Some(b) => self.busy_until[r] < self.busy_until[b],
+                };
+                if better {
+                    busy_best = Some(r);
+                }
+                continue;
+            }
+            if avoid == Some(r) {
+                idle_avoid = Some(r);
+                continue;
+            }
+            self.rr = (r + 1) % n;
+            return Some(r);
+        }
+        let choice = idle_avoid.or(busy_best);
+        if let Some(r) = choice {
+            self.rr = (r + 1) % n;
+        }
+        choice
+    }
+
+    /// Feed a success into `r`'s breaker.
+    pub fn on_success(&mut self, r: usize, now_s: f64) {
+        self.breakers[r].on_success(now_s);
+    }
+
+    /// Feed a failure into `r`'s breaker.
+    pub fn on_failure(&mut self, r: usize, now_s: f64) {
+        if self.breakers[r].on_failure(now_s) {
+            self.breaker_opens += 1;
+        }
+    }
+
+    /// Breaker state of `r` as of `now_s`.
+    pub fn breaker_state(&self, r: usize, now_s: f64) -> BreakerState {
+        self.breakers[r].state(now_s)
+    }
+
+    /// Number of replicas whose breaker is open at `now_s` (gauge feed).
+    pub fn open_breakers(&self, now_s: f64) -> usize {
+        (0..self.up.len()).filter(|&r| self.breaker_state(r, now_s) == BreakerState::Open).count()
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Respawns so far.
+    pub fn respawns(&self) -> u64 {
+        self.respawns
+    }
+
+    /// Breaker trips so far.
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker_opens
+    }
+}
+
+/// Deterministic fault-injection knobs for one chaos run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-attempt crash probability in `[0, 1]` (the count-based mode the
+    /// threaded tests use; `0` disables). Schedule-based crashes come from
+    /// [`FaultPlan::with_crash_schedule`] instead.
+    pub crash_per_dispatch: f64,
+    /// Per-attempt straggler probability in `[0, 1]`.
+    pub straggle_p: f64,
+    /// Mean injected straggler delay, seconds (each draw is
+    /// `straggle_s · (0.5 + u)`, so delays span 0.5–1.5× the mean).
+    pub straggle_s: f64,
+    /// Per-attempt corrupt-output probability in `[0, 1]`.
+    pub corrupt_p: f64,
+    /// Physical out-of-service time after a crash, seconds.
+    pub respawn_s: f64,
+    /// Root seed for the per-replica draw streams.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// No faults at all (probabilities zero, a token respawn window).
+    pub fn none() -> Self {
+        FaultSpec {
+            crash_per_dispatch: 0.0,
+            straggle_p: 0.0,
+            straggle_s: 0.0,
+            corrupt_p: 0.0,
+            respawn_s: 0.05,
+            seed: 0,
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("crash_per_dispatch", self.crash_per_dispatch),
+            ("straggle_p", self.straggle_p),
+            ("corrupt_p", self.corrupt_p),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+        }
+        assert!(self.straggle_s >= 0.0 && self.straggle_s.is_finite(), "bad straggle_s");
+        assert!(self.respawn_s >= 0.0 && self.respawn_s.is_finite(), "bad respawn_s");
+    }
+}
+
+/// What the injector decided for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Injected {
+    /// No fault: the attempt runs normally.
+    None,
+    /// The replica is (or goes) down `after_s` seconds into the attempt.
+    Crash {
+        /// Seconds into the attempt the crash bites (0 = already dead).
+        after_s: f64,
+    },
+    /// The attempt completes but takes `delay_s` extra seconds.
+    Straggle {
+        /// Injected extra latency, seconds.
+        delay_s: f64,
+    },
+    /// The attempt completes with a corrupt (non-finite) output.
+    Corrupt,
+}
+
+/// Seeded deterministic fault injector — the physical truth of the pool.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    rngs: Vec<Rng64>,
+    schedule: Vec<Vec<f64>>,
+    cursor: Vec<usize>,
+    phys_down_until: Vec<f64>,
+}
+
+impl FaultPlan {
+    /// Injector for `replicas` replicas with per-dispatch (count-based)
+    /// crashes only.
+    pub fn new(spec: FaultSpec, replicas: usize) -> Self {
+        Self::with_crash_schedule(spec, vec![Vec::new(); replicas])
+    }
+
+    /// Injector whose crashes follow precomputed absolute arrival times per
+    /// replica — e.g. `dd_hpcsim::FailureModel::new(mtbf).arrivals(horizon,
+    /// seed + r)`, reusing the E11 MTBF model for replica failures. Arrival
+    /// times falling inside a down window are skipped (a dead replica
+    /// cannot die again).
+    pub fn with_crash_schedule(spec: FaultSpec, schedule: Vec<Vec<f64>>) -> Self {
+        spec.validate();
+        assert!(!schedule.is_empty(), "need at least one replica");
+        let n = schedule.len();
+        let root = Rng64::new(spec.seed);
+        let rngs = (0..n).map(|r| root.split(r as u64)).collect();
+        FaultPlan { spec, rngs, schedule, cursor: vec![0; n], phys_down_until: vec![0.0; n] }
+    }
+
+    /// Pool size.
+    pub fn replicas(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Whether replica `r` is physically down at `at_s`.
+    pub fn is_down(&self, r: usize, at_s: f64) -> bool {
+        at_s < self.phys_down_until[r]
+    }
+
+    /// Decide the fate of one attempt on replica `r` starting at `at_s`
+    /// and expected to run `service_s` seconds. Draw order is fixed
+    /// (crash, straggle, corrupt) so the per-replica streams are
+    /// reproducible regardless of outcomes.
+    pub fn inject(&mut self, r: usize, at_s: f64, service_s: f64) -> Injected {
+        // 1. Already inside a down window: the attempt fails instantly.
+        if at_s < self.phys_down_until[r] {
+            return Injected::Crash { after_s: 0.0 };
+        }
+        // 2. Schedule-based crashes. Skip arrivals that fell inside past
+        //    down windows, then check whether one lands before this
+        //    attempt finishes.
+        while self.cursor[r] < self.schedule[r].len()
+            && self.schedule[r][self.cursor[r]] < self.phys_down_until[r]
+        {
+            self.cursor[r] += 1;
+        }
+        if let Some(&c) = self.schedule[r].get(self.cursor[r]) {
+            if c <= at_s + service_s {
+                self.cursor[r] += 1;
+                self.phys_down_until[r] = c.max(at_s) + self.spec.respawn_s;
+                return Injected::Crash { after_s: (c - at_s).max(0.0) };
+            }
+        }
+        // 3. Count-based crashes.
+        if self.spec.crash_per_dispatch > 0.0
+            && self.rngs[r].uniform() < self.spec.crash_per_dispatch
+        {
+            self.phys_down_until[r] = at_s + self.spec.respawn_s;
+            return Injected::Crash { after_s: 0.0 };
+        }
+        // 4. Stragglers.
+        if self.spec.straggle_p > 0.0 && self.rngs[r].uniform() < self.spec.straggle_p {
+            let delay_s = self.spec.straggle_s * (0.5 + self.rngs[r].uniform());
+            return Injected::Straggle { delay_s };
+        }
+        // 5. Corrupt outputs.
+        if self.spec.corrupt_p > 0.0 && self.rngs[r].uniform() < self.spec.corrupt_p {
+            return Injected::Corrupt;
+        }
+        Injected::None
+    }
+}
+
+/// Per-model-version circuit breakers driving degraded-mode fallback.
+///
+/// Corrupt outputs are attributed to the snapshot *version* that produced
+/// them; when a version's breaker opens, [`VersionGuard::allow`] denies it
+/// and the dispatcher routes to the previous registry snapshot instead
+/// ([`crate::registry::ModelRegistry::previous`]). Old entries are pruned
+/// so a long-lived server does not accumulate breakers.
+#[derive(Debug, Clone)]
+pub struct VersionGuard {
+    policy: BreakerPolicy,
+    breakers: BTreeMap<u64, CircuitBreaker>,
+}
+
+/// Versions retained per guard; hot-swap churn beyond this is pruned.
+const GUARD_CAPACITY: usize = 8;
+
+impl VersionGuard {
+    /// A guard whose per-version breakers use `policy`.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        VersionGuard { policy, breakers: BTreeMap::new() }
+    }
+
+    fn breaker(&mut self, version: u64) -> &mut CircuitBreaker {
+        if !self.breakers.contains_key(&version) {
+            while self.breakers.len() >= GUARD_CAPACITY {
+                let Some((&oldest, _)) = self.breakers.iter().next() else { break };
+                self.breakers.remove(&oldest);
+            }
+            self.breakers.insert(version, CircuitBreaker::new(self.policy));
+        }
+        // The entry was just ensured above.
+        let Some(b) = self.breakers.get_mut(&version) else {
+            unreachable!("breaker inserted above")
+        };
+        b
+    }
+
+    /// Whether `version` may serve traffic at `now_s`.
+    pub fn allow(&mut self, version: u64, now_s: f64) -> bool {
+        self.breaker(version).allow(now_s)
+    }
+
+    /// Breaker state of `version` at `now_s`.
+    pub fn state(&mut self, version: u64, now_s: f64) -> BreakerState {
+        self.breaker(version).state(now_s)
+    }
+
+    /// Attribute a corrupt output to `version`.
+    pub fn record_failure(&mut self, version: u64, now_s: f64) {
+        self.breaker(version).on_failure(now_s);
+    }
+
+    /// Attribute a valid answer to `version`.
+    pub fn record_success(&mut self, version: u64, now_s: f64) {
+        self.breaker(version).on_success(now_s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(n: usize) -> ReplicaSetState {
+        ReplicaSetState::new(n, BreakerPolicy::new(2, 0.5, 1), 0.25)
+    }
+
+    #[test]
+    fn pick_round_robins_and_avoids() {
+        let mut s = set(3);
+        assert_eq!(s.pick(0.0, None), Some(0));
+        assert_eq!(s.pick(0.0, None), Some(1));
+        assert_eq!(s.pick(0.0, None), Some(2));
+        assert_eq!(s.pick(0.0, None), Some(0));
+        // Cursor sits at 1; avoiding 1 must skip to 2.
+        assert_eq!(s.pick(0.0, Some(1)), Some(2));
+    }
+
+    #[test]
+    fn eviction_respawn_cycle_counts() {
+        let mut s = set(2);
+        s.mark_down(0, 0.0);
+        s.mark_down(0, 0.01); // idempotent while down
+        assert_eq!(s.evictions(), 1);
+        assert!(!s.available(0, 0.1));
+        assert_eq!(s.pick(0.1, None), Some(1));
+        assert_eq!(s.next_up_s(0, 0.1), 0.25);
+        s.refresh(0.3);
+        assert!(s.available(0, 0.3));
+        assert_eq!(s.respawns(), 1);
+    }
+
+    #[test]
+    fn avoid_is_used_as_a_last_resort() {
+        let mut s = set(2);
+        s.mark_down(1, 0.0);
+        assert_eq!(s.pick(0.0, Some(0)), Some(0), "only replica left wins despite avoid");
+        s.mark_down(0, 0.0);
+        assert_eq!(s.pick(0.0, None), None, "everything down");
+    }
+
+    #[test]
+    fn open_breaker_removes_a_replica_from_rotation() {
+        let mut s = set(2);
+        s.on_failure(0, 0.0);
+        s.on_failure(0, 0.0);
+        assert_eq!(s.breaker_state(0, 0.0), BreakerState::Open);
+        assert_eq!(s.breaker_opens(), 1);
+        assert_eq!(s.open_breakers(0.0), 1);
+        assert!(!s.available(0, 0.1));
+        assert_eq!(s.pick(0.1, None), Some(1));
+        // Past open_s the breaker probes and the replica is pickable again.
+        assert!(s.available(0, 0.6));
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_per_seed() {
+        let spec = FaultSpec {
+            crash_per_dispatch: 0.1,
+            straggle_p: 0.2,
+            straggle_s: 0.01,
+            corrupt_p: 0.1,
+            respawn_s: 0.1,
+            seed: 42,
+        };
+        let mut a = FaultPlan::new(spec, 2);
+        let mut b = FaultPlan::new(spec, 2);
+        let seq_a: Vec<Injected> =
+            (0..200).map(|i| a.inject(i % 2, i as f64 * 1e-3, 1e-4)).collect();
+        let seq_b: Vec<Injected> =
+            (0..200).map(|i| b.inject(i % 2, i as f64 * 1e-3, 1e-4)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|i| matches!(i, Injected::Crash { .. })));
+        assert!(seq_a.iter().any(|i| matches!(i, Injected::Straggle { .. })));
+        let mut c = FaultPlan::new(FaultSpec { seed: 43, ..spec }, 2);
+        let seq_c: Vec<Injected> =
+            (0..200).map(|i| c.inject(i % 2, i as f64 * 1e-3, 1e-4)).collect();
+        assert_ne!(seq_a, seq_c, "different seeds should inject differently");
+    }
+
+    #[test]
+    fn scheduled_crash_bites_mid_attempt_and_respawns() {
+        let spec = FaultSpec { respawn_s: 0.5, ..FaultSpec::none() };
+        let mut p = FaultPlan::with_crash_schedule(spec, vec![vec![1.0, 1.2, 3.0]]);
+        // Attempt spanning the 1.0s arrival crashes 0.4s in.
+        assert_eq!(p.inject(0, 0.6, 0.5), Injected::Crash { after_s: 0.4 });
+        assert!(p.is_down(0, 1.2));
+        // Still down: instant failure; the 1.2s arrival inside the down
+        // window is swallowed.
+        assert_eq!(p.inject(0, 1.3, 0.1), Injected::Crash { after_s: 0.0 });
+        // Back up at 1.5; clean until the 3.0s arrival.
+        assert_eq!(p.inject(0, 1.6, 0.1), Injected::None);
+        let Injected::Crash { after_s } = p.inject(0, 2.95, 0.1) else {
+            panic!("3.0s arrival must bite");
+        };
+        assert!((after_s - 0.05).abs() < 1e-12, "crash 0.05s into the attempt, got {after_s}");
+    }
+
+    #[test]
+    fn no_fault_spec_injects_nothing() {
+        let mut p = FaultPlan::new(FaultSpec::none(), 3);
+        for i in 0..100 {
+            assert_eq!(p.inject(i % 3, i as f64, 1e-3), Injected::None);
+        }
+    }
+
+    #[test]
+    fn version_guard_opens_per_version_and_prunes() {
+        let mut g = VersionGuard::new(BreakerPolicy::new(2, 1.0, 1));
+        assert!(g.allow(7, 0.0));
+        g.record_failure(7, 0.0);
+        g.record_failure(7, 0.1);
+        assert!(!g.allow(7, 0.2), "version 7 breaker must be open");
+        assert!(g.allow(6, 0.2), "older version keeps its own breaker");
+        g.record_success(6, 0.2);
+        assert_eq!(g.state(6, 0.3), BreakerState::Closed);
+        // Churn far past capacity: the guard must stay bounded and keep
+        // answering.
+        for v in 100..200 {
+            g.record_failure(v, 1.0);
+        }
+        assert!(g.allow(199, 1.0));
+    }
+}

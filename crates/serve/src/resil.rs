@@ -1,0 +1,671 @@
+//! Resilience decision core: retries, hedging, and circuit breaking.
+//!
+//! This module is the *single* home of the serving resilience policy. The
+//! threaded [`crate::server::Server`] and the virtual-time chaos simulator
+//! ([`crate::sim::simulate_chaos`]) both drive the same per-request state
+//! machine, [`ResilientCall`]: they ask it what to do next ([`Action`]),
+//! perform the attempt themselves (real inference vs. analytic pricing),
+//! and report back what happened ([`AttemptOutcome`]). Neither engine
+//! contains any retry/hedge/breaker logic of its own, so a decision taken
+//! on an event trace is identical in both worlds — the sim-twin parity the
+//! E14 experiment depends on (see `tests/resilience.rs`).
+//!
+//! The three policies:
+//!
+//! * [`RetryPolicy`] — capped exponential backoff with deterministic
+//!   jitter drawn from the caller's [`Rng64`] stream.
+//! * [`HedgePolicy`] — after a p99-derived delay, abandon a straggling
+//!   attempt and re-dispatch on another replica. Hedges never double-answer
+//!   a request: the drain path answers through a `bounded(1)` channel, so
+//!   exactly-once semantics are preserved by construction.
+//! * [`BreakerPolicy`] / [`CircuitBreaker`] — the classic
+//!   closed → open → half-open machine, evaluated purely in terms of a
+//!   caller-supplied clock reading (the dd-obs monotonic clock in the live
+//!   server, virtual time in the sim).
+
+use crate::replica::ReplicaSetState;
+use dd_tensor::Rng64;
+
+/// Retry budget and capped exponential backoff with jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, seconds.
+    pub base_backoff_s: f64,
+    /// Backoff cap, seconds.
+    pub max_backoff_s: f64,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by
+    /// `1 - jitter·u` with `u ~ U[0,1)` from the caller's RNG stream.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// New policy; `max_attempts >= 1`, finite non-negative backoffs with
+    /// `max >= base`, jitter in `[0, 1]`.
+    pub fn new(max_attempts: u32, base_backoff_s: f64, max_backoff_s: f64, jitter: f64) -> Self {
+        assert!(max_attempts >= 1, "max_attempts must be >= 1");
+        assert!(base_backoff_s.is_finite() && base_backoff_s >= 0.0, "base backoff must be >= 0");
+        assert!(max_backoff_s.is_finite() && max_backoff_s >= base_backoff_s, "cap below base");
+        assert!((0.0..=1.0).contains(&jitter), "jitter must be in [0, 1]");
+        RetryPolicy { max_attempts, base_backoff_s, max_backoff_s, jitter }
+    }
+
+    /// One attempt, no backoff — the no-retry baseline.
+    pub fn disabled() -> Self {
+        RetryPolicy::new(1, 0.0, 0.0, 0.0)
+    }
+
+    /// Backoff before the retry that follows failure number `failures`
+    /// (1-based). Deterministic given the RNG stream position.
+    pub fn backoff_s(&self, failures: u32, rng: &mut Rng64) -> f64 {
+        if self.base_backoff_s <= 0.0 {
+            return 0.0;
+        }
+        let exp = failures.saturating_sub(1).min(52);
+        let raw = self.base_backoff_s * (1u64 << exp) as f64;
+        let capped = raw.min(self.max_backoff_s);
+        capped * (1.0 - self.jitter * rng.uniform())
+    }
+}
+
+/// Hedged-dispatch policy: give a straggling attempt `delay_s` seconds,
+/// then abandon it and try another replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Seconds to wait on one attempt before hedging. `0.0` is the *auto*
+    /// sentinel: resolve from an observed service-time p99 via
+    /// [`HedgePolicy::resolved`] before driving a call. `f64::INFINITY`
+    /// never hedges.
+    pub delay_s: f64,
+    /// Maximum hedged re-dispatches per request.
+    pub max_hedges: u32,
+}
+
+impl HedgePolicy {
+    /// Never hedge.
+    pub fn disabled() -> Self {
+        HedgePolicy { delay_s: f64::INFINITY, max_hedges: 0 }
+    }
+
+    /// Hedge after a fixed delay, at most `max_hedges` times per request.
+    pub fn after(delay_s: f64, max_hedges: u32) -> Self {
+        assert!(delay_s > 0.0, "hedge delay must be positive");
+        HedgePolicy { delay_s, max_hedges }
+    }
+
+    /// Auto mode: derive the delay from the observed service-time p99 at
+    /// dispatch time (see [`HedgePolicy::resolved`]).
+    pub fn auto(max_hedges: u32) -> Self {
+        HedgePolicy { delay_s: 0.0, max_hedges }
+    }
+
+    /// Resolve the auto sentinel against an observed service-time p99
+    /// (e.g. `dd_obs::hist_summary("serve_service_seconds")` in the live
+    /// server, the accumulated service histogram in the sim). `floor_s`
+    /// bounds the delay from below so a cold histogram cannot produce a
+    /// hair-trigger hedge. Fixed delays pass through unchanged.
+    pub fn resolved(self, observed_p99_s: Option<f64>, floor_s: f64) -> Self {
+        if self.delay_s > 0.0 {
+            return self;
+        }
+        let p99 = observed_p99_s.filter(|p| p.is_finite() && *p > 0.0).unwrap_or(floor_s);
+        HedgePolicy { delay_s: p99.max(floor_s), max_hedges: self.max_hedges }
+    }
+}
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Seconds the breaker stays open before probing (half-open).
+    pub open_s: f64,
+    /// Half-open successes required to close again.
+    pub half_open_successes: u32,
+}
+
+impl BreakerPolicy {
+    /// New policy; threshold and probe count must be >= 1, open time > 0.
+    pub fn new(failure_threshold: u32, open_s: f64, half_open_successes: u32) -> Self {
+        assert!(failure_threshold >= 1, "failure_threshold must be >= 1");
+        assert!(open_s > 0.0 && open_s.is_finite(), "open_s must be positive");
+        assert!(half_open_successes >= 1, "half_open_successes must be >= 1");
+        BreakerPolicy { failure_threshold, open_s, half_open_successes }
+    }
+
+    /// A breaker that never trips (the baseline configuration).
+    pub fn disabled() -> Self {
+        BreakerPolicy { failure_threshold: u32::MAX, open_s: 1.0, half_open_successes: 1 }
+    }
+}
+
+/// Observable breaker state at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; consecutive failures are being counted.
+    Closed,
+    /// Tripped: no traffic until `open_s` elapses.
+    Open,
+    /// Probing: traffic allowed, the next outcomes decide open vs closed.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerInner {
+    Closed { failures: u32 },
+    Open { since_s: f64 },
+    HalfOpen { successes: u32 },
+}
+
+/// The closed/open/half-open machine, pure in the caller's clock: every
+/// transition is a function of `(state, outcome, now_s)`, so the same
+/// breaker code runs on dd-obs wall time and on simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    inner: BreakerInner,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        CircuitBreaker { policy, inner: BreakerInner::Closed { failures: 0 } }
+    }
+
+    /// State as of `now_s` (an elapsed open period reads as half-open).
+    pub fn state(&self, now_s: f64) -> BreakerState {
+        match self.inner {
+            BreakerInner::Closed { .. } => BreakerState::Closed,
+            BreakerInner::HalfOpen { .. } => BreakerState::HalfOpen,
+            BreakerInner::Open { since_s } => {
+                if now_s - since_s >= self.policy.open_s {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+        }
+    }
+
+    /// Whether a dispatch may pass at `now_s` (closed or probing).
+    pub fn allow(&self, now_s: f64) -> bool {
+        self.state(now_s) != BreakerState::Open
+    }
+
+    /// Record a successful attempt.
+    pub fn on_success(&mut self, now_s: f64) {
+        self.inner = match self.state(now_s) {
+            BreakerState::Closed => BreakerInner::Closed { failures: 0 },
+            BreakerState::Open => self.inner,
+            BreakerState::HalfOpen => {
+                let successes = match self.inner {
+                    BreakerInner::HalfOpen { successes } => successes + 1,
+                    _ => 1,
+                };
+                if successes >= self.policy.half_open_successes {
+                    BreakerInner::Closed { failures: 0 }
+                } else {
+                    BreakerInner::HalfOpen { successes }
+                }
+            }
+        };
+    }
+
+    /// Record a failed attempt; returns `true` when this failure newly
+    /// tripped the breaker open.
+    pub fn on_failure(&mut self, now_s: f64) -> bool {
+        match self.state(now_s) {
+            BreakerState::Closed => {
+                let failures = match self.inner {
+                    BreakerInner::Closed { failures } => failures + 1,
+                    _ => 1,
+                };
+                if failures >= self.policy.failure_threshold {
+                    self.inner = BreakerInner::Open { since_s: now_s };
+                    true
+                } else {
+                    self.inner = BreakerInner::Closed { failures };
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.inner = BreakerInner::Open { since_s: now_s };
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+}
+
+/// The full resilience configuration one engine drives requests with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilPolicy {
+    /// Retry budget and backoff.
+    pub retry: RetryPolicy,
+    /// Hedged-dispatch policy.
+    pub hedge: HedgePolicy,
+    /// Per-replica breaker thresholds.
+    pub breaker: BreakerPolicy,
+    /// Evict a replica from rotation when an attempt observes its crash
+    /// (the health-check path). The no-resilience baseline turns this off:
+    /// a dumb balancer keeps routing a share of traffic to the corpse
+    /// until it respawns — the availability cliff E14 measures.
+    pub health_eviction: bool,
+}
+
+impl ResilPolicy {
+    /// Everything off: one attempt, no hedge, breaker never trips, no
+    /// health eviction. The E14 "no-retry" baseline.
+    pub fn disabled() -> Self {
+        ResilPolicy {
+            retry: RetryPolicy::disabled(),
+            hedge: HedgePolicy::disabled(),
+            breaker: BreakerPolicy::disabled(),
+            health_eviction: false,
+        }
+    }
+
+    /// A sane default: 4 attempts with 1 ms..16 ms jittered backoff, one
+    /// auto-delay hedge, breaker tripping after 3 consecutive failures.
+    pub fn standard() -> Self {
+        ResilPolicy {
+            retry: RetryPolicy::new(4, 1e-3, 16e-3, 0.5),
+            hedge: HedgePolicy::auto(1),
+            breaker: BreakerPolicy::new(3, 0.25, 1),
+            health_eviction: true,
+        }
+    }
+
+    /// This policy with its hedge replaced (used to resolve auto hedging
+    /// against an observed p99 right before driving a call).
+    pub fn with_hedge(self, hedge: HedgePolicy) -> Self {
+        ResilPolicy { hedge, ..self }
+    }
+}
+
+/// What one attempt reported back to the decision core. `elapsed_s` is the
+/// request-visible time the attempt consumed (real elapsed seconds in the
+/// threaded server, virtual seconds in the sim).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttemptOutcome {
+    /// The attempt produced a valid answer.
+    Done {
+        /// Seconds the attempt took.
+        elapsed_s: f64,
+    },
+    /// The attempt exceeded the hedge wait cap and was abandoned.
+    TimedOut {
+        /// Seconds waited before abandoning (the wait cap).
+        elapsed_s: f64,
+    },
+    /// The replica crashed before answering.
+    Crashed {
+        /// Seconds until the crash was observed.
+        elapsed_s: f64,
+    },
+    /// The replica answered with an invalid (non-finite) output.
+    Corrupt {
+        /// Seconds the attempt took.
+        elapsed_s: f64,
+    },
+}
+
+impl AttemptOutcome {
+    /// Request-visible seconds this attempt consumed.
+    pub fn elapsed_s(&self) -> f64 {
+        match *self {
+            AttemptOutcome::Done { elapsed_s }
+            | AttemptOutcome::TimedOut { elapsed_s }
+            | AttemptOutcome::Crashed { elapsed_s }
+            | AttemptOutcome::Corrupt { elapsed_s } => elapsed_s,
+        }
+    }
+}
+
+/// Why a call gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GiveUpReason {
+    /// The retry budget is spent.
+    Exhausted {
+        /// Replica of the final failed attempt.
+        last_replica: usize,
+        /// Failed attempts consumed.
+        attempts: u32,
+    },
+    /// No replica was available to try (all down or breaker-open).
+    NoReplica,
+}
+
+/// What the engine should do next for one in-flight request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Run one attempt on `replica`, abandoning it (as
+    /// [`AttemptOutcome::TimedOut`]) once it has consumed `wait_cap_s`
+    /// seconds without answering.
+    Try {
+        /// Replica to dispatch on.
+        replica: usize,
+        /// Hedge wait cap for this attempt, seconds (∞ = never abandon).
+        wait_cap_s: f64,
+    },
+    /// Back off for `seconds` before asking again.
+    Wait {
+        /// Seconds to wait.
+        seconds: f64,
+    },
+    /// The request succeeded on `replica`; stop.
+    Finish {
+        /// Replica that answered.
+        replica: usize,
+    },
+    /// The request failed; stop and answer with a typed error.
+    GiveUp {
+        /// Why the call is being abandoned.
+        reason: GiveUpReason,
+    },
+}
+
+/// Per-request resilience state machine — the decision core itself.
+///
+/// Drive it as: `loop { match call.next(..) { Try => run + observe, Wait =>
+/// sleep/advance, Finish | GiveUp => break } }`. Both engines use exactly
+/// this loop; see the module docs for the parity argument.
+#[derive(Debug, Clone)]
+pub struct ResilientCall {
+    policy: ResilPolicy,
+    tries: u32,
+    failures: u32,
+    hedges: u32,
+    pending_wait: Option<f64>,
+    avoid: Option<usize>,
+    last: usize,
+    finished: Option<usize>,
+    gave_up: Option<GiveUpReason>,
+}
+
+impl ResilientCall {
+    /// Fresh state for one request under `policy`. Resolve auto hedging
+    /// ([`HedgePolicy::resolved`]) before constructing the call.
+    pub fn new(policy: ResilPolicy) -> Self {
+        ResilientCall {
+            policy,
+            tries: 0,
+            failures: 0,
+            hedges: 0,
+            pending_wait: None,
+            avoid: None,
+            last: 0,
+            finished: None,
+            gave_up: None,
+        }
+    }
+
+    /// Attempts issued so far (including hedges).
+    pub fn tries(&self) -> u32 {
+        self.tries
+    }
+
+    /// Failed attempts so far (crashes + corrupt outputs; hedged
+    /// abandonments are not failures).
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Hedged re-dispatches so far.
+    pub fn hedges(&self) -> u32 {
+        self.hedges
+    }
+
+    /// Retries consumed: issued attempts beyond the first that were not
+    /// hedges.
+    pub fn retries(&self) -> u32 {
+        self.tries.saturating_sub(1).saturating_sub(self.hedges)
+    }
+
+    /// Decide the next step at `now_s` against the replica-set state.
+    pub fn next(&mut self, set: &mut ReplicaSetState, now_s: f64) -> Action {
+        if let Some(replica) = self.finished {
+            return Action::Finish { replica };
+        }
+        if let Some(reason) = self.gave_up {
+            return Action::GiveUp { reason };
+        }
+        if let Some(seconds) = self.pending_wait.take() {
+            return Action::Wait { seconds };
+        }
+        set.refresh(now_s);
+        if self.failures >= self.policy.retry.max_attempts {
+            let reason =
+                GiveUpReason::Exhausted { last_replica: self.last, attempts: self.failures };
+            self.gave_up = Some(reason);
+            return Action::GiveUp { reason };
+        }
+        let Some(replica) = set.pick(now_s, self.avoid) else {
+            let reason = GiveUpReason::NoReplica;
+            self.gave_up = Some(reason);
+            return Action::GiveUp { reason };
+        };
+        self.tries += 1;
+        self.last = replica;
+        let hedge = self.policy.hedge;
+        let wait_cap_s = if self.hedges < hedge.max_hedges && hedge.delay_s > 0.0 {
+            hedge.delay_s
+        } else {
+            f64::INFINITY
+        };
+        Action::Try { replica, wait_cap_s }
+    }
+
+    /// Report what the attempt on `replica` did, updating replica health,
+    /// its breaker, and this call's retry/hedge budget. `now_s` is the
+    /// clock *after* the attempt.
+    pub fn observe(
+        &mut self,
+        set: &mut ReplicaSetState,
+        replica: usize,
+        outcome: AttemptOutcome,
+        now_s: f64,
+        rng: &mut Rng64,
+    ) {
+        match outcome {
+            AttemptOutcome::Done { .. } => {
+                set.on_success(replica, now_s);
+                self.finished = Some(replica);
+            }
+            AttemptOutcome::TimedOut { .. } => {
+                // A straggler, not a failure: hedge to another replica
+                // without touching the breaker or the retry budget.
+                self.hedges += 1;
+                self.avoid = Some(replica);
+            }
+            AttemptOutcome::Crashed { .. } => {
+                if self.policy.health_eviction {
+                    set.mark_down(replica, now_s);
+                }
+                set.on_failure(replica, now_s);
+                self.fail(replica, now_s, rng);
+            }
+            AttemptOutcome::Corrupt { .. } => {
+                set.on_failure(replica, now_s);
+                self.fail(replica, now_s, rng);
+            }
+        }
+    }
+
+    fn fail(&mut self, replica: usize, _now_s: f64, rng: &mut Rng64) {
+        self.failures += 1;
+        self.avoid = Some(replica);
+        if self.failures < self.policy.retry.max_attempts {
+            let backoff = self.policy.retry.backoff_s(self.failures, rng);
+            if backoff > 0.0 {
+                self.pending_wait = Some(backoff);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let p = RetryPolicy::new(5, 1e-3, 4e-3, 0.0);
+        let mut rng = Rng64::new(1);
+        assert_eq!(p.backoff_s(1, &mut rng), 1e-3);
+        assert_eq!(p.backoff_s(2, &mut rng), 2e-3);
+        assert_eq!(p.backoff_s(3, &mut rng), 4e-3);
+        assert_eq!(p.backoff_s(4, &mut rng), 4e-3, "must cap at max_backoff_s");
+
+        let j = RetryPolicy::new(5, 1e-3, 4e-3, 0.5);
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        let xa = j.backoff_s(2, &mut a);
+        let xb = j.backoff_s(2, &mut b);
+        assert_eq!(xa, xb, "same stream position must give the same jitter");
+        assert!(xa > 1e-3 && xa <= 2e-3, "jitter only shrinks the backoff: {xa}");
+        assert_eq!(RetryPolicy::disabled().backoff_s(1, &mut a), 0.0);
+    }
+
+    #[test]
+    fn hedge_auto_resolves_against_observed_p99() {
+        let auto = HedgePolicy::auto(2);
+        let r = auto.resolved(Some(0.012), 0.002);
+        assert_eq!(r.delay_s, 0.012);
+        assert_eq!(r.max_hedges, 2);
+        assert_eq!(auto.resolved(None, 0.002).delay_s, 0.002, "cold histogram uses the floor");
+        assert_eq!(auto.resolved(Some(1e-6), 0.002).delay_s, 0.002, "floor bounds from below");
+        let fixed = HedgePolicy::after(0.05, 1);
+        assert_eq!(fixed.resolved(Some(0.012), 0.002), fixed, "fixed delays pass through");
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::new(2, 1.0, 2));
+        assert_eq!(b.state(0.0), BreakerState::Closed);
+        assert!(!b.on_failure(0.0));
+        assert!(b.allow(0.0));
+        assert!(b.on_failure(0.1), "second failure must trip it");
+        assert_eq!(b.state(0.2), BreakerState::Open);
+        assert!(!b.allow(0.2));
+        // After open_s it probes.
+        assert_eq!(b.state(1.2), BreakerState::HalfOpen);
+        assert!(b.allow(1.2));
+        b.on_success(1.2);
+        assert_eq!(b.state(1.3), BreakerState::HalfOpen, "needs 2 probe successes");
+        b.on_success(1.3);
+        assert_eq!(b.state(1.4), BreakerState::Closed);
+        // Closed again: failures count from zero toward the threshold.
+        assert!(!b.on_failure(1.5));
+        assert!(b.on_failure(1.55), "threshold reached: fresh trip");
+        assert!(!b.on_failure(1.6), "already open: not a fresh trip");
+        assert_eq!(b.state(1.6), BreakerState::Open);
+        assert!(b.on_failure(2.6), "half-open failure re-trips");
+    }
+
+    #[test]
+    fn disabled_breaker_never_trips() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::disabled());
+        for i in 0..10_000 {
+            assert!(!b.on_failure(i as f64 * 1e-3));
+        }
+        assert!(b.allow(100.0));
+    }
+
+    fn set(n: usize) -> ReplicaSetState {
+        ReplicaSetState::new(n, BreakerPolicy::new(3, 0.25, 1), 0.25)
+    }
+
+    #[test]
+    fn call_succeeds_first_try_under_no_faults() {
+        let mut s = set(3);
+        let mut rng = Rng64::new(1);
+        let mut call =
+            ResilientCall::new(ResilPolicy::standard().with_hedge(HedgePolicy::after(0.01, 1)));
+        let Action::Try { replica, wait_cap_s } = call.next(&mut s, 0.0) else {
+            panic!("fresh call must try");
+        };
+        assert_eq!(wait_cap_s, 0.01);
+        call.observe(&mut s, replica, AttemptOutcome::Done { elapsed_s: 1e-3 }, 1e-3, &mut rng);
+        assert_eq!(call.next(&mut s, 1e-3), Action::Finish { replica });
+        assert_eq!(call.tries(), 1);
+        assert_eq!(call.retries(), 0);
+    }
+
+    #[test]
+    fn call_retries_crash_on_a_different_replica_with_backoff() {
+        let mut s = set(3);
+        let mut rng = Rng64::new(2);
+        let mut call = ResilientCall::new(ResilPolicy::standard());
+        let Action::Try { replica: r0, .. } = call.next(&mut s, 0.0) else { panic!("try") };
+        call.observe(&mut s, r0, AttemptOutcome::Crashed { elapsed_s: 1e-4 }, 1e-4, &mut rng);
+        let Action::Wait { seconds } = call.next(&mut s, 1e-4) else {
+            panic!("crash must back off before retrying");
+        };
+        assert!(seconds > 0.0 && seconds <= 1e-3);
+        let t = 1e-4 + seconds;
+        let Action::Try { replica: r1, .. } = call.next(&mut s, t) else { panic!("retry") };
+        assert_ne!(r1, r0, "retry must avoid the crashed replica");
+        call.observe(&mut s, r1, AttemptOutcome::Done { elapsed_s: 1e-3 }, t + 1e-3, &mut rng);
+        assert_eq!(call.next(&mut s, t + 1e-3), Action::Finish { replica: r1 });
+        assert_eq!(call.retries(), 1);
+        assert_eq!(call.failures(), 1);
+    }
+
+    #[test]
+    fn call_exhausts_after_max_attempts() {
+        let mut s = set(4);
+        let mut rng = Rng64::new(3);
+        let policy =
+            ResilPolicy { retry: RetryPolicy::new(3, 0.0, 0.0, 0.0), ..ResilPolicy::standard() };
+        let mut call = ResilientCall::new(policy);
+        let mut last = 0;
+        for _ in 0..3 {
+            let Action::Try { replica, .. } = call.next(&mut s, 0.0) else { panic!("try") };
+            last = replica;
+            call.observe(
+                &mut s,
+                replica,
+                AttemptOutcome::Corrupt { elapsed_s: 1e-3 },
+                0.0,
+                &mut rng,
+            );
+        }
+        let Action::GiveUp { reason } = call.next(&mut s, 0.0) else { panic!("must give up") };
+        assert_eq!(reason, GiveUpReason::Exhausted { last_replica: last, attempts: 3 });
+        assert_eq!(call.failures(), 3);
+    }
+
+    #[test]
+    fn call_hedges_a_straggler_without_spending_the_retry_budget() {
+        let mut s = set(2);
+        let mut rng = Rng64::new(4);
+        let policy = ResilPolicy::standard().with_hedge(HedgePolicy::after(0.005, 1));
+        let mut call = ResilientCall::new(policy);
+        let Action::Try { replica: r0, wait_cap_s } = call.next(&mut s, 0.0) else { panic!() };
+        assert_eq!(wait_cap_s, 0.005);
+        call.observe(&mut s, r0, AttemptOutcome::TimedOut { elapsed_s: 0.005 }, 0.005, &mut rng);
+        let Action::Try { replica: r1, wait_cap_s } = call.next(&mut s, 0.005) else {
+            panic!("hedge must re-dispatch");
+        };
+        assert_ne!(r1, r0);
+        assert!(wait_cap_s.is_infinite(), "hedge budget spent: second attempt runs to completion");
+        call.observe(&mut s, r1, AttemptOutcome::Done { elapsed_s: 2e-3 }, 0.007, &mut rng);
+        assert_eq!(call.hedges(), 1);
+        assert_eq!(call.retries(), 0, "a hedge is not a retry");
+        assert_eq!(call.failures(), 0, "a straggler is not a failure");
+    }
+
+    #[test]
+    fn call_gives_up_when_every_replica_is_down() {
+        let mut s = set(2);
+        s.mark_down(0, 0.0);
+        s.mark_down(1, 0.0);
+        let mut call = ResilientCall::new(ResilPolicy::standard());
+        assert_eq!(call.next(&mut s, 0.0), Action::GiveUp { reason: GiveUpReason::NoReplica });
+        // After the respawn window the set heals and a fresh call proceeds.
+        let mut call2 = ResilientCall::new(ResilPolicy::standard());
+        assert!(matches!(call2.next(&mut s, 1.0), Action::Try { .. }));
+    }
+}

@@ -24,13 +24,43 @@ use crate::batcher::{expired, plan, BatchDecision, BatchPolicy};
 use crate::dispatch::dispatch_batch;
 use crate::error::ServeError;
 use crate::registry::{ModelRegistry, ModelSnapshot};
+use crate::replica::{FaultPlan, FaultSpec, Injected, ReplicaSetState, VersionGuard};
+use crate::resil::{Action, AttemptOutcome, GiveUpReason, ResilPolicy, ResilientCall};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
-use dd_tensor::Matrix;
+use dd_tensor::{Matrix, Rng64};
+use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Ceiling on any real sleep the resilience engine performs (injected
+/// crash latency, straggler delay, retry backoff) so chaos tests stay
+/// fast. The virtual-time twin ([`crate::sim::simulate_chaos`]) explores
+/// the unbounded regimes instead.
+const MAX_FAULT_SLEEP_S: f64 = 0.05;
+/// Floor for the auto hedge delay resolved from the observed service p99.
+const MIN_HEDGE_DELAY_S: f64 = 1e-4;
+
+/// Replication and fault-tolerance knobs for the threaded server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilConfig {
+    /// Logical replicas in the serving pool (`0` = one per worker thread).
+    /// Replicas share model snapshots; their identity drives fault
+    /// injection, health eviction and the per-replica circuit breakers.
+    pub replicas: usize,
+    /// Retry / hedge / breaker policy driven by the shared decision core.
+    pub policy: ResilPolicy,
+    /// Deterministic fault injection (all probabilities zero in production).
+    pub faults: FaultSpec,
+}
+
+impl Default for ResilConfig {
+    fn default() -> Self {
+        ResilConfig { replicas: 0, policy: ResilPolicy::disabled(), faults: FaultSpec::none() }
+    }
+}
 
 /// Server sizing and batching knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,11 +71,18 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Dynamic batching policy.
     pub policy: BatchPolicy,
+    /// Replication, retry/hedge and circuit-breaker policy.
+    pub resil: ResilConfig,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { queue_capacity: 256, workers: 2, policy: BatchPolicy::default() }
+        ServeConfig {
+            queue_capacity: 256,
+            workers: 2,
+            policy: BatchPolicy::default(),
+            resil: ResilConfig::default(),
+        }
     }
 }
 
@@ -61,8 +98,15 @@ pub struct ServerStats {
     /// Requests rejected at admission (queue full).
     pub rejected: u64,
     /// Admitted requests answered with a non-deadline error (model removed
-    /// mid-flight, worker loss).
+    /// mid-flight, worker loss, retry budget exhausted, breakers open).
     pub failed: u64,
+    /// Retry attempts issued after replica failures.
+    pub retries: u64,
+    /// Hedged re-dispatches after straggling attempts.
+    pub hedges: u64,
+    /// Requests answered by the previous registry snapshot because the
+    /// current version's circuit breaker was open.
+    pub degraded: u64,
 }
 
 #[derive(Default)]
@@ -72,6 +116,9 @@ struct StatsInner {
     shed: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
+    retries: AtomicU64,
+    hedges: AtomicU64,
+    degraded: AtomicU64,
 }
 
 impl StatsInner {
@@ -82,6 +129,9 @@ impl StatsInner {
             shed: self.shed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,6 +173,34 @@ impl ResponseHandle {
     }
 }
 
+/// Shared resilience state: the replica set, the deterministic fault
+/// injector, the per-version guard, and the backoff-jitter rng. Workers
+/// lock only around the decision core's `next`/`observe` steps; inference
+/// itself runs unlocked.
+struct ResilShared {
+    policy: ResilPolicy,
+    set: Mutex<ReplicaSetState>,
+    faults: Mutex<FaultPlan>,
+    guard: Mutex<VersionGuard>,
+    rng: Mutex<Rng64>,
+}
+
+impl ResilShared {
+    fn new(config: &ServeConfig) -> ResilShared {
+        let replicas =
+            if config.resil.replicas == 0 { config.workers } else { config.resil.replicas };
+        let policy = config.resil.policy;
+        let faults = config.resil.faults;
+        ResilShared {
+            policy,
+            set: Mutex::new(ReplicaSetState::new(replicas, policy.breaker, faults.respawn_s)),
+            faults: Mutex::new(FaultPlan::new(faults, replicas)),
+            guard: Mutex::new(VersionGuard::new(policy.breaker)),
+            rng: Mutex::new(Rng64::new(faults.seed).split(u64::from(u32::MAX) - 1)),
+        }
+    }
+}
+
 /// A running in-process inference server.
 pub struct Server {
     registry: Arc<ModelRegistry>,
@@ -139,6 +217,7 @@ impl Server {
         assert!(config.queue_capacity >= 1, "queue_capacity must be >= 1");
         assert!(config.workers >= 1, "workers must be >= 1");
         let stats = Arc::new(StatsInner::default());
+        let resil = Arc::new(ResilShared::new(&config));
         let (tx, rx) = bounded::<Request>(config.queue_capacity);
         let (job_tx, job_rx) = bounded::<Job>(config.workers);
 
@@ -146,7 +225,8 @@ impl Server {
         for _ in 0..config.workers {
             let job_rx = job_rx.clone();
             let stats = Arc::clone(&stats);
-            workers.push(std::thread::spawn(move || worker_loop(&job_rx, &stats)));
+            let resil = Arc::clone(&resil);
+            workers.push(std::thread::spawn(move || worker_loop(&job_rx, &stats, &resil)));
         }
         drop(job_rx);
 
@@ -154,7 +234,9 @@ impl Server {
             let registry = Arc::clone(&registry);
             let stats = Arc::clone(&stats);
             let policy = config.policy;
-            std::thread::spawn(move || batcher_loop(&rx, &registry, policy, &job_tx, &stats))
+            std::thread::spawn(move || {
+                batcher_loop(&rx, &registry, policy, &job_tx, &stats, &resil)
+            })
         };
 
         Server {
@@ -261,6 +343,7 @@ fn batcher_loop(
     policy: BatchPolicy,
     job_tx: &Sender<Job>,
     stats: &StatsInner,
+    resil: &ResilShared,
 ) {
     let mut pending: VecDeque<Request> = VecDeque::new();
     let mut draining = false;
@@ -314,22 +397,26 @@ fn batcher_loop(
                 Err(RecvTimeoutError::Disconnected) => draining = true,
             },
             BatchDecision::Dispatch(n) => {
-                dispatch_prefix(&mut pending, n, now, registry, &policy, job_tx, stats);
+                dispatch_prefix(&mut pending, n, now, registry, &policy, job_tx, stats, resil);
             }
         }
     }
 }
 
 /// Pop the longest same-model prefix (at most `n` requests), resolve its
-/// snapshot, and hand it to the worker pool as one batch.
+/// snapshot — falling back to the previous registry snapshot in degraded
+/// mode when the current version's circuit breaker is open — and hand it
+/// to the worker pool as one batch.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_prefix(
     pending: &mut VecDeque<Request>,
     n: usize,
     now: f64,
     registry: &ModelRegistry,
-    policy: &BatchPolicy,
+    _policy: &BatchPolicy,
     job_tx: &Sender<Job>,
     stats: &StatsInner,
+    resil: &ResilShared,
 ) {
     let Some(front) = pending.front() else {
         return;
@@ -356,6 +443,38 @@ fn dispatch_prefix(
             return;
         }
     };
+    // Degraded-mode routing: when the current version's breaker is open,
+    // serve from the pre-swap snapshot (same input width, breaker not
+    // open) rather than failing; with neither version available, fail the
+    // batch fast with a typed error.
+    let guard_now = dd_obs::monotonic_seconds();
+    let snapshot = {
+        let mut guard = resil.guard.lock();
+        if guard.allow(snapshot.version(), guard_now) {
+            snapshot
+        } else {
+            let fallback = registry
+                .previous(&name)
+                .filter(|prev| prev.input_dim() == snapshot.input_dim())
+                .filter(|prev| guard.allow(prev.version(), guard_now));
+            match fallback {
+                Some(prev) => {
+                    drop(guard);
+                    stats.degraded.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    dd_obs::counter_add("serve_degraded_total", batch.len() as u64);
+                    prev
+                }
+                None => {
+                    let version = snapshot.version();
+                    drop(guard);
+                    for req in batch {
+                        respond(stats, req, ServeError::CircuitOpen { version });
+                    }
+                    return;
+                }
+            }
+        }
+    };
     let width = snapshot.input_dim();
     let mut flat = Vec::with_capacity(batch.len() * width);
     let mut meta = Vec::with_capacity(batch.len());
@@ -377,14 +496,132 @@ fn dispatch_prefix(
     }
 }
 
-fn worker_loop(job_rx: &Receiver<Job>, stats: &StatsInner) {
+fn worker_loop(job_rx: &Receiver<Job>, stats: &StatsInner, resil: &ResilShared) {
     for job in job_rx.iter() {
-        let y = dispatch_batch(&job.snapshot, &job.rows);
-        let done = dd_obs::monotonic_seconds();
-        for (i, (enqueue_s, resp)) in job.meta.into_iter().enumerate() {
-            dd_obs::hist_record("serve_e2e_seconds", done - enqueue_s);
-            stats.completed.fetch_add(1, Ordering::Relaxed);
-            let _ = resp.send(Ok(y.row(i).to_vec()));
+        serve_job(job, stats, resil);
+    }
+}
+
+/// Real (bounded) sleep standing in for injected crash latency, straggler
+/// delay, or retry backoff.
+fn sleep_bounded(seconds: f64) {
+    let s = seconds.clamp(0.0, MAX_FAULT_SLEEP_S);
+    if s > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(s));
+    }
+}
+
+/// Whether every output value is finite — the live corruption check.
+fn all_finite(y: &Matrix) -> bool {
+    y.as_slice().iter().all(|v| v.is_finite())
+}
+
+/// Drive one batch through the shared resilience decision core
+/// ([`ResilientCall`]). Attempts run on this worker thread, so a "hedge"
+/// here is sequential failover after the wait cap (the virtual-time twin
+/// overlaps attempts instead); faults are injected between the core's
+/// `Try` decision and the model call, and the terminal state maps to
+/// exactly one answer per request.
+fn serve_job(job: Job, stats: &StatsInner, resil: &ResilShared) {
+    let observed_p99 = dd_obs::hist_summary("serve_service_seconds").map(|h| h.p99);
+    let policy =
+        resil.policy.with_hedge(resil.policy.hedge.resolved(observed_p99, MIN_HEDGE_DELAY_S));
+    let version = job.snapshot.version();
+    let mut call = ResilientCall::new(policy);
+    let mut answer: Option<Matrix> = None;
+    let verdict = loop {
+        let now = dd_obs::monotonic_seconds();
+        let action = call.next(&mut resil.set.lock(), now);
+        match action {
+            Action::Wait { seconds } => sleep_bounded(seconds),
+            Action::Try { replica, wait_cap_s } => {
+                let started = dd_obs::monotonic_seconds();
+                let est = observed_p99.unwrap_or(MIN_HEDGE_DELAY_S);
+                let injected = resil.faults.lock().inject(replica, started, est);
+                let outcome = match injected {
+                    Injected::Crash { after_s } => {
+                        sleep_bounded(after_s);
+                        AttemptOutcome::Crashed { elapsed_s: dd_obs::monotonic_seconds() - started }
+                    }
+                    Injected::Corrupt => {
+                        // The model still runs — the time is really spent —
+                        // but its output is poisoned.
+                        let _ = dispatch_batch(&job.snapshot, &job.rows);
+                        AttemptOutcome::Corrupt { elapsed_s: dd_obs::monotonic_seconds() - started }
+                    }
+                    Injected::Straggle { delay_s } => {
+                        sleep_bounded(delay_s);
+                        let y = dispatch_batch(&job.snapshot, &job.rows);
+                        let elapsed = dd_obs::monotonic_seconds() - started;
+                        if elapsed > wait_cap_s {
+                            AttemptOutcome::TimedOut { elapsed_s: elapsed }
+                        } else {
+                            answer = Some(y);
+                            AttemptOutcome::Done { elapsed_s: elapsed }
+                        }
+                    }
+                    Injected::None => {
+                        let y = dispatch_batch(&job.snapshot, &job.rows);
+                        let elapsed = dd_obs::monotonic_seconds() - started;
+                        if all_finite(&y) {
+                            answer = Some(y);
+                            AttemptOutcome::Done { elapsed_s: elapsed }
+                        } else {
+                            // Genuine (non-injected) corruption, e.g. a
+                            // hot-swapped snapshot with broken weights.
+                            AttemptOutcome::Corrupt { elapsed_s: elapsed }
+                        }
+                    }
+                };
+                let after = dd_obs::monotonic_seconds();
+                call.observe(&mut resil.set.lock(), replica, outcome, after, &mut resil.rng.lock());
+                match outcome {
+                    AttemptOutcome::Done { .. } => {
+                        resil.guard.lock().record_success(version, after);
+                    }
+                    AttemptOutcome::Corrupt { .. } => {
+                        resil.guard.lock().record_failure(version, after);
+                    }
+                    _ => {}
+                }
+            }
+            Action::Finish { .. } => break Ok(()),
+            Action::GiveUp { reason } => break Err(reason),
+        }
+    };
+    stats.retries.fetch_add(u64::from(call.retries()), Ordering::Relaxed);
+    stats.hedges.fetch_add(u64::from(call.hedges()), Ordering::Relaxed);
+    dd_obs::counter_add("serve_retries_total", u64::from(call.retries()));
+    dd_obs::counter_add("serve_hedges_total", u64::from(call.hedges()));
+    {
+        let now = dd_obs::monotonic_seconds();
+        dd_obs::gauge_set("serve_breaker_open", resil.set.lock().open_breakers(now) as f64);
+    }
+    match (verdict, answer) {
+        (Ok(()), Some(y)) => {
+            let done = dd_obs::monotonic_seconds();
+            for (i, (enqueue_s, resp)) in job.meta.into_iter().enumerate() {
+                dd_obs::hist_record("serve_e2e_seconds", done - enqueue_s);
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = resp.send(Ok(y.row(i).to_vec()));
+            }
+        }
+        (verdict, _) => {
+            let err = match verdict {
+                Err(GiveUpReason::Exhausted { last_replica, attempts }) => {
+                    ServeError::ReplicaFailed { replica: last_replica, attempts }
+                }
+                // Every replica was down or breaker-open.
+                Err(GiveUpReason::NoReplica) => ServeError::CircuitOpen { version },
+                // Finish without a stored answer cannot happen (`Done`
+                // always stores one); answer as a lost worker rather than
+                // panicking in a pool thread.
+                Ok(()) => ServeError::WorkerLost,
+            };
+            for (_, resp) in job.meta {
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = resp.send(Err(err.clone()));
+            }
         }
     }
 }
@@ -436,8 +673,12 @@ mod tests {
     #[test]
     fn shutdown_answers_every_admitted_request() {
         let reg = registry_with("m", 6, 3);
-        let config =
-            ServeConfig { queue_capacity: 64, workers: 2, policy: BatchPolicy::new(8, 0.005, 5.0) };
+        let config = ServeConfig {
+            queue_capacity: 64,
+            workers: 2,
+            policy: BatchPolicy::new(8, 0.005, 5.0),
+            ..ServeConfig::default()
+        };
         let server = Server::start(reg, config);
         let handles: Vec<_> =
             (0..40).filter_map(|i| server.submit("m", vec![i as f32 * 0.01; 6]).ok()).collect();
@@ -460,5 +701,99 @@ mod tests {
         let mut server = Server::start(Arc::clone(&reg), ServeConfig::default());
         server.shutdown_inner();
         assert!(matches!(server.submit("m", vec![0.0; 4]), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn injected_crashes_are_retried_on_other_replicas() {
+        use crate::resil::{BreakerPolicy, HedgePolicy, RetryPolicy};
+        let reg = registry_with("m", 4, 5);
+        let config = ServeConfig {
+            queue_capacity: 128,
+            workers: 2,
+            policy: BatchPolicy::new(4, 0.001, 5.0),
+            resil: ResilConfig {
+                replicas: 4,
+                policy: ResilPolicy {
+                    retry: RetryPolicy::new(8, 1e-4, 1e-3, 0.5),
+                    hedge: HedgePolicy::disabled(),
+                    breaker: BreakerPolicy::new(6, 0.02, 1),
+                    health_eviction: true,
+                },
+                faults: FaultSpec {
+                    crash_per_dispatch: 0.4,
+                    respawn_s: 0.005,
+                    seed: 41,
+                    ..FaultSpec::none()
+                },
+            },
+        };
+        let server = Server::start(reg, config);
+        let mut answered = 0usize;
+        for i in 0..60 {
+            let h = server.submit("m", vec![i as f32 * 0.01; 4]).expect("admitted");
+            // Serial round trips: every batch runs the injection path.
+            if h.wait().is_ok() {
+                answered += 1;
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.admitted, 60);
+        assert_eq!(stats.completed + stats.failed + stats.shed, 60);
+        // A 40% per-attempt crash rate with an 8-attempt budget: nearly
+        // everything completes, and doing so takes retries.
+        assert!(answered >= 52, "only {answered}/60 answered under 40% crash injection");
+        assert!(stats.retries >= 1, "crash injection must consume retries");
+    }
+
+    #[test]
+    fn broken_hot_swap_degrades_to_previous_snapshot() {
+        use crate::resil::{BreakerPolicy, HedgePolicy, RetryPolicy};
+        use dd_nn::{Activation, ModelSpec};
+        let reg = Arc::new(ModelRegistry::new());
+        let spec = ModelSpec::mlp(4, &[8], 2, Activation::Relu);
+        let good = spec.build(7, Precision::F32).expect("valid spec");
+        reg.install("m", spec.clone(), good);
+        // Hot-swap in a poisoned build: every weight NaN, so real (not
+        // injected) corruption surfaces through the finiteness check.
+        let mut bad = spec.build(8, Precision::F32).expect("valid spec");
+        for layer in bad.layers_mut() {
+            layer.visit_params(&mut |p, _| p.as_mut_slice().fill(f32::NAN));
+        }
+        reg.install("m", spec.clone(), bad);
+
+        let config = ServeConfig {
+            queue_capacity: 16,
+            workers: 1,
+            policy: BatchPolicy::new(1, 0.0, 5.0),
+            resil: ResilConfig {
+                replicas: 2,
+                policy: ResilPolicy {
+                    retry: RetryPolicy::new(2, 1e-4, 1e-3, 0.5),
+                    hedge: HedgePolicy::disabled(),
+                    breaker: BreakerPolicy::new(2, 0.01, 1),
+                    health_eviction: true,
+                },
+                faults: FaultSpec::none(),
+            },
+        };
+        let server = Server::start(Arc::clone(&reg), config);
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            let h = server.submit("m", vec![0.5; 4]).expect("admitted");
+            outcomes.push(h.wait());
+        }
+        let stats = server.shutdown();
+        // The first request exhausts its retries against NaN output...
+        assert!(
+            matches!(outcomes[0], Err(ServeError::ReplicaFailed { .. })),
+            "first answer should exhaust retries, got {:?}",
+            outcomes[0]
+        );
+        // ...which opens the poisoned version's breaker; later requests are
+        // served (finite) by the pre-swap snapshot in degraded mode.
+        let recovered =
+            outcomes.iter().any(|o| matches!(o, Ok(y) if y.iter().all(|v| v.is_finite())));
+        assert!(recovered, "degraded fallback must answer with the old snapshot: {outcomes:?}");
+        assert!(stats.degraded >= 1, "degraded answers must be counted: {stats:?}");
     }
 }

@@ -17,7 +17,10 @@
 //! series.
 
 use crate::batcher::BatchPolicy;
+use crate::replica::{FaultPlan, FaultSpec, Injected, ReplicaSetState, VersionGuard};
+use crate::resil::{Action, AttemptOutcome, ResilPolicy, ResilientCall};
 use dd_obs::{HistSummary, Histogram};
+use dd_tensor::Rng64;
 use std::collections::VecDeque;
 
 /// Analytic cost of one batched inference: `base_s + per_row_s · batch`.
@@ -239,10 +242,307 @@ pub fn simulate(cfg: &SimConfig) -> SimReport {
     }
 }
 
+/// One simulated chaos configuration: the plain serving knobs plus a
+/// replica pool, a resilience policy, and a deterministic fault model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Batching policy (shared vocabulary with the live server).
+    pub policy: BatchPolicy,
+    /// Admission-queue capacity; arrivals beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Replica pool size (each replica serves one batch at a time).
+    pub replicas: usize,
+    /// Batch cost model.
+    pub service: ServiceModel,
+    /// Sorted arrival times in seconds.
+    pub arrivals: Vec<f64>,
+    /// Retry/hedge/breaker policy driving [`ResilientCall`].
+    pub resil: ResilPolicy,
+    /// Fault-injection knobs (stragglers, corrupt outputs, count-based
+    /// crashes, respawn window, seed).
+    pub faults: FaultSpec,
+    /// Per-replica crash MTBF in seconds; `0` disables scheduled crashes.
+    /// Arrivals are drawn from [`dd_hpcsim::FailureModel`] — the same
+    /// exponential failure machinery the E11 training sweep uses.
+    pub crash_mtbf_s: f64,
+    /// Whether an older registry snapshot exists to fall back to when the
+    /// current version's breaker opens (degraded mode).
+    pub fallback: bool,
+}
+
+/// Everything one chaos run measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Requests offered.
+    pub offered: usize,
+    /// Requests admitted past the bounded queue.
+    pub admitted: usize,
+    /// Requests rejected by admission control.
+    pub rejected: usize,
+    /// Admitted requests shed for exceeding their deadline.
+    pub shed: usize,
+    /// Requests answered with a valid prediction.
+    pub completed: usize,
+    /// Admitted, non-shed requests answered with an error.
+    pub failed: usize,
+    /// Completed requests served by the fallback snapshot (degraded mode).
+    pub degraded: usize,
+    /// Batches dispatched (including ones that ultimately failed).
+    pub batches: usize,
+    /// Retry attempts consumed across all requests.
+    pub retries: u64,
+    /// Hedged re-dispatches across all requests.
+    pub hedges: u64,
+    /// Replica evictions (health-check path).
+    pub evictions: u64,
+    /// Replica respawns back into rotation.
+    pub respawns: u64,
+    /// Per-replica breaker trips.
+    pub breaker_opens: u64,
+    /// Non-shed success fraction: `completed / (completed + failed)`,
+    /// `1.0` when nothing was dispatched.
+    pub availability: f64,
+    /// Seconds from the first arrival to the last completion.
+    pub makespan_s: f64,
+    /// End-to-end latency distribution of completed requests.
+    pub e2e: HistSummary,
+}
+
+/// Current-version id the chaos sim serves (the guard's key).
+const CHAOS_VERSION: u64 = 1;
+/// Version id of the degraded-mode fallback snapshot.
+const CHAOS_FALLBACK_VERSION: u64 = 0;
+
+/// Run the discrete-event chaos simulation.
+///
+/// Identical event structure to [`simulate`] — arrivals win ties,
+/// front-shed on deadline, earliest-free replica — but each dispatched
+/// batch is driven through the shared [`ResilientCall`] decision core
+/// against a seeded [`FaultPlan`]: crashes arrive on an MTBF schedule (or
+/// per-dispatch), stragglers get hedged, corrupt outputs burn the retry
+/// budget and feed the per-version [`VersionGuard`], and an open guard
+/// routes batches to the fallback snapshot when one exists. Attempts
+/// resolved on a replica that is mid-batch queue behind it; an abandoned
+/// (hedged) straggler keeps its replica busy for the full straggle — wasted
+/// capacity is part of what hedging costs. Everything is pure `f64`
+/// arithmetic over seeded draws: a given configuration always yields a
+/// byte-identical report.
+pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    assert!(cfg.queue_capacity >= 1, "queue_capacity must be >= 1");
+    assert!(cfg.replicas >= 1, "replicas must be >= 1");
+    assert!(cfg.crash_mtbf_s >= 0.0 && cfg.crash_mtbf_s.is_finite(), "bad crash_mtbf_s");
+    assert!(cfg.arrivals.windows(2).all(|w| w[1] >= w[0]), "arrivals must be sorted");
+
+    let policy = cfg.policy;
+    // Crash schedule horizon: generously past the last arrival so a run
+    // that drags under retries never outlives its fault plan.
+    let horizon = cfg.arrivals.last().copied().unwrap_or(0.0) * 2.0 + 60.0;
+    let schedule: Vec<Vec<f64>> = if cfg.crash_mtbf_s > 0.0 {
+        let fm = dd_hpcsim::FailureModel::new(cfg.crash_mtbf_s);
+        (0..cfg.replicas)
+            .map(|r| fm.arrivals(horizon, cfg.faults.seed.wrapping_add(1000 + r as u64)))
+            .collect()
+    } else {
+        vec![Vec::new(); cfg.replicas]
+    };
+    let mut faults = FaultPlan::with_crash_schedule(cfg.faults, schedule);
+    let mut set = ReplicaSetState::new(cfg.replicas, cfg.resil.breaker, cfg.faults.respawn_s);
+    let mut guard = VersionGuard::new(cfg.resil.breaker);
+    let mut rng = Rng64::new(cfg.faults.seed).split(u64::from(u32::MAX));
+    // Auto hedging resolves against the worst normal batch service time —
+    // the analytic stand-in for the live server's observed p99.
+    let resil = cfg
+        .resil
+        .with_hedge(cfg.resil.hedge.resolved(Some(cfg.service.seconds(policy.max_batch)), 1e-4));
+
+    let mut pending: VecDeque<f64> = VecDeque::new();
+    let mut free = vec![0.0f64; cfg.replicas];
+    let mut next = 0usize;
+    let (mut rejected, mut shed, mut completed, mut batches) = (0usize, 0usize, 0usize, 0usize);
+    let (mut failed, mut degraded_total) = (0usize, 0usize);
+    let (mut retries, mut hedges) = (0u64, 0u64);
+    let mut e2e = Histogram::new();
+    let mut last_done = 0.0f64;
+    let mut now = 0.0f64;
+
+    loop {
+        let next_arrival = cfg.arrivals.get(next).copied();
+        let dispatch_at = pending.front().map(|&oldest| {
+            let ready = if pending.len() >= policy.max_batch || next_arrival.is_none() {
+                now
+            } else {
+                oldest + policy.max_wait_s
+            };
+            // Earliest point some replica is both free and believed up.
+            let replica = (0..cfg.replicas)
+                .map(|r| free[r].max(set.next_up_s(r, now)))
+                .fold(f64::INFINITY, f64::min);
+            ready.max(replica).max(now)
+        });
+
+        let take_arrival = match (next_arrival, dispatch_at) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(ta), Some(td)) => ta <= td,
+        };
+        if take_arrival {
+            let ta = next_arrival.unwrap_or(now);
+            now = ta;
+            next += 1;
+            if pending.len() >= cfg.queue_capacity {
+                rejected += 1;
+            } else {
+                pending.push_back(ta);
+            }
+            continue;
+        }
+        now = dispatch_at.unwrap_or(now);
+        while let Some(&enq) = pending.front() {
+            if now - enq <= policy.deadline_s {
+                break;
+            }
+            pending.pop_front();
+            shed += 1;
+        }
+        let due = match pending.front() {
+            None => false,
+            Some(&oldest) => {
+                pending.len() >= policy.max_batch
+                    || next_arrival.is_none()
+                    || now >= oldest + policy.max_wait_s
+            }
+        };
+        if !due {
+            continue;
+        }
+        let n = pending.len().min(policy.max_batch);
+        batches += 1;
+
+        // Version guard: current snapshot, else degraded fallback, else
+        // fail the batch fast.
+        let (version, degraded) = if guard.allow(CHAOS_VERSION, now) {
+            (CHAOS_VERSION, false)
+        } else if cfg.fallback && guard.allow(CHAOS_FALLBACK_VERSION, now) {
+            (CHAOS_FALLBACK_VERSION, true)
+        } else {
+            for _ in 0..n {
+                pending.pop_front();
+            }
+            failed += n;
+            continue;
+        };
+
+        let svc = cfg.service.seconds(n);
+        let mut call = ResilientCall::new(resil);
+        let mut t = now;
+        let success = loop {
+            match call.next(&mut set, t) {
+                Action::Wait { seconds } => t += seconds,
+                Action::Try { replica, wait_cap_s } => {
+                    let start = t.max(free[replica]);
+                    let mut inj = faults.inject(replica, start, svc);
+                    if degraded && inj == Injected::Corrupt {
+                        // Corruption is version-caused; the fallback
+                        // snapshot does not exhibit it.
+                        inj = Injected::None;
+                    }
+                    let (outcome, busy) = match inj {
+                        Injected::None => {
+                            (AttemptOutcome::Done { elapsed_s: (start - t) + svc }, svc)
+                        }
+                        Injected::Crash { after_s } => {
+                            (AttemptOutcome::Crashed { elapsed_s: (start - t) + after_s }, after_s)
+                        }
+                        Injected::Straggle { delay_s } => {
+                            let total = svc + delay_s;
+                            if total > wait_cap_s {
+                                (
+                                    AttemptOutcome::TimedOut {
+                                        elapsed_s: (start - t) + wait_cap_s,
+                                    },
+                                    total,
+                                )
+                            } else {
+                                (AttemptOutcome::Done { elapsed_s: (start - t) + total }, total)
+                            }
+                        }
+                        Injected::Corrupt => {
+                            (AttemptOutcome::Corrupt { elapsed_s: (start - t) + svc }, svc)
+                        }
+                    };
+                    free[replica] = start + busy;
+                    set.note_busy_until(replica, free[replica]);
+                    t += outcome.elapsed_s();
+                    call.observe(&mut set, replica, outcome, t, &mut rng);
+                    match outcome {
+                        AttemptOutcome::Done { .. } => guard.record_success(version, t),
+                        AttemptOutcome::Corrupt { .. } => guard.record_failure(version, t),
+                        _ => {}
+                    }
+                }
+                Action::Finish { .. } => break true,
+                Action::GiveUp { .. } => break false,
+            }
+        };
+        retries += u64::from(call.retries());
+        hedges += u64::from(call.hedges());
+        if success {
+            completed += n;
+            if degraded {
+                degraded_total += n;
+            }
+            for _ in 0..n {
+                if let Some(enq) = pending.pop_front() {
+                    e2e.record(t - enq);
+                    dd_obs::hist_record("serve_e2e_seconds", t - enq);
+                }
+            }
+            last_done = last_done.max(t);
+        } else {
+            for _ in 0..n {
+                pending.pop_front();
+            }
+            failed += n;
+        }
+    }
+
+    let offered = cfg.arrivals.len();
+    let admitted = offered - rejected;
+    let served = completed + failed;
+    let availability = if served > 0 { completed as f64 / served as f64 } else { 1.0 };
+    dd_obs::counter_add("serve_retries_total", retries);
+    dd_obs::counter_add("serve_hedges_total", hedges);
+    dd_obs::counter_add("serve_replica_evictions_total", set.evictions());
+    dd_obs::counter_add("serve_replica_respawns_total", set.respawns());
+    dd_obs::counter_add("serve_breaker_opens_total", set.breaker_opens());
+    dd_obs::counter_add("serve_shed_total", shed as u64);
+    dd_obs::gauge_set("serve_breaker_open", set.open_breakers(now) as f64);
+    ChaosReport {
+        offered,
+        admitted,
+        rejected,
+        shed,
+        completed,
+        failed,
+        degraded: degraded_total,
+        batches,
+        retries,
+        hedges,
+        evictions: set.evictions(),
+        respawns: set.respawns(),
+        breaker_opens: set.breaker_opens(),
+        availability,
+        makespan_s: if completed > 0 { last_done } else { now },
+        e2e: e2e.summary(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::loadgen::{poisson_arrivals, LoadConfig};
+    use crate::resil::HedgePolicy;
 
     fn arrivals(rate: f64, n: usize, seed: u64) -> Vec<f64> {
         poisson_arrivals(&LoadConfig { rate_per_s: rate, requests: n, seed })
@@ -352,6 +652,135 @@ mod tests {
             assert_eq!(r.admitted, r.completed + r.shed, "seed {seed}");
             assert_eq!(r.queue_wait.count as usize, r.completed, "seed {seed}");
         }
+    }
+
+    fn chaos_cfg(arrivals: Vec<f64>) -> ChaosConfig {
+        ChaosConfig {
+            policy: BatchPolicy::new(16, 0.002, 0.25),
+            queue_capacity: 256,
+            replicas: 4,
+            service: ServiceModel::new(2e-3, 0.5e-3),
+            arrivals,
+            resil: ResilPolicy::standard(),
+            faults: FaultSpec { respawn_s: 0.25, seed: 11, ..FaultSpec::none() },
+            crash_mtbf_s: 0.0,
+            fallback: true,
+        }
+    }
+
+    #[test]
+    fn chaos_without_faults_completes_everything() {
+        let r = simulate_chaos(&chaos_cfg(arrivals(800.0, 2000, 5)));
+        assert_eq!(r.completed, 2000);
+        assert_eq!(r.failed + r.shed + r.rejected, 0);
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.retries + r.hedges, 0);
+        assert_eq!(r.evictions, 0);
+    }
+
+    #[test]
+    fn chaos_is_deterministic() {
+        let mut cfg = chaos_cfg(arrivals(2000.0, 4000, 6));
+        cfg.crash_mtbf_s = 1.0;
+        cfg.faults.straggle_p = 0.02;
+        cfg.faults.straggle_s = 0.08;
+        cfg.faults.corrupt_p = 0.005;
+        let a = simulate_chaos(&cfg);
+        let b = simulate_chaos(&cfg);
+        assert_eq!(a, b, "same config must give identical chaos reports");
+        assert!(a.evictions > 0, "1s MTBF over a multi-second run must crash replicas");
+        let mut other = cfg.clone();
+        other.faults.seed = 12;
+        assert_ne!(simulate_chaos(&other), a, "different seeds should differ");
+    }
+
+    #[test]
+    fn chaos_conservation_holds_under_heavy_faults() {
+        for seed in 0..4u64 {
+            let mut cfg = chaos_cfg(arrivals(2500.0, 3000, seed));
+            cfg.crash_mtbf_s = 0.5;
+            cfg.faults.seed = seed;
+            cfg.faults.corrupt_p = 0.01;
+            cfg.faults.straggle_p = 0.05;
+            cfg.faults.straggle_s = 0.05;
+            let r = simulate_chaos(&cfg);
+            assert_eq!(r.offered, r.admitted + r.rejected, "seed {seed}");
+            assert_eq!(r.admitted, r.completed + r.failed + r.shed, "seed {seed}");
+            assert_eq!(r.e2e.count as usize, r.completed, "seed {seed}");
+            assert!((0.0..=1.0).contains(&r.availability), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn resilience_beats_the_no_retry_baseline_under_crashes() {
+        let arr = arrivals(2000.0, 6000, 9);
+        let mut baseline = chaos_cfg(arr.clone());
+        baseline.crash_mtbf_s = 1.0;
+        baseline.resil = ResilPolicy::disabled();
+        let mut resil = chaos_cfg(arr);
+        resil.crash_mtbf_s = 1.0;
+        let rb = simulate_chaos(&baseline);
+        let rr = simulate_chaos(&resil);
+        assert!(
+            rb.availability < 0.97,
+            "no-retry baseline should bleed requests, got {}",
+            rb.availability
+        );
+        assert!(
+            rr.availability > rb.availability && rr.availability > 0.99,
+            "resilience must recover availability: {} vs {}",
+            rr.availability,
+            rb.availability
+        );
+        assert!(rr.retries > 0, "recovery must come from actual retries");
+    }
+
+    #[test]
+    fn hedging_cuts_straggler_tail_latency() {
+        let arr = arrivals(1000.0, 4000, 10);
+        let mut no_hedge = chaos_cfg(arr.clone());
+        no_hedge.faults.straggle_p = 0.05;
+        no_hedge.faults.straggle_s = 0.2;
+        no_hedge.resil.hedge = HedgePolicy::disabled();
+        let mut hedged = chaos_cfg(arr);
+        hedged.faults.straggle_p = 0.05;
+        hedged.faults.straggle_s = 0.2;
+        hedged.resil.hedge = HedgePolicy::auto(1);
+        let rn = simulate_chaos(&no_hedge);
+        let rh = simulate_chaos(&hedged);
+        assert!(rh.hedges > 0, "stragglers at 5% must trigger hedges");
+        assert!(
+            rh.e2e.p99 < 0.5 * rn.e2e.p99,
+            "hedged p99 {} should cut unhedged p99 {}",
+            rh.e2e.p99,
+            rn.e2e.p99
+        );
+    }
+
+    #[test]
+    fn version_guard_falls_back_to_the_older_snapshot() {
+        let arr = arrivals(1000.0, 3000, 13);
+        let mut bad_version = chaos_cfg(arr.clone());
+        bad_version.faults.corrupt_p = 0.8;
+        bad_version.fallback = true;
+        let with_fb = simulate_chaos(&bad_version);
+        assert!(
+            with_fb.degraded > with_fb.offered / 2,
+            "an 80% corrupt current version must mostly serve degraded, got {}",
+            with_fb.degraded
+        );
+        assert!(with_fb.availability > 0.9, "fallback rescues availability");
+
+        let mut no_fb = bad_version.clone();
+        no_fb.fallback = false;
+        let without = simulate_chaos(&no_fb);
+        assert!(
+            without.availability < with_fb.availability,
+            "no fallback must be strictly worse: {} vs {}",
+            without.availability,
+            with_fb.availability
+        );
+        assert_eq!(without.degraded, 0);
     }
 
     #[test]

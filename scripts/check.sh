@@ -78,4 +78,26 @@ RAYON_NUM_THREADS=4 ./target/release/exp-13-serving quick >/dev/null
 cmp results/e13_serving.csv /tmp/e13_serving.t1.csv
 echo "e13_serving.csv byte-identical under RAYON_NUM_THREADS=1 and =4"
 
+echo "== exp-14-chaos smoke: CSV schema + byte-identical reruns"
+./target/release/exp-14-chaos quick >/dev/null
+expected_header="mtbf_s,policy,offered,admitted,rejected,shed,completed,failed,degraded,retries,hedges,evictions,respawns,breaker_opens,availability,e2e_p50_ms,e2e_p99_ms"
+actual_header="$(head -n1 results/e14_chaos.csv)"
+if [ "$actual_header" != "$expected_header" ]; then
+  echo "e14_chaos.csv header mismatch:" >&2
+  echo "  expected: $expected_header" >&2
+  echo "  actual:   $actual_header" >&2
+  exit 1
+fi
+cp results/e14_chaos.csv /tmp/e14_chaos.first.csv
+./target/release/exp-14-chaos quick >/dev/null
+cmp results/e14_chaos.csv /tmp/e14_chaos.first.csv
+echo "e14_chaos.csv schema ok and deterministic across reruns"
+
+echo "== exp-14-chaos: byte-identical across rayon pool widths"
+RAYON_NUM_THREADS=1 ./target/release/exp-14-chaos quick >/dev/null
+cp results/e14_chaos.csv /tmp/e14_chaos.t1.csv
+RAYON_NUM_THREADS=4 ./target/release/exp-14-chaos quick >/dev/null
+cmp results/e14_chaos.csv /tmp/e14_chaos.t1.csv
+echo "e14_chaos.csv byte-identical under RAYON_NUM_THREADS=1 and =4"
+
 echo "All checks passed."

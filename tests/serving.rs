@@ -61,8 +61,12 @@ fn overload_rejects_with_typed_error() {
     let (spec, model) = scorer(width, &[512, 512], 5);
     let reg = Arc::new(ModelRegistry::new());
     reg.install("scorer", spec, model);
-    let config =
-        ServeConfig { queue_capacity: 1, workers: 1, policy: BatchPolicy::new(64, 0.001, 10.0) };
+    let config = ServeConfig {
+        queue_capacity: 1,
+        workers: 1,
+        policy: BatchPolicy::new(64, 0.001, 10.0),
+        ..ServeConfig::default()
+    };
     let server = Server::start(reg, config);
 
     let mut handles = Vec::new();
@@ -104,6 +108,7 @@ fn shutdown_answers_every_admitted_request_exactly_once() {
         workers: 3,
         // A generous deadline: nothing should shed in a drain test.
         policy: BatchPolicy::new(16, 0.002, 30.0),
+        ..ServeConfig::default()
     };
     let server = Server::start(reg, config);
 
