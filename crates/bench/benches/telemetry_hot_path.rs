@@ -1,0 +1,105 @@
+//! Telemetry hot-path bench: what a windowed record costs on the serve path.
+//!
+//! dd-serve's request paths call `dd_obs::window_record` / `gauge_set` on
+//! every enqueue, dispatch, and completion, so the contract that lets them
+//! stay instrumented in production is the same one the span/counter paths
+//! honour: **one relaxed atomic load per event while disabled**
+//! (`Registry::window_record_cfg` returns before touching the windows map).
+//! These groups measure that claim directly, and under contention:
+//!
+//! * `telemetry_disabled` — `window_record` + `gauge_set` against the
+//!   disabled global registry at 1, 8, and 64 concurrent recorder threads,
+//!   next to an uninstrumented baseline loop at the same widths. The
+//!   disabled cases must stay within noise of the baseline — there is no
+//!   shared cache line to bounce besides the read-only enabled flag, so the
+//!   cost must not grow with thread count.
+//! * `telemetry_enabled` — the same calls while recording, for the on/off
+//!   ratio. Here the registry's window mutex serialises recorders, so this
+//!   group is also the "what does it cost to leave telemetry on" number.
+//!
+//! Each thread records into its own window name (`bench_win_{t}`), matching
+//! how dd-serve shards per-replica gauges, so the enabled numbers measure
+//! lock traffic rather than artificial single-window contention.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_obs::WindowConfig;
+use std::hint::black_box;
+
+const CALLS: usize = 1024;
+const THREADS: [usize; 3] = [1, 8, 64];
+
+/// One recorder's share of the loop: a windowed latency sample plus a
+/// queue-depth gauge update, the pair every serve-path event records.
+fn record_burst(tid: usize, calls: usize) {
+    let name = format!("bench_win_{tid}");
+    let cfg = WindowConfig::new(0.05, 4);
+    for i in 0..calls {
+        let now = i as f64 * 1e-4;
+        dd_obs::window_record_cfg(&name, black_box(now), black_box(1e-3), cfg);
+        dd_obs::gauge_set("bench_depth", black_box(i as f64));
+    }
+}
+
+fn spawn_recorders(threads: usize) {
+    if threads == 1 {
+        record_burst(0, CALLS);
+        return;
+    }
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || record_burst(t, CALLS / threads));
+        }
+    });
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    dd_obs::disable();
+    dd_obs::reset();
+    let mut group = c.benchmark_group("telemetry_disabled");
+    for &threads in &THREADS {
+        group.bench_function(format!("baseline_{threads}_threads"), |b| {
+            b.iter(|| {
+                if threads == 1 {
+                    let mut acc = 0u64;
+                    for i in 0..CALLS {
+                        acc = acc.wrapping_add(black_box(i as u64));
+                    }
+                    black_box(acc);
+                } else {
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            s.spawn(|| {
+                                let mut acc = 0u64;
+                                for i in 0..CALLS / threads {
+                                    acc = acc.wrapping_add(black_box(i as u64));
+                                }
+                                black_box(acc)
+                            });
+                        }
+                    });
+                }
+            })
+        });
+        group.bench_function(format!("window_record_{threads}_threads"), |b| {
+            b.iter(|| spawn_recorders(threads))
+        });
+    }
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    dd_obs::reset();
+    dd_obs::enable();
+    let mut group = c.benchmark_group("telemetry_enabled");
+    for &threads in &THREADS {
+        group.bench_function(format!("window_record_{threads}_threads"), |b| {
+            b.iter(|| spawn_recorders(threads))
+        });
+    }
+    group.finish();
+    dd_obs::disable();
+    dd_obs::reset();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates the E15 telemetry table and persists the first chaos
+//! flight-recorder dump. Usage: `exp-15-telemetry [smoke|full|quick] [seed]`.
+
+use deepdriver_core::experiments::{self, e15_telemetry};
+use deepdriver_core::report::Scale;
+use std::path::Path;
+
+fn main() {
+    let _obs = dd_obs::EnvSession::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    let table = e15_telemetry::run(scale, seed);
+    experiments::emit(&table, "e15_telemetry");
+    let rows = e15_telemetry::sweep(scale, seed);
+    println!(
+        "zero false positives at {}x-saturation steady state: {}",
+        e15_telemetry::STEADY_LOAD_FACTOR,
+        e15_telemetry::zero_false_positives(&rows)
+    );
+    println!(
+        "chaos onset detected within {} fast-window lengths: {}",
+        e15_telemetry::DETECTION_WINDOWS,
+        e15_telemetry::detection_bounded(&rows)
+    );
+    // Persist the first retained flight-recorder dump of the first grid
+    // point — the post-mortem artifact the check.sh gate validates as JSON.
+    match rows.first().and_then(|r| r.chaos.1.dumps.first()) {
+        Some(dump) => {
+            let dir = Path::new("results");
+            let path = dir.join("e15_flight_recorder.json");
+            let write = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, dump.json.as_bytes()));
+            match write {
+                Ok(()) => {
+                    println!("[json] {} ({} at {:.4}s)", path.display(), dump.reason, dump.at_s)
+                }
+                Err(err) => eprintln!("[warn] could not write {}: {err}", path.display()),
+            }
+        }
+        None => eprintln!("[warn] chaos run produced no flight-recorder dump"),
+    }
+}

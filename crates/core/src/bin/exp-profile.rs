@@ -15,7 +15,13 @@ fn main() {
     let scale = Scale::from_arg(args.get(1).map(String::as_str));
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
 
-    let snapshot = e12_profile::measure(scale, seed);
+    let snapshot = match e12_profile::measure(scale, seed) {
+        Ok(snap) => snap,
+        Err(why) => {
+            eprintln!("E12 instrumented run failed: {why}");
+            std::process::exit(1);
+        }
+    };
     let modeled = e12_profile::modeled(scale);
     let table = e12_profile::table(&snapshot, &modeled);
     experiments::emit(&table, "e12_profile");

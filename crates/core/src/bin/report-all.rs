@@ -3,9 +3,9 @@
 //! take tens of minutes (it retrains every workload).
 
 use deepdriver_core::experiments::{
-    self, e10_compression, e11_faults, e12_profile, e13_serving, e14_chaos, e1_precision,
-    e2_scaling, e3_parallelism, e4_memory, e5_nvram, e6_search, e7_hybrid, e8_workloads,
-    e9_mdsurrogate,
+    self, e10_compression, e11_faults, e12_profile, e13_serving, e14_chaos, e15_telemetry,
+    e1_precision, e2_scaling, e3_parallelism, e4_memory, e5_nvram, e6_search, e7_hybrid,
+    e8_workloads, e9_mdsurrogate,
 };
 use deepdriver_core::report::Scale;
 
@@ -30,6 +30,7 @@ fn main() {
         ("e11_faults", Box::new(move || e11_faults::run(scale, seed))),
         ("e13_serving", Box::new(move || e13_serving::run(scale, seed))),
         ("e14_chaos", Box::new(move || e14_chaos::run(scale, seed))),
+        ("e15_telemetry", Box::new(move || e15_telemetry::run(scale, seed))),
         // Last on purpose: e12 resets the global dd-obs registry before its
         // instrumented run, so a DD_TRACE export captures e12's profile.
         ("e12_profile", Box::new(move || e12_profile::run(scale, seed))),

@@ -7,8 +7,8 @@
 //! run (and CI-style regressions in any substrate flip a claim to FAIL).
 
 use crate::experiments::{
-    e10_compression, e11_faults, e13_serving, e14_chaos, e1_precision, e2_scaling, e3_parallelism,
-    e4_memory, e5_nvram, e6_search, e7_hybrid, e9_mdsurrogate,
+    e10_compression, e11_faults, e13_serving, e14_chaos, e15_telemetry, e1_precision, e2_scaling,
+    e3_parallelism, e4_memory, e5_nvram, e6_search, e7_hybrid, e9_mdsurrogate,
 };
 use crate::report::Scale;
 use crate::workloads;
@@ -381,6 +381,30 @@ pub fn verify_all(scale: Scale, seed: u64) -> Vec<ClaimResult> {
         });
     }
 
+    // C15 — streaming telemetry: multi-window burn-rate alerting detects
+    // chaos onset quickly without crying wolf at steady state.
+    {
+        let statement = "sliding-window burn-rate alerts detect chaos onset within two fast-window lengths with zero false positives at steady state";
+        let rows = e15_telemetry::sweep(scale, seed);
+        let clean = e15_telemetry::zero_false_positives(&rows);
+        let bounded = e15_telemetry::detection_bounded(&rows);
+        let worst = rows
+            .iter()
+            .filter_map(e15_telemetry::TelemetryRow::detection_latency_s)
+            .fold(0.0f64, f64::max);
+        results.push(ClaimResult {
+            id: "E15",
+            statement,
+            holds: clean && bounded,
+            evidence: format!(
+                "{} window configs: worst detection {:.0} ms after onset (fastest bound {:.0} ms), 0 steady-state alerts: {clean}",
+                rows.len(),
+                worst * 1e3,
+                e15_telemetry::DETECTION_WINDOWS * e15_telemetry::FAST_GRID_S[0] * 1e3
+            ),
+        });
+    }
+
     results
 }
 
@@ -393,7 +417,7 @@ mod tests {
         // The reproduction's headline regression test: every claim verdict
         // in EXPERIMENTS.md must be reproducible programmatically.
         let results = verify_all(Scale::Smoke, 2017);
-        assert_eq!(results.len(), 13);
+        assert_eq!(results.len(), 14);
         for r in &results {
             assert!(r.holds, "{} failed: {} ({})", r.id, r.statement, r.evidence);
         }

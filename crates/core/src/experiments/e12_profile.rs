@@ -31,13 +31,22 @@ use dd_tensor::Precision;
 /// Run the instrumented workload mix and return the registry snapshot.
 ///
 /// Enables the global `dd-obs` registry for the duration (restoring the
-/// previous enabled state on exit) and resets it first, so the snapshot
-/// contains exactly this run.
-pub fn measure(scale: Scale, seed: u64) -> Snapshot {
+/// previous enabled state on exit, even when a workload fails) and resets
+/// it first, so the snapshot contains exactly this run.
+pub fn measure(scale: Scale, seed: u64) -> Result<Snapshot, String> {
     let was_enabled = dd_obs::is_enabled();
     dd_obs::reset();
     dd_obs::enable();
+    let result = measure_inner(scale, seed);
+    if !was_enabled {
+        dd_obs::disable();
+    }
+    result
+}
 
+/// The workload mix itself, with the registry already enabled. Split out so
+/// `?` propagation cannot skip the enabled-state restore in [`measure`].
+fn measure_inner(scale: Scale, seed: u64) -> Result<Snapshot, String> {
     // Data generation stands in for shard staging I/O: it is the paper's
     // "generate in situ" staging mode made literal.
     let io_span = dd_obs::span_phase("datagen", Phase::Io);
@@ -50,7 +59,9 @@ pub fn measure(scale: Scale, seed: u64) -> Snapshot {
     // W1: the 1-D CNN trained single-node — compute-dominated.
     let split = w1_data.dataset.split(0.15, 0.15, seed ^ 0xA5, true);
     let spec = w1_tumor::cnn_spec(w1.data.expression.genes, w1.data.types);
-    let mut model = spec.build(seed ^ 0x5A, Precision::F32).expect("valid CNN spec");
+    let mut model = spec
+        .build(seed ^ 0x5A, Precision::F32)
+        .map_err(|e| format!("W1 CNN spec failed to build: {e}"))?;
     let epochs = match scale {
         Scale::Smoke => 4,
         Scale::Full => w1.epochs,
@@ -67,12 +78,12 @@ pub fn measure(scale: Scale, seed: u64) -> Snapshot {
     let y_val = split.val.y.to_matrix();
     trainer
         .fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)))
-        .expect("training converged");
+        .map_err(|e| format!("W1 training failed: {e}"))?;
 
     // Checkpoint round trip at the end of training.
-    // dd-lint: allow(error-policy/expect) -- profile harness on a just-trained in-memory model; encode cannot fail here
-    let blob = checkpoint::save(&spec, &mut model).expect("checkpoint encodes");
-    checkpoint::load(&blob).expect("checkpoint round-trips");
+    let blob =
+        checkpoint::save(&spec, &mut model).map_err(|e| format!("checkpoint save failed: {e}"))?;
+    checkpoint::load(&blob).map_err(|e| format!("checkpoint round trip failed: {e}"))?;
 
     // W2: the dense regression net trained synchronously data-parallel —
     // this is where comm (allreduce) time comes from.
@@ -94,13 +105,10 @@ pub fn measure(scale: Scale, seed: u64) -> Snapshot {
         ..DataParallelConfig::default()
     };
     let w2_spec = w2_drug_response::net_spec(w2_split.train.dim());
-    train_data_parallel(&w2_spec, &w2_split.train.x, &w2_y, &dp).expect("data-parallel trains");
+    train_data_parallel(&w2_spec, &w2_split.train.x, &w2_y, &dp)
+        .map_err(|e| format!("W2 data-parallel training failed: {e}"))?;
 
-    let snap = dd_obs::snapshot();
-    if !was_enabled {
-        dd_obs::disable();
-    }
-    snap
+    Ok(dd_obs::snapshot())
 }
 
 /// The modeled counterpart: `dd-hpcsim`'s trace of a comparable small
@@ -125,12 +133,14 @@ pub fn modeled(scale: Scale) -> Trace {
         steps_per_epoch,
     );
     // Weights + two Adam moments in f32, written to the burst buffer once
-    // per epoch — the same cadence the measured supervisor uses.
+    // per epoch — the same cadence the measured supervisor uses. gpu_2017
+    // always prices an NVRAM tier; should a machine without one ever be
+    // modeled here, the trace simply omits its checkpoint spans.
     let state_bytes = 3.0 * job.params * 4.0;
-    let cost = checkpoint_cost(&machine.node.memory, Tier::Nvram, state_bytes)
-        .expect("NVRAM tier present");
-    for _ in 0..steps.div_ceil(steps_per_epoch) {
-        trace.push(Phase::Checkpoint, cost.write_seconds);
+    if let Some(cost) = checkpoint_cost(&machine.node.memory, Tier::Nvram, state_bytes) {
+        for _ in 0..steps.div_ceil(steps_per_epoch) {
+            trace.push(Phase::Checkpoint, cost.write_seconds);
+        }
     }
     trace
 }
@@ -165,9 +175,17 @@ pub fn table(measured: &Snapshot, modeled: &Trace) -> Table {
     t
 }
 
-/// Render the E12 table (instrumented run + model).
+/// Render the E12 table (instrumented run + model). A failed instrumented
+/// run degrades to an empty measured column (shares render as dashes) with
+/// a warning, so the suite's remaining tables still regenerate.
 pub fn run(scale: Scale, seed: u64) -> Table {
-    table(&measure(scale, seed), &modeled(scale))
+    match measure(scale, seed) {
+        Ok(snap) => table(&snap, &modeled(scale)),
+        Err(why) => {
+            eprintln!("[warn] E12 instrumented run failed: {why}");
+            table(&Snapshot::default(), &modeled(scale))
+        }
+    }
 }
 
 #[cfg(test)]

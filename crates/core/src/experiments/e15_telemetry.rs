@@ -1,0 +1,278 @@
+//! E15 — streaming telemetry: burn-rate detection latency vs window shape.
+//!
+//! E14 showed the resilience machinery surviving chaos; this experiment
+//! asks how fast an *operator* finds out. The dd-serve telemetry bundle
+//! watches the chaos simulator through sliding windows and multi-window
+//! burn-rate SLO monitors, and the sweep measures the two numbers any
+//! alerting design trades between:
+//!
+//! * **detection latency** — chaos (2.5× overload plus an E14-style
+//!   per-replica crash schedule) switches on at a known virtual time
+//!   [`ONSET_S`]; the latency is the gap between that onset and the first
+//!   `Fired` alert edge.
+//! * **false positives** — the same serving stack at a clean 0.6×
+//!   saturation steady state must fire nothing at all.
+//!
+//! The grid sweeps the fast SLO window (slow window fixed at
+//! [`SLOW_FACTOR`]× fast). The claimed shape (C15): every window config
+//! detects the onset within [`DETECTION_WINDOWS`] fast-window lengths,
+//! with zero false positives at steady state — i.e. the multi-window
+//! design buys blip-immunity without giving up bounded detection. Each
+//! chaos run also exercises the flight recorder: breaker trips and
+//! evictions dump per-replica event rings, and the binary persists the
+//! first dump as `results/e15_flight_recorder.json`.
+//!
+//! Everything is pure `f64` virtual-time arithmetic over seeded draws, so
+//! the table is byte-identical across runs and thread counts.
+
+use super::e14_chaos::{
+    service_model, DEADLINE_S, MAX_BATCH, MAX_WAIT_S, QUEUE_CAPACITY, REPLICAS,
+};
+use crate::report::{fnum, Scale, Table};
+use dd_serve::{
+    poisson_arrivals, simulate_chaos_telemetry, BatchPolicy, ChaosConfig, ChaosReport, FaultSpec,
+    LoadConfig, ResilPolicy, TelemetryConfig, TelemetryReport, SLO_AVAILABILITY, SLO_LATENCY,
+};
+
+/// Steady-state offered load as a fraction of pool saturation.
+pub const STEADY_LOAD_FACTOR: f64 = 0.6;
+/// Overload factor (vs saturation) once chaos begins.
+pub const OVERLOAD_FACTOR: f64 = 2.5;
+/// Virtual time at which overload and the crash schedule switch on.
+pub const ONSET_S: f64 = 0.75;
+/// Per-replica crash MTBF during the chaos segment, seconds.
+pub const CHAOS_MTBF_S: f64 = 0.05;
+/// Replica out-of-service time after a crash, seconds.
+pub const RESPAWN_S: f64 = 0.08;
+/// Fast-window grid, seconds.
+pub const FAST_GRID_S: [f64; 3] = [0.1, 0.2, 0.4];
+/// Slow window as a multiple of the fast window.
+pub const SLOW_FACTOR: f64 = 4.0;
+/// Claimed detection bound, in fast-window lengths.
+pub const DETECTION_WINDOWS: f64 = 2.0;
+
+/// Telemetry bundle shape for one grid point.
+pub fn telemetry_config(fast_window_s: f64) -> TelemetryConfig {
+    TelemetryConfig::standard(DEADLINE_S).with_windows(fast_window_s, SLOW_FACTOR * fast_window_s)
+}
+
+fn serving_policy() -> BatchPolicy {
+    BatchPolicy::new(MAX_BATCH, MAX_WAIT_S, DEADLINE_S)
+}
+
+fn chaos_config(arrivals: Vec<f64>, crash_mtbf_s: f64, fault_seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        policy: serving_policy(),
+        queue_capacity: QUEUE_CAPACITY,
+        replicas: REPLICAS,
+        service: service_model(),
+        arrivals,
+        resil: ResilPolicy::standard(),
+        faults: FaultSpec { respawn_s: RESPAWN_S, seed: fault_seed, ..FaultSpec::none() },
+        crash_mtbf_s,
+        fallback: true,
+    }
+}
+
+/// Clean steady-state arrival process at 0.6× saturation.
+fn steady_arrivals(scale: Scale, seed: u64) -> Vec<f64> {
+    let rate = STEADY_LOAD_FACTOR * service_model().saturation_rps(MAX_BATCH, REPLICAS);
+    let requests = match scale {
+        Scale::Smoke => 6000,
+        Scale::Full => 24_000,
+    };
+    poisson_arrivals(&LoadConfig { rate_per_s: rate, requests, seed })
+}
+
+/// Piecewise arrival process: 0.6× saturation until [`ONSET_S`], then
+/// [`OVERLOAD_FACTOR`]× saturation. The steady segment draws enough
+/// arrivals to certainly span the onset and truncates there, so the
+/// overload step lands at a known virtual time.
+fn onset_arrivals(scale: Scale, seed: u64) -> Vec<f64> {
+    let sat = service_model().saturation_rps(MAX_BATCH, REPLICAS);
+    let steady_rate = STEADY_LOAD_FACTOR * sat;
+    // dd-lint: allow(lossy-cast/float-to-int) -- arrival budget: 1.5x the expected count over the onset span; small positive by construction
+    let steady_budget = (steady_rate * ONSET_S * 1.5) as usize;
+    let steady =
+        poisson_arrivals(&LoadConfig { rate_per_s: steady_rate, requests: steady_budget, seed })
+            .into_iter()
+            .filter(|&t| t < ONSET_S);
+    let overload_requests = match scale {
+        Scale::Smoke => 5000,
+        Scale::Full => 20_000,
+    };
+    let overload = poisson_arrivals(&LoadConfig {
+        rate_per_s: OVERLOAD_FACTOR * sat,
+        requests: overload_requests,
+        seed: seed ^ 0x9E37_79B9,
+    })
+    .into_iter()
+    .map(|t| t + ONSET_S);
+    steady.chain(overload).collect()
+}
+
+/// One fast-window grid point: the same serving stack observed through one
+/// telemetry shape, in a clean steady-state scenario and a chaos-onset
+/// scenario.
+pub struct TelemetryRow {
+    /// Fast SLO window, seconds.
+    pub fast_window_s: f64,
+    /// Slow SLO window, seconds.
+    pub slow_window_s: f64,
+    /// Steady-state scenario (no faults, 0.6× load).
+    pub steady: (ChaosReport, TelemetryReport),
+    /// Chaos scenario (overload + crash schedule from [`ONSET_S`]).
+    pub chaos: (ChaosReport, TelemetryReport),
+}
+
+impl TelemetryRow {
+    /// `Fired` edges in the steady-state scenario — every one is a false
+    /// positive.
+    pub fn false_positives(&self) -> usize {
+        self.steady.1.fired_count()
+    }
+
+    /// Seconds from the chaos onset to the first `Fired` edge of either
+    /// SLO monitor (`None` if nothing ever fired).
+    pub fn detection_latency_s(&self) -> Option<f64> {
+        let first = [SLO_AVAILABILITY, SLO_LATENCY]
+            .iter()
+            .filter_map(|slo| self.chaos.1.first_fired_at(slo))
+            .fold(f64::INFINITY, f64::min);
+        first.is_finite().then_some(first - ONSET_S)
+    }
+
+    /// The C15 bound for this row: [`DETECTION_WINDOWS`] fast windows.
+    pub fn detection_bound_s(&self) -> f64 {
+        DETECTION_WINDOWS * self.fast_window_s
+    }
+}
+
+/// Run the sweep: each fast-window config observes the identical steady
+/// and chaos event streams (same arrival vectors, same fault seeds), so
+/// detection differences are attributable to the window shape alone.
+pub fn sweep(scale: Scale, seed: u64) -> Vec<TelemetryRow> {
+    let steady = steady_arrivals(scale, seed);
+    let onset = onset_arrivals(scale, seed);
+    FAST_GRID_S
+        .iter()
+        .map(|&fast_window_s| {
+            let tcfg = telemetry_config(fast_window_s);
+            let steady_cfg = chaos_config(steady.clone(), 0.0, seed.wrapping_mul(2));
+            let chaos_cfg =
+                chaos_config(onset.clone(), CHAOS_MTBF_S, seed.wrapping_mul(2).wrapping_add(1));
+            TelemetryRow {
+                fast_window_s,
+                slow_window_s: SLOW_FACTOR * fast_window_s,
+                steady: simulate_chaos_telemetry(&steady_cfg, &tcfg, 0.0),
+                chaos: simulate_chaos_telemetry(&chaos_cfg, &tcfg, ONSET_S),
+            }
+        })
+        .collect()
+}
+
+/// C15, first half: no window config fires at steady state.
+pub fn zero_false_positives(rows: &[TelemetryRow]) -> bool {
+    !rows.is_empty() && rows.iter().all(|r| r.false_positives() == 0)
+}
+
+/// C15, second half: every window config detects the chaos onset after it
+/// happened and within [`DETECTION_WINDOWS`] fast-window lengths.
+pub fn detection_bounded(rows: &[TelemetryRow]) -> bool {
+    !rows.is_empty()
+        && rows
+            .iter()
+            .all(|r| r.detection_latency_s().is_some_and(|d| d > 0.0 && d <= r.detection_bound_s()))
+}
+
+/// Render the E15 table.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E15: burn-rate alerting vs window shape (0.6x steady state, 2.5x overload + crashes at onset)",
+        &[
+            "fast_s",
+            "slow_s",
+            "steady_fired",
+            "detect_s",
+            "bound_s",
+            "chaos_fired",
+            "completed",
+            "failed",
+            "shed",
+            "rejected",
+            "evictions",
+            "breaker_opens",
+            "traces_kept",
+            "recorder_events",
+            "dumps",
+            "availability",
+        ],
+    );
+    for r in sweep(scale, seed) {
+        let (rep, tel) = (&r.chaos.0, &r.chaos.1);
+        table.push_row(vec![
+            fnum(r.fast_window_s),
+            fnum(r.slow_window_s),
+            r.false_positives().to_string(),
+            fnum(r.detection_latency_s().unwrap_or(-1.0)),
+            fnum(r.detection_bound_s()),
+            tel.fired_count().to_string(),
+            rep.completed.to_string(),
+            rep.failed.to_string(),
+            rep.shed.to_string(),
+            rep.rejected.to_string(),
+            rep.evictions.to_string(),
+            rep.breaker_opens.to_string(),
+            tel.traces_kept.to_string(),
+            tel.recorder_events.to_string(),
+            tel.dump_total.to_string(),
+            fnum(rep.availability),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run(Scale::Smoke, 2017).to_csv();
+        let b = run(Scale::Smoke, 2017).to_csv();
+        assert_eq!(a, b, "same seed must give a byte-identical table");
+    }
+
+    #[test]
+    fn detection_and_false_positive_shapes_hold() {
+        let rows = sweep(Scale::Smoke, 2017);
+        assert_eq!(rows.len(), FAST_GRID_S.len());
+        assert!(zero_false_positives(&rows), "steady state must not alert");
+        assert!(detection_bounded(&rows), "every config must detect within two fast windows");
+        for r in &rows {
+            let d = r.detection_latency_s().unwrap_or(-1.0);
+            assert!(
+                d > 0.0 && d <= r.detection_bound_s(),
+                "fast={} detected at {d}s, bound {}s",
+                r.fast_window_s,
+                r.detection_bound_s()
+            );
+            // The chaos scenario genuinely exercises the recorder: crashes
+            // evict replicas and trip breakers, each dumping the rings.
+            assert!(r.chaos.0.evictions > 0, "crash schedule must evict");
+            assert!(r.chaos.1.dump_total > 0, "evictions/breakers must dump the recorder");
+            let Some(dump) = r.chaos.1.dumps.first() else {
+                panic!("at least the first dump must be retained");
+            };
+            assert!(
+                dump.json.starts_with('{') && dump.json.ends_with('}'),
+                "dump must be a JSON object"
+            );
+            assert!(dump.at_s >= ONSET_S, "nothing dumps before the onset");
+            // Tail sampling keeps only trouble: at steady state nothing is
+            // kept, under chaos the shed/error tail is.
+            assert_eq!(r.steady.1.traces_kept, 0, "clean steady state keeps no traces");
+            assert!(r.chaos.1.traces_kept > 0, "chaos must keep tail traces");
+        }
+    }
+}

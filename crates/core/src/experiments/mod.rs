@@ -1,4 +1,4 @@
-//! Experiments E1–E14: one module per claim in the abstract (see DESIGN.md's
+//! Experiments E1–E15: one module per claim in the abstract (see DESIGN.md's
 //! experiment index). Every module exposes `run(scale, seed) -> Table`; the
 //! `exp-*` binaries print the table and write a CSV under `results/`.
 
@@ -7,6 +7,7 @@ pub mod e11_faults;
 pub mod e12_profile;
 pub mod e13_serving;
 pub mod e14_chaos;
+pub mod e15_telemetry;
 pub mod e1_precision;
 pub mod e2_scaling;
 pub mod e3_parallelism;

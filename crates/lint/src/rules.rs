@@ -1,4 +1,4 @@
-//! The six policy families, implemented as token-stream scans over a
+//! The policy families, implemented as token-stream scans over a
 //! [`FileCtx`].
 //!
 //! Every rule has a stable id `family/name`; ids are what allow annotations
@@ -32,8 +32,10 @@ pub const KNOWN_RULES: &[&str] = &[
     "determinism/test-ambient-rng",
     "single-clock/instant-now",
     "instrumentation/uncounted-kernel",
+    "instrumentation/unwindowed-serve-path",
     "lossy-cast/float-to-int",
     "resilience/unbounded-retry",
+    "telemetry/unbounded-buffer",
     "lint/bad-allow",
 ];
 
@@ -45,6 +47,7 @@ pub const KNOWN_FAMILIES: &[&str] = &[
     "instrumentation",
     "lossy-cast",
     "resilience",
+    "telemetry",
     "lint",
 ];
 
@@ -72,8 +75,10 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Diag> {
     test_ambient_rng(ctx, &mut out);
     single_clock(ctx, &mut out);
     instrumentation(ctx, &mut out);
+    unwindowed_serve_path(ctx, &mut out);
     lossy_cast(ctx, &mut out);
     unbounded_retry(ctx, &mut out);
+    unbounded_buffer(ctx, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -382,6 +387,86 @@ fn instrumentation(ctx: &FileCtx, out: &mut Vec<Diag>) {
     }
 }
 
+/// Telemetry coverage: dd-serve's request paths — `serve_job*` (the worker
+/// loop driving one batch through the resilience core) and
+/// `dispatch_prefix*` (the batcher handing a prefix to a worker) — must
+/// record into the streaming-telemetry bundle, or delegate to a path that
+/// does. A request that crosses these functions without touching a
+/// telemetry hook is invisible to the sliding-window SLOs, so burn-rate
+/// alerts silently under-count exactly when they matter. Unlike the kernel
+/// rule this covers private `fn`s too: both paths are crate-internal.
+fn unwindowed_serve_path(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if ctx.kind != FileKind::Lib || ctx.crate_name != "dd-serve" {
+        return;
+    }
+    let t = &ctx.tokens;
+    let mut i = 0usize;
+    while i < t.len() {
+        if !(t[i].kind == TokenKind::Ident && t[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = t.get(i + 1) else { break };
+        let name = name_tok.text.clone();
+        if !(name.starts_with("serve_job") || name.starts_with("dispatch_prefix"))
+            || ctx.in_test(name_tok.line)
+        {
+            i += 2;
+            continue;
+        }
+        // Find the body: first `{` before any `;` (a `;` first means a
+        // body-less declaration — not ours to check).
+        let mut k = i + 2;
+        let mut body = None;
+        while k < t.len() {
+            if t[k].kind == TokenKind::Punct {
+                match t[k].text.as_str() {
+                    "{" => {
+                        body = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(open) = body else {
+            i = k + 1;
+            continue;
+        };
+        let Some(close) = matching(t, open, "{", "}") else {
+            i = open + 1;
+            continue;
+        };
+        let windowed = t[open + 1..close].iter().any(|tok| {
+            tok.kind == TokenKind::Ident
+                && (tok.text.contains("telemetry")
+                    || tok.text.starts_with("window_record")
+                    || tok.text.starts_with("on_dispatch")
+                    || tok.text.starts_with("on_complete")
+                    || tok.text.starts_with("on_outcome")
+                    || tok.text.starts_with("serve_job")
+                    || tok.text.starts_with("dispatch_prefix"))
+        });
+        if !windowed {
+            push(
+                ctx,
+                out,
+                name_tok.line,
+                "instrumentation/unwindowed-serve-path",
+                format!(
+                    "fn {name} records into no telemetry window: call the \
+                     ServeTelemetry hooks (on_dispatch/on_outcome/on_complete \
+                     or equivalents) so the sliding-window SLOs see every \
+                     request this path handles"
+                ),
+            );
+        }
+        i = close + 1;
+    }
+}
+
 /// Resilience policy: a `loop`/`while` that dispatches work or retries a
 /// call must carry evidence of a bound — an attempt cap, a deadline, or a
 /// budget — somewhere in the loop. Without one, a dead replica or a
@@ -457,6 +542,80 @@ fn unbounded_retry(ctx: &FileCtx, out: &mut Vec<Diag>) {
                     .into(),
             );
         }
+    }
+}
+
+/// Telemetry policy: event-buffer types — structs named `*Recorder*` or
+/// ending in `Ring` — must declare a capacity bound in their definition
+/// (a field whose name carries `capacity`/`bound`/`max`/`len`). A flight
+/// recorder or time-bucket ring that grows without bound turns "always-on
+/// observability" into a slow memory leak on exactly the long runs it
+/// exists to explain. Names merely *containing* `Ring` (e.g. a `RingMember`
+/// rank in the allreduce topology) are not buffers and are exempt.
+fn unbounded_buffer(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    let t = &ctx.tokens;
+    let mut i = 0usize;
+    while i < t.len() {
+        if !(t[i].kind == TokenKind::Ident && t[i].text == "struct") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = t.get(i + 1) else { break };
+        let name = name_tok.text.clone();
+        if !(name.contains("Recorder") || name.ends_with("Ring")) || ctx.in_test(name_tok.line) {
+            i += 2;
+            continue;
+        }
+        // Find the field block: first `{` before any `;` (unit and tuple
+        // structs carry no named capacity field and are skipped).
+        let mut k = i + 2;
+        let mut body = None;
+        while k < t.len() {
+            if t[k].kind == TokenKind::Punct {
+                match t[k].text.as_str() {
+                    "{" => {
+                        body = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(open) = body else {
+            i = k + 1;
+            continue;
+        };
+        let Some(close) = matching(t, open, "{", "}") else {
+            i = open + 1;
+            continue;
+        };
+        let bounded = t[open + 1..close].iter().any(|tok| {
+            if tok.kind != TokenKind::Ident {
+                return false;
+            }
+            let l = tok.text.to_ascii_lowercase();
+            l.contains("capacity") || l.contains("bound") || l.contains("max") || l == "len"
+        });
+        if !bounded {
+            push(
+                ctx,
+                out,
+                name_tok.line,
+                "telemetry/unbounded-buffer",
+                format!(
+                    "struct {name} looks like an event buffer but declares no \
+                     capacity bound: add a `capacity`-style field and evict \
+                     past it (see FlightRecorder) so telemetry memory stays \
+                     fixed on long runs"
+                ),
+            );
+        }
+        i = close + 1;
     }
 }
 

@@ -108,6 +108,37 @@ fn instrumentation_uncounted_serve_dispatch() {
 }
 
 #[test]
+fn instrumentation_unwindowed_serve_path() {
+    // dd-serve's request paths must record into a telemetry window — the
+    // rule covers private `fn`s (serve_job and dispatch_prefix are
+    // crate-internal).
+    assert_fires(
+        "pos_unwindowed_serve.rs",
+        "dd-serve:lib",
+        2,
+        "instrumentation/unwindowed-serve-path",
+    );
+    assert_clean("neg_unwindowed_serve.rs", "dd-serve:lib");
+    // The rule is scoped to dd-serve: the same code elsewhere is fine.
+    let (code, stdout) = run("pos_unwindowed_serve.rs", "dd-nn:lib");
+    assert_eq!(code, 0, "only dd-serve has serve paths\nstdout: {stdout}");
+    // And to library code: a test-target helper named serve_job is exempt.
+    let (code, stdout) = run("pos_unwindowed_serve.rs", "dd-serve:test");
+    assert_eq!(code, 0, "test targets need no telemetry\nstdout: {stdout}");
+}
+
+#[test]
+fn telemetry_unbounded_buffer() {
+    // Flight-recorder rings and friends must declare a capacity bound. The
+    // negative fixture also pins the naming scope: `RingMember` (contains
+    // but does not end in `Ring`) is a topology rank, not a buffer.
+    assert_fires("pos_unbounded_ring.rs", "dd-obs:lib", 2, "telemetry/unbounded-buffer");
+    assert_clean("neg_unbounded_ring.rs", "dd-obs:lib");
+    // The rule binds library code in every crate.
+    assert_fires("pos_unbounded_ring.rs", "dd-serve:lib", 2, "telemetry/unbounded-buffer");
+}
+
+#[test]
 fn lossy_cast_float_to_int() {
     assert_fires("pos_lossy_cast.rs", "dd-nn:lib", 3, "lossy-cast/float-to-int");
     assert_clean("neg_lossy_cast.rs", "dd-nn:lib");

@@ -1,0 +1,10 @@
+//! Fixture: a declared capacity bound satisfies the buffer check, and a
+//! name merely containing `Ring` (not ending in it) is not a buffer.
+pub struct EventRing {
+    capacity: usize,
+    events: Vec<u64>,
+}
+
+pub struct RingMember {
+    rank: usize,
+}

@@ -1,0 +1,9 @@
+//! Fixture: a ServeTelemetry hook satisfies the serve-path telemetry check.
+fn serve_job(job: &str) -> Vec<f32> {
+    let mut telemetry = acquire_telemetry();
+    telemetry.on_dispatch(0.0, 0, 1);
+    let mut out = vec![0.0f32; 4];
+    out[0] = job.len() as f32;
+    telemetry.on_complete(0.0, 0, 0.0, 0.0);
+    out
+}

@@ -1,0 +1,4 @@
+//! Fixture: `telemetry/unbounded-buffer` must fire on line 2.
+pub struct EventRing {
+    events: Vec<u64>,
+}

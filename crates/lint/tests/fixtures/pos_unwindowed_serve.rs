@@ -1,0 +1,6 @@
+//! Fixture: `instrumentation/unwindowed-serve-path` must fire on line 2.
+fn serve_job(job: &str) -> Vec<f32> {
+    let mut out = vec![0.0f32; 4];
+    out[0] = job.len() as f32;
+    out
+}

@@ -69,6 +69,13 @@ pub fn jsonl(snap: &Snapshot) -> String {
         });
         let _ = writeln!(out, "{line}");
     }
+    for (name, h) in &snap.windows {
+        let line = json!({
+            "type": "window", "name": name, "count": h.count, "sum": h.sum, "mean": h.mean,
+            "min": h.min, "max": h.max, "p50": h.p50, "p95": h.p95, "p99": h.p99,
+        });
+        let _ = writeln!(out, "{line}");
+    }
     out
 }
 
@@ -102,6 +109,17 @@ pub fn summary(snap: &Snapshot) -> String {
         let w = snap.hists.keys().map(String::len).max().unwrap_or(0);
         let _ = writeln!(out, "-- histograms (seconds unless noted) --");
         for (name, h) in &snap.hists {
+            let _ = writeln!(
+                out,
+                "{name:>w$}  n={:<6} p50={:.6} p95={:.6} p99={:.6} max={:.6}",
+                h.count, h.p50, h.p95, h.p99, h.max
+            );
+        }
+    }
+    if !snap.windows.is_empty() {
+        let w = snap.windows.keys().map(String::len).max().unwrap_or(0);
+        let _ = writeln!(out, "-- sliding windows (live horizon at snapshot time) --");
+        for (name, h) in &snap.windows {
             let _ = writeln!(
                 out,
                 "{name:>w$}  n={:<6} p50={:.6} p95={:.6} p99={:.6} max={:.6}",
@@ -193,6 +211,9 @@ mod tests {
         h.record(0.1);
         h.record(0.2);
         snap.hists.insert("step_seconds".into(), h.summary());
+        let mut w = crate::window::SlidingWindow::new(crate::window::WindowConfig::default());
+        w.record(1.0, 0.05);
+        snap.windows.insert("serve_e2e_seconds".into(), w.summary(1.0));
         snap
     }
 
@@ -231,8 +252,8 @@ mod tests {
     fn jsonl_lines_each_parse_and_carry_types() {
         let s = jsonl(&sample_snapshot());
         let lines: Vec<&str> = s.lines().collect();
-        // 2 spans + 1 counter + 1 gauge + 1 hist.
-        assert_eq!(lines.len(), 5);
+        // 2 spans + 1 counter + 1 gauge + 1 hist + 1 window.
+        assert_eq!(lines.len(), 6);
         let mut types = std::collections::BTreeMap::new();
         for line in lines {
             let v: Value = serde_json::from_str(line).expect("each line is JSON");
@@ -242,6 +263,7 @@ mod tests {
         assert_eq!(types["counter"], 1);
         assert_eq!(types["gauge"], 1);
         assert_eq!(types["hist"], 1);
+        assert_eq!(types["window"], 1);
     }
 
     #[test]
@@ -264,6 +286,7 @@ mod tests {
         assert!(text.contains("flops_total"));
         assert!(text.contains("train_loss"));
         assert!(text.contains("step_seconds"));
+        assert!(text.contains("serve_e2e_seconds"));
         assert!(text.contains("p99"));
     }
 

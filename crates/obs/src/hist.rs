@@ -129,6 +129,37 @@ impl Histogram {
         self.max()
     }
 
+    /// Total number of log buckets — the hard size bound any per-bucket
+    /// side table (e.g. exemplar request-ids) inherits.
+    pub const fn num_buckets() -> usize {
+        NUM_BUCKETS
+    }
+
+    /// Public bucket index of a sample, with the same clamping `record`
+    /// applies (negative/NaN → bucket 0). Lets sliding windows attach
+    /// exemplar request-ids to the bucket a latency sample landed in.
+    pub fn bucket_of(v: f64) -> usize {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        Self::bucket_index(v)
+    }
+
+    /// Merge another histogram into this one bucket-by-bucket. Both share
+    /// the fixed global bucket layout, so counts, extrema and every
+    /// quantile merge exactly; only `sum`/`mean` depend on float summation
+    /// order (last-ulp effects).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.n == 0 {
+            return;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// The p50/p95/p99 summary exported to JSONL and the text report.
     pub fn summary(&self) -> HistSummary {
         HistSummary {
@@ -235,6 +266,43 @@ mod tests {
         let p95 = h.quantile(0.95);
         assert!((p50 - 1e-3).abs() / 1e-3 < 0.08, "p50 {p50}");
         assert!((p95 - 1.0).abs() / 1.0 < 0.08, "p95 {p95}");
+    }
+
+    #[test]
+    fn merge_is_exact_against_direct_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut direct = Histogram::new();
+        for i in 1..=500 {
+            let v = i as f64 * 1e-4;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            direct.record(v);
+        }
+        a.merge(&b);
+        let (ms, ds) = (a.summary(), direct.summary());
+        assert_eq!((ms.count, ms.min, ms.max), (ds.count, ds.min, ds.max));
+        assert_eq!(
+            (ms.p50, ms.p95, ms.p99),
+            (ds.p50, ds.p95, ds.p99),
+            "bucket counts merge exactly"
+        );
+        assert!((ms.sum - ds.sum).abs() < 1e-9, "sum differs only by summation order");
+        let empty = Histogram::new();
+        let before = a.summary();
+        a.merge(&empty);
+        assert_eq!(a.summary(), before, "merging an empty histogram is a no-op");
+    }
+
+    #[test]
+    fn bucket_of_matches_record_placement() {
+        assert_eq!(Histogram::bucket_of(-1.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+        assert!(Histogram::bucket_of(1e30) < Histogram::num_buckets());
+        assert!(Histogram::bucket_of(1e-3) < Histogram::bucket_of(1.0));
     }
 
     #[test]

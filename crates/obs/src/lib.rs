@@ -21,6 +21,12 @@
 //! 3. **One phase vocabulary.** [`Phase`] is shared with the `dd-hpcsim`
 //!    analytic simulator (which re-exports it), so measured and modeled
 //!    compute/comm/io/checkpoint breakdowns line up row for row.
+//! 4. **Streaming telemetry takes caller time.** The sliding windows
+//!    ([`SlidingWindow`]), SLO burn-rate monitors ([`SloMonitor`]), tail
+//!    sampler and flight recorder are pure state machines over a
+//!    caller-supplied `now_s` — real engines pass [`monotonic_seconds`],
+//!    virtual-time simulators pass event time — so identical event streams
+//!    yield bit-identical telemetry in both worlds.
 //!
 //! ## Usage
 //!
@@ -48,11 +54,18 @@ mod export;
 mod hist;
 mod phase;
 mod registry;
+pub mod telemetry;
+pub mod window;
 
 pub use export::{chrome_trace, jsonl as jsonl_export, summary as summary_export, EnvSession};
 pub use hist::{HistSummary, Histogram};
 pub use phase::Phase;
 pub use registry::{global, Registry, Snapshot, SpanGuard, SpanRecord};
+pub use telemetry::{
+    AlertEvent, AlertKind, FlightEvent, FlightEventKind, FlightRecorder, RequestTrace, SloConfig,
+    SloMonitor, SloObjective, TailSampler, TailSamplerConfig, TraceStep, TraceVerdict,
+};
+pub use window::{SlidingWindow, WindowConfig, WindowedGauge};
 
 /// Turn global recording on.
 pub fn enable() {
@@ -103,6 +116,26 @@ pub fn gauge_set(name: &str, value: f64) {
 #[inline]
 pub fn hist_record(name: &str, value: f64) {
     global().hist_record(name, value);
+}
+
+/// Record a sample into a named sliding window at caller time `now_s`.
+/// See [`Registry::window_record`].
+#[inline]
+pub fn window_record(name: &str, now_s: f64, value: f64) {
+    global().window_record(name, now_s, value);
+}
+
+/// Like [`window_record`], with an explicit [`WindowConfig`] used if the
+/// window does not exist yet.
+#[inline]
+pub fn window_record_cfg(name: &str, now_s: f64, value: f64, cfg: WindowConfig) {
+    global().window_record_cfg(name, now_s, value, cfg);
+}
+
+/// Windowed summary of one named sliding window evaluated at `now_s`
+/// (`None` when nothing was recorded). See [`Registry::window_summary`].
+pub fn window_summary(name: &str, now_s: f64) -> Option<HistSummary> {
+    global().window_summary(name, now_s)
 }
 
 /// Monotonic seconds since the registry epoch — the workspace's single

@@ -18,6 +18,7 @@
 // dd-lint: allow-file(error-policy/expect) -- a poisoned registry mutex means an instrumented thread already panicked; propagating that panic is the only sane behavior for a metrics sink
 use crate::hist::{HistSummary, Histogram};
 use crate::phase::Phase;
+use crate::window::{SlidingWindow, WindowConfig};
 use std::borrow::Cow;
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -54,6 +55,8 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries.
     pub hists: BTreeMap<String, HistSummary>,
+    /// Sliding-window summaries, evaluated at snapshot time.
+    pub windows: BTreeMap<String, HistSummary>,
 }
 
 impl Snapshot {
@@ -77,6 +80,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     hists: Mutex<BTreeMap<String, Histogram>>,
+    windows: Mutex<BTreeMap<String, SlidingWindow>>,
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -110,6 +114,7 @@ impl Registry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             hists: Mutex::new(BTreeMap::new()),
+            windows: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -148,6 +153,7 @@ impl Registry {
         self.counters.lock().expect("obs counters lock").clear();
         self.gauges.lock().expect("obs gauges lock").clear();
         self.hists.lock().expect("obs hists lock").clear();
+        self.windows.lock().expect("obs windows lock").clear();
     }
 
     /// Add to a monotonic counter (no-op while disabled).
@@ -195,6 +201,41 @@ impl Registry {
                 map.insert(name.to_string(), h);
             }
         }
+    }
+
+    /// Record a sample into a named sliding window at `now_s` (no-op while
+    /// disabled — one relaxed atomic load, like every other record path).
+    /// Windows created through this path use the default
+    /// [`WindowConfig`] (1 s buckets, 60 s horizon); use
+    /// [`Registry::window_record_cfg`] for a custom shape.
+    #[inline]
+    pub fn window_record(&self, name: &str, now_s: f64, value: f64) {
+        self.window_record_cfg(name, now_s, value, WindowConfig::default());
+    }
+
+    /// Like [`Registry::window_record`], but a window created by this call
+    /// takes `cfg` as its shape (an existing window keeps its original
+    /// config — the first recorder wins).
+    #[inline]
+    pub fn window_record_cfg(&self, name: &str, now_s: f64, value: f64, cfg: WindowConfig) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut map = self.windows.lock().expect("obs windows lock");
+        match map.get_mut(name) {
+            Some(w) => w.record(now_s, value),
+            None => {
+                let mut w = SlidingWindow::new(cfg);
+                w.record(now_s, value);
+                map.insert(name.to_string(), w);
+            }
+        }
+    }
+
+    /// Windowed summary of one named sliding window evaluated at `now_s`;
+    /// `None` when nothing was ever recorded under `name`.
+    pub fn window_summary(&self, name: &str, now_s: f64) -> Option<HistSummary> {
+        self.windows.lock().expect("obs windows lock").get(name).map(|w| w.summary(now_s))
     }
 
     /// Open a span. The guard records on drop (or [`SpanGuard::finish`]);
@@ -247,8 +288,10 @@ impl Registry {
         self.hists.lock().expect("obs hists lock").get(name).map(Histogram::summary)
     }
 
-    /// Copy out everything collected so far.
+    /// Copy out everything collected so far. Window summaries are
+    /// evaluated at the current [`Registry::monotonic_seconds`].
     pub fn snapshot(&self) -> Snapshot {
+        let now = self.monotonic_seconds();
         Snapshot {
             spans: self.spans.lock().expect("obs spans lock").clone(),
             counters: self.counters.lock().expect("obs counters lock").clone(),
@@ -259,6 +302,13 @@ impl Registry {
                 .expect("obs hists lock")
                 .iter()
                 .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+            windows: self
+                .windows
+                .lock()
+                .expect("obs windows lock")
+                .iter()
+                .map(|(k, w)| (k.clone(), w.summary(now)))
                 .collect(),
         }
     }
@@ -319,6 +369,7 @@ mod tests {
         r.counter_add("c", 5);
         r.gauge_set("g", 1.0);
         r.hist_record("h", 1.0);
+        r.window_record("w", 0.0, 1.0);
         let sp = r.span("s", Some(Phase::Compute));
         assert!(sp.finish() >= 0.0);
         let snap = r.snapshot();
@@ -326,6 +377,26 @@ mod tests {
         assert!(snap.counters.is_empty());
         assert!(snap.gauges.is_empty());
         assert!(snap.hists.is_empty());
+        assert!(snap.windows.is_empty());
+        assert!(r.window_summary("w", 0.0).is_none());
+    }
+
+    #[test]
+    fn named_windows_record_and_expire_on_the_caller_clock() {
+        let _l = lock_registry();
+        let r = global();
+        r.reset();
+        r.enable();
+        r.window_record_cfg("lat", 0.5, 0.010, WindowConfig::new(1.0, 4));
+        r.window_record_cfg("lat", 2.5, 0.020, WindowConfig::new(1.0, 4));
+        let s = r.window_summary("lat", 2.5).expect("recorded");
+        assert_eq!(s.count, 2);
+        let s = r.window_summary("lat", 4.5).expect("window still exists");
+        assert_eq!(s.count, 1, "the t=0.5 sample left the 4 s horizon");
+        let snap = r.snapshot();
+        assert!(snap.windows.contains_key("lat"));
+        r.disable();
+        r.reset();
     }
 
     #[test]

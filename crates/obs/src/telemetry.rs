@@ -1,0 +1,758 @@
+//! Streaming SLO monitors, tail-based trace sampling, and the chaos
+//! flight recorder.
+//!
+//! All three are pure state machines over caller-supplied `(now_s, event)`
+//! streams — no clock reads, no randomness — so the threaded server and
+//! the virtual-time sim twin drive the same types and produce bit-identical
+//! telemetry from identical event streams.
+//!
+//! * [`SloMonitor`] implements multi-window burn-rate alerting: an
+//!   objective (availability, or p99-vs-deadline) defines an error budget,
+//!   and an alert fires only when *both* a fast and a slow window burn
+//!   that budget faster than `burn_threshold`. The fast window bounds
+//!   detection latency; the slow window suppresses blips — the classic
+//!   fast+slow pairing, here fully deterministic.
+//! * [`TailSampler`] keeps full per-request traces only for the requests
+//!   worth keeping: slow, errored, or shed. Ok-and-fast traces are counted
+//!   and dropped, so capacity goes to the tail.
+//! * [`FlightRecorder`] keeps a fixed-capacity ring of recent events per
+//!   replica and renders them to JSON on demand — the post-mortem artifact
+//!   dumped when a breaker opens or a replica is evicted.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Count ring: good/bad event counts over a lazy time-bucket ring, the
+/// integer-only core both burn-rate windows share.
+#[derive(Debug, Clone)]
+struct CountRing {
+    bucket_s: f64,
+    len: i64,
+    good: Vec<u64>,
+    bad: Vec<u64>,
+    epochs: Vec<i64>,
+}
+
+/// Sub-buckets per burn-rate window: enough granularity that a window
+/// "slides" rather than jumps, while staying O(8) to total.
+const SLO_SUB_BUCKETS: usize = 8;
+
+impl CountRing {
+    fn new(window_s: f64) -> Self {
+        CountRing {
+            bucket_s: window_s / SLO_SUB_BUCKETS as f64,
+            len: SLO_SUB_BUCKETS as i64,
+            good: vec![0; SLO_SUB_BUCKETS],
+            bad: vec![0; SLO_SUB_BUCKETS],
+            epochs: vec![i64::MIN; SLO_SUB_BUCKETS],
+        }
+    }
+
+    fn abs_bucket(&self, now_s: f64) -> i64 {
+        let now = if now_s.is_finite() && now_s > 0.0 { now_s } else { 0.0 };
+        // dd-lint: allow(lossy-cast/float-to-int) -- time-bucket index: floor() is the bucketing operation; non-negative by the clamp above
+        (now / self.bucket_s).floor() as i64
+    }
+
+    fn observe(&mut self, now_s: f64, ok: bool) {
+        let cur = self.abs_bucket(now_s);
+        // dd-lint: allow(lossy-cast/float-to-int) -- ring slot: modulo of a non-negative bucket index by the ring length
+        let slot = cur.rem_euclid(self.len) as usize;
+        if self.epochs[slot] != cur {
+            self.good[slot] = 0;
+            self.bad[slot] = 0;
+            self.epochs[slot] = cur;
+        }
+        if ok {
+            self.good[slot] += 1;
+        } else {
+            self.bad[slot] += 1;
+        }
+    }
+
+    fn totals(&self, now_s: f64) -> (u64, u64) {
+        let cur = self.abs_bucket(now_s);
+        let oldest = cur - self.len;
+        let mut good = 0u64;
+        let mut bad = 0u64;
+        for i in 0..self.epochs.len() {
+            let e = self.epochs[i];
+            if e != i64::MIN && e > oldest && e <= cur {
+                good += self.good[i];
+                bad += self.bad[i];
+            }
+        }
+        (good, bad)
+    }
+}
+
+/// What an SLO promises, and therefore what counts against its budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloObjective {
+    /// Fraction of requests answered successfully must stay >= `target`;
+    /// the error budget is `1 - target`.
+    Availability {
+        /// Success-fraction target in `(0, 1)`, e.g. `0.999`.
+        target: f64,
+    },
+    /// The `1 - tolerated_fraction` quantile of latency must stay under
+    /// `deadline_s` — "p99 under deadline" is `tolerated_fraction = 0.01`:
+    /// at most that fraction of requests may run past the deadline.
+    LatencyDeadline {
+        /// Latency bound, seconds.
+        deadline_s: f64,
+        /// Budgeted fraction of requests allowed past the bound, `(0, 1)`.
+        tolerated_fraction: f64,
+    },
+}
+
+impl SloObjective {
+    /// The error budget: the bad-event fraction the objective tolerates.
+    pub fn budget(&self) -> f64 {
+        match *self {
+            SloObjective::Availability { target } => 1.0 - target,
+            SloObjective::LatencyDeadline { tolerated_fraction, .. } => tolerated_fraction,
+        }
+    }
+}
+
+/// One SLO monitor's shape: objective, fast+slow windows, and the
+/// burn-rate multiple both must exceed before an alert fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Monitor name, carried on every [`AlertEvent`].
+    pub name: String,
+    /// What counts as a bad event.
+    pub objective: SloObjective,
+    /// Fast window, seconds — bounds detection latency.
+    pub fast_window_s: f64,
+    /// Slow window, seconds — suppresses blips; must exceed the fast one.
+    pub slow_window_s: f64,
+    /// Burn-rate multiple (observed bad fraction / budget) both windows
+    /// must exceed, e.g. `10.0`.
+    pub burn_threshold: f64,
+}
+
+/// Did the alert fire or clear?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Both windows crossed the burn threshold.
+    Fired,
+    /// The fast window dropped back below the threshold.
+    Cleared,
+}
+
+/// One deterministic alert edge (fire or clear) from an [`SloMonitor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// Name of the monitor that produced the event.
+    pub slo: String,
+    /// Fired or cleared.
+    pub kind: AlertKind,
+    /// Event time (caller clock), seconds.
+    pub at_s: f64,
+    /// Fast-window burn rate at the edge.
+    pub fast_burn: f64,
+    /// Slow-window burn rate at the edge.
+    pub slow_burn: f64,
+}
+
+/// Multi-window burn-rate monitor over one [`SloObjective`].
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    cfg: SloConfig,
+    fast: CountRing,
+    slow: CountRing,
+    active: bool,
+}
+
+impl SloMonitor {
+    /// New monitor; windows must be positive with `fast < slow`, the
+    /// budget and threshold positive.
+    pub fn new(cfg: SloConfig) -> Self {
+        assert!(cfg.fast_window_s > 0.0 && cfg.fast_window_s.is_finite(), "bad fast window");
+        assert!(cfg.slow_window_s > cfg.fast_window_s, "slow window must exceed fast");
+        assert!(cfg.objective.budget() > 0.0, "objective needs a positive error budget");
+        assert!(cfg.burn_threshold > 0.0, "burn threshold must be positive");
+        let fast = CountRing::new(cfg.fast_window_s);
+        let slow = CountRing::new(cfg.slow_window_s);
+        SloMonitor { cfg, fast, slow, active: false }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Feed one good/bad event at `now_s`.
+    pub fn observe(&mut self, now_s: f64, ok: bool) {
+        self.fast.observe(now_s, ok);
+        self.slow.observe(now_s, ok);
+    }
+
+    /// Feed one latency sample; for a [`SloObjective::LatencyDeadline`]
+    /// objective the event is bad iff it ran past the deadline. (For an
+    /// availability objective this treats any finite latency as good.)
+    pub fn observe_latency(&mut self, now_s: f64, latency_s: f64) {
+        let ok = match self.cfg.objective {
+            SloObjective::LatencyDeadline { deadline_s, .. } => latency_s <= deadline_s,
+            SloObjective::Availability { .. } => latency_s.is_finite(),
+        };
+        self.observe(now_s, ok);
+    }
+
+    /// Burn rates (fast, slow) at `now_s`: observed bad fraction over the
+    /// window divided by the error budget; 0 over an empty window.
+    pub fn burn_rates(&self, now_s: f64) -> (f64, f64) {
+        let budget = self.cfg.objective.budget();
+        let rate = |(good, bad): (u64, u64)| {
+            let n = good + bad;
+            if n == 0 {
+                0.0
+            } else {
+                (bad as f64 / n as f64) / budget
+            }
+        };
+        (rate(self.fast.totals(now_s)), rate(self.slow.totals(now_s)))
+    }
+
+    /// Evaluate the alert edge at `now_s`. Edge-triggered: returns
+    /// `Some(Fired)` on the inactive→active transition (both windows over
+    /// threshold), `Some(Cleared)` when an active alert's fast window
+    /// recovers, `None` otherwise.
+    pub fn poll(&mut self, now_s: f64) -> Option<AlertEvent> {
+        let (fast_burn, slow_burn) = self.burn_rates(now_s);
+        let over = fast_burn > self.cfg.burn_threshold && slow_burn > self.cfg.burn_threshold;
+        if over && !self.active {
+            self.active = true;
+            return Some(AlertEvent {
+                slo: self.cfg.name.clone(),
+                kind: AlertKind::Fired,
+                at_s: now_s,
+                fast_burn,
+                slow_burn,
+            });
+        }
+        if self.active && fast_burn < self.cfg.burn_threshold {
+            self.active = false;
+            return Some(AlertEvent {
+                slo: self.cfg.name.clone(),
+                kind: AlertKind::Cleared,
+                at_s: now_s,
+                fast_burn,
+                slow_burn,
+            });
+        }
+        None
+    }
+
+    /// Is the alert currently active?
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+/// Why a request trace was (or wasn't) worth keeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceVerdict {
+    /// Completed under the slow threshold — counted, not kept.
+    Ok,
+    /// Completed, but slower than the sampler's threshold.
+    Slow,
+    /// Failed with an error.
+    Error,
+    /// Shed past its deadline.
+    Shed,
+}
+
+/// One step inside a request trace (dispatch, attempt, retry, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// Step time (caller clock), seconds.
+    pub at_s: f64,
+    /// Step label, e.g. `"attempt replica=2"`.
+    pub label: String,
+}
+
+/// A captured per-request span: id, start/end, verdict, and the steps the
+/// request went through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// Request id (also the exemplar id windows attach to buckets).
+    pub request_id: u64,
+    /// Enqueue time, seconds.
+    pub start_s: f64,
+    /// Final answer time, seconds.
+    pub end_s: f64,
+    /// How the request ended.
+    pub verdict: TraceVerdict,
+    /// Recorded steps, in time order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl RequestTrace {
+    /// End-to-end duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Tail-sampler shape: what counts as slow, and how many traces to keep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailSamplerConfig {
+    /// Completed requests slower than this are kept as `Slow`.
+    pub slow_threshold_s: f64,
+    /// Maximum retained traces; older kept traces are evicted FIFO.
+    pub capacity: usize,
+}
+
+/// Keeps full traces only for slow/error/shed requests, FIFO-bounded.
+#[derive(Debug, Clone)]
+pub struct TailSampler {
+    cfg: TailSamplerConfig,
+    kept: VecDeque<RequestTrace>,
+    offered: u64,
+    kept_total: u64,
+    slow: u64,
+    error: u64,
+    shed: u64,
+}
+
+impl TailSampler {
+    /// Empty sampler; capacity must be at least 1.
+    pub fn new(cfg: TailSamplerConfig) -> Self {
+        assert!(cfg.capacity >= 1, "tail sampler needs capacity >= 1");
+        TailSampler {
+            cfg,
+            kept: VecDeque::with_capacity(cfg.capacity),
+            offered: 0,
+            kept_total: 0,
+            slow: 0,
+            error: 0,
+            shed: 0,
+        }
+    }
+
+    /// Offer one finished trace. An `Ok` trace slower than the threshold
+    /// is reclassified `Slow`; `Ok`-and-fast traces are dropped. Returns
+    /// the verdict actually assigned.
+    pub fn offer(&mut self, mut trace: RequestTrace) -> TraceVerdict {
+        self.offered += 1;
+        if trace.verdict == TraceVerdict::Ok && trace.duration_s() > self.cfg.slow_threshold_s {
+            trace.verdict = TraceVerdict::Slow;
+        }
+        match trace.verdict {
+            TraceVerdict::Ok => return TraceVerdict::Ok,
+            TraceVerdict::Slow => self.slow += 1,
+            TraceVerdict::Error => self.error += 1,
+            TraceVerdict::Shed => self.shed += 1,
+        }
+        if self.kept.len() == self.cfg.capacity {
+            self.kept.pop_front();
+        }
+        let verdict = trace.verdict;
+        self.kept.push_back(trace);
+        self.kept_total += 1;
+        verdict
+    }
+
+    /// Currently retained traces, oldest first.
+    pub fn kept(&self) -> impl Iterator<Item = &RequestTrace> {
+        self.kept.iter()
+    }
+
+    /// Traces offered so far (kept or not).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Traces ever kept (including since-evicted ones).
+    pub fn kept_total(&self) -> u64 {
+        self.kept_total
+    }
+
+    /// (slow, error, shed) keep counts.
+    pub fn verdict_counts(&self) -> (u64, u64, u64) {
+        (self.slow, self.error, self.shed)
+    }
+}
+
+/// What happened to a replica, as the flight recorder sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A batch was dispatched at the replica.
+    Dispatch,
+    /// The attempt completed successfully.
+    Done,
+    /// The attempt crashed.
+    Crash,
+    /// The attempt straggled past its wait cap.
+    Timeout,
+    /// The attempt returned corrupt output.
+    Corrupt,
+    /// The replica's circuit breaker opened.
+    BreakerOpen,
+    /// The replica was evicted by health checking.
+    Eviction,
+    /// The replica respawned into rotation.
+    Respawn,
+}
+
+impl FlightEventKind {
+    /// Stable name used in the JSON dump.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightEventKind::Dispatch => "Dispatch",
+            FlightEventKind::Done => "Done",
+            FlightEventKind::Crash => "Crash",
+            FlightEventKind::Timeout => "Timeout",
+            FlightEventKind::Corrupt => "Corrupt",
+            FlightEventKind::BreakerOpen => "BreakerOpen",
+            FlightEventKind::Eviction => "Eviction",
+            FlightEventKind::Respawn => "Respawn",
+        }
+    }
+}
+
+/// One fixed-size flight-recorder entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightEvent {
+    /// Event time (caller clock), seconds.
+    pub at_s: f64,
+    /// What happened.
+    pub kind: FlightEventKind,
+    /// Kind-specific detail: batch size for dispatches, elapsed seconds
+    /// for outcomes, 0 otherwise.
+    pub detail: f64,
+}
+
+/// JSON number: `Display` for finite floats is valid JSON; non-finite
+/// values (which JSON cannot carry) become `null`.
+fn jnum(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// JSON string literal with `"`/`\`/control-character escaping.
+fn jstr(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A fixed-capacity ring of recent [`FlightEvent`]s per replica.
+///
+/// `capacity` is the declared per-replica bound: recording the
+/// `capacity + 1`-th event evicts the oldest, so memory is
+/// `replicas × capacity` events forever, no matter how long the run.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    rings: Vec<VecDeque<FlightEvent>>,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// New recorder for `replicas` replicas, each keeping at most
+    /// `capacity` recent events.
+    pub fn new(replicas: usize, capacity: usize) -> Self {
+        assert!(replicas >= 1, "flight recorder needs at least one replica");
+        assert!(capacity >= 1, "flight recorder ring needs a positive capacity bound");
+        FlightRecorder {
+            capacity,
+            rings: (0..replicas).map(|_| VecDeque::with_capacity(capacity)).collect(),
+            recorded: 0,
+        }
+    }
+
+    /// The declared per-replica capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of replica rings.
+    pub fn replicas(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Events recorded over the recorder's lifetime (retained or evicted).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Record one event at `replica` (out-of-range replicas are ignored —
+    /// the recorder must never take the serving path down).
+    pub fn record(&mut self, replica: usize, event: FlightEvent) {
+        let Some(ring) = self.rings.get_mut(replica) else {
+            return;
+        };
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+        self.recorded += 1;
+    }
+
+    /// Retained events for one replica, oldest first (empty when out of
+    /// range).
+    pub fn events(&self, replica: usize) -> impl Iterator<Item = &FlightEvent> {
+        self.rings.get(replica).into_iter().flatten()
+    }
+
+    /// Render the retained rings as one JSON document tagged with the dump
+    /// `reason` and time — the post-mortem artifact written when a breaker
+    /// opens or a replica is evicted. Hand-rolled writer (fixed keys, no
+    /// reflection) so the recorder stays dependency-free and usable from
+    /// crates that do not link a JSON library.
+    pub fn dump_json(&self, reason: &str, at_s: f64) -> String {
+        let mut out =
+            String::with_capacity(64 + 48 * self.rings.iter().map(VecDeque::len).sum::<usize>());
+        out.push_str("{\"reason\":");
+        jstr(&mut out, reason);
+        out.push_str(",\"at_s\":");
+        jnum(&mut out, at_s);
+        let _ = write!(out, ",\"capacity\":{},\"replicas\":[", self.capacity);
+        for (r, ring) in self.rings.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (i, e) in ring.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"at_s\":");
+                jnum(&mut out, e.at_s);
+                let _ = write!(out, ",\"kind\":\"{}\",\"detail\":", e.kind.name());
+                jnum(&mut out, e.detail);
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn availability_cfg(fast: f64, slow: f64) -> SloConfig {
+        SloConfig {
+            name: "availability".to_string(),
+            objective: SloObjective::Availability { target: 0.999 },
+            fast_window_s: fast,
+            slow_window_s: slow,
+            burn_threshold: 10.0,
+        }
+    }
+
+    #[test]
+    fn steady_state_never_alerts() {
+        let mut m = SloMonitor::new(availability_cfg(0.2, 0.8));
+        for i in 0..2000 {
+            let t = i as f64 * 1e-3;
+            m.observe(t, true);
+            assert!(m.poll(t).is_none(), "all-good stream must not alert at t={t}");
+        }
+        assert_eq!(m.burn_rates(2.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn sustained_badness_fires_then_recovery_clears() {
+        let mut m = SloMonitor::new(availability_cfg(0.2, 0.8));
+        let mut events = Vec::new();
+        // 1 s of good traffic, then everything fails.
+        let mut t = 0.0;
+        for i in 0..1000 {
+            t = i as f64 * 1e-3;
+            m.observe(t, true);
+            assert!(m.poll(t).is_none());
+        }
+        for i in 0..1000 {
+            t = 1.0 + i as f64 * 1e-3;
+            m.observe(t, false);
+            if let Some(e) = m.poll(t) {
+                events.push(e);
+            }
+        }
+        assert_eq!(events.len(), 1, "exactly one Fired edge: {events:?}");
+        assert_eq!(events[0].kind, AlertKind::Fired);
+        assert!(events[0].at_s >= 1.0 && events[0].at_s < 1.4, "detected within 2 fast windows");
+        assert!(events[0].fast_burn > 10.0 && events[0].slow_burn > 10.0);
+        assert!(m.is_active());
+        // Recovery: good traffic until the fast window is clean again.
+        let mut cleared = None;
+        for i in 0..2000 {
+            let tc = t + 1e-3 + i as f64 * 1e-3;
+            m.observe(tc, true);
+            if let Some(e) = m.poll(tc) {
+                cleared = Some(e);
+                break;
+            }
+        }
+        let cleared = cleared.expect("recovery must clear the alert");
+        assert_eq!(cleared.kind, AlertKind::Cleared);
+        assert!(!m.is_active());
+    }
+
+    #[test]
+    fn short_blip_does_not_fire_the_slow_window() {
+        // A 4 ms error blip inside healthy traffic: the fast window spikes
+        // past the threshold (a single-window monitor would have paged) but
+        // the 0.8 s slow window dilutes the blip below budget, so no alert.
+        let mut m = SloMonitor::new(availability_cfg(0.1, 0.8));
+        let mut max_fast_burn = 0.0f64;
+        for i in 0..3000 {
+            let t = i as f64 * 1e-3;
+            let blip = (1.0..1.004).contains(&t);
+            m.observe(t, !blip);
+            max_fast_burn = max_fast_burn.max(m.burn_rates(t).0);
+            assert!(m.poll(t).is_none(), "blip must not fire at t={t}");
+        }
+        assert!(
+            max_fast_burn > 10.0,
+            "the fast window alone would have fired ({max_fast_burn}); the slow window is what suppressed it"
+        );
+    }
+
+    #[test]
+    fn latency_objective_counts_deadline_misses() {
+        let mut m = SloMonitor::new(SloConfig {
+            name: "p99-deadline".to_string(),
+            objective: SloObjective::LatencyDeadline { deadline_s: 0.25, tolerated_fraction: 0.01 },
+            fast_window_s: 0.2,
+            slow_window_s: 0.8,
+            burn_threshold: 10.0,
+        });
+        let mut fired = false;
+        for i in 0..2000 {
+            let t = i as f64 * 1e-3;
+            let lat = if t < 1.0 { 0.01 } else { 0.5 }; // everything late after 1 s
+            m.observe_latency(t, lat);
+            if m.poll(t).is_some_and(|e| e.kind == AlertKind::Fired) {
+                fired = true;
+                assert!(t >= 1.0 && t < 1.4, "fired at {t}");
+                break;
+            }
+        }
+        assert!(fired, "sustained deadline misses must fire");
+    }
+
+    #[test]
+    fn identical_event_streams_give_identical_alerts() {
+        let drive = |cfg: SloConfig| {
+            let mut m = SloMonitor::new(cfg);
+            let mut out = Vec::new();
+            for i in 0..4000 {
+                let t = i as f64 * 5e-4;
+                m.observe(t, !(1.0..1.5).contains(&t));
+                if let Some(e) = m.poll(t) {
+                    out.push(e);
+                }
+            }
+            out
+        };
+        let a = drive(availability_cfg(0.2, 0.8));
+        let b = drive(availability_cfg(0.2, 0.8));
+        assert_eq!(a, b, "pure state machine: identical streams, identical alerts");
+        assert!(!a.is_empty());
+    }
+
+    fn trace(id: u64, start: f64, end: f64, verdict: TraceVerdict) -> RequestTrace {
+        RequestTrace { request_id: id, start_s: start, end_s: end, verdict, steps: Vec::new() }
+    }
+
+    #[test]
+    fn tail_sampler_keeps_only_the_tail() {
+        let mut s = TailSampler::new(TailSamplerConfig { slow_threshold_s: 0.1, capacity: 8 });
+        assert_eq!(s.offer(trace(1, 0.0, 0.05, TraceVerdict::Ok)), TraceVerdict::Ok);
+        assert_eq!(s.offer(trace(2, 0.0, 0.5, TraceVerdict::Ok)), TraceVerdict::Slow);
+        assert_eq!(s.offer(trace(3, 0.0, 0.01, TraceVerdict::Error)), TraceVerdict::Error);
+        assert_eq!(s.offer(trace(4, 0.0, 0.3, TraceVerdict::Shed)), TraceVerdict::Shed);
+        assert_eq!(s.offered(), 4);
+        assert_eq!(s.kept_total(), 3, "the fast Ok trace is dropped");
+        assert_eq!(s.verdict_counts(), (1, 1, 1));
+        let ids: Vec<u64> = s.kept().map(|t| t.request_id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn tail_sampler_capacity_is_a_fifo_bound() {
+        let mut s = TailSampler::new(TailSamplerConfig { slow_threshold_s: 0.1, capacity: 3 });
+        for id in 0..10u64 {
+            s.offer(trace(id, 0.0, 1.0, TraceVerdict::Error));
+        }
+        assert_eq!(s.kept().count(), 3);
+        let ids: Vec<u64> = s.kept().map(|t| t.request_id).collect();
+        assert_eq!(ids, vec![7, 8, 9], "oldest kept traces evicted first");
+        assert_eq!(s.kept_total(), 10);
+    }
+
+    #[test]
+    fn flight_recorder_ring_is_capacity_bounded() {
+        let mut fr = FlightRecorder::new(2, 4);
+        for i in 0..10 {
+            fr.record(
+                0,
+                FlightEvent { at_s: i as f64, kind: FlightEventKind::Dispatch, detail: 16.0 },
+            );
+        }
+        fr.record(1, FlightEvent { at_s: 1.0, kind: FlightEventKind::Crash, detail: 0.002 });
+        fr.record(7, FlightEvent { at_s: 1.0, kind: FlightEventKind::Crash, detail: 0.0 });
+        assert_eq!(fr.capacity(), 4);
+        assert_eq!(fr.replicas(), 2);
+        assert_eq!(fr.events(0).count(), 4, "ring holds only the declared capacity");
+        assert_eq!(fr.events(0).next().map(|e| e.at_s), Some(6.0), "oldest evicted first");
+        assert_eq!(fr.events(1).count(), 1);
+        assert_eq!(fr.events(7).count(), 0, "out-of-range replica is ignored");
+        assert_eq!(fr.recorded(), 11);
+    }
+
+    #[test]
+    fn flight_recorder_dump_is_valid_json_with_reason() {
+        let mut fr = FlightRecorder::new(2, 8);
+        fr.record(0, FlightEvent { at_s: 0.5, kind: FlightEventKind::Dispatch, detail: 8.0 });
+        fr.record(0, FlightEvent { at_s: 0.51, kind: FlightEventKind::Crash, detail: 0.01 });
+        fr.record(1, FlightEvent { at_s: 0.52, kind: FlightEventKind::Eviction, detail: 0.0 });
+        let json = fr.dump_json("breaker_open", 0.52);
+        assert_eq!(
+            json,
+            concat!(
+                "{\"reason\":\"breaker_open\",\"at_s\":0.52,\"capacity\":8,\"replicas\":[",
+                "[{\"at_s\":0.5,\"kind\":\"Dispatch\",\"detail\":8},",
+                "{\"at_s\":0.51,\"kind\":\"Crash\",\"detail\":0.01}],",
+                "[{\"at_s\":0.52,\"kind\":\"Eviction\",\"detail\":0}]]}"
+            ),
+            "dump is the exact fixed-schema JSON document"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_dump_escapes_reason_and_nonfinite_times() {
+        let mut fr = FlightRecorder::new(1, 2);
+        fr.record(
+            0,
+            FlightEvent { at_s: f64::NAN, kind: FlightEventKind::Done, detail: f64::INFINITY },
+        );
+        let json = fr.dump_json("say \"hi\"\\\n", 0.0);
+        assert!(json.contains("\"reason\":\"say \\\"hi\\\"\\\\\\u000a\""), "escaped: {json}");
+        assert!(json.contains("\"at_s\":null"), "NaN becomes null: {json}");
+        assert!(json.contains("\"detail\":null"), "infinity becomes null: {json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,363 @@
+//! Sliding-window aggregation: a ring of time-bucketed sub-histograms.
+//!
+//! The cumulative [`Histogram`] answers "what happened since the run
+//! started"; an SLO monitor needs "what happened in the last N seconds".
+//! A [`SlidingWindow`] keeps a fixed ring of sub-histograms, one per time
+//! bucket of `bucket_s` seconds, and summarizes by merging the buckets
+//! still inside the horizon. Rotation is lazy and allocation-free: each
+//! slot remembers which *absolute* bucket index it holds, so recording
+//! into a slot whose epoch is stale simply clears and reuses it — a jump
+//! of any length (idle period, virtual-time leap) costs O(ring) at most.
+//!
+//! Time is a caller-supplied `now_s`, *not* a clock read. The threaded
+//! server passes `dd_obs::monotonic_seconds()` and the virtual-time sim
+//! twin passes its event time; identical event streams therefore produce
+//! bit-identical windowed telemetry — the invariant `tests/telemetry.rs`
+//! pins.
+//!
+//! Boundary semantics (the rotation-boundary regression case): a sample at
+//! exactly `t = k·bucket_s` lands in absolute bucket `k` (floor), and a
+//! window queried at `now` covers absolute buckets `(cur − ring, cur]`
+//! where `cur = floor(now / bucket_s)` — so a sample recorded on a bucket
+//! edge stays visible for a full `ring` buckets after its edge.
+
+use crate::hist::{HistSummary, Histogram};
+use std::collections::BTreeMap;
+
+/// Slot epoch sentinel: never a valid absolute bucket index.
+const EMPTY: i64 = i64::MIN;
+
+/// Shape of one sliding window: `buckets` ring slots of `bucket_s` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Width of one time bucket, seconds.
+    pub bucket_s: f64,
+    /// Ring length; the horizon is `buckets * bucket_s`.
+    pub buckets: usize,
+}
+
+impl WindowConfig {
+    /// New config; both knobs must be positive and `bucket_s` finite.
+    pub fn new(bucket_s: f64, buckets: usize) -> Self {
+        assert!(bucket_s.is_finite() && bucket_s > 0.0, "bucket_s must be positive");
+        assert!(buckets >= 1, "ring needs at least one bucket");
+        WindowConfig { bucket_s, buckets }
+    }
+
+    /// Total window horizon in seconds.
+    pub fn horizon_s(&self) -> f64 {
+        self.bucket_s * self.buckets as f64
+    }
+}
+
+impl Default for WindowConfig {
+    /// One-second buckets over a one-minute horizon.
+    fn default() -> Self {
+        WindowConfig::new(1.0, 60)
+    }
+}
+
+fn abs_bucket(cfg: &WindowConfig, now_s: f64) -> i64 {
+    let now = if now_s.is_finite() && now_s > 0.0 { now_s } else { 0.0 };
+    // dd-lint: allow(lossy-cast/float-to-int) -- time-bucket index: floor() is the bucketing operation; non-negative by the clamp above
+    (now / cfg.bucket_s).floor() as i64
+}
+
+/// A ring of time-bucketed sub-[`Histogram`]s with windowed quantiles,
+/// rates, and per-bucket exemplar request-ids.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    cfg: WindowConfig,
+    slots: Vec<Histogram>,
+    epochs: Vec<i64>,
+    /// Latency-bucket → (absolute time bucket, request id) of the most
+    /// recent sample in that latency bucket. Size-bounded by the fixed
+    /// histogram bucket count ([`Histogram::num_buckets`]).
+    exemplars: BTreeMap<usize, (i64, u64)>,
+}
+
+impl SlidingWindow {
+    /// Empty window.
+    pub fn new(cfg: WindowConfig) -> Self {
+        SlidingWindow {
+            cfg,
+            slots: (0..cfg.buckets).map(|_| Histogram::new()).collect(),
+            epochs: vec![EMPTY; cfg.buckets],
+            exemplars: BTreeMap::new(),
+        }
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    fn slot_for(&mut self, now_s: f64) -> usize {
+        let cur = abs_bucket(&self.cfg, now_s);
+        // dd-lint: allow(lossy-cast/float-to-int) -- ring slot: modulo of a non-negative bucket index by the ring length
+        let slot = (cur.rem_euclid(self.cfg.buckets as i64)) as usize;
+        if self.epochs[slot] != cur {
+            self.slots[slot] = Histogram::new();
+            self.epochs[slot] = cur;
+        }
+        slot
+    }
+
+    /// Record one sample at time `now_s`.
+    pub fn record(&mut self, now_s: f64, value: f64) {
+        let slot = self.slot_for(now_s);
+        self.slots[slot].record(value);
+    }
+
+    /// Record one sample and attach `request_id` as the exemplar for the
+    /// latency bucket the sample lands in (most recent sample wins).
+    pub fn record_with_id(&mut self, now_s: f64, value: f64, request_id: u64) {
+        let cur = abs_bucket(&self.cfg, now_s);
+        self.record(now_s, value);
+        self.exemplars.insert(Histogram::bucket_of(value), (cur, request_id));
+    }
+
+    fn live(&self, now_s: f64) -> impl Iterator<Item = usize> + '_ {
+        let cur = abs_bucket(&self.cfg, now_s);
+        let oldest = cur - self.cfg.buckets as i64;
+        (0..self.cfg.buckets).filter(move |&i| {
+            let e = self.epochs[i];
+            e != EMPTY && e > oldest && e <= cur
+        })
+    }
+
+    /// Windowed p50/p95/p99 summary over samples still inside the horizon
+    /// at `now_s` (all-zero when the window is empty).
+    pub fn summary(&self, now_s: f64) -> HistSummary {
+        let mut merged = Histogram::new();
+        for i in self.live(now_s) {
+            merged.merge(&self.slots[i]);
+        }
+        merged.summary()
+    }
+
+    /// Samples still inside the horizon at `now_s`.
+    pub fn count(&self, now_s: f64) -> u64 {
+        self.live(now_s).map(|i| self.slots[i].count()).sum()
+    }
+
+    /// Windowed event rate: live samples divided by the horizon.
+    pub fn rate_per_s(&self, now_s: f64) -> f64 {
+        self.count(now_s) as f64 / self.cfg.horizon_s()
+    }
+
+    /// Exemplar request-ids still inside the horizon, as sorted
+    /// `(latency_bucket, request_id)` pairs.
+    pub fn exemplars(&self, now_s: f64) -> Vec<(usize, u64)> {
+        let cur = abs_bucket(&self.cfg, now_s);
+        let oldest = cur - self.cfg.buckets as i64;
+        self.exemplars
+            .iter()
+            .filter(|(_, &(epoch, _))| epoch > oldest && epoch <= cur)
+            .map(|(&bucket, &(_, id))| (bucket, id))
+            .collect()
+    }
+}
+
+/// A windowed gauge: last/max/mean of a sampled level (queue depth, open
+/// breakers) over the same lazy time-bucket ring as [`SlidingWindow`].
+#[derive(Debug, Clone)]
+pub struct WindowedGauge {
+    cfg: WindowConfig,
+    max: Vec<f64>,
+    sum: Vec<f64>,
+    n: Vec<u64>,
+    epochs: Vec<i64>,
+    latest: f64,
+    latest_epoch: i64,
+}
+
+impl WindowedGauge {
+    /// Empty gauge window.
+    pub fn new(cfg: WindowConfig) -> Self {
+        WindowedGauge {
+            cfg,
+            max: vec![f64::NEG_INFINITY; cfg.buckets],
+            sum: vec![0.0; cfg.buckets],
+            n: vec![0; cfg.buckets],
+            epochs: vec![EMPTY; cfg.buckets],
+            latest: 0.0,
+            latest_epoch: EMPTY,
+        }
+    }
+
+    /// Record the gauge level at `now_s`.
+    pub fn set(&mut self, now_s: f64, value: f64) {
+        let cur = abs_bucket(&self.cfg, now_s);
+        // dd-lint: allow(lossy-cast/float-to-int) -- ring slot: modulo of a non-negative bucket index by the ring length
+        let slot = (cur.rem_euclid(self.cfg.buckets as i64)) as usize;
+        if self.epochs[slot] != cur {
+            self.max[slot] = f64::NEG_INFINITY;
+            self.sum[slot] = 0.0;
+            self.n[slot] = 0;
+            self.epochs[slot] = cur;
+        }
+        self.max[slot] = self.max[slot].max(value);
+        self.sum[slot] += value;
+        self.n[slot] += 1;
+        self.latest = value;
+        self.latest_epoch = cur;
+    }
+
+    /// The most recent level ever set (0 before the first set).
+    pub fn last(&self) -> f64 {
+        if self.latest_epoch == EMPTY {
+            0.0
+        } else {
+            self.latest
+        }
+    }
+
+    fn live(&self, now_s: f64) -> impl Iterator<Item = usize> + '_ {
+        let cur = abs_bucket(&self.cfg, now_s);
+        let oldest = cur - self.cfg.buckets as i64;
+        (0..self.cfg.buckets).filter(move |&i| {
+            let e = self.epochs[i];
+            e != EMPTY && e > oldest && e <= cur
+        })
+    }
+
+    /// Maximum level observed inside the horizon (0 when empty).
+    pub fn max(&self, now_s: f64) -> f64 {
+        let m = self.live(now_s).map(|i| self.max[i]).fold(f64::NEG_INFINITY, f64::max);
+        if m == f64::NEG_INFINITY {
+            0.0
+        } else {
+            m
+        }
+    }
+
+    /// Mean of the levels sampled inside the horizon (0 when empty).
+    pub fn mean(&self, now_s: f64) -> f64 {
+        let (sum, n) = self
+            .live(now_s)
+            .map(|i| (self.sum[i], self.n[i]))
+            .fold((0.0, 0u64), |(s, c), (bs, bc)| (s + bs, c + bc));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_summary_matches_cumulative_inside_horizon() {
+        let mut w = SlidingWindow::new(WindowConfig::new(1.0, 10));
+        let mut direct = Histogram::new();
+        for i in 0..500 {
+            let t = i as f64 * 0.01; // all within 5 s < 10 s horizon
+            let v = 1e-3 * (1.0 + (i % 37) as f64);
+            w.record(t, v);
+            direct.record(v);
+        }
+        // Counts, extrema and quantiles are exact (bucket counts merge
+        // exactly); sum/mean only to float summation order.
+        let (ws, ds) = (w.summary(5.0), direct.summary());
+        assert_eq!((ws.count, ws.min, ws.max), (ds.count, ds.min, ds.max));
+        assert_eq!((ws.p50, ws.p95, ws.p99), (ds.p50, ds.p95, ds.p99));
+        assert!((ws.sum - ds.sum).abs() < 1e-9 && (ws.mean - ds.mean).abs() < 1e-9);
+        assert_eq!(w.count(5.0), 500);
+    }
+
+    #[test]
+    fn old_samples_expire_as_the_window_slides() {
+        let mut w = SlidingWindow::new(WindowConfig::new(1.0, 4));
+        w.record(0.5, 1.0);
+        w.record(2.5, 2.0);
+        assert_eq!(w.count(2.5), 2);
+        // At t=4.5 bucket 0 (epoch 0) has left the (0, 4] window.
+        assert_eq!(w.count(4.5), 1);
+        assert_eq!(w.summary(4.5).max, 2.0);
+        // Far future: everything expired.
+        assert_eq!(w.count(100.0), 0);
+        assert_eq!(w.summary(100.0).count, 0);
+    }
+
+    #[test]
+    fn rotation_boundary_samples_land_in_the_new_bucket() {
+        // The regression case from the satellite: events exactly on bucket
+        // edges. A sample at t = k·bucket_s belongs to bucket k and must
+        // stay visible until now crosses (k + ring)·bucket_s.
+        let cfg = WindowConfig::new(0.25, 4);
+        let mut w = SlidingWindow::new(cfg);
+        w.record(1.0, 7.0); // exactly on the bucket-4 edge
+        assert_eq!(w.count(1.0), 1, "edge sample visible at its own timestamp");
+        assert_eq!(w.count(1.999), 1, "still inside the 1 s horizon");
+        assert_eq!(w.count(2.0), 0, "expires exactly when bucket 8 opens");
+        // An edge sample and a mid-bucket sample in the same bucket expire
+        // together.
+        let mut w2 = SlidingWindow::new(cfg);
+        w2.record(0.5, 1.0); // bucket 2
+        w2.record(0.8, 2.0); // bucket 3
+        assert_eq!(w2.count(1.49), 2);
+        assert_eq!(w2.count(1.5), 1, "bucket 2 expires exactly at 1.5");
+        assert_eq!(w2.count(1.75), 0, "bucket 3 expires exactly at 1.75");
+    }
+
+    #[test]
+    fn ring_reuse_after_long_idle_gap() {
+        let mut w = SlidingWindow::new(WindowConfig::new(1.0, 4));
+        w.record(0.5, 1.0);
+        // A jump of many ring lengths: the slot is lazily recycled.
+        w.record(1000.5, 3.0);
+        assert_eq!(w.count(1000.5), 1);
+        assert_eq!(w.summary(1000.5).max, 3.0);
+    }
+
+    #[test]
+    fn rate_counts_only_live_samples() {
+        let mut w = SlidingWindow::new(WindowConfig::new(1.0, 2));
+        for i in 0..10 {
+            w.record(0.05 * i as f64, 1.0);
+        }
+        assert_eq!(w.rate_per_s(0.5), 5.0, "10 samples over a 2 s horizon");
+        assert_eq!(w.rate_per_s(50.0), 0.0);
+    }
+
+    #[test]
+    fn exemplars_attach_to_latency_buckets_and_expire() {
+        let mut w = SlidingWindow::new(WindowConfig::new(1.0, 2));
+        w.record_with_id(0.1, 1e-3, 41);
+        w.record_with_id(0.2, 1e-3, 42); // same latency bucket: newest wins
+        w.record_with_id(0.3, 1.0, 99);
+        let ex = w.exemplars(0.5);
+        assert_eq!(ex.len(), 2);
+        assert!(ex.contains(&(Histogram::bucket_of(1e-3), 42)));
+        assert!(ex.contains(&(Histogram::bucket_of(1.0), 99)));
+        assert!(w.exemplars(10.0).is_empty(), "exemplars expire with their time bucket");
+    }
+
+    #[test]
+    fn negative_and_nonfinite_now_clamp_to_zero() {
+        let mut w = SlidingWindow::new(WindowConfig::new(1.0, 2));
+        w.record(-5.0, 1.0);
+        w.record(f64::NAN, 2.0);
+        assert_eq!(w.count(0.0), 2, "bad timestamps clamp into bucket 0");
+    }
+
+    #[test]
+    fn gauge_tracks_last_max_mean_over_horizon() {
+        let mut g = WindowedGauge::new(WindowConfig::new(1.0, 2));
+        assert_eq!(g.last(), 0.0);
+        g.set(0.1, 4.0);
+        g.set(0.2, 10.0);
+        g.set(1.5, 1.0);
+        assert_eq!(g.last(), 1.0);
+        assert_eq!(g.max(1.5), 10.0);
+        assert!((g.mean(1.5) - 5.0).abs() < 1e-12);
+        // Bucket 0 expires at t=2.0; only the t=1.5 sample remains.
+        assert_eq!(g.max(2.0), 1.0);
+        assert_eq!(g.max(100.0), 0.0, "empty horizon reads zero");
+        assert_eq!(g.last(), 1.0, "last survives expiry");
+    }
+}

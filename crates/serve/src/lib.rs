@@ -28,6 +28,12 @@
 //!   [`simulate_chaos`] virtual-time twin, whose faults come from the
 //!   seeded [`FaultPlan`] injector (crash / straggle / corrupt) reusing
 //!   dd-hpcsim's MTBF model for replica failure arrivals.
+//! * [`ServeTelemetry`] — the streaming telemetry bundle: sliding-window
+//!   latency summaries, multi-window burn-rate SLO alerts, tail-sampled
+//!   request traces and a per-replica flight recorder, all driven off the
+//!   caller's clock so the threaded [`Server`] and the
+//!   [`simulate_chaos_telemetry`] virtual-time twin emit bit-identical
+//!   [`TelemetryReport`]s from identical event streams.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +47,7 @@ pub mod replica;
 pub mod resil;
 pub mod server;
 pub mod sim;
+pub mod telemetry;
 
 pub use batcher::{plan, BatchDecision, BatchPolicy};
 pub use dispatch::dispatch_batch;
@@ -54,5 +61,9 @@ pub use resil::{
 };
 pub use server::{ResilConfig, ResponseHandle, ServeConfig, Server, ServerStats};
 pub use sim::{
-    simulate, simulate_chaos, ChaosConfig, ChaosReport, ServiceModel, SimConfig, SimReport,
+    simulate, simulate_chaos, simulate_chaos_telemetry, ChaosConfig, ChaosReport, ServiceModel,
+    SimConfig, SimReport,
+};
+pub use telemetry::{
+    FlightDump, ServeTelemetry, TelemetryConfig, TelemetryReport, SLO_AVAILABILITY, SLO_LATENCY,
 };

@@ -26,6 +26,7 @@ use crate::error::ServeError;
 use crate::registry::{ModelRegistry, ModelSnapshot};
 use crate::replica::{FaultPlan, FaultSpec, Injected, ReplicaSetState, VersionGuard};
 use crate::resil::{Action, AttemptOutcome, GiveUpReason, ResilPolicy, ResilientCall};
+use crate::telemetry::{ServeTelemetry, TelemetryConfig, TelemetryReport};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use dd_tensor::{Matrix, Rng64};
 use parking_lot::Mutex;
@@ -139,6 +140,7 @@ impl StatsInner {
 type Response = Result<Vec<f32>, ServeError>;
 
 struct Request {
+    id: u64,
     model: String,
     features: Vec<f32>,
     enqueue_s: f64,
@@ -148,7 +150,8 @@ struct Request {
 struct Job {
     snapshot: Arc<ModelSnapshot>,
     rows: Matrix,
-    meta: Vec<(f64, Sender<Response>)>,
+    dispatched_s: f64,
+    meta: Vec<(u64, f64, Sender<Response>)>,
 }
 
 /// The caller's side of one in-flight request.
@@ -183,6 +186,12 @@ struct ResilShared {
     faults: Mutex<FaultPlan>,
     guard: Mutex<VersionGuard>,
     rng: Mutex<Rng64>,
+    /// Streaming telemetry bundle (windows, SLO monitors, tail sampler,
+    /// flight recorder). Observe-only: nothing in the serving path reads
+    /// it back, so the lock is never held across inference.
+    telemetry: Mutex<ServeTelemetry>,
+    /// Monotonically increasing request ids (telemetry exemplars/traces).
+    ids: AtomicU64,
 }
 
 impl ResilShared {
@@ -191,12 +200,16 @@ impl ResilShared {
             if config.resil.replicas == 0 { config.workers } else { config.resil.replicas };
         let policy = config.resil.policy;
         let faults = config.resil.faults;
+        let telemetry =
+            ServeTelemetry::new(replicas, TelemetryConfig::standard(config.policy.deadline_s));
         ResilShared {
             policy,
             set: Mutex::new(ReplicaSetState::new(replicas, policy.breaker, faults.respawn_s)),
             faults: Mutex::new(FaultPlan::new(faults, replicas)),
             guard: Mutex::new(VersionGuard::new(policy.breaker)),
             rng: Mutex::new(Rng64::new(faults.seed).split(u64::from(u32::MAX) - 1)),
+            telemetry: Mutex::new(telemetry),
+            ids: AtomicU64::new(0),
         }
     }
 }
@@ -209,6 +222,7 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     capacity: usize,
     stats: Arc<StatsInner>,
+    resil: Arc<ResilShared>,
 }
 
 impl Server {
@@ -233,6 +247,7 @@ impl Server {
         let batcher = {
             let registry = Arc::clone(&registry);
             let stats = Arc::clone(&stats);
+            let resil = Arc::clone(&resil);
             let policy = config.policy;
             std::thread::spawn(move || {
                 batcher_loop(&rx, &registry, policy, &job_tx, &stats, &resil)
@@ -246,6 +261,7 @@ impl Server {
             workers,
             capacity: config.queue_capacity,
             stats,
+            resil,
         }
     }
 
@@ -274,25 +290,36 @@ impl Server {
             return Err(ServeError::ShuttingDown);
         };
         let (resp_tx, resp_rx) = bounded::<Response>(1);
+        let enqueue_s = dd_obs::monotonic_seconds();
         let req = Request {
+            id: self.resil.ids.fetch_add(1, Ordering::Relaxed),
             model: model.to_string(),
             features,
-            enqueue_s: dd_obs::monotonic_seconds(),
+            enqueue_s,
             resp: resp_tx,
         };
         match tx.try_send(req) {
             Ok(()) => {
                 self.stats.admitted.fetch_add(1, Ordering::Relaxed);
                 dd_obs::gauge_set("serve_queue_depth", tx.len() as f64);
+                self.resil.telemetry.lock().on_enqueue(enqueue_s, tx.len());
                 Ok(ResponseHandle { rx: resp_rx })
             }
             Err(TrySendError::Full(_)) => {
                 self.stats.rejected.fetch_add(1, Ordering::Relaxed);
                 dd_obs::counter_add("serve_rejected_total", 1);
+                self.resil.telemetry.lock().on_reject(enqueue_s);
                 Err(ServeError::Overloaded { depth: tx.len(), capacity: self.capacity })
             }
             Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
         }
+    }
+
+    /// Summarize the server's streaming telemetry — sliding-window latency,
+    /// burn-rate alert edges, tail-sampled traces and flight-recorder state
+    /// — at the current clock reading.
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        self.resil.telemetry.lock().report(dd_obs::monotonic_seconds())
     }
 
     /// Current lifetime counters.
@@ -324,14 +351,16 @@ impl Drop for Server {
     }
 }
 
-fn respond(stats: &StatsInner, req: Request, err: ServeError) {
+fn respond(stats: &StatsInner, resil: &ResilShared, now: f64, req: Request, err: ServeError) {
     match err {
         ServeError::DeadlineExceeded { .. } => {
             stats.shed.fetch_add(1, Ordering::Relaxed);
             dd_obs::counter_add("serve_shed_total", 1);
+            resil.telemetry.lock().on_shed(now, req.id, req.enqueue_s);
         }
         _ => {
             stats.failed.fetch_add(1, Ordering::Relaxed);
+            resil.telemetry.lock().on_failure(now, req.id, req.enqueue_s);
         }
     }
     let _ = req.resp.send(Err(err));
@@ -373,6 +402,8 @@ fn batcher_loop(
                 let waited_s = now - req.enqueue_s;
                 respond(
                     stats,
+                    resil,
+                    now,
                     req,
                     ServeError::DeadlineExceeded { waited_s, deadline_s: policy.deadline_s },
                 );
@@ -438,7 +469,7 @@ fn dispatch_prefix(
         Err(e) => {
             // Model removed between admission and dispatch: fail the batch.
             for req in batch {
-                respond(stats, req, e.clone());
+                respond(stats, resil, now, req, e.clone());
             }
             return;
         }
@@ -468,7 +499,7 @@ fn dispatch_prefix(
                     let version = snapshot.version();
                     drop(guard);
                     for req in batch {
-                        respond(stats, req, ServeError::CircuitOpen { version });
+                        respond(stats, resil, guard_now, req, ServeError::CircuitOpen { version });
                     }
                     return;
                 }
@@ -481,16 +512,19 @@ fn dispatch_prefix(
     for req in batch {
         dd_obs::hist_record("serve_queue_wait_seconds", now - req.enqueue_s);
         flat.extend_from_slice(&req.features);
-        meta.push((req.enqueue_s, req.resp));
+        meta.push((req.id, req.enqueue_s, req.resp));
     }
     let rows = Matrix::from_vec(meta.len(), width, flat);
-    let job = Job { snapshot, rows, meta };
+    let job = Job { snapshot, rows, dispatched_s: now, meta };
     if let Err(send_err) = job_tx.send(job) {
         // All workers are gone — a panic upstream. Fail the batch loudly
         // rather than dropping it silently.
         let job = send_err.into_inner();
-        for (_, resp) in job.meta {
+        let lost_at = dd_obs::monotonic_seconds();
+        let mut telemetry = resil.telemetry.lock();
+        for (id, enqueue_s, resp) in job.meta {
             stats.failed.fetch_add(1, Ordering::Relaxed);
+            telemetry.on_failure(lost_at, id, enqueue_s);
             let _ = resp.send(Err(ServeError::WorkerLost));
         }
     }
@@ -574,7 +608,26 @@ fn serve_job(job: Job, stats: &StatsInner, resil: &ResilShared) {
                     }
                 };
                 let after = dd_obs::monotonic_seconds();
+                let before_counts = {
+                    let set = resil.set.lock();
+                    (set.evictions(), set.breaker_opens())
+                };
                 call.observe(&mut resil.set.lock(), replica, outcome, after, &mut resil.rng.lock());
+                let after_counts = {
+                    let set = resil.set.lock();
+                    (set.evictions(), set.breaker_opens())
+                };
+                {
+                    let mut telemetry = resil.telemetry.lock();
+                    telemetry.on_dispatch(started, replica, job.meta.len());
+                    telemetry.on_outcome(after, replica, &outcome);
+                    if after_counts.0 > before_counts.0 {
+                        telemetry.on_eviction(after, replica);
+                    }
+                    if after_counts.1 > before_counts.1 {
+                        telemetry.on_breaker_open(after, replica);
+                    }
+                }
                 match outcome {
                     AttemptOutcome::Done { .. } => {
                         resil.guard.lock().record_success(version, after);
@@ -600,8 +653,10 @@ fn serve_job(job: Job, stats: &StatsInner, resil: &ResilShared) {
     match (verdict, answer) {
         (Ok(()), Some(y)) => {
             let done = dd_obs::monotonic_seconds();
-            for (i, (enqueue_s, resp)) in job.meta.into_iter().enumerate() {
+            let mut telemetry = resil.telemetry.lock();
+            for (i, (id, enqueue_s, resp)) in job.meta.into_iter().enumerate() {
                 dd_obs::hist_record("serve_e2e_seconds", done - enqueue_s);
+                telemetry.on_complete(done, id, enqueue_s, job.dispatched_s - enqueue_s);
                 stats.completed.fetch_add(1, Ordering::Relaxed);
                 let _ = resp.send(Ok(y.row(i).to_vec()));
             }
@@ -618,8 +673,11 @@ fn serve_job(job: Job, stats: &StatsInner, resil: &ResilShared) {
                 // panicking in a pool thread.
                 Ok(()) => ServeError::WorkerLost,
             };
-            for (_, resp) in job.meta {
+            let failed_at = dd_obs::monotonic_seconds();
+            let mut telemetry = resil.telemetry.lock();
+            for (id, enqueue_s, resp) in job.meta {
                 stats.failed.fetch_add(1, Ordering::Relaxed);
+                telemetry.on_failure(failed_at, id, enqueue_s);
                 let _ = resp.send(Err(err.clone()));
             }
         }
@@ -693,6 +751,25 @@ mod tests {
         assert_eq!(stats.admitted, admitted);
         assert_eq!(stats.completed + stats.shed + stats.failed, admitted);
         assert_eq!(stats.shed, 0, "5s deadline must not shed in a drain test");
+    }
+
+    #[test]
+    fn telemetry_report_tracks_request_outcomes() {
+        let reg = registry_with("m", 4, 6);
+        let server = Server::start(reg, ServeConfig::default());
+        for i in 0..20 {
+            let h = server.submit("m", vec![i as f32 * 0.01; 4]).expect("admitted");
+            h.wait().expect("healthy round trip");
+        }
+        let tel = server.telemetry_report();
+        assert_eq!(tel.enqueued, 20);
+        assert_eq!(tel.completed, 20);
+        assert_eq!((tel.failed, tel.shed, tel.rejected), (0, 0, 0));
+        assert!(tel.e2e.count > 0, "completions must land in the live window");
+        assert!(tel.alerts.is_empty(), "healthy round trips must not alert: {:?}", tel.alerts);
+        assert!(tel.recorder_events >= 20, "every dispatch reaches the flight recorder");
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 20);
     }
 
     #[test]

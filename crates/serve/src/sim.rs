@@ -19,6 +19,7 @@
 use crate::batcher::BatchPolicy;
 use crate::replica::{FaultPlan, FaultSpec, Injected, ReplicaSetState, VersionGuard};
 use crate::resil::{Action, AttemptOutcome, ResilPolicy, ResilientCall};
+use crate::telemetry::{ServeTelemetry, TelemetryConfig, TelemetryReport};
 use dd_obs::{HistSummary, Histogram};
 use dd_tensor::Rng64;
 use std::collections::VecDeque;
@@ -328,6 +329,41 @@ const CHAOS_FALLBACK_VERSION: u64 = 0;
 /// arithmetic over seeded draws: a given configuration always yields a
 /// byte-identical report.
 pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    simulate_chaos_inner(cfg, 0.0, None).0
+}
+
+/// Run the chaos simulation with streaming telemetry attached and the
+/// scheduled-crash plan shifted to start at `chaos_onset_s`.
+///
+/// The [`ServeTelemetry`] bundle observes every simulated serving event at
+/// its virtual time — enqueues, sheds, completions, failures, per-attempt
+/// dispatch outcomes, evictions and breaker trips — so the returned
+/// [`TelemetryReport`] is the deterministic twin of what the threaded
+/// server's bundle would emit for the same event stream. Shifting the
+/// crash schedule (rather than the arrival vector) lets the E15 experiment
+/// build a clean steady-state segment followed by chaos at a known virtual
+/// time, which is what makes "detection latency" a measurable quantity.
+///
+/// With `chaos_onset_s == 0.0` the serving behavior (and the
+/// [`ChaosReport`]) is byte-identical to [`simulate_chaos`]: telemetry
+/// only observes, it never feeds back into a decision.
+pub fn simulate_chaos_telemetry(
+    cfg: &ChaosConfig,
+    tcfg: &TelemetryConfig,
+    chaos_onset_s: f64,
+) -> (ChaosReport, TelemetryReport) {
+    assert!(chaos_onset_s >= 0.0 && chaos_onset_s.is_finite(), "bad chaos_onset_s");
+    let (report, telemetry) = simulate_chaos_inner(cfg, chaos_onset_s, Some(tcfg));
+    let telemetry =
+        telemetry.unwrap_or_else(|| ServeTelemetry::new(cfg.replicas, tcfg.clone()).report(0.0));
+    (report, telemetry)
+}
+
+fn simulate_chaos_inner(
+    cfg: &ChaosConfig,
+    chaos_onset_s: f64,
+    tcfg: Option<&TelemetryConfig>,
+) -> (ChaosReport, Option<TelemetryReport>) {
     assert!(cfg.queue_capacity >= 1, "queue_capacity must be >= 1");
     assert!(cfg.replicas >= 1, "replicas must be >= 1");
     assert!(cfg.crash_mtbf_s >= 0.0 && cfg.crash_mtbf_s.is_finite(), "bad crash_mtbf_s");
@@ -340,7 +376,15 @@ pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let schedule: Vec<Vec<f64>> = if cfg.crash_mtbf_s > 0.0 {
         let fm = dd_hpcsim::FailureModel::new(cfg.crash_mtbf_s);
         (0..cfg.replicas)
-            .map(|r| fm.arrivals(horizon, cfg.faults.seed.wrapping_add(1000 + r as u64)))
+            .map(|r| {
+                // Shift the whole plan so the first scheduled crash can
+                // only land at or after the chaos onset; the pre-onset
+                // segment stays fault-free by construction.
+                fm.arrivals(horizon, cfg.faults.seed.wrapping_add(1000 + r as u64))
+                    .into_iter()
+                    .map(|c| c + chaos_onset_s)
+                    .collect()
+            })
             .collect()
     } else {
         vec![Vec::new(); cfg.replicas]
@@ -355,7 +399,10 @@ pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
         .resil
         .with_hedge(cfg.resil.hedge.resolved(Some(cfg.service.seconds(policy.max_batch)), 1e-4));
 
-    let mut pending: VecDeque<f64> = VecDeque::new();
+    // Requests are tagged with their arrival index so telemetry exemplars
+    // and tail-sampled traces carry a stable request id.
+    let mut pending: VecDeque<(u64, f64)> = VecDeque::new();
+    let mut tel = tcfg.map(|t| ServeTelemetry::new(cfg.replicas, t.clone()));
     let mut free = vec![0.0f64; cfg.replicas];
     let mut next = 0usize;
     let (mut rejected, mut shed, mut completed, mut batches) = (0usize, 0usize, 0usize, 0usize);
@@ -367,7 +414,7 @@ pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
 
     loop {
         let next_arrival = cfg.arrivals.get(next).copied();
-        let dispatch_at = pending.front().map(|&oldest| {
+        let dispatch_at = pending.front().map(|&(_, oldest)| {
             let ready = if pending.len() >= policy.max_batch || next_arrival.is_none() {
                 now
             } else {
@@ -389,25 +436,35 @@ pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
         if take_arrival {
             let ta = next_arrival.unwrap_or(now);
             now = ta;
+            let id = next as u64;
             next += 1;
             if pending.len() >= cfg.queue_capacity {
                 rejected += 1;
+                if let Some(t) = tel.as_mut() {
+                    t.on_reject(ta);
+                }
             } else {
-                pending.push_back(ta);
+                pending.push_back((id, ta));
+                if let Some(t) = tel.as_mut() {
+                    t.on_enqueue(ta, pending.len());
+                }
             }
             continue;
         }
         now = dispatch_at.unwrap_or(now);
-        while let Some(&enq) = pending.front() {
+        while let Some(&(id, enq)) = pending.front() {
             if now - enq <= policy.deadline_s {
                 break;
             }
             pending.pop_front();
             shed += 1;
+            if let Some(t) = tel.as_mut() {
+                t.on_shed(now, id, enq);
+            }
         }
         let due = match pending.front() {
             None => false,
-            Some(&oldest) => {
+            Some(&(_, oldest)) => {
                 pending.len() >= policy.max_batch
                     || next_arrival.is_none()
                     || now >= oldest + policy.max_wait_s
@@ -427,7 +484,11 @@ pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
             (CHAOS_FALLBACK_VERSION, true)
         } else {
             for _ in 0..n {
-                pending.pop_front();
+                if let Some((id, enq)) = pending.pop_front() {
+                    if let Some(t) = tel.as_mut() {
+                        t.on_failure(now, id, enq);
+                    }
+                }
             }
             failed += n;
             continue;
@@ -474,7 +535,18 @@ pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
                     free[replica] = start + busy;
                     set.note_busy_until(replica, free[replica]);
                     t += outcome.elapsed_s();
+                    let before = (set.evictions(), set.breaker_opens());
                     call.observe(&mut set, replica, outcome, t, &mut rng);
+                    if let Some(tm) = tel.as_mut() {
+                        tm.on_dispatch(start, replica, n);
+                        tm.on_outcome(t, replica, &outcome);
+                        if set.evictions() > before.0 {
+                            tm.on_eviction(t, replica);
+                        }
+                        if set.breaker_opens() > before.1 {
+                            tm.on_breaker_open(t, replica);
+                        }
+                    }
                     match outcome {
                         AttemptOutcome::Done { .. } => guard.record_success(version, t),
                         AttemptOutcome::Corrupt { .. } => guard.record_failure(version, t),
@@ -493,15 +565,24 @@ pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
                 degraded_total += n;
             }
             for _ in 0..n {
-                if let Some(enq) = pending.pop_front() {
+                if let Some((id, enq)) = pending.pop_front() {
                     e2e.record(t - enq);
                     dd_obs::hist_record("serve_e2e_seconds", t - enq);
+                    if let Some(tm) = tel.as_mut() {
+                        // Queue wait ends at the dispatch decision (`now`);
+                        // the request completes at `t`.
+                        tm.on_complete(t, id, enq, now - enq);
+                    }
                 }
             }
             last_done = last_done.max(t);
         } else {
             for _ in 0..n {
-                pending.pop_front();
+                if let Some((id, enq)) = pending.pop_front() {
+                    if let Some(tm) = tel.as_mut() {
+                        tm.on_failure(t, id, enq);
+                    }
+                }
             }
             failed += n;
         }
@@ -518,7 +599,9 @@ pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
     dd_obs::counter_add("serve_breaker_opens_total", set.breaker_opens());
     dd_obs::counter_add("serve_shed_total", shed as u64);
     dd_obs::gauge_set("serve_breaker_open", set.open_breakers(now) as f64);
-    ChaosReport {
+    let makespan_s = if completed > 0 { last_done } else { now };
+    let tel_report = tel.map(|t| t.report(makespan_s.max(now)));
+    let report = ChaosReport {
         offered,
         admitted,
         rejected,
@@ -533,9 +616,10 @@ pub fn simulate_chaos(cfg: &ChaosConfig) -> ChaosReport {
         respawns: set.respawns(),
         breaker_opens: set.breaker_opens(),
         availability,
-        makespan_s: if completed > 0 { last_done } else { now },
+        makespan_s,
         e2e: e2e.summary(),
-    }
+    };
+    (report, tel_report)
 }
 
 #[cfg(test)]
@@ -543,6 +627,7 @@ mod tests {
     use super::*;
     use crate::loadgen::{poisson_arrivals, LoadConfig};
     use crate::resil::HedgePolicy;
+    use crate::telemetry::SLO_AVAILABILITY;
 
     fn arrivals(rate: f64, n: usize, seed: u64) -> Vec<f64> {
         poisson_arrivals(&LoadConfig { rate_per_s: rate, requests: n, seed })
@@ -781,6 +866,55 @@ mod tests {
             with_fb.availability
         );
         assert_eq!(without.degraded, 0);
+    }
+
+    #[test]
+    fn telemetry_observer_never_changes_the_chaos_report() {
+        let mut cfg = chaos_cfg(arrivals(2000.0, 4000, 6));
+        cfg.crash_mtbf_s = 1.0;
+        cfg.faults.straggle_p = 0.02;
+        cfg.faults.straggle_s = 0.08;
+        cfg.faults.corrupt_p = 0.005;
+        let plain = simulate_chaos(&cfg);
+        let (observed, tel) =
+            simulate_chaos_telemetry(&cfg, &TelemetryConfig::standard(cfg.policy.deadline_s), 0.0);
+        assert_eq!(observed, plain, "telemetry must be observe-only");
+        assert_eq!(tel.completed as usize, plain.completed);
+        assert_eq!(tel.shed as usize, plain.shed);
+        assert_eq!(tel.rejected as usize, plain.rejected);
+        assert_eq!(tel.enqueued as usize, plain.offered - plain.rejected);
+        assert!(tel.recorder_events > 0, "attempts must reach the flight recorder");
+    }
+
+    #[test]
+    fn telemetry_twin_is_deterministic() {
+        let mut cfg = chaos_cfg(arrivals(2000.0, 4000, 7));
+        cfg.crash_mtbf_s = 0.5;
+        cfg.faults.corrupt_p = 0.01;
+        let tcfg = TelemetryConfig::standard(cfg.policy.deadline_s).with_windows(0.2, 0.8);
+        let a = simulate_chaos_telemetry(&cfg, &tcfg, 0.5);
+        let b = simulate_chaos_telemetry(&cfg, &tcfg, 0.5);
+        assert_eq!(a, b, "same config must give identical telemetry");
+    }
+
+    #[test]
+    fn onset_shifts_scheduled_crashes_past_the_steady_segment() {
+        let mut cfg = chaos_cfg(arrivals(2000.0, 6000, 8));
+        cfg.crash_mtbf_s = 0.05;
+        let onset = 1.0;
+        let tcfg = TelemetryConfig::standard(cfg.policy.deadline_s);
+        let (report, tel) = simulate_chaos_telemetry(&cfg, &tcfg, onset);
+        assert!(report.evictions > 0, "a 50 ms MTBF past onset must crash replicas");
+        let first_crash = tel
+            .dumps
+            .first()
+            .map(|d| d.at_s)
+            .unwrap_or(f64::INFINITY)
+            .min(tel.first_fired_at(SLO_AVAILABILITY).unwrap_or(f64::INFINITY));
+        assert!(
+            first_crash >= onset,
+            "nothing chaotic may happen before the onset: first at {first_crash}"
+        );
     }
 
     #[test]

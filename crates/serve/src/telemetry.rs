@@ -1,0 +1,464 @@
+//! Streaming telemetry for the serving tier: one bundle both engines drive.
+//!
+//! [`ServeTelemetry`] owns the sliding latency windows, the queue-depth
+//! gauge, the fast+slow burn-rate SLO monitors, the tail-based trace
+//! sampler and the per-replica flight recorder from `dd_obs`, and exposes
+//! one `on_*` hook per serving event (enqueue, shed, completion, failure,
+//! attempt outcome, eviction, breaker-open). Every hook takes a
+//! caller-supplied `now_s`, so the threaded [`crate::server::Server`]
+//! passes `dd_obs::monotonic_seconds()` while the virtual-time
+//! [`crate::sim::simulate_chaos_telemetry`] twin passes event time — and
+//! identical event streams produce bit-identical [`TelemetryReport`]s,
+//! which is exactly what the parity test asserts.
+//!
+//! The bundle is observe-only by construction: nothing the serving path
+//! decides (admission, batching, retries, routing) reads telemetry state,
+//! so wiring it in cannot change any experiment's numbers.
+
+use crate::resil::AttemptOutcome;
+use dd_obs::telemetry::{
+    AlertEvent, AlertKind, FlightEvent, FlightEventKind, FlightRecorder, RequestTrace, SloConfig,
+    SloMonitor, SloObjective, TailSampler, TailSamplerConfig, TraceVerdict,
+};
+use dd_obs::window::{SlidingWindow, WindowConfig, WindowedGauge};
+use dd_obs::HistSummary;
+
+/// Name of the availability SLO monitor.
+pub const SLO_AVAILABILITY: &str = "availability";
+/// Name of the p99-vs-deadline latency SLO monitor.
+pub const SLO_LATENCY: &str = "p99_deadline";
+
+/// Flight-recorder dumps retained per run (the earliest ones — the chaos
+/// onset is what a post-mortem wants); later dumps are counted, not kept.
+const MAX_DUMPS: usize = 8;
+
+/// Shape of one [`ServeTelemetry`] bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Sliding-window layout for the latency windows (bucket × count).
+    pub window: WindowConfig,
+    /// Fast SLO window, seconds — bounds detection latency.
+    pub fast_window_s: f64,
+    /// Slow SLO window, seconds — suppresses blips.
+    pub slow_window_s: f64,
+    /// Availability objective target, e.g. `0.999`.
+    pub availability_target: f64,
+    /// Latency-objective deadline, seconds (normally the shed deadline).
+    pub deadline_s: f64,
+    /// Fraction of requests budgeted past the deadline, e.g. `0.01`.
+    pub tolerated_late_fraction: f64,
+    /// Burn-rate multiple both windows must exceed to fire.
+    pub burn_threshold: f64,
+    /// Completed requests slower than this are tail-sampled as `Slow`.
+    pub slow_trace_threshold_s: f64,
+    /// Tail-sampler trace capacity.
+    pub trace_capacity: usize,
+    /// Flight-recorder ring capacity per replica.
+    pub recorder_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// Production-shaped defaults around a serving deadline: 100 ms × 20
+    /// latency buckets, 0.2 s/0.8 s burn windows at threshold 10 over a
+    /// 99.9% availability target and a 1%-late deadline objective.
+    pub fn standard(deadline_s: f64) -> Self {
+        TelemetryConfig {
+            window: WindowConfig::new(0.1, 20),
+            fast_window_s: 0.2,
+            slow_window_s: 0.8,
+            availability_target: 0.999,
+            deadline_s,
+            tolerated_late_fraction: 0.01,
+            burn_threshold: 10.0,
+            slow_trace_threshold_s: deadline_s * 0.5,
+            trace_capacity: 64,
+            recorder_capacity: 32,
+        }
+    }
+
+    /// Same config with a different fast/slow window pair — the knob the
+    /// E15 grid sweeps.
+    pub fn with_windows(mut self, fast_s: f64, slow_s: f64) -> Self {
+        self.fast_window_s = fast_s;
+        self.slow_window_s = slow_s;
+        self
+    }
+}
+
+/// One retained flight-recorder dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Why the dump was taken (`"breaker_open"` / `"replica_evicted"`).
+    pub reason: String,
+    /// Dump time (caller clock), seconds.
+    pub at_s: f64,
+    /// The rendered JSON document.
+    pub json: String,
+}
+
+/// Everything the bundle measured, summarized at one instant.
+///
+/// `PartialEq` is the determinism contract: two runs over identical event
+/// streams must produce `==` reports, which the parity and E15
+/// byte-identity tests rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Windowed end-to-end latency summary at the report instant.
+    pub e2e: HistSummary,
+    /// Windowed queue-wait summary at the report instant.
+    pub queue_wait: HistSummary,
+    /// Completions per second over the live window.
+    pub e2e_rate_per_s: f64,
+    /// Last queue depth observed.
+    pub queue_depth_last: f64,
+    /// Peak queue depth inside the live window.
+    pub queue_depth_max: f64,
+    /// Requests enqueued / rejected / completed / failed / shed.
+    pub enqueued: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests failed (non-shed errors).
+    pub failed: u64,
+    /// Requests shed past their deadline.
+    pub shed: u64,
+    /// Every alert edge fired or cleared, in event order.
+    pub alerts: Vec<AlertEvent>,
+    /// Exemplar request ids attached to live e2e latency buckets, as
+    /// `(bucket, request_id)` sorted by bucket.
+    pub exemplars: Vec<(usize, u64)>,
+    /// Traces ever kept by the tail sampler.
+    pub traces_kept: u64,
+    /// Tail-sampler keep counts `(slow, error, shed)`.
+    pub trace_verdicts: (u64, u64, u64),
+    /// Events recorded by the flight recorder over its lifetime.
+    pub recorder_events: u64,
+    /// Retained flight-recorder dumps (first [`MAX_DUMPS`]).
+    pub dumps: Vec<FlightDump>,
+    /// Dumps taken over the run (including ones not retained).
+    pub dump_total: u64,
+}
+
+impl TelemetryReport {
+    /// Time of the first `Fired` edge of the named SLO, if any.
+    pub fn first_fired_at(&self, slo: &str) -> Option<f64> {
+        self.alerts.iter().find(|a| a.kind == AlertKind::Fired && a.slo == slo).map(|a| a.at_s)
+    }
+
+    /// Number of `Fired` edges across both monitors.
+    pub fn fired_count(&self) -> usize {
+        self.alerts.iter().filter(|a| a.kind == AlertKind::Fired).count()
+    }
+}
+
+/// The streaming telemetry bundle one serving engine drives.
+#[derive(Debug, Clone)]
+pub struct ServeTelemetry {
+    cfg: TelemetryConfig,
+    e2e: SlidingWindow,
+    queue_wait: SlidingWindow,
+    queue_depth: WindowedGauge,
+    availability: SloMonitor,
+    latency: SloMonitor,
+    sampler: TailSampler,
+    recorder: FlightRecorder,
+    alerts: Vec<AlertEvent>,
+    dumps: Vec<FlightDump>,
+    dump_total: u64,
+    enqueued: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    shed: u64,
+}
+
+impl ServeTelemetry {
+    /// New bundle for a pool of `replicas` replicas.
+    pub fn new(replicas: usize, cfg: TelemetryConfig) -> Self {
+        let availability = SloMonitor::new(SloConfig {
+            name: SLO_AVAILABILITY.to_string(),
+            objective: SloObjective::Availability { target: cfg.availability_target },
+            fast_window_s: cfg.fast_window_s,
+            slow_window_s: cfg.slow_window_s,
+            burn_threshold: cfg.burn_threshold,
+        });
+        let latency = SloMonitor::new(SloConfig {
+            name: SLO_LATENCY.to_string(),
+            objective: SloObjective::LatencyDeadline {
+                deadline_s: cfg.deadline_s,
+                tolerated_fraction: cfg.tolerated_late_fraction,
+            },
+            fast_window_s: cfg.fast_window_s,
+            slow_window_s: cfg.slow_window_s,
+            burn_threshold: cfg.burn_threshold,
+        });
+        let sampler = TailSampler::new(TailSamplerConfig {
+            slow_threshold_s: cfg.slow_trace_threshold_s,
+            capacity: cfg.trace_capacity,
+        });
+        let recorder = FlightRecorder::new(replicas.max(1), cfg.recorder_capacity);
+        ServeTelemetry {
+            e2e: SlidingWindow::new(cfg.window),
+            queue_wait: SlidingWindow::new(cfg.window),
+            queue_depth: WindowedGauge::new(cfg.window),
+            availability,
+            latency,
+            sampler,
+            recorder,
+            alerts: Vec::new(),
+            dumps: Vec::new(),
+            dump_total: 0,
+            enqueued: 0,
+            rejected: 0,
+            completed: 0,
+            failed: 0,
+            shed: 0,
+            cfg,
+        }
+    }
+
+    /// The bundle's configuration.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.cfg
+    }
+
+    fn poll(&mut self, now_s: f64) {
+        if let Some(e) = self.availability.poll(now_s) {
+            self.alerts.push(e);
+        }
+        if let Some(e) = self.latency.poll(now_s) {
+            self.alerts.push(e);
+        }
+    }
+
+    fn dump(&mut self, reason: &str, now_s: f64) {
+        self.dump_total += 1;
+        if self.dumps.len() < MAX_DUMPS {
+            let json = self.recorder.dump_json(reason, now_s);
+            self.dumps.push(FlightDump { reason: reason.to_string(), at_s: now_s, json });
+        }
+    }
+
+    /// A request entered the queue; `depth` is the queue depth after it.
+    pub fn on_enqueue(&mut self, now_s: f64, depth: usize) {
+        self.enqueued += 1;
+        self.queue_depth.set(now_s, depth as f64);
+    }
+
+    /// Admission control rejected a request (queue full) — a user-visible
+    /// error, so it burns availability budget.
+    pub fn on_reject(&mut self, now_s: f64) {
+        self.rejected += 1;
+        self.availability.observe(now_s, false);
+        self.poll(now_s);
+    }
+
+    /// A queued request was shed past its deadline: burns both budgets (the
+    /// user got an error, and the request objectively ran past the
+    /// deadline) and tail-samples the trace.
+    pub fn on_shed(&mut self, now_s: f64, request_id: u64, enqueue_s: f64) {
+        self.shed += 1;
+        self.availability.observe(now_s, false);
+        self.latency.observe_latency(now_s, now_s - enqueue_s);
+        self.sampler.offer(RequestTrace {
+            request_id,
+            start_s: enqueue_s,
+            end_s: now_s,
+            verdict: TraceVerdict::Shed,
+            steps: Vec::new(),
+        });
+        self.poll(now_s);
+    }
+
+    /// A request completed at `now_s`: records the windowed latencies (with
+    /// the request id as the bucket exemplar), feeds both SLOs, and offers
+    /// the trace to the tail sampler (kept only if slow).
+    pub fn on_complete(&mut self, now_s: f64, request_id: u64, enqueue_s: f64, queue_wait_s: f64) {
+        self.completed += 1;
+        let e2e_s = now_s - enqueue_s;
+        self.e2e.record_with_id(now_s, e2e_s, request_id);
+        self.queue_wait.record(now_s, queue_wait_s);
+        dd_obs::window_record_cfg("serve_e2e_seconds", now_s, e2e_s, self.cfg.window);
+        dd_obs::window_record_cfg("serve_queue_wait_seconds", now_s, queue_wait_s, self.cfg.window);
+        self.availability.observe(now_s, true);
+        self.latency.observe_latency(now_s, e2e_s);
+        self.sampler.offer(RequestTrace {
+            request_id,
+            start_s: enqueue_s,
+            end_s: now_s,
+            verdict: TraceVerdict::Ok,
+            steps: Vec::new(),
+        });
+        self.poll(now_s);
+    }
+
+    /// A request failed with a non-shed error (retry budget exhausted,
+    /// breakers open, model gone): burns availability budget and keeps the
+    /// trace.
+    pub fn on_failure(&mut self, now_s: f64, request_id: u64, enqueue_s: f64) {
+        self.failed += 1;
+        self.availability.observe(now_s, false);
+        self.sampler.offer(RequestTrace {
+            request_id,
+            start_s: enqueue_s,
+            end_s: now_s,
+            verdict: TraceVerdict::Error,
+            steps: Vec::new(),
+        });
+        self.poll(now_s);
+    }
+
+    /// A batch of `batch` rows was dispatched at `replica`.
+    pub fn on_dispatch(&mut self, now_s: f64, replica: usize, batch: usize) {
+        self.recorder.record(
+            replica,
+            FlightEvent { at_s: now_s, kind: FlightEventKind::Dispatch, detail: batch as f64 },
+        );
+    }
+
+    /// One attempt resolved at `replica` with `outcome`.
+    pub fn on_outcome(&mut self, now_s: f64, replica: usize, outcome: &AttemptOutcome) {
+        let (kind, detail) = match *outcome {
+            AttemptOutcome::Done { elapsed_s } => (FlightEventKind::Done, elapsed_s),
+            AttemptOutcome::Crashed { elapsed_s } => (FlightEventKind::Crash, elapsed_s),
+            AttemptOutcome::TimedOut { elapsed_s } => (FlightEventKind::Timeout, elapsed_s),
+            AttemptOutcome::Corrupt { elapsed_s } => (FlightEventKind::Corrupt, elapsed_s),
+        };
+        self.recorder.record(replica, FlightEvent { at_s: now_s, kind, detail });
+    }
+
+    /// Health checking evicted `replica`: record it and dump the rings.
+    pub fn on_eviction(&mut self, now_s: f64, replica: usize) {
+        self.recorder.record(
+            replica,
+            FlightEvent { at_s: now_s, kind: FlightEventKind::Eviction, detail: 0.0 },
+        );
+        self.dump("replica_evicted", now_s);
+    }
+
+    /// A circuit breaker opened at `replica`: record it and dump the rings.
+    pub fn on_breaker_open(&mut self, now_s: f64, replica: usize) {
+        self.recorder.record(
+            replica,
+            FlightEvent { at_s: now_s, kind: FlightEventKind::BreakerOpen, detail: 0.0 },
+        );
+        self.dump("breaker_open", now_s);
+    }
+
+    /// Alert edges so far, in event order.
+    pub fn alerts(&self) -> &[AlertEvent] {
+        &self.alerts
+    }
+
+    /// Current burn rates `(fast, slow)` of the availability SLO.
+    pub fn availability_burn(&self, now_s: f64) -> (f64, f64) {
+        self.availability.burn_rates(now_s)
+    }
+
+    /// Summarize everything at `now_s`.
+    pub fn report(&self, now_s: f64) -> TelemetryReport {
+        TelemetryReport {
+            e2e: self.e2e.summary(now_s),
+            queue_wait: self.queue_wait.summary(now_s),
+            e2e_rate_per_s: self.e2e.rate_per_s(now_s),
+            queue_depth_last: self.queue_depth.last(),
+            queue_depth_max: self.queue_depth.max(now_s),
+            enqueued: self.enqueued,
+            rejected: self.rejected,
+            completed: self.completed,
+            failed: self.failed,
+            shed: self.shed,
+            alerts: self.alerts.clone(),
+            exemplars: self.e2e.exemplars(now_s),
+            traces_kept: self.sampler.kept_total(),
+            trace_verdicts: self.sampler.verdict_counts(),
+            recorder_events: self.recorder.recorded(),
+            dumps: self.dumps.clone(),
+            dump_total: self.dump_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle() -> ServeTelemetry {
+        ServeTelemetry::new(2, TelemetryConfig::standard(0.25))
+    }
+
+    #[test]
+    fn healthy_traffic_reports_clean() {
+        let mut t = bundle();
+        for i in 0..500u64 {
+            let now = i as f64 * 2e-3;
+            t.on_enqueue(now, 1);
+            t.on_complete(now + 0.01, i, now, 0.002);
+        }
+        let r = t.report(1.0);
+        assert_eq!((r.enqueued, r.completed, r.failed, r.shed, r.rejected), (500, 500, 0, 0, 0));
+        assert!(r.alerts.is_empty(), "healthy traffic must not alert: {:?}", r.alerts);
+        assert_eq!(r.traces_kept, 0, "fast Ok traces are dropped");
+        assert!(r.e2e.count > 0 && r.e2e.p99 < 0.02);
+        assert!(r.e2e_rate_per_s > 0.0);
+    }
+
+    #[test]
+    fn failures_fire_availability_and_keep_traces() {
+        let mut t = bundle();
+        for i in 0..500u64 {
+            let now = i as f64 * 2e-3;
+            t.on_enqueue(now, 1);
+            t.on_complete(now + 0.01, i, now, 0.002);
+        }
+        for i in 500..900u64 {
+            let now = i as f64 * 2e-3;
+            t.on_enqueue(now, 4);
+            t.on_failure(now + 0.02, i, now);
+        }
+        let r = t.report(1.9);
+        let fired = r.first_fired_at(SLO_AVAILABILITY).expect("sustained failures must fire");
+        assert!(fired >= 1.0, "fired at {fired} (failures start at 1.0)");
+        assert!(r.traces_kept > 0 && r.trace_verdicts.1 > 0, "error traces kept");
+    }
+
+    #[test]
+    fn dumps_are_taken_on_breaker_and_eviction_and_bounded() {
+        let mut t = bundle();
+        t.on_dispatch(0.1, 0, 16);
+        t.on_outcome(0.11, 0, &AttemptOutcome::Crashed { elapsed_s: 0.01 });
+        t.on_eviction(0.11, 0);
+        for k in 0..20 {
+            t.on_breaker_open(0.2 + k as f64 * 0.01, 1);
+        }
+        let r = t.report(0.5);
+        assert_eq!(r.dumps.len(), 8, "dump retention is bounded");
+        assert_eq!(r.dump_total, 21);
+        assert_eq!(r.dumps[0].reason, "replica_evicted");
+        assert!(r.dumps[0].json.contains("\"kind\":\"Crash\""), "{}", r.dumps[0].json);
+        assert!(r.recorder_events >= 4);
+    }
+
+    #[test]
+    fn identical_event_streams_produce_equal_reports() {
+        let drive = || {
+            let mut t = bundle();
+            for i in 0..300u64 {
+                let now = i as f64 * 1e-3;
+                t.on_enqueue(now, (i % 7) as usize);
+                if i % 11 == 0 {
+                    t.on_shed(now + 0.3, i, now);
+                } else if i % 13 == 0 {
+                    t.on_failure(now + 0.05, i, now);
+                } else {
+                    t.on_complete(now + 0.02, i, now, 0.004);
+                }
+                t.on_dispatch(now, (i % 2) as usize, 8);
+            }
+            t.on_eviction(0.35, 1);
+            t.report(0.4)
+        };
+        assert_eq!(drive(), drive(), "pure state machine: equal streams, equal reports");
+    }
+}

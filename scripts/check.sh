@@ -100,4 +100,30 @@ RAYON_NUM_THREADS=4 ./target/release/exp-14-chaos quick >/dev/null
 cmp results/e14_chaos.csv /tmp/e14_chaos.t1.csv
 echo "e14_chaos.csv byte-identical under RAYON_NUM_THREADS=1 and =4"
 
+echo "== exp-15-telemetry smoke: CSV schema + byte-identical reruns"
+./target/release/exp-15-telemetry quick >/dev/null
+expected_header="fast_s,slow_s,steady_fired,detect_s,bound_s,chaos_fired,completed,failed,shed,rejected,evictions,breaker_opens,traces_kept,recorder_events,dumps,availability"
+actual_header="$(head -n1 results/e15_telemetry.csv)"
+if [ "$actual_header" != "$expected_header" ]; then
+  echo "e15_telemetry.csv header mismatch:" >&2
+  echo "  expected: $expected_header" >&2
+  echo "  actual:   $actual_header" >&2
+  exit 1
+fi
+cp results/e15_telemetry.csv /tmp/e15_telemetry.first.csv
+./target/release/exp-15-telemetry quick >/dev/null
+cmp results/e15_telemetry.csv /tmp/e15_telemetry.first.csv
+echo "e15_telemetry.csv schema ok and deterministic across reruns"
+
+echo "== exp-15-telemetry: byte-identical across rayon pool widths"
+RAYON_NUM_THREADS=1 ./target/release/exp-15-telemetry quick >/dev/null
+cp results/e15_telemetry.csv /tmp/e15_telemetry.t1.csv
+RAYON_NUM_THREADS=4 ./target/release/exp-15-telemetry quick >/dev/null
+cmp results/e15_telemetry.csv /tmp/e15_telemetry.t1.csv
+echo "e15_telemetry.csv byte-identical under RAYON_NUM_THREADS=1 and =4"
+
+echo "== exp-15-telemetry emits a parsable flight-recorder dump"
+python3 -m json.tool results/e15_flight_recorder.json >/dev/null
+echo "results/e15_flight_recorder.json parses"
+
 echo "All checks passed."

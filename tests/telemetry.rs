@@ -1,0 +1,389 @@
+//! Integration tests for the streaming telemetry subsystem: threaded-vs-sim
+//! telemetry parity on identical event streams, windowed-quantile accuracy
+//! against an exact nearest-rank oracle (including across a bucket-rotation
+//! boundary), and the C15 detection bound on the chaos sim twin.
+
+use deepdriver::obs::{SlidingWindow, WindowConfig};
+use deepdriver::serve::{
+    poisson_arrivals, simulate_chaos_telemetry, Action, AttemptOutcome, BatchPolicy, BreakerPolicy,
+    ChaosConfig, FaultSpec, HedgePolicy, LoadConfig, ReplicaSetState, ResilPolicy, ResilientCall,
+    RetryPolicy, ServeTelemetry, ServiceModel, TelemetryConfig, TelemetryReport, SLO_AVAILABILITY,
+    SLO_LATENCY,
+};
+use deepdriver::tensor::Rng64;
+
+// ---------------------------------------------------------------------------
+// Threaded-vs-sim telemetry parity.
+//
+// The telemetry bundle never reads a clock: every hook takes a caller
+// `now_s`. The threaded server samples `dd_obs::monotonic_seconds()` the way
+// `drive_server_style` samples its stand-in clock; the virtual-time sim
+// passes event times the way `drive_sim_style` advances `t`. Fed the same
+// scripted outcome traces, both disciplines must hand the bundle identical
+// `(now, event)` pairs and therefore produce bit-identical reports — the
+// same parity contract `tests/resilience.rs` pins for the decision core.
+// ---------------------------------------------------------------------------
+
+fn parity_policy() -> ResilPolicy {
+    ResilPolicy {
+        retry: RetryPolicy::new(4, 1e-3, 16e-3, 0.5),
+        hedge: HedgePolicy::after(0.02, 1),
+        breaker: BreakerPolicy::new(3, 0.25, 1),
+        health_eviction: true,
+    }
+}
+
+fn parity_traces() -> Vec<Vec<AttemptOutcome>> {
+    vec![
+        // Happy path.
+        vec![AttemptOutcome::Done { elapsed_s: 0.01 }],
+        // Crash, retry elsewhere, succeed.
+        vec![
+            AttemptOutcome::Crashed { elapsed_s: 0.002 },
+            AttemptOutcome::Done { elapsed_s: 0.01 },
+        ],
+        // Straggler hedged away, hedge succeeds.
+        vec![
+            AttemptOutcome::TimedOut { elapsed_s: 0.02 },
+            AttemptOutcome::Done { elapsed_s: 0.008 },
+        ],
+        // Corrupt twice, then success.
+        vec![
+            AttemptOutcome::Corrupt { elapsed_s: 0.01 },
+            AttemptOutcome::Corrupt { elapsed_s: 0.01 },
+            AttemptOutcome::Done { elapsed_s: 0.01 },
+        ],
+        // Budget exhaustion: straight crashes evict the pool and give up —
+        // failures burn the availability budget and dump the recorder.
+        vec![AttemptOutcome::Crashed { elapsed_s: 0.001 }; 4],
+    ]
+}
+
+/// Sim-style driver: virtual time advances by each outcome's elapsed
+/// seconds, exactly as `simulate_chaos` does, and every telemetry hook gets
+/// that virtual time.
+fn drive_sim_style(
+    traces: &[Vec<AttemptOutcome>],
+    policy: ResilPolicy,
+    replicas: usize,
+    tcfg: &TelemetryConfig,
+) -> TelemetryReport {
+    let mut set = ReplicaSetState::new(replicas, policy.breaker, 0.05);
+    let mut rng = Rng64::new(9);
+    let mut tel = ServeTelemetry::new(replicas, tcfg.clone());
+    let mut t = 0.0f64;
+    for (id, trace) in traces.iter().enumerate() {
+        let enq = t;
+        tel.on_enqueue(t, 1);
+        let mut call = ResilientCall::new(policy);
+        let mut i = 0usize;
+        let mut queue_wait = 0.0f64;
+        let mut waited = false;
+        loop {
+            match call.next(&mut set, t) {
+                Action::Wait { seconds } => t += seconds,
+                Action::Try { replica, .. } => {
+                    let start = t;
+                    if !waited {
+                        queue_wait = start - enq;
+                        waited = true;
+                    }
+                    let outcome =
+                        trace.get(i).copied().unwrap_or(AttemptOutcome::Done { elapsed_s: 0.01 });
+                    i += 1;
+                    t += outcome.elapsed_s();
+                    let before = (set.evictions(), set.breaker_opens());
+                    call.observe(&mut set, replica, outcome, t, &mut rng);
+                    tel.on_dispatch(start, replica, 1);
+                    tel.on_outcome(t, replica, &outcome);
+                    if set.evictions() > before.0 {
+                        tel.on_eviction(t, replica);
+                    }
+                    if set.breaker_opens() > before.1 {
+                        tel.on_breaker_open(t, replica);
+                    }
+                }
+                Action::Finish { .. } => {
+                    tel.on_complete(t, id as u64, enq, queue_wait);
+                    break;
+                }
+                Action::GiveUp { .. } => {
+                    tel.on_failure(t, id as u64, enq);
+                    break;
+                }
+            }
+        }
+        t += 0.005; // inter-arrival gap before the next request
+    }
+    tel.report(t)
+}
+
+/// Server-style driver: samples a monotonic clock before each decision the
+/// way `serve_job` does (sleeps become clock advances) and passes those
+/// clock reads to the telemetry hooks.
+fn drive_server_style(
+    traces: &[Vec<AttemptOutcome>],
+    policy: ResilPolicy,
+    replicas: usize,
+    tcfg: &TelemetryConfig,
+) -> TelemetryReport {
+    let mut set = ReplicaSetState::new(replicas, policy.breaker, 0.05);
+    let mut rng = Rng64::new(9);
+    let mut tel = ServeTelemetry::new(replicas, tcfg.clone());
+    let mut clock = 0.0f64;
+    for (id, trace) in traces.iter().enumerate() {
+        let enq = clock;
+        tel.on_enqueue(enq, 1);
+        let mut call = ResilientCall::new(policy);
+        let mut i = 0usize;
+        let mut queue_wait = 0.0f64;
+        let mut waited = false;
+        loop {
+            let now = clock; // monotonic_seconds() stand-in
+            match call.next(&mut set, now) {
+                Action::Wait { seconds } => clock += seconds, // thread::sleep stand-in
+                Action::Try { replica, .. } => {
+                    let started = now;
+                    if !waited {
+                        queue_wait = started - enq;
+                        waited = true;
+                    }
+                    let outcome =
+                        trace.get(i).copied().unwrap_or(AttemptOutcome::Done { elapsed_s: 0.01 });
+                    i += 1;
+                    clock += outcome.elapsed_s(); // the attempt's real duration
+                    let before = (set.evictions(), set.breaker_opens());
+                    call.observe(&mut set, replica, outcome, clock, &mut rng);
+                    tel.on_dispatch(started, replica, 1);
+                    tel.on_outcome(clock, replica, &outcome);
+                    if set.evictions() > before.0 {
+                        tel.on_eviction(clock, replica);
+                    }
+                    if set.breaker_opens() > before.1 {
+                        tel.on_breaker_open(clock, replica);
+                    }
+                }
+                Action::Finish { .. } => {
+                    tel.on_complete(now, id as u64, enq, queue_wait);
+                    break;
+                }
+                Action::GiveUp { .. } => {
+                    tel.on_failure(now, id as u64, enq);
+                    break;
+                }
+            }
+        }
+        clock += 0.005;
+    }
+    tel.report(clock)
+}
+
+#[test]
+fn telemetry_parity_on_identical_event_streams() {
+    let policy = parity_policy();
+    let traces = parity_traces();
+    let tcfg = TelemetryConfig::standard(0.25).with_windows(0.05, 0.2);
+    let sim = drive_sim_style(&traces, policy, 3, &tcfg);
+    let srv = drive_server_style(&traces, policy, 3, &tcfg);
+    assert_eq!(sim, srv, "clock discipline must not leak into telemetry");
+    // Parity must not be about empty reports: the traces complete four
+    // requests, fail one, and the crash burst evicts replicas — which
+    // records attempts and dumps the flight recorder.
+    assert_eq!(sim.completed, 4, "four traces end in Finish");
+    assert_eq!(sim.failed, 1, "the crash burst ends in GiveUp");
+    assert_eq!(sim.enqueued, 5);
+    assert_eq!(sim.e2e.count, 4, "every completion records an e2e latency");
+    assert!(sim.recorder_events > 0, "dispatch/outcome events hit the recorder");
+    assert!(sim.dump_total >= 1, "evictions must dump the flight recorder");
+    assert!(
+        sim.dumps.iter().all(|d| d.json.starts_with('{') && d.json.ends_with('}')),
+        "dumps are JSON objects"
+    );
+}
+
+#[test]
+fn telemetry_reports_are_deterministic_across_reruns() {
+    let policy = parity_policy();
+    let traces = parity_traces();
+    let tcfg = TelemetryConfig::standard(0.25).with_windows(0.05, 0.2);
+    let a = drive_sim_style(&traces, policy, 3, &tcfg);
+    let b = drive_sim_style(&traces, policy, 3, &tcfg);
+    assert_eq!(a, b, "same event stream twice must give byte-identical reports");
+}
+
+// ---------------------------------------------------------------------------
+// Windowed-quantile accuracy vs an exact oracle.
+// ---------------------------------------------------------------------------
+
+/// Exact nearest-rank quantile over a sorted slice — the same rank rule the
+/// histogram targets (`ceil(q·n)`, floored at rank 1).
+fn exact_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+/// Geometric buckets are 32 per decade, so quantile estimates carry at most
+/// `10^(1/32) − 1 ≈ 7.5%` relative error; assert with an 8% margin.
+const QUANTILE_RTOL: f64 = 0.08;
+
+fn assert_quantiles_match(summary: &deepdriver::obs::HistSummary, sorted: &[f64], label: &str) {
+    for (q, got) in [(0.50, summary.p50), (0.95, summary.p95), (0.99, summary.p99)] {
+        let want = exact_nearest_rank(sorted, q);
+        let rel = (got - want).abs() / want;
+        assert!(
+            rel < QUANTILE_RTOL,
+            "{label}: p{} windowed {got} vs exact {want} (rel err {rel:.4})",
+            (q * 100.0) as u32
+        );
+    }
+}
+
+#[test]
+fn windowed_quantiles_track_an_exact_sort_oracle() {
+    // Log-uniform latencies over two decades (1 ms – 100 ms), all recorded
+    // inside the live horizon so the window sees exactly the oracle's data.
+    let cfg = WindowConfig::new(0.5, 8);
+    let mut w = SlidingWindow::new(cfg);
+    let mut rng = Rng64::new(42);
+    let mut samples = Vec::new();
+    let n = 5000;
+    for i in 0..n {
+        let t = cfg.horizon_s() * 0.9 * (i as f64 / n as f64);
+        let v = 1e-3 * 10f64.powf(2.0 * rng.uniform());
+        w.record(t, v);
+        samples.push(v);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let now = cfg.horizon_s() * 0.9;
+    let s = w.summary(now);
+    assert_eq!(s.count, n as u64);
+    assert_quantiles_match(&s, &samples, "full horizon");
+}
+
+#[test]
+fn windowed_quantiles_stay_accurate_across_a_rotation_boundary() {
+    // Regression case: two batches from different distributions, the first
+    // recorded right up to a bucket edge. Once `now` crosses the edge plus
+    // one horizon, the first batch must vanish from the quantiles and the
+    // window must agree with an oracle over the surviving batch alone.
+    let cfg = WindowConfig::new(0.25, 4); // 1 s horizon
+    let mut w = SlidingWindow::new(cfg);
+    let mut rng = Rng64::new(7);
+    let n = 800;
+    // Batch A: slow requests (~0.1 s) in absolute buckets 0..4.
+    for i in 0..n {
+        let t = 0.999 * (i as f64 / n as f64);
+        w.record(t, 0.1 * (1.0 + rng.uniform()));
+    }
+    // Batch B: fast requests (~1 ms) from t = 1.0 — exactly on the bucket-4
+    // rotation edge — through t < 1.25.
+    let mut fast = Vec::new();
+    for i in 0..n {
+        let t = 1.0 + 0.249 * (i as f64 / n as f64);
+        let v = 1e-3 * (1.0 + rng.uniform());
+        w.record(t, v);
+        fast.push(v);
+    }
+    fast.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // While most of both batches is live, the p99 reflects the slow batch.
+    let mixed = w.summary(1.2);
+    assert!(mixed.count > n as u64, "both batches contribute mid-rotation");
+    assert!(mixed.p99 > 0.05, "slow batch dominates the mixed p99");
+    // At t = 1.9 (cur bucket 7, window covers epochs 4..=7) every batch-A
+    // bucket (epochs 0..=3) has left the window; batch B (epoch 4, recorded
+    // at t in [1.0, 1.25)) is still live.
+    let after = w.summary(1.9);
+    assert_eq!(after.count, n as u64, "batch A expired, batch B survives");
+    assert_quantiles_match(&after, &fast, "post-rotation");
+    assert!(after.p99 < 0.05, "no slow-batch residue after rotation");
+}
+
+// ---------------------------------------------------------------------------
+// C15 on the sim twin: deterministic chaos detection within the bound.
+// ---------------------------------------------------------------------------
+
+const REPLICAS: usize = 3;
+const MAX_BATCH: usize = 8;
+const DEADLINE_S: f64 = 0.25;
+const ONSET_S: f64 = 0.4;
+const FAST_WINDOW_S: f64 = 0.1;
+
+fn c15_service() -> ServiceModel {
+    ServiceModel::new(2e-3, 0.5e-3)
+}
+
+fn c15_config(arrivals: Vec<f64>, crash_mtbf_s: f64, fault_seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        policy: BatchPolicy::new(MAX_BATCH, 0.002, DEADLINE_S),
+        queue_capacity: 128,
+        replicas: REPLICAS,
+        service: c15_service(),
+        arrivals,
+        resil: ResilPolicy::standard(),
+        faults: FaultSpec { respawn_s: 0.05, seed: fault_seed, ..FaultSpec::none() },
+        crash_mtbf_s,
+        fallback: true,
+    }
+}
+
+fn c15_telemetry() -> TelemetryConfig {
+    TelemetryConfig::standard(DEADLINE_S).with_windows(FAST_WINDOW_S, 4.0 * FAST_WINDOW_S)
+}
+
+/// Steady 0.6×-saturation arrivals until the onset, then 2.5× overload.
+fn c15_onset_arrivals(seed: u64) -> Vec<f64> {
+    let sat = c15_service().saturation_rps(MAX_BATCH, REPLICAS);
+    let steady = poisson_arrivals(&LoadConfig { rate_per_s: 0.6 * sat, requests: 2000, seed })
+        .into_iter()
+        .filter(|&t| t < ONSET_S);
+    let overload = poisson_arrivals(&LoadConfig {
+        rate_per_s: 2.5 * sat,
+        requests: 2500,
+        seed: seed ^ 0x9E37_79B9,
+    })
+    .into_iter()
+    .map(|t| t + ONSET_S);
+    steady.chain(overload).collect()
+}
+
+#[test]
+fn chaos_onset_is_detected_within_two_fast_windows_and_runs_are_deterministic() {
+    let tcfg = c15_telemetry();
+    let cfg = c15_config(c15_onset_arrivals(2017), 0.02, 4035);
+    let (rep_a, tel_a) = simulate_chaos_telemetry(&cfg, &tcfg, ONSET_S);
+    let (rep_b, tel_b) = simulate_chaos_telemetry(&cfg, &tcfg, ONSET_S);
+    assert_eq!(rep_a, rep_b, "chaos twin must be deterministic");
+    assert_eq!(tel_a, tel_b, "telemetry twin must be deterministic");
+    // C15: some burn-rate monitor fires after the onset, within two
+    // fast-window lengths of it.
+    let first = [SLO_AVAILABILITY, SLO_LATENCY]
+        .iter()
+        .filter_map(|slo| tel_a.first_fired_at(slo))
+        .fold(f64::INFINITY, f64::min);
+    assert!(first.is_finite(), "chaos must fire a burn-rate alert");
+    let latency = first - ONSET_S;
+    assert!(
+        latency > 0.0 && latency <= 2.0 * FAST_WINDOW_S,
+        "detected {latency:.4}s after onset, bound {:.4}s",
+        2.0 * FAST_WINDOW_S
+    );
+    // The chaos segment keeps tail traces and dumps the recorder, and
+    // nothing dumps before the onset (the pre-onset segment is clean).
+    assert!(tel_a.traces_kept > 0, "shed/error tail must be trace-sampled");
+    assert!(tel_a.dump_total > 0, "evictions/breakers must dump the recorder");
+    assert!(tel_a.dumps.iter().all(|d| d.at_s >= ONSET_S), "no dumps before onset");
+}
+
+#[test]
+fn steady_state_fires_no_alerts_and_keeps_no_traces() {
+    let sat = c15_service().saturation_rps(MAX_BATCH, REPLICAS);
+    let arrivals =
+        poisson_arrivals(&LoadConfig { rate_per_s: 0.6 * sat, requests: 3000, seed: 2017 });
+    let cfg = c15_config(arrivals, 0.0, 4035);
+    let (rep, tel) = simulate_chaos_telemetry(&cfg, &c15_telemetry(), 0.0);
+    assert_eq!(rep.failed, 0, "clean steady state fails nothing");
+    assert_eq!(tel.fired_count(), 0, "zero false positives at 0.6x load");
+    assert_eq!(tel.traces_kept, 0, "tail sampling keeps nothing when clean");
+    assert_eq!(tel.dump_total, 0, "nothing trips the flight recorder");
+}
