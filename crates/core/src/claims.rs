@@ -211,18 +211,23 @@ pub fn verify_all(scale: Scale, seed: u64) -> Vec<ClaimResult> {
 
     // C8 — DNNs beat classical baselines on nonlinear driver workloads.
     {
-        let w2 = workloads::w2_drug_response::run(scale, seed);
+        let statement = "automated deep models outperform classical baselines on driver problems";
         let w5 = workloads::w5_records::run(scale, seed);
-        results.push(ClaimResult {
-            id: "E8",
-            statement: "automated deep models outperform classical baselines on driver problems",
-            holds: w2.dnn_advantage() > 0.0 && w5.dnn_advantage() > 0.0,
-            evidence: format!(
-                "W2 R² +{:.3} over ridge; W5 policy +{:.3} over logistic",
-                w2.dnn_advantage(),
-                w5.dnn_advantage()
-            ),
-        });
+        match workloads::w2_drug_response::run(scale, seed) {
+            Ok(w2) => results.push(ClaimResult {
+                id: "E8",
+                statement,
+                holds: w2.dnn_advantage() > 0.0 && w5.dnn_advantage() > 0.0,
+                evidence: format!(
+                    "W2 R² +{:.3} over ridge; W5 policy +{:.3} over logistic",
+                    w2.dnn_advantage(),
+                    w5.dnn_advantage()
+                ),
+            }),
+            Err(e) => {
+                results.push(unverifiable("E8", statement, &format!("W2 training failed: {e}")));
+            }
+        }
     }
 
     // C9 — ML-supervised multi-resolution MD.

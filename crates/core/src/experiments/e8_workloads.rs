@@ -3,28 +3,46 @@
 
 use crate::report::{fnum, Scale, Table};
 use crate::workloads::{self, Outcome};
+use dd_nn::TrainError;
 
 /// Run all workload comparisons.
-pub fn sweep(scale: Scale, seed: u64) -> Vec<Outcome> {
+pub fn sweep(scale: Scale, seed: u64) -> Result<Vec<Outcome>, TrainError> {
     workloads::run_all(scale, seed)
 }
 
-/// Render the E8 table.
+/// Render the E8 table. A training divergence becomes an explicit error row
+/// rather than a panic: the report binary renders every experiment, and one
+/// bad seed must not take the rest of the report down with it.
 pub fn run(scale: Scale, seed: u64) -> Table {
     let mut table = Table::new(
         "E8: driver workloads — DNN vs classical baseline",
         &["workload", "metric", "DNN", "baseline", "baseline model", "DNN advantage", "seconds"],
     );
-    for o in sweep(scale, seed) {
-        table.push_row(vec![
-            o.name.clone(),
-            o.metric.clone(),
-            fnum(o.dnn),
-            fnum(o.baseline),
-            o.baseline_name.clone(),
-            fnum(o.dnn_advantage()),
-            fnum(o.seconds),
-        ]);
+    match sweep(scale, seed) {
+        Ok(outcomes) => {
+            for o in outcomes {
+                table.push_row(vec![
+                    o.name.clone(),
+                    o.metric.clone(),
+                    fnum(o.dnn),
+                    fnum(o.baseline),
+                    o.baseline_name.clone(),
+                    fnum(o.dnn_advantage()),
+                    fnum(o.seconds),
+                ]);
+            }
+        }
+        Err(e) => {
+            table.push_row(vec![
+                "sweep aborted".into(),
+                format!("{e}"),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+            ]);
+        }
     }
     table
 }

@@ -11,6 +11,7 @@ pub mod w6_amr;
 pub mod w7_mdsurrogate;
 
 use crate::report::Scale;
+use dd_nn::TrainError;
 use serde::{Deserialize, Serialize};
 
 /// Quality comparison between the workload's DNN and its classical baseline.
@@ -44,17 +45,19 @@ impl Outcome {
     }
 }
 
-/// Run every workload's comparison at a scale.
-pub fn run_all(scale: Scale, seed: u64) -> Vec<Outcome> {
-    vec![
+/// Run every workload's comparison at a scale. The first training
+/// divergence aborts the sweep: a partial comparison table would silently
+/// misrepresent the claim the workloads exist to check.
+pub fn run_all(scale: Scale, seed: u64) -> Result<Vec<Outcome>, TrainError> {
+    Ok(vec![
         w1_tumor::run(scale, seed),
-        w2_drug_response::run(scale, seed),
-        w3_compound::run(scale, seed),
+        w2_drug_response::run(scale, seed)?,
+        w3_compound::run(scale, seed)?,
         w4_autoencoder::run(scale, seed),
         w5_records::run(scale, seed),
         w6_amr::run(scale, seed),
         w7_mdsurrogate::run(scale, seed),
-    ]
+    ])
 }
 
 #[cfg(test)]

@@ -9,7 +9,9 @@ use dd_datagen::baselines::Ridge;
 use dd_datagen::drug_response::{self, DrugResponseConfig};
 use dd_datagen::expression::ExpressionModel;
 use dd_datagen::Target;
-use dd_nn::{Activation, Loss, LrSchedule, ModelSpec, OptimizerConfig, TrainConfig, Trainer};
+use dd_nn::{
+    Activation, Loss, LrSchedule, ModelSpec, OptimizerConfig, TrainConfig, TrainError, Trainer,
+};
 use dd_tensor::{r2_score, Precision};
 
 /// Scale presets.
@@ -45,8 +47,9 @@ pub fn net_spec(input_dim: usize) -> ModelSpec {
     ModelSpec::mlp(input_dim, &[256, 128, 32], 1, Activation::Relu)
 }
 
-/// Run the W2 comparison.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
+/// Run the W2 comparison. `Err` propagates a training divergence (the one
+/// failure a caller can meaningfully report or retry with another seed).
+pub fn run(scale: Scale, seed: u64) -> Result<Outcome, TrainError> {
     // Single-clock policy: wall time comes from the dd-obs span so the
     // reported seconds and the trace agree on one clock.
     let run_span = dd_obs::span("w2_drug_response");
@@ -54,8 +57,9 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     let data = drug_response::generate(&cfg, seed);
     let split = data.dataset.split(0.15, 0.15, seed ^ 0xB7, true);
 
-    let mut model =
-        net_spec(split.train.dim()).build(seed ^ 0x7B, Precision::F32).expect("valid spec");
+    let Ok(mut model) = net_spec(split.train.dim()).build(seed ^ 0x7B, Precision::F32) else {
+        unreachable!("net_spec builds a fixed-width MLP, statically valid");
+    };
     let mut trainer = Trainer::new(TrainConfig {
         batch_size: 64,
         epochs,
@@ -70,9 +74,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         (Target::Regression(a), Target::Regression(b), Target::Regression(c)) => (a, b, c),
         _ => unreachable!("regression workload"),
     };
-    trainer
-        .fit(&mut model, &split.train.x, y_train, Some((&split.val.x, y_val)))
-        .expect("training converged");
+    trainer.fit(&mut model, &split.train.x, y_train, Some((&split.val.x, y_val)))?;
     let dnn_pred = model.predict(&split.test.x);
     let dnn_r2 = r2_score(y_test.as_slice(), dnn_pred.as_slice());
 
@@ -80,7 +82,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     let ridge_pred = ridge.predict(&split.test.x);
     let ridge_r2 = r2_score(y_test.as_slice(), &ridge_pred);
 
-    Outcome {
+    Ok(Outcome {
         name: "W2 drug-response".into(),
         metric: "test R^2".into(),
         dnn: dnn_r2,
@@ -88,7 +90,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         baseline_name: "ridge".into(),
         higher_is_better: true,
         seconds: run_span.finish(),
-    }
+    })
 }
 
 /// Estimate log10 IC50 for a (cell, drug) pair from a trained response
@@ -123,19 +125,25 @@ pub fn estimate_log_ic50(
             return f64::from(log_doses[i]);
         }
     }
-    f64::from(*log_doses.last().expect("non-empty grid"))
+    let Some(last) = log_doses.last() else {
+        unreachable!("grid is a non-zero constant, log_doses is non-empty");
+    };
+    f64::from(*last)
 }
 
 /// Train the W2 model and correlate its estimated log-IC50s with the
 /// generator's ground truth over random (cell, drug) pairs. Returns the
 /// Pearson correlation.
-pub fn ic50_recovery(scale: Scale, seed: u64) -> f64 {
+pub fn ic50_recovery(scale: Scale, seed: u64) -> Result<f64, TrainError> {
     let (cfg, epochs) = config(scale);
     let data = drug_response::generate(&cfg, seed);
     let split = data.dataset.split(0.1, 0.0, seed ^ 0xB7, true);
-    let scaler = split.scaler.as_ref().expect("standardized split").clone();
-    let mut model =
-        net_spec(split.train.dim()).build(seed ^ 0x7B, Precision::F32).expect("valid spec");
+    let Some(scaler) = split.scaler.as_ref().cloned() else {
+        unreachable!("split(.., standardize=true) always carries a scaler");
+    };
+    let Ok(mut model) = net_spec(split.train.dim()).build(seed ^ 0x7B, Precision::F32) else {
+        unreachable!("net_spec builds a fixed-width MLP, statically valid");
+    };
     let mut trainer = Trainer::new(TrainConfig {
         batch_size: 64,
         epochs,
@@ -148,7 +156,7 @@ pub fn ic50_recovery(scale: Scale, seed: u64) -> f64 {
         Target::Regression(m) => m.clone(),
         _ => unreachable!(),
     };
-    trainer.fit(&mut model, &split.train.x, &y_train, None).expect("training converged");
+    trainer.fit(&mut model, &split.train.x, &y_train, None)?;
 
     let mut rng = dd_tensor::Rng64::new(seed ^ 0x1C50);
     let n_pairs = 80;
@@ -168,7 +176,7 @@ pub fn ic50_recovery(scale: Scale, seed: u64) -> f64 {
         ) as f32);
         truth.push(data.true_log_ic50(c, d));
     }
-    dd_tensor::pearson(&est, &truth)
+    Ok(dd_tensor::pearson(&est, &truth))
 }
 
 #[cfg(test)]
@@ -177,7 +185,7 @@ mod tests {
 
     #[test]
     fn smoke_dnn_beats_ridge_on_interactions() {
-        let o = run(Scale::Smoke, 2);
+        let o = run(Scale::Smoke, 2).expect("smoke training converges");
         assert!(o.dnn > 0.5, "DNN R² {}", o.dnn);
         assert!(
             o.dnn > o.baseline + 0.05,
@@ -189,7 +197,7 @@ mod tests {
 
     #[test]
     fn ic50_recovery_correlates_with_truth() {
-        let r = ic50_recovery(Scale::Smoke, 5);
+        let r = ic50_recovery(Scale::Smoke, 5).expect("smoke training converges");
         assert!(r > 0.5, "estimated-vs-true log IC50 correlation {r}");
     }
 
@@ -197,7 +205,7 @@ mod tests {
     fn ridge_captures_dose_main_effect() {
         // The log-dose column alone explains a chunk of variance, so ridge
         // must land clearly above zero.
-        let o = run(Scale::Smoke, 3);
+        let o = run(Scale::Smoke, 3).expect("smoke training converges");
         assert!(o.baseline > 0.1, "ridge R² {}", o.baseline);
     }
 }

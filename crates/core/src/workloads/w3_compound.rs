@@ -7,7 +7,9 @@ use super::Outcome;
 use crate::report::Scale;
 use dd_datagen::baselines::Logistic;
 use dd_datagen::compound::{self, CompoundConfig};
-use dd_nn::{metrics, Activation, Loss, ModelSpec, OptimizerConfig, TrainConfig, Trainer};
+use dd_nn::{
+    metrics, Activation, Loss, ModelSpec, OptimizerConfig, TrainConfig, TrainError, Trainer,
+};
 use dd_tensor::{Matrix, Precision};
 
 /// Scale presets.
@@ -23,8 +25,9 @@ fn label_matrix(labels: &[usize]) -> Matrix {
     Matrix::from_vec(labels.len(), 1, labels.iter().map(|&l| l as f32).collect())
 }
 
-/// Run the W3 comparison.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
+/// Run the W3 comparison. `Err` propagates a training divergence (the one
+/// failure a caller can meaningfully report or retry with another seed).
+pub fn run(scale: Scale, seed: u64) -> Result<Outcome, TrainError> {
     // Single-clock policy: wall time comes from the dd-obs span so the
     // reported seconds and the trace agree on one clock.
     let run_span = dd_obs::span("w3_compound");
@@ -33,9 +36,11 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     // Binary features: skip standardization, keep sparsity.
     let split = data.dataset.split(0.15, 0.15, seed ^ 0xC1, false);
 
-    let mut model = ModelSpec::mlp(cfg.bits, &[128, 32], 1, Activation::Relu)
+    let Ok(mut model) = ModelSpec::mlp(cfg.bits, &[128, 32], 1, Activation::Relu)
         .build(seed ^ 0x1C, Precision::F32)
-        .expect("valid spec");
+    else {
+        unreachable!("fixed-width MLP spec is statically valid");
+    };
     let mut trainer = Trainer::new(TrainConfig {
         batch_size: 64,
         epochs,
@@ -45,15 +50,16 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         seed,
         ..TrainConfig::default()
     });
-    let train_labels = split.train.y.labels().unwrap();
-    let val_labels = split.val.y.labels().unwrap();
+    let (Some(train_labels), Some(val_labels), Some(test_labels)) =
+        (split.train.y.labels(), split.val.y.labels(), split.test.y.labels())
+    else {
+        unreachable!("compound targets are classification labels");
+    };
     let y_train = label_matrix(train_labels);
     let y_val = label_matrix(val_labels);
-    trainer
-        .fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)))
-        .expect("training converged");
+    trainer.fit(&mut model, &split.train.x, &y_train, Some((&split.val.x, &y_val)))?;
 
-    let test_labels: Vec<f32> = split.test.y.labels().unwrap().iter().map(|&l| l as f32).collect();
+    let test_labels: Vec<f32> = test_labels.iter().map(|&l| l as f32).collect();
     let dnn_scores: Vec<f32> = model.predict(&split.test.x).as_slice().to_vec();
     let dnn_auc = metrics::roc_auc(&dnn_scores, &test_labels);
 
@@ -61,7 +67,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     let base_scores = logi.predict_proba(&split.test.x);
     let base_auc = metrics::roc_auc(&base_scores, &test_labels);
 
-    Outcome {
+    Ok(Outcome {
         name: "W3 compound-screen".into(),
         metric: "test ROC-AUC".into(),
         dnn: dnn_auc,
@@ -69,20 +75,22 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         baseline_name: "logistic".into(),
         higher_is_better: true,
         seconds: run_span.finish(),
-    }
+    })
 }
 
 /// Screening-specific view: enrichment factor at `alpha` for the DNN and
 /// the logistic baseline — the metric medicinal chemists actually act on
 /// ("how many more actives are in the slice of the library we can afford to
 /// assay?").
-pub fn enrichment(scale: Scale, seed: u64, alpha: f64) -> (f64, f64) {
+pub fn enrichment(scale: Scale, seed: u64, alpha: f64) -> Result<(f64, f64), TrainError> {
     let (cfg, epochs) = config(scale);
     let data = compound::generate(&cfg, seed);
     let split = data.dataset.split(0.15, 0.15, seed ^ 0xC1, false);
-    let mut model = ModelSpec::mlp(cfg.bits, &[128, 32], 1, Activation::Relu)
+    let Ok(mut model) = ModelSpec::mlp(cfg.bits, &[128, 32], 1, Activation::Relu)
         .build(seed ^ 0x1C, Precision::F32)
-        .expect("valid spec");
+    else {
+        unreachable!("fixed-width MLP spec is statically valid");
+    };
     let mut trainer = Trainer::new(TrainConfig {
         batch_size: 64,
         epochs,
@@ -91,16 +99,19 @@ pub fn enrichment(scale: Scale, seed: u64, alpha: f64) -> (f64, f64) {
         seed,
         ..TrainConfig::default()
     });
-    let train_labels = split.train.y.labels().unwrap();
+    let (Some(train_labels), Some(test_labels)) = (split.train.y.labels(), split.test.y.labels())
+    else {
+        unreachable!("compound targets are classification labels");
+    };
     let y_train = label_matrix(train_labels);
-    trainer.fit(&mut model, &split.train.x, &y_train, None).expect("training converged");
-    let test_labels: Vec<f32> = split.test.y.labels().unwrap().iter().map(|&l| l as f32).collect();
+    trainer.fit(&mut model, &split.train.x, &y_train, None)?;
+    let test_labels: Vec<f32> = test_labels.iter().map(|&l| l as f32).collect();
     let dnn_scores = model.predict(&split.test.x).as_slice().to_vec();
     let dnn_ef = metrics::enrichment_factor(&dnn_scores, &test_labels, alpha);
     let logi = Logistic::fit(&split.train.x, train_labels, 1e-4, 200, 0.5);
     let base_ef =
         metrics::enrichment_factor(&logi.predict_proba(&split.test.x), &test_labels, alpha);
-    (dnn_ef, base_ef)
+    Ok((dnn_ef, base_ef))
 }
 
 #[cfg(test)]
@@ -109,7 +120,7 @@ mod tests {
 
     #[test]
     fn smoke_dnn_ranks_actives_well() {
-        let o = run(Scale::Smoke, 4);
+        let o = run(Scale::Smoke, 4).expect("smoke training converges");
         assert!(o.dnn > 0.8, "DNN AUC {}", o.dnn);
         // The conjunctive pattern gives the nonlinear model an edge.
         assert!(o.dnn >= o.baseline - 0.02, "DNN {} vs logistic {}", o.dnn, o.baseline);
@@ -117,7 +128,8 @@ mod tests {
 
     #[test]
     fn enrichment_at_10pct_far_above_random() {
-        let (dnn_ef, base_ef) = enrichment(Scale::Smoke, 4, 0.10);
+        let (dnn_ef, base_ef) =
+            enrichment(Scale::Smoke, 4, 0.10).expect("smoke training converges");
         assert!(dnn_ef > 2.0, "DNN EF10% {dnn_ef}");
         assert!(base_ef > 1.0, "logistic EF10% {base_ef}");
     }

@@ -1,0 +1,29 @@
+//! Full-workspace analysis bench: discover + lex + IR + call graph + all
+//! eight rule families over every `.rs` file in the repository.
+//!
+//! check.sh gates the release binary at 5 seconds wall clock for the whole
+//! two-pass run; this bench tracks the same quantity with statistics, so a
+//! superlinear regression in the fixpoint propagation or the lock-order
+//! cycle search shows up as a trend long before the hard gate trips.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_workspace(c: &mut Criterion) {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut group = c.benchmark_group("lint_workspace");
+    group.sample_size(20);
+    group.bench_function("two_pass_full", |b| {
+        b.iter(|| {
+            let analysis =
+                dd_lint::analyze_workspace(black_box(&root)).expect("workspace analyzable");
+            black_box(analysis.diags.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workspace);
+criterion_main!(benches);

@@ -1,0 +1,334 @@
+//! Pass 2b: the `concurrency/*` dataflow rules.
+//!
+//! These consume the per-file IR (guard liveness ranges) and the workspace
+//! call graph (transitive blocking and lock-acquisition facts) built by
+//! [`crate::ir`] and [`crate::graph`]:
+//!
+//! - `concurrency/lock-order`: builds the lock-acquisition order graph —
+//!   intra-function nested acquisitions plus guard-held call edges into
+//!   functions that (transitively) acquire other locks — and reports every
+//!   edge that participates in a cycle, plus re-acquisition of a lock whose
+//!   guard is still held (self-deadlock on non-reentrant locks).
+//! - `concurrency/blocking-under-lock`: a live guard at a `recv`/`join`/
+//!   `sleep`/`send` site, or at a call into a function that transitively
+//!   blocks.
+//! - `concurrency/guard-across-spawn`: a guard live at a `spawn`/
+//!   `thread::scope` boundary.
+//! - `concurrency/unbounded-channel`: `channel()`/`unbounded()` in the
+//!   backpressure-critical crates (dd-serve, dd-parallel), where every
+//!   queue must be bounded so overload reaches admission control.
+//!
+//! All four bind library code only (`FileKind::Lib`) and skip test regions,
+//! like the error-policy family.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::ctx::FileKind;
+use crate::graph::Workspace;
+use crate::rules::{push, Diag};
+
+/// Crates where every channel must be bounded: dd-serve's admission control
+/// and dd-parallel's ring allreduce both rely on queue backpressure.
+pub const BOUNDED_CHANNEL_CRATES: &[&str] = &["dd-serve", "dd-parallel"];
+
+/// Run every concurrency rule over the workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Diag>) {
+    blocking_under_lock(ws, out);
+    guard_across_spawn(ws, out);
+    lock_order(ws, out);
+    unbounded_channel(ws, out);
+}
+
+/// `concurrency/blocking-under-lock`.
+fn blocking_under_lock(ws: &Workspace, out: &mut Vec<Diag>) {
+    for (fi, (ctx, fir)) in ws.files.iter().enumerate() {
+        if ctx.kind != FileKind::Lib {
+            continue;
+        }
+        for (ki, f) in fir.fns.iter().enumerate() {
+            // Direct blocking operations under a live guard.
+            for b in &f.blocking {
+                if ctx.in_test(b.line) {
+                    continue;
+                }
+                for g in f.guards_at(b.tok, b.in_spawn) {
+                    push(
+                        ctx,
+                        out,
+                        b.line,
+                        "concurrency/blocking-under-lock",
+                        format!(
+                            "`{}` can block while the `{}` guard (line {}) is \
+                             held: finish the critical section and drop the \
+                             guard before the {}",
+                            b.what,
+                            ws.lock_id(fi, &g.lock),
+                            g.line,
+                            b.kind.label()
+                        ),
+                    );
+                }
+            }
+            // Calls into functions that (transitively) block.
+            for (ci, site) in f.calls.iter().enumerate() {
+                if ctx.in_test(site.line) {
+                    continue;
+                }
+                let guards = f.guards_at(site.tok, site.in_spawn);
+                if guards.is_empty() {
+                    continue;
+                }
+                let Some(c) = ws.unique(fi, ki, ci).filter(|&c| ws.blocks[c.0][c.1].is_some())
+                else {
+                    continue;
+                };
+                let why = ws.blocks[c.0][c.1].clone().unwrap_or_default();
+                for g in guards {
+                    push(
+                        ctx,
+                        out,
+                        site.line,
+                        "concurrency/blocking-under-lock",
+                        format!(
+                            "call to `{}` can block ({why}) while the `{}` \
+                             guard (line {}) is held: drop the guard before \
+                             the call",
+                            ws.fn_ir(c).qual_name(),
+                            ws.lock_id(fi, &g.lock),
+                            g.line
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `concurrency/guard-across-spawn`.
+fn guard_across_spawn(ws: &Workspace, out: &mut Vec<Diag>) {
+    for (fi, (ctx, fir)) in ws.files.iter().enumerate() {
+        if ctx.kind != FileKind::Lib {
+            continue;
+        }
+        for f in &fir.fns {
+            for s in &f.spawns {
+                if ctx.in_test(s.line) {
+                    continue;
+                }
+                for g in f.guards_at(s.tok, s.in_spawn) {
+                    push(
+                        ctx,
+                        out,
+                        s.line,
+                        "concurrency/guard-across-spawn",
+                        format!(
+                            "the `{}` guard (line {}) is live across this \
+                             `{}` boundary: the new thread can contend on the \
+                             same lock while the parent still holds it; end \
+                             the guard's scope before spawning",
+                            ws.lock_id(fi, &g.lock),
+                            g.line,
+                            s.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One directed lock-order edge: `from` held while `to` is acquired.
+struct Edge {
+    from: String,
+    to: String,
+    file: usize,
+    line: usize,
+    via: String,
+}
+
+/// `concurrency/lock-order`.
+fn lock_order(ws: &Workspace, out: &mut Vec<Diag>) {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut seen_edges: BTreeSet<(String, String, usize, usize)> = BTreeSet::new();
+    let mut reacq: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+
+    for (fi, (ctx, fir)) in ws.files.iter().enumerate() {
+        if ctx.kind != FileKind::Lib {
+            continue;
+        }
+        for (ki, f) in fir.fns.iter().enumerate() {
+            // Intra-function: acquisition B while guard A is live.
+            for g in &f.locks {
+                if ctx.in_test(g.line) {
+                    continue;
+                }
+                for h in &f.locks {
+                    if h.tok <= g.tok
+                        || h.in_spawn != g.in_spawn
+                        || !(g.live.0 <= h.tok && h.tok <= g.live.1)
+                    {
+                        continue;
+                    }
+                    let from = ws.lock_id(fi, &g.lock);
+                    let to = ws.lock_id(fi, &h.lock);
+                    if from == to {
+                        reacq.insert((
+                            fi,
+                            h.line,
+                            format!(
+                                "re-acquisition of `{from}` while its guard \
+                                 from line {} is still held: self-deadlock on \
+                                 a non-reentrant lock",
+                                g.line
+                            ),
+                        ));
+                    } else if seen_edges.insert((from.clone(), to.clone(), fi, h.line)) {
+                        edges.push(Edge {
+                            from,
+                            to,
+                            file: fi,
+                            line: h.line,
+                            via: format!("in `{}`", f.qual_name()),
+                        });
+                    }
+                }
+            }
+            // Interprocedural: guard live at a call whose callee
+            // (transitively) acquires other locks.
+            for (ci, site) in f.calls.iter().enumerate() {
+                if ctx.in_test(site.line) {
+                    continue;
+                }
+                let guards = f.guards_at(site.tok, site.in_spawn);
+                if guards.is_empty() {
+                    continue;
+                }
+                if let Some(c) = ws.unique(fi, ki, ci) {
+                    if ws.acquires[c.0][c.1].is_empty() {
+                        continue;
+                    }
+                    let callee = ws.fn_ir(c).qual_name();
+                    for g in &guards {
+                        let from = ws.lock_id(fi, &g.lock);
+                        for to in &ws.acquires[c.0][c.1] {
+                            if *to == from {
+                                reacq.insert((
+                                    fi,
+                                    site.line,
+                                    format!(
+                                        "call to `{callee}` re-acquires \
+                                         `{from}` while its guard (line {}) \
+                                         is held: self-deadlock on a \
+                                         non-reentrant lock",
+                                        g.line
+                                    ),
+                                ));
+                            } else if seen_edges.insert((from.clone(), to.clone(), fi, site.line)) {
+                                edges.push(Edge {
+                                    from: from.clone(),
+                                    to: to.clone(),
+                                    file: fi,
+                                    line: site.line,
+                                    via: format!("via call to `{callee}`"),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (fi, line, msg) in reacq {
+        push(&ws.files[fi].0, out, line, "concurrency/lock-order", msg);
+    }
+
+    // Adjacency over lock ids; an edge is a finding iff its target reaches
+    // back to its source (the edge closes a cycle).
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    for e in &edges {
+        if let Some(path) = reaches(&adj, &e.to, &e.from) {
+            let cycle: Vec<&str> =
+                std::iter::once(e.from.as_str()).chain(path.iter().copied()).collect();
+            push(
+                &ws.files[e.file].0,
+                out,
+                e.line,
+                "concurrency/lock-order",
+                format!(
+                    "acquiring `{}` while holding `{}` ({}) closes a \
+                     lock-order cycle: {}; pick one global acquisition order",
+                    e.to,
+                    e.from,
+                    e.via,
+                    cycle.join(" → ")
+                ),
+            );
+        }
+    }
+}
+
+/// BFS from `from` to `to`; returns the node path `[from, .., to]`.
+fn reaches<'g>(
+    adj: &BTreeMap<&'g str, BTreeSet<&'g str>>,
+    from: &'g str,
+    to: &str,
+) -> Option<Vec<&'g str>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut q: VecDeque<&str> = VecDeque::new();
+    q.push_back(from);
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    visited.insert(from);
+    while let Some(n) = q.pop_front() {
+        if n == to {
+            let mut path = vec![n];
+            let mut cur = n;
+            while let Some(&p) = prev.get(cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &m in adj.get(n).into_iter().flatten() {
+            if visited.insert(m) {
+                prev.insert(m, n);
+                q.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// `concurrency/unbounded-channel`.
+fn unbounded_channel(ws: &Workspace, out: &mut Vec<Diag>) {
+    for (ctx, fir) in ws.files.iter() {
+        if ctx.kind != FileKind::Lib || !BOUNDED_CHANNEL_CRATES.contains(&ctx.crate_name.as_str()) {
+            continue;
+        }
+        for f in &fir.fns {
+            for c in &f.chans {
+                if ctx.in_test(c.line) {
+                    continue;
+                }
+                push(
+                    ctx,
+                    out,
+                    c.line,
+                    "concurrency/unbounded-channel",
+                    format!(
+                        "`{}()` creates an unbounded queue in a \
+                         backpressure-critical crate: use a bounded channel \
+                         (`bounded(n)` / `sync_channel(n)`) so overload \
+                         reaches admission control instead of growing the \
+                         heap",
+                        c.name
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Pass 2a: the workspace symbol table, call graph, and transitive facts.
+//!
+//! Call edges are resolved by simple callee name against every `fn` item in
+//! the workspace, preferring definitions in the caller's own crate and
+//! falling back to all crates (the repo has no function-name collisions
+//! that matter; ubiquitous std method names are never resolved at all, see
+//! [`NO_RESOLVE`]). Over the resolved graph four transitive facts are
+//! computed to fixpoint:
+//!
+//! - `blocks`: the function (or something it reaches) performs a
+//!   potentially-blocking operation — `recv`, zero-arg `join`, `sleep`, or
+//!   a channel `send` (bounded sends block when full). Sites inside
+//!   `spawn(..)` closures are excluded: they block the *spawned* thread.
+//! - `acquires`: the set of lock ids the function (transitively) acquires,
+//!   again excluding spawned-closure acquisitions.
+//! - `accounts` / `windows`: reaches a dd-obs accounting hook / a
+//!   streaming-telemetry hook (upgrades the `instrumentation/*` rules from
+//!   name-prefix matching to reachability).
+//! - `dispatches`: is, or reaches, a `dispatch*`/`retry*` entry point
+//!   (upgrades `resilience/unbounded-retry` the same way).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ctx::FileCtx;
+use crate::ir::{FileIr, FnIr};
+
+/// Identifies one function item: (file index, fn index within the file).
+pub type FnId = (usize, usize);
+
+/// Ubiquitous std/collection method names that are never resolved to
+/// workspace definitions: an edge from `v.push(x)` to some workspace
+/// `push` method would wire unrelated types together and poison the
+/// transitive facts.
+const NO_RESOLVE: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "take",
+    "replace",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "contains",
+    "contains_key",
+    "extend",
+    "clear",
+    "drain",
+    "retain",
+    "to_vec",
+    "to_string",
+    "into",
+    "from",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_slice",
+    "map",
+    "and_then",
+    "or_else",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok_or",
+    "ok_or_else",
+    "min",
+    "max",
+    "abs",
+    "sqrt",
+    "exp",
+    "ln",
+    "powi",
+    "powf",
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "drop",
+    "flush",
+    "sum",
+    "product",
+    "collect",
+    "fold",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "rev",
+    "zip",
+    "enumerate",
+    "take_while",
+    "skip",
+    "skip_while",
+    "chain",
+    "all",
+    "any",
+    "position",
+    "find",
+    "count",
+    "last",
+    "first",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "swap",
+    "split_at",
+    "split_off",
+    "chunks",
+    "windows",
+    "join",
+    "send",
+    "recv",
+    "lock",
+    "read",
+    "write",
+    "spawn",
+    "scope",
+    "channel",
+    "unbounded",
+    "sleep",
+    "resize",
+    "reserve",
+    "with_capacity",
+    "truncate",
+    "starts_with",
+    "ends_with",
+    "trim",
+    "split",
+    "splitn",
+    "parse",
+    "expect",
+    "unwrap",
+    "keys",
+    "values",
+    "values_mut",
+    "entry",
+    "or_insert",
+    "or_insert_with",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "ok",
+    "err",
+    "copied",
+    "cloned",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "saturating_sub",
+    "saturating_add",
+    "checked_sub",
+    "checked_add",
+    "to_owned",
+    "borrow",
+    "borrow_mut",
+    "clamp",
+    "signum",
+    "abs_diff",
+    "rem_euclid",
+    "div_euclid",
+    "push_str",
+    "write_str",
+    "format",
+    "wrapping_add",
+    "wrapping_mul",
+];
+
+/// The workspace view: per-file IRs plus the resolved call graph and the
+/// transitive facts the dataflow rules consume.
+pub struct Workspace<'a> {
+    /// The analyzed files: context + IR, in discovery order.
+    pub files: &'a [(FileCtx, FileIr)],
+    /// `resolved[file][fn][call_site]`: candidate definitions for the
+    /// call site (empty when unresolved or stoplisted). Indices parallel
+    /// `FnIr::calls`.
+    pub resolved: Vec<Vec<Vec<Vec<FnId>>>>,
+    /// `blocks[file][fn]`: why the function can block, when it can.
+    pub blocks: Vec<Vec<Option<String>>>,
+    /// `acquires[file][fn]`: lock ids (crate-qualified) transitively
+    /// acquired.
+    pub acquires: Vec<Vec<BTreeSet<String>>>,
+    /// `accounts[file][fn]`: reaches dd-obs FLOP/byte accounting.
+    pub accounts: Vec<Vec<bool>>,
+    /// `windows[file][fn]`: reaches a streaming-telemetry hook.
+    pub windows: Vec<Vec<bool>>,
+    /// `dispatches[file][fn]`: is or reaches a `dispatch*`/`retry*` fn.
+    pub dispatches: Vec<Vec<bool>>,
+}
+
+impl<'a> Workspace<'a> {
+    /// The [`FnIr`] behind an id.
+    pub fn fn_ir(&self, id: FnId) -> &'a FnIr {
+        &self.files[id.0].1.fns[id.1]
+    }
+
+    /// The crate a function belongs to.
+    pub fn crate_of(&self, id: FnId) -> &'a str {
+        &self.files[id.0].0.crate_name
+    }
+
+    /// Crate-qualified lock id for an acquisition in `file`.
+    pub fn lock_id(&self, file: usize, lock: &str) -> String {
+        format!("{}::{}", self.files[file].0.crate_name, lock)
+    }
+
+    /// The call site's target iff resolution is unambiguous (exactly one
+    /// candidate). The lock/blocking facts only flow through unique edges:
+    /// unioning over same-name candidates would attribute one definition's
+    /// locks to every caller of the *name* and flood the concurrency rules
+    /// with false positives. The boolean coverage flags keep using all
+    /// candidates — over-approximating those can only suppress findings,
+    /// never invent them.
+    pub fn unique(&self, fi: usize, ki: usize, ci: usize) -> Option<FnId> {
+        match self.resolved[fi][ki][ci].as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// Iterate every function id in deterministic (file, index) order.
+    pub fn fn_ids(&self) -> impl Iterator<Item = FnId> + 'a {
+        let files = self.files;
+        files
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, (_, fir))| (0..fir.fns.len()).map(move |ki| (fi, ki)))
+    }
+
+    /// Build the graph and compute every transitive fact to fixpoint.
+    pub fn build(files: &'a [(FileCtx, FileIr)]) -> Workspace<'a> {
+        // Symbol table: fn name -> definitions.
+        let mut defs: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (fi, (_, fir)) in files.iter().enumerate() {
+            for (ki, f) in fir.fns.iter().enumerate() {
+                defs.entry(&f.name).or_default().push((fi, ki));
+            }
+        }
+
+        // Resolve call sites: same-crate definitions first, all crates as
+        // fallback.
+        let mut resolved: Vec<Vec<Vec<Vec<FnId>>>> = Vec::with_capacity(files.len());
+        for (ctx, fir) in files.iter() {
+            let mut per_fn = Vec::with_capacity(fir.fns.len());
+            for f in &fir.fns {
+                let mut per_site = Vec::with_capacity(f.calls.len());
+                for site in &f.calls {
+                    if NO_RESOLVE.contains(&site.name.as_str()) {
+                        per_site.push(Vec::new());
+                        continue;
+                    }
+                    let cands = defs.get(site.name.as_str()).cloned().unwrap_or_default();
+                    let same_crate: Vec<FnId> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&(cf, _)| files[cf].0.crate_name == ctx.crate_name)
+                        .collect();
+                    per_site.push(if same_crate.is_empty() { cands } else { same_crate });
+                }
+                per_fn.push(per_site);
+            }
+            resolved.push(per_fn);
+        }
+
+        let mut ws = Workspace {
+            files,
+            resolved,
+            blocks: files.iter().map(|(_, f)| vec![None; f.fns.len()]).collect(),
+            acquires: files.iter().map(|(_, f)| vec![BTreeSet::new(); f.fns.len()]).collect(),
+            accounts: files.iter().map(|(_, f)| vec![false; f.fns.len()]).collect(),
+            windows: files.iter().map(|(_, f)| vec![false; f.fns.len()]).collect(),
+            dispatches: files.iter().map(|(_, f)| vec![false; f.fns.len()]).collect(),
+        };
+        ws.compute_blocks();
+        ws.compute_acquires();
+        ws.compute_flags();
+        ws
+    }
+
+    /// Fixpoint for the `blocks` fact, carrying a human-readable reason.
+    fn compute_blocks(&mut self) {
+        // Seed: direct blocking ops on this thread.
+        for (fi, (_, fir)) in self.files.iter().enumerate() {
+            for (ki, f) in fir.fns.iter().enumerate() {
+                if let Some(b) = f.blocking.iter().find(|b| !b.in_spawn) {
+                    self.blocks[fi][ki] = Some(format!("`{}` ({})", b.what, b.kind.label()));
+                }
+            }
+        }
+        // Propagate callee -> caller through same-thread call sites.
+        loop {
+            let mut changed = false;
+            for (fi, ki) in self.fn_ids().collect::<Vec<_>>() {
+                if self.blocks[fi][ki].is_some() {
+                    continue;
+                }
+                let f = self.fn_ir((fi, ki));
+                for (ci, site) in f.calls.iter().enumerate() {
+                    if site.in_spawn {
+                        continue;
+                    }
+                    let hit = self.unique(fi, ki, ci).filter(|&c| self.blocks[c.0][c.1].is_some());
+                    if let Some(c) = hit {
+                        let why = self.blocks[c.0][c.1].clone().unwrap_or_default();
+                        let callee = self.fn_ir(c).qual_name();
+                        self.blocks[fi][ki] = Some(format!("`{callee}` → {why}"));
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Fixpoint for the transitive lock-acquisition sets.
+    fn compute_acquires(&mut self) {
+        for (fi, (_, fir)) in self.files.iter().enumerate() {
+            for (ki, f) in fir.fns.iter().enumerate() {
+                for g in f.locks.iter().filter(|g| !g.in_spawn) {
+                    let id = self.lock_id(fi, &g.lock);
+                    self.acquires[fi][ki].insert(id);
+                }
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (fi, ki) in self.fn_ids().collect::<Vec<_>>() {
+                let f = self.fn_ir((fi, ki));
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for (ci, site) in f.calls.iter().enumerate() {
+                    if site.in_spawn {
+                        continue;
+                    }
+                    let Some(c) = self.unique(fi, ki, ci) else { continue };
+                    for id in &self.acquires[c.0][c.1] {
+                        if !self.acquires[fi][ki].contains(id) {
+                            add.insert(id.clone());
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    self.acquires[fi][ki].extend(add);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Fixpoint for the boolean reachability flags (`accounts`, `windows`,
+    /// `dispatches`). These use *all* call edges, including spawned
+    /// closures: work handed to a worker thread is still this entry
+    /// point's work for coverage purposes.
+    fn compute_flags(&mut self) {
+        for (fi, (_, fir)) in self.files.iter().enumerate() {
+            for (ki, f) in fir.fns.iter().enumerate() {
+                self.accounts[fi][ki] = f.accounts;
+                self.windows[fi][ki] = f.windows;
+                self.dispatches[fi][ki] =
+                    f.name.starts_with("dispatch") || f.name.starts_with("retry");
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (fi, ki) in self.fn_ids().collect::<Vec<_>>() {
+                let f = self.fn_ir((fi, ki));
+                for (ci, _) in f.calls.iter().enumerate() {
+                    for &c in &self.resolved[fi][ki][ci] {
+                        if self.accounts[c.0][c.1] && !self.accounts[fi][ki] {
+                            self.accounts[fi][ki] = true;
+                            changed = true;
+                        }
+                        if self.windows[c.0][c.1] && !self.windows[fi][ki] {
+                            self.windows[fi][ki] = true;
+                            changed = true;
+                        }
+                        if self.dispatches[c.0][c.1] && !self.dispatches[fi][ki] {
+                            self.dispatches[fi][ki] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}

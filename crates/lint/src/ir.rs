@@ -1,0 +1,696 @@
+//! Pass 1: a lightweight per-file intermediate representation.
+//!
+//! From the raw token stream each file is lowered to a list of function
+//! items, each carrying the structural facts the dataflow rules need:
+//! call sites (by callee name), lock-guard acquisition sites with a
+//! computed liveness range, potentially-blocking operations (`recv`,
+//! zero-argument `join`, `sleep`, channel `send`), spawn/scope boundaries,
+//! channel-constructor sites, and whether the body touches the dd-obs
+//! accounting or telemetry-window hooks directly. Pass 2 (`graph`/`flow`)
+//! links these per-file IRs into a workspace-wide call graph.
+//!
+//! Guard liveness is lexical and deliberately simple, mirroring the Rust
+//! 2021 temporary rules closely enough for policy checking:
+//!
+//! - `let g = x.lock();` (optionally chained through `unwrap`/`expect`)
+//!   binds a named guard, live until the end of the enclosing block or an
+//!   explicit `drop(g)`.
+//! - Any other acquisition is a temporary, live to the end of its
+//!   statement; when the statement is a `match`/`if let`/`while let`/`for`
+//!   head, the temporary lives through the attached block (the scrutinee
+//!   rule), while a plain `if`/`while` condition drops it at the `{`.
+
+use crate::ctx::matching;
+use crate::lex::{Token, TokenKind};
+
+/// One named call site (`foo(..)` or `.foo(..)`).
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Callee name (last path segment / method name).
+    pub name: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Token index of the callee identifier.
+    pub tok: usize,
+    /// True when the site sits inside the argument list of a `spawn(..)`
+    /// call — i.e. inside a closure that runs on *another* thread, so the
+    /// site must not contribute to the enclosing function's own dataflow.
+    pub in_spawn: bool,
+}
+
+/// One lock-guard acquisition (`path.lock()` / `path.read()` /
+/// `path.write()` with no arguments).
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    /// Canonical lock id: the dotted receiver path with any leading
+    /// `self.` stripped, e.g. `resil.telemetry`. The graph layer prefixes
+    /// the owning crate so ids never collide across crates.
+    pub lock: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Token index of the acquisition method identifier.
+    pub tok: usize,
+    /// Token range (inclusive) over which the guard is live.
+    pub live: (usize, usize),
+    /// Acquired inside a `spawn(..)` closure (on the spawned thread).
+    pub in_spawn: bool,
+}
+
+/// What kind of potentially-blocking operation a site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `recv()` / `recv_timeout()` / `recv_deadline()`.
+    Recv,
+    /// Zero-argument `join()` (thread/scope handle).
+    Join,
+    /// `sleep(..)`.
+    Sleep,
+    /// Channel `send(..)` — blocks when the channel is bounded and full.
+    Send,
+}
+
+impl BlockKind {
+    /// Human-readable operation label for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockKind::Recv => "recv",
+            BlockKind::Join => "join",
+            BlockKind::Sleep => "sleep",
+            BlockKind::Send => "send",
+        }
+    }
+}
+
+/// One potentially-blocking operation site.
+#[derive(Debug, Clone)]
+pub struct Blocking {
+    /// Operation kind.
+    pub kind: BlockKind,
+    /// Receiver path + method, e.g. `resp.send`, for diagnostics.
+    pub what: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Token index of the operation identifier.
+    pub tok: usize,
+    /// Sits inside a `spawn(..)` closure (runs on the spawned thread).
+    pub in_spawn: bool,
+}
+
+/// One function item with its structural facts.
+#[derive(Debug, Clone)]
+pub struct FnIr {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type, when any (`Server` for `Server::submit`).
+    pub owner: Option<String>,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// Whether the item is `pub` (any visibility qualifier).
+    pub is_pub: bool,
+    /// Token indices of the body braces (open, close).
+    pub body: (usize, usize),
+    /// Call sites, in token order.
+    pub calls: Vec<Site>,
+    /// Lock acquisitions with liveness.
+    pub locks: Vec<LockAcq>,
+    /// Potentially-blocking operations.
+    pub blocking: Vec<Blocking>,
+    /// `spawn(..)` / `thread::scope(..)` boundary sites.
+    pub spawns: Vec<Site>,
+    /// Unbounded channel constructor sites (`channel()`, `unbounded()`).
+    pub chans: Vec<Site>,
+    /// Body directly touches dd-obs accounting
+    /// (`note_matmul`/`note_allreduce`/`dd_obs`).
+    pub accounts: bool,
+    /// Body directly records into the streaming-telemetry hooks.
+    pub windows: bool,
+}
+
+impl FnIr {
+    /// Qualified display name (`Server::submit` or `serve_job`).
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Guards live at token index `at` (acquired before it, still live).
+    /// `in_spawn` is the flag of the site being asked about: a guard
+    /// acquired on the parent thread is not held by a spawned closure and
+    /// vice versa, so only same-thread (same-flag) guards match.
+    pub fn guards_at(&self, at: usize, in_spawn: bool) -> Vec<&LockAcq> {
+        self.locks
+            .iter()
+            .filter(|g| g.in_spawn == in_spawn && g.tok < at && g.live.0 <= at && at <= g.live.1)
+            .collect()
+    }
+}
+
+/// The per-file IR: every function item in the file.
+#[derive(Debug, Clone, Default)]
+pub struct FileIr {
+    /// Functions in source order.
+    pub fns: Vec<FnIr>,
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "as", "in", "let", "else", "move",
+    "break", "continue", "where", "unsafe", "dyn", "impl", "ref", "mut", "pub", "use", "struct",
+    "enum", "trait", "type", "const", "static", "mod",
+];
+
+/// Lower one lexed file to IR.
+pub fn build(tokens: &[Token]) -> FileIr {
+    let impls = find_impl_blocks(tokens);
+    let headers = find_fns(tokens);
+    let mut fns = Vec::new();
+    for h in &headers {
+        let owner = impls
+            .iter()
+            .filter(|(range, _)| range.0 < h.fn_tok && h.fn_tok < range.1)
+            .last()
+            .map(|(_, name)| name.clone());
+        // Token ranges owned by fns nested inside this body are skipped so
+        // every site is attributed to its innermost enclosing function.
+        let nested: Vec<(usize, usize)> = headers
+            .iter()
+            .filter(|n| n.fn_tok > h.body.0 && n.body.1 < h.body.1)
+            .map(|n| (n.fn_tok, n.body.1))
+            .collect();
+        fns.push(lower_fn(tokens, h, owner, &nested));
+    }
+    FileIr { fns }
+}
+
+/// A located `fn` item header.
+struct FnHeader {
+    fn_tok: usize,
+    name: String,
+    line: usize,
+    is_pub: bool,
+    body: (usize, usize),
+}
+
+/// Find every `fn` item with a body.
+fn find_fns(tokens: &[Token]) -> Vec<FnHeader> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Ident && tokens[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else { break };
+        if name_tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Body: first `{` before any `;` (a `;` first means a body-less
+        // trait/extern declaration).
+        let mut k = i + 2;
+        let mut body = None;
+        while k < tokens.len() {
+            if tokens[k].kind == TokenKind::Punct {
+                match tokens[k].text.as_str() {
+                    "{" => {
+                        body = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(open) = body else {
+            i = k + 1;
+            continue;
+        };
+        let Some(close) = matching(tokens, open, "{", "}") else {
+            i = open + 1;
+            continue;
+        };
+        out.push(FnHeader {
+            fn_tok: i,
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            is_pub: is_pub_before(tokens, i),
+            body: (open, close),
+        });
+        // Continue scanning INSIDE the body too (nested fns).
+        i += 2;
+    }
+    out
+}
+
+/// Is the `fn` at token `at` preceded by a visibility qualifier? Walks back
+/// over `const`/`unsafe`/`extern "C"`/`async` qualifiers.
+fn is_pub_before(tokens: &[Token], at: usize) -> bool {
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Ident
+                if matches!(t.text.as_str(), "const" | "unsafe" | "extern" | "async") => {}
+            TokenKind::Literal => {} // the "C" in `extern "C"`
+            TokenKind::Punct if t.text == ")" => {
+                // `pub(crate)` / `pub(in ..)` — walk to the opener.
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match tokens[j].text.as_str() {
+                        ")" => depth += 1,
+                        "(" => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            TokenKind::Ident if t.text == "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Locate `impl` blocks and the type they attach methods to.
+fn find_impl_blocks(tokens: &[Token]) -> Vec<((usize, usize), String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Ident && tokens[i].text == "impl") {
+            i += 1;
+            continue;
+        }
+        // Walk to the opening `{`, tracking angle-bracket depth; the owner
+        // is the last top-level identifier (after `for`, for trait impls).
+        let mut angle = 0i32;
+        let mut owner: Option<String> = None;
+        let mut j = i + 1;
+        let mut open = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            match t.kind {
+                TokenKind::Punct => match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "{" if angle <= 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                },
+                TokenKind::Ident if angle <= 0 && t.text != "for" && t.text != "where" => {
+                    owner = Some(t.text.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let (Some(open), Some(owner)) = (open, owner) else {
+            i = j + 1;
+            continue;
+        };
+        let Some(close) = matching(tokens, open, "{", "}") else {
+            i = open + 1;
+            continue;
+        };
+        out.push(((open, close), owner));
+        i = open + 1; // nested impls (rare) still get found
+    }
+    out
+}
+
+/// Names a chained adapter that preserves guard-ness of the value
+/// (`x.lock().expect("..")` still yields the guard).
+fn guard_preserving(name: &str) -> bool {
+    matches!(name, "unwrap" | "expect" | "unwrap_err" | "expect_err")
+}
+
+/// Lower one function body to IR facts.
+fn lower_fn(
+    tokens: &[Token],
+    h: &FnHeader,
+    owner: Option<String>,
+    nested: &[(usize, usize)],
+) -> FnIr {
+    let (open, close) = h.body;
+    let mut f = FnIr {
+        name: h.name.clone(),
+        owner,
+        line: h.line,
+        is_pub: h.is_pub,
+        body: h.body,
+        calls: Vec::new(),
+        locks: Vec::new(),
+        blocking: Vec::new(),
+        spawns: Vec::new(),
+        chans: Vec::new(),
+        accounts: false,
+        windows: false,
+    };
+    let mut i = open + 1;
+    while i < close {
+        if let Some(&(_, skip_to)) = nested.iter().find(|&&(s, _)| s == i) {
+            i = skip_to + 1;
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Direct-evidence flags.
+        if t.text == "note_matmul" || t.text == "note_allreduce" || t.text == "dd_obs" {
+            f.accounts = true;
+        }
+        if t.text.contains("telemetry")
+            || t.text.starts_with("window_record")
+            || t.text.starts_with("on_dispatch")
+            || t.text.starts_with("on_complete")
+            || t.text.starts_with("on_outcome")
+            || t.text.starts_with("on_enqueue")
+            || t.text.starts_with("on_reject")
+            || t.text.starts_with("on_shed")
+            || t.text.starts_with("on_failure")
+        {
+            f.windows = true;
+        }
+        // Call site: `ident (` that is not a keyword, macro (`ident !`)
+        // or tuple-struct/variant constructor (capitalized).
+        let is_call = i + 1 < close
+            && tokens[i + 1].kind == TokenKind::Punct
+            && tokens[i + 1].text == "("
+            && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+            && !t.text.starts_with(|c: char| c.is_ascii_uppercase());
+        if !is_call {
+            i += 1;
+            continue;
+        }
+        let name = t.text.clone();
+        let site = Site { name: name.clone(), line: t.line, tok: i, in_spawn: false };
+        match name.as_str() {
+            "lock" | "read" | "write" => {
+                // Acquisition only when the receiver is a dotted path and
+                // the call takes no arguments.
+                let zero_arg = i + 2 < close && tokens[i + 2].text == ")";
+                if zero_arg {
+                    if let Some(path) = receiver_path(tokens, i) {
+                        let live = liveness(tokens, i, open, close);
+                        f.locks.push(LockAcq {
+                            lock: path,
+                            line: t.line,
+                            tok: i,
+                            live,
+                            in_spawn: false,
+                        });
+                    }
+                }
+            }
+            "recv" | "recv_timeout" | "recv_deadline" => {
+                f.blocking.push(blocking_at(tokens, i, BlockKind::Recv));
+            }
+            "join" => {
+                let zero_arg = i + 2 < close && tokens[i + 2].text == ")";
+                if zero_arg {
+                    f.blocking.push(blocking_at(tokens, i, BlockKind::Join));
+                }
+            }
+            "sleep" => f.blocking.push(blocking_at(tokens, i, BlockKind::Sleep)),
+            "send" => f.blocking.push(blocking_at(tokens, i, BlockKind::Send)),
+            "spawn" => f.spawns.push(site.clone()),
+            "scope" => {
+                // `thread::scope(..)` / `crossbeam::scope(..)` only; a
+                // method named `scope` on something else is not a thread
+                // boundary.
+                if path_prefixed_by(tokens, i, &["thread", "crossbeam", "rayon"]) {
+                    f.spawns.push(site.clone());
+                }
+            }
+            "channel" | "unbounded" | "unbounded_channel" => f.chans.push(site.clone()),
+            _ => {}
+        }
+        f.calls.push(site);
+        i += 1;
+    }
+    // Second pass: sites inside the argument list of a `spawn(..)` call run
+    // on the spawned thread, not this one. (`thread::scope(..)` closures run
+    // on the *current* thread, so scope sites do not open a range.)
+    let spawn_ranges: Vec<(usize, usize)> = f
+        .spawns
+        .iter()
+        .filter(|s| s.name == "spawn")
+        .filter_map(|s| {
+            let open_paren = s.tok + 1;
+            matching(tokens, open_paren, "(", ")").map(|c| (open_paren, c))
+        })
+        .collect();
+    let inside = |tok: usize| spawn_ranges.iter().any(|&(a, b)| a < tok && tok < b);
+    for s in &mut f.calls {
+        s.in_spawn = inside(s.tok);
+    }
+    for s in &mut f.spawns {
+        s.in_spawn = inside(s.tok);
+    }
+    for s in &mut f.chans {
+        s.in_spawn = inside(s.tok);
+    }
+    for b in &mut f.blocking {
+        b.in_spawn = inside(b.tok);
+    }
+    for g in &mut f.locks {
+        g.in_spawn = inside(g.tok);
+    }
+    f
+}
+
+/// Build a [`Blocking`] record for the operation ident at `at`.
+fn blocking_at(tokens: &[Token], at: usize, kind: BlockKind) -> Blocking {
+    Blocking { kind, what: site_what(tokens, at), line: tokens[at].line, tok: at, in_spawn: false }
+}
+
+/// The dotted receiver path of a method call at token `at` (the method
+/// ident), with a leading `self.` stripped: `resil.set.lock` → `resil.set`.
+/// `None` when the method has no dotted receiver (`lock(..)` free call) or
+/// the receiver is a call result (`foo().lock()` — not a stable lock id).
+fn receiver_path(tokens: &[Token], at: usize) -> Option<String> {
+    if at == 0 || tokens[at - 1].text != "." {
+        return None;
+    }
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = at - 1; // at the `.`
+    loop {
+        if j == 0 {
+            break;
+        }
+        let prev = &tokens[j - 1];
+        match prev.kind {
+            TokenKind::Ident => {
+                parts.push(prev.text.clone());
+                j -= 1;
+            }
+            TokenKind::Punct if prev.text == ")" => return None, // call result
+            _ => break,
+        }
+        // Continue only through `.` / `::` separators.
+        if j == 0 {
+            break;
+        }
+        let sep = &tokens[j - 1];
+        if sep.text == "." {
+            j -= 1;
+        } else if sep.text == ":" && j >= 2 && tokens[j - 2].text == ":" {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    parts.reverse();
+    if let Some(first) = parts.first() {
+        if first == "self" {
+            parts.remove(0);
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join("."))
+    }
+}
+
+/// `receiver.method` display string for diagnostics.
+fn site_what(tokens: &[Token], at: usize) -> String {
+    match receiver_path(tokens, at) {
+        Some(p) => format!("{p}.{}", tokens[at].text),
+        None => tokens[at].text.clone(),
+    }
+}
+
+/// Is the path call at `at` prefixed by one of `roots` (`thread::scope`)?
+fn path_prefixed_by(tokens: &[Token], at: usize, roots: &[&str]) -> bool {
+    if at >= 3
+        && tokens[at - 1].text == ":"
+        && tokens[at - 2].text == ":"
+        && tokens[at - 3].kind == TokenKind::Ident
+    {
+        return roots.contains(&tokens[at - 3].text.as_str());
+    }
+    false
+}
+
+/// Compute the guard-liveness token range for the acquisition at `acq`
+/// (the `lock`/`read`/`write` ident) inside the body `(open, close)`.
+fn liveness(tokens: &[Token], acq: usize, open: usize, close: usize) -> (usize, usize) {
+    let stmt_start = statement_start(tokens, acq, open);
+    if let Some(binding) = named_guard_binding(tokens, stmt_start, acq, close) {
+        // Named guard: live to the end of the enclosing block, or to an
+        // explicit `drop(<binding>)`.
+        let block_close = enclosing_block_close(tokens, stmt_start, open, close);
+        let mut end = block_close;
+        let mut j = acq;
+        while j < end {
+            if tokens[j].kind == TokenKind::Ident
+                && tokens[j].text == "drop"
+                && j + 2 < end
+                && tokens[j + 1].text == "("
+                && tokens[j + 2].text == binding
+            {
+                end = j;
+                break;
+            }
+            j += 1;
+        }
+        return (acq, end);
+    }
+    // Temporary: live to the end of the statement. `match`/`if let`/
+    // `while let`/`for` heads keep scrutinee temporaries alive through the
+    // attached block; plain `if`/`while` conditions drop at the `{`.
+    let through_block = statement_head_extends(tokens, stmt_start);
+    let mut depth = 0i32;
+    let mut j = acq;
+    while j < close {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth <= 0 => return (acq, j),
+                "{" if depth <= 0 => {
+                    if through_block {
+                        if let Some(c) = matching(tokens, j, "{", "}") {
+                            return (acq, c.min(close));
+                        }
+                    }
+                    return (acq, j);
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    (acq, close)
+}
+
+/// Token index where the statement containing `at` starts (first token
+/// after the previous `;`, `{` or `}` at the same nesting level).
+fn statement_start(tokens: &[Token], at: usize, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = at;
+    while j > open {
+        let t = &tokens[j - 1];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                ")" | "]" => depth += 1,
+                "(" | "[" => depth -= 1,
+                ";" | "{" | "}" if depth <= 0 => return j,
+                _ => {}
+            }
+        }
+        j -= 1;
+    }
+    open + 1
+}
+
+/// Does the statement starting at `start` bind the acquisition's value to
+/// a named guard? Returns the binding identifier. The pattern recognized:
+/// `let [mut] <ident> = <acquisition chain>;` where only guard-preserving
+/// adapters (`unwrap`/`expect`) follow the acquisition before the `;`.
+fn named_guard_binding(tokens: &[Token], start: usize, acq: usize, close: usize) -> Option<String> {
+    if !(tokens[start].kind == TokenKind::Ident && tokens[start].text == "let") {
+        return None;
+    }
+    let mut j = start + 1;
+    if j < close && tokens[j].text == "mut" {
+        j += 1;
+    }
+    let binding = (tokens[j].kind == TokenKind::Ident).then(|| tokens[j].text.clone())?;
+    if !(j + 1 < close && tokens[j + 1].text == "=") {
+        return None;
+    }
+    // After the acquisition's `()`, only `.unwrap()/.expect(..)` chains may
+    // follow before the statement ends for the binding to be the guard.
+    let mut k = acq + 1; // at `(`
+    let k_close = matching(tokens, k, "(", ")")?;
+    k = k_close + 1;
+    while k < close {
+        let t = &tokens[k];
+        if t.kind == TokenKind::Punct && t.text == ";" {
+            return Some(binding);
+        }
+        if t.kind == TokenKind::Punct && t.text == "." {
+            let m = tokens.get(k + 1)?;
+            if m.kind == TokenKind::Ident && guard_preserving(&m.text) && tokens[k + 2].text == "("
+            {
+                let c = matching(tokens, k + 2, "(", ")")?;
+                k = c + 1;
+                continue;
+            }
+            return None; // further projection — result is not the guard
+        }
+        return None;
+    }
+    None
+}
+
+/// Closing-brace token index of the block enclosing the statement at
+/// `start`.
+fn enclosing_block_close(tokens: &[Token], start: usize, open: usize, close: usize) -> usize {
+    // Walk back from `start` to the nearest unmatched `{`, then forward to
+    // its match.
+    let mut depth = 0i32;
+    let mut j = start;
+    while j > open {
+        let t = &tokens[j - 1];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "}" => depth += 1,
+                "{" => {
+                    if depth == 0 {
+                        return matching(tokens, j - 1, "{", "}").unwrap_or(close).min(close);
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        j -= 1;
+    }
+    close
+}
+
+/// Does a statement head keep scrutinee temporaries alive through its
+/// attached block? (`match x { .. }`, `if let`, `while let`, `for`.)
+fn statement_head_extends(tokens: &[Token], start: usize) -> bool {
+    let t = &tokens[start];
+    if t.kind != TokenKind::Ident {
+        return false;
+    }
+    match t.text.as_str() {
+        "match" | "for" => true,
+        "if" | "while" => tokens.get(start + 1).map(|n| n.text == "let").unwrap_or(false),
+        _ => false,
+    }
+}

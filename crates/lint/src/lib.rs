@@ -1,0 +1,169 @@
+//! dd-lint as a library: the two-pass workspace analysis behind the CLI.
+//!
+//! Pass 1 ([`ir`]) lexes every file and lowers it to a lightweight IR —
+//! function items with call sites, lock-guard acquisitions and liveness,
+//! blocking operations, spawn boundaries and channel constructors. Pass 2
+//! links the IRs into a workspace call graph ([`graph`]) and runs the
+//! policy rules over it ([`rules`] for the per-file families and the
+//! reachability-upgraded instrumentation/resilience rules, [`flow`] for
+//! the `concurrency/*` dataflow family).
+//!
+//! The crate stays dependency-free (hand-rolled lexer, hand-built JSON in
+//! the CLI) so the gate builds in offline/minimal environments. This
+//! library face exists for the `lint_workspace` criterion bench and the
+//! `lint_self_check` integration test; the CLI in `src/main.rs` is a thin
+//! argument-parsing and rendering shell over [`analyze_workspace`].
+
+pub mod ctx;
+pub mod flow;
+pub mod graph;
+pub mod ir;
+pub mod lex;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use ctx::{FileCtx, FileKind};
+use ir::FileIr;
+use rules::Diag;
+
+/// One discovered source file.
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path (diagnostic prefix).
+    pub rel: String,
+    /// Owning package name.
+    pub crate_name: String,
+    /// Target kind.
+    pub kind: FileKind,
+}
+
+/// Result of a full workspace run.
+pub struct Analysis {
+    /// How many files were analyzed.
+    pub file_count: usize,
+    /// Every diagnostic, sorted by (file, line, rule).
+    pub diags: Vec<Diag>,
+}
+
+/// Run the two-pass analysis over already-built file contexts. A fixture
+/// is just a one-file workspace, so fixture mode and workspace mode share
+/// this path (and interprocedural rules work within a fixture file).
+pub fn analyze_files(ctxs: Vec<FileCtx>) -> Vec<Diag> {
+    let files: Vec<(FileCtx, FileIr)> = ctxs
+        .into_iter()
+        .map(|c| {
+            let fir = ir::build(&c.tokens);
+            (c, fir)
+        })
+        .collect();
+    rules::check_workspace(&files)
+}
+
+/// Discover, lex, lower and check every source file under `root`.
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    let files = discover(root).map_err(|e| format!("discovery failed: {e}"))?;
+    let mut ctxs = Vec::with_capacity(files.len());
+    for f in &files {
+        let src = std::fs::read_to_string(&f.abs).map_err(|e| format!("{}: {e}", f.rel))?;
+        ctxs.push(FileCtx::new(f.rel.clone(), f.crate_name.clone(), f.kind, lex::lex(&src)));
+    }
+    let file_count = files.len();
+    Ok(Analysis { file_count, diags: analyze_files(ctxs) })
+}
+
+/// Walk the workspace and classify every `.rs` file by owning package and
+/// target kind. Skips `target/`, VCS metadata, and dd-lint's own test
+/// fixtures (they are violations by design).
+pub fn discover(root: &Path) -> Result<Vec<SourceFile>, std::io::Error> {
+    let mut names: BTreeMap<String, String> = BTreeMap::new();
+    names.insert(String::new(), package_name(&root.join("Cargo.toml")).unwrap_or_default());
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let dir = e.path();
+            if let Some(name) = package_name(&dir.join("Cargo.toml")) {
+                names.insert(format!("crates/{}", e.file_name().to_string_lossy()), name);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            std::fs::read_dir(&dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for p in entries {
+            let fname = p.file_name().unwrap_or_default().to_string_lossy().to_string();
+            if p.is_dir() {
+                if matches!(fname.as_str(), "target" | ".git" | "results" | "fixtures") {
+                    continue;
+                }
+                stack.push(p);
+                continue;
+            }
+            if p.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            let crate_dir = if rel.starts_with("crates/") {
+                rel.split('/').take(2).collect::<Vec<_>>().join("/")
+            } else {
+                String::new()
+            };
+            let Some(crate_name) = names.get(&crate_dir) else { continue };
+            let within = rel.strip_prefix(&crate_dir).unwrap_or(&rel).trim_start_matches('/');
+            let kind = classify(within);
+            let Some(kind) = kind else { continue };
+            out.push(SourceFile { abs: p, rel, crate_name: crate_name.clone(), kind });
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+/// Classify a crate-relative path into a target kind.
+fn classify(within: &str) -> Option<FileKind> {
+    if within.starts_with("tests/") {
+        Some(FileKind::Test)
+    } else if within.starts_with("benches/") {
+        Some(FileKind::Bench)
+    } else if within.starts_with("examples/") {
+        Some(FileKind::Example)
+    } else if within.starts_with("src/bin/") || within == "src/main.rs" || within == "build.rs" {
+        Some(FileKind::Bin)
+    } else if within.starts_with("src/") {
+        Some(FileKind::Lib)
+    } else {
+        None
+    }
+}
+
+/// Pull `name = "..."` out of a Cargo.toml `[package]` section without a
+/// TOML parser.
+fn package_name(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}

@@ -1,11 +1,13 @@
-//! dd-lint: the workspace invariant checker.
+//! dd-lint: the workspace invariant checker (CLI).
 //!
-//! Parses every `.rs` file in the workspace and mechanically enforces the
-//! policies PR 1 and PR 2 introduced by convention: typed errors in library
-//! crates, deterministic seeded RNG, one timing source (dd-obs), FLOP/byte
-//! accounting at every kernel entry point, and no silent float-to-int
-//! truncation. See DESIGN.md "Invariants" for the rationale and the
-//! allow-annotation grammar.
+//! v2 is a two-pass analyzer: pass 1 lowers every `.rs` file to a
+//! lightweight IR (fn items, call sites, lock-guard liveness, blocking
+//! operations, spawn boundaries); pass 2 links the IRs into a workspace
+//! call graph and runs the policy rules over it — the seven per-file
+//! families plus the `concurrency/*` dataflow family (lock-order cycles,
+//! blocking-under-lock, guard-across-spawn, unbounded channels). See
+//! DESIGN.md "Invariants" for the rationale and the allow-annotation
+//! grammar.
 //!
 //! ```text
 //! cargo run -p dd-lint                      # human-readable, gate exit code
@@ -20,16 +22,13 @@
 //! dd-lint is deliberately dependency-free (hand-rolled lexer, hand-built
 //! JSON) so the gate itself builds in offline/minimal environments.
 
-mod ctx;
-mod lex;
-mod rules;
-
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ctx::{FileCtx, FileKind};
-use rules::Diag;
+use dd_lint::ctx::{FileCtx, FileKind};
+use dd_lint::rules::Diag;
+use dd_lint::{analyze_files, analyze_workspace, lex};
 
 /// Parsed command line.
 struct Cli {
@@ -84,6 +83,19 @@ fn parse_cli() -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// The canonical `lint-baseline.txt` header, emitted by `--emit-baseline`
+/// so regeneration round-trips without manual header restoration.
+const BASELINE_HEADER: &str = "\
+# dd-lint grandfather baseline.
+# Format: <file> <rule> <budget>
+# Each line budgets pre-existing violations in one file for one rule.
+# The gate fails on any NEW violation (a file over its budget) and also
+# when a budget goes stale (fixes landed: shrink the number or drop the
+# line). Regenerate after a cleanup with:
+#   cargo run --release -p dd-lint -- --emit-baseline > lint-baseline.txt
+# (this header is emitted automatically). Never regenerate to absorb new
+# violations, and keep the DESIGN.md burn-down table in sync.";
+
 fn main() -> ExitCode {
     let cli = match parse_cli() {
         Ok(c) => c,
@@ -93,7 +105,9 @@ fn main() -> ExitCode {
         }
     };
 
-    // Fixture mode: check exactly one file under an assumed identity.
+    // Fixture mode: check exactly one file under an assumed identity. The
+    // file becomes a one-file workspace, so the call-graph rules still see
+    // intra-file edges.
     if let Some(file) = &cli.check_file {
         let Some((crate_name, kind)) = cli.check_as.clone() else {
             eprintln!("--check-file requires --as CRATE:KIND");
@@ -107,34 +121,23 @@ fn main() -> ExitCode {
             }
         };
         let ctx = FileCtx::new(file.display().to_string(), crate_name, kind, lex::lex(&src));
-        let diags = rules::check_file(&ctx);
+        let diags = analyze_files(vec![ctx]);
         render(&diags, &[], cli.format_json);
         return if diags.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) };
     }
 
-    // Workspace mode.
-    let files = match discover(&cli.root) {
-        Ok(f) => f,
+    // Workspace mode: the full two-pass run.
+    let analysis = match analyze_workspace(&cli.root) {
+        Ok(a) => a,
         Err(e) => {
-            eprintln!("discovery failed: {e}");
+            eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
-    let mut diags: Vec<Diag> = Vec::new();
-    for f in &files {
-        let src = match std::fs::read_to_string(&f.abs) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{}: {e}", f.rel);
-                return ExitCode::from(2);
-            }
-        };
-        let ctx = FileCtx::new(f.rel.clone(), f.crate_name.clone(), f.kind, lex::lex(&src));
-        diags.extend(rules::check_file(&ctx));
-    }
-    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let diags = analysis.diags;
 
     if cli.emit_baseline {
+        println!("{BASELINE_HEADER}");
         for ((file, rule), count) in group(&diags) {
             println!("{file} {rule} {count}");
         }
@@ -180,7 +183,7 @@ fn main() -> ExitCode {
     if !cli.format_json {
         eprintln!(
             "dd-lint: {} file(s), {} diagnostic(s) ({} grandfathered, {} fresh)",
-            files.len(),
+            analysis.file_count,
             diags.len(),
             grandfathered,
             fresh_owned.len()
@@ -273,106 +276,4 @@ fn load_baseline(path: &Path) -> BTreeMap<(String, String), usize> {
         }
     }
     m
-}
-
-/// One discovered source file.
-struct SourceFile {
-    abs: PathBuf,
-    rel: String,
-    crate_name: String,
-    kind: FileKind,
-}
-
-/// Walk the workspace and classify every `.rs` file by owning package and
-/// target kind. Skips `target/`, VCS metadata, and dd-lint's own test
-/// fixtures (they are violations by design).
-fn discover(root: &Path) -> Result<Vec<SourceFile>, std::io::Error> {
-    let mut names: BTreeMap<String, String> = BTreeMap::new();
-    names.insert(String::new(), package_name(&root.join("Cargo.toml")).unwrap_or_default());
-    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        for e in entries.flatten() {
-            let dir = e.path();
-            if let Some(name) = package_name(&dir.join("Cargo.toml")) {
-                names.insert(format!("crates/{}", e.file_name().to_string_lossy()), name);
-            }
-        }
-    }
-
-    let mut out = Vec::new();
-    let mut stack = vec![root.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        let mut entries: Vec<PathBuf> =
-            std::fs::read_dir(&dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
-        entries.sort();
-        for p in entries {
-            let fname = p.file_name().unwrap_or_default().to_string_lossy().to_string();
-            if p.is_dir() {
-                if matches!(fname.as_str(), "target" | ".git" | "results" | "fixtures") {
-                    continue;
-                }
-                stack.push(p);
-                continue;
-            }
-            if p.extension().and_then(|e| e.to_str()) != Some("rs") {
-                continue;
-            }
-            let rel = p
-                .strip_prefix(root)
-                .unwrap_or(&p)
-                .to_string_lossy()
-                .replace(std::path::MAIN_SEPARATOR, "/");
-            let crate_dir = if rel.starts_with("crates/") {
-                rel.split('/').take(2).collect::<Vec<_>>().join("/")
-            } else {
-                String::new()
-            };
-            let Some(crate_name) = names.get(&crate_dir) else { continue };
-            let within = rel.strip_prefix(&crate_dir).unwrap_or(&rel).trim_start_matches('/');
-            let kind = classify(within);
-            let Some(kind) = kind else { continue };
-            out.push(SourceFile { abs: p, rel, crate_name: crate_name.clone(), kind });
-        }
-    }
-    out.sort_by(|a, b| a.rel.cmp(&b.rel));
-    Ok(out)
-}
-
-/// Classify a crate-relative path into a target kind.
-fn classify(within: &str) -> Option<FileKind> {
-    if within.starts_with("tests/") {
-        Some(FileKind::Test)
-    } else if within.starts_with("benches/") {
-        Some(FileKind::Bench)
-    } else if within.starts_with("examples/") {
-        Some(FileKind::Example)
-    } else if within.starts_with("src/bin/") || within == "src/main.rs" || within == "build.rs" {
-        Some(FileKind::Bin)
-    } else if within.starts_with("src/") {
-        Some(FileKind::Lib)
-    } else {
-        None
-    }
-}
-
-/// Pull `name = "..."` out of a Cargo.toml `[package]` section without a
-/// TOML parser.
-fn package_name(path: &Path) -> Option<String> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let mut in_package = false;
-    for line in text.lines() {
-        let line = line.trim();
-        if line.starts_with('[') {
-            in_package = line == "[package]";
-            continue;
-        }
-        if in_package {
-            if let Some(rest) = line.strip_prefix("name") {
-                let rest = rest.trim_start();
-                if let Some(rest) = rest.strip_prefix('=') {
-                    return Some(rest.trim().trim_matches('"').to_string());
-                }
-            }
-        }
-    }
-    None
 }

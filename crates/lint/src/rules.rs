@@ -1,10 +1,14 @@
-//! The policy families, implemented as token-stream scans over a
-//! [`FileCtx`].
+//! The policy families: per-file token-stream scans over a [`FileCtx`],
+//! plus graph-aware rules that consume the two-pass IR/call-graph view
+//! ([`crate::graph::Workspace`]). The `concurrency/*` family lives in
+//! [`crate::flow`].
 //!
 //! Every rule has a stable id `family/name`; ids are what allow annotations
 //! and the baseline file refer to. The full list lives in [`KNOWN_RULES`].
 
 use crate::ctx::{matching, FileCtx, FileKind};
+use crate::graph::Workspace;
+use crate::ir::FileIr;
 use crate::lex::TokenKind;
 
 /// One diagnostic, rendered as `file:line: rule-id: message`.
@@ -36,6 +40,10 @@ pub const KNOWN_RULES: &[&str] = &[
     "lossy-cast/float-to-int",
     "resilience/unbounded-retry",
     "telemetry/unbounded-buffer",
+    "concurrency/lock-order",
+    "concurrency/blocking-under-lock",
+    "concurrency/guard-across-spawn",
+    "concurrency/unbounded-channel",
     "lint/bad-allow",
 ];
 
@@ -48,6 +56,7 @@ pub const KNOWN_FAMILIES: &[&str] = &[
     "lossy-cast",
     "resilience",
     "telemetry",
+    "concurrency",
     "lint",
 ];
 
@@ -66,25 +75,38 @@ pub const CLOCK_OWNER: &str = "dd-obs";
 /// batch hits `predict_batch` and its FLOPs must be accounted.
 pub const INSTRUMENTED_CRATES: &[&str] = &["dd-tensor", "dd-parallel", "dd-serve"];
 
-/// Run every rule over one file.
-pub fn check_file(ctx: &FileCtx) -> Vec<Diag> {
+/// Run every rule over the workspace: per-file scans, then the graph-aware
+/// rules over the two-pass view. This is the single entry point for both
+/// workspace mode and fixture mode (a fixture is a one-file workspace, so
+/// interprocedural rules still work within the fixture).
+pub fn check_workspace(files: &[(FileCtx, FileIr)]) -> Vec<Diag> {
+    let ws = Workspace::build(files);
     let mut out = Vec::new();
-    bad_allows(ctx, &mut out);
-    error_policy(ctx, &mut out);
-    determinism(ctx, &mut out);
-    test_ambient_rng(ctx, &mut out);
-    single_clock(ctx, &mut out);
-    instrumentation(ctx, &mut out);
-    unwindowed_serve_path(ctx, &mut out);
-    lossy_cast(ctx, &mut out);
-    unbounded_retry(ctx, &mut out);
-    unbounded_buffer(ctx, &mut out);
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    for (fi, (ctx, _)) in files.iter().enumerate() {
+        bad_allows(ctx, &mut out);
+        error_policy(ctx, &mut out);
+        determinism(ctx, &mut out);
+        test_ambient_rng(ctx, &mut out);
+        single_clock(ctx, &mut out);
+        lossy_cast(ctx, &mut out);
+        unbounded_buffer(ctx, &mut out);
+        instrumentation(&ws, fi, &mut out);
+        unwindowed_serve_path(&ws, fi, &mut out);
+        unbounded_retry(&ws, fi, &mut out);
+    }
+    crate::flow::check(&ws, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     out
 }
 
 /// Report a diagnostic unless an annotation allows it at that line.
-fn push(ctx: &FileCtx, out: &mut Vec<Diag>, line: usize, rule: &'static str, message: String) {
+pub(crate) fn push(
+    ctx: &FileCtx,
+    out: &mut Vec<Diag>,
+    line: usize,
+    rule: &'static str,
+    message: String,
+) {
     if ctx.allowed(rule, line) {
         return;
     }
@@ -299,91 +321,43 @@ fn single_clock(ctx: &FileCtx, out: &mut Vec<Diag>) {
     }
 }
 
+/// Does a name look like a kernel entry point?
+fn kernel_name(name: &str) -> bool {
+    name.starts_with("matmul")
+        || name.starts_with("matvec")
+        || name.starts_with("allreduce")
+        || name.starts_with("dispatch")
+}
+
 /// Instrumentation coverage: every public matmul/matvec/allreduce entry
-/// point in the kernel crates must either call the dd-obs accounting hooks
-/// or delegate to another kernel entry point that does.
-fn instrumentation(ctx: &FileCtx, out: &mut Vec<Diag>) {
+/// point in the kernel crates must reach the dd-obs accounting hooks on
+/// some call path. Reachability comes from the workspace call graph; a
+/// call-by-name into another kernel entry point (resolvable or not) also
+/// counts as delegation evidence.
+fn instrumentation(ws: &Workspace, fi: usize, out: &mut Vec<Diag>) {
+    let (ctx, fir) = &ws.files[fi];
     if ctx.kind != FileKind::Lib || !INSTRUMENTED_CRATES.contains(&ctx.crate_name.as_str()) {
         return;
     }
-    let t = &ctx.tokens;
-    let mut i = 0usize;
-    while i < t.len() {
-        if !(t[i].kind == TokenKind::Ident && t[i].text == "pub") {
-            i += 1;
+    for (ki, f) in fir.fns.iter().enumerate() {
+        if !f.is_pub || !kernel_name(&f.name) || ctx.in_test(f.line) {
             continue;
         }
-        // `pub` / `pub(crate)` / `pub(in ..)`.
-        let mut j = i + 1;
-        if j < t.len() && t[j].text == "(" {
-            match matching(t, j, "(", ")") {
-                Some(c) => j = c + 1,
-                None => break,
-            }
-        }
-        if !(j + 1 < t.len() && t[j].kind == TokenKind::Ident && t[j].text == "fn") {
-            i += 1;
-            continue;
-        }
-        let name_tok = &t[j + 1];
-        let name = name_tok.text.as_str();
-        let is_kernel = name.starts_with("matmul")
-            || name.starts_with("matvec")
-            || name.starts_with("allreduce")
-            || name.starts_with("dispatch");
-        if !is_kernel || ctx.in_test(name_tok.line) {
-            i = j + 2;
-            continue;
-        }
-        // Find the body: first `{` before any `;` (a `;` means a body-less
-        // trait/extern declaration — not ours to check).
-        let mut k = j + 2;
-        let mut body = None;
-        while k < t.len() {
-            if t[k].kind == TokenKind::Punct {
-                match t[k].text.as_str() {
-                    "{" => {
-                        body = Some(k);
-                        break;
-                    }
-                    ";" => break,
-                    _ => {}
-                }
-            }
-            k += 1;
-        }
-        let Some(open) = body else {
-            i = k + 1;
-            continue;
-        };
-        let Some(close) = matching(t, open, "{", "}") else {
-            i = open + 1;
-            continue;
-        };
-        let counted = t[open + 1..close].iter().any(|tok| {
-            tok.kind == TokenKind::Ident
-                && (tok.text == "note_matmul"
-                    || tok.text == "note_allreduce"
-                    || tok.text == "dd_obs"
-                    || tok.text.starts_with("matmul")
-                    || tok.text.starts_with("matvec")
-                    || tok.text.starts_with("allreduce")
-                    || tok.text.starts_with("dispatch"))
-        });
+        let counted = ws.accounts[fi][ki] || f.calls.iter().any(|site| kernel_name(&site.name));
         if !counted {
             push(
                 ctx,
                 out,
-                name_tok.line,
+                f.line,
                 "instrumentation/uncounted-kernel",
                 format!(
-                    "pub fn {name} does no dd-obs accounting: call the \
-                     note_matmul/allreduce hooks (or delegate to an entry \
-                     point that does) so FLOP/byte totals stay exact"
+                    "pub fn {} reaches no dd-obs accounting on any call path: \
+                     call the note_matmul/allreduce hooks (or delegate to an \
+                     entry point that does) so FLOP/byte totals stay exact",
+                    f.name
                 ),
             );
         }
-        i = close + 1;
     }
 }
 
@@ -395,75 +369,37 @@ fn instrumentation(ctx: &FileCtx, out: &mut Vec<Diag>) {
 /// telemetry hook is invisible to the sliding-window SLOs, so burn-rate
 /// alerts silently under-count exactly when they matter. Unlike the kernel
 /// rule this covers private `fn`s too: both paths are crate-internal.
-fn unwindowed_serve_path(ctx: &FileCtx, out: &mut Vec<Diag>) {
+fn unwindowed_serve_path(ws: &Workspace, fi: usize, out: &mut Vec<Diag>) {
+    let (ctx, fir) = &ws.files[fi];
     if ctx.kind != FileKind::Lib || ctx.crate_name != "dd-serve" {
         return;
     }
-    let t = &ctx.tokens;
-    let mut i = 0usize;
-    while i < t.len() {
-        if !(t[i].kind == TokenKind::Ident && t[i].text == "fn") {
-            i += 1;
+    for (ki, f) in fir.fns.iter().enumerate() {
+        let on_path = f.name.starts_with("serve_job") || f.name.starts_with("dispatch_prefix");
+        if !on_path || ctx.in_test(f.line) {
             continue;
         }
-        let Some(name_tok) = t.get(i + 1) else { break };
-        let name = name_tok.text.clone();
-        if !(name.starts_with("serve_job") || name.starts_with("dispatch_prefix"))
-            || ctx.in_test(name_tok.line)
-        {
-            i += 2;
-            continue;
-        }
-        // Find the body: first `{` before any `;` (a `;` first means a
-        // body-less declaration — not ours to check).
-        let mut k = i + 2;
-        let mut body = None;
-        while k < t.len() {
-            if t[k].kind == TokenKind::Punct {
-                match t[k].text.as_str() {
-                    "{" => {
-                        body = Some(k);
-                        break;
-                    }
-                    ";" => break,
-                    _ => {}
-                }
-            }
-            k += 1;
-        }
-        let Some(open) = body else {
-            i = k + 1;
-            continue;
-        };
-        let Some(close) = matching(t, open, "{", "}") else {
-            i = open + 1;
-            continue;
-        };
-        let windowed = t[open + 1..close].iter().any(|tok| {
-            tok.kind == TokenKind::Ident
-                && (tok.text.contains("telemetry")
-                    || tok.text.starts_with("window_record")
-                    || tok.text.starts_with("on_dispatch")
-                    || tok.text.starts_with("on_complete")
-                    || tok.text.starts_with("on_outcome")
-                    || tok.text.starts_with("serve_job")
-                    || tok.text.starts_with("dispatch_prefix"))
-        });
+        // Reaches a telemetry hook on some call path, or delegates by name
+        // to another serve-path function.
+        let windowed = ws.windows[fi][ki]
+            || f.calls.iter().any(|site| {
+                site.name.starts_with("serve_job") || site.name.starts_with("dispatch_prefix")
+            });
         if !windowed {
             push(
                 ctx,
                 out,
-                name_tok.line,
+                f.line,
                 "instrumentation/unwindowed-serve-path",
                 format!(
-                    "fn {name} records into no telemetry window: call the \
-                     ServeTelemetry hooks (on_dispatch/on_outcome/on_complete \
-                     or equivalents) so the sliding-window SLOs see every \
-                     request this path handles"
+                    "fn {} reaches no telemetry window on any call path: call \
+                     the ServeTelemetry hooks (on_dispatch/on_outcome/\
+                     on_complete or equivalents) so the sliding-window SLOs \
+                     see every request this path handles",
+                    f.name
                 ),
             );
         }
-        i = close + 1;
     }
 }
 
@@ -472,7 +408,12 @@ fn unwindowed_serve_path(ctx: &FileCtx, out: &mut Vec<Diag>) {
 /// budget — somewhere in the loop. Without one, a dead replica or a
 /// permanently failing callee turns the retry loop into a spin that never
 /// surfaces an error. `for` loops are exempt: their iterator is the bound.
-fn unbounded_retry(ctx: &FileCtx, out: &mut Vec<Diag>) {
+/// "Dispatches" is judged both by name prefix inside the loop (the
+/// original heuristic) and by call-graph reachability: a loop calling a
+/// helper that transitively reaches a `dispatch*`/`retry*` entry point is
+/// a retry loop even when the helper's own name says nothing.
+fn unbounded_retry(ws: &Workspace, fi: usize, out: &mut Vec<Diag>) {
+    let (ctx, fir) = &ws.files[fi];
     if ctx.kind != FileKind::Lib {
         return;
     }
@@ -507,13 +448,20 @@ fn unbounded_retry(ctx: &FileCtx, out: &mut Vec<Diag>) {
         // The inspected region includes the `while` condition, so a bound
         // expressed there (`while attempts < cap`) counts as evidence.
         let region = &t[i..=close];
-        let dispatches = region.windows(2).any(|w| {
+        let by_name = region.windows(2).any(|w| {
             w[0].kind == TokenKind::Ident
                 && (w[0].text.starts_with("dispatch") || w[0].text.starts_with("retry"))
                 && w[1].kind == TokenKind::Punct
                 && w[1].text == "("
         });
-        if !dispatches {
+        let by_reach = fir.fns.iter().enumerate().any(|(ki, f)| {
+            f.calls.iter().enumerate().any(|(ci, site)| {
+                site.tok > open
+                    && site.tok < close
+                    && ws.resolved[fi][ki][ci].iter().any(|&c| ws.dispatches[c.0][c.1])
+            })
+        });
+        if !by_name && !by_reach {
             continue;
         }
         let bounded = region.iter().any(|tok| {

@@ -155,6 +155,59 @@ fn resilience_unbounded_retry() {
 }
 
 #[test]
+fn concurrency_blocking_under_lock() {
+    // Direct `recv` under a live guard, and a call into a helper that
+    // transitively blocks (the call-graph case).
+    assert_fires(
+        "pos_blocking_under_lock.rs",
+        "dd-serve:lib",
+        6,
+        "concurrency/blocking-under-lock",
+    );
+    assert_fires(
+        "pos_blocking_under_lock.rs",
+        "dd-serve:lib",
+        14,
+        "concurrency/blocking-under-lock",
+    );
+    assert_clean("neg_blocking_under_lock.rs", "dd-serve:lib");
+    // Test targets may block under a guard (deterministic harnesses).
+    let (code, stdout) = run("pos_blocking_under_lock.rs", "dd-serve:test");
+    assert_eq!(code, 0, "test targets may block under locks\nstdout: {stdout}");
+}
+
+#[test]
+fn concurrency_lock_order() {
+    // Both edges of the alpha/beta cycle are reported, plus the
+    // self-deadlock re-acquisition.
+    assert_fires("pos_lock_order.rs", "dd-serve:lib", 6, "concurrency/lock-order");
+    assert_fires("pos_lock_order.rs", "dd-serve:lib", 11, "concurrency/lock-order");
+    assert_fires("pos_lock_order.rs", "dd-serve:lib", 16, "concurrency/lock-order");
+    assert_clean("neg_lock_order.rs", "dd-serve:lib");
+}
+
+#[test]
+fn concurrency_guard_across_spawn() {
+    assert_fires("pos_guard_across_spawn.rs", "dd-serve:lib", 5, "concurrency/guard-across-spawn");
+    assert_clean("neg_guard_across_spawn.rs", "dd-serve:lib");
+}
+
+#[test]
+fn concurrency_unbounded_channel() {
+    assert_fires("pos_unbounded_channel.rs", "dd-serve:lib", 5, "concurrency/unbounded-channel");
+    assert_fires("pos_unbounded_channel.rs", "dd-serve:lib", 8, "concurrency/unbounded-channel");
+    assert_fires("pos_unbounded_channel.rs", "dd-parallel:lib", 5, "concurrency/unbounded-channel");
+    assert_clean("neg_unbounded_channel.rs", "dd-serve:lib");
+    // The rule binds only the backpressure-critical crates; elsewhere an
+    // unbounded channel is a legitimate tool.
+    let (code, stdout) = run("pos_unbounded_channel.rs", "dd-nn:lib");
+    assert_eq!(code, 0, "non-serving crates may use unbounded channels\nstdout: {stdout}");
+    // And only library code: test targets are exempt.
+    let (code, stdout) = run("pos_unbounded_channel.rs", "dd-serve:test");
+    assert_eq!(code, 0, "test targets may use unbounded channels\nstdout: {stdout}");
+}
+
+#[test]
 fn lint_bad_allow() {
     assert_fires("pos_bad_allow.rs", "dd-nn:lib", 2, "lint/bad-allow");
     assert_clean("neg_bad_allow.rs", "dd-nn:lib");

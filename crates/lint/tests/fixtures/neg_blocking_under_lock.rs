@@ -1,0 +1,17 @@
+//! Fixture: guard scope ends (inner block / explicit `drop`) before the
+//! blocking operation, so `concurrency/blocking-under-lock` stays quiet.
+fn drain_scoped(state: &Shared, rx: &Receiver<u32>) -> u32 {
+    let held = {
+        let g = state.queue.lock();
+        *g
+    };
+    let v = rx.recv().unwrap_or(0);
+    held + v
+}
+fn drain_dropped(state: &Shared, rx: &Receiver<u32>) -> u32 {
+    let g = state.queue.lock();
+    let held = *g;
+    drop(g);
+    let v = rx.recv().unwrap_or(0);
+    held + v
+}

@@ -1,0 +1,10 @@
+//! Fixture: the guard's scope ends before the spawn, so
+//! `concurrency/guard-across-spawn` stays quiet.
+fn start(s: &Shared) -> u32 {
+    let seed = {
+        let g = s.state.lock();
+        *g
+    };
+    std::thread::spawn(move || work(seed));
+    seed
+}

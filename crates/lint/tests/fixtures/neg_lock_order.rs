@@ -1,0 +1,21 @@
+//! Fixture: both functions acquire in the same global order (alpha before
+//! beta), so the acquisition graph is acyclic and `concurrency/lock-order`
+//! stays quiet.
+fn sum(s: &Shared) -> u32 {
+    let g = s.alpha.lock();
+    let h = s.beta.lock();
+    *g + *h
+}
+fn diff(s: &Shared) -> u32 {
+    let g = s.alpha.lock();
+    let h = s.beta.lock();
+    *g - *h
+}
+fn sequential(s: &Shared) -> u32 {
+    let a = {
+        let g = s.beta.lock();
+        *g
+    };
+    let h = s.alpha.lock();
+    a + *h
+}

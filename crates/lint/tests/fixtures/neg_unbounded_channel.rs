@@ -1,0 +1,8 @@
+//! Fixture: bounded constructors carry backpressure, so
+//! `concurrency/unbounded-channel` stays quiet.
+fn make_queue(cap: usize) -> (Sender<u32>, Receiver<u32>) {
+    bounded(cap)
+}
+fn make_ring(cap: usize) -> (SyncSender<u32>, Receiver<u32>) {
+    sync_channel(cap)
+}

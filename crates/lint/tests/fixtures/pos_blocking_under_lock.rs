@@ -1,0 +1,16 @@
+//! Fixture: `concurrency/blocking-under-lock` must fire on lines 6
+//! (direct `recv` under a live guard) and 14 (call into a function that
+//! transitively blocks).
+fn drain_direct(state: &Shared, rx: &Receiver<u32>) -> u32 {
+    let g = state.queue.lock();
+    let v = rx.recv().unwrap_or(0);
+    *g + v
+}
+fn blocking_helper(rx: &Receiver<u32>) -> u32 {
+    rx.recv().unwrap_or(0)
+}
+fn aggregate(state: &Shared, rx: &Receiver<u32>) -> u32 {
+    let g = state.queue.lock();
+    let v = blocking_helper(rx);
+    *g + v
+}

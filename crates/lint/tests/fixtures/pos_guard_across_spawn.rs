@@ -1,0 +1,9 @@
+//! Fixture: `concurrency/guard-across-spawn` must fire on line 5 — the
+//! `state` guard is still live when the new thread starts.
+fn start(s: &Shared) -> u32 {
+    let g = s.state.lock();
+    std::thread::spawn(move || work());
+    let seed = *g;
+    drop(g);
+    seed
+}

@@ -1,0 +1,18 @@
+//! Fixture: `concurrency/lock-order` must fire on lines 6 and 11 (the two
+//! edges of an alpha/beta ordering cycle) and on line 16 (re-acquisition of
+//! a lock whose guard is still held).
+fn forward(s: &Shared) -> u32 {
+    let g = s.alpha.lock();
+    let h = s.beta.lock();
+    *g + *h
+}
+fn backward(s: &Shared) -> u32 {
+    let g = s.beta.lock();
+    let h = s.alpha.lock();
+    *g + *h
+}
+fn reentrant(s: &Shared) -> u32 {
+    let g = s.alpha.lock();
+    let h = s.alpha.lock();
+    *g + *h
+}

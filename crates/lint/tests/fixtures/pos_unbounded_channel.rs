@@ -1,0 +1,9 @@
+//! Fixture: `concurrency/unbounded-channel` must fire on lines 5 and 8 in
+//! the backpressure-critical crates (dd-serve, dd-parallel), and stay quiet
+//! everywhere else.
+fn make_queue() -> (Sender<u32>, Receiver<u32>) {
+    channel()
+}
+fn make_ring() -> (Sender<u32>, Receiver<u32>) {
+    unbounded()
+}

@@ -1,0 +1,34 @@
+//! Self check: the analyzer must agree with the committed baseline on the
+//! workspace itself. A full two-pass run from the repo root has to exit 0 —
+//! every diagnostic grandfathered by `lint-baseline.txt`, no fresh
+//! violations, no stale budgets. This keeps the committed baseline and the
+//! analyzer honest against each other: any rule change that alters the
+//! workspace diagnostics set fails here before it fails in CI.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+#[test]
+fn workspace_matches_committed_baseline() {
+    // Normally `crates/lint/../..`; overridable so the suite can run from a
+    // vendored copy of the package outside the repo checkout.
+    let root = std::env::var_os("DD_LINT_SELF_CHECK_ROOT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    if !root.join("lint-baseline.txt").exists() {
+        eprintln!("self_check: no lint-baseline.txt under {}; skipping", root.display());
+        return;
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_dd-lint"))
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("dd-lint runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace run must match the committed baseline exactly\nstdout:\n{}stderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -521,10 +521,17 @@ fn dispatch_prefix(
         // rather than dropping it silently.
         let job = send_err.into_inner();
         let lost_at = dd_obs::monotonic_seconds();
-        let mut telemetry = resil.telemetry.lock();
-        for (id, enqueue_s, resp) in job.meta {
-            stats.failed.fetch_add(1, Ordering::Relaxed);
-            telemetry.on_failure(lost_at, id, enqueue_s);
+        {
+            let mut telemetry = resil.telemetry.lock();
+            for (id, enqueue_s, _resp) in &job.meta {
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+                telemetry.on_failure(lost_at, *id, *enqueue_s);
+            }
+        }
+        // Respond only after the telemetry guard is dropped: the respond
+        // channel is bounded, so a send must never sit inside a critical
+        // section (concurrency/blocking-under-lock).
+        for (_id, _enqueue_s, resp) in job.meta {
             let _ = resp.send(Err(ServeError::WorkerLost));
         }
     }
@@ -653,11 +660,18 @@ fn serve_job(job: Job, stats: &StatsInner, resil: &ResilShared) {
     match (verdict, answer) {
         (Ok(()), Some(y)) => {
             let done = dd_obs::monotonic_seconds();
-            let mut telemetry = resil.telemetry.lock();
-            for (i, (id, enqueue_s, resp)) in job.meta.into_iter().enumerate() {
-                dd_obs::hist_record("serve_e2e_seconds", done - enqueue_s);
-                telemetry.on_complete(done, id, enqueue_s, job.dispatched_s - enqueue_s);
-                stats.completed.fetch_add(1, Ordering::Relaxed);
+            {
+                let mut telemetry = resil.telemetry.lock();
+                for (id, enqueue_s, _resp) in &job.meta {
+                    dd_obs::hist_record("serve_e2e_seconds", done - *enqueue_s);
+                    telemetry.on_complete(done, *id, *enqueue_s, job.dispatched_s - *enqueue_s);
+                    stats.completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Respond only after the telemetry guard is dropped: the
+            // respond channel is bounded, so a send must never sit inside
+            // a critical section (concurrency/blocking-under-lock).
+            for (i, (_id, _enqueue_s, resp)) in job.meta.into_iter().enumerate() {
                 let _ = resp.send(Ok(y.row(i).to_vec()));
             }
         }
@@ -674,10 +688,15 @@ fn serve_job(job: Job, stats: &StatsInner, resil: &ResilShared) {
                 Ok(()) => ServeError::WorkerLost,
             };
             let failed_at = dd_obs::monotonic_seconds();
-            let mut telemetry = resil.telemetry.lock();
-            for (id, enqueue_s, resp) in job.meta {
-                stats.failed.fetch_add(1, Ordering::Relaxed);
-                telemetry.on_failure(failed_at, id, enqueue_s);
+            {
+                let mut telemetry = resil.telemetry.lock();
+                for (id, enqueue_s, _resp) in &job.meta {
+                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                    telemetry.on_failure(failed_at, *id, *enqueue_s);
+                }
+            }
+            // Same deal: the guard must be gone before the bounded sends.
+            for (_id, _enqueue_s, resp) in job.meta {
                 let _ = resp.send(Err(err.clone()));
             }
         }

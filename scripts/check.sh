@@ -31,8 +31,17 @@ echo "dd-lint JSON parses"
 echo "== cargo build --release"
 cargo build --release
 
+echo "== dd-lint full two-pass workspace analysis stays under 5 seconds"
+# The analyzer runs on every commit, so the IR + call-graph passes must
+# stay interactive; `timeout` exits 124 on a budget blowout.
+timeout 5 ./target/release/dd-lint
+echo "dd-lint finished within its 5s budget"
+
 echo "== cargo test"
 cargo test -q
+
+echo "== sanitizers (TSan + Miri; skip cleanly without nightly components)"
+scripts/sanitize.sh
 
 echo "== dd-testkit self-tests and migrated nn property suite"
 cargo test -q -p dd-testkit

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Sanitizer sweep for the concurrency-heavy surfaces, complementing the
+# static `concurrency/*` family in dd-lint with dynamic checking:
+#
+#  - ThreadSanitizer over the threaded integration suites
+#    (tests/serving.rs, tests/resilience.rs, tests/fault_tolerance.rs):
+#    real worker pools, replica sets, and chaos schedules under a data-race
+#    detector.
+#  - Miri over the deterministic decision cores in dd-serve
+#    (batcher::plan, ResilientCall, SloMonitor): UB detection on the pure
+#    logic the servers are built around.
+#
+# Both need a nightly toolchain with extra components (rust-src for
+# `-Zbuild-std`, the miri component for `cargo miri`). CI images and dev
+# machines that lack them must still pass scripts/check.sh, so every
+# missing prerequisite downgrades to a loud, clean skip — this script only
+# fails when a sanitizer actually ran and found something.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ran_any=0
+
+have_nightly() {
+  rustup toolchain list 2>/dev/null | grep -q '^nightly'
+}
+
+have_component() {
+  rustup component list --toolchain nightly --installed 2>/dev/null | grep -q "^$1"
+}
+
+echo "== ThreadSanitizer: tests/serving.rs, tests/resilience.rs, tests/fault_tolerance.rs"
+if have_nightly && have_component rust-src; then
+  # -Zbuild-std instruments std itself; without it TSan misreports
+  # synchronization that happens inside uninstrumented std primitives.
+  host="$(rustc -vV | sed -n 's/^host: //p')"
+  for t in serving resilience fault_tolerance; do
+    echo "-- tsan: --test $t"
+    RUSTFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -q -Zbuild-std --target "$host" --test "$t"
+  done
+  ran_any=1
+else
+  echo "sanitize: SKIP ThreadSanitizer (needs nightly toolchain with the rust-src component)"
+fi
+
+echo "== Miri: dd-serve decision cores (batcher::, resil::, telemetry::)"
+if have_nightly && have_component miri; then
+  # Unit tests only: the integration suites spawn real threads and use the
+  # wall clock, which Miri forbids; the decision cores are pure.
+  cargo +nightly miri test -p dd-serve --lib batcher:: resil:: telemetry::
+  ran_any=1
+else
+  echo "sanitize: SKIP Miri (cargo-miri not installed for the nightly toolchain)"
+fi
+
+if [ "$ran_any" -eq 0 ]; then
+  echo "sanitize: no sanitizer prerequisites available; all stages skipped (ok)"
+else
+  echo "sanitize: all available sanitizer stages passed"
+fi
