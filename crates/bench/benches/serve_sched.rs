@@ -1,0 +1,70 @@
+//! E18 kernel bench: the weighted-fair scheduling decision at 1/4/16
+//! tenants (the per-dispatch cost every multi-tenant batch pays) plus the
+//! autoscaler decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dd_serve::{
+    plan_fair, AutoscalePolicy, Autoscaler, BatchPolicy, DrrScheduler, PriorityClass, QueueView,
+    SchedDecision, TenantDirectory, TenantSpec,
+};
+use std::hint::black_box;
+
+/// Directory of `n` tenants cycling through the three priority classes
+/// with weights 1..=3, mirroring the E18 mixes.
+fn directory(n: usize) -> TenantDirectory {
+    let classes = [PriorityClass::Interactive, PriorityClass::Batch, PriorityClass::BestEffort];
+    let specs = (0..n)
+        .map(|t| {
+            TenantSpec::new(
+                &format!("tenant-{t}"),
+                classes[t % classes.len()],
+                (t % 3) as u32 + 1,
+                256,
+                "m",
+            )
+        })
+        .collect();
+    TenantDirectory::new(specs).expect("static directory is valid")
+}
+
+fn bench_plan_fair(c: &mut Criterion) {
+    let policy = BatchPolicy::new(16, 2e-3, 0.25);
+    let mut group = c.benchmark_group("serve_plan_fair");
+    for n in [1usize, 4, 16] {
+        let dir = directory(n);
+        let mut sched = DrrScheduler::new(&dir);
+        // Every tenant backlogged past max_batch: plan_fair always returns a
+        // Dispatch, so each iteration measures one full select+charge cycle
+        // (the steady-state hot path under sustained load).
+        let queues: Vec<QueueView> =
+            (0..n).map(|t| QueueView { pending: 64, oldest_s: t as f64 * 1e-4 }).collect();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &queues, |b, queues| {
+            b.iter(|| {
+                let d = plan_fair(&policy, &mut sched, black_box(1.0), queues, false);
+                if let SchedDecision::Dispatch { tenant, n } = d {
+                    sched.charge(tenant, n);
+                }
+                black_box(d)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_autoscaler_decide(c: &mut Criterion) {
+    let mut scaler = Autoscaler::new(AutoscalePolicy::new(1, 4, 64, 8, 0.25));
+    c.bench_function("serve_autoscaler_decide", |b| {
+        let mut now = 0.0f64;
+        b.iter(|| {
+            now += 1e-3;
+            // Depth sweeps through both watermarks so grow/shrink/hold and
+            // the cooldown path are all exercised.
+            let depth = ((now * 1e3) as usize) % 96;
+            black_box(scaler.decide(black_box(now), depth, 2))
+        });
+    });
+}
+
+criterion_group!(benches, bench_plan_fair, bench_autoscaler_decide);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Regenerates the E18 multi-tenant serving table and spot-checks the
+//! knee on the threaded server. Usage: `exp-18-tenancy [smoke|full|quick]
+//! [seed]`.
+//!
+//! The table comes from the virtual-time simulator twin (deterministic,
+//! byte-identical across runs). The threaded confirmation then replays the
+//! structural shape on real threads: a batch flood is enqueued ahead of
+//! interactive probes, and the FIFO engine answers the probes only after
+//! the flood, while the tenanted weighted-fair engine answers them first.
+//! Wall-clock numbers are printed for inspection but not persisted — the
+//! canonical artifact is the simulator CSV.
+
+use dd_nn::{Activation, ModelSpec};
+use dd_serve::{
+    AutoscalePolicy, BatchPolicy, ModelRegistry, PriorityClass, ResponseHandle, ServeConfig,
+    Server, TenantDirectory, TenantSpec,
+};
+use dd_tensor::Precision;
+use deepdriver_core::experiments::{self, e18_tenancy};
+use deepdriver_core::report::Scale;
+use std::sync::Arc;
+
+const WIDTH: usize = 8;
+const FLOOD: usize = 256;
+const PROBES: usize = 16;
+
+fn registry() -> Arc<ModelRegistry> {
+    let reg = Arc::new(ModelRegistry::new());
+    for (name, seed) in [("m-clinic", 11u64), ("m-screen", 22u64)] {
+        let spec = ModelSpec::mlp(WIDTH, &[32, 16], 2, Activation::Tanh);
+        let Ok(model) = spec.build(seed, Precision::F32) else {
+            unreachable!("static spec builds");
+        };
+        reg.install(name, spec, model);
+    }
+    reg
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 2 * FLOOD,
+        workers: 2,
+        policy: BatchPolicy::new(16, 1e-3, 30.0),
+        ..ServeConfig::default()
+    }
+}
+
+/// Mean milliseconds until the probe answers arrive, measured from just
+/// after the flood was enqueued. Single-clock policy: probe timestamps
+/// come from the same dd-obs monotonic clock the server stamps with.
+fn drain(probes: Vec<(f64, ResponseHandle)>, flood: Vec<ResponseHandle>) -> f64 {
+    let mut total_ms = 0.0;
+    let n = probes.len().max(1);
+    for (t0, h) in probes {
+        if h.wait().is_ok() {
+            total_ms += (dd_obs::monotonic_seconds() - t0) * 1e3;
+        }
+    }
+    for h in flood {
+        let _ = h.wait();
+    }
+    total_ms / n as f64
+}
+
+/// FIFO baseline: the untenanted server's single queue answers the flood
+/// first, so probe latency includes draining the whole backlog.
+fn threaded_fifo_probe_ms() -> f64 {
+    let server = Server::start(registry(), config());
+    let features = vec![0.1f32; WIDTH];
+    let mut flood = Vec::new();
+    for _ in 0..FLOOD {
+        if let Ok(h) = server.submit("m-screen", features.clone()) {
+            flood.push(h);
+        }
+    }
+    let probes: Vec<_> = (0..PROBES)
+        .filter_map(|_| {
+            server
+                .submit("m-clinic", features.clone())
+                .ok()
+                .map(|h| (dd_obs::monotonic_seconds(), h))
+        })
+        .collect();
+    let ms = drain(probes, flood);
+    server.shutdown();
+    ms
+}
+
+/// Weighted-fair engine: strict priority answers the interactive probes
+/// ahead of the already-queued batch flood.
+fn threaded_fair_probe_ms() -> f64 {
+    let directory = TenantDirectory::new(vec![
+        TenantSpec::new("clinic", PriorityClass::Interactive, 1, 64, "m-clinic"),
+        TenantSpec::new("screen", PriorityClass::Batch, 2, 2 * FLOOD, "m-screen"),
+    ])
+    .unwrap_or_else(|e| unreachable!("static directory invalid: {e}"));
+    let scale = AutoscalePolicy::new(1, 2, 64, 8, 0.05);
+    let server = Server::start_tenanted(registry(), config(), directory, scale);
+    let features = vec![0.1f32; WIDTH];
+    let mut flood = Vec::new();
+    for _ in 0..FLOOD {
+        if let Ok(h) = server.submit_as("screen", features.clone()) {
+            flood.push(h);
+        }
+    }
+    let probes: Vec<_> = (0..PROBES)
+        .filter_map(|_| {
+            server
+                .submit_as("clinic", features.clone())
+                .ok()
+                .map(|h| (dd_obs::monotonic_seconds(), h))
+        })
+        .collect();
+    let ms = drain(probes, flood);
+    server.shutdown();
+    ms
+}
+
+fn main() {
+    let _obs = dd_obs::EnvSession::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    let table = e18_tenancy::run(scale, seed);
+    experiments::emit(&table, "e18_tenancy");
+    let rows = e18_tenancy::sweep(scale, seed);
+    println!(
+        "interactive protected through batch burst (fair <1% miss, fifo >10%): {}",
+        e18_tenancy::interactive_protected(&rows)
+    );
+    println!(
+        "batch soaks spare capacity (fair >= 90% of fifo throughput, clinic idle): {}",
+        e18_tenancy::batch_soaks_spare_capacity(&rows)
+    );
+    println!(
+        "autoscaler grows to ceiling under burst, stays in band: {}",
+        e18_tenancy::autoscaler_tracks_bursts(&rows)
+    );
+    // Threaded knee confirmation (wall clock; printed, not persisted).
+    let fifo_ms = threaded_fifo_probe_ms();
+    let fair_ms = threaded_fair_probe_ms();
+    println!(
+        "threaded confirmation: interactive probe behind a {FLOOD}-request batch flood \
+         answers in {fair_ms:.1} ms mean (weighted-fair) vs {fifo_ms:.1} ms (FIFO); \
+         priority dispatch ahead of the flood: {}",
+        fair_ms < fifo_ms
+    );
+}

@@ -4,10 +4,12 @@
 
 use deepdriver_core::experiments::{
     self, e10_compression, e11_faults, e12_profile, e13_serving, e14_chaos, e15_telemetry,
-    e1_precision, e2_scaling, e3_parallelism, e4_memory, e5_nvram, e6_search, e7_hybrid,
-    e8_workloads, e9_mdsurrogate,
+    e18_tenancy, e1_precision, e2_scaling, e3_parallelism, e4_memory, e5_nvram, e6_search,
+    e7_hybrid, e8_workloads, e9_mdsurrogate,
 };
 use deepdriver_core::report::Scale;
+
+type ExperimentRun = Box<dyn Fn() -> deepdriver_core::Table>;
 
 fn main() {
     let _obs = dd_obs::EnvSession::from_env();
@@ -16,7 +18,7 @@ fn main() {
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
     println!("deepdriver experiment suite — scale {scale:?}, seed {seed}\n");
 
-    let experiments: Vec<(&str, Box<dyn Fn() -> deepdriver_core::Table>)> = vec![
+    let experiments: Vec<(&str, ExperimentRun)> = vec![
         ("e1_precision", Box::new(move || e1_precision::run(scale, seed))),
         ("e2_scaling", Box::new(move || e2_scaling::run(scale, seed))),
         ("e3_parallelism", Box::new(move || e3_parallelism::run(scale, seed))),
@@ -31,6 +33,7 @@ fn main() {
         ("e13_serving", Box::new(move || e13_serving::run(scale, seed))),
         ("e14_chaos", Box::new(move || e14_chaos::run(scale, seed))),
         ("e15_telemetry", Box::new(move || e15_telemetry::run(scale, seed))),
+        ("e18_tenancy", Box::new(move || e18_tenancy::run(scale, seed))),
         // Last on purpose: e12 resets the global dd-obs registry before its
         // instrumented run, so a DD_TRACE export captures e12's profile.
         ("e12_profile", Box::new(move || e12_profile::run(scale, seed))),

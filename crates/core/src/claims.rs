@@ -7,8 +7,8 @@
 //! run (and CI-style regressions in any substrate flip a claim to FAIL).
 
 use crate::experiments::{
-    e10_compression, e11_faults, e13_serving, e14_chaos, e15_telemetry, e1_precision, e2_scaling,
-    e3_parallelism, e4_memory, e5_nvram, e6_search, e7_hybrid, e9_mdsurrogate,
+    e10_compression, e11_faults, e13_serving, e14_chaos, e15_telemetry, e18_tenancy, e1_precision,
+    e2_scaling, e3_parallelism, e4_memory, e5_nvram, e6_search, e7_hybrid, e9_mdsurrogate,
 };
 use crate::report::Scale;
 use crate::workloads;
@@ -410,6 +410,26 @@ pub fn verify_all(scale: Scale, seed: u64) -> Vec<ClaimResult> {
         });
     }
 
+    // C18 — multi-tenant serving: weighted-fair admission with priority
+    // classes protects interactive tenants through batch bursts without
+    // taxing the batch tier when capacity is spare.
+    {
+        let statement = "weighted-fair admission bounds interactive-tenant p99 through batch bursts that blow the deadline under global FIFO, at >= 90% of FIFO batch throughput when the interactive tenant is idle";
+        let rows = e18_tenancy::sweep(scale, seed);
+        let protected = e18_tenancy::interactive_protected(&rows);
+        let soaks = e18_tenancy::batch_soaks_spare_capacity(&rows);
+        let scales = e18_tenancy::autoscaler_tracks_bursts(&rows);
+        results.push(ClaimResult {
+            id: "E18",
+            statement,
+            holds: protected && soaks && scales,
+            evidence: format!(
+                "{} (mix, pattern, policy) points: interactive protected through burst {protected}, batch soak within 10% of FIFO {soaks}, autoscaler grows to ceiling under burst and stays in band {scales}",
+                rows.len()
+            ),
+        });
+    }
+
     results
 }
 
@@ -422,7 +442,7 @@ mod tests {
         // The reproduction's headline regression test: every claim verdict
         // in EXPERIMENTS.md must be reproducible programmatically.
         let results = verify_all(Scale::Smoke, 2017);
-        assert_eq!(results.len(), 14);
+        assert_eq!(results.len(), 15);
         for r in &results {
             assert!(r.holds, "{} failed: {} ({})", r.id, r.statement, r.evidence);
         }

@@ -1,4 +1,4 @@
-//! Experiments E1–E15: one module per claim in the abstract (see DESIGN.md's
+//! Experiments E1–E18: one module per claim in the abstract (see DESIGN.md's
 //! experiment index). Every module exposes `run(scale, seed) -> Table`; the
 //! `exp-*` binaries print the table and write a CSV under `results/`.
 
@@ -8,6 +8,7 @@ pub mod e12_profile;
 pub mod e13_serving;
 pub mod e14_chaos;
 pub mod e15_telemetry;
+pub mod e18_tenancy;
 pub mod e1_precision;
 pub mod e2_scaling;
 pub mod e3_parallelism;

@@ -102,7 +102,7 @@ pub fn fnum(v: f64) -> String {
         return "0".to_string();
     }
     let a = v.abs();
-    if a >= 1000.0 || a < 0.001 {
+    if !(0.001..1000.0).contains(&a) {
         format!("{v:.3e}")
     } else if a >= 10.0 {
         format!("{v:.2}")

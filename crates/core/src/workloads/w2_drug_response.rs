@@ -120,9 +120,9 @@ pub fn estimate_log_ic50(
     scaler.transform(&mut x);
     let pred = model.predict(&x);
     // First crossing below 0.5 (predictions are ~monotone in dose).
-    for i in 0..grid {
+    for (i, &dose) in log_doses.iter().enumerate().take(grid) {
         if pred.get(i, 0) < 0.5 {
-            return f64::from(log_doses[i]);
+            return f64::from(dose);
         }
     }
     let Some(last) = log_doses.last() else {

@@ -107,7 +107,7 @@ pub fn train_model(
     let (cfg, epochs) = config(scale);
     let data = amr::generate(&cfg, seed);
     let split = data.dataset.split(0.15, 0.15, seed ^ 0xF6, false);
-    let mut model = ModelSpec::new(dd_nn::InputShape::Flat(cfg.kmers))
+    let Ok(mut model) = ModelSpec::new(dd_nn::InputShape::Flat(cfg.kmers))
         .push(dd_nn::LayerSpec::Dense { out: 192, init: dd_nn::Init::He })
         .push(dd_nn::LayerSpec::Activation(Activation::Relu))
         .push(dd_nn::LayerSpec::Dropout { p: 0.1 })
@@ -115,7 +115,9 @@ pub fn train_model(
         .push(dd_nn::LayerSpec::Activation(Activation::Relu))
         .push(dd_nn::LayerSpec::Dense { out: 1, init: dd_nn::Init::Xavier })
         .build(seed ^ 0x6F, Precision::F32)
-        .expect("valid spec");
+    else {
+        unreachable!("the W6 spec is fixed-width, statically valid");
+    };
     let mut trainer = Trainer::new(TrainConfig {
         batch_size: 64,
         epochs,
@@ -125,9 +127,13 @@ pub fn train_model(
         seed,
         ..TrainConfig::default()
     });
-    let tl = split.train.y.labels().unwrap();
+    let Some(tl) = split.train.y.labels() else {
+        unreachable!("W6 is a classification workload; targets are labels");
+    };
     let y_train = Matrix::from_vec(tl.len(), 1, tl.iter().map(|&l| l as f32).collect());
-    trainer.fit(&mut model, &split.train.x, &y_train, None).expect("training converged");
+    let Ok(_history) = trainer.fit(&mut model, &split.train.x, &y_train, None) else {
+        unreachable!("W6 training is finite and shape-checked above");
+    };
     (model, split, data, epochs)
 }
 
@@ -137,11 +143,16 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     // reported seconds and the trace agree on one clock.
     let run_span = dd_obs::span("w6_amr");
     let (mut model, split, _data, _) = train_model(scale, seed);
-    let test_labels: Vec<f32> = split.test.y.labels().unwrap().iter().map(|&l| l as f32).collect();
+    let Some(raw_test_labels) = split.test.y.labels() else {
+        unreachable!("W6 is a classification workload; targets are labels");
+    };
+    let test_labels: Vec<f32> = raw_test_labels.iter().map(|&l| l as f32).collect();
     let dnn_scores = model.predict(&split.test.x).as_slice().to_vec();
     let dnn_auc = metrics::roc_auc(&dnn_scores, &test_labels);
 
-    let train_labels = split.train.y.labels().unwrap();
+    let Some(train_labels) = split.train.y.labels() else {
+        unreachable!("W6 is a classification workload; targets are labels");
+    };
     let logi = Logistic::fit(&split.train.x, train_labels, 1e-4, 200, 0.5);
     let base_auc = metrics::roc_auc(&logi.predict_proba(&split.test.x), &test_labels);
 

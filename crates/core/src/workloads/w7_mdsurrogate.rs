@@ -48,8 +48,12 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
     // reported seconds and the trace agree on one clock.
     let run_span = dd_obs::span("w7_mdsurrogate");
     let reports = run_policies(scale, seed);
-    let fine = reports.iter().find(|r| r.policy == "fine").expect("fine run");
-    let surrogate = reports.iter().find(|r| r.policy == "dnn-surrogate").expect("surrogate run");
+    let Some(fine) = reports.iter().find(|r| r.policy == "fine") else {
+        unreachable!("run_policies always includes the fine policy");
+    };
+    let Some(surrogate) = reports.iter().find(|r| r.policy == "dnn-surrogate") else {
+        unreachable!("run_policies always includes the surrogate policy");
+    };
     Outcome {
         name: "W7 md-surrogate".into(),
         metric: "force evaluations".into(),

@@ -211,7 +211,7 @@ impl Knn {
                 for &(_, l) in &dists[..self.k] {
                     votes[l] += 1;
                 }
-                votes.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0
+                votes.iter().enumerate().max_by_key(|(_, &v)| v).map_or(0, |(c, _)| c)
             })
             .collect()
     }

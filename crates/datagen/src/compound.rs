@@ -54,7 +54,7 @@ pub struct CompoundData {
 pub fn generate(config: &CompoundConfig, seed: u64) -> CompoundData {
     assert!(config.bits_per_pattern >= 1);
     assert!(
-        config.pharmacophores * config.bits_per_pattern + 1 <= config.bits,
+        config.pharmacophores * config.bits_per_pattern < config.bits,
         "patterns exceed fingerprint size"
     );
     let mut rng = Rng64::new(seed);

@@ -99,7 +99,7 @@ pub fn generate(config: &RecordsConfig, seed: u64) -> RecordsData {
             *prob = sigmoid(logit);
         }
         outcome_probs.row_mut(i).copy_from_slice(&probs);
-        let best = probs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = probs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map_or(0, |(t, _)| t);
         optimal.push(best);
 
         // Logged assignment: physician picks the best with probability
@@ -110,7 +110,7 @@ pub fn generate(config: &RecordsConfig, seed: u64) -> RecordsData {
 
         // Observed outcome.
         let noisy_logit =
-            (probs[t].max(1e-6).min(1.0 - 1e-6) / (1.0 - probs[t].clamp(1e-6, 1.0 - 1e-6))).ln()
+            (probs[t].clamp(1e-6, 1.0 - 1e-6) / (1.0 - probs[t].clamp(1e-6, 1.0 - 1e-6))).ln()
                 + rng.normal(0.0, config.noise as f64) as f32;
         let outcome = usize::from(rng.bernoulli(sigmoid(noisy_logit) as f64));
         labels.push(outcome);

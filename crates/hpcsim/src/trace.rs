@@ -124,6 +124,7 @@ impl Trace {
 /// steps — and return its trace. Per-step compute and (exposed) comm come
 /// from [`step_time`]; epoch boundaries insert steady-state I/O from the
 /// staging model.
+#[allow(clippy::too_many_arguments)]
 pub fn trace_training_run(
     machine: &Machine,
     job: &TrainJob,

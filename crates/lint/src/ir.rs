@@ -169,8 +169,7 @@ pub fn build(tokens: &[Token]) -> FileIr {
     for h in &headers {
         let owner = impls
             .iter()
-            .filter(|(range, _)| range.0 < h.fn_tok && h.fn_tok < range.1)
-            .last()
+            .rfind(|(range, _)| range.0 < h.fn_tok && h.fn_tok < range.1)
             .map(|(_, name)| name.clone());
         // Token ranges owned by fns nested inside this body are skipped so
         // every site is attributed to its innermost enclosing function.
@@ -376,6 +375,7 @@ fn lower_fn(
             || t.text.starts_with("on_reject")
             || t.text.starts_with("on_shed")
             || t.text.starts_with("on_failure")
+            || t.text.starts_with("on_scale")
         {
             f.windows = true;
         }
@@ -422,13 +422,10 @@ fn lower_fn(
             "sleep" => f.blocking.push(blocking_at(tokens, i, BlockKind::Sleep)),
             "send" => f.blocking.push(blocking_at(tokens, i, BlockKind::Send)),
             "spawn" => f.spawns.push(site.clone()),
-            "scope" => {
-                // `thread::scope(..)` / `crossbeam::scope(..)` only; a
-                // method named `scope` on something else is not a thread
-                // boundary.
-                if path_prefixed_by(tokens, i, &["thread", "crossbeam", "rayon"]) {
-                    f.spawns.push(site.clone());
-                }
+            // `thread::scope(..)` / `crossbeam::scope(..)` only; a method
+            // named `scope` on something else is not a thread boundary.
+            "scope" if path_prefixed_by(tokens, i, &["thread", "crossbeam", "rayon"]) => {
+                f.spawns.push(site.clone());
             }
             "channel" | "unbounded" | "unbounded_channel" => f.chans.push(site.clone()),
             _ => {}

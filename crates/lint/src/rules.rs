@@ -362,29 +362,33 @@ fn instrumentation(ws: &Workspace, fi: usize, out: &mut Vec<Diag>) {
 }
 
 /// Telemetry coverage: dd-serve's request paths — `serve_job*` (the worker
-/// loop driving one batch through the resilience core) and
-/// `dispatch_prefix*` (the batcher handing a prefix to a worker) — must
-/// record into the streaming-telemetry bundle, or delegate to a path that
-/// does. A request that crosses these functions without touching a
-/// telemetry hook is invisible to the sliding-window SLOs, so burn-rate
-/// alerts silently under-count exactly when they matter. Unlike the kernel
-/// rule this covers private `fn`s too: both paths are crate-internal.
+/// loop driving one batch through the resilience core), `dispatch_prefix*`
+/// (the batcher handing a prefix to a worker), `admit_*` (quota-gated
+/// admission) and `scale_*` (autoscaler actuation) — must record into the
+/// streaming-telemetry bundle, or delegate to a path that does. A request
+/// that crosses these functions without touching a telemetry hook is
+/// invisible to the sliding-window SLOs, so burn-rate alerts silently
+/// under-count exactly when they matter; an unrecorded scale action hides
+/// capacity changes from the same windows. Unlike the kernel rule this
+/// covers private `fn`s too: all four paths are crate-internal.
 fn unwindowed_serve_path(ws: &Workspace, fi: usize, out: &mut Vec<Diag>) {
     let (ctx, fir) = &ws.files[fi];
     if ctx.kind != FileKind::Lib || ctx.crate_name != "dd-serve" {
         return;
     }
+    let serve_path = |name: &str| {
+        name.starts_with("serve_job")
+            || name.starts_with("dispatch_prefix")
+            || name.starts_with("admit_")
+            || name.starts_with("scale_")
+    };
     for (ki, f) in fir.fns.iter().enumerate() {
-        let on_path = f.name.starts_with("serve_job") || f.name.starts_with("dispatch_prefix");
-        if !on_path || ctx.in_test(f.line) {
+        if !serve_path(&f.name) || ctx.in_test(f.line) {
             continue;
         }
         // Reaches a telemetry hook on some call path, or delegates by name
         // to another serve-path function.
-        let windowed = ws.windows[fi][ki]
-            || f.calls.iter().any(|site| {
-                site.name.starts_with("serve_job") || site.name.starts_with("dispatch_prefix")
-            });
+        let windowed = ws.windows[fi][ki] || f.calls.iter().any(|site| serve_path(&site.name));
         if !windowed {
             push(
                 ctx,

@@ -128,6 +128,33 @@ fn instrumentation_unwindowed_serve_path() {
 }
 
 #[test]
+fn instrumentation_unwindowed_sched_path() {
+    // The multi-tenant tier extends the rule: `admit_*` (quota admission)
+    // and `scale_*` (autoscaler actuation) are serve paths too, and both
+    // must reach a ServeTelemetry hook on some call path.
+    assert_fires(
+        "pos_unwindowed_sched.rs",
+        "dd-serve:lib",
+        3,
+        "instrumentation/unwindowed-serve-path",
+    );
+    assert_fires(
+        "pos_unwindowed_sched.rs",
+        "dd-serve:lib",
+        10,
+        "instrumentation/unwindowed-serve-path",
+    );
+    // on_scale/on_reject hooks, delegation to an admit_* entry point, and
+    // plain `admitted` accessors (no underscore prefix) are all clean.
+    assert_clean("neg_unwindowed_sched.rs", "dd-serve:lib");
+    // The rule stays scoped to dd-serve lib code.
+    let (code, stdout) = run("pos_unwindowed_sched.rs", "dd-nn:lib");
+    assert_eq!(code, 0, "only dd-serve has admission paths\nstdout: {stdout}");
+    let (code, stdout) = run("pos_unwindowed_sched.rs", "dd-serve:test");
+    assert_eq!(code, 0, "test targets need no telemetry\nstdout: {stdout}");
+}
+
+#[test]
 fn telemetry_unbounded_buffer() {
     // Flight-recorder rings and friends must declare a capacity bound. The
     // negative fixture also pins the naming scope: `RingMember` (contains

@@ -1,0 +1,32 @@
+//! Fixture: admission/autoscale paths touching ServeTelemetry hooks (or
+//! delegating to a serve-path fn that does) satisfy the telemetry check.
+fn admit_request(depth: usize, capacity: usize) -> bool {
+    let mut telemetry = acquire_telemetry();
+    if depth >= capacity {
+        telemetry.on_reject(0.0);
+        return false;
+    }
+    telemetry.on_enqueue(0.0, depth + 1);
+    true
+}
+
+fn scale_replicas(active: usize, grow: bool) -> usize {
+    let mut tel = acquire();
+    tel.on_scale(0.0, grow, active);
+    if grow {
+        active + 1
+    } else {
+        active.saturating_sub(1)
+    }
+}
+
+// Delegation counts: a wrapper that hands off to an admit_* entry point is
+// on a windowed path.
+fn admit_batch(sizes: &[usize], capacity: usize) -> usize {
+    sizes.iter().filter(|&&d| admit_request(d, capacity)).count()
+}
+
+// Accessors that merely *report* admission counts are not serve paths.
+fn admitted(counts: &[usize]) -> usize {
+    counts.iter().sum()
+}

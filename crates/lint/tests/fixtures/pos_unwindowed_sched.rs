@@ -1,0 +1,16 @@
+//! Fixture: `instrumentation/unwindowed-serve-path` must fire on lines 3
+//! and 10 — admission and autoscaling are serve paths too.
+fn admit_request(depth: usize, capacity: usize) -> bool {
+    depth < capacity
+}
+
+// An autoscaler actuation that adjusts the pool without telling the
+// telemetry windows hides capacity changes from every SLO that divides by
+// active replicas.
+fn scale_replicas(active: usize, grow: bool) -> usize {
+    if grow {
+        active + 1
+    } else {
+        active.saturating_sub(1)
+    }
+}

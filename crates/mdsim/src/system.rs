@@ -109,17 +109,17 @@ impl LjSystem {
     /// at the new positions.
     pub fn step(&mut self, dt: f64) -> f64 {
         let (f0, _) = self.forces();
-        let n = self.len();
-        for i in 0..n {
+        let box_len = self.box_len;
+        for ((p, v), a0) in self.pos.iter_mut().zip(&self.vel).zip(&f0) {
             for k in 0..2 {
-                self.pos[i][k] += self.vel[i][k] * dt + 0.5 * f0[i][k] * dt * dt;
-                self.pos[i][k] = self.pos[i][k].rem_euclid(self.box_len);
+                p[k] += v[k] * dt + 0.5 * a0[k] * dt * dt;
+                p[k] = p[k].rem_euclid(box_len);
             }
         }
         let (f1, potential) = self.forces();
-        for i in 0..n {
+        for ((v, a0), a1) in self.vel.iter_mut().zip(&f0).zip(&f1) {
             for k in 0..2 {
-                self.vel[i][k] += 0.5 * (f0[i][k] + f1[i][k]) * dt;
+                v[k] += 0.5 * (a0[k] + a1[k]) * dt;
             }
         }
         potential

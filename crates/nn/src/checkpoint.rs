@@ -43,7 +43,7 @@ pub struct TrainState {
 }
 
 /// Errors arising when decoding a checkpoint.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
     /// Buffer too short or structurally truncated.
     Truncated,

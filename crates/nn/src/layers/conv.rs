@@ -124,7 +124,7 @@ impl Conv1d {
     }
 
     /// Inverse of [`Self::to_channel_major`] for gradients.
-    fn from_channel_major(&self, dy: &Matrix, batch: usize) -> Matrix {
+    fn undo_channel_major(&self, dy: &Matrix, batch: usize) -> Matrix {
         let mut dy2 = Matrix::zeros(batch * self.out_len, self.out_ch);
         for bi in 0..batch {
             let src = dy.row(bi);
@@ -186,7 +186,7 @@ impl Layer for Conv1d {
         };
         let batch = self.cache_batch;
         assert_eq!(grad_out.cols(), self.out_ch * self.out_len, "conv1d grad width mismatch");
-        let dy2 = self.from_channel_major(grad_out, batch);
+        let dy2 = self.undo_channel_major(grad_out, batch);
         self.gw = matmul_tn_prec(patches, &dy2, prec);
         self.gb = Matrix::from_vec(1, self.out_ch, dy2.sum_rows());
         let dp = matmul_nt_prec(&dy2, &self.w, prec);

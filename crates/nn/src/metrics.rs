@@ -40,10 +40,10 @@ pub fn confusion_matrix(logits: &Matrix, labels: &[usize], classes: usize) -> Ve
 pub fn macro_f1(logits: &Matrix, labels: &[usize], classes: usize) -> f64 {
     let cm = confusion_matrix(logits, labels, classes);
     let mut f1_sum = 0f64;
-    for c in 0..classes {
-        let tp = cm[c][c] as f64;
+    for (c, row) in cm.iter().enumerate() {
+        let tp = row[c] as f64;
         let fp: f64 = (0..classes).filter(|&t| t != c).map(|t| cm[t][c] as f64).sum();
-        let fnv: f64 = (0..classes).filter(|&p| p != c).map(|p| cm[c][p] as f64).sum();
+        let fnv: f64 = (0..classes).filter(|&p| p != c).map(|p| row[p] as f64).sum();
         let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
         let recall = if tp + fnv > 0.0 { tp / (tp + fnv) } else { 0.0 };
         f1_sum += if precision + recall > 0.0 {

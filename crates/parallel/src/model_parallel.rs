@@ -52,7 +52,7 @@ pub fn partition_by_params(spec: &ModelSpec, parts: usize) -> Result<Partition, 
         // stages.
         let must_cut = remaining_layers == remaining_stages && bounds.last() != Some(&i);
         let over_target = acc > 0 && (acc + p) as f64 > target * bounds.len() as f64;
-        if bounds.len() <= parts - 1 && (must_cut || over_target) {
+        if bounds.len() < parts && (must_cut || over_target) {
             bounds.push(i);
             // acc continues accumulating globally against stage targets.
         }

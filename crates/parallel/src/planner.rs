@@ -30,7 +30,7 @@ pub fn enumerate_plans(
     let max_model = (job.cuttable_layers + 1).max(1);
     let mut plans = Vec::new();
     for model_ways in 1..=max_model.min(nodes) {
-        if nodes % model_ways != 0 {
+        if !nodes.is_multiple_of(model_ways) {
             continue;
         }
         let data_ways = nodes / model_ways;

@@ -53,6 +53,23 @@ pub enum ServeError {
         /// Snapshot version whose breaker rejected the dispatch.
         version: u64,
     },
+    /// No tenant with this name exists in the directory.
+    UnknownTenant(String),
+    /// Two tenants in a directory share one name.
+    DuplicateTenant(String),
+    /// A tenant directory must describe at least one tenant.
+    EmptyDirectory,
+    /// The tenant's own queue quota is full: admission control rejected
+    /// the request so this tenant's burst cannot occupy another tenant's
+    /// queue space.
+    QuotaExceeded {
+        /// Tenant whose quota rejected the request.
+        tenant: String,
+        /// The tenant's queue depth at rejection time.
+        depth: usize,
+        /// The tenant's configured queue quota.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -77,6 +94,12 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::CircuitOpen { version } => {
                 write!(f, "circuit breaker open for model version {version}")
+            }
+            ServeError::UnknownTenant(name) => write!(f, "unknown tenant '{name}'"),
+            ServeError::DuplicateTenant(name) => write!(f, "duplicate tenant '{name}'"),
+            ServeError::EmptyDirectory => write!(f, "tenant directory is empty"),
+            ServeError::QuotaExceeded { tenant, depth, capacity } => {
+                write!(f, "tenant '{tenant}' quota exceeded: depth {depth} at capacity {capacity}")
             }
         }
     }
@@ -113,6 +136,13 @@ mod tests {
             (ServeError::EmptyRequest, "empty"),
             (ServeError::ReplicaFailed { replica: 2, attempts: 4 }, "gave up after 4 attempts"),
             (ServeError::CircuitOpen { version: 7 }, "circuit breaker open"),
+            (ServeError::UnknownTenant("lab".into()), "unknown tenant"),
+            (ServeError::DuplicateTenant("lab".into()), "duplicate tenant"),
+            (ServeError::EmptyDirectory, "directory is empty"),
+            (
+                ServeError::QuotaExceeded { tenant: "lab".into(), depth: 4, capacity: 4 },
+                "quota exceeded",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

@@ -34,6 +34,14 @@
 //!   caller's clock so the threaded [`Server`] and the
 //!   [`simulate_chaos_telemetry`] virtual-time twin emit bit-identical
 //!   [`TelemetryReport`]s from identical event streams.
+//! * [`TenantDirectory`] / [`DrrScheduler`] / [`Autoscaler`] — the
+//!   multi-tenant platform tier: per-tenant quotas and models, strict
+//!   [`PriorityClass`]es with deficit-round-robin weighted fairness
+//!   between tenants of a class ([`plan_fair`] replaces the single global
+//!   FIFO), and a queue-depth replica autoscaler with hysteresis. One
+//!   pure decision core drives both the threaded [`Server`] (tenanted
+//!   mode) and the [`simulate_tenants`] virtual-time twin, which is what
+//!   E18 sweeps at millions of simulated requests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,9 +53,11 @@ pub mod loadgen;
 pub mod registry;
 pub mod replica;
 pub mod resil;
+pub mod sched;
 pub mod server;
 pub mod sim;
 pub mod telemetry;
+pub mod tenant;
 
 pub use batcher::{plan, BatchDecision, BatchPolicy};
 pub use dispatch::dispatch_batch;
@@ -59,11 +69,18 @@ pub use resil::{
     Action, AttemptOutcome, BreakerPolicy, BreakerState, CircuitBreaker, GiveUpReason, HedgePolicy,
     ResilPolicy, ResilientCall, RetryPolicy,
 };
-pub use server::{ResilConfig, ResponseHandle, ServeConfig, Server, ServerStats};
+pub use sched::{
+    plan_fair, AutoscalePolicy, Autoscaler, DrrScheduler, QueueView, ScaleDecision, SchedDecision,
+};
+pub use server::{
+    ResilConfig, ResponseHandle, ServeConfig, Server, ServerStats, TenantServerStats,
+};
 pub use sim::{
-    simulate, simulate_chaos, simulate_chaos_telemetry, ChaosConfig, ChaosReport, ServiceModel,
-    SimConfig, SimReport,
+    simulate, simulate_chaos, simulate_chaos_telemetry, simulate_tenants, ChaosConfig, ChaosReport,
+    ServiceModel, SimConfig, SimReport, TenantLoad, TenantSimConfig, TenantSimReport, TenantStats,
 };
 pub use telemetry::{
-    FlightDump, ServeTelemetry, TelemetryConfig, TelemetryReport, SLO_AVAILABILITY, SLO_LATENCY,
+    ClassReport, FlightDump, ServeTelemetry, TelemetryConfig, TelemetryReport, SLO_AVAILABILITY,
+    SLO_LATENCY,
 };
+pub use tenant::{PriorityClass, TenantDirectory, TenantId, TenantSpec};

@@ -27,6 +27,7 @@ use std::collections::BTreeMap;
 pub struct ReplicaSetState {
     respawn_s: f64,
     rr: usize,
+    active: usize,
     up: Vec<bool>,
     down_until: Vec<f64>,
     busy_until: Vec<f64>,
@@ -45,6 +46,7 @@ impl ReplicaSetState {
         ReplicaSetState {
             respawn_s,
             rr: 0,
+            active: replicas,
             up: vec![true; replicas],
             down_until: vec![0.0; replicas],
             busy_until: vec![0.0; replicas],
@@ -55,9 +57,23 @@ impl ReplicaSetState {
         }
     }
 
-    /// Pool size.
+    /// Pool size (provisioned replicas, the autoscaler's `max`).
     pub fn len(&self) -> usize {
         self.up.len()
+    }
+
+    /// Replicas currently activated for traffic (autoscaler-controlled;
+    /// defaults to the full pool).
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Activate exactly the first `n` replicas. The pool is pre-allocated
+    /// at its maximum size, so scaling is a bound change, not an
+    /// allocation; deactivated replicas keep their breaker and health
+    /// state for when they return. Clamped to `1..=len`.
+    pub fn set_active(&mut self, n: usize) {
+        self.active = n.clamp(1, self.up.len());
     }
 
     /// `true` when the pool is empty (never: construction requires >= 1).
@@ -85,9 +101,10 @@ impl ReplicaSetState {
         }
     }
 
-    /// Whether `r` is in rotation and its breaker passes traffic.
+    /// Whether `r` is activated, in rotation, and its breaker passes
+    /// traffic.
     pub fn available(&self, r: usize, now_s: f64) -> bool {
-        self.up[r] && self.breakers[r].allow(now_s)
+        r < self.active && self.up[r] && self.breakers[r].allow(now_s)
     }
 
     /// Earliest time `r` is believed back in rotation (`now_s` if up).
@@ -162,9 +179,10 @@ impl ReplicaSetState {
         self.breakers[r].state(now_s)
     }
 
-    /// Number of replicas whose breaker is open at `now_s` (gauge feed).
+    /// Number of active replicas whose breaker is open at `now_s` (gauge
+    /// feed).
     pub fn open_breakers(&self, now_s: f64) -> usize {
-        (0..self.up.len()).filter(|&r| self.breaker_state(r, now_s) == BreakerState::Open).count()
+        (0..self.active).filter(|&r| self.breaker_state(r, now_s) == BreakerState::Open).count()
     }
 
     /// Evictions so far.
@@ -422,6 +440,26 @@ mod tests {
         s.refresh(0.3);
         assert!(s.available(0, 0.3));
         assert_eq!(s.respawns(), 1);
+    }
+
+    #[test]
+    fn set_active_bounds_rotation() {
+        let mut s = set(3);
+        assert_eq!(s.active(), 3);
+        s.set_active(1);
+        // Only replica 0 is pickable now; the cursor keeps cycling on it.
+        assert_eq!(s.pick(0.0, None), Some(0));
+        assert_eq!(s.pick(0.0, None), Some(0));
+        assert!(!s.available(2, 0.0));
+        // Reactivation restores the full rotation and preserved state.
+        s.set_active(3);
+        assert_eq!(s.pick(0.0, None), Some(1));
+        assert_eq!(s.pick(0.0, None), Some(2));
+        // Clamped: the pool can never go dark or past its allocation.
+        s.set_active(0);
+        assert_eq!(s.active(), 1);
+        s.set_active(99);
+        assert_eq!(s.active(), 3);
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! Weighted-fair admission scheduling and replica autoscaling — the pure
+//! multi-tenant decision core.
+//!
+//! Like [`crate::batcher::plan`], everything here is pure in `now`: the
+//! threaded server feeds `dd_obs::monotonic_seconds()`, the virtual-time
+//! simulator feeds simulated time, and both drive the *same* state
+//! machines, so the E18 tenancy sweep measures exactly the scheduling the
+//! real server performs. Nothing in this module reads a clock, draws
+//! randomness, or records telemetry; the engines own all of that at their
+//! `admit*`/`scale*` entry points.
+//!
+//! Two pieces:
+//!
+//! * [`DrrScheduler`] / [`plan_fair`] — strict priority between
+//!   [`PriorityClass`]es, deficit-round-robin (DRR) weighted fairness
+//!   between tenants of the same class. Each tenant's per-queue batching
+//!   readiness is decided by the *existing* single-queue core
+//!   ([`crate::batcher::plan`]), so the multi-tenant scheduler composes
+//!   with, rather than replaces, the E13 batching semantics.
+//! * [`Autoscaler`] — queue-depth-driven replica scaling with hysteresis
+//!   (distinct grow/shrink watermarks) and a cooldown between actions,
+//!   clamped to a configured `[min_replicas, max_replicas]` band.
+
+use crate::batcher::{plan, BatchDecision, BatchPolicy};
+use crate::tenant::{TenantDirectory, TenantId};
+
+/// Snapshot of one tenant's queue, as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueView {
+    /// Requests currently queued for this tenant.
+    pub pending: usize,
+    /// Enqueue time of the oldest pending request (ignored when
+    /// `pending == 0`).
+    pub oldest_s: f64,
+}
+
+impl QueueView {
+    /// An empty queue.
+    pub fn empty() -> Self {
+        QueueView { pending: 0, oldest_s: 0.0 }
+    }
+}
+
+/// What the multi-tenant scheduler wants to happen next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedDecision {
+    /// Dispatch the first `n` requests of tenant `tenant` as one batch.
+    Dispatch {
+        /// Tenant whose queue wins this dispatch slot.
+        tenant: TenantId,
+        /// Batch size to take from its queue head.
+        n: usize,
+    },
+    /// Nothing dispatchable yet: sleep at most this many seconds (or until
+    /// an arrival) and re-plan.
+    WaitFor(f64),
+    /// No tenant has pending requests.
+    Idle,
+}
+
+/// Deficit-round-robin scheduler state: one deficit counter per tenant.
+///
+/// Selection is strict-priority across classes, then argmax-deficit within
+/// the winning class (ties break to the lowest tenant id, so directory
+/// order is the deterministic tiebreaker). When no ready tenant in the
+/// class holds a full credit, every ready tenant is topped up by
+/// `quantum × weight` and selection retries — the classic DRR round,
+/// expressed eagerly. Dispatched rows are paid back via [`charge`], and a
+/// tenant whose queue empties forfeits its unused deficit (idle tenants
+/// must not hoard credit).
+///
+/// [`charge`]: DrrScheduler::charge
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrrScheduler {
+    ranks: Vec<usize>,
+    weights: Vec<f64>,
+    deficits: Vec<f64>,
+    quantum: f64,
+}
+
+/// Default DRR quantum in rows; one top-up grants a default-sized batch
+/// per unit weight, so a weight-2 tenant earns two batches per round.
+pub const DRR_QUANTUM_ROWS: f64 = 16.0;
+
+impl DrrScheduler {
+    /// Scheduler over the tenants of `dir` with the default quantum.
+    pub fn new(dir: &TenantDirectory) -> Self {
+        Self::with_quantum(dir, DRR_QUANTUM_ROWS)
+    }
+
+    /// Scheduler with an explicit per-round quantum (rows; must be >= 1 so
+    /// every top-up round makes progress).
+    pub fn with_quantum(dir: &TenantDirectory, quantum: f64) -> Self {
+        assert!(quantum >= 1.0 && quantum.is_finite(), "quantum must be >= 1 row");
+        DrrScheduler {
+            ranks: dir.specs().iter().map(|s| s.class.rank()).collect(),
+            weights: dir.specs().iter().map(|s| f64::from(s.weight)).collect(),
+            deficits: vec![0.0; dir.len()],
+            quantum,
+        }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the scheduler tracks no tenants (never: directories are
+    /// non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Current deficit of tenant `t` (test/bench observability).
+    pub fn deficit(&self, t: TenantId) -> f64 {
+        self.deficits[t]
+    }
+
+    /// Pick the tenant to dispatch next. `ready[t]` means tenant `t` has a
+    /// dispatchable batch *right now*; `backlogged[t]` means it has any
+    /// pending requests. Returns `None` when nothing is ready.
+    pub fn select(&mut self, ready: &[bool], backlogged: &[bool]) -> Option<TenantId> {
+        assert_eq!(ready.len(), self.ranks.len(), "ready mask width");
+        assert_eq!(backlogged.len(), self.ranks.len(), "backlog mask width");
+        // Idle tenants forfeit unused credit: fairness is over offered
+        // load, not wall-clock existence.
+        for (d, &has_backlog) in self.deficits.iter_mut().zip(backlogged) {
+            if !has_backlog {
+                *d = 0.0;
+            }
+        }
+        let rank = (0..self.ranks.len()).filter(|&t| ready[t]).map(|t| self.ranks[t]).min()?;
+        let class: Vec<TenantId> =
+            (0..self.ranks.len()).filter(|&t| ready[t] && self.ranks[t] == rank).collect();
+        loop {
+            let (best, best_d) = class.iter().map(|&t| (t, self.deficits[t])).fold(
+                (class[0], f64::NEG_INFINITY),
+                |(bt, bd), (t, d)| {
+                    if d > bd {
+                        (t, d)
+                    } else {
+                        (bt, bd)
+                    }
+                },
+            );
+            if best_d >= 1.0 {
+                return Some(best);
+            }
+            // DRR round: replenish every ready tenant in the class. Each
+            // round adds >= quantum >= 1 to the max, so this terminates in
+            // at most `1 - best_d` rounds (deficits are bounded below by
+            // the largest batch ever charged).
+            for &t in &class {
+                self.deficits[t] += self.quantum * self.weights[t];
+            }
+        }
+    }
+
+    /// Pay for `rows` dispatched rows out of tenant `t`'s deficit.
+    pub fn charge(&mut self, t: TenantId, rows: usize) {
+        self.deficits[t] -= rows as f64;
+    }
+}
+
+/// Decide the next multi-tenant batching action.
+///
+/// Per-tenant readiness is [`crate::batcher::plan`] applied to that
+/// tenant's queue; the DRR core then arbitrates between ready tenants.
+/// The caller dispatches the returned batch and pays for the rows actually
+/// taken with [`DrrScheduler::charge`] — both engines follow that exact
+/// sequence, which is what makes their scheduling transcripts comparable
+/// bit for bit.
+pub fn plan_fair(
+    policy: &BatchPolicy,
+    sched: &mut DrrScheduler,
+    now_s: f64,
+    queues: &[QueueView],
+    draining: bool,
+) -> SchedDecision {
+    assert_eq!(queues.len(), sched.len(), "one queue view per tenant");
+    let mut ready = vec![false; queues.len()];
+    let mut backlogged = vec![false; queues.len()];
+    let mut soonest = f64::INFINITY;
+    for (t, q) in queues.iter().enumerate() {
+        if q.pending == 0 {
+            continue;
+        }
+        backlogged[t] = true;
+        match plan(policy, now_s, q.oldest_s, q.pending, draining) {
+            BatchDecision::Dispatch(_) => ready[t] = true,
+            BatchDecision::WaitFor(s) => soonest = soonest.min(s),
+            BatchDecision::Idle => {}
+        }
+    }
+    if let Some(t) = sched.select(&ready, &backlogged) {
+        return SchedDecision::Dispatch { tenant: t, n: queues[t].pending.min(policy.max_batch) };
+    }
+    if backlogged.iter().any(|&b| b) {
+        SchedDecision::WaitFor(soonest)
+    } else {
+        SchedDecision::Idle
+    }
+}
+
+/// Knobs of the queue-depth autoscaler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalePolicy {
+    /// Never shrink below this many active replicas.
+    pub min_replicas: usize,
+    /// Never grow past this many active replicas (the provisioned pool).
+    pub max_replicas: usize,
+    /// Grow when total queued requests reach this depth.
+    pub high_depth: usize,
+    /// Shrink when total queued requests fall to this depth or below.
+    /// Must sit strictly under `high_depth` — the gap is the hysteresis
+    /// band that prevents flapping.
+    pub low_depth: usize,
+    /// Minimum seconds between consecutive scaling actions.
+    pub cooldown_s: f64,
+}
+
+impl AutoscalePolicy {
+    /// A validated policy. Panics on an empty band or inverted clamps —
+    /// configuration bugs, not runtime conditions.
+    pub fn new(
+        min_replicas: usize,
+        max_replicas: usize,
+        high_depth: usize,
+        low_depth: usize,
+        cooldown_s: f64,
+    ) -> Self {
+        assert!(min_replicas >= 1, "min_replicas must be >= 1");
+        assert!(max_replicas >= min_replicas, "max_replicas must be >= min_replicas");
+        assert!(high_depth > low_depth, "need hysteresis: high_depth must exceed low_depth");
+        assert!(cooldown_s >= 0.0 && cooldown_s.is_finite(), "cooldown_s must be >= 0");
+        AutoscalePolicy { min_replicas, max_replicas, high_depth, low_depth, cooldown_s }
+    }
+}
+
+/// What the autoscaler wants done to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Activate one more replica.
+    Grow,
+    /// Deactivate one replica.
+    Shrink,
+    /// Leave the pool as is.
+    Hold,
+}
+
+/// Queue-depth-driven autoscaler with hysteresis and cooldown.
+///
+/// Pure in `now`: the engines sample their own clocks and report observed
+/// total queue depth plus the current active-replica count; the autoscaler
+/// answers with a [`ScaleDecision`] and remembers only the time of its
+/// last action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Autoscaler {
+    policy: AutoscalePolicy,
+    last_action_s: Option<f64>,
+}
+
+impl Autoscaler {
+    /// Autoscaler applying `policy`.
+    pub fn new(policy: AutoscalePolicy) -> Self {
+        Autoscaler { policy, last_action_s: None }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> &AutoscalePolicy {
+        &self.policy
+    }
+
+    /// Decide for total queue depth `depth` and `active` replicas at
+    /// `now_s`. Returns `Hold` inside the cooldown window regardless of
+    /// depth; otherwise grows above the high watermark and shrinks at or
+    /// below the low one, clamped to the configured band.
+    pub fn decide(&mut self, now_s: f64, depth: usize, active: usize) -> ScaleDecision {
+        if let Some(last) = self.last_action_s {
+            if now_s - last < self.policy.cooldown_s {
+                return ScaleDecision::Hold;
+            }
+        }
+        if depth >= self.policy.high_depth && active < self.policy.max_replicas {
+            self.last_action_s = Some(now_s);
+            return ScaleDecision::Grow;
+        }
+        if depth <= self.policy.low_depth && active > self.policy.min_replicas {
+            self.last_action_s = Some(now_s);
+            return ScaleDecision::Shrink;
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::{PriorityClass, TenantSpec};
+
+    fn dir(specs: &[(&str, PriorityClass, u32)]) -> TenantDirectory {
+        TenantDirectory::new(
+            specs.iter().map(|(n, c, w)| TenantSpec::new(n, *c, *w, 64, "m")).collect(),
+        )
+        .unwrap()
+    }
+
+    fn policy() -> BatchPolicy {
+        BatchPolicy::new(8, 0.002, 0.1)
+    }
+
+    #[test]
+    fn strict_priority_preempts_lower_classes() {
+        let d = dir(&[
+            ("clinic", PriorityClass::Interactive, 1),
+            ("screen", PriorityClass::Batch, 4),
+            ("scav", PriorityClass::BestEffort, 8),
+        ]);
+        let mut s = DrrScheduler::new(&d);
+        let ready = [true, true, true];
+        let backlogged = [true, true, true];
+        // However heavy the lower-class weights, interactive wins while
+        // ready.
+        for _ in 0..10 {
+            assert_eq!(s.select(&ready, &backlogged), Some(0));
+            s.charge(0, 8);
+        }
+        // With interactive drained, batch preempts best-effort.
+        assert_eq!(s.select(&[false, true, true], &backlogged), Some(1));
+    }
+
+    #[test]
+    fn weights_split_rows_proportionally() {
+        let d = dir(&[("a", PriorityClass::Batch, 3), ("b", PriorityClass::Batch, 1)]);
+        let mut s = DrrScheduler::new(&d);
+        let mut rows = [0usize; 2];
+        for _ in 0..400 {
+            let t = s.select(&[true, true], &[true, true]).unwrap();
+            rows[t] += 8;
+            s.charge(t, 8);
+        }
+        let share = rows[0] as f64 / (rows[0] + rows[1]) as f64;
+        assert!(
+            (share - 0.75).abs() < 0.05,
+            "weight-3 tenant should take ~75% of rows, got {share:.3} ({rows:?})"
+        );
+    }
+
+    #[test]
+    fn idle_tenants_forfeit_deficit() {
+        let d = dir(&[("a", PriorityClass::Batch, 1), ("b", PriorityClass::Batch, 1)]);
+        let mut s = DrrScheduler::new(&d);
+        // Tenant 0 alone accumulates and spends credit.
+        assert_eq!(s.select(&[true, false], &[true, false]), Some(0));
+        // Tenant 0 goes idle: its leftover credit must reset, so when both
+        // return they restart even.
+        let _ = s.select(&[false, true], &[false, true]);
+        assert_eq!(s.deficit(0), 0.0);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_id() {
+        let d = dir(&[("a", PriorityClass::Batch, 1), ("b", PriorityClass::Batch, 1)]);
+        let mut s = DrrScheduler::new(&d);
+        assert_eq!(s.select(&[true, true], &[true, true]), Some(0));
+    }
+
+    #[test]
+    fn select_is_deterministic() {
+        let d = dir(&[
+            ("a", PriorityClass::Batch, 2),
+            ("b", PriorityClass::Batch, 1),
+            ("c", PriorityClass::Interactive, 1),
+        ]);
+        let run = || {
+            let mut s = DrrScheduler::new(&d);
+            let mut picks = Vec::new();
+            for i in 0..100 {
+                let ready = [true, i % 3 != 0, i % 7 == 0];
+                let t = s.select(&ready, &[true, true, true]);
+                if let Some(t) = t {
+                    s.charge(t, 5);
+                }
+                picks.push(t);
+            }
+            picks
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn plan_fair_mirrors_single_queue_semantics() {
+        let d = dir(&[("a", PriorityClass::Batch, 1)]);
+        let p = policy();
+        let mut s = DrrScheduler::new(&d);
+        // Empty: idle.
+        assert_eq!(plan_fair(&p, &mut s, 1.0, &[QueueView::empty()], false), SchedDecision::Idle);
+        // Partial young batch: wait out max_wait, like `plan`.
+        let q = [QueueView { pending: 3, oldest_s: 1.0 }];
+        match plan_fair(&p, &mut s, 1.0, &q, false) {
+            SchedDecision::WaitFor(w) => assert!((w - 0.002).abs() < 1e-12),
+            other => panic!("expected WaitFor, got {other:?}"),
+        }
+        // Full queue dispatches max_batch.
+        let q = [QueueView { pending: 20, oldest_s: 1.0 }];
+        assert_eq!(
+            plan_fair(&p, &mut s, 1.0, &q, false),
+            SchedDecision::Dispatch { tenant: 0, n: 8 }
+        );
+        // Draining flushes partials.
+        let q = [QueueView { pending: 3, oldest_s: 1.0 }];
+        assert_eq!(
+            plan_fair(&p, &mut s, 1.0, &q, true),
+            SchedDecision::Dispatch { tenant: 0, n: 3 }
+        );
+    }
+
+    #[test]
+    fn plan_fair_prefers_ready_interactive_over_batch_backlog() {
+        let d =
+            dir(&[("clinic", PriorityClass::Interactive, 1), ("screen", PriorityClass::Batch, 1)]);
+        let p = policy();
+        let mut s = DrrScheduler::new(&d);
+        let q =
+            [QueueView { pending: 8, oldest_s: 0.0 }, QueueView { pending: 400, oldest_s: 0.0 }];
+        assert_eq!(
+            plan_fair(&p, &mut s, 0.01, &q, false),
+            SchedDecision::Dispatch { tenant: 0, n: 8 }
+        );
+    }
+
+    #[test]
+    fn autoscaler_hysteresis_and_cooldown() {
+        let mut a = Autoscaler::new(AutoscalePolicy::new(1, 4, 32, 4, 1.0));
+        // Above high watermark: grow.
+        assert_eq!(a.decide(0.0, 40, 1), ScaleDecision::Grow);
+        // Inside the cooldown window: hold even at high depth.
+        assert_eq!(a.decide(0.5, 80, 2), ScaleDecision::Hold);
+        // Cooldown over, still deep: grow again.
+        assert_eq!(a.decide(1.0, 80, 2), ScaleDecision::Grow);
+        // In the hysteresis band (low < depth < high): hold forever.
+        assert_eq!(a.decide(2.5, 16, 3), ScaleDecision::Hold);
+        // At/below the low watermark: shrink.
+        assert_eq!(a.decide(3.0, 2, 3), ScaleDecision::Shrink);
+        // Clamped at min: hold even when empty.
+        assert_eq!(a.decide(5.0, 0, 1), ScaleDecision::Hold);
+        // Clamped at max: hold even when flooded.
+        assert_eq!(a.decide(6.0, 1000, 4), ScaleDecision::Hold);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn inverted_watermarks_rejected() {
+        let _ = AutoscalePolicy::new(1, 4, 4, 8, 1.0);
+    }
+}

@@ -26,12 +26,16 @@ use crate::error::ServeError;
 use crate::registry::{ModelRegistry, ModelSnapshot};
 use crate::replica::{FaultPlan, FaultSpec, Injected, ReplicaSetState, VersionGuard};
 use crate::resil::{Action, AttemptOutcome, GiveUpReason, ResilPolicy, ResilientCall};
+use crate::sched::{
+    plan_fair, AutoscalePolicy, Autoscaler, DrrScheduler, QueueView, ScaleDecision, SchedDecision,
+};
 use crate::telemetry::{ServeTelemetry, TelemetryConfig, TelemetryReport};
+use crate::tenant::{PriorityClass, TenantDirectory, TenantId};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use dd_tensor::{Matrix, Rng64};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -144,6 +148,8 @@ struct Request {
     model: String,
     features: Vec<f32>,
     enqueue_s: f64,
+    /// Tenant id and class when admitted through [`Server::submit_as`].
+    tenant: Option<(TenantId, PriorityClass)>,
     resp: Sender<Response>,
 }
 
@@ -151,6 +157,12 @@ struct Job {
     snapshot: Arc<ModelSnapshot>,
     rows: Matrix,
     dispatched_s: f64,
+    /// Tenant of every request in this batch (tenanted batches are
+    /// single-tenant by construction).
+    tenant: Option<(TenantId, PriorityClass)>,
+    /// Deadline of the policy that dispatched this batch, for per-class
+    /// deadline-violation accounting.
+    deadline_s: f64,
     meta: Vec<(u64, f64, Sender<Response>)>,
 }
 
@@ -176,6 +188,75 @@ impl ResponseHandle {
     }
 }
 
+/// Lifetime counters of one tenant on a tenanted server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantServerStats {
+    /// Requests accepted within the tenant's quota.
+    pub admitted: u64,
+    /// Requests rejected by the tenant's quota.
+    pub rejected: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Requests shed for exceeding their deadline.
+    pub shed: u64,
+    /// Admitted requests answered with a non-deadline error.
+    pub failed: u64,
+}
+
+#[derive(Default)]
+struct TenantCounters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl TenantCounters {
+    fn snapshot(&self) -> TenantServerStats {
+        TenantServerStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Multi-tenant admission state shared between the submit path, the
+/// weighted-fair batcher, and the workers: the validated directory, one
+/// live queue-depth counter per tenant (the quota gate), and per-tenant
+/// lifetime counters.
+struct TenancyState {
+    directory: TenantDirectory,
+    depths: Vec<AtomicUsize>,
+    counters: Vec<TenantCounters>,
+}
+
+impl TenancyState {
+    fn new(directory: TenantDirectory) -> TenancyState {
+        let n = directory.len();
+        TenancyState {
+            directory,
+            depths: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            counters: (0..n).map(|_| TenantCounters::default()).collect(),
+        }
+    }
+
+    /// One request left the system (answered or shed): release its quota
+    /// slot and bump the matching lifetime counter.
+    fn settle(&self, t: TenantId, outcome: &Result<(), &ServeError>) {
+        self.depths[t].fetch_sub(1, Ordering::Relaxed);
+        let counter = match outcome {
+            Ok(()) => &self.counters[t].completed,
+            Err(ServeError::DeadlineExceeded { .. }) => &self.counters[t].shed,
+            Err(_) => &self.counters[t].failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Shared resilience state: the replica set, the deterministic fault
 /// injector, the per-version guard, and the backoff-jitter rng. Workers
 /// lock only around the decision core's `next`/`observe` steps; inference
@@ -192,10 +273,12 @@ struct ResilShared {
     telemetry: Mutex<ServeTelemetry>,
     /// Monotonically increasing request ids (telemetry exemplars/traces).
     ids: AtomicU64,
+    /// Multi-tenant state ([`Server::start_tenanted`] only).
+    tenancy: Option<TenancyState>,
 }
 
 impl ResilShared {
-    fn new(config: &ServeConfig) -> ResilShared {
+    fn new(config: &ServeConfig, tenancy: Option<TenantDirectory>) -> ResilShared {
         let replicas =
             if config.resil.replicas == 0 { config.workers } else { config.resil.replicas };
         let policy = config.resil.policy;
@@ -210,6 +293,7 @@ impl ResilShared {
             rng: Mutex::new(Rng64::new(faults.seed).split(u64::from(u32::MAX) - 1)),
             telemetry: Mutex::new(telemetry),
             ids: AtomicU64::new(0),
+            tenancy: tenancy.map(TenancyState::new),
         }
     }
 }
@@ -231,7 +315,7 @@ impl Server {
         assert!(config.queue_capacity >= 1, "queue_capacity must be >= 1");
         assert!(config.workers >= 1, "workers must be >= 1");
         let stats = Arc::new(StatsInner::default());
-        let resil = Arc::new(ResilShared::new(&config));
+        let resil = Arc::new(ResilShared::new(&config, None));
         let (tx, rx) = bounded::<Request>(config.queue_capacity);
         let (job_tx, job_rx) = bounded::<Job>(config.workers);
 
@@ -260,6 +344,60 @@ impl Server {
             batcher: Some(batcher),
             workers,
             capacity: config.queue_capacity,
+            stats,
+            resil,
+        }
+    }
+
+    /// Spawn a multi-tenant server: per-tenant quota admission, strict
+    /// priority between classes with DRR weighted fairness within a class
+    /// ([`crate::sched::plan_fair`] — the same decision core the
+    /// virtual-time twin drives), and a queue-depth autoscaler moving the
+    /// active-replica count inside `scale`'s band. The replica pool is
+    /// provisioned at `scale.max_replicas`; `config.resil.replicas` is
+    /// ignored. Submit with [`Server::submit_as`]; each tenant's requests
+    /// route to its directory-configured model.
+    pub fn start_tenanted(
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        directory: TenantDirectory,
+        scale: AutoscalePolicy,
+    ) -> Server {
+        assert!(config.workers >= 1, "workers must be >= 1");
+        let mut config = config;
+        config.resil.replicas = scale.max_replicas;
+        let capacity: usize = directory.specs().iter().map(|s| s.queue_capacity).sum();
+        let stats = Arc::new(StatsInner::default());
+        let resil = Arc::new(ResilShared::new(&config, Some(directory)));
+        resil.set.lock().set_active(scale.min_replicas);
+        let (tx, rx) = bounded::<Request>(capacity.max(1));
+        let (job_tx, job_rx) = bounded::<Job>(config.workers);
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let job_rx = job_rx.clone();
+            let stats = Arc::clone(&stats);
+            let resil = Arc::clone(&resil);
+            workers.push(std::thread::spawn(move || worker_loop(&job_rx, &stats, &resil)));
+        }
+        drop(job_rx);
+
+        let batcher = {
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            let resil = Arc::clone(&resil);
+            let policy = config.policy;
+            std::thread::spawn(move || {
+                tenant_batcher_loop(&rx, &registry, policy, scale, &job_tx, &stats, &resil)
+            })
+        };
+
+        Server {
+            registry,
+            tx: Some(tx),
+            batcher: Some(batcher),
+            workers,
+            capacity: capacity.max(1),
             stats,
             resil,
         }
@@ -296,6 +434,7 @@ impl Server {
             model: model.to_string(),
             features,
             enqueue_s,
+            tenant: None,
             resp: resp_tx,
         };
         match tx.try_send(req) {
@@ -313,6 +452,55 @@ impl Server {
             }
             Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
         }
+    }
+
+    /// Submit one request as `tenant` (tenanted servers only). The request
+    /// routes to the tenant's directory-configured model and is admitted
+    /// against the tenant's own queue quota, so one tenant's burst can
+    /// never occupy another tenant's queue space.
+    pub fn submit_as(
+        &self,
+        tenant: &str,
+        features: Vec<f32>,
+    ) -> Result<ResponseHandle, ServeError> {
+        let Some(ts) = self.resil.tenancy.as_ref() else {
+            return Err(ServeError::UnknownTenant(tenant.to_string()));
+        };
+        let t = ts.directory.resolve(tenant)?;
+        let spec = ts.directory.spec(t);
+        if features.is_empty() {
+            return Err(ServeError::EmptyRequest);
+        }
+        let snap = self.registry.get(&spec.model)?;
+        if features.len() != snap.input_dim() {
+            return Err(ServeError::ShapeMismatch {
+                expected: snap.input_dim(),
+                got: features.len(),
+            });
+        }
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(ServeError::ShuttingDown);
+        };
+        admit_request(tx, t, features, &self.stats, &self.resil)
+    }
+
+    /// Per-tenant lifetime counters, in directory order with tenant names
+    /// (tenanted servers only; empty otherwise).
+    pub fn tenant_stats(&self) -> Vec<(String, TenantServerStats)> {
+        let Some(ts) = self.resil.tenancy.as_ref() else {
+            return Vec::new();
+        };
+        ts.directory
+            .specs()
+            .iter()
+            .zip(&ts.counters)
+            .map(|(spec, c)| (spec.name.clone(), c.snapshot()))
+            .collect()
+    }
+
+    /// Replicas the autoscaler currently keeps in rotation.
+    pub fn active_replicas(&self) -> usize {
+        self.resil.set.lock().active()
     }
 
     /// Summarize the server's streaming telemetry — sliding-window latency,
@@ -352,6 +540,13 @@ impl Drop for Server {
 }
 
 fn respond(stats: &StatsInner, resil: &ResilShared, now: f64, req: Request, err: ServeError) {
+    if let (Some((t, class)), Some(ts)) = (req.tenant, resil.tenancy.as_ref()) {
+        ts.settle(t, &Err(&err));
+        let mut telemetry = resil.telemetry.lock();
+        if matches!(err, ServeError::DeadlineExceeded { .. }) {
+            telemetry.on_shed_class(now, class);
+        }
+    }
     match err {
         ServeError::DeadlineExceeded { .. } => {
             stats.shed.fetch_add(1, Ordering::Relaxed);
@@ -364,6 +559,87 @@ fn respond(stats: &StatsInner, resil: &ResilShared, now: f64, req: Request, err:
         }
     }
     let _ = req.resp.send(Err(err));
+}
+
+/// Admission entry point of the tenanted server: take a quota slot (a
+/// lock-free reserve-then-check on the tenant's live depth counter),
+/// enqueue, and record the outcome in the windowed telemetry.
+fn admit_request(
+    tx: &Sender<Request>,
+    t: TenantId,
+    features: Vec<f32>,
+    stats: &StatsInner,
+    resil: &ResilShared,
+) -> Result<ResponseHandle, ServeError> {
+    let Some(ts) = resil.tenancy.as_ref() else {
+        return Err(ServeError::ShuttingDown);
+    };
+    let spec = ts.directory.spec(t);
+    let prev = ts.depths[t].fetch_add(1, Ordering::Relaxed);
+    if prev >= spec.queue_capacity {
+        ts.depths[t].fetch_sub(1, Ordering::Relaxed);
+        ts.counters[t].rejected.fetch_add(1, Ordering::Relaxed);
+        stats.rejected.fetch_add(1, Ordering::Relaxed);
+        dd_obs::counter_add("serve_rejected_total", 1);
+        let now = dd_obs::monotonic_seconds();
+        let mut telemetry = resil.telemetry.lock();
+        telemetry.on_reject(now);
+        telemetry.on_reject_class(now, spec.class);
+        return Err(ServeError::QuotaExceeded {
+            tenant: spec.name.clone(),
+            depth: prev,
+            capacity: spec.queue_capacity,
+        });
+    }
+    let (resp_tx, resp_rx) = bounded::<Response>(1);
+    let enqueue_s = dd_obs::monotonic_seconds();
+    let req = Request {
+        id: resil.ids.fetch_add(1, Ordering::Relaxed),
+        model: spec.model.clone(),
+        features,
+        enqueue_s,
+        tenant: Some((t, spec.class)),
+        resp: resp_tx,
+    };
+    match tx.try_send(req) {
+        Ok(()) => {
+            ts.counters[t].admitted.fetch_add(1, Ordering::Relaxed);
+            stats.admitted.fetch_add(1, Ordering::Relaxed);
+            dd_obs::gauge_set("serve_queue_depth", tx.len() as f64);
+            resil.telemetry.lock().on_enqueue(enqueue_s, tx.len());
+            Ok(ResponseHandle { rx: resp_rx })
+        }
+        // The channel is sized to the sum of all quotas, so Full here
+        // means quota accounting drifted; surface it as overload.
+        Err(TrySendError::Full(_)) => {
+            ts.depths[t].fetch_sub(1, Ordering::Relaxed);
+            ts.counters[t].rejected.fetch_add(1, Ordering::Relaxed);
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            resil.telemetry.lock().on_reject(enqueue_s);
+            Err(ServeError::Overloaded { depth: tx.len(), capacity: tx.len() })
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            ts.depths[t].fetch_sub(1, Ordering::Relaxed);
+            Err(ServeError::ShuttingDown)
+        }
+    }
+}
+
+/// Scaling entry point of the tenanted server: consult the pure
+/// [`Autoscaler`] with the observed backlog and move the replica set's
+/// active count, recording the action in the windowed telemetry.
+fn scale_replicas(scaler: &mut Autoscaler, now: f64, depth: usize, resil: &ResilShared) {
+    let mut set = resil.set.lock();
+    let active = set.active();
+    let next = match scaler.decide(now, depth, active) {
+        ScaleDecision::Grow => active + 1,
+        ScaleDecision::Shrink => active - 1,
+        ScaleDecision::Hold => return,
+    };
+    set.set_active(next);
+    drop(set);
+    dd_obs::gauge_set("serve_active_replicas", next as f64);
+    resil.telemetry.lock().on_scale(now, next > active, next);
 }
 
 fn batcher_loop(
@@ -434,6 +710,112 @@ fn batcher_loop(
     }
 }
 
+/// The tenanted batcher: per-tenant pending queues, strict-priority +
+/// DRR weighted-fair arbitration via the shared decision core
+/// ([`crate::sched::plan_fair`]), per-tenant front-shedding, and the
+/// queue-depth autoscaler — the threaded twin of the fair path in
+/// [`crate::sim::simulate_tenants`].
+fn tenant_batcher_loop(
+    rx: &Receiver<Request>,
+    registry: &ModelRegistry,
+    policy: BatchPolicy,
+    scale: AutoscalePolicy,
+    job_tx: &Sender<Job>,
+    stats: &StatsInner,
+    resil: &ResilShared,
+) {
+    let Some(ts) = resil.tenancy.as_ref() else {
+        return;
+    };
+    let nt = ts.directory.len();
+    let mut pending: Vec<VecDeque<Request>> = (0..nt).map(|_| VecDeque::new()).collect();
+    let mut sched = DrrScheduler::new(&ts.directory);
+    let mut scaler = Autoscaler::new(scale);
+    let push = |pending: &mut Vec<VecDeque<Request>>, r: Request| {
+        let t = r.tenant.map_or(0, |(t, _)| t);
+        pending[t].push_back(r);
+    };
+    let mut draining = false;
+    loop {
+        loop {
+            match rx.try_recv() {
+                Ok(r) => push(&mut pending, r),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    draining = true;
+                    break;
+                }
+            }
+        }
+        let now = dd_obs::monotonic_seconds();
+        let depth = rx.len() + pending.iter().map(VecDeque::len).sum::<usize>();
+        dd_obs::gauge_set("serve_queue_depth", depth as f64);
+
+        // Shed from every tenant's front: per-tenant FIFO plus a uniform
+        // deadline means each tenant's oldest request expires first.
+        for q in &mut pending {
+            while let Some(front) = q.front() {
+                if !expired(&policy, now, front.enqueue_s) {
+                    break;
+                }
+                if let Some(req) = q.pop_front() {
+                    let waited_s = now - req.enqueue_s;
+                    respond(
+                        stats,
+                        resil,
+                        now,
+                        req,
+                        ServeError::DeadlineExceeded { waited_s, deadline_s: policy.deadline_s },
+                    );
+                }
+            }
+        }
+
+        scale_replicas(&mut scaler, now, depth, resil);
+
+        let views: Vec<QueueView> = pending
+            .iter()
+            .map(|q| match q.front() {
+                Some(r) => QueueView { pending: q.len(), oldest_s: r.enqueue_s },
+                None => QueueView::empty(),
+            })
+            .collect();
+        match plan_fair(&policy, &mut sched, now, &views, draining) {
+            SchedDecision::Idle => {
+                if draining {
+                    break;
+                }
+                match rx.recv() {
+                    Ok(r) => push(&mut pending, r),
+                    Err(_) => draining = true,
+                }
+            }
+            SchedDecision::WaitFor(s) => {
+                match rx.recv_timeout(Duration::from_secs_f64(s.max(0.0))) {
+                    Ok(r) => push(&mut pending, r),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => draining = true,
+                }
+            }
+            SchedDecision::Dispatch { tenant, n } => {
+                let before = pending[tenant].len();
+                dispatch_prefix(
+                    &mut pending[tenant],
+                    n,
+                    now,
+                    registry,
+                    &policy,
+                    job_tx,
+                    stats,
+                    resil,
+                );
+                let taken = before - pending[tenant].len();
+                sched.charge(tenant, taken);
+            }
+        }
+    }
+}
+
 /// Pop the longest same-model prefix (at most `n` requests), resolve its
 /// snapshot — falling back to the previous registry snapshot in degraded
 /// mode when the current version's circuit breaker is open — and hand it
@@ -444,7 +826,7 @@ fn dispatch_prefix(
     n: usize,
     now: f64,
     registry: &ModelRegistry,
-    _policy: &BatchPolicy,
+    policy: &BatchPolicy,
     job_tx: &Sender<Job>,
     stats: &StatsInner,
     resil: &ResilShared,
@@ -453,6 +835,7 @@ fn dispatch_prefix(
         return;
     };
     let name = front.model.clone();
+    let tenant = front.tenant;
     let mut batch: Vec<Request> = Vec::with_capacity(n);
     while batch.len() < n {
         match pending.front() {
@@ -515,7 +898,8 @@ fn dispatch_prefix(
         meta.push((req.id, req.enqueue_s, req.resp));
     }
     let rows = Matrix::from_vec(meta.len(), width, flat);
-    let job = Job { snapshot, rows, dispatched_s: now, meta };
+    let job =
+        Job { snapshot, rows, dispatched_s: now, tenant, deadline_s: policy.deadline_s, meta };
     if let Err(send_err) = job_tx.send(job) {
         // All workers are gone — a panic upstream. Fail the batch loudly
         // rather than dropping it silently.
@@ -526,6 +910,9 @@ fn dispatch_prefix(
             for (id, enqueue_s, _resp) in &job.meta {
                 stats.failed.fetch_add(1, Ordering::Relaxed);
                 telemetry.on_failure(lost_at, *id, *enqueue_s);
+                if let (Some((t, _)), Some(ts)) = (job.tenant, resil.tenancy.as_ref()) {
+                    ts.settle(t, &Err(&ServeError::WorkerLost));
+                }
             }
         }
         // Respond only after the telemetry guard is dropped: the respond
@@ -666,6 +1053,10 @@ fn serve_job(job: Job, stats: &StatsInner, resil: &ResilShared) {
                     dd_obs::hist_record("serve_e2e_seconds", done - *enqueue_s);
                     telemetry.on_complete(done, *id, *enqueue_s, job.dispatched_s - *enqueue_s);
                     stats.completed.fetch_add(1, Ordering::Relaxed);
+                    if let (Some((t, class)), Some(ts)) = (job.tenant, resil.tenancy.as_ref()) {
+                        ts.settle(t, &Ok(()));
+                        telemetry.on_complete_class(done, class, done - *enqueue_s, job.deadline_s);
+                    }
                 }
             }
             // Respond only after the telemetry guard is dropped: the
@@ -693,6 +1084,9 @@ fn serve_job(job: Job, stats: &StatsInner, resil: &ResilShared) {
                 for (id, enqueue_s, _resp) in &job.meta {
                     stats.failed.fetch_add(1, Ordering::Relaxed);
                     telemetry.on_failure(failed_at, *id, *enqueue_s);
+                    if let (Some((t, _)), Some(ts)) = (job.tenant, resil.tenancy.as_ref()) {
+                        ts.settle(t, &Err(&err));
+                    }
                 }
             }
             // Same deal: the guard must be gone before the bounded sends.

@@ -16,10 +16,14 @@
 //! `serve_queue_wait_seconds` / `serve_service_seconds` / `serve_e2e_seconds`
 //! series.
 
-use crate::batcher::BatchPolicy;
+use crate::batcher::{expired, plan, BatchDecision, BatchPolicy};
 use crate::replica::{FaultPlan, FaultSpec, Injected, ReplicaSetState, VersionGuard};
 use crate::resil::{Action, AttemptOutcome, ResilPolicy, ResilientCall};
+use crate::sched::{
+    plan_fair, AutoscalePolicy, Autoscaler, DrrScheduler, QueueView, ScaleDecision, SchedDecision,
+};
 use crate::telemetry::{ServeTelemetry, TelemetryConfig, TelemetryReport};
+use crate::tenant::{PriorityClass, TenantDirectory, TenantId, TenantSpec};
 use dd_obs::{HistSummary, Histogram};
 use dd_tensor::Rng64;
 use std::collections::VecDeque;
@@ -622,6 +626,516 @@ fn simulate_chaos_inner(
     (report, tel_report)
 }
 
+/// Time-varying Poisson load of one tenant: a base rate plus an optional
+/// burst window at a different rate. Arrival generation is an exact
+/// piecewise-constant-rate Poisson process — the draw restarts at each
+/// rate boundary, which the memoryless property makes distribution-exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantLoad {
+    /// Base arrival rate, requests/s (must be positive).
+    pub rate_per_s: f64,
+    /// Total requests this tenant offers.
+    pub requests: usize,
+    /// Arrival rate inside the burst window, requests/s.
+    pub burst_rate_per_s: f64,
+    /// Burst window start, seconds.
+    pub burst_start_s: f64,
+    /// Burst window length, seconds; `0.0` disables the burst.
+    pub burst_len_s: f64,
+}
+
+impl TenantLoad {
+    /// A steady (burst-free) load.
+    pub fn steady(rate_per_s: f64, requests: usize) -> Self {
+        TenantLoad {
+            rate_per_s,
+            requests,
+            burst_rate_per_s: rate_per_s,
+            burst_start_s: 0.0,
+            burst_len_s: 0.0,
+        }
+    }
+
+    /// A load that switches to `burst_rate_per_s` inside
+    /// `[burst_start_s, burst_start_s + burst_len_s)`.
+    pub fn with_burst(
+        rate_per_s: f64,
+        requests: usize,
+        burst_rate_per_s: f64,
+        burst_start_s: f64,
+        burst_len_s: f64,
+    ) -> Self {
+        TenantLoad { rate_per_s, requests, burst_rate_per_s, burst_start_s, burst_len_s }
+    }
+
+    /// Generate the sorted arrival vector for this load from `rng`.
+    pub fn arrivals(&self, rng: &mut Rng64) -> Vec<f64> {
+        assert!(self.rate_per_s.is_finite() && self.rate_per_s > 0.0, "rate must be positive");
+        if self.burst_len_s > 0.0 {
+            assert!(
+                self.burst_rate_per_s.is_finite() && self.burst_rate_per_s > 0.0,
+                "burst rate must be positive"
+            );
+        }
+        let (b0, b1) = (self.burst_start_s, self.burst_start_s + self.burst_len_s);
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(self.requests);
+        while out.len() < self.requests {
+            let in_burst = self.burst_len_s > 0.0 && t >= b0 && t < b1;
+            let rate = if in_burst { self.burst_rate_per_s } else { self.rate_per_s };
+            let dt = rng.exponential(rate);
+            // Restart the draw at the next rate boundary instead of letting
+            // one exponential straddle it (memoryless, so this is exact).
+            let boundary = if self.burst_len_s == 0.0 {
+                None
+            } else if t < b0 {
+                Some(b0)
+            } else if t < b1 {
+                Some(b1)
+            } else {
+                None
+            };
+            if let Some(b) = boundary {
+                if t + dt >= b {
+                    t = b;
+                    continue;
+                }
+            }
+            t += dt;
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// One multi-tenant simulation run: the tenant population, one load per
+/// tenant, the shared batching policy and cost model, the autoscaler band,
+/// and the admission policy under test (`fair` toggles weighted-fair DRR
+/// against the global-FIFO baseline — the E18 comparison axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSimConfig {
+    /// The validated tenant population.
+    pub directory: TenantDirectory,
+    /// One load per tenant, in directory order.
+    pub loads: Vec<TenantLoad>,
+    /// Batching policy shared by every tenant queue.
+    pub policy: BatchPolicy,
+    /// Batch cost model.
+    pub service: ServiceModel,
+    /// Queue-depth autoscaler band; `max_replicas` is the provisioned pool.
+    pub scale: AutoscalePolicy,
+    /// `true`: strict-priority + DRR weighted-fair admission
+    /// ([`crate::sched::plan_fair`]). `false`: the pre-E18 global FIFO —
+    /// one arrival-ordered queue, dispatching the longest same-tenant
+    /// prefix (per-tenant quotas still apply, so only the *ordering*
+    /// differs between the two policies).
+    pub fair: bool,
+    /// Root seed for every tenant's arrival stream.
+    pub seed: u64,
+    /// Attach a [`ServeTelemetry`] observer (windowed per-class latency,
+    /// scaling events) and return its report.
+    pub telemetry: bool,
+}
+
+/// Per-tenant outcome counters and latency distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Tenant name (directory key).
+    pub name: String,
+    /// Tenant's scheduling class.
+    pub class: PriorityClass,
+    /// Requests this tenant offered.
+    pub offered: usize,
+    /// Requests admitted within the tenant's quota.
+    pub admitted: usize,
+    /// Requests rejected at admission (quota full).
+    pub rejected: usize,
+    /// Admitted requests shed for exceeding their deadline.
+    pub shed: usize,
+    /// Requests answered with a prediction.
+    pub completed: usize,
+    /// Completed requests whose end-to-end latency still exceeded the
+    /// deadline (answered, but late).
+    pub deadline_viol: usize,
+    /// Queue-wait distribution of completed requests.
+    pub queue_wait: HistSummary,
+    /// End-to-end latency distribution of completed requests.
+    pub e2e: HistSummary,
+    /// Completed requests per second of run makespan.
+    pub throughput_rps: f64,
+}
+
+/// Everything one multi-tenant simulation run measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSimReport {
+    /// Per-tenant outcomes, in directory order.
+    pub tenants: Vec<TenantStats>,
+    /// Batches dispatched across all tenants.
+    pub batches: usize,
+    /// Mean dispatched batch size (0 when nothing dispatched).
+    pub mean_batch: f64,
+    /// Seconds from time zero to the last completion.
+    pub makespan_s: f64,
+    /// Autoscaler grow actions taken.
+    pub scale_ups: u64,
+    /// Autoscaler shrink actions taken.
+    pub scale_downs: u64,
+    /// Peak concurrently-active replica count.
+    pub max_active: usize,
+    /// Telemetry report when [`TenantSimConfig::telemetry`] was set.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+impl TenantSimReport {
+    /// Total requests offered across tenants.
+    pub fn offered(&self) -> usize {
+        self.tenants.iter().map(|t| t.offered).sum()
+    }
+
+    /// Total requests admitted across tenants.
+    pub fn admitted(&self) -> usize {
+        self.tenants.iter().map(|t| t.admitted).sum()
+    }
+
+    /// Total requests completed across tenants.
+    pub fn completed(&self) -> usize {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    /// Stats of the named tenant.
+    pub fn tenant(&self, name: &str) -> Option<&TenantStats> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+}
+
+/// Admission entry point of the tenant simulator: enforce the tenant's
+/// queue quota and record the outcome in the windowed telemetry.
+fn admit_arrival(
+    spec: &TenantSpec,
+    queue: &mut VecDeque<(u64, f64)>,
+    now_s: f64,
+    id: u64,
+    total_depth: usize,
+    tel: Option<&mut ServeTelemetry>,
+) -> bool {
+    if queue.len() >= spec.queue_capacity {
+        if let Some(t) = tel {
+            t.on_reject(now_s);
+            t.on_reject_class(now_s, spec.class);
+        }
+        return false;
+    }
+    queue.push_back((id, now_s));
+    if let Some(t) = tel {
+        t.on_enqueue(now_s, total_depth + 1);
+    }
+    true
+}
+
+/// Scaling entry point of the tenant simulator: consult the pure
+/// [`Autoscaler`] with the observed total queue depth and record any
+/// action in the windowed telemetry. Returns the new active-replica count.
+fn scale_pool(
+    scaler: &mut Autoscaler,
+    now_s: f64,
+    depth: usize,
+    active: usize,
+    tel: Option<&mut ServeTelemetry>,
+) -> usize {
+    match scaler.decide(now_s, depth, active) {
+        ScaleDecision::Grow => {
+            let grown = active + 1;
+            if let Some(t) = tel {
+                t.on_scale(now_s, true, grown);
+            }
+            grown
+        }
+        ScaleDecision::Shrink => {
+            let shrunk = active - 1;
+            if let Some(t) = tel {
+                t.on_scale(now_s, false, shrunk);
+            }
+            shrunk
+        }
+        ScaleDecision::Hold => active,
+    }
+}
+
+/// Run the discrete-event multi-tenant simulation.
+///
+/// Identical event structure to [`simulate`] — arrivals win ties,
+/// front-shed on deadline, earliest-free worker, lowest index breaking
+/// ties — but admission is per-tenant (bounded by each tenant's quota) and
+/// dispatch is arbitrated by the shared multi-tenant decision core:
+/// [`crate::sched::plan_fair`] (strict priority between classes, DRR
+/// weighted fairness within a class) when `fair`, or the pre-E18 global
+/// FIFO (longest same-tenant prefix, exactly the threaded server's
+/// single-queue `dispatch_prefix` semantics) when not. The active worker
+/// count is driven by the queue-depth [`Autoscaler`] sampled at every
+/// event. Everything is pure `f64` arithmetic over seeded draws: a given
+/// configuration always yields a byte-identical report.
+pub fn simulate_tenants(cfg: &TenantSimConfig) -> TenantSimReport {
+    let dir = &cfg.directory;
+    let nt = dir.len();
+    assert_eq!(cfg.loads.len(), nt, "one load per tenant");
+    let policy = cfg.policy;
+
+    let arrivals: Vec<Vec<f64>> = cfg
+        .loads
+        .iter()
+        .enumerate()
+        .map(|(t, l)| l.arrivals(&mut Rng64::new(cfg.seed).split(t as u64 + 1)))
+        .collect();
+
+    let mut queues: Vec<VecDeque<(u64, f64)>> = vec![VecDeque::new(); nt];
+    // Global arrival interleaving, maintained only for the FIFO baseline.
+    let mut order: VecDeque<TenantId> = VecDeque::new();
+    let mut next_i = vec![0usize; nt];
+    let mut sched = DrrScheduler::new(dir);
+    let mut scaler = Autoscaler::new(cfg.scale);
+    let mut active = cfg.scale.min_replicas;
+    let mut max_active = active;
+    let (mut scale_ups, mut scale_downs) = (0u64, 0u64);
+    let mut free = vec![0.0f64; cfg.scale.max_replicas];
+    let mut ids = 0u64;
+    let mut admitted = vec![0usize; nt];
+    let mut rejected = vec![0usize; nt];
+    let mut shed = vec![0usize; nt];
+    let mut completed = vec![0usize; nt];
+    let mut viol = vec![0usize; nt];
+    let mut queue_wait: Vec<Histogram> = (0..nt).map(|_| Histogram::new()).collect();
+    let mut e2e: Vec<Histogram> = (0..nt).map(|_| Histogram::new()).collect();
+    let (mut batches, mut rows) = (0usize, 0usize);
+    let mut last_done = 0.0f64;
+    let mut now = 0.0f64;
+    let mut tel = if cfg.telemetry {
+        Some(ServeTelemetry::new(
+            cfg.scale.max_replicas,
+            TelemetryConfig::standard(policy.deadline_s),
+        ))
+    } else {
+        None
+    };
+
+    loop {
+        // Next arrival across every tenant stream (ties break to the
+        // lowest tenant id — directory order, as everywhere else).
+        let mut na: Option<(TenantId, f64)> = None;
+        for (t, stream) in arrivals.iter().enumerate() {
+            if let Some(&ta) = stream.get(next_i[t]) {
+                if na.is_none_or(|(_, best)| ta < best) {
+                    na = Some((t, ta));
+                }
+            }
+        }
+        let draining = na.is_none();
+
+        let total_pending: usize = queues.iter().map(VecDeque::len).sum();
+        let dispatch_at = if total_pending == 0 {
+            None
+        } else {
+            let ready = if cfg.fair {
+                // Earliest time any single tenant queue becomes
+                // dispatchable under the per-queue batching rule.
+                let mut r = f64::INFINITY;
+                for q in &queues {
+                    if let Some(&(_, oldest)) = q.front() {
+                        let rt = if q.len() >= policy.max_batch || draining {
+                            now
+                        } else {
+                            oldest + policy.max_wait_s
+                        };
+                        r = r.min(rt);
+                    }
+                }
+                r
+            } else {
+                // The FIFO baseline plans over the aggregate queue.
+                let oldest = queues
+                    .iter()
+                    .filter_map(|q| q.front().map(|&(_, enq)| enq))
+                    .fold(f64::INFINITY, f64::min);
+                if total_pending >= policy.max_batch || draining {
+                    now
+                } else {
+                    oldest + policy.max_wait_s
+                }
+            };
+            let worker = free[..active].iter().copied().fold(f64::INFINITY, f64::min);
+            Some(ready.max(worker).max(now))
+        };
+
+        // Arrivals win ties so a dispatch always sees the fullest legal
+        // queue state, mirroring the live batcher's top-up-then-plan loop.
+        let take_arrival = match (na, dispatch_at) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((_, ta)), Some(td)) => ta <= td,
+        };
+
+        if take_arrival {
+            let Some((t, ta)) = na else { unreachable!("take_arrival implies an arrival") };
+            now = ta;
+            next_i[t] += 1;
+            let id = ids;
+            ids += 1;
+            if admit_arrival(dir.spec(t), &mut queues[t], now, id, total_pending, tel.as_mut()) {
+                admitted[t] += 1;
+                if !cfg.fair {
+                    order.push_back(t);
+                }
+            } else {
+                rejected[t] += 1;
+            }
+        } else {
+            let Some(td) = dispatch_at else { unreachable!("!take_arrival implies a dispatch") };
+            now = now.max(td);
+            // Shed from every queue front: per-tenant FIFO plus a uniform
+            // deadline means each tenant's oldest request expires first.
+            for t in 0..nt {
+                while let Some(&(id, enq)) = queues[t].front() {
+                    if !expired(&policy, now, enq) {
+                        break;
+                    }
+                    queues[t].pop_front();
+                    shed[t] += 1;
+                    dd_obs::counter_add("serve_shed_total", 1);
+                    if !cfg.fair {
+                        if let Some(pos) = order.iter().position(|&x| x == t) {
+                            order.remove(pos);
+                        }
+                    }
+                    if let Some(tl) = tel.as_mut() {
+                        tl.on_shed(now, id, enq);
+                        tl.on_shed_class(now, dir.spec(t).class);
+                    }
+                }
+            }
+            // Shedding may have changed (or emptied) the queues: re-plan,
+            // and dispatch only when the decision core says so now.
+            let decision = if cfg.fair {
+                let views: Vec<QueueView> = queues
+                    .iter()
+                    .map(|q| match q.front() {
+                        Some(&(_, enq)) => QueueView { pending: q.len(), oldest_s: enq },
+                        None => QueueView::empty(),
+                    })
+                    .collect();
+                match plan_fair(&policy, &mut sched, now, &views, draining) {
+                    SchedDecision::Dispatch { tenant, n } => Some((tenant, n)),
+                    SchedDecision::WaitFor(_) | SchedDecision::Idle => None,
+                }
+            } else {
+                match order.front() {
+                    None => None,
+                    Some(&t0) => {
+                        let total: usize = queues.iter().map(VecDeque::len).sum();
+                        let oldest = queues[t0].front().map(|&(_, enq)| enq).unwrap_or(now);
+                        match plan(&policy, now, oldest, total, draining) {
+                            BatchDecision::Dispatch(n) => {
+                                // The threaded server's dispatch_prefix
+                                // rule: the longest same-tenant prefix of
+                                // the global arrival order, capped at n.
+                                let prefix = order.iter().take_while(|&&x| x == t0).count();
+                                Some((t0, prefix.min(n)))
+                            }
+                            BatchDecision::WaitFor(_) | BatchDecision::Idle => None,
+                        }
+                    }
+                }
+            };
+            if let Some((t, n)) = decision {
+                let svc = cfg.service.seconds(n);
+                let done = now + svc;
+                // Earliest-free active worker; lowest index wins ties.
+                let mut wi = 0usize;
+                for k in 1..active {
+                    if free[k] < free[wi] {
+                        wi = k;
+                    }
+                }
+                free[wi] = done;
+                if let Some(tl) = tel.as_mut() {
+                    tl.on_dispatch(now, wi, n);
+                }
+                for _ in 0..n {
+                    let Some((id, enq)) = queues[t].pop_front() else { break };
+                    let wait = now - enq;
+                    let lat = done - enq;
+                    queue_wait[t].record(wait);
+                    e2e[t].record(lat);
+                    dd_obs::hist_record("serve_queue_wait_seconds", wait);
+                    dd_obs::hist_record("serve_e2e_seconds", lat);
+                    if lat > policy.deadline_s {
+                        viol[t] += 1;
+                    }
+                    completed[t] += 1;
+                    if !cfg.fair {
+                        order.pop_front();
+                    }
+                    if let Some(tl) = tel.as_mut() {
+                        tl.on_complete(done, id, enq, wait);
+                        tl.on_complete_class(done, dir.spec(t).class, lat, policy.deadline_s);
+                    }
+                }
+                dd_obs::hist_record("serve_service_seconds", svc);
+                dd_obs::hist_record("serve_batch_size", n as f64);
+                dd_obs::counter_add("serve_batches_total", 1);
+                dd_obs::counter_add("serve_rows_total", n as u64);
+                batches += 1;
+                rows += n;
+                last_done = last_done.max(done);
+                if cfg.fair {
+                    sched.charge(t, n);
+                }
+            }
+        }
+
+        // Autoscale on the depth this event left behind.
+        let depth: usize = queues.iter().map(VecDeque::len).sum();
+        let next_active = scale_pool(&mut scaler, now, depth, active, tel.as_mut());
+        if next_active > active {
+            scale_ups += 1;
+        } else if next_active < active {
+            scale_downs += 1;
+        }
+        active = next_active;
+        max_active = max_active.max(active);
+    }
+
+    let total_completed: usize = completed.iter().sum();
+    let makespan_s = if total_completed > 0 { last_done } else { now };
+    let tenants = dir
+        .specs()
+        .iter()
+        .enumerate()
+        .map(|(t, spec)| TenantStats {
+            name: spec.name.clone(),
+            class: spec.class,
+            offered: arrivals[t].len(),
+            admitted: admitted[t],
+            rejected: rejected[t],
+            shed: shed[t],
+            completed: completed[t],
+            deadline_viol: viol[t],
+            queue_wait: queue_wait[t].summary(),
+            e2e: e2e[t].summary(),
+            throughput_rps: if makespan_s > 0.0 { completed[t] as f64 / makespan_s } else { 0.0 },
+        })
+        .collect();
+    TenantSimReport {
+        tenants,
+        batches,
+        mean_batch: if batches > 0 { rows as f64 / batches as f64 } else { 0.0 },
+        makespan_s,
+        scale_ups,
+        scale_downs,
+        max_active,
+        telemetry: tel.map(|t| t.report(makespan_s.max(now))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -926,5 +1440,169 @@ mod tests {
         // every batch is a singleton dispatched immediately.
         assert!(r.mean_batch < 1.5, "mean batch {}", r.mean_batch);
         assert_eq!(r.completed, 200);
+    }
+
+    use crate::sched::AutoscalePolicy;
+    use crate::tenant::{PriorityClass, TenantDirectory, TenantSpec};
+
+    fn tenant_cfg(fair: bool) -> TenantSimConfig {
+        // An interactive clinic tenant at a steady trickle, plus a batch
+        // screening tenant whose burst floods the shared pool.
+        let directory = TenantDirectory::new(vec![
+            TenantSpec::new("clinic", PriorityClass::Interactive, 1, 256, "m-clinic"),
+            TenantSpec::new("screen", PriorityClass::Batch, 1, 4096, "m-screen"),
+        ])
+        .unwrap();
+        TenantSimConfig {
+            directory,
+            loads: vec![
+                TenantLoad::steady(200.0, 4000),
+                TenantLoad::with_burst(500.0, 30_000, 6000.0, 2.0, 4.0),
+            ],
+            policy: BatchPolicy::new(16, 2e-3, 0.25),
+            // ~1 ms/row: one worker sustains ~1 krow/s, so the 6 krps
+            // burst genuinely saturates even the fully grown pool.
+            service: ServiceModel::new(1e-4, 1e-3),
+            scale: AutoscalePolicy::new(1, 4, 64, 8, 0.25),
+            fair,
+            seed: 2017,
+            telemetry: false,
+        }
+    }
+
+    #[test]
+    fn tenant_sim_is_deterministic() {
+        let cfg = tenant_cfg(true);
+        assert_eq!(simulate_tenants(&cfg), simulate_tenants(&cfg));
+        let cfg = tenant_cfg(false);
+        assert_eq!(simulate_tenants(&cfg), simulate_tenants(&cfg));
+    }
+
+    #[test]
+    fn tenant_sim_conserves_requests() {
+        for fair in [false, true] {
+            let r = simulate_tenants(&tenant_cfg(fair));
+            for t in &r.tenants {
+                assert_eq!(t.offered, t.admitted + t.rejected, "{} (fair={fair})", t.name);
+                assert_eq!(t.admitted, t.completed + t.shed, "{} (fair={fair})", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn burst_load_is_a_genuine_burst() {
+        let load = TenantLoad::with_burst(10.0, 2000, 2000.0, 1.0, 0.5);
+        let a = load.arrivals(&mut Rng64::new(7));
+        assert!(a.windows(2).all(|w| w[1] >= w[0]), "arrivals must be sorted");
+        let in_window = a.iter().filter(|&&t| (1.0..1.5).contains(&t)).count();
+        // ~1000 arrivals land in the 0.5 s window at 2000 rps vs ~5 per
+        // half-second at the 10 rps base rate.
+        assert!(in_window > 500, "burst window got {in_window} arrivals");
+    }
+
+    #[test]
+    fn fair_bounds_interactive_latency_where_fifo_does_not() {
+        let fifo = simulate_tenants(&tenant_cfg(false));
+        let fair = simulate_tenants(&tenant_cfg(true));
+        let (Some(fifo_clinic), Some(fair_clinic)) = (fifo.tenant("clinic"), fair.tenant("clinic"))
+        else {
+            unreachable!("clinic tenant always present")
+        };
+        // Under the batch burst the FIFO baseline queues clinic requests
+        // behind the screening backlog: they shed or finish late. The fair
+        // scheduler keeps interactive p99 inside the deadline envelope.
+        let fifo_bad = fifo_clinic.shed + fifo_clinic.deadline_viol;
+        let fair_bad = fair_clinic.shed + fair_clinic.deadline_viol;
+        assert!(
+            fifo_bad > fifo_clinic.offered / 10,
+            "FIFO must hurt the clinic under burst: {fifo_bad}/{}",
+            fifo_clinic.offered
+        );
+        assert!(
+            fair_bad * 20 < fifo_bad,
+            "fair must protect the clinic: fair {fair_bad} vs fifo {fifo_bad}"
+        );
+        assert!(
+            fair_clinic.e2e.p99 <= 0.25,
+            "fair interactive p99 {} must sit inside the deadline",
+            fair_clinic.e2e.p99
+        );
+    }
+
+    #[test]
+    fn fair_batch_throughput_matches_fifo_when_interactive_idle() {
+        // Batch tenant alone: fairness must not tax throughput.
+        let directory = || {
+            TenantDirectory::new(vec![
+                TenantSpec::new("clinic", PriorityClass::Interactive, 1, 256, "m-clinic"),
+                TenantSpec::new("screen", PriorityClass::Batch, 1, 4096, "m-screen"),
+            ])
+            .unwrap()
+        };
+        let cfg = |fair: bool| TenantSimConfig {
+            directory: directory(),
+            loads: vec![TenantLoad::steady(0.01, 1), TenantLoad::steady(3000.0, 30_000)],
+            policy: BatchPolicy::new(16, 2e-3, 0.25),
+            service: ServiceModel::new(1e-4, 1e-3),
+            scale: AutoscalePolicy::new(1, 4, 64, 8, 0.25),
+            fair,
+            seed: 2017,
+            telemetry: false,
+        };
+        let fifo = simulate_tenants(&cfg(false));
+        let fair = simulate_tenants(&cfg(true));
+        let (Some(ff), Some(fr)) = (fifo.tenant("screen"), fair.tenant("screen")) else {
+            unreachable!("screen tenant always present")
+        };
+        assert!(
+            fr.throughput_rps >= 0.9 * ff.throughput_rps,
+            "fair batch throughput {} must stay within 10% of FIFO {}",
+            fr.throughput_rps,
+            ff.throughput_rps
+        );
+    }
+
+    #[test]
+    fn autoscaler_grows_under_burst_and_stays_in_band() {
+        let r = simulate_tenants(&tenant_cfg(true));
+        assert!(r.scale_ups > 0, "the burst must trigger scale-ups");
+        assert!(r.max_active <= 4, "active replicas must respect max_replicas");
+        assert!(r.scale_downs > 0, "the post-burst drain must trigger scale-downs");
+    }
+
+    #[test]
+    fn tenant_quota_rejects_only_the_bursting_tenant() {
+        let mut cfg = tenant_cfg(true);
+        // Tight quota on the bursting tenant only.
+        cfg.directory = TenantDirectory::new(vec![
+            TenantSpec::new("clinic", PriorityClass::Interactive, 1, 256, "m-clinic"),
+            TenantSpec::new("screen", PriorityClass::Batch, 1, 64, "m-screen"),
+        ])
+        .unwrap();
+        let r = simulate_tenants(&cfg);
+        let (Some(clinic), Some(screen)) = (r.tenant("clinic"), r.tenant("screen")) else {
+            unreachable!("both tenants always present")
+        };
+        assert!(screen.rejected > 0, "the burst must overflow the tight quota");
+        assert_eq!(clinic.rejected, 0, "quota isolation: clinic never rejected");
+    }
+
+    #[test]
+    fn tenant_sim_telemetry_observer_reports_classes_and_scaling() {
+        let mut cfg = tenant_cfg(true);
+        let without = simulate_tenants(&cfg);
+        cfg.telemetry = true;
+        let with = simulate_tenants(&cfg);
+        let Some(tel) = with.telemetry.as_ref() else { unreachable!("telemetry was requested") };
+        // Observer-only: attaching telemetry never changes the outcome.
+        assert_eq!(without.tenants, with.tenants);
+        assert_eq!(without.batches, with.batches);
+        assert_eq!(tel.scale_ups, with.scale_ups);
+        assert_eq!(tel.scale_downs, with.scale_downs);
+        let classes: Vec<_> = tel.classes.iter().map(|c| c.class).collect();
+        assert!(classes.contains(&PriorityClass::Interactive), "classes: {classes:?}");
+        assert!(classes.contains(&PriorityClass::Batch), "classes: {classes:?}");
+        let total: u64 = tel.classes.iter().map(|c| c.completed).sum();
+        assert_eq!(total as usize, with.completed());
     }
 }

@@ -16,6 +16,7 @@
 //! so wiring it in cannot change any experiment's numbers.
 
 use crate::resil::AttemptOutcome;
+use crate::tenant::PriorityClass;
 use dd_obs::telemetry::{
     AlertEvent, AlertKind, FlightEvent, FlightEventKind, FlightRecorder, RequestTrace, SloConfig,
     SloMonitor, SloObjective, TailSampler, TailSamplerConfig, TraceVerdict,
@@ -96,6 +97,25 @@ pub struct FlightDump {
     pub json: String,
 }
 
+/// Per-priority-class slice of a [`TelemetryReport`]. Present only when
+/// the engine drove the `*_class` hooks (multi-tenant mode); single-tenant
+/// engines leave `classes` empty, so their reports are unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// The priority class this row summarizes.
+    pub class: PriorityClass,
+    /// Windowed end-to-end latency for this class at the report instant.
+    pub e2e: HistSummary,
+    /// Completions in this class.
+    pub completed: u64,
+    /// Sheds in this class.
+    pub shed: u64,
+    /// Admission rejections in this class.
+    pub rejected: u64,
+    /// Completions that ran past the class deadline.
+    pub deadline_viol: u64,
+}
+
 /// Everything the bundle measured, summarized at one instant.
 ///
 /// `PartialEq` is the determinism contract: two runs over identical event
@@ -138,6 +158,13 @@ pub struct TelemetryReport {
     pub dumps: Vec<FlightDump>,
     /// Dumps taken over the run (including ones not retained).
     pub dump_total: u64,
+    /// Per-priority-class slices, in [`PriorityClass::ALL`] order. Empty
+    /// unless the engine drove the `*_class` hooks.
+    pub classes: Vec<ClassReport>,
+    /// Autoscaler grow events observed via [`ServeTelemetry::on_scale`].
+    pub scale_ups: u64,
+    /// Autoscaler shrink events observed via [`ServeTelemetry::on_scale`].
+    pub scale_downs: u64,
 }
 
 impl TelemetryReport {
@@ -149,6 +176,23 @@ impl TelemetryReport {
     /// Number of `Fired` edges across both monitors.
     pub fn fired_count(&self) -> usize {
         self.alerts.iter().filter(|a| a.kind == AlertKind::Fired).count()
+    }
+}
+
+/// One priority class's running tallies and latency window.
+#[derive(Debug, Clone)]
+struct ClassTrack {
+    class: PriorityClass,
+    e2e: SlidingWindow,
+    completed: u64,
+    shed: u64,
+    rejected: u64,
+    deadline_viol: u64,
+}
+
+impl ClassTrack {
+    fn touched(&self) -> bool {
+        self.completed + self.shed + self.rejected > 0
     }
 }
 
@@ -171,6 +215,10 @@ pub struct ServeTelemetry {
     completed: u64,
     failed: u64,
     shed: u64,
+    classes: Vec<ClassTrack>,
+    active_replicas: WindowedGauge,
+    scale_ups: u64,
+    scale_downs: u64,
 }
 
 impl ServeTelemetry {
@@ -214,6 +262,20 @@ impl ServeTelemetry {
             completed: 0,
             failed: 0,
             shed: 0,
+            classes: PriorityClass::ALL
+                .iter()
+                .map(|&class| ClassTrack {
+                    class,
+                    e2e: SlidingWindow::new(cfg.window),
+                    completed: 0,
+                    shed: 0,
+                    rejected: 0,
+                    deadline_viol: 0,
+                })
+                .collect(),
+            active_replicas: WindowedGauge::new(cfg.window),
+            scale_ups: 0,
+            scale_downs: 0,
             cfg,
         }
     }
@@ -346,6 +408,49 @@ impl ServeTelemetry {
         self.dump("breaker_open", now_s);
     }
 
+    fn class_track(&mut self, class: PriorityClass) -> &mut ClassTrack {
+        let idx = class.rank();
+        &mut self.classes[idx]
+    }
+
+    /// Multi-tenant completion: the class slice of [`Self::on_complete`].
+    /// Call *in addition to* the global hook; records the class window and
+    /// counts a deadline violation when `e2e_s` ran past `deadline_s`.
+    pub fn on_complete_class(
+        &mut self,
+        now_s: f64,
+        class: PriorityClass,
+        e2e_s: f64,
+        deadline_s: f64,
+    ) {
+        let t = self.class_track(class);
+        t.completed += 1;
+        t.e2e.record(now_s, e2e_s);
+        if e2e_s > deadline_s {
+            t.deadline_viol += 1;
+        }
+    }
+
+    /// Multi-tenant shed: the class slice of [`Self::on_shed`].
+    pub fn on_shed_class(&mut self, _now_s: f64, class: PriorityClass) {
+        self.class_track(class).shed += 1;
+    }
+
+    /// Multi-tenant rejection: the class slice of [`Self::on_reject`].
+    pub fn on_reject_class(&mut self, _now_s: f64, class: PriorityClass) {
+        self.class_track(class).rejected += 1;
+    }
+
+    /// The autoscaler resized the active pool to `active` replicas.
+    pub fn on_scale(&mut self, now_s: f64, grew: bool, active: usize) {
+        if grew {
+            self.scale_ups += 1;
+        } else {
+            self.scale_downs += 1;
+        }
+        self.active_replicas.set(now_s, active as f64);
+    }
+
     /// Alert edges so far, in event order.
     pub fn alerts(&self) -> &[AlertEvent] {
         &self.alerts
@@ -376,6 +481,21 @@ impl ServeTelemetry {
             recorder_events: self.recorder.recorded(),
             dumps: self.dumps.clone(),
             dump_total: self.dump_total,
+            classes: self
+                .classes
+                .iter()
+                .filter(|t| t.touched())
+                .map(|t| ClassReport {
+                    class: t.class,
+                    e2e: t.e2e.summary(now_s),
+                    completed: t.completed,
+                    shed: t.shed,
+                    rejected: t.rejected,
+                    deadline_viol: t.deadline_viol,
+                })
+                .collect(),
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
         }
     }
 }

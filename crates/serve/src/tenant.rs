@@ -1,0 +1,199 @@
+//! Tenants, priority classes, and per-tenant quotas.
+//!
+//! The multi-tenant serving tier (IBM's Deep Learning Service is the
+//! published template) shares one replica pool between many principals,
+//! each with its own model, queue quota, and scheduling class. This module
+//! holds the *static* description of that population; the dynamic
+//! weighted-fair admission decisions live in [`crate::sched`], and both
+//! execution engines (threaded server and virtual-time simulator) consume
+//! the same directory so their scheduling behaviour is bit-identical.
+
+use crate::error::ServeError;
+
+/// Scheduling class of a tenant, highest urgency first.
+///
+/// Classes gate *strictly*: the scheduler never dispatches a lower class
+/// while a higher class has a dispatchable batch. Weighted fairness (DRR)
+/// applies between tenants of the same class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PriorityClass {
+    /// Latency-sensitive traffic (clinician-facing drug-response queries):
+    /// must meet its deadline envelope even under batch bursts.
+    Interactive,
+    /// Throughput-oriented traffic (compound-screening sweeps): soaks
+    /// spare capacity, tolerates queueing.
+    Batch,
+    /// Scavenger traffic: runs only when nothing else is dispatchable.
+    BestEffort,
+}
+
+impl PriorityClass {
+    /// All classes, highest urgency first.
+    pub const ALL: [PriorityClass; 3] =
+        [PriorityClass::Interactive, PriorityClass::Batch, PriorityClass::BestEffort];
+
+    /// Strict-priority rank: 0 is most urgent.
+    pub fn rank(self) -> usize {
+        match self {
+            PriorityClass::Interactive => 0,
+            PriorityClass::Batch => 1,
+            PriorityClass::BestEffort => 2,
+        }
+    }
+
+    /// Stable lowercase label for CSV rows and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "interactive",
+            PriorityClass::Batch => "batch",
+            PriorityClass::BestEffort => "besteffort",
+        }
+    }
+}
+
+/// Static description of one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Unique tenant name (CSV key, routing key).
+    pub name: String,
+    /// Scheduling class; see [`PriorityClass`].
+    pub class: PriorityClass,
+    /// DRR weight within the class (>= 1): relative share of dispatched
+    /// rows when the class is contended.
+    pub weight: u32,
+    /// Per-tenant admission quota: at most this many requests queued at
+    /// once; arrivals beyond it are rejected with
+    /// [`ServeError::QuotaExceeded`], so one tenant's burst can never
+    /// occupy another tenant's queue space.
+    pub queue_capacity: usize,
+    /// Registry model this tenant's requests route to.
+    pub model: String,
+}
+
+impl TenantSpec {
+    /// A validated spec. Panics on a zero weight or capacity — these are
+    /// configuration bugs, not runtime conditions.
+    pub fn new(
+        name: &str,
+        class: PriorityClass,
+        weight: u32,
+        queue_capacity: usize,
+        model: &str,
+    ) -> Self {
+        assert!(!name.is_empty(), "tenant name must be non-empty");
+        assert!(weight >= 1, "tenant weight must be >= 1");
+        assert!(queue_capacity >= 1, "tenant queue_capacity must be >= 1");
+        TenantSpec {
+            name: name.to_string(),
+            class,
+            weight,
+            queue_capacity,
+            model: model.to_string(),
+        }
+    }
+}
+
+/// Dense tenant id: index into the [`TenantDirectory`]. Both engines and
+/// the scheduler address tenants by this id, so ordering is explicit and
+/// deterministic (directory order breaks all ties).
+pub type TenantId = usize;
+
+/// The validated tenant population of one server or simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantDirectory {
+    specs: Vec<TenantSpec>,
+}
+
+impl TenantDirectory {
+    /// Build a directory, rejecting duplicate tenant names.
+    pub fn new(specs: Vec<TenantSpec>) -> Result<Self, ServeError> {
+        if specs.is_empty() {
+            return Err(ServeError::EmptyDirectory);
+        }
+        for (i, s) in specs.iter().enumerate() {
+            if specs[..i].iter().any(|p| p.name == s.name) {
+                return Err(ServeError::DuplicateTenant(s.name.clone()));
+            }
+        }
+        Ok(TenantDirectory { specs })
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the directory is empty (never: construction rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Spec of tenant `t`.
+    pub fn spec(&self, t: TenantId) -> &TenantSpec {
+        &self.specs[t]
+    }
+
+    /// All specs in id order.
+    pub fn specs(&self) -> &[TenantSpec] {
+        &self.specs
+    }
+
+    /// Resolve a tenant name to its dense id.
+    pub fn resolve(&self, name: &str) -> Result<TenantId, ServeError> {
+        self.specs
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or_else(|| ServeError::UnknownTenant(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, class: PriorityClass) -> TenantSpec {
+        TenantSpec::new(name, class, 1, 8, "m")
+    }
+
+    #[test]
+    fn class_ranks_are_strictly_ordered() {
+        let ranks: Vec<usize> = PriorityClass::ALL.iter().map(|c| c.rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2]);
+        assert!(PriorityClass::Interactive < PriorityClass::Batch);
+        assert!(PriorityClass::Batch < PriorityClass::BestEffort);
+    }
+
+    #[test]
+    fn directory_resolves_names_in_order() {
+        let d = TenantDirectory::new(vec![
+            spec("clinic", PriorityClass::Interactive),
+            spec("screen", PriorityClass::Batch),
+        ])
+        .unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.resolve("clinic").unwrap(), 0);
+        assert_eq!(d.resolve("screen").unwrap(), 1);
+        assert_eq!(d.spec(1).name, "screen");
+        assert!(matches!(d.resolve("ghost"), Err(ServeError::UnknownTenant(_))));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let err = TenantDirectory::new(vec![
+            spec("a", PriorityClass::Batch),
+            spec("a", PriorityClass::Interactive),
+        ]);
+        assert!(matches!(err, Err(ServeError::DuplicateTenant(_))));
+    }
+
+    #[test]
+    fn empty_directory_is_rejected() {
+        assert!(matches!(TenantDirectory::new(vec![]), Err(ServeError::EmptyDirectory)));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn zero_weight_rejected() {
+        let _ = TenantSpec::new("t", PriorityClass::Batch, 0, 8, "m");
+    }
+}

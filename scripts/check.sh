@@ -135,4 +135,26 @@ echo "== exp-15-telemetry emits a parsable flight-recorder dump"
 python3 -m json.tool results/e15_flight_recorder.json >/dev/null
 echo "results/e15_flight_recorder.json parses"
 
+echo "== exp-18-tenancy smoke: CSV schema + byte-identical reruns"
+./target/release/exp-18-tenancy quick >/dev/null
+expected_header="mix,pattern,policy,tenant,class,offered,admitted,rejected,shed,completed,viol,e2e_p50_ms,e2e_p99_ms,tput_rps,scale_ups,scale_downs,max_active"
+actual_header="$(head -n1 results/e18_tenancy.csv)"
+if [ "$actual_header" != "$expected_header" ]; then
+  echo "e18_tenancy.csv header mismatch:" >&2
+  echo "  expected: $expected_header" >&2
+  echo "  actual:   $actual_header" >&2
+  exit 1
+fi
+cp results/e18_tenancy.csv /tmp/e18_tenancy.first.csv
+./target/release/exp-18-tenancy quick >/dev/null
+cmp results/e18_tenancy.csv /tmp/e18_tenancy.first.csv
+echo "e18_tenancy.csv schema ok and deterministic across reruns"
+
+echo "== exp-18-tenancy: byte-identical across rayon pool widths"
+RAYON_NUM_THREADS=1 ./target/release/exp-18-tenancy quick >/dev/null
+cp results/e18_tenancy.csv /tmp/e18_tenancy.t1.csv
+RAYON_NUM_THREADS=4 ./target/release/exp-18-tenancy quick >/dev/null
+cmp results/e18_tenancy.csv /tmp/e18_tenancy.t1.csv
+echo "e18_tenancy.csv byte-identical under RAYON_NUM_THREADS=1 and =4"
+
 echo "All checks passed."

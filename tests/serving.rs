@@ -92,7 +92,7 @@ fn overload_rejects_with_typed_error() {
     assert!(stats.rejected >= 1);
     // Rejected requests never consume an answer slot: admitted requests are
     // still all answered exactly once through the drain.
-    let answered = handles.into_iter().filter(|h| h.wait().is_ok()).count() as u64;
+    let answered = handles.into_iter().filter_map(|h| h.wait().ok()).count() as u64;
     assert_eq!(answered, stats.completed);
     assert_eq!(stats.admitted, stats.completed + stats.shed + stats.failed);
 }

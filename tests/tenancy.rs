@@ -1,0 +1,528 @@
+//! Integration tests for multi-tenant serving: bit-identical scheduler
+//! transcripts between the two engine shapes driving the shared decision
+//! core, per-tenant hot-swap isolation through the threaded server, and
+//! quota/priority behaviour end to end.
+
+use deepdriver::nn::{Activation, ModelSpec, Sequential};
+use deepdriver::serve::{
+    plan_fair, AutoscalePolicy, Autoscaler, BatchPolicy, DrrScheduler, ModelRegistry,
+    PriorityClass, QueueView, ScaleDecision, SchedDecision, ServeConfig, ServeError, Server,
+    TenantDirectory, TenantSpec,
+};
+use deepdriver::tensor::{Matrix, Precision};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+fn scorer(width: usize, seed: u64) -> (ModelSpec, Sequential) {
+    let spec = ModelSpec::mlp(width, &[8], 2, Activation::Tanh);
+    let model = spec.build(seed, Precision::F32).expect("static spec builds");
+    (spec, model)
+}
+
+fn two_class_directory() -> TenantDirectory {
+    TenantDirectory::new(vec![
+        TenantSpec::new("clinic", PriorityClass::Interactive, 1, 64, "m-clinic"),
+        TenantSpec::new("screen", PriorityClass::Batch, 2, 256, "m-screen"),
+        TenantSpec::new("scav", PriorityClass::BestEffort, 1, 64, "m-screen"),
+    ])
+    .unwrap()
+}
+
+/// One scheduler-transcript entry. Times are captured as raw `f64` bits so
+/// equality between the two drivers is *bit*-identity, not tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SchedEvent {
+    Dispatch { at_bits: u64, tenant: usize, n: usize },
+    Scale { at_bits: u64, active: usize },
+}
+
+/// Everything observable about one drive of the multi-tenant decision core.
+#[derive(Debug, Clone, PartialEq)]
+struct SchedTranscript {
+    events: Vec<SchedEvent>,
+    shed: Vec<usize>,
+    completed: Vec<usize>,
+}
+
+const SVC_BASE_S: f64 = 0.005;
+const SVC_PER_ROW_S: f64 = 0.001;
+
+fn svc_seconds(n: usize) -> f64 {
+    SVC_BASE_S + SVC_PER_ROW_S * n as f64
+}
+
+/// Shared per-driver state over the pure decision core.
+struct CoreState {
+    queues: Vec<VecDeque<f64>>,
+    sched: DrrScheduler,
+    scaler: Autoscaler,
+    free: Vec<f64>,
+    active: usize,
+    shed: Vec<usize>,
+    completed: Vec<usize>,
+    events: Vec<SchedEvent>,
+}
+
+impl CoreState {
+    fn new(dir: &TenantDirectory, scale: AutoscalePolicy) -> CoreState {
+        CoreState {
+            queues: (0..dir.len()).map(|_| VecDeque::new()).collect(),
+            sched: DrrScheduler::new(dir),
+            scaler: Autoscaler::new(scale),
+            free: vec![0.0; scale.max_replicas],
+            active: scale.min_replicas,
+            shed: vec![0; dir.len()],
+            completed: vec![0; dir.len()],
+            events: Vec::new(),
+        }
+    }
+
+    fn total_pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn worker_free(&self) -> f64 {
+        self.free[..self.active].iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn shed_expired(&mut self, policy: &BatchPolicy, now: f64) {
+        for (t, q) in self.queues.iter_mut().enumerate() {
+            while let Some(&enq) = q.front() {
+                if now - enq <= policy.deadline_s {
+                    break;
+                }
+                q.pop_front();
+                self.shed[t] += 1;
+            }
+        }
+    }
+
+    fn views(&self) -> Vec<QueueView> {
+        self.queues
+            .iter()
+            .map(|q| match q.front() {
+                Some(&enq) => QueueView { pending: q.len(), oldest_s: enq },
+                None => QueueView::empty(),
+            })
+            .collect()
+    }
+
+    /// Commit a dispatch decided by `plan_fair` and sample the autoscaler
+    /// on the depth it left behind — the exact sequence both engines run.
+    fn commit_dispatch(&mut self, now: f64, tenant: usize, n: usize) {
+        let done = now + svc_seconds(n);
+        let mut wi = 0usize;
+        for k in 1..self.active {
+            if self.free[k] < self.free[wi] {
+                wi = k;
+            }
+        }
+        self.free[wi] = done;
+        for _ in 0..n {
+            self.queues[tenant].pop_front();
+        }
+        self.completed[tenant] += n;
+        self.sched.charge(tenant, n);
+        self.events.push(SchedEvent::Dispatch { at_bits: now.to_bits(), tenant, n });
+        let depth = self.total_pending();
+        match self.scaler.decide(now, depth, self.active) {
+            ScaleDecision::Grow => self.active += 1,
+            ScaleDecision::Shrink => self.active -= 1,
+            ScaleDecision::Hold => return,
+        }
+        self.events.push(SchedEvent::Scale { at_bits: now.to_bits(), active: self.active });
+    }
+
+    fn finish(self) -> SchedTranscript {
+        SchedTranscript { events: self.events, shed: self.shed, completed: self.completed }
+    }
+}
+
+/// Sim-style driver: explicit discrete events on virtual time, exactly the
+/// shape of `simulate_tenants`' fair path — arrivals win ties, the
+/// dispatch event fires at the earliest legal instant, and the decision
+/// core is consulted once per event.
+fn drive_sim_style(
+    trace: &[(f64, usize)],
+    dir: &TenantDirectory,
+    policy: &BatchPolicy,
+    scale: AutoscalePolicy,
+) -> SchedTranscript {
+    let mut st = CoreState::new(dir, scale);
+    let mut next = 0usize;
+    let mut now = 0.0f64;
+    loop {
+        let na = trace.get(next).copied();
+        let draining = na.is_none();
+        let dispatch_at = if st.total_pending() == 0 {
+            None
+        } else {
+            let mut ready = f64::INFINITY;
+            for q in &st.queues {
+                if let Some(&oldest) = q.front() {
+                    let rt = if q.len() >= policy.max_batch || draining {
+                        now
+                    } else {
+                        oldest + policy.max_wait_s
+                    };
+                    ready = ready.min(rt);
+                }
+            }
+            Some(ready.max(st.worker_free()).max(now))
+        };
+        let take_arrival = match (na, dispatch_at) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((ta, _)), Some(td)) => ta <= td,
+        };
+        if take_arrival {
+            let Some((ta, t)) = na else { unreachable!("take_arrival implies an arrival") };
+            now = ta;
+            next += 1;
+            st.queues[t].push_back(ta);
+        } else {
+            let Some(td) = dispatch_at else { unreachable!("dispatch event exists") };
+            now = now.max(td);
+            st.shed_expired(policy, now);
+            let views = st.views();
+            if let SchedDecision::Dispatch { tenant, n } =
+                plan_fair(policy, &mut st.sched, now, &views, draining)
+            {
+                st.commit_dispatch(now, tenant, n);
+            }
+        }
+    }
+    st.finish()
+}
+
+/// Server-style driver: the batcher-loop shape — ingest everything already
+/// arrived, shed, plan, then sleep (`recv_timeout`) or block on the worker
+/// gate — with a virtual clock standing in for `monotonic_seconds()`. Fed
+/// the same scripted trace it must produce the *bit*-identical transcript:
+/// the decision core is shared, not duplicated.
+fn drive_server_style(
+    trace: &[(f64, usize)],
+    dir: &TenantDirectory,
+    policy: &BatchPolicy,
+    scale: AutoscalePolicy,
+) -> SchedTranscript {
+    let mut st = CoreState::new(dir, scale);
+    let mut clock = 0.0f64;
+    let mut ingested = 0usize;
+    let mut draining = false;
+    loop {
+        // rx.try_recv() loop: move everything already queued into pending.
+        while let Some(&(ta, t)) = trace.get(ingested) {
+            if ta > clock {
+                break;
+            }
+            st.queues[t].push_back(ta);
+            ingested += 1;
+        }
+        if ingested == trace.len() {
+            draining = true;
+        }
+        // The bounded job channel is the worker gate: with every worker
+        // busy the batcher blocks, waking when one frees up.
+        if st.total_pending() > 0 {
+            let worker = st.worker_free();
+            if worker > clock {
+                clock = worker;
+                continue;
+            }
+        }
+        let now = clock;
+        st.shed_expired(policy, now);
+        let views = st.views();
+        match plan_fair(policy, &mut st.sched, now, &views, draining) {
+            SchedDecision::Idle => {
+                if draining {
+                    break;
+                }
+                // rx.recv(): block for the next arrival.
+                let Some(&(ta, _)) = trace.get(ingested) else { unreachable!("not draining") };
+                clock = ta;
+            }
+            SchedDecision::WaitFor(s) => {
+                // rx.recv_timeout(s): wake at the flush point or the next
+                // arrival, whichever lands first.
+                clock = match trace.get(ingested) {
+                    Some(&(ta, _)) => (now + s).min(ta),
+                    None => now + s,
+                };
+            }
+            SchedDecision::Dispatch { tenant, n } => {
+                st.commit_dispatch(now, tenant, n);
+            }
+        }
+    }
+    st.finish()
+}
+
+fn scripted_traces() -> Vec<Vec<(f64, usize)>> {
+    vec![
+        // Steady interleave across classes.
+        (0..60).map(|i| (0.003 * i as f64, i % 3)).collect(),
+        // Batch burst flooding a steady interactive trickle.
+        {
+            let mut t: Vec<(f64, usize)> = (0..40).map(|i| (0.010 * i as f64, 0)).collect();
+            t.extend((0..200).map(|i| (0.05 + 0.0002 * i as f64, 1)));
+            t.sort_by(|a, b| a.0.total_cmp(&b.0));
+            t
+        },
+        // Simultaneous arrivals: directory order must break every tie.
+        (0..90).map(|i| (0.004 * (i / 3) as f64, i % 3)).collect(),
+        // Sparse trickle that exercises deadline shedding (gaps > deadline).
+        (0..20).map(|i| (0.9 * i as f64, (i % 2) + 1)).collect(),
+        // Best-effort only, then a late interactive preemption.
+        {
+            let mut t: Vec<(f64, usize)> = (0..80).map(|i| (0.002 * i as f64, 2)).collect();
+            t.extend((0..10).map(|i| (0.08 + 0.001 * i as f64, 0)));
+            t.sort_by(|a, b| a.0.total_cmp(&b.0));
+            t
+        },
+    ]
+}
+
+/// The tentpole's parity claim: the threaded batcher shape and the
+/// virtual-time event shape drive the *same* scheduler state machines and
+/// produce bit-identical dispatch/scale transcripts on scripted traces.
+#[test]
+fn scheduler_transcripts_are_bit_identical_across_engine_shapes() {
+    let dir = two_class_directory();
+    let policy = BatchPolicy::new(4, 0.002, 0.25);
+    let scale = AutoscalePolicy::new(1, 3, 8, 2, 0.05);
+    for (i, trace) in scripted_traces().iter().enumerate() {
+        let sim = drive_sim_style(trace, &dir, &policy, scale);
+        let srv = drive_server_style(trace, &dir, &policy, scale);
+        assert_eq!(sim, srv, "trace {i}: engine shapes diverged");
+        let total: usize = sim.completed.iter().sum::<usize>() + sim.shed.iter().sum::<usize>();
+        assert_eq!(total, trace.len(), "trace {i}: requests must be conserved");
+    }
+    // The transcripts must be non-trivial: dispatches happen, the burst
+    // trace scales up, and the sparse trace sheds.
+    let dir2 = two_class_directory();
+    let burst = &scripted_traces()[1];
+    let t = drive_sim_style(burst, &dir2, &policy, scale);
+    assert!(t.events.iter().any(|e| matches!(e, SchedEvent::Scale { .. })), "burst must scale");
+    let sparse = &scripted_traces()[3];
+    let t = drive_sim_style(sparse, &dir2, &policy, scale);
+    assert!(t.events.iter().any(|e| matches!(e, SchedEvent::Dispatch { .. })));
+}
+
+/// One property case for the tenanted hot-swap race.
+#[derive(Debug, Clone, Copy)]
+struct SwapCase {
+    model_seed: u64,
+    swap_at: usize,
+}
+
+const SWAP_ROUNDS: usize = 12;
+
+/// Hot-swap isolation: swapping one tenant's model mid-stream never
+/// perturbs another tenant's answers — tenant A's responses stay bitwise
+/// equal to A's snapshot across B's swap, while B's answers are bitwise
+/// the old or the new snapshot, never a torn mix.
+#[test]
+fn tenant_hot_swap_is_isolated_to_the_swapped_tenant() {
+    let width = 4;
+    let features: Vec<f32> = (0..width).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+    let probe = Matrix::from_vec(1, width, features.clone());
+
+    dd_testkit::check(
+        &dd_testkit::Config::with_seed(2017).cases(4),
+        |rng, _| SwapCase {
+            model_seed: 300 + (rng.uniform() * 1e4) as u64,
+            swap_at: 1 + (rng.uniform() * (SWAP_ROUNDS as f64 - 2.0)) as usize,
+        },
+        |case| {
+            let mut smaller = Vec::new();
+            if case.swap_at > 1 {
+                smaller.push(SwapCase { swap_at: case.swap_at / 2, ..*case });
+            }
+            smaller
+        },
+        |case| {
+            let reg = Arc::new(ModelRegistry::new());
+            let (spec_a, model_a) = scorer(width, 11);
+            let (spec_b, model_b) = scorer(width, 22);
+            let ya = model_a.predict_batch(&probe).row(0).to_vec();
+            let yb_old = model_b.predict_batch(&probe).row(0).to_vec();
+            reg.install("m-a", spec_a, model_a);
+            reg.install("m-b", spec_b, model_b);
+            let (_s, probe_model) = scorer(width, case.model_seed);
+            let yb_new = probe_model.predict_batch(&probe).row(0).to_vec();
+
+            let directory = TenantDirectory::new(vec![
+                TenantSpec::new("alpha", PriorityClass::Interactive, 1, 32, "m-a"),
+                TenantSpec::new("beta", PriorityClass::Batch, 1, 32, "m-b"),
+            ])
+            .map_err(|e| e.to_string())?;
+            let config = ServeConfig {
+                queue_capacity: 64,
+                workers: 2,
+                policy: BatchPolicy::new(4, 0.001, 10.0),
+                ..ServeConfig::default()
+            };
+            let scale = AutoscalePolicy::new(1, 2, 16, 2, 0.01);
+            let server = Server::start_tenanted(Arc::clone(&reg), config, directory, scale);
+
+            for round in 0..SWAP_ROUNDS {
+                if round == case.swap_at {
+                    // Model builds are seed-deterministic, so this install
+                    // is bitwise the same network as `probe_model`.
+                    let (spec2, swapped) = scorer(width, case.model_seed);
+                    reg.install("m-b", spec2, swapped);
+                }
+                let ha = server
+                    .submit_as("alpha", features.clone())
+                    .map_err(|e| format!("alpha round {round}: {e}"))?;
+                let hb = server
+                    .submit_as("beta", features.clone())
+                    .map_err(|e| format!("beta round {round}: {e}"))?;
+                let ra = ha.wait().map_err(|e| format!("alpha answer {round}: {e}"))?;
+                let rb = hb.wait().map_err(|e| format!("beta answer {round}: {e}"))?;
+                // Isolation: alpha's answers never change across beta's swap.
+                if ra != ya {
+                    return Err(format!("alpha answer {round} perturbed by beta's swap"));
+                }
+                // Beta: bitwise old or new, never torn.
+                if rb != yb_old && rb != yb_new {
+                    return Err(format!("beta answer {round} matches neither snapshot"));
+                }
+            }
+            let stats = server.shutdown();
+            if stats.completed != (2 * SWAP_ROUNDS) as u64 {
+                return Err(format!("all answers must complete: {stats:?}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Quota admission is per-tenant, typed, and leaves other tenants alone;
+/// per-tenant counters and class telemetry reconcile with the outcome.
+#[test]
+fn quotas_isolate_tenants_and_class_telemetry_reconciles() {
+    let width = 4;
+    let reg = Arc::new(ModelRegistry::new());
+    let (spec_a, model_a) = scorer(width, 31);
+    let (spec_b, model_b) = scorer(width, 32);
+    reg.install("m-a", spec_a, model_a);
+    reg.install("m-b", spec_b, model_b);
+    let directory = TenantDirectory::new(vec![
+        TenantSpec::new("alpha", PriorityClass::Interactive, 1, 64, "m-a"),
+        TenantSpec::new("beta", PriorityClass::Batch, 1, 2, "m-b"),
+    ])
+    .unwrap();
+    let config = ServeConfig {
+        queue_capacity: 64,
+        workers: 1,
+        // A long max_wait holds submissions in the queue so beta's tiny
+        // quota genuinely fills.
+        policy: BatchPolicy::new(64, 0.2, 10.0),
+        ..ServeConfig::default()
+    };
+    let scale = AutoscalePolicy::new(1, 2, 32, 2, 0.01);
+    let server = Server::start_tenanted(Arc::clone(&reg), config, directory, scale);
+
+    let features: Vec<f32> = vec![0.5; width];
+    let mut handles = Vec::new();
+    let mut beta_quota_rejects = 0usize;
+    for _ in 0..8 {
+        match server.submit_as("beta", features.clone()) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::QuotaExceeded { ref tenant, .. }) => {
+                assert_eq!(tenant, "beta");
+                beta_quota_rejects += 1;
+            }
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    assert!(beta_quota_rejects >= 4, "a 2-slot quota must reject most of an 8-burst");
+    // Alpha's own quota is untouched by beta's full queue.
+    let ha = server.submit_as("alpha", features.clone()).expect("alpha unaffected");
+    handles.push(ha);
+    assert!(matches!(
+        server.submit_as("ghost", features.clone()),
+        Err(ServeError::UnknownTenant(_))
+    ));
+    for h in handles {
+        h.wait().expect("admitted requests complete");
+    }
+    let tel = server.telemetry_report();
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected, beta_quota_rejects as u64);
+    assert!(
+        tel.classes.iter().any(|c| c.class == PriorityClass::Batch && c.rejected > 0),
+        "batch-class rejections must reach class telemetry: {:?}",
+        tel.classes
+    );
+    assert!(
+        tel.classes.iter().any(|c| c.class == PriorityClass::Interactive && c.completed > 0),
+        "interactive completion must reach class telemetry: {:?}",
+        tel.classes
+    );
+}
+
+/// Per-tenant lifetime counters conserve every admitted request.
+#[test]
+fn tenant_stats_conserve_requests() {
+    let width = 4;
+    let reg = Arc::new(ModelRegistry::new());
+    let (spec_a, model_a) = scorer(width, 41);
+    let (spec_b, model_b) = scorer(width, 42);
+    reg.install("m-a", spec_a, model_a);
+    reg.install("m-b", spec_b, model_b);
+    let directory = TenantDirectory::new(vec![
+        TenantSpec::new("alpha", PriorityClass::Interactive, 1, 64, "m-a"),
+        TenantSpec::new("beta", PriorityClass::Batch, 2, 64, "m-b"),
+    ])
+    .unwrap();
+    let config = ServeConfig {
+        queue_capacity: 128,
+        workers: 2,
+        policy: BatchPolicy::new(8, 0.002, 10.0),
+        ..ServeConfig::default()
+    };
+    let scale = AutoscalePolicy::new(1, 4, 32, 4, 0.01);
+    let server = Server::start_tenanted(Arc::clone(&reg), config, directory, scale);
+    let features: Vec<f32> = vec![0.25; width];
+    let mut handles = Vec::new();
+    for i in 0..30 {
+        let name = if i % 3 == 0 { "alpha" } else { "beta" };
+        if let Ok(h) = server.submit_as(name, features.clone()) {
+            handles.push(h);
+        }
+    }
+    for h in handles {
+        assert!(h.wait().is_ok(), "healthy pool answers every admitted request");
+    }
+    assert!(server.active_replicas() >= 1 && server.active_replicas() <= 4);
+    let tstats = server.tenant_stats();
+    let stats = server.shutdown();
+    assert_eq!(tstats.len(), 2);
+    let mut admitted = 0u64;
+    for (name, t) in &tstats {
+        assert_eq!(
+            t.admitted,
+            t.completed + t.shed + t.failed,
+            "tenant {name} must conserve requests: {t:?}"
+        );
+        admitted += t.admitted;
+    }
+    assert_eq!(admitted, stats.admitted, "per-tenant admissions must sum to the server total");
+    assert_eq!(stats.admitted, 30);
+}
+
+/// The plain single-tenant server refuses tenant-routed submissions with a
+/// typed error instead of silently misrouting them.
+#[test]
+fn untenanted_server_rejects_submit_as() {
+    let reg = Arc::new(ModelRegistry::new());
+    let (spec, model) = scorer(4, 51);
+    reg.install("m", spec, model);
+    let server = Server::start(reg, ServeConfig::default());
+    assert!(matches!(server.submit_as("alpha", vec![0.0; 4]), Err(ServeError::UnknownTenant(_))));
+}
