@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-1d8d9b8d052b8154.d: /root/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-1d8d9b8d052b8154.rmeta: /root/shims/bytes/src/lib.rs
+
+/root/shims/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-35cfcb348dd033ca.d: /root/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-35cfcb348dd033ca.rlib: /root/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-35cfcb348dd033ca.rmeta: /root/shims/bytes/src/lib.rs
+
+/root/shims/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-242241a09bf492e9.d: /root/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-242241a09bf492e9.rlib: /root/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-242241a09bf492e9.rmeta: /root/shims/crossbeam/src/lib.rs
+
+/root/shims/crossbeam/src/lib.rs:

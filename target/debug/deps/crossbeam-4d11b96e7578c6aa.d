@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-4d11b96e7578c6aa.d: /root/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-4d11b96e7578c6aa.rmeta: /root/shims/crossbeam/src/lib.rs
+
+/root/shims/crossbeam/src/lib.rs:

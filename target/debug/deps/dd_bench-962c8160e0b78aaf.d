@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dd_bench-962c8160e0b78aaf.d: /root/repo/clippy.toml crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_bench-962c8160e0b78aaf.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

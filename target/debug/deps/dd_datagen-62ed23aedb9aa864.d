@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dd_datagen-62ed23aedb9aa864.d: crates/datagen/src/lib.rs crates/datagen/src/amr.rs crates/datagen/src/baselines.rs crates/datagen/src/compound.rs crates/datagen/src/dataset.rs crates/datagen/src/drug_response.rs crates/datagen/src/expression.rs crates/datagen/src/records.rs crates/datagen/src/tumor.rs
+
+/root/repo/target/debug/deps/dd_datagen-62ed23aedb9aa864: crates/datagen/src/lib.rs crates/datagen/src/amr.rs crates/datagen/src/baselines.rs crates/datagen/src/compound.rs crates/datagen/src/dataset.rs crates/datagen/src/drug_response.rs crates/datagen/src/expression.rs crates/datagen/src/records.rs crates/datagen/src/tumor.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/amr.rs:
+crates/datagen/src/baselines.rs:
+crates/datagen/src/compound.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/drug_response.rs:
+crates/datagen/src/expression.rs:
+crates/datagen/src/records.rs:
+crates/datagen/src/tumor.rs:

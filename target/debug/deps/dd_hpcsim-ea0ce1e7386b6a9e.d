@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dd_hpcsim-ea0ce1e7386b6a9e.d: crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs
+
+/root/repo/target/debug/deps/libdd_hpcsim-ea0ce1e7386b6a9e.rmeta: crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs
+
+crates/hpcsim/src/lib.rs:
+crates/hpcsim/src/collectives.rs:
+crates/hpcsim/src/fabric.rs:
+crates/hpcsim/src/failure.rs:
+crates/hpcsim/src/machine.rs:
+crates/hpcsim/src/memory.rs:
+crates/hpcsim/src/roofline.rs:
+crates/hpcsim/src/storage.rs:
+crates/hpcsim/src/trace.rs:
+crates/hpcsim/src/trainsim.rs:

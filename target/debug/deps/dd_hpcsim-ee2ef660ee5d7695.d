@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dd_hpcsim-ee2ef660ee5d7695.d: crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs
+
+/root/repo/target/debug/deps/libdd_hpcsim-ee2ef660ee5d7695.rlib: crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs
+
+/root/repo/target/debug/deps/libdd_hpcsim-ee2ef660ee5d7695.rmeta: crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs
+
+crates/hpcsim/src/lib.rs:
+crates/hpcsim/src/collectives.rs:
+crates/hpcsim/src/fabric.rs:
+crates/hpcsim/src/failure.rs:
+crates/hpcsim/src/machine.rs:
+crates/hpcsim/src/memory.rs:
+crates/hpcsim/src/roofline.rs:
+crates/hpcsim/src/storage.rs:
+crates/hpcsim/src/trace.rs:
+crates/hpcsim/src/trainsim.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dd_hypersearch-2f1290391a9b82e3.d: crates/hypersearch/src/lib.rs crates/hypersearch/src/history.rs crates/hypersearch/src/searcher.rs crates/hypersearch/src/searchers/mod.rs crates/hypersearch/src/searchers/evolutionary.rs crates/hypersearch/src/searchers/generative.rs crates/hypersearch/src/searchers/grid.rs crates/hypersearch/src/searchers/lhs.rs crates/hypersearch/src/searchers/random.rs crates/hypersearch/src/searchers/sha.rs crates/hypersearch/src/searchers/surrogate.rs crates/hypersearch/src/space.rs crates/hypersearch/src/testfunc.rs
+
+/root/repo/target/debug/deps/libdd_hypersearch-2f1290391a9b82e3.rlib: crates/hypersearch/src/lib.rs crates/hypersearch/src/history.rs crates/hypersearch/src/searcher.rs crates/hypersearch/src/searchers/mod.rs crates/hypersearch/src/searchers/evolutionary.rs crates/hypersearch/src/searchers/generative.rs crates/hypersearch/src/searchers/grid.rs crates/hypersearch/src/searchers/lhs.rs crates/hypersearch/src/searchers/random.rs crates/hypersearch/src/searchers/sha.rs crates/hypersearch/src/searchers/surrogate.rs crates/hypersearch/src/space.rs crates/hypersearch/src/testfunc.rs
+
+/root/repo/target/debug/deps/libdd_hypersearch-2f1290391a9b82e3.rmeta: crates/hypersearch/src/lib.rs crates/hypersearch/src/history.rs crates/hypersearch/src/searcher.rs crates/hypersearch/src/searchers/mod.rs crates/hypersearch/src/searchers/evolutionary.rs crates/hypersearch/src/searchers/generative.rs crates/hypersearch/src/searchers/grid.rs crates/hypersearch/src/searchers/lhs.rs crates/hypersearch/src/searchers/random.rs crates/hypersearch/src/searchers/sha.rs crates/hypersearch/src/searchers/surrogate.rs crates/hypersearch/src/space.rs crates/hypersearch/src/testfunc.rs
+
+crates/hypersearch/src/lib.rs:
+crates/hypersearch/src/history.rs:
+crates/hypersearch/src/searcher.rs:
+crates/hypersearch/src/searchers/mod.rs:
+crates/hypersearch/src/searchers/evolutionary.rs:
+crates/hypersearch/src/searchers/generative.rs:
+crates/hypersearch/src/searchers/grid.rs:
+crates/hypersearch/src/searchers/lhs.rs:
+crates/hypersearch/src/searchers/random.rs:
+crates/hypersearch/src/searchers/sha.rs:
+crates/hypersearch/src/searchers/surrogate.rs:
+crates/hypersearch/src/space.rs:
+crates/hypersearch/src/testfunc.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dd_hypersearch-97c0eb7624c66f28.d: crates/hypersearch/src/lib.rs crates/hypersearch/src/history.rs crates/hypersearch/src/searcher.rs crates/hypersearch/src/searchers/mod.rs crates/hypersearch/src/searchers/evolutionary.rs crates/hypersearch/src/searchers/generative.rs crates/hypersearch/src/searchers/grid.rs crates/hypersearch/src/searchers/lhs.rs crates/hypersearch/src/searchers/random.rs crates/hypersearch/src/searchers/sha.rs crates/hypersearch/src/searchers/surrogate.rs crates/hypersearch/src/space.rs crates/hypersearch/src/testfunc.rs
+
+/root/repo/target/debug/deps/libdd_hypersearch-97c0eb7624c66f28.rmeta: crates/hypersearch/src/lib.rs crates/hypersearch/src/history.rs crates/hypersearch/src/searcher.rs crates/hypersearch/src/searchers/mod.rs crates/hypersearch/src/searchers/evolutionary.rs crates/hypersearch/src/searchers/generative.rs crates/hypersearch/src/searchers/grid.rs crates/hypersearch/src/searchers/lhs.rs crates/hypersearch/src/searchers/random.rs crates/hypersearch/src/searchers/sha.rs crates/hypersearch/src/searchers/surrogate.rs crates/hypersearch/src/space.rs crates/hypersearch/src/testfunc.rs
+
+crates/hypersearch/src/lib.rs:
+crates/hypersearch/src/history.rs:
+crates/hypersearch/src/searcher.rs:
+crates/hypersearch/src/searchers/mod.rs:
+crates/hypersearch/src/searchers/evolutionary.rs:
+crates/hypersearch/src/searchers/generative.rs:
+crates/hypersearch/src/searchers/grid.rs:
+crates/hypersearch/src/searchers/lhs.rs:
+crates/hypersearch/src/searchers/random.rs:
+crates/hypersearch/src/searchers/sha.rs:
+crates/hypersearch/src/searchers/surrogate.rs:
+crates/hypersearch/src/space.rs:
+crates/hypersearch/src/testfunc.rs:

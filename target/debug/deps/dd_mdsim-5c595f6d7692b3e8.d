@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dd_mdsim-5c595f6d7692b3e8.d: crates/mdsim/src/lib.rs crates/mdsim/src/supervisor.rs crates/mdsim/src/system.rs
+
+/root/repo/target/debug/deps/libdd_mdsim-5c595f6d7692b3e8.rlib: crates/mdsim/src/lib.rs crates/mdsim/src/supervisor.rs crates/mdsim/src/system.rs
+
+/root/repo/target/debug/deps/libdd_mdsim-5c595f6d7692b3e8.rmeta: crates/mdsim/src/lib.rs crates/mdsim/src/supervisor.rs crates/mdsim/src/system.rs
+
+crates/mdsim/src/lib.rs:
+crates/mdsim/src/supervisor.rs:
+crates/mdsim/src/system.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dd_mdsim-ea1c99f1c35f89b8.d: crates/mdsim/src/lib.rs crates/mdsim/src/supervisor.rs crates/mdsim/src/system.rs
+
+/root/repo/target/debug/deps/libdd_mdsim-ea1c99f1c35f89b8.rmeta: crates/mdsim/src/lib.rs crates/mdsim/src/supervisor.rs crates/mdsim/src/system.rs
+
+crates/mdsim/src/lib.rs:
+crates/mdsim/src/supervisor.rs:
+crates/mdsim/src/system.rs:

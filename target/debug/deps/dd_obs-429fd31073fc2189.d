@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dd_obs-429fd31073fc2189.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs
+
+/root/repo/target/debug/deps/libdd_obs-429fd31073fc2189.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/phase.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/telemetry.rs:
+crates/obs/src/window.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dd_obs-7ab571cd51d88edc.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs
+
+/root/repo/target/debug/deps/libdd_obs-7ab571cd51d88edc.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs
+
+/root/repo/target/debug/deps/libdd_obs-7ab571cd51d88edc.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/phase.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/telemetry.rs:
+crates/obs/src/window.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dd_parallel-1251367a04ec6477.d: crates/parallel/src/lib.rs crates/parallel/src/allreduce.rs crates/parallel/src/compression.rs crates/parallel/src/data_parallel.rs crates/parallel/src/fault.rs crates/parallel/src/model_parallel.rs crates/parallel/src/planner.rs
+
+/root/repo/target/debug/deps/libdd_parallel-1251367a04ec6477.rmeta: crates/parallel/src/lib.rs crates/parallel/src/allreduce.rs crates/parallel/src/compression.rs crates/parallel/src/data_parallel.rs crates/parallel/src/fault.rs crates/parallel/src/model_parallel.rs crates/parallel/src/planner.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/allreduce.rs:
+crates/parallel/src/compression.rs:
+crates/parallel/src/data_parallel.rs:
+crates/parallel/src/fault.rs:
+crates/parallel/src/model_parallel.rs:
+crates/parallel/src/planner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dd_parallel-5dcdb7db37c66180.d: crates/parallel/src/lib.rs crates/parallel/src/allreduce.rs crates/parallel/src/compression.rs crates/parallel/src/data_parallel.rs crates/parallel/src/fault.rs crates/parallel/src/model_parallel.rs crates/parallel/src/planner.rs
+
+/root/repo/target/debug/deps/libdd_parallel-5dcdb7db37c66180.rlib: crates/parallel/src/lib.rs crates/parallel/src/allreduce.rs crates/parallel/src/compression.rs crates/parallel/src/data_parallel.rs crates/parallel/src/fault.rs crates/parallel/src/model_parallel.rs crates/parallel/src/planner.rs
+
+/root/repo/target/debug/deps/libdd_parallel-5dcdb7db37c66180.rmeta: crates/parallel/src/lib.rs crates/parallel/src/allreduce.rs crates/parallel/src/compression.rs crates/parallel/src/data_parallel.rs crates/parallel/src/fault.rs crates/parallel/src/model_parallel.rs crates/parallel/src/planner.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/allreduce.rs:
+crates/parallel/src/compression.rs:
+crates/parallel/src/data_parallel.rs:
+crates/parallel/src/fault.rs:
+crates/parallel/src/model_parallel.rs:
+crates/parallel/src/planner.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dd_serve-3000f40e8ced0e71.d: crates/serve/src/lib.rs crates/serve/src/batcher.rs crates/serve/src/dispatch.rs crates/serve/src/error.rs crates/serve/src/loadgen.rs crates/serve/src/registry.rs crates/serve/src/replica.rs crates/serve/src/resil.rs crates/serve/src/sched.rs crates/serve/src/server.rs crates/serve/src/sim.rs crates/serve/src/telemetry.rs crates/serve/src/tenant.rs
+
+/root/repo/target/debug/deps/dd_serve-3000f40e8ced0e71: crates/serve/src/lib.rs crates/serve/src/batcher.rs crates/serve/src/dispatch.rs crates/serve/src/error.rs crates/serve/src/loadgen.rs crates/serve/src/registry.rs crates/serve/src/replica.rs crates/serve/src/resil.rs crates/serve/src/sched.rs crates/serve/src/server.rs crates/serve/src/sim.rs crates/serve/src/telemetry.rs crates/serve/src/tenant.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/batcher.rs:
+crates/serve/src/dispatch.rs:
+crates/serve/src/error.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/replica.rs:
+crates/serve/src/resil.rs:
+crates/serve/src/sched.rs:
+crates/serve/src/server.rs:
+crates/serve/src/sim.rs:
+crates/serve/src/telemetry.rs:
+crates/serve/src/tenant.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dd_serve-bd54b8dd25f15095.d: crates/serve/src/lib.rs crates/serve/src/batcher.rs crates/serve/src/dispatch.rs crates/serve/src/error.rs crates/serve/src/loadgen.rs crates/serve/src/registry.rs crates/serve/src/replica.rs crates/serve/src/resil.rs crates/serve/src/sched.rs crates/serve/src/server.rs crates/serve/src/sim.rs crates/serve/src/telemetry.rs crates/serve/src/tenant.rs
+
+/root/repo/target/debug/deps/libdd_serve-bd54b8dd25f15095.rlib: crates/serve/src/lib.rs crates/serve/src/batcher.rs crates/serve/src/dispatch.rs crates/serve/src/error.rs crates/serve/src/loadgen.rs crates/serve/src/registry.rs crates/serve/src/replica.rs crates/serve/src/resil.rs crates/serve/src/sched.rs crates/serve/src/server.rs crates/serve/src/sim.rs crates/serve/src/telemetry.rs crates/serve/src/tenant.rs
+
+/root/repo/target/debug/deps/libdd_serve-bd54b8dd25f15095.rmeta: crates/serve/src/lib.rs crates/serve/src/batcher.rs crates/serve/src/dispatch.rs crates/serve/src/error.rs crates/serve/src/loadgen.rs crates/serve/src/registry.rs crates/serve/src/replica.rs crates/serve/src/resil.rs crates/serve/src/sched.rs crates/serve/src/server.rs crates/serve/src/sim.rs crates/serve/src/telemetry.rs crates/serve/src/tenant.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/batcher.rs:
+crates/serve/src/dispatch.rs:
+crates/serve/src/error.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/replica.rs:
+crates/serve/src/resil.rs:
+crates/serve/src/sched.rs:
+crates/serve/src/server.rs:
+crates/serve/src/sim.rs:
+crates/serve/src/telemetry.rs:
+crates/serve/src/tenant.rs:

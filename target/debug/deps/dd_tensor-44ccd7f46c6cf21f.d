@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dd_tensor-44ccd7f46c6cf21f.d: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
+
+/root/repo/target/debug/deps/libdd_tensor-44ccd7f46c6cf21f.rmeta: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/precision.rs:
+crates/tensor/src/rng.rs:

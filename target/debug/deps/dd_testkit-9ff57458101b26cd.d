@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dd_testkit-9ff57458101b26cd.d: crates/testkit/src/lib.rs crates/testkit/src/determinism.rs crates/testkit/src/gen.rs crates/testkit/src/gradcheck.rs crates/testkit/src/oracle.rs crates/testkit/src/runner.rs
+
+/root/repo/target/debug/deps/dd_testkit-9ff57458101b26cd: crates/testkit/src/lib.rs crates/testkit/src/determinism.rs crates/testkit/src/gen.rs crates/testkit/src/gradcheck.rs crates/testkit/src/oracle.rs crates/testkit/src/runner.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/determinism.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/gradcheck.rs:
+crates/testkit/src/oracle.rs:
+crates/testkit/src/runner.rs:

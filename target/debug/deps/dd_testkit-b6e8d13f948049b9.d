@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dd_testkit-b6e8d13f948049b9.d: crates/testkit/src/lib.rs crates/testkit/src/determinism.rs crates/testkit/src/gen.rs crates/testkit/src/gradcheck.rs crates/testkit/src/oracle.rs crates/testkit/src/runner.rs
+
+/root/repo/target/debug/deps/libdd_testkit-b6e8d13f948049b9.rlib: crates/testkit/src/lib.rs crates/testkit/src/determinism.rs crates/testkit/src/gen.rs crates/testkit/src/gradcheck.rs crates/testkit/src/oracle.rs crates/testkit/src/runner.rs
+
+/root/repo/target/debug/deps/libdd_testkit-b6e8d13f948049b9.rmeta: crates/testkit/src/lib.rs crates/testkit/src/determinism.rs crates/testkit/src/gen.rs crates/testkit/src/gradcheck.rs crates/testkit/src/oracle.rs crates/testkit/src/runner.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/determinism.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/gradcheck.rs:
+crates/testkit/src/oracle.rs:
+crates/testkit/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/deepdriver-1180f049dd56dce5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdeepdriver-1180f049dd56dce5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdeepdriver-1180f049dd56dce5.rmeta: src/lib.rs
+
+src/lib.rs:

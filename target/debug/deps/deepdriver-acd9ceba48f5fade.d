@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deepdriver-acd9ceba48f5fade.d: src/lib.rs
+
+/root/repo/target/debug/deps/deepdriver-acd9ceba48f5fade: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-1e80ec7056f52fc2.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-1e80ec7056f52fc2: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6dfb3bd46a8c2416.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6dfb3bd46a8c2416: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exp_3_parallelism-a5e108c03befd20b.d: /root/repo/clippy.toml crates/core/src/bin/exp-3-parallelism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_3_parallelism-a5e108c03befd20b.rmeta: /root/repo/clippy.toml crates/core/src/bin/exp-3-parallelism.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/bin/exp-3-parallelism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-da3dd936a2e59462.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-da3dd936a2e59462: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck-e162cc66e960ec7a.d: tests/gradcheck.rs
+
+/root/repo/target/debug/deps/gradcheck-e162cc66e960ec7a: tests/gradcheck.rs
+
+tests/gradcheck.rs:

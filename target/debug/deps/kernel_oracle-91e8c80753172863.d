@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_oracle-91e8c80753172863.d: tests/kernel_oracle.rs
+
+/root/repo/target/debug/deps/kernel_oracle-91e8c80753172863: tests/kernel_oracle.rs
+
+tests/kernel_oracle.rs:

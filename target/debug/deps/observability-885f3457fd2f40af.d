@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-885f3457fd2f40af.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-885f3457fd2f40af: tests/observability.rs
+
+tests/observability.rs:

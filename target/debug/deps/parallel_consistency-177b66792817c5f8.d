@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_consistency-177b66792817c5f8.d: tests/parallel_consistency.rs
+
+/root/repo/target/debug/deps/parallel_consistency-177b66792817c5f8: tests/parallel_consistency.rs
+
+tests/parallel_consistency.rs:

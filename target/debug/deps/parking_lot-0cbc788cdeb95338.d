@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-0cbc788cdeb95338.d: /root/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-0cbc788cdeb95338.rmeta: /root/shims/parking_lot/src/lib.rs
+
+/root/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-56d4211daeacdab1.d: /root/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-56d4211daeacdab1.rlib: /root/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-56d4211daeacdab1.rmeta: /root/shims/parking_lot/src/lib.rs
+
+/root/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-222b626b6e636ee1.d: /root/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-222b626b6e636ee1.rlib: /root/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-222b626b6e636ee1.rmeta: /root/shims/proptest/src/lib.rs
+
+/root/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cddb2378c9bfb062.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cddb2378c9bfb062: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

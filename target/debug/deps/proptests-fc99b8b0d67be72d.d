@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fc99b8b0d67be72d.d: crates/datagen/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fc99b8b0d67be72d: crates/datagen/tests/proptests.rs
+
+crates/datagen/tests/proptests.rs:

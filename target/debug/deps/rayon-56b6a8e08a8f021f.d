@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-56b6a8e08a8f021f.d: /root/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-56b6a8e08a8f021f.rmeta: /root/shims/rayon/src/lib.rs
+
+/root/shims/rayon/src/lib.rs:

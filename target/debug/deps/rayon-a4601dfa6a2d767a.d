@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-a4601dfa6a2d767a.d: /root/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-a4601dfa6a2d767a.rlib: /root/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-a4601dfa6a2d767a.rmeta: /root/shims/rayon/src/lib.rs
+
+/root/shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-dc91f4fbcab9cef9.d: tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-dc91f4fbcab9cef9: tests/resilience.rs
+
+tests/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_integration-e1f8f0da611d3336.d: tests/search_integration.rs
+
+/root/repo/target/debug/deps/search_integration-e1f8f0da611d3336: tests/search_integration.rs
+
+tests/search_integration.rs:

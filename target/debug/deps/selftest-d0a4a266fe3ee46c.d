@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selftest-d0a4a266fe3ee46c.d: crates/testkit/tests/selftest.rs
+
+/root/repo/target/debug/deps/selftest-d0a4a266fe3ee46c: crates/testkit/tests/selftest.rs
+
+crates/testkit/tests/selftest.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-aea2e908c9e4327a.d: /root/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-aea2e908c9e4327a.rlib: /root/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-aea2e908c9e4327a.rmeta: /root/shims/serde/src/lib.rs
+
+/root/shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-b2d7dd008c2ace37.d: /root/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b2d7dd008c2ace37.rmeta: /root/shims/serde/src/lib.rs
+
+/root/shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-38defecd218d37d7.d: /root/shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-38defecd218d37d7.so: /root/shims/serde_derive/src/lib.rs
+
+/root/shims/serde_derive/src/lib.rs:

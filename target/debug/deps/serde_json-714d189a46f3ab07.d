@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-714d189a46f3ab07.d: /root/shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-714d189a46f3ab07.rmeta: /root/shims/serde_json/src/lib.rs
+
+/root/shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-dcbcafb435804dbd.d: /root/shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-dcbcafb435804dbd.rlib: /root/shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-dcbcafb435804dbd.rmeta: /root/shims/serde_json/src/lib.rs
+
+/root/shims/serde_json/src/lib.rs:

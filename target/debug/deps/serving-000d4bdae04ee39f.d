@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving-000d4bdae04ee39f.d: tests/serving.rs
+
+/root/repo/target/debug/deps/serving-000d4bdae04ee39f: tests/serving.rs
+
+tests/serving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-8c93f13fbbc45097.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-8c93f13fbbc45097: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tenancy-c4399d370b9eb98b.d: tests/tenancy.rs
+
+/root/repo/target/debug/deps/tenancy-c4399d370b9eb98b: tests/tenancy.rs
+
+tests/tenancy.rs:

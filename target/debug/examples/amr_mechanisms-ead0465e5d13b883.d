@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/amr_mechanisms-ead0465e5d13b883.d: examples/amr_mechanisms.rs
+
+/root/repo/target/debug/examples/amr_mechanisms-ead0465e5d13b883: examples/amr_mechanisms.rs
+
+examples/amr_mechanisms.rs:

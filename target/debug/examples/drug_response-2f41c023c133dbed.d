@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drug_response-2f41c023c133dbed.d: examples/drug_response.rs
+
+/root/repo/target/debug/examples/drug_response-2f41c023c133dbed: examples/drug_response.rs
+
+examples/drug_response.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hyperparameter_search-62834525bae87ae6.d: examples/hyperparameter_search.rs
+
+/root/repo/target/debug/examples/hyperparameter_search-62834525bae87ae6: examples/hyperparameter_search.rs
+
+examples/hyperparameter_search.rs:

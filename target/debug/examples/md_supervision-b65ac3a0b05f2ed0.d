@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/md_supervision-b65ac3a0b05f2ed0.d: examples/md_supervision.rs
+
+/root/repo/target/debug/examples/md_supervision-b65ac3a0b05f2ed0: examples/md_supervision.rs
+
+examples/md_supervision.rs:

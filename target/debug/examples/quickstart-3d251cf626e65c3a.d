@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3d251cf626e65c3a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3d251cf626e65c3a: examples/quickstart.rs
+
+examples/quickstart.rs:

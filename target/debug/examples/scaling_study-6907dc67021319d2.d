@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-6907dc67021319d2.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-6907dc67021319d2: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeline-e4f555d259d35cb3.d: examples/timeline.rs
+
+/root/repo/target/debug/examples/timeline-e4f555d259d35cb3: examples/timeline.rs
+
+examples/timeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-1cda6e66cf42c1c6.d: /root/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-1cda6e66cf42c1c6.rlib: /root/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-1cda6e66cf42c1c6.rmeta: /root/shims/bytes/src/lib.rs
+
+/root/shims/bytes/src/lib.rs:

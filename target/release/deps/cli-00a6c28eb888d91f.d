@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cli-00a6c28eb888d91f.d: crates/lint/tests/cli.rs
+
+/root/repo/target/release/deps/cli-00a6c28eb888d91f: crates/lint/tests/cli.rs
+
+crates/lint/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_dd-lint=/root/repo/target/release/dd-lint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-4b9fda7d423b4d55.d: /root/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-4b9fda7d423b4d55.rlib: /root/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-4b9fda7d423b4d55.rmeta: /root/shims/criterion/src/lib.rs
+
+/root/shims/criterion/src/lib.rs:

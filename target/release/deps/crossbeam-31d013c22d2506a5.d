@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-31d013c22d2506a5.d: /root/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-31d013c22d2506a5.rlib: /root/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-31d013c22d2506a5.rmeta: /root/shims/crossbeam/src/lib.rs
+
+/root/shims/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dd_bench-ad42b6c1c5e98d20.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdd_bench-ad42b6c1c5e98d20.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdd_bench-ad42b6c1c5e98d20.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

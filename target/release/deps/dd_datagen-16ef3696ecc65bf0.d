@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dd_datagen-16ef3696ecc65bf0.d: crates/datagen/src/lib.rs crates/datagen/src/amr.rs crates/datagen/src/baselines.rs crates/datagen/src/compound.rs crates/datagen/src/dataset.rs crates/datagen/src/drug_response.rs crates/datagen/src/expression.rs crates/datagen/src/records.rs crates/datagen/src/tumor.rs
+
+/root/repo/target/release/deps/libdd_datagen-16ef3696ecc65bf0.rlib: crates/datagen/src/lib.rs crates/datagen/src/amr.rs crates/datagen/src/baselines.rs crates/datagen/src/compound.rs crates/datagen/src/dataset.rs crates/datagen/src/drug_response.rs crates/datagen/src/expression.rs crates/datagen/src/records.rs crates/datagen/src/tumor.rs
+
+/root/repo/target/release/deps/libdd_datagen-16ef3696ecc65bf0.rmeta: crates/datagen/src/lib.rs crates/datagen/src/amr.rs crates/datagen/src/baselines.rs crates/datagen/src/compound.rs crates/datagen/src/dataset.rs crates/datagen/src/drug_response.rs crates/datagen/src/expression.rs crates/datagen/src/records.rs crates/datagen/src/tumor.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/amr.rs:
+crates/datagen/src/baselines.rs:
+crates/datagen/src/compound.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/drug_response.rs:
+crates/datagen/src/expression.rs:
+crates/datagen/src/records.rs:
+crates/datagen/src/tumor.rs:

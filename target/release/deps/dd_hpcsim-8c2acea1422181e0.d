@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dd_hpcsim-8c2acea1422181e0.d: crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs
+
+/root/repo/target/release/deps/libdd_hpcsim-8c2acea1422181e0.rlib: crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs
+
+/root/repo/target/release/deps/libdd_hpcsim-8c2acea1422181e0.rmeta: crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs
+
+crates/hpcsim/src/lib.rs:
+crates/hpcsim/src/collectives.rs:
+crates/hpcsim/src/fabric.rs:
+crates/hpcsim/src/failure.rs:
+crates/hpcsim/src/machine.rs:
+crates/hpcsim/src/memory.rs:
+crates/hpcsim/src/roofline.rs:
+crates/hpcsim/src/storage.rs:
+crates/hpcsim/src/trace.rs:
+crates/hpcsim/src/trainsim.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/dd_hypersearch-5ba0a3abc4d7c8ff.d: crates/hypersearch/src/lib.rs crates/hypersearch/src/history.rs crates/hypersearch/src/searcher.rs crates/hypersearch/src/searchers/mod.rs crates/hypersearch/src/searchers/evolutionary.rs crates/hypersearch/src/searchers/generative.rs crates/hypersearch/src/searchers/grid.rs crates/hypersearch/src/searchers/lhs.rs crates/hypersearch/src/searchers/random.rs crates/hypersearch/src/searchers/sha.rs crates/hypersearch/src/searchers/surrogate.rs crates/hypersearch/src/space.rs crates/hypersearch/src/testfunc.rs
+
+/root/repo/target/release/deps/libdd_hypersearch-5ba0a3abc4d7c8ff.rlib: crates/hypersearch/src/lib.rs crates/hypersearch/src/history.rs crates/hypersearch/src/searcher.rs crates/hypersearch/src/searchers/mod.rs crates/hypersearch/src/searchers/evolutionary.rs crates/hypersearch/src/searchers/generative.rs crates/hypersearch/src/searchers/grid.rs crates/hypersearch/src/searchers/lhs.rs crates/hypersearch/src/searchers/random.rs crates/hypersearch/src/searchers/sha.rs crates/hypersearch/src/searchers/surrogate.rs crates/hypersearch/src/space.rs crates/hypersearch/src/testfunc.rs
+
+/root/repo/target/release/deps/libdd_hypersearch-5ba0a3abc4d7c8ff.rmeta: crates/hypersearch/src/lib.rs crates/hypersearch/src/history.rs crates/hypersearch/src/searcher.rs crates/hypersearch/src/searchers/mod.rs crates/hypersearch/src/searchers/evolutionary.rs crates/hypersearch/src/searchers/generative.rs crates/hypersearch/src/searchers/grid.rs crates/hypersearch/src/searchers/lhs.rs crates/hypersearch/src/searchers/random.rs crates/hypersearch/src/searchers/sha.rs crates/hypersearch/src/searchers/surrogate.rs crates/hypersearch/src/space.rs crates/hypersearch/src/testfunc.rs
+
+crates/hypersearch/src/lib.rs:
+crates/hypersearch/src/history.rs:
+crates/hypersearch/src/searcher.rs:
+crates/hypersearch/src/searchers/mod.rs:
+crates/hypersearch/src/searchers/evolutionary.rs:
+crates/hypersearch/src/searchers/generative.rs:
+crates/hypersearch/src/searchers/grid.rs:
+crates/hypersearch/src/searchers/lhs.rs:
+crates/hypersearch/src/searchers/random.rs:
+crates/hypersearch/src/searchers/sha.rs:
+crates/hypersearch/src/searchers/surrogate.rs:
+crates/hypersearch/src/space.rs:
+crates/hypersearch/src/testfunc.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dd_lint-08b3134a6a522e84.d: crates/lint/src/lib.rs crates/lint/src/ctx.rs crates/lint/src/flow.rs crates/lint/src/graph.rs crates/lint/src/ir.rs crates/lint/src/lex.rs crates/lint/src/rules.rs
+
+/root/repo/target/release/deps/dd_lint-08b3134a6a522e84: crates/lint/src/lib.rs crates/lint/src/ctx.rs crates/lint/src/flow.rs crates/lint/src/graph.rs crates/lint/src/ir.rs crates/lint/src/lex.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/ctx.rs:
+crates/lint/src/flow.rs:
+crates/lint/src/graph.rs:
+crates/lint/src/ir.rs:
+crates/lint/src/lex.rs:
+crates/lint/src/rules.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dd_lint-35d8b1d455491acd.d: crates/lint/src/lib.rs crates/lint/src/ctx.rs crates/lint/src/flow.rs crates/lint/src/graph.rs crates/lint/src/ir.rs crates/lint/src/lex.rs crates/lint/src/rules.rs
+
+/root/repo/target/release/deps/libdd_lint-35d8b1d455491acd.rlib: crates/lint/src/lib.rs crates/lint/src/ctx.rs crates/lint/src/flow.rs crates/lint/src/graph.rs crates/lint/src/ir.rs crates/lint/src/lex.rs crates/lint/src/rules.rs
+
+/root/repo/target/release/deps/libdd_lint-35d8b1d455491acd.rmeta: crates/lint/src/lib.rs crates/lint/src/ctx.rs crates/lint/src/flow.rs crates/lint/src/graph.rs crates/lint/src/ir.rs crates/lint/src/lex.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/ctx.rs:
+crates/lint/src/flow.rs:
+crates/lint/src/graph.rs:
+crates/lint/src/ir.rs:
+crates/lint/src/lex.rs:
+crates/lint/src/rules.rs:

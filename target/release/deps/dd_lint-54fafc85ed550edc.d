@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dd_lint-54fafc85ed550edc.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/dd_lint-54fafc85ed550edc: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

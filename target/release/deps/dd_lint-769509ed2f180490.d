@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dd_lint-769509ed2f180490.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/dd_lint-769509ed2f180490: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

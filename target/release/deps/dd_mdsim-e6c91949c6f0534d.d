@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dd_mdsim-e6c91949c6f0534d.d: crates/mdsim/src/lib.rs crates/mdsim/src/supervisor.rs crates/mdsim/src/system.rs
+
+/root/repo/target/release/deps/libdd_mdsim-e6c91949c6f0534d.rlib: crates/mdsim/src/lib.rs crates/mdsim/src/supervisor.rs crates/mdsim/src/system.rs
+
+/root/repo/target/release/deps/libdd_mdsim-e6c91949c6f0534d.rmeta: crates/mdsim/src/lib.rs crates/mdsim/src/supervisor.rs crates/mdsim/src/system.rs
+
+crates/mdsim/src/lib.rs:
+crates/mdsim/src/supervisor.rs:
+crates/mdsim/src/system.rs:

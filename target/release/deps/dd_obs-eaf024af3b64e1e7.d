@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dd_obs-eaf024af3b64e1e7.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs
+
+/root/repo/target/release/deps/libdd_obs-eaf024af3b64e1e7.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs
+
+/root/repo/target/release/deps/libdd_obs-eaf024af3b64e1e7.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/phase.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/telemetry.rs:
+crates/obs/src/window.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dd_parallel-42467ba20801f543.d: crates/parallel/src/lib.rs crates/parallel/src/allreduce.rs crates/parallel/src/compression.rs crates/parallel/src/data_parallel.rs crates/parallel/src/fault.rs crates/parallel/src/model_parallel.rs crates/parallel/src/planner.rs
+
+/root/repo/target/release/deps/libdd_parallel-42467ba20801f543.rlib: crates/parallel/src/lib.rs crates/parallel/src/allreduce.rs crates/parallel/src/compression.rs crates/parallel/src/data_parallel.rs crates/parallel/src/fault.rs crates/parallel/src/model_parallel.rs crates/parallel/src/planner.rs
+
+/root/repo/target/release/deps/libdd_parallel-42467ba20801f543.rmeta: crates/parallel/src/lib.rs crates/parallel/src/allreduce.rs crates/parallel/src/compression.rs crates/parallel/src/data_parallel.rs crates/parallel/src/fault.rs crates/parallel/src/model_parallel.rs crates/parallel/src/planner.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/allreduce.rs:
+crates/parallel/src/compression.rs:
+crates/parallel/src/data_parallel.rs:
+crates/parallel/src/fault.rs:
+crates/parallel/src/model_parallel.rs:
+crates/parallel/src/planner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/deepdriver-307798a511d8a5e7.d: src/lib.rs
+
+/root/repo/target/release/deps/libdeepdriver-307798a511d8a5e7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdeepdriver-307798a511d8a5e7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_10_compression-8a79e11d5ca3fe22.d: crates/core/src/bin/exp-10-compression.rs
+
+/root/repo/target/release/deps/exp_10_compression-8a79e11d5ca3fe22: crates/core/src/bin/exp-10-compression.rs
+
+crates/core/src/bin/exp-10-compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_11_faults-3aa378bfdfc56c14.d: crates/core/src/bin/exp-11-faults.rs
+
+/root/repo/target/release/deps/exp_11_faults-3aa378bfdfc56c14: crates/core/src/bin/exp-11-faults.rs
+
+crates/core/src/bin/exp-11-faults.rs:

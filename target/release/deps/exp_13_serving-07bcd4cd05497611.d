@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_13_serving-07bcd4cd05497611.d: crates/core/src/bin/exp-13-serving.rs
+
+/root/repo/target/release/deps/exp_13_serving-07bcd4cd05497611: crates/core/src/bin/exp-13-serving.rs
+
+crates/core/src/bin/exp-13-serving.rs:

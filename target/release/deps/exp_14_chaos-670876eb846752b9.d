@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_14_chaos-670876eb846752b9.d: crates/core/src/bin/exp-14-chaos.rs
+
+/root/repo/target/release/deps/exp_14_chaos-670876eb846752b9: crates/core/src/bin/exp-14-chaos.rs
+
+crates/core/src/bin/exp-14-chaos.rs:

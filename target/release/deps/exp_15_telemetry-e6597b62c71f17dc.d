@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_15_telemetry-e6597b62c71f17dc.d: crates/core/src/bin/exp-15-telemetry.rs
+
+/root/repo/target/release/deps/exp_15_telemetry-e6597b62c71f17dc: crates/core/src/bin/exp-15-telemetry.rs
+
+crates/core/src/bin/exp-15-telemetry.rs:

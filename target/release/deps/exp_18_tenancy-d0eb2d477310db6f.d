@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_18_tenancy-d0eb2d477310db6f.d: crates/core/src/bin/exp-18-tenancy.rs
+
+/root/repo/target/release/deps/exp_18_tenancy-d0eb2d477310db6f: crates/core/src/bin/exp-18-tenancy.rs
+
+crates/core/src/bin/exp-18-tenancy.rs:

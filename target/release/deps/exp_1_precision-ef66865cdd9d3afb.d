@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_1_precision-ef66865cdd9d3afb.d: crates/core/src/bin/exp-1-precision.rs
+
+/root/repo/target/release/deps/exp_1_precision-ef66865cdd9d3afb: crates/core/src/bin/exp-1-precision.rs
+
+crates/core/src/bin/exp-1-precision.rs:

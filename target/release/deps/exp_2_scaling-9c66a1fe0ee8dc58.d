@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_2_scaling-9c66a1fe0ee8dc58.d: crates/core/src/bin/exp-2-scaling.rs
+
+/root/repo/target/release/deps/exp_2_scaling-9c66a1fe0ee8dc58: crates/core/src/bin/exp-2-scaling.rs
+
+crates/core/src/bin/exp-2-scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_3_parallelism-d47754e29c9ef62f.d: crates/core/src/bin/exp-3-parallelism.rs
+
+/root/repo/target/release/deps/exp_3_parallelism-d47754e29c9ef62f: crates/core/src/bin/exp-3-parallelism.rs
+
+crates/core/src/bin/exp-3-parallelism.rs:

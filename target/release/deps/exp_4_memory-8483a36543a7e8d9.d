@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_4_memory-8483a36543a7e8d9.d: crates/core/src/bin/exp-4-memory.rs
+
+/root/repo/target/release/deps/exp_4_memory-8483a36543a7e8d9: crates/core/src/bin/exp-4-memory.rs
+
+crates/core/src/bin/exp-4-memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_5_nvram-8714033e2871826d.d: crates/core/src/bin/exp-5-nvram.rs
+
+/root/repo/target/release/deps/exp_5_nvram-8714033e2871826d: crates/core/src/bin/exp-5-nvram.rs
+
+crates/core/src/bin/exp-5-nvram.rs:

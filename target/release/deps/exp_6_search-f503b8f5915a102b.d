@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_6_search-f503b8f5915a102b.d: crates/core/src/bin/exp-6-search.rs
+
+/root/repo/target/release/deps/exp_6_search-f503b8f5915a102b: crates/core/src/bin/exp-6-search.rs
+
+crates/core/src/bin/exp-6-search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_7_hybrid-0bcee56367b04ce1.d: crates/core/src/bin/exp-7-hybrid.rs
+
+/root/repo/target/release/deps/exp_7_hybrid-0bcee56367b04ce1: crates/core/src/bin/exp-7-hybrid.rs
+
+crates/core/src/bin/exp-7-hybrid.rs:

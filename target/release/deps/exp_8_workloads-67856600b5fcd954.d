@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_8_workloads-67856600b5fcd954.d: crates/core/src/bin/exp-8-workloads.rs
+
+/root/repo/target/release/deps/exp_8_workloads-67856600b5fcd954: crates/core/src/bin/exp-8-workloads.rs
+
+crates/core/src/bin/exp-8-workloads.rs:

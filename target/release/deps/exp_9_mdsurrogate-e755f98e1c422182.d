@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_9_mdsurrogate-e755f98e1c422182.d: crates/core/src/bin/exp-9-mdsurrogate.rs
+
+/root/repo/target/release/deps/exp_9_mdsurrogate-e755f98e1c422182: crates/core/src/bin/exp-9-mdsurrogate.rs
+
+crates/core/src/bin/exp-9-mdsurrogate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_profile-3c6816801aadccfd.d: crates/core/src/bin/exp-profile.rs
+
+/root/repo/target/release/deps/exp_profile-3c6816801aadccfd: crates/core/src/bin/exp-profile.rs
+
+crates/core/src/bin/exp-profile.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-990d455edb2628f4.d: /root/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-990d455edb2628f4.rlib: /root/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-990d455edb2628f4.rmeta: /root/shims/parking_lot/src/lib.rs
+
+/root/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-764a392ec67204ff.d: /root/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-764a392ec67204ff.rlib: /root/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-764a392ec67204ff.rmeta: /root/shims/proptest/src/lib.rs
+
+/root/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-36a6b051e759a539.d: /root/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-36a6b051e759a539.rlib: /root/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-36a6b051e759a539.rmeta: /root/shims/rayon/src/lib.rs
+
+/root/shims/rayon/src/lib.rs:

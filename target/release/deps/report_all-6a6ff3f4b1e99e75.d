@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report_all-6a6ff3f4b1e99e75.d: crates/core/src/bin/report-all.rs
+
+/root/repo/target/release/deps/report_all-6a6ff3f4b1e99e75: crates/core/src/bin/report-all.rs
+
+crates/core/src/bin/report-all.rs:

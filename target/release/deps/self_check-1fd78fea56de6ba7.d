@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/self_check-1fd78fea56de6ba7.d: crates/lint/tests/self_check.rs
+
+/root/repo/target/release/deps/self_check-1fd78fea56de6ba7: crates/lint/tests/self_check.rs
+
+crates/lint/tests/self_check.rs:
+
+# env-dep:CARGO_BIN_EXE_dd-lint=/root/repo/target/release/dd-lint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-49461b5a25323494.d: /root/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-49461b5a25323494.rlib: /root/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-49461b5a25323494.rmeta: /root/shims/serde/src/lib.rs
+
+/root/shims/serde/src/lib.rs:

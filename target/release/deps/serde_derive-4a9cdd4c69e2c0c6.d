@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4a9cdd4c69e2c0c6.d: /root/shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4a9cdd4c69e2c0c6.so: /root/shims/serde_derive/src/lib.rs
+
+/root/shims/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-f81275a83dc034ff.d: /root/shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-f81275a83dc034ff.rlib: /root/shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-f81275a83dc034ff.rmeta: /root/shims/serde_json/src/lib.rs
+
+/root/shims/serde_json/src/lib.rs:

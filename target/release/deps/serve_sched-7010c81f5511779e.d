@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_sched-7010c81f5511779e.d: crates/bench/benches/serve_sched.rs
+
+/root/repo/target/release/deps/serve_sched-7010c81f5511779e: crates/bench/benches/serve_sched.rs
+
+crates/bench/benches/serve_sched.rs:

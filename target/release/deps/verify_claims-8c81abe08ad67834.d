@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verify_claims-8c81abe08ad67834.d: crates/core/src/bin/verify-claims.rs
+
+/root/repo/target/release/deps/verify_claims-8c81abe08ad67834: crates/core/src/bin/verify-claims.rs
+
+crates/core/src/bin/verify-claims.rs:
