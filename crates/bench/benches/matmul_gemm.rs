@@ -1,0 +1,63 @@
+//! E12 GEMM kernel bench: the seed naive kernel against the blocked kernel
+//! on each backend and the fused int8 path, at 64/256/512 square sizes.
+//!
+//! This is the criterion-tracked counterpart of `exp-gemm` (which reports
+//! achieved-fraction-of-roofline for the E12 table); throughput here is in
+//! FLOPs (`Throughput::Elements` = 2·n³ per iteration), so criterion's
+//! elements/sec readout is directly comparable across kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dd_tensor::kernel::{gemm_prec, simd_available, Backend, Orient};
+use dd_tensor::matmul::seed;
+use dd_tensor::{matmul_prec, Matrix, Precision, Rng64};
+use std::hint::black_box;
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut rng = Rng64::new(0x6E33);
+    let mut group = c.benchmark_group("matmul_gemm");
+    group.sample_size(10);
+    for &size in &[64usize, 256, 512] {
+        let a = Matrix::randn(size, size, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(size, size, 0.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * size * size * size) as u64));
+
+        group.bench_with_input(BenchmarkId::new("seed_naive_f32", size), &size, |bench, _| {
+            bench.iter(|| black_box(seed::naive_f32(black_box(&a), black_box(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_scalar_f32", size), &size, |bench, _| {
+            bench.iter(|| {
+                black_box(gemm_prec(
+                    black_box(&a),
+                    black_box(&b),
+                    Orient::Nn,
+                    Precision::F32,
+                    Backend::Scalar,
+                ))
+            });
+        });
+        if simd_available() {
+            group.bench_with_input(
+                BenchmarkId::new("blocked_simd_f32", size),
+                &size,
+                |bench, _| {
+                    bench.iter(|| {
+                        black_box(gemm_prec(
+                            black_box(&a),
+                            black_box(&b),
+                            Orient::Nn,
+                            Precision::F32,
+                            Backend::Simd,
+                        ))
+                    });
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("fused_int8", size), &size, |bench, _| {
+            bench.iter(|| black_box(matmul_prec(black_box(&a), black_box(&b), Precision::Int8)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_kernels);
+criterion_main!(benches);

@@ -35,7 +35,7 @@ fn bench_single_epoch(c: &mut Criterion) {
                 )
             },
             |(mut model, mut trainer)| {
-                black_box(trainer.run_epoch(&mut model, &x, &y, 0));
+                black_box(trainer.run_epoch(&mut model, &x, &y, 0)).unwrap();
             },
             criterion::BatchSize::SmallInput,
         );

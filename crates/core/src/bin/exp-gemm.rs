@@ -1,0 +1,20 @@
+//! Regenerates the E12 GEMM-roofline addendum: sustained GFLOP/s and
+//! achieved fraction of the host-calibrated compute roof for the seed
+//! kernel, the blocked scalar/SIMD kernels, and the fused int8 path.
+//! Usage: `exp-gemm [smoke|full] [seed]`.
+//!
+//! The CSV under `results/e12_gemm.csv` is what the check.sh perf gate
+//! parses (blocked f32 must beat the seed kernel at 512³); the timing
+//! values themselves are machine-dependent and not byte-reproducible.
+
+use deepdriver_core::experiments::{self, e12_gemm};
+use deepdriver_core::report::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2017);
+
+    let table = e12_gemm::run(scale, seed);
+    experiments::emit(&table, "e12_gemm");
+}

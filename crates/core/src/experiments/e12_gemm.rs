@@ -1,0 +1,206 @@
+//! E12 (GEMM addendum) — achieved fraction of the compute roofline for the
+//! matmul kernel, before and after the blocked rewrite.
+//!
+//! E12 proper compares a measured phase breakdown against the modeled one.
+//! This table closes the loop one level lower: how close does each matmul
+//! implementation come to what the host's arithmetic units can actually
+//! sustain? The roof is *calibrated, not assumed*: we time the register-
+//! blocked microkernel on one L1-resident packed tile
+//! ([`dd_tensor::kernel::calibrate_mk_f32`]), so the denominator is the
+//! FMA rate this machine really delivers, not a spec-sheet number. Each
+//! kernel variant then runs the full GEMM — packing, blocking, writeback
+//! and all — and its sustained GFLOP/s is reported as a fraction of that
+//! roof:
+//!
+//! * `seed_naive_f32` — the pre-PR-10 i-k-j AXPY kernel
+//!   ([`dd_tensor::matmul::seed`]), the "before" row;
+//! * `blocked_scalar_f32` / `blocked_simd_f32` — the cache-blocked packed
+//!   kernel with the scalar and AVX2+FMA microkernels;
+//! * `fused_int8` — the fused quantize → i32-GEMM → dequantize path,
+//!   measured against its own integer roof (its ops are int8
+//!   multiply-accumulates, so comparing against the f32 roof would
+//!   understate the speedup the paper's low-precision claim is about).
+//!
+//! Timing uses `dd_obs` spans (the workspace's single clock); the registry
+//! stays disabled, so spans only measure and record nothing.
+
+use crate::report::{fnum, Scale, Table};
+use dd_tensor::kernel::{self, Backend};
+use dd_tensor::matmul::seed;
+use dd_tensor::{matmul_prec, Matrix, Precision, Rng64};
+
+/// Time one closure call, repeating until the measurement window is at
+/// least `min_time` seconds; returns seconds per call.
+fn time_call(mut f: impl FnMut(), min_time: f64) -> f64 {
+    f(); // warm caches and the Rayon pool before measuring
+    let mut reps = 1usize;
+    loop {
+        let span = dd_obs::span("e12_gemm_bench");
+        for _ in 0..reps {
+            f();
+        }
+        let t = span.finish();
+        if t >= min_time || reps >= 1 << 20 {
+            return t / reps as f64;
+        }
+        reps *= 2;
+    }
+}
+
+/// Calibrate a compute roof in GFLOP/s from a microkernel FLOP counter.
+fn calibrate_roof(bench: impl Fn(usize) -> u64, min_time: f64) -> f64 {
+    let mut iters = 1024usize;
+    loop {
+        let span = dd_obs::span("e12_gemm_roof");
+        let flops = bench(iters);
+        let t = span.finish();
+        if t >= min_time || iters >= 1 << 28 {
+            return flops as f64 / t / 1e9;
+        }
+        iters *= 4;
+    }
+}
+
+/// One measured kernel variant at one size.
+pub struct GemmRate {
+    /// Variant label (`seed_naive_f32`, `blocked_simd_f32`, ...).
+    pub kernel: &'static str,
+    /// Cube dimension (`size³` GEMM).
+    pub size: usize,
+    /// Sustained throughput over the whole GEMM, GFLOP/s (2·n³ ops).
+    pub gflops: f64,
+    /// The calibrated compute roof this variant is measured against.
+    pub roof_gflops: f64,
+    /// Speedup over the seed kernel at the same size.
+    pub vs_seed: f64,
+}
+
+impl GemmRate {
+    /// Achieved fraction of the calibrated roof.
+    pub fn fraction(&self) -> f64 {
+        if self.roof_gflops > 0.0 {
+            self.gflops / self.roof_gflops
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measure every kernel variant at the given cube sizes. `min_time` is the
+/// smallest timing window per measurement (seconds).
+pub fn measure(sizes: &[usize], min_time: f64, seed_val: u64) -> Vec<GemmRate> {
+    // The f32 roof is the best microkernel this host has; scalar-only hosts
+    // calibrate the scalar microkernel (the downgrade is inside dd-tensor).
+    let roof_f32 = calibrate_roof(|i| kernel::calibrate_mk_f32(Backend::Simd, i), min_time);
+    let roof_i8 = calibrate_roof(|i| kernel::calibrate_mk_i8(Backend::Simd, i), min_time);
+
+    let mut rng = Rng64::new(seed_val);
+    let mut out = Vec::new();
+    for &n in sizes {
+        let a = Matrix::randn(n, n, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(n, n, 0.0, 1.0, &mut rng);
+        let flops = 2.0 * (n as f64).powi(3);
+        let gf = |t: f64| flops / t / 1e9;
+
+        let t_seed = time_call(|| std::mem::drop(seed::naive_f32(&a, &b)), min_time);
+        let t_scalar = time_call(
+            || {
+                std::mem::drop(kernel::gemm_prec(
+                    &a,
+                    &b,
+                    kernel::Orient::Nn,
+                    Precision::F32,
+                    Backend::Scalar,
+                ))
+            },
+            min_time,
+        );
+        let t_simd = time_call(
+            || {
+                std::mem::drop(kernel::gemm_prec(
+                    &a,
+                    &b,
+                    kernel::Orient::Nn,
+                    Precision::F32,
+                    Backend::Simd,
+                ))
+            },
+            min_time,
+        );
+        let t_i8 = time_call(|| std::mem::drop(matmul_prec(&a, &b, Precision::Int8)), min_time);
+
+        let seed_gf = gf(t_seed);
+        let mut push = |kernel, t: f64, roof| {
+            out.push(GemmRate {
+                kernel,
+                size: n,
+                gflops: gf(t),
+                roof_gflops: roof,
+                vs_seed: t_seed / t,
+            });
+        };
+        push("seed_naive_f32", t_seed, roof_f32);
+        push("blocked_scalar_f32", t_scalar, roof_f32);
+        push("blocked_simd_f32", t_simd, roof_f32);
+        push("fused_int8", t_i8, roof_i8);
+        let _ = seed_gf;
+    }
+    out
+}
+
+/// Render the measurement as the E12 addendum table.
+pub fn table(rates: &[GemmRate]) -> Table {
+    let simd = if kernel::simd_available() { "avx2+fma" } else { "scalar-only host" };
+    let mut t = Table::new(
+        format!("E12b: GEMM achieved fraction of host compute roofline ({simd})"),
+        &["kernel", "size", "gflops", "roof_gflops", "roof_fraction", "speedup_vs_seed"],
+    );
+    for r in rates {
+        t.push_row(vec![
+            r.kernel.to_string(),
+            r.size.to_string(),
+            fnum(r.gflops),
+            fnum(r.roof_gflops),
+            format!("{:.3}", r.fraction()),
+            format!("{:.2}", r.vs_seed),
+        ]);
+    }
+    t
+}
+
+/// Standard entry point: cube sizes 64/256/512 at both scales; smoke just
+/// uses a shorter timing window (the 512³ sizes are what the perf gate
+/// reads, so they run at either scale).
+pub fn run(scale: Scale, seed_val: u64) -> Table {
+    let min_time = match scale {
+        Scale::Smoke => 0.05,
+        Scale::Full => 0.25,
+    };
+    table(&measure(&[64, 256, 512], min_time, seed_val))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_every_variant_per_size() {
+        let rates = measure(&[16, 24], 1e-4, 7);
+        assert_eq!(rates.len(), 8);
+        for r in &rates {
+            assert!(r.gflops > 0.0, "{} at {} produced no rate", r.kernel, r.size);
+            assert!(r.roof_gflops > 0.0);
+            assert!(r.fraction() > 0.0);
+        }
+        // The seed row's speedup-vs-seed is 1 by construction.
+        assert!(rates.iter().filter(|r| r.kernel == "seed_naive_f32").all(|r| r.vs_seed == 1.0));
+    }
+
+    #[test]
+    fn table_shape_matches_measurement() {
+        let rates = measure(&[16], 1e-4, 7);
+        let t = table(&rates);
+        assert_eq!(t.rows.len(), rates.len());
+        assert_eq!(t.headers.len(), 6);
+    }
+}

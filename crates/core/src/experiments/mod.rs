@@ -4,6 +4,7 @@
 
 pub mod e10_compression;
 pub mod e11_faults;
+pub mod e12_gemm;
 pub mod e12_profile;
 pub mod e13_serving;
 pub mod e14_chaos;

@@ -126,11 +126,11 @@ mod tests {
         let k = data.additive[0];
         let mut with = (0usize, 0usize);
         let mut without = (0usize, 0usize);
-        for i in 0..data.dataset.len() {
+        for (i, &label) in labels.iter().enumerate() {
             if data.dataset.x.get(i, k) == 1.0 {
-                with = (with.0 + labels[i], with.1 + 1);
+                with = (with.0 + label, with.1 + 1);
             } else {
-                without = (without.0 + labels[i], without.1 + 1);
+                without = (without.0 + label, without.1 + 1);
             }
         }
         let r_with = with.0 as f64 / with.1 as f64;
@@ -155,13 +155,13 @@ mod tests {
         let mut both = (0usize, 0usize);
         let mut only_a = (0usize, 0usize);
         let mut neither = (0usize, 0usize);
-        for i in 0..data.dataset.len() {
+        for (i, &label) in labels.iter().enumerate() {
             let ha = data.dataset.x.get(i, a) == 1.0;
             let hb = data.dataset.x.get(i, b) == 1.0;
             match (ha, hb) {
-                (true, true) => both = (both.0 + labels[i], both.1 + 1),
-                (true, false) => only_a = (only_a.0 + labels[i], only_a.1 + 1),
-                (false, false) => neither = (neither.0 + labels[i], neither.1 + 1),
+                (true, true) => both = (both.0 + label, both.1 + 1),
+                (true, false) => only_a = (only_a.0 + label, only_a.1 + 1),
+                (false, false) => neither = (neither.0 + label, neither.1 + 1),
                 _ => {}
             }
         }

@@ -125,13 +125,13 @@ mod tests {
         let labels = data.dataset.y.labels().unwrap();
         let mut with_pattern_active = 0usize;
         let mut with_pattern_total = 0usize;
-        for i in 0..data.dataset.len() {
+        for (i, &label) in labels.iter().enumerate() {
             let row = data.dataset.x.row(i);
             let has = data.patterns.iter().any(|p| p.iter().all(|&b| row[b] == 1.0));
             let vetoed = row[data.toxicophore] == 1.0;
             if has && !vetoed {
                 with_pattern_total += 1;
-                with_pattern_active += labels[i];
+                with_pattern_active += label;
             }
         }
         assert!(with_pattern_total > 50, "too few pattern completions");
@@ -143,9 +143,9 @@ mod tests {
         let config = CompoundConfig { label_noise: 0.0, ..Default::default() };
         let data = generate(&config, 4);
         let labels = data.dataset.y.labels().unwrap();
-        for i in 0..data.dataset.len() {
+        for (i, &label) in labels.iter().enumerate() {
             if data.dataset.x.get(i, data.toxicophore) == 1.0 {
-                assert_eq!(labels[i], 0, "vetoed compound marked active");
+                assert_eq!(label, 0, "vetoed compound marked active");
             }
         }
     }

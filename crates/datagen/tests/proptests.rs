@@ -57,11 +57,11 @@ proptest! {
         let data = compound::generate(&config, seed);
         // Rule check on every sample: active ⇔ some pattern complete ∧ no veto.
         let labels = data.dataset.y.labels().unwrap();
-        for i in 0..data.dataset.len() {
+        for (i, &label) in labels.iter().enumerate() {
             let row = data.dataset.x.row(i);
             let has = data.patterns.iter().any(|p| p.iter().all(|&b| row[b] == 1.0));
             let vetoed = row[data.toxicophore] == 1.0;
-            prop_assert_eq!(labels[i] == 1, has && !vetoed, "sample {}", i);
+            prop_assert_eq!(label == 1, has && !vetoed, "sample {}", i);
         }
     }
 

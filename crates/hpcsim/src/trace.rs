@@ -190,8 +190,8 @@ mod tests {
         assert_eq!(line.len(), 40);
         let hashes = line.chars().filter(|&c| c == '#').count();
         let tildes = line.chars().filter(|&c| c == '~').count();
-        assert!(hashes >= 28 && hashes <= 32, "compute cells {hashes}");
-        assert!(tildes >= 8 && tildes <= 12, "comm cells {tildes}");
+        assert!((28..=32).contains(&hashes), "compute cells {hashes}");
+        assert!((8..=12).contains(&tildes), "comm cells {tildes}");
     }
 
     #[test]

@@ -77,6 +77,9 @@ pub struct FileCtx {
     /// Sorted set of lines that contain code tokens (for standalone-comment
     /// annotation scoping).
     pub code_lines: Vec<usize>,
+    /// Lines of comments carrying a `SAFETY:` marker (the std convention
+    /// for justifying an `unsafe` block), for `safety/undocumented-unsafe`.
+    pub safety_lines: Vec<usize>,
 }
 
 impl FileCtx {
@@ -86,6 +89,8 @@ impl FileCtx {
         let (allows, bad_allows) = parse_annotations(&lexed.comments);
         let mut code_lines: Vec<usize> = lexed.tokens.iter().map(|t| t.line).collect();
         code_lines.dedup();
+        let safety_lines: Vec<usize> =
+            lexed.comments.iter().filter(|c| c.text.contains("SAFETY:")).map(|c| c.line).collect();
         FileCtx {
             path,
             crate_name,
@@ -95,6 +100,7 @@ impl FileCtx {
             allows,
             bad_allows,
             code_lines,
+            safety_lines,
         }
     }
 

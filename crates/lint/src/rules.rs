@@ -44,6 +44,7 @@ pub const KNOWN_RULES: &[&str] = &[
     "concurrency/blocking-under-lock",
     "concurrency/guard-across-spawn",
     "concurrency/unbounded-channel",
+    "safety/undocumented-unsafe",
     "lint/bad-allow",
 ];
 
@@ -57,6 +58,7 @@ pub const KNOWN_FAMILIES: &[&str] = &[
     "resilience",
     "telemetry",
     "concurrency",
+    "safety",
     "lint",
 ];
 
@@ -88,6 +90,7 @@ pub fn check_workspace(files: &[(FileCtx, FileIr)]) -> Vec<Diag> {
         determinism(ctx, &mut out);
         test_ambient_rng(ctx, &mut out);
         single_clock(ctx, &mut out);
+        undocumented_unsafe(ctx, &mut out);
         lossy_cast(ctx, &mut out);
         unbounded_buffer(ctx, &mut out);
         instrumentation(&ws, fi, &mut out);
@@ -315,6 +318,48 @@ fn single_clock(ctx: &FileCtx, out: &mut Vec<Diag>) {
                 "Instant::now() outside dd-obs: time through a dd_obs span \
                  (SpanGuard::finish returns elapsed seconds) so the trace and \
                  the report share one clock"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Safety policy: every `unsafe` *block* must carry a `// SAFETY:` comment
+/// immediately above it (or trailing on the same line) stating why its
+/// obligations hold — the std convention, enforced. `unsafe fn` and
+/// `unsafe impl` declarations are exempt: their contract belongs in a
+/// `# Safety` doc section, and the blocks *inside* callers are where the
+/// obligations get discharged. A block whose justification lives three
+/// screens away is treated as undocumented: the comment must sit between
+/// the previous code line and the block.
+fn undocumented_unsafe(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if !matches!(ctx.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    let t = &ctx.tokens;
+    for i in 0..t.len() {
+        if !(t[i].kind == TokenKind::Ident && t[i].text == "unsafe") || ctx.in_test(t[i].line) {
+            continue;
+        }
+        // Only `unsafe {` blocks; `unsafe fn` / `unsafe impl` / `unsafe
+        // trait` continue with an identifier, not a brace.
+        let Some(next) = t.get(i + 1) else { continue };
+        if !(next.kind == TokenKind::Punct && next.text == "{") {
+            continue;
+        }
+        let line = t[i].line;
+        let prev_code = ctx.code_lines.iter().rev().find(|&&cl| cl < line).copied().unwrap_or(0);
+        let documented =
+            ctx.safety_lines.iter().any(|&sl| sl == line || (sl > prev_code && sl < line));
+        if !documented {
+            push(
+                ctx,
+                out,
+                line,
+                "safety/undocumented-unsafe",
+                "unsafe block without a `// SAFETY:` comment: state, directly \
+                 above the block, why its obligations hold (which asserts or \
+                 invariants discharge them)"
                     .into(),
             );
         }

@@ -172,6 +172,20 @@ fn lossy_cast_float_to_int() {
 }
 
 #[test]
+fn safety_undocumented_unsafe() {
+    // An `unsafe` block with no adjacent `// SAFETY:` comment, in any
+    // library crate. The negative fixture pins the accepted forms: comment
+    // directly above, trailing on the same line, an allow annotation, and
+    // the `unsafe fn` exemption (contract lives in `# Safety` docs).
+    assert_fires("pos_undocumented_unsafe.rs", "dd-tensor:lib", 4, "safety/undocumented-unsafe");
+    assert_fires("pos_undocumented_unsafe.rs", "dd-obs:lib", 4, "safety/undocumented-unsafe");
+    assert_clean("neg_undocumented_unsafe.rs", "dd-tensor:lib");
+    // Test targets are exempt, like the other per-file policies.
+    let (code, stdout) = run("pos_undocumented_unsafe.rs", "dd-tensor:test");
+    assert_eq!(code, 0, "undocumented-unsafe must not fire on test code\nstdout: {stdout}");
+}
+
+#[test]
 fn resilience_unbounded_retry() {
     assert_fires("pos_unbounded_retry.rs", "dd-serve:lib", 2, "resilience/unbounded-retry");
     assert_clean("neg_unbounded_retry.rs", "dd-serve:lib");

@@ -1,0 +1,32 @@
+//! Fixture: SAFETY comments (and an allow annotation) satisfy
+//! `safety/undocumented-unsafe`; `unsafe fn` declarations are exempt.
+#[allow(unsafe_code)]
+pub fn read_first(values: &[f32]) -> f32 {
+    assert!(!values.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so the
+    // pointer to its first element is valid for reads.
+    unsafe { *values.as_ptr() }
+}
+
+#[allow(unsafe_code)]
+pub fn read_second(values: &[f32]) -> f32 {
+    assert!(values.len() > 1);
+    unsafe { *values.as_ptr().add(1) } // SAFETY: len > 1 was just asserted
+}
+
+#[allow(unsafe_code)]
+pub fn read_third(values: &[f32]) -> f32 {
+    assert!(values.len() > 2);
+    // dd-lint: allow(safety/undocumented-unsafe) -- fixture: annotation instead of a SAFETY comment
+    unsafe { *values.as_ptr().add(2) }
+}
+
+/// Documented via a `# Safety` section, not a block comment.
+///
+/// # Safety
+/// `values` must be non-empty.
+#[allow(unsafe_code)]
+pub unsafe fn read_unchecked(values: &[f32]) -> f32 {
+    // SAFETY: the function's own contract requires a non-empty slice.
+    unsafe { *values.as_ptr() }
+}

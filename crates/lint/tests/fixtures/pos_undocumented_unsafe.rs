@@ -1,0 +1,5 @@
+//! Fixture: `safety/undocumented-unsafe` must fire on line 4.
+#[allow(unsafe_code)]
+pub fn read_first(values: &[f32]) -> f32 {
+    unsafe { *values.as_ptr() }
+}

@@ -217,6 +217,7 @@ mod tests {
     use super::*;
 
     /// Direct (slow) convolution for cross-checking.
+    #[allow(clippy::too_many_arguments)]
     fn naive_conv(
         x: &Matrix,
         w: &Matrix,

@@ -212,7 +212,7 @@ mod tests {
         let worst: Vec<f32> = (0..20).map(|i| i as f32).collect();
         assert_eq!(enrichment_factor(&worst, &labels, 0.2), 0.0);
         // No actives: defined as 0.
-        assert_eq!(enrichment_factor(&perfect, &vec![0.0; 20], 0.2), 0.0);
+        assert_eq!(enrichment_factor(&perfect, &[0.0; 20], 0.2), 0.0);
     }
 
     #[test]

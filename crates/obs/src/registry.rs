@@ -351,7 +351,7 @@ impl Drop for SpanGuard {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     /// Tests share the one global registry; serialize them.

@@ -645,7 +645,7 @@ mod tests {
             m.observe_latency(t, lat);
             if m.poll(t).is_some_and(|e| e.kind == AlertKind::Fired) {
                 fired = true;
-                assert!(t >= 1.0 && t < 1.4, "fired at {t}");
+                assert!((1.0..1.4).contains(&t), "fired at {t}");
                 break;
             }
         }

@@ -1,0 +1,705 @@
+//! Cache-blocked packed GEMM: the one kernel every matmul orientation and
+//! precision variant routes through.
+//!
+//! ## Blocking scheme
+//!
+//! The driver walks `C = A·B` (`m×k · k×n`) in the classic three-level
+//! BLIS-style decomposition:
+//!
+//! * the contraction is split into depth-[`KC`] panels; each B panel is
+//!   packed **once** into [`NR`]-column strips and reused by every block of
+//!   output rows (the B-panel reuse that the naive row-sweep kernel lacks);
+//! * output rows are walked in blocks of [`MC`]; each block packs its A
+//!   panel into [`MR`]-row tiles that stay L1/L2-resident while the block's
+//!   strips stream past;
+//! * the innermost unit is a register-blocked `MR×NR` microkernel: the
+//!   accumulator tile lives entirely in registers for the whole panel depth
+//!   and touches `C` once per panel.
+//!
+//! ## Determinism contract
+//!
+//! Every floating-point microkernel computes element `(r, j)` as a single
+//! fused-multiply-add chain over `kk` in panel order, seeded at zero, then
+//! adds the panel total into `C` — and both backends implement *exactly*
+//! that recurrence: the AVX2 path with `vfmadd` lanes, the scalar path with
+//! [`f32::mul_add`] (also a single rounding). Lanes are independent
+//! elements, so vectorizing over `j` cannot reorder any element's
+//! reduction: **the two backends are bitwise identical**, which
+//! `tests/determinism.rs` pins. The int8 path accumulates in `i32`, which
+//! is exact, so its determinism is unconditional. Rayon parallelism
+//! partitions disjoint [`MC`]-row blocks whose panel loop runs sequentially
+//! inside each block, so thread count never affects reduction order either.
+//!
+//! ## Precision variants
+//!
+//! bf16/f16 round operands elementwise while packing, then run the f32
+//! microkernel — the same numerics as the old clone-and-round path without
+//! the clones. f64 runs the scalar microkernel with an `f64` accumulator
+//! over a single full-depth panel (`kc = k`), preserving the reference
+//! path's accumulate-wide-store-once semantics. int8 is the fused
+//! quantize → integer-GEMM → dequantize path: logical rows of A and
+//! columns of B are quantized symmetrically ([`crate::precision::quantize_i8`]),
+//! the widened `i16` codes are packed in `k`-pairs, the microkernel
+//! accumulates `i32` exactly (via `_mm256_madd_epi16` on the SIMD backend),
+//! and writeback dequantizes with [`crate::precision::dequantize_acc`] in
+//! the same pass — one sweep over memory instead of three.
+
+use crate::matrix::Matrix;
+use crate::pack::{self, MatView};
+use crate::precision::{self, Precision};
+use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Microkernel register tile: rows of C per tile. Six rows × two 8-lane
+/// vectors = 12 independent FMA chains, enough to hide 4-5-cycle FMA
+/// latency at 2 FMA/cycle, while 12 accumulators + 2 B registers + 1
+/// broadcast register still fit the 16 YMM registers.
+pub const MR: usize = 6;
+/// Microkernel register tile: columns of C per tile (two 8-lane vectors).
+pub const NR: usize = 16;
+/// Contraction-panel depth: one packed B strip is `KC·NR` floats (16 KiB),
+/// sized to stay L1-resident across a block's row tiles.
+pub const KC: usize = 256;
+/// Output-row block height: one packed A panel is at most `MC·KC` floats
+/// (64 KiB), sized for L2. Also the unit of Rayon parallelism.
+pub const MC: usize = 64;
+
+/// Deepest int8 contraction with guaranteed-exact `i32` accumulation:
+/// every product is bounded by `127²`, so `k ≤ i32::MAX / 127²` can never
+/// wrap. (≈ 133k — far above any shape in this workspace.)
+pub const I8_MAX_K: usize = (i32::MAX / (127 * 127)) as usize;
+
+/// Which microkernel implementation drives the blocked GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar microkernel (`f32::mul_add` chains / `i32` loops).
+    Scalar,
+    /// Runtime-detected AVX2+FMA microkernel. Bitwise identical to
+    /// [`Backend::Scalar`] by construction (see module docs).
+    Simd,
+}
+
+impl Backend {
+    /// Short name for benches and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Simd => "simd",
+        }
+    }
+}
+
+/// Is the SIMD microkernel usable on this host?
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The backend the public matmul entry points dispatch to: AVX2+FMA when
+/// the CPU has it, unless `DD_SIMD=off|scalar|0` forces the scalar path
+/// (the escape hatch the determinism suite and A/B benches use). Decided
+/// once per process.
+pub fn active() -> Backend {
+    static ACTIVE: OnceLock<Backend> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        if matches!(std::env::var("DD_SIMD").as_deref(), Ok("off" | "scalar" | "0")) {
+            return Backend::Scalar;
+        }
+        if simd_available() {
+            Backend::Simd
+        } else {
+            Backend::Scalar
+        }
+    })
+}
+
+/// Kernel orientation: which operand is logically transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orient {
+    /// `A[m×k] · B[k×n]`.
+    Nn,
+    /// `A[m×k] · B[n×k]ᵀ`.
+    Nt,
+    /// `A[k×m]ᵀ · B[k×n]`.
+    Tn,
+}
+
+/// Run the blocked GEMM with an explicit orientation, precision and
+/// backend. This is the test-facing face of the kernel — the public
+/// `matmul*` entry points call it with [`active`]'s backend after doing
+/// their shape checks and FLOP accounting; the determinism suite calls it
+/// with both backends to pin their bitwise equality.
+///
+/// Degenerate extents (`m`, `k` or `n` of zero) return an all-zero result
+/// of the correct shape. A [`Backend::Simd`] request on a host without
+/// AVX2+FMA silently runs the scalar backend (they are bitwise identical,
+/// and the downgrade keeps the unsafe microkernels unreachable without
+/// their target features).
+pub fn gemm_prec(a: &Matrix, b: &Matrix, orient: Orient, p: Precision, backend: Backend) -> Matrix {
+    let (av, bv) = match orient {
+        Orient::Nn => (MatView::of(a), MatView::of(b)),
+        Orient::Nt => (MatView::of(a), MatView::of_t(b)),
+        Orient::Tn => (MatView::of_t(a), MatView::of(b)),
+    };
+    gemm_views(av, bv, p, backend)
+}
+
+/// Blocked GEMM over prebuilt views (also the matvec path, which wraps its
+/// vector operand in a column view instead of materializing a matrix).
+pub(crate) fn gemm_views(
+    av: MatView<'_>,
+    bv: MatView<'_>,
+    p: Precision,
+    backend: Backend,
+) -> Matrix {
+    debug_assert_eq!(av.cols, bv.rows, "gemm contraction mismatch");
+    let (m, k, n) = (av.rows, av.cols, bv.cols);
+    if m == 0 || n == 0 || k == 0 {
+        return Matrix::zeros(m, n);
+    }
+    let backend =
+        if backend == Backend::Simd && !simd_available() { Backend::Scalar } else { backend };
+    match p {
+        Precision::Int8 => gemm_i8(av, bv, backend),
+        _ => gemm_float(av, bv, p, backend),
+    }
+}
+
+/// The float paths: f32 directly, bf16/f16 via rounding-at-pack, f64 via
+/// the wide-accumulator scalar microkernel over one full-depth panel.
+fn gemm_float(av: MatView<'_>, bv: MatView<'_>, p: Precision, backend: Backend) -> Matrix {
+    let (m, k, n) = (av.rows, av.cols, bv.cols);
+    let map: Option<fn(f32) -> f32> = match p {
+        Precision::Bf16 => Some(precision::round_bf16),
+        Precision::F16 => Some(precision::round_f16),
+        _ => None,
+    };
+    // f64 accumulates the whole contraction in the wide type and narrows
+    // once at writeback, so it must see a single panel.
+    let kc_step = if p == Precision::F64 { k } else { KC };
+    let panels: Vec<std::ops::Range<usize>> =
+        (0..k).step_by(kc_step).map(|s| s..(s + kc_step).min(k)).collect();
+    let packed_b: Vec<Vec<f32>> =
+        panels.iter().map(|kr| pack::pack_b_f32(&bv, kr.clone(), map)).collect();
+    let n_strips = n.div_ceil(NR);
+
+    let mut c = Matrix::zeros(m, n);
+    let body = |(blk, chunk): (usize, &mut [f32])| {
+        let row0 = blk * MC;
+        let rows = chunk.len() / n;
+        let mut abuf: Vec<f32> = Vec::new();
+        for (pi, kr) in panels.iter().enumerate() {
+            pack::pack_a_f32(&av, row0..row0 + rows, kr.clone(), map, &mut abuf);
+            let kc = kr.len();
+            let bp = &packed_b[pi];
+            let tiles = rows.div_ceil(MR);
+            for s in 0..n_strips {
+                let bstrip = &bp[s * kc * NR..(s + 1) * kc * NR];
+                let col0 = s * NR;
+                let cols_v = NR.min(n - col0);
+                for t in 0..tiles {
+                    let atile = &abuf[t * MR * kc..(t + 1) * MR * kc];
+                    let r0 = t * MR;
+                    let rows_v = MR.min(rows - r0);
+                    if p == Precision::F64 {
+                        let mut acc = [0f64; MR * NR];
+                        mk_f64(atile, bstrip, kc, &mut acc);
+                        for r in 0..rows_v {
+                            let base = (r0 + r) * n + col0;
+                            let dst = &mut chunk[base..base + cols_v];
+                            let src = &acc[r * NR..r * NR + cols_v];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d = (*d as f64 + s) as f32;
+                            }
+                        }
+                    } else {
+                        let mut acc = [0f32; MR * NR];
+                        match backend {
+                            #[cfg(target_arch = "x86_64")]
+                            Backend::Simd => x86::mk_f32_checked(atile, bstrip, kc, &mut acc),
+                            _ => mk_f32_scalar(atile, bstrip, kc, &mut acc),
+                        }
+                        // Slice-zip writeback so LLVM vectorizes the `C += acc`
+                        // clip instead of bounds-checking every element.
+                        for r in 0..rows_v {
+                            let base = (r0 + r) * n + col0;
+                            let dst = &mut chunk[base..base + cols_v];
+                            let src = &acc[r * NR..r * NR + cols_v];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += s;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    if m * n >= crate::matmul::PAR_MIN_OUT && m > 1 {
+        c.as_mut_slice().par_chunks_mut(MC * n).enumerate().for_each(body);
+    } else {
+        c.as_mut_slice().chunks_mut(MC * n).enumerate().for_each(body);
+    }
+    c
+}
+
+/// The fused int8 path: quantize → exact i32 GEMM → dequantize, one pass.
+fn gemm_i8(av: MatView<'_>, bv: MatView<'_>, backend: Backend) -> Matrix {
+    let (m, k, n) = (av.rows, av.cols, bv.cols);
+    assert!(
+        k <= I8_MAX_K,
+        "int8 GEMM: contraction depth {k} could overflow exact i32 accumulation"
+    );
+    // Per-logical-row scales for A, per-logical-column scales for B̂ —
+    // over the *full* contraction, exactly as the unfused composition
+    // quantizes, so fused output is bitwise-reproducible from the parts.
+    let (qa, sa) = pack::quantize_view_rows(&av);
+    let bt = MatView { data: bv.data, rows: bv.cols, cols: bv.rows, rs: bv.cs, cs: bv.rs };
+    let (qb, sb) = pack::quantize_view_rows(&bt);
+    let packed_b = pack::pack_b_i8(&qb, k, n);
+    let k2 = k.div_ceil(2);
+    let n_strips = n.div_ceil(NR);
+
+    let mut c = Matrix::zeros(m, n);
+    let body = |(blk, chunk): (usize, &mut [f32])| {
+        let row0 = blk * MC;
+        let rows = chunk.len() / n;
+        let mut abuf: Vec<i16> = Vec::new();
+        pack::pack_a_i8(&qa, k, row0..row0 + rows, &mut abuf);
+        let tiles = rows.div_ceil(MR);
+        for s in 0..n_strips {
+            let bstrip = &packed_b[s * NR * 2 * k2..(s + 1) * NR * 2 * k2];
+            let col0 = s * NR;
+            let cols_v = NR.min(n - col0);
+            for t in 0..tiles {
+                let atile = &abuf[t * MR * 2 * k2..(t + 1) * MR * 2 * k2];
+                let r0 = t * MR;
+                let rows_v = MR.min(rows - r0);
+                let mut acc = [0i32; MR * NR];
+                match backend {
+                    #[cfg(target_arch = "x86_64")]
+                    Backend::Simd => x86::mk_i8_checked(atile, bstrip, k2, &mut acc),
+                    _ => mk_i8_scalar(atile, bstrip, k2, &mut acc),
+                }
+                for r in 0..rows_v {
+                    let base = (r0 + r) * n + col0;
+                    let dst = &mut chunk[base..base + cols_v];
+                    let src = &acc[r * NR..r * NR + cols_v];
+                    let sbr = &sb[col0..col0 + cols_v];
+                    let sar = sa[row0 + r0 + r];
+                    for ((d, &s), &sbj) in dst.iter_mut().zip(src).zip(sbr) {
+                        *d = precision::dequantize_acc(s, sar, sbj);
+                    }
+                }
+            }
+        }
+    };
+
+    if m * n >= crate::matmul::PAR_MIN_OUT && m > 1 {
+        c.as_mut_slice().par_chunks_mut(MC * n).enumerate().for_each(body);
+    } else {
+        c.as_mut_slice().chunks_mut(MC * n).enumerate().for_each(body);
+    }
+    c
+}
+
+/// Calibration helper: run the f32 microkernel `iters` times over one
+/// L1-resident packed tile/strip pair and return the FLOPs executed. Timing
+/// this loop measures the *compute roof* of the blocked GEMM on this host —
+/// the rate the microkernel sustains when packing and memory traffic are
+/// out of the picture — which is the denominator of the
+/// achieved-fraction-of-roofline numbers E12 reports.
+pub fn calibrate_mk_f32(backend: Backend, iters: usize) -> u64 {
+    let backend =
+        if backend == Backend::Simd && !simd_available() { Backend::Scalar } else { backend };
+    let a = vec![1.0f32; MR * KC];
+    let b = vec![0.5f32; NR * KC];
+    let mut acc = [0f32; MR * NR];
+    for _ in 0..iters {
+        acc.fill(0.0);
+        match backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Simd => x86::mk_f32_checked(&a, &b, KC, &mut acc),
+            _ => mk_f32_scalar(&a, &b, KC, &mut acc),
+        }
+        std::hint::black_box(&mut acc);
+    }
+    2 * (MR * NR * KC * iters) as u64
+}
+
+/// Int8 counterpart of [`calibrate_mk_f32`]: the integer compute roof, in
+/// multiply-accumulate op pairs (so rates are comparable to f32 FLOPs).
+pub fn calibrate_mk_i8(backend: Backend, iters: usize) -> u64 {
+    let backend =
+        if backend == Backend::Simd && !simd_available() { Backend::Scalar } else { backend };
+    let k2 = KC / 2;
+    let a = vec![3i16; MR * 2 * k2];
+    let b = vec![5i16; NR * 2 * k2];
+    let mut acc = [0i32; MR * NR];
+    for _ in 0..iters {
+        acc.fill(0);
+        match backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Simd => x86::mk_i8_checked(&a, &b, k2, &mut acc),
+            _ => mk_i8_scalar(&a, &b, k2, &mut acc),
+        }
+        std::hint::black_box(&mut acc);
+    }
+    2 * (MR * NR * KC * iters) as u64
+}
+
+/// Portable f32 microkernel: one `mul_add` chain per element, the exact
+/// recurrence the AVX2 lanes implement.
+fn mk_f32_scalar(a_tile: &[f32], b_strip: &[f32], kc: usize, acc: &mut [f32; MR * NR]) {
+    for kk in 0..kc {
+        let a = &a_tile[kk * MR..kk * MR + MR];
+        let b = &b_strip[kk * NR..kk * NR + NR];
+        for r in 0..MR {
+            let ar = a[r];
+            for j in 0..NR {
+                acc[r * NR + j] = ar.mul_add(b[j], acc[r * NR + j]);
+            }
+        }
+    }
+}
+
+/// f64-accumulator microkernel for the reference precision path.
+fn mk_f64(a_tile: &[f32], b_strip: &[f32], kc: usize, acc: &mut [f64; MR * NR]) {
+    for kk in 0..kc {
+        let a = &a_tile[kk * MR..kk * MR + MR];
+        let b = &b_strip[kk * NR..kk * NR + NR];
+        for r in 0..MR {
+            let ar = a[r] as f64;
+            for j in 0..NR {
+                acc[r * NR + j] += ar * b[j] as f64;
+            }
+        }
+    }
+}
+
+/// Portable int8 microkernel over the packed `k`-pair layout. `i32`
+/// arithmetic is exact, so this is unconditionally bitwise-equal to the
+/// `madd`-based SIMD kernel regardless of summation order.
+fn mk_i8_scalar(a_tile: &[i16], b_strip: &[i16], k2: usize, acc: &mut [i32; MR * NR]) {
+    for kk2 in 0..k2 {
+        let a = &a_tile[kk2 * MR * 2..kk2 * MR * 2 + MR * 2];
+        let b = &b_strip[kk2 * NR * 2..kk2 * NR * 2 + NR * 2];
+        for r in 0..MR {
+            let a0 = a[r * 2] as i32;
+            let a1 = a[r * 2 + 1] as i32;
+            for j in 0..NR {
+                let base = (j / 8) * 16 + (j % 8) * 2;
+                acc[r * NR + j] += a0 * b[base] as i32 + a1 * b[base + 1] as i32;
+            }
+        }
+    }
+}
+
+/// AVX2 microkernels. The only unsafe code in the workspace: kept to raw
+/// loads/stores over buffers whose layout the packers in [`crate::pack`]
+/// guarantee, behind the runtime-detection guard in [`gemm_views`].
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+pub(crate) mod x86 {
+    use super::{simd_available, MR, NR};
+    use core::arch::x86_64::*;
+
+    /// Safe f32 dispatch: re-checks feature detection, then enters the
+    /// `target_feature` kernel.
+    pub(super) fn mk_f32_checked(
+        a_tile: &[f32],
+        b_strip: &[f32],
+        kc: usize,
+        acc: &mut [f32; MR * NR],
+    ) {
+        assert!(simd_available(), "SIMD backend dispatched without AVX2+FMA");
+        assert!(a_tile.len() >= MR * kc && b_strip.len() >= NR * kc);
+        // SAFETY: AVX2+FMA presence was just asserted (and `gemm_views`
+        // already downgrades Simd to Scalar on hosts without it), and the
+        // slice-length contract of `mk_f32` was asserted above.
+        unsafe { mk_f32(a_tile, b_strip, kc, acc) }
+    }
+
+    /// Safe int8 dispatch: re-checks feature detection, then enters the
+    /// `target_feature` kernel.
+    pub(super) fn mk_i8_checked(
+        a_tile: &[i16],
+        b_strip: &[i16],
+        k2: usize,
+        acc: &mut [i32; MR * NR],
+    ) {
+        assert!(simd_available(), "SIMD backend dispatched without AVX2+FMA");
+        assert!(a_tile.len() >= MR * 2 * k2 && b_strip.len() >= NR * 2 * k2);
+        // SAFETY: AVX2 presence was just asserted and the slice-length
+        // contract of `mk_i8` was asserted above.
+        unsafe { mk_i8(a_tile, b_strip, k2, acc) }
+    }
+
+    /// Safe quantization dispatch for [`crate::precision::quantize_i8`]:
+    /// re-checks feature detection, then enters the `target_feature` loop.
+    pub(crate) fn quantize_codes_checked(values: &[f32], inv: f32, out: &mut [i8]) {
+        assert!(simd_available(), "SIMD quantization dispatched without AVX2+FMA");
+        assert_eq!(values.len(), out.len());
+        // SAFETY: AVX2 presence was just asserted; the body is ordinary
+        // safe iteration — `unsafe` only discharges the `target_feature`
+        // contract.
+        unsafe { quantize_codes(values, inv, out) }
+    }
+
+    /// Quantization inner loop, compiled with AVX2 enabled so the
+    /// round/clamp/narrow chain auto-vectorizes (`vroundps` + saturating
+    /// `fptosi`). The body is the *same source expression* as the scalar
+    /// fallback in `precision::quantize_i8`, so results are
+    /// bitwise-identical by construction — only the codegen differs
+    /// (baseline x86-64 lowers `round_ties_even` to a per-element
+    /// `roundevenf` libcall, which measured as the largest single overhead
+    /// of the fused int8 GEMM).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    unsafe fn quantize_codes(values: &[f32], inv: f32, out: &mut [i8]) {
+        for (o, &v) in out.iter_mut().zip(values) {
+            // dd-lint: allow(lossy-cast/float-to-int) -- int8 quantization: value is rounded and clamped to [-127, 127] before the cast
+            *o = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+        }
+    }
+
+    /// f32 microkernel: 4×16 accumulator tile in eight YMM registers, one
+    /// `vfmadd` chain per element (bitwise-equal to the scalar `mul_add`
+    /// chain).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available and that
+    /// `a_tile.len() ≥ MR·kc`, `b_strip.len() ≥ NR·kc`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn mk_f32(
+        a_tile: &[f32],
+        b_strip: &[f32],
+        kc: usize,
+        acc: &mut [f32; MR * NR],
+    ) {
+        debug_assert!(a_tile.len() >= MR * kc && b_strip.len() >= NR * kc);
+        let mut c: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+        let mut pa = a_tile.as_ptr();
+        let mut pb = b_strip.as_ptr();
+        for _ in 0..kc {
+            // SAFETY: pb walks NR floats per step for kc steps, inside
+            // b_strip by the length contract above.
+            let (b0, b1) = unsafe { (_mm256_loadu_ps(pb), _mm256_loadu_ps(pb.add(8))) };
+            for (r, cr) in c.iter_mut().enumerate() {
+                // SAFETY: pa walks MR floats per step for kc steps, inside
+                // a_tile by the length contract above.
+                let ar = unsafe { _mm256_set1_ps(*pa.add(r)) };
+                cr[0] = _mm256_fmadd_ps(ar, b0, cr[0]);
+                cr[1] = _mm256_fmadd_ps(ar, b1, cr[1]);
+            }
+            // SAFETY: the final increments land exactly one-past-the-end.
+            unsafe {
+                pa = pa.add(MR);
+                pb = pb.add(NR);
+            }
+        }
+        for (r, cr) in c.iter().enumerate() {
+            // SAFETY: acc is exactly MR*NR floats; row r spans NR of them.
+            unsafe {
+                _mm256_storeu_ps(acc.as_mut_ptr().add(r * NR), cr[0]);
+                _mm256_storeu_ps(acc.as_mut_ptr().add(r * NR + 8), cr[1]);
+            }
+        }
+    }
+
+    /// int8 microkernel: `_mm256_madd_epi16` over `k`-pair-interleaved
+    /// `i16` codes, accumulated in eight `i32x8` registers. Exact integer
+    /// arithmetic — bitwise-equal to the scalar kernel by construction.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and that
+    /// `a_tile.len() ≥ MR·2·k2`, `b_strip.len() ≥ NR·2·k2`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mk_i8(
+        a_tile: &[i16],
+        b_strip: &[i16],
+        k2: usize,
+        acc: &mut [i32; MR * NR],
+    ) {
+        debug_assert!(a_tile.len() >= MR * 2 * k2 && b_strip.len() >= NR * 2 * k2);
+        let mut c: [[__m256i; 2]; MR] = [[_mm256_setzero_si256(); 2]; MR];
+        let mut pa = a_tile.as_ptr();
+        let mut pb = b_strip.as_ptr();
+        for _ in 0..k2 {
+            // SAFETY: pb walks NR·2 i16s per step for k2 steps, inside
+            // b_strip by the length contract above; loadu tolerates the
+            // 2-byte alignment of an i16 buffer.
+            let (b0, b1) = unsafe {
+                (
+                    _mm256_loadu_si256(pb as *const __m256i),
+                    _mm256_loadu_si256(pb.add(16) as *const __m256i),
+                )
+            };
+            for (r, cr) in c.iter_mut().enumerate() {
+                // SAFETY: pa walks MR·2 i16s per step for k2 steps, inside
+                // a_tile; read_unaligned handles the 2-byte alignment of
+                // the (a0, a1) pair being read as one i32.
+                let pair = unsafe { std::ptr::read_unaligned(pa.add(r * 2) as *const i32) };
+                let ar = _mm256_set1_epi32(pair);
+                cr[0] = _mm256_add_epi32(cr[0], _mm256_madd_epi16(ar, b0));
+                cr[1] = _mm256_add_epi32(cr[1], _mm256_madd_epi16(ar, b1));
+            }
+            // SAFETY: the final increments land exactly one-past-the-end.
+            unsafe {
+                pa = pa.add(MR * 2);
+                pb = pb.add(NR * 2);
+            }
+        }
+        for (r, cr) in c.iter().enumerate() {
+            // The madd lane order is (j/8, j%8): lane jj of half v holds
+            // column v·8 + jj, matching the pack interleave directly.
+            // SAFETY: acc is exactly MR*NR i32s; row r spans NR of them.
+            unsafe {
+                _mm256_storeu_si256(acc.as_mut_ptr().add(r * NR) as *mut __m256i, cr[0]);
+                _mm256_storeu_si256(acc.as_mut_ptr().add(r * NR + 8) as *mut __m256i, cr[1]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    #[ignore = "profiling aid, run manually with --ignored --nocapture"]
+    fn profile_int8_phases() {
+        let mut rng = Rng64::new(7);
+        let n = 512;
+        let a = Matrix::randn(n, n, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(n, n, 0.0, 1.0, &mut rng);
+        let av = MatView::of(&a);
+        let bv = MatView::of(&b);
+        let reps = 5;
+        let mut t_qa = 0.0;
+        let mut t_qb = 0.0;
+        let mut t_pb = 0.0;
+        let mut t_full = 0.0;
+        for _ in 0..reps {
+            let g = dd_obs::span("qa");
+            let (qa, sa) = pack::quantize_view_rows(&av);
+            std::hint::black_box((&qa, &sa));
+            t_qa += g.finish();
+            let bt = MatView { data: bv.data, rows: bv.cols, cols: bv.rows, rs: bv.cs, cs: bv.rs };
+            let g = dd_obs::span("qb");
+            let (qb, sb) = pack::quantize_view_rows(&bt);
+            std::hint::black_box((&qb, &sb));
+            t_qb += g.finish();
+            let g = dd_obs::span("pb");
+            let pb = pack::pack_b_i8(&qb, n, n);
+            std::hint::black_box(&pb);
+            t_pb += g.finish();
+            let g = dd_obs::span("full");
+            let c = gemm_i8(av, bv, Backend::Simd);
+            std::hint::black_box(&c);
+            t_full += g.finish();
+        }
+        let r = reps as f64;
+        println!(
+            "quantize A {:.3}ms  quantize B^T {:.3}ms  pack_b {:.3}ms  full {:.3}ms  (kernel+pack_a+writeback ~{:.3}ms)",
+            1e3 * t_qa / r,
+            1e3 * t_qb / r,
+            1e3 * t_pb / r,
+            1e3 * t_full / r,
+            1e3 * (t_full - t_qa - t_qb - t_pb) / r
+        );
+    }
+
+    fn naive_f64(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0f64;
+                for kk in 0..a.cols() {
+                    s += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+                }
+                c.set(i, j, s as f32);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_block_boundaries() {
+        let mut rng = Rng64::new(0xB10C);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (MR, KC, NR),
+            (MC + 1, KC + 1, NR + 1),
+            (MC - 1, KC - 1, NR - 1),
+            (130, 300, 70),
+        ] {
+            let a = Matrix::randn(m, k, 0.0, 0.5, &mut rng);
+            let b = Matrix::randn(k, n, 0.0, 0.5, &mut rng);
+            let c = gemm_prec(&a, &b, Orient::Nn, Precision::F32, Backend::Scalar);
+            let r = naive_f64(&a, &b);
+            let tol = 1e-4 * (k as f32).sqrt().max(1.0);
+            assert!(c.approx_eq(&r, tol), "blocked f32 diverged at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn backends_are_bitwise_identical() {
+        if !simd_available() {
+            return; // pinned properly (with a loud skip) in tests/determinism.rs
+        }
+        let mut rng = Rng64::new(0x51D);
+        for &(m, k, n) in &[(3, 5, 2), (MC + 3, KC + 7, 2 * NR + 5), (65, 17, 129)] {
+            let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+            for p in [Precision::F32, Precision::Bf16, Precision::F16, Precision::Int8] {
+                let s = gemm_prec(&a, &b, Orient::Nn, p, Backend::Scalar);
+                let v = gemm_prec(&a, &b, Orient::Nn, p, Backend::Simd);
+                assert_eq!(s.as_slice(), v.as_slice(), "{p:?} backends diverged at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn orientations_share_one_reduction_order() {
+        // Packing absorbs the orientation, so tn/nt are bitwise equal to
+        // nn over explicitly transposed operands — a stronger guarantee
+        // than the old kernels made (nt used to run a different order).
+        let mut rng = Rng64::new(0x7E57);
+        let a = Matrix::randn(33, 47, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(47, 21, 0.0, 1.0, &mut rng);
+        for p in [Precision::F32, Precision::F64, Precision::Int8] {
+            let nn = gemm_prec(&a, &b, Orient::Nn, p, active());
+            let nt = gemm_prec(&a, &b.transpose(), Orient::Nt, p, active());
+            let tn = gemm_prec(&a.transpose(), &b, Orient::Tn, p, active());
+            assert_eq!(nn.as_slice(), nt.as_slice(), "{p:?} nt");
+            assert_eq!(nn.as_slice(), tn.as_slice(), "{p:?} tn");
+        }
+    }
+
+    #[test]
+    fn int8_scalar_and_simd_agree_with_odd_k() {
+        // Odd k exercises the zero-padded final pair in both kernels.
+        let mut rng = Rng64::new(0x0DD);
+        let a = Matrix::randn(9, 31, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(31, 18, 0.0, 1.0, &mut rng);
+        let s = gemm_prec(&a, &b, Orient::Nn, Precision::Int8, Backend::Scalar);
+        if simd_available() {
+            let v = gemm_prec(&a, &b, Orient::Nn, Precision::Int8, Backend::Simd);
+            assert_eq!(s.as_slice(), v.as_slice());
+        }
+        // And both must be close to the float product.
+        let r = naive_f64(&a, &b);
+        let scale = r.max_abs().max(1e-6);
+        assert!(s.zip_map(&r, |x, y| (x - y).abs()).max_abs() / scale < 0.1);
+    }
+}

@@ -1,4 +1,4 @@
-//! Parallel matrix multiplication kernels with precision emulation.
+//! Public matrix-multiplication entry points with precision emulation.
 //!
 //! Three orientations cover everything a layer's forward/backward pass needs
 //! without materializing extra transposes in the hot path:
@@ -7,16 +7,24 @@
 //! * [`matmul_nt`] — `C = A · Bᵀ`   (backward data: δ × W, both row-major)
 //! * [`matmul_tn`] — `C = Aᵀ · B`   (backward weights: Xᵀ × δ)
 //!
-//! All kernels parallelize over disjoint blocks of output rows with Rayon
-//! (`par_chunks_mut`), so there is no shared mutable state and no unsafe
-//! code. The `_prec` variants emulate reduced-precision hardware: operands
-//! are rounded to the storage format (bf16/f16) or quantized (int8) before
-//! multiplication, with products accumulated in a wider type — the same
-//! discipline tensor-core-style units use.
+//! Since PR 10 these are thin shims: every orientation × precision
+//! combination routes through the cache-blocked packed-microkernel GEMM in
+//! [`crate::kernel`] (see its module docs for the blocking scheme, the SIMD
+//! backend dispatch, and the bitwise-determinism contract). This module owns
+//! what the kernel should not know about: shape validation, the FLOP/byte
+//! accounting hooks into dd-obs, and the [`seed`] reference kernel kept
+//! around so benches and the perf gate can measure the blocked path against
+//! the pre-PR-10 baseline.
+//!
+//! The `_prec` variants emulate reduced-precision hardware: operands are
+//! rounded to the storage format (bf16/f16) while packing, or quantized
+//! (int8) with products accumulated exactly in i32 — the same discipline
+//! tensor-core-style units use.
 
+use crate::kernel::{self, Orient};
 use crate::matrix::Matrix;
-use crate::precision::{self, Precision};
-use rayon::prelude::*;
+use crate::pack::MatView;
+use crate::precision::Precision;
 
 /// Output elements below which kernels run sequentially. Public so the
 /// testkit can generate shapes just below/above the parallel threshold.
@@ -47,9 +55,9 @@ fn bytes_counter(p: Precision) -> &'static str {
 /// `2·m·k·n` FLOPs (multiply + add) and the operand/output traffic at the
 /// storage width of `p`. Costs a single atomic load when recording is off.
 ///
-/// Only the public *entry points* call this — `matmul_tn_prec` delegates to
-/// [`matmul_prec`] and the int8 `A·B` kernel delegates to the `A·Bᵀ` one, so
-/// each logical multiply is counted exactly once.
+/// Only the public *entry points* call this — the blocked kernel they all
+/// delegate to never counts, so each logical multiply is recorded exactly
+/// once.
 #[inline]
 fn note_matmul(m: usize, k: usize, n: usize, p: Precision) {
     if !dd_obs::is_enabled() {
@@ -83,65 +91,36 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn matmul_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
     note_matmul(a.rows(), a.cols(), b.cols(), p);
-    // Degenerate extents: the kernels below chunk by `n` and `k`, which
-    // panics on zero chunk sizes, and an empty contraction is exactly zero.
-    if a.rows() == 0 || a.cols() == 0 || b.cols() == 0 {
-        return Matrix::zeros(a.rows(), b.cols());
-    }
-    match p {
-        Precision::F32 => mm_f32(a, b),
-        Precision::F64 => mm_f64(a, b),
-        Precision::Bf16 | Precision::F16 => {
-            let (ar, br) = rounded_pair(a, b, p);
-            mm_f32(&ar, &br)
-        }
-        Precision::Int8 => mm_i8(a, b),
-    }
+    kernel::gemm_prec(a, b, Orient::Nn, p, kernel::active())
 }
 
-/// `C = A · Bᵀ` with the given precision emulation.
+/// `C = A · Bᵀ` with the given precision emulation. The transpose is a
+/// stride swap inside the kernel's packing pass — nothing is materialized,
+/// and the reduction order is identical to [`matmul_prec`] over an
+/// explicitly transposed `B` (bitwise, not just approximately).
 pub fn matmul_nt_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch: {:?} x {:?}ᵀ", a.shape(), b.shape());
     note_matmul(a.rows(), a.cols(), b.rows(), p);
-    if a.rows() == 0 || a.cols() == 0 || b.rows() == 0 {
-        return Matrix::zeros(a.rows(), b.rows());
-    }
-    match p {
-        Precision::F32 => mm_nt_f32(a, b),
-        Precision::F64 => mm_nt_f64(a, b),
-        Precision::Bf16 | Precision::F16 => {
-            let (ar, br) = rounded_pair(a, b, p);
-            mm_nt_f32(&ar, &br)
-        }
-        Precision::Int8 => {
-            // A·Bᵀ = quantize rows of both operands and take dot products.
-            mm_i8_nt(a, b)
-        }
-    }
+    kernel::gemm_prec(a, b, Orient::Nt, p, kernel::active())
 }
 
-/// `C = Aᵀ · B` with the given precision emulation.
-///
-/// Implemented as an explicit transpose of `A` followed by [`matmul_prec`]:
-/// the transpose is O(mk) against the kernel's O(mkn), and the blocked copy
-/// keeps the subsequent inner loops contiguous, which measures faster than a
-/// strided in-place kernel for every size used in this workspace.
+/// `C = Aᵀ · B` with the given precision emulation. Like [`matmul_nt_prec`],
+/// the transpose is absorbed by packing strides; degenerate and tile-boundary
+/// extents take the same guarded path as every other orientation rather than
+/// a separate transpose-then-multiply code path.
 pub fn matmul_tn_prec(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch: {:?}ᵀ x {:?}", a.shape(), b.shape());
-    let at = a.transpose();
-    matmul_prec(&at, b, p)
+    note_matmul(a.cols(), a.rows(), b.cols(), p);
+    kernel::gemm_prec(a, b, Orient::Tn, p, kernel::active())
 }
 
-/// Matrix–vector product `y = A · x` in f32.
+/// Matrix–vector product `y = A · x` in f32. Runs the same blocked kernel
+/// over a `k×1` column view of `x`, so `matvec(a, x)` is bitwise-equal to
+/// column 0 of `matmul(a, x_as_column)`.
 pub fn matvec(a: &Matrix, x: &[f32]) -> Vec<f32> {
     assert_eq!(a.cols(), x.len(), "matvec shape mismatch");
     note_matmul(a.rows(), a.cols(), 1, Precision::F32);
-    if a.cols() == 0 {
-        // `iter_rows` cannot represent zero-width rows; the product of an
-        // `m×0` matrix with an empty vector is m zeros, not an empty vector.
-        return vec![0.0; a.rows()];
-    }
-    a.iter_rows().map(|row| dot(row, x)).collect()
+    kernel::gemm_views(MatView::of(a), MatView::col(x), Precision::F32, kernel::active()).into_vec()
 }
 
 /// Plain dot product with f32 accumulation, written so LLVM auto-vectorizes.
@@ -165,155 +144,47 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     s
 }
 
-fn rounded_pair(a: &Matrix, b: &Matrix, p: Precision) -> (Matrix, Matrix) {
-    let mut ar = a.clone();
-    let mut br = b.clone();
-    precision::round_slice(ar.as_mut_slice(), p);
-    precision::round_slice(br.as_mut_slice(), p);
-    (ar, br)
-}
+/// The pre-PR-10 reference kernel, kept verbatim so the criterion bench and
+/// the check.sh perf gate can measure the blocked path against the exact
+/// baseline it replaced. Not used by any production path.
+pub mod seed {
+    use super::PAR_MIN_OUT;
+    use crate::matrix::Matrix;
+    use rayon::prelude::*;
 
-/// f32 kernel, i-k-j order: for each output row, accumulate scaled rows of B.
-/// The inner loop is a contiguous AXPY which LLVM vectorizes.
-fn mm_f32(a: &Matrix, b: &Matrix) -> Matrix {
-    let (m, k) = a.shape();
-    let n = b.cols();
-    let mut c = Matrix::zeros(m, n);
-    let body = |(c_row, a_row): (&mut [f32], &[f32])| {
-        for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue; // sparse inputs (one-hot, ReLU outputs) are common
+    /// f32 `C = A · B` in i-k-j order: for each output row, accumulate
+    /// scaled rows of B. The inner loop is a contiguous AXPY which LLVM
+    /// vectorizes, but B streams from memory once per output row — no panel
+    /// reuse, which is precisely the gap the blocked kernel closes.
+    pub fn naive_f32(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
+        let (m, _k) = a.shape();
+        let n = b.cols();
+        if m == 0 || a.cols() == 0 || n == 0 {
+            return Matrix::zeros(m, n);
+        }
+        let mut c = Matrix::zeros(m, n);
+        let body = |(c_row, a_row): (&mut [f32], &[f32])| {
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue; // sparse inputs (one-hot, ReLU outputs) are common
+                }
+                let b_row = b.row(kk);
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
             }
-            let b_row = b.row(kk);
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += aik * bv;
-            }
+        };
+        if m * n >= PAR_MIN_OUT && m > 1 {
+            c.as_mut_slice()
+                .par_chunks_mut(n)
+                .zip(a.as_slice().par_chunks(a.cols()))
+                .for_each(body);
+        } else {
+            c.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(a.cols())).for_each(body);
         }
-        let _ = k;
-    };
-    if m * n >= PAR_MIN_OUT && m > 1 {
-        c.as_mut_slice().par_chunks_mut(n).zip(a.as_slice().par_chunks(a.cols())).for_each(body);
-    } else {
-        c.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(a.cols())).for_each(body);
+        c
     }
-    c
-}
-
-/// f64-accumulation kernel for the reference precision path.
-fn mm_f64(a: &Matrix, b: &Matrix) -> Matrix {
-    let (m, _k) = a.shape();
-    let n = b.cols();
-    let mut c = Matrix::zeros(m, n);
-    let body = |(c_row, a_row): (&mut [f32], &[f32])| {
-        let mut acc = vec![0f64; n];
-        for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let aik = aik as f64;
-            for (av, &bv) in acc.iter_mut().zip(b.row(kk)) {
-                *av += aik * bv as f64;
-            }
-        }
-        for (cv, &av) in c_row.iter_mut().zip(&acc) {
-            *cv = av as f32;
-        }
-    };
-    if m * n >= PAR_MIN_OUT && m > 1 {
-        c.as_mut_slice().par_chunks_mut(n).zip(a.as_slice().par_chunks(a.cols())).for_each(body);
-    } else {
-        c.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(a.cols())).for_each(body);
-    }
-    c
-}
-
-/// `A · Bᵀ` dot-product kernel: rows of both operands are contiguous.
-fn mm_nt_f32(a: &Matrix, b: &Matrix) -> Matrix {
-    let m = a.rows();
-    let n = b.rows();
-    let mut c = Matrix::zeros(m, n);
-    let body = |(c_row, a_row): (&mut [f32], &[f32])| {
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            *cv = dot(a_row, b.row(j));
-        }
-    };
-    if m * n >= PAR_MIN_OUT && m > 1 {
-        c.as_mut_slice().par_chunks_mut(n).zip(a.as_slice().par_chunks(a.cols())).for_each(body);
-    } else {
-        c.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(a.cols())).for_each(body);
-    }
-    c
-}
-
-fn mm_nt_f64(a: &Matrix, b: &Matrix) -> Matrix {
-    let m = a.rows();
-    let n = b.rows();
-    let mut c = Matrix::zeros(m, n);
-    let body = |(c_row, a_row): (&mut [f32], &[f32])| {
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let mut s = 0f64;
-            for (&x, &y) in a_row.iter().zip(b.row(j)) {
-                s += x as f64 * y as f64;
-            }
-            *cv = s as f32;
-        }
-    };
-    if m * n >= PAR_MIN_OUT && m > 1 {
-        c.as_mut_slice().par_chunks_mut(n).zip(a.as_slice().par_chunks(a.cols())).for_each(body);
-    } else {
-        c.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(a.cols())).for_each(body);
-    }
-    c
-}
-
-/// Int8 kernel for `A · B`: rows of A and columns of B are quantized
-/// symmetrically, products accumulate in i32, and the result is rescaled by
-/// the product of the two scales.
-fn mm_i8(a: &Matrix, b: &Matrix) -> Matrix {
-    let bt = b.transpose();
-    mm_i8_nt(a, &bt)
-}
-
-/// Int8 kernel for `A · Bᵀ` (both operands quantized per row).
-fn mm_i8_nt(a: &Matrix, b: &Matrix) -> Matrix {
-    let m = a.rows();
-    let n = b.rows();
-    let (aq, a_scales) = quantize_rows(a);
-    let (bq, b_scales) = quantize_rows(b);
-    let k = a.cols();
-    let mut c = Matrix::zeros(m, n);
-    let body = |(i, c_row): (usize, &mut [f32])| {
-        let a_row = &aq[i * k..(i + 1) * k];
-        let sa = a_scales[i];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &bq[j * k..(j + 1) * k];
-            let mut acc = 0i32;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x as i32 * y as i32;
-            }
-            *cv = acc as f32 * sa * b_scales[j];
-        }
-    };
-    if m * n >= PAR_MIN_OUT && m > 1 {
-        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, row)| body((i, row)));
-    } else {
-        for (i, row) in c.as_mut_slice().chunks_mut(n).enumerate() {
-            body((i, row));
-        }
-    }
-    c
-}
-
-fn quantize_rows(m: &Matrix) -> (Vec<i8>, Vec<f32>) {
-    let cols = m.cols();
-    let mut codes = vec![0i8; m.rows() * cols];
-    let mut scales = vec![1f32; m.rows()];
-    for (i, row) in m.iter_rows().enumerate() {
-        let (q, s) = precision::quantize_i8(row);
-        codes[i * cols..(i + 1) * cols].copy_from_slice(&q);
-        scales[i] = s;
-    }
-    (codes, scales)
 }
 
 #[cfg(test)]
@@ -356,6 +227,18 @@ mod tests {
     }
 
     #[test]
+    fn seed_kernel_matches_blocked() {
+        let mut rng = Rng64::new(11);
+        for &(m, k, n) in &[(5, 9, 7), (96, 96, 96), (130, 70, 200)] {
+            let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+            let c = matmul(&a, &b);
+            let s = seed::naive_f32(&a, &b);
+            assert!(c.approx_eq(&s, 1e-3 * k as f32), "seed vs blocked at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
     fn identity_is_neutral() {
         let mut rng = Rng64::new(2);
         let a = Matrix::randn(9, 9, 0.0, 1.0, &mut rng);
@@ -370,13 +253,15 @@ mod tests {
         let b = Matrix::randn(14, 33, 0.0, 1.0, &mut rng);
         let c = matmul_nt(&a, &b);
         let r = matmul(&a, &b.transpose());
-        assert!(c.approx_eq(&r, 1e-3));
+        // The packed kernel absorbs orientation as strides, so these are
+        // bitwise-equal, a stronger property than the old 1e-3 tolerance.
+        assert_eq!(c.as_slice(), r.as_slice());
 
         let x = Matrix::randn(33, 20, 0.0, 1.0, &mut rng);
         let y = Matrix::randn(33, 7, 0.0, 1.0, &mut rng);
         let c2 = matmul_tn(&x, &y);
         let r2 = matmul(&x.transpose(), &y);
-        assert!(c2.approx_eq(&r2, 1e-3));
+        assert_eq!(c2.as_slice(), r2.as_slice());
     }
 
     #[test]
@@ -427,7 +312,8 @@ mod tests {
         let b = Matrix::randn(12, 40, 0.0, 1.0, &mut rng);
         let via_nt = matmul_nt_prec(&a, &b, Precision::Int8);
         let via_t = matmul_prec(&a, &b.transpose(), Precision::Int8);
-        assert!(via_nt.approx_eq(&via_t, 1e-4));
+        // Same quantization inputs, same packed kernel: bitwise.
+        assert_eq!(via_nt.as_slice(), via_t.as_slice());
     }
 
     #[test]
@@ -438,9 +324,34 @@ mod tests {
         let y = matvec(&a, &x);
         let xm = Matrix::from_vec(29, 1, x);
         let ym = matmul(&a, &xm);
-        for i in 0..13 {
-            assert!((y[i] - ym.get(i, 0)).abs() < 1e-4);
+        for (i, &yi) in y.iter().enumerate() {
+            // The column view runs the same kernel: bitwise.
+            assert_eq!(yi, ym.get(i, 0));
         }
+    }
+
+    #[test]
+    fn degenerate_extents_are_zero_not_panic() {
+        // m, k and n of zero in every orientation — the shapes that used to
+        // rely on guards scattered per-kernel now hit the single guard in
+        // the blocked driver.
+        for p in Precision::ALL {
+            assert_eq!(matmul_prec(&Matrix::zeros(0, 4), &Matrix::zeros(4, 3), p).shape(), (0, 3));
+            assert_eq!(matmul_prec(&Matrix::zeros(2, 0), &Matrix::zeros(0, 3), p).shape(), (2, 3));
+            assert_eq!(matmul_prec(&Matrix::zeros(2, 4), &Matrix::zeros(4, 0), p).shape(), (2, 0));
+            assert_eq!(
+                matmul_nt_prec(&Matrix::zeros(2, 0), &Matrix::zeros(3, 0), p).shape(),
+                (2, 3)
+            );
+            assert_eq!(
+                matmul_tn_prec(&Matrix::zeros(0, 2), &Matrix::zeros(0, 3), p).shape(),
+                (2, 3)
+            );
+            let z = matmul_prec(&Matrix::zeros(2, 0), &Matrix::zeros(0, 3), p);
+            assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        }
+        assert_eq!(matvec(&Matrix::zeros(3, 0), &[]), vec![0.0; 3]);
+        assert_eq!(matvec(&Matrix::zeros(0, 4), &[0.0; 4]), Vec::<f32>::new());
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Panel packing for the blocked GEMM in [`crate::kernel`].
+//!
+//! The microkernels stream operands out of small contiguous buffers with a
+//! fixed interleave, so the cache behaviour of the inner loop is independent
+//! of the caller's memory layout. Packing is where all layout diversity is
+//! absorbed:
+//!
+//! * **orientation** — [`MatView`] describes a logical `rows×cols` operand
+//!   over a row-major buffer with arbitrary row/column strides, so `A·B`,
+//!   `A·Bᵀ` and `Aᵀ·B` all pack through the same code with zero transposes
+//!   materialized;
+//! * **precision** — bf16/f16 operand rounding happens element-by-element
+//!   while packing (one pass, no cloned matrices), and the int8 path
+//!   quantizes whole logical rows/columns and packs the widened `i16` codes
+//!   in the `k`-pair interleave `_mm256_madd_epi16` consumes;
+//! * **edges** — tiles are zero-padded to full `MR`-row / `NR`-column
+//!   width, which is numerically exact (a zero operand contributes nothing)
+//!   and lets the microkernels run without bounds logic; writeback clips to
+//!   the valid region.
+//!
+//! Layouts (all row-padded, `kc` = panel depth):
+//!
+//! * A panel: tiles of `MR` rows, element `(tile, kk, r)` at
+//!   `tile·(MR·kc) + kk·MR + r`.
+//! * B panel: strips of `NR` columns, element `(strip, kk, j)` at
+//!   `strip·(kc·NR) + kk·NR + j`.
+//! * int8 A panel (`i16` codes, `k` padded to pairs): `(tile, kk2, r, p)` at
+//!   `tile·(MR·2·kc2) + kk2·(MR·2) + r·2 + p`.
+//! * int8 B panel: `(strip, kk2, v, jj, p)` at
+//!   `strip·(NR·2·kc2) + kk2·(NR·2) + v·16 + jj·2 + p`, where `v = j/8`
+//!   selects the 256-bit half and `jj = j%8` the column pair within it.
+
+use crate::kernel::{MR, NR};
+use crate::matrix::Matrix;
+use crate::precision;
+use std::ops::Range;
+
+/// A logical `rows×cols` view over a row-major `f32` buffer. Element
+/// `(i, j)` lives at `data[i·rs + j·cs]`; a transposed view just swaps the
+/// strides, so packing never materializes a transpose.
+#[derive(Clone, Copy)]
+pub(crate) struct MatView<'a> {
+    /// Backing buffer.
+    pub data: &'a [f32],
+    /// Logical row count.
+    pub rows: usize,
+    /// Logical column count.
+    pub cols: usize,
+    /// Stride between consecutive rows.
+    pub rs: usize,
+    /// Stride between consecutive columns.
+    pub cs: usize,
+}
+
+impl<'a> MatView<'a> {
+    /// View of a matrix as stored.
+    pub fn of(m: &'a Matrix) -> MatView<'a> {
+        MatView { data: m.as_slice(), rows: m.rows(), cols: m.cols(), rs: m.cols(), cs: 1 }
+    }
+
+    /// Transposed view of a matrix (no copy).
+    pub fn of_t(m: &'a Matrix) -> MatView<'a> {
+        MatView { data: m.as_slice(), rows: m.cols(), cols: m.rows(), rs: 1, cs: m.cols() }
+    }
+
+    /// A `len×1` column view over a plain slice (for matvec).
+    pub fn col(x: &'a [f32]) -> MatView<'a> {
+        MatView { data: x, rows: x.len(), cols: 1, rs: 1, cs: 0 }
+    }
+
+    /// Element `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// Pack the `rows` × `kr` block of `view` into MR-row tiles, applying `map`
+/// (`None` = identity, or `Some` bf16/f16 rounding) to every element. Rows
+/// past the edge pad with zeros. `buf` is cleared and refilled (capacity is
+/// reused across panels).
+///
+/// Contiguous views (`cs == 1`, the untransposed orientations) take a fast
+/// path that walks each source row once as a slice — packing is O(m·k)
+/// against the kernel's O(m·k·n), but with per-element `at()` indexing it
+/// still measured as several percent of a 512³ GEMM. Rounding maps apply to
+/// the whole packed buffer afterwards; pad zeros round to zero, so this is
+/// exact.
+pub(crate) fn pack_a_f32(
+    view: &MatView<'_>,
+    rows: Range<usize>,
+    kr: Range<usize>,
+    map: Option<fn(f32) -> f32>,
+    buf: &mut Vec<f32>,
+) {
+    let kc = kr.len();
+    let tiles = rows.len().div_ceil(MR);
+    buf.clear();
+    buf.resize(tiles * MR * kc, 0.0);
+    for t in 0..tiles {
+        let tile = &mut buf[t * MR * kc..(t + 1) * MR * kc];
+        let r0 = rows.start + t * MR;
+        let rv = MR.min(rows.end - r0);
+        if view.cs == 1 {
+            for r in 0..rv {
+                let base = (r0 + r) * view.rs + kr.start;
+                let src = &view.data[base..base + kc];
+                for (kk, &v) in src.iter().enumerate() {
+                    tile[kk * MR + r] = v;
+                }
+            }
+        } else {
+            for (kk, k) in kr.clone().enumerate() {
+                for r in 0..rv {
+                    tile[kk * MR + r] = view.at(r0 + r, k);
+                }
+            }
+        }
+    }
+    if let Some(f) = map {
+        for v in buf.iter_mut() {
+            *v = f(*v);
+        }
+    }
+}
+
+/// Pack the `kr` × all-columns panel of `view` into NR-column strips, with
+/// the same elementwise `map` convention as [`pack_a_f32`]. Columns past
+/// the edge pad with zeros. Contiguous views copy 16-element row segments
+/// straight into the strips.
+pub(crate) fn pack_b_f32(
+    view: &MatView<'_>,
+    kr: Range<usize>,
+    map: Option<fn(f32) -> f32>,
+) -> Vec<f32> {
+    let kc = kr.len();
+    let n = view.cols;
+    let strips = n.div_ceil(NR);
+    let mut buf = vec![0.0; strips * kc * NR];
+    if view.cs == 1 {
+        for (kk, k) in kr.clone().enumerate() {
+            let src = &view.data[k * view.rs..k * view.rs + n];
+            for s in 0..strips {
+                let j0 = s * NR;
+                let jv = NR.min(n - j0);
+                buf[s * kc * NR + kk * NR..][..jv].copy_from_slice(&src[j0..j0 + jv]);
+            }
+        }
+    } else {
+        for s in 0..strips {
+            let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
+            let j0 = s * NR;
+            let jv = NR.min(n - j0);
+            for (kk, k) in kr.clone().enumerate() {
+                for j in 0..jv {
+                    strip[kk * NR + j] = view.at(k, j0 + j);
+                }
+            }
+        }
+    }
+    if let Some(f) = map {
+        for v in buf.iter_mut() {
+            *v = f(*v);
+        }
+    }
+    buf
+}
+
+/// Symmetric int8 quantization of every logical row of `view` (the full
+/// `cols`-length vector, exactly as the unfused composition quantizes), via
+/// [`precision::quantize_i8`]. Returns the codes row-major plus one scale
+/// per row.
+///
+/// Contiguous rows (`cs == 1`) quantize straight from the backing buffer.
+/// Strided views — a transposed operand, i.e. quantizing logical *columns*
+/// — first gather into a row-major scratch with a blocked transpose;
+/// walking the strides element-by-element would take one cache miss per
+/// element, which measured as the dominant cost of the whole int8 path.
+pub(crate) fn quantize_view_rows(view: &MatView<'_>) -> (Vec<i8>, Vec<f32>) {
+    let (rows, cols) = (view.rows, view.cols);
+    let mut codes = vec![0i8; rows * cols];
+    let mut scales = vec![1f32; rows];
+    let mut quantize_contiguous = |data: &[f32], row_stride: usize| {
+        for i in 0..rows {
+            let (q, s) = precision::quantize_i8(&data[i * row_stride..i * row_stride + cols]);
+            codes[i * cols..(i + 1) * cols].copy_from_slice(&q);
+            scales[i] = s;
+        }
+    };
+    if view.cs == 1 {
+        quantize_contiguous(view.data, view.rs);
+    } else {
+        let mut scratch = vec![0f32; rows * cols];
+        const B: usize = 32;
+        for ib in (0..rows).step_by(B) {
+            for jb in (0..cols).step_by(B) {
+                for i in ib..(ib + B).min(rows) {
+                    for j in jb..(jb + B).min(cols) {
+                        scratch[i * cols + j] = view.at(i, j);
+                    }
+                }
+            }
+        }
+        quantize_contiguous(&scratch, cols);
+    }
+    (codes, scales)
+}
+
+/// Pack quantized A rows (`codes` is `m×k` row-major `i8`) for the block
+/// `rows`, widened to `i16` and interleaved in `k`-pairs per tile row (the
+/// layout the `madd`-based microkernel broadcasts from). Odd `k` pads the
+/// final pair with a zero code, which is exact.
+pub(crate) fn pack_a_i8(codes: &[i8], k: usize, rows: Range<usize>, buf: &mut Vec<i16>) {
+    let k2 = k.div_ceil(2);
+    let tiles = rows.len().div_ceil(MR);
+    buf.clear();
+    buf.resize(tiles * MR * 2 * k2, 0);
+    for t in 0..tiles {
+        let tile = &mut buf[t * MR * 2 * k2..(t + 1) * MR * 2 * k2];
+        let r0 = rows.start + t * MR;
+        let rv = MR.min(rows.end - r0);
+        for r in 0..rv {
+            let row = &codes[(r0 + r) * k..(r0 + r + 1) * k];
+            for (kk2, pair) in row.chunks_exact(2).enumerate() {
+                let base = kk2 * MR * 2 + r * 2;
+                tile[base] = pair[0] as i16;
+                tile[base + 1] = pair[1] as i16;
+            }
+            if let [last] = row.chunks_exact(2).remainder() {
+                tile[(k / 2) * MR * 2 + r * 2] = *last as i16;
+            }
+        }
+    }
+}
+
+/// Pack quantized B̂ columns (`codes` is `n×k` row-major `i8`: one row per
+/// logical *column* of B̂) into NR-column strips with the `k`-pair column
+/// interleave described in the module docs.
+pub(crate) fn pack_b_i8(codes: &[i8], k: usize, n: usize) -> Vec<i16> {
+    let k2 = k.div_ceil(2);
+    let strips = n.div_ceil(NR);
+    let mut buf = vec![0i16; strips * NR * 2 * k2];
+    for s in 0..strips {
+        let strip = &mut buf[s * NR * 2 * k2..(s + 1) * NR * 2 * k2];
+        let j0 = s * NR;
+        let jv = NR.min(n - j0);
+        for j in 0..jv {
+            let col = &codes[(j0 + j) * k..(j0 + j + 1) * k];
+            let off = (j / 8) * 16 + (j % 8) * 2;
+            for (kk2, pair) in col.chunks_exact(2).enumerate() {
+                let base = kk2 * NR * 2 + off;
+                strip[base] = pair[0] as i16;
+                strip[base + 1] = pair[1] as i16;
+            }
+            if let [last] = col.chunks_exact(2).remainder() {
+                strip[(k / 2) * NR * 2 + off] = *last as i16;
+            }
+        }
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn views_agree_with_matrix_indexing() {
+        let mut rng = Rng64::new(1);
+        let m = Matrix::randn(5, 7, 0.0, 1.0, &mut rng);
+        let v = MatView::of(&m);
+        let vt = MatView::of_t(&m);
+        for i in 0..5 {
+            for j in 0..7 {
+                assert_eq!(v.at(i, j), m.get(i, j));
+                assert_eq!(vt.at(j, i), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_a_roundtrips_with_zero_padding() {
+        let mut rng = Rng64::new(2);
+        let m = Matrix::randn(5, 9, 0.0, 1.0, &mut rng);
+        let v = MatView::of(&m);
+        let mut buf = Vec::new();
+        pack_a_f32(&v, 0..5, 2..9, None, &mut buf);
+        let kc = 7;
+        let tiles = 5usize.div_ceil(MR);
+        assert_eq!(buf.len(), tiles * MR * kc);
+        for t in 0..tiles {
+            for kk in 0..kc {
+                for r in 0..MR {
+                    let got = buf[t * MR * kc + kk * MR + r];
+                    let row = t * MR + r;
+                    let want = if row < 5 { m.get(row, 2 + kk) } else { 0.0 };
+                    assert_eq!(got, want, "tile {t} kk {kk} r {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_b_strips_cover_and_pad_columns() {
+        let mut rng = Rng64::new(3);
+        let m = Matrix::randn(6, NR + 3, 0.0, 1.0, &mut rng);
+        let v = MatView::of(&m);
+        let buf = pack_b_f32(&v, 1..6, None);
+        let kc = 5;
+        assert_eq!(buf.len(), 2 * kc * NR);
+        for s in 0..2 {
+            for kk in 0..kc {
+                for j in 0..NR {
+                    let got = buf[s * kc * NR + kk * NR + j];
+                    let col = s * NR + j;
+                    let want = if col < NR + 3 { m.get(1 + kk, col) } else { 0.0 };
+                    assert_eq!(got, want, "strip {s} kk {kk} j {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_pack_interleaves_k_pairs() {
+        let k = 5; // odd: last pair padded
+        let codes: Vec<i8> = (0..2 * k).map(|i| i as i8 - 4).collect();
+        let mut a = Vec::new();
+        pack_a_i8(&codes, k, 0..2, &mut a);
+        let k2 = k.div_ceil(2);
+        // Row r, element kk lives at kk2*MR*2 + r*2 + (kk % 2).
+        for r in 0..2 {
+            for kk in 0..k {
+                let got = a[(kk / 2) * MR * 2 + r * 2 + kk % 2];
+                assert_eq!(got, codes[r * k + kk] as i16, "r {r} kk {kk}");
+            }
+            // Odd-k pad slot is zero.
+            assert_eq!(a[(k2 - 1) * MR * 2 + r * 2 + 1], 0);
+        }
+        let b = pack_b_i8(&codes, k, 2);
+        for j in 0..2 {
+            for kk in 0..k {
+                let got = b[(kk / 2) * NR * 2 + (j / 8) * 16 + (j % 8) * 2 + kk % 2];
+                assert_eq!(got, codes[j * k + kk] as i16, "j {j} kk {kk}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_view_rows_matches_direct_quantization() {
+        let mut rng = Rng64::new(4);
+        let m = Matrix::randn(4, 11, 0.0, 1.0, &mut rng);
+        let (codes, scales) = quantize_view_rows(&MatView::of(&m));
+        for i in 0..4 {
+            let (q, s) = precision::quantize_i8(m.row(i));
+            assert_eq!(&codes[i * 11..(i + 1) * 11], &q[..]);
+            assert_eq!(scales[i], s);
+        }
+    }
+}

@@ -171,21 +171,61 @@ pub fn f16_to_f32(h: u16) -> f32 {
 /// Symmetric int8 quantization of a slice: returns (codes, scale) such that
 /// `value ≈ code * scale`. A zero slice quantizes with scale 1.0.
 pub fn quantize_i8(values: &[f32]) -> (Vec<i8>, f32) {
-    let mut max_abs = 0f32;
-    for &v in values {
-        let a = v.abs();
-        if a > max_abs {
-            max_abs = a;
+    // Eight independent max lanes so the scan vectorizes; max is exact and
+    // order-independent (and `f32::max` drops NaN from either side, like the
+    // naive `if a > max_abs` scan), so the result is bit-identical to a
+    // sequential pass.
+    let mut lanes = [0f32; 8];
+    let chunks = values.chunks_exact(8);
+    let tail = chunks.remainder();
+    for c in chunks {
+        for (l, &v) in lanes.iter_mut().zip(c) {
+            *l = l.max(v.abs());
         }
+    }
+    let mut max_abs = lanes.iter().fold(0f32, |a, &l| a.max(l));
+    for &v in tail {
+        max_abs = max_abs.max(v.abs());
     }
     if max_abs == 0.0 || !max_abs.is_finite() {
         return (vec![0; values.len()], 1.0);
     }
     let scale = max_abs / 127.0;
     let inv = 1.0 / scale;
-    // dd-lint: allow(lossy-cast/float-to-int) -- int8 quantization: value is rounded and clamped to [-127, 127] before the cast
-    let codes = values.iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8).collect();
+    let mut codes = vec![0i8; values.len()];
+    quantize_codes_into(values, inv, &mut codes);
     (codes, scale)
+}
+
+/// The quantization inner loop: round to nearest (ties to even — the
+/// hardware rounding mode, chosen over `f32::round`'s ties-away because the
+/// latter has no x86 instruction and costs a libm call per element; either
+/// mode keeps |v − dequantize(quantize(v))| ≤ scale/2), clamp to ±127,
+/// narrow. On hosts where the SIMD backend is active this dispatches to the
+/// AVX2-compiled copy of the *same expression* in `kernel::x86`, which is
+/// bitwise-identical by construction — only the codegen differs.
+fn quantize_codes_into(values: &[f32], inv: f32, out: &mut [i8]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::active() == crate::kernel::Backend::Simd {
+        crate::kernel::x86::quantize_codes_checked(values, inv, out);
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(values) {
+        // dd-lint: allow(lossy-cast/float-to-int) -- int8 quantization: value is rounded and clamped to [-127, 127] before the cast
+        *o = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+    }
+}
+
+/// Dequantize one i32 GEMM accumulator back to f32 given the row scale of A
+/// and the column scale of B: `acc · (sa · sb)`, with the scale product
+/// rounded first. Both the fused kernel writeback and the unfused
+/// quantize/GEMM/dequantize composition must go through this exact
+/// expression — that single rounding order is what makes "fused output is
+/// bitwise-equal to the composition" a testable contract rather than an
+/// approximation.
+#[inline]
+pub fn dequantize_acc(acc: i32, sa: f32, sb: f32) -> f32 {
+    acc as f32 * (sa * sb)
 }
 
 /// Dequantize int8 codes back to f32.

@@ -63,5 +63,5 @@ pub use gradcheck::{
     check_layer, check_loss, layer_grads, layer_params, set_layer_params, GradFailure, GradReport,
     Tolerance,
 };
-pub use oracle::{check_matmul, OracleFailure, Orientation};
+pub use oracle::{check_matmul, unfused_int8_matmul, OracleFailure, Orientation};
 pub use runner::{check, falsify, Config, Counterexample};

@@ -139,6 +139,36 @@ fn int8_bound(a: &Matrix, b: &Matrix, i: usize, j: usize) -> f64 {
     SAFETY * quant + TINY
 }
 
+/// The *unfused* int8 composition the fused kernel must reproduce bitwise:
+/// quantize every row of `a` and every column of `b` symmetrically
+/// ([`dd_tensor::precision::quantize_i8`]), contract the codes in exact
+/// i32 arithmetic, and dequantize each accumulator through
+/// [`dd_tensor::precision::dequantize_acc`]. Integer addition is
+/// associative, so this naive triple loop is reduction-order-independent —
+/// any blocked schedule over the same codes must land on identical bits.
+pub fn unfused_int8_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    use dd_tensor::precision::{dequantize_acc, quantize_i8};
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut qa = Vec::with_capacity(m);
+    for i in 0..m {
+        qa.push(quantize_i8(a.row(i)));
+    }
+    let bt = b.transpose();
+    let mut qb = Vec::with_capacity(n);
+    for j in 0..n {
+        qb.push(quantize_i8(bt.row(j)));
+    }
+    Matrix::from_fn(m, n, |i, j| {
+        let (ca, sa) = &qa[i];
+        let (cb, sb) = &qb[j];
+        let mut acc = 0i32;
+        for kk in 0..k {
+            acc += ca[kk] as i32 * cb[kk] as i32;
+        }
+        dequantize_acc(acc, *sa, *sb)
+    })
+}
+
 /// Run one case through a kernel orientation at one precision and compare
 /// every element against the f64 reference under the derived bound.
 /// Returns the worst observed `|diff| / bound` ratio on success.

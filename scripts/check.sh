@@ -135,6 +135,23 @@ echo "== exp-15-telemetry emits a parsable flight-recorder dump"
 python3 -m json.tool results/e15_flight_recorder.json >/dev/null
 echo "results/e15_flight_recorder.json parses"
 
+echo "== exp-gemm smoke: blocked f32 must beat the seed kernel at 512^3"
+# Timing values are machine-dependent (no byte-identity gate here, unlike
+# the simulator CSVs); the gate is on the *ordering*, with slack well below
+# the ~3.4x this host measures so scheduler noise cannot flake the build.
+./target/release/exp-gemm smoke >/dev/null
+python3 - <<'EOF'
+import csv
+rows = {(r["kernel"], r["size"]): float(r["gflops"])
+        for r in csv.DictReader(open("results/e12_gemm.csv"))}
+seed = rows[("seed_naive_f32", "512")]
+blocked = rows.get(("blocked_simd_f32", "512"), rows[("blocked_scalar_f32", "512")])
+ratio = blocked / seed
+print(f"blocked f32 {blocked:.2f} GF/s vs seed {seed:.2f} GF/s ({ratio:.2f}x)")
+assert ratio >= 1.5, f"blocked f32 only {ratio:.2f}x the seed kernel at 512^3"
+EOF
+echo "e12_gemm.csv perf gate ok"
+
 echo "== exp-18-tenancy smoke: CSV schema + byte-identical reruns"
 ./target/release/exp-18-tenancy quick >/dev/null
 expected_header="mix,pattern,policy,tenant,class,offered,admitted,rejected,shed,completed,viol,e2e_p50_ms,e2e_p99_ms,tput_rps,scale_ups,scale_downs,max_active"

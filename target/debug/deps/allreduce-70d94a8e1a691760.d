@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/allreduce-70d94a8e1a691760.d: /root/repo/clippy.toml crates/bench/benches/allreduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballreduce-70d94a8e1a691760.rmeta: /root/repo/clippy.toml crates/bench/benches/allreduce.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/allreduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/checkpoint-062dea806b9c54d2.d: /root/repo/clippy.toml crates/bench/benches/checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint-062dea806b9c54d2.rmeta: /root/repo/clippy.toml crates/bench/benches/checkpoint.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cli-7b6a483773127ede.d: /root/repo/clippy.toml crates/lint/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-7b6a483773127ede.rmeta: /root/repo/clippy.toml crates/lint/tests/cli.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/lint/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_dd-lint=placeholder:dd-lint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/conv_kernels-2e6c8bebe804afed.d: /root/repo/clippy.toml crates/bench/benches/conv_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconv_kernels-2e6c8bebe804afed.rmeta: /root/repo/clippy.toml crates/bench/benches/conv_kernels.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/conv_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

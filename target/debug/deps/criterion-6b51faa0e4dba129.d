@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6b51faa0e4dba129.d: /root/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6b51faa0e4dba129.rmeta: /root/shims/criterion/src/lib.rs
+
+/root/shims/criterion/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/datagen_throughput-cbd6b37f3a0b5ef6.d: /root/repo/clippy.toml crates/bench/benches/datagen_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatagen_throughput-cbd6b37f3a0b5ef6.rmeta: /root/repo/clippy.toml crates/bench/benches/datagen_throughput.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/datagen_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dd_datagen-43225dcfb88c5bde.d: /root/repo/clippy.toml crates/datagen/src/lib.rs crates/datagen/src/amr.rs crates/datagen/src/baselines.rs crates/datagen/src/compound.rs crates/datagen/src/dataset.rs crates/datagen/src/drug_response.rs crates/datagen/src/expression.rs crates/datagen/src/records.rs crates/datagen/src/tumor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_datagen-43225dcfb88c5bde.rmeta: /root/repo/clippy.toml crates/datagen/src/lib.rs crates/datagen/src/amr.rs crates/datagen/src/baselines.rs crates/datagen/src/compound.rs crates/datagen/src/dataset.rs crates/datagen/src/drug_response.rs crates/datagen/src/expression.rs crates/datagen/src/records.rs crates/datagen/src/tumor.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/datagen/src/lib.rs:
+crates/datagen/src/amr.rs:
+crates/datagen/src/baselines.rs:
+crates/datagen/src/compound.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/drug_response.rs:
+crates/datagen/src/expression.rs:
+crates/datagen/src/records.rs:
+crates/datagen/src/tumor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

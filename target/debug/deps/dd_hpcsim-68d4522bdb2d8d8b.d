@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dd_hpcsim-68d4522bdb2d8d8b.d: crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs
+
+/root/repo/target/debug/deps/dd_hpcsim-68d4522bdb2d8d8b: crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs
+
+crates/hpcsim/src/lib.rs:
+crates/hpcsim/src/collectives.rs:
+crates/hpcsim/src/fabric.rs:
+crates/hpcsim/src/failure.rs:
+crates/hpcsim/src/machine.rs:
+crates/hpcsim/src/memory.rs:
+crates/hpcsim/src/roofline.rs:
+crates/hpcsim/src/storage.rs:
+crates/hpcsim/src/trace.rs:
+crates/hpcsim/src/trainsim.rs:

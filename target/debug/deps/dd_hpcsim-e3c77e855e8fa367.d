@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dd_hpcsim-e3c77e855e8fa367.d: /root/repo/clippy.toml crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_hpcsim-e3c77e855e8fa367.rmeta: /root/repo/clippy.toml crates/hpcsim/src/lib.rs crates/hpcsim/src/collectives.rs crates/hpcsim/src/fabric.rs crates/hpcsim/src/failure.rs crates/hpcsim/src/machine.rs crates/hpcsim/src/memory.rs crates/hpcsim/src/roofline.rs crates/hpcsim/src/storage.rs crates/hpcsim/src/trace.rs crates/hpcsim/src/trainsim.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/hpcsim/src/lib.rs:
+crates/hpcsim/src/collectives.rs:
+crates/hpcsim/src/fabric.rs:
+crates/hpcsim/src/failure.rs:
+crates/hpcsim/src/machine.rs:
+crates/hpcsim/src/memory.rs:
+crates/hpcsim/src/roofline.rs:
+crates/hpcsim/src/storage.rs:
+crates/hpcsim/src/trace.rs:
+crates/hpcsim/src/trainsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/dd_hypersearch-be7e044f69200eb7.d: /root/repo/clippy.toml crates/hypersearch/src/lib.rs crates/hypersearch/src/history.rs crates/hypersearch/src/searcher.rs crates/hypersearch/src/searchers/mod.rs crates/hypersearch/src/searchers/evolutionary.rs crates/hypersearch/src/searchers/generative.rs crates/hypersearch/src/searchers/grid.rs crates/hypersearch/src/searchers/lhs.rs crates/hypersearch/src/searchers/random.rs crates/hypersearch/src/searchers/sha.rs crates/hypersearch/src/searchers/surrogate.rs crates/hypersearch/src/space.rs crates/hypersearch/src/testfunc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_hypersearch-be7e044f69200eb7.rmeta: /root/repo/clippy.toml crates/hypersearch/src/lib.rs crates/hypersearch/src/history.rs crates/hypersearch/src/searcher.rs crates/hypersearch/src/searchers/mod.rs crates/hypersearch/src/searchers/evolutionary.rs crates/hypersearch/src/searchers/generative.rs crates/hypersearch/src/searchers/grid.rs crates/hypersearch/src/searchers/lhs.rs crates/hypersearch/src/searchers/random.rs crates/hypersearch/src/searchers/sha.rs crates/hypersearch/src/searchers/surrogate.rs crates/hypersearch/src/space.rs crates/hypersearch/src/testfunc.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/hypersearch/src/lib.rs:
+crates/hypersearch/src/history.rs:
+crates/hypersearch/src/searcher.rs:
+crates/hypersearch/src/searchers/mod.rs:
+crates/hypersearch/src/searchers/evolutionary.rs:
+crates/hypersearch/src/searchers/generative.rs:
+crates/hypersearch/src/searchers/grid.rs:
+crates/hypersearch/src/searchers/lhs.rs:
+crates/hypersearch/src/searchers/random.rs:
+crates/hypersearch/src/searchers/sha.rs:
+crates/hypersearch/src/searchers/surrogate.rs:
+crates/hypersearch/src/space.rs:
+crates/hypersearch/src/testfunc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dd_lint-8202f2d21aa14416.d: /root/repo/clippy.toml crates/lint/src/lib.rs crates/lint/src/ctx.rs crates/lint/src/flow.rs crates/lint/src/graph.rs crates/lint/src/ir.rs crates/lint/src/lex.rs crates/lint/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_lint-8202f2d21aa14416.rmeta: /root/repo/clippy.toml crates/lint/src/lib.rs crates/lint/src/ctx.rs crates/lint/src/flow.rs crates/lint/src/graph.rs crates/lint/src/ir.rs crates/lint/src/lex.rs crates/lint/src/rules.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/lint/src/lib.rs:
+crates/lint/src/ctx.rs:
+crates/lint/src/flow.rs:
+crates/lint/src/graph.rs:
+crates/lint/src/ir.rs:
+crates/lint/src/lex.rs:
+crates/lint/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

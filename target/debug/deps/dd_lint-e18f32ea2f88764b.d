@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dd_lint-e18f32ea2f88764b.d: /root/repo/clippy.toml crates/lint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_lint-e18f32ea2f88764b.rmeta: /root/repo/clippy.toml crates/lint/src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dd_mdsim-144b13f973d0567d.d: /root/repo/clippy.toml crates/mdsim/src/lib.rs crates/mdsim/src/supervisor.rs crates/mdsim/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_mdsim-144b13f973d0567d.rmeta: /root/repo/clippy.toml crates/mdsim/src/lib.rs crates/mdsim/src/supervisor.rs crates/mdsim/src/system.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/mdsim/src/lib.rs:
+crates/mdsim/src/supervisor.rs:
+crates/mdsim/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/dd_nn-74bef9e885e1932b.d: /root/repo/clippy.toml crates/nn/src/lib.rs crates/nn/src/checkpoint.rs crates/nn/src/init.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/layernorm.rs crates/nn/src/layers/norm.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/residual.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/spec.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_nn-74bef9e885e1932b.rmeta: /root/repo/clippy.toml crates/nn/src/lib.rs crates/nn/src/checkpoint.rs crates/nn/src/init.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/layernorm.rs crates/nn/src/layers/norm.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/residual.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/spec.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/nn/src/lib.rs:
+crates/nn/src/checkpoint.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/conv.rs:
+crates/nn/src/layers/dense.rs:
+crates/nn/src/layers/dropout.rs:
+crates/nn/src/layers/layernorm.rs:
+crates/nn/src/layers/norm.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/layers/residual.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/spec.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/dd_nn-bb350ec78ab83acd.d: crates/nn/src/lib.rs crates/nn/src/checkpoint.rs crates/nn/src/init.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/layernorm.rs crates/nn/src/layers/norm.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/residual.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/spec.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/dd_nn-bb350ec78ab83acd: crates/nn/src/lib.rs crates/nn/src/checkpoint.rs crates/nn/src/init.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/layernorm.rs crates/nn/src/layers/norm.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/residual.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/spec.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/checkpoint.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/conv.rs:
+crates/nn/src/layers/dense.rs:
+crates/nn/src/layers/dropout.rs:
+crates/nn/src/layers/layernorm.rs:
+crates/nn/src/layers/norm.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/layers/residual.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/spec.rs:
+crates/nn/src/train.rs:

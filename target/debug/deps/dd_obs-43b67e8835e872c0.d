@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dd_obs-43b67e8835e872c0.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs
+
+/root/repo/target/debug/deps/dd_obs-43b67e8835e872c0: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/phase.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/telemetry.rs:
+crates/obs/src/window.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dd_obs-f87a4b28ba2c2a21.d: /root/repo/clippy.toml crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_obs-f87a4b28ba2c2a21.rmeta: /root/repo/clippy.toml crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/phase.rs crates/obs/src/registry.rs crates/obs/src/telemetry.rs crates/obs/src/window.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/phase.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/telemetry.rs:
+crates/obs/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dd_parallel-a5e6eeabe1823209.d: /root/repo/clippy.toml crates/parallel/src/lib.rs crates/parallel/src/allreduce.rs crates/parallel/src/compression.rs crates/parallel/src/data_parallel.rs crates/parallel/src/fault.rs crates/parallel/src/model_parallel.rs crates/parallel/src/planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_parallel-a5e6eeabe1823209.rmeta: /root/repo/clippy.toml crates/parallel/src/lib.rs crates/parallel/src/allreduce.rs crates/parallel/src/compression.rs crates/parallel/src/data_parallel.rs crates/parallel/src/fault.rs crates/parallel/src/model_parallel.rs crates/parallel/src/planner.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/parallel/src/lib.rs:
+crates/parallel/src/allreduce.rs:
+crates/parallel/src/compression.rs:
+crates/parallel/src/data_parallel.rs:
+crates/parallel/src/fault.rs:
+crates/parallel/src/model_parallel.rs:
+crates/parallel/src/planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

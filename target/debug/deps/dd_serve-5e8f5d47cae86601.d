@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/dd_serve-5e8f5d47cae86601.d: /root/repo/clippy.toml crates/serve/src/lib.rs crates/serve/src/batcher.rs crates/serve/src/dispatch.rs crates/serve/src/error.rs crates/serve/src/loadgen.rs crates/serve/src/registry.rs crates/serve/src/replica.rs crates/serve/src/resil.rs crates/serve/src/sched.rs crates/serve/src/server.rs crates/serve/src/sim.rs crates/serve/src/telemetry.rs crates/serve/src/tenant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_serve-5e8f5d47cae86601.rmeta: /root/repo/clippy.toml crates/serve/src/lib.rs crates/serve/src/batcher.rs crates/serve/src/dispatch.rs crates/serve/src/error.rs crates/serve/src/loadgen.rs crates/serve/src/registry.rs crates/serve/src/replica.rs crates/serve/src/resil.rs crates/serve/src/sched.rs crates/serve/src/server.rs crates/serve/src/sim.rs crates/serve/src/telemetry.rs crates/serve/src/tenant.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/serve/src/lib.rs:
+crates/serve/src/batcher.rs:
+crates/serve/src/dispatch.rs:
+crates/serve/src/error.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/replica.rs:
+crates/serve/src/resil.rs:
+crates/serve/src/sched.rs:
+crates/serve/src/server.rs:
+crates/serve/src/sim.rs:
+crates/serve/src/telemetry.rs:
+crates/serve/src/tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

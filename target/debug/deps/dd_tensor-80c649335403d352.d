@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/dd_tensor-80c649335403d352.d: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs Cargo.toml
+/root/repo/target/debug/deps/dd_tensor-80c649335403d352.d: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdd_tensor-80c649335403d352.rmeta: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs Cargo.toml
+/root/repo/target/debug/deps/libdd_tensor-80c649335403d352.rmeta: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs Cargo.toml
 
 /root/repo/clippy.toml:
 crates/tensor/src/lib.rs:
+crates/tensor/src/kernel.rs:
 crates/tensor/src/matmul.rs:
 crates/tensor/src/matrix.rs:
 crates/tensor/src/ops.rs:
+crates/tensor/src/pack.rs:
 crates/tensor/src/precision.rs:
 crates/tensor/src/rng.rs:
 Cargo.toml:

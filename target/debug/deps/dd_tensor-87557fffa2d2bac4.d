@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dd_tensor-87557fffa2d2bac4.d: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_tensor-87557fffa2d2bac4.rmeta: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/tensor/src/lib.rs:
+crates/tensor/src/kernel.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pack.rs:
+crates/tensor/src/precision.rs:
+crates/tensor/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

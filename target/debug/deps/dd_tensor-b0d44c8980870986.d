@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/dd_tensor-b0d44c8980870986.d: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
+/root/repo/target/debug/deps/dd_tensor-b0d44c8980870986.d: crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
 
-/root/repo/target/debug/deps/libdd_tensor-b0d44c8980870986.rlib: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
+/root/repo/target/debug/deps/libdd_tensor-b0d44c8980870986.rlib: crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
 
-/root/repo/target/debug/deps/libdd_tensor-b0d44c8980870986.rmeta: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
+/root/repo/target/debug/deps/libdd_tensor-b0d44c8980870986.rmeta: crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
 
 crates/tensor/src/lib.rs:
+crates/tensor/src/kernel.rs:
 crates/tensor/src/matmul.rs:
 crates/tensor/src/matrix.rs:
 crates/tensor/src/ops.rs:
+crates/tensor/src/pack.rs:
 crates/tensor/src/precision.rs:
 crates/tensor/src/rng.rs:

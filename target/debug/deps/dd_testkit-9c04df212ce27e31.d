@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dd_testkit-9c04df212ce27e31.d: /root/repo/clippy.toml crates/testkit/src/lib.rs crates/testkit/src/determinism.rs crates/testkit/src/gen.rs crates/testkit/src/gradcheck.rs crates/testkit/src/oracle.rs crates/testkit/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_testkit-9c04df212ce27e31.rmeta: /root/repo/clippy.toml crates/testkit/src/lib.rs crates/testkit/src/determinism.rs crates/testkit/src/gen.rs crates/testkit/src/gradcheck.rs crates/testkit/src/oracle.rs crates/testkit/src/runner.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/testkit/src/lib.rs:
+crates/testkit/src/determinism.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/gradcheck.rs:
+crates/testkit/src/oracle.rs:
+crates/testkit/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,38 @@
+/root/repo/target/debug/deps/deepdriver_core-0c04d2620023bd28.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/e10_compression.rs crates/core/src/experiments/e11_faults.rs crates/core/src/experiments/e12_gemm.rs crates/core/src/experiments/e12_profile.rs crates/core/src/experiments/e13_serving.rs crates/core/src/experiments/e14_chaos.rs crates/core/src/experiments/e15_telemetry.rs crates/core/src/experiments/e18_tenancy.rs crates/core/src/experiments/e1_precision.rs crates/core/src/experiments/e2_scaling.rs crates/core/src/experiments/e3_parallelism.rs crates/core/src/experiments/e4_memory.rs crates/core/src/experiments/e5_nvram.rs crates/core/src/experiments/e6_search.rs crates/core/src/experiments/e7_hybrid.rs crates/core/src/experiments/e8_workloads.rs crates/core/src/experiments/e9_mdsurrogate.rs crates/core/src/report.rs crates/core/src/workloads/mod.rs crates/core/src/workloads/w1_tumor.rs crates/core/src/workloads/w2_drug_response.rs crates/core/src/workloads/w3_compound.rs crates/core/src/workloads/w4_autoencoder.rs crates/core/src/workloads/w5_records.rs crates/core/src/workloads/w6_amr.rs crates/core/src/workloads/w7_mdsurrogate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeepdriver_core-0c04d2620023bd28.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/e10_compression.rs crates/core/src/experiments/e11_faults.rs crates/core/src/experiments/e12_gemm.rs crates/core/src/experiments/e12_profile.rs crates/core/src/experiments/e13_serving.rs crates/core/src/experiments/e14_chaos.rs crates/core/src/experiments/e15_telemetry.rs crates/core/src/experiments/e18_tenancy.rs crates/core/src/experiments/e1_precision.rs crates/core/src/experiments/e2_scaling.rs crates/core/src/experiments/e3_parallelism.rs crates/core/src/experiments/e4_memory.rs crates/core/src/experiments/e5_nvram.rs crates/core/src/experiments/e6_search.rs crates/core/src/experiments/e7_hybrid.rs crates/core/src/experiments/e8_workloads.rs crates/core/src/experiments/e9_mdsurrogate.rs crates/core/src/report.rs crates/core/src/workloads/mod.rs crates/core/src/workloads/w1_tumor.rs crates/core/src/workloads/w2_drug_response.rs crates/core/src/workloads/w3_compound.rs crates/core/src/workloads/w4_autoencoder.rs crates/core/src/workloads/w5_records.rs crates/core/src/workloads/w6_amr.rs crates/core/src/workloads/w7_mdsurrogate.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/claims.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/e10_compression.rs:
+crates/core/src/experiments/e11_faults.rs:
+crates/core/src/experiments/e12_gemm.rs:
+crates/core/src/experiments/e12_profile.rs:
+crates/core/src/experiments/e13_serving.rs:
+crates/core/src/experiments/e14_chaos.rs:
+crates/core/src/experiments/e15_telemetry.rs:
+crates/core/src/experiments/e18_tenancy.rs:
+crates/core/src/experiments/e1_precision.rs:
+crates/core/src/experiments/e2_scaling.rs:
+crates/core/src/experiments/e3_parallelism.rs:
+crates/core/src/experiments/e4_memory.rs:
+crates/core/src/experiments/e5_nvram.rs:
+crates/core/src/experiments/e6_search.rs:
+crates/core/src/experiments/e7_hybrid.rs:
+crates/core/src/experiments/e8_workloads.rs:
+crates/core/src/experiments/e9_mdsurrogate.rs:
+crates/core/src/report.rs:
+crates/core/src/workloads/mod.rs:
+crates/core/src/workloads/w1_tumor.rs:
+crates/core/src/workloads/w2_drug_response.rs:
+crates/core/src/workloads/w3_compound.rs:
+crates/core/src/workloads/w4_autoencoder.rs:
+crates/core/src/workloads/w5_records.rs:
+crates/core/src/workloads/w6_amr.rs:
+crates/core/src/workloads/w7_mdsurrogate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/determinism-2e1f80a54e9e08db.d: /root/repo/clippy.toml tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-2e1f80a54e9e08db.rmeta: /root/repo/clippy.toml tests/determinism.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exp_14_chaos-58140de9c6b641ce.d: /root/repo/clippy.toml crates/core/src/bin/exp-14-chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_14_chaos-58140de9c6b641ce.rmeta: /root/repo/clippy.toml crates/core/src/bin/exp-14-chaos.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/bin/exp-14-chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exp_15_telemetry-c0983e2ac42d09c4.d: /root/repo/clippy.toml crates/core/src/bin/exp-15-telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_15_telemetry-c0983e2ac42d09c4.rmeta: /root/repo/clippy.toml crates/core/src/bin/exp-15-telemetry.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/bin/exp-15-telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

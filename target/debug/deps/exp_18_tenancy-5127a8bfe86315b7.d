@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exp_18_tenancy-5127a8bfe86315b7.d: /root/repo/clippy.toml crates/core/src/bin/exp-18-tenancy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_18_tenancy-5127a8bfe86315b7.rmeta: /root/repo/clippy.toml crates/core/src/bin/exp-18-tenancy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/bin/exp-18-tenancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exp_4_memory-cc1518e81951d063.d: /root/repo/clippy.toml crates/core/src/bin/exp-4-memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_4_memory-cc1518e81951d063.rmeta: /root/repo/clippy.toml crates/core/src/bin/exp-4-memory.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/bin/exp-4-memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exp_6_search-007490616be4b707.d: /root/repo/clippy.toml crates/core/src/bin/exp-6-search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_6_search-007490616be4b707.rmeta: /root/repo/clippy.toml crates/core/src/bin/exp-6-search.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/bin/exp-6-search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

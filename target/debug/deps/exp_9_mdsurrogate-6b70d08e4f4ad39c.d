@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exp_9_mdsurrogate-6b70d08e4f4ad39c.d: /root/repo/clippy.toml crates/core/src/bin/exp-9-mdsurrogate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_9_mdsurrogate-6b70d08e4f4ad39c.rmeta: /root/repo/clippy.toml crates/core/src/bin/exp-9-mdsurrogate.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/bin/exp-9-mdsurrogate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fault_tolerance-88c9f991a43d3d95.d: /root/repo/clippy.toml tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-88c9f991a43d3d95.rmeta: /root/repo/clippy.toml tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

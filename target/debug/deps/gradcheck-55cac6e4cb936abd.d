@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gradcheck-55cac6e4cb936abd.d: /root/repo/clippy.toml tests/gradcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgradcheck-55cac6e4cb936abd.rmeta: /root/repo/clippy.toml tests/gradcheck.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/gradcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

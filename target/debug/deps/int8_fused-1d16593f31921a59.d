@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/int8_fused-1d16593f31921a59.d: /root/repo/clippy.toml tests/int8_fused.rs Cargo.toml
+
+/root/repo/target/debug/deps/libint8_fused-1d16593f31921a59.rmeta: /root/repo/clippy.toml tests/int8_fused.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/int8_fused.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

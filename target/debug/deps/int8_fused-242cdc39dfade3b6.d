@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/int8_fused-242cdc39dfade3b6.d: tests/int8_fused.rs
+
+/root/repo/target/debug/deps/int8_fused-242cdc39dfade3b6: tests/int8_fused.rs
+
+tests/int8_fused.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kernel_oracle-99af5fac884e13df.d: /root/repo/clippy.toml tests/kernel_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_oracle-99af5fac884e13df.rmeta: /root/repo/clippy.toml tests/kernel_oracle.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/kernel_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

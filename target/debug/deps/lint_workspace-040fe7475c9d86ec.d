@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lint_workspace-040fe7475c9d86ec.d: /root/repo/clippy.toml crates/lint/benches/lint_workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_workspace-040fe7475c9d86ec.rmeta: /root/repo/clippy.toml crates/lint/benches/lint_workspace.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/lint/benches/lint_workspace.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

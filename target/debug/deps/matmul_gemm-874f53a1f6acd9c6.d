@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/matmul_gemm-874f53a1f6acd9c6.d: /root/repo/clippy.toml crates/bench/benches/matmul_gemm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatmul_gemm-874f53a1f6acd9c6.rmeta: /root/repo/clippy.toml crates/bench/benches/matmul_gemm.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/matmul_gemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/matmul_precision-41e6e9a00cc9c48f.d: /root/repo/clippy.toml crates/bench/benches/matmul_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatmul_precision-41e6e9a00cc9c48f.rmeta: /root/repo/clippy.toml crates/bench/benches/matmul_precision.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/matmul_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

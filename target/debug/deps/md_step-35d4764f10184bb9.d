@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/md_step-35d4764f10184bb9.d: /root/repo/clippy.toml crates/bench/benches/md_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmd_step-35d4764f10184bb9.rmeta: /root/repo/clippy.toml crates/bench/benches/md_step.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/md_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

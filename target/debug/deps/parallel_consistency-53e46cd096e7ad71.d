@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parallel_consistency-53e46cd096e7ad71.d: /root/repo/clippy.toml tests/parallel_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_consistency-53e46cd096e7ad71.rmeta: /root/repo/clippy.toml tests/parallel_consistency.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/parallel_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-467966914225ba1c.d: /root/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-467966914225ba1c.rmeta: /root/shims/proptest/src/lib.rs
+
+/root/shims/proptest/src/lib.rs:

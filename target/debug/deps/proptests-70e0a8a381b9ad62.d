@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-70e0a8a381b9ad62.d: crates/hpcsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-70e0a8a381b9ad62: crates/hpcsim/tests/proptests.rs
+
+crates/hpcsim/tests/proptests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptests-8bf03c73576e9774.d: /root/repo/clippy.toml crates/parallel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8bf03c73576e9774.rmeta: /root/repo/clippy.toml crates/parallel/tests/proptests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/parallel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

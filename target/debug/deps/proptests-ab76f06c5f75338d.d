@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ab76f06c5f75338d.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ab76f06c5f75338d: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

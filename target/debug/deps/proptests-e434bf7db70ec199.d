@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptests-e434bf7db70ec199.d: /root/repo/clippy.toml crates/nn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e434bf7db70ec199.rmeta: /root/repo/clippy.toml crates/nn/tests/proptests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/nn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

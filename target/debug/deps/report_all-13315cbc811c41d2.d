@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/report_all-13315cbc811c41d2.d: /root/repo/clippy.toml crates/core/src/bin/report-all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_all-13315cbc811c41d2.rmeta: /root/repo/clippy.toml crates/core/src/bin/report-all.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/bin/report-all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/resilience-c3f7dea984e52a15.d: /root/repo/clippy.toml tests/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-c3f7dea984e52a15.rmeta: /root/repo/clippy.toml tests/resilience.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

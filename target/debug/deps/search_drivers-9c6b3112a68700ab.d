@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/search_drivers-9c6b3112a68700ab.d: /root/repo/clippy.toml crates/bench/benches/search_drivers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_drivers-9c6b3112a68700ab.rmeta: /root/repo/clippy.toml crates/bench/benches/search_drivers.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/search_drivers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/search_integration-a456a4307ae82d90.d: /root/repo/clippy.toml tests/search_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_integration-a456a4307ae82d90.rmeta: /root/repo/clippy.toml tests/search_integration.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/search_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

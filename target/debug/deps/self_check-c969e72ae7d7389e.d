@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/self_check-c969e72ae7d7389e.d: /root/repo/clippy.toml crates/lint/tests/self_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libself_check-c969e72ae7d7389e.rmeta: /root/repo/clippy.toml crates/lint/tests/self_check.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/lint/tests/self_check.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_dd-lint=placeholder:dd-lint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

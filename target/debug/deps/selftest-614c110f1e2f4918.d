@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/selftest-614c110f1e2f4918.d: /root/repo/clippy.toml crates/testkit/tests/selftest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselftest-614c110f1e2f4918.rmeta: /root/repo/clippy.toml crates/testkit/tests/selftest.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/testkit/tests/selftest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

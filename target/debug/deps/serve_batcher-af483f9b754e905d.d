@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serve_batcher-af483f9b754e905d.d: /root/repo/clippy.toml crates/bench/benches/serve_batcher.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_batcher-af483f9b754e905d.rmeta: /root/repo/clippy.toml crates/bench/benches/serve_batcher.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/serve_batcher.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

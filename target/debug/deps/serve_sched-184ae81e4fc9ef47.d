@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serve_sched-184ae81e4fc9ef47.d: /root/repo/clippy.toml crates/bench/benches/serve_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_sched-184ae81e4fc9ef47.rmeta: /root/repo/clippy.toml crates/bench/benches/serve_sched.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/serve_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

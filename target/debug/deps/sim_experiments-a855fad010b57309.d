@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sim_experiments-a855fad010b57309.d: /root/repo/clippy.toml crates/bench/benches/sim_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_experiments-a855fad010b57309.rmeta: /root/repo/clippy.toml crates/bench/benches/sim_experiments.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/sim_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

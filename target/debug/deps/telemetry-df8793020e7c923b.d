@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/telemetry-df8793020e7c923b.d: /root/repo/clippy.toml tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-df8793020e7c923b.rmeta: /root/repo/clippy.toml tests/telemetry.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/telemetry_hot_path-b90d7e273b9bc9dc.d: /root/repo/clippy.toml crates/bench/benches/telemetry_hot_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_hot_path-b90d7e273b9bc9dc.rmeta: /root/repo/clippy.toml crates/bench/benches/telemetry_hot_path.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/telemetry_hot_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tenancy-cbca2a77f69791f7.d: /root/repo/clippy.toml tests/tenancy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtenancy-cbca2a77f69791f7.rmeta: /root/repo/clippy.toml tests/tenancy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/tenancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/train_epoch-d8bfaf41a8aa8682.d: /root/repo/clippy.toml crates/bench/benches/train_epoch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrain_epoch-d8bfaf41a8aa8682.rmeta: /root/repo/clippy.toml crates/bench/benches/train_epoch.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/train_epoch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

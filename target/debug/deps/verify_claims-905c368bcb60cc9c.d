@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/verify_claims-905c368bcb60cc9c.d: /root/repo/clippy.toml crates/core/src/bin/verify-claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_claims-905c368bcb60cc9c.rmeta: /root/repo/clippy.toml crates/core/src/bin/verify-claims.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/bin/verify-claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/amr_mechanisms-e564fcfe3511f290.d: /root/repo/clippy.toml examples/amr_mechanisms.rs Cargo.toml
+
+/root/repo/target/debug/examples/libamr_mechanisms-e564fcfe3511f290.rmeta: /root/repo/clippy.toml examples/amr_mechanisms.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/amr_mechanisms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

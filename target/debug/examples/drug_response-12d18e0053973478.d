@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/drug_response-12d18e0053973478.d: /root/repo/clippy.toml examples/drug_response.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdrug_response-12d18e0053973478.rmeta: /root/repo/clippy.toml examples/drug_response.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/drug_response.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

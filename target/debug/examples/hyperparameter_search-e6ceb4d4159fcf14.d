@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/hyperparameter_search-e6ceb4d4159fcf14.d: /root/repo/clippy.toml examples/hyperparameter_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhyperparameter_search-e6ceb4d4159fcf14.rmeta: /root/repo/clippy.toml examples/hyperparameter_search.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/hyperparameter_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

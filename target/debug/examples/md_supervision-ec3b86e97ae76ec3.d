@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/md_supervision-ec3b86e97ae76ec3.d: /root/repo/clippy.toml examples/md_supervision.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmd_supervision-ec3b86e97ae76ec3.rmeta: /root/repo/clippy.toml examples/md_supervision.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/md_supervision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/scaling_study-80fa3bf6c85a5223.d: /root/repo/clippy.toml examples/scaling_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling_study-80fa3bf6c85a5223.rmeta: /root/repo/clippy.toml examples/scaling_study.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/scaling_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

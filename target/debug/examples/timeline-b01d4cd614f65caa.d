@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/timeline-b01d4cd614f65caa.d: /root/repo/clippy.toml examples/timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimeline-b01d4cd614f65caa.rmeta: /root/repo/clippy.toml examples/timeline.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

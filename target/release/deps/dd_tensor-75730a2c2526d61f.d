@@ -1,12 +1,14 @@
-/root/repo/target/release/deps/dd_tensor-75730a2c2526d61f.d: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
+/root/repo/target/release/deps/dd_tensor-75730a2c2526d61f.d: crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
 
-/root/repo/target/release/deps/libdd_tensor-75730a2c2526d61f.rlib: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
+/root/repo/target/release/deps/libdd_tensor-75730a2c2526d61f.rlib: crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
 
-/root/repo/target/release/deps/libdd_tensor-75730a2c2526d61f.rmeta: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
+/root/repo/target/release/deps/libdd_tensor-75730a2c2526d61f.rmeta: crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
 
 crates/tensor/src/lib.rs:
+crates/tensor/src/kernel.rs:
 crates/tensor/src/matmul.rs:
 crates/tensor/src/matrix.rs:
 crates/tensor/src/ops.rs:
+crates/tensor/src/pack.rs:
 crates/tensor/src/precision.rs:
 crates/tensor/src/rng.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dd_tensor-a974bc7bde62a41c.d: crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
+
+/root/repo/target/release/deps/dd_tensor-a974bc7bde62a41c: crates/tensor/src/lib.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pack.rs crates/tensor/src/precision.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/kernel.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pack.rs:
+crates/tensor/src/precision.rs:
+crates/tensor/src/rng.rs:

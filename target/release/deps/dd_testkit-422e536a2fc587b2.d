@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dd_testkit-422e536a2fc587b2.d: crates/testkit/src/lib.rs crates/testkit/src/determinism.rs crates/testkit/src/gen.rs crates/testkit/src/gradcheck.rs crates/testkit/src/oracle.rs crates/testkit/src/runner.rs
+
+/root/repo/target/release/deps/libdd_testkit-422e536a2fc587b2.rlib: crates/testkit/src/lib.rs crates/testkit/src/determinism.rs crates/testkit/src/gen.rs crates/testkit/src/gradcheck.rs crates/testkit/src/oracle.rs crates/testkit/src/runner.rs
+
+/root/repo/target/release/deps/libdd_testkit-422e536a2fc587b2.rmeta: crates/testkit/src/lib.rs crates/testkit/src/determinism.rs crates/testkit/src/gen.rs crates/testkit/src/gradcheck.rs crates/testkit/src/oracle.rs crates/testkit/src/runner.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/determinism.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/gradcheck.rs:
+crates/testkit/src/oracle.rs:
+crates/testkit/src/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deepdriver-cff1b17ca41327a7.d: src/lib.rs
+
+/root/repo/target/release/deps/deepdriver-cff1b17ca41327a7: src/lib.rs
+
+src/lib.rs:

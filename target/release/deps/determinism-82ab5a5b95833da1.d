@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-82ab5a5b95833da1.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-82ab5a5b95833da1: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-2be315eb4fb79071.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-2be315eb4fb79071: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_gemm-050ff2c7b4ff1c90.d: crates/core/src/bin/exp-gemm.rs
+
+/root/repo/target/release/deps/exp_gemm-050ff2c7b4ff1c90: crates/core/src/bin/exp-gemm.rs
+
+crates/core/src/bin/exp-gemm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-c2a9e7c5b3bd802c.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-c2a9e7c5b3bd802c: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

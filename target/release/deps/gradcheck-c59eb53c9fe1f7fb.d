@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gradcheck-c59eb53c9fe1f7fb.d: tests/gradcheck.rs
+
+/root/repo/target/release/deps/gradcheck-c59eb53c9fe1f7fb: tests/gradcheck.rs
+
+tests/gradcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/int8_fused-cfdedd16787a7ca0.d: tests/int8_fused.rs
+
+/root/repo/target/release/deps/int8_fused-cfdedd16787a7ca0: tests/int8_fused.rs
+
+tests/int8_fused.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_oracle-7700bb8bff04f416.d: tests/kernel_oracle.rs
+
+/root/repo/target/release/deps/kernel_oracle-7700bb8bff04f416: tests/kernel_oracle.rs
+
+tests/kernel_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/matmul_gemm-2b425ffd7a52cb47.d: crates/bench/benches/matmul_gemm.rs
+
+/root/repo/target/release/deps/matmul_gemm-2b425ffd7a52cb47: crates/bench/benches/matmul_gemm.rs
+
+crates/bench/benches/matmul_gemm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observability-a2cc449c247f53c8.d: tests/observability.rs
+
+/root/repo/target/release/deps/observability-a2cc449c247f53c8: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_consistency-77c1c823d088da23.d: tests/parallel_consistency.rs
+
+/root/repo/target/release/deps/parallel_consistency-77c1c823d088da23: tests/parallel_consistency.rs
+
+tests/parallel_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-61e5553924638ab4.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-61e5553924638ab4: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-d6e44a4c7a500ae2.d: tests/resilience.rs
+
+/root/repo/target/release/deps/resilience-d6e44a4c7a500ae2: tests/resilience.rs
+
+tests/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_integration-66a6e688419da00f.d: tests/search_integration.rs
+
+/root/repo/target/release/deps/search_integration-66a6e688419da00f: tests/search_integration.rs
+
+tests/search_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving-69768b09c90fff6e.d: tests/serving.rs
+
+/root/repo/target/release/deps/serving-69768b09c90fff6e: tests/serving.rs
+
+tests/serving.rs:

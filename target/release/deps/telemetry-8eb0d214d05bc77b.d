@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-8eb0d214d05bc77b.d: tests/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-8eb0d214d05bc77b: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tenancy-07bd0c453d2e8e4e.d: tests/tenancy.rs
+
+/root/repo/target/release/deps/tenancy-07bd0c453d2e8e4e: tests/tenancy.rs
+
+tests/tenancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/amr_mechanisms-5f14849039bcf921.d: examples/amr_mechanisms.rs
+
+/root/repo/target/release/examples/amr_mechanisms-5f14849039bcf921: examples/amr_mechanisms.rs
+
+examples/amr_mechanisms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/drug_response-b4de800082037e0e.d: examples/drug_response.rs
+
+/root/repo/target/release/examples/drug_response-b4de800082037e0e: examples/drug_response.rs
+
+examples/drug_response.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hyperparameter_search-d06b5ecc065255c3.d: examples/hyperparameter_search.rs
+
+/root/repo/target/release/examples/hyperparameter_search-d06b5ecc065255c3: examples/hyperparameter_search.rs
+
+examples/hyperparameter_search.rs:

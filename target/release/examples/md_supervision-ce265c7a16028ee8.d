@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/md_supervision-ce265c7a16028ee8.d: examples/md_supervision.rs
+
+/root/repo/target/release/examples/md_supervision-ce265c7a16028ee8: examples/md_supervision.rs
+
+examples/md_supervision.rs:

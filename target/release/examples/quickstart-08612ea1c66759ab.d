@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-08612ea1c66759ab.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-08612ea1c66759ab: examples/quickstart.rs
+
+examples/quickstart.rs:

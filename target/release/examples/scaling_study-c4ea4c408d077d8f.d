@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling_study-c4ea4c408d077d8f.d: examples/scaling_study.rs
+
+/root/repo/target/release/examples/scaling_study-c4ea4c408d077d8f: examples/scaling_study.rs
+
+examples/scaling_study.rs:

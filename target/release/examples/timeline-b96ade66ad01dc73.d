@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/timeline-b96ade66ad01dc73.d: examples/timeline.rs
+
+/root/repo/target/release/examples/timeline-b96ade66ad01dc73: examples/timeline.rs
+
+examples/timeline.rs:

@@ -10,6 +10,7 @@
 //! build scoped pools so one process exercises both widths.
 
 use dd_nn::{Activation, Loss, LrSchedule, ModelSpec, OptimizerConfig, TrainConfig, Trainer};
+use dd_tensor::kernel::{gemm_prec, simd_available, Backend, Orient};
 use dd_tensor::{
     matmul_nt_prec, matmul_prec, matmul_tn_prec, Matrix, Precision, Rng64, PAR_MIN_OUT,
 };
@@ -28,7 +29,7 @@ fn matmul_kernels_are_bitwise_identical_across_pool_widths() {
     let bt = b.transpose();
     let at = a.transpose();
 
-    for p in [Precision::F32, Precision::Bf16, Precision::Int8] {
+    for p in [Precision::F32, Precision::F64, Precision::Bf16, Precision::F16, Precision::Int8] {
         check_thread_invariance(&THREAD_COUNTS, || {
             let mut bits = f32_bits(matmul_prec(&a, &b, p).as_slice());
             bits.extend(f32_bits(matmul_nt_prec(&a, &bt, p).as_slice()));
@@ -37,6 +38,72 @@ fn matmul_kernels_are_bitwise_identical_across_pool_widths() {
         })
         .unwrap_or_else(|e| panic!("{p:?}: {e}"));
     }
+}
+
+/// The SIMD and scalar backends of the blocked kernel must agree bitwise:
+/// the microkernels run the same single-rounding FMA recurrence per output
+/// element (`vfmadd` vs `f32::mul_add`), the int8 contraction is exact
+/// integer arithmetic either way, and quantization shares one source
+/// expression across both codegen paths. Skipped (vacuously passing) on
+/// hosts without AVX2+FMA, where only the scalar backend exists.
+#[test]
+fn simd_and_scalar_backends_are_bitwise_identical() {
+    if !simd_available() {
+        return;
+    }
+    let mut rng = Rng64::new(0x51D);
+    // Straddle the MR/NR/KC boundaries and the parallel gate.
+    for (m, k, n) in [(5, 7, 15), (96, 64, 128), (65, 257, 33), (1, 300, 1)] {
+        let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+        for orient in [Orient::Nn, Orient::Nt, Orient::Tn] {
+            // gemm_prec takes operands in kernel layout: Nt wants B as n×k,
+            // Tn wants A as k×m.
+            let (ak, bk) = match orient {
+                Orient::Nn => (a.clone(), b.clone()),
+                Orient::Nt => (a.clone(), b.transpose()),
+                Orient::Tn => (a.transpose(), b.clone()),
+            };
+            for p in
+                [Precision::F32, Precision::F64, Precision::Bf16, Precision::F16, Precision::Int8]
+            {
+                let simd = gemm_prec(&ak, &bk, orient, p, Backend::Simd);
+                let scalar = gemm_prec(&ak, &bk, orient, p, Backend::Scalar);
+                assert_eq!(
+                    f32_bits(simd.as_slice()),
+                    f32_bits(scalar.as_slice()),
+                    "{orient:?}/{p:?} {m}x{k}x{n}: SIMD and scalar backends diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Backend parity must also hold *through* the pool: running the SIMD and
+/// scalar backends under every thread count must give one identical answer.
+#[test]
+fn backend_parity_is_thread_invariant() {
+    if !simd_available() {
+        return;
+    }
+    let mut rng = Rng64::new(0xB17);
+    let a = Matrix::randn(96, 33, 0.0, 1.0, &mut rng);
+    let b = Matrix::randn(33, 128, 0.0, 1.0, &mut rng);
+    check_thread_invariance(&THREAD_COUNTS, || {
+        let mut bits =
+            f32_bits(gemm_prec(&a, &b, Orient::Nn, Precision::F32, Backend::Simd).as_slice());
+        bits.extend(f32_bits(
+            gemm_prec(&a, &b, Orient::Nn, Precision::F32, Backend::Scalar).as_slice(),
+        ));
+        bits.extend(f32_bits(
+            gemm_prec(&a, &b, Orient::Nn, Precision::Int8, Backend::Simd).as_slice(),
+        ));
+        bits.extend(f32_bits(
+            gemm_prec(&a, &b, Orient::Nn, Precision::Int8, Backend::Scalar).as_slice(),
+        ));
+        bits
+    })
+    .unwrap_or_else(|e| panic!("{e}"));
 }
 
 /// One full training epoch — forward, backward, optimizer, shuffle — must

@@ -1,0 +1,125 @@
+//! Property suite for the fused int8 GEMM path: the quantize → i32 GEMM →
+//! dequantize pipeline inside `dd_tensor::kernel` must be *bitwise*
+//! reproducible from its unfused parts, and the quantizer itself must obey
+//! its half-step error bound.
+//!
+//! Bitwise equality is a real contract here, not wishful thinking: i32
+//! accumulation over the same codes is exact regardless of reduction order,
+//! and both writebacks share the single rounding expression in
+//! `precision::dequantize_acc`. Any divergence means the fused kernel
+//! quantized, contracted or dequantized differently — a bug by definition.
+
+use dd_tensor::precision::{dequantize_i8, quantize_i8};
+use dd_tensor::{matmul_nt_prec, matmul_prec, matmul_tn_prec, Precision, Rng64};
+use dd_testkit::{check, f32_bits, unfused_int8_matmul, Config, MatDims};
+
+/// Symmetric int8 quantization stores at most half a quantization step of
+/// error per element: |v − dequantize(quantize(v))| ≤ scale/2, plus the
+/// f32 roundoff of the two scale multiplies.
+#[test]
+fn quantize_roundtrip_stays_within_half_step() {
+    check(
+        &Config::with_seed(0x18B1).cases(300),
+        |rng, _| {
+            let len = 1 + rng.below(192);
+            let magnitude = f32::powi(10.0, rng.below(7) as i32 - 3);
+            (len, magnitude, rng.next_u64())
+        },
+        |&(len, magnitude, seed)| (1..len).rev().take(4).map(|l| (l, magnitude, seed)).collect(),
+        |&(len, magnitude, seed)| {
+            let mut rng = Rng64::new(seed);
+            let values: Vec<f32> = (0..len).map(|_| rng.gaussian() as f32 * magnitude).collect();
+            let (codes, scale) = quantize_i8(&values);
+            let mut back = vec![0f32; len];
+            dequantize_i8(&codes, scale, &mut back);
+            // Half a step, with relative slack for the rounding of `v/scale`
+            // (may clamp at 127) and of the dequantize multiply.
+            let bound = 0.5 * scale * (1.0 + 1e-5);
+            for (i, (&v, &b)) in values.iter().zip(&back).enumerate() {
+                let err = (v - b).abs();
+                if err > bound {
+                    return Err(format!(
+                        "element {i}: |{v} - {b}| = {err:e} > {bound:e} (scale {scale:e})"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Zero and non-finite inputs take the quantizer's guard path: all-zero
+/// codes with a unit scale, so round-trip is exact instead of NaN-poisoned.
+#[test]
+fn quantize_guards_zero_and_nonfinite_inputs() {
+    for values in [vec![0.0f32; 9], vec![0.0, f32::INFINITY, 1.0], vec![f32::NAN; 3]] {
+        let (codes, scale) = quantize_i8(&values);
+        assert!(codes.iter().all(|&c| c == 0), "{values:?}");
+        assert_eq!(scale, 1.0);
+    }
+}
+
+/// The fused kernel's output must be bitwise-equal to the unfused
+/// quantize / integer-GEMM / dequantize composition, for every orientation.
+/// Orientation is absorbed at packing time, so all three entry points must
+/// land on the identical bits too.
+#[test]
+fn fused_int8_is_bitwise_equal_to_unfused_composition() {
+    check(
+        &Config::with_seed(0x1F05ED).cases(120),
+        |rng, _| MatDims::sample(rng, 1, 40),
+        |d| d.shrink(1),
+        |dims| {
+            let (a, b) = dims.operands(1.0);
+            let reference = unfused_int8_matmul(&a, &b);
+            let cases = [
+                ("matmul", matmul_prec(&a, &b, Precision::Int8)),
+                ("matmul_nt", matmul_nt_prec(&a, &b.transpose(), Precision::Int8)),
+                ("matmul_tn", matmul_tn_prec(&a.transpose(), &b, Precision::Int8)),
+            ];
+            for (name, fused) in cases {
+                if f32_bits(fused.as_slice()) != f32_bits(reference.as_slice()) {
+                    let (i, (&g, &w)) = fused
+                        .as_slice()
+                        .iter()
+                        .zip(reference.as_slice())
+                        .enumerate()
+                        .find(|(_, (g, w))| g.to_bits() != w.to_bits())
+                        .expect("bit vectors differ");
+                    return Err(format!(
+                        "{name} {}x{}x{}: first divergence at flat index {i}: \
+                         fused {g:e} ({:#010x}) vs unfused {w:e} ({:#010x})",
+                        dims.m,
+                        dims.k,
+                        dims.n,
+                        g.to_bits(),
+                        w.to_bits()
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The fused contract must also survive the shapes where the kernel changes
+/// schedule: crossing the parallel-dispatch threshold, the MC row-block
+/// boundary, odd contraction depths (the padded k-pair), and single-row /
+/// single-column products.
+#[test]
+fn fused_int8_contract_holds_across_schedule_boundaries() {
+    let mut rng = Rng64::new(0xFA57);
+    for (m, k, n) in
+        [(65, 257, 130), (64, 256, 128), (63, 2, 129), (1, 31, 200), (200, 31, 1), (6, 1, 16)]
+    {
+        let dims = MatDims { m, k, n, data_seed: rng.next_u64() };
+        let (a, b) = dims.operands(1.0);
+        let fused = matmul_prec(&a, &b, Precision::Int8);
+        let reference = unfused_int8_matmul(&a, &b);
+        assert_eq!(
+            f32_bits(fused.as_slice()),
+            f32_bits(reference.as_slice()),
+            "fused != unfused for {m}x{k}x{n}"
+        );
+    }
+}

@@ -3,6 +3,7 @@
 //! bounds, plus edge-shape regressions (zero and unit dimensions, the
 //! parallel-dispatch threshold) across all kernels.
 
+use dd_tensor::kernel::{KC, MC, MR, NR};
 use dd_tensor::{
     matmul, matmul_nt, matmul_nt_prec, matmul_prec, matmul_tn, matmul_tn_prec, matvec, Matrix,
     Precision, Rng64, PAR_MIN_OUT,
@@ -127,15 +128,14 @@ fn matvec_is_bitwise_consistent_with_matmul_nt() {
         assert_eq!(f32_bits(&direct), f32_bits(via_nt.as_slice()), "{m}x{k}");
 
         // And both must agree with an exact f64 reference to f32 roundoff.
-        for i in 0..m {
+        for (i, &di) in direct.iter().enumerate() {
             let reference: f64 =
                 a.row(i).iter().zip(&x).map(|(&av, &xv)| av as f64 * xv as f64).sum();
             let abs: f64 = a.row(i).iter().zip(&x).map(|(&av, &xv)| (av * xv).abs() as f64).sum();
             let bound = 2.0 * (k as f64 + 1.0) * f64::powi(2.0, -24) * abs + 1e-7;
             assert!(
-                (direct[i] as f64 - reference).abs() <= bound,
-                "matvec[{i}] {m}x{k}: {} vs {reference}",
-                direct[i]
+                (di as f64 - reference).abs() <= bound,
+                "matvec[{i}] {m}x{k}: {di} vs {reference}"
             );
         }
     }
@@ -151,15 +151,57 @@ fn orientation_variants_agree_with_explicit_transposes() {
         let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
         let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
         let c = matmul(&a, &b);
-        // matmul_tn(aT, b) computes a·b by transposing back internally, so
-        // it is bitwise-identical to matmul; matmul_nt runs a different
-        // accumulation order, so compare within f32 accumulation slack.
+        // Orientation is absorbed at packing time in the blocked kernel, so
+        // every orientation shares one reduction order and both transpose
+        // variants are bitwise-identical to the plain product.
         let c_tn = matmul_tn(&a.transpose(), &b);
         assert_eq!(f32_bits(c.as_slice()), f32_bits(c_tn.as_slice()), "tn {m}x{k}x{n}");
         let c_nt = matmul_nt(&a, &b.transpose());
-        for (i, (&got, &want)) in c_nt.as_slice().iter().zip(c.as_slice()).enumerate() {
-            let slack = 2.0 * (k as f32 + 1.0) * f32::powi(2.0, -24) * want.abs().max(1.0) + 1e-6;
-            assert!((got - want).abs() <= slack, "nt {m}x{k}x{n} at {i}: {got} vs {want}");
+        assert_eq!(f32_bits(c.as_slice()), f32_bits(c_nt.as_slice()), "nt {m}x{k}x{n}");
+    }
+}
+
+/// Adversarial shapes straddling every blocking boundary of the tiled
+/// kernel: the MR-row tile, the NR-column strip, the KC contraction panel
+/// and the MC row block, each at `boundary − 1 / boundary / boundary + 1`,
+/// plus sub-tile contractions, degenerate 1×N / M×1 products and prime
+/// extents that divide none of the block sizes. Every shape runs through
+/// all three orientations and all five precision paths against the f64
+/// oracle — edge tiles take the zero-padded packing paths, so this is
+/// where off-by-one packing bugs surface.
+#[test]
+fn tile_boundary_shapes_survive_every_orientation_and_precision() {
+    assert_eq!(
+        (MR, NR, KC, MC),
+        (6, 16, 256, 64),
+        "blocking constants moved; rebalance the boundary shapes below"
+    );
+    let mut shapes: Vec<(usize, usize, usize)> = Vec::new();
+    // One blocking dimension at a time swept across its boundary, the
+    // others held at awkward (non-multiple) sizes.
+    for m in [MR - 1, MR, MR + 1, MC - 1, MC, MC + 1] {
+        shapes.push((m, 33, NR + 1));
+    }
+    for n in [NR - 1, NR, NR + 1, 2 * NR - 1, 2 * NR, 2 * NR + 1] {
+        shapes.push((MR + 1, 33, n));
+    }
+    for k in [1, 2, 3, 5, KC - 1, KC, KC + 1] {
+        shapes.push((MR + 1, k, NR + 1));
+    }
+    // Degenerate single-row / single-column products around a deep panel.
+    shapes.extend([(1, 37, 33), (33, 37, 1), (1, KC + 1, 1)]);
+    // Primes: no extent divides any block size.
+    shapes.extend([(13, 257, 31), (29, 31, 13), (7, 127, 23)]);
+
+    let mut rng = Rng64::new(0x71E5);
+    for (m, k, n) in shapes {
+        let dims = MatDims { m, k, n, data_seed: rng.next_u64() };
+        for orient in Orientation::ALL {
+            for p in PRECISIONS {
+                if let Err(f) = check_matmul(&dims, orient, p) {
+                    panic!("tile-boundary case {m}x{k}x{n}: {f}");
+                }
+            }
         }
     }
 }
